@@ -1,0 +1,148 @@
+//! Bootstrap confidence intervals.
+//!
+//! The normal-approximation intervals of [`crate::Summary`] are fine for
+//! means of well-behaved samples, but the paper's WHP quantities are *high
+//! quantiles* of skewed distributions (stabilization-time tails), where
+//! normal approximations mislead. The percentile bootstrap makes no shape
+//! assumptions: resample with replacement, recompute the statistic, read
+//! off the empirical quantiles of the replicates.
+//!
+//! Resampling is driven by a caller-supplied seed so reports remain
+//! reproducible.
+
+/// A bootstrap percentile confidence interval for an arbitrary statistic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapCi {
+    /// Point estimate (the statistic on the original sample).
+    pub estimate: f64,
+    /// Lower bound of the interval.
+    pub lower: f64,
+    /// Upper bound of the interval.
+    pub upper: f64,
+}
+
+/// Computes a percentile-bootstrap confidence interval at the given
+/// `confidence` (e.g. `0.95`) using `replicates` resamples.
+///
+/// `statistic` receives each resample (unsorted) and must return a finite
+/// value. Returns `None` if the sample is empty or non-finite, if
+/// `confidence` is outside `(0, 1)`, if `replicates == 0`, or if the
+/// statistic produces a non-finite value.
+///
+/// # Examples
+///
+/// ```
+/// use analysis::bootstrap::bootstrap_ci;
+///
+/// let sample: Vec<f64> = (1..=100).map(f64::from).collect();
+/// let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+/// let ci = bootstrap_ci(&sample, mean, 0.95, 2000, 42).unwrap();
+/// assert!(ci.lower < 50.5 && 50.5 < ci.upper);
+/// assert!((ci.estimate - 50.5).abs() < 1e-9);
+/// ```
+pub fn bootstrap_ci(
+    sample: &[f64],
+    statistic: impl Fn(&[f64]) -> f64,
+    confidence: f64,
+    replicates: usize,
+    seed: u64,
+) -> Option<BootstrapCi> {
+    if sample.is_empty()
+        || sample.iter().any(|x| !x.is_finite())
+        || !(0.0..1.0).contains(&confidence)
+        || confidence <= 0.0
+        || replicates == 0
+    {
+        return None;
+    }
+    let estimate = statistic(sample);
+    if !estimate.is_finite() {
+        return None;
+    }
+    let mut rng_state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    let mut next = move || {
+        // xorshift64*: small, fast, and plenty for index resampling.
+        rng_state ^= rng_state >> 12;
+        rng_state ^= rng_state << 25;
+        rng_state ^= rng_state >> 27;
+        rng_state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    };
+    let n = sample.len();
+    let mut replicate_values = Vec::with_capacity(replicates);
+    let mut resample = vec![0.0; n];
+    for _ in 0..replicates {
+        for slot in resample.iter_mut() {
+            *slot = sample[(next() % n as u64) as usize];
+        }
+        let v = statistic(&resample);
+        if !v.is_finite() {
+            return None;
+        }
+        replicate_values.push(v);
+    }
+    let alpha = (1.0 - confidence) / 2.0;
+    let lower = crate::quantile(&replicate_values, alpha)?;
+    let upper = crate::quantile(&replicate_values, 1.0 - alpha)?;
+    Some(BootstrapCi { estimate, lower, upper })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(bootstrap_ci(&[], mean, 0.95, 100, 1).is_none());
+        assert!(bootstrap_ci(&[f64::NAN], mean, 0.95, 100, 1).is_none());
+        assert!(bootstrap_ci(&[1.0], mean, 0.95, 0, 1).is_none());
+        assert!(bootstrap_ci(&[1.0], mean, 1.5, 100, 1).is_none());
+        assert!(bootstrap_ci(&[1.0], mean, 0.0, 100, 1).is_none());
+    }
+
+    #[test]
+    fn interval_brackets_the_estimate() {
+        let sample: Vec<f64> = (0..50).map(|k| (k as f64).sin() * 10.0 + 20.0).collect();
+        let ci = bootstrap_ci(&sample, mean, 0.9, 1000, 7).unwrap();
+        assert!(ci.lower <= ci.estimate && ci.estimate <= ci.upper);
+    }
+
+    #[test]
+    fn constant_sample_gives_degenerate_interval() {
+        let ci = bootstrap_ci(&[4.0; 30], mean, 0.95, 500, 3).unwrap();
+        assert_eq!(ci.lower, 4.0);
+        assert_eq!(ci.upper, 4.0);
+        assert_eq!(ci.estimate, 4.0);
+    }
+
+    #[test]
+    fn wider_confidence_means_wider_interval() {
+        let sample: Vec<f64> = (1..=60).map(f64::from).collect();
+        let narrow = bootstrap_ci(&sample, mean, 0.5, 3000, 9).unwrap();
+        let wide = bootstrap_ci(&sample, mean, 0.99, 3000, 9).unwrap();
+        assert!(wide.upper - wide.lower > narrow.upper - narrow.lower);
+    }
+
+    #[test]
+    fn reproducible_given_the_seed() {
+        let sample: Vec<f64> = (1..=40).map(f64::from).collect();
+        let a = bootstrap_ci(&sample, mean, 0.95, 500, 11).unwrap();
+        let b = bootstrap_ci(&sample, mean, 0.95, 500, 11).unwrap();
+        assert_eq!(a, b);
+        let c = bootstrap_ci(&sample, mean, 0.95, 500, 12).unwrap();
+        assert!(a != c, "different seeds should resample differently");
+    }
+
+    #[test]
+    fn works_for_high_quantiles() {
+        // The use case: CI for a p95 of a skewed sample.
+        let sample: Vec<f64> = (0..200).map(|k| ((k % 17) as f64).exp()).collect();
+        let p95 = |xs: &[f64]| crate::quantile(xs, 0.95).unwrap();
+        let ci = bootstrap_ci(&sample, p95, 0.9, 800, 13).unwrap();
+        assert!(ci.lower <= ci.estimate && ci.estimate <= ci.upper);
+        assert!(ci.upper <= sample.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+}

@@ -1,0 +1,107 @@
+//! Empirical cumulative distribution functions.
+//!
+//! The paper's WHP statements are tail bounds — e.g. Observation 2.2 gives,
+//! for any `α > 0`, probability `≥ ½·n^{−3α}` of needing `≥ α·n·ln n` time.
+//! An [`Ecdf`] over per-trial stabilization times lets the harness check
+//! such tail shapes directly (`P[T ≥ t] = 1 − F(t)`).
+
+/// An empirical CDF over a finite sample.
+///
+/// # Examples
+///
+/// ```
+/// use analysis::ecdf::Ecdf;
+///
+/// let e = Ecdf::new(vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+/// assert_eq!(e.cdf(0.0), 0.0);
+/// assert_eq!(e.cdf(2.0), 0.75);
+/// assert_eq!(e.survival(2.0), 0.75, "survival is P[X ≥ x], inclusive");
+/// assert_eq!(e.survival(2.1), 0.25);
+/// assert_eq!(e.cdf(10.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF from a sample.
+    ///
+    /// Returns `None` if the sample is empty or contains non-finite values.
+    pub fn new(mut sample: Vec<f64>) -> Option<Self> {
+        if sample.is_empty() || sample.iter().any(|x| !x.is_finite()) {
+            return None;
+        }
+        sample.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Some(Ecdf { sorted: sample })
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty (never true for a constructed `Ecdf`).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x) = P[X ≤ x]`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        // partition_point gives the count of elements ≤ x.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// `P[X ≥ x]` (note: ≥, matching the paper's tail statements).
+    pub fn survival(&self, x: f64) -> f64 {
+        let below = self.sorted.partition_point(|&v| v < x);
+        (self.sorted.len() - below) as f64 / self.sorted.len() as f64
+    }
+
+    /// The sorted observations.
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_and_non_finite() {
+        assert!(Ecdf::new(vec![]).is_none());
+        assert!(Ecdf::new(vec![f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn cdf_steps_at_observations() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(e.cdf(0.9), 0.0);
+        assert!((e.cdf(1.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((e.cdf(1.5) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((e.cdf(2.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(e.cdf(3.0), 1.0);
+    }
+
+    #[test]
+    fn survival_is_inclusive_at_ties() {
+        let e = Ecdf::new(vec![2.0, 2.0, 5.0, 7.0]).unwrap();
+        assert_eq!(e.survival(2.0), 1.0, "all values are ≥ 2");
+        assert_eq!(e.survival(2.1), 0.5);
+        assert_eq!(e.survival(7.0), 0.25);
+        assert_eq!(e.survival(7.1), 0.0);
+    }
+
+    #[test]
+    fn cdf_plus_strict_survival_partition() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        for x in [0.5, 1.0, 2.5, 5.0, 9.0] {
+            // P[X ≤ x] + P[X > x] = 1; survival is P[X ≥ x], so at
+            // non-observation points the two coincide.
+            let strict_above = 1.0 - e.cdf(x);
+            assert!(e.survival(x) >= strict_above - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Fixed-width histograms for reporting time distributions.
+
+/// A histogram over `[min, max)` with equally wide bins (values at exactly
+/// `max` are counted in the last bin).
+///
+/// # Examples
+///
+/// ```
+/// use analysis::histogram::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+/// for v in [1.0, 1.5, 9.9, 10.0, -3.0, 42.0] {
+///     h.add(v);
+/// }
+/// assert_eq!(h.counts(), &[2, 0, 0, 0, 2]);
+/// assert_eq!(h.underflow(), 1);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    min: f64,
+    max: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[min, max)`.
+    ///
+    /// Returns `None` if `bins == 0`, the bounds are not finite, or
+    /// `min ≥ max`.
+    pub fn new(min: f64, max: f64, bins: usize) -> Option<Self> {
+        if bins == 0 || !min.is_finite() || !max.is_finite() || min >= max {
+            return None;
+        }
+        Some(Histogram { min, max, counts: vec![0; bins], underflow: 0, overflow: 0 })
+    }
+
+    /// Adds one observation (non-finite values count as overflow).
+    pub fn add(&mut self, value: f64) {
+        if !value.is_finite() || value > self.max {
+            self.overflow += 1;
+            return;
+        }
+        if value < self.min {
+            self.underflow += 1;
+            return;
+        }
+        let bins = self.counts.len();
+        let width = (self.max - self.min) / bins as f64;
+        let idx = (((value - self.min) / width) as usize).min(bins - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations below `min`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations above `max` (or non-finite).
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations added, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// `(lower, upper)` bounds of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_bounds(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.counts.len(), "bin {i} out of range");
+        let width = (self.max - self.min) / self.counts.len() as f64;
+        (self.min + i as f64 * width, self.min + (i + 1) as f64 * width)
+    }
+
+    /// Renders an ASCII bar chart, one line per bin.
+    pub fn render(&self, width: usize) -> String {
+        let peak = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let (lo, hi) = self.bin_bounds(i);
+            let bar = "#".repeat((c as usize * width).div_ceil(peak as usize).min(width));
+            out.push_str(&format!("[{lo:>10.2}, {hi:>10.2})  {c:>6} {bar}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_none());
+        assert!(Histogram::new(1.0, 1.0, 4).is_none());
+        assert!(Histogram::new(2.0, 1.0, 4).is_none());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_none());
+    }
+
+    #[test]
+    fn bins_partition_the_range() {
+        let mut h = Histogram::new(0.0, 4.0, 4).unwrap();
+        for v in [0.0, 0.99, 1.0, 2.5, 3.99] {
+            h.add(v);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 1]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn boundary_value_at_max_goes_to_last_bin() {
+        let mut h = Histogram::new(0.0, 4.0, 4).unwrap();
+        h.add(4.0);
+        assert_eq!(h.counts(), &[0, 0, 0, 1]);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn non_finite_counts_as_overflow() {
+        let mut h = Histogram::new(0.0, 4.0, 2).unwrap();
+        h.add(f64::INFINITY);
+        h.add(f64::NAN);
+        assert_eq!(h.overflow(), 2);
+    }
+
+    #[test]
+    fn bin_bounds_are_contiguous() {
+        let h = Histogram::new(1.0, 3.0, 4).unwrap();
+        for i in 0..3 {
+            assert_eq!(h.bin_bounds(i).1, h.bin_bounds(i + 1).0);
+        }
+        assert_eq!(h.bin_bounds(0).0, 1.0);
+        assert_eq!(h.bin_bounds(3).1, 3.0);
+    }
+
+    #[test]
+    fn render_has_one_line_per_bin() {
+        let mut h = Histogram::new(0.0, 2.0, 2).unwrap();
+        h.add(0.5);
+        let text = h.render(10);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains('#'));
+    }
+}

@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! Statistics substrate for the SSLE reproduction.
+//!
+//! The paper ("Time-Optimal Self-Stabilizing Leader Election in Population
+//! Protocols", PODC 2021 / arXiv:1907.06068) reports *expected* parallel
+//! stabilization times and *with-high-probability* (WHP) tail bounds for each
+//! protocol (Table 1), plus asymptotic scaling laws such as
+//! `Θ(n²)`, `Θ(n)`, `Θ(H·n^{1/(H+1)})` and `Θ(log n)`.
+//!
+//! This crate turns raw per-trial measurements into those quantities:
+//!
+//! * [`Summary`] — mean, variance, standard error, and normal-approximation
+//!   confidence intervals of a sample;
+//! * [`quantile()`] — order statistics used for WHP ("95th percentile") rows;
+//! * [`regression`] — least-squares fits, in particular the log-log power-law
+//!   fit used to estimate empirical scaling exponents (is the measured time
+//!   growing like `n¹`, `n²`, or `log n`?);
+//! * [`sequences`] — harmonic numbers and related closed forms that appear in
+//!   the paper's analysis (e.g. `H_k ~ ln k`, coupon-collector constants).
+//!
+//! # Examples
+//!
+//! Estimate the scaling exponent of a quadratic-time protocol:
+//!
+//! ```
+//! use analysis::regression::power_law_fit;
+//!
+//! let ns = [16.0, 32.0, 64.0, 128.0];
+//! let times: Vec<f64> = ns.iter().map(|n| 0.25 * n * n).collect();
+//! let fit = power_law_fit(&ns, &times).unwrap();
+//! assert!((fit.exponent - 2.0).abs() < 1e-9);
+//! ```
+
+pub mod bootstrap;
+pub mod ecdf;
+pub mod histogram;
+pub mod quantile;
+pub mod regression;
+pub mod sequences;
+pub mod summary;
+
+pub use bootstrap::{bootstrap_ci, BootstrapCi};
+pub use ecdf::Ecdf;
+pub use histogram::Histogram;
+pub use quantile::quantile;
+pub use regression::{linear_fit, power_law_fit, LinearFit, PowerLawFit};
+pub use sequences::harmonic;
+pub use summary::Summary;

@@ -1,0 +1,102 @@
+//! Order statistics for with-high-probability ("WHP") reporting.
+//!
+//! Table 1 of the paper reports parallel times both in expectation and WHP
+//! (probability `1 − O(1/n)`). Empirically we approximate the WHP row by a
+//! high quantile (e.g. the 95th percentile) of the per-trial stabilization
+//! times.
+
+/// Returns the `q`-quantile (`0.0 ≤ q ≤ 1.0`) of a sample using linear
+/// interpolation between order statistics (type-7 estimator, the default of R
+/// and NumPy).
+///
+/// Returns `None` for an empty sample, a non-finite observation, or `q`
+/// outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use analysis::quantile;
+///
+/// let xs = [4.0, 1.0, 3.0, 2.0];
+/// assert_eq!(quantile(&xs, 0.0), Some(1.0));
+/// assert_eq!(quantile(&xs, 1.0), Some(4.0));
+/// assert_eq!(quantile(&xs, 0.5), Some(2.5));
+/// ```
+pub fn quantile(sample: &[f64], q: f64) -> Option<f64> {
+    if sample.is_empty() || !(0.0..=1.0).contains(&q) || sample.iter().any(|x| !x.is_finite()) {
+        return None;
+    }
+    let mut xs: Vec<f64> = sample.to_vec();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite values are totally ordered"));
+    let pos = q * (xs.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(xs[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Some(xs[lo] * (1.0 - frac) + xs[hi] * frac)
+    }
+}
+
+/// Returns the median of a sample, or `None` if it is empty or non-finite.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(analysis::quantile::median(&[3.0, 1.0, 2.0]), Some(2.0));
+/// ```
+pub fn median(sample: &[f64]) -> Option<f64> {
+    quantile(sample, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn out_of_range_q_is_none() {
+        assert_eq!(quantile(&[1.0], -0.1), None);
+        assert_eq!(quantile(&[1.0], 1.1), None);
+    }
+
+    #[test]
+    fn nan_is_none() {
+        assert_eq!(quantile(&[1.0, f64::NAN], 0.5), None);
+    }
+
+    #[test]
+    fn singleton_every_quantile() {
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(quantile(&[7.0], q), Some(7.0));
+        }
+    }
+
+    #[test]
+    fn interpolation_matches_numpy_type7() {
+        let xs = [10.0, 20.0, 30.0, 40.0, 50.0];
+        // numpy.percentile(xs, 95) == 48.0
+        assert!((quantile(&xs, 0.95).unwrap() - 48.0).abs() < 1e-12);
+        // numpy.percentile(xs, 10) == 14.0
+        assert!((quantile(&xs, 0.10).unwrap() - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_of_even_sample_interpolates() {
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), Some(2.5));
+    }
+
+    #[test]
+    fn input_order_is_irrelevant() {
+        let a = [5.0, 1.0, 4.0, 2.0, 3.0];
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0];
+        for q in [0.0, 0.3, 0.62, 1.0] {
+            assert_eq!(quantile(&a, q), quantile(&b, q));
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Least-squares fits for empirical scaling laws.
+//!
+//! The benchmark harness estimates scaling exponents by fitting measured
+//! stabilization times `t(n)` against population sizes `n` on log-log axes:
+//! a protocol running in `Θ(n^α)` parallel time produces a fitted
+//! [`PowerLawFit::exponent`] close to `α` (≈ 2 for Silent-n-state-SSR,
+//! ≈ 1 for Optimal-Silent-SSR, ≈ 0 for the `H = Θ(log n)` configuration of
+//! Sublinear-Time-SSR).
+
+/// An ordinary least-squares line `y = slope · x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]` (1 for a perfect fit).
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Evaluates the fitted line at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// A power law `y = coefficient · x^exponent` obtained by a linear fit in
+/// log-log space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawFit {
+    /// Fitted exponent (the empirical scaling order).
+    pub exponent: f64,
+    /// Fitted leading coefficient.
+    pub coefficient: f64,
+    /// `r²` of the underlying log-log linear fit.
+    pub r_squared: f64,
+}
+
+impl PowerLawFit {
+    /// Evaluates the fitted power law at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.coefficient * x.powf(self.exponent)
+    }
+}
+
+/// Fits `y = slope·x + intercept` by ordinary least squares.
+///
+/// Returns `None` when fewer than two points are given, when the slices have
+/// different lengths, when any value is non-finite, or when all `x` are equal
+/// (the slope is then undefined).
+///
+/// # Examples
+///
+/// ```
+/// let fit = analysis::linear_fit(&[0.0, 1.0, 2.0], &[1.0, 3.0, 5.0]).unwrap();
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// assert!((fit.r_squared - 1.0).abs() < 1e-12);
+/// ```
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    if xs.iter().chain(ys).any(|v| !v.is_finite()) {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mean_x) * (x - mean_x)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let ss_tot: f64 = ys.iter().map(|y| (y - mean_y) * (y - mean_y)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let r = y - (slope * x + intercept);
+            r * r
+        })
+        .sum();
+    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    Some(LinearFit { slope, intercept, r_squared })
+}
+
+/// Fits `y = c · x^α` by least squares on `(ln x, ln y)`.
+///
+/// All inputs must be strictly positive and finite; returns `None` otherwise,
+/// or when fewer than two points are given.
+///
+/// # Examples
+///
+/// ```
+/// let ns = [8.0, 16.0, 32.0, 64.0];
+/// let ts: Vec<f64> = ns.iter().map(|n: &f64| 3.0 * n.sqrt()).collect();
+/// let fit = analysis::power_law_fit(&ns, &ts).unwrap();
+/// assert!((fit.exponent - 0.5).abs() < 1e-9);
+/// assert!((fit.coefficient - 3.0).abs() < 1e-9);
+/// ```
+pub fn power_law_fit(xs: &[f64], ys: &[f64]) -> Option<PowerLawFit> {
+    if xs.len() != ys.len() || xs.iter().chain(ys).any(|&v| !(v > 0.0) || !v.is_finite()) {
+        return None;
+    }
+    let log_x: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let log_y: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    let fit = linear_fit(&log_x, &log_y)?;
+    Some(PowerLawFit {
+        exponent: fit.slope,
+        coefficient: fit.intercept.exp(),
+        r_squared: fit.r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_fit_rejects_degenerate_inputs() {
+        assert!(linear_fit(&[], &[]).is_none());
+        assert!(linear_fit(&[1.0], &[1.0]).is_none());
+        assert!(linear_fit(&[1.0, 2.0], &[1.0]).is_none());
+        assert!(linear_fit(&[1.0, 1.0], &[1.0, 2.0]).is_none(), "vertical line");
+        assert!(linear_fit(&[1.0, f64::NAN], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn linear_fit_recovers_noiseless_line() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| -4.0 * x + 7.0).collect();
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!((fit.slope + 4.0).abs() < 1e-12);
+        assert!((fit.intercept - 7.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.predict(100.0) + 393.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_constant_y_has_unit_r_squared() {
+        let fit = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn power_law_rejects_nonpositive_values() {
+        assert!(power_law_fit(&[1.0, 0.0], &[1.0, 2.0]).is_none());
+        assert!(power_law_fit(&[1.0, 2.0], &[-1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn power_law_recovers_quadratic() {
+        let ns = [8.0, 16.0, 32.0, 64.0, 128.0];
+        let ts: Vec<f64> = ns.iter().map(|n| 0.5 * n * n).collect();
+        let fit = power_law_fit(&ns, &ts).unwrap();
+        assert!((fit.exponent - 2.0).abs() < 1e-9);
+        assert!((fit.coefficient - 0.5).abs() < 1e-9);
+        assert!((fit.predict(256.0) - 0.5 * 256.0 * 256.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn power_law_is_robust_to_mild_noise() {
+        let ns = [8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
+        let noise = [1.04, 0.97, 1.02, 0.99, 1.01, 0.98];
+        let ts: Vec<f64> = ns.iter().zip(noise).map(|(n, e)| 2.0 * n * e).collect();
+        let fit = power_law_fit(&ns, &ts).unwrap();
+        assert!((fit.exponent - 1.0).abs() < 0.05, "exponent {}", fit.exponent);
+        assert!(fit.r_squared > 0.99);
+    }
+}

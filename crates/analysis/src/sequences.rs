@@ -1,0 +1,101 @@
+//! Closed-form sequences appearing in the paper's analysis.
+//!
+//! The paper's preliminaries (Sec. 2) use the harmonic numbers
+//! `H_k = Σ_{i=1}^{k} 1/i ~ ln k` — they appear in coupon-collector style
+//! arguments (e.g. the `Ω(log n)` lower bound from the all-leaders
+//! configuration) and in the epidemic-process analysis.
+
+/// Returns the `k`-th harmonic number `H_k = Σ_{i=1..k} 1/i`.
+///
+/// `harmonic(0)` is the empty sum, 0.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(analysis::harmonic(1), 1.0);
+/// assert!((analysis::harmonic(4) - 25.0 / 12.0).abs() < 1e-12);
+/// ```
+pub fn harmonic(k: u64) -> f64 {
+    // Sum smallest-terms-first for numerical accuracy.
+    (1..=k).rev().map(|i| 1.0 / i as f64).sum()
+}
+
+/// Expected number of interactions for two *specific* agents of a population
+/// of `n` to interact, in units of interactions (not parallel time).
+///
+/// Each interaction picks an ordered pair uniformly among `n(n−1)`; the two
+/// specific agents meet with probability `2/(n(n−1))`, so the expectation is
+/// `n(n−1)/2` interactions — the bottleneck quantity in the `Θ(n²)` analysis
+/// of Silent-n-state-SSR and in Observation 2.2.
+///
+/// # Panics
+///
+/// Panics if `n < 2` (no pair exists).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(analysis::sequences::expected_meeting_interactions(2), 1.0);
+/// assert_eq!(analysis::sequences::expected_meeting_interactions(10), 45.0);
+/// ```
+pub fn expected_meeting_interactions(n: u64) -> f64 {
+    assert!(n >= 2, "a meeting requires at least two agents");
+    (n * (n - 1)) as f64 / 2.0
+}
+
+/// Expected *parallel time* for a coupon-collector sweep: the time until each
+/// of `n` agents has been the responder of some interaction at least once,
+/// `≈ H_n`. Used as a sanity scale for epidemic-style processes.
+///
+/// # Examples
+///
+/// ```
+/// let t = analysis::sequences::coupon_collector_parallel_time(100);
+/// assert!((t - analysis::harmonic(100)).abs() < 1e-12);
+/// ```
+pub fn coupon_collector_parallel_time(n: u64) -> f64 {
+    harmonic(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_base_cases() {
+        assert_eq!(harmonic(0), 0.0);
+        assert_eq!(harmonic(1), 1.0);
+        assert!((harmonic(2) - 1.5).abs() < 1e-15);
+        assert!((harmonic(3) - 11.0 / 6.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn harmonic_approaches_ln_plus_gamma() {
+        // H_k − ln k → γ ≈ 0.5772156649.
+        let k = 1_000_000u64;
+        let gamma = harmonic(k) - (k as f64).ln();
+        assert!((gamma - 0.577_215_664_9).abs() < 1e-6, "gamma estimate {gamma}");
+    }
+
+    #[test]
+    fn harmonic_is_monotone() {
+        let mut prev = 0.0;
+        for k in 1..100 {
+            let h = harmonic(k);
+            assert!(h > prev);
+            prev = h;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two agents")]
+    fn meeting_time_requires_pair() {
+        expected_meeting_interactions(1);
+    }
+
+    #[test]
+    fn meeting_time_small_cases() {
+        assert_eq!(expected_meeting_interactions(3), 3.0);
+        assert_eq!(expected_meeting_interactions(4), 6.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Sample summaries: mean, variance, standard error, confidence intervals.
+
+use std::fmt;
+
+/// A numeric summary of a sample of measurements.
+///
+/// Computed once from a slice via [`Summary::from_sample`]; all accessors are
+/// then O(1). Used throughout the benchmark harness to report expected
+/// parallel times (Table 1 of the paper) with uncertainty.
+///
+/// # Examples
+///
+/// ```
+/// use analysis::Summary;
+///
+/// let s = Summary::from_sample(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.len(), 4);
+/// assert!((s.variance() - 5.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    len: usize,
+    mean: f64,
+    /// Unbiased sample variance (n-1 denominator); 0 for singleton samples.
+    variance: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    ///
+    /// Returns `None` if the sample is empty or contains a non-finite value,
+    /// since none of the downstream statistics are meaningful in that case.
+    pub fn from_sample(sample: &[f64]) -> Option<Self> {
+        if sample.is_empty() || sample.iter().any(|x| !x.is_finite()) {
+            return None;
+        }
+        let len = sample.len();
+        let mean = sample.iter().sum::<f64>() / len as f64;
+        let variance = if len > 1 {
+            sample.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (len - 1) as f64
+        } else {
+            0.0
+        };
+        let min = sample.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = sample.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Some(Summary { len, mean, variance, min, max })
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the summary covers zero observations (never true for a
+    /// constructed `Summary`, provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance.
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        self.std_dev() / (self.len as f64).sqrt()
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Normal-approximation 95% confidence interval for the mean.
+    ///
+    /// Adequate for the trial counts (≥ 20) used by the benchmark harness;
+    /// returns `(lower, upper)`.
+    pub fn ci95(&self) -> (f64, f64) {
+        let half = 1.96 * self.std_err();
+        (self.mean - half, self.mean + half)
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mean {:.4} ± {:.4} (n={}, min {:.4}, max {:.4})",
+            self.mean,
+            1.96 * self.std_err(),
+            self.len,
+            self.min,
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_is_rejected() {
+        assert!(Summary::from_sample(&[]).is_none());
+    }
+
+    #[test]
+    fn non_finite_sample_is_rejected() {
+        assert!(Summary::from_sample(&[1.0, f64::NAN]).is_none());
+        assert!(Summary::from_sample(&[f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn singleton_has_zero_variance() {
+        let s = Summary::from_sample(&[42.0]).unwrap();
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_err(), 0.0);
+        assert_eq!(s.min(), 42.0);
+        assert_eq!(s.max(), 42.0);
+    }
+
+    #[test]
+    fn known_sample_statistics() {
+        let s = Summary::from_sample(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Unbiased variance of this classic sample is 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn ci_contains_mean_and_is_symmetric() {
+        let s = Summary::from_sample(&[1.0, 2.0, 3.0]).unwrap();
+        let (lo, hi) = s.ci95();
+        assert!(lo <= s.mean() && s.mean() <= hi);
+        assert!((s.mean() - lo - (hi - s.mean())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = Summary::from_sample(&[1.0]).unwrap();
+        assert!(!format!("{s}").is_empty());
+    }
+}

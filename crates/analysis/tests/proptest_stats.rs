@@ -1,0 +1,86 @@
+//! Property-based tests for the statistics substrate.
+
+use analysis::{linear_fit, power_law_fit, quantile, Summary};
+use proptest::prelude::*;
+
+fn finite_sample() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6..1e6f64, 1..200)
+}
+
+fn positive_sample() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(1e-3..1e6f64, 2..100)
+}
+
+proptest! {
+    #[test]
+    fn summary_mean_lies_between_min_and_max(sample in finite_sample()) {
+        let s = Summary::from_sample(&sample).expect("finite non-empty sample");
+        prop_assert!(s.min() <= s.mean() + 1e-9);
+        prop_assert!(s.mean() <= s.max() + 1e-9);
+        prop_assert!(s.variance() >= 0.0);
+        prop_assert!(s.std_err() <= s.std_dev() + 1e-12);
+    }
+
+    #[test]
+    fn summary_is_translation_equivariant(sample in finite_sample(), shift in -1e3..1e3f64) {
+        let s0 = Summary::from_sample(&sample).unwrap();
+        let shifted: Vec<f64> = sample.iter().map(|x| x + shift).collect();
+        let s1 = Summary::from_sample(&shifted).unwrap();
+        prop_assert!((s1.mean() - s0.mean() - shift).abs() < 1e-6);
+        prop_assert!((s1.variance() - s0.variance()).abs() < 1e-3 * (1.0 + s0.variance()));
+    }
+
+    #[test]
+    fn quantile_is_bounded_and_monotone(sample in finite_sample(), qa in 0.0..1.0f64, qb in 0.0..1.0f64) {
+        let (lo, hi) = (qa.min(qb), qa.max(qb));
+        let v_lo = quantile(&sample, lo).unwrap();
+        let v_hi = quantile(&sample, hi).unwrap();
+        let min = sample.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = sample.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(min <= v_lo && v_hi <= max);
+        prop_assert!(v_lo <= v_hi + 1e-12);
+    }
+
+    #[test]
+    fn quantile_extremes_are_min_and_max(sample in finite_sample()) {
+        let min = sample.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = sample.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(quantile(&sample, 0.0).unwrap(), min);
+        prop_assert_eq!(quantile(&sample, 1.0).unwrap(), max);
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_lines(
+        slope in -100.0..100.0f64,
+        intercept in -100.0..100.0f64,
+        xs in prop::collection::btree_set(-1000i32..1000, 2..50),
+    ) {
+        let xs: Vec<f64> = xs.into_iter().map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
+        let fit = linear_fit(&xs, &ys).expect("distinct xs");
+        prop_assert!((fit.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+        prop_assert!((fit.intercept - intercept).abs() < 1e-5 * (1.0 + intercept.abs()));
+        prop_assert!(fit.r_squared > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn power_law_fit_recovers_exact_power_laws(
+        exponent in -3.0..3.0f64,
+        coefficient in 0.01..100.0f64,
+        xs in prop::collection::btree_set(1u32..10_000, 2..40),
+    ) {
+        let xs: Vec<f64> = xs.into_iter().map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| coefficient * x.powf(exponent)).collect();
+        let fit = power_law_fit(&xs, &ys).expect("valid inputs");
+        prop_assert!((fit.exponent - exponent).abs() < 1e-6 * (1.0 + exponent.abs()));
+    }
+
+    #[test]
+    fn power_law_rejects_nonpositive_inputs(sample in positive_sample(), idx in any::<prop::sample::Index>()) {
+        let xs: Vec<f64> = (1..=sample.len()).map(|k| k as f64).collect();
+        let mut ys = sample;
+        let k = idx.index(ys.len());
+        ys[k] = -ys[k];
+        prop_assert!(power_law_fit(&xs, &ys).is_none());
+    }
+}

@@ -1,0 +1,45 @@
+//! Criterion bench for Experiment E8: the epidemic toolbox (two-way
+//! epidemic, bounded epidemic, roll call). The printable τ_k table comes
+//! from `--bin epidemic_bounds`.
+
+use std::cell::Cell;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use population::epidemic::{bounded_epidemic_times, epidemic_time, roll_call_time, EpidemicKind};
+
+fn next_seed(counter: &Cell<u64>) -> u64 {
+    let s = counter.get();
+    counter.set(s + 1);
+    s
+}
+
+fn bench_epidemics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epidemic");
+    group.sample_size(20);
+    let n = 512;
+
+    let seed = Cell::new(1u64);
+    group.bench_function("two_way/n512", |b| {
+        b.iter(|| epidemic_time(n, EpidemicKind::TwoWay, next_seed(&seed)))
+    });
+
+    let seed = Cell::new(1u64);
+    group.bench_function("one_way/n512", |b| {
+        b.iter(|| epidemic_time(n, EpidemicKind::OneWay, next_seed(&seed)))
+    });
+
+    let seed = Cell::new(1u64);
+    group.bench_function("roll_call/n512", |b| {
+        b.iter(|| roll_call_time(n, next_seed(&seed)))
+    });
+
+    let seed = Cell::new(1u64);
+    group.bench_function("bounded_tau2/n512", |b| {
+        b.iter(|| bounded_epidemic_times(n, 2, next_seed(&seed)).tau(2))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_epidemics);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for Experiment E7 (Theorem 5.1): Sublinear-Time-SSR
+//! stabilization from a planted collision as the history depth H varies.
+//! The printable sweep with parallel-time columns comes from
+//! `--bin h_sweep`; this bench tracks the wall-clock trade-off (deeper
+//! trees = fewer interactions but costlier tree bookkeeping).
+
+use std::cell::Cell;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssle_bench::{measure_sublinear, SubStart};
+
+fn bench_h_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("h_sweep/planted_collision/n32");
+    group.sample_size(10);
+    let n = 32;
+    for h in [0u32, 1, 2, 3] {
+        let seed = Cell::new(1u64);
+        group.bench_with_input(BenchmarkId::from_parameter(h), &h, |b, &h| {
+            b.iter(|| {
+                let s = seed.get();
+                seed.set(s + 1);
+                let sample = measure_sublinear(n, h, SubStart::PlantedCollision, 1, s);
+                assert!(sample.all_converged());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_h_sweep);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Microbenchmarks of the hot paths: single interactions of each protocol,
+//! rank-tracker updates, history-tree operations, and roster merges. These
+//! are the per-step costs multiplied by Θ(n³) (Silent-n-state-SSR) to
+//! Θ(n log n) (Sublinear-Time-SSR) interactions in the experiment binaries.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use population::runner::rng_from_seed;
+use population::{Protocol, RankTracker};
+use ssle::cai_izumi_wada::{CaiIzumiWada, CiwState};
+use ssle::optimal_silent::{OptimalSilentSsr, OssState};
+use ssle::sublinear::SublinearTimeSsr;
+use std::hint::black_box;
+
+fn bench_interactions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interaction");
+
+    group.bench_function("cai_izumi_wada/collision", |b| {
+        let p = CaiIzumiWada::new(64);
+        let mut rng = rng_from_seed(1);
+        b.iter_batched(
+            || (CiwState::new(7), CiwState::new(7)),
+            |(mut a, mut bb)| {
+                p.interact(&mut a, &mut bb, &mut rng);
+                black_box((a, bb))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("optimal_silent/recruitment", |b| {
+        let p = OptimalSilentSsr::new(64);
+        let mut rng = rng_from_seed(2);
+        b.iter_batched(
+            || (OssState::settled(3, 0), OssState::unsettled(100)),
+            |(mut a, mut bb)| {
+                p.interact(&mut a, &mut bb, &mut rng);
+                black_box((a, bb))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("sublinear_h2/clean_meeting", |b| {
+        let p = SublinearTimeSsr::new(64, 2);
+        let mut rng = rng_from_seed(3);
+        // Warm a pair of agents up with some history so the trees are
+        // realistically non-trivial.
+        let mut agents: Vec<_> = (0..8).map(|k| p.uniform_named_state(k)).collect();
+        for round in 0..6usize {
+            for i in 0..8 {
+                let j = (i + 1 + round) % 8;
+                if i != j {
+                    let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+                    let (l, r) = agents.split_at_mut(hi);
+                    p.interact(&mut l[lo], &mut r[0], &mut rng);
+                }
+            }
+        }
+        let a0 = agents[0].clone();
+        let a1 = agents[1].clone();
+        b.iter_batched(
+            || (a0.clone(), a1.clone()),
+            |(mut a, mut bb)| {
+                p.interact(&mut a, &mut bb, &mut rng);
+                black_box((a, bb))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+fn bench_tracker(c: &mut Criterion) {
+    c.bench_function("tracker/update", |b| {
+        let mut tracker = RankTracker::new(1024);
+        for r in 1..=1024 {
+            tracker.add(Some(r));
+        }
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            if flip {
+                tracker.update(Some(5), Some(6));
+            } else {
+                tracker.update(Some(6), Some(5));
+            }
+            black_box(tracker.is_correct())
+        })
+    });
+}
+
+criterion_group!(benches, bench_interactions, bench_tracker);
+criterion_main!(benches);

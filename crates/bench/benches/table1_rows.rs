@@ -1,0 +1,50 @@
+//! Criterion bench for Experiment E1 (Table 1): wall-clock cost of
+//! stabilizing each protocol from an adversarial random configuration at a
+//! fixed population size. The printable table itself comes from
+//! `--bin table1`; this bench tracks regressions of the same code paths.
+
+use std::cell::Cell;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssle_bench::{measure_ciw, measure_oss, measure_sublinear, CiwStart, OssStart, SubStart};
+
+fn next_seed(counter: &Cell<u64>) -> u64 {
+    let s = counter.get();
+    counter.set(s + 1);
+    s
+}
+
+fn bench_table1_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+
+    let n = 32;
+    let seed = Cell::new(1u64);
+    group.bench_function("silent_n_state_ssr/n32/random", |b| {
+        b.iter(|| {
+            let sample = measure_ciw(n, CiwStart::Random, 1, next_seed(&seed));
+            assert!(sample.all_converged());
+        })
+    });
+
+    let seed = Cell::new(1u64);
+    group.bench_function("optimal_silent_ssr/n32/random", |b| {
+        b.iter(|| {
+            let sample = measure_oss(n, OssStart::Random, 1, next_seed(&seed));
+            assert!(sample.all_converged());
+        })
+    });
+
+    let seed = Cell::new(1u64);
+    group.bench_function("sublinear_time_ssr/h2/n32/random", |b| {
+        b.iter(|| {
+            let sample = measure_sublinear(n, 2, SubStart::Random, 1, next_seed(&seed));
+            assert!(sample.all_converged());
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1_rows);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Experiment E5 — the Θ(n²) behavior of Silent-n-state-SSR (Sec. 2).
+//!
+//! The paper's lower-bound argument plants a "barrier" configuration: two
+//! agents at rank 0, one agent at every rank `1..n − 1`, nobody at rank
+//! `n − 1`. Stabilization then needs `n − 1` consecutive bottleneck meetings
+//! of the two rank-equal agents, each costing `Θ(n)` expected parallel time,
+//! for `Θ(n²)` total. This binary measures stabilization time from both the
+//! barrier and random configurations and fits the scaling exponent (≈ 2 for
+//! both, with the barrier's constant visibly larger).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p ssle-bench --bin cai_izumi_wada_quadratic -- \
+//!     [--trials 25] [--seed 1] [--max-n 128]
+//! ```
+
+use analysis::power_law_fit;
+use ssle_bench::cli::Flags;
+use ssle_bench::{measure_ciw, CiwStart, TimeSummary};
+
+fn main() {
+    let flags = Flags::parse(&["trials", "seed", "max-n"]);
+    let trials: u64 = flags.get("trials", 25);
+    let seed: u64 = flags.get("seed", 1);
+    let max_n: usize = flags.get("max-n", 128);
+
+    println!("Silent-n-state-SSR quadratic-time experiment ({trials} trials/point, seed {seed})");
+    println!(
+        "{:>6} | {:>10} {:>8} {:>10} | {:>10} {:>8} {:>10} | {:>8}",
+        "n", "E[barrier]", "±95%", "p95", "E[random]", "±95%", "p95", "ratio"
+    );
+
+    let mut ns = Vec::new();
+    let mut barrier_means = Vec::new();
+    let mut random_means = Vec::new();
+    let mut n = 8;
+    while n <= max_n {
+        let barrier = TimeSummary::from_sample(&measure_ciw(n, CiwStart::Barrier, trials, seed))
+            .expect("barrier trials converge");
+        let random = TimeSummary::from_sample(&measure_ciw(n, CiwStart::Random, trials, seed))
+            .expect("random trials converge");
+        println!(
+            "{:>6} | {:>10.1} {:>8.1} {:>10.1} | {:>10.1} {:>8.1} {:>10.1} | {:>8.2}",
+            n,
+            barrier.mean,
+            barrier.ci95_half,
+            barrier.p95,
+            random.mean,
+            random.ci95_half,
+            random.p95,
+            barrier.mean / random.mean
+        );
+        ns.push(n as f64);
+        barrier_means.push(barrier.mean);
+        random_means.push(random.mean);
+        n *= 2;
+    }
+
+    for (label, means) in [("barrier", &barrier_means), ("random", &random_means)] {
+        if let Some(fit) = power_law_fit(&ns, means) {
+            println!(
+                "fit [{label}]: time ≈ {:.3}·n^{:.2} (r² = {:.3}) — paper predicts exponent 2",
+                fit.coefficient, fit.exponent, fit.r_squared
+            );
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Experiment E8 — the probabilistic toolbox (Sec. 2 and the intuition of
+//! Sec. 1.1): bounded-epidemic hitting times `E[τ_k] = O(k·n^{1/k})` and the
+//! roll-call process at ≈ 1.5× the epidemic's completion time.
+//!
+//! `τ_k` is the first time a fixed target agent hears from the source via an
+//! interaction path of length ≤ `k`; `τ_1` is a direct meeting (`Θ(n)`),
+//! `τ_2` drops to `O(√n)`, and `τ_{Θ(log n)}` reaches the `Θ(log n)`
+//! epidemic completion time — the mechanism behind Sublinear-Time-SSR's
+//! collision-detection speed.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p ssle-bench --bin epidemic_bounds -- \
+//!     [--trials 30] [--seed 1] [--max-n 1024] [--max-k 4]
+//! ```
+
+use analysis::{power_law_fit, Summary};
+use population::epidemic::{
+    bounded_epidemic_times, epidemic_time, roll_call_time, EpidemicKind,
+};
+use population::runner::derive_seed;
+use ssle_bench::cli::Flags;
+
+fn main() {
+    let flags = Flags::parse(&["trials", "seed", "max-n", "max-k"]);
+    let trials: u64 = flags.get("trials", 30);
+    let seed: u64 = flags.get("seed", 1);
+    let max_n: usize = flags.get("max-n", 1024);
+    let max_k: usize = flags.get("max-k", 4);
+
+    println!("Bounded epidemic: E[τ_k] vs n ({trials} trials/point, seed {seed})");
+    print!("{:>6}", "n");
+    for k in 1..=max_k {
+        print!(" {:>10}", format!("E[τ_{k}]"));
+    }
+    println!(" {:>10} {:>10} {:>8}", "epidemic", "roll-call", "rc/ep");
+
+    let mut ns = Vec::new();
+    let mut tau_means: Vec<Vec<f64>> = vec![Vec::new(); max_k];
+    let mut n = 64;
+    while n <= max_n {
+        let mut taus: Vec<Vec<f64>> = vec![Vec::new(); max_k];
+        let mut ep = Vec::new();
+        let mut rc = Vec::new();
+        for trial in 0..trials {
+            let s = derive_seed(seed, (n as u64) << 32 | trial);
+            let times = bounded_epidemic_times(n, max_k, s);
+            for k in 1..=max_k {
+                taus[k - 1].push(times.tau(k));
+            }
+            ep.push(epidemic_time(n, EpidemicKind::TwoWay, s ^ 0xabcd));
+            rc.push(roll_call_time(n, s ^ 0x1234));
+        }
+        print!("{n:>6}");
+        for k in 1..=max_k {
+            let mean = Summary::from_sample(&taus[k - 1]).expect("non-empty").mean();
+            tau_means[k - 1].push(mean);
+            print!(" {mean:>10.2}");
+        }
+        let ep_mean = Summary::from_sample(&ep).expect("non-empty").mean();
+        let rc_mean = Summary::from_sample(&rc).expect("non-empty").mean();
+        println!(" {:>10.2} {:>10.2} {:>8.2}", ep_mean, rc_mean, rc_mean / ep_mean);
+        ns.push(n as f64);
+        n *= 2;
+    }
+
+    println!("\nfitted exponents (paper: E[τ_k] = O(k·n^{{1/k}}), i.e. exponent ≈ 1/k):");
+    for k in 1..=max_k {
+        if let Some(fit) = power_law_fit(&ns, &tau_means[k - 1]) {
+            println!(
+                "  τ_{k}: n^{:.2} (r² = {:.3}, expect ≈ {:.2})",
+                fit.exponent,
+                fit.r_squared,
+                1.0 / k as f64
+            );
+        }
+    }
+    println!("roll-call/epidemic ratio should hover near the paper's 1.5×.");
+}

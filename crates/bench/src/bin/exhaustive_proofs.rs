@@ -1,0 +1,120 @@
+//! Experiment — exhaustive (model-checking) verification at small `n`.
+//!
+//! Complements the statistical experiments: for small populations the
+//! configuration space fits in memory, so self-stabilization can be
+//! **proved** outright rather than sampled (see the `verify` crate). This
+//! binary prints the verdicts:
+//!
+//! * Silent-n-state-SSR is self-stabilizing for every checked `n`;
+//! * the same transitions run at the wrong population size are not
+//!   (Theorem 2.1's failure mode, with a concrete counterexample);
+//! * the `ℓ, ℓ → ℓ, f` baseline and initialized tree ranking are not
+//!   self-stabilizing (dead leaderless configurations);
+//! * loose stabilization converges from everywhere but is not stable.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p ssle-bench --bin exhaustive_proofs -- [--max-n 8]
+//! ```
+
+use ssle::cai_izumi_wada::{CaiIzumiWada, CiwState};
+use ssle::initialized::{FightProtocol, FightState, TreeRanking, TreeRankState};
+use ssle::loose::{LooseState, LooselyStabilizingLe};
+use ssle_bench::cli::Flags;
+use verify::{verify_self_stabilization, Config, Verdict};
+
+fn ciw_universe(n: usize) -> Vec<CiwState> {
+    (0..n as u32).map(CiwState::new).collect()
+}
+
+fn ciw_ranked(c: &Config<CiwState>) -> bool {
+    let n = c.len();
+    let mut seen = vec![false; n];
+    c.states().iter().all(|s| !std::mem::replace(&mut seen[s.rank as usize], true))
+}
+
+fn main() {
+    let flags = Flags::parse(&["max-n"]);
+    let max_n: usize = flags.get("max-n", 8);
+
+    println!("Exhaustive verification (every configuration of the full state space)\n");
+
+    for n in 2..=max_n {
+        let verdict =
+            verify_self_stabilization(&CaiIzumiWada::new(n), &ciw_universe(n), n, ciw_ranked);
+        match verdict {
+            Verdict::SelfStabilizing { configurations } => println!(
+                "Silent-n-state-SSR, n = {n}: PROVED self-stabilizing ({configurations} configurations exhausted)"
+            ),
+            other => println!("Silent-n-state-SSR, n = {n}: UNEXPECTED {other:?}"),
+        }
+    }
+
+    // Theorem 2.1's failure mode.
+    let (n1, n2) = (3usize, 4usize);
+    let one_leader =
+        |c: &Config<CiwState>| c.states().iter().filter(|s| s.rank == 0).count() == 1;
+    match verify_self_stabilization(&CaiIzumiWada::new(n1), &ciw_universe(n1), n2, one_leader) {
+        Verdict::CorrectNotClosed { from, to } => println!(
+            "\nn₁ = {n1} transitions in an n₂ = {n2} population: NOT stable (Theorem 2.1)\n  counterexample: {from:?} → {to:?}"
+        ),
+        other => println!("\nwrong-n check: UNEXPECTED {other:?}"),
+    }
+
+    // ℓ, ℓ → ℓ, f.
+    let fight_correct = |c: &Config<FightState>| {
+        c.states().iter().filter(|s| **s == FightState::Leader).count() == 1
+    };
+    match verify_self_stabilization(
+        &FightProtocol,
+        &[FightState::Leader, FightState::Follower],
+        5,
+        fight_correct,
+    ) {
+        Verdict::CorrectUnreachable { stuck } => println!(
+            "\nℓ,ℓ → ℓ,f at n = 5: NOT self-stabilizing; dead configuration {stuck:?}"
+        ),
+        other => println!("\nfight check: UNEXPECTED {other:?}"),
+    }
+
+    // Initialized tree ranking.
+    let n = 4;
+    let mut universe = vec![TreeRankState::Waiting];
+    for rank in 1..=n as u32 {
+        for children in 0..=2u8 {
+            universe.push(TreeRankState::Ranked { rank, children });
+        }
+    }
+    let ranked = |c: &Config<TreeRankState>| {
+        let mut seen = vec![false; n + 1];
+        c.states().iter().all(|s| match s {
+            TreeRankState::Ranked { rank, .. } => {
+                !std::mem::replace(&mut seen[*rank as usize], true)
+            }
+            TreeRankState::Waiting => false,
+        })
+    };
+    match verify_self_stabilization(&TreeRanking::new(n), &universe, n, ranked) {
+        Verdict::CorrectUnreachable { stuck } => println!(
+            "\ninitialized tree ranking at n = {n}: NOT self-stabilizing; dead configuration {stuck:?}"
+        ),
+        other => println!("\ntree-ranking check: UNEXPECTED {other:?}"),
+    }
+
+    // Loose stabilization.
+    let t_max = 3;
+    let mut universe = Vec::new();
+    for leader in [false, true] {
+        for timer in 0..=t_max {
+            universe.push(LooseState { leader, timer });
+        }
+    }
+    let one = |c: &Config<LooseState>| c.states().iter().filter(|s| s.leader).count() == 1;
+    match verify_self_stabilization(&LooselyStabilizingLe::new(t_max), &universe, 3, one) {
+        Verdict::CorrectNotClosed { from, to } => println!(
+            "\nloose stabilization (T_max = {t_max}) at n = 3: unique leader NOT closed (loose by design)\n  churn: {from:?} → {to:?}"
+        ),
+        other => println!("\nloose check: UNEXPECTED {other:?}"),
+    }
+}

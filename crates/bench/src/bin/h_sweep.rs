@@ -1,0 +1,91 @@
+//! Experiment E7 — **Theorem 5.1**: the time/space trade-off of
+//! Sublinear-Time-SSR as the history depth `H` varies.
+//!
+//! Two quantities are measured at fixed `n`, starting from unique names plus
+//! one planted collision:
+//!
+//! * **detection time** — parallel time until the first agent triggers a
+//!   reset. This is the `Θ(H·n^{1/(H+1)})` quantity of the theorem (the
+//!   bounded-epidemic hitting time of the collision evidence);
+//! * **total stabilization time** — detection plus the `Θ(log n)` reset and
+//!   roster-collection epilogue, which acts as an additive floor shared by
+//!   all depths.
+//!
+//! `H = 0` is the silent `Θ(n)` variant (direct detection), `H = 1` the
+//! `Θ(√n)` sync-dictionary warm-up, and `H ≈ log₂ n` the `Θ(log n)`
+//! time-optimal configuration. State counts grow (quasi-)exponentially in
+//! exchange (printed as bits per agent). The binary also prints the
+//! Optimal-Silent-SSR time at the same `n` so the silent-vs-non-silent
+//! crossover is visible.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p ssle-bench --bin h_sweep -- \
+//!     [--trials 15] [--seed 1] [--n 64] [--max-h 6]
+//! ```
+
+use analysis::{quantile, Summary};
+use population::runner::derive_seed;
+use population::Simulation;
+use ssle::adversary;
+use ssle::reset::ResetView;
+use ssle::state_space::sublinear_log2_states;
+use ssle::SublinearTimeSsr;
+use ssle_bench::cli::Flags;
+use ssle_bench::{measure_oss, measure_sublinear, OssStart, SubStart, TimeSummary};
+
+fn main() {
+    let flags = Flags::parse(&["trials", "seed", "n", "max-h"]);
+    let trials: u64 = flags.get("trials", 15);
+    let seed: u64 = flags.get("seed", 1);
+    let n: usize = flags.get("n", 64);
+    let default_max_h = SublinearTimeSsr::name_bits_for(n) as u32 / 3; // ⌈log₂ n⌉
+    let max_h: u32 = flags.get("max-h", default_max_h);
+
+    println!("Sublinear-Time-SSR H-sweep at n = {n} ({trials} trials/point, seed {seed})");
+    println!("start: unique names + one planted collision (detection is the bottleneck)\n");
+    println!(
+        "{:>4} {:>14} | {:>10} {:>10} | {:>10} {:>8} {:>10} | {:>14}",
+        "H", "paper E[detect]", "E[detect]", "p95", "E[total]", "±95%", "p95", "state bits"
+    );
+
+    for h in 0..=max_h {
+        // Detection time: parallel time until the first reset trigger.
+        let mut detect_times = Vec::new();
+        for trial in 0..trials {
+            let protocol = SublinearTimeSsr::new(n, h);
+            let initial = adversary::planted_collision_configuration(&protocol);
+            let mut sim = Simulation::new(protocol, initial, derive_seed(seed, trial));
+            let outcome =
+                sim.run_until(u64::MAX, |states| states.iter().any(|s| s.is_resetting()));
+            detect_times.push(outcome.parallel_time(n));
+        }
+        let detect = Summary::from_sample(&detect_times).expect("non-empty");
+        let detect_p95 = quantile(&detect_times, 0.95).expect("non-empty");
+
+        let t = TimeSummary::from_sample(&measure_sublinear(
+            n,
+            h,
+            SubStart::PlantedCollision,
+            trials,
+            seed,
+        ))
+        .expect("trials converge");
+        let paper = format!("H·n^(1/{})", h + 1);
+        let bits = sublinear_log2_states(&SublinearTimeSsr::new(n, h));
+        println!(
+            "{:>4} {:>14} | {:>10.1} {:>10.1} | {:>10.1} {:>8.1} {:>10.1} | {:>14.0}",
+            h, paper, detect.mean(), detect_p95, t.mean, t.ci95_half, t.p95, bits
+        );
+    }
+
+    let oss = TimeSummary::from_sample(&measure_oss(n, OssStart::AllRankOne, trials, seed))
+        .expect("trials converge");
+    println!(
+        "\nreference: Optimal-Silent-SSR from an all-rank-1 collision at n = {n}: E[time] = {:.1} (Θ(n), O(n) states)",
+        oss.mean
+    );
+    println!("expected shape: detection falls as Θ(H·n^(1/(H+1))); the total adds a");
+    println!("Θ(log n) reset/collection floor shared by every depth; state bits explode with H.");
+}

@@ -1,0 +1,110 @@
+//! Experiment — the Propagate-Reset wave (Sec. 3 of the paper).
+//!
+//! From a single triggered agent, the subprotocol passes through the phases
+//! the paper's analysis names: the **propagating** condition
+//! (`resetcount > 0`) spreads by epidemic; the population becomes fully
+//! **dormant**; after the delay the first agent **awakens** (executes
+//! `Reset`) and computing spreads back by epidemic. Each phase costs
+//! O(log n) time (for the `D_max = Θ(log n)` instantiation used by
+//! Sublinear-Time-SSR; Optimal-Silent-SSR stretches dormancy to Θ(n) on
+//! purpose).
+//!
+//! This binary samples the population's role mix over time and prints it as
+//! a CSV table (one column per phase), plus the measured phase boundaries
+//! and their scaling across n.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p ssle-bench --bin reset_wave -- \
+//!     [--n 64] [--seed 1] [--csv 1] [--max-n 512] [--trials 20]
+//! ```
+
+use analysis::Summary;
+use population::probe::{record_series, to_csv_table};
+use population::runner::derive_seed;
+use population::Simulation;
+use ssle::reset::ResetView;
+use ssle::sublinear::{SubRole, SubState, SublinearTimeSsr};
+use ssle_bench::cli::Flags;
+
+fn fraction(states: &[SubState], pred: impl Fn(&SubState) -> bool) -> f64 {
+    states.iter().filter(|s| pred(s)).count() as f64 / states.len() as f64
+}
+
+fn is_propagating(s: &SubState) -> bool {
+    matches!(&s.role, SubRole::Resetting(core) if core.resetcount > 0)
+}
+
+fn is_dormant(s: &SubState) -> bool {
+    matches!(&s.role, SubRole::Resetting(core) if core.resetcount == 0)
+}
+
+fn is_computing(s: &SubState) -> bool {
+    !s.is_resetting()
+}
+
+/// One triggered-reset execution; returns (full-dormancy time, full-recovery
+/// time) in parallel time units.
+fn one_wave(n: usize, seed: u64) -> (f64, f64) {
+    let protocol = SublinearTimeSsr::new(n, 1);
+    let mut initial = ssle::adversary::unique_names_configuration(&protocol);
+    initial[0] = protocol.triggered_state();
+    let mut sim = Simulation::new(protocol, initial, seed);
+    let dormant =
+        sim.run_until(u64::MAX, |s| s.iter().all(is_dormant)).parallel_time(n);
+    let recovered =
+        sim.run_until(u64::MAX, |s| s.iter().all(is_computing)).parallel_time(n);
+    (dormant, recovered)
+}
+
+fn main() {
+    let flags = Flags::parse(&["n", "seed", "csv", "max-n", "trials"]);
+    let n: usize = flags.get("n", 64);
+    let seed: u64 = flags.get("seed", 1);
+    let csv: u32 = flags.get("csv", 1);
+    let max_n: usize = flags.get("max-n", 512);
+    let trials: u64 = flags.get("trials", 20);
+
+    if csv != 0 {
+        println!("# Propagate-Reset wave at n = {n} (Sublinear-Time-SSR instantiation)");
+        let protocol = SublinearTimeSsr::new(n, 1);
+        let mut initial = ssle::adversary::unique_names_configuration(&protocol);
+        initial[0] = protocol.triggered_state();
+        let mut sim = Simulation::new(protocol, initial, seed);
+        let series = record_series(
+            &mut sim,
+            40 * n as u64,
+            (n / 2).max(1) as u64,
+            &mut [
+                ("computing", Box::new(|s: &[SubState]| fraction(s, is_computing))),
+                ("propagating", Box::new(|s: &[SubState]| fraction(s, is_propagating))),
+                ("dormant", Box::new(|s: &[SubState]| fraction(s, is_dormant))),
+            ],
+        );
+        print!("{}", to_csv_table(&series));
+        println!();
+    }
+
+    println!("phase boundaries vs n ({trials} trials/point): expect O(log n) growth");
+    println!("{:>6} | {:>14} | {:>14}", "n", "E[all dormant]", "E[all computing]");
+    let mut m = 16;
+    while m <= max_n {
+        let mut dorm = Vec::new();
+        let mut reco = Vec::new();
+        for trial in 0..trials {
+            let (d, r) = one_wave(m, derive_seed(seed, (m as u64) << 32 | trial));
+            dorm.push(d);
+            reco.push(r);
+        }
+        println!(
+            "{:>6} | {:>14.1} | {:>14.1}",
+            m,
+            Summary::from_sample(&dorm).expect("non-empty").mean(),
+            Summary::from_sample(&reco).expect("non-empty").mean(),
+        );
+        m *= 2;
+    }
+    println!("\n(doubling n should add roughly a constant to both columns — logarithmic");
+    println!("growth — because R_max and D_max scale with log n in this instantiation)");
+}

@@ -1,0 +1,114 @@
+//! Experiment E4 — **Observation 2.2**: any silent SSLE protocol needs
+//! `Ω(n)` expected convergence time.
+//!
+//! The proof plants, next to a silent single-leader configuration `C`, a
+//! copy `C′` in which one non-leader agent's state is overwritten by an
+//! exact copy of the leader's state. Silence of `C` means no third agent can
+//! react: the two leader-state copies must meet *directly*, a geometric
+//! event with success probability `2/(n(n−1))` per interaction — expected
+//! parallel time `(n−1)/2 ≥ n/3`.
+//!
+//! This binary builds `C′` for Optimal-Silent-SSR, measures (a) the time of
+//! the first state change (the duplicates' meeting) and (b) the full
+//! re-stabilization time, and compares (a) against both the exact
+//! `(n−1)/2` expectation and the observation's `n/3` lower bound.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p ssle-bench --bin silent_lower_bound -- \
+//!     [--trials 50] [--seed 1] [--max-n 256]
+//! ```
+
+use analysis::{power_law_fit, quantile, Ecdf, Summary};
+use population::runner::derive_seed;
+use population::Simulation;
+use ssle::adversary::observation_2_2_configuration;
+use ssle::OptimalSilentSsr;
+use ssle_bench::cli::Flags;
+
+fn main() {
+    let flags = Flags::parse(&["trials", "seed", "max-n"]);
+    let trials: u64 = flags.get("trials", 50);
+    let seed: u64 = flags.get("seed", 1);
+    let max_n: usize = flags.get("max-n", 256);
+
+    println!("Observation 2.2 — silent protocols must wait for the duplicates to meet");
+    println!("({trials} trials/point, seed {seed}; protocol: Optimal-Silent-SSR)\n");
+    println!(
+        "{:>6} | {:>12} {:>10} | {:>10} {:>8} | {:>12}",
+        "n", "E[meet]", "p95", "(n-1)/2", "n/3", "E[restab]"
+    );
+
+    let mut ns = Vec::new();
+    let mut meet_means = Vec::new();
+    let mut n = 8;
+    while n <= max_n {
+        let protocol = OptimalSilentSsr::new(n);
+        let initial = observation_2_2_configuration(&protocol);
+        let mut meet_times = Vec::new();
+        let mut restab_times = Vec::new();
+        for trial in 0..trials {
+            let mut sim = Simulation::new(protocol, initial.clone(), derive_seed(seed, trial));
+            // The only applicable transition involves the two duplicates (at
+            // indices 0 and n−1); the first change is their meeting.
+            let (w0, w1) = (initial[0], initial[n - 1]);
+            while sim.states()[0] == w0 && sim.states()[n - 1] == w1 {
+                sim.step();
+            }
+            meet_times.push(sim.parallel_time());
+            let outcome = sim.run_until_stably_ranked(u64::MAX, 4 * n as u64);
+            restab_times.push(outcome.parallel_time(n));
+        }
+        let meet = Summary::from_sample(&meet_times).expect("non-empty");
+        let restab = Summary::from_sample(&restab_times).expect("non-empty");
+        println!(
+            "{:>6} | {:>12.1} {:>10.1} | {:>10.1} {:>8.1} | {:>12.1}",
+            n,
+            meet.mean(),
+            quantile(&meet_times, 0.95).expect("non-empty"),
+            (n as f64 - 1.0) / 2.0,
+            n as f64 / 3.0,
+            restab.mean(),
+        );
+        ns.push(n as f64);
+        meet_means.push(meet.mean());
+        n *= 2;
+    }
+
+    if let Some(fit) = power_law_fit(&ns, &meet_means) {
+        println!(
+            "\nfit: E[meet] ≈ {:.3}·n^{:.2} (r² = {:.3}) — the observation predicts exponent 1",
+            fit.coefficient, fit.exponent, fit.r_squared
+        );
+    }
+    println!("every E[meet] above must exceed n/3; the exact theory value is (n−1)/2.");
+
+    // Tail shape at the largest n: the observation guarantees
+    // P[T ≥ α·n·ln n] ≥ ½·n^{−3α}; the exact geometric meeting time gives
+    // P[T ≥ t] = (1 − 2/(n(n−1)))^{t·n} ≈ e^{−2t/(n−1)}.
+    let n_tail = n / 2; // the largest n measured above
+    let protocol = OptimalSilentSsr::new(n_tail);
+    let initial = observation_2_2_configuration(&protocol);
+    let mut meet_times = Vec::new();
+    for trial in 0..(4 * trials) {
+        let mut sim =
+            Simulation::new(protocol, initial.clone(), derive_seed(seed ^ 0x7a11, trial));
+        let (w0, w1) = (initial[0], initial[n_tail - 1]);
+        while sim.states()[0] == w0 && sim.states()[n_tail - 1] == w1 {
+            sim.step();
+        }
+        meet_times.push(sim.parallel_time());
+    }
+    let ecdf = Ecdf::new(meet_times).expect("non-empty");
+    println!("\ntail at n = {n_tail} ({} trials): P[T ≥ t] vs exp(−2t/(n−1))", 4 * trials);
+    for mult in [0.5f64, 1.0, 2.0] {
+        let t = mult * (n_tail as f64 - 1.0) / 2.0;
+        let expected = (-2.0 * t / (n_tail as f64 - 1.0)).exp();
+        println!(
+            "  t = {t:>7.1} ({mult:>3}× mean): measured {:>6.3}, geometric theory {:>6.3}",
+            ecdf.survival(t),
+            expected
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Experiment E10 — the "states" column of Table 1: per-protocol state
+//! counts as the population grows.
+//!
+//! * Silent-n-state-SSR: exactly `n` (the optimum — Theorem 2.1);
+//! * Optimal-Silent-SSR: `O(n)` (exact count from the configured constants);
+//! * Sublinear-Time-SSR: (quasi-)exponential — reported as bits per agent
+//!   (`log₂` of the state count) for depths `H = 1, 2` and `H = ⌈log₂ n⌉`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p ssle-bench --bin state_space -- [--max-n 1024]
+//! ```
+
+use ssle::state_space::{cai_izumi_wada_states, optimal_silent_states, sublinear_log2_states};
+use ssle::{OptimalSilentSsr, SublinearTimeSsr};
+use ssle_bench::cli::Flags;
+
+fn main() {
+    let flags = Flags::parse(&["max-n"]);
+    let max_n: usize = flags.get("max-n", 1024);
+
+    println!("State-space accounting (per agent)");
+    println!(
+        "{:>6} | {:>10} | {:>12} | {:>14} {:>14} {:>16}",
+        "n", "CIW", "Opt-Silent", "Sub(H=1) bits", "Sub(H=2) bits", "Sub(H=log n) bits"
+    );
+    let mut n = 8;
+    while n <= max_n {
+        let oss = OptimalSilentSsr::new(n);
+        let h_log = SublinearTimeSsr::name_bits_for(n) as u32 / 3;
+        println!(
+            "{:>6} | {:>10} | {:>12} | {:>14.0} {:>14.0} {:>16.0}",
+            n,
+            cai_izumi_wada_states(n),
+            optimal_silent_states(&oss),
+            sublinear_log2_states(&SublinearTimeSsr::new(n, 1)),
+            sublinear_log2_states(&SublinearTimeSsr::new(n, 2)),
+            sublinear_log2_states(&SublinearTimeSsr::new(n, h_log)),
+        );
+        n *= 2;
+    }
+    println!("\nCIW / Opt-Silent are state *counts* (both Θ(n));");
+    println!("Sublinear columns are log₂ of the count — the paper's exp(O(n^H)·log n).");
+}

@@ -1,0 +1,114 @@
+//! Minimal flag parsing shared by the experiment binaries.
+//!
+//! All binaries accept `--key value` flags; unknown flags abort with a
+//! message listing what was expected. This avoids an argument-parsing
+//! dependency while keeping the binaries scriptable.
+
+use std::collections::BTreeMap;
+
+/// Parsed `--key value` flags.
+#[derive(Debug, Clone, Default)]
+pub struct Flags {
+    values: BTreeMap<String, String>,
+}
+
+impl Flags {
+    /// Parses the process arguments (after the program name).
+    ///
+    /// `allowed` lists the accepted keys (without the `--` prefix); an
+    /// unknown or malformed argument terminates the process with a usage
+    /// message, which is the desired behavior for experiment scripts.
+    pub fn parse(allowed: &[&str]) -> Self {
+        Self::from_args(std::env::args().skip(1), allowed).unwrap_or_else(|msg| {
+            eprintln!("{msg}");
+            eprintln!("allowed flags: {}", allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(" "));
+            std::process::exit(2);
+        })
+    }
+
+    /// Parses an explicit argument iterator; errors instead of exiting.
+    pub fn from_args(
+        args: impl IntoIterator<Item = String>,
+        allowed: &[&str],
+    ) -> Result<Self, String> {
+        let mut values = BTreeMap::new();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let key = arg
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {arg:?}"))?;
+            if !allowed.contains(&key) {
+                return Err(format!("unknown flag --{key}"));
+            }
+            let value = iter.next().ok_or_else(|| format!("--{key} needs a value"))?;
+            values.insert(key.to_string(), value);
+        }
+        Ok(Flags { values })
+    }
+
+    /// The raw string value of `key`, if present.
+    pub fn try_get_str(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// The value of `key` parsed as `T`, or `default` when absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is present but unparsable — a usage error that
+    /// should stop an experiment run loudly.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        match self.values.get(key) {
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|e| panic!("--{key} {v:?} is not a valid value: {e:?}")),
+            None => default,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_known_flags() {
+        let f = Flags::from_args(args(&["--trials", "7", "--seed", "42"]), &["trials", "seed"])
+            .unwrap();
+        assert_eq!(f.get::<u64>("trials", 0), 7);
+        assert_eq!(f.get::<u64>("seed", 0), 42);
+        assert_eq!(f.get::<u64>("absent", 9), 9);
+    }
+
+    #[test]
+    fn rejects_unknown_flag() {
+        let err = Flags::from_args(args(&["--nope", "1"]), &["trials"]).unwrap_err();
+        assert!(err.contains("unknown flag"));
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        let err = Flags::from_args(args(&["--trials"]), &["trials"]).unwrap_err();
+        assert!(err.contains("needs a value"));
+    }
+
+    #[test]
+    fn rejects_positional_argument() {
+        let err = Flags::from_args(args(&["17"]), &["trials"]).unwrap_err();
+        assert!(err.contains("expected --flag"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a valid value")]
+    fn unparsable_value_panics() {
+        let f = Flags::from_args(args(&["--trials", "many"]), &["trials"]).unwrap();
+        let _: u64 = f.get("trials", 0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Trial-batch measurement of stabilization times.
+
+use population::{ConvergenceSample, Runner, TrialSettings};
+use ssle::adversary;
+use ssle::cai_izumi_wada::CaiIzumiWada;
+use ssle::optimal_silent::OptimalSilentSsr;
+use ssle::sublinear::SublinearTimeSsr;
+
+/// Starting configuration family for Silent-n-state-SSR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CiwStart {
+    /// Independent uniform random ranks per agent.
+    Random,
+    /// The Ω(n²) barrier configuration (two agents at rank 0, none at the
+    /// top rank).
+    Barrier,
+    /// All agents at rank 0.
+    AllZero,
+}
+
+/// Starting configuration family for Optimal-Silent-SSR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OssStart {
+    /// Independent uniform random roles and fields per agent.
+    Random,
+    /// Every agent settled at rank 1 (maximal rank collision).
+    AllRankOne,
+    /// The Observation 2.2 configuration (silent + duplicated leader state).
+    DuplicatedLeader,
+}
+
+/// Starting configuration family for Sublinear-Time-SSR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubStart {
+    /// Independent random roles, names, rosters, and history trees.
+    Random,
+    /// Unique names — the clean fast path (no reset needed).
+    UniqueNames,
+    /// Unique names except one planted duplicate — exercises
+    /// Detect-Name-Collision end to end.
+    PlantedCollision,
+    /// Unique names but every roster contains a ghost name.
+    GhostName,
+}
+
+/// Interaction budget per trial for a quadratic-time protocol.
+fn quadratic_budget(n: usize) -> u64 {
+    // Θ(n²) parallel time ⇒ Θ(n³) interactions; ×40 headroom for WHP tails.
+    40 * (n as u64).pow(3)
+}
+
+/// Interaction budget per trial for a linear-time protocol.
+fn linear_budget(n: usize) -> u64 {
+    // Θ(n) parallel time ⇒ Θ(n²) interactions; generous headroom because a
+    // failed in-reset leader election costs a full extra round.
+    400 * (n as u64).pow(2)
+}
+
+/// Interaction budget per trial for the sublinear protocol.
+fn sublinear_budget(n: usize) -> u64 {
+    // Θ(n^{1/(H+1)} (≤ √n) parallel time ⇒ well under n²; keep linear-scale
+    // headroom so repeated resets cannot exhaust the budget spuriously.
+    400 * (n as u64).pow(2)
+}
+
+/// Measures Silent-n-state-SSR stabilization times with the **exact jump
+/// chain** ([`ssle::ciw_fast`]) instead of the generic engine — identical
+/// distribution, Θ(n) fewer scheduler draws, enabling the Θ(n²) baseline at
+/// large `n`.
+pub fn measure_ciw_fast(
+    n: usize,
+    start: CiwStart,
+    trials: u64,
+    base_seed: u64,
+) -> ConvergenceSample {
+    use population::runner::{derive_seed, rng_from_seed};
+    use ssle::ciw_fast::{stabilization_interactions, CiwCounts};
+    let protocol = CaiIzumiWada::new(n);
+    let mut parallel_times = Vec::with_capacity(trials as usize);
+    for trial in 0..trials {
+        let mut config_rng = rng_from_seed(derive_seed(base_seed, 2 * trial));
+        let initial = match start {
+            CiwStart::Random => adversary::random_ciw_configuration(&protocol, &mut config_rng),
+            CiwStart::Barrier => protocol.worst_case_configuration(),
+            CiwStart::AllZero => vec![ssle::cai_izumi_wada::CiwState::new(0); n],
+        };
+        let interactions = stabilization_interactions(
+            CiwCounts::from_states(&initial),
+            derive_seed(base_seed, 2 * trial + 1),
+        );
+        parallel_times.push(interactions as f64 / n as f64);
+    }
+    ConvergenceSample { parallel_times, exhausted: 0 }
+}
+
+/// Measures Silent-n-state-SSR stabilization times over `trials` runs.
+pub fn measure_ciw(n: usize, start: CiwStart, trials: u64, base_seed: u64) -> ConvergenceSample {
+    let settings = TrialSettings::new(trials, base_seed, quadratic_budget(n), 4 * n as u64);
+    Runner::new(settings).measure_ranking(|_, rng| {
+        let protocol = CaiIzumiWada::new(n);
+        let initial = match start {
+            CiwStart::Random => adversary::random_ciw_configuration(&protocol, rng),
+            CiwStart::Barrier => protocol.worst_case_configuration(),
+            CiwStart::AllZero => vec![ssle::cai_izumi_wada::CiwState::new(0); n],
+        };
+        (protocol, initial)
+    })
+}
+
+/// Measures Optimal-Silent-SSR stabilization times over `trials` runs.
+pub fn measure_oss(n: usize, start: OssStart, trials: u64, base_seed: u64) -> ConvergenceSample {
+    let settings = TrialSettings::new(trials, base_seed, linear_budget(n), 4 * n as u64);
+    Runner::new(settings).measure_ranking(|_, rng| {
+        let protocol = OptimalSilentSsr::new(n);
+        let initial = match start {
+            OssStart::Random => adversary::random_oss_configuration(&protocol, rng),
+            OssStart::AllRankOne => vec![ssle::optimal_silent::OssState::settled(1, 0); n],
+            OssStart::DuplicatedLeader => adversary::observation_2_2_configuration(&protocol),
+        };
+        (protocol, initial)
+    })
+}
+
+/// Measures Sublinear-Time-SSR (depth `h`) stabilization times over
+/// `trials` runs.
+pub fn measure_sublinear(
+    n: usize,
+    h: u32,
+    start: SubStart,
+    trials: u64,
+    base_seed: u64,
+) -> ConvergenceSample {
+    let settings = TrialSettings::new(trials, base_seed, sublinear_budget(n), 4 * n as u64);
+    Runner::new(settings).measure_ranking(|_, rng| {
+        let protocol = SublinearTimeSsr::new(n, h);
+        let initial = match start {
+            SubStart::Random => adversary::random_sublinear_configuration(&protocol, rng),
+            SubStart::UniqueNames => adversary::unique_names_configuration(&protocol),
+            SubStart::PlantedCollision => adversary::planted_collision_configuration(&protocol),
+            SubStart::GhostName => adversary::ghost_name_configuration(&protocol),
+        };
+        (protocol, initial)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ciw_measurement_converges_at_small_n() {
+        let s = measure_ciw(8, CiwStart::Random, 3, 1);
+        assert!(s.all_converged());
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn ciw_barrier_is_slower_than_random_on_average() {
+        let barrier = measure_ciw(16, CiwStart::Barrier, 6, 2);
+        let random = measure_ciw(16, CiwStart::Random, 6, 2);
+        let avg = |s: &ConvergenceSample| {
+            s.parallel_times.iter().sum::<f64>() / s.parallel_times.len() as f64
+        };
+        assert!(avg(&barrier) > avg(&random));
+    }
+
+    #[test]
+    fn fast_and_generic_ciw_agree_on_the_mean() {
+        let n = 12;
+        let trials = 60;
+        let avg = |s: &ConvergenceSample| {
+            s.parallel_times.iter().sum::<f64>() / s.parallel_times.len() as f64
+        };
+        let fast = avg(&measure_ciw_fast(n, CiwStart::AllZero, trials, 9));
+        let slow = avg(&measure_ciw(n, CiwStart::AllZero, trials, 10));
+        let rel = (fast - slow).abs() / slow;
+        assert!(rel < 0.35, "fast {fast} vs slow {slow}");
+    }
+
+    #[test]
+    fn oss_measurement_converges_from_all_starts() {
+        for start in [OssStart::Random, OssStart::AllRankOne, OssStart::DuplicatedLeader] {
+            let s = measure_oss(8, start, 3, 3);
+            assert!(s.all_converged(), "{start:?} failed: {s:?}");
+        }
+    }
+
+    #[test]
+    fn sublinear_measurement_converges_from_all_starts() {
+        for start in [
+            SubStart::Random,
+            SubStart::UniqueNames,
+            SubStart::PlantedCollision,
+            SubStart::GhostName,
+        ] {
+            let s = measure_sublinear(8, 1, start, 2, 4);
+            assert!(s.all_converged(), "{start:?} failed: {s:?}");
+        }
+    }
+
+    #[test]
+    fn unique_names_is_fastest_sublinear_start() {
+        let clean = measure_sublinear(16, 1, SubStart::UniqueNames, 4, 5);
+        let planted = measure_sublinear(16, 1, SubStart::PlantedCollision, 4, 5);
+        let avg = |s: &ConvergenceSample| {
+            s.parallel_times.iter().sum::<f64>() / s.parallel_times.len() as f64
+        };
+        assert!(avg(&clean) < avg(&planted), "a planted collision must cost time");
+    }
+}

@@ -1,0 +1,15 @@
+#![warn(missing_docs)]
+
+//! Shared harness for the experiment binaries and Criterion benches.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md's per-experiment index); this library holds the common
+//! measurement plumbing: building protocol instances, picking adversarial
+//! starting configurations, running trial batches, and formatting rows.
+
+pub mod cli;
+pub mod harness;
+pub mod table;
+
+pub use harness::{measure_ciw, measure_ciw_fast, measure_oss, measure_sublinear, CiwStart, OssStart, SubStart};
+pub use table::TimeSummary;

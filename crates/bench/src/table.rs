@@ -1,0 +1,80 @@
+//! Row formatting for the experiment binaries.
+
+use analysis::{quantile, Summary};
+use population::ConvergenceSample;
+
+/// Expected-time and WHP-time view of one measurement, mirroring the two
+/// time columns of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeSummary {
+    /// Mean parallel time across converged trials.
+    pub mean: f64,
+    /// Half-width of the 95% confidence interval of the mean.
+    pub ci95_half: f64,
+    /// 95th percentile of parallel time — the empirical "WHP" column.
+    pub p95: f64,
+    /// Number of converged trials.
+    pub trials: usize,
+    /// Trials that exhausted their interaction budget.
+    pub exhausted: u64,
+}
+
+impl TimeSummary {
+    /// Summarizes a convergence sample; `None` if no trial converged.
+    pub fn from_sample(sample: &ConvergenceSample) -> Option<Self> {
+        let summary = Summary::from_sample(&sample.parallel_times)?;
+        let p95 = quantile(&sample.parallel_times, 0.95)?;
+        Some(TimeSummary {
+            mean: summary.mean(),
+            ci95_half: 1.96 * summary.std_err(),
+            p95,
+            trials: summary.len(),
+            exhausted: sample.exhausted,
+        })
+    }
+}
+
+impl std::fmt::Display for TimeSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:>10.2} ±{:>7.2} {:>10.2}",
+            self.mean, self.ci95_half, self.p95
+        )?;
+        if self.exhausted > 0 {
+            write!(f, "  ({} trials exhausted)", self.exhausted)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(times: Vec<f64>, exhausted: u64) -> ConvergenceSample {
+        ConvergenceSample { parallel_times: times, exhausted }
+    }
+
+    #[test]
+    fn summary_of_empty_sample_is_none() {
+        assert!(TimeSummary::from_sample(&sample(vec![], 3)).is_none());
+    }
+
+    #[test]
+    fn summary_fields() {
+        let t = TimeSummary::from_sample(&sample(vec![1.0, 2.0, 3.0], 1)).unwrap();
+        assert!((t.mean - 2.0).abs() < 1e-12);
+        assert_eq!(t.trials, 3);
+        assert_eq!(t.exhausted, 1);
+        assert!(t.p95 > 2.5);
+        let line = t.to_string();
+        assert!(line.contains("exhausted"));
+    }
+
+    #[test]
+    fn display_without_exhaustion_is_clean() {
+        let t = TimeSummary::from_sample(&sample(vec![1.0, 2.0], 0)).unwrap();
+        assert!(!t.to_string().contains("exhausted"));
+    }
+}

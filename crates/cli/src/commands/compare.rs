@@ -1,0 +1,93 @@
+//! `ssle compare` — all ranking protocols head-to-head at one population
+//! size (a one-size slice of the paper's Table 1).
+
+use ssle_bench::{
+    measure_ciw, measure_oss, measure_sublinear, CiwStart, OssStart, SubStart, TimeSummary,
+};
+
+use crate::commands::parse_flags;
+use crate::error::CliError;
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on bad flags or if a protocol never converges at
+/// the requested size.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let flags = parse_flags(args, &["n", "trials", "seed", "h"])?;
+    let n: usize = flags.get("n", 32);
+    if n < 2 {
+        return Err(CliError::BadValue {
+            flag: "n".into(),
+            reason: "population protocols need at least 2 agents".into(),
+        });
+    }
+    let trials: u64 = flags.get("trials", 10);
+    if trials == 0 {
+        return Err(CliError::BadValue { flag: "trials".into(), reason: "must be positive".into() });
+    }
+    let seed: u64 = flags.get("seed", 1);
+    let h: u32 = flags.get("h", 2);
+
+    let rows: Vec<(String, TimeSummary)> = vec![
+        (
+            "Silent-n-state-SSR [Θ(n²)]".into(),
+            summarize(measure_ciw(n, CiwStart::Random, trials, seed))?,
+        ),
+        (
+            "Optimal-Silent-SSR [Θ(n)]".into(),
+            summarize(measure_oss(n, OssStart::Random, trials, seed))?,
+        ),
+        (
+            format!("Sublinear-Time-SSR H={h} [Θ(n^(1/{}))]", h + 1),
+            summarize(measure_sublinear(n, h, SubStart::Random, trials, seed))?,
+        ),
+    ];
+
+    let mut out = format!(
+        "ranking protocols at n = {n} ({trials} trials each, random adversarial starts)\n\
+         {:<38} {:>10} {:>9} {:>10}\n",
+        "protocol", "E[time]", "±95%", "p95"
+    );
+    for (name, t) in &rows {
+        out.push_str(&format!(
+            "{name:<38} {:>10.1} {:>9.1} {:>10.1}\n",
+            t.mean, t.ci95_half, t.p95
+        ));
+    }
+    out.push_str("(times in parallel time units — interactions / n)\n");
+    Ok(out)
+}
+
+fn summarize(sample: population::ConvergenceSample) -> Result<TimeSummary, CliError> {
+    TimeSummary::from_sample(&sample)
+        .ok_or(CliError::DidNotConverge { interactions: 0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(a: &[&str]) -> Vec<String> {
+        a.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn compare_prints_all_rows() {
+        let out = run(&args(&["--n", "8", "--trials", "2"])).unwrap();
+        assert!(out.contains("Silent-n-state-SSR"));
+        assert!(out.contains("Optimal-Silent-SSR"));
+        assert!(out.contains("Sublinear-Time-SSR"));
+    }
+
+    #[test]
+    fn zero_trials_rejected() {
+        assert!(matches!(run(&args(&["--trials", "0"])), Err(CliError::BadValue { .. })));
+    }
+
+    #[test]
+    fn tiny_population_rejected() {
+        assert!(matches!(run(&args(&["--n", "1"])), Err(CliError::BadValue { .. })));
+    }
+}

@@ -1,0 +1,111 @@
+//! `ssle epidemic` — run one information-propagation process.
+
+use population::epidemic::{
+    bounded_epidemic_times, epidemic_time, roll_call_time, EpidemicKind,
+};
+
+use crate::commands::parse_flags;
+use crate::error::CliError;
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on bad flags.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let flags = parse_flags(args, &["kind", "n", "k", "seed"])?;
+    let n: usize = flags.get("n", 256);
+    if n < 2 {
+        return Err(CliError::BadValue {
+            flag: "n".into(),
+            reason: "epidemics need at least 2 agents".into(),
+        });
+    }
+    let seed: u64 = flags.get("seed", 1);
+    match flags.try_get_str("kind").unwrap_or("two-way") {
+        "one-way" => {
+            let t = epidemic_time(n, EpidemicKind::OneWay, seed);
+            Ok(format!("one-way epidemic on {n} agents completed in {t:.2} parallel time\n"))
+        }
+        "two-way" => {
+            let t = epidemic_time(n, EpidemicKind::TwoWay, seed);
+            Ok(format!("two-way epidemic on {n} agents completed in {t:.2} parallel time\n"))
+        }
+        "roll-call" => {
+            let t = roll_call_time(n, seed);
+            Ok(format!(
+                "roll call on {n} agents (everyone hears every name) completed in {t:.2} parallel time\n"
+            ))
+        }
+        "bounded" => {
+            let k: usize = flags.get("k", 3);
+            if k == 0 {
+                return Err(CliError::BadValue {
+                    flag: "k".into(),
+                    reason: "the path bound must be positive".into(),
+                });
+            }
+            let times = bounded_epidemic_times(n, k, seed);
+            let mut out = format!("bounded epidemic on {n} agents (source → target hitting times):\n");
+            for kk in 1..=k {
+                out.push_str(&format!(
+                    "  τ_{kk} (path length ≤ {kk}): {:.2} parallel time\n",
+                    times.tau(kk)
+                ));
+            }
+            out.push_str("(theory: E[τ_k] = O(k·n^{1/k}) — Sec. 1.1 of the paper)\n");
+            Ok(out)
+        }
+        other => Err(CliError::BadValue {
+            flag: "kind".into(),
+            reason: format!("{other:?} is not one of one-way, two-way, roll-call, bounded"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(a: &[&str]) -> Vec<String> {
+        a.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn all_kinds_run() {
+        for kind in ["one-way", "two-way", "roll-call"] {
+            let out = run(&args(&["--kind", kind, "--n", "64"])).unwrap();
+            assert!(out.contains("parallel time"), "{kind}: {out}");
+        }
+    }
+
+    #[test]
+    fn bounded_lists_every_threshold() {
+        let out = run(&args(&["--kind", "bounded", "--n", "64", "--k", "3"])).unwrap();
+        for k in 1..=3 {
+            assert!(out.contains(&format!("τ_{k}")), "{out}");
+        }
+    }
+
+    #[test]
+    fn default_kind_is_two_way() {
+        let out = run(&args(&["--n", "32"])).unwrap();
+        assert!(out.contains("two-way"));
+    }
+
+    #[test]
+    fn bad_kind_is_rejected() {
+        assert!(matches!(
+            run(&args(&["--kind", "airborne"])),
+            Err(CliError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_k_is_rejected() {
+        assert!(matches!(
+            run(&args(&["--kind", "bounded", "--k", "0"])),
+            Err(CliError::BadValue { .. })
+        ));
+    }
+}

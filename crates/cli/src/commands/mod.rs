@@ -1,0 +1,17 @@
+//! Subcommand implementations.
+
+pub mod compare;
+pub mod epidemic;
+pub mod prove;
+pub mod simulate;
+pub mod states;
+pub mod trace;
+
+use crate::error::CliError;
+use ssle_bench::cli::Flags;
+
+/// Parses subcommand arguments against an allowlist, mapping parse failures
+/// into [`CliError::BadFlag`].
+pub(crate) fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, CliError> {
+    Flags::from_args(args.iter().cloned(), allowed).map_err(CliError::BadFlag)
+}

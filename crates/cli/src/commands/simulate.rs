@@ -1,0 +1,222 @@
+//! `ssle simulate` — run one execution to stabilization.
+
+use population::runner::rng_from_seed;
+use population::{RankingProtocol, RunOutcome, Simulation};
+use ssle::adversary;
+use ssle::cai_izumi_wada::{CaiIzumiWada, CiwState};
+use ssle::initialized::TreeRanking;
+use ssle::loose::LooselyStabilizingLe;
+use ssle::optimal_silent::{OptimalSilentSsr, OssState};
+use ssle::sublinear::SublinearTimeSsr;
+
+use crate::commands::parse_flags;
+use crate::error::CliError;
+use crate::protocol_choice::{CommonFlags, ProtocolChoice};
+
+/// Which family of starting configuration to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Start {
+    Random,
+    Collision,
+    Ranked,
+}
+
+impl Start {
+    fn parse(value: Option<&str>) -> Result<Self, CliError> {
+        match value {
+            None | Some("random") => Ok(Start::Random),
+            Some("collision") => Ok(Start::Collision),
+            Some("ranked") => Ok(Start::Ranked),
+            Some(other) => Err(CliError::BadValue {
+                flag: "start".into(),
+                reason: format!("{other:?} is not one of random, collision, ranked"),
+            }),
+        }
+    }
+}
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on bad flags or when the execution exhausts its
+/// interaction budget.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let flags = parse_flags(args, &["protocol", "n", "h", "seed", "start", "max-time"])?;
+    let common = CommonFlags::from_flags(&flags, ProtocolChoice::OptimalSilent)?;
+    let start = Start::parse(flags.try_get_str("start"))?;
+    let max_time: f64 = flags.get("max-time", 0.0);
+
+    match common.protocol {
+        ProtocolChoice::Ciw => {
+            let p = CaiIzumiWada::new(common.n);
+            let initial = match start {
+                Start::Random => {
+                    adversary::random_ciw_configuration(&p, &mut rng_from_seed(common.seed ^ 1))
+                }
+                Start::Collision => vec![CiwState::new(0); common.n],
+                Start::Ranked => adversary::ranked_ciw_configuration(&p),
+            };
+            ranked_report(&common, p, initial, max_time, 400 * (common.n as u64).pow(3))
+        }
+        ProtocolChoice::OptimalSilent => {
+            let p = OptimalSilentSsr::new(common.n);
+            let initial = match start {
+                Start::Random => {
+                    adversary::random_oss_configuration(&p, &mut rng_from_seed(common.seed ^ 1))
+                }
+                Start::Collision => vec![OssState::settled(1, 0); common.n],
+                Start::Ranked => adversary::ranked_oss_configuration(&p),
+            };
+            ranked_report(&common, p, initial, max_time, 4000 * (common.n as u64).pow(2))
+        }
+        ProtocolChoice::Sublinear => {
+            let p = SublinearTimeSsr::new(common.n, common.h);
+            let initial = match start {
+                Start::Random => adversary::random_sublinear_configuration(
+                    &p,
+                    &mut rng_from_seed(common.seed ^ 1),
+                ),
+                Start::Collision => adversary::planted_collision_configuration(&p),
+                Start::Ranked => adversary::unique_names_configuration(&p),
+            };
+            ranked_report(&common, p, initial, max_time, 4000 * (common.n as u64).pow(2))
+        }
+        ProtocolChoice::TreeRanking => {
+            let p = TreeRanking::new(common.n);
+            // Not self-stabilizing: always the designated configuration.
+            let initial = p.designated_configuration();
+            ranked_report(&common, p, initial, max_time, 4000 * (common.n as u64).pow(2))
+        }
+        ProtocolChoice::Loose => loose_report(&common, start, max_time),
+    }
+}
+
+fn budget(max_time: f64, n: usize, default_interactions: u64) -> u64 {
+    if max_time > 0.0 {
+        (max_time * n as f64) as u64
+    } else {
+        default_interactions
+    }
+}
+
+fn ranked_report<P: RankingProtocol>(
+    common: &CommonFlags,
+    protocol: P,
+    initial: Vec<P::State>,
+    max_time: f64,
+    default_budget: u64,
+) -> Result<String, CliError> {
+    let n = common.n;
+    let mut sim = Simulation::new(protocol, initial, common.seed);
+    let outcome =
+        sim.run_until_stably_ranked(budget(max_time, n, default_budget), 4 * n as u64);
+    match outcome {
+        RunOutcome::Converged { interactions } => {
+            let leader = sim
+                .states()
+                .iter()
+                .position(|s| sim.protocol().is_leader(s))
+                .expect("a ranked configuration has a leader");
+            let mut ranking: Vec<(usize, usize)> = sim
+                .states()
+                .iter()
+                .enumerate()
+                .filter_map(|(agent, s)| sim.protocol().rank_of(s).map(|r| (r, agent)))
+                .collect();
+            ranking.sort_unstable();
+            let ranks = ranking
+                .iter()
+                .map(|(r, a)| format!("{r}→{a}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            Ok(format!(
+                "{name}: stabilized after {t:.1} parallel time ({interactions} interactions)\n\
+                 leader: agent {leader}\nranking (rank→agent): {ranks}\n",
+                name = common.protocol.name(),
+                t = interactions as f64 / n as f64,
+            ))
+        }
+        RunOutcome::Exhausted { interactions } => Err(CliError::DidNotConverge { interactions }),
+    }
+}
+
+fn loose_report(common: &CommonFlags, start: Start, max_time: f64) -> Result<String, CliError> {
+    let n = common.n;
+    let t_max = 8 * (n as f64).log2().ceil() as u32;
+    let p = LooselyStabilizingLe::new(t_max);
+    let initial = match start {
+        Start::Collision => vec![p.leader_state(); n],
+        Start::Random | Start::Ranked => vec![p.follower_state(1); n],
+    };
+    let mut sim = Simulation::new(p, initial, common.seed);
+    let outcome = sim.run_until(budget(max_time, n, 4000 * (n as u64).pow(2)), |s| {
+        LooselyStabilizingLe::leader_count(s) == 1
+    });
+    match outcome {
+        RunOutcome::Converged { interactions } => {
+            let leader = sim.states().iter().position(|s| s.leader).expect("one leader");
+            Ok(format!(
+                "{name} (T_max = {t_max}): unique leader after {t:.1} parallel time — agent {leader}\n\
+                 (loose stabilization: the leader is held for a long but finite time)\n",
+                name = common.protocol.name(),
+                t = interactions as f64 / n as f64,
+            ))
+        }
+        RunOutcome::Exhausted { interactions } => Err(CliError::DidNotConverge { interactions }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(a: &[&str]) -> Vec<String> {
+        a.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn every_protocol_simulates() {
+        for p in ["ciw", "optimal-silent", "sublinear", "tree-ranking", "loose"] {
+            let out = run(&args(&["--protocol", p, "--n", "8", "--seed", "5"]))
+                .unwrap_or_else(|e| panic!("{p}: {e}"));
+            assert!(out.contains("leader"), "{p}: {out}");
+        }
+    }
+
+    #[test]
+    fn collision_start_converges() {
+        let out = run(&args(&["--protocol", "ciw", "--n", "8", "--start", "collision"])).unwrap();
+        assert!(out.contains("stabilized"));
+    }
+
+    #[test]
+    fn ranked_start_converges_immediately() {
+        let out = run(&args(&["--protocol", "ciw", "--n", "8", "--start", "ranked"])).unwrap();
+        assert!(out.contains("stabilized after 0.0 parallel time"), "{out}");
+    }
+
+    #[test]
+    fn bad_start_is_rejected() {
+        assert!(matches!(
+            run(&args(&["--start", "sideways"])),
+            Err(CliError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn tiny_budget_reports_non_convergence() {
+        assert!(matches!(
+            run(&args(&["--protocol", "ciw", "--n", "12", "--max-time", "0.001"])),
+            Err(CliError::DidNotConverge { .. })
+        ));
+    }
+
+    #[test]
+    fn ranking_lists_all_ranks() {
+        let out = run(&args(&["--protocol", "optimal-silent", "--n", "6"])).unwrap();
+        for r in 1..=6 {
+            assert!(out.contains(&format!("{r}→")), "missing rank {r} in {out}");
+        }
+    }
+}

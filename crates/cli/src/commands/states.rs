@@ -1,0 +1,68 @@
+//! `ssle states` — per-protocol state-space sizes (Theorem 2.1 and the
+//! "states" column of Table 1).
+
+use ssle::state_space::{cai_izumi_wada_states, optimal_silent_states, sublinear_log2_states};
+use ssle::{OptimalSilentSsr, SublinearTimeSsr};
+
+use crate::commands::parse_flags;
+use crate::error::CliError;
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on bad flags.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let flags = parse_flags(args, &["n", "h"])?;
+    let n: usize = flags.get("n", 64);
+    if n < 2 {
+        return Err(CliError::BadValue {
+            flag: "n".into(),
+            reason: "population protocols need at least 2 agents".into(),
+        });
+    }
+    if n > 1 << 20 {
+        return Err(CliError::BadValue {
+            flag: "n".into(),
+            reason: "sublinear names support at most 2^20 agents".into(),
+        });
+    }
+    let h: u32 = flags.get("h", 2);
+    let h_log = SublinearTimeSsr::name_bits_for(n) as u32 / 3;
+    Ok(format!(
+        "state space per agent at n = {n} (Theorem 2.1: any SSLE protocol needs ≥ n states)\n\
+         Silent-n-state-SSR        : {ciw} states (exactly n — optimal)\n\
+         Optimal-Silent-SSR        : {oss} states (Θ(n))\n\
+         Sublinear-Time-SSR (H={h}) : {sub:.0} bits ≈ 2^{sub:.0} states\n\
+         Sublinear-Time-SSR (H=⌈log₂ n⌉={h_log}) : {sublog:.0} bits (quasi-exponential)\n",
+        ciw = cai_izumi_wada_states(n),
+        oss = optimal_silent_states(&OptimalSilentSsr::new(n)),
+        sub = sublinear_log2_states(&SublinearTimeSsr::new(n, h)),
+        sublog = sublinear_log2_states(&SublinearTimeSsr::new(n, h_log)),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(a: &[&str]) -> Vec<String> {
+        a.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn reports_all_protocols() {
+        let out = run(&args(&["--n", "64"])).unwrap();
+        assert!(out.contains("64 states (exactly n"));
+        assert!(out.contains("Optimal-Silent-SSR"));
+        assert!(out.contains("quasi-exponential"));
+    }
+
+    #[test]
+    fn enormous_population_rejected() {
+        assert!(matches!(
+            run(&args(&["--n", "2097152"])),
+            Err(CliError::BadValue { .. })
+        ));
+    }
+}

@@ -1,0 +1,58 @@
+//! CLI error type.
+
+use std::fmt;
+
+/// Errors the `ssle` tool reports to the user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// No subcommand was given; carries the usage text.
+    Usage(String),
+    /// The subcommand is not one of the known ones.
+    UnknownCommand(String),
+    /// A flag was unknown, malformed, or missing its value.
+    BadFlag(String),
+    /// A flag value failed validation (e.g. `--n 1`).
+    BadValue {
+        /// The flag in question (without `--`).
+        flag: String,
+        /// Explanation of what was wrong.
+        reason: String,
+    },
+    /// The requested execution did not reach its goal within its budget.
+    DidNotConverge {
+        /// Interactions spent before giving up.
+        interactions: u64,
+    },
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(usage) => write!(f, "{usage}"),
+            CliError::UnknownCommand(c) => {
+                write!(f, "unknown command {c:?}; run `ssle help` for the command list")
+            }
+            CliError::BadFlag(msg) => write!(f, "{msg}"),
+            CliError::BadValue { flag, reason } => write!(f, "invalid --{flag}: {reason}"),
+            CliError::DidNotConverge { interactions } => write!(
+                f,
+                "execution did not stabilize within {interactions} interactions; raise --max-time"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(CliError::UnknownCommand("x".into()).to_string().contains("ssle help"));
+        let bad = CliError::BadValue { flag: "n".into(), reason: "must be ≥ 2".into() };
+        assert!(bad.to_string().contains("--n"));
+        assert!(CliError::DidNotConverge { interactions: 5 }.to_string().contains("5"));
+    }
+}

@@ -1,0 +1,118 @@
+#![warn(missing_docs)]
+
+//! Library backing the `ssle` command-line tool.
+//!
+//! Every subcommand is a pure function from parsed flags to a rendered
+//! report string, so the behavior is unit-testable without spawning
+//! processes; `src/main.rs` only dispatches and prints.
+//!
+//! ```text
+//! ssle simulate  --protocol optimal-silent --n 32 --seed 7
+//! ssle trace     --protocol sublinear --n 32 --h 2 --time 60 --every 16
+//! ssle epidemic  --kind bounded --n 512 --k 3
+//! ssle compare   --n 32 --trials 10
+//! ssle states    --n 256
+//! ```
+
+pub mod commands;
+pub mod error;
+pub mod protocol_choice;
+
+pub use error::CliError;
+
+/// Dispatches a full argument vector (excluding the program name) to the
+/// matching subcommand and returns its rendered report.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for an unknown subcommand, unknown flags, or invalid
+/// flag values.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(CliError::Usage(USAGE.to_string()));
+    };
+    match command.as_str() {
+        "simulate" => commands::simulate::run(rest),
+        "trace" => commands::trace::run(rest),
+        "epidemic" => commands::epidemic::run(rest),
+        "prove" => commands::prove::run(rest),
+        "compare" => commands::compare::run(rest),
+        "states" => commands::states::run(rest),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+ssle — self-stabilizing leader election in population protocols
+
+USAGE:
+    ssle <COMMAND> [--flag value]...
+
+COMMANDS:
+    simulate    run one execution to stabilization and report the ranking
+                  --protocol ciw|optimal-silent|sublinear|tree-ranking|loose
+                  --n <agents> [--h <depth>] [--seed <u64>]
+                  [--start random|collision|ranked] [--max-time <t>]
+    trace       sample a role/leader time series as CSV
+                  --protocol ... --n <agents> [--h <depth>] [--seed <u64>]
+                  [--time <parallel-time>] [--every <interactions>]
+    epidemic    run an information-propagation process
+                  --kind one-way|two-way|roll-call|bounded --n <agents>
+                  [--k <path bound>] [--seed <u64>]
+    compare     run all ranking protocols head-to-head at one size
+                  --n <agents> [--trials <t>] [--seed <u64>]
+    states      print per-protocol state counts
+                  --n <agents> [--h <depth>]
+    prove       exhaustively verify self-stabilization at small n
+                  [--n <agents ≤ 10>]
+    help        show this text
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(a: &[&str]) -> Vec<String> {
+        a.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_args_show_usage_as_error() {
+        match run(&[]) {
+            Err(CliError::Usage(text)) => assert!(text.contains("USAGE")),
+            other => panic!("expected usage error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn help_is_success() {
+        let out = run(&args(&["help"])).unwrap();
+        assert!(out.contains("simulate"));
+        assert!(out.contains("epidemic"));
+    }
+
+    #[test]
+    fn unknown_command_is_reported() {
+        match run(&args(&["frobnicate"])) {
+            Err(CliError::UnknownCommand(c)) => assert_eq!(c, "frobnicate"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simulate_smoke() {
+        let out =
+            run(&args(&["simulate", "--protocol", "ciw", "--n", "8", "--seed", "3"])).unwrap();
+        assert!(out.contains("stabilized"), "{out}");
+        assert!(out.contains("leader"), "{out}");
+    }
+
+    #[test]
+    fn compare_smoke() {
+        let out = run(&args(&["compare", "--n", "8", "--trials", "2"])).unwrap();
+        assert!(out.contains("Silent-n-state-SSR"));
+        assert!(out.contains("Optimal-Silent-SSR"));
+    }
+}

@@ -1,0 +1,12 @@
+//! The `ssle` command-line tool. See [`ssle_cli`] for the subcommands.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match ssle_cli::run(&args) {
+        Ok(report) => print!("{report}"),
+        Err(err) => {
+            eprintln!("{err}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Parsing and construction of the protocol selected on the command line.
+
+use crate::error::CliError;
+use ssle_bench::cli::Flags;
+
+/// Which ranking/leader-election protocol a subcommand should run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolChoice {
+    /// Silent-n-state-SSR (Cai–Izumi–Wada baseline).
+    Ciw,
+    /// Optimal-Silent-SSR.
+    OptimalSilent,
+    /// Sublinear-Time-SSR with the `--h` depth.
+    Sublinear,
+    /// Initialized tree ranking (not self-stabilizing).
+    TreeRanking,
+    /// Loosely-stabilizing leader election (leader only, no ranks).
+    Loose,
+}
+
+impl ProtocolChoice {
+    /// Parses the `--protocol` flag value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::BadValue`] for unknown names.
+    pub fn parse(value: &str) -> Result<Self, CliError> {
+        match value {
+            "ciw" | "cai-izumi-wada" | "silent-n-state" => Ok(ProtocolChoice::Ciw),
+            "optimal-silent" | "oss" => Ok(ProtocolChoice::OptimalSilent),
+            "sublinear" | "sub" => Ok(ProtocolChoice::Sublinear),
+            "tree-ranking" | "initialized" => Ok(ProtocolChoice::TreeRanking),
+            "loose" | "loosely-stabilizing" => Ok(ProtocolChoice::Loose),
+            other => Err(CliError::BadValue {
+                flag: "protocol".into(),
+                reason: format!(
+                    "{other:?} is not one of ciw, optimal-silent, sublinear, tree-ranking, loose"
+                ),
+            }),
+        }
+    }
+
+    /// Human-readable protocol name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolChoice::Ciw => "Silent-n-state-SSR (Cai–Izumi–Wada)",
+            ProtocolChoice::OptimalSilent => "Optimal-Silent-SSR",
+            ProtocolChoice::Sublinear => "Sublinear-Time-SSR",
+            ProtocolChoice::TreeRanking => "initialized tree ranking",
+            ProtocolChoice::Loose => "loosely-stabilizing leader election",
+        }
+    }
+}
+
+/// Extracts and validates the shared `--protocol`/`--n`/`--h`/`--seed`
+/// flags.
+pub struct CommonFlags {
+    /// Selected protocol.
+    pub protocol: ProtocolChoice,
+    /// Population size.
+    pub n: usize,
+    /// History depth for Sublinear-Time-SSR.
+    pub h: u32,
+    /// Execution seed.
+    pub seed: u64,
+}
+
+impl CommonFlags {
+    /// Parses the shared flags out of `flags`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::BadValue`] when `--n < 2` or the protocol name is
+    /// unknown.
+    pub fn from_flags(flags: &Flags, default_protocol: ProtocolChoice) -> Result<Self, CliError> {
+        let protocol = match flags.try_get_str("protocol") {
+            Some(p) => ProtocolChoice::parse(p)?,
+            None => default_protocol,
+        };
+        let n: usize = flags.get("n", 16);
+        if n < 2 {
+            return Err(CliError::BadValue {
+                flag: "n".into(),
+                reason: "population protocols need at least 2 agents".into(),
+            });
+        }
+        if protocol == ProtocolChoice::Sublinear && n > 1 << 20 {
+            return Err(CliError::BadValue {
+                flag: "n".into(),
+                reason: "sublinear names support at most 2^20 agents".into(),
+            });
+        }
+        Ok(CommonFlags { protocol, n, h: flags.get("h", 2), seed: flags.get("seed", 1) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_spellings() {
+        for (s, want) in [
+            ("ciw", ProtocolChoice::Ciw),
+            ("cai-izumi-wada", ProtocolChoice::Ciw),
+            ("oss", ProtocolChoice::OptimalSilent),
+            ("sublinear", ProtocolChoice::Sublinear),
+            ("initialized", ProtocolChoice::TreeRanking),
+            ("loose", ProtocolChoice::Loose),
+        ] {
+            assert_eq!(ProtocolChoice::parse(s).unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_protocol() {
+        assert!(matches!(
+            ProtocolChoice::parse("paxos"),
+            Err(CliError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn names_are_nonempty() {
+        for p in [
+            ProtocolChoice::Ciw,
+            ProtocolChoice::OptimalSilent,
+            ProtocolChoice::Sublinear,
+            ProtocolChoice::TreeRanking,
+            ProtocolChoice::Loose,
+        ] {
+            assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn common_flags_validate_n() {
+        let flags = Flags::from_args(
+            ["--n", "1"].iter().map(|s| s.to_string()),
+            &["n", "protocol", "h", "seed"],
+        )
+        .unwrap();
+        assert!(matches!(
+            CommonFlags::from_flags(&flags, ProtocolChoice::Ciw),
+            Err(CliError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn common_flags_defaults() {
+        let flags = Flags::from_args(std::iter::empty(), &["n", "protocol", "h", "seed"]).unwrap();
+        let c = CommonFlags::from_flags(&flags, ProtocolChoice::OptimalSilent).unwrap();
+        assert_eq!(c.protocol, ProtocolChoice::OptimalSilent);
+        assert_eq!(c.n, 16);
+        assert_eq!(c.h, 2);
+        assert_eq!(c.seed, 1);
+    }
+}

@@ -1,0 +1,353 @@
+//! Adversarial initial configurations.
+//!
+//! Self-stabilization quantifies over *every* initial configuration, so the
+//! test suite and benchmark harness exercise the protocols from
+//! configurations chosen by an adversary: uniformly random field values,
+//! plus the specific worst cases used in the paper's arguments (the Ω(n²)
+//! barrier, the Observation 2.2 duplicated leader, ghost names, planted
+//! rank/name collisions, half-finished resets).
+//!
+//! All generators produce states inside the protocols' legal state spaces —
+//! the adversary corrupts values, it cannot invent out-of-domain fields
+//! (e.g. ranks above `n` or history trees that are not simply labelled).
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use population::RankingProtocol;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::cai_izumi_wada::{CaiIzumiWada, CiwState};
+use crate::name::Name;
+use crate::optimal_silent::{Leader, OptimalSilentSsr, OssState};
+use crate::reset::ResetCore;
+use crate::sublinear::history_tree::HistoryTree;
+use crate::sublinear::{Collecting, SubRole, SubState, SublinearTimeSsr};
+
+/// Uniformly random configuration for Silent-n-state-SSR: every agent gets
+/// an independent uniform rank.
+pub fn random_ciw_configuration(protocol: &CaiIzumiWada, rng: &mut SmallRng) -> Vec<CiwState> {
+    let n = protocol.population_size();
+    (0..n).map(|_| CiwState::new(rng.gen_range(0..n as u32))).collect()
+}
+
+/// The correct (stable, silent) configuration of Silent-n-state-SSR.
+pub fn ranked_ciw_configuration(protocol: &CaiIzumiWada) -> Vec<CiwState> {
+    (0..protocol.population_size() as u32).map(CiwState::new).collect()
+}
+
+/// Uniformly random configuration for Optimal-Silent-SSR: independent
+/// uniform role and field values per agent.
+pub fn random_oss_configuration(
+    protocol: &OptimalSilentSsr,
+    rng: &mut SmallRng,
+) -> Vec<OssState> {
+    let n = protocol.population_size();
+    (0..n).map(|_| random_oss_state(protocol, rng)).collect()
+}
+
+fn random_oss_state(protocol: &OptimalSilentSsr, rng: &mut SmallRng) -> OssState {
+    let n = protocol.population_size() as u32;
+    let reset = protocol.reset_params();
+    match rng.gen_range(0..3) {
+        0 => OssState::settled(rng.gen_range(1..=n), rng.gen_range(0..=2)),
+        1 => OssState::unsettled(rng.gen_range(0..=protocol.e_max())),
+        _ => {
+            let leader = if rng.gen() { Leader::L } else { Leader::F };
+            let resetcount = rng.gen_range(0..=reset.r_max);
+            let delaytimer = rng.gen_range(0..=reset.d_max);
+            OssState::resetting(leader, ResetCore { resetcount, delaytimer })
+        }
+    }
+}
+
+/// The correct (stable, silent) configuration of Optimal-Silent-SSR: ranks
+/// `1..=n`, every agent's `children` saturated to what the rank tree allows.
+pub fn ranked_oss_configuration(protocol: &OptimalSilentSsr) -> Vec<OssState> {
+    let n = protocol.population_size() as u32;
+    (1..=n)
+        .map(|rank| {
+            let children = if 2 * rank + 1 <= n {
+                2
+            } else if 2 * rank <= n {
+                1
+            } else {
+                0
+            };
+            OssState::settled(rank, children)
+        })
+        .collect()
+}
+
+/// The Observation 2.2 configuration: the correct silent configuration with
+/// one non-leader agent overwritten by an exact copy of the leader's state.
+/// Any silent protocol needs `Ω(n)` expected time to resolve it, because the
+/// two copies must meet directly.
+pub fn observation_2_2_configuration(protocol: &OptimalSilentSsr) -> Vec<OssState> {
+    let mut states = ranked_oss_configuration(protocol);
+    let leader_state = states[0];
+    let last = states.len() - 1;
+    states[last] = leader_state;
+    states
+}
+
+/// Uniformly random configuration for Sublinear-Time-SSR.
+///
+/// Each agent independently gets a random (possibly short) name and either a
+/// `Collecting` role — random roster of `≤ n` names (its own name included
+/// with probability 9/10, so corrupt-roster recovery is exercised too),
+/// random rank output, random simply-labelled history tree — or a
+/// `Resetting` role with random counters.
+pub fn random_sublinear_configuration(
+    protocol: &SublinearTimeSsr,
+    rng: &mut SmallRng,
+) -> Vec<SubState> {
+    let n = protocol.population_size();
+    (0..n).map(|_| random_sublinear_state(protocol, rng)).collect()
+}
+
+fn random_partial_name(protocol: &SublinearTimeSsr, rng: &mut SmallRng) -> Name {
+    // Mostly full-length names; occasionally shorter ones.
+    let full = protocol.name_bits();
+    let len = if rng.gen_ratio(4, 5) { full } else { rng.gen_range(0..=full) };
+    let mut name = Name::empty();
+    for _ in 0..len {
+        name = name.with_appended(rng.gen());
+    }
+    name
+}
+
+fn random_sublinear_state(protocol: &SublinearTimeSsr, rng: &mut SmallRng) -> SubState {
+    let n = protocol.population_size();
+    let name = random_partial_name(protocol, rng);
+    if rng.gen_ratio(3, 4) {
+        let mut roster = BTreeSet::new();
+        if rng.gen_ratio(9, 10) {
+            roster.insert(name);
+        }
+        let extras = rng.gen_range(0..=n.saturating_sub(1));
+        for _ in 0..extras {
+            if roster.len() >= n {
+                break;
+            }
+            roster.insert(random_partial_name(protocol, rng));
+        }
+        if roster.is_empty() {
+            roster.insert(random_partial_name(protocol, rng));
+        }
+        let rank = if rng.gen() { Some(rng.gen_range(1..=n as u32)) } else { None };
+        let tree = random_history_tree(protocol, name, rng);
+        SubState { name, role: SubRole::Collecting(Collecting { rank, roster: Arc::new(roster), tree }) }
+    } else {
+        let reset = protocol.reset_params();
+        let core = ResetCore {
+            resetcount: rng.gen_range(0..=reset.r_max),
+            delaytimer: rng.gen_range(0..=reset.d_max),
+        };
+        SubState { name, role: SubRole::Resetting(core) }
+    }
+}
+
+fn random_history_tree(
+    protocol: &SublinearTimeSsr,
+    root: Name,
+    rng: &mut SmallRng,
+) -> HistoryTree {
+    let cp = *protocol.collision_params();
+    let mut tree = HistoryTree::singleton(root);
+    if cp.h == 0 {
+        return tree;
+    }
+    // Random grafts of random (recursively built) trees keep the result
+    // simply labelled by construction, like the protocol itself does.
+    let grafts = rng.gen_range(0..=2);
+    for _ in 0..grafts {
+        let child_root = random_partial_name(protocol, rng);
+        if child_root == root {
+            continue;
+        }
+        let sub_protocol_depth = cp.h - 1;
+        let snapshot = random_tree_of_depth(protocol, child_root, sub_protocol_depth, rng);
+        let sync = rng.gen_range(1..=cp.s_max);
+        let timer = rng.gen_range(1..=cp.t_h);
+        tree.graft(snapshot, sync, timer);
+        tree.remove_named_subtrees(root);
+    }
+    debug_assert!(tree.is_simply_labelled());
+    tree
+}
+
+fn random_tree_of_depth(
+    protocol: &SublinearTimeSsr,
+    root: Name,
+    depth: u32,
+    rng: &mut SmallRng,
+) -> HistoryTree {
+    let cp = *protocol.collision_params();
+    let mut tree = HistoryTree::singleton(root);
+    if depth == 0 {
+        return tree;
+    }
+    for _ in 0..rng.gen_range(0..=2u32) {
+        let child_root = random_partial_name(protocol, rng);
+        if child_root == root {
+            continue;
+        }
+        let snapshot = random_tree_of_depth(protocol, child_root, depth - 1, rng);
+        tree.graft(snapshot, rng.gen_range(1..=cp.s_max), rng.gen_range(1..=cp.t_h));
+        tree.remove_named_subtrees(root);
+    }
+    tree
+}
+
+/// Clean configuration with unique full-length names `0, 1, …, n − 1` —
+/// the post-reset ideal from which Sublinear-Time-SSR stabilizes fastest.
+pub fn unique_names_configuration(protocol: &SublinearTimeSsr) -> Vec<SubState> {
+    (0..protocol.population_size()).map(|k| protocol.uniform_named_state(k as u64)).collect()
+}
+
+/// Configuration with one planted duplicate: agents carry unique names
+/// except that the last agent copies the first agent's name — the collision
+/// Detect-Name-Collision must find.
+pub fn planted_collision_configuration(protocol: &SublinearTimeSsr) -> Vec<SubState> {
+    let mut states = unique_names_configuration(protocol);
+    let n = states.len();
+    states[n - 1] = protocol.uniform_named_state(0);
+    states
+}
+
+/// Configuration with a ghost name: every agent's roster additionally
+/// contains a name that belongs to nobody.
+pub fn ghost_name_configuration(protocol: &SublinearTimeSsr) -> Vec<SubState> {
+    let ghost = Name::from_bits((1 << protocol.name_bits()) - 1, protocol.name_bits());
+    unique_names_configuration(protocol)
+        .into_iter()
+        .map(|mut s| {
+            if let SubRole::Collecting(c) = &mut s.role {
+                let mut roster = (*c.roster).clone();
+                roster.insert(ghost);
+                c.roster = Arc::new(roster);
+            }
+            s
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use population::runner::rng_from_seed;
+    use population::silence::is_silent_configuration;
+    use population::Protocol;
+
+    #[test]
+    fn ciw_random_configuration_is_in_domain() {
+        let p = CaiIzumiWada::new(16);
+        let mut rng = rng_from_seed(1);
+        for s in random_ciw_configuration(&p, &mut rng) {
+            assert!(s.rank < 16);
+        }
+    }
+
+    #[test]
+    fn ranked_configurations_are_correct_and_silent() {
+        let ciw = CaiIzumiWada::new(9);
+        assert!(is_silent_configuration(&ciw, &ranked_ciw_configuration(&ciw)));
+        let oss = OptimalSilentSsr::new(9);
+        let cfg = ranked_oss_configuration(&oss);
+        assert!(is_silent_configuration(&oss, &cfg));
+        let mut seen: Vec<usize> = cfg.iter().filter_map(|s| oss.rank_of(s)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (1..=9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ranked_oss_children_match_tree_arity() {
+        let oss = OptimalSilentSsr::new(5);
+        let cfg = ranked_oss_configuration(&oss);
+        // n = 5: rank 1 → children {2,3}; rank 2 → {4,5}; ranks 3..5 leaves.
+        let children: Vec<u8> = cfg
+            .iter()
+            .map(|s| match s {
+                OssState::Settled { children, .. } => *children,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(children, vec![2, 2, 0, 0, 0]);
+    }
+
+    #[test]
+    fn observation_2_2_has_two_leader_copies() {
+        let oss = OptimalSilentSsr::new(8);
+        let cfg = observation_2_2_configuration(&oss);
+        let leaders = cfg.iter().filter(|s| oss.is_leader(s)).count();
+        assert_eq!(leaders, 2);
+        // All pairs except the two copies are null — the copies must meet.
+        let p = &oss;
+        let non_null_pairs = cfg
+            .iter()
+            .enumerate()
+            .flat_map(|(i, a)| {
+                cfg.iter().enumerate().filter_map(move |(j, b)| {
+                    (i != j && !p.is_null_pair(a, b)).then_some((i, j))
+                })
+            })
+            .count();
+        assert_eq!(non_null_pairs, 2, "exactly the ordered pair of duplicates, twice");
+    }
+
+    #[test]
+    fn random_oss_states_are_in_domain() {
+        let p = OptimalSilentSsr::new(16);
+        let mut rng = rng_from_seed(2);
+        for s in random_oss_configuration(&p, &mut rng) {
+            match s {
+                OssState::Settled { rank, children } => {
+                    assert!((1..=16).contains(&rank));
+                    assert!(children <= 2);
+                }
+                OssState::Unsettled { errorcount } => assert!(errorcount <= p.e_max()),
+                OssState::Resetting { core, .. } => {
+                    assert!(core.resetcount <= p.reset_params().r_max);
+                    assert!(core.delaytimer <= p.reset_params().d_max);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_sublinear_states_are_in_domain() {
+        let p = SublinearTimeSsr::new(8, 2);
+        let mut rng = rng_from_seed(3);
+        for s in random_sublinear_configuration(&p, &mut rng) {
+            assert!(s.name.len() <= p.name_bits());
+            if let Some(c) = s.collecting() {
+                assert!(!c.roster.is_empty() && c.roster.len() <= 8);
+                if let Some(r) = c.rank {
+                    assert!((1..=8).contains(&r));
+                }
+                assert!(c.tree.is_simply_labelled());
+                assert!(c.tree.depth() <= 2);
+                assert_eq!(c.tree.root_name(), s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn planted_collision_has_exactly_one_duplicate() {
+        let p = SublinearTimeSsr::new(8, 1);
+        let cfg = planted_collision_configuration(&p);
+        let names: Vec<Name> = cfg.iter().map(|s| s.name).collect();
+        let distinct: BTreeSet<Name> = names.iter().copied().collect();
+        assert_eq!(distinct.len(), names.len() - 1);
+    }
+
+    #[test]
+    fn ghost_configuration_rosters_have_an_extra_name() {
+        let p = SublinearTimeSsr::new(8, 1);
+        for s in ghost_name_configuration(&p) {
+            assert_eq!(s.collecting().unwrap().roster.len(), 2);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Silent-n-state-SSR (Protocol 1): the baseline of Cai, Izumi, and Wada.
+//!
+//! The only previously known self-stabilizing leader-election protocol for
+//! complete graphs, with the optimal state count of exactly `n` states per
+//! agent — and `Θ(n²)` expected (and WHP) parallel stabilization time, the
+//! baseline row of the paper's Table 1.
+//!
+//! The protocol is one transition: when the initiator and responder hold the
+//! same rank, the responder moves up one rank modulo `n`:
+//!
+//! ```text
+//! if a.rank = b.rank then b.rank ← (b.rank + 1) mod n
+//! ```
+//!
+//! The stable silent configurations are exactly the rank permutations. The
+//! `Ω(n²)` lower bound comes from a "barrier" configuration (Sec. 2): with
+//! two agents at rank 0 and none at rank `n − 1`, `n − 1` consecutive
+//! bottleneck meetings of rank-equal pairs are needed, each costing `Θ(n)`
+//! expected parallel time ([`CaiIzumiWada::worst_case_configuration`] builds it).
+//!
+//! # Examples
+//!
+//! ```
+//! use population::Simulation;
+//! use ssle::cai_izumi_wada::CaiIzumiWada;
+//!
+//! let n = 8;
+//! let protocol = CaiIzumiWada::new(n);
+//! let mut sim = Simulation::new(protocol, vec![CiwState::new(0); n], 5);
+//! let outcome = sim.run_until_stably_ranked(10_000_000, 0);
+//! assert!(outcome.is_converged());
+//! # use ssle::cai_izumi_wada::CiwState;
+//! ```
+
+use population::{Protocol, RankingProtocol};
+use rand::rngs::SmallRng;
+
+/// An agent's state: its rank in `{0, …, n − 1}` (the paper keeps the
+/// 0-based form of \[22\] "to simplify the modular arithmetic"; the ranking
+/// output is `rank + 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CiwState {
+    /// 0-based rank.
+    pub rank: u32,
+}
+
+impl CiwState {
+    /// Creates a state with the given 0-based rank.
+    pub fn new(rank: u32) -> Self {
+        CiwState { rank }
+    }
+}
+
+/// The Silent-n-state-SSR protocol instance for exactly `n` agents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CaiIzumiWada {
+    n: usize,
+}
+
+impl CaiIzumiWada {
+    /// Creates the protocol for a population of `n` agents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "population protocols need at least 2 agents");
+        CaiIzumiWada { n }
+    }
+
+    /// The `Ω(n²)` "barrier" configuration from the paper's lower-bound
+    /// argument: two agents at rank 0, one agent at each rank `1..n − 1`,
+    /// and nobody at rank `n − 1`.
+    pub fn worst_case_configuration(&self) -> Vec<CiwState> {
+        let mut states = vec![CiwState::new(0)];
+        states.extend((0..self.n as u32 - 1).map(CiwState::new));
+        states
+    }
+}
+
+impl Protocol for CaiIzumiWada {
+    type State = CiwState;
+
+    fn interact(&self, a: &mut CiwState, b: &mut CiwState, _rng: &mut SmallRng) {
+        if a.rank == b.rank {
+            b.rank = (b.rank + 1) % self.n as u32;
+        }
+    }
+
+    fn is_null_pair(&self, a: &CiwState, b: &CiwState) -> bool {
+        a.rank != b.rank
+    }
+}
+
+impl RankingProtocol for CaiIzumiWada {
+    fn population_size(&self) -> usize {
+        self.n
+    }
+
+    fn rank_of(&self, state: &CiwState) -> Option<usize> {
+        Some(state.rank as usize + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use population::runner::rng_from_seed;
+    use population::silence::is_silent_configuration;
+    use population::Simulation;
+
+    #[test]
+    #[should_panic(expected = "at least 2 agents")]
+    fn rejects_singleton() {
+        CaiIzumiWada::new(1);
+    }
+
+    #[test]
+    fn collision_bumps_only_the_responder() {
+        let p = CaiIzumiWada::new(4);
+        let mut rng = rng_from_seed(0);
+        let (mut a, mut b) = (CiwState::new(2), CiwState::new(2));
+        p.interact(&mut a, &mut b, &mut rng);
+        assert_eq!((a.rank, b.rank), (2, 3));
+    }
+
+    #[test]
+    fn rank_wraps_around() {
+        let p = CaiIzumiWada::new(4);
+        let mut rng = rng_from_seed(0);
+        let (mut a, mut b) = (CiwState::new(3), CiwState::new(3));
+        p.interact(&mut a, &mut b, &mut rng);
+        assert_eq!(b.rank, 0);
+    }
+
+    #[test]
+    fn distinct_ranks_are_null() {
+        let p = CaiIzumiWada::new(4);
+        assert!(p.is_null_pair(&CiwState::new(1), &CiwState::new(2)));
+        assert!(!p.is_null_pair(&CiwState::new(1), &CiwState::new(1)));
+    }
+
+    #[test]
+    fn output_is_one_based() {
+        let p = CaiIzumiWada::new(4);
+        assert_eq!(p.rank_of(&CiwState::new(0)), Some(1));
+        assert!(p.is_leader(&CiwState::new(0)));
+        assert!(!p.is_leader(&CiwState::new(1)));
+    }
+
+    #[test]
+    fn worst_case_configuration_shape() {
+        let p = CaiIzumiWada::new(6);
+        let cfg = p.worst_case_configuration();
+        assert_eq!(cfg.len(), 6);
+        assert_eq!(cfg.iter().filter(|s| s.rank == 0).count(), 2);
+        assert_eq!(cfg.iter().filter(|s| s.rank == 5).count(), 0);
+        for r in 1..5 {
+            assert_eq!(cfg.iter().filter(|s| s.rank == r).count(), 1);
+        }
+    }
+
+    #[test]
+    fn stabilizes_from_all_zero() {
+        let n = 8;
+        let mut sim = Simulation::new(CaiIzumiWada::new(n), vec![CiwState::new(0); n], 1);
+        let outcome = sim.run_until_stably_ranked(50_000_000, 10 * n as u64);
+        assert!(outcome.is_converged());
+        assert!(is_silent_configuration(sim.protocol(), sim.states()));
+        assert_eq!(sim.leader_count(), 1);
+    }
+
+    #[test]
+    fn stabilizes_from_barrier_configuration() {
+        let n = 8;
+        let p = CaiIzumiWada::new(n);
+        let mut sim = Simulation::new(p, p.worst_case_configuration(), 2);
+        let outcome = sim.run_until_stably_ranked(50_000_000, 10 * n as u64);
+        assert!(outcome.is_converged());
+    }
+
+    #[test]
+    fn permutation_is_stable() {
+        let n = 8;
+        let p = CaiIzumiWada::new(n);
+        let states: Vec<CiwState> = (0..n as u32).map(CiwState::new).collect();
+        assert!(is_silent_configuration(&p, &states));
+        let mut sim = Simulation::new(p, states, 3);
+        sim.run(100_000);
+        assert!(sim.is_ranked());
+    }
+
+    #[test]
+    fn barrier_needs_a_full_cycle_of_bumps() {
+        // From the barrier configuration, stabilization requires the doubled
+        // rank to walk all the way to n − 1: verify the final configuration
+        // is the full permutation.
+        let n = 6;
+        let p = CaiIzumiWada::new(n);
+        let mut sim = Simulation::new(p, p.worst_case_configuration(), 4);
+        sim.run_until_stably_ranked(50_000_000, 0);
+        let mut ranks: Vec<u32> = sim.states().iter().map(|s| s.rank).collect();
+        ranks.sort_unstable();
+        assert_eq!(ranks, (0..n as u32).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,301 @@
+//! Exact jump-chain acceleration of Silent-n-state-SSR.
+//!
+//! Simulating the `Θ(n²)`-time baseline with the generic engine costs
+//! `Θ(n³)` scheduler draws, almost all of which are null interactions
+//! (distinct ranks don't react). Because agents with equal ranks are
+//! interchangeable and null interactions don't change the configuration,
+//! the process is fully described by the rank **counts** and its jump
+//! chain:
+//!
+//! * with `c_r` agents at rank `r`, an interaction is effective with
+//!   probability `p = Σ_r c_r(c_r−1) / (n(n−1))`;
+//! * the number of interactions until the next effective one is
+//!   `Geometric(p)`;
+//! * the effective interaction bumps one uniformly chosen agent of a rank
+//!   drawn with probability ∝ `c_r(c_r−1)`.
+//!
+//! This samples from **exactly** the same distribution of (configuration
+//! trajectory, interaction count) as the generic engine — it is an exact
+//! simulation speed-up, not an approximation — and lets the Table 1
+//! harness measure the baseline at population sizes where the naive engine
+//! would need days. The equivalence is checked statistically in the tests.
+
+use population::runner::rng_from_seed;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::cai_izumi_wada::CiwState;
+
+/// Rank-count representation of a Silent-n-state-SSR configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CiwCounts {
+    counts: Vec<u32>,
+}
+
+impl CiwCounts {
+    /// Builds counts from per-agent states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rank is `≥ n` (the states are not in the protocol's
+    /// domain for this population size).
+    pub fn from_states(states: &[CiwState]) -> Self {
+        let n = states.len();
+        let mut counts = vec![0u32; n];
+        for s in states {
+            assert!(
+                (s.rank as usize) < n,
+                "rank {} outside the n-state space of a {n}-agent population",
+                s.rank
+            );
+            counts[s.rank as usize] += 1;
+        }
+        CiwCounts { counts }
+    }
+
+    /// Builds counts directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counts don't sum to their length (population size).
+    pub fn from_counts(counts: Vec<u32>) -> Self {
+        let n = counts.len() as u64;
+        assert_eq!(
+            counts.iter().map(|&c| c as u64).sum::<u64>(),
+            n,
+            "counts must describe exactly n agents"
+        );
+        CiwCounts { counts }
+    }
+
+    /// The population size.
+    pub fn population_size(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Agents currently at rank `r` (0-based).
+    pub fn count(&self, r: usize) -> u32 {
+        self.counts[r]
+    }
+
+    /// Whether the configuration is the stable permutation (every rank held
+    /// exactly once).
+    pub fn is_ranked(&self) -> bool {
+        self.counts.iter().all(|&c| c == 1)
+    }
+
+    /// Sum of `c_r·(c_r−1)` — the number of ordered colliding pairs.
+    fn colliding_pairs(&self) -> u64 {
+        self.counts.iter().map(|&c| c as u64 * (c as u64).saturating_sub(1)).sum()
+    }
+}
+
+/// Runs the jump chain from `initial` until the stable permutation and
+/// returns the exact number of scheduler interactions consumed (null ones
+/// included), i.e. the quantity whose mean is the Θ(n²)·n entry of Table 1.
+///
+/// # Examples
+///
+/// ```
+/// use ssle::cai_izumi_wada::CiwState;
+/// use ssle::ciw_fast::{stabilization_interactions, CiwCounts};
+///
+/// let n = 64;
+/// let initial = CiwCounts::from_states(&vec![CiwState::new(0); n]);
+/// let interactions = stabilization_interactions(initial, 7);
+/// assert!(interactions > 0);
+/// ```
+pub fn stabilization_interactions(initial: CiwCounts, seed: u64) -> u64 {
+    let mut rng = rng_from_seed(seed);
+    let mut counts = initial;
+    let n = counts.population_size() as u64;
+    let ordered_pairs = n * (n - 1);
+    let mut interactions: u64 = 0;
+    while !counts.is_ranked() {
+        let w = counts.colliding_pairs();
+        debug_assert!(w > 0, "not ranked but no colliding pair");
+        interactions += geometric(&mut rng, w as f64 / ordered_pairs as f64);
+        bump_random_collision(&mut counts, &mut rng, w);
+    }
+    interactions
+}
+
+/// Samples `Geometric(p)` on `{1, 2, …}` — the index of the first success
+/// in a Bernoulli(p) sequence.
+fn geometric(rng: &mut SmallRng, p: f64) -> u64 {
+    debug_assert!(p > 0.0 && p <= 1.0);
+    if p >= 1.0 {
+        return 1;
+    }
+    // Inverse CDF: ⌈ln U / ln(1−p)⌉ with U uniform on (0, 1).
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let k = (u.ln() / (1.0 - p).ln()).ceil();
+    if k < 1.0 {
+        1
+    } else {
+        k as u64
+    }
+}
+
+/// Applies one effective interaction: a rank drawn ∝ `c_r(c_r−1)` loses one
+/// agent to the next rank (mod n).
+fn bump_random_collision(counts: &mut CiwCounts, rng: &mut SmallRng, total_weight: u64) {
+    let mut target = rng.gen_range(0..total_weight);
+    let n = counts.counts.len();
+    for r in 0..n {
+        let c = counts.counts[r] as u64;
+        let w = c * c.saturating_sub(1);
+        if target < w {
+            counts.counts[r] -= 1;
+            counts.counts[(r + 1) % n] += 1;
+            return;
+        }
+        target -= w;
+    }
+    unreachable!("weights summed to total_weight");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cai_izumi_wada::CaiIzumiWada;
+    use analysis::Summary;
+    use population::runner::derive_seed;
+    use population::Simulation;
+
+    #[test]
+    fn ranked_configuration_needs_zero_interactions() {
+        let counts = CiwCounts::from_counts(vec![1; 8]);
+        assert!(counts.is_ranked());
+        assert_eq!(stabilization_interactions(counts, 1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly n agents")]
+    fn mismatched_counts_are_rejected() {
+        CiwCounts::from_counts(vec![2, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the n-state space")]
+    fn out_of_domain_rank_is_rejected() {
+        CiwCounts::from_states(&[CiwState::new(5), CiwState::new(0)]);
+    }
+
+    #[test]
+    fn from_states_counts_correctly() {
+        let counts =
+            CiwCounts::from_states(&[CiwState::new(0), CiwState::new(0), CiwState::new(2)]);
+        assert_eq!(counts.count(0), 2);
+        assert_eq!(counts.count(1), 0);
+        assert_eq!(counts.count(2), 1);
+        assert!(!counts.is_ranked());
+    }
+
+    #[test]
+    fn geometric_mean_matches_inverse_p() {
+        let mut rng = rng_from_seed(3);
+        let p = 0.02;
+        let trials = 20_000;
+        let mean: f64 =
+            (0..trials).map(|_| geometric(&mut rng, p) as f64).sum::<f64>() / trials as f64;
+        assert!((mean - 1.0 / p).abs() < 0.05 / p, "mean {mean} vs {}", 1.0 / p);
+    }
+
+    #[test]
+    fn geometric_handles_certain_success() {
+        let mut rng = rng_from_seed(4);
+        assert_eq!(geometric(&mut rng, 1.0), 1);
+    }
+
+    #[test]
+    fn two_agent_collision_is_plain_geometric() {
+        // n = 2, both at rank 0: exactly one effective interaction needed,
+        // with success probability 1 (the only ordered pairs collide).
+        let counts = CiwCounts::from_counts(vec![2, 0]);
+        for seed in 0..10 {
+            assert_eq!(stabilization_interactions(counts.clone(), seed), 1);
+        }
+    }
+
+    #[test]
+    fn jump_chain_matches_generic_engine_statistically() {
+        // The acid test: identical expected stabilization interactions (up
+        // to sampling error) between the exact jump chain and the generic
+        // per-agent engine, from the all-zero configuration.
+        let n = 12;
+        let trials = 300;
+        let fast: Vec<f64> = (0..trials)
+            .map(|t| {
+                let counts = CiwCounts::from_states(&vec![CiwState::new(0); n]);
+                stabilization_interactions(counts, derive_seed(100, t)) as f64
+            })
+            .collect();
+        let slow: Vec<f64> = (0..trials)
+            .map(|t| {
+                let mut sim = Simulation::new(
+                    CaiIzumiWada::new(n),
+                    vec![CiwState::new(0); n],
+                    derive_seed(200, t),
+                );
+                sim.run_until_stably_ranked(u64::MAX, 0).interactions() as f64
+            })
+            .collect();
+        let f = Summary::from_sample(&fast).unwrap();
+        let s = Summary::from_sample(&slow).unwrap();
+        // Compare means within joint 99% confidence half-widths.
+        let slack = 2.6 * (f.std_err() + s.std_err());
+        assert!(
+            (f.mean() - s.mean()).abs() < slack,
+            "fast {} ± {} vs slow {} ± {}",
+            f.mean(),
+            f.std_err(),
+            s.mean(),
+            s.std_err()
+        );
+    }
+
+    #[test]
+    fn jump_chain_matches_engine_from_barrier_too() {
+        let n = 10;
+        let trials = 200;
+        let p = CaiIzumiWada::new(n);
+        let fast: Vec<f64> = (0..trials)
+            .map(|t| {
+                let counts = CiwCounts::from_states(&p.worst_case_configuration());
+                stabilization_interactions(counts, derive_seed(300, t)) as f64
+            })
+            .collect();
+        let slow: Vec<f64> = (0..trials)
+            .map(|t| {
+                let mut sim =
+                    Simulation::new(p, p.worst_case_configuration(), derive_seed(400, t));
+                sim.run_until_stably_ranked(u64::MAX, 0).interactions() as f64
+            })
+            .collect();
+        let f = Summary::from_sample(&fast).unwrap();
+        let s = Summary::from_sample(&slow).unwrap();
+        let slack = 2.6 * (f.std_err() + s.std_err());
+        assert!(
+            (f.mean() - s.mean()).abs() < slack,
+            "fast {} vs slow {}",
+            f.mean(),
+            s.mean()
+        );
+    }
+
+    #[test]
+    fn large_population_is_tractable() {
+        // n = 512 would need ~10⁹ scheduler draws in the generic engine;
+        // the jump chain does it in well under a second.
+        let n = 512;
+        let counts = CiwCounts::from_states(&vec![CiwState::new(0); n]);
+        let interactions = stabilization_interactions(counts, 9);
+        let parallel = interactions as f64 / n as f64;
+        // Θ(n²) scale with the measured constant ≈ 0.2–0.35.
+        assert!(
+            (0.05 * (n * n) as f64..2.0 * (n * n) as f64).contains(&parallel),
+            "parallel time {parallel} is off the Θ(n²) scale"
+        );
+    }
+}

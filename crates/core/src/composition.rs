@@ -1,0 +1,230 @@
+//! Composing a downstream computation on top of self-stabilizing ranking.
+//!
+//! The paper (Sec. 1) argues that self-stabilization is what makes
+//! population protocols *composable*: a self-stabilizing protocol `S` can
+//! run below a downstream computation whose state was "set … in some
+//! unknown way" before `S` stabilized — once `S` settles, the downstream
+//! recovers on its own (fair composition, after Dolev et al.).
+//!
+//! [`LeaderAligned`] is a concrete demonstration: any
+//! [`RankingProtocol`] is composed with a downstream *alignment* task — every
+//! agent must adopt the parity bit of the leader (the rank-1 agent). The
+//! downstream rule is one line (copy the parity of any lower-ranked agent),
+//! and it is itself self-stabilizing **given** stabilized ranks; composing
+//! the two therefore stabilizes end-to-end from arbitrary joint states.
+//!
+//! # Examples
+//!
+//! ```
+//! use population::Simulation;
+//! use ssle::composition::{ComposedState, LeaderAligned};
+//! use ssle::cai_izumi_wada::{CaiIzumiWada, CiwState};
+//!
+//! let n = 8;
+//! let protocol = LeaderAligned::new(CaiIzumiWada::new(n));
+//! // Adversarial joint state: colliding ranks AND disagreeing parities.
+//! let initial: Vec<_> = (0..n)
+//!     .map(|k| ComposedState { upstream: CiwState::new(0), parity: k % 2 == 0 })
+//!     .collect();
+//! let mut sim = Simulation::new(protocol, initial, 44);
+//! let outcome = sim.run_until(50_000_000, |s| LeaderAligned::<CaiIzumiWada>::is_aligned(s));
+//! assert!(outcome.is_converged());
+//! ```
+
+use population::{Protocol, RankingProtocol};
+use rand::rngs::SmallRng;
+
+/// Joint state of the composed protocol: the ranking protocol's state plus
+/// the downstream parity bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComposedState<S> {
+    /// The underlying ranking protocol's state.
+    pub upstream: S,
+    /// Downstream output: must converge to the leader's parity.
+    pub parity: bool,
+}
+
+/// A ranking protocol composed with the leader-parity alignment task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaderAligned<P> {
+    upstream: P,
+}
+
+impl<P: RankingProtocol> LeaderAligned<P> {
+    /// Composes the alignment task on top of `upstream`.
+    pub fn new(upstream: P) -> Self {
+        LeaderAligned { upstream }
+    }
+
+    /// The underlying ranking protocol.
+    pub fn upstream(&self) -> &P {
+        &self.upstream
+    }
+
+    /// Whether every agent's parity matches every other's (the downstream
+    /// goal once a unique leader exists).
+    pub fn is_aligned(states: &[ComposedState<P::State>]) -> bool {
+        states.windows(2).all(|w| w[0].parity == w[1].parity)
+    }
+}
+
+impl<P: RankingProtocol> Protocol for LeaderAligned<P> {
+    type State = ComposedState<P::State>;
+
+    fn interact(&self, a: &mut Self::State, b: &mut Self::State, rng: &mut SmallRng) {
+        // Ranks as observed at the start of the interaction — agents
+        // mutually observe each other's states *before* updating.
+        let ra = self.upstream.rank_of(&a.upstream);
+        let rb = self.upstream.rank_of(&b.upstream);
+        // Upstream layer runs obliviously to the downstream.
+        self.upstream.interact(&mut a.upstream, &mut b.upstream, rng);
+        // Downstream layer: parity flows from lower to higher rank. Agents
+        // without a rank output (unsettled/resetting upstream states)
+        // neither give nor take.
+        if let (Some(ra), Some(rb)) = (ra, rb) {
+            if ra < rb {
+                b.parity = a.parity;
+            } else if rb < ra {
+                a.parity = b.parity;
+            }
+        }
+    }
+
+    fn is_null_pair(&self, a: &Self::State, b: &Self::State) -> bool {
+        // The composed pair is inert iff the upstream pair is inert AND the
+        // parity rule would not change anything.
+        if !self.upstream.is_null_pair(&a.upstream, &b.upstream) {
+            return false;
+        }
+        match (self.upstream.rank_of(&a.upstream), self.upstream.rank_of(&b.upstream)) {
+            (Some(ra), Some(rb)) if ra != rb => a.parity == b.parity,
+            _ => true,
+        }
+    }
+}
+
+impl<P: RankingProtocol> RankingProtocol for LeaderAligned<P> {
+    fn population_size(&self) -> usize {
+        self.upstream.population_size()
+    }
+
+    fn rank_of(&self, state: &Self::State) -> Option<usize> {
+        self.upstream.rank_of(&state.upstream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary;
+    use crate::cai_izumi_wada::{CaiIzumiWada, CiwState};
+    use crate::optimal_silent::OptimalSilentSsr;
+    use population::runner::rng_from_seed;
+    use population::silence::is_silent_configuration;
+    use population::Simulation;
+    use rand::Rng;
+
+    #[test]
+    fn parity_flows_downhill_in_rank() {
+        let p = LeaderAligned::new(CaiIzumiWada::new(4));
+        let mut rng = rng_from_seed(1);
+        let mut a = ComposedState { upstream: CiwState::new(0), parity: true };
+        let mut b = ComposedState { upstream: CiwState::new(2), parity: false };
+        p.interact(&mut a, &mut b, &mut rng);
+        assert!(b.parity, "rank 1's parity overwrites rank 3's");
+        let mut c = ComposedState { upstream: CiwState::new(3), parity: false };
+        p.interact(&mut c, &mut a, &mut rng);
+        assert!(c.parity, "direction is by rank, not by initiator role");
+    }
+
+    #[test]
+    fn unranked_agents_do_not_exchange_parity() {
+        let p = LeaderAligned::new(OptimalSilentSsr::new(4));
+        let mut rng = rng_from_seed(2);
+        let oss = OptimalSilentSsr::new(4);
+        let mut a = ComposedState { upstream: crate::optimal_silent::OssState::settled(1, 0), parity: true };
+        let mut b = ComposedState { upstream: crate::optimal_silent::OssState::unsettled(50), parity: false };
+        let _ = oss;
+        p.interact(&mut a, &mut b, &mut rng);
+        // b got recruited upstream this very interaction — but it had no
+        // rank at the start, so parity stays until a future meeting.
+        assert!(!b.parity);
+    }
+
+    #[test]
+    fn composition_stabilizes_from_joint_corruption() {
+        let n = 12;
+        let upstream = OptimalSilentSsr::new(n);
+        let p = LeaderAligned::new(upstream);
+        let mut rng = rng_from_seed(3);
+        let initial: Vec<_> = adversary::random_oss_configuration(&upstream, &mut rng)
+            .into_iter()
+            .map(|s| ComposedState { upstream: s, parity: rng.gen() })
+            .collect();
+        let mut sim = Simulation::new(p, initial, 4);
+        let outcome = sim.run_until(u64::MAX, |states| {
+            if !LeaderAligned::<OptimalSilentSsr>::is_aligned(states) {
+                return false;
+            }
+            // Full ranking: each rank 1..=n exactly once.
+            let mut seen = vec![false; n];
+            states.iter().all(|s| match upstream.rank_of(&s.upstream) {
+                Some(r) => !std::mem::replace(&mut seen[r - 1], true),
+                None => false,
+            })
+        });
+        assert!(outcome.is_converged());
+        // And it is jointly silent: ranks are a permutation and parities agree.
+        assert!(sim.is_ranked());
+        assert!(is_silent_configuration(sim.protocol(), sim.states()));
+    }
+
+    #[test]
+    fn downstream_recovers_after_upstream_restabilizes() {
+        // Corrupt ONLY the downstream of a stabilized joint configuration:
+        // alignment returns without the upstream ever changing.
+        let n = 10;
+        let upstream = CaiIzumiWada::new(n);
+        let p = LeaderAligned::new(upstream);
+        let mut states: Vec<_> = (0..n as u32)
+            .map(|r| ComposedState { upstream: CiwState::new(r), parity: true })
+            .collect();
+        states[7].parity = false;
+        let before: Vec<CiwState> = states.iter().map(|s| s.upstream).collect();
+        let mut sim = Simulation::new(p, states, 5);
+        let outcome =
+            sim.run_until(10_000_000, LeaderAligned::<CaiIzumiWada>::is_aligned);
+        assert!(outcome.is_converged());
+        let after: Vec<CiwState> = sim.states().iter().map(|s| s.upstream).collect();
+        assert_eq!(before, after, "the stabilized upstream never moved");
+    }
+
+    #[test]
+    fn null_pairs_require_both_layers_inert() {
+        let p = LeaderAligned::new(CaiIzumiWada::new(4));
+        let aligned_distinct = (
+            ComposedState { upstream: CiwState::new(0), parity: true },
+            ComposedState { upstream: CiwState::new(1), parity: true },
+        );
+        assert!(p.is_null_pair(&aligned_distinct.0, &aligned_distinct.1));
+        let misaligned = (
+            ComposedState { upstream: CiwState::new(0), parity: true },
+            ComposedState { upstream: CiwState::new(1), parity: false },
+        );
+        assert!(!p.is_null_pair(&misaligned.0, &misaligned.1));
+        let colliding = (
+            ComposedState { upstream: CiwState::new(1), parity: true },
+            ComposedState { upstream: CiwState::new(1), parity: true },
+        );
+        assert!(!p.is_null_pair(&colliding.0, &colliding.1));
+    }
+
+    #[test]
+    fn rank_outputs_pass_through() {
+        let p = LeaderAligned::new(CaiIzumiWada::new(4));
+        let s = ComposedState { upstream: CiwState::new(0), parity: false };
+        assert_eq!(p.rank_of(&s), Some(1));
+        assert!(p.is_leader(&s));
+        assert_eq!(p.population_size(), 4);
+    }
+}

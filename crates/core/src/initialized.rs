@@ -1,0 +1,352 @@
+//! The initialized (non-self-stabilizing) setting, for contrast.
+//!
+//! Sec. 1 of the paper motivates self-stabilization by observing that
+//! initialized leader election is trivial — one bit and one transition,
+//! `ℓ, ℓ → ℓ, f` — but that this protocol "fails (as do nearly all other
+//! published leader election protocols) in the self-stabilizing setting from
+//! an all-f configuration": it can only destroy leaders, never create one.
+//! [`FightProtocol`] implements it so the failure is demonstrable.
+//!
+//! The module also implements the paper's footnote 7: a ranking protocol
+//! lets the `leader = Yes` bit wander between agents; [`ImmobilizedLeader`]
+//! applies the footnote's transformation — whenever a transition would move
+//! the leader bit from one agent to the other, swap the two output states —
+//! so one physical agent keeps the leadership once ranks stop changing.
+
+use population::{Protocol, RankingProtocol};
+use rand::rngs::SmallRng;
+
+/// State of the one-bit initialized leader-election protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FightState {
+    /// Leader candidate (`ℓ`).
+    Leader,
+    /// Follower (`f`).
+    Follower,
+}
+
+/// The single-transition protocol `ℓ, ℓ → ℓ, f`.
+///
+/// Correct from the designated all-`ℓ` initial configuration; **not**
+/// self-stabilizing (the all-`f` configuration is a dead end with no
+/// leader) — see the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use population::{Protocol, Simulation};
+/// use ssle::initialized::{FightProtocol, FightState};
+///
+/// let mut sim = Simulation::new(FightProtocol, vec![FightState::Follower; 8], 1);
+/// sim.run(100_000);
+/// let leaders = sim.states().iter().filter(|s| **s == FightState::Leader).count();
+/// assert_eq!(leaders, 0, "no transition can ever create a leader");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FightProtocol;
+
+impl Protocol for FightProtocol {
+    type State = FightState;
+
+    fn interact(&self, a: &mut FightState, b: &mut FightState, _rng: &mut SmallRng) {
+        if *a == FightState::Leader && *b == FightState::Leader {
+            *b = FightState::Follower;
+        }
+    }
+
+    fn is_null_pair(&self, a: &FightState, b: &FightState) -> bool {
+        !(*a == FightState::Leader && *b == FightState::Leader)
+    }
+}
+
+/// Wraps a ranking protocol so the rank-1 ("leader") output bit stops
+/// migrating between agents once it is unique.
+///
+/// Footnote 7 of the paper: replace any transition `(x, y) → (w, z)` where
+/// `x` outputs leader and `z` outputs leader (with `y`, `w` not) by
+/// `(x, y) → (z, w)` — the same multiset of output states, assigned so the
+/// previously-leading agent keeps the leader output. Because only the
+/// assignment (not the multiset) changes, correctness and time bounds are
+/// unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImmobilizedLeader<P> {
+    inner: P,
+}
+
+impl<P> ImmobilizedLeader<P> {
+    /// Wraps `inner`.
+    pub fn new(inner: P) -> Self {
+        ImmobilizedLeader { inner }
+    }
+
+    /// The wrapped protocol.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: RankingProtocol> Protocol for ImmobilizedLeader<P> {
+    type State = P::State;
+
+    fn interact(&self, a: &mut P::State, b: &mut P::State, rng: &mut SmallRng) {
+        let a_led = self.inner.is_leader(a);
+        let b_led = self.inner.is_leader(b);
+        self.inner.interact(a, b, rng);
+        let a_leads = self.inner.is_leader(a);
+        let b_leads = self.inner.is_leader(b);
+        // The leader bit hopped from one agent to the other: undo the hop by
+        // swapping the output states.
+        if (a_led && !b_led && !a_leads && b_leads) || (b_led && !a_led && !b_leads && a_leads) {
+            std::mem::swap(a, b);
+        }
+    }
+
+    fn is_null_pair(&self, a: &P::State, b: &P::State) -> bool {
+        self.inner.is_null_pair(a, b)
+    }
+}
+
+impl<P: RankingProtocol> RankingProtocol for ImmobilizedLeader<P> {
+    fn population_size(&self) -> usize {
+        self.inner.population_size()
+    }
+
+    fn rank_of(&self, state: &P::State) -> Option<usize> {
+        self.inner.rank_of(state)
+    }
+}
+
+/// State of the initialized tree-ranking protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TreeRankState {
+    /// Already holds a rank and has recruited `children` agents.
+    Ranked {
+        /// The assigned rank, in `1..=n`.
+        rank: u32,
+        /// Children recruited so far (0–2).
+        children: u8,
+    },
+    /// Waiting to be recruited.
+    Waiting,
+}
+
+/// Initialized (non-self-stabilizing) ranking: the rank-assignment core of
+/// Optimal-Silent-SSR without any error detection or resets.
+///
+/// The paper's conclusion raises "initialized ranking" as a problem in its
+/// own right — without self-stabilization there are no ghost names and no
+/// need for `Ω(n)`-state error handling. This protocol starts from the
+/// designated configuration (one agent `Ranked { rank: 1 }`, everyone else
+/// `Waiting`) and builds the binary rank tree in `Θ(n)` time with `3n + 1`
+/// states. It is **not** self-stabilizing: from an all-`Waiting`
+/// configuration nobody can ever be ranked.
+///
+/// # Examples
+///
+/// ```
+/// use population::Simulation;
+/// use ssle::initialized::{TreeRanking, TreeRankState};
+///
+/// let n = 16;
+/// let mut initial = vec![TreeRankState::Waiting; n];
+/// initial[0] = TreeRankState::Ranked { rank: 1, children: 0 };
+/// let mut sim = Simulation::new(TreeRanking::new(n), initial, 3);
+/// assert!(sim.run_until_stably_ranked(10_000_000, 0).is_converged());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeRanking {
+    n: usize,
+}
+
+impl TreeRanking {
+    /// Creates the protocol for exactly `n` agents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "population protocols need at least 2 agents");
+        TreeRanking { n }
+    }
+
+    /// The designated initial configuration: agent 0 is the pre-elected
+    /// leader at the tree root.
+    pub fn designated_configuration(&self) -> Vec<TreeRankState> {
+        let mut states = vec![TreeRankState::Waiting; self.n];
+        states[0] = TreeRankState::Ranked { rank: 1, children: 0 };
+        states
+    }
+}
+
+impl Protocol for TreeRanking {
+    type State = TreeRankState;
+
+    fn interact(&self, a: &mut TreeRankState, b: &mut TreeRankState, _rng: &mut SmallRng) {
+        for _ in 0..2 {
+            if let (TreeRankState::Ranked { rank, children }, TreeRankState::Waiting) = (&*a, &*b)
+            {
+                if *children < 2 && 2 * *rank as u64 + *children as u64 <= self.n as u64 {
+                    let child_rank = 2 * *rank + *children as u32;
+                    *b = TreeRankState::Ranked { rank: child_rank, children: 0 };
+                    if let TreeRankState::Ranked { children, .. } = a {
+                        *children += 1;
+                    }
+                }
+            }
+            std::mem::swap(a, b);
+        }
+    }
+
+    fn is_null_pair(&self, a: &TreeRankState, b: &TreeRankState) -> bool {
+        let open_slot = |s: &TreeRankState| match s {
+            TreeRankState::Ranked { rank, children } => {
+                *children < 2 && 2 * *rank as u64 + *children as u64 <= self.n as u64
+            }
+            TreeRankState::Waiting => false,
+        };
+        let waiting = |s: &TreeRankState| matches!(s, TreeRankState::Waiting);
+        !(open_slot(a) && waiting(b) || open_slot(b) && waiting(a))
+    }
+}
+
+impl RankingProtocol for TreeRanking {
+    fn population_size(&self) -> usize {
+        self.n
+    }
+
+    fn rank_of(&self, state: &TreeRankState) -> Option<usize> {
+        match state {
+            TreeRankState::Ranked { rank, .. } => Some(*rank as usize),
+            TreeRankState::Waiting => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cai_izumi_wada::{CaiIzumiWada, CiwState};
+    use population::runner::rng_from_seed;
+    use population::Simulation;
+
+    #[test]
+    fn fight_elects_unique_leader_from_all_leaders() {
+        let n = 32;
+        let mut sim = Simulation::new(FightProtocol, vec![FightState::Leader; n], 9);
+        let outcome = sim.run_until(10_000_000, |states| {
+            states.iter().filter(|s| **s == FightState::Leader).count() == 1
+        });
+        assert!(outcome.is_converged());
+    }
+
+    #[test]
+    fn fight_fails_from_all_followers() {
+        let n = 8;
+        let mut sim = Simulation::new(FightProtocol, vec![FightState::Follower; n], 9);
+        sim.run(100_000);
+        assert!(sim.states().iter().all(|s| *s == FightState::Follower));
+    }
+
+    #[test]
+    fn fight_null_pairs() {
+        assert!(FightProtocol.is_null_pair(&FightState::Leader, &FightState::Follower));
+        assert!(FightProtocol.is_null_pair(&FightState::Follower, &FightState::Follower));
+        assert!(!FightProtocol.is_null_pair(&FightState::Leader, &FightState::Leader));
+    }
+
+    #[test]
+    fn immobilized_keeps_leader_bit_on_same_agent() {
+        // In Cai–Izumi–Wada, (0, 0) → (0, 1): plain protocol can strip
+        // leadership from the responder; immobilized, an interaction where
+        // the *initiator* would hand rank 1 to the responder swaps instead.
+        let p = ImmobilizedLeader::new(CaiIzumiWada::new(4));
+        let mut rng = rng_from_seed(0);
+        // Initiator leads (rank 0 = leader); responder also rank 0: the
+        // inner transition bumps the responder; the initiator kept rank 0.
+        let (mut a, mut b) = (CiwState::new(0), CiwState::new(0));
+        p.interact(&mut a, &mut b, &mut rng);
+        assert_eq!((a.rank, b.rank), (0, 1), "leader did not move — no swap needed");
+    }
+
+    #[test]
+    fn immobilized_swaps_when_leadership_would_hop() {
+        // Construct a synthetic protocol where the leader bit hops.
+        #[derive(Debug, Clone, Copy)]
+        struct Hop;
+        impl Protocol for Hop {
+            type State = u8; // 1 = leader, 0 = follower
+            fn interact(&self, a: &mut u8, b: &mut u8, _rng: &mut SmallRng) {
+                if *a == 1 && *b == 0 {
+                    *a = 0;
+                    *b = 1; // leadership hops initiator → responder
+                }
+            }
+        }
+        impl RankingProtocol for Hop {
+            fn population_size(&self) -> usize {
+                2
+            }
+            fn rank_of(&self, s: &u8) -> Option<usize> {
+                Some(if *s == 1 { 1 } else { 2 })
+            }
+        }
+        let p = ImmobilizedLeader::new(Hop);
+        let mut rng = rng_from_seed(0);
+        let (mut a, mut b) = (1u8, 0u8);
+        p.interact(&mut a, &mut b, &mut rng);
+        assert_eq!((a, b), (1, 0), "swap keeps the leader output on agent a");
+    }
+
+    #[test]
+    fn tree_ranking_completes_from_the_designated_configuration() {
+        let n = 24;
+        let p = TreeRanking::new(n);
+        let mut sim = Simulation::new(p, p.designated_configuration(), 31);
+        let outcome = sim.run_until_stably_ranked(50_000_000, 10 * n as u64);
+        assert!(outcome.is_converged());
+        use population::silence::is_silent_configuration;
+        assert!(is_silent_configuration(sim.protocol(), sim.states()));
+    }
+
+    #[test]
+    fn tree_ranking_is_not_self_stabilizing() {
+        let n = 8;
+        let mut sim = Simulation::new(TreeRanking::new(n), vec![TreeRankState::Waiting; n], 32);
+        sim.run(200_000);
+        assert!(
+            sim.states().iter().all(|s| *s == TreeRankState::Waiting),
+            "nobody can mint a rank without the designated leader"
+        );
+    }
+
+    #[test]
+    fn tree_ranking_null_pairs_match_behaviour() {
+        let p = TreeRanking::new(4);
+        let leaf = TreeRankState::Ranked { rank: 3, children: 0 }; // children 6,7 > 4
+        let open = TreeRankState::Ranked { rank: 1, children: 1 };
+        let waiting = TreeRankState::Waiting;
+        assert!(p.is_null_pair(&leaf, &waiting));
+        assert!(!p.is_null_pair(&open, &waiting));
+        assert!(!p.is_null_pair(&waiting, &open), "recruitment works in both directions");
+        assert!(p.is_null_pair(&waiting, &waiting));
+        assert!(p.is_null_pair(&open, &leaf));
+    }
+
+    #[test]
+    fn tree_ranking_rank_outputs() {
+        let p = TreeRanking::new(4);
+        assert_eq!(p.rank_of(&TreeRankState::Ranked { rank: 2, children: 1 }), Some(2));
+        assert_eq!(p.rank_of(&TreeRankState::Waiting), None);
+        assert!(p.is_leader(&TreeRankState::Ranked { rank: 1, children: 2 }));
+    }
+
+    #[test]
+    fn immobilized_preserves_ranking_behaviour() {
+        let n = 8;
+        let p = ImmobilizedLeader::new(CaiIzumiWada::new(n));
+        assert_eq!(p.population_size(), n);
+        let mut sim = Simulation::new(p, vec![CiwState::new(0); n], 13);
+        let outcome = sim.run_until_stably_ranked(50_000_000, 10 * n as u64);
+        assert!(outcome.is_converged());
+    }
+}

@@ -1,0 +1,77 @@
+#![warn(missing_docs)]
+
+//! Self-stabilizing leader election and ranking in population protocols.
+//!
+//! This crate reproduces the protocols of **"Time-Optimal Self-Stabilizing
+//! Leader Election in Population Protocols"** (Burman, Chen, Chen, Doty,
+//! Nowak, Severson, Xu — PODC 2021, full version arXiv:1907.06068, 2019) on
+//! top of the [`population`] simulation substrate.
+//!
+//! # The problem
+//!
+//! *Self-stabilizing ranking* (SSR): from **any** initial configuration of
+//! `n` anonymous agents interacting in uniformly random pairs, reach — with
+//! probability 1 — a configuration where each rank `1..=n` is held by
+//! exactly one agent, and never leave it. Ranking subsumes *self-stabilizing
+//! leader election* (SSLE): the rank-1 agent is the leader. SSLE provably
+//! requires `≥ n` states and exact knowledge of `n` (Theorem 2.1, after
+//! Cai–Izumi–Wada).
+//!
+//! # The protocols (Table 1 of the paper)
+//!
+//! | protocol | module | expected time | states | silent |
+//! |----------|--------|---------------|--------|--------|
+//! | Silent-n-state-SSR \[22\] | [`cai_izumi_wada`] | `Θ(n²)` | `n` | yes |
+//! | Optimal-Silent-SSR | [`optimal_silent`] | `Θ(n)` | `O(n)` | yes |
+//! | Sublinear-Time-SSR (depth `H`) | [`sublinear`] | `Θ(H·n^{1/(H+1)})` | `exp(O(n^H) log n)` | no |
+//! | Sublinear-Time-SSR (`H = Θ(log n)`) | [`sublinear`] | `Θ(log n)` | quasi-exponential | no |
+//!
+//! Both new protocols share the [`reset`] subprotocol (Propagate-Reset);
+//! Sublinear-Time-SSR's collision detection lives in
+//! [`sublinear::collision`] with its history trees in
+//! [`sublinear::history_tree`]. The [`initialized`] module contains the
+//! classic non-self-stabilizing baselines for contrast (the one-bit
+//! `ℓ, ℓ → ℓ, f` election and initialized tree ranking), [`loose`]
+//! implements the loosely-stabilizing relaxation the paper discusses,
+//! [`composition`] demonstrates stacking a downstream task on top of a
+//! self-stabilizing ranking, [`adversary`] builds hostile initial
+//! configurations, and [`state_space`] computes the "states" column.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use population::Simulation;
+//! use ssle::adversary;
+//! use ssle::optimal_silent::OptimalSilentSsr;
+//!
+//! let n = 24;
+//! let protocol = OptimalSilentSsr::new(n);
+//!
+//! // The adversary chooses the initial configuration...
+//! let mut rng = population::runner::rng_from_seed(7);
+//! let initial = adversary::random_oss_configuration(&protocol, &mut rng);
+//!
+//! // ...and the protocol still stabilizes to a unique ranking.
+//! let mut sim = Simulation::new(protocol, initial, 42);
+//! let outcome = sim.run_until_stably_ranked(200_000_000, 10 * n as u64);
+//! assert!(outcome.is_converged());
+//! assert_eq!(sim.leader_count(), 1);
+//! println!("stabilized in {:.1} parallel time", outcome.parallel_time(n));
+//! ```
+
+pub mod adversary;
+pub mod cai_izumi_wada;
+pub mod ciw_fast;
+pub mod composition;
+pub mod initialized;
+pub mod loose;
+pub mod name;
+pub mod optimal_silent;
+pub mod reset;
+pub mod state_space;
+pub mod sublinear;
+
+pub use cai_izumi_wada::CaiIzumiWada;
+pub use name::Name;
+pub use optimal_silent::OptimalSilentSsr;
+pub use sublinear::SublinearTimeSsr;

@@ -1,0 +1,241 @@
+//! Loosely-stabilizing leader election — the relaxation the paper contrasts
+//! against (Sudo, Ooshita, Kakugawa, Masuzawa, Datta, Larmore; cited as
+//! \[56\]).
+//!
+//! Where *self*-stabilization demands a unique leader **forever** (and
+//! therefore `Ω(n)` states and exact knowledge of `n` — Theorem 2.1),
+//! *loose* stabilization only requires that, from any configuration, the
+//! population quickly reaches a unique leader that then persists for a long
+//! (but finite) *holding time*. In exchange, agents only need an upper
+//! bound on `n` and far fewer states.
+//!
+//! This module implements the classic timeout-based protocol:
+//!
+//! * every agent carries a `timer ∈ 0..=T_max`;
+//! * leaders always keep their timer at `T_max` (the heartbeat);
+//! * when two agents meet, both adopt `max(timer_a, timer_b) − 1` — the
+//!   heartbeat spreads by epidemic, losing 1 per hop;
+//! * two meeting leaders fight (`ℓ, ℓ → ℓ, f`);
+//! * a non-leader whose timer reaches 0 concludes the leader is gone and
+//!   promotes itself.
+//!
+//! With `T_max ≫ log n`, a live leader's heartbeat keeps every timer high
+//! with overwhelming probability, so false timeouts (and the resulting
+//! transient extra leaders) are rare — the holding time grows
+//! exponentially in `T_max / log n` while convergence stays
+//! `O(T_max + log n)`. The `loose_stabilization` experiment binary measures
+//! this trade-off.
+
+use population::Protocol;
+use rand::rngs::SmallRng;
+
+/// One agent's state: a leader bit and a heartbeat timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LooseState {
+    /// Whether this agent currently considers itself the leader.
+    pub leader: bool,
+    /// Time-to-live of the last heard heartbeat.
+    pub timer: u32,
+}
+
+/// The loosely-stabilizing leader-election protocol with heartbeat bound
+/// `T_max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LooselyStabilizingLe {
+    t_max: u32,
+}
+
+impl LooselyStabilizingLe {
+    /// Creates the protocol with heartbeat bound `t_max`.
+    ///
+    /// `t_max` should be `Ω(log n)` for a meaningful holding time; the
+    /// protocol itself only needs this *upper-bound-ish* knowledge of `n`,
+    /// not `n` exactly — the point of the relaxation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_max == 0`.
+    pub fn new(t_max: u32) -> Self {
+        assert!(t_max > 0, "a zero heartbeat bound would time out instantly");
+        LooselyStabilizingLe { t_max }
+    }
+
+    /// The configured heartbeat bound.
+    pub fn t_max(&self) -> u32 {
+        self.t_max
+    }
+
+    /// A fresh leader state (timer at full).
+    pub fn leader_state(&self) -> LooseState {
+        LooseState { leader: true, timer: self.t_max }
+    }
+
+    /// A follower with the given remaining heartbeat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timer > t_max`.
+    pub fn follower_state(&self, timer: u32) -> LooseState {
+        assert!(timer <= self.t_max, "timer exceeds T_max");
+        LooseState { leader: false, timer }
+    }
+
+    /// Number of leaders in a configuration.
+    pub fn leader_count(states: &[LooseState]) -> usize {
+        states.iter().filter(|s| s.leader).count()
+    }
+}
+
+impl Protocol for LooselyStabilizingLe {
+    type State = LooseState;
+
+    fn interact(&self, a: &mut LooseState, b: &mut LooseState, _rng: &mut SmallRng) {
+        // Leader fight: ℓ, ℓ → ℓ, f.
+        if a.leader && b.leader {
+            b.leader = false;
+        }
+        // Heartbeat epidemic: both adopt the larger timer minus one hop.
+        let heard = a.timer.max(b.timer).saturating_sub(1);
+        a.timer = heard;
+        b.timer = heard;
+        // Leaders pump the heartbeat back to full.
+        for s in [&mut *a, &mut *b] {
+            if s.leader {
+                s.timer = self.t_max;
+            } else if s.timer == 0 {
+                // Timeout: the leader is (believed) gone — self-promote.
+                s.leader = true;
+                s.timer = self.t_max;
+            }
+        }
+    }
+
+    // Never silent: timers churn forever — consistent with Observation 2.2,
+    // since the protocol (loosely) recovers from leaderless configurations
+    // in sublinear time.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use population::runner::{derive_seed, rng_from_seed};
+    use population::Simulation;
+    use rand::Rng;
+
+    fn random_config(p: &LooselyStabilizingLe, n: usize, seed: u64) -> Vec<LooseState> {
+        let mut rng = rng_from_seed(seed);
+        (0..n)
+            .map(|_| LooseState { leader: rng.gen(), timer: rng.gen_range(0..=p.t_max()) })
+            .collect()
+    }
+
+    #[test]
+    #[should_panic(expected = "zero heartbeat")]
+    fn zero_t_max_is_rejected() {
+        LooselyStabilizingLe::new(0);
+    }
+
+    #[test]
+    fn leader_fight_keeps_initiator() {
+        let p = LooselyStabilizingLe::new(10);
+        let mut a = p.leader_state();
+        let mut b = p.leader_state();
+        p.interact(&mut a, &mut b, &mut rng_from_seed(1));
+        assert!(a.leader && !b.leader);
+    }
+
+    #[test]
+    fn heartbeat_propagates_and_decays() {
+        let p = LooselyStabilizingLe::new(10);
+        let mut a = p.follower_state(7);
+        let mut b = p.follower_state(2);
+        p.interact(&mut a, &mut b, &mut rng_from_seed(1));
+        assert_eq!(a.timer, 6);
+        assert_eq!(b.timer, 6);
+        assert!(!a.leader && !b.leader);
+    }
+
+    #[test]
+    fn leaders_always_leave_with_full_timers() {
+        let p = LooselyStabilizingLe::new(10);
+        let mut a = p.leader_state();
+        a.timer = 3; // adversarially drained
+        let mut b = p.follower_state(1);
+        p.interact(&mut a, &mut b, &mut rng_from_seed(1));
+        assert_eq!(a.timer, p.t_max());
+        assert_eq!(b.timer, 2);
+    }
+
+    #[test]
+    fn timeout_promotes_a_follower() {
+        let p = LooselyStabilizingLe::new(10);
+        let mut a = p.follower_state(1);
+        let mut b = p.follower_state(0);
+        p.interact(&mut a, &mut b, &mut rng_from_seed(1));
+        // max(1,0)−1 = 0 for both: both time out and self-promote.
+        assert!(a.leader && b.leader);
+        assert_eq!(a.timer, p.t_max());
+    }
+
+    #[test]
+    fn recovers_a_leader_from_the_all_follower_configuration() {
+        // The configuration that kills ℓ,ℓ → ℓ,f (see `initialized`) is
+        // handled here: timers drain and someone self-promotes.
+        let n = 24;
+        let p = LooselyStabilizingLe::new(32);
+        let initial = vec![p.follower_state(32); n];
+        let mut sim = Simulation::new(p, initial, 5);
+        let outcome =
+            sim.run_until(50_000_000, |s| LooselyStabilizingLe::leader_count(s) == 1);
+        assert!(outcome.is_converged());
+    }
+
+    #[test]
+    fn converges_from_random_configurations() {
+        let n = 24;
+        let p = LooselyStabilizingLe::new(64);
+        for trial in 0..5 {
+            let initial = random_config(&p, n, derive_seed(9, trial));
+            let mut sim = Simulation::new(p, initial, derive_seed(10, trial));
+            let outcome =
+                sim.run_until(50_000_000, |s| LooselyStabilizingLe::leader_count(s) == 1);
+            assert!(outcome.is_converged(), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn large_t_max_holds_the_leader_for_a_long_time() {
+        let n = 24;
+        let p = LooselyStabilizingLe::new(40 * 32); // T_max ≫ log n
+        let initial = vec![p.follower_state(1); n];
+        let mut sim = Simulation::new(p, initial, 11);
+        assert!(sim
+            .run_until(50_000_000, |s| LooselyStabilizingLe::leader_count(s) == 1)
+            .is_converged());
+        // Hold for 500 parallel time units without a spurious promotion.
+        for _ in 0..500 {
+            sim.run(n as u64);
+            assert_eq!(LooselyStabilizingLe::leader_count(sim.states()), 1);
+        }
+    }
+
+    #[test]
+    fn tiny_t_max_causes_spurious_leaders() {
+        // The trade-off in the other direction: an undersized heartbeat
+        // bound cannot hold the leader.
+        let n = 64;
+        let p = LooselyStabilizingLe::new(2);
+        let mut initial = vec![p.follower_state(2); n];
+        initial[0] = p.leader_state();
+        let mut sim = Simulation::new(p, initial, 13);
+        let mut saw_extra = false;
+        for _ in 0..2_000 {
+            sim.run(n as u64);
+            if LooselyStabilizingLe::leader_count(sim.states()) > 1 {
+                saw_extra = true;
+                break;
+            }
+        }
+        assert!(saw_extra, "T_max = 2 should keep timing out spuriously");
+    }
+}

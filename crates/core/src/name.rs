@@ -1,0 +1,210 @@
+//! Agent names for Sublinear-Time-SSR.
+//!
+//! Each agent of Sublinear-Time-SSR carries a `name` field: a bitstring of
+//! length at most `3·log₂ n` (Sec. 5.1 of the paper). The `n³` possible
+//! full-length values make random names collision-free with high
+//! probability; shorter strings (down to the empty string `ε`) occur while a
+//! name is being regenerated bit-by-bit during the dormant phase of a reset,
+//! or in adversarial initial configurations.
+//!
+//! Ranks are assigned by the lexicographic order of names within the roster,
+//! so [`Name`] implements `Ord` with bitstring lexicographic order (a proper
+//! prefix sorts before its extensions).
+
+use std::fmt;
+
+/// The largest supported name length in bits.
+///
+/// `3·log₂ n ≤ 60` covers populations up to `n = 2²⁰`, far beyond what the
+/// simulation substrate is intended for.
+pub const MAX_NAME_BITS: u8 = 60;
+
+/// A bitstring of length `0..=60`, ordered lexicographically.
+///
+/// # Examples
+///
+/// ```
+/// use ssle::name::Name;
+///
+/// let empty = Name::empty();
+/// let zero = empty.with_appended(false);
+/// let one = empty.with_appended(true);
+/// assert!(empty < zero, "a prefix precedes its extensions");
+/// assert!(zero < one);
+/// assert_eq!(zero.len(), 1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Name {
+    /// Bits packed MSB-first in the low `len` bits: bit `k` of the string
+    /// (0-indexed from the front) is bit `len − 1 − k` of `bits`.
+    bits: u64,
+    len: u8,
+}
+
+impl Name {
+    /// The empty bitstring `ε`.
+    pub fn empty() -> Self {
+        Name { bits: 0, len: 0 }
+    }
+
+    /// Builds a name from the low `len` bits of `bits` (front of the string
+    /// = most significant of those bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 60` or if `bits` has set bits above position `len`.
+    pub fn from_bits(bits: u64, len: u8) -> Self {
+        assert!(len <= MAX_NAME_BITS, "name length {len} exceeds {MAX_NAME_BITS} bits");
+        assert!(bits >> len == 0, "bits {bits:#x} do not fit in {len} bits");
+        Name { bits, len }
+    }
+
+    /// Length in bits.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Whether this is the empty string `ε`.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The packed bits (front of the string = most significant).
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Returns this name with one bit appended at the back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already [`MAX_NAME_BITS`] long.
+    pub fn with_appended(&self, bit: bool) -> Self {
+        assert!(self.len < MAX_NAME_BITS, "cannot extend a {MAX_NAME_BITS}-bit name");
+        Name { bits: (self.bits << 1) | bit as u64, len: self.len + 1 }
+    }
+
+    /// The `k`-th bit of the string, front-first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k ≥ len`.
+    pub fn bit(&self, k: u8) -> bool {
+        assert!(k < self.len, "bit index {k} out of range for length {}", self.len);
+        (self.bits >> (self.len - 1 - k)) & 1 == 1
+    }
+}
+
+impl Default for Name {
+    fn default() -> Self {
+        Name::empty()
+    }
+}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Name {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Left-align both bitstrings in 64 bits; lexicographic order is then
+        // numeric order of the padded values with prefix-first tie-breaking.
+        let a = if self.len == 0 { 0 } else { self.bits << (64 - self.len) };
+        let b = if other.len == 0 { 0 } else { other.bits << (64 - other.len) };
+        a.cmp(&b).then(self.len.cmp(&other.len))
+    }
+}
+
+impl fmt::Display for Name {
+    /// Renders `ε` for the empty name, the raw bitstring otherwise.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.len == 0 {
+            return write!(f, "ε");
+        }
+        for k in 0..self.len {
+            write!(f, "{}", if self.bit(k) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_name_properties() {
+        let e = Name::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(format!("{e}"), "ε");
+        assert_eq!(Name::default(), e);
+    }
+
+    #[test]
+    fn append_builds_msb_first() {
+        let n = Name::empty().with_appended(true).with_appended(false).with_appended(true);
+        assert_eq!(n.len(), 3);
+        assert_eq!(n.bits(), 0b101);
+        assert_eq!(format!("{n}"), "101");
+        assert!(n.bit(0) && !n.bit(1) && n.bit(2));
+    }
+
+    #[test]
+    fn from_bits_roundtrip() {
+        let n = Name::from_bits(0b0110, 4);
+        assert_eq!(format!("{n}"), "0110");
+        assert_eq!(Name::from_bits(n.bits(), n.len()), n);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not fit")]
+    fn from_bits_rejects_overflow() {
+        Name::from_bits(0b100, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 60 bits")]
+    fn from_bits_rejects_long_names() {
+        Name::from_bits(0, 61);
+    }
+
+    #[test]
+    fn lexicographic_order() {
+        let e = Name::empty();
+        let n0 = Name::from_bits(0b0, 1);
+        let n00 = Name::from_bits(0b00, 2);
+        let n01 = Name::from_bits(0b01, 2);
+        let n1 = Name::from_bits(0b1, 1);
+        let n10 = Name::from_bits(0b10, 2);
+        let mut v = vec![n10, n1, n01, e, n00, n0];
+        v.sort();
+        assert_eq!(v, vec![e, n0, n00, n01, n1, n10]);
+    }
+
+    #[test]
+    fn equal_length_order_is_numeric() {
+        let a = Name::from_bits(3, 4); // 0011
+        let b = Name::from_bits(12, 4); // 1100
+        assert!(a < b);
+    }
+
+    #[test]
+    fn distinct_lengths_are_distinct_names() {
+        assert_ne!(Name::from_bits(0, 1), Name::from_bits(0, 2), "\"0\" ≠ \"00\"");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_out_of_range_panics() {
+        Name::from_bits(1, 1).bit(1);
+    }
+}

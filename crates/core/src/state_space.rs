@@ -1,0 +1,118 @@
+//! Analytic state-space accounting — the "states" column of Table 1.
+//!
+//! Space complexity in population protocols is measured by the number of
+//! potential states per agent (footnote 1 of the paper: its base-2 logarithm
+//! is the usual bit-space complexity). Following the paper's `role`
+//! convention, a protocol's state count is the **sum** over roles of the
+//! product of the field-domain sizes within each role.
+//!
+//! * Silent-n-state-SSR: exactly `n` states (optimal — Theorem 2.1).
+//! * Optimal-Silent-SSR: `O(n)` states, computed exactly from its constants
+//!   by [`optimal_silent_states`].
+//! * Sublinear-Time-SSR: at least exponential; Theorem 5.1 gives
+//!   `exp(O(n^H)·log n)`. Exact counts overflow any integer type, so
+//!   [`sublinear_log2_states`] reports the base-2 logarithm (i.e. bits of
+//!   memory per agent).
+
+use crate::optimal_silent::OptimalSilentSsr;
+use crate::sublinear::SublinearTimeSsr;
+
+/// States of Silent-n-state-SSR: exactly `n` (`rank ∈ {0, …, n − 1}`).
+pub fn cai_izumi_wada_states(n: usize) -> u64 {
+    n as u64
+}
+
+/// Exact state count of a configured [`OptimalSilentSsr`]:
+///
+/// * `Settled`: `rank ∈ 1..=n` × `children ∈ {0, 1, 2}` → `3n`;
+/// * `Unsettled`: `errorcount ∈ 0..=E_max` → `E_max + 1`;
+/// * `Resetting`: `leader ∈ {L, F}` × (`resetcount ∈ 1..=R_max`, or
+///   `resetcount = 0` with `delaytimer ∈ 0..=D_max`) →
+///   `2·(R_max + D_max + 1)`.
+///
+/// With the default constants (`E_max, D_max = Θ(n)`, `R_max = Θ(log n)`)
+/// this is `Θ(n)`, matching Table 1.
+pub fn optimal_silent_states(protocol: &OptimalSilentSsr) -> u64 {
+    let n = protocol_population(protocol) as u64;
+    let settled = 3 * n;
+    let unsettled = protocol.e_max() as u64 + 1;
+    let reset = protocol.reset_params();
+    let resetting = 2 * (reset.r_max as u64 + reset.d_max as u64 + 1);
+    settled + unsettled + resetting
+}
+
+fn protocol_population(protocol: &OptimalSilentSsr) -> usize {
+    use population::RankingProtocol as _;
+    protocol.population_size()
+}
+
+/// Base-2 logarithm (bits per agent) of the state count of a configured
+/// [`SublinearTimeSsr`], split by field:
+///
+/// * `name`: `≤ 3·log₂ n` bits;
+/// * `roster`: a set of at most `n` names out of `≈ n³` → `≈ 3·n·log₂ n`
+///   bits (the paper's "`roster` has `≈ n^{3n}` possible values", which is
+///   what "fundamentally requires exponential states" in the conclusion);
+/// * `tree`: up to `≈ n^H` nodes, each with a name (`3·log₂ n` bits), a sync
+///   (`log₂ S_max` bits) and a timer (`log₂ (T_H + 1)` bits) — the paper's
+///   `exp(O(n^H)·log n)` factor.
+///
+/// For `H = Θ(log n)` the tree term is `n^{Θ(log n)}·log n` bits —
+/// quasipolynomial bits, i.e. the "quasi-exponential" state count of
+/// Theorem 5.1.
+pub fn sublinear_log2_states(protocol: &SublinearTimeSsr) -> f64 {
+    use population::RankingProtocol as _;
+    let n = protocol.population_size() as f64;
+    let name_bits = protocol.name_bits() as f64;
+    let roster_bits = n * name_bits;
+    let cp = protocol.collision_params();
+    let tree_nodes = n.powi(cp.h as i32);
+    let per_node = name_bits + (cp.s_max as f64).log2() + ((cp.t_h + 1) as f64).log2();
+    name_bits + roster_bits + tree_nodes * per_node
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ciw_is_exactly_n() {
+        assert_eq!(cai_izumi_wada_states(17), 17);
+    }
+
+    #[test]
+    fn optimal_silent_is_linear() {
+        let s64 = optimal_silent_states(&OptimalSilentSsr::new(64)) as f64;
+        let s512 = optimal_silent_states(&OptimalSilentSsr::new(512)) as f64;
+        let ratio = s512 / s64;
+        assert!(
+            (6.0..10.0).contains(&ratio),
+            "8× population should give ≈8× states, got ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn optimal_silent_exact_small_case() {
+        use crate::reset::ResetParams;
+        let p = OptimalSilentSsr::with_params(4, 10, ResetParams::new(3, 5).unwrap());
+        // 3·4 + (10 + 1) + 2·(3 + 5 + 1) = 12 + 11 + 18 = 41.
+        assert_eq!(optimal_silent_states(&p), 41);
+    }
+
+    #[test]
+    fn sublinear_is_superpolynomial_even_at_h1() {
+        let n = 64;
+        let bits = sublinear_log2_states(&SublinearTimeSsr::new(n, 1));
+        // Polynomial states would be O(log n) bits; this must be ≫.
+        assert!(bits > 100.0 * (n as f64).log2(), "only {bits} bits");
+    }
+
+    #[test]
+    fn sublinear_grows_with_depth() {
+        let n = 64;
+        let b1 = sublinear_log2_states(&SublinearTimeSsr::new(n, 1));
+        let b2 = sublinear_log2_states(&SublinearTimeSsr::new(n, 2));
+        let b3 = sublinear_log2_states(&SublinearTimeSsr::new(n, 3));
+        assert!(b1 < b2 && b2 < b3);
+    }
+}

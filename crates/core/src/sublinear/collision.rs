@@ -1,0 +1,415 @@
+//! Detect-Name-Collision and Check-Path-Consistency (Protocols 7 and 8).
+//!
+//! The heart of Sublinear-Time-SSR: detect that two agents share a name
+//! *without* requiring them to meet directly. When agents meet they generate
+//! a shared random `sync` value and exchange (truncated) history trees;
+//! a third agent that has heard about name `X` through one chain of
+//! interactions can later challenge another agent named `X` to produce
+//! logically consistent sync values. A duplicate of `X` fails the challenge
+//! with probability `1 − 1/S_max` per edge.
+//!
+//! Meeting an agent with one's own name is the degenerate length-0 path and
+//! is detected by direct comparison (the paper's `H = 0` protocol).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use super::history_tree::{HistoryEdge, HistoryTree};
+use crate::name::Name;
+
+/// Tuning constants of Detect-Name-Collision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollisionParams {
+    /// History-tree depth `H`. `H = 0` disables trees entirely (direct
+    /// detection only — the silent Θ(n)-time variant); `H = 1` is the
+    /// "sync dictionary" warm-up of Sec. 5.2; `H = Θ(log n)` gives the
+    /// time-optimal protocol.
+    pub h: u32,
+    /// Sync values are drawn uniformly from `1..=s_max`; the paper uses
+    /// `S_max = Θ(n²)`.
+    pub s_max: u64,
+    /// Freshness bound `T_H` loaded into new edges; the paper requires
+    /// `T_H = Θ(τ_{H+1})` (see [`CollisionParams::t_h_for`]).
+    pub t_h: u32,
+}
+
+impl CollisionParams {
+    /// The paper's default shapes: `S_max = 4n²` and `T_H` per
+    /// [`CollisionParams::t_h_for`] with multiplier 4.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn for_population(n: usize, h: u32) -> Self {
+        assert!(n >= 2, "population protocols need at least 2 agents");
+        CollisionParams {
+            h,
+            s_max: 4 * (n as u64) * (n as u64),
+            t_h: Self::t_h_for(n, h, 4.0),
+        }
+    }
+
+    /// `T_H = Θ(τ_{H+1})` scaled to per-agent interaction counts:
+    /// `⌈multiplier · (H + 1) · n^{1/(H+1)}⌉`, which is `Θ(H · n^{1/(H+1)})`
+    /// for constant `H` and `Θ(log n)` once `H ≥ log₂ n`.
+    pub fn t_h_for(n: usize, h: u32, multiplier: f64) -> u32 {
+        let hh = (h + 1) as f64;
+        let raw = multiplier * hh * (n as f64).powf(1.0 / hh);
+        raw.ceil().max(1.0) as u32
+    }
+}
+
+/// Protocol 8: agent `j` verifies one of `i`'s histories that ends at
+/// `j`'s name.
+///
+/// `path` is a root-starting edge sequence of `i`'s tree whose final node is
+/// labelled with `j`'s name; `i_root` is `i`'s own name (the label of the
+/// path's origin). `j` walks the *reversed* node sequence down its own tree
+/// as far as it exists; the path is **consistent** (returns `true`) if any
+/// traversed edge carries the same sync value as the corresponding edge of
+/// `i`'s path, and **inconsistent** (returns `false`) otherwise — including
+/// when the reversed chain is entirely absent from `j`'s tree.
+///
+/// # Panics
+///
+/// Panics if `path` is empty.
+pub fn check_path_consistency(
+    j_tree: &HistoryTree,
+    i_root: Name,
+    path: &[&HistoryEdge],
+) -> bool {
+    let p = path.len();
+    assert!(p >= 1, "consistency checks need a non-empty path");
+    let mut current = j_tree.children();
+    for k in (1..=p).rev() {
+        // i's path visits v₀ = i_root, v₁, …, v_p = j's name; j's reversed
+        // chain edge for i's edge e_k leads to a node named v_{k−1}.
+        let target = if k == 1 { i_root } else { path[k - 2].node.name };
+        match current.iter().find(|e| e.node.name == target) {
+            Some(f) => {
+                if f.sync == path[k - 1].sync {
+                    return true;
+                }
+                current = &f.node.children;
+            }
+            None => return false,
+        }
+    }
+    false
+}
+
+/// Protocol 7: checks both agents' histories about each other for
+/// consistency and, when no collision is detected, performs the mutual tree
+/// update (shared sync generation, snapshot grafting, own-name cleanup,
+/// timer decrement).
+///
+/// Returns `true` iff a name collision was detected, in which case the trees
+/// are left untouched (the caller resets both agents anyway).
+///
+/// # Panics
+///
+/// Panics if a tree's root label does not match its owner's name.
+pub fn detect_name_collision(
+    params: &CollisionParams,
+    a_name: Name,
+    a_tree: &mut HistoryTree,
+    b_name: Name,
+    b_tree: &mut HistoryTree,
+    rng: &mut SmallRng,
+) -> bool {
+    assert_eq!(a_tree.root_name(), a_name, "tree root must be the owner's name");
+    assert_eq!(b_tree.root_name(), b_name, "tree root must be the owner's name");
+
+    // Length-0 path: two agents with the same name meet directly.
+    if a_name == b_name {
+        return true;
+    }
+
+    // Lines 1–4: every fresh history either agent holds about the other's
+    // name must be consistent.
+    let inconsistent = a_tree
+        .paths_to(b_name)
+        .iter()
+        .any(|path| !check_path_consistency(b_tree, a_name, path))
+        || b_tree
+            .paths_to(a_name)
+            .iter()
+            .any(|path| !check_path_consistency(a_tree, b_name, path));
+    if inconsistent {
+        return true;
+    }
+
+    // Line 5: one shared sync value for both directions.
+    let sync = rng.gen_range(1..=params.s_max);
+
+    // Lines 6–12: exchange snapshots (of the pre-interaction trees) and keep
+    // the trees simply labelled.
+    if params.h >= 1 {
+        let depth = params.h as usize - 1;
+        let a_snapshot = a_tree.clone_truncated(depth);
+        let b_snapshot = b_tree.clone_truncated(depth);
+        a_tree.graft(b_snapshot, sync, params.t_h);
+        b_tree.graft(a_snapshot, sync, params.t_h);
+        a_tree.remove_named_subtrees(a_name);
+        b_tree.remove_named_subtrees(b_name);
+    }
+
+    // Lines 13–14: age all records.
+    a_tree.decrement_timers();
+    b_tree.decrement_timers();
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use population::runner::rng_from_seed;
+
+    fn nm(v: u64) -> Name {
+        Name::from_bits(v, 6)
+    }
+
+    fn params(h: u32) -> CollisionParams {
+        CollisionParams { h, s_max: 1 << 40, t_h: 100 }
+    }
+
+    /// Runs one interaction between agents (name, tree); returns collision.
+    fn meet(
+        p: &CollisionParams,
+        a: &mut (Name, HistoryTree),
+        b: &mut (Name, HistoryTree),
+        rng: &mut SmallRng,
+    ) -> bool {
+        let (an, at) = (a.0, &mut a.1);
+        let (bn, bt) = (b.0, &mut b.1);
+        detect_name_collision(p, an, at, bn, bt, rng)
+    }
+
+    fn agent(v: u64) -> (Name, HistoryTree) {
+        (nm(v), HistoryTree::singleton(nm(v)))
+    }
+
+    #[test]
+    fn t_h_shrinks_with_depth_and_grows_with_n() {
+        let t1 = CollisionParams::t_h_for(256, 1, 1.0);
+        let t3 = CollisionParams::t_h_for(256, 3, 1.0);
+        assert!(t3 < t1, "deeper trees tolerate shorter timers: {t3} vs {t1}");
+        assert!(CollisionParams::t_h_for(4096, 1, 1.0) > t1);
+        assert!(CollisionParams::t_h_for(2, 0, 0.0001) >= 1, "never zero");
+    }
+
+    #[test]
+    fn direct_name_collision_is_detected() {
+        let p = params(2);
+        let mut rng = rng_from_seed(1);
+        let mut a = agent(5);
+        let mut b = agent(5);
+        assert!(meet(&p, &mut a, &mut b, &mut rng));
+        assert_eq!(a.1.node_count(), 1, "trees untouched on detection");
+    }
+
+    #[test]
+    fn clean_meeting_exchanges_trees() {
+        let p = params(2);
+        let mut rng = rng_from_seed(2);
+        let mut a = agent(1);
+        let mut b = agent(2);
+        assert!(!meet(&p, &mut a, &mut b, &mut rng));
+        assert_eq!(a.1.node_count(), 2);
+        assert_eq!(b.1.node_count(), 2);
+        let ea = &a.1.children()[0];
+        let eb = &b.1.children()[0];
+        assert_eq!(ea.node.name, nm(2));
+        assert_eq!(eb.node.name, nm(1));
+        assert_eq!(ea.sync, eb.sync, "sync value is shared");
+        assert_eq!(ea.timer, p.t_h - 1, "new edges age immediately (lines 13–14)");
+    }
+
+    #[test]
+    fn h_zero_keeps_trees_empty() {
+        let p = params(0);
+        let mut rng = rng_from_seed(3);
+        let mut a = agent(1);
+        let mut b = agent(2);
+        assert!(!meet(&p, &mut a, &mut b, &mut rng));
+        assert_eq!(a.1.node_count(), 1);
+        assert_eq!(b.1.node_count(), 1);
+    }
+
+    #[test]
+    fn figure2_left_execution_is_consistent() {
+        // a-b (sync s1), b-c (s2), c-d (s3); then check d's view against a.
+        let p = params(3);
+        let mut rng = rng_from_seed(4);
+        let mut a = agent(1);
+        let mut b = agent(2);
+        let mut c = agent(3);
+        let mut d = agent(4);
+        assert!(!meet(&p, &mut a, &mut b, &mut rng));
+        assert!(!meet(&p, &mut b, &mut c, &mut rng));
+        assert!(!meet(&p, &mut c, &mut d, &mut rng));
+        // d now holds d → c → b → a.
+        let paths = d.1.paths_to(nm(1));
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].len(), 3);
+        assert!(check_path_consistency(&a.1, d.0, &paths[0]));
+        // And a full meeting between d and a reports no collision.
+        assert!(!meet(&p, &mut d, &mut a, &mut rng));
+    }
+
+    #[test]
+    fn figure2_right_execution_is_consistent_via_second_edge() {
+        // a-b, b-c, a-b again (refreshing a's record of b), c-d.
+        let p = params(3);
+        let mut rng = rng_from_seed(5);
+        let mut a = agent(1);
+        let mut b = agent(2);
+        let mut c = agent(3);
+        let mut d = agent(4);
+        assert!(!meet(&p, &mut a, &mut b, &mut rng));
+        assert!(!meet(&p, &mut b, &mut c, &mut rng));
+        assert!(!meet(&p, &mut a, &mut b, &mut rng));
+        assert!(!meet(&p, &mut c, &mut d, &mut rng));
+        // a's record of the a–b interaction is newer than what d heard, but
+        // a also heard about b–c in that same interaction, so the chains
+        // reconcile one edge deeper.
+        let paths = d.1.paths_to(nm(1));
+        assert_eq!(paths.len(), 1);
+        assert!(check_path_consistency(&a.1, d.0, &paths[0]));
+        assert!(!meet(&p, &mut d, &mut a, &mut rng));
+    }
+
+    #[test]
+    fn imposter_without_matching_history_is_caught() {
+        // b hears about (the real) a, then meets an imposter with a's name
+        // that has never met b: the reversed chain is absent → collision.
+        let p = params(2);
+        let mut rng = rng_from_seed(6);
+        let mut a = agent(1);
+        let mut b = agent(2);
+        let mut imposter = agent(1);
+        assert!(!meet(&p, &mut a, &mut b, &mut rng));
+        assert!(meet(&p, &mut b, &mut imposter, &mut rng));
+    }
+
+    #[test]
+    fn imposter_with_stale_sync_is_caught() {
+        // The imposter meets b first; when the *real* a then meets b, b
+        // holds a fresh record for the shared name whose sync value a cannot
+        // corroborate — the mismatch itself is the detection.
+        let p = params(2);
+        let mut rng = rng_from_seed(7);
+        let mut a = agent(1);
+        let mut b = agent(2);
+        let mut imposter = agent(1);
+        assert!(!meet(&p, &mut imposter, &mut b, &mut rng));
+        assert!(meet(&p, &mut a, &mut b, &mut rng), "b's record of the name predates a");
+    }
+
+    #[test]
+    fn depth_two_catches_imposter_via_intermediary() {
+        // H = 2: c hears about a through b (path c → b → a), then meets the
+        // imposter directly. The imposter never interacted with b → caught.
+        let p = params(2);
+        let mut rng = rng_from_seed(8);
+        let mut a = agent(1);
+        let mut b = agent(2);
+        let mut c = agent(3);
+        let mut imposter = agent(1);
+        assert!(!meet(&p, &mut a, &mut b, &mut rng));
+        assert!(!meet(&p, &mut b, &mut c, &mut rng));
+        assert!(meet(&p, &mut c, &mut imposter, &mut rng));
+    }
+
+    #[test]
+    fn depth_one_cannot_see_two_hop_history() {
+        // Same scenario but H = 1: c's tree only keeps depth-1 records, so
+        // the two-hop history about a never reaches c.
+        let p = params(1);
+        let mut rng = rng_from_seed(9);
+        let mut a = agent(1);
+        let mut b = agent(2);
+        let mut c = agent(3);
+        let mut imposter = agent(1);
+        assert!(!meet(&p, &mut a, &mut b, &mut rng));
+        assert!(!meet(&p, &mut b, &mut c, &mut rng));
+        assert!(!meet(&p, &mut c, &mut imposter, &mut rng), "H = 1 misses it");
+    }
+
+    #[test]
+    fn expired_records_do_not_accuse() {
+        // b's record of a expires before meeting the imposter: no detection.
+        let p = CollisionParams { h: 1, s_max: 1 << 40, t_h: 2 };
+        let mut rng = rng_from_seed(10);
+        let mut a = agent(1);
+        let mut b = agent(2);
+        let mut c = agent(3);
+        let mut imposter = agent(1);
+        assert!(!meet(&p, &mut a, &mut b, &mut rng));
+        // Age b's record past T_H via an unrelated meeting.
+        assert!(!meet(&p, &mut b, &mut c, &mut rng));
+        assert!(b.1.paths_to(nm(1)).is_empty(), "record expired");
+        assert!(!meet(&p, &mut b, &mut imposter, &mut rng));
+    }
+
+    #[test]
+    fn no_false_positive_in_long_random_clean_run() {
+        // Safety: from a clean configuration with unique names, no sequence
+        // of interactions may ever report a collision.
+        let p = params(3);
+        let mut rng = rng_from_seed(11);
+        let n = 8;
+        let mut agents: Vec<(Name, HistoryTree)> = (0..n).map(|v| agent(v as u64)).collect();
+        for step in 0..5_000 {
+            let i = rng.gen_range(0..n);
+            let mut j = rng.gen_range(0..n - 1);
+            if j >= i {
+                j += 1;
+            }
+            let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+            let (left, right) = agents.split_at_mut(hi);
+            let collision = {
+                let a = &mut left[lo];
+                let b = &mut right[0];
+                detect_name_collision(&p, a.0, &mut a.1, b.0, &mut b.1, &mut rng)
+            };
+            assert!(!collision, "false positive at step {step}");
+        }
+        for (name, tree) in &agents {
+            assert!(tree.is_simply_labelled(), "tree of {name} lost simple labelling");
+            assert!(tree.has_distinct_siblings());
+            assert!(tree.depth() <= 3);
+        }
+    }
+
+    #[test]
+    fn duplicate_names_in_population_are_eventually_detected() {
+        // Liveness: with two agents sharing a name in a 6-agent population,
+        // random interactions detect the collision quickly.
+        let p = params(2);
+        let mut rng = rng_from_seed(12);
+        let names = [1u64, 2, 3, 4, 5, 1]; // agents 0 and 5 collide
+        let mut agents: Vec<(Name, HistoryTree)> = names.iter().map(|&v| agent(v)).collect();
+        let n = agents.len();
+        let mut detected = false;
+        for _ in 0..20_000 {
+            let i = rng.gen_range(0..n);
+            let mut j = rng.gen_range(0..n - 1);
+            if j >= i {
+                j += 1;
+            }
+            let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+            let (left, right) = agents.split_at_mut(hi);
+            let collision = {
+                let a = &mut left[lo];
+                let b = &mut right[0];
+                detect_name_collision(&p, a.0, &mut a.1, b.0, &mut b.1, &mut rng)
+            };
+            if collision {
+                detected = true;
+                break;
+            }
+        }
+        assert!(detected, "collision went undetected for 20k interactions");
+    }
+}

@@ -1,0 +1,721 @@
+//! Sublinear-Time-SSR (Protocols 5–8 of the paper, Sec. 5).
+//!
+//! A family of non-silent self-stabilizing ranking protocols parameterized
+//! by the history depth `H`:
+//!
+//! * agents carry a random `name` of `3·log₂ n` bits;
+//! * the set of all names spreads by epidemic in the `roster` field;
+//! * an agent's `rank` is its name's lexicographic position in the roster,
+//!   assigned once the roster holds `n` names;
+//! * duplicate names are caught by
+//!   [`Detect-Name-Collision`](crate::sublinear::collision) through chains
+//!   of up to `H + 1` interactions; oversized rosters reveal "ghost" names;
+//!   either error triggers a [`Propagate-Reset`](crate::reset), after which
+//!   agents draw fresh random names bit-by-bit during their dormancy.
+//!
+//! Expected stabilization time is `Θ(H · n^{1/(H+1)})` for constant `H` and
+//! `Θ(log n)` — asymptotically optimal — for `H = Θ(log n)`, at the price of
+//! an (at least) exponential state count (Theorem 5.1). `H = 0` degenerates
+//! to direct collision detection: a *silent* `Θ(n)`-time variant.
+//!
+//! # Examples
+//!
+//! ```
+//! use population::Simulation;
+//! use ssle::sublinear::SublinearTimeSsr;
+//!
+//! let n = 16;
+//! let protocol = SublinearTimeSsr::new(n, 2);
+//! // Adversarial start: every agent has the same name.
+//! let initial = vec![protocol.uniform_named_state(7); n];
+//! let mut sim = Simulation::new(protocol, initial, 99);
+//! let outcome = sim.run_until_stably_ranked(40_000_000, 10 * n as u64);
+//! assert!(outcome.is_converged());
+//! ```
+
+pub mod collision;
+pub mod history_tree;
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use population::{Protocol, RankingProtocol};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::name::{Name, MAX_NAME_BITS};
+use crate::reset::{propagate_reset, ResetCore, ResetParams, ResetView};
+use collision::{detect_name_collision, CollisionParams};
+use history_tree::HistoryTree;
+
+/// The `Collecting`-role fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Collecting {
+    /// Write-only rank output; `None` renders no output yet.
+    pub rank: Option<u32>,
+    /// The set of names heard so far, shared structurally after merges.
+    pub roster: Arc<BTreeSet<Name>>,
+    /// Interaction-history tree for collision detection.
+    pub tree: HistoryTree,
+}
+
+/// An agent's role in Sublinear-Time-SSR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubRole {
+    /// Normal operation: collecting names and watching for collisions.
+    Collecting(Collecting),
+    /// Participating in a global reset.
+    Resetting(ResetCore),
+}
+
+/// One agent's state: its name plus role-specific fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubState {
+    /// The agent's (possibly partial) name.
+    pub name: Name,
+    /// Role-dependent fields.
+    pub role: SubRole,
+}
+
+impl SubState {
+    /// A clean post-reset state for the given name (Protocol 6's result).
+    pub fn fresh(name: Name) -> Self {
+        SubState {
+            name,
+            role: SubRole::Collecting(Collecting {
+                rank: None,
+                roster: Arc::new(BTreeSet::from([name])),
+                tree: HistoryTree::singleton(name),
+            }),
+        }
+    }
+
+    /// The `Collecting` fields, if the agent is collecting.
+    pub fn collecting(&self) -> Option<&Collecting> {
+        match &self.role {
+            SubRole::Collecting(c) => Some(c),
+            SubRole::Resetting(_) => None,
+        }
+    }
+}
+
+impl ResetView for SubState {
+    fn reset_core(&self) -> Option<ResetCore> {
+        match &self.role {
+            SubRole::Resetting(core) => Some(*core),
+            SubRole::Collecting(_) => None,
+        }
+    }
+
+    fn set_reset_core(&mut self, core: ResetCore) {
+        match &mut self.role {
+            SubRole::Resetting(c) => *c = core,
+            SubRole::Collecting(_) => panic!("set_reset_core on a collecting agent"),
+        }
+    }
+
+    fn enter_resetting(&mut self, core: ResetCore) {
+        self.role = SubRole::Resetting(core);
+    }
+}
+
+/// The Sublinear-Time-SSR protocol instance for a population of exactly `n`
+/// agents with history depth `H`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SublinearTimeSsr {
+    n: usize,
+    name_bits: u8,
+    collision: CollisionParams,
+    reset: ResetParams,
+}
+
+impl SublinearTimeSsr {
+    /// Creates the protocol with the reproduction's default constants:
+    /// names of `3·⌈log₂ n⌉` bits, `S_max = 4n²`,
+    /// `T_H = ⌈4 (H+1) n^{1/(H+1)}⌉`, `R_max = ⌈4 ln n⌉`, and
+    /// `D_max = max(2 R_max, 2·name_bits)` (the paper's `Θ(log n)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `n > 2²⁰` (names would exceed 60 bits).
+    pub fn new(n: usize, h: u32) -> Self {
+        let name_bits = Self::name_bits_for(n);
+        let collision = CollisionParams::for_population(n, h);
+        let r_max = ResetParams::r_max_for(n, 4.0);
+        let d_max = (2 * r_max).max(2 * name_bits as u32);
+        Self::with_params(n, name_bits, collision, ResetParams::new(r_max, d_max).expect("positive"))
+    }
+
+    /// Creates the protocol with the time-optimal depth `H = ⌈log₂ n⌉`
+    /// (Theorem 5.1's `Θ(log n)`-time configuration).
+    pub fn log_depth(n: usize) -> Self {
+        Self::new(n, Self::name_bits_for(n) as u32 / 3)
+    }
+
+    /// Creates the protocol with explicit constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `name_bits` is 0 or exceeds
+    /// [`MAX_NAME_BITS`].
+    pub fn with_params(
+        n: usize,
+        name_bits: u8,
+        collision: CollisionParams,
+        reset: ResetParams,
+    ) -> Self {
+        assert!(n >= 2, "population protocols need at least 2 agents");
+        assert!(
+            (1..=MAX_NAME_BITS).contains(&name_bits),
+            "name length must be in 1..={MAX_NAME_BITS} bits"
+        );
+        SublinearTimeSsr { n, name_bits, collision, reset }
+    }
+
+    /// `3·⌈log₂ n⌉`, the paper's name length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or the result would exceed [`MAX_NAME_BITS`].
+    pub fn name_bits_for(n: usize) -> u8 {
+        assert!(n >= 2, "population protocols need at least 2 agents");
+        let bits = 3 * (usize::BITS - (n - 1).leading_zeros()).max(1) as u8;
+        assert!(bits <= MAX_NAME_BITS, "population too large: names would need {bits} bits");
+        bits
+    }
+
+    /// The history depth `H`.
+    pub fn h(&self) -> u32 {
+        self.collision.h
+    }
+
+    /// The configured name length in bits.
+    pub fn name_bits(&self) -> u8 {
+        self.name_bits
+    }
+
+    /// The collision-detection constants.
+    pub fn collision_params(&self) -> &CollisionParams {
+        &self.collision
+    }
+
+    /// The reset constants.
+    pub fn reset_params(&self) -> &ResetParams {
+        &self.reset
+    }
+
+    /// A fresh full-length uniformly random name.
+    pub fn random_name(&self, rng: &mut SmallRng) -> Name {
+        let mask = if self.name_bits == 64 { u64::MAX } else { (1u64 << self.name_bits) - 1 };
+        Name::from_bits(rng.gen::<u64>() & mask, self.name_bits)
+    }
+
+    /// A clean state whose name encodes `value` (useful for constructing
+    /// deterministic configurations in tests and examples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit in the configured name length.
+    pub fn uniform_named_state(&self, value: u64) -> SubState {
+        SubState::fresh(Name::from_bits(value, self.name_bits))
+    }
+
+    /// A freshly triggered resetting state.
+    pub fn triggered_state(&self) -> SubState {
+        SubState { name: Name::empty(), role: SubRole::Resetting(ResetCore::triggered(&self.reset)) }
+    }
+
+    /// Protocol 6: `Reset` — back to `Collecting` with a singleton roster
+    /// and tree; the rank output is cleared (see DESIGN.md on this choice).
+    fn reset_agent(&self, s: &mut SubState) {
+        s.role = SubRole::Collecting(Collecting {
+            rank: None,
+            roster: Arc::new(BTreeSet::from([s.name])),
+            tree: HistoryTree::singleton(s.name),
+        });
+    }
+
+    fn trigger(&self, a: &mut SubState, b: &mut SubState) {
+        *a = self.triggered_state();
+        *b = self.triggered_state();
+    }
+
+    /// The Collecting–Collecting step (Protocol 5 lines 1–9); returns `true`
+    /// if an error was detected and both agents must be reset.
+    fn collecting_interaction(
+        &self,
+        a: &mut SubState,
+        b: &mut SubState,
+        rng: &mut SmallRng,
+    ) -> bool {
+        let a_name = a.name;
+        let b_name = b.name;
+        let (ca, cb) = match (&mut a.role, &mut b.role) {
+            (SubRole::Collecting(x), SubRole::Collecting(y)) => (x, y),
+            _ => unreachable!("collecting_interaction requires two collecting agents"),
+        };
+
+        // Reproduction addition (see DESIGN.md): an agent whose roster does
+        // not contain its own name is corrupt — locally detectable, and
+        // required so that every real name eventually reaches every roster.
+        if !ca.roster.contains(&a_name) || !cb.roster.contains(&b_name) {
+            return true;
+        }
+
+        // Line 2, first disjunct: collision detection (also performs the
+        // history-tree update when no collision is found).
+        if detect_name_collision(&self.collision, a_name, &mut ca.tree, b_name, &mut cb.tree, rng)
+        {
+            return true;
+        }
+
+        // Lines 2 & 5–9: roster merge, ghost detection, rank assignment.
+        let was_shared = Arc::ptr_eq(&ca.roster, &cb.roster);
+        if !was_shared {
+            if *ca.roster != *cb.roster {
+                let mut union = (*ca.roster).clone();
+                union.extend(cb.roster.iter().copied());
+                if union.len() > self.n {
+                    return true; // ghost name detected
+                }
+                ca.roster = Arc::new(union);
+            }
+            cb.roster = Arc::clone(&ca.roster);
+        }
+        if ca.roster.len() == self.n && (!was_shared || ca.rank.is_none() || cb.rank.is_none()) {
+            ca.rank = Some(rank_in_roster(&ca.roster, a_name));
+            cb.rank = Some(rank_in_roster(&cb.roster, b_name));
+        }
+        false
+    }
+}
+
+/// 1-based lexicographic position of `name` in `roster`.
+fn rank_in_roster(roster: &BTreeSet<Name>, name: Name) -> u32 {
+    1 + roster.range(..name).count() as u32
+}
+
+impl Protocol for SublinearTimeSsr {
+    type State = SubState;
+
+    fn interact(&self, a: &mut SubState, b: &mut SubState, rng: &mut SmallRng) {
+        if a.collecting().is_some() && b.collecting().is_some() {
+            // Lines 1–9.
+            if self.collecting_interaction(a, b, rng) {
+                // Lines 3–4: both agents trigger a reset. (Their names are
+                // cleared here rather than at their next interaction; see
+                // DESIGN.md, "Faithfulness notes".)
+                self.trigger(a, b);
+            }
+            return;
+        }
+
+        // Lines 10–11: someone is resetting.
+        if a.is_resetting() {
+            propagate_reset(&self.reset, a, b, |s| self.reset_agent(s));
+        } else {
+            propagate_reset(&self.reset, b, a, |s| self.reset_agent(s));
+        }
+
+        // Lines 12–15: propagating agents erase their names; dormant agents
+        // grow a fresh random name one bit per interaction.
+        for s in [&mut *a, &mut *b] {
+            if let SubRole::Resetting(core) = &s.role {
+                if core.resetcount > 0 {
+                    s.name = Name::empty();
+                } else if s.name.len() < self.name_bits {
+                    s.name = s.name.with_appended(rng.gen());
+                }
+            }
+        }
+    }
+
+    fn is_null_pair(&self, a: &SubState, b: &SubState) -> bool {
+        // Only the H = 0 (tree-free) variant is silent: any resetting agent
+        // ticks timers, and for H ≥ 1 every collecting pair refreshes
+        // history-tree edges. For H = 0 a collecting pair is inert iff
+        // nothing in lines 1–9 would change or trigger.
+        let (Some(ca), Some(cb)) = (a.collecting(), b.collecting()) else {
+            return false;
+        };
+        if a.name == b.name {
+            return false; // direct collision would trigger
+        }
+        if self.collision.h > 0 {
+            return false; // a fresh history edge would be grafted
+        }
+        if ca.tree.has_live_edge() || cb.tree.has_live_edge() {
+            return false; // timers would tick (adversarial tree under H = 0)
+        }
+        if !ca.roster.contains(&a.name) || !cb.roster.contains(&b.name) {
+            return false; // sanity trigger
+        }
+        if *ca.roster != *cb.roster {
+            return false; // merge (or ghost trigger) would change rosters
+        }
+        if ca.roster.len() > self.n {
+            return false;
+        }
+        if ca.roster.len() == self.n {
+            // Ranks would be (re)assigned; inert only if already correct.
+            ca.rank == Some(rank_in_roster(&ca.roster, a.name))
+                && cb.rank == Some(rank_in_roster(&cb.roster, b.name))
+        } else {
+            true
+        }
+    }
+}
+
+impl RankingProtocol for SublinearTimeSsr {
+    fn population_size(&self) -> usize {
+        self.n
+    }
+
+    fn rank_of(&self, state: &SubState) -> Option<usize> {
+        state.collecting().and_then(|c| c.rank).map(|r| r as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use population::runner::rng_from_seed;
+    use population::silence::is_silent_configuration;
+    use population::Simulation;
+
+    fn rng() -> SmallRng {
+        rng_from_seed(2024)
+    }
+
+    #[test]
+    fn name_bits_formula() {
+        assert_eq!(SublinearTimeSsr::name_bits_for(2), 3);
+        assert_eq!(SublinearTimeSsr::name_bits_for(8), 9);
+        assert_eq!(SublinearTimeSsr::name_bits_for(9), 12);
+        assert_eq!(SublinearTimeSsr::name_bits_for(16), 12);
+        assert_eq!(SublinearTimeSsr::name_bits_for(1 << 20), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "population too large")]
+    fn name_bits_overflow_panics() {
+        SublinearTimeSsr::name_bits_for((1 << 20) + 1);
+    }
+
+    #[test]
+    fn log_depth_matches_log2() {
+        assert_eq!(SublinearTimeSsr::log_depth(16).h(), 4);
+        assert_eq!(SublinearTimeSsr::log_depth(17).h(), 5);
+    }
+
+    #[test]
+    fn random_names_have_full_length() {
+        let p = SublinearTimeSsr::new(16, 1);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(p.random_name(&mut r).len(), 12);
+        }
+    }
+
+    #[test]
+    fn fresh_state_contains_own_name() {
+        let p = SublinearTimeSsr::new(8, 1);
+        let s = p.uniform_named_state(5);
+        let c = s.collecting().unwrap();
+        assert!(c.roster.contains(&s.name));
+        assert_eq!(c.roster.len(), 1);
+        assert_eq!(c.rank, None);
+        assert_eq!(c.tree.root_name(), s.name);
+    }
+
+    #[test]
+    fn clean_meeting_merges_rosters() {
+        let p = SublinearTimeSsr::new(4, 1);
+        let mut a = p.uniform_named_state(1);
+        let mut b = p.uniform_named_state(2);
+        p.interact(&mut a, &mut b, &mut rng());
+        let (ca, cb) = (a.collecting().unwrap(), b.collecting().unwrap());
+        assert_eq!(ca.roster.len(), 2);
+        assert_eq!(*ca.roster, *cb.roster);
+        assert!(Arc::ptr_eq(&ca.roster, &cb.roster), "merged rosters are shared");
+        assert_eq!(ca.rank, None, "no rank until the roster is full");
+    }
+
+    #[test]
+    fn full_roster_assigns_lexicographic_ranks() {
+        let p = SublinearTimeSsr::new(2, 1);
+        let mut a = p.uniform_named_state(6);
+        let mut b = p.uniform_named_state(3);
+        p.interact(&mut a, &mut b, &mut rng());
+        assert_eq!(p.rank_of(&a), Some(2), "name 6 sorts after name 3");
+        assert_eq!(p.rank_of(&b), Some(1));
+        assert!(p.is_leader(&b));
+    }
+
+    #[test]
+    fn direct_name_collision_triggers_reset() {
+        let p = SublinearTimeSsr::new(4, 1);
+        let mut a = p.uniform_named_state(5);
+        let mut b = p.uniform_named_state(5);
+        p.interact(&mut a, &mut b, &mut rng());
+        assert!(a.is_resetting());
+        assert!(b.is_resetting());
+        assert!(a.name.is_empty(), "triggered agents lose their names");
+    }
+
+    #[test]
+    fn ghost_roster_overflow_triggers_reset() {
+        // Two agents whose rosters each contain a distinct ghost: the union
+        // exceeds n.
+        let p = SublinearTimeSsr::new(2, 1);
+        let mut a = p.uniform_named_state(1);
+        let mut b = p.uniform_named_state(2);
+        if let SubRole::Collecting(c) = &mut a.role {
+            let mut r = (*c.roster).clone();
+            r.insert(Name::from_bits(7, p.name_bits()));
+            c.roster = Arc::new(r);
+        }
+        p.interact(&mut a, &mut b, &mut rng());
+        assert!(a.is_resetting() && b.is_resetting());
+    }
+
+    #[test]
+    fn missing_own_name_triggers_reset() {
+        let p = SublinearTimeSsr::new(4, 1);
+        let mut a = p.uniform_named_state(1);
+        if let SubRole::Collecting(c) = &mut a.role {
+            c.roster = Arc::new(BTreeSet::from([Name::from_bits(9, p.name_bits())]));
+        }
+        let mut b = p.uniform_named_state(2);
+        p.interact(&mut a, &mut b, &mut rng());
+        assert!(a.is_resetting() && b.is_resetting());
+    }
+
+    #[test]
+    fn propagating_agents_erase_names() {
+        let p = SublinearTimeSsr::new(4, 1);
+        let mut a = p.triggered_state();
+        a.name = Name::from_bits(3, p.name_bits());
+        let mut b = p.uniform_named_state(2);
+        p.interact(&mut a, &mut b, &mut rng());
+        assert!(a.name.is_empty());
+        assert!(b.is_resetting(), "partner pulled into the reset");
+        assert!(b.name.is_empty() || b.reset_core().unwrap().resetcount == 0);
+    }
+
+    #[test]
+    fn dormant_agents_grow_names_bit_by_bit() {
+        let p = SublinearTimeSsr::new(4, 1);
+        let core = ResetCore { resetcount: 0, delaytimer: 1000 };
+        let mut a = SubState { name: Name::empty(), role: SubRole::Resetting(core) };
+        let mut b = SubState { name: Name::empty(), role: SubRole::Resetting(core) };
+        for k in 1..=5 {
+            p.interact(&mut a, &mut b, &mut rng());
+            assert_eq!(a.name.len(), k.min(p.name_bits()));
+            assert_eq!(b.name.len(), k.min(p.name_bits()));
+        }
+    }
+
+    #[test]
+    fn awakened_agent_keeps_its_grown_name() {
+        let p = SublinearTimeSsr::new(4, 1);
+        let name = Name::from_bits(0b101, 3);
+        let mut a = SubState {
+            name,
+            role: SubRole::Resetting(ResetCore { resetcount: 0, delaytimer: 1 }),
+        };
+        let mut b = SubState {
+            name: Name::empty(),
+            role: SubRole::Resetting(ResetCore { resetcount: 0, delaytimer: 100 }),
+        };
+        p.interact(&mut a, &mut b, &mut rng());
+        assert_eq!(a.name, name);
+        let c = a.collecting().expect("a awakened");
+        assert_eq!(*c.roster, BTreeSet::from([name]));
+        assert_eq!(c.rank, None);
+    }
+
+    #[test]
+    fn stabilizes_from_identical_names() {
+        let n = 8;
+        let p = SublinearTimeSsr::new(n, 1);
+        let initial = vec![p.uniform_named_state(0); n];
+        let mut sim = Simulation::new(p, initial, 17);
+        let outcome = sim.run_until_stably_ranked(20_000_000, 10 * n as u64);
+        assert!(outcome.is_converged(), "{outcome:?}");
+        assert_eq!(sim.leader_count(), 1);
+    }
+
+    #[test]
+    fn stabilizes_from_ghost_names() {
+        let n = 8;
+        let p = SublinearTimeSsr::new(n, 2);
+        let ghost = Name::from_bits(1, p.name_bits());
+        let mut initial = Vec::new();
+        for k in 0..n {
+            let mut s = p.uniform_named_state(100 + k as u64);
+            if let SubRole::Collecting(c) = &mut s.role {
+                let mut r = (*c.roster).clone();
+                r.insert(ghost);
+                c.roster = Arc::new(r);
+            }
+            initial.push(s);
+        }
+        let mut sim = Simulation::new(p, initial, 23);
+        let outcome = sim.run_until_stably_ranked(20_000_000, 10 * n as u64);
+        assert!(outcome.is_converged(), "{outcome:?}");
+    }
+
+    #[test]
+    fn stays_correct_after_stabilizing() {
+        let n = 8;
+        let p = SublinearTimeSsr::new(n, 2);
+        let initial: Vec<SubState> = (0..n).map(|k| p.uniform_named_state(k as u64)).collect();
+        let mut sim = Simulation::new(p, initial, 31);
+        let outcome = sim.run_until_stably_ranked(20_000_000, 0);
+        assert!(outcome.is_converged());
+        sim.run(500_000);
+        assert!(sim.is_ranked(), "safety: unique names must never un-rank");
+    }
+
+    #[test]
+    fn h0_variant_reaches_a_silent_configuration() {
+        let n = 6;
+        let p = SublinearTimeSsr::new(n, 0);
+        let initial: Vec<SubState> = (0..n).map(|k| p.uniform_named_state(k as u64)).collect();
+        let mut sim = Simulation::new(p, initial, 37);
+        let outcome = sim.run_until_stably_ranked(20_000_000, 10 * n as u64);
+        assert!(outcome.is_converged());
+        assert!(
+            is_silent_configuration(sim.protocol(), sim.states()),
+            "H = 0 is the silent variant"
+        );
+    }
+
+    #[test]
+    fn h1_variant_is_not_silent_when_ranked() {
+        let n = 6;
+        let p = SublinearTimeSsr::new(n, 1);
+        let initial: Vec<SubState> = (0..n).map(|k| p.uniform_named_state(k as u64)).collect();
+        let mut sim = Simulation::new(p, initial, 41);
+        let outcome = sim.run_until_stably_ranked(20_000_000, 10 * n as u64);
+        assert!(outcome.is_converged());
+        assert!(
+            !is_silent_configuration(sim.protocol(), sim.states()),
+            "H ≥ 1 keeps exchanging sync values forever (Observation 2.2)"
+        );
+    }
+
+    #[test]
+    fn rank_of_resetting_is_none() {
+        let p = SublinearTimeSsr::new(4, 1);
+        assert_eq!(p.rank_of(&p.triggered_state()), None);
+    }
+
+    #[test]
+    fn adversarial_wrong_rank_is_rewritten_on_merge() {
+        // Full correct roster but a planted wrong rank: the next merge with
+        // a different roster pointer recomputes the output.
+        let p = SublinearTimeSsr::new(2, 1);
+        let mut a = p.uniform_named_state(1);
+        let mut b = p.uniform_named_state(2);
+        p.interact(&mut a, &mut b, &mut rng());
+        assert_eq!(p.rank_of(&a), Some(1));
+        // Corrupt a's rank; give it a fresh (value-equal) roster Arc so the
+        // pointer-equality fast path doesn't apply.
+        if let SubRole::Collecting(c) = &mut a.role {
+            c.rank = Some(2);
+            c.roster = Arc::new((*c.roster).clone());
+        }
+        p.interact(&mut a, &mut b, &mut rng());
+        assert_eq!(p.rank_of(&a), Some(1), "full-roster merges rewrite the rank output");
+    }
+
+    #[test]
+    fn disjoint_full_rosters_reveal_ghosts() {
+        // Two agents each collected n names, but the sets differ — at least
+        // one contains a ghost; the union exceeds n and triggers.
+        let p = SublinearTimeSsr::new(2, 1);
+        let mk = |own: u64, other: u64| {
+            let mut s = p.uniform_named_state(own);
+            if let SubRole::Collecting(c) = &mut s.role {
+                let mut r = (*c.roster).clone();
+                r.insert(Name::from_bits(other, p.name_bits()));
+                c.roster = Arc::new(r);
+            }
+            s
+        };
+        let mut a = mk(1, 5);
+        let mut b = mk(2, 6);
+        p.interact(&mut a, &mut b, &mut rng());
+        assert!(a.is_resetting() && b.is_resetting());
+    }
+
+    #[test]
+    fn equal_value_rosters_become_shared_without_merging() {
+        let p = SublinearTimeSsr::new(4, 0);
+        let names = [3u64, 4];
+        let mk = |own: u64| {
+            let mut s = p.uniform_named_state(own);
+            if let SubRole::Collecting(c) = &mut s.role {
+                let mut r = (*c.roster).clone();
+                for v in names {
+                    r.insert(Name::from_bits(v, p.name_bits()));
+                }
+                c.roster = Arc::new(r);
+            }
+            s
+        };
+        let mut a = mk(3);
+        let mut b = mk(4);
+        p.interact(&mut a, &mut b, &mut rng());
+        let (ca, cb) = (a.collecting().unwrap(), b.collecting().unwrap());
+        assert!(Arc::ptr_eq(&ca.roster, &cb.roster), "value-equal rosters get shared");
+        assert_eq!(ca.roster.len(), 2);
+    }
+
+    #[test]
+    fn epidemic_awakening_keeps_short_names_legal() {
+        // A dormant agent with a half-built name meets a computing agent:
+        // it awakens immediately (Propagate-Reset line 11) with its short
+        // name, which is a legal (if collision-prone) state.
+        let p = SublinearTimeSsr::new(8, 1);
+        let short = Name::from_bits(0b1, 1);
+        let mut a = SubState {
+            name: short,
+            role: SubRole::Resetting(ResetCore { resetcount: 0, delaytimer: 50 }),
+        };
+        let mut b = p.uniform_named_state(2);
+        p.interact(&mut a, &mut b, &mut rng());
+        let c = a.collecting().expect("awakened by epidemic");
+        assert_eq!(a.name, short);
+        assert!(c.roster.contains(&short));
+    }
+
+    #[test]
+    fn two_short_name_duplicates_still_collide() {
+        let p = SublinearTimeSsr::new(8, 1);
+        let short = Name::from_bits(0b10, 2);
+        let mk = || SubState::fresh(short);
+        let (mut a, mut b) = (mk(), mk());
+        p.interact(&mut a, &mut b, &mut rng());
+        assert!(a.is_resetting(), "short duplicates are still duplicates");
+    }
+
+    #[test]
+    fn reset_params_accessors() {
+        let p = SublinearTimeSsr::new(16, 3);
+        assert_eq!(p.h(), 3);
+        assert_eq!(p.name_bits(), 12);
+        assert!(p.reset_params().d_max >= 2 * p.name_bits() as u32);
+        assert!(p.collision_params().s_max >= 4 * 16 * 16);
+    }
+
+    #[test]
+    fn triggered_state_is_propagating_and_nameless() {
+        let p = SublinearTimeSsr::new(4, 1);
+        let t = p.triggered_state();
+        assert!(t.name.is_empty());
+        assert!(t.reset_core().unwrap().is_propagating());
+    }
+}

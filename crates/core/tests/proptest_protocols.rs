@@ -1,0 +1,339 @@
+//! Property-based tests of the protocols' state-space invariants: no
+//! interaction, applied to any in-domain pair of states, may ever produce an
+//! out-of-domain state — the backbone of self-stabilization arguments,
+//! where the adversary picks the configuration but not the state space.
+
+use population::runner::rng_from_seed;
+use population::{Protocol, RankingProtocol};
+use proptest::prelude::*;
+use ssle::adversary;
+use ssle::cai_izumi_wada::{CaiIzumiWada, CiwState};
+use ssle::name::Name;
+use ssle::optimal_silent::{Leader, OptimalSilentSsr, OssState};
+use ssle::reset::{propagate_reset, ResetCore, ResetParams, ResetView};
+use ssle::sublinear::history_tree::HistoryTree;
+use ssle::sublinear::SublinearTimeSsr;
+
+// ---------- Name ----------
+
+fn name_bits_strategy() -> impl Strategy<Value = Vec<bool>> {
+    prop::collection::vec(any::<bool>(), 0..=24)
+}
+
+fn build_name(bits: &[bool]) -> Name {
+    bits.iter().fold(Name::empty(), |n, &b| n.with_appended(b))
+}
+
+proptest! {
+    #[test]
+    fn name_order_matches_reference_lexicographic_order(
+        a in name_bits_strategy(),
+        b in name_bits_strategy(),
+    ) {
+        let (na, nb) = (build_name(&a), build_name(&b));
+        // Reference: Vec<bool> already compares lexicographically.
+        prop_assert_eq!(na.cmp(&nb), a.cmp(&b));
+        prop_assert_eq!(na == nb, a == b);
+    }
+
+    #[test]
+    fn name_bits_roundtrip(bits in name_bits_strategy()) {
+        let n = build_name(&bits);
+        prop_assert_eq!(n.len() as usize, bits.len());
+        for (k, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(n.bit(k as u8), b);
+        }
+        prop_assert_eq!(Name::from_bits(n.bits(), n.len()), n);
+    }
+}
+
+// ---------- Cai–Izumi–Wada ----------
+
+proptest! {
+    #[test]
+    fn ciw_interactions_preserve_the_domain_and_move_one_agent(
+        n in 2usize..20,
+        ra in 0u32..20,
+        rb in 0u32..20,
+    ) {
+        let p = CaiIzumiWada::new(n);
+        let (ra, rb) = (ra % n as u32, rb % n as u32);
+        let (mut a, mut b) = (CiwState::new(ra), CiwState::new(rb));
+        p.interact(&mut a, &mut b, &mut rng_from_seed(1));
+        prop_assert!(a.rank < n as u32 && b.rank < n as u32);
+        prop_assert_eq!(a.rank, ra, "the initiator never moves");
+        if ra == rb {
+            prop_assert_eq!(b.rank, (rb + 1) % n as u32);
+        } else {
+            prop_assert_eq!(b.rank, rb);
+        }
+        // Null-pair declaration matches actual behavior.
+        prop_assert_eq!(p.is_null_pair(&CiwState::new(ra), &CiwState::new(rb)), ra != rb);
+    }
+}
+
+// ---------- Propagate-Reset ----------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Toy {
+    Computing,
+    Resetting(ResetCore),
+}
+
+impl ResetView for Toy {
+    fn reset_core(&self) -> Option<ResetCore> {
+        match self {
+            Toy::Computing => None,
+            Toy::Resetting(c) => Some(*c),
+        }
+    }
+    fn set_reset_core(&mut self, core: ResetCore) {
+        assert!(matches!(self, Toy::Resetting(_)));
+        *self = Toy::Resetting(core);
+    }
+    fn enter_resetting(&mut self, core: ResetCore) {
+        *self = Toy::Resetting(core);
+    }
+}
+
+fn toy_from_raw(params: &ResetParams, raw: Option<(u32, u32)>) -> Toy {
+    match raw {
+        None => Toy::Computing,
+        Some((rc, dt)) => Toy::Resetting(ResetCore {
+            resetcount: rc % (params.r_max + 1),
+            delaytimer: dt % (params.d_max + 1),
+        }),
+    }
+}
+
+proptest! {
+    #[test]
+    fn propagate_reset_keeps_counters_in_domain(
+        r_max in 1u32..20,
+        d_max in 1u32..20,
+        x_raw in (any::<u32>(), any::<u32>()),
+        y_raw in prop::option::of((any::<u32>(), any::<u32>())),
+    ) {
+        let params = ResetParams::new(r_max, d_max).unwrap();
+        let mut x = toy_from_raw(&params, Some(x_raw));
+        let mut y = toy_from_raw(&params, y_raw);
+        let x_before = x.reset_core().unwrap().resetcount;
+        let y_before = y.reset_core().map(|c| c.resetcount).unwrap_or(0);
+        propagate_reset(&params, &mut x, &mut y, |s| *s = Toy::Computing);
+        for s in [x, y] {
+            if let Toy::Resetting(core) = s {
+                prop_assert!(core.resetcount <= params.r_max);
+                prop_assert!(core.delaytimer <= params.d_max);
+                // Propagation never increases the maximum resetcount.
+                prop_assert!(core.resetcount <= x_before.max(y_before));
+            }
+        }
+    }
+
+    #[test]
+    fn propagate_reset_strictly_drains_resetcounts(
+        r_max in 2u32..20,
+        d_max in 1u32..20,
+        x_rc in 1u32..20,
+        y_rc in 1u32..20,
+    ) {
+        // Two propagating agents always end strictly below their joint max:
+        // the mechanism that guarantees a reset wave dies out.
+        let params = ResetParams::new(r_max, d_max).unwrap();
+        let (x_rc, y_rc) = (1 + x_rc % r_max, 1 + y_rc % r_max);
+        let mut x = Toy::Resetting(ResetCore { resetcount: x_rc, delaytimer: 0 });
+        let mut y = Toy::Resetting(ResetCore { resetcount: y_rc, delaytimer: 0 });
+        propagate_reset(&params, &mut x, &mut y, |s| *s = Toy::Computing);
+        for s in [x, y] {
+            if let Toy::Resetting(core) = s {
+                prop_assert!(core.resetcount < x_rc.max(y_rc));
+            }
+        }
+    }
+}
+
+// ---------- Optimal-Silent-SSR ----------
+
+/// Maps unconstrained raw values into an in-domain state.
+fn oss_from_raw(p: &OptimalSilentSsr, role: u8, x: u32, y: u32) -> OssState {
+    let n = p.population_size() as u32;
+    match role % 3 {
+        0 => OssState::settled(1 + x % n, (y % 3) as u8),
+        1 => OssState::unsettled(x % (p.e_max() + 1)),
+        _ => OssState::resetting(
+            if y & 1 == 0 { Leader::L } else { Leader::F },
+            ResetCore {
+                resetcount: x % (p.reset_params().r_max + 1),
+                delaytimer: y % (p.reset_params().d_max + 1),
+            },
+        ),
+    }
+}
+
+fn oss_in_domain(p: &OptimalSilentSsr, s: &OssState) -> bool {
+    match s {
+        OssState::Settled { rank, children } => {
+            (1..=p.population_size() as u32).contains(rank) && *children <= 2
+        }
+        OssState::Unsettled { errorcount } => *errorcount <= p.e_max(),
+        OssState::Resetting { core, .. } => {
+            core.resetcount <= p.reset_params().r_max && core.delaytimer <= p.reset_params().d_max
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn oss_interactions_stay_in_domain(
+        n in 2usize..24,
+        a_raw in (any::<u8>(), any::<u32>(), any::<u32>()),
+        b_raw in (any::<u8>(), any::<u32>(), any::<u32>()),
+        seed in any::<u64>(),
+    ) {
+        let p = OptimalSilentSsr::new(n);
+        let mut a = oss_from_raw(&p, a_raw.0, a_raw.1, a_raw.2);
+        let mut b = oss_from_raw(&p, b_raw.0, b_raw.1, b_raw.2);
+        p.interact(&mut a, &mut b, &mut rng_from_seed(seed));
+        prop_assert!(oss_in_domain(&p, &a), "out of domain: {:?}", a);
+        prop_assert!(oss_in_domain(&p, &b), "out of domain: {:?}", b);
+        for s in [&a, &b] {
+            if let Some(r) = p.rank_of(s) {
+                prop_assert!((1..=n).contains(&r));
+            }
+        }
+    }
+
+    #[test]
+    fn oss_null_pairs_really_are_null(
+        n in 2usize..16,
+        a_raw in (any::<u8>(), any::<u32>(), any::<u32>()),
+        b_raw in (any::<u8>(), any::<u32>(), any::<u32>()),
+        seed in any::<u64>(),
+    ) {
+        let p = OptimalSilentSsr::new(n);
+        let a0 = oss_from_raw(&p, a_raw.0, a_raw.1, a_raw.2);
+        let b0 = oss_from_raw(&p, b_raw.0, b_raw.1, b_raw.2);
+        if p.is_null_pair(&a0, &b0) {
+            let (mut a, mut b) = (a0, b0);
+            p.interact(&mut a, &mut b, &mut rng_from_seed(seed));
+            prop_assert_eq!((a, b), (a0, b0), "declared-null pair changed state");
+        }
+    }
+}
+
+// ---------- History trees ----------
+
+#[derive(Debug, Clone)]
+enum TreeOp {
+    /// Graft a snapshot with the given root label and an optional
+    /// depth-1 child under it.
+    Graft { root: u8, child: Option<u8>, sync: u64, timer: u32 },
+    RemoveOwn,
+    Decrement,
+}
+
+fn tree_op_strategy() -> impl Strategy<Value = TreeOp> {
+    prop_oneof![
+        (0u8..8, prop::option::of(0u8..8), 1u64..100, 1u32..6).prop_map(
+            |(root, child, sync, timer)| TreeOp::Graft { root, child, sync, timer }
+        ),
+        Just(TreeOp::RemoveOwn),
+        Just(TreeOp::Decrement),
+    ]
+}
+
+fn nm(v: u8) -> Name {
+    Name::from_bits(v as u64, 4)
+}
+
+proptest! {
+    #[test]
+    fn tree_invariants_survive_arbitrary_op_sequences(
+        ops in prop::collection::vec(tree_op_strategy(), 0..60),
+    ) {
+        let own = nm(15);
+        let mut tree = HistoryTree::singleton(own);
+        for op in ops {
+            match op {
+                TreeOp::Graft { root, child, sync, timer } => {
+                    let mut snapshot = HistoryTree::singleton(nm(root));
+                    if let Some(c) = child {
+                        if c != root {
+                            snapshot.graft(HistoryTree::singleton(nm(c)), sync ^ 1, timer);
+                        }
+                    }
+                    tree.graft(snapshot, sync, timer);
+                    // The protocol's cleanup pass always follows a graft.
+                    tree.remove_named_subtrees(own);
+                }
+                TreeOp::RemoveOwn => tree.remove_named_subtrees(own),
+                TreeOp::Decrement => tree.decrement_timers(),
+            }
+            prop_assert!(tree.is_simply_labelled());
+            prop_assert!(tree.has_distinct_siblings());
+            prop_assert_eq!(tree.root_name(), own);
+            prop_assert!(tree.depth() <= 2, "grafted snapshots had depth ≤ 1");
+            // Accusation paths never include expired edges.
+            for target in 0..16u8 {
+                for path in tree.paths_to(nm(target)) {
+                    prop_assert!(path.iter().all(|e| e.timer > 0));
+                    prop_assert_eq!(path.last().unwrap().node.name, nm(target));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clone_truncated_never_exceeds_depth(depth in 0usize..5) {
+        let mut tree = HistoryTree::singleton(nm(0));
+        let mut sub = HistoryTree::singleton(nm(1));
+        let mut sub2 = HistoryTree::singleton(nm(2));
+        sub2.graft(HistoryTree::singleton(nm(3)), 1, 5);
+        sub.graft(sub2, 2, 5);
+        tree.graft(sub, 3, 5);
+        let copy = tree.clone_truncated(depth);
+        prop_assert!(copy.depth() <= depth);
+        prop_assert!(copy.is_simply_labelled());
+    }
+}
+
+// ---------- Sublinear-Time-SSR ----------
+
+proptest! {
+    #[test]
+    fn sublinear_interactions_preserve_state_space(
+        seed in any::<u64>(),
+        h in 0u32..3,
+        steps in 1usize..60,
+    ) {
+        let n = 8;
+        let p = SublinearTimeSsr::new(n, h);
+        let mut rng = rng_from_seed(seed);
+        let mut states = adversary::random_sublinear_configuration(&p, &mut rng);
+        use rand::Rng;
+        for _ in 0..steps {
+            let i = rng.gen_range(0..n);
+            let mut j = rng.gen_range(0..n - 1);
+            if j >= i { j += 1; }
+            let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+            let (l, r) = states.split_at_mut(hi);
+            p.interact(&mut l[lo], &mut r[0], &mut rng);
+        }
+        for s in &states {
+            prop_assert!(s.name.len() <= p.name_bits());
+            if let Some(c) = s.collecting() {
+                prop_assert!(c.roster.len() <= n, "roster never exceeds n after a merge check");
+                prop_assert!(c.tree.is_simply_labelled());
+                prop_assert!(c.tree.depth() <= h as usize);
+                prop_assert_eq!(c.tree.root_name(), s.name);
+                if let Some(rank) = c.rank {
+                    prop_assert!((1..=n as u32).contains(&rank));
+                }
+            } else {
+                let core = s.reset_core().unwrap();
+                prop_assert!(core.resetcount <= p.reset_params().r_max);
+                prop_assert!(core.delaytimer <= p.reset_params().d_max);
+            }
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Epidemic-style information-propagation processes.
+//!
+//! The paper's probabilistic toolbox (Sec. 2 and the intuition in Sec. 1.1)
+//! rests on three processes:
+//!
+//! * the **two-way epidemic**: one source knows a rumor; an interaction
+//!   infects both participants if either knows it. Completes in Θ(log n)
+//!   parallel time.
+//! * the **bounded epidemic**: agents track the length of the interaction
+//!   path over which they heard from the source (`i, j → i, i+1` whenever
+//!   `i < j`). `τ_k`, the first time a fixed target has heard via a path of
+//!   length ≤ `k`, satisfies `E[τ_k] = O(k · n^{1/k})` — the crux of the
+//!   running-time analysis of Sublinear-Time-SSR's collision detection.
+//! * the **roll call**: every agent propagates its own name simultaneously;
+//!   completes ≈ 1.5× slower than a single epidemic.
+//!
+//! These run on the same scheduler as full protocol simulations but use
+//! specialized compact state (levels, bitsets) so they can be measured at
+//! large `n`.
+
+use crate::graph::InteractionGraph;
+use crate::runner::rng_from_seed;
+use crate::scheduler::Scheduler;
+
+/// Direction of rumor spread within one interaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpidemicKind {
+    /// Only the responder learns from the initiator.
+    OneWay,
+    /// Both participants learn (the paper's "two-way epidemic").
+    TwoWay,
+}
+
+/// Runs an epidemic from a single source until the whole population is
+/// infected; returns the completion parallel time.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// let t = population::epidemic::epidemic_time(64, population::epidemic::EpidemicKind::TwoWay, 1);
+/// assert!(t > 0.0 && t < 60.0, "epidemic on 64 agents should finish in Θ(log n) time, got {t}");
+/// ```
+pub fn epidemic_time(n: usize, kind: EpidemicKind, seed: u64) -> f64 {
+    let scheduler = Scheduler::new(n, InteractionGraph::Complete);
+    let mut rng = rng_from_seed(seed);
+    let mut infected = vec![false; n];
+    infected[0] = true;
+    let mut count = 1usize;
+    let mut interactions = 0u64;
+    while count < n {
+        let (i, j) = scheduler.sample_pair(&mut rng);
+        interactions += 1;
+        match kind {
+            EpidemicKind::OneWay => {
+                if infected[i] && !infected[j] {
+                    infected[j] = true;
+                    count += 1;
+                }
+            }
+            EpidemicKind::TwoWay => {
+                if infected[i] != infected[j] {
+                    infected[i] = true;
+                    infected[j] = true;
+                    count += 1;
+                }
+            }
+        }
+    }
+    interactions as f64 / n as f64
+}
+
+/// Per-threshold hitting times of the bounded epidemic.
+///
+/// Produced by [`bounded_epidemic_times`]; `tau(k)` is the parallel time at
+/// which the target agent first held a level ≤ `k` (a path of length ≤ `k`
+/// from the source).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundedEpidemicTimes {
+    max_k: usize,
+    /// `first_at_level[l-1]` = parallel time at which the target's level
+    /// first became ≤ `l`.
+    first_at_level: Vec<f64>,
+}
+
+impl BoundedEpidemicTimes {
+    /// `τ_k`: parallel time for the target to hear from the source via a
+    /// path of length ≤ `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 or exceeds the `max_k` the process was run with.
+    pub fn tau(&self, k: usize) -> f64 {
+        assert!((1..=self.max_k).contains(&k), "k = {k} outside 1..={}", self.max_k);
+        self.first_at_level[k - 1]
+    }
+
+    /// The largest `k` recorded.
+    pub fn max_k(&self) -> usize {
+        self.max_k
+    }
+}
+
+/// Runs the bounded-epidemic process (`i, j → i, i+1` whenever `i < j`) from
+/// source agent 0 until target agent `n − 1` reaches level 1 (i.e. has met
+/// the source directly), recording every threshold crossing up to `max_k`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `max_k == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let times = population::epidemic::bounded_epidemic_times(32, 4, 7);
+/// // Hearing via longer paths can only be faster or simultaneous.
+/// assert!(times.tau(4) <= times.tau(3));
+/// assert!(times.tau(3) <= times.tau(2));
+/// assert!(times.tau(2) <= times.tau(1));
+/// ```
+pub fn bounded_epidemic_times(n: usize, max_k: usize, seed: u64) -> BoundedEpidemicTimes {
+    assert!(max_k > 0, "at least one threshold is required");
+    let scheduler = Scheduler::new(n, InteractionGraph::Complete);
+    let mut rng = rng_from_seed(seed);
+    const UNREACHED: u32 = u32::MAX;
+    let mut level = vec![UNREACHED; n];
+    level[0] = 0;
+    let target = n - 1;
+    let mut first_at_level = vec![f64::INFINITY; max_k];
+    let mut interactions = 0u64;
+    loop {
+        let (i, j) = scheduler.sample_pair(&mut rng);
+        interactions += 1;
+        if level[i] < level[j] && level[i] < UNREACHED - 1 {
+            level[j] = level[i] + 1;
+            if j == target {
+                let t = interactions as f64 / n as f64;
+                let reached = level[j] as usize;
+                // Crossing to `reached` also crosses every threshold ≥ it.
+                for k in reached..=max_k {
+                    if first_at_level[k - 1].is_infinite() {
+                        first_at_level[k - 1] = t;
+                    }
+                }
+                if reached <= 1 {
+                    return BoundedEpidemicTimes { max_k, first_at_level };
+                }
+            }
+        }
+    }
+}
+
+/// Runs the roll-call process (every agent starts knowing only its own name;
+/// interactions merge knowledge two-way) until every agent knows every name;
+/// returns the completion parallel time.
+///
+/// Knowledge is kept in per-agent bitsets, so memory is `n²` bits.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// let t = population::epidemic::roll_call_time(32, 3);
+/// assert!(t > 0.0);
+/// ```
+pub fn roll_call_time(n: usize, seed: u64) -> f64 {
+    let scheduler = Scheduler::new(n, InteractionGraph::Complete);
+    let mut rng = rng_from_seed(seed);
+    let words = n.div_ceil(64);
+    // known[a] is agent a's bitset of heard names.
+    let mut known: Vec<Vec<u64>> = (0..n)
+        .map(|a| {
+            let mut w = vec![0u64; words];
+            w[a / 64] |= 1u64 << (a % 64);
+            w
+        })
+        .collect();
+    let mut known_count: Vec<u32> = vec![1; n];
+    let mut complete_agents = 0usize;
+    let full = n as u32;
+    if full == 1 {
+        return 0.0;
+    }
+    let mut interactions = 0u64;
+    while complete_agents < n {
+        let (i, j) = scheduler.sample_pair(&mut rng);
+        interactions += 1;
+        if known[i] == known[j] {
+            continue;
+        }
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        let (a_part, b_part) = known.split_at_mut(hi);
+        let (wa, wb) = (&mut a_part[lo], &mut b_part[0]);
+        let mut count = 0u32;
+        for (x, y) in wa.iter_mut().zip(wb.iter_mut()) {
+            let merged = *x | *y;
+            count += merged.count_ones();
+            *x = merged;
+            *y = merged;
+        }
+        for agent in [lo, hi] {
+            if known_count[agent] < full && count == full {
+                complete_agents += 1;
+            }
+            known_count[agent] = count;
+        }
+    }
+    interactions as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epidemic_scales_logarithmically() {
+        // Average a few trials at two sizes; the ratio of times should be far
+        // below the ratio of sizes (8×) if growth is logarithmic.
+        let avg = |n: usize| -> f64 {
+            (0..10).map(|s| epidemic_time(n, EpidemicKind::TwoWay, s)).sum::<f64>() / 10.0
+        };
+        let t64 = avg(64);
+        let t512 = avg(512);
+        assert!(t512 / t64 < 3.0, "t64={t64}, t512={t512}");
+    }
+
+    #[test]
+    fn one_way_is_slower_than_two_way_on_average() {
+        let avg = |kind| -> f64 {
+            (0..20).map(|s| epidemic_time(128, kind, s)).sum::<f64>() / 20.0
+        };
+        assert!(avg(EpidemicKind::OneWay) > avg(EpidemicKind::TwoWay));
+    }
+
+    #[test]
+    fn epidemic_two_agents() {
+        // With n = 2 the first interaction always infects the other agent.
+        let t = epidemic_time(2, EpidemicKind::TwoWay, 5);
+        assert_eq!(t, 0.5, "exactly one interaction / n = 2");
+    }
+
+    #[test]
+    fn bounded_epidemic_tau_is_monotone_in_k() {
+        let times = bounded_epidemic_times(64, 6, 11);
+        for k in 2..=6 {
+            assert!(times.tau(k) <= times.tau(k - 1), "τ_{k} > τ_{}", k - 1);
+        }
+        assert!(times.tau(1).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=3")]
+    fn bounded_epidemic_rejects_out_of_range_threshold() {
+        let times = bounded_epidemic_times(16, 3, 1);
+        let _ = times.tau(4);
+    }
+
+    #[test]
+    fn bounded_epidemic_direct_meeting_dominates_higher_k() {
+        // τ_2 should be noticeably smaller than τ_1 on average (O(√n) vs O(n)).
+        let trials = 12;
+        let (mut t1, mut t2) = (0.0, 0.0);
+        for s in 0..trials {
+            let times = bounded_epidemic_times(256, 2, s);
+            t1 += times.tau(1);
+            t2 += times.tau(2);
+        }
+        assert!(t2 < t1 * 0.6, "τ̄₂ = {} vs τ̄₁ = {}", t2 / trials as f64, t1 / trials as f64);
+    }
+
+    #[test]
+    fn roll_call_completes_and_scales_like_log() {
+        let avg = |n: usize| -> f64 {
+            (0..6).map(|s| roll_call_time(n, s)).sum::<f64>() / 6.0
+        };
+        let t64 = avg(64);
+        let t512 = avg(512);
+        assert!(t64 > 0.0);
+        assert!(t512 / t64 < 3.0, "t64={t64}, t512={t512}");
+    }
+
+    #[test]
+    fn roll_call_is_about_1_5x_epidemic() {
+        // The paper cites a 1.5× constant; allow a generous band.
+        let n = 512;
+        let trials = 8;
+        let rc: f64 = (0..trials).map(|s| roll_call_time(n, s)).sum::<f64>() / trials as f64;
+        let ep: f64 = (0..trials)
+            .map(|s| epidemic_time(n, EpidemicKind::TwoWay, 100 + s))
+            .sum::<f64>()
+            / trials as f64;
+        let ratio = rc / ep;
+        assert!((1.1..2.2).contains(&ratio), "roll-call/epidemic ratio {ratio}");
+    }
+}

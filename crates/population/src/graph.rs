@@ -1,0 +1,188 @@
+//! Interaction graphs.
+//!
+//! The paper's protocols assume the **complete** graph (every pair of agents
+//! may interact), which it calls "the most difficult case" for
+//! self-stabilizing leader election. Related work (\[25\], \[26\], \[57\] in the
+//! paper) studies rings, regular graphs, and arbitrary connected graphs; the
+//! scheduler supports those too so the setting can be explored with the same
+//! engine.
+
+use std::fmt;
+
+/// Which pairs of agents the scheduler may select.
+///
+/// All variants describe *undirected* adjacency; the scheduler independently
+/// picks a uniformly random orientation (initiator/responder) for the chosen
+/// pair, matching the paper's ordered-pair scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InteractionGraph {
+    /// Every pair of distinct agents may interact (the paper's setting).
+    Complete,
+    /// Agents `0..n` arranged in a cycle; agent `i` interacts with
+    /// `i ± 1 (mod n)`.
+    Ring,
+    /// An explicit undirected edge list over agent indices `0..n`.
+    ///
+    /// Construct via [`InteractionGraph::from_edges`] so the edges are
+    /// validated against the population size.
+    Arbitrary(EdgeList),
+}
+
+/// A validated list of undirected edges, used by
+/// [`InteractionGraph::Arbitrary`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeList {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl EdgeList {
+    /// The endpoints available to the scheduler.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// The population size the edges were validated against.
+    pub fn population_size(&self) -> usize {
+        self.n
+    }
+}
+
+/// Error building an [`InteractionGraph::Arbitrary`] from an edge list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The edge list was empty, so the scheduler could never pick a pair.
+    NoEdges,
+    /// An edge referenced an agent index `≥ n`.
+    EndpointOutOfRange {
+        /// The offending edge.
+        edge: (usize, usize),
+        /// The population size the edge was validated against.
+        n: usize,
+    },
+    /// An edge connected an agent to itself; population protocols have no
+    /// self-interactions.
+    SelfLoop {
+        /// The offending agent index.
+        agent: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NoEdges => write!(f, "interaction graph has no edges"),
+            GraphError::EndpointOutOfRange { edge, n } => {
+                write!(f, "edge ({}, {}) references an agent outside 0..{}", edge.0, edge.1, n)
+            }
+            GraphError::SelfLoop { agent } => {
+                write!(f, "self-loop on agent {agent} is not a valid interaction")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl InteractionGraph {
+    /// Builds an arbitrary graph from undirected edges over agents `0..n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if the list is empty, an endpoint is out of
+    /// range, or an edge is a self-loop.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use population::InteractionGraph;
+    ///
+    /// let path = InteractionGraph::from_edges(3, vec![(0, 1), (1, 2)])?;
+    /// assert_eq!(path.degree_sum(3), 4);
+    /// # Ok::<(), population::graph::GraphError>(())
+    /// ```
+    pub fn from_edges(n: usize, edges: Vec<(usize, usize)>) -> Result<Self, GraphError> {
+        if edges.is_empty() {
+            return Err(GraphError::NoEdges);
+        }
+        for &(u, v) in &edges {
+            if u >= n || v >= n {
+                return Err(GraphError::EndpointOutOfRange { edge: (u, v), n });
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop { agent: u });
+            }
+        }
+        Ok(InteractionGraph::Arbitrary(EdgeList { n, edges }))
+    }
+
+    /// Sum of degrees (twice the edge count) for a population of `n`,
+    /// useful for normalizing interaction rates across graphs.
+    pub fn degree_sum(&self, n: usize) -> usize {
+        match self {
+            InteractionGraph::Complete => n * n.saturating_sub(1),
+            InteractionGraph::Ring => {
+                if n >= 3 {
+                    2 * n
+                } else {
+                    n.saturating_sub(1) * 2
+                }
+            }
+            InteractionGraph::Arbitrary(list) => 2 * list.edges.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_accepts_valid_graph() {
+        let g = InteractionGraph::from_edges(4, vec![(0, 1), (2, 3)]).unwrap();
+        match g {
+            InteractionGraph::Arbitrary(list) => {
+                assert_eq!(list.edges().len(), 2);
+                assert_eq!(list.population_size(), 4);
+            }
+            other => panic!("expected arbitrary graph, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn from_edges_rejects_empty() {
+        assert_eq!(InteractionGraph::from_edges(4, vec![]), Err(GraphError::NoEdges));
+    }
+
+    #[test]
+    fn from_edges_rejects_out_of_range() {
+        assert_eq!(
+            InteractionGraph::from_edges(2, vec![(0, 2)]),
+            Err(GraphError::EndpointOutOfRange { edge: (0, 2), n: 2 })
+        );
+    }
+
+    #[test]
+    fn from_edges_rejects_self_loop() {
+        assert_eq!(
+            InteractionGraph::from_edges(2, vec![(1, 1)]),
+            Err(GraphError::SelfLoop { agent: 1 })
+        );
+    }
+
+    #[test]
+    fn degree_sums() {
+        assert_eq!(InteractionGraph::Complete.degree_sum(5), 20);
+        assert_eq!(InteractionGraph::Ring.degree_sum(5), 10);
+        // A 2-ring degenerates to a single edge.
+        assert_eq!(InteractionGraph::Ring.degree_sum(2), 2);
+        let g = InteractionGraph::from_edges(3, vec![(0, 1)]).unwrap();
+        assert_eq!(g.degree_sum(3), 2);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = InteractionGraph::from_edges(2, vec![(0, 5)]).unwrap_err();
+        assert!(e.to_string().contains("outside 0..2"));
+    }
+}

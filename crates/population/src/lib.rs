@@ -1,0 +1,85 @@
+#![warn(missing_docs)]
+
+//! Simulation substrate for population protocols.
+//!
+//! This crate implements the execution model of Angluin, Aspnes, Diamadi,
+//! Fischer, and Peralta ("Computation in networks of passively mobile
+//! finite-state sensors", 2006), as used by the reproduced paper
+//! "Time-Optimal Self-Stabilizing Leader Election in Population Protocols"
+//! (PODC 2021 / arXiv:1907.06068):
+//!
+//! * a population of `n` indistinguishable agents, each holding a state;
+//! * at every discrete step a **probabilistic scheduler** picks a uniformly
+//!   random *ordered* pair of distinct agents (initiator, responder), which
+//!   update their states according to a (possibly randomized) transition
+//!   function;
+//! * **parallel time** is the number of interactions divided by `n`.
+//!
+//! The paper's protocols are defined on the complete interaction graph, but
+//! the scheduler also supports rings and arbitrary graphs
+//! ([`graph::InteractionGraph`]) so that the related-work setting (e.g.
+//! self-stabilizing leader election on rings) can be explored.
+//!
+//! # Architecture
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`protocol`] | the [`Protocol`] and [`RankingProtocol`] traits |
+//! | [`graph`] | interaction graphs: complete, ring, arbitrary edge lists |
+//! | [`scheduler`] | uniformly random ordered pair selection over a graph |
+//! | [`simulation`] | [`Simulation`]: owns the configuration, steps it, counts interactions |
+//! | [`tracker`] | O(1)-per-interaction convergence detection for ranking protocols |
+//! | [`runner`] | multi-trial experiment driver with deterministic seed derivation |
+//! | [`epidemic`] | one-way/two-way epidemic, bounded epidemic, and roll-call processes |
+//! | [`silence`] | structural silence checking for silent protocols |
+//!
+//! # Examples
+//!
+//! A one-transition protocol (`ℓ,ℓ → ℓ,f`) that elects a leader from the
+//! all-`ℓ` initial configuration:
+//!
+//! ```
+//! use population::{Protocol, Simulation};
+//! use rand::rngs::SmallRng;
+//!
+//! #[derive(Clone, Debug, PartialEq, Eq)]
+//! enum S { Leader, Follower }
+//!
+//! struct FightProtocol;
+//!
+//! impl Protocol for FightProtocol {
+//!     type State = S;
+//!     fn interact(&self, a: &mut S, b: &mut S, _rng: &mut SmallRng) {
+//!         if *a == S::Leader && *b == S::Leader {
+//!             *b = S::Follower;
+//!         }
+//!     }
+//!     fn is_null_pair(&self, a: &S, b: &S) -> bool {
+//!         !(*a == S::Leader && *b == S::Leader)
+//!     }
+//! }
+//!
+//! let n = 50;
+//! let mut sim = Simulation::new(FightProtocol, vec![S::Leader; n], 1);
+//! let outcome = sim.run_until(200_000, |states| {
+//!     states.iter().filter(|s| **s == S::Leader).count() == 1
+//! });
+//! assert!(outcome.is_converged());
+//! ```
+
+pub mod epidemic;
+pub mod gillespie;
+pub mod graph;
+pub mod probe;
+pub mod protocol;
+pub mod runner;
+pub mod scheduler;
+pub mod silence;
+pub mod simulation;
+pub mod tracker;
+
+pub use graph::InteractionGraph;
+pub use protocol::{Protocol, RankingProtocol};
+pub use runner::{derive_seed, ConvergenceSample, Runner, TrialSettings};
+pub use simulation::{RunOutcome, Simulation};
+pub use tracker::RankTracker;

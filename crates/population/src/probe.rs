@@ -1,0 +1,211 @@
+//! Execution instrumentation: sampled time series over a running
+//! simulation.
+//!
+//! Several of the paper's arguments are about *trajectories*, not just
+//! hitting times — e.g. the trigger → propagating → dormant → awakening
+//! phases of Propagate-Reset (Sec. 3), or the leader count decaying from
+//! the all-leaders configuration. [`record_series`] samples arbitrary
+//! configuration metrics at a fixed interaction cadence so those
+//! trajectories can be plotted or asserted on.
+
+use crate::protocol::Protocol;
+use crate::simulation::Simulation;
+
+/// A sampled time series: `(parallel time, value)` points with a label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    label: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series with the given label.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series { label: label.into(), points: Vec::new() }
+    }
+
+    /// The series label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The sampled `(parallel time, value)` points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, time: f64, value: f64) {
+        self.points.push((time, value));
+    }
+
+    /// The final sampled value, if any.
+    pub fn last_value(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+
+    /// First parallel time at which the sampled value satisfied `pred`, if
+    /// any.
+    pub fn first_time(&self, mut pred: impl FnMut(f64) -> bool) -> Option<f64> {
+        self.points.iter().find(|&&(_, v)| pred(v)).map(|&(t, _)| t)
+    }
+
+    /// Renders the series as CSV lines `time,value` with a header.
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("time,{}\n", self.label);
+        for &(t, v) in &self.points {
+            out.push_str(&format!("{t},{v}\n"));
+        }
+        out
+    }
+}
+
+/// Renders several equally-sampled series as one CSV table
+/// (`time,label1,label2,…`).
+///
+/// # Panics
+///
+/// Panics if the series have different lengths or sampling times.
+pub fn to_csv_table(series: &[Series]) -> String {
+    let mut out = String::from("time");
+    for s in series {
+        out.push(',');
+        out.push_str(&s.label);
+    }
+    out.push('\n');
+    if let Some(first) = series.first() {
+        for (row, &(t, _)) in first.points.iter().enumerate() {
+            out.push_str(&format!("{t}"));
+            for s in series {
+                assert_eq!(
+                    s.points.len(),
+                    first.points.len(),
+                    "series must be sampled identically"
+                );
+                let (st, v) = s.points[row];
+                assert_eq!(st, t, "series must be sampled at the same times");
+                out.push_str(&format!(",{v}"));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Runs `sim` for `interactions` further interactions, sampling each metric
+/// every `every` interactions (including one sample of the starting
+/// configuration and one after the final interaction).
+///
+/// Each metric is `(label, fn(&[State]) -> f64)`; returns one [`Series`] per
+/// metric, all sampled at identical times (suitable for [`to_csv_table`]).
+///
+/// # Panics
+///
+/// Panics if `every == 0`.
+#[allow(clippy::type_complexity)]
+pub fn record_series<P: Protocol>(
+    sim: &mut Simulation<P>,
+    interactions: u64,
+    every: u64,
+    metrics: &mut [(&str, Box<dyn FnMut(&[P::State]) -> f64 + '_>)],
+) -> Vec<Series> {
+    assert!(every > 0, "sampling cadence must be positive");
+    let mut series: Vec<Series> = metrics.iter().map(|(label, _)| Series::new(*label)).collect();
+    let sample = |sim: &Simulation<P>, series: &mut Vec<Series>, metrics: &mut [(&str, Box<dyn FnMut(&[P::State]) -> f64 + '_>)]| {
+        let t = sim.parallel_time();
+        for (s, (_, metric)) in series.iter_mut().zip(metrics.iter_mut()) {
+            s.push(t, metric(sim.states()));
+        }
+    };
+    sample(sim, &mut series, metrics);
+    let mut done = 0;
+    while done < interactions {
+        let burst = every.min(interactions - done);
+        sim.run(burst);
+        done += burst;
+        sample(sim, &mut series, metrics);
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+
+    #[derive(Clone, Debug)]
+    struct Counter(u64);
+    struct Inc;
+    impl Protocol for Inc {
+        type State = Counter;
+        fn interact(&self, a: &mut Counter, b: &mut Counter, _rng: &mut SmallRng) {
+            a.0 += 1;
+            b.0 += 1;
+        }
+    }
+
+    fn total(states: &[Counter]) -> f64 {
+        states.iter().map(|c| c.0 as f64).sum()
+    }
+
+    #[test]
+    fn series_accessors() {
+        let mut s = Series::new("x");
+        assert_eq!(s.label(), "x");
+        assert!(s.last_value().is_none());
+        s.push(0.0, 1.0);
+        s.push(1.0, 3.0);
+        assert_eq!(s.last_value(), Some(3.0));
+        assert_eq!(s.first_time(|v| v > 2.0), Some(1.0));
+        assert_eq!(s.first_time(|v| v > 5.0), None);
+        assert_eq!(s.to_csv(), "time,x\n0,1\n1,3\n");
+    }
+
+    #[test]
+    fn record_series_samples_start_and_end() {
+        let mut sim = Simulation::new(Inc, vec![Counter(0); 4], 1);
+        let series = record_series(
+            &mut sim,
+            10,
+            4,
+            &mut [("total", Box::new(total))],
+        );
+        assert_eq!(series.len(), 1);
+        let pts = series[0].points();
+        // Samples at 0, 4, 8, 10 interactions.
+        assert_eq!(pts.len(), 4);
+        assert_eq!(pts[0], (0.0, 0.0));
+        assert_eq!(pts.last().unwrap().1, 20.0, "10 interactions × 2 increments");
+        assert!((pts.last().unwrap().0 - 2.5).abs() < 1e-12, "10 interactions / 4 agents");
+    }
+
+    #[test]
+    fn record_series_handles_multiple_metrics() {
+        let mut sim = Simulation::new(Inc, vec![Counter(0); 4], 1);
+        let series = record_series(
+            &mut sim,
+            8,
+            4,
+            &mut [
+                ("total", Box::new(total)),
+                ("half", Box::new(|s: &[Counter]| total(s) / 2.0)),
+            ],
+        );
+        assert_eq!(series.len(), 2);
+        let csv = to_csv_table(&series);
+        assert!(csv.starts_with("time,total,half\n"));
+        assert_eq!(csv.lines().count(), 4, "header + 3 samples");
+    }
+
+    #[test]
+    #[should_panic(expected = "cadence must be positive")]
+    fn zero_cadence_is_rejected() {
+        let mut sim = Simulation::new(Inc, vec![Counter(0); 2], 1);
+        record_series(&mut sim, 4, 0, &mut [("total", Box::new(total))]);
+    }
+
+    #[test]
+    fn csv_table_of_empty_series_list_is_header_only() {
+        assert_eq!(to_csv_table(&[]), "time\n");
+    }
+}

@@ -1,0 +1,310 @@
+//! Multi-trial experiment driver.
+//!
+//! Expected-time rows of the paper's Table 1 are estimated by running many
+//! independent executions; WHP rows by high quantiles of the same sample.
+//! The runner derives per-trial seeds deterministically from a base seed so
+//! every experiment in the repository is reproducible bit-for-bit.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::protocol::RankingProtocol;
+use crate::simulation::{RunOutcome, Simulation};
+
+/// Creates the crate's standard RNG from a 64-bit seed.
+///
+/// The seed is diffused through SplitMix64 first so that structured seeds
+/// (0, 1, 2, …) produce unrelated streams.
+pub fn rng_from_seed(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(splitmix64(seed))
+}
+
+/// Derives the seed for trial `trial` of an experiment from a base seed.
+///
+/// Uses two rounds of SplitMix64 mixing, so `(base, trial)` pairs map to
+/// well-separated seeds.
+pub fn derive_seed(base: u64, trial: u64) -> u64 {
+    splitmix64(splitmix64(base).wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(trial + 1)))
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Settings shared by all trials of one measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialSettings {
+    /// Number of independent executions.
+    pub trials: u64,
+    /// Base seed; trial `i` uses [`derive_seed`]`(base_seed, i)`.
+    pub base_seed: u64,
+    /// Per-trial interaction budget; executions that exceed it are recorded
+    /// as exhausted rather than aborting the experiment.
+    pub max_interactions: u64,
+    /// Extra interactions a ranked configuration must survive to count as
+    /// converged (see [`Simulation::run_until_stably_ranked`]).
+    pub confirm_window: u64,
+}
+
+impl TrialSettings {
+    /// Conventional settings: `trials` runs with a budget of
+    /// `max_interactions` and a confirmation window of one parallel time unit
+    /// per `n` agents chosen by the caller (pass the window explicitly if a
+    /// different one is needed).
+    pub fn new(trials: u64, base_seed: u64, max_interactions: u64, confirm_window: u64) -> Self {
+        TrialSettings { trials, base_seed, max_interactions, confirm_window }
+    }
+}
+
+/// The outcome of a batch of trials: per-trial parallel stabilization times
+/// plus the number of trials that exhausted their budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceSample {
+    /// Parallel time (interactions / n) of each converged trial.
+    pub parallel_times: Vec<f64>,
+    /// Trials that did not converge within the interaction budget.
+    pub exhausted: u64,
+}
+
+impl ConvergenceSample {
+    /// Whether every trial converged.
+    pub fn all_converged(&self) -> bool {
+        self.exhausted == 0
+    }
+
+    /// Number of converged trials.
+    pub fn len(&self) -> usize {
+        self.parallel_times.len()
+    }
+
+    /// Whether no trial converged.
+    pub fn is_empty(&self) -> bool {
+        self.parallel_times.is_empty()
+    }
+}
+
+/// Runs batches of independent ranking executions.
+#[derive(Debug, Clone, Copy)]
+pub struct Runner {
+    settings: TrialSettings,
+}
+
+impl Runner {
+    /// Creates a runner with the given settings.
+    pub fn new(settings: TrialSettings) -> Self {
+        Runner { settings }
+    }
+
+    /// The runner's settings.
+    pub fn settings(&self) -> &TrialSettings {
+        &self.settings
+    }
+
+    /// Measures stabilization time over independent trials.
+    ///
+    /// `make` receives the trial index and a seeded RNG (for building
+    /// adversarial initial configurations) and returns the protocol instance
+    /// plus initial configuration for that trial. The execution itself uses
+    /// an independent seed derived from the same trial index.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use population::{Runner, TrialSettings, Protocol, RankingProtocol};
+    /// use rand::rngs::SmallRng;
+    ///
+    /// // Protocol 1 of the paper in miniature: rank collision bumps the responder.
+    /// struct ModRank { n: usize }
+    /// impl Protocol for ModRank {
+    ///     type State = usize;
+    ///     fn interact(&self, a: &mut usize, b: &mut usize, _rng: &mut SmallRng) {
+    ///         if a == b { *b = (*b + 1) % self.n; }
+    ///     }
+    /// }
+    /// impl RankingProtocol for ModRank {
+    ///     fn population_size(&self) -> usize { self.n }
+    ///     fn rank_of(&self, s: &usize) -> Option<usize> { Some(s + 1) }
+    /// }
+    ///
+    /// let runner = Runner::new(TrialSettings::new(5, 42, 1_000_000, 0));
+    /// let sample = runner.measure_ranking(|_, _| (ModRank { n: 8 }, vec![0usize; 8]));
+    /// assert!(sample.all_converged());
+    /// assert_eq!(sample.len(), 5);
+    /// ```
+    pub fn measure_ranking<P, F>(&self, mut make: F) -> ConvergenceSample
+    where
+        P: RankingProtocol,
+        F: FnMut(u64, &mut SmallRng) -> (P, Vec<P::State>),
+    {
+        let mut parallel_times = Vec::with_capacity(self.settings.trials as usize);
+        let mut exhausted = 0;
+        for trial in 0..self.settings.trials {
+            match self.one_trial(trial, &mut make) {
+                Some(t) => parallel_times.push(t),
+                None => exhausted += 1,
+            }
+        }
+        ConvergenceSample { parallel_times, exhausted }
+    }
+
+    /// Like [`Runner::measure_ranking`], but distributing trials over
+    /// `threads` worker threads.
+    ///
+    /// Produces the **same sample** as the sequential version for the same
+    /// settings (per-trial seeds do not depend on scheduling); only the
+    /// wall-clock time differs. `make` is shared by the workers, so it takes
+    /// `&self` here (any per-trial randomness should come from the provided
+    /// RNG, which is seeded per trial).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn measure_ranking_parallel<P, F>(&self, threads: usize, make: F) -> ConvergenceSample
+    where
+        P: RankingProtocol + Send,
+        P::State: Send,
+        F: Fn(u64, &mut SmallRng) -> (P, Vec<P::State>) + Sync,
+    {
+        assert!(threads > 0, "at least one worker thread is required");
+        let make = &make;
+        // (trial, result) pairs, reassembled in trial order afterwards so
+        // the output is deterministic.
+        let mut results: Vec<(u64, Option<f64>)> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for worker in 0..threads {
+                let runner = *self;
+                let handle = scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut trial = worker as u64;
+                    while trial < runner.settings.trials {
+                        let mut make_fn = |t: u64, rng: &mut SmallRng| make(t, rng);
+                        out.push((trial, runner.one_trial(trial, &mut make_fn)));
+                        trial += threads as u64;
+                    }
+                    out
+                });
+                handles.push(handle);
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+        results.sort_unstable_by_key(|&(trial, _)| trial);
+        let exhausted = results.iter().filter(|(_, r)| r.is_none()).count() as u64;
+        let parallel_times = results.into_iter().filter_map(|(_, r)| r).collect();
+        ConvergenceSample { parallel_times, exhausted }
+    }
+
+    /// Runs one seeded trial; `Some(parallel time)` on convergence.
+    fn one_trial<P, F>(&self, trial: u64, make: &mut F) -> Option<f64>
+    where
+        P: RankingProtocol,
+        F: FnMut(u64, &mut SmallRng) -> (P, Vec<P::State>),
+    {
+        let mut config_rng = rng_from_seed(derive_seed(self.settings.base_seed, 2 * trial));
+        let (protocol, initial) = make(trial, &mut config_rng);
+        let n = initial.len();
+        let mut sim =
+            Simulation::new(protocol, initial, derive_seed(self.settings.base_seed, 2 * trial + 1));
+        match sim
+            .run_until_stably_ranked(self.settings.max_interactions, self.settings.confirm_window)
+        {
+            RunOutcome::Converged { interactions } => Some(interactions as f64 / n as f64),
+            RunOutcome::Exhausted { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{Protocol, RankingProtocol};
+
+    struct ModRank {
+        n: usize,
+    }
+    impl Protocol for ModRank {
+        type State = usize;
+        fn interact(&self, a: &mut usize, b: &mut usize, _rng: &mut SmallRng) {
+            if a == b {
+                *b = (*b + 1) % self.n;
+            }
+        }
+    }
+    impl RankingProtocol for ModRank {
+        fn population_size(&self) -> usize {
+            self.n
+        }
+        fn rank_of(&self, s: &usize) -> Option<usize> {
+            Some(s + 1)
+        }
+    }
+
+    #[test]
+    fn derive_seed_is_deterministic_and_spread() {
+        assert_eq!(derive_seed(1, 0), derive_seed(1, 0));
+        assert_ne!(derive_seed(1, 0), derive_seed(1, 1));
+        assert_ne!(derive_seed(1, 0), derive_seed(2, 0));
+    }
+
+    #[test]
+    fn measurements_are_reproducible() {
+        let runner = Runner::new(TrialSettings::new(4, 7, 500_000, 0));
+        let a = runner.measure_ranking(|_, _| (ModRank { n: 6 }, vec![0usize; 6]));
+        let b = runner.measure_ranking(|_, _| (ModRank { n: 6 }, vec![0usize; 6]));
+        assert_eq!(a, b);
+        assert!(a.all_converged());
+    }
+
+    #[test]
+    fn budget_exhaustion_is_counted_not_fatal() {
+        // An interaction budget of 1 cannot rank 6 agents from all-zero.
+        let runner = Runner::new(TrialSettings::new(3, 7, 1, 0));
+        let sample = runner.measure_ranking(|_, _| (ModRank { n: 6 }, vec![0usize; 6]));
+        assert_eq!(sample.exhausted, 3);
+        assert!(sample.is_empty());
+        assert!(!sample.all_converged());
+    }
+
+    #[test]
+    fn already_correct_configuration_converges_immediately() {
+        let runner = Runner::new(TrialSettings::new(2, 7, 1000, 10));
+        let sample = runner.measure_ranking(|_, _| (ModRank { n: 4 }, vec![0, 1, 2, 3]));
+        assert!(sample.all_converged());
+        assert!(sample.parallel_times.iter().all(|&t| t == 0.0));
+    }
+
+    #[test]
+    fn parallel_runner_matches_sequential_sample() {
+        let runner = Runner::new(TrialSettings::new(9, 13, 1_000_000, 5));
+        let sequential = runner.measure_ranking(|_, _| (ModRank { n: 8 }, vec![0usize; 8]));
+        for threads in [1, 2, 4] {
+            let parallel =
+                runner.measure_ranking_parallel(threads, |_, _| (ModRank { n: 8 }, vec![0usize; 8]));
+            assert_eq!(parallel, sequential, "{threads} threads");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_is_rejected() {
+        let runner = Runner::new(TrialSettings::new(1, 1, 10, 0));
+        runner.measure_ranking_parallel(0, |_, _| (ModRank { n: 4 }, vec![0usize; 4]));
+    }
+
+    #[test]
+    fn trial_seeds_differ_across_trials() {
+        // From an all-zero start, different trials should take different times.
+        let runner = Runner::new(TrialSettings::new(8, 3, 1_000_000, 0));
+        let sample = runner.measure_ranking(|_, _| (ModRank { n: 8 }, vec![0usize; 8]));
+        let first = sample.parallel_times[0];
+        assert!(
+            sample.parallel_times.iter().any(|&t| (t - first).abs() > 1e-9),
+            "all trials identical — per-trial seeding is broken"
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! The uniformly random scheduler.
+//!
+//! At each step of an execution, the paper's scheduler "picks randomly an
+//! ordered pair of agents" — uniformly among all ordered pairs of distinct
+//! agents for the complete graph, or among the orientations of the graph's
+//! edges otherwise.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::graph::InteractionGraph;
+
+/// A sampler of ordered interaction pairs over a fixed graph.
+///
+/// Separated from [`crate::Simulation`] so protocol-independent processes
+/// (epidemics, roll call) can reuse it.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    n: usize,
+    graph: InteractionGraph,
+}
+
+impl Scheduler {
+    /// Creates a scheduler for `n` agents on `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` (no ordered pair exists) or if an arbitrary graph
+    /// was validated for a different population size.
+    pub fn new(n: usize, graph: InteractionGraph) -> Self {
+        assert!(n >= 2, "scheduling requires at least two agents, got {n}");
+        if let InteractionGraph::Arbitrary(list) = &graph {
+            assert_eq!(
+                list.population_size(),
+                n,
+                "edge list was validated for a different population size"
+            );
+        }
+        Scheduler { n, graph }
+    }
+
+    /// The population size.
+    pub fn population_size(&self) -> usize {
+        self.n
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &InteractionGraph {
+        &self.graph
+    }
+
+    /// Samples one uniformly random ordered pair `(initiator, responder)`.
+    #[inline]
+    pub fn sample_pair(&self, rng: &mut SmallRng) -> (usize, usize) {
+        match &self.graph {
+            InteractionGraph::Complete => {
+                let i = rng.gen_range(0..self.n);
+                let mut j = rng.gen_range(0..self.n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                (i, j)
+            }
+            InteractionGraph::Ring => {
+                let i = rng.gen_range(0..self.n);
+                let j = if self.n == 2 {
+                    1 - i
+                } else if rng.gen::<bool>() {
+                    (i + 1) % self.n
+                } else {
+                    (i + self.n - 1) % self.n
+                };
+                (i, j)
+            }
+            InteractionGraph::Arbitrary(list) => {
+                let edges = list.edges();
+                let (u, v) = edges[rng.gen_range(0..edges.len())];
+                if rng.gen::<bool>() {
+                    (u, v)
+                } else {
+                    (v, u)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::rng_from_seed;
+    use std::collections::HashMap;
+
+    #[test]
+    #[should_panic(expected = "at least two agents")]
+    fn rejects_singleton_population() {
+        Scheduler::new(1, InteractionGraph::Complete);
+    }
+
+    #[test]
+    #[should_panic(expected = "different population size")]
+    fn rejects_mismatched_edge_list() {
+        let g = InteractionGraph::from_edges(3, vec![(0, 1)]).unwrap();
+        Scheduler::new(4, g);
+    }
+
+    #[test]
+    fn complete_pairs_are_distinct_and_in_range() {
+        let s = Scheduler::new(5, InteractionGraph::Complete);
+        let mut rng = rng_from_seed(1);
+        for _ in 0..10_000 {
+            let (i, j) = s.sample_pair(&mut rng);
+            assert!(i < 5 && j < 5 && i != j);
+        }
+    }
+
+    #[test]
+    fn complete_pairs_are_roughly_uniform() {
+        let n = 4;
+        let s = Scheduler::new(n, InteractionGraph::Complete);
+        let mut rng = rng_from_seed(2);
+        let mut counts: HashMap<(usize, usize), u32> = HashMap::new();
+        let trials = 120_000;
+        for _ in 0..trials {
+            *counts.entry(s.sample_pair(&mut rng)).or_default() += 1;
+        }
+        assert_eq!(counts.len(), n * (n - 1), "all ordered pairs occur");
+        let expected = trials as f64 / (n * (n - 1)) as f64;
+        for (&pair, &c) in &counts {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "pair {pair:?} occurred {c} times, expected ≈{expected}");
+        }
+    }
+
+    #[test]
+    fn ring_pairs_are_adjacent() {
+        let n = 6;
+        let s = Scheduler::new(n, InteractionGraph::Ring);
+        let mut rng = rng_from_seed(3);
+        for _ in 0..10_000 {
+            let (i, j) = s.sample_pair(&mut rng);
+            let diff = (i as isize - j as isize).rem_euclid(n as isize);
+            assert!(diff == 1 || diff == n as isize - 1, "({i},{j}) is not a ring edge");
+        }
+    }
+
+    #[test]
+    fn two_agent_ring_always_pairs_them() {
+        let s = Scheduler::new(2, InteractionGraph::Ring);
+        let mut rng = rng_from_seed(4);
+        for _ in 0..100 {
+            let (i, j) = s.sample_pair(&mut rng);
+            assert!(i != j && i < 2 && j < 2);
+        }
+    }
+
+    #[test]
+    fn arbitrary_graph_samples_only_listed_edges_both_orientations() {
+        let g = InteractionGraph::from_edges(4, vec![(0, 3)]).unwrap();
+        let s = Scheduler::new(4, g);
+        let mut rng = rng_from_seed(5);
+        let mut saw = [false, false];
+        for _ in 0..1000 {
+            match s.sample_pair(&mut rng) {
+                (0, 3) => saw[0] = true,
+                (3, 0) => saw[1] = true,
+                other => panic!("sampled non-edge {other:?}"),
+            }
+        }
+        assert!(saw[0] && saw[1], "both orientations should occur");
+    }
+}

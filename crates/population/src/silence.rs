@@ -1,0 +1,104 @@
+//! Structural silence checking.
+//!
+//! The paper (Sec. 2): "A configuration C is silent if no transition is
+//! applicable to it (put another way, every pair of states present in C has
+//! only a null transition that does not alter the configuration). A
+//! self-stabilizing protocol is silent if, with probability 1, it reaches a
+//! silent configuration from every configuration."
+//!
+//! Rather than waiting to observe inactivity (which can never prove
+//! silence), we check the definition directly against the protocol's
+//! [`Protocol::is_null_pair`] relation.
+
+use crate::protocol::Protocol;
+
+/// Returns `true` iff the configuration is silent: every **ordered** pair of
+/// (distinct agents') states has only the null transition.
+///
+/// Cost is O(n²) calls to [`Protocol::is_null_pair`]; intended for
+/// assertions and experiment epilogues, not inner loops.
+///
+/// # Examples
+///
+/// ```
+/// use population::{silence::is_silent_configuration, Protocol};
+/// use rand::rngs::SmallRng;
+///
+/// struct Annihilate; // x,x → x,0 for x ≠ 0
+/// impl Protocol for Annihilate {
+///     type State = u8;
+///     fn interact(&self, a: &mut u8, b: &mut u8, _rng: &mut SmallRng) {
+///         if a == b && *a != 0 { *b = 0; }
+///     }
+///     fn is_null_pair(&self, a: &u8, b: &u8) -> bool { a != b || *a == 0 }
+/// }
+///
+/// assert!(is_silent_configuration(&Annihilate, &[1, 2, 0, 0]));
+/// assert!(!is_silent_configuration(&Annihilate, &[1, 1, 0]));
+/// ```
+pub fn is_silent_configuration<P: Protocol>(protocol: &P, states: &[P::State]) -> bool {
+    for (i, a) in states.iter().enumerate() {
+        for (j, b) in states.iter().enumerate() {
+            if i != j && !protocol.is_null_pair(a, b) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+
+    struct Bump; // (a, b) → (a, a+1) if a == b; asymmetric on purpose
+    impl Protocol for Bump {
+        type State = u32;
+        fn interact(&self, a: &mut u32, b: &mut u32, _rng: &mut SmallRng) {
+            if a == b {
+                *b += 1;
+            }
+        }
+        fn is_null_pair(&self, a: &u32, b: &u32) -> bool {
+            a != b
+        }
+    }
+
+    #[test]
+    fn distinct_states_are_silent() {
+        assert!(is_silent_configuration(&Bump, &[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn duplicate_states_are_not_silent() {
+        assert!(!is_silent_configuration(&Bump, &[0, 1, 1]));
+    }
+
+    #[test]
+    fn singleton_and_empty_are_vacuously_silent() {
+        assert!(is_silent_configuration(&Bump, &[5]));
+        assert!(is_silent_configuration(&Bump, &[]));
+    }
+
+    #[test]
+    fn ordered_pairs_are_both_checked() {
+        // Null only as (small, large): a protocol where the larger initiator
+        // absorbs the smaller responder.
+        struct Absorb;
+        impl Protocol for Absorb {
+            type State = u32;
+            fn interact(&self, a: &mut u32, b: &mut u32, _rng: &mut SmallRng) {
+                if *a > *b {
+                    *b = *a;
+                }
+            }
+            fn is_null_pair(&self, a: &u32, b: &u32) -> bool {
+                a <= b
+            }
+        }
+        // (2,1) is applicable even though (1,2) is null.
+        assert!(!is_silent_configuration(&Absorb, &[1, 2]));
+        assert!(is_silent_configuration(&Absorb, &[2, 2]));
+    }
+}

@@ -1,0 +1,420 @@
+//! Executions of a protocol under the random scheduler.
+
+use rand::rngs::SmallRng;
+
+use crate::graph::InteractionGraph;
+use crate::protocol::{Protocol, RankingProtocol};
+use crate::runner::rng_from_seed;
+use crate::scheduler::Scheduler;
+use crate::tracker::RankTracker;
+
+/// The result of running a simulation toward a goal with a bounded budget of
+/// interactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The goal was reached after this many interactions (counted from the
+    /// start of the execution, not from the start of the call).
+    Converged {
+        /// Total interactions at the moment of convergence.
+        interactions: u64,
+    },
+    /// The interaction budget was exhausted before the goal was reached.
+    Exhausted {
+        /// Total interactions performed.
+        interactions: u64,
+    },
+}
+
+impl RunOutcome {
+    /// Whether the goal was reached.
+    pub fn is_converged(&self) -> bool {
+        matches!(self, RunOutcome::Converged { .. })
+    }
+
+    /// Total interactions at convergence/exhaustion.
+    pub fn interactions(&self) -> u64 {
+        match *self {
+            RunOutcome::Converged { interactions } | RunOutcome::Exhausted { interactions } => {
+                interactions
+            }
+        }
+    }
+
+    /// Interactions divided by `n`: the paper's parallel time.
+    pub fn parallel_time(&self, n: usize) -> f64 {
+        self.interactions() as f64 / n as f64
+    }
+}
+
+/// An execution in progress: a protocol, a configuration (one state per
+/// agent), a scheduler, and a seeded RNG.
+///
+/// The RNG drives both the scheduler's pair choices and the protocol's
+/// randomized transitions, so a `(protocol, initial configuration, seed)`
+/// triple fully determines the execution — trials are reproducible.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct Simulation<P: Protocol> {
+    protocol: P,
+    scheduler: Scheduler,
+    states: Vec<P::State>,
+    rng: SmallRng,
+    interactions: u64,
+}
+
+impl<P: Protocol> Simulation<P> {
+    /// Creates an execution on the complete interaction graph (the paper's
+    /// setting) from an explicit initial configuration.
+    ///
+    /// In the self-stabilizing model the initial configuration is chosen by
+    /// an adversary, so it is always supplied explicitly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two agents are supplied.
+    pub fn new(protocol: P, initial: Vec<P::State>, seed: u64) -> Self {
+        Self::with_graph(protocol, initial, InteractionGraph::Complete, seed)
+    }
+
+    /// Creates an execution on an arbitrary interaction graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two agents are supplied, or if the graph was
+    /// validated for a different population size.
+    pub fn with_graph(
+        protocol: P,
+        initial: Vec<P::State>,
+        graph: InteractionGraph,
+        seed: u64,
+    ) -> Self {
+        let scheduler = Scheduler::new(initial.len(), graph);
+        Simulation { protocol, scheduler, states: initial, rng: rng_from_seed(seed), interactions: 0 }
+    }
+
+    /// The number of agents.
+    pub fn population_size(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The protocol being executed.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// The current configuration.
+    pub fn states(&self) -> &[P::State] {
+        &self.states
+    }
+
+    /// Interactions performed so far.
+    pub fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    /// Overwrites one agent's state in place — **fault injection**.
+    ///
+    /// This models a transient memory fault hitting a live system (the
+    /// scenario self-stabilization exists for): the execution continues from
+    /// the corrupted configuration with the same RNG stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent` is out of range.
+    pub fn inject_fault(&mut self, agent: usize, state: P::State) {
+        assert!(agent < self.states.len(), "agent index {agent} out of range");
+        self.states[agent] = state;
+    }
+
+    /// Consumes the simulation and returns the final configuration.
+    pub fn into_states(self) -> Vec<P::State> {
+        self.states
+    }
+
+    /// Parallel time elapsed so far (interactions / n).
+    pub fn parallel_time(&self) -> f64 {
+        self.interactions as f64 / self.states.len() as f64
+    }
+
+    /// Performs one scheduler-chosen interaction and returns the ordered pair
+    /// of agent indices that interacted.
+    pub fn step(&mut self) -> (usize, usize) {
+        let (i, j) = self.scheduler.sample_pair(&mut self.rng);
+        self.apply(i, j);
+        (i, j)
+    }
+
+    /// Forces an interaction between a specific ordered pair of agents.
+    ///
+    /// This bypasses the random scheduler; it exists to replay the scripted
+    /// executions of the paper's Figure 2 and for tests that need a
+    /// particular interaction sequence. The forced interaction still counts
+    /// toward [`Simulation::interactions`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == j` or either index is out of range.
+    pub fn force_pair(&mut self, i: usize, j: usize) {
+        assert!(i != j, "agents cannot interact with themselves");
+        assert!(i < self.states.len() && j < self.states.len(), "agent index out of range");
+        self.apply(i, j);
+    }
+
+    fn apply(&mut self, i: usize, j: usize) {
+        let (a, b) = pair_mut(&mut self.states, i, j);
+        self.protocol.interact(a, b, &mut self.rng);
+        self.interactions += 1;
+    }
+
+    /// Runs exactly `k` interactions.
+    pub fn run(&mut self, k: u64) {
+        for _ in 0..k {
+            self.step();
+        }
+    }
+
+    /// Steps until `goal` holds for the configuration, or until the *total*
+    /// interaction count reaches `max_interactions`.
+    ///
+    /// `goal` is evaluated on the initial configuration too, so a
+    /// configuration that already satisfies it converges after 0
+    /// interactions. The predicate receives the full state slice; for the
+    /// O(1)-per-step ranking goal use
+    /// [`run_until_stably_ranked`](Simulation::run_until_stably_ranked).
+    pub fn run_until(
+        &mut self,
+        max_interactions: u64,
+        mut goal: impl FnMut(&[P::State]) -> bool,
+    ) -> RunOutcome {
+        loop {
+            if goal(&self.states) {
+                return RunOutcome::Converged { interactions: self.interactions };
+            }
+            if self.interactions >= max_interactions {
+                return RunOutcome::Exhausted { interactions: self.interactions };
+            }
+            self.step();
+        }
+    }
+}
+
+impl<P: RankingProtocol> Simulation<P> {
+    /// Runs until the configuration is correctly ranked (each rank `1..=n`
+    /// output by exactly one agent) **and stays ranked** for
+    /// `confirm_window` further interactions.
+    ///
+    /// Returns the interaction count at the moment the final (confirmed)
+    /// convergence occurred. The confirmation window guards against
+    /// mistaking a transiently-correct configuration for a stable one; for
+    /// the paper's protocols a correct configuration is stable (silent
+    /// protocols) or safe (Sublinear-Time-SSR's no-false-positive
+    /// guarantee), so confirmed convergence coincides with stabilization.
+    ///
+    /// Rank bookkeeping is incremental — O(1) per interaction — via
+    /// [`RankTracker`].
+    pub fn run_until_stably_ranked(
+        &mut self,
+        max_interactions: u64,
+        confirm_window: u64,
+    ) -> RunOutcome {
+        let n = self.protocol.population_size();
+        assert_eq!(n, self.states.len(), "protocol configured for a different population size");
+        let mut tracker = RankTracker::new(n);
+        for s in &self.states {
+            tracker.add(self.protocol.rank_of(s));
+        }
+        let mut converged_at: Option<u64> = None;
+        loop {
+            match converged_at {
+                Some(t0) => {
+                    if self.interactions - t0 >= confirm_window {
+                        return RunOutcome::Converged { interactions: t0 };
+                    }
+                }
+                None => {
+                    if tracker.is_correct() {
+                        converged_at = Some(self.interactions);
+                        if confirm_window == 0 {
+                            return RunOutcome::Converged { interactions: self.interactions };
+                        }
+                    }
+                }
+            }
+            if self.interactions >= max_interactions {
+                return RunOutcome::Exhausted { interactions: self.interactions };
+            }
+            let (i, j) = self.scheduler.sample_pair(&mut self.rng);
+            let before_i = self.protocol.rank_of(&self.states[i]);
+            let before_j = self.protocol.rank_of(&self.states[j]);
+            let (a, b) = pair_mut(&mut self.states, i, j);
+            self.protocol.interact(a, b, &mut self.rng);
+            self.interactions += 1;
+            let after_i = self.protocol.rank_of(&self.states[i]);
+            let after_j = self.protocol.rank_of(&self.states[j]);
+            tracker.update(before_i, after_i);
+            tracker.update(before_j, after_j);
+            if converged_at.is_some() && !tracker.is_correct() {
+                // The "stable" configuration broke inside the confirmation
+                // window — it was not stable after all; keep searching.
+                converged_at = None;
+            }
+        }
+    }
+
+    /// Number of agents currently outputting leader (rank 1).
+    pub fn leader_count(&self) -> usize {
+        self.states.iter().filter(|s| self.protocol.is_leader(s)).count()
+    }
+
+    /// Whether the configuration is currently correctly ranked.
+    pub fn is_ranked(&self) -> bool {
+        let n = self.protocol.population_size();
+        let mut tracker = RankTracker::new(n);
+        for s in &self.states {
+            tracker.add(self.protocol.rank_of(s));
+        }
+        tracker.is_correct()
+    }
+}
+
+/// Borrows two distinct elements of a slice mutably.
+///
+/// # Panics
+///
+/// Panics if `i == j` or either index is out of bounds.
+pub(crate) fn pair_mut<T>(xs: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
+    assert!(i != j, "pair_mut requires distinct indices");
+    if i < j {
+        let (lo, hi) = xs.split_at_mut(j);
+        (&mut lo[i], &mut hi[0])
+    } else {
+        let (lo, hi) = xs.split_at_mut(i);
+        (&mut hi[0], &mut lo[j])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct Counter(u32);
+
+    /// Every interaction increments the responder.
+    struct Inc;
+    impl Protocol for Inc {
+        type State = Counter;
+        fn interact(&self, _a: &mut Counter, b: &mut Counter, _rng: &mut SmallRng) {
+            b.0 += 1;
+        }
+    }
+
+    #[test]
+    fn pair_mut_returns_both_orders() {
+        let mut v = vec![1, 2, 3];
+        {
+            let (a, b) = pair_mut(&mut v, 0, 2);
+            *a = 10;
+            *b = 30;
+        }
+        {
+            let (a, b) = pair_mut(&mut v, 2, 1);
+            assert_eq!((*a, *b), (30, 2));
+        }
+        assert_eq!(v, vec![10, 2, 30]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct indices")]
+    fn pair_mut_rejects_equal_indices() {
+        let mut v = vec![1, 2];
+        let _ = pair_mut(&mut v, 1, 1);
+    }
+
+    #[test]
+    fn interactions_and_parallel_time_accumulate() {
+        let mut sim = Simulation::new(Inc, vec![Counter(0); 4], 11);
+        sim.run(8);
+        assert_eq!(sim.interactions(), 8);
+        assert!((sim.parallel_time() - 2.0).abs() < 1e-12);
+        let total: u32 = sim.states().iter().map(|c| c.0).sum();
+        assert_eq!(total, 8, "each interaction increments exactly one agent");
+    }
+
+    #[test]
+    fn run_until_checks_initial_configuration() {
+        let mut sim = Simulation::new(Inc, vec![Counter(0); 3], 1);
+        let outcome = sim.run_until(100, |_| true);
+        assert_eq!(outcome, RunOutcome::Converged { interactions: 0 });
+    }
+
+    #[test]
+    fn run_until_exhausts_budget() {
+        let mut sim = Simulation::new(Inc, vec![Counter(0); 3], 1);
+        let outcome = sim.run_until(25, |_| false);
+        assert_eq!(outcome, RunOutcome::Exhausted { interactions: 25 });
+        assert!(!outcome.is_converged());
+        assert!((outcome.parallel_time(3) - 25.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn force_pair_applies_the_transition() {
+        let mut sim = Simulation::new(Inc, vec![Counter(0); 3], 1);
+        sim.force_pair(0, 2);
+        assert_eq!(sim.states()[2], Counter(1));
+        assert_eq!(sim.interactions(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn force_pair_rejects_bad_index() {
+        let mut sim = Simulation::new(Inc, vec![Counter(0); 3], 1);
+        sim.force_pair(0, 3);
+    }
+
+    #[test]
+    fn inject_fault_overwrites_one_agent() {
+        let mut sim = Simulation::new(Inc, vec![Counter(0); 3], 1);
+        sim.inject_fault(1, Counter(99));
+        assert_eq!(sim.states()[1], Counter(99));
+        assert_eq!(sim.states()[0], Counter(0));
+        assert_eq!(sim.interactions(), 0, "fault injection is not an interaction");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn inject_fault_rejects_bad_index() {
+        let mut sim = Simulation::new(Inc, vec![Counter(0); 3], 1);
+        sim.inject_fault(3, Counter(1));
+    }
+
+    #[test]
+    fn into_states_returns_final_configuration() {
+        let mut sim = Simulation::new(Inc, vec![Counter(0); 3], 1);
+        sim.run(5);
+        let states = sim.into_states();
+        assert_eq!(states.iter().map(|c| c.0).sum::<u32>(), 5);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_executions() {
+        let mut a = Simulation::new(Inc, vec![Counter(0); 6], 99);
+        let mut b = Simulation::new(Inc, vec![Counter(0); 6], 99);
+        a.run(500);
+        b.run(500);
+        assert_eq!(a.states(), b.states());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Simulation::new(Inc, vec![Counter(0); 6], 1);
+        let mut b = Simulation::new(Inc, vec![Counter(0); 6], 2);
+        a.run(500);
+        b.run(500);
+        assert_ne!(a.states(), b.states(), "astronomically unlikely to coincide");
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the simulation engine.
+
+use population::runner::{derive_seed, rng_from_seed};
+use population::scheduler::Scheduler;
+use population::{InteractionGraph, Protocol, RankTracker, Simulation};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+
+/// Reference implementation of rank-correctness for cross-checking the
+/// incremental tracker.
+fn naive_is_correct(outputs: &[Option<usize>], n: usize) -> bool {
+    let mut counts = vec![0u32; n];
+    for &o in outputs {
+        match o {
+            Some(r) if (1..=n).contains(&r) => counts[r - 1] += 1,
+            Some(_) => return false,
+            None => {}
+        }
+    }
+    counts.iter().all(|&c| c == 1)
+}
+
+proptest! {
+    #[test]
+    fn tracker_matches_naive_recomputation(
+        n in 1usize..12,
+        ops in prop::collection::vec((0usize..8, prop::option::of(1usize..12)), 0..200),
+    ) {
+        // Agents 0..8 each hold an output; ops reassign them arbitrarily.
+        let agents = 8;
+        let mut outputs: Vec<Option<usize>> = vec![None; agents];
+        let mut tracker = RankTracker::new(n);
+        for _ in 0..agents {
+            tracker.add(None);
+        }
+        for (agent, new) in ops {
+            let new = new.filter(|r| *r <= n); // stay in the tracker's domain
+            tracker.update(outputs[agent], new);
+            outputs[agent] = new;
+            prop_assert_eq!(tracker.is_correct(), naive_is_correct(&outputs, n));
+        }
+    }
+
+    #[test]
+    fn scheduler_samples_are_valid_for_any_graph(
+        n in 2usize..20,
+        ring in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let graph = if ring { InteractionGraph::Ring } else { InteractionGraph::Complete };
+        let s = Scheduler::new(n, graph);
+        let mut rng = rng_from_seed(seed);
+        for _ in 0..200 {
+            let (i, j) = s.sample_pair(&mut rng);
+            prop_assert!(i < n && j < n && i != j);
+        }
+    }
+
+    #[test]
+    fn executions_are_deterministic_in_the_seed(seed in any::<u64>(), n in 2usize..16, steps in 0u64..500) {
+        #[derive(Clone, Debug, PartialEq)]
+        struct S(u64);
+        struct Mix;
+        impl Protocol for Mix {
+            type State = S;
+            fn interact(&self, a: &mut S, b: &mut S, rng: &mut SmallRng) {
+                use rand::Rng;
+                let x: u64 = rng.gen();
+                a.0 = a.0.wrapping_mul(31).wrapping_add(x);
+                b.0 = b.0.rotate_left(7) ^ x;
+            }
+        }
+        let init: Vec<S> = (0..n as u64).map(S).collect();
+        let mut sim1 = Simulation::new(Mix, init.clone(), seed);
+        let mut sim2 = Simulation::new(Mix, init, seed);
+        sim1.run(steps);
+        sim2.run(steps);
+        prop_assert_eq!(sim1.states(), sim2.states());
+        prop_assert_eq!(sim1.interactions(), steps);
+    }
+
+    #[test]
+    fn derived_seeds_do_not_collide_locally(base in any::<u64>()) {
+        let mut seen = std::collections::HashSet::new();
+        for trial in 0..1000u64 {
+            prop_assert!(seen.insert(derive_seed(base, trial)), "collision at trial {}", trial);
+        }
+    }
+
+    #[test]
+    fn interaction_counter_only_counts_pair_updates(n in 2usize..10, steps in 0u64..200) {
+        // Every interaction touches exactly two agents: with a protocol that
+        // increments both participants, the grand total is 2 × interactions.
+        #[derive(Clone, Debug)]
+        struct C(u64);
+        struct Inc2;
+        impl Protocol for Inc2 {
+            type State = C;
+            fn interact(&self, a: &mut C, b: &mut C, _rng: &mut SmallRng) {
+                a.0 += 1;
+                b.0 += 1;
+            }
+        }
+        let mut sim = Simulation::new(Inc2, vec![C(0); n], 5);
+        sim.run(steps);
+        let total: u64 = sim.states().iter().map(|c| c.0).sum();
+        prop_assert_eq!(total, 2 * steps);
+    }
+}

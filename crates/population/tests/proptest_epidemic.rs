@@ -1,0 +1,63 @@
+//! Property-based tests for the epidemic toolbox.
+
+use population::epidemic::{
+    bounded_epidemic_times, epidemic_time, roll_call_time, EpidemicKind,
+};
+use proptest::prelude::*;
+
+proptest! {
+    // Epidemics touch every agent, so completion takes at least (n − 1)
+    // interactions = (n − 1)/n parallel time, and it is always finite.
+    #[test]
+    fn epidemic_time_is_bounded_below(n in 2usize..128, seed in any::<u64>()) {
+        for kind in [EpidemicKind::OneWay, EpidemicKind::TwoWay] {
+            let t = epidemic_time(n, kind, seed);
+            prop_assert!(t >= (n as f64 - 1.0) / n as f64);
+            prop_assert!(t.is_finite());
+        }
+    }
+
+    #[test]
+    fn bounded_epidemic_is_monotone_and_finite(
+        n in 4usize..64,
+        max_k in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let times = bounded_epidemic_times(n, max_k, seed);
+        prop_assert_eq!(times.max_k(), max_k);
+        for k in 1..=max_k {
+            prop_assert!(times.tau(k).is_finite());
+            prop_assert!(times.tau(k) > 0.0);
+            if k > 1 {
+                prop_assert!(times.tau(k) <= times.tau(k - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn roll_call_dominates_single_epidemic_on_average_per_seed_pair(
+        n in 16usize..64,
+        seed in any::<u64>(),
+    ) {
+        // Roll call must wait for *every* agent to learn *every* name — it
+        // cannot beat the same-seed single-source epidemic by much. (The
+        // sharp statement is about expectations; per-seed we only check the
+        // roll call is at least half the epidemic, a very safe invariant.)
+        let rc = roll_call_time(n, seed);
+        let ep = epidemic_time(n, EpidemicKind::TwoWay, seed);
+        prop_assert!(rc >= ep * 0.5, "roll call {rc} vs epidemic {ep}");
+    }
+
+    #[test]
+    fn processes_are_deterministic_in_the_seed(n in 4usize..32, seed in any::<u64>()) {
+        prop_assert_eq!(
+            epidemic_time(n, EpidemicKind::TwoWay, seed),
+            epidemic_time(n, EpidemicKind::TwoWay, seed)
+        );
+        prop_assert_eq!(roll_call_time(n, seed), roll_call_time(n, seed));
+        prop_assert_eq!(
+            bounded_epidemic_times(n, 3, seed),
+            bounded_epidemic_times(n, 3, seed)
+        );
+    }
+}

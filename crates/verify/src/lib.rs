@@ -1,0 +1,364 @@
+#![warn(missing_docs)]
+
+//! Exhaustive model checking of population protocols at small sizes.
+//!
+//! Simulation gives statistical evidence; for small populations we can do
+//! better and **prove** self-stabilization by exhausting the configuration
+//! space. For a protocol with a finite state universe and a population of
+//! `n` agents, configurations are multisets of size `n`; under the
+//! uniformly random scheduler the execution is a finite Markov chain in
+//! which every enabled transition has positive probability. Standard
+//! absorption theory then gives:
+//!
+//! > the protocol stably solves the task from **every** initial
+//! > configuration with probability 1 **iff** (a) every *correct*
+//! > configuration is closed under all transitions and stays correct, and
+//! > (b) from every configuration some correct configuration is reachable.
+//!
+//! [`verify_self_stabilization`] checks exactly (a) and (b) by enumerating
+//! all multisets and their transition graph, returning either a proof
+//! ([`Verdict::SelfStabilizing`]) or a concrete counterexample
+//! configuration. The tests use it to *prove* Silent-n-state-SSR correct
+//! for small `n`, and to produce the paper's negative examples: the
+//! `ℓ, ℓ → ℓ, f` protocol's dead all-follower configuration, the wrong-`n`
+//! embedding of Theorem 2.1, and the churn of loose stabilization.
+//!
+//! The checker applies to protocols with **deterministic** transitions
+//! (randomized ones would need per-outcome enumeration); all protocols it
+//! is used on here ignore their RNG, which [`deterministic_transition`]
+//! double-checks at runtime.
+
+use std::collections::{HashMap, VecDeque};
+
+use population::runner::rng_from_seed;
+use population::Protocol;
+
+/// A configuration as a sorted multiset of agent states.
+///
+/// Sorting canonicalizes away agent identities (agents are anonymous), so
+/// the reachability graph is over multisets — exponentially smaller than
+/// over labelled vectors.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Config<S: Ord>(Vec<S>);
+
+impl<S: Ord + Clone> Config<S> {
+    /// Canonicalizes a vector of agent states.
+    pub fn new(mut states: Vec<S>) -> Self {
+        states.sort();
+        Config(states)
+    }
+
+    /// The sorted states.
+    pub fn states(&self) -> &[S] {
+        &self.0
+    }
+
+    /// Population size.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the configuration is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// Applies the protocol's transition to the ordered pair `(a, b)` and
+/// asserts it is deterministic (the result must not depend on the RNG).
+///
+/// # Panics
+///
+/// Panics if two different RNG streams give different outcomes — the
+/// protocol is randomized and cannot be model-checked this way.
+pub fn deterministic_transition<P: Protocol>(
+    protocol: &P,
+    a: &P::State,
+    b: &P::State,
+) -> (P::State, P::State)
+where
+    P::State: PartialEq,
+{
+    let (mut a1, mut b1) = (a.clone(), b.clone());
+    protocol.interact(&mut a1, &mut b1, &mut rng_from_seed(0));
+    for probe_seed in [0x5eed, 0xdead_beef, 0x0123_4567_89ab_cdef] {
+        let (mut a2, mut b2) = (a.clone(), b.clone());
+        protocol.interact(&mut a2, &mut b2, &mut rng_from_seed(probe_seed));
+        assert!(
+            a1 == a2 && b1 == b2,
+            "protocol transition is randomized; exhaustive checking needs per-outcome enumeration"
+        );
+    }
+    (a1, b1)
+}
+
+/// All successor configurations of `config` under one interaction (complete
+/// interaction graph), excluding the null self-successor.
+pub fn successors<P: Protocol>(protocol: &P, config: &Config<P::State>) -> Vec<Config<P::State>>
+where
+    P::State: Ord + Clone + PartialEq,
+{
+    let states = config.states();
+    let mut out = Vec::new();
+    // Distinct ordered *state* pairs suffice: agents with equal states are
+    // interchangeable. A pair (s, s) needs two agents holding s.
+    for (i, a) in states.iter().enumerate() {
+        for (j, b) in states.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            // Skip duplicate state pairs (keep the first occurrence only).
+            if states[..i].contains(a) {
+                continue;
+            }
+            if let Some(first_b) = states.iter().enumerate().position(|(k, s)| k != i && s == b) {
+                if first_b < j {
+                    continue;
+                }
+            }
+            let (a2, b2) = deterministic_transition(protocol, a, b);
+            if a2 == *a && b2 == *b {
+                continue; // null transition
+            }
+            let mut next: Vec<P::State> = states.to_vec();
+            next[i] = a2;
+            next[j] = b2;
+            out.push(Config::new(next));
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Every multiset of size `n` over `universe`.
+pub fn all_configurations<S: Ord + Clone>(universe: &[S], n: usize) -> Vec<Config<S>> {
+    let mut out = Vec::new();
+    let mut current: Vec<S> = Vec::with_capacity(n);
+    fn rec<S: Ord + Clone>(
+        universe: &[S],
+        n: usize,
+        start: usize,
+        current: &mut Vec<S>,
+        out: &mut Vec<Config<S>>,
+    ) {
+        if current.len() == n {
+            // Canonicalize: the universe's iteration order need not match
+            // the state type's `Ord`.
+            out.push(Config::new(current.clone()));
+            return;
+        }
+        for k in start..universe.len() {
+            current.push(universe[k].clone());
+            rec(universe, n, k, current, out);
+            current.pop();
+        }
+    }
+    rec(universe, n, 0, &mut current, &mut out);
+    out
+}
+
+/// The outcome of an exhaustive check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict<S: Ord> {
+    /// Both conditions hold: the protocol stably solves the task from every
+    /// configuration with probability 1.
+    SelfStabilizing {
+        /// Number of configurations exhausted.
+        configurations: usize,
+    },
+    /// A correct configuration has a transition that leaves correctness —
+    /// the task's output is not stable.
+    CorrectNotClosed {
+        /// The correct configuration that can be left.
+        from: Config<S>,
+        /// The incorrect successor.
+        to: Config<S>,
+    },
+    /// Some configuration cannot reach any correct configuration — the
+    /// protocol gets stuck with positive (here: certain) probability.
+    CorrectUnreachable {
+        /// A configuration from which no correct configuration is reachable.
+        stuck: Config<S>,
+    },
+}
+
+impl<S: Ord> Verdict<S> {
+    /// Whether the verdict is a proof of self-stabilization.
+    pub fn is_self_stabilizing(&self) -> bool {
+        matches!(self, Verdict::SelfStabilizing { .. })
+    }
+}
+
+/// Exhaustively verifies self-stabilization over all configurations of `n`
+/// agents drawn from `universe`.
+///
+/// `universe` must be closed under the protocol's transitions (the checker
+/// panics otherwise — that would mean the state space was mis-declared).
+/// `is_correct` defines the task.
+///
+/// # Panics
+///
+/// Panics if a transition leaves `universe`, or if the protocol is
+/// randomized (see [`deterministic_transition`]).
+pub fn verify_self_stabilization<P: Protocol>(
+    protocol: &P,
+    universe: &[P::State],
+    n: usize,
+    mut is_correct: impl FnMut(&Config<P::State>) -> bool,
+) -> Verdict<P::State>
+where
+    P::State: Ord + Clone + std::hash::Hash,
+{
+    let configs = all_configurations(universe, n);
+    let index: HashMap<&Config<P::State>, usize> =
+        configs.iter().enumerate().map(|(i, c)| (c, i)).collect();
+
+    // Forward edges + condition (a): correctness is closed.
+    let mut forward: Vec<Vec<usize>> = Vec::with_capacity(configs.len());
+    for config in &configs {
+        let succs = successors(protocol, config);
+        let correct_here = is_correct(config);
+        let mut edge_ids = Vec::with_capacity(succs.len());
+        for s in succs {
+            if correct_here && !is_correct(&s) {
+                return Verdict::CorrectNotClosed { from: config.clone(), to: s };
+            }
+            let id = *index
+                .get(&s)
+                .unwrap_or_else(|| panic!("transition left the declared state universe: {s:?}"));
+            edge_ids.push(id);
+        }
+        forward.push(edge_ids);
+    }
+
+    // Condition (b): every configuration reaches a correct one — reverse
+    // BFS from the correct set.
+    let mut reverse: Vec<Vec<usize>> = vec![Vec::new(); configs.len()];
+    for (from, tos) in forward.iter().enumerate() {
+        for &to in tos {
+            reverse[to].push(from);
+        }
+    }
+    let mut can_reach = vec![false; configs.len()];
+    let mut queue: VecDeque<usize> = configs
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| is_correct(c))
+        .map(|(i, _)| i)
+        .collect();
+    for &i in &queue {
+        can_reach[i] = true;
+    }
+    while let Some(i) = queue.pop_front() {
+        for &p in &reverse[i] {
+            if !can_reach[p] {
+                can_reach[p] = true;
+                queue.push_back(p);
+            }
+        }
+    }
+    if let Some(stuck) = can_reach.iter().position(|&r| !r) {
+        return Verdict::CorrectUnreachable { stuck: configs[stuck].clone() };
+    }
+    Verdict::SelfStabilizing { configurations: configs.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+
+    /// ℓ, ℓ → ℓ, f (deterministic; not self-stabilizing).
+    #[derive(Debug)]
+    struct Fight;
+    impl Protocol for Fight {
+        type State = u8; // 1 = leader, 0 = follower
+        fn interact(&self, a: &mut u8, b: &mut u8, _rng: &mut SmallRng) {
+            if *a == 1 && *b == 1 {
+                *b = 0;
+            }
+        }
+    }
+
+    fn one_leader(c: &Config<u8>) -> bool {
+        c.states().iter().filter(|&&s| s == 1).count() == 1
+    }
+
+    #[test]
+    fn config_canonicalizes() {
+        assert_eq!(Config::new(vec![3, 1, 2]), Config::new(vec![2, 3, 1]));
+        assert_eq!(Config::new(vec![1, 2, 3]).len(), 3);
+    }
+
+    #[test]
+    fn all_configurations_counts_multisets() {
+        // Multisets of size 3 over 2 symbols: C(4, 1) = 4.
+        assert_eq!(all_configurations(&[0u8, 1], 3).len(), 4);
+        // C(n + k − 1, k): size 2 over 4 symbols → C(5, 2) = 10.
+        assert_eq!(all_configurations(&[0u8, 1, 2, 3], 2).len(), 10);
+    }
+
+    #[test]
+    fn successors_of_fight() {
+        let c = Config::new(vec![1u8, 1, 0]);
+        let succ = successors(&Fight, &c);
+        assert_eq!(succ, vec![Config::new(vec![1, 0, 0])]);
+        assert!(successors(&Fight, &Config::new(vec![1u8, 0, 0])).is_empty(), "silent");
+    }
+
+    #[test]
+    fn fight_is_not_self_stabilizing_and_the_counterexample_is_all_followers() {
+        let verdict = verify_self_stabilization(&Fight, &[0u8, 1], 4, one_leader);
+        assert!(!verdict.is_self_stabilizing());
+        match verdict {
+            Verdict::CorrectUnreachable { stuck } => {
+                assert_eq!(stuck, Config::new(vec![0, 0, 0, 0]), "the dead all-f configuration");
+            }
+            other => panic!("expected CorrectUnreachable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fight_with_all_leaders_universe_reaches_but_does_not_stabilize_count() {
+        // Restricted to configurations that contain at least one leader the
+        // protocol does converge — checked by excluding the all-0 config via
+        // a universe trick is not possible (universes are per-state), so
+        // instead verify closure alone: one-leader configs are closed.
+        let configs = all_configurations(&[0u8, 1], 3);
+        for c in configs.iter().filter(|c| one_leader(c)) {
+            for s in successors(&Fight, c) {
+                assert!(one_leader(&s));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "randomized")]
+    fn randomized_protocols_are_rejected() {
+        #[derive(Debug)]
+        struct Coin;
+        impl Protocol for Coin {
+            type State = u8;
+            fn interact(&self, a: &mut u8, _b: &mut u8, rng: &mut SmallRng) {
+                use rand::Rng;
+                *a = rng.gen();
+            }
+        }
+        deterministic_transition(&Coin, &0, &0);
+    }
+
+    #[test]
+    #[should_panic(expected = "left the declared state universe")]
+    fn undeclared_states_are_caught() {
+        #[derive(Debug)]
+        struct Grow;
+        impl Protocol for Grow {
+            type State = u8;
+            fn interact(&self, a: &mut u8, _b: &mut u8, _rng: &mut SmallRng) {
+                *a += 1;
+            }
+        }
+        verify_self_stabilization(&Grow, &[0u8, 1], 2, |_| false);
+    }
+}

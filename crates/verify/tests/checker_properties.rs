@@ -1,0 +1,98 @@
+//! Property-based validation of the model checker itself: the optimized
+//! successor enumeration (which deduplicates interchangeable agents) must
+//! agree exactly with the brute-force enumeration over all ordered index
+//! pairs, for arbitrary deterministic transition functions.
+
+use std::collections::BTreeSet;
+
+use population::Protocol;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use verify::{all_configurations, successors, Config};
+
+/// An arbitrary deterministic protocol over `0..m`, parameterized by four
+/// mixing coefficients — enough variety to exercise asymmetric, symmetric,
+/// and null transitions.
+#[derive(Debug, Clone, Copy)]
+struct Mix {
+    m: u8,
+    ca: u8,
+    cb: u8,
+    da: u8,
+    db: u8,
+}
+
+impl Protocol for Mix {
+    type State = u8;
+    fn interact(&self, a: &mut u8, b: &mut u8, _rng: &mut SmallRng) {
+        let (x, y) = (*a, *b);
+        *a = (x.wrapping_mul(self.ca).wrapping_add(y.wrapping_mul(self.cb))) % self.m;
+        *b = (x.wrapping_mul(self.da).wrapping_add(y.wrapping_mul(self.db))) % self.m;
+    }
+}
+
+fn brute_force_successors(p: &Mix, config: &Config<u8>) -> BTreeSet<Config<u8>> {
+    let states = config.states();
+    let mut out = BTreeSet::new();
+    for i in 0..states.len() {
+        for j in 0..states.len() {
+            if i == j {
+                continue;
+            }
+            let (mut a, mut b) = (states[i], states[j]);
+            p.interact(&mut a, &mut b, &mut population::runner::rng_from_seed(0));
+            if a == states[i] && b == states[j] {
+                continue;
+            }
+            let mut next = states.to_vec();
+            next[i] = a;
+            next[j] = b;
+            out.insert(Config::new(next));
+        }
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn optimized_successors_match_brute_force(
+        m in 2u8..5,
+        ca in 0u8..7,
+        cb in 0u8..7,
+        da in 0u8..7,
+        db in 0u8..7,
+        n in 2usize..5,
+    ) {
+        let p = Mix { m, ca, cb, da, db };
+        let universe: Vec<u8> = (0..m).collect();
+        for config in all_configurations(&universe, n) {
+            let fast: BTreeSet<Config<u8>> =
+                successors(&p, &config).into_iter().collect();
+            let slow = brute_force_successors(&p, &config);
+            prop_assert_eq!(&fast, &slow, "config {:?}", config);
+        }
+    }
+
+    #[test]
+    fn all_configurations_yields_sorted_unique_multisets(
+        m in 1u8..6,
+        n in 1usize..5,
+    ) {
+        let universe: Vec<u8> = (0..m).collect();
+        let configs = all_configurations(&universe, n);
+        // Count: C(m + n − 1, n).
+        let expected = {
+            let mut r = 1usize;
+            for i in 0..n {
+                r = r * (m as usize + n - 1 - i) / (i + 1);
+            }
+            r
+        };
+        prop_assert_eq!(configs.len(), expected);
+        let set: BTreeSet<&Config<u8>> = configs.iter().collect();
+        prop_assert_eq!(set.len(), configs.len(), "duplicates in enumeration");
+        for c in &configs {
+            prop_assert!(c.states().windows(2).all(|w| w[0] <= w[1]), "unsorted {:?}", c);
+        }
+    }
+}

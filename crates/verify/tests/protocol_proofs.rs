@@ -1,0 +1,185 @@
+//! Machine-checked proofs about the paper's protocols at small population
+//! sizes, via exhaustive configuration-space search.
+
+use population::RankingProtocol;
+use ssle::cai_izumi_wada::{CaiIzumiWada, CiwState};
+use ssle::initialized::{TreeRanking, TreeRankState};
+use ssle::loose::{LooseState, LooselyStabilizingLe};
+use verify::{all_configurations, verify_self_stabilization, Config, Verdict};
+
+fn ciw_universe(n: usize) -> Vec<CiwState> {
+    (0..n as u32).map(CiwState::new).collect()
+}
+
+fn ciw_correct(c: &Config<CiwState>) -> bool {
+    let n = c.len();
+    let mut seen = vec![false; n];
+    c.states().iter().all(|s| !std::mem::replace(&mut seen[s.rank as usize], true))
+}
+
+/// **Proof** (not a test of samples): Silent-n-state-SSR solves
+/// self-stabilizing ranking for n = 2..=7 — every configuration reaches the
+/// permutation, and the permutation is stable.
+#[test]
+fn cai_izumi_wada_is_provably_self_stabilizing_up_to_n7() {
+    for n in 2..=7usize {
+        let verdict = verify_self_stabilization(
+            &CaiIzumiWada::new(n),
+            &ciw_universe(n),
+            n,
+            ciw_correct,
+        );
+        match verdict {
+            Verdict::SelfStabilizing { configurations } => {
+                // C(2n − 1, n) multisets were exhausted.
+                let expected = binomial(2 * n - 1, n);
+                assert_eq!(configurations, expected, "n = {n}");
+            }
+            other => panic!("n = {n}: {other:?}"),
+        }
+    }
+}
+
+/// **Proof of Theorem 2.1's failure mode**: the transitions for n₁ = 3 run
+/// in a population of n₂ = 4 are *not* self-stabilizing for leader election
+/// — and the checker's verdict is that single-leader correctness is not
+/// even closed (the surplus agents mint a second leader).
+#[test]
+fn wrong_population_size_breaks_stability() {
+    let n1 = 3usize;
+    let n2 = 4usize;
+    let one_leader = |c: &Config<CiwState>| {
+        c.states().iter().filter(|s| s.rank == 0).count() == 1
+    };
+    let verdict = verify_self_stabilization(
+        &CaiIzumiWada::new(n1),
+        &ciw_universe(n1),
+        n2,
+        one_leader,
+    );
+    match verdict {
+        Verdict::CorrectNotClosed { from, to } => {
+            assert!(one_leader(&from));
+            assert!(!one_leader(&to));
+        }
+        other => panic!("expected CorrectNotClosed, got {other:?}"),
+    }
+}
+
+/// With the right population size, single-leader correctness in the ranking
+/// sense *is* both closed and reachable (the n = 4 instance of the proof
+/// above, stated for leader election).
+#[test]
+fn right_population_size_is_stable_for_leader_election() {
+    let n = 4usize;
+    let p = CaiIzumiWada::new(n);
+    // Leader election correctness: exactly one agent outputs rank 1 *and*
+    // the configuration is stable — for this protocol that is exactly the
+    // permutation configurations... but pure "one leader" is weaker; verify
+    // the strong (ranking) property which implies it.
+    let verdict = verify_self_stabilization(&p, &ciw_universe(n), n, ciw_correct);
+    assert!(verdict.is_self_stabilizing());
+    let _ = p.population_size();
+}
+
+/// The initialized tree-ranking protocol is **not** self-stabilizing: the
+/// all-waiting configuration can never produce a rank.
+#[test]
+fn tree_ranking_is_provably_not_self_stabilizing() {
+    let n = 4usize;
+    let p = TreeRanking::new(n);
+    let mut universe = vec![TreeRankState::Waiting];
+    for rank in 1..=n as u32 {
+        for children in 0..=2u8 {
+            universe.push(TreeRankState::Ranked { rank, children });
+        }
+    }
+    let correct = |c: &Config<TreeRankState>| {
+        let mut seen = vec![false; n + 1];
+        c.states().iter().all(|s| match s {
+            TreeRankState::Ranked { rank, .. } => {
+                !std::mem::replace(&mut seen[*rank as usize], true)
+            }
+            TreeRankState::Waiting => false,
+        })
+    };
+    let verdict = verify_self_stabilization(&p, &universe, n, correct);
+    match verdict {
+        Verdict::CorrectUnreachable { stuck } => {
+            assert!(
+                stuck.states().iter().all(|s| *s == TreeRankState::Waiting),
+                "the canonical dead configuration is all-waiting, got {stuck:?}"
+            );
+        }
+        other => panic!("expected CorrectUnreachable, got {other:?}"),
+    }
+}
+
+/// Loose stabilization is *loose*: a unique-leader configuration is not
+/// closed (a drained follower can still self-promote). The checker finds
+/// the churn transition the holding-time analysis is about.
+#[test]
+fn loose_stabilization_is_provably_not_stable() {
+    let t_max = 3;
+    let p = LooselyStabilizingLe::new(t_max);
+    let mut universe = Vec::new();
+    for leader in [false, true] {
+        for timer in 0..=t_max {
+            universe.push(LooseState { leader, timer });
+        }
+    }
+    let one_leader =
+        |c: &Config<LooseState>| c.states().iter().filter(|s| s.leader).count() == 1;
+    let verdict = verify_self_stabilization(&p, &universe, 3, one_leader);
+    match verdict {
+        Verdict::CorrectNotClosed { from, .. } => {
+            assert!(
+                from.states().iter().any(|s| !s.leader && s.timer <= 1),
+                "churn needs a nearly-drained follower: {from:?}"
+            );
+        }
+        other => panic!("expected CorrectNotClosed, got {other:?}"),
+    }
+}
+
+/// And yet every loose configuration can *reach* a unique leader — the
+/// convergence half of loose stabilization, also machine-checked.
+#[test]
+fn loose_stabilization_always_can_reach_a_unique_leader() {
+    let t_max = 3;
+    let p = LooselyStabilizingLe::new(t_max);
+    let mut universe = Vec::new();
+    for leader in [false, true] {
+        for timer in 0..=t_max {
+            universe.push(LooseState { leader, timer });
+        }
+    }
+    let one_leader =
+        |c: &Config<LooseState>| c.states().iter().filter(|s| s.leader).count() == 1;
+    for config in all_configurations(&universe, 3) {
+        // Forward BFS from this configuration until a correct one is seen.
+        let mut seen = std::collections::HashSet::new();
+        let mut queue = std::collections::VecDeque::from([config.clone()]);
+        let mut reached = false;
+        while let Some(c) = queue.pop_front() {
+            if one_leader(&c) {
+                reached = true;
+                break;
+            }
+            for s in verify::successors(&p, &c) {
+                if seen.insert(s.clone()) {
+                    queue.push_back(s);
+                }
+            }
+        }
+        assert!(reached, "no unique-leader configuration reachable from {config:?}");
+    }
+}
+
+fn binomial(n: usize, k: usize) -> usize {
+    let mut result = 1usize;
+    for i in 0..k {
+        result = result * (n - i) / (i + 1);
+    }
+    result
+}

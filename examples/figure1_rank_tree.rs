@@ -1,0 +1,83 @@
+//! Reproduces **Figure 1** of the paper: binary-tree rank assignment in
+//! Optimal-Silent-SSR with n = 12 agents.
+//!
+//! Starting from an "awakening" configuration — one settled leader at rank 1
+//! and eleven unsettled followers, exactly what a clean reset produces —
+//! the leader-driven ranking recruits agents into the full binary tree with
+//! 12 nodes: the children of rank `i` are `2i` and `2i + 1`. The example
+//! tracks every recruitment and prints the resulting tree.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p ssle --example figure1_rank_tree
+//! ```
+
+use population::{RankingProtocol, Simulation};
+use ssle::optimal_silent::{OptimalSilentSsr, OssState};
+
+fn main() {
+    let n = 12; // the paper's figure uses 12 agents
+    let protocol = OptimalSilentSsr::new(n);
+
+    // The awakening configuration after a clean reset: the elected leader
+    // settled at the root, everyone else unsettled.
+    let mut initial = vec![OssState::unsettled(protocol.e_max()); n];
+    initial[0] = OssState::settled(1, 0);
+
+    let mut sim = Simulation::new(protocol, initial, 12);
+    let mut assigned: Vec<(f64, usize)> = vec![(0.0, 1)]; // (time, rank)
+    let mut settled = 1;
+    while settled < n {
+        sim.step();
+        let now_settled: Vec<usize> = sim
+            .states()
+            .iter()
+            .filter_map(|s| sim.protocol().rank_of(s))
+            .collect();
+        if now_settled.len() > settled {
+            for &r in &now_settled {
+                if !assigned.iter().any(|(_, seen)| *seen == r) {
+                    assigned.push((sim.parallel_time(), r));
+                }
+            }
+            settled = now_settled.len();
+        }
+    }
+
+    println!("rank assignment order (n = {n}):");
+    for (t, r) in &assigned {
+        let parent = r / 2;
+        if *r == 1 {
+            println!("  t = {t:>6.1}  rank  1 (root — the elected leader)");
+        } else {
+            println!("  t = {t:>6.1}  rank {r:>2} recruited by its parent, rank {parent}");
+        }
+    }
+
+    println!("\nthe full binary tree of ranks (as in Figure 1):");
+    print_tree(1, n, "", true);
+
+    assert!(sim.is_ranked());
+    println!("\nall {n} ranks assigned exactly once — configuration is stable and silent.");
+}
+
+fn print_tree(rank: usize, n: usize, prefix: &str, last: bool) {
+    let connector = if prefix.is_empty() {
+        ""
+    } else if last {
+        "└── "
+    } else {
+        "├── "
+    };
+    println!("{prefix}{connector}{rank}");
+    let children: Vec<usize> = [2 * rank, 2 * rank + 1].into_iter().filter(|&c| c <= n).collect();
+    let child_prefix = if prefix.is_empty() {
+        String::new()
+    } else {
+        format!("{prefix}{}", if last { "    " } else { "│   " })
+    };
+    for (i, &c) in children.iter().enumerate() {
+        print_tree(c, n, &child_prefix, i + 1 == children.len());
+    }
+}

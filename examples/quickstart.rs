@@ -1,0 +1,57 @@
+//! Quickstart: elect a leader from a hostile initial configuration.
+//!
+//! Builds Optimal-Silent-SSR for a small population, lets an adversary pick
+//! the initial configuration (uniformly random roles and fields), runs the
+//! uniformly random scheduler until the population has stabilized to the
+//! unique ranking `1..=n`, and prints what happened.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p ssle --example quickstart
+//! ```
+
+use population::runner::rng_from_seed;
+use population::{RankingProtocol, Simulation};
+use ssle::adversary;
+use ssle::optimal_silent::OptimalSilentSsr;
+
+fn main() {
+    let n = 32;
+    let seed = 2021; // the venue year; any seed works
+    let protocol = OptimalSilentSsr::new(n);
+
+    // Self-stabilization means the adversary chooses where we start.
+    let mut adversary_rng = rng_from_seed(seed);
+    let initial = adversary::random_oss_configuration(&protocol, &mut adversary_rng);
+    println!("population: {n} agents, protocol: Optimal-Silent-SSR");
+    println!(
+        "adversarial start: {} settled / {} unsettled / {} resetting",
+        initial.iter().filter(|s| matches!(s, ssle::optimal_silent::OssState::Settled { .. })).count(),
+        initial.iter().filter(|s| matches!(s, ssle::optimal_silent::OssState::Unsettled { .. })).count(),
+        initial.iter().filter(|s| matches!(s, ssle::optimal_silent::OssState::Resetting { .. })).count(),
+    );
+
+    let mut sim = Simulation::new(protocol, initial, seed);
+    let outcome = sim.run_until_stably_ranked(u64::MAX, 10 * n as u64);
+    println!(
+        "stabilized after {:.1} parallel time units ({} interactions)",
+        outcome.parallel_time(n),
+        outcome.interactions()
+    );
+
+    // Every rank is now held by exactly one agent; rank 1 is the leader.
+    let mut ranks: Vec<(usize, usize)> = sim
+        .states()
+        .iter()
+        .enumerate()
+        .map(|(agent, s)| (sim.protocol().rank_of(s).expect("all agents are settled"), agent))
+        .collect();
+    ranks.sort_unstable();
+    assert_eq!(sim.leader_count(), 1);
+    println!("leader: agent {}", ranks[0].1);
+    println!(
+        "ranking (rank → agent): {}",
+        ranks.iter().map(|(r, a)| format!("{r}→{a}")).collect::<Vec<_>>().join(" ")
+    );
+}

@@ -1,0 +1,140 @@
+//! Integration reproduction of the paper's two figures at the full-protocol
+//! level (the collision-module unit tests cover them at the data-structure
+//! level).
+
+use population::{RankingProtocol, Simulation};
+use ssle::optimal_silent::{OptimalSilentSsr, OssState};
+use ssle::sublinear::collision::check_path_consistency;
+use ssle::sublinear::{SubState, SublinearTimeSsr};
+
+/// Figure 1: leader-driven ranking with n = 12 builds the full binary tree
+/// `1..=12` with children `2i`, `2i + 1`.
+#[test]
+fn figure1_rank_assignment_builds_the_binary_tree() {
+    let n = 12;
+    let protocol = OptimalSilentSsr::new(n);
+    let mut initial = vec![OssState::unsettled(protocol.e_max()); n];
+    initial[0] = OssState::settled(1, 0);
+    let mut sim = Simulation::new(protocol, initial, 1);
+    let outcome = sim.run_until_stably_ranked(u64::MAX, 10 * n as u64);
+    assert!(outcome.is_converged());
+
+    // Every parent's children counter matches the number of existing child
+    // ranks in the full binary tree with 12 nodes.
+    for s in sim.states() {
+        let OssState::Settled { rank, children } = s else {
+            panic!("all agents settle in Figure 1, got {s:?}")
+        };
+        let expected =
+            [2 * rank, 2 * rank + 1].iter().filter(|&&c| c <= n as u32).count() as u8;
+        assert_eq!(
+            *children, expected,
+            "rank {rank} should have recruited exactly {expected} children"
+        );
+    }
+    let mut ranks: Vec<usize> =
+        sim.states().iter().map(|s| sim.protocol().rank_of(s).unwrap()).collect();
+    ranks.sort_unstable();
+    assert_eq!(ranks, (1..=n).collect::<Vec<_>>());
+}
+
+/// Figure 1's caption: the ranks left to fill are assigned by the settled
+/// agents whose child slots are open, never by leaves.
+#[test]
+fn figure1_leaves_never_recruit() {
+    let n = 12;
+    let protocol = OptimalSilentSsr::new(n);
+    // Snapshot from the figure: ranks 1..=8 settled, 4 unsettled agents.
+    let mut states: Vec<OssState> = (1..=8u32)
+        .map(|rank| {
+            let assigned = [2 * rank, 2 * rank + 1].iter().filter(|&&c| c <= 8).count() as u8;
+            OssState::settled(rank, assigned)
+        })
+        .collect();
+    states.extend(std::iter::repeat_n(OssState::unsettled(protocol.e_max()), 4));
+    let mut sim = Simulation::new(protocol, states, 2);
+    let outcome = sim.run_until_stably_ranked(u64::MAX, 10 * n as u64);
+    assert!(outcome.is_converged());
+    let mut ranks: Vec<usize> =
+        sim.states().iter().map(|s| sim.protocol().rank_of(s).unwrap()).collect();
+    ranks.sort_unstable();
+    assert_eq!(ranks, (1..=n).collect::<Vec<_>>(), "ranks 9..=12 get filled");
+}
+
+fn fresh_agents(protocol: &SublinearTimeSsr, n: usize) -> Vec<SubState> {
+    (0..n).map(|k| protocol.uniform_named_state(k as u64)).collect()
+}
+
+/// Figure 2, left execution: a-b, b-c, c-d; then the d-vs-a check passes.
+#[test]
+fn figure2_left_execution() {
+    let protocol = SublinearTimeSsr::new(4, 3);
+    let mut sim = Simulation::new(protocol.clone(), fresh_agents(&protocol, 4), 3);
+    sim.force_pair(0, 1);
+    sim.force_pair(1, 2);
+    sim.force_pair(2, 3);
+
+    let states = sim.states();
+    let d = states[3].collecting().unwrap();
+    let a = states[0].collecting().unwrap();
+    // d holds the three-hop chain d → c → b → a.
+    let paths = d.tree.paths_to(states[0].name);
+    assert_eq!(paths.len(), 1);
+    assert_eq!(paths[0].len(), 3);
+    let names: Vec<_> = paths[0].iter().map(|e| e.node.name).collect();
+    assert_eq!(names, vec![states[2].name, states[1].name, states[0].name]);
+    // The paper: consistency established on the *first* checked edge (a's
+    // record of b still carries the same sync d heard about).
+    assert!(check_path_consistency(&a.tree, states[3].name, &paths[0]));
+    assert_eq!(a.tree.children().len(), 1, "a only knows about b");
+}
+
+/// Figure 2, right execution: a-b, b-c, a-b, c-d; consistency is
+/// established one edge deeper because a's record of b was refreshed.
+#[test]
+fn figure2_right_execution() {
+    let protocol = SublinearTimeSsr::new(4, 3);
+    let mut sim = Simulation::new(protocol.clone(), fresh_agents(&protocol, 4), 4);
+    sim.force_pair(0, 1);
+    sim.force_pair(1, 2);
+    let sync_ab_old = sim.states()[0].collecting().unwrap().tree.children()[0].sync;
+    sim.force_pair(0, 1);
+    sim.force_pair(2, 3);
+
+    let states = sim.states();
+    let a = states[0].collecting().unwrap();
+    let d = states[3].collecting().unwrap();
+
+    // a's tree is now a → b → c (fresh sync on the first edge, and the b–c
+    // sync heard through b on the second).
+    let ab = &a.tree.children()[0];
+    assert_eq!(ab.node.name, states[1].name);
+    assert_ne!(ab.sync, sync_ab_old, "the second a-b interaction regenerated the sync");
+    assert_eq!(ab.node.children.len(), 1);
+    assert_eq!(ab.node.children[0].node.name, states[2].name);
+
+    // d's chain still references the *old* a-b sync, yet the check passes
+    // via the matching b-c edge — exactly the figure's right-hand caption.
+    let paths = d.tree.paths_to(states[0].name);
+    assert_eq!(paths.len(), 1);
+    assert_eq!(paths[0][2].sync, sync_ab_old);
+    assert!(check_path_consistency(&a.tree, states[3].name, &paths[0]));
+}
+
+/// After either execution, a full a-d interaction reports no collision and
+/// the population (with unique names) proceeds to a stable ranking.
+#[test]
+fn figure2_population_stabilizes_afterwards() {
+    let n = 4;
+    let protocol = SublinearTimeSsr::new(n, 3);
+    let mut sim = Simulation::new(protocol.clone(), fresh_agents(&protocol, n), 5);
+    for (i, j) in [(0, 1), (1, 2), (0, 1), (2, 3), (0, 3)] {
+        sim.force_pair(i, j);
+    }
+    assert!(
+        sim.states().iter().all(|s| s.collecting().is_some()),
+        "no reset may be triggered from a clean execution"
+    );
+    let outcome = sim.run_until_stably_ranked(10_000_000, 10 * n as u64);
+    assert!(outcome.is_converged());
+}

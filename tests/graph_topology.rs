@@ -1,0 +1,67 @@
+//! The paper assumes a **complete** interaction graph and calls it "the most
+//! difficult case"; related work (\[25\], \[57\]) studies other topologies.
+//! These tests demonstrate *why* the paper's protocols are stated for the
+//! complete graph: on a ring, Silent-n-state-SSR can freeze in an incorrect
+//! configuration, because the colliding agents may simply never meet.
+
+use population::silence::is_silent_configuration;
+use population::{InteractionGraph, Simulation};
+use ssle::cai_izumi_wada::{CaiIzumiWada, CiwState};
+
+/// On a ring, two agents with equal ranks placed on opposite sides are
+/// never scheduled together; if every *adjacent* pair has distinct ranks,
+/// the configuration is frozen forever despite being incorrect.
+#[test]
+fn cai_izumi_wada_freezes_incorrect_on_a_ring() {
+    let n = 6;
+    let protocol = CaiIzumiWada::new(n);
+    // Ranks around the ring: 0, 1, 2, 0, 1, 2 — adjacent pairs all differ,
+    // equal pairs are 3 hops apart.
+    let initial: Vec<CiwState> = (0..n).map(|k| CiwState::new(k as u32 % 3)).collect();
+    let mut sim =
+        Simulation::with_graph(protocol, initial.clone(), InteractionGraph::Ring, 1);
+    sim.run(2_000_000);
+    assert_eq!(sim.states(), initial.as_slice(), "no adjacent pair can ever fire");
+    assert!(!sim.is_ranked(), "the frozen configuration is incorrect");
+}
+
+/// The same configuration on the complete graph resolves: the duplicates do
+/// meet, and the protocol walks to the full permutation.
+#[test]
+fn the_same_configuration_resolves_on_the_complete_graph() {
+    let n = 6;
+    let protocol = CaiIzumiWada::new(n);
+    let initial: Vec<CiwState> = (0..n).map(|k| CiwState::new(k as u32 % 3)).collect();
+    let mut sim = Simulation::new(protocol, initial, 1);
+    let outcome = sim.run_until_stably_ranked(u64::MAX, 10 * n as u64);
+    assert!(outcome.is_converged());
+}
+
+/// A correct permutation is silent on any topology — restricting the graph
+/// only removes transitions.
+#[test]
+fn permutations_are_silent_on_rings_too() {
+    let n = 8;
+    let protocol = CaiIzumiWada::new(n);
+    let initial: Vec<CiwState> = (0..n as u32).map(CiwState::new).collect();
+    assert!(is_silent_configuration(&protocol, &initial));
+    let mut sim = Simulation::with_graph(protocol, initial, InteractionGraph::Ring, 2);
+    sim.run(100_000);
+    assert!(sim.is_ranked());
+}
+
+/// Sparse arbitrary graphs exhibit the same failure: with the two
+/// duplicates in different components of frequent interaction, the ranking
+/// stalls until the graph actually connects them.
+#[test]
+fn duplicates_must_share_an_edge_to_resolve_on_sparse_graphs() {
+    let n = 4;
+    let protocol = CaiIzumiWada::new(n);
+    // A path 0 – 1 – 2 – 3; agents 0 and 3 share rank 0 but no edge.
+    let graph = InteractionGraph::from_edges(n, vec![(0, 1), (1, 2), (2, 3)]).unwrap();
+    let initial = vec![CiwState::new(0), CiwState::new(1), CiwState::new(2), CiwState::new(0)];
+    let mut sim = Simulation::with_graph(protocol, initial.clone(), graph, 3);
+    sim.run(1_000_000);
+    assert_eq!(sim.states(), initial.as_slice(), "all edges join distinct ranks — frozen");
+    assert!(!sim.is_ranked());
+}

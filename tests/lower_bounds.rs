@@ -1,0 +1,90 @@
+//! Empirical checks of the paper's lower bounds at test scale.
+//!
+//! * **Observation 2.2**: from the silent-config-plus-duplicated-leader
+//!   start, a silent protocol needs the duplicates to meet directly —
+//!   `(n − 1)/2 ≥ n/3` expected parallel time.
+//! * **Sec. 2 barrier argument**: Silent-n-state-SSR needs `Ω(n²)` time from
+//!   the barrier configuration.
+//! * **Ω(log n) for any SSLE protocol**: from all-leaders, a coupon-collector
+//!   argument forces `Ω(log n)` time.
+
+use analysis::Summary;
+use population::runner::derive_seed;
+use population::Simulation;
+use ssle::adversary::observation_2_2_configuration;
+use ssle::cai_izumi_wada::{CaiIzumiWada, CiwState};
+use ssle::optimal_silent::OptimalSilentSsr;
+
+#[test]
+fn observation_2_2_duplicate_meeting_takes_linear_time() {
+    let n = 32;
+    let trials = 40;
+    let protocol = OptimalSilentSsr::new(n);
+    let initial = observation_2_2_configuration(&protocol);
+    let mut times = Vec::new();
+    for trial in 0..trials {
+        let mut sim = Simulation::new(protocol, initial.clone(), derive_seed(5, trial));
+        let (w0, w1) = (initial[0], initial[n - 1]);
+        while sim.states()[0] == w0 && sim.states()[n - 1] == w1 {
+            sim.step();
+        }
+        times.push(sim.parallel_time());
+    }
+    let mean = Summary::from_sample(&times).expect("non-empty").mean();
+    // Theory: exactly (n − 1)/2 = 15.5 expected. Allow wide sampling slack
+    // but demand the Ω(n) order (≫ the O(log n) epidemic scale ≈ 3.5).
+    assert!(mean > n as f64 / 4.0, "mean meet time {mean} too small for Ω(n)");
+    assert!(mean < n as f64 * 2.0, "mean meet time {mean} implausibly large");
+}
+
+#[test]
+fn barrier_configuration_costs_order_n_squared() {
+    let trials = 15;
+    let mean_time = |n: usize| -> f64 {
+        let protocol = CaiIzumiWada::new(n);
+        let mut times = Vec::new();
+        for trial in 0..trials {
+            let mut sim =
+                Simulation::new(protocol, protocol.worst_case_configuration(), derive_seed(9, trial));
+            let outcome = sim.run_until_stably_ranked(u64::MAX, 0);
+            times.push(outcome.parallel_time(n));
+        }
+        Summary::from_sample(&times).expect("non-empty").mean()
+    };
+    let t8 = mean_time(8);
+    let t32 = mean_time(32);
+    // Quadratic growth predicts ×16; linear would predict ×4. Demand ≥ ×7.
+    assert!(
+        t32 / t8 > 7.0,
+        "barrier time grew only {t8} → {t32} (×{:.1}), not quadratic",
+        t32 / t8
+    );
+}
+
+#[test]
+fn all_leaders_respects_the_log_n_lower_bound() {
+    // From the all-rank-0 ("all leaders") configuration, the paper's coupon
+    // collector argument gives an Ω(log n) lower bound on the time to reach
+    // a single leader, for *any* SSLE protocol. The pairwise-elimination
+    // dynamics of Silent-n-state-SSR actually take Θ(n) here; the test
+    // verifies the measured times sit above the log n floor at every size.
+    let trials = 20;
+    let mean_time = |n: usize| -> f64 {
+        let protocol = CaiIzumiWada::new(n);
+        let mut times = Vec::new();
+        for trial in 0..trials {
+            let mut sim =
+                Simulation::new(protocol, vec![CiwState::new(0); n], derive_seed(11, trial));
+            let outcome = sim.run_until(u64::MAX, |states| {
+                states.iter().filter(|s| s.rank == 0).count() == 1
+            });
+            times.push(outcome.parallel_time(n));
+        }
+        Summary::from_sample(&times).expect("non-empty").mean()
+    };
+    for n in [16usize, 64, 256] {
+        let t = mean_time(n);
+        let floor = (n as f64).ln() / 2.0;
+        assert!(t > floor, "n = {n}: mean time {t} violates the Ω(log n) floor {floor}");
+    }
+}

@@ -1,0 +1,100 @@
+//! End-to-end pipeline: adversary → simulation → runner → statistics, the
+//! exact path the Table 1 harness takes, validated at test scale.
+
+use analysis::{power_law_fit, quantile, Summary};
+use ssle_bench::{measure_ciw, measure_oss, measure_sublinear, CiwStart, OssStart, SubStart};
+use ssle_bench::TimeSummary;
+
+#[test]
+fn table1_shape_holds_at_test_scale() {
+    // Who wins: quadratic baseline ≫ linear protocol at even modest n.
+    let n = 32;
+    let trials = 6;
+    let ciw = TimeSummary::from_sample(&measure_ciw(n, CiwStart::Random, trials, 1)).unwrap();
+    let oss = TimeSummary::from_sample(&measure_oss(n, OssStart::Random, trials, 1)).unwrap();
+    assert!(
+        ciw.mean > oss.mean,
+        "Θ(n²) baseline ({}) should already lose to Θ(n) ({}) at n = {n}",
+        ciw.mean,
+        oss.mean
+    );
+}
+
+#[test]
+fn ciw_scaling_exponent_is_near_two() {
+    let ns = [8usize, 16, 32, 64];
+    let trials = 8;
+    let means: Vec<f64> = ns
+        .iter()
+        .map(|&n| {
+            let s = measure_ciw(n, CiwStart::Random, trials, 2);
+            Summary::from_sample(&s.parallel_times).unwrap().mean()
+        })
+        .collect();
+    let xs: Vec<f64> = ns.iter().map(|&n| n as f64).collect();
+    let fit = power_law_fit(&xs, &means).unwrap();
+    assert!(
+        (1.6..=2.6).contains(&fit.exponent),
+        "expected quadratic-ish exponent, got {} (r² = {})",
+        fit.exponent,
+        fit.r_squared
+    );
+}
+
+#[test]
+fn oss_scaling_exponent_is_near_one() {
+    let ns = [16usize, 32, 64, 128];
+    let trials = 8;
+    let means: Vec<f64> = ns
+        .iter()
+        .map(|&n| {
+            let s = measure_oss(n, OssStart::Random, trials, 3);
+            Summary::from_sample(&s.parallel_times).unwrap().mean()
+        })
+        .collect();
+    let xs: Vec<f64> = ns.iter().map(|&n| n as f64).collect();
+    let fit = power_law_fit(&xs, &means).unwrap();
+    assert!(
+        (0.6..=1.4).contains(&fit.exponent),
+        "expected linear-ish exponent, got {} (r² = {})",
+        fit.exponent,
+        fit.r_squared
+    );
+}
+
+#[test]
+fn sublinear_beats_linear_scaling() {
+    let ns = [16usize, 32, 64];
+    let trials = 5;
+    let means: Vec<f64> = ns
+        .iter()
+        .map(|&n| {
+            let s = measure_sublinear(n, 2, SubStart::PlantedCollision, trials, 4);
+            Summary::from_sample(&s.parallel_times).unwrap().mean()
+        })
+        .collect();
+    let xs: Vec<f64> = ns.iter().map(|&n| n as f64).collect();
+    let fit = power_law_fit(&xs, &means).unwrap();
+    assert!(
+        fit.exponent < 0.75,
+        "H = 2 should scale clearly sublinearly, got exponent {}",
+        fit.exponent
+    );
+}
+
+#[test]
+fn whp_column_dominates_the_mean() {
+    let s = measure_oss(32, OssStart::Random, 12, 5);
+    let mean = Summary::from_sample(&s.parallel_times).unwrap().mean();
+    let p95 = quantile(&s.parallel_times, 0.95).unwrap();
+    assert!(p95 >= mean, "a 95th percentile below the mean is impossible here");
+}
+
+#[test]
+fn measurements_are_deterministic_given_the_seed() {
+    let a = measure_oss(16, OssStart::AllRankOne, 4, 99);
+    let b = measure_oss(16, OssStart::AllRankOne, 4, 99);
+    assert_eq!(a, b);
+    let c = measure_oss(16, OssStart::AllRankOne, 4, 100);
+    assert_ne!(a, c, "different seeds should give different samples");
+}

@@ -1,0 +1,77 @@
+//! Experiment E9 — **Theorem 2.1**'s strong-nonuniformity demonstration.
+//!
+//! The paper's argument: a protocol claimed correct for population size `n₁`
+//! cannot use the same transitions at a larger size `n₂`. Concretely for the
+//! `n₁`-state protocol of Cai–Izumi–Wada: in a population of `n₂ > n₁`
+//! agents there are more agents than states, so any "single-leader"
+//! configuration contains duplicated ranks (pigeonhole); the duplicates keep
+//! interacting and their ranks wrap modulo `n₁` until a *second* rank-0
+//! leader appears. The allegedly stable configuration is not stable — which
+//! is why every SSLE protocol must hardcode the exact population size.
+
+use population::Simulation;
+use ssle::cai_izumi_wada::{CaiIzumiWada, CiwState};
+
+#[test]
+fn protocol_for_smaller_population_breaks_in_larger_one() {
+    let n1 = 6; // the size the transitions were designed for
+    let n2 = 10; // the size they actually run at
+
+    // A single-leader configuration of n2 agents over the n1-state space:
+    // one agent at rank 0, the rest spread over ranks 1..n1 (duplicates are
+    // unavoidable by pigeonhole).
+    let small_rules = CaiIzumiWada::new(n1);
+    let initial: Vec<CiwState> =
+        (0..n2).map(|k| CiwState::new(if k == 0 { 0 } else { 1 + (k as u32 - 1) % 5 })).collect();
+    assert_eq!(initial.iter().filter(|s| s.rank == 0).count(), 1, "single leader initially");
+
+    let mut sim = Simulation::new(small_rules, initial, 42);
+    let outcome = sim.run_until(50_000_000, |states| {
+        states.iter().filter(|s| s.rank == 0).count() >= 2
+    });
+    assert!(
+        outcome.is_converged(),
+        "the duplicated ranks must eventually wrap around and mint a second leader"
+    );
+}
+
+#[test]
+fn second_leader_keeps_reappearing_forever() {
+    // Not a one-off glitch: under the wrong-size transitions the population
+    // can never stabilize to a single leader — whenever it gets down to one
+    // leader, the surplus agents mint another.
+    let n1 = 4;
+    let n2 = 7;
+    let small_rules = CaiIzumiWada::new(n1);
+    let initial: Vec<CiwState> =
+        (0..n2).map(|k| CiwState::new(k as u32 % n1 as u32)).collect();
+    let mut sim = Simulation::new(small_rules, initial, 43);
+    let mut excursions = 0;
+    for _ in 0..200_000 {
+        sim.step();
+        if sim.states().iter().filter(|s| s.rank == 0).count() >= 2 {
+            excursions += 1;
+        }
+    }
+    assert!(
+        excursions > 100,
+        "multi-leader configurations should recur constantly, saw {excursions}"
+    );
+}
+
+#[test]
+fn knowing_exact_n_prevents_the_embedding_failure() {
+    // With the correct (strongly nonuniform) protocol for n2, the same
+    // single-leader shape over the *full* state space is a permutation —
+    // silent and stable.
+    let n2 = 10;
+    let big = CaiIzumiWada::new(n2);
+    let stable: Vec<CiwState> = (0..n2 as u32).map(CiwState::new).collect();
+    let mut sim = Simulation::new(big, stable, 7);
+    sim.run(1_000_000);
+    assert_eq!(
+        sim.states().iter().filter(|s| s.rank == 0).count(),
+        1,
+        "the true-n protocol keeps exactly one leader forever"
+    );
+}

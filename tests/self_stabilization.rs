@@ -1,0 +1,130 @@
+//! Cross-crate integration: every protocol stabilizes from every family of
+//! adversarial initial configurations, and the stabilized configuration has
+//! the properties the paper claims (unique ranking, unique leader, silence
+//! where applicable).
+
+use population::runner::{derive_seed, rng_from_seed};
+use population::silence::is_silent_configuration;
+use population::{RankingProtocol, Simulation};
+use ssle::adversary;
+use ssle::cai_izumi_wada::CaiIzumiWada;
+use ssle::optimal_silent::OptimalSilentSsr;
+use ssle::sublinear::SublinearTimeSsr;
+
+const SEEDS: u64 = 5;
+
+#[test]
+fn cai_izumi_wada_stabilizes_from_random_configurations() {
+    let n = 16;
+    for trial in 0..SEEDS {
+        let protocol = CaiIzumiWada::new(n);
+        let mut rng = rng_from_seed(derive_seed(100, trial));
+        let initial = adversary::random_ciw_configuration(&protocol, &mut rng);
+        let mut sim = Simulation::new(protocol, initial, derive_seed(101, trial));
+        let outcome = sim.run_until_stably_ranked(u64::MAX, 10 * n as u64);
+        assert!(outcome.is_converged());
+        assert!(is_silent_configuration(sim.protocol(), sim.states()));
+        assert_eq!(sim.leader_count(), 1);
+    }
+}
+
+#[test]
+fn optimal_silent_stabilizes_from_random_configurations() {
+    let n = 16;
+    for trial in 0..SEEDS {
+        let protocol = OptimalSilentSsr::new(n);
+        let mut rng = rng_from_seed(derive_seed(200, trial));
+        let initial = adversary::random_oss_configuration(&protocol, &mut rng);
+        let mut sim = Simulation::new(protocol, initial, derive_seed(201, trial));
+        let outcome = sim.run_until_stably_ranked(u64::MAX, 10 * n as u64);
+        assert!(outcome.is_converged(), "trial {trial}");
+        assert!(is_silent_configuration(sim.protocol(), sim.states()));
+        assert_eq!(sim.leader_count(), 1);
+    }
+}
+
+#[test]
+fn sublinear_stabilizes_from_random_configurations_at_every_depth() {
+    let n = 12;
+    for h in 0..=2 {
+        for trial in 0..3 {
+            let protocol = SublinearTimeSsr::new(n, h);
+            let mut rng = rng_from_seed(derive_seed(300 + h as u64, trial));
+            let initial = adversary::random_sublinear_configuration(&protocol, &mut rng);
+            let mut sim = Simulation::new(protocol, initial, derive_seed(301 + h as u64, trial));
+            let outcome = sim.run_until_stably_ranked(400_000_000, 10 * n as u64);
+            assert!(outcome.is_converged(), "h = {h}, trial {trial}: {outcome:?}");
+            assert_eq!(sim.leader_count(), 1);
+        }
+    }
+}
+
+#[test]
+fn stabilized_ranking_is_a_permutation_of_1_to_n() {
+    let n = 20;
+    let protocol = OptimalSilentSsr::new(n);
+    let mut rng = rng_from_seed(7);
+    let initial = adversary::random_oss_configuration(&protocol, &mut rng);
+    let mut sim = Simulation::new(protocol, initial, 8);
+    assert!(sim.run_until_stably_ranked(u64::MAX, 10 * n as u64).is_converged());
+    let mut ranks: Vec<usize> =
+        sim.states().iter().map(|s| sim.protocol().rank_of(s).expect("settled")).collect();
+    ranks.sort_unstable();
+    assert_eq!(ranks, (1..=n).collect::<Vec<_>>());
+}
+
+#[test]
+fn stabilized_configuration_survives_a_long_followup() {
+    // Stability, not just convergence: keep running well past stabilization
+    // and verify the ranking never breaks (for the silent protocols, silence
+    // means it literally cannot).
+    let n = 12;
+    let protocol = OptimalSilentSsr::new(n);
+    let mut rng = rng_from_seed(17);
+    let initial = adversary::random_oss_configuration(&protocol, &mut rng);
+    let mut sim = Simulation::new(protocol, initial, 18);
+    assert!(sim.run_until_stably_ranked(u64::MAX, 0).is_converged());
+    for _ in 0..50 {
+        sim.run(10_000);
+        assert!(sim.is_ranked(), "a silent stabilized configuration must never change");
+    }
+}
+
+#[test]
+fn sublinear_ranked_configuration_is_safe_under_continued_interaction() {
+    // The non-silent protocol keeps exchanging sync values forever; the
+    // safety property says the ranking nevertheless never breaks from a
+    // unique-name configuration.
+    let n = 10;
+    let protocol = SublinearTimeSsr::new(n, 2);
+    let initial = adversary::unique_names_configuration(&protocol);
+    let mut sim = Simulation::new(protocol, initial, 19);
+    assert!(sim.run_until_stably_ranked(200_000_000, 0).is_converged());
+    for _ in 0..20 {
+        sim.run(20_000);
+        assert!(sim.is_ranked(), "no false collision may ever reset a clean population");
+    }
+}
+
+#[test]
+fn recovery_after_mid_run_corruption() {
+    // Transient-fault story: corrupt a third of the agents of a stabilized
+    // population and verify re-stabilization (the crux of self-stabilization
+    // versus mere convergence).
+    let n = 15;
+    let protocol = OptimalSilentSsr::new(n);
+    let initial = adversary::ranked_oss_configuration(&protocol);
+    let sim = Simulation::new(protocol, initial, 21);
+    assert!(sim.is_ranked());
+
+    let mut corrupted = sim.states().to_vec();
+    let mut rng = rng_from_seed(22);
+    let sample = adversary::random_oss_configuration(&protocol, &mut rng);
+    for k in 0..n / 3 {
+        corrupted[k * 3] = sample[k * 3];
+    }
+    let mut sim = Simulation::new(protocol, corrupted, 23);
+    let outcome = sim.run_until_stably_ranked(u64::MAX, 10 * n as u64);
+    assert!(outcome.is_converged());
+    assert_eq!(sim.leader_count(), 1);
+}

@@ -1,0 +1,110 @@
+//! Torture sweep: every self-stabilizing protocol, many independent
+//! adversarial starting configurations, moderate populations — the blunt
+//! instrument that catches interaction-ordering bugs the targeted tests
+//! miss. Sizes are chosen so the whole file stays fast in debug builds.
+
+use population::runner::{derive_seed, rng_from_seed};
+use population::{RankingProtocol, Simulation};
+use rand::Rng;
+use ssle::adversary;
+use ssle::cai_izumi_wada::CaiIzumiWada;
+use ssle::composition::{ComposedState, LeaderAligned};
+use ssle::optimal_silent::OptimalSilentSsr;
+use ssle::sublinear::SublinearTimeSsr;
+
+const SWEEP: u64 = 12;
+
+#[test]
+fn ciw_sweep() {
+    for trial in 0..SWEEP {
+        let n = 6 + (trial as usize % 7);
+        let protocol = CaiIzumiWada::new(n);
+        let mut rng = rng_from_seed(derive_seed(0xc1, trial));
+        let initial = adversary::random_ciw_configuration(&protocol, &mut rng);
+        let mut sim = Simulation::new(protocol, initial, derive_seed(0xc2, trial));
+        assert!(
+            sim.run_until_stably_ranked(u64::MAX, 6 * n as u64).is_converged(),
+            "trial {trial} (n = {n})"
+        );
+        assert_eq!(sim.leader_count(), 1);
+    }
+}
+
+#[test]
+fn oss_sweep() {
+    for trial in 0..SWEEP {
+        let n = 6 + (trial as usize % 7);
+        let protocol = OptimalSilentSsr::new(n);
+        let mut rng = rng_from_seed(derive_seed(0xa1, trial));
+        let initial = adversary::random_oss_configuration(&protocol, &mut rng);
+        let mut sim = Simulation::new(protocol, initial, derive_seed(0xa2, trial));
+        assert!(
+            sim.run_until_stably_ranked(u64::MAX, 6 * n as u64).is_converged(),
+            "trial {trial} (n = {n})"
+        );
+    }
+}
+
+#[test]
+fn sublinear_sweep_over_depths() {
+    for trial in 0..SWEEP {
+        let n = 6 + (trial as usize % 4);
+        let h = (trial % 3) as u32;
+        let protocol = SublinearTimeSsr::new(n, h);
+        let mut rng = rng_from_seed(derive_seed(0xb1, trial));
+        let initial = adversary::random_sublinear_configuration(&protocol, &mut rng);
+        let mut sim = Simulation::new(protocol, initial, derive_seed(0xb2, trial));
+        assert!(
+            sim.run_until_stably_ranked(600_000_000, 6 * n as u64).is_converged(),
+            "trial {trial} (n = {n}, h = {h})"
+        );
+    }
+}
+
+#[test]
+fn composed_sweep() {
+    for trial in 0..SWEEP / 2 {
+        let n = 8;
+        let upstream = OptimalSilentSsr::new(n);
+        let protocol = LeaderAligned::new(upstream);
+        let mut rng = rng_from_seed(derive_seed(0xd1, trial));
+        let initial: Vec<_> = adversary::random_oss_configuration(&upstream, &mut rng)
+            .into_iter()
+            .map(|s| ComposedState { upstream: s, parity: rng.gen() })
+            .collect();
+        let mut sim = Simulation::new(protocol, initial, derive_seed(0xd2, trial));
+        let outcome = sim.run_until(u64::MAX, |states| {
+            LeaderAligned::<OptimalSilentSsr>::is_aligned(states)
+                && {
+                    let mut seen = vec![false; n];
+                    states.iter().all(|s| match upstream.rank_of(&s.upstream) {
+                        Some(r) => !std::mem::replace(&mut seen[r - 1], true),
+                        None => false,
+                    })
+                }
+        });
+        assert!(outcome.is_converged(), "trial {trial}");
+    }
+}
+
+#[test]
+fn repeated_faults_never_wedge_the_population() {
+    // Inject waves of corruption into a live run; after the last wave the
+    // population must still stabilize (self-stabilization is memoryless).
+    let n = 10;
+    let protocol = OptimalSilentSsr::new(n);
+    let mut fault_rng = rng_from_seed(0xfae);
+    let initial = adversary::random_oss_configuration(&protocol, &mut fault_rng);
+    let mut sim = Simulation::new(protocol, initial, 0xfad);
+    for _wave in 0..8 {
+        sim.run(5_000);
+        let victims = fault_rng.gen_range(1..=n / 2);
+        for _ in 0..victims {
+            let v = fault_rng.gen_range(0..n);
+            let state = adversary::random_oss_configuration(&protocol, &mut fault_rng)[0];
+            sim.inject_fault(v, state);
+        }
+    }
+    assert!(sim.run_until_stably_ranked(u64::MAX, 6 * n as u64).is_converged());
+    assert_eq!(sim.leader_count(), 1);
+}
