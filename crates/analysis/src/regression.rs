@@ -103,7 +103,7 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
 /// assert!((fit.coefficient - 3.0).abs() < 1e-9);
 /// ```
 pub fn power_law_fit(xs: &[f64], ys: &[f64]) -> Option<PowerLawFit> {
-    if xs.len() != ys.len() || xs.iter().chain(ys).any(|&v| !(v > 0.0) || !v.is_finite()) {
+    if xs.len() != ys.len() || xs.iter().chain(ys).any(|&v| !v.is_finite() || v <= 0.0) {
         return None;
     }
     let log_x: Vec<f64> = xs.iter().map(|x| x.ln()).collect();

@@ -14,19 +14,19 @@ use std::cell::Cell;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use population::{Runner, TrialSettings};
+use ssle::adversary;
 use ssle::optimal_silent::{OptimalSilentSsr, OssState};
 use ssle::reset::ResetParams;
 use ssle::sublinear::collision::CollisionParams;
 use ssle::sublinear::SublinearTimeSsr;
-use ssle::adversary;
 
 fn run_oss(n: usize, d_max_mult: u32, r_max_mult: f64, seed: u64) {
     let r_max = ResetParams::r_max_for(n, r_max_mult);
     let reset = ResetParams::new(r_max, d_max_mult * n as u32).expect("positive");
     let protocol = OptimalSilentSsr::with_params(n, 10 * n as u32, reset);
     let settings = TrialSettings::new(1, seed, 4000 * (n as u64).pow(2), 4 * n as u64);
-    let sample = Runner::new(settings)
-        .measure_ranking(|_, _| (protocol, vec![OssState::settled(1, 0); n]));
+    let sample =
+        Runner::new(settings).measure_ranking(|_, _| (protocol, vec![OssState::settled(1, 0); n]));
     assert!(sample.all_converged());
 }
 

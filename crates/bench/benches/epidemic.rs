@@ -29,9 +29,7 @@ fn bench_epidemics(c: &mut Criterion) {
     });
 
     let seed = Cell::new(1u64);
-    group.bench_function("roll_call/n512", |b| {
-        b.iter(|| roll_call_time(n, next_seed(&seed)))
-    });
+    group.bench_function("roll_call/n512", |b| b.iter(|| roll_call_time(n, next_seed(&seed))));
 
     let seed = Cell::new(1u64);
     group.bench_function("bounded_tau2/n512", |b| {

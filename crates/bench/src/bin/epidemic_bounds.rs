@@ -16,9 +16,7 @@
 //! ```
 
 use analysis::{power_law_fit, Summary};
-use population::epidemic::{
-    bounded_epidemic_times, epidemic_time, roll_call_time, EpidemicKind,
-};
+use population::epidemic::{bounded_epidemic_times, epidemic_time, roll_call_time, EpidemicKind};
 use population::runner::derive_seed;
 use ssle_bench::cli::Flags;
 

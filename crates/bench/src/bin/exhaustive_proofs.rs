@@ -19,7 +19,7 @@
 //! ```
 
 use ssle::cai_izumi_wada::{CaiIzumiWada, CiwState};
-use ssle::initialized::{FightProtocol, FightState, TreeRanking, TreeRankState};
+use ssle::initialized::{FightProtocol, FightState, TreeRankState, TreeRanking};
 use ssle::loose::{LooseState, LooselyStabilizingLe};
 use ssle_bench::cli::Flags;
 use verify::{verify_self_stabilization, Config, Verdict};
@@ -53,8 +53,7 @@ fn main() {
 
     // Theorem 2.1's failure mode.
     let (n1, n2) = (3usize, 4usize);
-    let one_leader =
-        |c: &Config<CiwState>| c.states().iter().filter(|s| s.rank == 0).count() == 1;
+    let one_leader = |c: &Config<CiwState>| c.states().iter().filter(|s| s.rank == 0).count() == 1;
     match verify_self_stabilization(&CaiIzumiWada::new(n1), &ciw_universe(n1), n2, one_leader) {
         Verdict::CorrectNotClosed { from, to } => println!(
             "\nn₁ = {n1} transitions in an n₂ = {n2} population: NOT stable (Theorem 2.1)\n  counterexample: {from:?} → {to:?}"
@@ -72,9 +71,9 @@ fn main() {
         5,
         fight_correct,
     ) {
-        Verdict::CorrectUnreachable { stuck } => println!(
-            "\nℓ,ℓ → ℓ,f at n = 5: NOT self-stabilizing; dead configuration {stuck:?}"
-        ),
+        Verdict::CorrectUnreachable { stuck } => {
+            println!("\nℓ,ℓ → ℓ,f at n = 5: NOT self-stabilizing; dead configuration {stuck:?}")
+        }
         other => println!("\nfight check: UNEXPECTED {other:?}"),
     }
 

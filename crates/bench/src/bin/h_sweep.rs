@@ -18,30 +18,39 @@
 //! Optimal-Silent-SSR time at the same `n` so the silent-vs-non-silent
 //! crossover is visible.
 //!
+//! With `--json-out <path>` the per-trial stabilization measurements are
+//! written as a JSONL record stream (schema: `results/README.md`).
+//!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p ssle-bench --bin h_sweep -- \
-//!     [--trials 15] [--seed 1] [--n 64] [--max-h 6]
+//!     [--trials 15] [--seed 1] [--n 64] [--max-h 6] [--threads auto] \
+//!     [--json-out results/h_sweep.jsonl]
 //! ```
 
 use analysis::{quantile, Summary};
+use population::record::{to_jsonl, RunRecord};
 use population::runner::derive_seed;
-use population::Simulation;
+use population::{ConvergenceSample, Simulation};
 use ssle::adversary;
 use ssle::reset::ResetView;
 use ssle::state_space::sublinear_log2_states;
 use ssle::SublinearTimeSsr;
 use ssle_bench::cli::Flags;
-use ssle_bench::{measure_oss, measure_sublinear, OssStart, SubStart, TimeSummary};
+use ssle_bench::{measure_oss_trials, measure_sublinear_trials, OssStart, SubStart, TimeSummary};
+
+const EXPERIMENT: &str = "h_sweep";
 
 fn main() {
-    let flags = Flags::parse(&["trials", "seed", "n", "max-h"]);
+    let flags = Flags::parse(&["trials", "seed", "n", "max-h", "threads", "json-out"]);
     let trials: u64 = flags.get("trials", 15);
     let seed: u64 = flags.get("seed", 1);
     let n: usize = flags.get("n", 64);
     let default_max_h = SublinearTimeSsr::name_bits_for(n) as u32 / 3; // ⌈log₂ n⌉
     let max_h: u32 = flags.get("max-h", default_max_h);
+    let threads = flags.threads();
+    let mut records: Vec<RunRecord> = Vec::new();
 
     println!("Sublinear-Time-SSR H-sweep at n = {n} ({trials} trials/point, seed {seed})");
     println!("start: unique names + one planted collision (detection is the bottleneck)\n");
@@ -57,30 +66,37 @@ fn main() {
             let protocol = SublinearTimeSsr::new(n, h);
             let initial = adversary::planted_collision_configuration(&protocol);
             let mut sim = Simulation::new(protocol, initial, derive_seed(seed, trial));
-            let outcome =
-                sim.run_until(u64::MAX, |states| states.iter().any(|s| s.is_resetting()));
+            let outcome = sim.run_until(u64::MAX, |states| states.iter().any(|s| s.is_resetting()));
             detect_times.push(outcome.parallel_time(n));
         }
         let detect = Summary::from_sample(&detect_times).expect("non-empty");
         let detect_p95 = quantile(&detect_times, 0.95).expect("non-empty");
 
-        let t = TimeSummary::from_sample(&measure_sublinear(
-            n,
-            h,
-            SubStart::PlantedCollision,
-            trials,
-            seed,
-        ))
-        .expect("trials converge");
+        let outcomes =
+            measure_sublinear_trials(n, h, SubStart::PlantedCollision, trials, seed, threads);
+        records.extend(
+            outcomes.iter().map(|o| o.to_record(EXPERIMENT, "sublinear", Some(h as u64), seed)),
+        );
+        let t = TimeSummary::from_sample(&ConvergenceSample::from_trials(&outcomes))
+            .expect("trials converge");
         let paper = format!("H·n^(1/{})", h + 1);
         let bits = sublinear_log2_states(&SublinearTimeSsr::new(n, h));
         println!(
             "{:>4} {:>14} | {:>10.1} {:>10.1} | {:>10.1} {:>8.1} {:>10.1} | {:>14.0}",
-            h, paper, detect.mean(), detect_p95, t.mean, t.ci95_half, t.p95, bits
+            h,
+            paper,
+            detect.mean(),
+            detect_p95,
+            t.mean,
+            t.ci95_half,
+            t.p95,
+            bits
         );
     }
 
-    let oss = TimeSummary::from_sample(&measure_oss(n, OssStart::AllRankOne, trials, seed))
+    let oss_outcomes = measure_oss_trials(n, OssStart::AllRankOne, trials, seed, threads);
+    records.extend(oss_outcomes.iter().map(|o| o.to_record(EXPERIMENT, "oss", None, seed)));
+    let oss = TimeSummary::from_sample(&ConvergenceSample::from_trials(&oss_outcomes))
         .expect("trials converge");
     println!(
         "\nreference: Optimal-Silent-SSR from an all-rank-1 collision at n = {n}: E[time] = {:.1} (Θ(n), O(n) states)",
@@ -88,4 +104,10 @@ fn main() {
     );
     println!("expected shape: detection falls as Θ(H·n^(1/(H+1))); the total adds a");
     println!("Θ(log n) reset/collection floor shared by every depth; state bits explode with H.");
+
+    if let Some(path) = flags.try_get_str("json-out") {
+        std::fs::write(path, to_jsonl(&records))
+            .unwrap_or_else(|e| panic!("cannot write --json-out {path:?}: {e}"));
+        println!("\nwrote {} records to {path} (schema: results/README.md)", records.len());
+    }
 }

@@ -11,7 +11,7 @@
 //! * **holding** — parallel time the unique leader then persists before a
 //!   spurious timeout mints another (censored at `--horizon`).
 //!
-//! The expected shape: an undersized `T_max` (≈ log n) never settles — 
+//! The expected shape: an undersized `T_max` (≈ log n) never settles —
 //! spurious timeouts keep minting leaders; once `T_max` clears the
 //! epidemic scale, convergence is dominated by the Θ(n) leader fight while
 //! holding time explodes with `T_max` — the knob trades memory for
@@ -40,10 +40,7 @@ fn main() {
     let log_n = (n as f64).log2().ceil() as u32;
     println!("Loosely-stabilizing leader election at n = {n} ({trials} trials/point, seed {seed})");
     println!("start: all followers with drained timers; holding censored at {horizon} time\n");
-    println!(
-        "{:>8} | {:>12} | {:>14} | {:>10}",
-        "T_max", "E[converge]", "E[hold]", "censored"
-    );
+    println!("{:>8} | {:>12} | {:>14} | {:>10}", "T_max", "E[converge]", "E[hold]", "censored");
 
     for mult in [1u32, 2, 4, 8, 16, 32] {
         let t_max = mult * log_n;
@@ -59,8 +56,7 @@ fn main() {
             // Holding: run until a second leader appears or the horizon.
             let start = sim.parallel_time();
             let budget = sim.interactions() + (horizon * n as f64) as u64;
-            let broke =
-                sim.run_until(budget, |s| LooselyStabilizingLe::leader_count(s) > 1);
+            let broke = sim.run_until(budget, |s| LooselyStabilizingLe::leader_count(s) > 1);
             if broke.is_converged() {
                 hold_times.push(sim.parallel_time() - start);
             } else {

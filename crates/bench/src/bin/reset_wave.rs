@@ -51,10 +51,8 @@ fn one_wave(n: usize, seed: u64) -> (f64, f64) {
     let mut initial = ssle::adversary::unique_names_configuration(&protocol);
     initial[0] = protocol.triggered_state();
     let mut sim = Simulation::new(protocol, initial, seed);
-    let dormant =
-        sim.run_until(u64::MAX, |s| s.iter().all(is_dormant)).parallel_time(n);
-    let recovered =
-        sim.run_until(u64::MAX, |s| s.iter().all(is_computing)).parallel_time(n);
+    let dormant = sim.run_until(u64::MAX, |s| s.iter().all(is_dormant)).parallel_time(n);
+    let recovered = sim.run_until(u64::MAX, |s| s.iter().all(is_computing)).parallel_time(n);
     (dormant, recovered)
 }
 

@@ -92,8 +92,7 @@ fn main() {
     let initial = observation_2_2_configuration(&protocol);
     let mut meet_times = Vec::new();
     for trial in 0..(4 * trials) {
-        let mut sim =
-            Simulation::new(protocol, initial.clone(), derive_seed(seed ^ 0x7a11, trial));
+        let mut sim = Simulation::new(protocol, initial.clone(), derive_seed(seed ^ 0x7a11, trial));
         let (w0, w1) = (initial[0], initial[n_tail - 1]);
         while sim.states()[0] == w0 && sim.states()[n_tail - 1] == w1 {
             sim.step();

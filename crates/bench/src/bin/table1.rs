@@ -8,20 +8,31 @@
 //! empirical scaling exponent so the paper's `Θ(n²)` / `Θ(n)` /
 //! `Θ(H·n^{1/(H+1)})` shapes can be compared directly.
 //!
+//! With `--json-out <path>` the raw per-trial measurements are additionally
+//! written as a JSONL record stream (see `results/README.md` for the
+//! schema), which `ssle report` re-analyzes without re-running anything.
+//!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p ssle-bench --bin table1 -- \
 //!     [--trials 25] [--seed 1] [--max-n-ciw 128] [--max-n-oss 256] \
-//!     [--max-n-sub 64] [--h 2]
+//!     [--max-n-sub 64] [--h 2] [--threads auto] [--json-out results/table1.jsonl]
 //! ```
 
 use analysis::power_law_fit;
-use ssle_bench::cli::Flags;
-use ssle_bench::{measure_ciw, measure_oss, measure_sublinear, CiwStart, OssStart, SubStart};
-use ssle_bench::TimeSummary;
+use population::record::{to_jsonl, RunRecord};
+use population::ConvergenceSample;
 use ssle::state_space;
 use ssle::{CaiIzumiWada, OptimalSilentSsr, SublinearTimeSsr};
+use ssle_bench::cli::Flags;
+use ssle_bench::TimeSummary;
+use ssle_bench::{
+    measure_ciw_fast_trials, measure_ciw_trials, measure_oss_trials, measure_sublinear_trials,
+    CiwStart, OssStart, SubStart,
+};
+
+const EXPERIMENT: &str = "table1";
 
 fn grid(max_n: usize) -> Vec<usize> {
     let mut ns = Vec::new();
@@ -45,28 +56,43 @@ fn report_fit(label: &str, ns: &[usize], means: &[f64]) {
 }
 
 fn main() {
-    let flags = Flags::parse(&["trials", "seed", "max-n-ciw", "max-n-oss", "max-n-sub", "h"]);
+    let flags = Flags::parse(&[
+        "trials",
+        "seed",
+        "max-n-ciw",
+        "max-n-oss",
+        "max-n-sub",
+        "h",
+        "threads",
+        "json-out",
+    ]);
     let trials: u64 = flags.get("trials", 25);
     let seed: u64 = flags.get("seed", 1);
     let max_ciw: usize = flags.get("max-n-ciw", 128);
     let max_oss: usize = flags.get("max-n-oss", 256);
     let max_sub: usize = flags.get("max-n-sub", 64);
     let h: u32 = flags.get("h", 2);
+    let threads = flags.threads();
+    let mut records: Vec<RunRecord> = Vec::new();
 
     println!("Table 1 — self-stabilizing ranking protocols (times in parallel time units)");
-    println!("{trials} trials per point, seed {seed}; initial configurations: adversarial random\n");
-    let header = format!(
-        "{:>6} {:>10} {:>8} {:>10}   {:>12}",
-        "n", "E[time]", "±95%", "WHP(p95)", "states"
+    println!(
+        "{trials} trials per point, seed {seed}; initial configurations: adversarial random\n"
     );
+    let header =
+        format!("{:>6} {:>10} {:>8} {:>10}   {:>12}", "n", "E[time]", "±95%", "WHP(p95)", "states");
 
     // --- Row 1: Silent-n-state-SSR (Cai–Izumi–Wada), Θ(n²), n states ---
-    println!("Silent-n-state-SSR [Cai–Izumi–Wada]  (paper: Θ(n²) expected, Θ(n²) WHP, n states, silent)");
+    println!(
+        "Silent-n-state-SSR [Cai–Izumi–Wada]  (paper: Θ(n²) expected, Θ(n²) WHP, n states, silent)"
+    );
     println!("{header}");
     let ns = grid(max_ciw);
     let mut means = Vec::new();
     for &n in &ns {
-        let sample = measure_ciw(n, CiwStart::Random, trials, seed);
+        let outcomes = measure_ciw_trials(n, CiwStart::Random, trials, seed, threads);
+        records.extend(outcomes.iter().map(|o| o.to_record(EXPERIMENT, "ciw", None, seed)));
+        let sample = ConvergenceSample::from_trials(&outcomes);
         let t = TimeSummary::from_sample(&sample).expect("at least one trial must converge");
         means.push(t.mean);
         println!("{:>6} {}   {:>12}", n, t, state_space::cai_izumi_wada_states(n));
@@ -82,7 +108,9 @@ fn main() {
     let ns = grid(8 * max_ciw);
     let mut means = Vec::new();
     for &n in &ns {
-        let sample = ssle_bench::measure_ciw_fast(n, CiwStart::Random, trials, seed);
+        let outcomes = measure_ciw_fast_trials(n, CiwStart::Random, trials, seed);
+        records.extend(outcomes.iter().map(|o| o.to_record(EXPERIMENT, "ciw-fast", None, seed)));
+        let sample = ConvergenceSample::from_trials(&outcomes);
         let t = TimeSummary::from_sample(&sample).expect("jump chain always converges");
         means.push(t.mean);
         println!("{:>6} {}   {:>12}", n, t, state_space::cai_izumi_wada_states(n));
@@ -96,7 +124,9 @@ fn main() {
     let ns = grid(max_oss);
     let mut means = Vec::new();
     for &n in &ns {
-        let sample = measure_oss(n, OssStart::Random, trials, seed);
+        let outcomes = measure_oss_trials(n, OssStart::Random, trials, seed, threads);
+        records.extend(outcomes.iter().map(|o| o.to_record(EXPERIMENT, "oss", None, seed)));
+        let sample = ConvergenceSample::from_trials(&outcomes);
         let t = TimeSummary::from_sample(&sample).expect("at least one trial must converge");
         means.push(t.mean);
         println!(
@@ -118,7 +148,11 @@ fn main() {
     let ns = grid(max_sub);
     let mut means = Vec::new();
     for &n in &ns {
-        let sample = measure_sublinear(n, h, SubStart::Random, trials, seed);
+        let outcomes = measure_sublinear_trials(n, h, SubStart::Random, trials, seed, threads);
+        records.extend(
+            outcomes.iter().map(|o| o.to_record(EXPERIMENT, "sublinear", Some(h as u64), seed)),
+        );
+        let sample = ConvergenceSample::from_trials(&outcomes);
         let t = TimeSummary::from_sample(&sample).expect("at least one trial must converge");
         means.push(t.mean);
         println!(
@@ -128,12 +162,14 @@ fn main() {
             state_space::sublinear_log2_states(&SublinearTimeSsr::new(n, h))
         );
     }
-    report_fit(
-        &format!("expect well below 1, ≈ 1/{} plus reset overhead", h + 1),
-        &ns,
-        &means,
-    );
+    report_fit(&format!("expect well below 1, ≈ 1/{} plus reset overhead", h + 1), &ns, &means);
     println!();
     println!("silent: Silent-n-state-SSR yes, Optimal-Silent-SSR yes, Sublinear-Time-SSR no");
     println!("(checked structurally in the test suite via population::silence)");
+
+    if let Some(path) = flags.try_get_str("json-out") {
+        std::fs::write(path, to_jsonl(&records))
+            .unwrap_or_else(|e| panic!("cannot write --json-out {path:?}: {e}"));
+        println!("\nwrote {} records to {path} (schema: results/README.md)", records.len());
+    }
 }

@@ -21,7 +21,10 @@ impl Flags {
     pub fn parse(allowed: &[&str]) -> Self {
         Self::from_args(std::env::args().skip(1), allowed).unwrap_or_else(|msg| {
             eprintln!("{msg}");
-            eprintln!("allowed flags: {}", allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(" "));
+            eprintln!(
+                "allowed flags: {}",
+                allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(" ")
+            );
             std::process::exit(2);
         })
     }
@@ -34,9 +37,8 @@ impl Flags {
         let mut values = BTreeMap::new();
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
-            let key = arg
-                .strip_prefix("--")
-                .ok_or_else(|| format!("expected --flag, got {arg:?}"))?;
+            let key =
+                arg.strip_prefix("--").ok_or_else(|| format!("expected --flag, got {arg:?}"))?;
             if !allowed.contains(&key) {
                 return Err(format!("unknown flag --{key}"));
             }
@@ -62,10 +64,28 @@ impl Flags {
         T::Err: std::fmt::Debug,
     {
         match self.values.get(key) {
-            Some(v) => v
-                .parse()
-                .unwrap_or_else(|e| panic!("--{key} {v:?} is not a valid value: {e:?}")),
+            Some(v) => {
+                v.parse().unwrap_or_else(|e| panic!("--{key} {v:?} is not a valid value: {e:?}"))
+            }
             None => default,
+        }
+    }
+
+    /// The worker-thread count from `--threads`: a positive number, or
+    /// `auto`/`0` for the machine's available parallelism. Defaults to 1
+    /// (sequential) when absent, so measurement binaries stay deterministic
+    /// in wall-clock profile unless parallelism is requested.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unparsable value, like [`Flags::get`].
+    pub fn threads(&self) -> usize {
+        match self.try_get_str("threads") {
+            None => 1,
+            Some("auto") | Some("0") => population::runner::auto_threads(),
+            Some(v) => v.parse().unwrap_or_else(|e| {
+                panic!("--threads {v:?} is not a valid value (number or auto): {e:?}")
+            }),
         }
     }
 }
@@ -110,5 +130,29 @@ mod tests {
     fn unparsable_value_panics() {
         let f = Flags::from_args(args(&["--trials", "many"]), &["trials"]).unwrap();
         let _: u64 = f.get("trials", 0);
+    }
+
+    #[test]
+    fn threads_defaults_to_sequential() {
+        let f = Flags::from_args(args(&[]), &["threads"]).unwrap();
+        assert_eq!(f.threads(), 1);
+    }
+
+    #[test]
+    fn threads_accepts_explicit_counts_and_auto() {
+        let f = Flags::from_args(args(&["--threads", "3"]), &["threads"]).unwrap();
+        assert_eq!(f.threads(), 3);
+        for auto in ["auto", "0"] {
+            let f = Flags::from_args(args(&["--threads", auto]), &["threads"]).unwrap();
+            assert_eq!(f.threads(), population::runner::auto_threads());
+            assert!(f.threads() >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "number or auto")]
+    fn bad_thread_count_panics() {
+        let f = Flags::from_args(args(&["--threads", "lots"]), &["threads"]).unwrap();
+        f.threads();
     }
 }

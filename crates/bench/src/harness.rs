@@ -1,6 +1,13 @@
 //! Trial-batch measurement of stabilization times.
+//!
+//! Each protocol has two measurement entry points: `measure_*` returning the
+//! statistical [`ConvergenceSample`] the text tables summarize, and
+//! `measure_*_trials` returning full per-trial [`TrialOutcome`]s (outcome +
+//! wall time) from which JSONL experiment records are built via
+//! [`TrialOutcome::to_record`]. The `_trials` variants take a worker-thread
+//! count; per-trial seeding makes the outcomes independent of it.
 
-use population::{ConvergenceSample, Runner, TrialSettings};
+use population::{ConvergenceSample, Runner, TrialOutcome, TrialSettings};
 use ssle::adversary;
 use ssle::cai_izumi_wada::CaiIzumiWada;
 use ssle::optimal_silent::OptimalSilentSsr;
@@ -73,10 +80,24 @@ pub fn measure_ciw_fast(
     trials: u64,
     base_seed: u64,
 ) -> ConvergenceSample {
+    ConvergenceSample::from_trials(&measure_ciw_fast_trials(n, start, trials, base_seed))
+}
+
+/// Per-trial variant of [`measure_ciw_fast`] (see the module docs).
+///
+/// The jump chain is sequential per trial and cheap; it does not take a
+/// thread count.
+pub fn measure_ciw_fast_trials(
+    n: usize,
+    start: CiwStart,
+    trials: u64,
+    base_seed: u64,
+) -> Vec<TrialOutcome> {
     use population::runner::{derive_seed, rng_from_seed};
+    use population::RunOutcome;
     use ssle::ciw_fast::{stabilization_interactions, CiwCounts};
     let protocol = CaiIzumiWada::new(n);
-    let mut parallel_times = Vec::with_capacity(trials as usize);
+    let mut out = Vec::with_capacity(trials as usize);
     for trial in 0..trials {
         let mut config_rng = rng_from_seed(derive_seed(base_seed, 2 * trial));
         let initial = match start {
@@ -84,19 +105,36 @@ pub fn measure_ciw_fast(
             CiwStart::Barrier => protocol.worst_case_configuration(),
             CiwStart::AllZero => vec![ssle::cai_izumi_wada::CiwState::new(0); n],
         };
+        let started = std::time::Instant::now();
         let interactions = stabilization_interactions(
             CiwCounts::from_states(&initial),
             derive_seed(base_seed, 2 * trial + 1),
         );
-        parallel_times.push(interactions as f64 / n as f64);
+        out.push(TrialOutcome {
+            trial,
+            n,
+            outcome: RunOutcome::Converged { interactions },
+            wall: started.elapsed(),
+        });
     }
-    ConvergenceSample { parallel_times, exhausted: 0 }
+    out
 }
 
 /// Measures Silent-n-state-SSR stabilization times over `trials` runs.
 pub fn measure_ciw(n: usize, start: CiwStart, trials: u64, base_seed: u64) -> ConvergenceSample {
+    ConvergenceSample::from_trials(&measure_ciw_trials(n, start, trials, base_seed, 1))
+}
+
+/// Per-trial variant of [`measure_ciw`] over `threads` workers.
+pub fn measure_ciw_trials(
+    n: usize,
+    start: CiwStart,
+    trials: u64,
+    base_seed: u64,
+    threads: usize,
+) -> Vec<TrialOutcome> {
     let settings = TrialSettings::new(trials, base_seed, quadratic_budget(n), 4 * n as u64);
-    Runner::new(settings).measure_ranking(|_, rng| {
+    Runner::new(settings).run_trials_parallel(threads, |_, rng| {
         let protocol = CaiIzumiWada::new(n);
         let initial = match start {
             CiwStart::Random => adversary::random_ciw_configuration(&protocol, rng),
@@ -109,8 +147,19 @@ pub fn measure_ciw(n: usize, start: CiwStart, trials: u64, base_seed: u64) -> Co
 
 /// Measures Optimal-Silent-SSR stabilization times over `trials` runs.
 pub fn measure_oss(n: usize, start: OssStart, trials: u64, base_seed: u64) -> ConvergenceSample {
+    ConvergenceSample::from_trials(&measure_oss_trials(n, start, trials, base_seed, 1))
+}
+
+/// Per-trial variant of [`measure_oss`] over `threads` workers.
+pub fn measure_oss_trials(
+    n: usize,
+    start: OssStart,
+    trials: u64,
+    base_seed: u64,
+    threads: usize,
+) -> Vec<TrialOutcome> {
     let settings = TrialSettings::new(trials, base_seed, linear_budget(n), 4 * n as u64);
-    Runner::new(settings).measure_ranking(|_, rng| {
+    Runner::new(settings).run_trials_parallel(threads, |_, rng| {
         let protocol = OptimalSilentSsr::new(n);
         let initial = match start {
             OssStart::Random => adversary::random_oss_configuration(&protocol, rng),
@@ -130,8 +179,20 @@ pub fn measure_sublinear(
     trials: u64,
     base_seed: u64,
 ) -> ConvergenceSample {
+    ConvergenceSample::from_trials(&measure_sublinear_trials(n, h, start, trials, base_seed, 1))
+}
+
+/// Per-trial variant of [`measure_sublinear`] over `threads` workers.
+pub fn measure_sublinear_trials(
+    n: usize,
+    h: u32,
+    start: SubStart,
+    trials: u64,
+    base_seed: u64,
+    threads: usize,
+) -> Vec<TrialOutcome> {
     let settings = TrialSettings::new(trials, base_seed, sublinear_budget(n), 4 * n as u64);
-    Runner::new(settings).measure_ranking(|_, rng| {
+    Runner::new(settings).run_trials_parallel(threads, |_, rng| {
         let protocol = SublinearTimeSsr::new(n, h);
         let initial = match start {
             SubStart::Random => adversary::random_sublinear_configuration(&protocol, rng),
@@ -196,6 +257,24 @@ mod tests {
             let s = measure_sublinear(8, 1, start, 2, 4);
             assert!(s.all_converged(), "{start:?} failed: {s:?}");
         }
+    }
+
+    #[test]
+    fn trials_variant_matches_sample_and_yields_records() {
+        let trials = measure_oss_trials(8, OssStart::Random, 3, 3, 2);
+        let sample = measure_oss(8, OssStart::Random, 3, 3);
+        assert_eq!(ConvergenceSample::from_trials(&trials), sample);
+        let records: Vec<_> = trials.iter().map(|t| t.to_record("test", "oss", None, 3)).collect();
+        assert_eq!(records.len(), 3);
+        assert!(records.iter().all(|r| r.outcome.is_converged() && r.n == 8));
+    }
+
+    #[test]
+    fn fast_ciw_trials_carry_outcomes() {
+        let trials = measure_ciw_fast_trials(8, CiwStart::AllZero, 2, 1);
+        let sample = measure_ciw_fast(8, CiwStart::AllZero, 2, 1);
+        assert_eq!(ConvergenceSample::from_trials(&trials), sample);
+        assert!(trials.iter().all(|t| t.outcome.is_converged()));
     }
 
     #[test]

@@ -11,5 +11,8 @@ pub mod cli;
 pub mod harness;
 pub mod table;
 
-pub use harness::{measure_ciw, measure_ciw_fast, measure_oss, measure_sublinear, CiwStart, OssStart, SubStart};
+pub use harness::{
+    measure_ciw, measure_ciw_fast, measure_ciw_fast_trials, measure_ciw_trials, measure_oss,
+    measure_oss_trials, measure_sublinear, measure_sublinear_trials, CiwStart, OssStart, SubStart,
+};
 pub use table::TimeSummary;

@@ -29,18 +29,14 @@ impl TimeSummary {
             ci95_half: 1.96 * summary.std_err(),
             p95,
             trials: summary.len(),
-            exhausted: sample.exhausted,
+            exhausted: sample.exhausted(),
         })
     }
 }
 
 impl std::fmt::Display for TimeSummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{:>10.2} ±{:>7.2} {:>10.2}",
-            self.mean, self.ci95_half, self.p95
-        )?;
+        write!(f, "{:>10.2} ±{:>7.2} {:>10.2}", self.mean, self.ci95_half, self.p95)?;
         if self.exhausted > 0 {
             write!(f, "  ({} trials exhausted)", self.exhausted)?;
         }
@@ -53,7 +49,11 @@ mod tests {
     use super::*;
 
     fn sample(times: Vec<f64>, exhausted: u64) -> ConvergenceSample {
-        ConvergenceSample { parallel_times: times, exhausted }
+        // Exhausted trials in these fixtures all died at an arbitrary budget.
+        ConvergenceSample {
+            parallel_times: times,
+            exhausted_interactions: vec![1000; exhausted as usize],
+        }
     }
 
     #[test]

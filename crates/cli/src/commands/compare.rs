@@ -1,11 +1,12 @@
 //! `ssle compare` — all ranking protocols head-to-head at one population
 //! size (a one-size slice of the paper's Table 1).
 
+use population::record::JsonObject;
 use ssle_bench::{
     measure_ciw, measure_oss, measure_sublinear, CiwStart, OssStart, SubStart, TimeSummary,
 };
 
-use crate::commands::parse_flags;
+use crate::commands::{parse_flags, OutputFormat};
 use crate::error::CliError;
 
 /// Runs the subcommand.
@@ -15,7 +16,7 @@ use crate::error::CliError;
 /// Returns [`CliError`] on bad flags or if a protocol never converges at
 /// the requested size.
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    let flags = parse_flags(args, &["n", "trials", "seed", "h"])?;
+    let flags = parse_flags(args, &["n", "trials", "seed", "h", "format"])?;
     let n: usize = flags.get("n", 32);
     if n < 2 {
         return Err(CliError::BadValue {
@@ -25,10 +26,14 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     }
     let trials: u64 = flags.get("trials", 10);
     if trials == 0 {
-        return Err(CliError::BadValue { flag: "trials".into(), reason: "must be positive".into() });
+        return Err(CliError::BadValue {
+            flag: "trials".into(),
+            reason: "must be positive".into(),
+        });
     }
     let seed: u64 = flags.get("seed", 1);
     let h: u32 = flags.get("h", 2);
+    let format = OutputFormat::from_flags(&flags)?;
 
     let rows: Vec<(String, TimeSummary)> = vec![
         (
@@ -45,24 +50,47 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         ),
     ];
 
-    let mut out = format!(
-        "ranking protocols at n = {n} ({trials} trials each, random adversarial starts)\n\
-         {:<38} {:>10} {:>9} {:>10}\n",
-        "protocol", "E[time]", "±95%", "p95"
-    );
-    for (name, t) in &rows {
-        out.push_str(&format!(
-            "{name:<38} {:>10.1} {:>9.1} {:>10.1}\n",
-            t.mean, t.ci95_half, t.p95
-        ));
+    match format {
+        OutputFormat::Text => {
+            let mut out = format!(
+                "ranking protocols at n = {n} ({trials} trials each, random adversarial starts)\n\
+                 {:<38} {:>10} {:>9} {:>10}\n",
+                "protocol", "E[time]", "±95%", "p95"
+            );
+            for (name, t) in &rows {
+                out.push_str(&format!(
+                    "{name:<38} {:>10.1} {:>9.1} {:>10.1}\n",
+                    t.mean, t.ci95_half, t.p95
+                ));
+            }
+            out.push_str("(times in parallel time units — interactions / n)\n");
+            Ok(out)
+        }
+        OutputFormat::Json => {
+            // One flat object per protocol, JSONL-style, so downstream
+            // tooling can reuse the record-stream parser.
+            let mut out = String::new();
+            for (name, t) in &rows {
+                let mut obj = JsonObject::new();
+                obj.field_str("command", "compare");
+                obj.field_str("protocol", name);
+                obj.field_u64("n", n as u64);
+                obj.field_u64("trials", trials);
+                obj.field_u64("seed", seed);
+                obj.field_f64("mean_time", t.mean);
+                obj.field_f64("ci95_half", t.ci95_half);
+                obj.field_f64("p95", t.p95);
+                obj.field_u64("exhausted", t.exhausted);
+                out.push_str(&obj.finish());
+                out.push('\n');
+            }
+            Ok(out)
+        }
     }
-    out.push_str("(times in parallel time units — interactions / n)\n");
-    Ok(out)
 }
 
 fn summarize(sample: population::ConvergenceSample) -> Result<TimeSummary, CliError> {
-    TimeSummary::from_sample(&sample)
-        .ok_or(CliError::DidNotConverge { interactions: 0 })
+    TimeSummary::from_sample(&sample).ok_or(CliError::DidNotConverge { interactions: 0 })
 }
 
 #[cfg(test)]
@@ -79,6 +107,18 @@ mod tests {
         assert!(out.contains("Silent-n-state-SSR"));
         assert!(out.contains("Optimal-Silent-SSR"));
         assert!(out.contains("Sublinear-Time-SSR"));
+    }
+
+    #[test]
+    fn json_format_emits_one_line_per_protocol() {
+        let out = run(&args(&["--n", "8", "--trials", "2", "--format", "json"])).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3, "{out}");
+        for line in lines {
+            let fields = population::record::parse_flat_json(line).unwrap();
+            assert!(fields.contains_key("mean_time"), "{line}");
+            assert!(fields.contains_key("p95"), "{line}");
+        }
     }
 
     #[test]

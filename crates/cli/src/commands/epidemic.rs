@@ -1,8 +1,6 @@
 //! `ssle epidemic` — run one information-propagation process.
 
-use population::epidemic::{
-    bounded_epidemic_times, epidemic_time, roll_call_time, EpidemicKind,
-};
+use population::epidemic::{bounded_epidemic_times, epidemic_time, roll_call_time, EpidemicKind};
 
 use crate::commands::parse_flags;
 use crate::error::CliError;
@@ -46,7 +44,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 });
             }
             let times = bounded_epidemic_times(n, k, seed);
-            let mut out = format!("bounded epidemic on {n} agents (source → target hitting times):\n");
+            let mut out =
+                format!("bounded epidemic on {n} agents (source → target hitting times):\n");
             for kk in 1..=k {
                 out.push_str(&format!(
                     "  τ_{kk} (path length ≤ {kk}): {:.2} parallel time\n",
@@ -95,10 +94,7 @@ mod tests {
 
     #[test]
     fn bad_kind_is_rejected() {
-        assert!(matches!(
-            run(&args(&["--kind", "airborne"])),
-            Err(CliError::BadValue { .. })
-        ));
+        assert!(matches!(run(&args(&["--kind", "airborne"])), Err(CliError::BadValue { .. })));
     }
 
     #[test]

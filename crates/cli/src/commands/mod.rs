@@ -3,6 +3,7 @@
 pub mod compare;
 pub mod epidemic;
 pub mod prove;
+pub mod report;
 pub mod simulate;
 pub mod states;
 pub mod trace;
@@ -14,4 +15,33 @@ use ssle_bench::cli::Flags;
 /// into [`CliError::BadFlag`].
 pub(crate) fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, CliError> {
     Flags::from_args(args.iter().cloned(), allowed).map_err(CliError::BadFlag)
+}
+
+/// How a subcommand renders its result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Human-readable text (the default).
+    #[default]
+    Text,
+    /// Machine-readable JSON — one flat object, or one per line for
+    /// multi-row reports.
+    Json,
+}
+
+impl OutputFormat {
+    /// Parses the shared `--format` flag (`text` when absent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::BadValue`] for values other than `text`/`json`.
+    pub fn from_flags(flags: &Flags) -> Result<Self, CliError> {
+        match flags.try_get_str("format") {
+            None | Some("text") => Ok(OutputFormat::Text),
+            Some("json") => Ok(OutputFormat::Json),
+            Some(other) => Err(CliError::BadValue {
+                flag: "format".into(),
+                reason: format!("{other:?} is not one of text, json"),
+            }),
+        }
+    }
 }

@@ -1,0 +1,285 @@
+//! `ssle report` — summarize a JSONL experiment record stream.
+//!
+//! Reads the per-trial [`RunRecord`]s a bench binary wrote (one JSON object
+//! per line), groups them by `(experiment, protocol, n, h)`, and reports the
+//! same statistics the text tables print — plus quantiles and ECDF tail
+//! probabilities from the `analysis` crate. Because each group is rebuilt
+//! into a [`ConvergenceSample`] and summarized by the bench crate's
+//! [`TimeSummary`], the numbers match the text path exactly: re-analyzing a
+//! recorded run reproduces the table that run printed.
+
+use std::collections::BTreeMap;
+
+use analysis::{quantile, Ecdf};
+use population::record::{from_jsonl, JsonObject, RunRecord};
+use population::ConvergenceSample;
+use ssle_bench::TimeSummary;
+
+use crate::commands::{parse_flags, OutputFormat};
+use crate::error::CliError;
+
+/// One `(experiment, protocol, n, h)` group key, ordered for stable output.
+type GroupKey = (String, String, u64, Option<u64>);
+
+/// Runs the subcommand: `ssle report <file.jsonl> [--format text|json]`.
+///
+/// # Errors
+///
+/// Returns [`CliError::Report`] when the file cannot be read or parsed, and
+/// [`CliError::Usage`] when no path is given.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some((path, rest)) = args.split_first() else {
+        return Err(CliError::Usage(
+            "usage: ssle report <file.jsonl> [--format text|json]".to_string(),
+        ));
+    };
+    if path.starts_with("--") {
+        return Err(CliError::Usage(
+            "usage: ssle report <file.jsonl> [--format text|json]".to_string(),
+        ));
+    }
+    let flags = parse_flags(rest, &["format"])?;
+    let format = OutputFormat::from_flags(&flags)?;
+
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Report { path: path.clone(), reason: e.to_string() })?;
+    let records =
+        from_jsonl(&text).map_err(|reason| CliError::Report { path: path.clone(), reason })?;
+    if records.is_empty() {
+        return Err(CliError::Report {
+            path: path.clone(),
+            reason: "the file contains no records".to_string(),
+        });
+    }
+
+    let groups = group_records(&records);
+    match format {
+        OutputFormat::Text => Ok(render_text(path, records.len(), &groups)),
+        OutputFormat::Json => Ok(render_json(&groups)),
+    }
+}
+
+fn group_records(records: &[RunRecord]) -> BTreeMap<GroupKey, Vec<&RunRecord>> {
+    let mut groups: BTreeMap<GroupKey, Vec<&RunRecord>> = BTreeMap::new();
+    for r in records {
+        groups.entry((r.experiment.clone(), r.protocol.clone(), r.n, r.h)).or_default().push(r);
+    }
+    groups
+}
+
+/// Rebuilds the statistical sample a group's trials represent, exactly as
+/// the measuring run would have built it.
+fn sample_of(group: &[&RunRecord]) -> ConvergenceSample {
+    let mut sample = ConvergenceSample::default();
+    for r in group {
+        if r.outcome.is_converged() {
+            sample.parallel_times.push(r.parallel_time());
+        } else {
+            sample.exhausted_interactions.push(r.outcome.interactions());
+        }
+    }
+    sample
+}
+
+fn render_text(path: &str, total: usize, groups: &BTreeMap<GroupKey, Vec<&RunRecord>>) -> String {
+    let mut out = format!("report: {path} — {total} records, {} group(s)\n", groups.len());
+    for ((experiment, protocol, n, h), group) in groups {
+        let h_text = h.map_or("-".to_string(), |h| h.to_string());
+        out.push_str(&format!(
+            "\nexperiment={experiment} protocol={protocol} n={n} h={h_text}: \
+             {} trial(s), {} exhausted\n",
+            group.len(),
+            group.iter().filter(|r| !r.outcome.is_converged()).count(),
+        ));
+        let sample = sample_of(group);
+        let Some(t) = TimeSummary::from_sample(&sample) else {
+            out.push_str("  no converged trials — no time statistics\n");
+            continue;
+        };
+        out.push_str(&format!(
+            "  E[time] {:>10.1} ±95% {:>8.1} p95 {:>10.1}   (parallel time)\n",
+            t.mean, t.ci95_half, t.p95
+        ));
+        let times = &sample.parallel_times;
+        let q = |p: f64| quantile(times, p).expect("non-empty converged sample");
+        out.push_str(&format!(
+            "  quantiles: min {:.1}  p25 {:.1}  p50 {:.1}  p75 {:.1}  max {:.1}\n",
+            q(0.0),
+            q(0.25),
+            q(0.5),
+            q(0.75),
+            q(1.0)
+        ));
+        let ecdf = Ecdf::new(times.clone()).expect("non-empty converged sample");
+        out.push_str(&format!(
+            "  ECDF: P[T ≥ mean] = {:.2}, P[T ≥ 2·mean] = {:.2}\n",
+            ecdf.survival(t.mean),
+            ecdf.survival(2.0 * t.mean)
+        ));
+        let wall: f64 = group.iter().map(|r| r.wall_s).sum();
+        let interactions: u64 = group.iter().map(|r| r.outcome.interactions()).sum();
+        if wall > 0.0 {
+            out.push_str(&format!(
+                "  wall: {wall:.2}s total, {:.2e} interactions/s\n",
+                interactions as f64 / wall
+            ));
+        }
+    }
+    out
+}
+
+fn render_json(groups: &BTreeMap<GroupKey, Vec<&RunRecord>>) -> String {
+    let mut out = String::new();
+    for ((experiment, protocol, n, h), group) in groups {
+        let sample = sample_of(group);
+        let mut obj = JsonObject::new();
+        obj.field_str("command", "report");
+        obj.field_str("experiment", experiment);
+        obj.field_str("protocol", protocol);
+        obj.field_u64("n", *n);
+        match h {
+            Some(h) => obj.field_u64("h", *h),
+            None => obj.field_null("h"),
+        };
+        obj.field_u64("trials", group.len() as u64);
+        obj.field_u64("exhausted", sample.exhausted());
+        if let Some(t) = TimeSummary::from_sample(&sample) {
+            obj.field_f64("mean_time", t.mean);
+            obj.field_f64("ci95_half", t.ci95_half);
+            obj.field_f64("p95", t.p95);
+            let times = &sample.parallel_times;
+            obj.field_f64("p50", quantile(times, 0.5).expect("non-empty"));
+            obj.field_f64("min_time", quantile(times, 0.0).expect("non-empty"));
+            obj.field_f64("max_time", quantile(times, 1.0).expect("non-empty"));
+        } else {
+            obj.field_null("mean_time");
+        }
+        out.push_str(&obj.finish());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use population::record::to_jsonl;
+    use ssle_bench::{measure_oss, measure_oss_trials, OssStart};
+
+    fn args(a: &[&str]) -> Vec<String> {
+        a.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn write_temp(name: &str, contents: &str) -> String {
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(&path, contents).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn missing_path_is_a_usage_error() {
+        assert!(matches!(run(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(run(&args(&["--format", "json"])), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn unreadable_file_is_a_report_error() {
+        match run(&args(&["/nonexistent/records.jsonl"])) {
+            Err(CliError::Report { path, .. }) => assert!(path.contains("nonexistent")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_line_is_a_report_error_with_line_number() {
+        let path = write_temp("ssle_report_bad.jsonl", "not json\n");
+        match run(&args(&[&path])) {
+            Err(CliError::Report { reason, .. }) => {
+                assert!(reason.starts_with("line 1:"), "{reason}")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// Acceptance: feeding a table1-equivalent record stream through
+    /// `ssle report` reproduces the summary statistics the text path
+    /// computes from the same trials.
+    #[test]
+    fn report_round_trips_the_text_path_statistics() {
+        let (n, trials, seed) = (16, 6, 3);
+        let records: Vec<_> = measure_oss_trials(n, OssStart::Random, trials, seed, 1)
+            .iter()
+            .map(|t| t.to_record("table1", "oss", None, seed))
+            .collect();
+        let path = write_temp("ssle_report_roundtrip.jsonl", &to_jsonl(&records));
+
+        let expected =
+            TimeSummary::from_sample(&measure_oss(n, OssStart::Random, trials, seed)).unwrap();
+        let out = run(&args(&[&path])).unwrap();
+        let stats_line = format!(
+            "  E[time] {:>10.1} ±95% {:>8.1} p95 {:>10.1}   (parallel time)",
+            expected.mean, expected.ci95_half, expected.p95
+        );
+        assert!(out.contains(&stats_line), "expected {stats_line:?} in:\n{out}");
+        assert!(out.contains("experiment=table1 protocol=oss n=16 h=-"), "{out}");
+    }
+
+    #[test]
+    fn json_report_matches_the_recorded_sample() {
+        let (n, trials, seed) = (16, 5, 7);
+        let outcomes = measure_oss_trials(n, OssStart::Random, trials, seed, 1);
+        let records: Vec<_> =
+            outcomes.iter().map(|t| t.to_record("table1", "oss", None, seed)).collect();
+        let path = write_temp("ssle_report_json.jsonl", &to_jsonl(&records));
+
+        let out = run(&args(&[&path, "--format", "json"])).unwrap();
+        let fields = population::record::parse_flat_json(out.trim()).unwrap();
+        let expected =
+            TimeSummary::from_sample(&ConvergenceSample::from_trials(&outcomes)).unwrap();
+        match fields.get("mean_time").unwrap() {
+            population::record::JsonScalar::Num(m) => {
+                assert!((m - expected.mean).abs() < 1e-9, "{m} vs {}", expected.mean)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn groups_are_split_by_protocol_and_size() {
+        let mk = |protocol: &str, n: u64, trial: u64| RunRecord {
+            experiment: "x".to_string(),
+            protocol: protocol.to_string(),
+            n,
+            h: None,
+            trial,
+            seed: 1,
+            outcome: population::RunOutcome::Converged { interactions: 100 * n },
+            wall_s: 0.0,
+        };
+        let records = vec![mk("a", 8, 0), mk("a", 8, 1), mk("a", 16, 0), mk("b", 8, 0)];
+        let path = write_temp("ssle_report_groups.jsonl", &to_jsonl(&records));
+        let out = run(&args(&[&path])).unwrap();
+        assert!(out.contains("3 group(s)"), "{out}");
+        assert!(out.contains("protocol=a n=8"), "{out}");
+        assert!(out.contains("protocol=a n=16"), "{out}");
+        assert!(out.contains("protocol=b n=8"), "{out}");
+    }
+
+    #[test]
+    fn exhausted_only_group_reports_no_statistics() {
+        let r = RunRecord {
+            experiment: "x".to_string(),
+            protocol: "a".to_string(),
+            n: 8,
+            h: None,
+            trial: 0,
+            seed: 1,
+            outcome: population::RunOutcome::Exhausted { interactions: 999 },
+            wall_s: 0.1,
+        };
+        let path = write_temp("ssle_report_exhausted.jsonl", &to_jsonl(&[r]));
+        let out = run(&args(&[&path])).unwrap();
+        assert!(out.contains("1 exhausted"), "{out}");
+        assert!(out.contains("no converged trials"), "{out}");
+    }
+}

@@ -1,5 +1,6 @@
 //! `ssle simulate` — run one execution to stabilization.
 
+use population::record::JsonObject;
 use population::runner::rng_from_seed;
 use population::{RankingProtocol, RunOutcome, Simulation};
 use ssle::adversary;
@@ -9,7 +10,7 @@ use ssle::loose::LooselyStabilizingLe;
 use ssle::optimal_silent::{OptimalSilentSsr, OssState};
 use ssle::sublinear::SublinearTimeSsr;
 
-use crate::commands::parse_flags;
+use crate::commands::{parse_flags, OutputFormat};
 use crate::error::CliError;
 use crate::protocol_choice::{CommonFlags, ProtocolChoice};
 
@@ -42,10 +43,11 @@ impl Start {
 /// Returns [`CliError`] on bad flags or when the execution exhausts its
 /// interaction budget.
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    let flags = parse_flags(args, &["protocol", "n", "h", "seed", "start", "max-time"])?;
+    let flags = parse_flags(args, &["protocol", "n", "h", "seed", "start", "max-time", "format"])?;
     let common = CommonFlags::from_flags(&flags, ProtocolChoice::OptimalSilent)?;
     let start = Start::parse(flags.try_get_str("start"))?;
     let max_time: f64 = flags.get("max-time", 0.0);
+    let format = OutputFormat::from_flags(&flags)?;
 
     match common.protocol {
         ProtocolChoice::Ciw => {
@@ -57,7 +59,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 Start::Collision => vec![CiwState::new(0); common.n],
                 Start::Ranked => adversary::ranked_ciw_configuration(&p),
             };
-            ranked_report(&common, p, initial, max_time, 400 * (common.n as u64).pow(3))
+            ranked_report(&common, p, initial, max_time, 400 * (common.n as u64).pow(3), format)
         }
         ProtocolChoice::OptimalSilent => {
             let p = OptimalSilentSsr::new(common.n);
@@ -68,7 +70,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 Start::Collision => vec![OssState::settled(1, 0); common.n],
                 Start::Ranked => adversary::ranked_oss_configuration(&p),
             };
-            ranked_report(&common, p, initial, max_time, 4000 * (common.n as u64).pow(2))
+            ranked_report(&common, p, initial, max_time, 4000 * (common.n as u64).pow(2), format)
         }
         ProtocolChoice::Sublinear => {
             let p = SublinearTimeSsr::new(common.n, common.h);
@@ -80,15 +82,15 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 Start::Collision => adversary::planted_collision_configuration(&p),
                 Start::Ranked => adversary::unique_names_configuration(&p),
             };
-            ranked_report(&common, p, initial, max_time, 4000 * (common.n as u64).pow(2))
+            ranked_report(&common, p, initial, max_time, 4000 * (common.n as u64).pow(2), format)
         }
         ProtocolChoice::TreeRanking => {
             let p = TreeRanking::new(common.n);
             // Not self-stabilizing: always the designated configuration.
             let initial = p.designated_configuration();
-            ranked_report(&common, p, initial, max_time, 4000 * (common.n as u64).pow(2))
+            ranked_report(&common, p, initial, max_time, 4000 * (common.n as u64).pow(2), format)
         }
-        ProtocolChoice::Loose => loose_report(&common, start, max_time),
+        ProtocolChoice::Loose => loose_report(&common, start, max_time, format),
     }
 }
 
@@ -106,11 +108,11 @@ fn ranked_report<P: RankingProtocol>(
     initial: Vec<P::State>,
     max_time: f64,
     default_budget: u64,
+    format: OutputFormat,
 ) -> Result<String, CliError> {
     let n = common.n;
     let mut sim = Simulation::new(protocol, initial, common.seed);
-    let outcome =
-        sim.run_until_stably_ranked(budget(max_time, n, default_budget), 4 * n as u64);
+    let outcome = sim.run_until_stably_ranked(budget(max_time, n, default_budget), 4 * n as u64);
     match outcome {
         RunOutcome::Converged { interactions } => {
             let leader = sim
@@ -125,23 +127,48 @@ fn ranked_report<P: RankingProtocol>(
                 .filter_map(|(agent, s)| sim.protocol().rank_of(s).map(|r| (r, agent)))
                 .collect();
             ranking.sort_unstable();
-            let ranks = ranking
-                .iter()
-                .map(|(r, a)| format!("{r}→{a}"))
-                .collect::<Vec<_>>()
-                .join(" ");
-            Ok(format!(
-                "{name}: stabilized after {t:.1} parallel time ({interactions} interactions)\n\
-                 leader: agent {leader}\nranking (rank→agent): {ranks}\n",
-                name = common.protocol.name(),
-                t = interactions as f64 / n as f64,
-            ))
+            match format {
+                OutputFormat::Text => {
+                    let ranks = ranking
+                        .iter()
+                        .map(|(r, a)| format!("{r}→{a}"))
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    Ok(format!(
+                        "{name}: stabilized after {t:.1} parallel time ({interactions} interactions)\n\
+                         leader: agent {leader}\nranking (rank→agent): {ranks}\n",
+                        name = common.protocol.name(),
+                        t = interactions as f64 / n as f64,
+                    ))
+                }
+                OutputFormat::Json => {
+                    // Agent ids indexed by rank − 1.
+                    let agents =
+                        ranking.iter().map(|(_, a)| a.to_string()).collect::<Vec<_>>().join(",");
+                    let mut obj = JsonObject::new();
+                    obj.field_str("command", "simulate");
+                    obj.field_str("protocol", common.protocol.name());
+                    obj.field_u64("n", n as u64);
+                    obj.field_u64("seed", common.seed);
+                    obj.field_str("outcome", "converged");
+                    obj.field_u64("interactions", interactions);
+                    obj.field_f64("parallel_time", interactions as f64 / n as f64);
+                    obj.field_u64("leader", leader as u64);
+                    obj.field_raw("ranking", &format!("[{agents}]"));
+                    Ok(obj.finish() + "\n")
+                }
+            }
         }
         RunOutcome::Exhausted { interactions } => Err(CliError::DidNotConverge { interactions }),
     }
 }
 
-fn loose_report(common: &CommonFlags, start: Start, max_time: f64) -> Result<String, CliError> {
+fn loose_report(
+    common: &CommonFlags,
+    start: Start,
+    max_time: f64,
+    format: OutputFormat,
+) -> Result<String, CliError> {
     let n = common.n;
     let t_max = 8 * (n as f64).log2().ceil() as u32;
     let p = LooselyStabilizingLe::new(t_max);
@@ -156,12 +183,27 @@ fn loose_report(common: &CommonFlags, start: Start, max_time: f64) -> Result<Str
     match outcome {
         RunOutcome::Converged { interactions } => {
             let leader = sim.states().iter().position(|s| s.leader).expect("one leader");
-            Ok(format!(
-                "{name} (T_max = {t_max}): unique leader after {t:.1} parallel time — agent {leader}\n\
-                 (loose stabilization: the leader is held for a long but finite time)\n",
-                name = common.protocol.name(),
-                t = interactions as f64 / n as f64,
-            ))
+            match format {
+                OutputFormat::Text => Ok(format!(
+                    "{name} (T_max = {t_max}): unique leader after {t:.1} parallel time — agent {leader}\n\
+                     (loose stabilization: the leader is held for a long but finite time)\n",
+                    name = common.protocol.name(),
+                    t = interactions as f64 / n as f64,
+                )),
+                OutputFormat::Json => {
+                    let mut obj = JsonObject::new();
+                    obj.field_str("command", "simulate");
+                    obj.field_str("protocol", common.protocol.name());
+                    obj.field_u64("n", n as u64);
+                    obj.field_u64("seed", common.seed);
+                    obj.field_u64("t_max", t_max as u64);
+                    obj.field_str("outcome", "converged");
+                    obj.field_u64("interactions", interactions);
+                    obj.field_f64("parallel_time", interactions as f64 / n as f64);
+                    obj.field_u64("leader", leader as u64);
+                    Ok(obj.finish() + "\n")
+                }
+            }
         }
         RunOutcome::Exhausted { interactions } => Err(CliError::DidNotConverge { interactions }),
     }
@@ -198,10 +240,7 @@ mod tests {
 
     #[test]
     fn bad_start_is_rejected() {
-        assert!(matches!(
-            run(&args(&["--start", "sideways"])),
-            Err(CliError::BadValue { .. })
-        ));
+        assert!(matches!(run(&args(&["--start", "sideways"])), Err(CliError::BadValue { .. })));
     }
 
     #[test]
@@ -210,6 +249,37 @@ mod tests {
             run(&args(&["--protocol", "ciw", "--n", "12", "--max-time", "0.001"])),
             Err(CliError::DidNotConverge { .. })
         ));
+    }
+
+    #[test]
+    fn json_format_emits_a_parseable_flat_prefix() {
+        let out = run(&args(&[
+            "--protocol",
+            "optimal-silent",
+            "--n",
+            "6",
+            "--seed",
+            "2",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        assert!(out.starts_with("{\"command\":\"simulate\""), "{out}");
+        assert!(out.contains("\"outcome\":\"converged\""), "{out}");
+        assert!(out.contains("\"ranking\":["), "{out}");
+        assert!(out.ends_with("}\n"), "{out}");
+    }
+
+    #[test]
+    fn loose_json_reports_the_leader() {
+        let out = run(&args(&["--protocol", "loose", "--n", "8", "--format", "json"])).unwrap();
+        assert!(out.contains("\"t_max\":"), "{out}");
+        assert!(out.contains("\"leader\":"), "{out}");
+    }
+
+    #[test]
+    fn bad_format_is_rejected() {
+        assert!(matches!(run(&args(&["--format", "xml"])), Err(CliError::BadValue { .. })));
     }
 
     #[test]

@@ -60,9 +60,6 @@ mod tests {
 
     #[test]
     fn enormous_population_rejected() {
-        assert!(matches!(
-            run(&args(&["--n", "2097152"])),
-            Err(CliError::BadValue { .. })
-        ));
+        assert!(matches!(run(&args(&["--n", "2097152"])), Err(CliError::BadValue { .. })));
     }
 }

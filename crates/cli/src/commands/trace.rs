@@ -1,6 +1,7 @@
 //! `ssle trace` — sample a time series of the population's state mix.
 
-use population::probe::{record_series, to_csv_table};
+use population::probe::{record_series, to_csv_table, Series};
+use population::record::JsonObject;
 use population::runner::rng_from_seed;
 use population::{RankingProtocol, Simulation};
 use ssle::adversary;
@@ -10,7 +11,7 @@ use ssle::optimal_silent::{OptimalSilentSsr, OssState};
 use ssle::reset::ResetView;
 use ssle::sublinear::{SubState, SublinearTimeSsr};
 
-use crate::commands::parse_flags;
+use crate::commands::{parse_flags, OutputFormat};
 use crate::error::CliError;
 use crate::protocol_choice::{CommonFlags, ProtocolChoice};
 
@@ -20,7 +21,7 @@ use crate::protocol_choice::{CommonFlags, ProtocolChoice};
 ///
 /// Returns [`CliError`] on bad flags.
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    let flags = parse_flags(args, &["protocol", "n", "h", "seed", "time", "every"])?;
+    let flags = parse_flags(args, &["protocol", "n", "h", "seed", "time", "every", "format"])?;
     let common = CommonFlags::from_flags(&flags, ProtocolChoice::OptimalSilent)?;
     let time: f64 = flags.get("time", 40.0);
     if time <= 0.0 {
@@ -31,6 +32,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         return Err(CliError::BadValue { flag: "every".into(), reason: "must be positive".into() });
     }
     let interactions = (time * common.n as f64) as u64;
+    let format = OutputFormat::from_flags(&flags)?;
 
     let header = format!(
         "# trace: {} at n = {}, seed {}, {} parallel time\n",
@@ -39,14 +41,14 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         common.seed,
         time
     );
-    let table = match common.protocol {
+    let series = match common.protocol {
         ProtocolChoice::Ciw => {
             let p = CaiIzumiWada::new(common.n);
             let initial =
                 adversary::random_ciw_configuration(&p, &mut rng_from_seed(common.seed ^ 1));
             let mut sim = Simulation::new(p, initial, common.seed);
             let protocol = *sim.protocol();
-            let series = record_series(
+            record_series(
                 &mut sim,
                 interactions,
                 every,
@@ -54,15 +56,14 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     ("leaders", Box::new(move |s: &[_]| count_leaders(&protocol, s))),
                     ("distinct_ranks", Box::new(move |s: &[_]| distinct_ranks(&protocol, s))),
                 ],
-            );
-            to_csv_table(&series)
+            )
         }
         ProtocolChoice::OptimalSilent => {
             let p = OptimalSilentSsr::new(common.n);
             let initial =
                 adversary::random_oss_configuration(&p, &mut rng_from_seed(common.seed ^ 1));
             let mut sim = Simulation::new(p, initial, common.seed);
-            let series = record_series(
+            record_series(
                 &mut sim,
                 interactions,
                 every,
@@ -88,17 +89,14 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                         }),
                     ),
                 ],
-            );
-            to_csv_table(&series)
+            )
         }
         ProtocolChoice::Sublinear => {
             let p = SublinearTimeSsr::new(common.n, common.h);
-            let initial = adversary::random_sublinear_configuration(
-                &p,
-                &mut rng_from_seed(common.seed ^ 1),
-            );
+            let initial =
+                adversary::random_sublinear_configuration(&p, &mut rng_from_seed(common.seed ^ 1));
             let mut sim = Simulation::new(p, initial, common.seed);
-            let series = record_series(
+            record_series(
                 &mut sim,
                 interactions,
                 every,
@@ -125,37 +123,33 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                         }),
                     ),
                 ],
-            );
-            to_csv_table(&series)
+            )
         }
         ProtocolChoice::TreeRanking => {
             let p = ssle::initialized::TreeRanking::new(common.n);
             let initial = p.designated_configuration();
             let mut sim = Simulation::new(p, initial, common.seed);
             let protocol = *sim.protocol();
-            let series = record_series(
+            record_series(
                 &mut sim,
                 interactions,
                 every,
                 &mut [("ranked", Box::new(move |s: &[_]| distinct_ranks(&protocol, s)))],
-            );
-            to_csv_table(&series)
+            )
         }
         ProtocolChoice::Loose => {
             let t_max = 8 * (common.n as f64).log2().ceil() as u32;
             let p = LooselyStabilizingLe::new(t_max);
             let initial = vec![p.follower_state(1); common.n];
             let mut sim = Simulation::new(p, initial, common.seed);
-            let series = record_series(
+            record_series(
                 &mut sim,
                 interactions,
                 every,
                 &mut [
                     (
                         "leaders",
-                        Box::new(|s: &[LooseState]| {
-                            LooselyStabilizingLe::leader_count(s) as f64
-                        }),
+                        Box::new(|s: &[LooseState]| LooselyStabilizingLe::leader_count(s) as f64),
                     ),
                     (
                         "mean_timer",
@@ -164,11 +158,29 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                         }),
                     ),
                 ],
-            );
-            to_csv_table(&series)
+            )
         }
     };
-    Ok(header + &table)
+    match format {
+        OutputFormat::Text => Ok(header + &to_csv_table(&series)),
+        OutputFormat::Json => Ok(render_json(&common, time, every, &series)),
+    }
+}
+
+fn render_json(common: &CommonFlags, time: f64, every: u64, series: &[Series]) -> String {
+    let mut obj = JsonObject::new();
+    obj.field_str("command", "trace");
+    obj.field_str("protocol", common.protocol.name());
+    obj.field_u64("n", common.n as u64);
+    obj.field_u64("seed", common.seed);
+    obj.field_f64("time", time);
+    obj.field_u64("every", every);
+    for s in series {
+        let points =
+            s.points().iter().map(|&(t, v)| format!("[{t},{v}]")).collect::<Vec<_>>().join(",");
+        obj.field_raw(s.label(), &format!("[{points}]"));
+    }
+    obj.finish() + "\n"
 }
 
 fn count_leaders<P: RankingProtocol>(p: &P, states: &[P::State]) -> f64 {
@@ -218,10 +230,27 @@ mod tests {
     }
 
     #[test]
+    fn json_format_carries_every_series() {
+        let out = run(&args(&[
+            "--protocol",
+            "optimal-silent",
+            "--n",
+            "8",
+            "--time",
+            "5",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        assert!(out.starts_with("{\"command\":\"trace\""), "{out}");
+        for label in ["settled", "unsettled", "resetting"] {
+            assert!(out.contains(&format!("\"{label}\":[[")), "missing {label}: {out}");
+        }
+        assert!(out.ends_with("}\n"), "{out}");
+    }
+
+    #[test]
     fn zero_time_is_rejected() {
-        assert!(matches!(
-            run(&args(&["--time", "0"])),
-            Err(CliError::BadValue { .. })
-        ));
+        assert!(matches!(run(&args(&["--time", "0"])), Err(CliError::BadValue { .. })));
     }
 }

@@ -23,6 +23,13 @@ pub enum CliError {
         /// Interactions spent before giving up.
         interactions: u64,
     },
+    /// An experiment record file could not be read or parsed.
+    Report {
+        /// The offending file path.
+        path: String,
+        /// What went wrong (I/O or parse error).
+        reason: String,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -38,6 +45,7 @@ impl fmt::Display for CliError {
                 f,
                 "execution did not stabilize within {interactions} interactions; raise --max-time"
             ),
+            CliError::Report { path, reason } => write!(f, "cannot report on {path:?}: {reason}"),
         }
     }
 }

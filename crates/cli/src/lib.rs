@@ -37,6 +37,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "epidemic" => commands::epidemic::run(rest),
         "prove" => commands::prove::run(rest),
         "compare" => commands::compare::run(rest),
+        "report" => commands::report::run(rest),
         "states" => commands::states::run(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::UnknownCommand(other.to_string())),
@@ -55,14 +56,19 @@ COMMANDS:
                   --protocol ciw|optimal-silent|sublinear|tree-ranking|loose
                   --n <agents> [--h <depth>] [--seed <u64>]
                   [--start random|collision|ranked] [--max-time <t>]
+                  [--format text|json]
     trace       sample a role/leader time series as CSV
                   --protocol ... --n <agents> [--h <depth>] [--seed <u64>]
                   [--time <parallel-time>] [--every <interactions>]
+                  [--format text|json]
     epidemic    run an information-propagation process
                   --kind one-way|two-way|roll-call|bounded --n <agents>
                   [--k <path bound>] [--seed <u64>]
     compare     run all ranking protocols head-to-head at one size
                   --n <agents> [--trials <t>] [--seed <u64>]
+                  [--format text|json]
+    report      summarize a JSONL experiment record stream
+                  <file.jsonl> [--format text|json]
     states      print per-protocol state counts
                   --n <agents> [--h <depth>]
     prove       exhaustively verify self-stabilization at small n
@@ -114,5 +120,14 @@ mod tests {
         let out = run(&args(&["compare", "--n", "8", "--trials", "2"])).unwrap();
         assert!(out.contains("Silent-n-state-SSR"));
         assert!(out.contains("Optimal-Silent-SSR"));
+    }
+
+    #[test]
+    fn report_is_dispatched() {
+        // No path → the report-specific usage line, proving dispatch works.
+        match run(&args(&["report"])) {
+            Err(CliError::Usage(text)) => assert!(text.contains("file.jsonl"), "{text}"),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 }

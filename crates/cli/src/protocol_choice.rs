@@ -114,10 +114,7 @@ mod tests {
 
     #[test]
     fn rejects_unknown_protocol() {
-        assert!(matches!(
-            ProtocolChoice::parse("paxos"),
-            Err(CliError::BadValue { .. })
-        ));
+        assert!(matches!(ProtocolChoice::parse("paxos"), Err(CliError::BadValue { .. })));
     }
 
     #[test]

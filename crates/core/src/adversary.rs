@@ -39,10 +39,7 @@ pub fn ranked_ciw_configuration(protocol: &CaiIzumiWada) -> Vec<CiwState> {
 
 /// Uniformly random configuration for Optimal-Silent-SSR: independent
 /// uniform role and field values per agent.
-pub fn random_oss_configuration(
-    protocol: &OptimalSilentSsr,
-    rng: &mut SmallRng,
-) -> Vec<OssState> {
+pub fn random_oss_configuration(protocol: &OptimalSilentSsr, rng: &mut SmallRng) -> Vec<OssState> {
     let n = protocol.population_size();
     (0..n).map(|_| random_oss_state(protocol, rng)).collect()
 }
@@ -68,7 +65,7 @@ pub fn ranked_oss_configuration(protocol: &OptimalSilentSsr) -> Vec<OssState> {
     let n = protocol.population_size() as u32;
     (1..=n)
         .map(|rank| {
-            let children = if 2 * rank + 1 <= n {
+            let children = if 2 * rank < n {
                 2
             } else if 2 * rank <= n {
                 1
@@ -138,7 +135,10 @@ fn random_sublinear_state(protocol: &SublinearTimeSsr, rng: &mut SmallRng) -> Su
         }
         let rank = if rng.gen() { Some(rng.gen_range(1..=n as u32)) } else { None };
         let tree = random_history_tree(protocol, name, rng);
-        SubState { name, role: SubRole::Collecting(Collecting { rank, roster: Arc::new(roster), tree }) }
+        SubState {
+            name,
+            role: SubRole::Collecting(Collecting { rank, roster: Arc::new(roster), tree }),
+        }
     } else {
         let reset = protocol.reset_params();
         let core = ResetCore {
@@ -149,11 +149,7 @@ fn random_sublinear_state(protocol: &SublinearTimeSsr, rng: &mut SmallRng) -> Su
     }
 }
 
-fn random_history_tree(
-    protocol: &SublinearTimeSsr,
-    root: Name,
-    rng: &mut SmallRng,
-) -> HistoryTree {
+fn random_history_tree(protocol: &SublinearTimeSsr, root: Name, rng: &mut SmallRng) -> HistoryTree {
     let cp = *protocol.collision_params();
     let mut tree = HistoryTree::singleton(root);
     if cp.h == 0 {
@@ -289,9 +285,9 @@ mod tests {
             .iter()
             .enumerate()
             .flat_map(|(i, a)| {
-                cfg.iter().enumerate().filter_map(move |(j, b)| {
-                    (i != j && !p.is_null_pair(a, b)).then_some((i, j))
-                })
+                cfg.iter()
+                    .enumerate()
+                    .filter_map(move |(j, b)| (i != j && !p.is_null_pair(a, b)).then_some((i, j)))
             })
             .count();
         assert_eq!(non_null_pairs, 2, "exactly the ordered pair of duplicates, twice");

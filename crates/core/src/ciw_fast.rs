@@ -268,20 +268,14 @@ mod tests {
             .collect();
         let slow: Vec<f64> = (0..trials)
             .map(|t| {
-                let mut sim =
-                    Simulation::new(p, p.worst_case_configuration(), derive_seed(400, t));
+                let mut sim = Simulation::new(p, p.worst_case_configuration(), derive_seed(400, t));
                 sim.run_until_stably_ranked(u64::MAX, 0).interactions() as f64
             })
             .collect();
         let f = Summary::from_sample(&fast).unwrap();
         let s = Summary::from_sample(&slow).unwrap();
         let slack = 2.6 * (f.std_err() + s.std_err());
-        assert!(
-            (f.mean() - s.mean()).abs() < slack,
-            "fast {} vs slow {}",
-            f.mean(),
-            s.mean()
-        );
+        assert!((f.mean() - s.mean()).abs() < slack, "fast {} vs slow {}", f.mean(), s.mean());
     }
 
     #[test]

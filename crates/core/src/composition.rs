@@ -142,8 +142,14 @@ mod tests {
         let p = LeaderAligned::new(OptimalSilentSsr::new(4));
         let mut rng = rng_from_seed(2);
         let oss = OptimalSilentSsr::new(4);
-        let mut a = ComposedState { upstream: crate::optimal_silent::OssState::settled(1, 0), parity: true };
-        let mut b = ComposedState { upstream: crate::optimal_silent::OssState::unsettled(50), parity: false };
+        let mut a = ComposedState {
+            upstream: crate::optimal_silent::OssState::settled(1, 0),
+            parity: true,
+        };
+        let mut b = ComposedState {
+            upstream: crate::optimal_silent::OssState::unsettled(50),
+            parity: false,
+        };
         let _ = oss;
         p.interact(&mut a, &mut b, &mut rng);
         // b got recruited upstream this very interaction — but it had no
@@ -192,8 +198,7 @@ mod tests {
         states[7].parity = false;
         let before: Vec<CiwState> = states.iter().map(|s| s.upstream).collect();
         let mut sim = Simulation::new(p, states, 5);
-        let outcome =
-            sim.run_until(10_000_000, LeaderAligned::<CaiIzumiWada>::is_aligned);
+        let outcome = sim.run_until(10_000_000, LeaderAligned::<CaiIzumiWada>::is_aligned);
         assert!(outcome.is_converged());
         let after: Vec<CiwState> = sim.states().iter().map(|s| s.upstream).collect();
         assert_eq!(before, after, "the stabilized upstream never moved");

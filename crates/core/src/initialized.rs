@@ -183,8 +183,7 @@ impl Protocol for TreeRanking {
 
     fn interact(&self, a: &mut TreeRankState, b: &mut TreeRankState, _rng: &mut SmallRng) {
         for _ in 0..2 {
-            if let (TreeRankState::Ranked { rank, children }, TreeRankState::Waiting) = (&*a, &*b)
-            {
+            if let (TreeRankState::Ranked { rank, children }, TreeRankState::Waiting) = (&*a, &*b) {
                 if *children < 2 && 2 * *rank as u64 + *children as u64 <= self.n as u64 {
                     let child_rank = 2 * *rank + *children as u32;
                     *b = TreeRankState::Ranked { rank: child_rank, children: 0 };

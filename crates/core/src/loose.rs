@@ -185,8 +185,7 @@ mod tests {
         let p = LooselyStabilizingLe::new(32);
         let initial = vec![p.follower_state(32); n];
         let mut sim = Simulation::new(p, initial, 5);
-        let outcome =
-            sim.run_until(50_000_000, |s| LooselyStabilizingLe::leader_count(s) == 1);
+        let outcome = sim.run_until(50_000_000, |s| LooselyStabilizingLe::leader_count(s) == 1);
         assert!(outcome.is_converged());
     }
 
@@ -197,8 +196,7 @@ mod tests {
         for trial in 0..5 {
             let initial = random_config(&p, n, derive_seed(9, trial));
             let mut sim = Simulation::new(p, initial, derive_seed(10, trial));
-            let outcome =
-                sim.run_until(50_000_000, |s| LooselyStabilizingLe::leader_count(s) == 1);
+            let outcome = sim.run_until(50_000_000, |s| LooselyStabilizingLe::leader_count(s) == 1);
             assert!(outcome.is_converged(), "trial {trial}");
         }
     }

@@ -158,7 +158,11 @@ impl OptimalSilentSsr {
         let e_max = Self::DEFAULT_E_MAX_MULTIPLIER * n as u32;
         let d_max = Self::DEFAULT_D_MAX_MULTIPLIER * n as u32;
         let r_max = ResetParams::r_max_for(n, Self::DEFAULT_R_MAX_MULTIPLIER);
-        Self::with_params(n, e_max, ResetParams::new(r_max, d_max).expect("positive by construction"))
+        Self::with_params(
+            n,
+            e_max,
+            ResetParams::new(r_max, d_max).expect("positive by construction"),
+        )
     }
 
     /// Creates the protocol with explicit constants.
@@ -244,11 +248,7 @@ impl Protocol for OptimalSilentSsr {
         // Lines 9–13: settled agents recruit unsettled agents into the rank
         // tree, in both directions.
         for _ in 0..2 {
-            if let (
-                OssState::Settled { rank, children },
-                OssState::Unsettled { .. },
-            ) = (&*a, &*b)
-            {
+            if let (OssState::Settled { rank, children }, OssState::Unsettled { .. }) = (&*a, &*b) {
                 if self.child_slot_available(*rank, *children) {
                     let child_rank = 2 * *rank + *children as u32;
                     *b = OssState::Settled { rank: child_rank, children: 0 };
@@ -283,6 +283,10 @@ impl Protocol for OptimalSilentSsr {
             (OssState::Settled { rank: ra, .. }, OssState::Settled { rank: rb, .. }) => ra != rb,
             _ => false,
         }
+    }
+
+    fn phase_of(&self, state: &OssState) -> Option<&'static str> {
+        Some(crate::reset::phase_name(state))
     }
 }
 
@@ -479,10 +483,7 @@ mod tests {
     #[test]
     fn awakening_leader_settles_at_root() {
         let p = proto(8);
-        let mut a = OssState::resetting(
-            Leader::L,
-            ResetCore { resetcount: 0, delaytimer: 1 },
-        );
+        let mut a = OssState::resetting(Leader::L, ResetCore { resetcount: 0, delaytimer: 1 });
         let mut b = OssState::resetting(Leader::F, ResetCore { resetcount: 0, delaytimer: 50 });
         p.interact(&mut a, &mut b, &mut rng());
         assert_eq!(a, OssState::Settled { rank: 1, children: 0 });
@@ -492,10 +493,7 @@ mod tests {
     #[test]
     fn awakening_follower_becomes_unsettled_with_full_errorcount() {
         let p = proto(8);
-        let mut a = OssState::resetting(
-            Leader::F,
-            ResetCore { resetcount: 0, delaytimer: 1 },
-        );
+        let mut a = OssState::resetting(Leader::F, ResetCore { resetcount: 0, delaytimer: 1 });
         let mut b = OssState::resetting(Leader::F, ResetCore { resetcount: 0, delaytimer: 50 });
         p.interact(&mut a, &mut b, &mut rng());
         assert_eq!(a, OssState::Unsettled { errorcount: p.e_max() });

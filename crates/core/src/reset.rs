@@ -149,6 +149,31 @@ pub trait ResetView {
     }
 }
 
+/// Canonical phase names for protocols built on Propagate-Reset, as reported
+/// through `Protocol::phase_of` to simulation observers.
+pub mod phase {
+    /// Running the outer protocol (not in the `Resetting` role).
+    pub const COMPUTING: &str = "computing";
+    /// Spreading the reset epidemic (`resetcount > 0`).
+    pub const PROPAGATING: &str = "propagating";
+    /// Waiting out the delay timer (`resetcount = 0`).
+    pub const DORMANT: &str = "dormant";
+}
+
+/// Maps a state's reset view onto the canonical phase names ([`phase`]).
+///
+/// The awakening step of the cycle (dormant → computing on timer expiry or
+/// contact with a computing agent) shows up to observers as a transition back
+/// to [`phase::COMPUTING`] rather than as a distinct phase — an agent is only
+/// ever *between* phases for the duration of one interaction.
+pub fn phase_name<S: ResetView>(state: &S) -> &'static str {
+    match state.reset_core() {
+        None => phase::COMPUTING,
+        Some(core) if core.is_propagating() => phase::PROPAGATING,
+        Some(_) => phase::DORMANT,
+    }
+}
+
 /// Which agents executed the outer protocol's `Reset` during one
 /// Propagate-Reset step (i.e. awakened from dormancy).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -189,7 +214,7 @@ pub fn propagate_reset<S: ResetView>(
     let mut x_new = x.reset_core().expect("x is resetting");
     let mut y_core_opt = y.reset_core();
     let x_was_propagating = x_core.is_propagating();
-    let y_was_propagating = y_core_opt.map_or(false, |c| c.is_propagating());
+    let y_was_propagating = y_core_opt.is_some_and(|c| c.is_propagating());
     if let Some(y_core) = y_core_opt {
         let v = x_new.resetcount.max(y_core.resetcount).saturating_sub(1);
         x_new.resetcount = v;

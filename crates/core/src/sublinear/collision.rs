@@ -42,11 +42,7 @@ impl CollisionParams {
     /// Panics if `n < 2`.
     pub fn for_population(n: usize, h: u32) -> Self {
         assert!(n >= 2, "population protocols need at least 2 agents");
-        CollisionParams {
-            h,
-            s_max: 4 * (n as u64) * (n as u64),
-            t_h: Self::t_h_for(n, h, 4.0),
-        }
+        CollisionParams { h, s_max: 4 * (n as u64) * (n as u64), t_h: Self::t_h_for(n, h, 4.0) }
     }
 
     /// `T_H = Θ(τ_{H+1})` scaled to per-agent interaction counts:
@@ -73,11 +69,7 @@ impl CollisionParams {
 /// # Panics
 ///
 /// Panics if `path` is empty.
-pub fn check_path_consistency(
-    j_tree: &HistoryTree,
-    i_root: Name,
-    path: &[&HistoryEdge],
-) -> bool {
+pub fn check_path_consistency(j_tree: &HistoryTree, i_root: Name, path: &[&HistoryEdge]) -> bool {
     let p = path.len();
     assert!(p >= 1, "consistency checks need a non-empty path");
     let mut current = j_tree.children();
@@ -131,10 +123,7 @@ pub fn detect_name_collision(
         .paths_to(b_name)
         .iter()
         .any(|path| !check_path_consistency(b_tree, a_name, path))
-        || b_tree
-            .paths_to(a_name)
-            .iter()
-            .any(|path| !check_path_consistency(a_tree, b_name, path));
+        || b_tree.paths_to(a_name).iter().any(|path| !check_path_consistency(a_tree, b_name, path));
     if inconsistent {
         return true;
     }

@@ -143,7 +143,12 @@ impl SublinearTimeSsr {
         let collision = CollisionParams::for_population(n, h);
         let r_max = ResetParams::r_max_for(n, 4.0);
         let d_max = (2 * r_max).max(2 * name_bits as u32);
-        Self::with_params(n, name_bits, collision, ResetParams::new(r_max, d_max).expect("positive"))
+        Self::with_params(
+            n,
+            name_bits,
+            collision,
+            ResetParams::new(r_max, d_max).expect("positive"),
+        )
     }
 
     /// Creates the protocol with the time-optimal depth `H = ⌈log₂ n⌉`
@@ -222,7 +227,10 @@ impl SublinearTimeSsr {
 
     /// A freshly triggered resetting state.
     pub fn triggered_state(&self) -> SubState {
-        SubState { name: Name::empty(), role: SubRole::Resetting(ResetCore::triggered(&self.reset)) }
+        SubState {
+            name: Name::empty(),
+            role: SubRole::Resetting(ResetCore::triggered(&self.reset)),
+        }
     }
 
     /// Protocol 6: `Reset` — back to `Collecting` with a singleton roster
@@ -264,8 +272,7 @@ impl SublinearTimeSsr {
 
         // Line 2, first disjunct: collision detection (also performs the
         // history-tree update when no collision is found).
-        if detect_name_collision(&self.collision, a_name, &mut ca.tree, b_name, &mut cb.tree, rng)
-        {
+        if detect_name_collision(&self.collision, a_name, &mut ca.tree, b_name, &mut cb.tree, rng) {
             return true;
         }
 
@@ -363,6 +370,10 @@ impl Protocol for SublinearTimeSsr {
         } else {
             true
         }
+    }
+
+    fn phase_of(&self, state: &SubState) -> Option<&'static str> {
+        Some(crate::reset::phase_name(state))
     }
 }
 
@@ -520,10 +531,8 @@ mod tests {
     fn awakened_agent_keeps_its_grown_name() {
         let p = SublinearTimeSsr::new(4, 1);
         let name = Name::from_bits(0b101, 3);
-        let mut a = SubState {
-            name,
-            role: SubRole::Resetting(ResetCore { resetcount: 0, delaytimer: 1 }),
-        };
+        let mut a =
+            SubState { name, role: SubRole::Resetting(ResetCore { resetcount: 0, delaytimer: 1 }) };
         let mut b = SubState {
             name: Name::empty(),
             role: SubRole::Resetting(ResetCore { resetcount: 0, delaytimer: 100 }),

@@ -227,16 +227,20 @@ proptest! {
 enum TreeOp {
     /// Graft a snapshot with the given root label and an optional
     /// depth-1 child under it.
-    Graft { root: u8, child: Option<u8>, sync: u64, timer: u32 },
+    Graft {
+        root: u8,
+        child: Option<u8>,
+        sync: u64,
+        timer: u32,
+    },
     RemoveOwn,
     Decrement,
 }
 
 fn tree_op_strategy() -> impl Strategy<Value = TreeOp> {
     prop_oneof![
-        (0u8..8, prop::option::of(0u8..8), 1u64..100, 1u32..6).prop_map(
-            |(root, child, sync, timer)| TreeOp::Graft { root, child, sync, timer }
-        ),
+        (0u8..8, prop::option::of(0u8..8), 1u64..100, 1u32..6)
+            .prop_map(|(root, child, sync, timer)| TreeOp::Graft { root, child, sync, timer }),
         Just(TreeOp::RemoveOwn),
         Just(TreeOp::Decrement),
     ]

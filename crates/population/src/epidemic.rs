@@ -232,9 +232,8 @@ mod tests {
 
     #[test]
     fn one_way_is_slower_than_two_way_on_average() {
-        let avg = |kind| -> f64 {
-            (0..20).map(|s| epidemic_time(128, kind, s)).sum::<f64>() / 20.0
-        };
+        let avg =
+            |kind| -> f64 { (0..20).map(|s| epidemic_time(128, kind, s)).sum::<f64>() / 20.0 };
         assert!(avg(EpidemicKind::OneWay) > avg(EpidemicKind::TwoWay));
     }
 
@@ -276,9 +275,7 @@ mod tests {
 
     #[test]
     fn roll_call_completes_and_scales_like_log() {
-        let avg = |n: usize| -> f64 {
-            (0..6).map(|s| roll_call_time(n, s)).sum::<f64>() / 6.0
-        };
+        let avg = |n: usize| -> f64 { (0..6).map(|s| roll_call_time(n, s)).sum::<f64>() / 6.0 };
         let t64 = avg(64);
         let t512 = avg(512);
         assert!(t64 > 0.0);
@@ -291,10 +288,9 @@ mod tests {
         let n = 512;
         let trials = 8;
         let rc: f64 = (0..trials).map(|s| roll_call_time(n, s)).sum::<f64>() / trials as f64;
-        let ep: f64 = (0..trials)
-            .map(|s| epidemic_time(n, EpidemicKind::TwoWay, 100 + s))
-            .sum::<f64>()
-            / trials as f64;
+        let ep: f64 =
+            (0..trials).map(|s| epidemic_time(n, EpidemicKind::TwoWay, 100 + s)).sum::<f64>()
+                / trials as f64;
         let ratio = rc / ep;
         assert!((1.1..2.2).contains(&ratio), "roll-call/epidemic ratio {ratio}");
     }

@@ -175,9 +175,8 @@ mod tests {
     fn leader_fight_converges_under_chemical_semantics() {
         let n = 40;
         let mut sim = GillespieSimulation::new(FightProtocol, vec![Fight::Leader; n], 4);
-        let outcome = sim.run_until(1e6, |states| {
-            states.iter().filter(|s| **s == Fight::Leader).count() == 1
-        });
+        let outcome = sim
+            .run_until(1e6, |states| states.iter().filter(|s| **s == Fight::Leader).count() == 1);
         assert!(outcome.is_converged());
         // ℓ,ℓ → ℓ,f from all-ℓ takes Θ(n) time in either clock.
         assert!(sim.time() > 1.0 && sim.time() < 100.0 * n as f64);

@@ -30,6 +30,9 @@
 //! | [`simulation`] | [`Simulation`]: owns the configuration, steps it, counts interactions |
 //! | [`tracker`] | O(1)-per-interaction convergence detection for ranking protocols |
 //! | [`runner`] | multi-trial experiment driver with deterministic seed derivation |
+//! | [`observer`] | [`Observer`] hooks into the hot loop; [`NoopObserver`] zero-cost default |
+//! | [`telemetry`] | counters, fixed-bucket histograms, throughput meters, [`TelemetryObserver`] |
+//! | [`record`] | versioned per-trial [`RunRecord`]s and their JSONL encoding |
 //! | [`epidemic`] | one-way/two-way epidemic, bounded epidemic, and roll-call processes |
 //! | [`silence`] | structural silence checking for silent protocols |
 //!
@@ -70,16 +73,22 @@
 pub mod epidemic;
 pub mod gillespie;
 pub mod graph;
+pub mod observer;
 pub mod probe;
 pub mod protocol;
+pub mod record;
 pub mod runner;
 pub mod scheduler;
 pub mod silence;
 pub mod simulation;
+pub mod telemetry;
 pub mod tracker;
 
 pub use graph::InteractionGraph;
+pub use observer::{NoopObserver, Observer};
 pub use protocol::{Protocol, RankingProtocol};
-pub use runner::{derive_seed, ConvergenceSample, Runner, TrialSettings};
+pub use record::RunRecord;
+pub use runner::{derive_seed, ConvergenceSample, Runner, TrialOutcome, TrialSettings};
 pub use simulation::{RunOutcome, Simulation};
+pub use telemetry::TelemetryObserver;
 pub use tracker::RankTracker;

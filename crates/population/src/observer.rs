@@ -1,0 +1,144 @@
+//! Execution observers: typed hooks into [`Simulation`](crate::Simulation)'s
+//! hot loop.
+//!
+//! The paper's arguments are about *trajectories* — reset waves propagating
+//! through the population, leader counts decaying, the trigger → propagating
+//! → dormant → awakening phases of Propagate-Reset (Sec. 3) — not only about
+//! hitting times. An [`Observer`] receives those events as the simulation
+//! runs, without the caller having to poll configurations.
+//!
+//! Observation is a **zero-cost abstraction**: `Simulation` takes the
+//! observer as a generic parameter defaulting to [`NoopObserver`], whose
+//! hooks are empty bodies that monomorphize away. The uninstrumented path
+//! therefore compiles to exactly the code it was before observers existed,
+//! and (because observers never touch the simulation's RNG) an attached
+//! observer cannot perturb an execution: outcomes are bit-identical with and
+//! without one.
+//!
+//! Two opt-in associated constants gate the hooks that would otherwise cost
+//! per-interaction work even to *detect* their events:
+//!
+//! * [`Observer::WATCHES_STATE_CHANGES`] — evaluate
+//!   [`Protocol::is_null_pair`] before each interaction so
+//!   [`Observer::on_state_change`] can fire for effective (non-null)
+//!   interactions;
+//! * [`Observer::WATCHES_PHASES`] — evaluate [`Protocol::phase_of`] around
+//!   each interaction so [`Observer::on_phase_transition`] can fire.
+
+use crate::protocol::Protocol;
+
+/// Hooks called by [`Simulation`](crate::Simulation) as an execution runs.
+///
+/// All hooks have empty default bodies, so an implementation only overrides
+/// what it needs. Hooks receive the **total** interaction count (counted from
+/// the start of the execution), matching
+/// [`Simulation::interactions`](crate::Simulation::interactions).
+pub trait Observer<P: Protocol> {
+    /// Opt-in for [`Observer::on_state_change`]: when `true`, the simulation
+    /// evaluates [`Protocol::is_null_pair`] on every scheduled pair.
+    const WATCHES_STATE_CHANGES: bool = false;
+
+    /// Opt-in for [`Observer::on_phase_transition`]: when `true`, the
+    /// simulation evaluates [`Protocol::phase_of`] on both agents around
+    /// every interaction.
+    const WATCHES_PHASES: bool = false;
+
+    /// One interaction happened between initiator `i` and responder `j`;
+    /// `interactions` is the total count *after* this interaction.
+    fn on_interaction(&mut self, i: usize, j: usize, interactions: u64) {
+        let _ = (i, j, interactions);
+    }
+
+    /// A batch of interactions requested as one
+    /// [`Simulation::run`](crate::Simulation::run) call finished.
+    ///
+    /// `len` is the batch length; `interactions` the total count after the
+    /// batch. Batch-level instrumentation (e.g. throughput sampling) can hook
+    /// here instead of paying a call per interaction.
+    fn on_batch(&mut self, len: u64, interactions: u64) {
+        let _ = (len, interactions);
+    }
+
+    /// An *effective* interaction happened: the scheduled pair was not a
+    /// null pair ([`Protocol::is_null_pair`] returned `false`), so the
+    /// transition could alter at least one of the two states.
+    ///
+    /// Only fired when [`Observer::WATCHES_STATE_CHANGES`] is `true`. For
+    /// silent protocols the complement of this event stream (long runs of
+    /// null interactions) is exactly the silence the paper's Def. 2
+    /// describes.
+    fn on_state_change(&mut self, i: usize, j: usize, interactions: u64) {
+        let _ = (i, j, interactions);
+    }
+
+    /// Agent `agent` moved between protocol-declared phases (see
+    /// [`Protocol::phase_of`]) during the interaction that brought the total
+    /// to `interactions`.
+    ///
+    /// Only fired when [`Observer::WATCHES_PHASES`] is `true`.
+    fn on_phase_transition(
+        &mut self,
+        agent: usize,
+        from: Option<&'static str>,
+        to: Option<&'static str>,
+        interactions: u64,
+    ) {
+        let _ = (agent, from, to, interactions);
+    }
+
+    /// A goal-directed run (e.g.
+    /// [`run_until`](crate::Simulation::run_until)) reached its goal at the
+    /// given total interaction count.
+    fn on_converged(&mut self, interactions: u64) {
+        let _ = interactions;
+    }
+
+    /// A goal-directed run exhausted its interaction budget.
+    fn on_exhausted(&mut self, interactions: u64) {
+        let _ = interactions;
+    }
+}
+
+/// The default observer: every hook is a no-op and every gate is off.
+///
+/// `Simulation<P>` means `Simulation<P, NoopObserver>`; the compiler removes
+/// all observer plumbing from that instantiation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopObserver;
+
+impl<P: Protocol> Observer<P> for NoopObserver {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+
+    struct Nothing;
+    impl Protocol for Nothing {
+        type State = u8;
+        fn interact(&self, _a: &mut u8, _b: &mut u8, _rng: &mut SmallRng) {}
+    }
+
+    #[test]
+    fn noop_observer_gates_are_off() {
+        // Read through a runtime binding so the zero-cost contract is
+        // asserted on the values the generic code actually sees.
+        let gates = [
+            <NoopObserver as Observer<Nothing>>::WATCHES_STATE_CHANGES,
+            <NoopObserver as Observer<Nothing>>::WATCHES_PHASES,
+        ];
+        assert_eq!(gates, [false, false]);
+    }
+
+    #[test]
+    fn default_hooks_accept_events() {
+        // The default bodies must be callable on any observer.
+        let mut obs = NoopObserver;
+        Observer::<Nothing>::on_interaction(&mut obs, 0, 1, 1);
+        Observer::<Nothing>::on_batch(&mut obs, 5, 5);
+        Observer::<Nothing>::on_state_change(&mut obs, 0, 1, 2);
+        Observer::<Nothing>::on_phase_transition(&mut obs, 0, None, Some("propagating"), 3);
+        Observer::<Nothing>::on_converged(&mut obs, 9);
+        Observer::<Nothing>::on_exhausted(&mut obs, 9);
+    }
+}

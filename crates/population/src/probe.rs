@@ -8,6 +8,7 @@
 //! configuration metrics at a fixed interaction cadence so those
 //! trajectories can be plotted or asserted on.
 
+use crate::observer::Observer;
 use crate::protocol::Protocol;
 use crate::simulation::Simulation;
 
@@ -98,25 +99,35 @@ pub fn to_csv_table(series: &[Series]) -> String {
 ///
 /// Each metric is `(label, fn(&[State]) -> f64)`; returns one [`Series`] per
 /// metric, all sampled at identical times (suitable for [`to_csv_table`]).
+/// The simulation's observer (if any) sees each sampling burst as one batch.
+///
+/// Edge cases: a cadence larger than the budget degenerates to sampling only
+/// the start and final configurations; a zero budget samples the starting
+/// configuration once (it *is* the final configuration). The final
+/// configuration is never sampled twice, even when `interactions` is a
+/// multiple of `every`.
 ///
 /// # Panics
 ///
 /// Panics if `every == 0`.
 #[allow(clippy::type_complexity)]
-pub fn record_series<P: Protocol>(
-    sim: &mut Simulation<P>,
+pub fn record_series<P: Protocol, O: Observer<P>>(
+    sim: &mut Simulation<P, O>,
     interactions: u64,
     every: u64,
     metrics: &mut [(&str, Box<dyn FnMut(&[P::State]) -> f64 + '_>)],
 ) -> Vec<Series> {
     assert!(every > 0, "sampling cadence must be positive");
     let mut series: Vec<Series> = metrics.iter().map(|(label, _)| Series::new(*label)).collect();
-    let sample = |sim: &Simulation<P>, series: &mut Vec<Series>, metrics: &mut [(&str, Box<dyn FnMut(&[P::State]) -> f64 + '_>)]| {
-        let t = sim.parallel_time();
-        for (s, (_, metric)) in series.iter_mut().zip(metrics.iter_mut()) {
-            s.push(t, metric(sim.states()));
-        }
-    };
+    let sample =
+        |sim: &Simulation<P, O>,
+         series: &mut Vec<Series>,
+         metrics: &mut [(&str, Box<dyn FnMut(&[P::State]) -> f64 + '_>)]| {
+            let t = sim.parallel_time();
+            for (s, (_, metric)) in series.iter_mut().zip(metrics.iter_mut()) {
+                s.push(t, metric(sim.states()));
+            }
+        };
     sample(sim, &mut series, metrics);
     let mut done = 0;
     while done < interactions {
@@ -164,12 +175,7 @@ mod tests {
     #[test]
     fn record_series_samples_start_and_end() {
         let mut sim = Simulation::new(Inc, vec![Counter(0); 4], 1);
-        let series = record_series(
-            &mut sim,
-            10,
-            4,
-            &mut [("total", Box::new(total))],
-        );
+        let series = record_series(&mut sim, 10, 4, &mut [("total", Box::new(total))]);
         assert_eq!(series.len(), 1);
         let pts = series[0].points();
         // Samples at 0, 4, 8, 10 interactions.
@@ -186,15 +192,44 @@ mod tests {
             &mut sim,
             8,
             4,
-            &mut [
-                ("total", Box::new(total)),
-                ("half", Box::new(|s: &[Counter]| total(s) / 2.0)),
-            ],
+            &mut [("total", Box::new(total)), ("half", Box::new(|s: &[Counter]| total(s) / 2.0))],
         );
         assert_eq!(series.len(), 2);
         let csv = to_csv_table(&series);
         assert!(csv.starts_with("time,total,half\n"));
         assert_eq!(csv.lines().count(), 4, "header + 3 samples");
+    }
+
+    #[test]
+    fn cadence_larger_than_budget_samples_start_and_end_only() {
+        let mut sim = Simulation::new(Inc, vec![Counter(0); 4], 1);
+        let series = record_series(&mut sim, 3, 10, &mut [("total", Box::new(total))]);
+        let pts = series[0].points();
+        assert_eq!(pts.len(), 2, "start + final, nothing in between");
+        assert_eq!(pts[0], (0.0, 0.0));
+        assert_eq!(pts[1].1, 6.0, "3 interactions × 2 increments");
+        assert_eq!(sim.interactions(), 3, "the burst was clipped to the budget");
+    }
+
+    #[test]
+    fn zero_budget_samples_the_initial_configuration_once() {
+        let mut sim = Simulation::new(Inc, vec![Counter(0); 4], 1);
+        let series = record_series(&mut sim, 0, 5, &mut [("total", Box::new(total))]);
+        assert_eq!(series[0].points(), &[(0.0, 0.0)]);
+        assert_eq!(sim.interactions(), 0, "no interactions were run");
+    }
+
+    #[test]
+    fn final_configuration_is_sampled_exactly_once() {
+        // Budget divisible by the cadence: the final burst must not produce
+        // a duplicate sample at the same parallel time.
+        let mut sim = Simulation::new(Inc, vec![Counter(0); 4], 1);
+        let series = record_series(&mut sim, 8, 4, &mut [("total", Box::new(total))]);
+        let pts = series[0].points();
+        assert_eq!(pts.len(), 3, "samples at 0, 4, 8 interactions");
+        let final_t = pts.last().unwrap().0;
+        assert_eq!(pts.iter().filter(|&&(t, _)| t == final_t).count(), 1);
+        assert_eq!(sim.interactions(), 8);
     }
 
     #[test]

@@ -38,6 +38,23 @@ pub trait Protocol {
     fn is_null_pair(&self, _a: &Self::State, _b: &Self::State) -> bool {
         false
     }
+
+    /// The protocol-declared *phase* a state is in, if the protocol has a
+    /// notion of phases.
+    ///
+    /// Protocols built on Propagate-Reset (Sec. 3 of the paper) report the
+    /// wave their agent is riding — `"computing"` while running the main
+    /// protocol, `"propagating"` while spreading a reset signal, `"dormant"`
+    /// while waiting out the delay timer before awakening back into
+    /// `"computing"`. Protocols without phase structure keep the default of
+    /// `None` for every state.
+    ///
+    /// Phase names are `&'static str` so that comparing and recording
+    /// transitions ([`crate::Observer::on_phase_transition`]) costs a pointer
+    /// compare, not a string compare, on the hot path.
+    fn phase_of(&self, _state: &Self::State) -> Option<&'static str> {
+        None
+    }
 }
 
 /// A protocol that solves the ranking problem of the paper: each agent

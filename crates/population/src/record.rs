@@ -1,0 +1,561 @@
+//! Versioned per-trial experiment records and their JSONL encoding.
+//!
+//! Every measured trial — one `(protocol, n, seed)` execution run to
+//! convergence or budget exhaustion — becomes one [`RunRecord`], serialized
+//! as one JSON object per line (JSONL). The text tables the benches print
+//! are lossy summaries; the JSONL stream is the raw data they summarize, so
+//! experiments can be re-analyzed (`ssle report`) or diffed across commits
+//! without re-running them.
+//!
+//! The encoding is hand-rolled: the records are flat (strings, integers,
+//! floats, null), which a few dozen lines handle, and the build environment
+//! is offline so pulling `serde` is not an option. [`RunRecord::to_json`] and
+//! [`RunRecord::from_json`] round-trip exactly for the values the simulator
+//! produces.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::simulation::RunOutcome;
+
+/// Version of the record schema. Bump when fields change meaning; readers
+/// reject records from a different major version.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One measured trial, self-describing enough to be aggregated without the
+/// context of the run that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Name of the experiment that produced this record (e.g. `"table1"`).
+    pub experiment: String,
+    /// Protocol short-name (e.g. `"ciw"`, `"oss"`, `"sublinear"`).
+    pub protocol: String,
+    /// Population size.
+    pub n: u64,
+    /// Depth parameter `H` for Sublinear-Time-SSR; `None` for protocols
+    /// without one.
+    pub h: Option<u64>,
+    /// Trial index within the experiment.
+    pub trial: u64,
+    /// Base seed of the experiment (per-trial seeds derive from it).
+    pub seed: u64,
+    /// How the trial ended.
+    pub outcome: RunOutcome,
+    /// Wall-clock seconds the trial took.
+    pub wall_s: f64,
+}
+
+impl RunRecord {
+    /// Parallel time (interactions / n) at convergence or exhaustion.
+    pub fn parallel_time(&self) -> f64 {
+        self.outcome.parallel_time(self.n as usize)
+    }
+
+    /// Interactions per wall-clock second (0 if no wall time was recorded).
+    pub fn interactions_per_second(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.outcome.interactions() as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Serializes to a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.field_u64("v", SCHEMA_VERSION as u64);
+        obj.field_str("experiment", &self.experiment);
+        obj.field_str("protocol", &self.protocol);
+        obj.field_u64("n", self.n);
+        match self.h {
+            Some(h) => obj.field_u64("h", h),
+            None => obj.field_null("h"),
+        };
+        obj.field_u64("trial", self.trial);
+        obj.field_u64("seed", self.seed);
+        obj.field_str(
+            "outcome",
+            if self.outcome.is_converged() { "converged" } else { "exhausted" },
+        );
+        obj.field_u64("interactions", self.outcome.interactions());
+        obj.field_f64("parallel_time", self.parallel_time());
+        obj.field_f64("wall_s", self.wall_s);
+        obj.field_f64("ips", self.interactions_per_second());
+        obj.finish()
+    }
+
+    /// Parses a record from one JSONL line.
+    ///
+    /// Unknown fields are ignored (forward compatibility); missing required
+    /// fields, malformed JSON, or a schema version other than
+    /// [`SCHEMA_VERSION`] are errors.
+    pub fn from_json(line: &str) -> Result<Self, String> {
+        let fields = parse_flat_json(line)?;
+        let version = get_u64(&fields, "v")?;
+        if version != SCHEMA_VERSION as u64 {
+            return Err(format!(
+                "unsupported record version {version} (reader supports {SCHEMA_VERSION})"
+            ));
+        }
+        let interactions = get_u64(&fields, "interactions")?;
+        let outcome = match get_str(&fields, "outcome")? {
+            "converged" => RunOutcome::Converged { interactions },
+            "exhausted" => RunOutcome::Exhausted { interactions },
+            other => return Err(format!("unknown outcome {other:?}")),
+        };
+        let h = match fields.get("h") {
+            None | Some(JsonScalar::Null) => None,
+            Some(JsonScalar::Num(x)) => Some(*x as u64),
+            Some(other) => {
+                return Err(format!("field \"h\": expected number or null, got {other:?}"))
+            }
+        };
+        Ok(RunRecord {
+            experiment: get_str(&fields, "experiment")?.to_string(),
+            protocol: get_str(&fields, "protocol")?.to_string(),
+            n: get_u64(&fields, "n")?,
+            h,
+            trial: get_u64(&fields, "trial")?,
+            seed: get_u64(&fields, "seed")?,
+            outcome,
+            wall_s: get_f64(&fields, "wall_s")?,
+        })
+    }
+}
+
+/// Serializes records as JSONL: one [`RunRecord::to_json`] line per record.
+pub fn to_jsonl(records: &[RunRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSONL document (blank lines skipped) into records.
+///
+/// The error names the offending line number.
+pub fn from_jsonl(text: &str) -> Result<Vec<RunRecord>, String> {
+    let mut records = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = RunRecord::from_json(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Incremental builder for a single-line JSON object.
+///
+/// Exists so that the CLI's `--format json` output and [`RunRecord::to_json`]
+/// share one escaping implementation.
+#[derive(Debug)]
+pub struct JsonObject {
+    buf: String,
+    first: bool,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObject { buf: String::from("{"), first: true }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        escape_into(&mut self.buf, key);
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a string field (escaped).
+    pub fn field_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push('"');
+        escape_into(&mut self.buf, value);
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn field_u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a float field. Non-finite values serialize as `null` (JSON has
+    /// no NaN/Infinity).
+    pub fn field_f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        if value.is_finite() {
+            let _ = write!(self.buf, "{value}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn field_bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a `null` field.
+    pub fn field_null(&mut self, key: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push_str("null");
+        self
+    }
+
+    /// Adds a field whose value is pre-rendered JSON (e.g. a nested array
+    /// built by the caller). The caller is responsible for its validity.
+    pub fn field_raw(&mut self, key: &str, json: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(self) -> String {
+        let mut buf = self.buf;
+        buf.push('}');
+        buf
+    }
+}
+
+impl Default for JsonObject {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn escape_into(buf: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+}
+
+/// A scalar value in a flat JSON object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonScalar {
+    /// A JSON string (unescaped).
+    Str(String),
+    /// A JSON number.
+    Num(f64),
+    /// A JSON boolean.
+    Bool(bool),
+    /// JSON `null`.
+    Null,
+}
+
+/// Parses a flat JSON object — string/number/bool/null values only, no
+/// nesting — into a key → scalar map.
+///
+/// This is the subset [`RunRecord::to_json`] emits; nested values are
+/// rejected with an error rather than skipped.
+pub fn parse_flat_json(input: &str) -> Result<BTreeMap<String, JsonScalar>, String> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut map = BTreeMap::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.parse_string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.parse_scalar()?;
+            map.insert(key, value);
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(format!("expected ',' or '}}', got {:?}", byte_desc(other))),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data after object at byte {}", p.pos));
+    }
+    Ok(map)
+}
+
+fn byte_desc(b: Option<u8>) -> String {
+    match b {
+        Some(b) => format!("{:?}", b as char),
+        None => "end of input".to_string(),
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(format!("expected {:?}, got {}", want as char, byte_desc(other))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.next().ok_or("unterminated \\u escape")? as char;
+                            code = code * 16
+                                + d.to_digit(16)
+                                    .ok_or_else(|| format!("bad hex digit {d:?} in \\u escape"))?;
+                        }
+                        // Surrogate pairs are not produced by our writer;
+                        // map lone surrogates to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape {}", byte_desc(other))),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Multi-byte UTF-8: copy the remaining continuation bytes.
+                    let len = match b {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        0xf0..=0xf7 => 4,
+                        _ => return Err("invalid UTF-8 in string".to_string()),
+                    };
+                    let start = self.pos - 1;
+                    let end = start + len;
+                    if end > self.bytes.len() {
+                        return Err("truncated UTF-8 sequence".to_string());
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_scalar(&mut self) -> Result<JsonScalar, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonScalar::Str(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", JsonScalar::Bool(true)),
+            Some(b'f') => self.parse_literal("false", JsonScalar::Bool(false)),
+            Some(b'n') => self.parse_literal("null", JsonScalar::Null),
+            Some(b'{' | b'[') => Err("nested values are not supported".to_string()),
+            Some(_) => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+                text.parse::<f64>().map(JsonScalar::Num).map_err(|_| format!("bad number {text:?}"))
+            }
+            None => Err("expected a value, got end of input".to_string()),
+        }
+    }
+
+    fn parse_literal(&mut self, lit: &str, value: JsonScalar) -> Result<JsonScalar, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("expected {lit}"))
+        }
+    }
+}
+
+fn get_str<'a>(fields: &'a BTreeMap<String, JsonScalar>, key: &str) -> Result<&'a str, String> {
+    match fields.get(key) {
+        Some(JsonScalar::Str(s)) => Ok(s),
+        Some(other) => Err(format!("field {key:?}: expected string, got {other:?}")),
+        None => Err(format!("missing field {key:?}")),
+    }
+}
+
+fn get_f64(fields: &BTreeMap<String, JsonScalar>, key: &str) -> Result<f64, String> {
+    match fields.get(key) {
+        Some(JsonScalar::Num(x)) => Ok(*x),
+        Some(other) => Err(format!("field {key:?}: expected number, got {other:?}")),
+        None => Err(format!("missing field {key:?}")),
+    }
+}
+
+fn get_u64(fields: &BTreeMap<String, JsonScalar>, key: &str) -> Result<u64, String> {
+    let x = get_f64(fields, key)?;
+    if x >= 0.0 && x.fract() == 0.0 && x <= 2f64.powi(53) {
+        Ok(x as u64)
+    } else {
+        Err(format!("field {key:?}: expected a non-negative integer, got {x}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> RunRecord {
+        RunRecord {
+            experiment: "table1".to_string(),
+            protocol: "oss".to_string(),
+            n: 64,
+            h: None,
+            trial: 3,
+            seed: 1,
+            outcome: RunOutcome::Converged { interactions: 12_345 },
+            wall_s: 0.25,
+        }
+    }
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let r = sample_record();
+        let parsed = RunRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+
+        let with_h = RunRecord {
+            protocol: "sublinear".to_string(),
+            h: Some(2),
+            outcome: RunOutcome::Exhausted { interactions: 999 },
+            ..r
+        };
+        let parsed = RunRecord::from_json(&with_h.to_json()).unwrap();
+        assert_eq!(parsed, with_h);
+    }
+
+    #[test]
+    fn jsonl_round_trips_and_skips_blank_lines() {
+        let records = vec![sample_record(), RunRecord { trial: 4, ..sample_record() }];
+        let mut text = to_jsonl(&records);
+        text.push('\n'); // trailing blank line
+        assert_eq!(from_jsonl(&text).unwrap(), records);
+    }
+
+    #[test]
+    fn derived_fields_are_emitted() {
+        let json = sample_record().to_json();
+        assert!(json.contains("\"parallel_time\":"), "{json}");
+        assert!(json.contains("\"ips\":49380"), "{json}");
+        assert!(json.starts_with("{\"v\":1,"), "version leads: {json}");
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored() {
+        let mut json = sample_record().to_json();
+        json.insert_str(json.len() - 1, ",\"future_field\":\"yes\"");
+        assert_eq!(RunRecord::from_json(&json).unwrap(), sample_record());
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let json = sample_record().to_json().replace("\"v\":1", "\"v\":2");
+        let err = RunRecord::from_json(&json).unwrap_err();
+        assert!(err.contains("version"), "{err}");
+    }
+
+    #[test]
+    fn missing_field_is_an_error_with_line_number() {
+        let good = sample_record().to_json();
+        let bad = good.replace("\"seed\":1,", "");
+        let text = format!("{good}\n{bad}\n");
+        let err = from_jsonl(&text).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        assert!(err.contains("seed"), "{err}");
+    }
+
+    #[test]
+    fn string_escaping_round_trips() {
+        let r = RunRecord {
+            experiment: "weird \"name\"\twith\nnewline\\slash".to_string(),
+            ..sample_record()
+        };
+        assert_eq!(RunRecord::from_json(&r.to_json()).unwrap(), r);
+    }
+
+    #[test]
+    fn parser_rejects_nesting_and_trailing_garbage() {
+        assert!(parse_flat_json("{\"a\":[1]}").unwrap_err().contains("nested"));
+        assert!(parse_flat_json("{\"a\":1} extra").unwrap_err().contains("trailing"));
+        assert!(parse_flat_json("{\"a\":1").is_err());
+    }
+
+    #[test]
+    fn json_object_builder_emits_all_types() {
+        let mut obj = JsonObject::new();
+        obj.field_str("s", "x");
+        obj.field_u64("u", 7);
+        obj.field_f64("f", 1.5);
+        obj.field_f64("nan", f64::NAN);
+        obj.field_bool("b", true);
+        obj.field_null("z");
+        obj.field_raw("arr", "[1,2]");
+        assert_eq!(
+            obj.finish(),
+            "{\"s\":\"x\",\"u\":7,\"f\":1.5,\"nan\":null,\"b\":true,\"z\":null,\"arr\":[1,2]}"
+        );
+    }
+
+    #[test]
+    fn empty_object_parses() {
+        assert!(parse_flat_json(" { } ").unwrap().is_empty());
+    }
+}

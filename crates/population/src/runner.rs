@@ -4,12 +4,21 @@
 //! independent executions; WHP rows by high quantiles of the same sample.
 //! The runner derives per-trial seeds deterministically from a base seed so
 //! every experiment in the repository is reproducible bit-for-bit.
+//!
+//! Each trial is reported as a [`TrialOutcome`] carrying the full
+//! [`RunOutcome`] plus wall-clock timing, convertible to a versioned
+//! [`RunRecord`](crate::record::RunRecord) for JSONL experiment logs;
+//! [`ConvergenceSample`] is the statistical view the tables summarize.
+
+use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::protocol::RankingProtocol;
+use crate::record::RunRecord;
 use crate::simulation::{RunOutcome, Simulation};
+use crate::telemetry::Throughput;
 
 /// Creates the crate's standard RNG from a 64-bit seed.
 ///
@@ -32,6 +41,12 @@ fn splitmix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
+}
+
+/// Number of worker threads [`Runner::measure_ranking_auto`] uses: the
+/// machine's available parallelism, or 1 if that cannot be determined.
+pub fn auto_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
 /// Settings shared by all trials of one measurement.
@@ -59,20 +74,100 @@ impl TrialSettings {
     }
 }
 
+/// One completed trial: its index, population size, full outcome, and
+/// wall-clock duration.
+///
+/// The outcome and population size are deterministic in `(settings, trial)`;
+/// the wall time is a measurement of this machine, carried along so
+/// experiment records can report throughput.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialOutcome {
+    /// Trial index within the experiment.
+    pub trial: u64,
+    /// Population size of this trial.
+    pub n: usize,
+    /// How the execution ended (converged or exhausted, with interaction
+    /// counts either way).
+    pub outcome: RunOutcome,
+    /// Wall-clock time the execution took.
+    pub wall: Duration,
+}
+
+impl TrialOutcome {
+    /// Parallel time (interactions / n) at convergence or exhaustion.
+    pub fn parallel_time(&self) -> f64 {
+        self.outcome.parallel_time(self.n)
+    }
+
+    /// Wall-clock throughput of this trial.
+    pub fn throughput(&self) -> Throughput {
+        Throughput { interactions: self.outcome.interactions(), wall: self.wall }
+    }
+
+    /// Converts to a versioned experiment record (see [`crate::record`]).
+    ///
+    /// `experiment` and `protocol` name what was measured; `h` is the depth
+    /// parameter for protocols that have one; `base_seed` is the
+    /// experiment-level seed the trial's seeds were derived from.
+    pub fn to_record(
+        &self,
+        experiment: &str,
+        protocol: &str,
+        h: Option<u64>,
+        base_seed: u64,
+    ) -> RunRecord {
+        RunRecord {
+            experiment: experiment.to_string(),
+            protocol: protocol.to_string(),
+            n: self.n as u64,
+            h,
+            trial: self.trial,
+            seed: base_seed,
+            outcome: self.outcome,
+            wall_s: self.wall.as_secs_f64(),
+        }
+    }
+}
+
 /// The outcome of a batch of trials: per-trial parallel stabilization times
-/// plus the number of trials that exhausted their budget.
-#[derive(Debug, Clone, PartialEq)]
+/// of converged trials, plus the interaction counts reached by trials that
+/// exhausted their budget.
+///
+/// Exhausted trials keep their interaction counts (rather than being reduced
+/// to a tally) so that censored-data diagnostics remain possible: a trial
+/// that died at 99% of a tight budget and one that was nowhere close are
+/// different facts about a protocol.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ConvergenceSample {
     /// Parallel time (interactions / n) of each converged trial.
     pub parallel_times: Vec<f64>,
-    /// Trials that did not converge within the interaction budget.
-    pub exhausted: u64,
+    /// Total interactions performed by each trial that did not converge
+    /// within the interaction budget.
+    pub exhausted_interactions: Vec<u64>,
 }
 
 impl ConvergenceSample {
+    /// Builds the statistical view of a batch of [`TrialOutcome`]s.
+    pub fn from_trials(trials: &[TrialOutcome]) -> Self {
+        let mut parallel_times = Vec::new();
+        let mut exhausted_interactions = Vec::new();
+        for t in trials {
+            match t.outcome {
+                RunOutcome::Converged { .. } => parallel_times.push(t.parallel_time()),
+                RunOutcome::Exhausted { interactions } => exhausted_interactions.push(interactions),
+            }
+        }
+        ConvergenceSample { parallel_times, exhausted_interactions }
+    }
+
+    /// Number of trials that did not converge within the interaction budget.
+    pub fn exhausted(&self) -> u64 {
+        self.exhausted_interactions.len() as u64
+    }
+
     /// Whether every trial converged.
     pub fn all_converged(&self) -> bool {
-        self.exhausted == 0
+        self.exhausted_interactions.is_empty()
     }
 
     /// Number of converged trials.
@@ -103,12 +198,66 @@ impl Runner {
         &self.settings
     }
 
-    /// Measures stabilization time over independent trials.
+    /// Runs every trial sequentially, returning full per-trial outcomes.
     ///
     /// `make` receives the trial index and a seeded RNG (for building
     /// adversarial initial configurations) and returns the protocol instance
     /// plus initial configuration for that trial. The execution itself uses
     /// an independent seed derived from the same trial index.
+    pub fn run_trials<P, F>(&self, mut make: F) -> Vec<TrialOutcome>
+    where
+        P: RankingProtocol,
+        F: FnMut(u64, &mut SmallRng) -> (P, Vec<P::State>),
+    {
+        (0..self.settings.trials).map(|trial| self.one_trial(trial, &mut make)).collect()
+    }
+
+    /// Like [`Runner::run_trials`], but distributing trials over `threads`
+    /// worker threads.
+    ///
+    /// Produces the **same outcomes** as the sequential version for the same
+    /// settings (per-trial seeds do not depend on scheduling); only wall
+    /// times differ. `make` is shared by the workers, so it takes `&self`
+    /// here (any per-trial randomness should come from the provided RNG,
+    /// which is seeded per trial).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn run_trials_parallel<P, F>(&self, threads: usize, make: F) -> Vec<TrialOutcome>
+    where
+        P: RankingProtocol + Send,
+        P::State: Send,
+        F: Fn(u64, &mut SmallRng) -> (P, Vec<P::State>) + Sync,
+    {
+        assert!(threads > 0, "at least one worker thread is required");
+        let make = &make;
+        // Workers take strided slices of the trial range; outcomes are
+        // reassembled in trial order afterwards so the output is
+        // deterministic.
+        let mut results: Vec<TrialOutcome> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for worker in 0..threads {
+                let runner = *self;
+                let handle = scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut trial = worker as u64;
+                    while trial < runner.settings.trials {
+                        let mut make_fn = |t: u64, rng: &mut SmallRng| make(t, rng);
+                        out.push(runner.one_trial(trial, &mut make_fn));
+                        trial += threads as u64;
+                    }
+                    out
+                });
+                handles.push(handle);
+            }
+            handles.into_iter().flat_map(|h| h.join().expect("worker thread panicked")).collect()
+        });
+        results.sort_unstable_by_key(|t| t.trial);
+        results
+    }
+
+    /// Measures stabilization time over independent trials.
     ///
     /// # Examples
     ///
@@ -134,30 +283,16 @@ impl Runner {
     /// assert!(sample.all_converged());
     /// assert_eq!(sample.len(), 5);
     /// ```
-    pub fn measure_ranking<P, F>(&self, mut make: F) -> ConvergenceSample
+    pub fn measure_ranking<P, F>(&self, make: F) -> ConvergenceSample
     where
         P: RankingProtocol,
         F: FnMut(u64, &mut SmallRng) -> (P, Vec<P::State>),
     {
-        let mut parallel_times = Vec::with_capacity(self.settings.trials as usize);
-        let mut exhausted = 0;
-        for trial in 0..self.settings.trials {
-            match self.one_trial(trial, &mut make) {
-                Some(t) => parallel_times.push(t),
-                None => exhausted += 1,
-            }
-        }
-        ConvergenceSample { parallel_times, exhausted }
+        ConvergenceSample::from_trials(&self.run_trials(make))
     }
 
     /// Like [`Runner::measure_ranking`], but distributing trials over
     /// `threads` worker threads.
-    ///
-    /// Produces the **same sample** as the sequential version for the same
-    /// settings (per-trial seeds do not depend on scheduling); only the
-    /// wall-clock time differs. `make` is shared by the workers, so it takes
-    /// `&self` here (any per-trial randomness should come from the provided
-    /// RNG, which is seeded per trial).
     ///
     /// # Panics
     ///
@@ -168,39 +303,23 @@ impl Runner {
         P::State: Send,
         F: Fn(u64, &mut SmallRng) -> (P, Vec<P::State>) + Sync,
     {
-        assert!(threads > 0, "at least one worker thread is required");
-        let make = &make;
-        // (trial, result) pairs, reassembled in trial order afterwards so
-        // the output is deterministic.
-        let mut results: Vec<(u64, Option<f64>)> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for worker in 0..threads {
-                let runner = *self;
-                let handle = scope.spawn(move || {
-                    let mut out = Vec::new();
-                    let mut trial = worker as u64;
-                    while trial < runner.settings.trials {
-                        let mut make_fn = |t: u64, rng: &mut SmallRng| make(t, rng);
-                        out.push((trial, runner.one_trial(trial, &mut make_fn)));
-                        trial += threads as u64;
-                    }
-                    out
-                });
-                handles.push(handle);
-            }
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("worker thread panicked"))
-                .collect()
-        });
-        results.sort_unstable_by_key(|&(trial, _)| trial);
-        let exhausted = results.iter().filter(|(_, r)| r.is_none()).count() as u64;
-        let parallel_times = results.into_iter().filter_map(|(_, r)| r).collect();
-        ConvergenceSample { parallel_times, exhausted }
+        ConvergenceSample::from_trials(&self.run_trials_parallel(threads, make))
     }
 
-    /// Runs one seeded trial; `Some(parallel time)` on convergence.
-    fn one_trial<P, F>(&self, trial: u64, make: &mut F) -> Option<f64>
+    /// Like [`Runner::measure_ranking_parallel`] with the thread count taken
+    /// from the machine ([`auto_threads`], i.e.
+    /// `std::thread::available_parallelism()`).
+    pub fn measure_ranking_auto<P, F>(&self, make: F) -> ConvergenceSample
+    where
+        P: RankingProtocol + Send,
+        P::State: Send,
+        F: Fn(u64, &mut SmallRng) -> (P, Vec<P::State>) + Sync,
+    {
+        self.measure_ranking_parallel(auto_threads(), make)
+    }
+
+    /// Runs one seeded trial to stable ranking (or budget exhaustion).
+    fn one_trial<P, F>(&self, trial: u64, make: &mut F) -> TrialOutcome
     where
         P: RankingProtocol,
         F: FnMut(u64, &mut SmallRng) -> (P, Vec<P::State>),
@@ -210,12 +329,10 @@ impl Runner {
         let n = initial.len();
         let mut sim =
             Simulation::new(protocol, initial, derive_seed(self.settings.base_seed, 2 * trial + 1));
-        match sim
-            .run_until_stably_ranked(self.settings.max_interactions, self.settings.confirm_window)
-        {
-            RunOutcome::Converged { interactions } => Some(interactions as f64 / n as f64),
-            RunOutcome::Exhausted { .. } => None,
-        }
+        let started = Instant::now();
+        let outcome = sim
+            .run_until_stably_ranked(self.settings.max_interactions, self.settings.confirm_window);
+        TrialOutcome { trial, n, outcome, wall: started.elapsed() }
     }
 }
 
@@ -265,9 +382,37 @@ mod tests {
         // An interaction budget of 1 cannot rank 6 agents from all-zero.
         let runner = Runner::new(TrialSettings::new(3, 7, 1, 0));
         let sample = runner.measure_ranking(|_, _| (ModRank { n: 6 }, vec![0usize; 6]));
-        assert_eq!(sample.exhausted, 3);
+        assert_eq!(sample.exhausted(), 3);
         assert!(sample.is_empty());
         assert!(!sample.all_converged());
+    }
+
+    #[test]
+    fn exhausted_trials_retain_interaction_counts() {
+        // Budget 17: every trial burns the whole budget and the sample must
+        // say so exactly, not just count casualties.
+        let runner = Runner::new(TrialSettings::new(3, 7, 17, 0));
+        let sample = runner.measure_ranking(|_, _| (ModRank { n: 6 }, vec![0usize; 6]));
+        assert_eq!(sample.exhausted_interactions, vec![17, 17, 17]);
+        assert_eq!(sample.exhausted(), 3);
+    }
+
+    #[test]
+    fn trial_outcomes_carry_wall_time_and_records() {
+        let runner = Runner::new(TrialSettings::new(2, 7, 1_000_000, 0));
+        let trials = runner.run_trials(|_, _| (ModRank { n: 6 }, vec![0usize; 6]));
+        assert_eq!(trials.len(), 2);
+        for (i, t) in trials.iter().enumerate() {
+            assert_eq!(t.trial, i as u64);
+            assert_eq!(t.n, 6);
+            assert!(t.outcome.is_converged());
+            let record = t.to_record("test-exp", "modrank", None, 7);
+            assert_eq!(record.n, 6);
+            assert_eq!(record.trial, i as u64);
+            assert_eq!(record.seed, 7);
+            assert_eq!(record.outcome, t.outcome);
+            assert!((record.parallel_time() - t.parallel_time()).abs() < 1e-12);
+        }
     }
 
     #[test]
@@ -283,10 +428,19 @@ mod tests {
         let runner = Runner::new(TrialSettings::new(9, 13, 1_000_000, 5));
         let sequential = runner.measure_ranking(|_, _| (ModRank { n: 8 }, vec![0usize; 8]));
         for threads in [1, 2, 4] {
-            let parallel =
-                runner.measure_ranking_parallel(threads, |_, _| (ModRank { n: 8 }, vec![0usize; 8]));
+            let parallel = runner
+                .measure_ranking_parallel(threads, |_, _| (ModRank { n: 8 }, vec![0usize; 8]));
             assert_eq!(parallel, sequential, "{threads} threads");
         }
+    }
+
+    #[test]
+    fn auto_runner_matches_sequential_sample() {
+        assert!(auto_threads() >= 1);
+        let runner = Runner::new(TrialSettings::new(6, 13, 1_000_000, 5));
+        let sequential = runner.measure_ranking(|_, _| (ModRank { n: 8 }, vec![0usize; 8]));
+        let auto = runner.measure_ranking_auto(|_, _| (ModRank { n: 8 }, vec![0usize; 8]));
+        assert_eq!(auto, sequential);
     }
 
     #[test]

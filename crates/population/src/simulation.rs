@@ -3,6 +3,7 @@
 use rand::rngs::SmallRng;
 
 use crate::graph::InteractionGraph;
+use crate::observer::{NoopObserver, Observer};
 use crate::protocol::{Protocol, RankingProtocol};
 use crate::runner::rng_from_seed;
 use crate::scheduler::Scheduler;
@@ -53,16 +54,22 @@ impl RunOutcome {
 /// randomized transitions, so a `(protocol, initial configuration, seed)`
 /// triple fully determines the execution — trials are reproducible.
 ///
+/// The second type parameter is an [`Observer`] receiving execution events;
+/// it defaults to [`NoopObserver`], so `Simulation<P>` is the uninstrumented
+/// simulation. Observers never touch the RNG, so attaching one cannot change
+/// the execution (see [`Simulation::observe`]).
+///
 /// # Examples
 ///
 /// See the [crate-level example](crate).
 #[derive(Debug, Clone)]
-pub struct Simulation<P: Protocol> {
+pub struct Simulation<P: Protocol, O: Observer<P> = NoopObserver> {
     protocol: P,
     scheduler: Scheduler,
     states: Vec<P::State>,
     rng: SmallRng,
     interactions: u64,
+    observer: O,
 }
 
 impl<P: Protocol> Simulation<P> {
@@ -92,7 +99,50 @@ impl<P: Protocol> Simulation<P> {
         seed: u64,
     ) -> Self {
         let scheduler = Scheduler::new(initial.len(), graph);
-        Simulation { protocol, scheduler, states: initial, rng: rng_from_seed(seed), interactions: 0 }
+        Simulation {
+            protocol,
+            scheduler,
+            states: initial,
+            rng: rng_from_seed(seed),
+            interactions: 0,
+            observer: NoopObserver,
+        }
+    }
+}
+
+impl<P: Protocol, O: Observer<P>> Simulation<P, O> {
+    /// Attaches an observer, replacing the current one.
+    ///
+    /// Because observers only *watch* — the simulation's RNG stream and state
+    /// transitions never depend on them — the observed execution is
+    /// bit-identical to the unobserved one from the same `(protocol, initial
+    /// configuration, seed)` triple. Interaction counts already performed are
+    /// preserved.
+    pub fn observe<O2: Observer<P>>(self, observer: O2) -> Simulation<P, O2> {
+        Simulation {
+            protocol: self.protocol,
+            scheduler: self.scheduler,
+            states: self.states,
+            rng: self.rng,
+            interactions: self.interactions,
+            observer,
+        }
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// The attached observer, mutably (e.g. to reset its counters).
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
+    }
+
+    /// Consumes the simulation and returns the observer with whatever it
+    /// accumulated.
+    pub fn into_observer(self) -> O {
+        self.observer
     }
 
     /// The number of agents.
@@ -164,9 +214,33 @@ impl<P: Protocol> Simulation<P> {
     }
 
     fn apply(&mut self, i: usize, j: usize) {
+        // The observer gates are associated consts, so for `NoopObserver`
+        // every branch below folds away and this compiles to the original
+        // uninstrumented body.
+        let phases_before = if O::WATCHES_PHASES {
+            (self.protocol.phase_of(&self.states[i]), self.protocol.phase_of(&self.states[j]))
+        } else {
+            (None, None)
+        };
+        let effective = O::WATCHES_STATE_CHANGES
+            && !self.protocol.is_null_pair(&self.states[i], &self.states[j]);
         let (a, b) = pair_mut(&mut self.states, i, j);
         self.protocol.interact(a, b, &mut self.rng);
         self.interactions += 1;
+        self.observer.on_interaction(i, j, self.interactions);
+        if O::WATCHES_STATE_CHANGES && effective {
+            self.observer.on_state_change(i, j, self.interactions);
+        }
+        if O::WATCHES_PHASES {
+            let after_i = self.protocol.phase_of(&self.states[i]);
+            if after_i != phases_before.0 {
+                self.observer.on_phase_transition(i, phases_before.0, after_i, self.interactions);
+            }
+            let after_j = self.protocol.phase_of(&self.states[j]);
+            if after_j != phases_before.1 {
+                self.observer.on_phase_transition(j, phases_before.1, after_j, self.interactions);
+            }
+        }
     }
 
     /// Runs exactly `k` interactions.
@@ -174,6 +248,7 @@ impl<P: Protocol> Simulation<P> {
         for _ in 0..k {
             self.step();
         }
+        self.observer.on_batch(k, self.interactions);
     }
 
     /// Steps until `goal` holds for the configuration, or until the *total*
@@ -191,9 +266,11 @@ impl<P: Protocol> Simulation<P> {
     ) -> RunOutcome {
         loop {
             if goal(&self.states) {
+                self.observer.on_converged(self.interactions);
                 return RunOutcome::Converged { interactions: self.interactions };
             }
             if self.interactions >= max_interactions {
+                self.observer.on_exhausted(self.interactions);
                 return RunOutcome::Exhausted { interactions: self.interactions };
             }
             self.step();
@@ -201,7 +278,7 @@ impl<P: Protocol> Simulation<P> {
     }
 }
 
-impl<P: RankingProtocol> Simulation<P> {
+impl<P: RankingProtocol, O: Observer<P>> Simulation<P, O> {
     /// Runs until the configuration is correctly ranked (each rank `1..=n`
     /// output by exactly one agent) **and stays ranked** for
     /// `confirm_window` further interactions.
@@ -231,6 +308,7 @@ impl<P: RankingProtocol> Simulation<P> {
             match converged_at {
                 Some(t0) => {
                     if self.interactions - t0 >= confirm_window {
+                        self.observer.on_converged(t0);
                         return RunOutcome::Converged { interactions: t0 };
                     }
                 }
@@ -238,20 +316,56 @@ impl<P: RankingProtocol> Simulation<P> {
                     if tracker.is_correct() {
                         converged_at = Some(self.interactions);
                         if confirm_window == 0 {
+                            self.observer.on_converged(self.interactions);
                             return RunOutcome::Converged { interactions: self.interactions };
                         }
                     }
                 }
             }
             if self.interactions >= max_interactions {
+                self.observer.on_exhausted(self.interactions);
                 return RunOutcome::Exhausted { interactions: self.interactions };
             }
             let (i, j) = self.scheduler.sample_pair(&mut self.rng);
+            // Rank tracking needs before/after snapshots around the
+            // transition, so this loop inlines `apply` — including its
+            // observer hooks, identically gated.
+            let phases_before = if O::WATCHES_PHASES {
+                (self.protocol.phase_of(&self.states[i]), self.protocol.phase_of(&self.states[j]))
+            } else {
+                (None, None)
+            };
+            let effective = O::WATCHES_STATE_CHANGES
+                && !self.protocol.is_null_pair(&self.states[i], &self.states[j]);
             let before_i = self.protocol.rank_of(&self.states[i]);
             let before_j = self.protocol.rank_of(&self.states[j]);
             let (a, b) = pair_mut(&mut self.states, i, j);
             self.protocol.interact(a, b, &mut self.rng);
             self.interactions += 1;
+            self.observer.on_interaction(i, j, self.interactions);
+            if O::WATCHES_STATE_CHANGES && effective {
+                self.observer.on_state_change(i, j, self.interactions);
+            }
+            if O::WATCHES_PHASES {
+                let after_i = self.protocol.phase_of(&self.states[i]);
+                if after_i != phases_before.0 {
+                    self.observer.on_phase_transition(
+                        i,
+                        phases_before.0,
+                        after_i,
+                        self.interactions,
+                    );
+                }
+                let after_j = self.protocol.phase_of(&self.states[j]);
+                if after_j != phases_before.1 {
+                    self.observer.on_phase_transition(
+                        j,
+                        phases_before.1,
+                        after_j,
+                        self.interactions,
+                    );
+                }
+            }
             let after_i = self.protocol.rank_of(&self.states[i]);
             let after_j = self.protocol.rank_of(&self.states[j]);
             tracker.update(before_i, after_i);
@@ -416,5 +530,92 @@ mod tests {
         a.run(500);
         b.run(500);
         assert_ne!(a.states(), b.states(), "astronomically unlikely to coincide");
+    }
+
+    /// Leaders fight (`ℓ,ℓ → ℓ,f`); only leader/leader pairs are effective.
+    #[derive(Clone, Copy)]
+    struct Fight;
+    impl Protocol for Fight {
+        type State = bool;
+        fn interact(&self, a: &mut bool, b: &mut bool, _rng: &mut SmallRng) {
+            if *a && *b {
+                *b = false;
+            }
+        }
+        fn is_null_pair(&self, a: &bool, b: &bool) -> bool {
+            !(*a && *b)
+        }
+        fn phase_of(&self, state: &bool) -> Option<&'static str> {
+            Some(if *state { "leader" } else { "follower" })
+        }
+    }
+
+    impl RankingProtocol for Fight {
+        fn population_size(&self) -> usize {
+            2 // only meaningful for the n = 2 tests below
+        }
+        fn rank_of(&self, state: &bool) -> Option<usize> {
+            Some(if *state { 1 } else { 2 })
+        }
+    }
+
+    #[test]
+    fn observer_does_not_perturb_the_execution() {
+        use crate::telemetry::TelemetryObserver;
+        // Acceptance check for the zero-cost observer: the same (protocol,
+        // initial configuration, seed) triple must give bit-identical states
+        // and interaction counts with and without a full observer attached —
+        // including one whose gates force per-step phase and null-pair
+        // evaluation.
+        let mut plain = Simulation::new(Fight, vec![true; 16], 99);
+        let mut observed =
+            Simulation::new(Fight, vec![true; 16], 99).observe(TelemetryObserver::new());
+        plain.run(500);
+        observed.run(500);
+        assert_eq!(plain.states(), observed.states());
+        assert_eq!(plain.interactions(), observed.interactions());
+
+        let mut plain = Simulation::new(Fight, vec![true; 2], 7);
+        let mut observed =
+            Simulation::new(Fight, vec![true; 2], 7).observe(TelemetryObserver::new());
+        let a = plain.run_until_stably_ranked(10_000, 8);
+        let b = observed.run_until_stably_ranked(10_000, 8);
+        assert_eq!(a, b, "goal-directed outcomes must match too");
+        assert_eq!(plain.states(), observed.states());
+    }
+
+    #[test]
+    fn telemetry_observer_counts_the_event_stream() {
+        use crate::telemetry::TelemetryObserver;
+        let n = 16;
+        let mut sim = Simulation::new(Fight, vec![true; n], 5).observe(TelemetryObserver::new());
+        sim.run(2_000);
+        sim.run(2_000);
+        let leaders = sim.states().iter().filter(|&&s| s).count();
+        let telemetry = sim.into_observer();
+        assert_eq!(telemetry.interactions.get(), 4_000);
+        assert_eq!(telemetry.batches.get(), 2);
+        // Each effective interaction demotes exactly one leader.
+        assert_eq!(telemetry.effective.get(), (n - leaders) as u64);
+        assert_eq!(telemetry.effective_gaps.total(), telemetry.effective.get());
+        // Each demotion is one leader → follower phase transition.
+        assert_eq!(telemetry.phase_transitions.len(), n - leaders);
+        for t in &telemetry.phase_transitions {
+            assert_eq!(t.from, Some("leader"));
+            assert_eq!(t.to, Some("follower"));
+        }
+    }
+
+    #[test]
+    fn convergence_hooks_fire() {
+        use crate::telemetry::TelemetryObserver;
+        let mut sim = Simulation::new(Fight, vec![true; 8], 3).observe(TelemetryObserver::new());
+        let outcome = sim.run_until(100_000, |s| s.iter().filter(|&&x| x).count() == 1);
+        assert!(outcome.is_converged());
+        let exhausted = sim.run_until(0, |s| s.iter().all(|&x| !x));
+        assert!(!exhausted.is_converged());
+        let telemetry = sim.into_observer();
+        assert_eq!(telemetry.converged.get(), 1);
+        assert_eq!(telemetry.exhausted.get(), 1);
     }
 }

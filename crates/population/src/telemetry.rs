@@ -1,0 +1,306 @@
+//! Lightweight metrics for simulation runs: counters, fixed-bucket
+//! histograms, and throughput tracking, plus a ready-made
+//! [`TelemetryObserver`] that aggregates them over an execution.
+//!
+//! Everything here is allocation-light and dependency-free — the primitives
+//! are meant to sit inside an [`Observer`](crate::Observer) on the hot path.
+//! Statistical post-processing (quantiles, ECDFs, confidence intervals) lives
+//! in the `analysis` crate; this module only *collects*.
+
+use std::time::{Duration, Instant};
+
+use crate::observer::Observer;
+use crate::protocol::Protocol;
+
+/// A monotone event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A histogram over `u64` observations with fixed, caller-chosen bucket
+/// upper bounds (plus an implicit overflow bucket).
+///
+/// Bucket `k` counts observations `v` with `v <= bounds[k]` (and
+/// `v > bounds[k-1]` for `k > 0`); observations above the last bound land in
+/// the overflow bucket. Bounds are fixed at construction — recording never
+/// allocates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixedHistogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+}
+
+impl FixedHistogram {
+    /// Creates a histogram from strictly increasing bucket upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: Vec<u64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let buckets = bounds.len() + 1; // + overflow
+        FixedHistogram { bounds, counts: vec![0; buckets] }
+    }
+
+    /// A histogram with exponentially growing bounds `base, 2·base, 4·base,
+    /// …` (`buckets` of them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base == 0` or `buckets == 0`.
+    pub fn exponential(base: u64, buckets: usize) -> Self {
+        assert!(base > 0 && buckets > 0, "exponential histogram needs base > 0 and buckets > 0");
+        let bounds = (0..buckets as u32).map(|k| base.saturating_mul(1 << k)).collect();
+        Self::new(bounds)
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.counts[idx] += 1;
+    }
+
+    /// The bucket upper bounds (the overflow bucket has no bound).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the last entry is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Count of observations in the overflow bucket (above the last bound).
+    pub fn overflow(&self) -> u64 {
+        *self.counts.last().expect("histogram always has an overflow bucket")
+    }
+}
+
+/// Wall-clock throughput of an execution segment, in interactions per
+/// second.
+///
+/// Start a meter before the hot loop, then [`ThroughputMeter::finish`] it
+/// with the number of interactions performed.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputMeter {
+    started: Instant,
+}
+
+impl ThroughputMeter {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        ThroughputMeter { started: Instant::now() }
+    }
+
+    /// Stops timing and reports throughput over `interactions` events.
+    pub fn finish(self, interactions: u64) -> Throughput {
+        Throughput { interactions, wall: self.started.elapsed() }
+    }
+}
+
+/// A completed throughput measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Throughput {
+    /// Interactions performed in the measured segment.
+    pub interactions: u64,
+    /// Wall-clock duration of the segment.
+    pub wall: Duration,
+}
+
+impl Throughput {
+    /// Interactions per wall-clock second (0 for an empty or instantaneous
+    /// segment).
+    pub fn per_second(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.interactions as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One recorded phase transition (see
+/// [`Protocol::phase_of`](crate::Protocol::phase_of)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseTransition {
+    /// The agent that changed phase.
+    pub agent: usize,
+    /// Phase before the interaction.
+    pub from: Option<&'static str>,
+    /// Phase after the interaction.
+    pub to: Option<&'static str>,
+    /// Total interaction count when the transition happened.
+    pub interactions: u64,
+}
+
+/// An [`Observer`] that aggregates the full event stream into telemetry:
+/// interaction/effective-interaction/convergence counters, a histogram of
+/// gaps between effective interactions, and a log of phase transitions.
+///
+/// The gap histogram is the interesting part for silent protocols: as a
+/// configuration approaches silence, effective interactions thin out and the
+/// gaps migrate into the high buckets — the histogram is a fingerprint of
+/// convergence behavior that a single hitting time can't show.
+#[derive(Debug, Clone)]
+pub struct TelemetryObserver {
+    /// Total interactions observed.
+    pub interactions: Counter,
+    /// Effective (non-null-pair) interactions observed.
+    pub effective: Counter,
+    /// Batches ([`Simulation::run`](crate::Simulation::run) calls) observed.
+    pub batches: Counter,
+    /// Goal-directed runs that converged.
+    pub converged: Counter,
+    /// Goal-directed runs that exhausted their budget.
+    pub exhausted: Counter,
+    /// Distribution of interaction-count gaps between successive effective
+    /// interactions.
+    pub effective_gaps: FixedHistogram,
+    /// Every phase transition, in order of occurrence.
+    pub phase_transitions: Vec<PhaseTransition>,
+    last_effective_at: u64,
+}
+
+impl TelemetryObserver {
+    /// A fresh observer with an exponential gap histogram (1, 2, 4, …, 2¹⁹).
+    pub fn new() -> Self {
+        TelemetryObserver {
+            interactions: Counter::new(),
+            effective: Counter::new(),
+            batches: Counter::new(),
+            converged: Counter::new(),
+            exhausted: Counter::new(),
+            effective_gaps: FixedHistogram::exponential(1, 20),
+            phase_transitions: Vec::new(),
+            last_effective_at: 0,
+        }
+    }
+}
+
+impl Default for TelemetryObserver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: Protocol> Observer<P> for TelemetryObserver {
+    const WATCHES_STATE_CHANGES: bool = true;
+    const WATCHES_PHASES: bool = true;
+
+    fn on_interaction(&mut self, _i: usize, _j: usize, _interactions: u64) {
+        self.interactions.incr();
+    }
+
+    fn on_batch(&mut self, _len: u64, _interactions: u64) {
+        self.batches.incr();
+    }
+
+    fn on_state_change(&mut self, _i: usize, _j: usize, interactions: u64) {
+        self.effective.incr();
+        self.effective_gaps.record(interactions - self.last_effective_at);
+        self.last_effective_at = interactions;
+    }
+
+    fn on_phase_transition(
+        &mut self,
+        agent: usize,
+        from: Option<&'static str>,
+        to: Option<&'static str>,
+        interactions: u64,
+    ) {
+        self.phase_transitions.push(PhaseTransition { agent, from, to, interactions });
+    }
+
+    fn on_converged(&mut self, _interactions: u64) {
+        self.converged.incr();
+    }
+
+    fn on_exhausted(&mut self, _interactions: u64) {
+        self.exhausted.incr();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_by_upper_bound() {
+        let mut h = FixedHistogram::new(vec![1, 10, 100]);
+        for v in [0, 1, 2, 10, 11, 100, 101, 1000] {
+            h.record(v);
+        }
+        // <=1: {0,1}; <=10: {2,10}; <=100: {11,100}; overflow: {101,1000}.
+        assert_eq!(h.counts(), &[2, 2, 2, 2]);
+        assert_eq!(h.total(), 8);
+        assert_eq!(h.overflow(), 2);
+    }
+
+    #[test]
+    fn exponential_bounds_double() {
+        let h = FixedHistogram::exponential(4, 3);
+        assert_eq!(h.bounds(), &[4, 8, 16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        FixedHistogram::new(vec![5, 5]);
+    }
+
+    #[test]
+    fn throughput_divides_by_wall_time() {
+        let t = Throughput { interactions: 1000, wall: Duration::from_millis(500) };
+        assert!((t.per_second() - 2000.0).abs() < 1e-6);
+        let zero = Throughput { interactions: 1000, wall: Duration::ZERO };
+        assert_eq!(zero.per_second(), 0.0);
+    }
+
+    #[test]
+    fn meter_measures_elapsed_time() {
+        let meter = ThroughputMeter::start();
+        std::thread::sleep(Duration::from_millis(2));
+        let t = meter.finish(10);
+        assert!(t.wall >= Duration::from_millis(2));
+        assert!(t.per_second() > 0.0);
+    }
+}

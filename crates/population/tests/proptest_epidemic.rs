@@ -1,8 +1,6 @@
 //! Property-based tests for the epidemic toolbox.
 
-use population::epidemic::{
-    bounded_epidemic_times, epidemic_time, roll_call_time, EpidemicKind,
-};
+use population::epidemic::{bounded_epidemic_times, epidemic_time, roll_call_time, EpidemicKind};
 use proptest::prelude::*;
 
 proptest! {

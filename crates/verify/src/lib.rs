@@ -241,12 +241,8 @@ where
         }
     }
     let mut can_reach = vec![false; configs.len()];
-    let mut queue: VecDeque<usize> = configs
-        .iter()
-        .enumerate()
-        .filter(|(_, c)| is_correct(c))
-        .map(|(i, _)| i)
-        .collect();
+    let mut queue: VecDeque<usize> =
+        configs.iter().enumerate().filter(|(_, c)| is_correct(c)).map(|(i, _)| i).collect();
     for &i in &queue {
         can_reach[i] = true;
     }

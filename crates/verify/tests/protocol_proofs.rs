@@ -3,7 +3,7 @@
 
 use population::RankingProtocol;
 use ssle::cai_izumi_wada::{CaiIzumiWada, CiwState};
-use ssle::initialized::{TreeRanking, TreeRankState};
+use ssle::initialized::{TreeRankState, TreeRanking};
 use ssle::loose::{LooseState, LooselyStabilizingLe};
 use verify::{all_configurations, verify_self_stabilization, Config, Verdict};
 
@@ -23,12 +23,8 @@ fn ciw_correct(c: &Config<CiwState>) -> bool {
 #[test]
 fn cai_izumi_wada_is_provably_self_stabilizing_up_to_n7() {
     for n in 2..=7usize {
-        let verdict = verify_self_stabilization(
-            &CaiIzumiWada::new(n),
-            &ciw_universe(n),
-            n,
-            ciw_correct,
-        );
+        let verdict =
+            verify_self_stabilization(&CaiIzumiWada::new(n), &ciw_universe(n), n, ciw_correct);
         match verdict {
             Verdict::SelfStabilizing { configurations } => {
                 // C(2n − 1, n) multisets were exhausted.
@@ -48,15 +44,9 @@ fn cai_izumi_wada_is_provably_self_stabilizing_up_to_n7() {
 fn wrong_population_size_breaks_stability() {
     let n1 = 3usize;
     let n2 = 4usize;
-    let one_leader = |c: &Config<CiwState>| {
-        c.states().iter().filter(|s| s.rank == 0).count() == 1
-    };
-    let verdict = verify_self_stabilization(
-        &CaiIzumiWada::new(n1),
-        &ciw_universe(n1),
-        n2,
-        one_leader,
-    );
+    let one_leader = |c: &Config<CiwState>| c.states().iter().filter(|s| s.rank == 0).count() == 1;
+    let verdict =
+        verify_self_stabilization(&CaiIzumiWada::new(n1), &ciw_universe(n1), n2, one_leader);
     match verdict {
         Verdict::CorrectNotClosed { from, to } => {
             assert!(one_leader(&from));
@@ -128,8 +118,7 @@ fn loose_stabilization_is_provably_not_stable() {
             universe.push(LooseState { leader, timer });
         }
     }
-    let one_leader =
-        |c: &Config<LooseState>| c.states().iter().filter(|s| s.leader).count() == 1;
+    let one_leader = |c: &Config<LooseState>| c.states().iter().filter(|s| s.leader).count() == 1;
     let verdict = verify_self_stabilization(&p, &universe, 3, one_leader);
     match verdict {
         Verdict::CorrectNotClosed { from, .. } => {
@@ -154,8 +143,7 @@ fn loose_stabilization_always_can_reach_a_unique_leader() {
             universe.push(LooseState { leader, timer });
         }
     }
-    let one_leader =
-        |c: &Config<LooseState>| c.states().iter().filter(|s| s.leader).count() == 1;
+    let one_leader = |c: &Config<LooseState>| c.states().iter().filter(|s| s.leader).count() == 1;
     for config in all_configurations(&universe, 3) {
         // Forward BFS from this configuration until a correct one is seen.
         let mut seen = std::collections::HashSet::new();

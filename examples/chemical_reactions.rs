@@ -28,9 +28,8 @@ fn main() {
 
     // Discrete scheduler.
     let mut discrete = Simulation::new(FightProtocol, vec![FightState::Leader; n], 11);
-    let outcome = discrete.run_until(u64::MAX, |s| {
-        s.iter().filter(|x| **x == FightState::Leader).count() == 1
-    });
+    let outcome = discrete
+        .run_until(u64::MAX, |s| s.iter().filter(|x| **x == FightState::Leader).count() == 1);
     println!(
         "discrete scheduler : 1 copy of X left after {:>8.2} parallel time ({} interactions)",
         outcome.parallel_time(n),
@@ -38,11 +37,8 @@ fn main() {
     );
 
     // Continuous-time Gillespie semantics.
-    let mut chemical =
-        GillespieSimulation::new(FightProtocol, vec![FightState::Leader; n], 11);
-    chemical.run_until(f64::MAX, |s| {
-        s.iter().filter(|x| **x == FightState::Leader).count() == 1
-    });
+    let mut chemical = GillespieSimulation::new(FightProtocol, vec![FightState::Leader; n], 11);
+    chemical.run_until(f64::MAX, |s| s.iter().filter(|x| **x == FightState::Leader).count() == 1);
     println!(
         "Gillespie semantics: 1 copy of X left after {:>8.2} chemical time ({} reactions)",
         chemical.time(),
@@ -50,10 +46,7 @@ fn main() {
     );
 
     let drift = (chemical.time() - chemical.parallel_time()).abs() / chemical.parallel_time();
-    println!(
-        "\nclock agreement on this run: |chemical − parallel| / parallel = {:.3}",
-        drift
-    );
+    println!("\nclock agreement on this run: |chemical − parallel| / parallel = {:.3}", drift);
     println!("theory: X+X→X+Y from all-X takes Θ(n) time under either clock, and the");
     println!("two clocks coincide up to O(1/√interactions) fluctuations.");
 

@@ -30,11 +30,8 @@ fn main() {
     let mut settled = 1;
     while settled < n {
         sim.step();
-        let now_settled: Vec<usize> = sim
-            .states()
-            .iter()
-            .filter_map(|s| sim.protocol().rank_of(s))
-            .collect();
+        let now_settled: Vec<usize> =
+            sim.states().iter().filter_map(|s| sim.protocol().rank_of(s)).collect();
         if now_settled.len() > settled {
             for &r in &now_settled {
                 if !assigned.iter().any(|(_, seen)| *seen == r) {

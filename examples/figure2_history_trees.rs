@@ -82,7 +82,11 @@ fn run_execution(title: &str, script: &[(usize, usize)]) {
     println!(
         "\nd checks its path d → {} against a's tree: Check-Path-Consistency = {}",
         path.iter().map(|e| label_of(states, e.node.name)).collect::<Vec<_>>().join(" → "),
-        if check_path_consistency(a_tree, states[D].name, path) { "True ✓" } else { "Inconsistent ✗" }
+        if check_path_consistency(a_tree, states[D].name, path) {
+            "True ✓"
+        } else {
+            "Inconsistent ✗"
+        }
     );
     assert!(check_path_consistency(a_tree, states[D].name, path));
     println!();
@@ -90,9 +94,6 @@ fn run_execution(title: &str, script: &[(usize, usize)]) {
 
 fn main() {
     run_execution("Figure 2, left: a-b, b-c, c-d", &[(A, B), (B, C), (C, D)]);
-    run_execution(
-        "Figure 2, right: a-b, b-c, a-b, c-d",
-        &[(A, B), (B, C), (A, B), (C, D)],
-    );
+    run_execution("Figure 2, right: a-b, b-c, a-b, c-d", &[(A, B), (B, C), (A, B), (C, D)]);
     println!("both executions are consistent — no false collision is ever declared.");
 }

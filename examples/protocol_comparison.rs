@@ -13,7 +13,7 @@
 //! cargo run --release -p ssle --example protocol_comparison
 //! ```
 
-use population::{Simulation};
+use population::Simulation;
 use ssle::cai_izumi_wada::{CaiIzumiWada, CiwState};
 use ssle::initialized::{FightProtocol, FightState};
 use ssle::optimal_silent::{OptimalSilentSsr, OssState};
@@ -54,10 +54,7 @@ fn main() {
         let initial = vec![sub.uniform_named_state(0); n];
         let mut sim = Simulation::new(sub, initial, 4);
         let t = sim.run_until_stably_ranked(u64::MAX, 10 * n as u64).parallel_time(n);
-        println!(
-            "Sublinear-Time-SSR  [H = {h}]  : {t:>9.1} parallel time  (Θ(H·n^(1/{})))",
-            h + 1
-        );
+        println!("Sublinear-Time-SSR  [H = {h}]  : {t:>9.1} parallel time  (Θ(H·n^(1/{})))", h + 1);
     }
 
     println!("\nexpected ordering: Θ(n²) ≫ Θ(n) > sublinear.");

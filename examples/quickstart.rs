@@ -27,9 +27,18 @@ fn main() {
     println!("population: {n} agents, protocol: Optimal-Silent-SSR");
     println!(
         "adversarial start: {} settled / {} unsettled / {} resetting",
-        initial.iter().filter(|s| matches!(s, ssle::optimal_silent::OssState::Settled { .. })).count(),
-        initial.iter().filter(|s| matches!(s, ssle::optimal_silent::OssState::Unsettled { .. })).count(),
-        initial.iter().filter(|s| matches!(s, ssle::optimal_silent::OssState::Resetting { .. })).count(),
+        initial
+            .iter()
+            .filter(|s| matches!(s, ssle::optimal_silent::OssState::Settled { .. }))
+            .count(),
+        initial
+            .iter()
+            .filter(|s| matches!(s, ssle::optimal_silent::OssState::Unsettled { .. }))
+            .count(),
+        initial
+            .iter()
+            .filter(|s| matches!(s, ssle::optimal_silent::OssState::Resetting { .. }))
+            .count(),
     );
 
     let mut sim = Simulation::new(protocol, initial, seed);

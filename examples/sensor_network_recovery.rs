@@ -38,7 +38,7 @@ fn main() {
     for burst in 1..=bursts {
         // Let the fleet stabilize.
         let outcome = sim.run_until_stably_ranked(u64::MAX, 10 * n as u64);
-        let recovery = outcome.parallel_time(n) ;
+        let recovery = outcome.parallel_time(n);
         let leader = sim
             .states()
             .iter()
@@ -54,8 +54,7 @@ fn main() {
         let victims = fault_rng.gen_range(1..=n / 2);
         for _ in 0..victims {
             let victim = fault_rng.gen_range(0..n);
-            let corrupted =
-                adversary::random_oss_configuration(sim.protocol(), &mut fault_rng)[0];
+            let corrupted = adversary::random_oss_configuration(sim.protocol(), &mut fault_rng)[0];
             sim.inject_fault(victim, corrupted);
         }
         println!("          ⚡ fault burst corrupts up to {victims} sensors");

@@ -25,8 +25,7 @@ fn figure1_rank_assignment_builds_the_binary_tree() {
         let OssState::Settled { rank, children } = s else {
             panic!("all agents settle in Figure 1, got {s:?}")
         };
-        let expected =
-            [2 * rank, 2 * rank + 1].iter().filter(|&&c| c <= n as u32).count() as u8;
+        let expected = [2 * rank, 2 * rank + 1].iter().filter(|&&c| c <= n as u32).count() as u8;
         assert_eq!(
             *children, expected,
             "rank {rank} should have recruited exactly {expected} children"

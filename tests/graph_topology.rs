@@ -18,8 +18,7 @@ fn cai_izumi_wada_freezes_incorrect_on_a_ring() {
     // Ranks around the ring: 0, 1, 2, 0, 1, 2 — adjacent pairs all differ,
     // equal pairs are 3 hops apart.
     let initial: Vec<CiwState> = (0..n).map(|k| CiwState::new(k as u32 % 3)).collect();
-    let mut sim =
-        Simulation::with_graph(protocol, initial.clone(), InteractionGraph::Ring, 1);
+    let mut sim = Simulation::with_graph(protocol, initial.clone(), InteractionGraph::Ring, 1);
     sim.run(2_000_000);
     assert_eq!(sim.states(), initial.as_slice(), "no adjacent pair can ever fire");
     assert!(!sim.is_ranked(), "the frozen configuration is incorrect");

@@ -44,8 +44,11 @@ fn barrier_configuration_costs_order_n_squared() {
         let protocol = CaiIzumiWada::new(n);
         let mut times = Vec::new();
         for trial in 0..trials {
-            let mut sim =
-                Simulation::new(protocol, protocol.worst_case_configuration(), derive_seed(9, trial));
+            let mut sim = Simulation::new(
+                protocol,
+                protocol.worst_case_configuration(),
+                derive_seed(9, trial),
+            );
             let outcome = sim.run_until_stably_ranked(u64::MAX, 0);
             times.push(outcome.parallel_time(n));
         }
@@ -75,9 +78,8 @@ fn all_leaders_respects_the_log_n_lower_bound() {
         for trial in 0..trials {
             let mut sim =
                 Simulation::new(protocol, vec![CiwState::new(0); n], derive_seed(11, trial));
-            let outcome = sim.run_until(u64::MAX, |states| {
-                states.iter().filter(|s| s.rank == 0).count() == 1
-            });
+            let outcome = sim
+                .run_until(u64::MAX, |states| states.iter().filter(|s| s.rank == 0).count() == 1);
             times.push(outcome.parallel_time(n));
         }
         Summary::from_sample(&times).expect("non-empty").mean()

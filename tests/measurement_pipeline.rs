@@ -2,8 +2,8 @@
 //! exact path the Table 1 harness takes, validated at test scale.
 
 use analysis::{power_law_fit, quantile, Summary};
-use ssle_bench::{measure_ciw, measure_oss, measure_sublinear, CiwStart, OssStart, SubStart};
 use ssle_bench::TimeSummary;
+use ssle_bench::{measure_ciw, measure_oss, measure_sublinear, CiwStart, OssStart, SubStart};
 
 #[test]
 fn table1_shape_holds_at_test_scale() {

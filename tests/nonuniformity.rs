@@ -26,9 +26,8 @@ fn protocol_for_smaller_population_breaks_in_larger_one() {
     assert_eq!(initial.iter().filter(|s| s.rank == 0).count(), 1, "single leader initially");
 
     let mut sim = Simulation::new(small_rules, initial, 42);
-    let outcome = sim.run_until(50_000_000, |states| {
-        states.iter().filter(|s| s.rank == 0).count() >= 2
-    });
+    let outcome =
+        sim.run_until(50_000_000, |states| states.iter().filter(|s| s.rank == 0).count() >= 2);
     assert!(
         outcome.is_converged(),
         "the duplicated ranks must eventually wrap around and mint a second leader"
@@ -43,8 +42,7 @@ fn second_leader_keeps_reappearing_forever() {
     let n1 = 4;
     let n2 = 7;
     let small_rules = CaiIzumiWada::new(n1);
-    let initial: Vec<CiwState> =
-        (0..n2).map(|k| CiwState::new(k as u32 % n1 as u32)).collect();
+    let initial: Vec<CiwState> = (0..n2).map(|k| CiwState::new(k as u32 % n1 as u32)).collect();
     let mut sim = Simulation::new(small_rules, initial, 43);
     let mut excursions = 0;
     for _ in 0..200_000 {

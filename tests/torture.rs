@@ -74,14 +74,13 @@ fn composed_sweep() {
             .collect();
         let mut sim = Simulation::new(protocol, initial, derive_seed(0xd2, trial));
         let outcome = sim.run_until(u64::MAX, |states| {
-            LeaderAligned::<OptimalSilentSsr>::is_aligned(states)
-                && {
-                    let mut seen = vec![false; n];
-                    states.iter().all(|s| match upstream.rank_of(&s.upstream) {
-                        Some(r) => !std::mem::replace(&mut seen[r - 1], true),
-                        None => false,
-                    })
-                }
+            LeaderAligned::<OptimalSilentSsr>::is_aligned(states) && {
+                let mut seen = vec![false; n];
+                states.iter().all(|s| match upstream.rank_of(&s.upstream) {
+                    Some(r) => !std::mem::replace(&mut seen[r - 1], true),
+                    None => false,
+                })
+            }
         });
         assert!(outcome.is_converged(), "trial {trial}");
     }

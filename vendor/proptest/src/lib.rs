@@ -1,0 +1,490 @@
+#![warn(missing_docs)]
+
+//! Offline vendored stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! subset of proptest's API its test suites use: the [`proptest!`] macro,
+//! `prop_assert!`/`prop_assert_eq!`, range/tuple/[`Just`]/[`any`] strategies,
+//! `prop::collection::{vec, btree_set}`, `prop::option::of`,
+//! `prop::sample::Index`, [`prop_oneof!`], and [`Strategy::prop_map`].
+//!
+//! Semantics differ from real proptest in two deliberate ways: inputs are
+//! drawn from a per-test deterministic RNG (seeded from the test name), and
+//! failing cases are **not shrunk** — the failing input is reported by the
+//! panic message alone. Case count defaults to [`DEFAULT_CASES`] and can be
+//! raised with the `PROPTEST_CASES` environment variable.
+
+use std::collections::BTreeSet;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of random cases each [`proptest!`] test runs by default.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Resolves the per-test case count (the `PROPTEST_CASES` environment
+/// variable, or [`DEFAULT_CASES`]).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(DEFAULT_CASES)
+}
+
+/// Builds the deterministic RNG for one named test.
+pub fn test_rng(test_name: &str) -> SmallRng {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    SmallRng::seed_from_u64(hash)
+}
+
+/// A generator of random test inputs.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a strategy
+/// simply produces values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut SmallRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical "any value" strategy (stand-in for proptest's
+/// `Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy producing any value of type `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy choosing uniformly among boxed alternatives (built by
+/// [`prop_oneof!`]).
+pub struct OneOf<T> {
+    alternatives: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> OneOf<T> {
+    /// Creates a one-of strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alternatives` is empty.
+    pub fn new(alternatives: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!alternatives.is_empty(), "prop_oneof! needs at least one alternative");
+        OneOf { alternatives }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        let idx = rng.gen_range(0..self.alternatives.len());
+        self.alternatives[idx].generate(rng)
+    }
+}
+
+/// Sub-strategy namespaces, mirroring `proptest::prelude::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy};
+        use rand::rngs::SmallRng;
+        use rand::Rng;
+        use std::collections::BTreeSet;
+
+        /// Strategy for `Vec`s with lengths drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, size: size.into() }
+        }
+
+        /// Strategy returned by [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+                let len = self.size.pick(rng);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// Strategy for `BTreeSet`s with target sizes drawn from `size`.
+        ///
+        /// As in real proptest, the target size may be missed when the
+        /// element strategy cannot produce enough distinct values; generation
+        /// stops after a bounded number of attempts.
+        pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            BTreeSetStrategy { element, size: size.into() }
+        }
+
+        /// Strategy returned by [`btree_set`].
+        pub struct BTreeSetStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S> Strategy for BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            type Value = BTreeSet<S::Value>;
+            fn generate(&self, rng: &mut SmallRng) -> BTreeSet<S::Value> {
+                let target = self.size.pick(rng);
+                let mut set = BTreeSet::new();
+                let mut attempts = 0usize;
+                while set.len() < target && attempts < 10 * target + 100 {
+                    set.insert(self.element.generate(rng));
+                    attempts += 1;
+                }
+                set
+            }
+        }
+
+        impl SizeRange {
+            pub(crate) fn pick(&self, rng: &mut SmallRng) -> usize {
+                if self.min >= self.max {
+                    self.min
+                } else {
+                    rng.gen_range(self.min..=self.max)
+                }
+            }
+        }
+    }
+
+    /// Option strategies.
+    pub mod option {
+        use super::super::Strategy;
+        use rand::rngs::SmallRng;
+        use rand::Rng;
+
+        /// Strategy producing `None` or `Some` of the inner strategy (3:1
+        /// biased toward `Some`, as in real proptest's default weighting).
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        /// Strategy returned by [`of`].
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut SmallRng) -> Option<S::Value> {
+                if rng.gen_ratio(3, 4) {
+                    Some(self.inner.generate(rng))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Sampling helpers.
+    pub mod sample {
+        use super::super::Arbitrary;
+        use rand::rngs::SmallRng;
+        use rand::Rng;
+
+        /// A raw index that can be projected into any non-empty collection.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub struct Index(usize);
+
+        impl Index {
+            /// Projects the raw value onto `0..len`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `len == 0`.
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "cannot index an empty collection");
+                self.0 % len
+            }
+        }
+
+        impl Arbitrary for Index {
+            fn arbitrary(rng: &mut SmallRng) -> Self {
+                Index(rng.gen())
+            }
+        }
+    }
+}
+
+/// A range of collection sizes accepted by the collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive upper bound.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange { min: exact, max: exact }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange { min: *r.start(), max: *r.end() }
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Option<T> {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        if rng.gen_ratio(3, 4) {
+            Some(T::arbitrary(rng))
+        } else {
+            None
+        }
+    }
+}
+
+impl<T: Arbitrary + Ord> Arbitrary for BTreeSet<T> {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        let len = rng.gen_range(0..8usize);
+        (0..len).map(|_| T::arbitrary(rng)).collect()
+    }
+}
+
+/// Everything a test module needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{Just, Strategy};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Each test body runs [`cases`] times with fresh inputs from a
+/// deterministic per-test RNG. No shrinking is performed.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            use $crate::Strategy as _;
+            let mut __proptest_rng = $crate::test_rng(stringify!($name));
+            for __proptest_case in 0..$crate::cases() {
+                let _ = __proptest_case;
+                $(let $arg = ($strategy).generate(&mut __proptest_rng);)+
+                $body
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Strategy choosing uniformly among alternatives of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($alternative:expr),+ $(,)?) => {{
+        let alternatives: Vec<Box<dyn $crate::Strategy<Value = _>>> =
+            vec![$(Box::new($alternative)),+];
+        $crate::OneOf::new(alternatives)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn strategies_generate_in_bounds() {
+        let mut rng = super::test_rng("strategies_generate_in_bounds");
+        for _ in 0..200 {
+            let x = (1u32..5).generate(&mut rng);
+            assert!((1..5).contains(&x));
+            let v = prop::collection::vec(0u8..4, 2..6).generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&b| b < 4));
+            let s = prop::collection::btree_set(0u32..1000, 3..10).generate(&mut rng);
+            assert!(s.len() >= 3);
+        }
+    }
+
+    #[test]
+    fn oneof_uses_every_alternative() {
+        let strategy = prop_oneof![Just(1u8), Just(2u8)];
+        let mut rng = super::test_rng("oneof_uses_every_alternative");
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[strategy.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+
+    #[test]
+    fn option_of_produces_both_variants() {
+        let strategy = prop::option::of(0u8..10);
+        let mut rng = super::test_rng("option_of_produces_both_variants");
+        let values: Vec<_> = (0..100).map(|_| strategy.generate(&mut rng)).collect();
+        assert!(values.iter().any(Option::is_some));
+        assert!(values.iter().any(Option::is_none));
+    }
+
+    proptest! {
+        #[test]
+        fn macro_draws_each_argument(x in 0u64..10, pair in (0u8..3, any::<bool>())) {
+            prop_assert!(x < 10);
+            prop_assert!(pair.0 < 3);
+        }
+
+        #[test]
+        fn maps_apply(v in (0u32..5).prop_map(|x| x * 2)) {
+            prop_assert_eq!(v % 2, 0);
+            prop_assert_ne!(v, 11);
+        }
+    }
+}
