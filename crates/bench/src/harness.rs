@@ -7,7 +7,10 @@
 //! [`TrialOutcome::to_record`]. The `_trials` variants take a worker-thread
 //! count; per-trial seeding makes the outcomes independent of it.
 
-use population::{ConvergenceSample, Runner, TrialOutcome, TrialSettings};
+use population::{
+    ChaosTrialOutcome, ConvergenceSample, FaultAction, FaultPlan, FaultSize, Runner, TrialOutcome,
+    TrialSettings,
+};
 use ssle::adversary;
 use ssle::cai_izumi_wada::CaiIzumiWada;
 use ssle::optimal_silent::OptimalSilentSsr;
@@ -204,6 +207,72 @@ pub fn measure_sublinear_trials(
     })
 }
 
+/// The fault plan every recovery trial uses: stabilize from an adversarial
+/// random start, wait one unit of parallel time, then corrupt `size` agents.
+///
+/// The single run therefore measures **both** quantities of interest: the
+/// full-stabilization time (first stable ranking) and the recovery time
+/// (the fault's injection-to-reranking gap).
+fn recovery_plan(rng: &mut rand::rngs::SmallRng, n: usize, size: FaultSize) -> FaultPlan {
+    use rand::Rng;
+    FaultPlan::new(rng.gen()).after_convergence(n as u64, FaultAction::CorruptRandom(size))
+}
+
+/// Measures Silent-n-state-SSR recovery from a `size`-agent corruption
+/// injected one parallel-time unit after stabilization.
+pub fn measure_recovery_ciw_trials(
+    n: usize,
+    size: FaultSize,
+    trials: u64,
+    base_seed: u64,
+    threads: usize,
+) -> Vec<ChaosTrialOutcome> {
+    let settings = TrialSettings::new(trials, base_seed, quadratic_budget(n), 4 * n as u64);
+    Runner::new(settings).run_chaos_trials_parallel(threads, |_, rng| {
+        let protocol = CaiIzumiWada::new(n);
+        let initial = adversary::random_ciw_configuration(&protocol, rng);
+        let plan = recovery_plan(rng, n, size);
+        (protocol, initial, plan)
+    })
+}
+
+/// Measures Optimal-Silent-SSR recovery from a `size`-agent corruption
+/// injected one parallel-time unit after stabilization.
+pub fn measure_recovery_oss_trials(
+    n: usize,
+    size: FaultSize,
+    trials: u64,
+    base_seed: u64,
+    threads: usize,
+) -> Vec<ChaosTrialOutcome> {
+    let settings = TrialSettings::new(trials, base_seed, linear_budget(n), 4 * n as u64);
+    Runner::new(settings).run_chaos_trials_parallel(threads, |_, rng| {
+        let protocol = OptimalSilentSsr::new(n);
+        let initial = adversary::random_oss_configuration(&protocol, rng);
+        let plan = recovery_plan(rng, n, size);
+        (protocol, initial, plan)
+    })
+}
+
+/// Measures Sublinear-Time-SSR recovery from a `size`-agent corruption
+/// injected one parallel-time unit after stabilization.
+pub fn measure_recovery_sublinear_trials(
+    n: usize,
+    h: u32,
+    size: FaultSize,
+    trials: u64,
+    base_seed: u64,
+    threads: usize,
+) -> Vec<ChaosTrialOutcome> {
+    let settings = TrialSettings::new(trials, base_seed, sublinear_budget(n), 4 * n as u64);
+    Runner::new(settings).run_chaos_trials_parallel(threads, |_, rng| {
+        let protocol = SublinearTimeSsr::new(n, h);
+        let initial = adversary::random_sublinear_configuration(&protocol, rng);
+        let plan = recovery_plan(rng, n, size);
+        (protocol, initial, plan)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,6 +344,25 @@ mod tests {
         let sample = measure_ciw_fast(8, CiwStart::AllZero, 2, 1);
         assert_eq!(ConvergenceSample::from_trials(&trials), sample);
         assert!(trials.iter().all(|t| t.outcome.is_converged()));
+    }
+
+    #[test]
+    fn recovery_trials_measure_both_stabilization_and_recovery() {
+        let trials = measure_recovery_oss_trials(16, FaultSize::Exact(1), 3, 5, 2);
+        assert_eq!(trials.len(), 3);
+        for t in &trials {
+            assert!(t.report.first_ranked.is_some(), "must stabilize before the fault");
+            assert_eq!(t.report.faults.len(), 1);
+            assert!(t.report.fully_recovered(), "must re-rank after the fault");
+        }
+    }
+
+    #[test]
+    fn recovery_helpers_cover_all_three_protocols() {
+        let ciw = measure_recovery_ciw_trials(8, FaultSize::Sqrt, 2, 7, 1);
+        let sub = measure_recovery_sublinear_trials(8, 1, FaultSize::All, 2, 7, 1);
+        assert!(ciw.iter().all(|t| t.report.fully_recovered()));
+        assert!(sub.iter().all(|t| t.report.fully_recovered()));
     }
 
     #[test]

@@ -5,6 +5,7 @@ pub mod epidemic;
 pub mod prove;
 pub mod report;
 pub mod simulate;
+pub mod soak;
 pub mod states;
 pub mod trace;
 

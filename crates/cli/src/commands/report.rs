@@ -7,11 +7,16 @@
 //! into a [`ConvergenceSample`] and summarized by the bench crate's
 //! [`TimeSummary`], the numbers match the text path exactly: re-analyzing a
 //! recorded run reproduces the table that run printed.
+//!
+//! Mixed v2 streams from the chaos harness (`recovery_scaling`, `ssle
+//! soak`) additionally carry `kind = "fault"` lines; those are grouped by
+//! `(experiment, protocol, n, h, action)` and summarized as recovery-time
+//! statistics, and trial groups that carry availability report its mean.
 
 use std::collections::BTreeMap;
 
 use analysis::{quantile, Ecdf};
-use population::record::{from_jsonl, JsonObject, RunRecord};
+use population::record::{from_jsonl_mixed, FaultRecord, JsonObject, RecordLine, RunRecord};
 use population::ConvergenceSample;
 use ssle_bench::TimeSummary;
 
@@ -20,6 +25,9 @@ use crate::error::CliError;
 
 /// One `(experiment, protocol, n, h)` group key, ordered for stable output.
 type GroupKey = (String, String, u64, Option<u64>);
+
+/// One fault group key: the trial key plus the fault action.
+type FaultKey = (String, String, u64, Option<u64>, String);
 
 /// Runs the subcommand: `ssle report <file.jsonl> [--format text|json]`.
 ///
@@ -43,9 +51,17 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
 
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError::Report { path: path.clone(), reason: e.to_string() })?;
-    let records =
-        from_jsonl(&text).map_err(|reason| CliError::Report { path: path.clone(), reason })?;
-    if records.is_empty() {
+    let lines = from_jsonl_mixed(&text)
+        .map_err(|reason| CliError::Report { path: path.clone(), reason })?;
+    let mut records: Vec<RunRecord> = Vec::new();
+    let mut faults: Vec<FaultRecord> = Vec::new();
+    for line in lines {
+        match line {
+            RecordLine::Trial(r) => records.push(r),
+            RecordLine::Fault(f) => faults.push(f),
+        }
+    }
+    if records.is_empty() && faults.is_empty() {
         return Err(CliError::Report {
             path: path.clone(),
             reason: "the file contains no records".to_string(),
@@ -53,9 +69,12 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     }
 
     let groups = group_records(&records);
+    let fault_groups = group_faults(&faults);
     match format {
-        OutputFormat::Text => Ok(render_text(path, records.len(), &groups)),
-        OutputFormat::Json => Ok(render_json(&groups)),
+        OutputFormat::Text => {
+            Ok(render_text(path, records.len() + faults.len(), &groups, &fault_groups))
+        }
+        OutputFormat::Json => Ok(render_json(&groups, &fault_groups)),
     }
 }
 
@@ -65,6 +84,25 @@ fn group_records(records: &[RunRecord]) -> BTreeMap<GroupKey, Vec<&RunRecord>> {
         groups.entry((r.experiment.clone(), r.protocol.clone(), r.n, r.h)).or_default().push(r);
     }
     groups
+}
+
+fn group_faults(faults: &[FaultRecord]) -> BTreeMap<FaultKey, Vec<&FaultRecord>> {
+    let mut groups: BTreeMap<FaultKey, Vec<&FaultRecord>> = BTreeMap::new();
+    for f in faults {
+        groups
+            .entry((f.experiment.clone(), f.protocol.clone(), f.n, f.h, f.action.clone()))
+            .or_default()
+            .push(f);
+    }
+    groups
+}
+
+/// Recovery parallel times of a fault group's recovered faults, plus the
+/// mean agent count touched per fault.
+fn recovery_times(group: &[&FaultRecord]) -> (Vec<f64>, f64) {
+    let times: Vec<f64> = group.iter().filter_map(|f| f.recovery_parallel_time()).collect();
+    let agents = group.iter().map(|f| f.agents as f64).sum::<f64>() / group.len() as f64;
+    (times, agents)
 }
 
 /// Rebuilds the statistical sample a group's trials represent, exactly as
@@ -81,8 +119,16 @@ fn sample_of(group: &[&RunRecord]) -> ConvergenceSample {
     sample
 }
 
-fn render_text(path: &str, total: usize, groups: &BTreeMap<GroupKey, Vec<&RunRecord>>) -> String {
-    let mut out = format!("report: {path} — {total} records, {} group(s)\n", groups.len());
+fn render_text(
+    path: &str,
+    total: usize,
+    groups: &BTreeMap<GroupKey, Vec<&RunRecord>>,
+    fault_groups: &BTreeMap<FaultKey, Vec<&FaultRecord>>,
+) -> String {
+    let mut out = format!(
+        "report: {path} — {total} records, {} group(s)\n",
+        groups.len() + fault_groups.len()
+    );
     for ((experiment, protocol, n, h), group) in groups {
         let h_text = h.map_or("-".to_string(), |h| h.to_string());
         out.push_str(&format!(
@@ -124,11 +170,44 @@ fn render_text(path: &str, total: usize, groups: &BTreeMap<GroupKey, Vec<&RunRec
                 interactions as f64 / wall
             ));
         }
+        let avails: Vec<f64> = group.iter().filter_map(|r| r.availability).collect();
+        if !avails.is_empty() {
+            let injected: u64 = group.iter().filter_map(|r| r.faults).sum();
+            out.push_str(&format!(
+                "  chaos: {injected} fault(s) injected, mean availability {:.3}\n",
+                avails.iter().sum::<f64>() / avails.len() as f64
+            ));
+        }
+    }
+    for ((experiment, protocol, n, h, action), group) in fault_groups {
+        let h_text = h.map_or("-".to_string(), |h| h.to_string());
+        let (times, agents) = recovery_times(group);
+        out.push_str(&format!(
+            "\nfaults: experiment={experiment} protocol={protocol} n={n} h={h_text} \
+             action={action}: {} fault(s), {} recovered, {agents:.1} agent(s)/fault\n",
+            group.len(),
+            times.len(),
+        ));
+        if times.is_empty() {
+            out.push_str("  no recovered faults — no recovery statistics\n");
+            continue;
+        }
+        let q = |p: f64| quantile(&times, p).expect("non-empty recovered sample");
+        out.push_str(&format!(
+            "  E[recovery] {:.1} parallel time   p50 {:.1}  p95 {:.1}  max {:.1}\n",
+            times.iter().sum::<f64>() / times.len() as f64,
+            q(0.5),
+            q(0.95),
+            q(1.0),
+        ));
     }
     out
 }
 
-fn render_json(groups: &BTreeMap<GroupKey, Vec<&RunRecord>>) -> String {
+fn render_json(
+    groups: &BTreeMap<GroupKey, Vec<&RunRecord>>,
+    fault_groups: &BTreeMap<FaultKey, Vec<&FaultRecord>>,
+) -> String {
     let mut out = String::new();
     for ((experiment, protocol, n, h), group) in groups {
         let sample = sample_of(group);
@@ -153,6 +232,36 @@ fn render_json(groups: &BTreeMap<GroupKey, Vec<&RunRecord>>) -> String {
             obj.field_f64("max_time", quantile(times, 1.0).expect("non-empty"));
         } else {
             obj.field_null("mean_time");
+        }
+        let avails: Vec<f64> = group.iter().filter_map(|r| r.availability).collect();
+        if !avails.is_empty() {
+            obj.field_f64("mean_availability", avails.iter().sum::<f64>() / avails.len() as f64);
+            obj.field_u64("faults_injected", group.iter().filter_map(|r| r.faults).sum());
+        }
+        out.push_str(&obj.finish());
+        out.push('\n');
+    }
+    for ((experiment, protocol, n, h, action), group) in fault_groups {
+        let (times, agents) = recovery_times(group);
+        let mut obj = JsonObject::new();
+        obj.field_str("command", "report");
+        obj.field_str("kind", "faults");
+        obj.field_str("experiment", experiment);
+        obj.field_str("protocol", protocol);
+        obj.field_u64("n", *n);
+        match h {
+            Some(h) => obj.field_u64("h", *h),
+            None => obj.field_null("h"),
+        };
+        obj.field_str("action", action);
+        obj.field_u64("faults", group.len() as u64);
+        obj.field_u64("recovered", times.len() as u64);
+        obj.field_f64("mean_agents", agents);
+        if times.is_empty() {
+            obj.field_null("mean_recovery_time");
+        } else {
+            obj.field_f64("mean_recovery_time", times.iter().sum::<f64>() / times.len() as f64);
+            obj.field_f64("p95_recovery_time", quantile(&times, 0.95).expect("non-empty"));
         }
         out.push_str(&obj.finish());
         out.push('\n');
@@ -255,6 +364,8 @@ mod tests {
             seed: 1,
             outcome: population::RunOutcome::Converged { interactions: 100 * n },
             wall_s: 0.0,
+            availability: None,
+            faults: None,
         };
         let records = vec![mk("a", 8, 0), mk("a", 8, 1), mk("a", 16, 0), mk("b", 8, 0)];
         let path = write_temp("ssle_report_groups.jsonl", &to_jsonl(&records));
@@ -263,6 +374,78 @@ mod tests {
         assert!(out.contains("protocol=a n=8"), "{out}");
         assert!(out.contains("protocol=a n=16"), "{out}");
         assert!(out.contains("protocol=b n=8"), "{out}");
+    }
+
+    #[test]
+    fn mixed_chaos_stream_reports_fault_groups_and_availability() {
+        let mk_fault = |trial: u64, recovered_at: Option<u64>| FaultRecord {
+            experiment: "recovery".to_string(),
+            protocol: "oss".to_string(),
+            n: 16,
+            h: None,
+            trial,
+            seed: 1,
+            action: "corrupt_random".to_string(),
+            agents: 1,
+            injected_at: 3200,
+            recovered_at,
+        };
+        let trial = RunRecord {
+            experiment: "recovery".to_string(),
+            protocol: "oss".to_string(),
+            n: 16,
+            h: None,
+            trial: 0,
+            seed: 1,
+            outcome: population::RunOutcome::Converged { interactions: 1600 },
+            wall_s: 0.01,
+            availability: Some(0.75),
+            faults: Some(1),
+        };
+        let text = format!(
+            "{}\n{}\n{}\n",
+            trial.to_json(),
+            mk_fault(0, Some(3280)).to_json(),
+            mk_fault(1, None).to_json()
+        );
+        let path = write_temp("ssle_report_chaos.jsonl", &text);
+
+        let out = run(&args(&[&path])).unwrap();
+        assert!(out.contains("3 records, 2 group(s)"), "{out}");
+        assert!(out.contains("mean availability 0.750"), "{out}");
+        assert!(out.contains("action=corrupt_random: 2 fault(s), 1 recovered"), "{out}");
+        // (3280 − 3200) / 16 = 5 parallel time units.
+        assert!(out.contains("E[recovery] 5.0"), "{out}");
+
+        let json = run(&args(&[&path, "--format", "json"])).unwrap();
+        let fault_line = json
+            .lines()
+            .find(|l| l.contains("\"kind\":\"faults\""))
+            .expect("fault group line present");
+        let fields = population::record::parse_flat_json(fault_line).unwrap();
+        match fields.get("mean_recovery_time").unwrap() {
+            population::record::JsonScalar::Num(m) => assert!((m - 5.0).abs() < 1e-9, "{m}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_only_stream_is_reportable() {
+        let f = FaultRecord {
+            experiment: "soak".to_string(),
+            protocol: "ciw".to_string(),
+            n: 8,
+            h: None,
+            trial: 0,
+            seed: 2,
+            action: "randomize".to_string(),
+            agents: 8,
+            injected_at: 100,
+            recovered_at: None,
+        };
+        let path = write_temp("ssle_report_faultonly.jsonl", &format!("{}\n", f.to_json()));
+        let out = run(&args(&[&path])).unwrap();
+        assert!(out.contains("no recovered faults"), "{out}");
     }
 
     #[test]
@@ -276,6 +459,8 @@ mod tests {
             seed: 1,
             outcome: population::RunOutcome::Exhausted { interactions: 999 },
             wall_s: 0.1,
+            availability: None,
+            faults: None,
         };
         let path = write_temp("ssle_report_exhausted.jsonl", &to_jsonl(&[r]));
         let out = run(&args(&[&path])).unwrap();

@@ -1,0 +1,432 @@
+//! `ssle soak` — sustained fault injection against a ranking protocol.
+//!
+//! Runs the chaos harness with a *repeating* fault plan: every `1 /
+//! --fault-rate` parallel-time units the configured corruption hits the
+//! population, for `--time` parallel-time units per trial. The report is an
+//! availability summary — what fraction of the execution had a unique
+//! leader (and a fully correct ranking), how many faults fired, and how
+//! fast the protocol recovered from them. This is the operational
+//! counterpart of the paper's worst-case stabilization bounds: a
+//! self-stabilizing protocol under a sustained fault rate spends a
+//! predictable fraction of its time re-converging.
+
+use population::record::{to_jsonl_mixed, RecordLine};
+use population::{
+    ChaosTrialOutcome, Corruptor, FaultAction, FaultPlan, FaultSize, Runner, TrialSettings,
+};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use ssle::adversary;
+use ssle::{CaiIzumiWada, OptimalSilentSsr, SublinearTimeSsr};
+
+use crate::commands::{parse_flags, OutputFormat};
+use crate::error::CliError;
+use crate::protocol_choice::{CommonFlags, ProtocolChoice};
+
+/// Runs the subcommand:
+/// `ssle soak --protocol <p> --n <agents> [--fault-rate <per unit time>]
+/// [--fault-size <k|sqrt|frac|all>] [--action <kind>] [--time <t>]
+/// [--trials <t>] [--threads <w>] [--seed <u64>] [--h <depth>]
+/// [--json-out <path>] [--format text|json]`.
+///
+/// # Errors
+///
+/// Returns [`CliError::BadValue`] for invalid flag values (including a
+/// protocol without a mid-run corruption model) and [`CliError::BadFlag`]
+/// for unknown flags.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let flags = parse_flags(
+        args,
+        &[
+            "protocol",
+            "n",
+            "h",
+            "seed",
+            "fault-rate",
+            "fault-size",
+            "action",
+            "time",
+            "trials",
+            "threads",
+            "json-out",
+            "format",
+        ],
+    )?;
+    let common = CommonFlags::from_flags(&flags, ProtocolChoice::OptimalSilent)?;
+    let format = OutputFormat::from_flags(&flags)?;
+    let rate: f64 = flags.get("fault-rate", 0.02);
+    if !(rate > 0.0 && rate.is_finite()) {
+        return Err(CliError::BadValue {
+            flag: "fault-rate".into(),
+            reason: "the fault rate must be a positive number of faults per parallel-time unit"
+                .into(),
+        });
+    }
+    let size = parse_fault_size(flags.try_get_str("fault-size").unwrap_or("1"))?;
+    let action = parse_action(flags.try_get_str("action").unwrap_or("corrupt-random"), size)?;
+    let time: f64 = flags.get("time", 1_000.0);
+    if !(time > 0.0 && time.is_finite()) {
+        return Err(CliError::BadValue {
+            flag: "time".into(),
+            reason: "the soak duration must be a positive parallel time".into(),
+        });
+    }
+    let trials: u64 = flags.get("trials", 4);
+    let threads = flags.threads();
+    let period = 1.0 / rate;
+    let n = common.n;
+    let budget = (time * n as f64).ceil() as u64;
+
+    let outcomes = match common.protocol {
+        ProtocolChoice::Ciw => soak_trials(
+            || CaiIzumiWada::new(n),
+            period,
+            action,
+            trials,
+            common.seed,
+            budget,
+            threads,
+        ),
+        ProtocolChoice::OptimalSilent => soak_trials(
+            || OptimalSilentSsr::new(n),
+            period,
+            action,
+            trials,
+            common.seed,
+            budget,
+            threads,
+        ),
+        ProtocolChoice::Sublinear => soak_trials(
+            || SublinearTimeSsr::new(n, common.h),
+            period,
+            action,
+            trials,
+            common.seed,
+            budget,
+            threads,
+        ),
+        other => {
+            return Err(CliError::BadValue {
+                flag: "protocol".into(),
+                reason: format!(
+                    "{:?} has no mid-run corruption model; pick ciw, optimal-silent, or sublinear",
+                    other
+                ),
+            })
+        }
+    };
+
+    if let Some(path) = flags.try_get_str("json-out") {
+        let h = protocol_h(common.protocol, common.h);
+        let label = protocol_label(common.protocol);
+        let mut records: Vec<RecordLine> = Vec::new();
+        for o in &outcomes {
+            records.push(RecordLine::Trial(o.trial_record("soak", label, h, common.seed)));
+            records.extend(
+                o.fault_records("soak", label, h, common.seed).into_iter().map(RecordLine::Fault),
+            );
+        }
+        std::fs::write(path, to_jsonl_mixed(&records))
+            .map_err(|e| CliError::Report { path: path.to_string(), reason: e.to_string() })?;
+    }
+
+    match format {
+        OutputFormat::Text => Ok(render_text(&common, rate, action, time, &outcomes)),
+        OutputFormat::Json => Ok(render_json(&common, rate, action, time, &outcomes)),
+    }
+}
+
+/// The `h` field soak records carry (depth for the sublinear protocol).
+fn protocol_h(protocol: ProtocolChoice, h: u32) -> Option<u64> {
+    (protocol == ProtocolChoice::Sublinear).then_some(h as u64)
+}
+
+/// The short protocol name soak records carry.
+fn protocol_label(protocol: ProtocolChoice) -> &'static str {
+    match protocol {
+        ProtocolChoice::Ciw => "ciw",
+        ProtocolChoice::OptimalSilent => "oss",
+        ProtocolChoice::Sublinear => "sublinear",
+        ProtocolChoice::TreeRanking => "tree-ranking",
+        ProtocolChoice::Loose => "loose",
+    }
+}
+
+/// Parses `--fault-size`: an integer count, a fraction in `(0, 1)`, `sqrt`,
+/// or `all`.
+fn parse_fault_size(value: &str) -> Result<FaultSize, CliError> {
+    if value == "sqrt" {
+        return Ok(FaultSize::Sqrt);
+    }
+    if value == "all" {
+        return Ok(FaultSize::All);
+    }
+    if let Ok(k) = value.parse::<usize>() {
+        if k > 0 {
+            return Ok(FaultSize::Exact(k));
+        }
+    }
+    if let Ok(f) = value.parse::<f64>() {
+        if f > 0.0 && f < 1.0 {
+            return Ok(FaultSize::Fraction(f));
+        }
+    }
+    Err(CliError::BadValue {
+        flag: "fault-size".into(),
+        reason: format!(
+            "{value:?} is not a positive agent count, a fraction in (0, 1), sqrt, or all"
+        ),
+    })
+}
+
+/// Parses `--action` into a [`FaultAction`], attaching the `--fault-size`
+/// where the action is sized.
+fn parse_action(name: &str, size: FaultSize) -> Result<FaultAction, CliError> {
+    match name {
+        "corrupt-random" | "corrupt_random" => Ok(FaultAction::CorruptRandom(size)),
+        "duplicate-leader" | "duplicate_leader" => Ok(FaultAction::DuplicateLeader),
+        "collide" => Ok(FaultAction::Collide(size)),
+        "partial-reset" | "partial_reset" => Ok(FaultAction::PartialReset(size)),
+        "randomize" => Ok(FaultAction::Randomize),
+        other => Err(CliError::BadValue {
+            flag: "action".into(),
+            reason: format!(
+                "{other:?} is not one of corrupt-random, duplicate-leader, collide, \
+                 partial-reset, randomize"
+            ),
+        }),
+    }
+}
+
+/// Runs the soak trials for one protocol type: adversarial random start,
+/// repeating fault plan, fixed interaction budget.
+fn soak_trials<P, M>(
+    make_protocol: M,
+    period: f64,
+    action: FaultAction,
+    trials: u64,
+    seed: u64,
+    budget: u64,
+    threads: usize,
+) -> Vec<ChaosTrialOutcome>
+where
+    P: Corruptor + Send,
+    P::State: Send,
+    M: Fn() -> P + Sync,
+{
+    let settings = TrialSettings::new(trials, seed, budget, 0);
+    Runner::new(settings).run_chaos_trials_parallel(threads, |_, rng: &mut SmallRng| {
+        let protocol = make_protocol();
+        let initial = adversary::random_configuration(&protocol, rng);
+        let plan = FaultPlan::new(rng.gen()).every_parallel_time(period, action);
+        (protocol, initial, plan)
+    })
+}
+
+/// Means over the batch used by both output formats.
+struct SoakStats {
+    availability: f64,
+    ranked_availability: f64,
+    faults: u64,
+    recovered: u64,
+    mean_recovery: Option<f64>,
+}
+
+fn stats(outcomes: &[ChaosTrialOutcome]) -> SoakStats {
+    let mean = |xs: Vec<f64>| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+    let recoveries: Vec<f64> =
+        outcomes.iter().filter_map(|o| o.report.mean_recovery_parallel_time()).collect();
+    SoakStats {
+        availability: mean(outcomes.iter().map(|o| o.report.availability()).collect()),
+        ranked_availability: mean(
+            outcomes.iter().map(|o| o.report.ranked_availability()).collect(),
+        ),
+        faults: outcomes.iter().map(|o| o.report.faults.len() as u64).sum(),
+        recovered: outcomes.iter().map(|o| o.report.recovered() as u64).sum(),
+        mean_recovery: (!recoveries.is_empty()).then(|| mean(recoveries)),
+    }
+}
+
+fn render_text(
+    common: &CommonFlags,
+    rate: f64,
+    action: FaultAction,
+    time: f64,
+    outcomes: &[ChaosTrialOutcome],
+) -> String {
+    let mut out = format!(
+        "soak: {}, n = {}, seed {}\nfault plan: {} every {:.1} parallel-time units \
+         (rate {rate}); {} trial(s) × {time} time units\n\n",
+        common.protocol.name(),
+        common.n,
+        common.seed,
+        action.label(),
+        1.0 / rate,
+        outcomes.len(),
+    );
+    out.push_str(&format!(
+        "{:>6} {:>7} {:>10} {:>13} {:>13} {:>14}\n",
+        "trial", "faults", "recovered", "avail", "ranked-avail", "E[recovery]"
+    ));
+    for o in outcomes {
+        let rec =
+            o.report.mean_recovery_parallel_time().map_or("-".to_string(), |r| format!("{r:.1}"));
+        out.push_str(&format!(
+            "{:>6} {:>7} {:>10} {:>13.3} {:>13.3} {:>14}\n",
+            o.trial,
+            o.report.faults.len(),
+            o.report.recovered(),
+            o.report.availability(),
+            o.report.ranked_availability(),
+            rec,
+        ));
+    }
+    let s = stats(outcomes);
+    let rec = s.mean_recovery.map_or("-".to_string(), |r| format!("{r:.1} parallel time"));
+    out.push_str(&format!(
+        "\naggregate: leader available {:.1}% of the time (fully ranked {:.1}%)\n\
+         {} fault(s) fired, {} recovered from; E[recovery] {rec}\n",
+        100.0 * s.availability,
+        100.0 * s.ranked_availability,
+        s.faults,
+        s.recovered,
+    ));
+    out
+}
+
+fn render_json(
+    common: &CommonFlags,
+    rate: f64,
+    action: FaultAction,
+    time: f64,
+    outcomes: &[ChaosTrialOutcome],
+) -> String {
+    use population::record::JsonObject;
+    let s = stats(outcomes);
+    let mut obj = JsonObject::new();
+    obj.field_str("command", "soak");
+    obj.field_str("protocol", protocol_label(common.protocol));
+    obj.field_u64("n", common.n as u64);
+    obj.field_u64("seed", common.seed);
+    obj.field_str("action", action.label());
+    obj.field_f64("fault_rate", rate);
+    obj.field_f64("time", time);
+    obj.field_u64("trials", outcomes.len() as u64);
+    obj.field_u64("faults", s.faults);
+    obj.field_u64("recovered", s.recovered);
+    obj.field_f64("availability", s.availability);
+    obj.field_f64("ranked_availability", s.ranked_availability);
+    match s.mean_recovery {
+        Some(r) => obj.field_f64("mean_recovery_time", r),
+        None => obj.field_null("mean_recovery_time"),
+    };
+    let mut out = obj.finish();
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(a: &[&str]) -> Vec<String> {
+        a.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn soak_reports_availability_for_each_protocol() {
+        for protocol in ["ciw", "optimal-silent", "sublinear"] {
+            let out = run(&args(&[
+                "--protocol",
+                protocol,
+                "--n",
+                "16",
+                "--time",
+                "200",
+                "--fault-rate",
+                "0.05",
+                "--trials",
+                "2",
+                "--seed",
+                "3",
+            ]))
+            .unwrap();
+            assert!(out.contains("aggregate: leader available"), "{protocol}: {out}");
+            assert!(out.contains("fault(s) fired"), "{protocol}: {out}");
+        }
+    }
+
+    #[test]
+    fn soak_is_deterministic_in_the_seed() {
+        let a = &args(&["--n", "16", "--time", "150", "--trials", "2", "--seed", "9"]);
+        assert_eq!(run(a).unwrap(), run(a).unwrap());
+    }
+
+    #[test]
+    fn soak_rejects_protocols_without_a_corruption_model() {
+        for protocol in ["loose", "tree-ranking"] {
+            assert!(matches!(
+                run(&args(&["--protocol", protocol, "--n", "8"])),
+                Err(CliError::BadValue { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn soak_validates_rate_size_and_action() {
+        assert!(matches!(
+            run(&args(&["--n", "8", "--fault-rate", "0"])),
+            Err(CliError::BadValue { .. })
+        ));
+        assert!(matches!(
+            run(&args(&["--n", "8", "--fault-size", "0"])),
+            Err(CliError::BadValue { .. })
+        ));
+        assert!(matches!(
+            run(&args(&["--n", "8", "--action", "meteor"])),
+            Err(CliError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn fault_sizes_parse() {
+        assert_eq!(parse_fault_size("3").unwrap(), FaultSize::Exact(3));
+        assert_eq!(parse_fault_size("sqrt").unwrap(), FaultSize::Sqrt);
+        assert_eq!(parse_fault_size("all").unwrap(), FaultSize::All);
+        assert!(matches!(parse_fault_size("0.25").unwrap(), FaultSize::Fraction(_)));
+        assert!(parse_fault_size("-1").is_err());
+        assert!(parse_fault_size("1.5").is_err());
+    }
+
+    #[test]
+    fn json_format_emits_one_summary_object() {
+        let out = run(&args(&["--n", "16", "--time", "150", "--trials", "2", "--format", "json"]))
+            .unwrap();
+        let fields = population::record::parse_flat_json(out.trim()).unwrap();
+        assert!(fields.contains_key("availability"), "{out}");
+        assert!(fields.contains_key("faults"), "{out}");
+    }
+
+    #[test]
+    fn json_out_writes_a_mixed_record_stream() {
+        let path = std::env::temp_dir().join("ssle_soak_records.jsonl");
+        let path_s = path.to_string_lossy().into_owned();
+        run(&args(&[
+            "--n",
+            "16",
+            "--time",
+            "200",
+            "--fault-rate",
+            "0.05",
+            "--trials",
+            "2",
+            "--json-out",
+            &path_s,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines = population::record::from_jsonl_mixed(&text).unwrap();
+        assert!(lines.iter().any(|l| matches!(l, RecordLine::Trial(_))));
+        assert!(lines.iter().any(|l| matches!(l, RecordLine::Fault(_))));
+    }
+}

@@ -11,6 +11,7 @@
 //! ssle trace     --protocol sublinear --n 32 --h 2 --time 60 --every 16
 //! ssle epidemic  --kind bounded --n 512 --k 3
 //! ssle compare   --n 32 --trials 10
+//! ssle soak      --protocol optimal-silent --n 256 --fault-rate 0.02
 //! ssle states    --n 256
 //! ```
 
@@ -38,6 +39,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "prove" => commands::prove::run(rest),
         "compare" => commands::compare::run(rest),
         "report" => commands::report::run(rest),
+        "soak" => commands::soak::run(rest),
         "states" => commands::states::run(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::UnknownCommand(other.to_string())),
@@ -69,6 +71,13 @@ COMMANDS:
                   [--format text|json]
     report      summarize a JSONL experiment record stream
                   <file.jsonl> [--format text|json]
+    soak        sustain a fault rate against a protocol and report availability
+                  --protocol ciw|optimal-silent|sublinear --n <agents>
+                  [--fault-rate <faults per time unit>] [--fault-size <k|sqrt|frac|all>]
+                  [--action corrupt-random|duplicate-leader|collide|partial-reset|randomize]
+                  [--time <parallel-time>] [--trials <t>] [--threads <w>]
+                  [--h <depth>] [--seed <u64>] [--json-out <file.jsonl>]
+                  [--format text|json]
     states      print per-protocol state counts
                   --n <agents> [--h <depth>]
     prove       exhaustively verify self-stabilization at small n

@@ -10,10 +10,17 @@
 //! All generators produce states inside the protocols' legal state spaces —
 //! the adversary corrupts values, it cannot invent out-of-domain fields
 //! (e.g. ranks above `n` or history trees that are not simply labelled).
+//!
+//! The same adversary also strikes **mid-run**: this module implements
+//! [`population::fault::Corruptor`] for each SSR protocol, so the chaos
+//! harness ([`population::fault`]) draws corrupted states from exactly the
+//! code path the initial-configuration generators use — "arbitrary state"
+//! means the same thing at time zero and at any later injection point.
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
+use population::fault::Corruptor;
 use population::RankingProtocol;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -26,10 +33,23 @@ use crate::sublinear::history_tree::HistoryTree;
 use crate::sublinear::{Collecting, SubRole, SubState, SublinearTimeSsr};
 
 /// Uniformly random configuration for Silent-n-state-SSR: every agent gets
-/// an independent uniform rank.
+/// an independent uniform rank (drawn via [`Corruptor::random_state`], the
+/// same generator mid-run faults use).
 pub fn random_ciw_configuration(protocol: &CaiIzumiWada, rng: &mut SmallRng) -> Vec<CiwState> {
-    let n = protocol.population_size();
-    (0..n).map(|_| CiwState::new(rng.gen_range(0..n as u32))).collect()
+    random_configuration(protocol, rng)
+}
+
+/// Uniformly random configuration of any [`Corruptor`]: `n` independent
+/// draws of [`Corruptor::random_state`]. The protocol-specific
+/// `random_*_configuration` helpers are thin wrappers over this.
+pub fn random_configuration<P: Corruptor>(protocol: &P, rng: &mut SmallRng) -> Vec<P::State> {
+    (0..protocol.population_size()).map(|_| protocol.random_state(rng)).collect()
+}
+
+impl Corruptor for CaiIzumiWada {
+    fn random_state(&self, rng: &mut SmallRng) -> CiwState {
+        CiwState::new(rng.gen_range(0..self.population_size() as u32))
+    }
 }
 
 /// The correct (stable, silent) configuration of Silent-n-state-SSR.
@@ -38,24 +58,31 @@ pub fn ranked_ciw_configuration(protocol: &CaiIzumiWada) -> Vec<CiwState> {
 }
 
 /// Uniformly random configuration for Optimal-Silent-SSR: independent
-/// uniform role and field values per agent.
+/// uniform role and field values per agent (drawn via
+/// [`Corruptor::random_state`], the same generator mid-run faults use).
 pub fn random_oss_configuration(protocol: &OptimalSilentSsr, rng: &mut SmallRng) -> Vec<OssState> {
-    let n = protocol.population_size();
-    (0..n).map(|_| random_oss_state(protocol, rng)).collect()
+    random_configuration(protocol, rng)
 }
 
-fn random_oss_state(protocol: &OptimalSilentSsr, rng: &mut SmallRng) -> OssState {
-    let n = protocol.population_size() as u32;
-    let reset = protocol.reset_params();
-    match rng.gen_range(0..3) {
-        0 => OssState::settled(rng.gen_range(1..=n), rng.gen_range(0..=2)),
-        1 => OssState::unsettled(rng.gen_range(0..=protocol.e_max())),
-        _ => {
-            let leader = if rng.gen() { Leader::L } else { Leader::F };
-            let resetcount = rng.gen_range(0..=reset.r_max);
-            let delaytimer = rng.gen_range(0..=reset.d_max);
-            OssState::resetting(leader, ResetCore { resetcount, delaytimer })
+impl Corruptor for OptimalSilentSsr {
+    fn random_state(&self, rng: &mut SmallRng) -> OssState {
+        let n = self.population_size() as u32;
+        match rng.gen_range(0..3) {
+            0 => OssState::settled(rng.gen_range(1..=n), rng.gen_range(0..=2)),
+            1 => OssState::unsettled(rng.gen_range(0..=self.e_max())),
+            _ => self.mid_reset_state(rng),
         }
+    }
+
+    /// A half-finished Propagate-Reset state: random leader bit, random
+    /// `resetcount`/`delaytimer` — the adversary of the paper's Sec. 3
+    /// analysis.
+    fn mid_reset_state(&self, rng: &mut SmallRng) -> OssState {
+        let reset = self.reset_params();
+        let leader = if rng.gen() { Leader::L } else { Leader::F };
+        let resetcount = rng.gen_range(0..=reset.r_max);
+        let delaytimer = rng.gen_range(0..=reset.d_max);
+        OssState::resetting(leader, ResetCore { resetcount, delaytimer })
     }
 }
 
@@ -100,8 +127,25 @@ pub fn random_sublinear_configuration(
     protocol: &SublinearTimeSsr,
     rng: &mut SmallRng,
 ) -> Vec<SubState> {
-    let n = protocol.population_size();
-    (0..n).map(|_| random_sublinear_state(protocol, rng)).collect()
+    random_configuration(protocol, rng)
+}
+
+impl Corruptor for SublinearTimeSsr {
+    fn random_state(&self, rng: &mut SmallRng) -> SubState {
+        random_sublinear_state(self, rng)
+    }
+
+    /// A half-finished reset: random (possibly short) name with random
+    /// Propagate-Reset counters.
+    fn mid_reset_state(&self, rng: &mut SmallRng) -> SubState {
+        let name = random_partial_name(self, rng);
+        let reset = self.reset_params();
+        let core = ResetCore {
+            resetcount: rng.gen_range(0..=reset.r_max),
+            delaytimer: rng.gen_range(0..=reset.d_max),
+        };
+        SubState { name, role: SubRole::Resetting(core) }
+    }
 }
 
 fn random_partial_name(protocol: &SublinearTimeSsr, rng: &mut SmallRng) -> Name {
@@ -327,6 +371,57 @@ mod tests {
                 assert!(c.tree.depth() <= 2);
                 assert_eq!(c.tree.root_name(), s.name);
             }
+        }
+    }
+
+    #[test]
+    fn corruptor_and_configuration_generators_share_one_stream() {
+        // The random_*_configuration helpers must be exactly n draws of
+        // Corruptor::random_state — same RNG, same sequence — so mid-run
+        // faults corrupt from the same distribution the time-zero adversary
+        // uses.
+        let ciw = CaiIzumiWada::new(12);
+        let mut a = rng_from_seed(4);
+        let mut b = rng_from_seed(4);
+        let via_config = random_ciw_configuration(&ciw, &mut a);
+        let via_corruptor: Vec<_> = (0..12).map(|_| ciw.random_state(&mut b)).collect();
+        assert_eq!(via_config, via_corruptor);
+
+        let oss = OptimalSilentSsr::new(12);
+        let mut a = rng_from_seed(4);
+        let mut b = rng_from_seed(4);
+        assert_eq!(
+            random_oss_configuration(&oss, &mut a),
+            (0..12).map(|_| oss.random_state(&mut b)).collect::<Vec<_>>()
+        );
+
+        let sub = SublinearTimeSsr::new(8, 2);
+        let mut a = rng_from_seed(4);
+        let mut b = rng_from_seed(4);
+        assert_eq!(
+            random_sublinear_configuration(&sub, &mut a),
+            (0..8).map(|_| sub.random_state(&mut b)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn mid_reset_states_are_resetting_and_in_domain() {
+        let oss = OptimalSilentSsr::new(16);
+        let mut rng = rng_from_seed(9);
+        for _ in 0..50 {
+            match oss.mid_reset_state(&mut rng) {
+                OssState::Resetting { core, .. } => {
+                    assert!(core.resetcount <= oss.reset_params().r_max);
+                    assert!(core.delaytimer <= oss.reset_params().d_max);
+                }
+                other => panic!("mid-reset must be Resetting, got {other:?}"),
+            }
+        }
+        let sub = SublinearTimeSsr::new(8, 1);
+        for _ in 0..50 {
+            let s = sub.mid_reset_state(&mut rng);
+            assert!(s.name.len() <= sub.name_bits());
+            assert!(matches!(s.role, SubRole::Resetting(_)), "got {s:?}");
         }
     }
 

@@ -31,6 +31,7 @@
 //! | [`tracker`] | O(1)-per-interaction convergence detection for ranking protocols |
 //! | [`runner`] | multi-trial experiment driver with deterministic seed derivation |
 //! | [`observer`] | [`Observer`] hooks into the hot loop; [`NoopObserver`] zero-cost default |
+//! | [`fault`] | chaos harness: [`FaultPlan`] schedules, mid-run [`Corruptor`] injection, recovery/availability measurement |
 //! | [`telemetry`] | counters, fixed-bucket histograms, throughput meters, [`TelemetryObserver`] |
 //! | [`record`] | versioned per-trial [`RunRecord`]s and their JSONL encoding |
 //! | [`epidemic`] | one-way/two-way epidemic, bounded epidemic, and roll-call processes |
@@ -71,6 +72,7 @@
 //! ```
 
 pub mod epidemic;
+pub mod fault;
 pub mod gillespie;
 pub mod graph;
 pub mod observer;
@@ -84,10 +86,14 @@ pub mod simulation;
 pub mod telemetry;
 pub mod tracker;
 
+pub use fault::{
+    ChaosReport, ChaosTrialOutcome, Corruptor, FaultAction, FaultEvent, FaultInjector, FaultPlan,
+    FaultSchedule, FaultSize, FaultTrigger, NoFaults, RecoveryTracker,
+};
 pub use graph::InteractionGraph;
 pub use observer::{NoopObserver, Observer};
 pub use protocol::{Protocol, RankingProtocol};
-pub use record::RunRecord;
+pub use record::{FaultRecord, RecordLine, RunRecord};
 pub use runner::{derive_seed, ConvergenceSample, Runner, TrialOutcome, TrialSettings};
 pub use simulation::{RunOutcome, Simulation};
 pub use telemetry::TelemetryObserver;

@@ -86,6 +86,18 @@ pub trait Observer<P: Protocol> {
         let _ = (agent, from, to, interactions);
     }
 
+    /// A fault plan fired: `agents` states were adversarially overwritten at
+    /// the given total interaction count (see [`crate::fault`]).
+    ///
+    /// Fired only when a fault schedule is attached
+    /// ([`Simulation::with_fault_plan`](crate::Simulation::with_fault_plan)),
+    /// and only at the rare moments a fault actually fires, so it needs no
+    /// const gate: the default [`NoFaults`](crate::fault::NoFaults) path
+    /// never reaches it.
+    fn on_fault(&mut self, agents: usize, interactions: u64) {
+        let _ = (agents, interactions);
+    }
+
     /// A goal-directed run (e.g.
     /// [`run_until`](crate::Simulation::run_until)) reached its goal at the
     /// given total interaction count.
@@ -137,6 +149,7 @@ mod tests {
         Observer::<Nothing>::on_interaction(&mut obs, 0, 1, 1);
         Observer::<Nothing>::on_batch(&mut obs, 5, 5);
         Observer::<Nothing>::on_state_change(&mut obs, 0, 1, 2);
+        Observer::<Nothing>::on_fault(&mut obs, 3, 2);
         Observer::<Nothing>::on_phase_transition(&mut obs, 0, None, Some("propagating"), 3);
         Observer::<Nothing>::on_converged(&mut obs, 9);
         Observer::<Nothing>::on_exhausted(&mut obs, 9);

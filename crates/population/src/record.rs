@@ -12,6 +12,18 @@
 //! is offline so pulling `serde` is not an option. [`RunRecord::to_json`] and
 //! [`RunRecord::from_json`] round-trip exactly for the values the simulator
 //! produces.
+//!
+//! # Schema versions
+//!
+//! * **v1** — trial records only (`table1`, `h_sweep`, …).
+//! * **v2** — adds a `kind` discriminator (`"trial"` / `"fault"`), the
+//!   optional trial fields `availability`/`faults` emitted by chaos runs
+//!   (see [`crate::fault`]), and the per-fault [`FaultRecord`] line. v1
+//!   lines (no `kind`) still parse as trials.
+//!
+//! A stream may mix both kinds; [`from_jsonl_mixed`] reads everything as
+//! [`RecordLine`]s, while [`from_jsonl`] keeps its original contract of
+//! returning trial records (fault lines are skipped).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -19,8 +31,21 @@ use std::fmt::Write as _;
 use crate::simulation::RunOutcome;
 
 /// Version of the record schema. Bump when fields change meaning; readers
-/// reject records from a different major version.
-pub const SCHEMA_VERSION: u32 = 1;
+/// accept [`MIN_SCHEMA_VERSION`]`..=SCHEMA_VERSION` and reject anything else.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Oldest schema version readers still accept.
+pub const MIN_SCHEMA_VERSION: u32 = 1;
+
+fn check_version(fields: &BTreeMap<String, JsonScalar>) -> Result<(), String> {
+    let version = get_u64(fields, "v")?;
+    if !(MIN_SCHEMA_VERSION as u64..=SCHEMA_VERSION as u64).contains(&version) {
+        return Err(format!(
+            "unsupported record version {version} (reader supports {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})"
+        ));
+    }
+    Ok(())
+}
 
 /// One measured trial, self-describing enough to be aggregated without the
 /// context of the run that produced it.
@@ -43,6 +68,12 @@ pub struct RunRecord {
     pub outcome: RunOutcome,
     /// Wall-clock seconds the trial took.
     pub wall_s: f64,
+    /// Fraction of observed interactions with a unique leader — only emitted
+    /// by chaos/soak trials (see [`crate::fault::ChaosReport::availability`]).
+    pub availability: Option<f64>,
+    /// Number of faults injected during the trial — only emitted by
+    /// chaos/soak trials.
+    pub faults: Option<u64>,
 }
 
 impl RunRecord {
@@ -64,6 +95,7 @@ impl RunRecord {
     pub fn to_json(&self) -> String {
         let mut obj = JsonObject::new();
         obj.field_u64("v", SCHEMA_VERSION as u64);
+        obj.field_str("kind", "trial");
         obj.field_str("experiment", &self.experiment);
         obj.field_str("protocol", &self.protocol);
         obj.field_u64("n", self.n);
@@ -81,45 +113,207 @@ impl RunRecord {
         obj.field_f64("parallel_time", self.parallel_time());
         obj.field_f64("wall_s", self.wall_s);
         obj.field_f64("ips", self.interactions_per_second());
+        if let Some(a) = self.availability {
+            obj.field_f64("availability", a);
+        }
+        if let Some(f) = self.faults {
+            obj.field_u64("faults", f);
+        }
         obj.finish()
     }
 
-    /// Parses a record from one JSONL line.
+    /// Parses a trial record from one JSONL line.
     ///
     /// Unknown fields are ignored (forward compatibility); missing required
-    /// fields, malformed JSON, or a schema version other than
-    /// [`SCHEMA_VERSION`] are errors.
+    /// fields, malformed JSON, a schema version outside
+    /// [`MIN_SCHEMA_VERSION`]`..=`[`SCHEMA_VERSION`], or a line of a
+    /// different kind (e.g. a fault record) are errors.
     pub fn from_json(line: &str) -> Result<Self, String> {
         let fields = parse_flat_json(line)?;
-        let version = get_u64(&fields, "v")?;
-        if version != SCHEMA_VERSION as u64 {
-            return Err(format!(
-                "unsupported record version {version} (reader supports {SCHEMA_VERSION})"
-            ));
+        check_version(&fields)?;
+        match record_kind(&fields)? {
+            "trial" => {}
+            other => return Err(format!("expected a trial record, got kind {other:?}")),
         }
-        let interactions = get_u64(&fields, "interactions")?;
-        let outcome = match get_str(&fields, "outcome")? {
+        Self::from_fields(&fields)
+    }
+
+    fn from_fields(fields: &BTreeMap<String, JsonScalar>) -> Result<Self, String> {
+        let interactions = get_u64(fields, "interactions")?;
+        let outcome = match get_str(fields, "outcome")? {
             "converged" => RunOutcome::Converged { interactions },
             "exhausted" => RunOutcome::Exhausted { interactions },
             other => return Err(format!("unknown outcome {other:?}")),
         };
-        let h = match fields.get("h") {
+        let availability = match fields.get("availability") {
             None | Some(JsonScalar::Null) => None,
-            Some(JsonScalar::Num(x)) => Some(*x as u64),
+            Some(JsonScalar::Num(x)) => Some(*x),
             Some(other) => {
-                return Err(format!("field \"h\": expected number or null, got {other:?}"))
+                return Err(format!(
+                    "field \"availability\": expected number or null, got {other:?}"
+                ))
             }
         };
+        let faults = match fields.contains_key("faults") {
+            true => Some(get_u64(fields, "faults")?),
+            false => None,
+        };
         Ok(RunRecord {
-            experiment: get_str(&fields, "experiment")?.to_string(),
-            protocol: get_str(&fields, "protocol")?.to_string(),
-            n: get_u64(&fields, "n")?,
-            h,
-            trial: get_u64(&fields, "trial")?,
-            seed: get_u64(&fields, "seed")?,
+            experiment: get_str(fields, "experiment")?.to_string(),
+            protocol: get_str(fields, "protocol")?.to_string(),
+            n: get_u64(fields, "n")?,
+            h: get_opt_u64(fields, "h")?,
+            trial: get_u64(fields, "trial")?,
+            seed: get_u64(fields, "seed")?,
             outcome,
-            wall_s: get_f64(&fields, "wall_s")?,
+            wall_s: get_f64(fields, "wall_s")?,
+            availability,
+            faults,
         })
+    }
+}
+
+/// The `kind` discriminator of a parsed line; v1 lines (no `kind` field) are
+/// trial records.
+fn record_kind(fields: &BTreeMap<String, JsonScalar>) -> Result<&str, String> {
+    match fields.get("kind") {
+        None => Ok("trial"),
+        Some(JsonScalar::Str(s)) => Ok(s),
+        Some(other) => Err(format!("field \"kind\": expected string, got {other:?}")),
+    }
+}
+
+fn get_opt_u64(fields: &BTreeMap<String, JsonScalar>, key: &str) -> Result<Option<u64>, String> {
+    match fields.get(key) {
+        None | Some(JsonScalar::Null) => Ok(None),
+        Some(JsonScalar::Num(_)) => Ok(Some(get_u64(fields, key)?)),
+        Some(other) => Err(format!("field {key:?}: expected number or null, got {other:?}")),
+    }
+}
+
+/// One fault injected during a chaos/soak trial (`kind = "fault"`, schema
+/// v2). Each fired fault becomes one line next to its trial's `"trial"` line,
+/// so recovery distributions can be re-analyzed per `(action, agents)` cell
+/// without re-running the experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRecord {
+    /// Name of the experiment that produced this record.
+    pub experiment: String,
+    /// Protocol short-name (e.g. `"ciw"`, `"oss"`, `"sublinear"`).
+    pub protocol: String,
+    /// Population size.
+    pub n: u64,
+    /// Depth parameter `H`, if the protocol has one.
+    pub h: Option<u64>,
+    /// Trial index the fault fired in.
+    pub trial: u64,
+    /// Base seed of the experiment.
+    pub seed: u64,
+    /// Action label (see `FaultAction::label` in [`crate::fault`]).
+    pub action: String,
+    /// Number of agent states the fault overwrote.
+    pub agents: u64,
+    /// Total interaction count at injection.
+    pub injected_at: u64,
+    /// Total interaction count at the next stable ranking, or `None` if the
+    /// run ended before recovering (censored).
+    pub recovered_at: Option<u64>,
+}
+
+impl FaultRecord {
+    /// Interactions from injection to recovery, if recovery happened.
+    pub fn recovery_interactions(&self) -> Option<u64> {
+        self.recovered_at.map(|r| r.saturating_sub(self.injected_at))
+    }
+
+    /// Parallel time from injection to recovery, if recovery happened.
+    pub fn recovery_parallel_time(&self) -> Option<f64> {
+        self.recovery_interactions().map(|i| i as f64 / self.n as f64)
+    }
+
+    /// Serializes to a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.field_u64("v", SCHEMA_VERSION as u64);
+        obj.field_str("kind", "fault");
+        obj.field_str("experiment", &self.experiment);
+        obj.field_str("protocol", &self.protocol);
+        obj.field_u64("n", self.n);
+        match self.h {
+            Some(h) => obj.field_u64("h", h),
+            None => obj.field_null("h"),
+        };
+        obj.field_u64("trial", self.trial);
+        obj.field_u64("seed", self.seed);
+        obj.field_str("action", &self.action);
+        obj.field_u64("agents", self.agents);
+        obj.field_u64("injected_at", self.injected_at);
+        match self.recovered_at {
+            Some(r) => obj.field_u64("recovered_at", r),
+            None => obj.field_null("recovered_at"),
+        };
+        match self.recovery_parallel_time() {
+            Some(t) => obj.field_f64("recovery_parallel_time", t),
+            None => obj.field_null("recovery_parallel_time"),
+        };
+        obj.finish()
+    }
+
+    /// Parses a fault record from one JSONL line.
+    pub fn from_json(line: &str) -> Result<Self, String> {
+        let fields = parse_flat_json(line)?;
+        check_version(&fields)?;
+        match record_kind(&fields)? {
+            "fault" => {}
+            other => return Err(format!("expected a fault record, got kind {other:?}")),
+        }
+        Self::from_fields(&fields)
+    }
+
+    fn from_fields(fields: &BTreeMap<String, JsonScalar>) -> Result<Self, String> {
+        Ok(FaultRecord {
+            experiment: get_str(fields, "experiment")?.to_string(),
+            protocol: get_str(fields, "protocol")?.to_string(),
+            n: get_u64(fields, "n")?,
+            h: get_opt_u64(fields, "h")?,
+            trial: get_u64(fields, "trial")?,
+            seed: get_u64(fields, "seed")?,
+            action: get_str(fields, "action")?.to_string(),
+            agents: get_u64(fields, "agents")?,
+            injected_at: get_u64(fields, "injected_at")?,
+            recovered_at: get_opt_u64(fields, "recovered_at")?,
+        })
+    }
+}
+
+/// One parsed line of a (possibly mixed) JSONL experiment stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecordLine {
+    /// A per-trial record.
+    Trial(RunRecord),
+    /// A per-fault record.
+    Fault(FaultRecord),
+}
+
+impl RecordLine {
+    /// Parses one line, dispatching on the `kind` discriminator (absent
+    /// `kind` means a v1 trial record).
+    pub fn from_json(line: &str) -> Result<Self, String> {
+        let fields = parse_flat_json(line)?;
+        check_version(&fields)?;
+        match record_kind(&fields)? {
+            "trial" => Ok(RecordLine::Trial(RunRecord::from_fields(&fields)?)),
+            "fault" => Ok(RecordLine::Fault(FaultRecord::from_fields(&fields)?)),
+            other => Err(format!("unknown record kind {other:?}")),
+        }
+    }
+
+    /// Serializes back to a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        match self {
+            RecordLine::Trial(r) => r.to_json(),
+            RecordLine::Fault(f) => f.to_json(),
+        }
     }
 }
 
@@ -133,16 +327,43 @@ pub fn to_jsonl(records: &[RunRecord]) -> String {
     out
 }
 
-/// Parses a JSONL document (blank lines skipped) into records.
+/// Serializes a mixed trial/fault stream as JSONL, one line per record.
+pub fn to_jsonl_mixed(lines: &[RecordLine]) -> String {
+    let mut out = String::new();
+    for l in lines {
+        out.push_str(&l.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSONL document (blank lines skipped) into **trial** records,
+/// skipping fault lines — the historical contract of every trial-level
+/// consumer. Use [`from_jsonl_mixed`] to see fault records too.
 ///
 /// The error names the offending line number.
 pub fn from_jsonl(text: &str) -> Result<Vec<RunRecord>, String> {
+    let lines = from_jsonl_mixed(text)?;
+    Ok(lines
+        .into_iter()
+        .filter_map(|l| match l {
+            RecordLine::Trial(r) => Some(r),
+            RecordLine::Fault(_) => None,
+        })
+        .collect())
+}
+
+/// Parses a JSONL document (blank lines skipped) into a mixed stream of
+/// trial and fault records, preserving line order.
+///
+/// The error names the offending line number.
+pub fn from_jsonl_mixed(text: &str) -> Result<Vec<RecordLine>, String> {
     let mut records = Vec::new();
     for (idx, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        let record = RunRecord::from_json(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        let record = RecordLine::from_json(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
         records.push(record);
     }
     Ok(records)
@@ -463,6 +684,23 @@ mod tests {
             seed: 1,
             outcome: RunOutcome::Converged { interactions: 12_345 },
             wall_s: 0.25,
+            availability: None,
+            faults: None,
+        }
+    }
+
+    fn sample_fault_record() -> FaultRecord {
+        FaultRecord {
+            experiment: "recovery".to_string(),
+            protocol: "oss".to_string(),
+            n: 256,
+            h: None,
+            trial: 3,
+            seed: 1,
+            action: "corrupt_random".to_string(),
+            agents: 16,
+            injected_at: 250_000,
+            recovered_at: Some(280_000),
         }
     }
 
@@ -495,7 +733,70 @@ mod tests {
         let json = sample_record().to_json();
         assert!(json.contains("\"parallel_time\":"), "{json}");
         assert!(json.contains("\"ips\":49380"), "{json}");
-        assert!(json.starts_with("{\"v\":1,"), "version leads: {json}");
+        assert!(json.starts_with("{\"v\":2,\"kind\":\"trial\","), "version leads: {json}");
+        assert!(
+            !json.contains("availability") && !json.contains("faults"),
+            "chaos fields only appear when set: {json}"
+        );
+    }
+
+    #[test]
+    fn chaos_fields_round_trip_when_set() {
+        let r = RunRecord { availability: Some(0.9921875), faults: Some(4), ..sample_record() };
+        let json = r.to_json();
+        assert!(json.contains("\"availability\":0.9921875"), "{json}");
+        assert!(json.contains("\"faults\":4"), "{json}");
+        assert_eq!(RunRecord::from_json(&json).unwrap(), r);
+    }
+
+    #[test]
+    fn v1_lines_without_kind_still_parse() {
+        // A line exactly as the v1 writer emitted it.
+        let json = "{\"v\":1,\"experiment\":\"table1\",\"protocol\":\"oss\",\"n\":64,\
+                    \"h\":null,\"trial\":3,\"seed\":1,\"outcome\":\"converged\",\
+                    \"interactions\":12345,\"parallel_time\":192.890625,\"wall_s\":0.25,\
+                    \"ips\":49380}";
+        assert_eq!(RunRecord::from_json(json).unwrap(), sample_record());
+        assert_eq!(RecordLine::from_json(json).unwrap(), RecordLine::Trial(sample_record()));
+    }
+
+    #[test]
+    fn fault_record_round_trips() {
+        let f = sample_fault_record();
+        let json = f.to_json();
+        assert!(json.starts_with("{\"v\":2,\"kind\":\"fault\","), "{json}");
+        assert!(json.contains("\"recovery_parallel_time\":"), "{json}");
+        assert_eq!(FaultRecord::from_json(&json).unwrap(), f);
+        assert_eq!(f.recovery_interactions(), Some(30_000));
+        let censored = FaultRecord { recovered_at: None, ..f };
+        let parsed = FaultRecord::from_json(&censored.to_json()).unwrap();
+        assert_eq!(parsed, censored);
+        assert_eq!(parsed.recovery_parallel_time(), None);
+    }
+
+    #[test]
+    fn mixed_streams_parse_and_trial_reader_skips_faults() {
+        let text = format!(
+            "{}\n{}\n{}\n",
+            sample_record().to_json(),
+            sample_fault_record().to_json(),
+            RunRecord { trial: 4, ..sample_record() }.to_json()
+        );
+        let mixed = from_jsonl_mixed(&text).unwrap();
+        assert_eq!(mixed.len(), 3);
+        assert_eq!(mixed[1], RecordLine::Fault(sample_fault_record()));
+        assert_eq!(mixed[1].to_json(), sample_fault_record().to_json());
+        let trials = from_jsonl(&text).unwrap();
+        assert_eq!(trials.len(), 2, "fault lines are invisible to the trial reader");
+        assert_eq!(trials[1].trial, 4);
+    }
+
+    #[test]
+    fn kind_mismatch_is_an_error() {
+        let err = RunRecord::from_json(&sample_fault_record().to_json()).unwrap_err();
+        assert!(err.contains("trial"), "{err}");
+        let err = FaultRecord::from_json(&sample_record().to_json()).unwrap_err();
+        assert!(err.contains("fault"), "{err}");
     }
 
     #[test]
@@ -507,9 +808,11 @@ mod tests {
 
     #[test]
     fn wrong_version_is_rejected() {
-        let json = sample_record().to_json().replace("\"v\":1", "\"v\":2");
+        let json = sample_record().to_json().replace("\"v\":2", "\"v\":3");
         let err = RunRecord::from_json(&json).unwrap_err();
         assert!(err.contains("version"), "{err}");
+        let json = sample_record().to_json().replace("\"v\":2", "\"v\":0");
+        assert!(RunRecord::from_json(&json).is_err());
     }
 
     #[test]

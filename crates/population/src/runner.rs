@@ -125,6 +125,8 @@ impl TrialOutcome {
             seed: base_seed,
             outcome: self.outcome,
             wall_s: self.wall.as_secs_f64(),
+            availability: None,
+            faults: None,
         }
     }
 }

@@ -2,6 +2,7 @@
 
 use rand::rngs::SmallRng;
 
+use crate::fault::{FaultSchedule, NoFaults};
 use crate::graph::InteractionGraph;
 use crate::observer::{NoopObserver, Observer};
 use crate::protocol::{Protocol, RankingProtocol};
@@ -59,17 +60,25 @@ impl RunOutcome {
 /// simulation. Observers never touch the RNG, so attaching one cannot change
 /// the execution (see [`Simulation::observe`]).
 ///
+/// The third type parameter is a [`FaultSchedule`] injecting mid-run faults
+/// (see [`crate::fault`]); it defaults to [`NoFaults`], whose
+/// `ACTIVE = false` gate folds every injection point out of the hot loop, so
+/// a simulation without a fault plan compiles to the same code as before the
+/// chaos harness existed. Fault schedules draw from their **own** RNG, so a
+/// given `(protocol, plan, seed)` triple replays bit-identically.
+///
 /// # Examples
 ///
 /// See the [crate-level example](crate).
 #[derive(Debug, Clone)]
-pub struct Simulation<P: Protocol, O: Observer<P> = NoopObserver> {
-    protocol: P,
-    scheduler: Scheduler,
-    states: Vec<P::State>,
-    rng: SmallRng,
-    interactions: u64,
-    observer: O,
+pub struct Simulation<P: Protocol, O: Observer<P> = NoopObserver, F: FaultSchedule<P> = NoFaults> {
+    pub(crate) protocol: P,
+    pub(crate) scheduler: Scheduler,
+    pub(crate) states: Vec<P::State>,
+    pub(crate) rng: SmallRng,
+    pub(crate) interactions: u64,
+    pub(crate) observer: O,
+    pub(crate) faults: F,
 }
 
 impl<P: Protocol> Simulation<P> {
@@ -106,19 +115,20 @@ impl<P: Protocol> Simulation<P> {
             rng: rng_from_seed(seed),
             interactions: 0,
             observer: NoopObserver,
+            faults: NoFaults,
         }
     }
 }
 
-impl<P: Protocol, O: Observer<P>> Simulation<P, O> {
+impl<P: Protocol, O: Observer<P>, F: FaultSchedule<P>> Simulation<P, O, F> {
     /// Attaches an observer, replacing the current one.
     ///
     /// Because observers only *watch* — the simulation's RNG stream and state
     /// transitions never depend on them — the observed execution is
     /// bit-identical to the unobserved one from the same `(protocol, initial
-    /// configuration, seed)` triple. Interaction counts already performed are
-    /// preserved.
-    pub fn observe<O2: Observer<P>>(self, observer: O2) -> Simulation<P, O2> {
+    /// configuration, seed)` triple (with or without a fault schedule
+    /// attached). Interaction counts already performed are preserved.
+    pub fn observe<O2: Observer<P>>(self, observer: O2) -> Simulation<P, O2, F> {
         Simulation {
             protocol: self.protocol,
             scheduler: self.scheduler,
@@ -126,6 +136,7 @@ impl<P: Protocol, O: Observer<P>> Simulation<P, O> {
             rng: self.rng,
             interactions: self.interactions,
             observer,
+            faults: self.faults,
         }
     }
 
@@ -213,7 +224,11 @@ impl<P: Protocol, O: Observer<P>> Simulation<P, O> {
         self.apply(i, j);
     }
 
-    fn apply(&mut self, i: usize, j: usize) {
+    /// One observed interaction between `i` and `j`: the transition plus all
+    /// gated observer hooks, **without** polling the fault schedule — run
+    /// loops that keep their own incremental bookkeeping (rank tracking,
+    /// chaos recovery) poll separately so they can react to the corruption.
+    pub(crate) fn interact_observed(&mut self, i: usize, j: usize) {
         // The observer gates are associated consts, so for `NoopObserver`
         // every branch below folds away and this compiles to the original
         // uninstrumented body.
@@ -243,6 +258,29 @@ impl<P: Protocol, O: Observer<P>> Simulation<P, O> {
         }
     }
 
+    /// Polls the fault schedule at the current interaction count, reporting
+    /// any fired fault to the observer. Returns the number of corrupted
+    /// agents (0 when nothing fired). With [`NoFaults`] this is a no-op that
+    /// the compiler removes — the `F::ACTIVE` gate is an associated const.
+    pub(crate) fn poll_faults(&mut self) -> usize {
+        if !F::ACTIVE {
+            return 0;
+        }
+        let fired_before = self.faults.fired_count();
+        let corrupted = self.faults.poll(&self.protocol, &mut self.states, self.interactions);
+        if self.faults.fired_count() != fired_before {
+            self.observer.on_fault(corrupted, self.interactions);
+        }
+        corrupted
+    }
+
+    fn apply(&mut self, i: usize, j: usize) {
+        self.interact_observed(i, j);
+        if F::ACTIVE {
+            self.poll_faults();
+        }
+    }
+
     /// Runs exactly `k` interactions.
     pub fn run(&mut self, k: u64) {
         for _ in 0..k {
@@ -267,6 +305,9 @@ impl<P: Protocol, O: Observer<P>> Simulation<P, O> {
         loop {
             if goal(&self.states) {
                 self.observer.on_converged(self.interactions);
+                if F::ACTIVE {
+                    self.faults.notify_converged(self.interactions);
+                }
                 return RunOutcome::Converged { interactions: self.interactions };
             }
             if self.interactions >= max_interactions {
@@ -278,7 +319,7 @@ impl<P: Protocol, O: Observer<P>> Simulation<P, O> {
     }
 }
 
-impl<P: RankingProtocol, O: Observer<P>> Simulation<P, O> {
+impl<P: RankingProtocol, O: Observer<P>, F: FaultSchedule<P>> Simulation<P, O, F> {
     /// Runs until the configuration is correctly ranked (each rank `1..=n`
     /// output by exactly one agent) **and stays ranked** for
     /// `confirm_window` further interactions.
@@ -309,6 +350,9 @@ impl<P: RankingProtocol, O: Observer<P>> Simulation<P, O> {
                 Some(t0) => {
                     if self.interactions - t0 >= confirm_window {
                         self.observer.on_converged(t0);
+                        if F::ACTIVE {
+                            self.faults.notify_converged(t0);
+                        }
                         return RunOutcome::Converged { interactions: t0 };
                     }
                 }
@@ -317,6 +361,9 @@ impl<P: RankingProtocol, O: Observer<P>> Simulation<P, O> {
                         converged_at = Some(self.interactions);
                         if confirm_window == 0 {
                             self.observer.on_converged(self.interactions);
+                            if F::ACTIVE {
+                                self.faults.notify_converged(self.interactions);
+                            }
                             return RunOutcome::Converged { interactions: self.interactions };
                         }
                     }
@@ -328,48 +375,30 @@ impl<P: RankingProtocol, O: Observer<P>> Simulation<P, O> {
             }
             let (i, j) = self.scheduler.sample_pair(&mut self.rng);
             // Rank tracking needs before/after snapshots around the
-            // transition, so this loop inlines `apply` — including its
-            // observer hooks, identically gated.
-            let phases_before = if O::WATCHES_PHASES {
-                (self.protocol.phase_of(&self.states[i]), self.protocol.phase_of(&self.states[j]))
-            } else {
-                (None, None)
-            };
-            let effective = O::WATCHES_STATE_CHANGES
-                && !self.protocol.is_null_pair(&self.states[i], &self.states[j]);
+            // transition, so this loop drives `interact_observed` directly
+            // instead of `apply` (the fault poll below reacts to corruption
+            // by rebuilding the tracker).
             let before_i = self.protocol.rank_of(&self.states[i]);
             let before_j = self.protocol.rank_of(&self.states[j]);
-            let (a, b) = pair_mut(&mut self.states, i, j);
-            self.protocol.interact(a, b, &mut self.rng);
-            self.interactions += 1;
-            self.observer.on_interaction(i, j, self.interactions);
-            if O::WATCHES_STATE_CHANGES && effective {
-                self.observer.on_state_change(i, j, self.interactions);
-            }
-            if O::WATCHES_PHASES {
-                let after_i = self.protocol.phase_of(&self.states[i]);
-                if after_i != phases_before.0 {
-                    self.observer.on_phase_transition(
-                        i,
-                        phases_before.0,
-                        after_i,
-                        self.interactions,
-                    );
-                }
-                let after_j = self.protocol.phase_of(&self.states[j]);
-                if after_j != phases_before.1 {
-                    self.observer.on_phase_transition(
-                        j,
-                        phases_before.1,
-                        after_j,
-                        self.interactions,
-                    );
-                }
-            }
+            self.interact_observed(i, j);
             let after_i = self.protocol.rank_of(&self.states[i]);
             let after_j = self.protocol.rank_of(&self.states[j]);
             tracker.update(before_i, after_i);
             tracker.update(before_j, after_j);
+            if F::ACTIVE {
+                let fired_before = self.faults.fired_count();
+                self.poll_faults();
+                if self.faults.fired_count() != fired_before {
+                    // A fault overwrote arbitrary agents: the incremental
+                    // histogram is stale, and any in-progress confirmation
+                    // window no longer describes this configuration.
+                    tracker = RankTracker::new(n);
+                    for s in &self.states {
+                        tracker.add(self.protocol.rank_of(s));
+                    }
+                    converged_at = None;
+                }
+            }
             if converged_at.is_some() && !tracker.is_correct() {
                 // The "stable" configuration broke inside the confirmation
                 // window — it was not stable after all; keep searching.

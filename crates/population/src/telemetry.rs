@@ -184,6 +184,8 @@ pub struct TelemetryObserver {
     pub converged: Counter,
     /// Goal-directed runs that exhausted their budget.
     pub exhausted: Counter,
+    /// Fault-plan firings observed (see [`crate::fault`]).
+    pub faults: Counter,
     /// Distribution of interaction-count gaps between successive effective
     /// interactions.
     pub effective_gaps: FixedHistogram,
@@ -201,6 +203,7 @@ impl TelemetryObserver {
             batches: Counter::new(),
             converged: Counter::new(),
             exhausted: Counter::new(),
+            faults: Counter::new(),
             effective_gaps: FixedHistogram::exponential(1, 20),
             phase_transitions: Vec::new(),
             last_effective_at: 0,
@@ -240,6 +243,10 @@ impl<P: Protocol> Observer<P> for TelemetryObserver {
         interactions: u64,
     ) {
         self.phase_transitions.push(PhaseTransition { agent, from, to, interactions });
+    }
+
+    fn on_fault(&mut self, _agents: usize, _interactions: u64) {
+        self.faults.incr();
     }
 
     fn on_converged(&mut self, _interactions: u64) {
