@@ -5,7 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use population::runner::rng_from_seed;
-use population::{Protocol, RankTracker};
+use population::scheduler::Scheduler;
+use population::{InteractionGraph, Protocol, RankTracker};
+use rand::Rng;
 use ssle::cai_izumi_wada::{CaiIzumiWada, CiwState};
 use ssle::optimal_silent::{OptimalSilentSsr, OssState};
 use ssle::sublinear::SublinearTimeSsr;
@@ -90,5 +92,50 @@ fn bench_tracker(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_interactions, bench_tracker);
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    let n = 1 << 20;
+
+    // 256 draws per iteration so the per-draw cost dominates the harness
+    // overhead; divide the reported time by 256.
+    const DRAWS: usize = 256;
+
+    // Current implementation: one Lemire widening-multiply draw over the
+    // n(n−1) ordered pairs (no modulo on the accept path, no bias).
+    group.bench_function("sample_pair_x256/lemire", |b| {
+        let s = Scheduler::new(n, InteractionGraph::Complete);
+        let mut rng = rng_from_seed(4);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..DRAWS {
+                let (i, j) = s.sample_pair(&mut rng);
+                acc = acc.wrapping_add(i ^ j);
+            }
+            black_box(acc)
+        })
+    });
+
+    // The pre-optimization baseline, kept inline for comparison: two
+    // `gen_range` calls, each reducing a 128-bit product with a 128-bit
+    // modulo in the vendored `rand`.
+    group.bench_function("sample_pair_x256/two_gen_range", |b| {
+        let mut rng = rng_from_seed(4);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..DRAWS {
+                let i = rng.gen_range(0..n);
+                let mut j = rng.gen_range(0..n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                acc = acc.wrapping_add(i ^ j);
+            }
+            black_box(acc)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_interactions, bench_tracker, bench_scheduler);
 criterion_main!(benches);

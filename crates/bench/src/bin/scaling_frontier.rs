@@ -1,0 +1,364 @@
+//! Scaling frontier — how far each simulation backend pushes `n`.
+//!
+//! The count-based backend ([`population::BatchSimulation`]) stores a
+//! configuration as a multiset of states, so its cost per interaction
+//! depends on the **support** (number of distinct states), not on `n`. This
+//! binary measures where that wins and where it cannot:
+//!
+//! * **epidemic** — the 2-state one-way epidemic, run to full infection.
+//!   Support is 2, the ideal compression case; the counts backend completes
+//!   `n = 10⁸` while the agent array is throughput-calibrated on a bounded
+//!   slice of the same process (its full run is identical work, just more
+//!   of it).
+//! * **loose** — loosely-stabilizing leader election, a bounded-horizon
+//!   throughput run (full convergence needs Θ(T_max) parallel time at any
+//!   backend; the horizon keeps the grid honest). Support stays O(T_max).
+//!   The agent array additionally hits a memory wall: 8-byte states at
+//!   `n = 10⁸` mean an 800 MB array, so its largest calibration point is
+//!   `n = 10⁷`.
+//! * **oss** — Optimal-Silent-SSR at a moderate `n`, bounded. A ranked
+//!   configuration has `n` distinct states, so the multiset cannot
+//!   compress; this row documents the backend *losing* (state draws cost
+//!   O(support) = O(n)).
+//!
+//! No backend can complete *unique-leader convergence from all-leaders* at
+//! `n = 10⁸`: with `k` leaders left, eliminating one takes an expected
+//! `n(n−1)/(k(k−1))` interactions, which telescopes over `k = n..2` to
+//! exactly `(n−1)²` — a Θ(n)-parallel-time barrier that batching does not
+//! remove (see EXPERIMENTS.md).
+//!
+//! With `--json-out <path>` every run is written as a `kind = "frontier"`
+//! v2 JSONL record (see `results/README.md`) for `ssle report`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p ssle-bench --bin scaling_frontier -- \
+//!     [--trials 1] [--seed 1] [--quick] [--json-out results/frontier.jsonl]
+//! ```
+//!
+//! `--quick` (any value) shrinks the grid to seconds for CI smoke runs.
+
+use std::time::Instant;
+
+use population::counts::{BatchSimulation, CountConfig};
+use population::epidemic::{Infection, OneWayEpidemic};
+use population::record::{to_jsonl_mixed, RecordLine};
+use population::runner::{derive_seed, rng_from_seed};
+use population::{FrontierRecord, RunOutcome, Simulation};
+use ssle::adversary;
+use ssle::loose::LooselyStabilizingLe;
+use ssle::optimal_silent::OptimalSilentSsr;
+use ssle_bench::cli::Flags;
+
+const EXPERIMENT: &str = "frontier";
+
+/// One measured run, already timed.
+struct Point {
+    workload: &'static str,
+    backend: &'static str,
+    n: u64,
+    trial: u64,
+    outcome: RunOutcome,
+    wall_s: f64,
+    support: Option<u64>,
+    leaders: Option<u64>,
+}
+
+impl Point {
+    fn record(&self, seed: u64) -> FrontierRecord {
+        FrontierRecord {
+            experiment: EXPERIMENT.to_string(),
+            protocol: self.workload.to_string(),
+            backend: self.backend.to_string(),
+            n: self.n,
+            trial: self.trial,
+            seed,
+            outcome: self.outcome,
+            wall_s: self.wall_s,
+            support: self.support,
+            leaders: self.leaders,
+        }
+    }
+
+    fn ips(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.outcome.interactions() as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Interaction budget that safely covers full one-way-epidemic infection
+/// (Θ(n ln n) interactions in expectation).
+fn epidemic_budget(n: u64) -> u64 {
+    8 * n * (n as f64).ln().ceil() as u64
+}
+
+/// One-way epidemic to full infection on the counts backend. The initial
+/// configuration is built directly as a 2-entry multiset — no n-element
+/// array ever exists.
+fn epidemic_counts(n: u64, seed: u64, trial: u64) -> Point {
+    let mut config = CountConfig::new();
+    config.add(Infection::Infected, 1);
+    config.add(Infection::Susceptible, n - 1);
+    let mut sim =
+        BatchSimulation::from_counts(OneWayEpidemic, config, derive_seed(seed, 2 * trial + 1));
+    let started = Instant::now();
+    let outcome =
+        sim.run_until(epidemic_budget(n), |c| c.count_of(&Infection::Infected) == c.population());
+    Point {
+        workload: "epidemic",
+        backend: "counts",
+        n,
+        trial,
+        outcome,
+        wall_s: started.elapsed().as_secs_f64(),
+        support: Some(sim.counts().support() as u64),
+        leaders: None,
+    }
+}
+
+/// One-way epidemic on the agent array: full infection when `bound` is
+/// `None`, otherwise a bounded throughput calibration (same per-interaction
+/// work, fewer interactions).
+fn epidemic_agents(n: u64, seed: u64, trial: u64, bound: Option<u64>) -> Point {
+    let initial = OneWayEpidemic::seeded_configuration(n as usize);
+    let mut sim = Simulation::new(OneWayEpidemic, initial, derive_seed(seed, 2 * trial + 1));
+    let budget = bound.unwrap_or_else(|| epidemic_budget(n));
+    let started = Instant::now();
+    // Check full infection only every n/8 interactions: a per-interaction
+    // O(n) scan would measure the goal closure, not the backend.
+    let chunk = (n / 8).max(1);
+    let outcome = loop {
+        if bound.is_none() && sim.states().iter().all(|s| *s == Infection::Infected) {
+            break RunOutcome::Converged { interactions: sim.interactions() };
+        }
+        if sim.interactions() >= budget {
+            break RunOutcome::Exhausted { interactions: sim.interactions() };
+        }
+        sim.run(chunk.min(budget - sim.interactions()));
+    };
+    Point {
+        workload: "epidemic",
+        backend: "agents",
+        n,
+        trial,
+        outcome,
+        wall_s: started.elapsed().as_secs_f64(),
+        support: None,
+        leaders: None,
+    }
+}
+
+/// T_max matching `ssle simulate --protocol loose`.
+fn loose_t_max(n: u64) -> u32 {
+    8 * (n as f64).log2().ceil() as u32
+}
+
+/// Bounded-horizon loose leader election on the counts backend.
+fn loose_counts(n: u64, horizon: u64, seed: u64, trial: u64) -> Point {
+    let p = LooselyStabilizingLe::new(loose_t_max(n));
+    let mut config = CountConfig::new();
+    config.add(p.follower_state(1), n);
+    let mut sim = BatchSimulation::from_counts(p, config, derive_seed(seed, 2 * trial + 1));
+    let started = Instant::now();
+    let budget = horizon * n;
+    let outcome = sim.run_until(budget, |c| {
+        c.iter().filter(|(s, _)| s.leader).map(|(_, c)| c).sum::<u64>() == 1
+    });
+    let leaders = sim.counts().iter().filter(|(s, _)| s.leader).map(|(_, c)| c).sum::<u64>();
+    Point {
+        workload: "loose",
+        backend: "counts",
+        n,
+        trial,
+        outcome,
+        wall_s: started.elapsed().as_secs_f64(),
+        support: Some(sim.counts().support() as u64),
+        leaders: Some(leaders),
+    }
+}
+
+/// Bounded-horizon loose leader election on the agent array.
+fn loose_agents(n: u64, budget: u64, seed: u64, trial: u64) -> Point {
+    let p = LooselyStabilizingLe::new(loose_t_max(n));
+    let initial = vec![p.follower_state(1); n as usize];
+    let mut sim = Simulation::new(p, initial, derive_seed(seed, 2 * trial + 1));
+    let started = Instant::now();
+    let outcome = sim.run_until(budget, |_| false);
+    let leaders = sim.states().iter().filter(|s| s.leader).count() as u64;
+    Point {
+        workload: "loose",
+        backend: "agents",
+        n,
+        trial,
+        outcome,
+        wall_s: started.elapsed().as_secs_f64(),
+        support: None,
+        leaders: Some(leaders),
+    }
+}
+
+/// Bounded Optimal-Silent-SSR — the incompressible case (support ≈ n).
+fn oss_point(n: u64, budget: u64, seed: u64, trial: u64, counts: bool) -> Point {
+    let p = OptimalSilentSsr::new(n as usize);
+    let initial =
+        adversary::random_oss_configuration(&p, &mut rng_from_seed(derive_seed(seed, 2 * trial)));
+    let exec_seed = derive_seed(seed, 2 * trial + 1);
+    let started;
+    let (outcome, support) = if counts {
+        let mut sim = BatchSimulation::new(p, initial, exec_seed);
+        started = Instant::now();
+        let outcome = sim.run_until(budget, |_| false);
+        (outcome, Some(sim.counts().support() as u64))
+    } else {
+        let mut sim = Simulation::new(p, initial, exec_seed);
+        started = Instant::now();
+        let outcome = sim.run_until(budget, |_| false);
+        (outcome, None)
+    };
+    Point {
+        workload: "oss",
+        backend: if counts { "counts" } else { "agents" },
+        n,
+        trial,
+        outcome,
+        wall_s: started.elapsed().as_secs_f64(),
+        support,
+        leaders: None,
+    }
+}
+
+fn print_point(p: &Point) {
+    let support = p.support.map_or("-".to_string(), |s| s.to_string());
+    let leaders = p.leaders.map_or("-".to_string(), |l| l.to_string());
+    println!(
+        "{:<9} {:<7} {:>11} {:>5} {:>10} {:>14} {:>10.2e} {:>8} {:>8}",
+        p.workload,
+        p.backend,
+        p.n,
+        p.trial,
+        if p.outcome.is_converged() { "converged" } else { "bounded" },
+        p.outcome.interactions(),
+        p.ips(),
+        support,
+        leaders,
+    );
+}
+
+/// Interactions-per-second speedup of counts over agents per `(workload, n)`
+/// cell where both backends ran.
+fn print_speedups(points: &[Point]) {
+    println!("\nspeedup (counts ips / agents ips) per workload and n:");
+    let mut cells: Vec<(&'static str, u64)> = points.iter().map(|p| (p.workload, p.n)).collect();
+    cells.sort_unstable();
+    cells.dedup();
+    for (workload, n) in cells {
+        let ips = |backend: &str| {
+            let sel: Vec<&Point> = points
+                .iter()
+                .filter(|p| p.workload == workload && p.n == n && p.backend == backend)
+                .collect();
+            if sel.is_empty() {
+                None
+            } else {
+                Some(sel.iter().map(|p| p.ips()).sum::<f64>() / sel.len() as f64)
+            }
+        };
+        match (ips("counts"), ips("agents")) {
+            (Some(c), Some(a)) if a > 0.0 => {
+                println!("  {workload:<9} n = {n:>11}: {:.1}x", c / a)
+            }
+            (Some(_), None) => println!(
+                "  {workload:<9} n = {n:>11}: counts only (agent array skipped at this size)"
+            ),
+            _ => {}
+        }
+    }
+}
+
+fn main() {
+    let flags = Flags::parse(&["trials", "seed", "threads", "quick", "json-out"]);
+    let trials: u64 = flags.get("trials", 1);
+    let seed: u64 = flags.get("seed", 1);
+    let quick = flags.try_get_str("quick").is_some();
+    let _ = flags.threads(); // accepted for grid-script uniformity; runs are sequential
+
+    println!("Scaling frontier — agent-array vs count-based backend, seed {seed}");
+    println!("{trials} trial(s) per point; ips = interactions per wall-clock second\n");
+    println!(
+        "{:<9} {:<7} {:>11} {:>5} {:>10} {:>14} {:>10} {:>8} {:>8}",
+        "workload", "backend", "n", "trial", "outcome", "interactions", "ips", "support", "leaders"
+    );
+
+    // (n, agent-array bound: None = run to convergence, Some(k) = calibrate
+    // on k interactions, u64::MAX sentinel = skip the agent array entirely.)
+    let epidemic_grid: &[(u64, Option<u64>)] = if quick {
+        &[(10_000, None), (100_000, None)]
+    } else {
+        &[(1_000_000, None), (10_000_000, Some(20_000_000)), (100_000_000, Some(20_000_000))]
+    };
+    // (n, loose horizon in parallel time, agent bound; None = skip agents.)
+    let loose_grid: &[(u64, u64, Option<u64>)] = if quick {
+        &[(100_000, 4, Some(400_000))]
+    } else {
+        &[
+            (1_000_000, 4, Some(4_000_000)),
+            (10_000_000, 4, Some(20_000_000)),
+            // 8-byte loose states at n = 10⁸ are an 800 MB agent array —
+            // the memory wall the multiset representation removes.
+            (100_000_000, 4, None),
+        ]
+    };
+    let (oss_n, oss_budget): (u64, u64) = if quick { (256, 20_000) } else { (4096, 200_000) };
+
+    let mut points: Vec<Point> = Vec::new();
+    for &(n, bound) in epidemic_grid {
+        for trial in 0..trials {
+            let p = epidemic_counts(n, seed, trial);
+            print_point(&p);
+            points.push(p);
+            let p = epidemic_agents(n, seed, trial, bound);
+            print_point(&p);
+            points.push(p);
+        }
+    }
+    for &(n, horizon, agent_bound) in loose_grid {
+        for trial in 0..trials {
+            let p = loose_counts(n, horizon, seed, trial);
+            print_point(&p);
+            points.push(p);
+            if let Some(bound) = agent_bound {
+                let p = loose_agents(n, bound, seed, trial);
+                print_point(&p);
+                points.push(p);
+            }
+        }
+    }
+    for trial in 0..trials {
+        for counts in [true, false] {
+            let p = oss_point(oss_n, oss_budget, seed, trial, counts);
+            print_point(&p);
+            points.push(p);
+        }
+    }
+
+    print_speedups(&points);
+    println!("\nreading the grid:");
+    println!("  epidemic (support 2): counting wins — cost per interaction is O(1) in n.");
+    println!("  loose (support O(T_max)): counting wins and removes the agent-array memory wall.");
+    println!("  oss (support ≈ n): counting loses — each state draw scans O(n) entries.");
+    println!("  full unique-leader convergence from all-leaders is Θ(n) parallel time");
+    println!("  (exactly (n-1)\u{b2} expected interactions) on either backend; no batching");
+    println!("  removes that barrier.");
+
+    if let Some(path) = flags.try_get_str("json-out") {
+        let records: Vec<RecordLine> =
+            points.iter().map(|p| RecordLine::Frontier(p.record(seed))).collect();
+        std::fs::write(path, to_jsonl_mixed(&records))
+            .unwrap_or_else(|e| panic!("cannot write --json-out {path:?}: {e}"));
+        println!("\nwrote {} records to {path} (schema: results/README.md)", records.len());
+    }
+}

@@ -173,6 +173,52 @@ pub fn measure_oss_trials(
     })
 }
 
+/// [`measure_ciw_trials`] on the count-based backend: same protocol, same
+/// start families, same per-trial seed derivation, executed by
+/// [`population::BatchSimulation`] instead of the agent array. The two
+/// backends consume randomness differently, so per-trial outcomes differ,
+/// but the convergence-time *distributions* agree (see the
+/// `backend_equivalence` test suite).
+pub fn measure_ciw_counts_trials(
+    n: usize,
+    start: CiwStart,
+    trials: u64,
+    base_seed: u64,
+    threads: usize,
+) -> Vec<TrialOutcome> {
+    let settings = TrialSettings::new(trials, base_seed, quadratic_budget(n), 4 * n as u64);
+    Runner::new(settings).run_trials_counts_parallel(threads, |_, rng| {
+        let protocol = CaiIzumiWada::new(n);
+        let initial = match start {
+            CiwStart::Random => adversary::random_ciw_configuration(&protocol, rng),
+            CiwStart::Barrier => protocol.worst_case_configuration(),
+            CiwStart::AllZero => vec![ssle::cai_izumi_wada::CiwState::new(0); n],
+        };
+        (protocol, initial)
+    })
+}
+
+/// [`measure_oss_trials`] on the count-based backend (see
+/// [`measure_ciw_counts_trials`] for the equivalence contract).
+pub fn measure_oss_counts_trials(
+    n: usize,
+    start: OssStart,
+    trials: u64,
+    base_seed: u64,
+    threads: usize,
+) -> Vec<TrialOutcome> {
+    let settings = TrialSettings::new(trials, base_seed, linear_budget(n), 4 * n as u64);
+    Runner::new(settings).run_trials_counts_parallel(threads, |_, rng| {
+        let protocol = OptimalSilentSsr::new(n);
+        let initial = match start {
+            OssStart::Random => adversary::random_oss_configuration(&protocol, rng),
+            OssStart::AllRankOne => vec![ssle::optimal_silent::OssState::settled(1, 0); n],
+            OssStart::DuplicatedLeader => adversary::observation_2_2_configuration(&protocol),
+        };
+        (protocol, initial)
+    })
+}
+
 /// Measures Sublinear-Time-SSR (depth `h`) stabilization times over
 /// `trials` runs.
 pub fn measure_sublinear(
@@ -344,6 +390,20 @@ mod tests {
         let sample = measure_ciw_fast(8, CiwStart::AllZero, 2, 1);
         assert_eq!(ConvergenceSample::from_trials(&trials), sample);
         assert!(trials.iter().all(|t| t.outcome.is_converged()));
+    }
+
+    #[test]
+    fn counts_measurements_converge_and_are_thread_count_independent() {
+        let a = measure_oss_counts_trials(12, OssStart::Random, 4, 6, 1);
+        let b = measure_oss_counts_trials(12, OssStart::Random, 4, 6, 3);
+        assert_eq!(a.len(), 4);
+        assert!(a.iter().all(|t| t.outcome.is_converged()));
+        let key = |ts: &[TrialOutcome]| -> Vec<_> {
+            ts.iter().map(|t| (t.trial, t.n, t.outcome)).collect()
+        };
+        assert_eq!(key(&a), key(&b));
+        let ciw = measure_ciw_counts_trials(8, CiwStart::AllZero, 2, 6, 2);
+        assert!(ciw.iter().all(|t| t.outcome.is_converged()));
     }
 
     #[test]

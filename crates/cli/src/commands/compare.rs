@@ -2,12 +2,15 @@
 //! size (a one-size slice of the paper's Table 1).
 
 use population::record::JsonObject;
+use population::ConvergenceSample;
 use ssle_bench::{
-    measure_ciw, measure_oss, measure_sublinear, CiwStart, OssStart, SubStart, TimeSummary,
+    measure_ciw, measure_ciw_counts_trials, measure_oss, measure_oss_counts_trials,
+    measure_sublinear, CiwStart, OssStart, SubStart, TimeSummary,
 };
 
 use crate::commands::{parse_flags, OutputFormat};
 use crate::error::CliError;
+use crate::protocol_choice::BackendChoice;
 
 /// Runs the subcommand.
 ///
@@ -16,7 +19,7 @@ use crate::error::CliError;
 /// Returns [`CliError`] on bad flags or if a protocol never converges at
 /// the requested size.
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    let flags = parse_flags(args, &["n", "trials", "seed", "h", "format"])?;
+    let flags = parse_flags(args, &["n", "trials", "seed", "h", "backend", "format"])?;
     let n: usize = flags.get("n", 32);
     if n < 2 {
         return Err(CliError::BadValue {
@@ -33,28 +36,58 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     }
     let seed: u64 = flags.get("seed", 1);
     let h: u32 = flags.get("h", 2);
+    let backend = BackendChoice::from_flags(&flags)?;
     let format = OutputFormat::from_flags(&flags)?;
 
-    let rows: Vec<(String, TimeSummary)> = vec![
-        (
-            "Silent-n-state-SSR [Θ(n²)]".into(),
-            summarize(measure_ciw(n, CiwStart::Random, trials, seed))?,
-        ),
-        (
-            "Optimal-Silent-SSR [Θ(n)]".into(),
-            summarize(measure_oss(n, OssStart::Random, trials, seed))?,
-        ),
-        (
-            format!("Sublinear-Time-SSR H={h} [Θ(n^(1/{}))]", h + 1),
-            summarize(measure_sublinear(n, h, SubStart::Random, trials, seed))?,
-        ),
-    ];
+    // The sublinear protocol's states are not hashable, so the counts
+    // backend compares only the two hashable ranking protocols.
+    let rows: Vec<(String, TimeSummary)> = match backend {
+        BackendChoice::Agents => vec![
+            (
+                "Silent-n-state-SSR [Θ(n²)]".into(),
+                summarize(measure_ciw(n, CiwStart::Random, trials, seed))?,
+            ),
+            (
+                "Optimal-Silent-SSR [Θ(n)]".into(),
+                summarize(measure_oss(n, OssStart::Random, trials, seed))?,
+            ),
+            (
+                format!("Sublinear-Time-SSR H={h} [Θ(n^(1/{}))]", h + 1),
+                summarize(measure_sublinear(n, h, SubStart::Random, trials, seed))?,
+            ),
+        ],
+        BackendChoice::Counts => vec![
+            (
+                "Silent-n-state-SSR [Θ(n²)]".into(),
+                summarize(ConvergenceSample::from_trials(&measure_ciw_counts_trials(
+                    n,
+                    CiwStart::Random,
+                    trials,
+                    seed,
+                    1,
+                )))?,
+            ),
+            (
+                "Optimal-Silent-SSR [Θ(n)]".into(),
+                summarize(ConvergenceSample::from_trials(&measure_oss_counts_trials(
+                    n,
+                    OssStart::Random,
+                    trials,
+                    seed,
+                    1,
+                )))?,
+            ),
+        ],
+    };
 
     match format {
         OutputFormat::Text => {
-            let mut out = format!(
-                "ranking protocols at n = {n} ({trials} trials each, random adversarial starts)\n\
+            let mut out =
+                format!(
+                "ranking protocols at n = {n} ({trials} trials each, random adversarial starts, \
+                 {} backend)\n\
                  {:<38} {:>10} {:>9} {:>10}\n",
+                backend.label(),
                 "protocol", "E[time]", "±95%", "p95"
             );
             for (name, t) in &rows {
@@ -64,6 +97,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 ));
             }
             out.push_str("(times in parallel time units — interactions / n)\n");
+            if backend == BackendChoice::Counts {
+                out.push_str(
+                    "(sublinear skipped: its states are not hashable on the counts backend)\n",
+                );
+            }
             Ok(out)
         }
         OutputFormat::Json => {
@@ -74,6 +112,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 let mut obj = JsonObject::new();
                 obj.field_str("command", "compare");
                 obj.field_str("protocol", name);
+                obj.field_str("backend", backend.label());
                 obj.field_u64("n", n as u64);
                 obj.field_u64("trials", trials);
                 obj.field_u64("seed", seed);
@@ -119,6 +158,21 @@ mod tests {
             assert!(fields.contains_key("mean_time"), "{line}");
             assert!(fields.contains_key("p95"), "{line}");
         }
+    }
+
+    #[test]
+    fn counts_backend_compares_the_hashable_protocols() {
+        let out = run(&args(&["--n", "8", "--trials", "2", "--backend", "counts"])).unwrap();
+        assert!(out.contains("counts backend"), "{out}");
+        assert!(out.contains("Silent-n-state-SSR"), "{out}");
+        assert!(out.contains("Optimal-Silent-SSR"), "{out}");
+        assert!(out.contains("sublinear skipped"), "{out}");
+
+        let json =
+            run(&args(&["--n", "8", "--trials", "2", "--backend", "counts", "--format", "json"]))
+                .unwrap();
+        assert_eq!(json.lines().count(), 2, "{json}");
+        assert!(json.contains("\"backend\":\"counts\""), "{json}");
     }
 
     #[test]

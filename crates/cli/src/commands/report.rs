@@ -16,7 +16,9 @@
 use std::collections::BTreeMap;
 
 use analysis::{quantile, Ecdf};
-use population::record::{from_jsonl_mixed, FaultRecord, JsonObject, RecordLine, RunRecord};
+use population::record::{
+    from_jsonl_mixed, FaultRecord, FrontierRecord, JsonObject, RecordLine, RunRecord,
+};
 use population::ConvergenceSample;
 use ssle_bench::TimeSummary;
 
@@ -28,6 +30,9 @@ type GroupKey = (String, String, u64, Option<u64>);
 
 /// One fault group key: the trial key plus the fault action.
 type FaultKey = (String, String, u64, Option<u64>, String);
+
+/// One frontier group key: `(experiment, workload, backend, n)`.
+type FrontierKey = (String, String, String, u64);
 
 /// Runs the subcommand: `ssle report <file.jsonl> [--format text|json]`.
 ///
@@ -55,13 +60,15 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         .map_err(|reason| CliError::Report { path: path.clone(), reason })?;
     let mut records: Vec<RunRecord> = Vec::new();
     let mut faults: Vec<FaultRecord> = Vec::new();
+    let mut frontier: Vec<FrontierRecord> = Vec::new();
     for line in lines {
         match line {
             RecordLine::Trial(r) => records.push(r),
             RecordLine::Fault(f) => faults.push(f),
+            RecordLine::Frontier(f) => frontier.push(f),
         }
     }
-    if records.is_empty() && faults.is_empty() {
+    if records.is_empty() && faults.is_empty() && frontier.is_empty() {
         return Err(CliError::Report {
             path: path.clone(),
             reason: "the file contains no records".to_string(),
@@ -70,11 +77,13 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
 
     let groups = group_records(&records);
     let fault_groups = group_faults(&faults);
+    let frontier_groups = group_frontier(&frontier);
+    let total = records.len() + faults.len() + frontier.len();
     match format {
         OutputFormat::Text => {
-            Ok(render_text(path, records.len() + faults.len(), &groups, &fault_groups))
+            Ok(render_text(path, total, &groups, &fault_groups, &frontier_groups))
         }
-        OutputFormat::Json => Ok(render_json(&groups, &fault_groups)),
+        OutputFormat::Json => Ok(render_json(&groups, &fault_groups, &frontier_groups)),
     }
 }
 
@@ -91,6 +100,17 @@ fn group_faults(faults: &[FaultRecord]) -> BTreeMap<FaultKey, Vec<&FaultRecord>>
     for f in faults {
         groups
             .entry((f.experiment.clone(), f.protocol.clone(), f.n, f.h, f.action.clone()))
+            .or_default()
+            .push(f);
+    }
+    groups
+}
+
+fn group_frontier(frontier: &[FrontierRecord]) -> BTreeMap<FrontierKey, Vec<&FrontierRecord>> {
+    let mut groups: BTreeMap<FrontierKey, Vec<&FrontierRecord>> = BTreeMap::new();
+    for f in frontier {
+        groups
+            .entry((f.experiment.clone(), f.protocol.clone(), f.backend.clone(), f.n))
             .or_default()
             .push(f);
     }
@@ -124,10 +144,11 @@ fn render_text(
     total: usize,
     groups: &BTreeMap<GroupKey, Vec<&RunRecord>>,
     fault_groups: &BTreeMap<FaultKey, Vec<&FaultRecord>>,
+    frontier_groups: &BTreeMap<FrontierKey, Vec<&FrontierRecord>>,
 ) -> String {
     let mut out = format!(
         "report: {path} — {total} records, {} group(s)\n",
-        groups.len() + fault_groups.len()
+        groups.len() + fault_groups.len() + frontier_groups.len()
     );
     for ((experiment, protocol, n, h), group) in groups {
         let h_text = h.map_or("-".to_string(), |h| h.to_string());
@@ -201,12 +222,34 @@ fn render_text(
             q(1.0),
         ));
     }
+    for ((experiment, protocol, backend, n), group) in frontier_groups {
+        let converged = group.iter().filter(|f| f.outcome.is_converged()).count();
+        out.push_str(&format!(
+            "\nfrontier: experiment={experiment} workload={protocol} backend={backend} n={n}: \
+             {} run(s), {converged} converged\n",
+            group.len(),
+        ));
+        let wall: f64 = group.iter().map(|f| f.wall_s).sum();
+        let interactions: u64 = group.iter().map(|f| f.outcome.interactions()).sum();
+        if wall > 0.0 {
+            out.push_str(&format!(
+                "  throughput: {:.2e} interactions/s over {wall:.2}s\n",
+                interactions as f64 / wall
+            ));
+        }
+        let supports: Vec<u64> = group.iter().filter_map(|f| f.support).collect();
+        if !supports.is_empty() {
+            let mean = supports.iter().sum::<u64>() as f64 / supports.len() as f64;
+            out.push_str(&format!("  support: mean {mean:.1} distinct state(s)\n"));
+        }
+    }
     out
 }
 
 fn render_json(
     groups: &BTreeMap<GroupKey, Vec<&RunRecord>>,
     fault_groups: &BTreeMap<FaultKey, Vec<&FaultRecord>>,
+    frontier_groups: &BTreeMap<FrontierKey, Vec<&FrontierRecord>>,
 ) -> String {
     let mut out = String::new();
     for ((experiment, protocol, n, h), group) in groups {
@@ -262,6 +305,38 @@ fn render_json(
         } else {
             obj.field_f64("mean_recovery_time", times.iter().sum::<f64>() / times.len() as f64);
             obj.field_f64("p95_recovery_time", quantile(&times, 0.95).expect("non-empty"));
+        }
+        out.push_str(&obj.finish());
+        out.push('\n');
+    }
+    for ((experiment, protocol, backend, n), group) in frontier_groups {
+        let mut obj = JsonObject::new();
+        obj.field_str("command", "report");
+        obj.field_str("kind", "frontier");
+        obj.field_str("experiment", experiment);
+        obj.field_str("protocol", protocol);
+        obj.field_str("backend", backend);
+        obj.field_u64("n", *n);
+        obj.field_u64("runs", group.len() as u64);
+        obj.field_u64(
+            "converged",
+            group.iter().filter(|f| f.outcome.is_converged()).count() as u64,
+        );
+        let wall: f64 = group.iter().map(|f| f.wall_s).sum();
+        let interactions: u64 = group.iter().map(|f| f.outcome.interactions()).sum();
+        if wall > 0.0 {
+            obj.field_f64("ips", interactions as f64 / wall);
+        } else {
+            obj.field_null("ips");
+        }
+        let supports: Vec<u64> = group.iter().filter_map(|f| f.support).collect();
+        if supports.is_empty() {
+            obj.field_null("mean_support");
+        } else {
+            obj.field_f64(
+                "mean_support",
+                supports.iter().sum::<u64>() as f64 / supports.len() as f64,
+            );
         }
         out.push_str(&obj.finish());
         out.push('\n');
@@ -446,6 +521,48 @@ mod tests {
         let path = write_temp("ssle_report_faultonly.jsonl", &format!("{}\n", f.to_json()));
         let out = run(&args(&[&path])).unwrap();
         assert!(out.contains("no recovered faults"), "{out}");
+    }
+
+    #[test]
+    fn frontier_stream_reports_throughput_per_backend() {
+        let mk = |backend: &str, trial: u64, ips: f64| FrontierRecord {
+            experiment: "frontier".to_string(),
+            protocol: "epidemic".to_string(),
+            backend: backend.to_string(),
+            n: 1_000_000,
+            trial,
+            seed: 1,
+            outcome: population::RunOutcome::Converged { interactions: 10_000_000 },
+            wall_s: 10_000_000.0 / ips,
+            support: (backend == "counts").then_some(2),
+            leaders: None,
+        };
+        let text = format!(
+            "{}\n{}\n{}\n",
+            mk("counts", 0, 2e8).to_json(),
+            mk("counts", 1, 2e8).to_json(),
+            mk("agents", 0, 2e7).to_json()
+        );
+        let path = write_temp("ssle_report_frontier.jsonl", &text);
+
+        let out = run(&args(&[&path])).unwrap();
+        assert!(out.contains("3 records, 2 group(s)"), "{out}");
+        assert!(out.contains("workload=epidemic backend=agents n=1000000: 1 run(s)"), "{out}");
+        assert!(out.contains("workload=epidemic backend=counts n=1000000: 2 run(s)"), "{out}");
+        assert!(out.contains("support: mean 2.0"), "{out}");
+
+        let json = run(&args(&[&path, "--format", "json"])).unwrap();
+        let counts_line = json
+            .lines()
+            .find(|l| l.contains("\"kind\":\"frontier\"") && l.contains("\"backend\":\"counts\""))
+            .expect("counts frontier group line present");
+        let fields = population::record::parse_flat_json(counts_line).unwrap();
+        match fields.get("ips").unwrap() {
+            population::record::JsonScalar::Num(m) => {
+                assert!((m - 2e8).abs() / 2e8 < 1e-9, "{m}")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

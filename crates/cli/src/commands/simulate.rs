@@ -1,8 +1,10 @@
 //! `ssle simulate` — run one execution to stabilization.
 
+use std::hash::Hash;
+
 use population::record::JsonObject;
 use population::runner::rng_from_seed;
-use population::{RankingProtocol, RunOutcome, Simulation};
+use population::{BatchSimulation, RankingProtocol, RunOutcome, Simulation};
 use ssle::adversary;
 use ssle::cai_izumi_wada::{CaiIzumiWada, CiwState};
 use ssle::initialized::TreeRanking;
@@ -12,7 +14,7 @@ use ssle::sublinear::SublinearTimeSsr;
 
 use crate::commands::{parse_flags, OutputFormat};
 use crate::error::CliError;
-use crate::protocol_choice::{CommonFlags, ProtocolChoice};
+use crate::protocol_choice::{BackendChoice, CommonFlags, ProtocolChoice};
 
 /// Which family of starting configuration to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,11 +45,23 @@ impl Start {
 /// Returns [`CliError`] on bad flags or when the execution exhausts its
 /// interaction budget.
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    let flags = parse_flags(args, &["protocol", "n", "h", "seed", "start", "max-time", "format"])?;
+    let flags = parse_flags(
+        args,
+        &["protocol", "n", "h", "seed", "start", "max-time", "backend", "format"],
+    )?;
     let common = CommonFlags::from_flags(&flags, ProtocolChoice::OptimalSilent)?;
     let start = Start::parse(flags.try_get_str("start"))?;
     let max_time: f64 = flags.get("max-time", 0.0);
+    let backend = BackendChoice::from_flags(&flags)?;
     let format = OutputFormat::from_flags(&flags)?;
+    if backend == BackendChoice::Counts && common.protocol == ProtocolChoice::Sublinear {
+        return Err(CliError::BadValue {
+            flag: "backend".into(),
+            reason: "sublinear states are not hashable; the counts backend supports \
+                     ciw, optimal-silent, tree-ranking, loose"
+                .into(),
+        });
+    }
 
     match common.protocol {
         ProtocolChoice::Ciw => {
@@ -59,7 +73,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 Start::Collision => vec![CiwState::new(0); common.n],
                 Start::Ranked => adversary::ranked_ciw_configuration(&p),
             };
-            ranked_report(&common, p, initial, max_time, 400 * (common.n as u64).pow(3), format)
+            let budget = budget(max_time, common.n, 400 * (common.n as u64).pow(3));
+            match backend {
+                BackendChoice::Agents => ranked_report(&common, p, initial, budget, format),
+                BackendChoice::Counts => counts_ranked_report(&common, p, initial, budget, format),
+            }
         }
         ProtocolChoice::OptimalSilent => {
             let p = OptimalSilentSsr::new(common.n);
@@ -70,7 +88,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 Start::Collision => vec![OssState::settled(1, 0); common.n],
                 Start::Ranked => adversary::ranked_oss_configuration(&p),
             };
-            ranked_report(&common, p, initial, max_time, 4000 * (common.n as u64).pow(2), format)
+            let budget = budget(max_time, common.n, 4000 * (common.n as u64).pow(2));
+            match backend {
+                BackendChoice::Agents => ranked_report(&common, p, initial, budget, format),
+                BackendChoice::Counts => counts_ranked_report(&common, p, initial, budget, format),
+            }
         }
         ProtocolChoice::Sublinear => {
             let p = SublinearTimeSsr::new(common.n, common.h);
@@ -82,15 +104,20 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 Start::Collision => adversary::planted_collision_configuration(&p),
                 Start::Ranked => adversary::unique_names_configuration(&p),
             };
-            ranked_report(&common, p, initial, max_time, 4000 * (common.n as u64).pow(2), format)
+            let budget = budget(max_time, common.n, 4000 * (common.n as u64).pow(2));
+            ranked_report(&common, p, initial, budget, format)
         }
         ProtocolChoice::TreeRanking => {
             let p = TreeRanking::new(common.n);
             // Not self-stabilizing: always the designated configuration.
             let initial = p.designated_configuration();
-            ranked_report(&common, p, initial, max_time, 4000 * (common.n as u64).pow(2), format)
+            let budget = budget(max_time, common.n, 4000 * (common.n as u64).pow(2));
+            match backend {
+                BackendChoice::Agents => ranked_report(&common, p, initial, budget, format),
+                BackendChoice::Counts => counts_ranked_report(&common, p, initial, budget, format),
+            }
         }
-        ProtocolChoice::Loose => loose_report(&common, start, max_time, format),
+        ProtocolChoice::Loose => loose_report(&common, start, max_time, backend, format),
     }
 }
 
@@ -106,13 +133,12 @@ fn ranked_report<P: RankingProtocol>(
     common: &CommonFlags,
     protocol: P,
     initial: Vec<P::State>,
-    max_time: f64,
-    default_budget: u64,
+    budget: u64,
     format: OutputFormat,
 ) -> Result<String, CliError> {
     let n = common.n;
     let mut sim = Simulation::new(protocol, initial, common.seed);
-    let outcome = sim.run_until_stably_ranked(budget(max_time, n, default_budget), 4 * n as u64);
+    let outcome = sim.run_until_stably_ranked(budget, 4 * n as u64);
     match outcome {
         RunOutcome::Converged { interactions } => {
             let leader = sim
@@ -163,10 +189,58 @@ fn ranked_report<P: RankingProtocol>(
     }
 }
 
+/// [`ranked_report`] on the count-based backend: agents are anonymous in a
+/// multiset, so the report carries the leader count and the final support
+/// instead of a rank→agent table.
+fn counts_ranked_report<P>(
+    common: &CommonFlags,
+    protocol: P,
+    initial: Vec<P::State>,
+    budget: u64,
+    format: OutputFormat,
+) -> Result<String, CliError>
+where
+    P: RankingProtocol,
+    P::State: Eq + Hash,
+{
+    let n = common.n;
+    let mut sim = BatchSimulation::new(protocol, initial, common.seed);
+    let outcome = sim.run_until_stably_ranked(budget, 4 * n as u64);
+    match outcome {
+        RunOutcome::Converged { interactions } => match format {
+            OutputFormat::Text => Ok(format!(
+                "{name}: stabilized after {t:.1} parallel time ({interactions} interactions)\n\
+                 backend: counts — agents are anonymous; leaders: {leaders}, \
+                 support: {support} distinct state(s)\n",
+                name = common.protocol.name(),
+                t = interactions as f64 / n as f64,
+                leaders = sim.leader_count(),
+                support = sim.counts().support(),
+            )),
+            OutputFormat::Json => {
+                let mut obj = JsonObject::new();
+                obj.field_str("command", "simulate");
+                obj.field_str("protocol", common.protocol.name());
+                obj.field_str("backend", "counts");
+                obj.field_u64("n", n as u64);
+                obj.field_u64("seed", common.seed);
+                obj.field_str("outcome", "converged");
+                obj.field_u64("interactions", interactions);
+                obj.field_f64("parallel_time", interactions as f64 / n as f64);
+                obj.field_u64("leaders", sim.leader_count());
+                obj.field_u64("support", sim.counts().support() as u64);
+                Ok(obj.finish() + "\n")
+            }
+        },
+        RunOutcome::Exhausted { interactions } => Err(CliError::DidNotConverge { interactions }),
+    }
+}
+
 fn loose_report(
     common: &CommonFlags,
     start: Start,
     max_time: f64,
+    backend: BackendChoice,
     format: OutputFormat,
 ) -> Result<String, CliError> {
     let n = common.n;
@@ -176,10 +250,12 @@ fn loose_report(
         Start::Collision => vec![p.leader_state(); n],
         Start::Random | Start::Ranked => vec![p.follower_state(1); n],
     };
+    let max = budget(max_time, n, 4000 * (n as u64).pow(2));
+    if backend == BackendChoice::Counts {
+        return loose_counts_report(common, p, initial, t_max, max, format);
+    }
     let mut sim = Simulation::new(p, initial, common.seed);
-    let outcome = sim.run_until(budget(max_time, n, 4000 * (n as u64).pow(2)), |s| {
-        LooselyStabilizingLe::leader_count(s) == 1
-    });
+    let outcome = sim.run_until(max, |s| LooselyStabilizingLe::leader_count(s) == 1);
     match outcome {
         RunOutcome::Converged { interactions } => {
             let leader = sim.states().iter().position(|s| s.leader).expect("one leader");
@@ -205,6 +281,50 @@ fn loose_report(
                 }
             }
         }
+        RunOutcome::Exhausted { interactions } => Err(CliError::DidNotConverge { interactions }),
+    }
+}
+
+/// Loose leader election on the count-based backend: converges when the
+/// leader-state count across the multiset reaches one.
+fn loose_counts_report(
+    common: &CommonFlags,
+    p: LooselyStabilizingLe,
+    initial: Vec<ssle::loose::LooseState>,
+    t_max: u32,
+    max: u64,
+    format: OutputFormat,
+) -> Result<String, CliError> {
+    let n = common.n;
+    let mut sim = BatchSimulation::new(p, initial, common.seed);
+    let outcome = sim.run_until(max, |counts| {
+        counts.iter().filter(|(s, _)| s.leader).map(|(_, c)| c).sum::<u64>() == 1
+    });
+    match outcome {
+        RunOutcome::Converged { interactions } => match format {
+            OutputFormat::Text => Ok(format!(
+                "{name} (T_max = {t_max}): unique leader after {t:.1} parallel time\n\
+                 backend: counts — agents are anonymous; support: {support} distinct state(s)\n\
+                 (loose stabilization: the leader is held for a long but finite time)\n",
+                name = common.protocol.name(),
+                t = interactions as f64 / n as f64,
+                support = sim.counts().support(),
+            )),
+            OutputFormat::Json => {
+                let mut obj = JsonObject::new();
+                obj.field_str("command", "simulate");
+                obj.field_str("protocol", common.protocol.name());
+                obj.field_str("backend", "counts");
+                obj.field_u64("n", n as u64);
+                obj.field_u64("seed", common.seed);
+                obj.field_u64("t_max", t_max as u64);
+                obj.field_str("outcome", "converged");
+                obj.field_u64("interactions", interactions);
+                obj.field_f64("parallel_time", interactions as f64 / n as f64);
+                obj.field_u64("support", sim.counts().support() as u64);
+                Ok(obj.finish() + "\n")
+            }
+        },
         RunOutcome::Exhausted { interactions } => Err(CliError::DidNotConverge { interactions }),
     }
 }
@@ -280,6 +400,48 @@ mod tests {
     #[test]
     fn bad_format_is_rejected() {
         assert!(matches!(run(&args(&["--format", "xml"])), Err(CliError::BadValue { .. })));
+    }
+
+    #[test]
+    fn counts_backend_simulates_every_hashable_protocol() {
+        for p in ["ciw", "optimal-silent", "tree-ranking", "loose"] {
+            let out =
+                run(&args(&["--protocol", p, "--n", "8", "--seed", "5", "--backend", "counts"]))
+                    .unwrap_or_else(|e| panic!("{p}: {e}"));
+            assert!(out.contains("counts"), "{p}: {out}");
+        }
+    }
+
+    #[test]
+    fn counts_backend_rejects_sublinear() {
+        assert!(matches!(
+            run(&args(&["--protocol", "sublinear", "--n", "8", "--backend", "counts"])),
+            Err(CliError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn counts_backend_json_reports_support_and_leaders() {
+        let out = run(&args(&[
+            "--protocol",
+            "optimal-silent",
+            "--n",
+            "6",
+            "--backend",
+            "counts",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        assert!(out.contains("\"backend\":\"counts\""), "{out}");
+        assert!(out.contains("\"leaders\":1"), "{out}");
+        // A stably ranked OSS configuration holds n distinct states.
+        assert!(out.contains("\"support\":6"), "{out}");
+    }
+
+    #[test]
+    fn unknown_backend_is_rejected() {
+        assert!(matches!(run(&args(&["--backend", "quantum"])), Err(CliError::BadValue { .. })));
     }
 
     #[test]

@@ -21,7 +21,7 @@ use ssle::{CaiIzumiWada, OptimalSilentSsr, SublinearTimeSsr};
 
 use crate::commands::{parse_flags, OutputFormat};
 use crate::error::CliError;
-use crate::protocol_choice::{CommonFlags, ProtocolChoice};
+use crate::protocol_choice::{BackendChoice, CommonFlags, ProtocolChoice};
 
 /// Runs the subcommand:
 /// `ssle soak --protocol <p> --n <agents> [--fault-rate <per unit time>]
@@ -48,11 +48,13 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             "time",
             "trials",
             "threads",
+            "backend",
             "json-out",
             "format",
         ],
     )?;
     let common = CommonFlags::from_flags(&flags, ProtocolChoice::OptimalSilent)?;
+    let backend = BackendChoice::from_flags(&flags)?;
     let format = OutputFormat::from_flags(&flags)?;
     let rate: f64 = flags.get("fault-rate", 0.02);
     if !(rate > 0.0 && rate.is_finite()) {
@@ -77,8 +79,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let n = common.n;
     let budget = (time * n as f64).ceil() as u64;
 
-    let outcomes = match common.protocol {
-        ProtocolChoice::Ciw => soak_trials(
+    let outcomes = match (common.protocol, backend) {
+        (ProtocolChoice::Ciw, BackendChoice::Agents) => soak_trials(
             || CaiIzumiWada::new(n),
             period,
             action,
@@ -87,7 +89,16 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             budget,
             threads,
         ),
-        ProtocolChoice::OptimalSilent => soak_trials(
+        (ProtocolChoice::Ciw, BackendChoice::Counts) => soak_trials_counts(
+            || CaiIzumiWada::new(n),
+            period,
+            action,
+            trials,
+            common.seed,
+            budget,
+            threads,
+        ),
+        (ProtocolChoice::OptimalSilent, BackendChoice::Agents) => soak_trials(
             || OptimalSilentSsr::new(n),
             period,
             action,
@@ -96,7 +107,16 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             budget,
             threads,
         ),
-        ProtocolChoice::Sublinear => soak_trials(
+        (ProtocolChoice::OptimalSilent, BackendChoice::Counts) => soak_trials_counts(
+            || OptimalSilentSsr::new(n),
+            period,
+            action,
+            trials,
+            common.seed,
+            budget,
+            threads,
+        ),
+        (ProtocolChoice::Sublinear, BackendChoice::Agents) => soak_trials(
             || SublinearTimeSsr::new(n, common.h),
             period,
             action,
@@ -105,7 +125,15 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             budget,
             threads,
         ),
-        other => {
+        (ProtocolChoice::Sublinear, BackendChoice::Counts) => {
+            return Err(CliError::BadValue {
+                flag: "backend".into(),
+                reason: "sublinear states are not hashable; the counts backend soaks \
+                         ciw or optimal-silent"
+                    .into(),
+            })
+        }
+        (other, _) => {
             return Err(CliError::BadValue {
                 flag: "protocol".into(),
                 reason: format!(
@@ -216,6 +244,32 @@ where
 {
     let settings = TrialSettings::new(trials, seed, budget, 0);
     Runner::new(settings).run_chaos_trials_parallel(threads, |_, rng: &mut SmallRng| {
+        let protocol = make_protocol();
+        let initial = adversary::random_configuration(&protocol, rng);
+        let plan = FaultPlan::new(rng.gen()).every_parallel_time(period, action);
+        (protocol, initial, plan)
+    })
+}
+
+/// [`soak_trials`] on the count-based backend: identical fault plans and
+/// seed derivation, executed by `BatchSimulation::run_chaos` (faults are
+/// injected by materializing the multiset, corrupting, and recompressing).
+fn soak_trials_counts<P, M>(
+    make_protocol: M,
+    period: f64,
+    action: FaultAction,
+    trials: u64,
+    seed: u64,
+    budget: u64,
+    threads: usize,
+) -> Vec<ChaosTrialOutcome>
+where
+    P: Corruptor + Send,
+    P::State: std::hash::Hash + Eq + Send,
+    M: Fn() -> P + Sync,
+{
+    let settings = TrialSettings::new(trials, seed, budget, 0);
+    Runner::new(settings).run_chaos_trials_counts_parallel(threads, |_, rng: &mut SmallRng| {
         let protocol = make_protocol();
         let initial = adversary::random_configuration(&protocol, rng);
         let plan = FaultPlan::new(rng.gen()).every_parallel_time(period, action);
@@ -354,6 +408,35 @@ mod tests {
             assert!(out.contains("aggregate: leader available"), "{protocol}: {out}");
             assert!(out.contains("fault(s) fired"), "{protocol}: {out}");
         }
+    }
+
+    #[test]
+    fn counts_backend_soaks_the_hashable_protocols() {
+        for protocol in ["ciw", "optimal-silent"] {
+            let out = run(&args(&[
+                "--protocol",
+                protocol,
+                "--n",
+                "16",
+                "--time",
+                "200",
+                "--fault-rate",
+                "0.05",
+                "--trials",
+                "2",
+                "--seed",
+                "3",
+                "--backend",
+                "counts",
+            ]))
+            .unwrap();
+            assert!(out.contains("aggregate: leader available"), "{protocol}: {out}");
+            assert!(out.contains("fault(s) fired"), "{protocol}: {out}");
+        }
+        assert!(matches!(
+            run(&args(&["--protocol", "sublinear", "--n", "8", "--backend", "counts"])),
+            Err(CliError::BadValue { .. })
+        ));
     }
 
     #[test]

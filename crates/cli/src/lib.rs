@@ -58,7 +58,7 @@ COMMANDS:
                   --protocol ciw|optimal-silent|sublinear|tree-ranking|loose
                   --n <agents> [--h <depth>] [--seed <u64>]
                   [--start random|collision|ranked] [--max-time <t>]
-                  [--format text|json]
+                  [--backend agents|counts] [--format text|json]
     trace       sample a role/leader time series as CSV
                   --protocol ... --n <agents> [--h <depth>] [--seed <u64>]
                   [--time <parallel-time>] [--every <interactions>]
@@ -68,7 +68,7 @@ COMMANDS:
                   [--k <path bound>] [--seed <u64>]
     compare     run all ranking protocols head-to-head at one size
                   --n <agents> [--trials <t>] [--seed <u64>]
-                  [--format text|json]
+                  [--backend agents|counts] [--format text|json]
     report      summarize a JSONL experiment record stream
                   <file.jsonl> [--format text|json]
     soak        sustain a fault rate against a protocol and report availability
@@ -76,8 +76,8 @@ COMMANDS:
                   [--fault-rate <faults per time unit>] [--fault-size <k|sqrt|frac|all>]
                   [--action corrupt-random|duplicate-leader|collide|partial-reset|randomize]
                   [--time <parallel-time>] [--trials <t>] [--threads <w>]
-                  [--h <depth>] [--seed <u64>] [--json-out <file.jsonl>]
-                  [--format text|json]
+                  [--h <depth>] [--seed <u64>] [--backend agents|counts]
+                  [--json-out <file.jsonl>] [--format text|json]
     states      print per-protocol state counts
                   --n <agents> [--h <depth>]
     prove       exhaustively verify self-stabilization at small n

@@ -52,6 +52,43 @@ impl ProtocolChoice {
     }
 }
 
+/// Which simulation backend a subcommand should execute on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// The agent-array engine ([`population::Simulation`]): per-agent
+    /// identity, any state type.
+    Agents,
+    /// The count-based batched engine ([`population::BatchSimulation`]):
+    /// multiset of states, huge-`n` throughput, needs hashable states.
+    Counts,
+}
+
+impl BackendChoice {
+    /// Parses the `--backend` flag value; absent means the agent array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::BadValue`] for unknown names.
+    pub fn from_flags(flags: &Flags) -> Result<Self, CliError> {
+        match flags.try_get_str("backend") {
+            None | Some("agents") => Ok(BackendChoice::Agents),
+            Some("counts") => Ok(BackendChoice::Counts),
+            Some(other) => Err(CliError::BadValue {
+                flag: "backend".into(),
+                reason: format!("{other:?} is not one of agents, counts"),
+            }),
+        }
+    }
+
+    /// The backend's short name, matching `SimulationBackend::NAME`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BackendChoice::Agents => "agents",
+            BackendChoice::Counts => "counts",
+        }
+    }
+}
+
 /// Extracts and validates the shared `--protocol`/`--n`/`--h`/`--seed`
 /// flags.
 pub struct CommonFlags {
@@ -128,6 +165,27 @@ mod tests {
         ] {
             assert!(!p.name().is_empty());
         }
+    }
+
+    #[test]
+    fn backend_choice_parses_and_defaults_to_agents() {
+        let parse = |args: &[&str]| {
+            Flags::from_args(args.iter().map(|s| s.to_string()), &["backend"]).unwrap()
+        };
+        assert_eq!(BackendChoice::from_flags(&parse(&[])).unwrap(), BackendChoice::Agents);
+        assert_eq!(
+            BackendChoice::from_flags(&parse(&["--backend", "agents"])).unwrap(),
+            BackendChoice::Agents
+        );
+        assert_eq!(
+            BackendChoice::from_flags(&parse(&["--backend", "counts"])).unwrap(),
+            BackendChoice::Counts
+        );
+        assert_eq!(BackendChoice::Counts.label(), "counts");
+        assert!(matches!(
+            BackendChoice::from_flags(&parse(&["--backend", "gpu"])),
+            Err(CliError::BadValue { .. })
+        ));
     }
 
     #[test]

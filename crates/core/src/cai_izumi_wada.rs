@@ -80,6 +80,9 @@ impl CaiIzumiWada {
 
 impl Protocol for CaiIzumiWada {
     type State = CiwState;
+    // Pure function of the two states (the RNG parameter is unused), so the
+    // count backend may memoize transitions.
+    const DETERMINISTIC_INTERACT: bool = true;
 
     fn interact(&self, a: &mut CiwState, b: &mut CiwState, _rng: &mut SmallRng) {
         if a.rank == b.rank {

@@ -70,6 +70,8 @@ impl<P: RankingProtocol> LeaderAligned<P> {
 
 impl<P: RankingProtocol> Protocol for LeaderAligned<P> {
     type State = ComposedState<P::State>;
+    // Deterministic iff the upstream is: the parity layer adds no randomness.
+    const DETERMINISTIC_INTERACT: bool = P::DETERMINISTIC_INTERACT;
 
     fn interact(&self, a: &mut Self::State, b: &mut Self::State, rng: &mut SmallRng) {
         // Ranks as observed at the start of the interaction — agents

@@ -47,6 +47,7 @@ pub struct FightProtocol;
 
 impl Protocol for FightProtocol {
     type State = FightState;
+    const DETERMINISTIC_INTERACT: bool = true;
 
     fn interact(&self, a: &mut FightState, b: &mut FightState, _rng: &mut SmallRng) {
         if *a == FightState::Leader && *b == FightState::Leader {
@@ -87,6 +88,8 @@ impl<P> ImmobilizedLeader<P> {
 
 impl<P: RankingProtocol> Protocol for ImmobilizedLeader<P> {
     type State = P::State;
+    // Deterministic iff the wrapped protocol is: the swap adds no randomness.
+    const DETERMINISTIC_INTERACT: bool = P::DETERMINISTIC_INTERACT;
 
     fn interact(&self, a: &mut P::State, b: &mut P::State, rng: &mut SmallRng) {
         let a_led = self.inner.is_leader(a);
@@ -180,6 +183,7 @@ impl TreeRanking {
 
 impl Protocol for TreeRanking {
     type State = TreeRankState;
+    const DETERMINISTIC_INTERACT: bool = true;
 
     fn interact(&self, a: &mut TreeRankState, b: &mut TreeRankState, _rng: &mut SmallRng) {
         for _ in 0..2 {

@@ -88,6 +88,9 @@ impl LooselyStabilizingLe {
 
 impl Protocol for LooselyStabilizingLe {
     type State = LooseState;
+    // Pure function of the two states (the RNG parameter is unused), so the
+    // count backend may memoize transitions.
+    const DETERMINISTIC_INTERACT: bool = true;
 
     fn interact(&self, a: &mut LooseState, b: &mut LooseState, _rng: &mut SmallRng) {
         // Leader fight: ℓ, ℓ → ℓ, f.

@@ -219,6 +219,9 @@ impl OptimalSilentSsr {
 
 impl Protocol for OptimalSilentSsr {
     type State = OssState;
+    // Pure function of the two states (the RNG parameter is unused), so the
+    // count backend may memoize transitions.
+    const DETERMINISTIC_INTERACT: bool = true;
 
     fn interact(&self, a: &mut OssState, b: &mut OssState, _rng: &mut SmallRng) {
         // Lines 1–2: delegate to Propagate-Reset if anyone is resetting.

@@ -1,0 +1,1376 @@
+//! Count-based (batched) simulation backend for huge populations.
+//!
+//! On the **complete** interaction graph agents are exchangeable: a
+//! configuration is fully described by the multiset of states, i.e. a map
+//! `state → count` ([`CountConfig`]). The induced count process is exactly
+//! the lumped Markov chain of the agent-array simulation, so sampling at the
+//! count level — initiator state `s` with probability `C[s]/n`, responder
+//! state `s'` with probability `(C[s'] − δ_{s,s'})/(n − 1)` — reproduces the
+//! uniform scheduler *in distribution* while storing `O(|states|)` instead
+//! of `O(n)` data ([`BatchSimulation::step_exact`]).
+//!
+//! On top of that exact per-interaction fallback, [`BatchSimulation`]
+//! samples interactions in **collision-free batches** (after Berenbrink et
+//! al.'s batched population-protocol simulators): the number `T` of
+//! consecutive interactions touching pairwise-distinct agents has the
+//! hypergeometric-product survival function
+//!
+//! ```text
+//! P(T ≥ t) = ∏_{i<t} (n − 2i)(n − 2i − 1) / (n(n − 1)),
+//! ```
+//!
+//! which is precomputed once per population size, so a whole batch costs one
+//! uniform draw plus `O(T)` without-replacement state draws. The first
+//! *colliding* interaction (when the batch ends before its cap) is resolved
+//! exactly by case analysis over (touched, touched), (touched, fresh) and
+//! (fresh, touched) pairs with weights `m(m−1)`, `m(n−m)`, `(n−m)m` for
+//! `m = 2T`. Protocols that declare
+//! [`DETERMINISTIC_INTERACT`](crate::Protocol::DETERMINISTIC_INTERACT)
+//! additionally get their state-pair transitions memoized into a dense
+//! table, reducing the per-interaction work to index arithmetic.
+//!
+//! # Where compression wins — and where it cannot
+//!
+//! The backend is only as compact as the protocol's *occupied* state set:
+//!
+//! * **Phase/leader protocols compress.** A two-state epidemic or the
+//!   loosely-stabilizing leader election (≈ `2(T_max + 1)` states) keep
+//!   `|states| ≪ n`, so populations of 10⁸ agents fit in a few kilobytes
+//!   and batches amortize the sampling cost.
+//! * **Ranked SSR configurations do not.** A correctly ranked configuration
+//!   of the paper's protocols has `n` pairwise-distinct states by
+//!   definition, so `CountConfig` degenerates to `n` entries of count 1 and
+//!   every weighted draw scans `O(n)` entries. Ranked runs therefore use
+//!   [`BatchSimulation::run_until_stably_ranked`], which steps through the
+//!   exact fallback — correct, but no faster than the agent array. The
+//!   `scaling_frontier` experiment measures both regimes honestly.
+//!
+//! Fault injection ([`crate::FaultPlan`]) composes with this backend by
+//! state-count: when a fault is due, the configuration is materialized into
+//! an agent array, corrupted by the exact same [`FaultSchedule`] code path
+//! the agent backend uses (agent indices are exchangeable, so index-level
+//! corruption *is* count-level corruption), and re-compressed. Batches are
+//! capped so an execution never jumps past a due fault.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::fault::{
+    ChaosReport, ChaosTrialOutcome, Corruptor, FaultInjector, FaultPlan, FaultSchedule, NoFaults,
+    RecoveryTracker,
+};
+use crate::observer::{NoopObserver, Observer};
+use crate::protocol::{Protocol, RankingProtocol};
+use crate::runner::{derive_seed, rng_from_seed, Runner, TrialOutcome};
+use crate::scheduler::uniform_u64;
+use crate::simulation::RunOutcome;
+use crate::tracker::RankTracker;
+
+/// A population configuration as a multiset of states.
+///
+/// Internally a dense, append-only `Vec<(state, count)>` plus a hash index.
+/// The dense vector — not the hash map — is the iteration and sampling
+/// order, so executions are deterministic for a fixed seed (`HashMap`
+/// iteration order is randomized per process and is never observed).
+/// Entries whose count drops to zero remain as tombstones until the
+/// internal `compact` step reclaims them; the simulation compacts between
+/// batches, when no entry index is live.
+#[derive(Debug, Clone)]
+pub struct CountConfig<S> {
+    entries: Vec<(S, u64)>,
+    index: HashMap<S, usize>,
+    population: u64,
+    zero_entries: usize,
+}
+
+impl<S: Clone + std::fmt::Debug + Eq + Hash> Default for CountConfig<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Clone + std::fmt::Debug + Eq + Hash> CountConfig<S> {
+    /// Creates an empty configuration.
+    pub fn new() -> Self {
+        CountConfig { entries: Vec::new(), index: HashMap::new(), population: 0, zero_entries: 0 }
+    }
+
+    /// Compresses an agent array into counts. Entry order is first-seen
+    /// order, so the result is deterministic in the input order.
+    pub fn from_states(states: &[S]) -> Self {
+        let mut config = CountConfig::new();
+        for s in states {
+            config.add(s.clone(), 1);
+        }
+        config
+    }
+
+    /// Expands back into an agent array (entry order, `population()`
+    /// elements). The inverse of [`CountConfig::from_states`] up to agent
+    /// permutation — agents are anonymous, so any expansion order is the
+    /// same configuration.
+    pub fn to_states(&self) -> Vec<S> {
+        let mut states = Vec::with_capacity(self.population as usize);
+        for (s, c) in &self.entries {
+            for _ in 0..*c {
+                states.push(s.clone());
+            }
+        }
+        states
+    }
+
+    /// Total number of agents.
+    pub fn population(&self) -> u64 {
+        self.population
+    }
+
+    /// Number of distinct states currently present (excludes tombstones).
+    pub fn support(&self) -> usize {
+        self.entries.len() - self.zero_entries
+    }
+
+    /// The count of one state (0 if absent).
+    pub fn count_of(&self, state: &S) -> u64 {
+        self.index.get(state).map_or(0, |&i| self.entries[i].1)
+    }
+
+    /// Iterates over `(state, count)` pairs with non-zero count, in entry
+    /// (first-seen) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&S, u64)> {
+        self.entries.iter().filter(|(_, c)| *c > 0).map(|(s, c)| (s, *c))
+    }
+
+    /// Adds `k` agents in `state`.
+    pub fn add(&mut self, state: S, k: u64) {
+        let idx = self.ensure_entry(state);
+        self.add_at(idx, k);
+    }
+
+    /// Removes `k` agents in `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `k` agents hold `state`.
+    pub fn remove(&mut self, state: &S, k: u64) {
+        let idx = *self
+            .index
+            .get(state)
+            .unwrap_or_else(|| panic!("cannot remove {k} agents from absent state {state:?}"));
+        self.remove_at(idx, k);
+    }
+
+    /// The entry index for `state`, appending a fresh zero-count entry if
+    /// the state was never seen.
+    pub(crate) fn ensure_entry(&mut self, state: S) -> usize {
+        if let Some(&idx) = self.index.get(&state) {
+            return idx;
+        }
+        let idx = self.entries.len();
+        self.index.insert(state.clone(), idx);
+        self.entries.push((state, 0));
+        self.zero_entries += 1;
+        idx
+    }
+
+    /// Number of entries including tombstones — the bound for entry indices.
+    pub(crate) fn raw_len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The state stored at an entry index.
+    pub(crate) fn state_at(&self, idx: usize) -> &S {
+        &self.entries[idx].0
+    }
+
+    /// The count stored at an entry index.
+    pub(crate) fn count_at(&self, idx: usize) -> u64 {
+        self.entries[idx].1
+    }
+
+    pub(crate) fn add_at(&mut self, idx: usize, k: u64) {
+        if k == 0 {
+            return;
+        }
+        if self.entries[idx].1 == 0 {
+            self.zero_entries -= 1;
+        }
+        self.entries[idx].1 += k;
+        self.population += k;
+    }
+
+    pub(crate) fn remove_at(&mut self, idx: usize, k: u64) {
+        if k == 0 {
+            return;
+        }
+        let count = &mut self.entries[idx].1;
+        assert!(*count >= k, "removing {k} agents from a count of {count}");
+        *count -= k;
+        if *count == 0 {
+            self.zero_entries += 1;
+        }
+        self.population -= k;
+    }
+
+    /// Moves one agent from entry `from` to entry `to`.
+    pub(crate) fn transfer(&mut self, from: usize, to: usize) {
+        if from == to {
+            return;
+        }
+        self.remove_at(from, 1);
+        self.add_at(to, 1);
+    }
+
+    /// Entry index of the agent with zero-based position `r` when agents
+    /// are laid out in entry order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= population()`.
+    pub(crate) fn locate(&self, mut r: u64) -> usize {
+        for (idx, (_, c)) in self.entries.iter().enumerate() {
+            if r < *c {
+                return idx;
+            }
+            r -= *c;
+        }
+        panic!("position beyond the population");
+    }
+
+    /// Like [`CountConfig::locate`], but with one agent of entry
+    /// `skip_one_of` excluded from the layout (the responder draw).
+    pub(crate) fn locate_excluding(&self, mut r: u64, skip_one_of: usize) -> usize {
+        for (idx, (_, c)) in self.entries.iter().enumerate() {
+            let c = *c - u64::from(idx == skip_one_of);
+            if r < c {
+                return idx;
+            }
+            r -= c;
+        }
+        panic!("position beyond the population");
+    }
+
+    /// Drops tombstone entries and reindexes. Returns `true` when anything
+    /// moved — callers holding entry indices (or index-keyed memo tables)
+    /// must invalidate them.
+    pub(crate) fn compact(&mut self) -> bool {
+        if self.zero_entries == 0 {
+            return false;
+        }
+        self.entries.retain(|(_, c)| *c > 0);
+        self.index.clear();
+        for (idx, (s, _)) in self.entries.iter().enumerate() {
+            self.index.insert(s.clone(), idx);
+        }
+        self.zero_entries = 0;
+        true
+    }
+
+    /// Whether enough tombstones accumulated for a compaction to pay off.
+    fn wants_compaction(&self) -> bool {
+        self.entries.len() >= 32 && self.zero_entries * 2 > self.entries.len()
+    }
+}
+
+/// Upper bound on the dense transition-memo side length. A ranked SSR run
+/// can occupy arbitrarily many distinct states; beyond this the memo is
+/// disabled rather than allocating an `O(|states|²)` table.
+const MEMO_MAX_STRIDE: usize = 1 << 10;
+
+/// Dense memo of deterministic state-pair transitions, keyed by entry-index
+/// pairs. Cell encoding: `0` = unknown, else `1 + (out_a << 32 | out_b)`.
+#[derive(Debug, Clone, Default)]
+struct TransitionMemo {
+    stride: usize,
+    cells: Vec<u64>,
+}
+
+impl TransitionMemo {
+    #[inline]
+    fn get(&self, a: usize, b: usize) -> Option<(usize, usize)> {
+        if a >= self.stride || b >= self.stride {
+            return None;
+        }
+        match self.cells[a * self.stride + b] {
+            0 => None,
+            cell => {
+                let packed = cell - 1;
+                Some(((packed >> 32) as usize, (packed & u64::from(u32::MAX)) as usize))
+            }
+        }
+    }
+
+    fn set(&mut self, a: usize, b: usize, out_a: usize, out_b: usize, entry_count: usize) {
+        if a >= self.stride || b >= self.stride {
+            self.grow(entry_count);
+            if a >= self.stride || b >= self.stride {
+                return; // memo disabled at this occupancy
+            }
+        }
+        let packed = ((out_a as u64) << 32) | out_b as u64;
+        self.cells[a * self.stride + b] = packed + 1;
+    }
+
+    /// Discards all memoized transitions and resizes for `entry_count`
+    /// entries (or disables the memo when the state set is too large).
+    fn grow(&mut self, entry_count: usize) {
+        let stride = entry_count.max(16).next_power_of_two();
+        self.stride = if stride <= MEMO_MAX_STRIDE { stride } else { 0 };
+        self.cells.clear();
+        self.cells.resize(self.stride * self.stride, 0);
+    }
+}
+
+/// Collision-free batch-length cap and survival function for a population
+/// of `n` agents: `survival[t] = P(first t interactions are pairwise
+/// agent-disjoint)`. Nonincreasing, `survival[0] = survival[1] = 1`;
+/// truncated where the tail probability stops mattering (truncation only
+/// shortens batches, it cannot bias them — a capped batch simply ends
+/// without a colliding interaction).
+fn survival_table(n: u64) -> Vec<f64> {
+    debug_assert!(n >= 2);
+    let denom = n as f64 * (n - 1) as f64;
+    let mut table = vec![1.0f64];
+    let mut survival = 1.0f64;
+    loop {
+        let touched = 2 * (table.len() as u64 - 1);
+        let free = n - touched.min(n);
+        if free < 2 {
+            break;
+        }
+        survival *= free as f64 * (free - 1) as f64 / denom;
+        if survival < 1e-9 {
+            break;
+        }
+        table.push(survival);
+    }
+    table
+}
+
+/// Count-based counterpart of [`crate::Simulation`]: same protocols, same
+/// seeded determinism contract, same [`Observer`]/[`FaultSchedule`]
+/// plug-ins, but the configuration lives in a [`CountConfig`] and
+/// interactions are sampled in collision-free batches (see the module
+/// docs). Only defined on the complete interaction graph — the lumping
+/// argument needs exchangeable agents.
+///
+/// Observer semantics: the backend has no agent identities, so only the
+/// aggregate hooks fire ([`Observer::on_batch`], [`Observer::on_fault`],
+/// [`Observer::on_converged`], [`Observer::on_exhausted`]); the per-agent
+/// hooks (`on_interaction`, `on_state_change`, `on_phase_transition`) are
+/// never called.
+#[derive(Debug, Clone)]
+pub struct BatchSimulation<P: Protocol, O = NoopObserver, F = NoFaults>
+where
+    P::State: Eq + Hash,
+{
+    protocol: P,
+    config: CountConfig<P::State>,
+    n: u64,
+    rng: SmallRng,
+    interactions: u64,
+    observer: O,
+    faults: F,
+    survival: Vec<f64>,
+    memo: TransitionMemo,
+    // Per-batch scratch, kept to avoid reallocation.
+    remaining: Vec<u64>,
+    slots: Vec<u32>,
+    deltas: Vec<i64>,
+    dirty: Vec<u32>,
+}
+
+impl<P: Protocol> BatchSimulation<P>
+where
+    P::State: Eq + Hash,
+{
+    /// Creates a batched simulation from an agent array (compressed on
+    /// entry), seeded exactly like [`crate::Simulation::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two agents are supplied.
+    pub fn new(protocol: P, initial: Vec<P::State>, seed: u64) -> Self {
+        Self::from_counts(protocol, CountConfig::from_states(&initial), seed)
+    }
+
+    /// Creates a batched simulation directly from counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration holds fewer than two agents.
+    pub fn from_counts(protocol: P, config: CountConfig<P::State>, seed: u64) -> Self {
+        let n = config.population();
+        assert!(n >= 2, "simulation requires at least two agents, got {n}");
+        let mut memo = TransitionMemo::default();
+        memo.grow(config.raw_len());
+        BatchSimulation {
+            protocol,
+            config,
+            n,
+            rng: rng_from_seed(seed),
+            interactions: 0,
+            observer: NoopObserver,
+            faults: NoFaults,
+            survival: survival_table(n),
+            memo,
+            remaining: Vec::new(),
+            slots: Vec::new(),
+            deltas: Vec::new(),
+            dirty: Vec::new(),
+        }
+    }
+}
+
+impl<P: Protocol, O: Observer<P>, F: FaultSchedule<P>> BatchSimulation<P, O, F>
+where
+    P::State: Eq + Hash,
+{
+    /// Number of agents.
+    pub fn population_size(&self) -> usize {
+        self.n as usize
+    }
+
+    /// The protocol being executed.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// The current configuration as counts.
+    pub fn counts(&self) -> &CountConfig<P::State> {
+        &self.config
+    }
+
+    /// Consumes the simulation, returning the final configuration.
+    pub fn into_counts(self) -> CountConfig<P::State> {
+        self.config
+    }
+
+    /// Interactions performed so far.
+    pub fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    /// Parallel time elapsed (interactions / n).
+    pub fn parallel_time(&self) -> f64 {
+        self.interactions as f64 / self.n as f64
+    }
+
+    /// Replaces the observer (mirrors [`crate::Simulation::observe`]).
+    pub fn observe<O2: Observer<P>>(self, observer: O2) -> BatchSimulation<P, O2, F> {
+        BatchSimulation {
+            protocol: self.protocol,
+            config: self.config,
+            n: self.n,
+            rng: self.rng,
+            interactions: self.interactions,
+            observer,
+            faults: self.faults,
+            survival: self.survival,
+            memo: self.memo,
+            remaining: self.remaining,
+            slots: self.slots,
+            deltas: self.deltas,
+            dirty: self.dirty,
+        }
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// The attached observer, mutably.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
+    }
+
+    /// Consumes the simulation, returning the observer.
+    pub fn into_observer(self) -> O {
+        self.observer
+    }
+
+    /// Binds `plan` to this simulation's population, replacing any existing
+    /// fault schedule (mirrors [`crate::Simulation::with_fault_plan`]).
+    pub fn with_fault_plan(self, plan: &FaultPlan) -> BatchSimulation<P, O, FaultInjector> {
+        let faults = FaultInjector::bind(plan, self.n as usize);
+        BatchSimulation {
+            protocol: self.protocol,
+            config: self.config,
+            n: self.n,
+            rng: self.rng,
+            interactions: self.interactions,
+            observer: self.observer,
+            faults,
+            survival: self.survival,
+            memo: self.memo,
+            remaining: self.remaining,
+            slots: self.slots,
+            deltas: self.deltas,
+            dirty: self.dirty,
+        }
+    }
+
+    /// The attached fault schedule.
+    pub fn fault_schedule(&self) -> &F {
+        &self.faults
+    }
+
+    /// Looks up (or computes and memoizes) the transition for the ordered
+    /// entry-index pair, returning the entry indices of the two output
+    /// states.
+    fn transition(&mut self, ia: usize, ib: usize) -> (usize, usize) {
+        if P::DETERMINISTIC_INTERACT {
+            if let Some(hit) = self.memo.get(ia, ib) {
+                return hit;
+            }
+        }
+        let mut a = self.config.state_at(ia).clone();
+        let mut b = self.config.state_at(ib).clone();
+        self.protocol.interact(&mut a, &mut b, &mut self.rng);
+        let ja = self.config.ensure_entry(a);
+        let jb = self.config.ensure_entry(b);
+        if P::DETERMINISTIC_INTERACT {
+            self.memo.set(ia, ib, ja, jb, self.config.raw_len());
+        }
+        (ja, jb)
+    }
+
+    /// Compacts tombstones away when worthwhile. Safe only between batches
+    /// / exact steps; invalidates the transition memo.
+    fn maybe_compact(&mut self) {
+        if self.config.wants_compaction() && self.config.compact() {
+            self.memo.grow(self.config.raw_len());
+        }
+    }
+
+    /// Draws one agent (by state-entry index) without replacement from the
+    /// scratch `remaining` counts holding `pool` agents.
+    fn draw_without_replacement(remaining: &mut [u64], rng: &mut SmallRng, pool: u64) -> usize {
+        let mut r = uniform_u64(rng, pool);
+        for (idx, c) in remaining.iter_mut().enumerate() {
+            if r < *c {
+                *c -= 1;
+                return idx;
+            }
+            r -= *c;
+        }
+        unreachable!("draw position beyond the remaining pool");
+    }
+
+    /// Records a count delta for the current batch.
+    #[inline]
+    fn bump_delta(deltas: &mut Vec<i64>, dirty: &mut Vec<u32>, idx: usize, d: i64) {
+        if deltas.len() <= idx {
+            deltas.resize(idx + 1, 0);
+        }
+        if deltas[idx] == 0 {
+            dirty.push(idx as u32);
+        }
+        deltas[idx] += d;
+    }
+
+    /// Performs one exact interaction at the count level: initiator state
+    /// with probability `C[s]/n`, responder with probability
+    /// `(C[s'] − δ)/(n − 1)` — the lumped uniform scheduler. This is the
+    /// fallback the batch machinery reduces to when compression cannot help
+    /// (e.g. ranked configurations), and the step primitive for
+    /// rank-tracked runs.
+    pub fn step_exact(&mut self) {
+        self.step_exact_indices();
+    }
+
+    /// [`BatchSimulation::step_exact`], returning the entry indices
+    /// `(initiator_pre, responder_pre, initiator_post, responder_post)`.
+    /// Entry states are immutable, so the pre-indices still resolve to the
+    /// participants' pre-interaction states after the step.
+    fn step_exact_indices(&mut self) -> (usize, usize, usize, usize) {
+        self.maybe_compact();
+        let ra = uniform_u64(&mut self.rng, self.n);
+        let ia = self.config.locate(ra);
+        let rb = uniform_u64(&mut self.rng, self.n - 1);
+        let ib = self.config.locate_excluding(rb, ia);
+        let (ja, jb) = self.transition(ia, ib);
+        self.config.transfer(ia, ja);
+        self.config.transfer(ib, jb);
+        self.interactions += 1;
+        (ia, ib, ja, jb)
+    }
+
+    /// Runs one collision-free batch of at most `cap ≥ 1` interactions
+    /// (plus its terminal colliding interaction, when one occurs within the
+    /// cap). Returns the number of interactions performed.
+    fn step_batch(&mut self, cap: u64) -> u64 {
+        debug_assert!(cap >= 1);
+        self.maybe_compact();
+        let lmax = (self.survival.len() - 1).min(usize::try_from(cap).unwrap_or(usize::MAX));
+        debug_assert!(lmax >= 1);
+
+        // Sample the collision-free run length T: P(T ≥ t) = survival[t].
+        let u: f64 = self.rng.gen();
+        let (t, collides) = if u < self.survival[lmax] {
+            (lmax, false) // capped batch: the collision lies beyond the cap
+        } else {
+            // Largest t with survival[t] > u; survival[1] = 1 > u.
+            let (mut lo, mut hi) = (1, lmax - 1);
+            while lo < hi {
+                let mid = (lo + hi).div_ceil(2);
+                if self.survival[mid] > u {
+                    lo = mid;
+                } else {
+                    hi = mid - 1;
+                }
+            }
+            (lo, true)
+        };
+
+        // Draw the 2T pairwise-distinct agents by state (sequential
+        // without-replacement draws == multivariate hypergeometric), pair
+        // them consecutively, and accumulate count deltas. Entry states
+        // are frozen for the whole batch, so the snapshot stays valid.
+        self.remaining.clear();
+        self.remaining.extend((0..self.config.raw_len()).map(|i| self.config.count_at(i)));
+        self.slots.clear();
+        let mut pool = self.n;
+        for _ in 0..t {
+            let ia = Self::draw_without_replacement(&mut self.remaining, &mut self.rng, pool);
+            pool -= 1;
+            let ib = Self::draw_without_replacement(&mut self.remaining, &mut self.rng, pool);
+            pool -= 1;
+            let (ja, jb) = self.transition(ia, ib);
+            self.slots.push(ja as u32);
+            self.slots.push(jb as u32);
+            Self::bump_delta(&mut self.deltas, &mut self.dirty, ia, -1);
+            Self::bump_delta(&mut self.deltas, &mut self.dirty, ib, -1);
+            Self::bump_delta(&mut self.deltas, &mut self.dirty, ja, 1);
+            Self::bump_delta(&mut self.deltas, &mut self.dirty, jb, 1);
+        }
+
+        // Commit the batch: every touched agent now carries its post-state.
+        for &idx in &self.dirty {
+            let idx = idx as usize;
+            let d = self.deltas[idx];
+            self.deltas[idx] = 0;
+            match d.cmp(&0) {
+                std::cmp::Ordering::Greater => self.config.add_at(idx, d as u64),
+                std::cmp::Ordering::Less => self.config.remove_at(idx, (-d) as u64),
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+        self.dirty.clear();
+        let mut performed = t as u64;
+
+        if collides {
+            // The first colliding interaction, conditioned on colliding:
+            // uniform over ordered pairs intersecting the m = 2T touched
+            // agents. Touched agents carry post-states (slots); untouched
+            // agents still follow the leftover `remaining` counts.
+            let m = 2 * t as u64;
+            let fresh = self.n - m;
+            let w_both = m * (m - 1);
+            let w_mixed = m * fresh;
+            let r = uniform_u64(&mut self.rng, w_both + 2 * w_mixed);
+            let (ia, ib) = if r < w_both {
+                let s1 = uniform_u64(&mut self.rng, m) as usize;
+                let mut s2 = uniform_u64(&mut self.rng, m - 1) as usize;
+                if s2 >= s1 {
+                    s2 += 1;
+                }
+                (self.slots[s1] as usize, self.slots[s2] as usize)
+            } else if r < w_both + w_mixed {
+                let s1 = uniform_u64(&mut self.rng, m) as usize;
+                let rb = uniform_u64(&mut self.rng, fresh);
+                (self.slots[s1] as usize, Self::pick_remaining(&self.remaining, rb))
+            } else {
+                let ra = uniform_u64(&mut self.rng, fresh);
+                let s2 = uniform_u64(&mut self.rng, m) as usize;
+                (Self::pick_remaining(&self.remaining, ra), self.slots[s2] as usize)
+            };
+            let (ja, jb) = self.transition(ia, ib);
+            self.config.transfer(ia, ja);
+            self.config.transfer(ib, jb);
+            performed += 1;
+        }
+
+        self.interactions += performed;
+        performed
+    }
+
+    /// Entry index of the untouched agent at zero-based position `r` of the
+    /// leftover `remaining` counts.
+    fn pick_remaining(remaining: &[u64], mut r: u64) -> usize {
+        for (idx, c) in remaining.iter().enumerate() {
+            if r < *c {
+                return idx;
+            }
+            r -= *c;
+        }
+        unreachable!("position beyond the untouched pool");
+    }
+
+    /// Polls the fault schedule, materializing the configuration into an
+    /// agent array only when something is actually due
+    /// ([`FaultSchedule::next_due`]). Returns the number of corrupted
+    /// agents.
+    fn poll_faults(&mut self) -> usize {
+        if !F::ACTIVE || self.interactions < self.faults.next_due() {
+            return 0;
+        }
+        let fired_before = self.faults.fired_count();
+        let mut states = self.config.to_states();
+        let corrupted = self.faults.poll(&self.protocol, &mut states, self.interactions);
+        if self.faults.fired_count() != fired_before {
+            // Rebuild from the corrupted array; every entry index and
+            // memoized transition is stale after the wholesale rebuild.
+            self.config = CountConfig::from_states(&states);
+            self.memo.grow(self.config.raw_len());
+            self.observer.on_fault(corrupted, self.interactions);
+        }
+        corrupted
+    }
+
+    /// Advances by one batch of at most `cap` interactions, respecting due
+    /// faults (batches never jump past [`FaultSchedule::next_due`]).
+    fn advance(&mut self, cap: u64) {
+        let cap = if F::ACTIVE {
+            self.poll_faults();
+            // Progress by at least one interaction even if a custom
+            // schedule reports an already-due time after polling.
+            cap.min(self.faults.next_due().saturating_sub(self.interactions).max(1))
+        } else {
+            cap
+        };
+        self.step_batch(cap);
+        if F::ACTIVE {
+            self.poll_faults();
+        }
+    }
+
+    /// Runs exactly `k` interactions in batches.
+    pub fn run(&mut self, k: u64) {
+        let target = self.interactions + k;
+        while self.interactions < target {
+            self.advance(target - self.interactions);
+        }
+        self.observer.on_batch(k, self.interactions);
+    }
+
+    /// Runs in batches until `goal` holds for the configuration, or until
+    /// the total interaction count reaches `max_interactions`.
+    ///
+    /// Mirrors [`crate::Simulation::run_until`] (the goal is evaluated on
+    /// the initial configuration too) except that the goal is checked at
+    /// batch boundaries, so the reported convergence point may overshoot by
+    /// up to one batch (`O(√n)` interactions, i.e. `O(1/√n)` parallel
+    /// time).
+    pub fn run_until(
+        &mut self,
+        max_interactions: u64,
+        mut goal: impl FnMut(&CountConfig<P::State>) -> bool,
+    ) -> RunOutcome {
+        loop {
+            if goal(&self.config) {
+                self.observer.on_converged(self.interactions);
+                if F::ACTIVE {
+                    self.faults.notify_converged(self.interactions);
+                }
+                return RunOutcome::Converged { interactions: self.interactions };
+            }
+            if self.interactions >= max_interactions {
+                self.observer.on_exhausted(self.interactions);
+                return RunOutcome::Exhausted { interactions: self.interactions };
+            }
+            self.advance(max_interactions - self.interactions);
+        }
+    }
+}
+
+impl<P: RankingProtocol, O: Observer<P>, F: FaultSchedule<P>> BatchSimulation<P, O, F>
+where
+    P::State: Eq + Hash,
+{
+    /// Builds a rank histogram of the current configuration.
+    fn build_tracker(&self) -> RankTracker {
+        let n = self.protocol.population_size();
+        let mut tracker = RankTracker::new(n);
+        for (s, c) in self.config.iter() {
+            let rank = self.protocol.rank_of(s);
+            for _ in 0..c {
+                tracker.add(rank);
+            }
+        }
+        tracker
+    }
+
+    /// Number of agents currently outputting leader (rank 1).
+    pub fn leader_count(&self) -> u64 {
+        self.config.iter().filter(|(s, _)| self.protocol.is_leader(s)).map(|(_, c)| c).sum()
+    }
+
+    /// Whether the configuration is currently correctly ranked.
+    pub fn is_ranked(&self) -> bool {
+        self.build_tracker().is_correct()
+    }
+
+    /// Count-level mirror of
+    /// [`crate::Simulation::run_until_stably_ranked`]: identical
+    /// convergence semantics (confirmation window, fault-triggered tracker
+    /// rebuilds), but over the exact one-at-a-time fallback — a ranked
+    /// configuration has `n` distinct states, so batching cannot help here
+    /// and the honest cost is `O(support)` per interaction.
+    pub fn run_until_stably_ranked(
+        &mut self,
+        max_interactions: u64,
+        confirm_window: u64,
+    ) -> RunOutcome {
+        let n = self.protocol.population_size();
+        assert_eq!(n as u64, self.n, "protocol configured for a different population size");
+        let mut tracker = self.build_tracker();
+        let mut converged_at: Option<u64> = None;
+        loop {
+            match converged_at {
+                Some(t0) => {
+                    if self.interactions - t0 >= confirm_window {
+                        self.observer.on_converged(t0);
+                        if F::ACTIVE {
+                            self.faults.notify_converged(t0);
+                        }
+                        return RunOutcome::Converged { interactions: t0 };
+                    }
+                }
+                None => {
+                    if tracker.is_correct() {
+                        converged_at = Some(self.interactions);
+                        if confirm_window == 0 {
+                            self.observer.on_converged(self.interactions);
+                            if F::ACTIVE {
+                                self.faults.notify_converged(self.interactions);
+                            }
+                            return RunOutcome::Converged { interactions: self.interactions };
+                        }
+                    }
+                }
+            }
+            if self.interactions >= max_interactions {
+                self.observer.on_exhausted(self.interactions);
+                return RunOutcome::Exhausted { interactions: self.interactions };
+            }
+            let (ia, ib, ja, jb) = self.step_exact_indices();
+            tracker.update(
+                self.protocol.rank_of(self.config.state_at(ia)),
+                self.protocol.rank_of(self.config.state_at(ja)),
+            );
+            tracker.update(
+                self.protocol.rank_of(self.config.state_at(ib)),
+                self.protocol.rank_of(self.config.state_at(jb)),
+            );
+            if F::ACTIVE {
+                let fired_before = self.faults.fired_count();
+                self.poll_faults();
+                if self.faults.fired_count() != fired_before {
+                    tracker = self.build_tracker();
+                    converged_at = None;
+                }
+            }
+            if converged_at.is_some() && !tracker.is_correct() {
+                converged_at = None;
+            }
+        }
+    }
+}
+
+impl<P, O, F> BatchSimulation<P, O, F>
+where
+    P: Corruptor,
+    P::State: Eq + Hash,
+    O: Observer<P>,
+    F: FaultSchedule<P>,
+{
+    /// Count-level mirror of [`crate::Simulation::run_chaos`]: runs under
+    /// the attached fault schedule, measuring recovery and availability,
+    /// with identical semantics (exact one-at-a-time steps — chaos runs
+    /// rank-track every interaction).
+    pub fn run_chaos(&mut self, max_interactions: u64) -> ChaosReport {
+        let n = self.protocol.population_size();
+        assert_eq!(n as u64, self.n, "protocol configured for a different population size");
+        let mut tracker = self.build_tracker();
+        let mut recovery = RecoveryTracker::new(n);
+        let mut seen = self.faults.fired_count();
+
+        self.poll_faults();
+        if self.faults.fired_count() != seen {
+            for f in &self.faults.log()[seen..] {
+                recovery.on_fault(f.action, f.agents, f.at);
+            }
+            seen = self.faults.fired_count();
+            tracker = self.build_tracker();
+        }
+        if tracker.is_correct() {
+            recovery.on_ranked(self.interactions);
+            self.faults.notify_converged(self.interactions);
+        }
+
+        loop {
+            if tracker.is_correct() && self.faults.exhausted() && recovery.open_faults() == 0 {
+                self.observer.on_converged(self.interactions);
+                break;
+            }
+            if self.interactions >= max_interactions {
+                self.observer.on_exhausted(self.interactions);
+                break;
+            }
+            let (ia, ib, ja, jb) = self.step_exact_indices();
+            tracker.update(
+                self.protocol.rank_of(self.config.state_at(ia)),
+                self.protocol.rank_of(self.config.state_at(ja)),
+            );
+            tracker.update(
+                self.protocol.rank_of(self.config.state_at(ib)),
+                self.protocol.rank_of(self.config.state_at(jb)),
+            );
+            self.poll_faults();
+            if self.faults.fired_count() != seen {
+                for f in &self.faults.log()[seen..] {
+                    recovery.on_fault(f.action, f.agents, f.at);
+                }
+                seen = self.faults.fired_count();
+                tracker = self.build_tracker();
+            }
+            let ranked = tracker.is_correct();
+            recovery.observe_step(ranked, tracker.count_of(1) == 1);
+            if ranked {
+                recovery.on_ranked(self.interactions);
+                self.faults.notify_converged(self.interactions);
+            }
+        }
+        recovery.into_report(self.interactions)
+    }
+}
+
+/// Runs one seeded ranked trial on the count backend. Seed derivation
+/// matches [`Runner::run_trials`] exactly: configuration randomness from
+/// `derive_seed(base, 2·trial)`, the execution from
+/// `derive_seed(base, 2·trial + 1)` — so trial outcomes are comparable
+/// across backends in distribution (the executions themselves consume
+/// randomness differently).
+fn counts_trial<P, F>(runner: &Runner, trial: u64, make: &mut F) -> TrialOutcome
+where
+    P: RankingProtocol,
+    P::State: Eq + Hash,
+    F: FnMut(u64, &mut SmallRng) -> (P, Vec<P::State>),
+{
+    let settings = *runner.settings();
+    let mut config_rng = rng_from_seed(derive_seed(settings.base_seed, 2 * trial));
+    let (protocol, initial) = make(trial, &mut config_rng);
+    let n = initial.len();
+    let mut sim =
+        BatchSimulation::new(protocol, initial, derive_seed(settings.base_seed, 2 * trial + 1));
+    let started = Instant::now();
+    let outcome = sim.run_until_stably_ranked(settings.max_interactions, settings.confirm_window);
+    TrialOutcome { trial, n, outcome, wall: started.elapsed() }
+}
+
+/// Runs one seeded chaos trial on the count backend, mirroring the
+/// agent-array chaos trial's seed derivation.
+fn counts_chaos_trial<P, F>(runner: &Runner, trial: u64, make: &mut F) -> ChaosTrialOutcome
+where
+    P: Corruptor,
+    P::State: Eq + Hash,
+    F: FnMut(u64, &mut SmallRng) -> (P, Vec<P::State>, FaultPlan),
+{
+    let settings = *runner.settings();
+    let mut config_rng = rng_from_seed(derive_seed(settings.base_seed, 2 * trial));
+    let (protocol, initial, plan) = make(trial, &mut config_rng);
+    let n = initial.len();
+    let mut sim =
+        BatchSimulation::new(protocol, initial, derive_seed(settings.base_seed, 2 * trial + 1))
+            .with_fault_plan(&plan);
+    let started = Instant::now();
+    let report = sim.run_chaos(settings.max_interactions);
+    ChaosTrialOutcome { trial, n, report, wall: started.elapsed() }
+}
+
+impl Runner {
+    /// [`Runner::run_trials`] on the count-based backend.
+    pub fn run_trials_counts<P, F>(&self, mut make: F) -> Vec<TrialOutcome>
+    where
+        P: RankingProtocol,
+        P::State: Eq + Hash,
+        F: FnMut(u64, &mut SmallRng) -> (P, Vec<P::State>),
+    {
+        (0..self.settings().trials).map(|trial| counts_trial(self, trial, &mut make)).collect()
+    }
+
+    /// [`Runner::run_trials_parallel`] on the count-based backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn run_trials_counts_parallel<P, F>(&self, threads: usize, make: F) -> Vec<TrialOutcome>
+    where
+        P: RankingProtocol + Send,
+        P::State: Eq + Hash + Send,
+        F: Fn(u64, &mut SmallRng) -> (P, Vec<P::State>) + Sync,
+    {
+        assert!(threads > 0, "at least one worker thread is required");
+        let make = &make;
+        let trials = self.settings().trials;
+        let mut results: Vec<TrialOutcome> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for worker in 0..threads {
+                let runner = *self;
+                let handle = scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut trial = worker as u64;
+                    while trial < trials {
+                        let mut make_fn = |t: u64, rng: &mut SmallRng| make(t, rng);
+                        out.push(counts_trial(&runner, trial, &mut make_fn));
+                        trial += threads as u64;
+                    }
+                    out
+                });
+                handles.push(handle);
+            }
+            handles.into_iter().flat_map(|h| h.join().expect("worker thread panicked")).collect()
+        });
+        results.sort_unstable_by_key(|t| t.trial);
+        results
+    }
+
+    /// [`Runner::run_chaos_trials_parallel`] on the count-based backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn run_chaos_trials_counts_parallel<P, F>(
+        &self,
+        threads: usize,
+        make: F,
+    ) -> Vec<ChaosTrialOutcome>
+    where
+        P: Corruptor + Send,
+        P::State: Eq + Hash + Send,
+        F: Fn(u64, &mut SmallRng) -> (P, Vec<P::State>, FaultPlan) + Sync,
+    {
+        assert!(threads > 0, "at least one worker thread is required");
+        let make = &make;
+        let trials = self.settings().trials;
+        let mut results: Vec<ChaosTrialOutcome> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for worker in 0..threads {
+                let runner = *self;
+                let handle = scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut trial = worker as u64;
+                    while trial < trials {
+                        let mut make_fn = |t: u64, rng: &mut SmallRng| make(t, rng);
+                        out.push(counts_chaos_trial(&runner, trial, &mut make_fn));
+                        trial += threads as u64;
+                    }
+                    out
+                });
+                handles.push(handle);
+            }
+            handles.into_iter().flat_map(|h| h.join().expect("worker thread panicked")).collect()
+        });
+        results.sort_unstable_by_key(|t| t.trial);
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultAction, FaultSize};
+    use crate::runner::TrialSettings;
+
+    /// Protocol 1 of the paper in miniature (deterministic transitions).
+    #[derive(Clone)]
+    struct ModRank {
+        n: usize,
+    }
+    impl Protocol for ModRank {
+        type State = usize;
+        const DETERMINISTIC_INTERACT: bool = true;
+        fn interact(&self, a: &mut usize, b: &mut usize, _rng: &mut SmallRng) {
+            if a == b {
+                *b = (*b + 1) % self.n;
+            }
+        }
+    }
+    impl RankingProtocol for ModRank {
+        fn population_size(&self) -> usize {
+            self.n
+        }
+        fn rank_of(&self, s: &usize) -> Option<usize> {
+            Some(s + 1)
+        }
+    }
+    impl Corruptor for ModRank {
+        fn random_state(&self, rng: &mut SmallRng) -> usize {
+            rng.gen_range(0..self.n)
+        }
+    }
+
+    /// The one-transition leader-fight protocol: ℓ,ℓ → ℓ,f.
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    enum Fight {
+        Leader,
+        Follower,
+    }
+    struct FightProtocol;
+    impl Protocol for FightProtocol {
+        type State = Fight;
+        const DETERMINISTIC_INTERACT: bool = true;
+        fn interact(&self, a: &mut Fight, b: &mut Fight, _rng: &mut SmallRng) {
+            if *a == Fight::Leader && *b == Fight::Leader {
+                *b = Fight::Follower;
+            }
+        }
+    }
+
+    fn leaders(config: &CountConfig<Fight>) -> u64 {
+        config.count_of(&Fight::Leader)
+    }
+
+    #[test]
+    fn count_config_round_trips_with_state_vectors() {
+        let states = vec![3usize, 1, 3, 3, 7, 1];
+        let config = CountConfig::from_states(&states);
+        assert_eq!(config.population(), 6);
+        assert_eq!(config.support(), 3);
+        assert_eq!(config.count_of(&3), 3);
+        assert_eq!(config.count_of(&1), 2);
+        assert_eq!(config.count_of(&7), 1);
+        assert_eq!(config.count_of(&42), 0);
+        let mut expanded = config.to_states();
+        let mut original = states;
+        expanded.sort_unstable();
+        original.sort_unstable();
+        assert_eq!(expanded, original, "expansion is the same multiset");
+    }
+
+    #[test]
+    fn count_config_locate_walks_entry_order() {
+        let config = CountConfig::from_states(&[5usize, 5, 9, 5]);
+        // Entry order is first-seen: [(5, 3), (9, 1)].
+        assert_eq!(config.locate(0), 0);
+        assert_eq!(config.locate(2), 0);
+        assert_eq!(config.locate(3), 1);
+        // With one agent of entry 0 excluded, position 2 is the 9.
+        assert_eq!(config.locate_excluding(2, 0), 1);
+        assert_eq!(config.locate_excluding(1, 0), 0);
+    }
+
+    #[test]
+    fn count_config_compaction_drops_tombstones_only() {
+        let mut config = CountConfig::from_states(&[0usize; 4]);
+        for s in 1..40usize {
+            config.add(s, 1);
+            config.remove(&s, 1);
+        }
+        assert_eq!(config.support(), 1);
+        assert!(config.raw_len() > 1, "tombstones accumulate until compaction");
+        assert!(config.wants_compaction());
+        assert!(config.compact());
+        assert_eq!(config.raw_len(), 1);
+        assert_eq!(config.population(), 4);
+        assert_eq!(config.count_of(&0), 4);
+    }
+
+    #[test]
+    fn survival_table_is_a_nonincreasing_probability() {
+        for n in [2u64, 3, 10, 1000] {
+            let table = survival_table(n);
+            assert!(table.len() >= 2, "n = {n}");
+            assert_eq!(table[0], 1.0);
+            assert_eq!(table[1], 1.0, "one interaction can never self-collide");
+            for w in table.windows(2) {
+                assert!(w[1] <= w[0] && w[1] > 0.0);
+            }
+        }
+        // n = 2: the second interaction always re-touches both agents.
+        assert_eq!(survival_table(2).len(), 2);
+    }
+
+    #[test]
+    fn batched_run_performs_exactly_k_interactions() {
+        for n in [2usize, 3, 7, 64, 1000] {
+            let mut sim = BatchSimulation::new(FightProtocol, vec![Fight::Leader; n], 11);
+            sim.run(2_345);
+            assert_eq!(sim.interactions(), 2_345, "n = {n}");
+            assert_eq!(sim.counts().population(), n as u64, "population is conserved");
+        }
+    }
+
+    #[test]
+    fn batched_fight_elects_exactly_one_leader() {
+        // From all-leader, pairwise elimination needs Θ(n) parallel time
+        // ((n−1)² expected interactions) — keep n modest.
+        let n = 500;
+        let mut sim = BatchSimulation::new(FightProtocol, vec![Fight::Leader; n], 3);
+        let outcome = sim.run_until(10_000_000, |c| c.count_of(&Fight::Leader) == 1);
+        assert!(outcome.is_converged(), "{outcome:?}");
+        assert_eq!(leaders(sim.counts()), 1);
+        assert_eq!(sim.counts().count_of(&Fight::Follower), n as u64 - 1);
+    }
+
+    #[test]
+    fn batched_execution_is_deterministic_in_the_seed() {
+        let run = |seed: u64| {
+            let mut sim = BatchSimulation::new(FightProtocol, vec![Fight::Leader; 512], seed);
+            sim.run(20_000);
+            (sim.interactions(), leaders(sim.counts()))
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn exact_stepping_matches_lumped_scheduler_distribution() {
+        // One exact step from (L, F) with 2 agents: the pair is always
+        // (L, F) or (F, L), never (L, L) — leader count is invariant.
+        let mut sim = BatchSimulation::new(FightProtocol, vec![Fight::Leader, Fight::Follower], 7);
+        for _ in 0..100 {
+            sim.step_exact();
+            assert_eq!(leaders(sim.counts()), 1);
+        }
+        assert_eq!(sim.interactions(), 100);
+    }
+
+    #[test]
+    fn run_until_stably_ranked_converges_like_the_agent_backend() {
+        let mut sim = BatchSimulation::new(ModRank { n: 8 }, vec![0usize; 8], 21);
+        let outcome = sim.run_until_stably_ranked(1_000_000, 32);
+        assert!(outcome.is_converged(), "{outcome:?}");
+        assert!(sim.is_ranked());
+        assert_eq!(sim.leader_count(), 1);
+        assert_eq!(sim.counts().support(), 8, "a ranked configuration has n distinct states");
+    }
+
+    #[test]
+    fn already_ranked_configuration_converges_at_zero() {
+        let mut sim = BatchSimulation::new(ModRank { n: 6 }, (0..6).collect(), 4);
+        let outcome = sim.run_until_stably_ranked(1_000, 10);
+        assert_eq!(outcome, RunOutcome::Converged { interactions: 0 });
+    }
+
+    #[test]
+    fn fault_injection_by_count_preserves_population_size() {
+        for (seed, action) in [
+            (1, FaultAction::CorruptRandom(FaultSize::Exact(3))),
+            (2, FaultAction::DuplicateLeader),
+            (3, FaultAction::Collide(FaultSize::Sqrt)),
+            (4, FaultAction::PartialReset(FaultSize::Fraction(0.5))),
+            (5, FaultAction::Randomize),
+        ] {
+            let n = 24;
+            let plan = FaultPlan::new(seed).at_interaction(40, action);
+            let mut sim =
+                BatchSimulation::new(ModRank { n }, vec![0usize; n], 13).with_fault_plan(&plan);
+            sim.run(200);
+            assert_eq!(
+                sim.counts().population(),
+                n as u64,
+                "{action:?} changed the population size"
+            );
+            assert_eq!(
+                FaultSchedule::<ModRank>::fired_count(sim.fault_schedule()),
+                1,
+                "{action:?} did not fire"
+            );
+        }
+    }
+
+    #[test]
+    fn batches_never_jump_past_a_due_fault() {
+        // A fault at interaction 1000 in a large population (batch length
+        // ~√n ≫ 1) must be applied at exactly interaction 1000.
+        struct Probe {
+            fired_at: Option<u64>,
+        }
+        impl Observer<ModRank> for Probe {
+            fn on_fault(&mut self, _agents: usize, interactions: u64) {
+                self.fired_at = Some(interactions);
+            }
+        }
+        let n = 4096;
+        let plan = FaultPlan::new(3).at_interaction(1000, FaultAction::Randomize);
+        let mut sim = BatchSimulation::new(ModRank { n }, vec![0usize; n], 17)
+            .observe(Probe { fired_at: None })
+            .with_fault_plan(&plan);
+        sim.run(5_000);
+        assert_eq!(sim.observer().fired_at, Some(1000));
+    }
+
+    #[test]
+    fn counts_chaos_run_recovers_from_injected_faults() {
+        let plan = FaultPlan::new(11)
+            .after_convergence(5, FaultAction::CorruptRandom(FaultSize::Exact(2)));
+        let mut sim =
+            BatchSimulation::new(ModRank { n: 8 }, vec![0usize; 8], 3).with_fault_plan(&plan);
+        let report = sim.run_chaos(10_000_000);
+        assert!(report.first_ranked.is_some());
+        assert_eq!(report.faults.len(), 1);
+        assert!(report.fully_recovered(), "{report:?}");
+        assert!(report.availability() > 0.0 && report.availability() <= 1.0);
+    }
+
+    #[test]
+    fn counts_trials_are_reproducible_and_parallel_matches_sequential() {
+        let runner = Runner::new(TrialSettings::new(6, 13, 1_000_000, 5));
+        let make = |_t: u64, _rng: &mut SmallRng| (ModRank { n: 8 }, vec![0usize; 8]);
+        // Compare deterministic fields only: wall times vary run to run.
+        let key = |ts: &[TrialOutcome]| -> Vec<(u64, usize, RunOutcome)> {
+            ts.iter().map(|t| (t.trial, t.n, t.outcome)).collect()
+        };
+        let sequential = runner.run_trials_counts(make);
+        assert_eq!(sequential.len(), 6);
+        assert!(sequential.iter().all(|t| t.outcome.is_converged()));
+        assert_eq!(key(&runner.run_trials_counts(make)), key(&sequential));
+        for threads in [1, 2, 4] {
+            assert_eq!(
+                key(&runner.run_trials_counts_parallel(threads, make)),
+                key(&sequential),
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn counts_chaos_trials_parallel_matches_sequential_reports() {
+        let runner = Runner::new(TrialSettings::new(4, 13, 1_000_000, 0));
+        let make = |trial: u64, _rng: &mut SmallRng| {
+            let plan = FaultPlan::new(trial)
+                .after_convergence(4, FaultAction::CorruptRandom(FaultSize::Exact(1)));
+            (ModRank { n: 8 }, vec![0usize; 8], plan)
+        };
+        let sequential = runner.run_chaos_trials_counts_parallel(1, make);
+        assert_eq!(sequential.len(), 4);
+        for threads in [2, 4] {
+            let parallel = runner.run_chaos_trials_counts_parallel(threads, make);
+            assert_eq!(
+                parallel.iter().map(|t| &t.report).collect::<Vec<_>>(),
+                sequential.iter().map(|t| &t.report).collect::<Vec<_>>(),
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn memo_stays_correct_across_compaction() {
+        // Drive ModRank (deterministic, memoized) long enough that entries
+        // churn and compaction fires; the invariant ∑counts = n and the
+        // eventual correct ranking prove no stale memo index was applied.
+        let n = 40;
+        let mut sim = BatchSimulation::new(ModRank { n }, vec![0usize; n], 5);
+        let outcome = sim.run_until_stably_ranked(10_000_000, 0);
+        assert!(outcome.is_converged());
+        assert_eq!(sim.counts().population(), n as u64);
+        let mut ranks: Vec<usize> = sim.counts().iter().map(|(s, _)| *s).collect();
+        ranks.sort_unstable();
+        assert_eq!(ranks, (0..n).collect::<Vec<_>>());
+    }
+}

@@ -18,7 +18,10 @@
 //! specialized compact state (levels, bitsets) so they can be measured at
 //! large `n`.
 
+use rand::rngs::SmallRng;
+
 use crate::graph::InteractionGraph;
+use crate::protocol::Protocol;
 use crate::runner::rng_from_seed;
 use crate::scheduler::Scheduler;
 
@@ -29,6 +32,59 @@ pub enum EpidemicKind {
     OneWay,
     /// Both participants learn (the paper's "two-way epidemic").
     TwoWay,
+}
+
+/// Infection status of one agent in the [`OneWayEpidemic`] protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Infection {
+    /// Has not heard the rumor yet.
+    Susceptible,
+    /// Knows the rumor and spreads it as initiator.
+    Infected,
+}
+
+/// The one-way epidemic as a [`Protocol`]: `I, S → I, I`, all other pairs
+/// null.
+///
+/// The specialized [`epidemic_time`] driver measures the same process with
+/// flat bitsets; this protocol form exists so the epidemic can run through
+/// the generic simulation machinery — in particular as the
+/// maximally-compressible workload (two states, deterministic transitions)
+/// of the count-based backend ([`crate::counts`]) and of the
+/// `scaling_frontier` experiment, and as the discrete side of the
+/// Gillespie cross-check ([`crate::gillespie`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OneWayEpidemic;
+
+impl OneWayEpidemic {
+    /// The standard initial configuration: agent 0 infected, the rest
+    /// susceptible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn seeded_configuration(n: usize) -> Vec<Infection> {
+        assert!(n > 0, "cannot seed an empty population");
+        let mut states = vec![Infection::Susceptible; n];
+        states[0] = Infection::Infected;
+        states
+    }
+}
+
+impl Protocol for OneWayEpidemic {
+    type State = Infection;
+    // Pure function of the two states, so the count backend may memoize.
+    const DETERMINISTIC_INTERACT: bool = true;
+
+    fn interact(&self, a: &mut Infection, b: &mut Infection, _rng: &mut SmallRng) {
+        if *a == Infection::Infected {
+            *b = Infection::Infected;
+        }
+    }
+
+    fn is_null_pair(&self, a: &Infection, b: &Infection) -> bool {
+        !(*a == Infection::Infected && *b == Infection::Susceptible)
+    }
 }
 
 /// Runs an epidemic from a single source until the whole population is
@@ -217,6 +273,43 @@ pub fn roll_call_time(n: usize, seed: u64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::simulation::Simulation;
+
+    #[test]
+    fn one_way_epidemic_protocol_matches_the_specialized_driver() {
+        // The protocol form and the bitset driver realize the same process;
+        // their mean completion times must agree closely.
+        let n = 128;
+        let trials = 15u64;
+        let goal = n as u64;
+        let protocol_mean: f64 = (0..trials)
+            .map(|s| {
+                let mut sim =
+                    Simulation::new(OneWayEpidemic, OneWayEpidemic::seeded_configuration(n), s);
+                let outcome = sim.run_until(10_000_000, |states| {
+                    states.iter().filter(|s| **s == Infection::Infected).count() as u64 == goal
+                });
+                assert!(outcome.is_converged());
+                outcome.parallel_time(n)
+            })
+            .sum::<f64>()
+            / trials as f64;
+        let driver_mean: f64 =
+            (0..trials).map(|s| epidemic_time(n, EpidemicKind::OneWay, 1000 + s)).sum::<f64>()
+                / trials as f64;
+        let ratio = protocol_mean / driver_mean;
+        assert!((0.7..1.3).contains(&ratio), "protocol {protocol_mean} vs driver {driver_mean}");
+    }
+
+    #[test]
+    fn one_way_epidemic_null_pairs_are_exact() {
+        let p = OneWayEpidemic;
+        use Infection::{Infected, Susceptible};
+        assert!(!p.is_null_pair(&Infected, &Susceptible));
+        assert!(p.is_null_pair(&Susceptible, &Infected), "infection is one-way");
+        assert!(p.is_null_pair(&Infected, &Infected));
+        assert!(p.is_null_pair(&Susceptible, &Susceptible));
+    }
 
     #[test]
     fn epidemic_scales_logarithmically() {

@@ -19,7 +19,7 @@
 //!   an arbitrary ("adversarial") state and a mid-reset state. Implemented by
 //!   the SSR protocols in `ssle::core`, reusing the adversary generators.
 //! * [`FaultSchedule`] — the type-level injection point.
-//!   [`Simulation`](crate::Simulation) takes a schedule as its third type
+//!   [`Simulation`] takes a schedule as its third type
 //!   parameter, defaulting to [`NoFaults`] whose `ACTIVE = false` associated
 //!   const folds every poll out of the hot loop: a simulation without a fault
 //!   plan compiles to the same code as before this module existed.
@@ -271,7 +271,7 @@ pub struct FiredFault {
 
 /// The simulation-side fault hook: polled after every interaction.
 ///
-/// This is the fault analogue of [`Observer`](crate::Observer): a type-level
+/// This is the fault analogue of [`Observer`]: a type-level
 /// plug-in with a const gate. [`NoFaults`] (the default) has `ACTIVE =
 /// false`, so the polls vanish at monomorphization; [`FaultInjector`] has
 /// `ACTIVE = true` and executes a bound [`FaultPlan`].
@@ -289,6 +289,21 @@ pub trait FaultSchedule<P: Protocol> {
     /// [`FaultTrigger::AfterConvergence`] events. Idempotent: calls after the
     /// first are ignored.
     fn notify_converged(&mut self, interactions: u64);
+
+    /// The earliest total interaction count at which [`FaultSchedule::poll`]
+    /// could fire anything (`u64::MAX` when nothing is armed).
+    ///
+    /// The agent-array simulation ignores this (its polls are O(1) against a
+    /// live state slice). The count-based backend
+    /// ([`crate::counts::BatchSimulation`]) uses it twice: to materialize an
+    /// agent array for `poll` only when something is actually due, and to cap
+    /// batch lengths so a batched execution never jumps past a due fault. The
+    /// conservative default of `0` ("always possibly due") keeps custom
+    /// schedules correct — they are simply polled every interaction, as on
+    /// the agent backend.
+    fn next_due(&self) -> u64 {
+        0
+    }
 
     /// Every fault fired so far, in firing order.
     fn log(&self) -> &[FiredFault];
@@ -316,6 +331,10 @@ impl<P: Protocol> FaultSchedule<P> for NoFaults {
     }
 
     fn notify_converged(&mut self, _interactions: u64) {}
+
+    fn next_due(&self) -> u64 {
+        u64::MAX
+    }
 
     fn log(&self) -> &[FiredFault] {
         &[]
@@ -456,6 +475,10 @@ impl<P: Corruptor> FaultSchedule<P> for FaultInjector {
         // Only the unconsumed tail may be reordered; fired events stay put.
         self.oneshot[self.next_oneshot..].sort_by_key(|&(t, _)| t);
         self.recompute_next_due();
+    }
+
+    fn next_due(&self) -> u64 {
+        self.next_due
     }
 
     fn log(&self) -> &[FiredFault] {

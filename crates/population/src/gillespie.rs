@@ -183,6 +183,41 @@ mod tests {
     }
 
     #[test]
+    fn gillespie_agrees_with_discrete_parallel_time_on_the_epidemic() {
+        // The continuous clock and interactions/n are the same clock in
+        // expectation: on the 2-state one-way epidemic, the mean completion
+        // time under Gillespie semantics must match the mean discrete
+        // parallel time (Θ(log n) ≈ 13 time units at n = 200; the two
+        // estimates share neither seeds nor trajectories, so agreement is
+        // statistical — means over 20 trials land well inside 15%).
+        use crate::epidemic::{Infection, OneWayEpidemic};
+        let n = 200;
+        let trials = 20u64;
+        let all_infected = |states: &[Infection]| states.iter().all(|s| *s == Infection::Infected);
+        let mut continuous_sum = 0.0;
+        let mut discrete_sum = 0.0;
+        for s in 0..trials {
+            let initial = OneWayEpidemic::seeded_configuration(n);
+            let mut cont = GillespieSimulation::new(OneWayEpidemic, initial.clone(), s);
+            let outcome = cont.run_until(1e9, |states| all_infected(states));
+            assert!(outcome.is_converged());
+            continuous_sum += cont.time();
+
+            let mut disc = Simulation::new(OneWayEpidemic, initial, 10_000 + s);
+            let outcome = disc.run_until(u64::MAX, |states| all_infected(states));
+            assert!(outcome.is_converged());
+            discrete_sum += disc.parallel_time();
+        }
+        let continuous_mean = continuous_sum / trials as f64;
+        let discrete_mean = discrete_sum / trials as f64;
+        let rel = (continuous_mean - discrete_mean).abs() / discrete_mean;
+        assert!(
+            rel < 0.15,
+            "Gillespie mean {continuous_mean} vs discrete mean {discrete_mean} (rel {rel})"
+        );
+    }
+
+    #[test]
     fn jump_chain_is_the_discrete_scheduler() {
         // The embedded discrete chain must be identical to a plain
         // Simulation with the same seed.

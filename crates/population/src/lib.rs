@@ -28,6 +28,8 @@
 //! | [`graph`] | interaction graphs: complete, ring, arbitrary edge lists |
 //! | [`scheduler`] | uniformly random ordered pair selection over a graph |
 //! | [`simulation`] | [`Simulation`]: owns the configuration, steps it, counts interactions |
+//! | [`counts`] | count-based backend: [`counts::CountConfig`] multisets and the batched [`counts::BatchSimulation`] for huge `n` |
+//! | [`backend`] | [`SimulationBackend`]: one interface over the agent-array and count backends |
 //! | [`tracker`] | O(1)-per-interaction convergence detection for ranking protocols |
 //! | [`runner`] | multi-trial experiment driver with deterministic seed derivation |
 //! | [`observer`] | [`Observer`] hooks into the hot loop; [`NoopObserver`] zero-cost default |
@@ -71,6 +73,8 @@
 //! assert!(outcome.is_converged());
 //! ```
 
+pub mod backend;
+pub mod counts;
 pub mod epidemic;
 pub mod fault;
 pub mod gillespie;
@@ -86,6 +90,8 @@ pub mod simulation;
 pub mod telemetry;
 pub mod tracker;
 
+pub use backend::SimulationBackend;
+pub use counts::{BatchSimulation, CountConfig};
 pub use fault::{
     ChaosReport, ChaosTrialOutcome, Corruptor, FaultAction, FaultEvent, FaultInjector, FaultPlan,
     FaultSchedule, FaultSize, FaultTrigger, NoFaults, RecoveryTracker,
@@ -93,7 +99,7 @@ pub use fault::{
 pub use graph::InteractionGraph;
 pub use observer::{NoopObserver, Observer};
 pub use protocol::{Protocol, RankingProtocol};
-pub use record::{FaultRecord, RecordLine, RunRecord};
+pub use record::{FaultRecord, FrontierRecord, RecordLine, RunRecord};
 pub use runner::{derive_seed, ConvergenceSample, Runner, TrialOutcome, TrialSettings};
 pub use simulation::{RunOutcome, Simulation};
 pub use telemetry::TelemetryObserver;

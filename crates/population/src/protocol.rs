@@ -23,6 +23,17 @@ pub trait Protocol {
     /// configurations (use `Arc` internally for heavyweight fields).
     type State: Clone + std::fmt::Debug;
 
+    /// Declares that [`Protocol::interact`] is a pure function of the two
+    /// input states and never reads its RNG argument.
+    ///
+    /// The count-based backend ([`crate::counts`]) memoizes state-pair
+    /// transitions when this is `true`, turning the per-interaction cost
+    /// into a table lookup. The conservative default of `false` is always
+    /// correct — a protocol that opts in while actually drawing randomness
+    /// in `interact` would have one sampled outcome silently replayed for
+    /// every repetition of that state pair.
+    const DETERMINISTIC_INTERACT: bool = false;
+
     /// Applies one interaction between initiator `a` and responder `b`.
     fn interact(&self, a: &mut Self::State, b: &mut Self::State, rng: &mut SmallRng);
 

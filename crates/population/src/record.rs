@@ -16,10 +16,12 @@
 //! # Schema versions
 //!
 //! * **v1** — trial records only (`table1`, `h_sweep`, …).
-//! * **v2** — adds a `kind` discriminator (`"trial"` / `"fault"`), the
-//!   optional trial fields `availability`/`faults` emitted by chaos runs
-//!   (see [`crate::fault`]), and the per-fault [`FaultRecord`] line. v1
-//!   lines (no `kind`) still parse as trials.
+//! * **v2** — adds a `kind` discriminator (`"trial"` / `"fault"` /
+//!   `"frontier"`), the optional trial fields `availability`/`faults`
+//!   emitted by chaos runs (see [`crate::fault`]), the per-fault
+//!   [`FaultRecord`] line, and the [`FrontierRecord`] line emitted by the
+//!   `scaling_frontier` bench (backend-throughput measurements at huge
+//!   `n`). v1 lines (no `kind`) still parse as trials.
 //!
 //! A stream may mix both kinds; [`from_jsonl_mixed`] reads everything as
 //! [`RecordLine`]s, while [`from_jsonl`] keeps its original contract of
@@ -286,6 +288,116 @@ impl FaultRecord {
     }
 }
 
+/// One backend-throughput measurement at a single population size
+/// (`kind = "frontier"`, schema v2), emitted by the `scaling_frontier`
+/// bench. Unlike a [`RunRecord`], a frontier record names the **backend**
+/// that executed the run (`"agents"` or `"counts"`), so agent-array and
+/// count-based throughput can be compared per `(workload, n)` cell, and it
+/// carries the count-backend compression evidence (`support`, the number of
+/// distinct states) where available.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierRecord {
+    /// Name of the experiment that produced this record (e.g. `"frontier"`).
+    pub experiment: String,
+    /// Workload short-name (e.g. `"epidemic"`, `"loose"`).
+    pub protocol: String,
+    /// Simulation backend that executed the run (`"agents"` / `"counts"`).
+    pub backend: String,
+    /// Population size.
+    pub n: u64,
+    /// Trial index within the experiment.
+    pub trial: u64,
+    /// Base seed of the experiment (per-trial seeds derive from it).
+    pub seed: u64,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Wall-clock seconds the run took.
+    pub wall_s: f64,
+    /// Final number of distinct states (count backend only): the quantity
+    /// that decides whether counting compresses the configuration at all.
+    pub support: Option<u64>,
+    /// Final number of leaders, for leader-election workloads.
+    pub leaders: Option<u64>,
+}
+
+impl FrontierRecord {
+    /// Parallel time (interactions / n) at the end of the run.
+    pub fn parallel_time(&self) -> f64 {
+        self.outcome.parallel_time(self.n as usize)
+    }
+
+    /// Interactions per wall-clock second (0 if no wall time was recorded).
+    pub fn interactions_per_second(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.outcome.interactions() as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Serializes to a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.field_u64("v", SCHEMA_VERSION as u64);
+        obj.field_str("kind", "frontier");
+        obj.field_str("experiment", &self.experiment);
+        obj.field_str("protocol", &self.protocol);
+        obj.field_str("backend", &self.backend);
+        obj.field_u64("n", self.n);
+        obj.field_u64("trial", self.trial);
+        obj.field_u64("seed", self.seed);
+        obj.field_str(
+            "outcome",
+            if self.outcome.is_converged() { "converged" } else { "exhausted" },
+        );
+        obj.field_u64("interactions", self.outcome.interactions());
+        obj.field_f64("parallel_time", self.parallel_time());
+        obj.field_f64("wall_s", self.wall_s);
+        obj.field_f64("ips", self.interactions_per_second());
+        match self.support {
+            Some(s) => obj.field_u64("support", s),
+            None => obj.field_null("support"),
+        };
+        match self.leaders {
+            Some(l) => obj.field_u64("leaders", l),
+            None => obj.field_null("leaders"),
+        };
+        obj.finish()
+    }
+
+    /// Parses a frontier record from one JSONL line.
+    pub fn from_json(line: &str) -> Result<Self, String> {
+        let fields = parse_flat_json(line)?;
+        check_version(&fields)?;
+        match record_kind(&fields)? {
+            "frontier" => {}
+            other => return Err(format!("expected a frontier record, got kind {other:?}")),
+        }
+        Self::from_fields(&fields)
+    }
+
+    fn from_fields(fields: &BTreeMap<String, JsonScalar>) -> Result<Self, String> {
+        let interactions = get_u64(fields, "interactions")?;
+        let outcome = match get_str(fields, "outcome")? {
+            "converged" => RunOutcome::Converged { interactions },
+            "exhausted" => RunOutcome::Exhausted { interactions },
+            other => return Err(format!("unknown outcome {other:?}")),
+        };
+        Ok(FrontierRecord {
+            experiment: get_str(fields, "experiment")?.to_string(),
+            protocol: get_str(fields, "protocol")?.to_string(),
+            backend: get_str(fields, "backend")?.to_string(),
+            n: get_u64(fields, "n")?,
+            trial: get_u64(fields, "trial")?,
+            seed: get_u64(fields, "seed")?,
+            outcome,
+            wall_s: get_f64(fields, "wall_s")?,
+            support: get_opt_u64(fields, "support")?,
+            leaders: get_opt_u64(fields, "leaders")?,
+        })
+    }
+}
+
 /// One parsed line of a (possibly mixed) JSONL experiment stream.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RecordLine {
@@ -293,6 +405,8 @@ pub enum RecordLine {
     Trial(RunRecord),
     /// A per-fault record.
     Fault(FaultRecord),
+    /// A backend-throughput measurement from the scaling frontier bench.
+    Frontier(FrontierRecord),
 }
 
 impl RecordLine {
@@ -304,6 +418,7 @@ impl RecordLine {
         match record_kind(&fields)? {
             "trial" => Ok(RecordLine::Trial(RunRecord::from_fields(&fields)?)),
             "fault" => Ok(RecordLine::Fault(FaultRecord::from_fields(&fields)?)),
+            "frontier" => Ok(RecordLine::Frontier(FrontierRecord::from_fields(&fields)?)),
             other => Err(format!("unknown record kind {other:?}")),
         }
     }
@@ -313,6 +428,7 @@ impl RecordLine {
         match self {
             RecordLine::Trial(r) => r.to_json(),
             RecordLine::Fault(f) => f.to_json(),
+            RecordLine::Frontier(f) => f.to_json(),
         }
     }
 }
@@ -338,8 +454,8 @@ pub fn to_jsonl_mixed(lines: &[RecordLine]) -> String {
 }
 
 /// Parses a JSONL document (blank lines skipped) into **trial** records,
-/// skipping fault lines — the historical contract of every trial-level
-/// consumer. Use [`from_jsonl_mixed`] to see fault records too.
+/// skipping fault and frontier lines — the historical contract of every
+/// trial-level consumer. Use [`from_jsonl_mixed`] to see the other kinds.
 ///
 /// The error names the offending line number.
 pub fn from_jsonl(text: &str) -> Result<Vec<RunRecord>, String> {
@@ -348,7 +464,7 @@ pub fn from_jsonl(text: &str) -> Result<Vec<RunRecord>, String> {
         .into_iter()
         .filter_map(|l| match l {
             RecordLine::Trial(r) => Some(r),
-            RecordLine::Fault(_) => None,
+            RecordLine::Fault(_) | RecordLine::Frontier(_) => None,
         })
         .collect())
 }
@@ -702,6 +818,60 @@ mod tests {
             injected_at: 250_000,
             recovered_at: Some(280_000),
         }
+    }
+
+    fn sample_frontier_record() -> FrontierRecord {
+        FrontierRecord {
+            experiment: "frontier".to_string(),
+            protocol: "epidemic".to_string(),
+            backend: "counts".to_string(),
+            n: 100_000_000,
+            trial: 0,
+            seed: 1,
+            outcome: RunOutcome::Converged { interactions: 3_700_000_000 },
+            wall_s: 12.5,
+            support: Some(2),
+            leaders: None,
+        }
+    }
+
+    #[test]
+    fn frontier_record_round_trips() {
+        let f = sample_frontier_record();
+        let json = f.to_json();
+        assert!(json.starts_with("{\"v\":2,\"kind\":\"frontier\","), "{json}");
+        assert!(json.contains("\"backend\":\"counts\""), "{json}");
+        assert!(json.contains("\"support\":2"), "{json}");
+        assert!(json.contains("\"leaders\":null"), "{json}");
+        assert_eq!(FrontierRecord::from_json(&json).unwrap(), f);
+        assert_eq!(RecordLine::from_json(&json).unwrap(), RecordLine::Frontier(f.clone()));
+        let bounded = FrontierRecord {
+            backend: "agents".to_string(),
+            support: None,
+            leaders: Some(1),
+            outcome: RunOutcome::Exhausted { interactions: 42 },
+            ..f
+        };
+        assert_eq!(FrontierRecord::from_json(&bounded.to_json()).unwrap(), bounded);
+    }
+
+    #[test]
+    fn frontier_lines_are_invisible_to_the_trial_reader() {
+        let text =
+            format!("{}\n{}\n", sample_record().to_json(), sample_frontier_record().to_json());
+        let trials = from_jsonl(&text).unwrap();
+        assert_eq!(trials.len(), 1);
+        let mixed = from_jsonl_mixed(&text).unwrap();
+        assert_eq!(mixed.len(), 2);
+        assert_eq!(mixed[1].to_json(), sample_frontier_record().to_json());
+    }
+
+    #[test]
+    fn frontier_kind_mismatch_is_an_error() {
+        let err = FrontierRecord::from_json(&sample_record().to_json()).unwrap_err();
+        assert!(err.contains("frontier"), "{err}");
+        let err = RunRecord::from_json(&sample_frontier_record().to_json()).unwrap_err();
+        assert!(err.contains("trial"), "{err}");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //!
 //! Each trial is reported as a [`TrialOutcome`] carrying the full
 //! [`RunOutcome`] plus wall-clock timing, convertible to a versioned
-//! [`RunRecord`](crate::record::RunRecord) for JSONL experiment logs;
+//! [`RunRecord`] for JSONL experiment logs;
 //! [`ConvergenceSample`] is the statistical view the tables summarize.
 
 use std::time::{Duration, Instant};

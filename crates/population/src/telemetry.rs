@@ -3,7 +3,7 @@
 //! [`TelemetryObserver`] that aggregates them over an execution.
 //!
 //! Everything here is allocation-light and dependency-free — the primitives
-//! are meant to sit inside an [`Observer`](crate::Observer) on the hot path.
+//! are meant to sit inside an [`Observer`] on the hot path.
 //! Statistical post-processing (quantiles, ECDFs, confidence intervals) lives
 //! in the `analysis` crate; this module only *collects*.
 
@@ -151,7 +151,7 @@ impl Throughput {
 }
 
 /// One recorded phase transition (see
-/// [`Protocol::phase_of`](crate::Protocol::phase_of)).
+/// [`Protocol::phase_of`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PhaseTransition {
     /// The agent that changed phase.

@@ -1,0 +1,107 @@
+//! Agent-array vs count-based backend: statistical equivalence.
+//!
+//! Both backends simulate the same lumped Markov chain — a configuration is
+//! a multiset of states, and the uniform-random-pair scheduler's transition
+//! probabilities depend only on that multiset. They consume randomness
+//! differently (per-agent draws vs hypergeometric batch splits), so
+//! individual trajectories differ even under the same seed; what must agree
+//! is the *distribution* of convergence times. These tests compare empirical
+//! quantiles of parallel stabilization time between the two backends at
+//! small n, where both are fast enough to gather real samples.
+//!
+//! A 35% relative tolerance on p25/p50/p75 is loose enough that the tests
+//! are not flaky at ~100 trials, but tight enough to catch a backend whose
+//! dynamics are systematically wrong (e.g. a biased pair sampler or a batch
+//! scheduler that double-counts collisions shifts the median far more).
+
+use analysis::quantile;
+use population::TrialOutcome;
+use ssle_bench::{
+    measure_ciw_counts_trials, measure_ciw_trials, measure_oss_counts_trials, measure_oss_trials,
+    CiwStart, OssStart,
+};
+
+/// Parallel times of converged trials; panics if any trial exhausted its
+/// budget (the budgets below are generous, so exhaustion means a bug).
+fn converged_times(trials: &[TrialOutcome], label: &str) -> Vec<f64> {
+    let times: Vec<f64> = trials
+        .iter()
+        .filter(|t| matches!(t.outcome, population::RunOutcome::Converged { .. }))
+        .map(TrialOutcome::parallel_time)
+        .collect();
+    assert_eq!(
+        times.len(),
+        trials.len(),
+        "{label}: {} of {} trials exhausted their budget",
+        trials.len() - times.len(),
+        trials.len()
+    );
+    times
+}
+
+/// Asserts p25/p50/p75 of the two samples agree within `tol` relative error.
+fn assert_quantiles_agree(agents: &[f64], counts: &[f64], tol: f64, label: &str) {
+    for q in [0.25, 0.50, 0.75] {
+        let a = quantile(agents, q).expect("agent sample is non-empty and finite");
+        let c = quantile(counts, q).expect("counts sample is non-empty and finite");
+        let rel = (a - c).abs() / a.max(c);
+        assert!(
+            rel <= tol,
+            "{label}: p{:.0} disagrees by {:.0}% (agents {a:.2}, counts {c:.2}, tol {:.0}%)",
+            q * 100.0,
+            rel * 100.0,
+            tol * 100.0
+        );
+    }
+}
+
+#[test]
+fn ciw_convergence_distributions_match_across_backends() {
+    let (n, trials, seed) = (48, 96, 11);
+    let agents = measure_ciw_trials(n, CiwStart::Random, trials, seed, 2);
+    let counts = measure_ciw_counts_trials(n, CiwStart::Random, trials, seed, 2);
+    assert_quantiles_agree(
+        &converged_times(&agents, "ciw agents"),
+        &converged_times(&counts, "ciw counts"),
+        0.35,
+        "ciw n=48",
+    );
+}
+
+#[test]
+fn oss_convergence_distributions_match_across_backends() {
+    let (n, trials, seed) = (64, 96, 12);
+    let agents = measure_oss_trials(n, OssStart::Random, trials, seed, 2);
+    let counts = measure_oss_counts_trials(n, OssStart::Random, trials, seed, 2);
+    assert_quantiles_agree(
+        &converged_times(&agents, "oss agents"),
+        &converged_times(&counts, "oss counts"),
+        0.35,
+        "oss n=64",
+    );
+}
+
+#[test]
+fn counts_backend_is_deterministic_in_the_seed() {
+    let a = measure_oss_counts_trials(64, OssStart::Random, 8, 7, 1);
+    let b = measure_oss_counts_trials(64, OssStart::Random, 8, 7, 3);
+    let key = |ts: &[TrialOutcome]| -> Vec<(u64, usize, population::RunOutcome)> {
+        ts.iter().map(|t| (t.trial, t.n, t.outcome)).collect()
+    };
+    assert_eq!(key(&a), key(&b), "outcomes must not depend on the thread count");
+}
+
+#[test]
+fn worst_case_starts_agree_too() {
+    // The Barrier start is CIW's adversarial configuration; equivalence must
+    // hold from *every* start family, not just random ones.
+    let (n, trials, seed) = (32, 64, 13);
+    let agents = measure_ciw_trials(n, CiwStart::Barrier, trials, seed, 2);
+    let counts = measure_ciw_counts_trials(n, CiwStart::Barrier, trials, seed, 2);
+    assert_quantiles_agree(
+        &converged_times(&agents, "ciw barrier agents"),
+        &converged_times(&counts, "ciw barrier counts"),
+        0.35,
+        "ciw barrier n=32",
+    );
+}
