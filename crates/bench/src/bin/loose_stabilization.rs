@@ -120,6 +120,9 @@ impl LooseTrial {
             wall_s: self.wall.as_secs_f64(),
             availability: None,
             faults: None,
+            scheduler: None,
+            omission: None,
+            starve_window: None,
         };
         let hold = if self.broke {
             RunOutcome::Converged { interactions: self.hold_interactions }

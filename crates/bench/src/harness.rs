@@ -8,8 +8,8 @@
 //! count; per-trial seeding makes the outcomes independent of it.
 
 use population::{
-    ChaosTrialOutcome, ConvergenceSample, FaultAction, FaultPlan, FaultSize, Runner, TrialOutcome,
-    TrialSettings,
+    AnyScheduler, ChaosTrialOutcome, ConvergenceSample, FaultAction, FaultPlan, FaultSize,
+    Reliability, Runner, TrialOutcome, TrialSettings,
 };
 use ssle::adversary;
 use ssle::cai_izumi_wada::CaiIzumiWada;
@@ -253,6 +253,115 @@ pub fn measure_sublinear_trials(
     })
 }
 
+/// Interaction budget for a robustness run: omission thins effective
+/// interactions by `1 - omission` and non-uniform schedulers slow epidemics
+/// by a policy-dependent constant, so the uniform budget is inflated by
+/// `4 / (1 - omission)`.
+///
+/// # Panics
+///
+/// Panics unless `omission` lies in `[0, 1)`.
+fn robustness_budget(base: u64, omission: f64) -> u64 {
+    assert!((0.0..1.0).contains(&omission), "omission {omission} outside [0, 1)");
+    (base as f64 * 4.0 / (1.0 - omission)).ceil() as u64
+}
+
+/// [`measure_ciw_trials`] under an explicit scheduler policy and omission
+/// rate: the same protocol and start families, executed on the agent-array
+/// backend with pairs drawn by `scheduler` (a spec accepted by
+/// [`AnyScheduler::from_spec`]) and each interaction silently dropped with
+/// probability `omission`.
+///
+/// # Panics
+///
+/// Panics if the scheduler spec is malformed or `omission` is outside
+/// `[0, 1)` — callers (the CLI, the robustness bench) validate both first.
+pub fn measure_ciw_scheduled_trials(
+    n: usize,
+    start: CiwStart,
+    scheduler: &str,
+    omission: f64,
+    trials: u64,
+    base_seed: u64,
+    threads: usize,
+) -> Vec<TrialOutcome> {
+    let budget = robustness_budget(quadratic_budget(n), omission);
+    let settings = TrialSettings::new(trials, base_seed, budget, 4 * n as u64);
+    Runner::new(settings).run_trials_scheduled_parallel(threads, |_, rng| {
+        let protocol = CaiIzumiWada::new(n);
+        let initial = match start {
+            CiwStart::Random => adversary::random_ciw_configuration(&protocol, rng),
+            CiwStart::Barrier => protocol.worst_case_configuration(),
+            CiwStart::AllZero => vec![ssle::cai_izumi_wada::CiwState::new(0); n],
+        };
+        let policy = AnyScheduler::from_spec(scheduler, n).expect("scheduler spec validated");
+        (protocol, initial, policy, Reliability::with_omission(omission))
+    })
+}
+
+/// [`measure_oss_trials`] under an explicit scheduler policy and omission
+/// rate (see [`measure_ciw_scheduled_trials`]).
+///
+/// # Panics
+///
+/// Panics on a malformed scheduler spec or an omission rate outside
+/// `[0, 1)`.
+pub fn measure_oss_scheduled_trials(
+    n: usize,
+    start: OssStart,
+    scheduler: &str,
+    omission: f64,
+    trials: u64,
+    base_seed: u64,
+    threads: usize,
+) -> Vec<TrialOutcome> {
+    let budget = robustness_budget(linear_budget(n), omission);
+    let settings = TrialSettings::new(trials, base_seed, budget, 4 * n as u64);
+    Runner::new(settings).run_trials_scheduled_parallel(threads, |_, rng| {
+        let protocol = OptimalSilentSsr::new(n);
+        let initial = match start {
+            OssStart::Random => adversary::random_oss_configuration(&protocol, rng),
+            OssStart::AllRankOne => vec![ssle::optimal_silent::OssState::settled(1, 0); n],
+            OssStart::DuplicatedLeader => adversary::observation_2_2_configuration(&protocol),
+        };
+        let policy = AnyScheduler::from_spec(scheduler, n).expect("scheduler spec validated");
+        (protocol, initial, policy, Reliability::with_omission(omission))
+    })
+}
+
+/// [`measure_sublinear_trials`] under an explicit scheduler policy and
+/// omission rate (see [`measure_ciw_scheduled_trials`]).
+///
+/// # Panics
+///
+/// Panics on a malformed scheduler spec or an omission rate outside
+/// `[0, 1)`.
+#[allow(clippy::too_many_arguments)] // the sublinear depth `h` pushes past 7
+pub fn measure_sublinear_scheduled_trials(
+    n: usize,
+    h: u32,
+    start: SubStart,
+    scheduler: &str,
+    omission: f64,
+    trials: u64,
+    base_seed: u64,
+    threads: usize,
+) -> Vec<TrialOutcome> {
+    let budget = robustness_budget(sublinear_budget(n), omission);
+    let settings = TrialSettings::new(trials, base_seed, budget, 4 * n as u64);
+    Runner::new(settings).run_trials_scheduled_parallel(threads, |_, rng| {
+        let protocol = SublinearTimeSsr::new(n, h);
+        let initial = match start {
+            SubStart::Random => adversary::random_sublinear_configuration(&protocol, rng),
+            SubStart::UniqueNames => adversary::unique_names_configuration(&protocol),
+            SubStart::PlantedCollision => adversary::planted_collision_configuration(&protocol),
+            SubStart::GhostName => adversary::ghost_name_configuration(&protocol),
+        };
+        let policy = AnyScheduler::from_spec(scheduler, n).expect("scheduler spec validated");
+        (protocol, initial, policy, Reliability::with_omission(omission))
+    })
+}
+
 /// The fault plan every recovery trial uses: stabilize from an adversarial
 /// random start, wait one unit of parallel time, then corrupt `size` agents.
 ///
@@ -423,6 +532,41 @@ mod tests {
         let sub = measure_recovery_sublinear_trials(8, 1, FaultSize::All, 2, 7, 1);
         assert!(ciw.iter().all(|t| t.report.fully_recovered()));
         assert!(sub.iter().all(|t| t.report.fully_recovered()));
+    }
+
+    #[test]
+    fn scheduled_trials_converge_under_uniform_and_adversarial_policies() {
+        // Uniform + perfect reduces to the plain path.
+        let uniform = measure_oss_scheduled_trials(10, OssStart::Random, "uniform", 0.0, 2, 5, 1);
+        assert!(uniform.iter().all(|t| t.outcome.is_converged()));
+        // Zipf bias plus 20% omission still stabilizes within the inflated
+        // budget.
+        let zipf = measure_oss_scheduled_trials(10, OssStart::Random, "zipf:1.0", 0.2, 2, 5, 2);
+        assert!(zipf.iter().all(|t| t.outcome.is_converged()));
+        let ciw = measure_ciw_scheduled_trials(8, CiwStart::AllZero, "starve:2:64", 0.0, 2, 5, 1);
+        assert!(ciw.iter().all(|t| t.outcome.is_converged()));
+        let sub = measure_sublinear_scheduled_trials(
+            8,
+            1,
+            SubStart::Random,
+            "clustered:2:0.1",
+            0.0,
+            2,
+            5,
+            1,
+        );
+        assert!(sub.iter().all(|t| t.outcome.is_converged()));
+    }
+
+    #[test]
+    fn omission_slows_stabilization_on_average() {
+        let avg = |ts: &[TrialOutcome]| {
+            ts.iter().map(|t| t.outcome.interactions() as f64).sum::<f64>() / ts.len() as f64
+        };
+        let clean = measure_oss_scheduled_trials(16, OssStart::Random, "uniform", 0.0, 6, 11, 2);
+        let lossy = measure_oss_scheduled_trials(16, OssStart::Random, "uniform", 0.5, 6, 11, 2);
+        assert!(lossy.iter().all(|t| t.outcome.is_converged()));
+        assert!(avg(&lossy) > avg(&clean), "dropping half the interactions must cost time");
     }
 
     #[test]

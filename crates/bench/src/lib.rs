@@ -13,8 +13,9 @@ pub mod table;
 
 pub use harness::{
     measure_ciw, measure_ciw_counts_trials, measure_ciw_fast, measure_ciw_fast_trials,
-    measure_ciw_trials, measure_oss, measure_oss_counts_trials, measure_oss_trials,
-    measure_recovery_ciw_trials, measure_recovery_oss_trials, measure_recovery_sublinear_trials,
-    measure_sublinear, measure_sublinear_trials, CiwStart, OssStart, SubStart,
+    measure_ciw_scheduled_trials, measure_ciw_trials, measure_oss, measure_oss_counts_trials,
+    measure_oss_scheduled_trials, measure_oss_trials, measure_recovery_ciw_trials,
+    measure_recovery_oss_trials, measure_recovery_sublinear_trials, measure_sublinear,
+    measure_sublinear_scheduled_trials, measure_sublinear_trials, CiwStart, OssStart, SubStart,
 };
 pub use table::TimeSummary;

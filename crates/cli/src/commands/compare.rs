@@ -2,15 +2,16 @@
 //! size (a one-size slice of the paper's Table 1).
 
 use population::record::JsonObject;
-use population::ConvergenceSample;
+use population::{ConvergenceSample, SchedulerPolicy};
 use ssle_bench::{
-    measure_ciw, measure_ciw_counts_trials, measure_oss, measure_oss_counts_trials,
-    measure_sublinear, CiwStart, OssStart, SubStart, TimeSummary,
+    measure_ciw, measure_ciw_counts_trials, measure_ciw_scheduled_trials, measure_oss,
+    measure_oss_counts_trials, measure_oss_scheduled_trials, measure_sublinear,
+    measure_sublinear_scheduled_trials, CiwStart, OssStart, SubStart, TimeSummary,
 };
 
 use crate::commands::{parse_flags, OutputFormat};
 use crate::error::CliError;
-use crate::protocol_choice::BackendChoice;
+use crate::protocol_choice::{BackendChoice, RobustnessFlags};
 
 /// Runs the subcommand.
 ///
@@ -19,7 +20,10 @@ use crate::protocol_choice::BackendChoice;
 /// Returns [`CliError`] on bad flags or if a protocol never converges at
 /// the requested size.
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    let flags = parse_flags(args, &["n", "trials", "seed", "h", "backend", "format"])?;
+    let flags = parse_flags(
+        args,
+        &["n", "trials", "seed", "h", "backend", "format", "scheduler", "omission"],
+    )?;
     let n: usize = flags.get("n", 32);
     if n < 2 {
         return Err(CliError::BadValue {
@@ -38,11 +42,62 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let h: u32 = flags.get("h", 2);
     let backend = BackendChoice::from_flags(&flags)?;
     let format = OutputFormat::from_flags(&flags)?;
+    let robust = RobustnessFlags::from_flags(&flags)?;
+    let spec = robust.policy(n)?.spec();
+    if !robust.is_default() && backend == BackendChoice::Counts {
+        return Err(CliError::BadValue {
+            flag: "backend".into(),
+            reason: "non-default --scheduler/--omission comparisons run on the agents \
+                     backend (counts falls back to per-agent stepping anyway)"
+                .into(),
+        });
+    }
 
     // The sublinear protocol's states are not hashable, so the counts
     // backend compares only the two hashable ranking protocols.
-    let rows: Vec<(String, TimeSummary)> = match backend {
-        BackendChoice::Agents => vec![
+    let rows: Vec<(String, TimeSummary)> = if !robust.is_default() {
+        let (sched, q) = (robust.scheduler.as_str(), robust.omission);
+        vec![
+            (
+                "Silent-n-state-SSR [Θ(n²)]".into(),
+                summarize(ConvergenceSample::from_trials(&measure_ciw_scheduled_trials(
+                    n,
+                    CiwStart::Random,
+                    sched,
+                    q,
+                    trials,
+                    seed,
+                    1,
+                )))?,
+            ),
+            (
+                "Optimal-Silent-SSR [Θ(n)]".into(),
+                summarize(ConvergenceSample::from_trials(&measure_oss_scheduled_trials(
+                    n,
+                    OssStart::Random,
+                    sched,
+                    q,
+                    trials,
+                    seed,
+                    1,
+                )))?,
+            ),
+            (
+                format!("Sublinear-Time-SSR H={h} [Θ(n^(1/{}))]", h + 1),
+                summarize(ConvergenceSample::from_trials(&measure_sublinear_scheduled_trials(
+                    n,
+                    h,
+                    SubStart::Random,
+                    sched,
+                    q,
+                    trials,
+                    seed,
+                    1,
+                )))?,
+            ),
+        ]
+    } else if backend == BackendChoice::Agents {
+        vec![
             (
                 "Silent-n-state-SSR [Θ(n²)]".into(),
                 summarize(measure_ciw(n, CiwStart::Random, trials, seed))?,
@@ -55,8 +110,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 format!("Sublinear-Time-SSR H={h} [Θ(n^(1/{}))]", h + 1),
                 summarize(measure_sublinear(n, h, SubStart::Random, trials, seed))?,
             ),
-        ],
-        BackendChoice::Counts => vec![
+        ]
+    } else {
+        vec![
             (
                 "Silent-n-state-SSR [Θ(n²)]".into(),
                 summarize(ConvergenceSample::from_trials(&measure_ciw_counts_trials(
@@ -77,7 +133,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     1,
                 )))?,
             ),
-        ],
+        ]
     };
 
     match format {
@@ -90,6 +146,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 backend.label(),
                 "protocol", "E[time]", "±95%", "p95"
             );
+            if !robust.is_default() {
+                out = format!("scheduler: {spec}, omission rate: {}\n{out}", robust.omission);
+            }
             for (name, t) in &rows {
                 out.push_str(&format!(
                     "{name:<38} {:>10.1} {:>9.1} {:>10.1}\n",
@@ -116,6 +175,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 obj.field_u64("n", n as u64);
                 obj.field_u64("trials", trials);
                 obj.field_u64("seed", seed);
+                obj.field_str("scheduler", &spec);
+                obj.field_f64("omission", robust.omission);
                 obj.field_f64("mean_time", t.mean);
                 obj.field_f64("ci95_half", t.ci95_half);
                 obj.field_f64("p95", t.p95);
@@ -173,6 +234,33 @@ mod tests {
                 .unwrap();
         assert_eq!(json.lines().count(), 2, "{json}");
         assert!(json.contains("\"backend\":\"counts\""), "{json}");
+    }
+
+    #[test]
+    fn adversarial_comparison_runs_all_three_protocols() {
+        let out =
+            run(&args(&["--n", "8", "--trials", "2", "--scheduler", "zipf", "--omission", "0.1"]))
+                .unwrap();
+        assert!(out.contains("scheduler: zipf:1"), "{out}");
+        assert!(out.contains("omission rate: 0.1"), "{out}");
+        assert!(out.contains("Sublinear-Time-SSR"), "{out}");
+
+        let json =
+            run(&args(&["--n", "8", "--trials", "2", "--scheduler", "zipf", "--format", "json"]))
+                .unwrap();
+        assert!(json.contains("\"scheduler\":\"zipf:1\""), "{json}");
+    }
+
+    #[test]
+    fn counts_backend_rejects_nonuniform_scheduling() {
+        assert!(matches!(
+            run(&args(&["--backend", "counts", "--scheduler", "zipf"])),
+            Err(CliError::BadValue { .. })
+        ));
+        assert!(matches!(
+            run(&args(&["--backend", "counts", "--omission", "0.1"])),
+            Err(CliError::BadValue { .. })
+        ));
     }
 
     #[test]

@@ -12,8 +12,14 @@
 //! soak`) additionally carry `kind = "fault"` lines; those are grouped by
 //! `(experiment, protocol, n, h, action)` and summarized as recovery-time
 //! statistics, and trial groups that carry availability report its mean.
+//!
+//! v3 records additionally carry the scheduler spec and omission rate the
+//! trial ran under; the scheduler joins the group key so that robustness
+//! sweeps report one group per scheduling regime. `--compare a.jsonl
+//! b.jsonl` reports, for every group present in both files, the ratio of
+//! mean stabilization times (a speedup/slowdown table).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use analysis::{quantile, Ecdf};
 use population::record::{
@@ -25,8 +31,10 @@ use ssle_bench::TimeSummary;
 use crate::commands::{parse_flags, OutputFormat};
 use crate::error::CliError;
 
-/// One `(experiment, protocol, n, h)` group key, ordered for stable output.
-type GroupKey = (String, String, u64, Option<u64>);
+/// One `(experiment, protocol, n, h, scheduler)` group key, ordered for
+/// stable output. Records without scheduler metadata (schema v1/v2) group
+/// under `"uniform"`, the regime they in fact ran in.
+type GroupKey = (String, String, u64, Option<u64>, String);
 
 /// One fault group key: the trial key plus the fault action.
 type FaultKey = (String, String, u64, Option<u64>, String);
@@ -34,51 +42,82 @@ type FaultKey = (String, String, u64, Option<u64>, String);
 /// One frontier group key: `(experiment, workload, backend, n)`.
 type FrontierKey = (String, String, String, u64);
 
-/// Runs the subcommand: `ssle report <file.jsonl> [--format text|json]`.
+const USAGE: &str = "usage: ssle report <file.jsonl> [--compare other.jsonl] [--format text|json]";
+
+/// Runs the subcommand: `ssle report <file.jsonl> [--compare other.jsonl]
+/// [--format text|json]`. Both argument orders work for a comparison:
+/// `report a.jsonl --compare b.jsonl` and `report --compare a.jsonl
+/// b.jsonl` compare the same pair, in command-line order.
 ///
 /// # Errors
 ///
-/// Returns [`CliError::Report`] when the file cannot be read or parsed, and
+/// Returns [`CliError::Report`] when a file cannot be read or parsed, and
 /// [`CliError::Usage`] when no path is given.
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    let Some((path, rest)) = args.split_first() else {
-        return Err(CliError::Usage(
-            "usage: ssle report <file.jsonl> [--format text|json]".to_string(),
-        ));
-    };
-    if path.starts_with("--") {
-        return Err(CliError::Usage(
-            "usage: ssle report <file.jsonl> [--format text|json]".to_string(),
-        ));
-    }
-    let flags = parse_flags(rest, &["format"])?;
-    let format = OutputFormat::from_flags(&flags)?;
-
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| CliError::Report { path: path.clone(), reason: e.to_string() })?;
-    let lines = from_jsonl_mixed(&text)
-        .map_err(|reason| CliError::Report { path: path.clone(), reason })?;
-    let mut records: Vec<RunRecord> = Vec::new();
-    let mut faults: Vec<FaultRecord> = Vec::new();
-    let mut frontier: Vec<FrontierRecord> = Vec::new();
-    for line in lines {
-        match line {
-            RecordLine::Trial(r) => records.push(r),
-            RecordLine::Fault(f) => faults.push(f),
-            RecordLine::Frontier(f) => frontier.push(f),
+    let mut paths: Vec<String> = Vec::new();
+    let mut rest: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if arg == "--compare" {
+            let Some(p) = args.get(i + 1) else {
+                return Err(CliError::BadFlag("--compare needs a value".to_string()));
+            };
+            paths.push(p.clone());
+            i += 2;
+        } else if !arg.starts_with("--") && rest.is_empty() {
+            paths.push(arg.clone());
+            i += 1;
+        } else {
+            rest.push(arg.clone());
+            i += 1;
         }
     }
-    if records.is_empty() && faults.is_empty() && frontier.is_empty() {
+    let flags = parse_flags(&rest, &["format"])?;
+    let format = OutputFormat::from_flags(&flags)?;
+    match paths.as_slice() {
+        [] => Err(CliError::Usage(USAGE.to_string())),
+        [path] => report_one(path, format),
+        [a, b] => report_compare(a, b, format),
+        _ => Err(CliError::Usage(format!("{USAGE}\n(at most two files may be compared)"))),
+    }
+}
+
+/// Everything one JSONL stream contains, split by record kind.
+struct Loaded {
+    records: Vec<RunRecord>,
+    faults: Vec<FaultRecord>,
+    frontier: Vec<FrontierRecord>,
+}
+
+fn load(path: &str) -> Result<Loaded, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Report { path: path.to_string(), reason: e.to_string() })?;
+    let lines = from_jsonl_mixed(&text)
+        .map_err(|reason| CliError::Report { path: path.to_string(), reason })?;
+    let mut loaded = Loaded { records: Vec::new(), faults: Vec::new(), frontier: Vec::new() };
+    for line in lines {
+        match line {
+            RecordLine::Trial(r) => loaded.records.push(r),
+            RecordLine::Fault(f) => loaded.faults.push(f),
+            RecordLine::Frontier(f) => loaded.frontier.push(f),
+        }
+    }
+    if loaded.records.is_empty() && loaded.faults.is_empty() && loaded.frontier.is_empty() {
         return Err(CliError::Report {
-            path: path.clone(),
+            path: path.to_string(),
             reason: "the file contains no records".to_string(),
         });
     }
+    Ok(loaded)
+}
 
-    let groups = group_records(&records);
-    let fault_groups = group_faults(&faults);
-    let frontier_groups = group_frontier(&frontier);
-    let total = records.len() + faults.len() + frontier.len();
+fn report_one(path: &str, format: OutputFormat) -> Result<String, CliError> {
+    let loaded = load(path)?;
+    let groups = group_records(&loaded.records);
+    let fault_groups = group_faults(&loaded.faults);
+    let frontier_groups = group_frontier(&loaded.frontier);
+    let total = loaded.records.len() + loaded.faults.len() + loaded.frontier.len();
     match format {
         OutputFormat::Text => {
             Ok(render_text(path, total, &groups, &fault_groups, &frontier_groups))
@@ -87,10 +126,123 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     }
 }
 
+fn report_compare(path_a: &str, path_b: &str, format: OutputFormat) -> Result<String, CliError> {
+    let a = load(path_a)?;
+    let b = load(path_b)?;
+    let ga = group_records(&a.records);
+    let gb = group_records(&b.records);
+    if ga.is_empty() {
+        return Err(CliError::Report {
+            path: path_a.to_string(),
+            reason: "no trial records to compare".to_string(),
+        });
+    }
+    if gb.is_empty() {
+        return Err(CliError::Report {
+            path: path_b.to_string(),
+            reason: "no trial records to compare".to_string(),
+        });
+    }
+    let keys: BTreeSet<&GroupKey> = ga.keys().chain(gb.keys()).collect();
+    match format {
+        OutputFormat::Text => {
+            let mut out = format!(
+                "comparison: A = {path_a} ({} trial record(s)), B = {path_b} ({} trial record(s))\n\
+                 speedup = E[time]_A / E[time]_B — above 1.00, B stabilized faster\n",
+                a.records.len(),
+                b.records.len(),
+            );
+            for key in keys {
+                let (experiment, protocol, n, h, scheduler) = key;
+                let h_text = h.map_or("-".to_string(), |h| h.to_string());
+                out.push_str(&format!(
+                    "\nexperiment={experiment} protocol={protocol} n={n} h={h_text} \
+                     scheduler={scheduler}: "
+                ));
+                match (mean_of(ga.get(key)), mean_of(gb.get(key))) {
+                    (Some((ma, ta)), Some((mb, tb))) => out.push_str(&format!(
+                        "A {ma:.1} ({ta} trial(s))  B {mb:.1} ({tb} trial(s))  \
+                         speedup {:.2}\n",
+                        ma / mb
+                    )),
+                    (Some((ma, ta)), None) => {
+                        out.push_str(&format!("A {ma:.1} ({ta} trial(s))  B absent\n"))
+                    }
+                    (None, Some((mb, tb))) => {
+                        out.push_str(&format!("A absent  B {mb:.1} ({tb} trial(s))\n"))
+                    }
+                    (None, None) => out.push_str("no converged trials on either side\n"),
+                }
+            }
+            Ok(out)
+        }
+        OutputFormat::Json => {
+            let mut out = String::new();
+            for key in keys {
+                let (experiment, protocol, n, h, scheduler) = key;
+                let mut obj = JsonObject::new();
+                obj.field_str("command", "report");
+                obj.field_str("kind", "compare");
+                obj.field_str("experiment", experiment);
+                obj.field_str("protocol", protocol);
+                obj.field_u64("n", *n);
+                match h {
+                    Some(h) => obj.field_u64("h", *h),
+                    None => obj.field_null("h"),
+                };
+                obj.field_str("scheduler", scheduler);
+                let a = mean_of(ga.get(key));
+                let b = mean_of(gb.get(key));
+                match a {
+                    Some((m, t)) => {
+                        obj.field_f64("mean_a", m);
+                        obj.field_u64("trials_a", t);
+                    }
+                    None => {
+                        obj.field_null("mean_a");
+                    }
+                }
+                match b {
+                    Some((m, t)) => {
+                        obj.field_f64("mean_b", m);
+                        obj.field_u64("trials_b", t);
+                    }
+                    None => {
+                        obj.field_null("mean_b");
+                    }
+                }
+                match (a, b) {
+                    (Some((ma, _)), Some((mb, _))) => {
+                        obj.field_f64("speedup", ma / mb);
+                    }
+                    _ => {
+                        obj.field_null("speedup");
+                    }
+                }
+                out.push_str(&obj.finish());
+                out.push('\n');
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Mean stabilization parallel time and trial count of a group, when the
+/// group exists and has at least one converged trial.
+fn mean_of(group: Option<&Vec<&RunRecord>>) -> Option<(f64, u64)> {
+    let group = group?;
+    let t = TimeSummary::from_sample(&sample_of(group))?;
+    Some((t.mean, group.len() as u64))
+}
+
 fn group_records(records: &[RunRecord]) -> BTreeMap<GroupKey, Vec<&RunRecord>> {
     let mut groups: BTreeMap<GroupKey, Vec<&RunRecord>> = BTreeMap::new();
     for r in records {
-        groups.entry((r.experiment.clone(), r.protocol.clone(), r.n, r.h)).or_default().push(r);
+        let scheduler = r.scheduler.clone().unwrap_or_else(|| "uniform".to_string());
+        groups
+            .entry((r.experiment.clone(), r.protocol.clone(), r.n, r.h, scheduler))
+            .or_default()
+            .push(r);
     }
     groups
 }
@@ -150,11 +302,11 @@ fn render_text(
         "report: {path} — {total} records, {} group(s)\n",
         groups.len() + fault_groups.len() + frontier_groups.len()
     );
-    for ((experiment, protocol, n, h), group) in groups {
+    for ((experiment, protocol, n, h, scheduler), group) in groups {
         let h_text = h.map_or("-".to_string(), |h| h.to_string());
         out.push_str(&format!(
-            "\nexperiment={experiment} protocol={protocol} n={n} h={h_text}: \
-             {} trial(s), {} exhausted\n",
+            "\nexperiment={experiment} protocol={protocol} n={n} h={h_text} \
+             scheduler={scheduler}: {} trial(s), {} exhausted\n",
             group.len(),
             group.iter().filter(|r| !r.outcome.is_converged()).count(),
         ));
@@ -197,6 +349,13 @@ fn render_text(
             out.push_str(&format!(
                 "  chaos: {injected} fault(s) injected, mean availability {:.3}\n",
                 avails.iter().sum::<f64>() / avails.len() as f64
+            ));
+        }
+        let omissions: Vec<f64> = group.iter().filter_map(|r| r.omission).collect();
+        if !omissions.is_empty() {
+            out.push_str(&format!(
+                "  channel: mean omission rate {:.3}\n",
+                omissions.iter().sum::<f64>() / omissions.len() as f64
             ));
         }
     }
@@ -252,7 +411,7 @@ fn render_json(
     frontier_groups: &BTreeMap<FrontierKey, Vec<&FrontierRecord>>,
 ) -> String {
     let mut out = String::new();
-    for ((experiment, protocol, n, h), group) in groups {
+    for ((experiment, protocol, n, h, scheduler), group) in groups {
         let sample = sample_of(group);
         let mut obj = JsonObject::new();
         obj.field_str("command", "report");
@@ -263,6 +422,7 @@ fn render_json(
             Some(h) => obj.field_u64("h", *h),
             None => obj.field_null("h"),
         };
+        obj.field_str("scheduler", scheduler);
         obj.field_u64("trials", group.len() as u64);
         obj.field_u64("exhausted", sample.exhausted());
         if let Some(t) = TimeSummary::from_sample(&sample) {
@@ -280,6 +440,10 @@ fn render_json(
         if !avails.is_empty() {
             obj.field_f64("mean_availability", avails.iter().sum::<f64>() / avails.len() as f64);
             obj.field_u64("faults_injected", group.iter().filter_map(|r| r.faults).sum());
+        }
+        let omissions: Vec<f64> = group.iter().filter_map(|r| r.omission).collect();
+        if !omissions.is_empty() {
+            obj.field_f64("mean_omission", omissions.iter().sum::<f64>() / omissions.len() as f64);
         }
         out.push_str(&obj.finish());
         out.push('\n');
@@ -441,6 +605,9 @@ mod tests {
             wall_s: 0.0,
             availability: None,
             faults: None,
+            scheduler: None,
+            omission: None,
+            starve_window: None,
         };
         let records = vec![mk("a", 8, 0), mk("a", 8, 1), mk("a", 16, 0), mk("b", 8, 0)];
         let path = write_temp("ssle_report_groups.jsonl", &to_jsonl(&records));
@@ -476,6 +643,9 @@ mod tests {
             wall_s: 0.01,
             availability: Some(0.75),
             faults: Some(1),
+            scheduler: None,
+            omission: None,
+            starve_window: None,
         };
         let text = format!(
             "{}\n{}\n{}\n",
@@ -565,6 +735,100 @@ mod tests {
         }
     }
 
+    fn mk_sched(
+        protocol: &str,
+        scheduler: Option<&str>,
+        omission: Option<f64>,
+        trial: u64,
+        interactions: u64,
+    ) -> RunRecord {
+        RunRecord {
+            experiment: "robustness".to_string(),
+            protocol: protocol.to_string(),
+            n: 8,
+            h: None,
+            trial,
+            seed: 1,
+            outcome: population::RunOutcome::Converged { interactions },
+            wall_s: 0.0,
+            availability: None,
+            faults: None,
+            scheduler: scheduler.map(str::to_string),
+            omission,
+            starve_window: None,
+        }
+    }
+
+    #[test]
+    fn scheduler_metadata_splits_groups_and_reports_omission() {
+        let records = vec![
+            mk_sched("ciw", None, None, 0, 800),
+            mk_sched("ciw", Some("zipf:1.0"), Some(0.2), 0, 1600),
+            mk_sched("ciw", Some("zipf:1.0"), Some(0.2), 1, 1600),
+        ];
+        let path = write_temp("ssle_report_sched.jsonl", &to_jsonl(&records));
+        let out = run(&args(&[&path])).unwrap();
+        assert!(out.contains("2 group(s)"), "{out}");
+        assert!(out.contains("scheduler=uniform"), "{out}");
+        assert!(out.contains("scheduler=zipf:1.0"), "{out}");
+        assert!(out.contains("mean omission rate 0.200"), "{out}");
+
+        let json = run(&args(&[&path, "--format", "json"])).unwrap();
+        let zipf_line = json
+            .lines()
+            .find(|l| l.contains("\"scheduler\":\"zipf:1.0\""))
+            .expect("zipf group present");
+        let fields = population::record::parse_flat_json(zipf_line).unwrap();
+        match fields.get("mean_omission").unwrap() {
+            population::record::JsonScalar::Num(m) => assert!((m - 0.2).abs() < 1e-9, "{m}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compare_reports_speedup_between_two_files() {
+        // A stabilizes in 1600 interactions (200 parallel time at n=8),
+        // B in 800 — B is 2× faster.
+        let a = vec![mk_sched("ciw", None, None, 0, 1600), mk_sched("ciw", None, None, 1, 1600)];
+        let b = vec![mk_sched("ciw", None, None, 0, 800), mk_sched("ciw", None, None, 1, 800)];
+        let pa = write_temp("ssle_report_cmp_a.jsonl", &to_jsonl(&a));
+        let pb = write_temp("ssle_report_cmp_b.jsonl", &to_jsonl(&b));
+
+        for order in [vec!["--compare", &pa, &pb], vec![pa.as_str(), "--compare", pb.as_str()]] {
+            let out = run(&args(&order)).unwrap();
+            assert!(out.contains("speedup 2.00"), "{order:?}: {out}");
+            assert!(out.contains("A 200.0 (2 trial(s))  B 100.0 (2 trial(s))"), "{out}");
+        }
+
+        let json = run(&args(&[&pa, "--compare", &pb, "--format", "json"])).unwrap();
+        let fields = population::record::parse_flat_json(json.trim()).unwrap();
+        match fields.get("speedup").unwrap() {
+            population::record::JsonScalar::Num(m) => assert!((m - 2.0).abs() < 1e-9, "{m}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compare_lists_one_sided_groups() {
+        let a = vec![mk_sched("ciw", None, None, 0, 1600)];
+        let b = vec![mk_sched("oss", None, None, 0, 800)];
+        let pa = write_temp("ssle_report_cmp_onesided_a.jsonl", &to_jsonl(&a));
+        let pb = write_temp("ssle_report_cmp_onesided_b.jsonl", &to_jsonl(&b));
+        let out = run(&args(&[&pa, "--compare", &pb])).unwrap();
+        assert!(out.contains("protocol=ciw"), "{out}");
+        assert!(out.contains("B absent"), "{out}");
+        assert!(out.contains("A absent"), "{out}");
+    }
+
+    #[test]
+    fn compare_requires_a_value_and_at_most_two_files() {
+        assert!(matches!(run(&args(&["a.jsonl", "--compare"])), Err(CliError::BadFlag(_))));
+        assert!(matches!(
+            run(&args(&["--compare", "a.jsonl", "b.jsonl", "--compare", "c.jsonl"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
     #[test]
     fn exhausted_only_group_reports_no_statistics() {
         let r = RunRecord {
@@ -578,6 +842,9 @@ mod tests {
             wall_s: 0.1,
             availability: None,
             faults: None,
+            scheduler: None,
+            omission: None,
+            starve_window: None,
         };
         let path = write_temp("ssle_report_exhausted.jsonl", &to_jsonl(&[r]));
         let out = run(&args(&[&path])).unwrap();

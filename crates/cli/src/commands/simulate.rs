@@ -4,7 +4,10 @@ use std::hash::Hash;
 
 use population::record::JsonObject;
 use population::runner::rng_from_seed;
-use population::{BatchSimulation, RankingProtocol, RunOutcome, Simulation};
+use population::{
+    certify_ranking_closure, BatchSimulation, ClosureCertificate, RankingProtocol, RunOutcome,
+    SchedulerPolicy, Simulation,
+};
 use ssle::adversary;
 use ssle::cai_izumi_wada::{CaiIzumiWada, CiwState};
 use ssle::initialized::TreeRanking;
@@ -14,7 +17,7 @@ use ssle::sublinear::SublinearTimeSsr;
 
 use crate::commands::{parse_flags, OutputFormat};
 use crate::error::CliError;
-use crate::protocol_choice::{BackendChoice, CommonFlags, ProtocolChoice};
+use crate::protocol_choice::{BackendChoice, CommonFlags, ProtocolChoice, RobustnessFlags};
 
 /// Which family of starting configuration to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,13 +50,48 @@ impl Start {
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let flags = parse_flags(
         args,
-        &["protocol", "n", "h", "seed", "start", "max-time", "backend", "format"],
+        &[
+            "protocol",
+            "n",
+            "h",
+            "seed",
+            "start",
+            "max-time",
+            "backend",
+            "format",
+            "scheduler",
+            "omission",
+            "certify",
+        ],
     )?;
     let common = CommonFlags::from_flags(&flags, ProtocolChoice::OptimalSilent)?;
     let start = Start::parse(flags.try_get_str("start"))?;
     let max_time: f64 = flags.get("max-time", 0.0);
     let backend = BackendChoice::from_flags(&flags)?;
     let format = OutputFormat::from_flags(&flags)?;
+    let robust = RobustnessFlags::from_flags(&flags)?;
+    robust.policy(common.n)?; // validate the spec before running anything
+    let certify: f64 = flags.get("certify", 0.0);
+    if !certify.is_finite() || certify < 0.0 {
+        return Err(CliError::BadValue {
+            flag: "certify".into(),
+            reason: format!("the closure-window multiple must be finite and ≥ 0, got {certify}"),
+        });
+    }
+    if certify > 0.0 && backend == BackendChoice::Counts {
+        return Err(CliError::BadValue {
+            flag: "certify".into(),
+            reason: "closure certification tracks per-agent outputs; use --backend agents".into(),
+        });
+    }
+    if certify > 0.0 && common.protocol == ProtocolChoice::Loose {
+        return Err(CliError::BadValue {
+            flag: "certify".into(),
+            reason: "loose stabilization holds its leader only for finite time, so closure \
+                     certification applies to the ranking protocols only"
+                .into(),
+        });
+    }
     if backend == BackendChoice::Counts && common.protocol == ProtocolChoice::Sublinear {
         return Err(CliError::BadValue {
             flag: "backend".into(),
@@ -73,10 +111,15 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 Start::Collision => vec![CiwState::new(0); common.n],
                 Start::Ranked => adversary::ranked_ciw_configuration(&p),
             };
-            let budget = budget(max_time, common.n, 400 * (common.n as u64).pow(3));
+            let budget =
+                budget(max_time, common.n, inflate(400 * (common.n as u64).pow(3), &robust));
             match backend {
-                BackendChoice::Agents => ranked_report(&common, p, initial, budget, format),
-                BackendChoice::Counts => counts_ranked_report(&common, p, initial, budget, format),
+                BackendChoice::Agents => {
+                    ranked_report(&common, &robust, certify, p, initial, budget, format)
+                }
+                BackendChoice::Counts => {
+                    counts_ranked_report(&common, &robust, p, initial, budget, format)
+                }
             }
         }
         ProtocolChoice::OptimalSilent => {
@@ -88,10 +131,15 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 Start::Collision => vec![OssState::settled(1, 0); common.n],
                 Start::Ranked => adversary::ranked_oss_configuration(&p),
             };
-            let budget = budget(max_time, common.n, 4000 * (common.n as u64).pow(2));
+            let budget =
+                budget(max_time, common.n, inflate(4000 * (common.n as u64).pow(2), &robust));
             match backend {
-                BackendChoice::Agents => ranked_report(&common, p, initial, budget, format),
-                BackendChoice::Counts => counts_ranked_report(&common, p, initial, budget, format),
+                BackendChoice::Agents => {
+                    ranked_report(&common, &robust, certify, p, initial, budget, format)
+                }
+                BackendChoice::Counts => {
+                    counts_ranked_report(&common, &robust, p, initial, budget, format)
+                }
             }
         }
         ProtocolChoice::Sublinear => {
@@ -104,20 +152,26 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 Start::Collision => adversary::planted_collision_configuration(&p),
                 Start::Ranked => adversary::unique_names_configuration(&p),
             };
-            let budget = budget(max_time, common.n, 4000 * (common.n as u64).pow(2));
-            ranked_report(&common, p, initial, budget, format)
+            let budget =
+                budget(max_time, common.n, inflate(4000 * (common.n as u64).pow(2), &robust));
+            ranked_report(&common, &robust, certify, p, initial, budget, format)
         }
         ProtocolChoice::TreeRanking => {
             let p = TreeRanking::new(common.n);
             // Not self-stabilizing: always the designated configuration.
             let initial = p.designated_configuration();
-            let budget = budget(max_time, common.n, 4000 * (common.n as u64).pow(2));
+            let budget =
+                budget(max_time, common.n, inflate(4000 * (common.n as u64).pow(2), &robust));
             match backend {
-                BackendChoice::Agents => ranked_report(&common, p, initial, budget, format),
-                BackendChoice::Counts => counts_ranked_report(&common, p, initial, budget, format),
+                BackendChoice::Agents => {
+                    ranked_report(&common, &robust, certify, p, initial, budget, format)
+                }
+                BackendChoice::Counts => {
+                    counts_ranked_report(&common, &robust, p, initial, budget, format)
+                }
             }
         }
-        ProtocolChoice::Loose => loose_report(&common, start, max_time, backend, format),
+        ProtocolChoice::Loose => loose_report(&common, &robust, start, max_time, backend, format),
     }
 }
 
@@ -129,18 +183,68 @@ fn budget(max_time: f64, n: usize, default_interactions: u64) -> u64 {
     }
 }
 
+/// Inflates a default interaction budget to compensate for omitted
+/// interactions: with omission rate `q`, only a `1 - q` fraction of
+/// scheduler draws apply a transition. An explicit `--max-time` is the
+/// user's cap and is never inflated.
+fn inflate(base: u64, robust: &RobustnessFlags) -> u64 {
+    (base as f64 / (1.0 - robust.omission)).ceil() as u64
+}
+
+/// Appends the robustness fields every `simulate` JSON object carries.
+fn robustness_json(obj: &mut JsonObject, robust: &RobustnessFlags, spec: &str) {
+    obj.field_str("scheduler", spec);
+    obj.field_f64("omission", robust.omission);
+}
+
+/// The extra text line describing a non-default scheduler or channel.
+fn robustness_text(robust: &RobustnessFlags, spec: &str) -> String {
+    if robust.is_default() {
+        String::new()
+    } else {
+        format!("scheduler: {spec}, omission rate: {}\n", robust.omission)
+    }
+}
+
 fn ranked_report<P: RankingProtocol>(
     common: &CommonFlags,
+    robust: &RobustnessFlags,
+    certify: f64,
     protocol: P,
     initial: Vec<P::State>,
     budget: u64,
     format: OutputFormat,
 ) -> Result<String, CliError> {
     let n = common.n;
-    let mut sim = Simulation::new(protocol, initial, common.seed);
+    let policy = robust.policy(n)?;
+    let spec = policy.spec();
+    let mut sim = Simulation::with_policy(protocol, initial, policy, common.seed)
+        .with_reliability(robust.reliability());
     let outcome = sim.run_until_stably_ranked(budget, 4 * n as u64);
     match outcome {
         RunOutcome::Converged { interactions } => {
+            let cert = if certify > 0.0 {
+                // Already stably ranked, so re-confirmation inside the
+                // certifier is cheap; the doubled cap only guards against a
+                // protocol whose ranking does not actually close.
+                match certify_ranking_closure(
+                    &mut sim,
+                    budget.saturating_mul(2),
+                    4 * n as u64,
+                    certify,
+                    4 * n as u64,
+                ) {
+                    Ok(c) => Some(c),
+                    Err(RunOutcome::Exhausted { interactions }) => {
+                        return Err(CliError::DidNotConverge { interactions })
+                    }
+                    Err(RunOutcome::Converged { .. }) => {
+                        unreachable!("certifier only fails by exhaustion")
+                    }
+                }
+            } else {
+                None
+            };
             let leader = sim
                 .states()
                 .iter()
@@ -162,9 +266,11 @@ fn ranked_report<P: RankingProtocol>(
                         .join(" ");
                     Ok(format!(
                         "{name}: stabilized after {t:.1} parallel time ({interactions} interactions)\n\
-                         leader: agent {leader}\nranking (rank→agent): {ranks}\n",
+                         {robustness}leader: agent {leader}\nranking (rank→agent): {ranks}\n{cert}",
                         name = common.protocol.name(),
                         t = interactions as f64 / n as f64,
+                        robustness = robustness_text(robust, &spec),
+                        cert = cert.as_ref().map(certificate_text).unwrap_or_default(),
                     ))
                 }
                 OutputFormat::Json => {
@@ -176,11 +282,19 @@ fn ranked_report<P: RankingProtocol>(
                     obj.field_str("protocol", common.protocol.name());
                     obj.field_u64("n", n as u64);
                     obj.field_u64("seed", common.seed);
+                    robustness_json(&mut obj, robust, &spec);
                     obj.field_str("outcome", "converged");
                     obj.field_u64("interactions", interactions);
                     obj.field_f64("parallel_time", interactions as f64 / n as f64);
                     obj.field_u64("leader", leader as u64);
                     obj.field_raw("ranking", &format!("[{agents}]"));
+                    if let Some(c) = &cert {
+                        obj.field_raw(
+                            "certificate_holds",
+                            if c.holds() { "true" } else { "false" },
+                        );
+                        obj.field_u64("certificate_window", c.window);
+                    }
                     Ok(obj.finish() + "\n")
                 }
             }
@@ -189,11 +303,26 @@ fn ranked_report<P: RankingProtocol>(
     }
 }
 
+/// Renders a closure certificate as a report line.
+fn certificate_text(cert: &ClosureCertificate) -> String {
+    match &cert.violation {
+        None => format!(
+            "closure certificate: holds — no output changed over {} interactions under {}\n",
+            cert.window, cert.scheduler,
+        ),
+        Some(v) => format!(
+            "closure certificate: VIOLATED — agent {} changed output at interaction {}\n",
+            v.agent, v.at,
+        ),
+    }
+}
+
 /// [`ranked_report`] on the count-based backend: agents are anonymous in a
 /// multiset, so the report carries the leader count and the final support
 /// instead of a rank→agent table.
 fn counts_ranked_report<P>(
     common: &CommonFlags,
+    robust: &RobustnessFlags,
     protocol: P,
     initial: Vec<P::State>,
     budget: u64,
@@ -204,16 +333,27 @@ where
     P::State: Eq + Hash,
 {
     let n = common.n;
-    let mut sim = BatchSimulation::new(protocol, initial, common.seed);
-    let outcome = sim.run_until_stably_ranked(budget, 4 * n as u64);
+    let policy = robust.policy(n)?;
+    let spec = policy.spec();
+    let mut sim =
+        BatchSimulation::new(protocol, initial, common.seed).with_reliability(robust.reliability());
+    // The uniform-complete fast path keeps the lumped batched loop (omission
+    // is thinned exactly inside batches); any other policy needs agent
+    // identities, so the backend falls back to exact per-interaction draws.
+    let outcome = if policy.is_uniform_complete() {
+        sim.run_until_stably_ranked(budget, 4 * n as u64)
+    } else {
+        sim.run_until_stably_ranked_scheduled(&policy, budget, 4 * n as u64)
+    };
     match outcome {
         RunOutcome::Converged { interactions } => match format {
             OutputFormat::Text => Ok(format!(
                 "{name}: stabilized after {t:.1} parallel time ({interactions} interactions)\n\
-                 backend: counts — agents are anonymous; leaders: {leaders}, \
+                 {robustness}backend: counts — agents are anonymous; leaders: {leaders}, \
                  support: {support} distinct state(s)\n",
                 name = common.protocol.name(),
                 t = interactions as f64 / n as f64,
+                robustness = robustness_text(robust, &spec),
                 leaders = sim.leader_count(),
                 support = sim.counts().support(),
             )),
@@ -224,6 +364,7 @@ where
                 obj.field_str("backend", "counts");
                 obj.field_u64("n", n as u64);
                 obj.field_u64("seed", common.seed);
+                robustness_json(&mut obj, robust, &spec);
                 obj.field_str("outcome", "converged");
                 obj.field_u64("interactions", interactions);
                 obj.field_f64("parallel_time", interactions as f64 / n as f64);
@@ -238,6 +379,7 @@ where
 
 fn loose_report(
     common: &CommonFlags,
+    robust: &RobustnessFlags,
     start: Start,
     max_time: f64,
     backend: BackendChoice,
@@ -250,11 +392,14 @@ fn loose_report(
         Start::Collision => vec![p.leader_state(); n],
         Start::Random | Start::Ranked => vec![p.follower_state(1); n],
     };
-    let max = budget(max_time, n, 4000 * (n as u64).pow(2));
+    let max = budget(max_time, n, inflate(4000 * (n as u64).pow(2), robust));
     if backend == BackendChoice::Counts {
-        return loose_counts_report(common, p, initial, t_max, max, format);
+        return loose_counts_report(common, robust, p, initial, t_max, max, format);
     }
-    let mut sim = Simulation::new(p, initial, common.seed);
+    let policy = robust.policy(n)?;
+    let spec = policy.spec();
+    let mut sim = Simulation::with_policy(p, initial, policy, common.seed)
+        .with_reliability(robust.reliability());
     let outcome = sim.run_until(max, |s| LooselyStabilizingLe::leader_count(s) == 1);
     match outcome {
         RunOutcome::Converged { interactions } => {
@@ -262,9 +407,10 @@ fn loose_report(
             match format {
                 OutputFormat::Text => Ok(format!(
                     "{name} (T_max = {t_max}): unique leader after {t:.1} parallel time — agent {leader}\n\
-                     (loose stabilization: the leader is held for a long but finite time)\n",
+                     {robustness}(loose stabilization: the leader is held for a long but finite time)\n",
                     name = common.protocol.name(),
                     t = interactions as f64 / n as f64,
+                    robustness = robustness_text(robust, &spec),
                 )),
                 OutputFormat::Json => {
                     let mut obj = JsonObject::new();
@@ -272,6 +418,7 @@ fn loose_report(
                     obj.field_str("protocol", common.protocol.name());
                     obj.field_u64("n", n as u64);
                     obj.field_u64("seed", common.seed);
+                    robustness_json(&mut obj, robust, &spec);
                     obj.field_u64("t_max", t_max as u64);
                     obj.field_str("outcome", "converged");
                     obj.field_u64("interactions", interactions);
@@ -289,6 +436,7 @@ fn loose_report(
 /// leader-state count across the multiset reaches one.
 fn loose_counts_report(
     common: &CommonFlags,
+    robust: &RobustnessFlags,
     p: LooselyStabilizingLe,
     initial: Vec<ssle::loose::LooseState>,
     t_max: u32,
@@ -296,18 +444,28 @@ fn loose_counts_report(
     format: OutputFormat,
 ) -> Result<String, CliError> {
     let n = common.n;
-    let mut sim = BatchSimulation::new(p, initial, common.seed);
-    let outcome = sim.run_until(max, |counts| {
-        counts.iter().filter(|(s, _)| s.leader).map(|(_, c)| c).sum::<u64>() == 1
-    });
+    let policy = robust.policy(n)?;
+    let spec = policy.spec();
+    let mut sim =
+        BatchSimulation::new(p, initial, common.seed).with_reliability(robust.reliability());
+    let outcome = if policy.is_uniform_complete() {
+        sim.run_until(max, |counts| {
+            counts.iter().filter(|(s, _)| s.leader).map(|(_, c)| c).sum::<u64>() == 1
+        })
+    } else {
+        sim.run_until_scheduled(&policy, max, |_, states| {
+            states.iter().filter(|s| s.leader).count() == 1
+        })
+    };
     match outcome {
         RunOutcome::Converged { interactions } => match format {
             OutputFormat::Text => Ok(format!(
                 "{name} (T_max = {t_max}): unique leader after {t:.1} parallel time\n\
-                 backend: counts — agents are anonymous; support: {support} distinct state(s)\n\
+                 {robustness}backend: counts — agents are anonymous; support: {support} distinct state(s)\n\
                  (loose stabilization: the leader is held for a long but finite time)\n",
                 name = common.protocol.name(),
                 t = interactions as f64 / n as f64,
+                robustness = robustness_text(robust, &spec),
                 support = sim.counts().support(),
             )),
             OutputFormat::Json => {
@@ -317,6 +475,7 @@ fn loose_counts_report(
                 obj.field_str("backend", "counts");
                 obj.field_u64("n", n as u64);
                 obj.field_u64("seed", common.seed);
+                robustness_json(&mut obj, robust, &spec);
                 obj.field_u64("t_max", t_max as u64);
                 obj.field_str("outcome", "converged");
                 obj.field_u64("interactions", interactions);
@@ -442,6 +601,94 @@ mod tests {
     #[test]
     fn unknown_backend_is_rejected() {
         assert!(matches!(run(&args(&["--backend", "quantum"])), Err(CliError::BadValue { .. })));
+    }
+
+    #[test]
+    fn zipf_scheduler_with_omission_runs_on_both_backends() {
+        for backend in ["agents", "counts"] {
+            let out = run(&args(&[
+                "--protocol",
+                "ciw",
+                "--n",
+                "8",
+                "--seed",
+                "5",
+                "--backend",
+                backend,
+                "--scheduler",
+                "zipf",
+                "--omission",
+                "0.2",
+                "--format",
+                "json",
+            ]))
+            .unwrap_or_else(|e| panic!("{backend}: {e}"));
+            assert!(out.contains("\"scheduler\":\"zipf:1\""), "{backend}: {out}");
+            assert!(out.contains("\"omission\":0.2"), "{backend}: {out}");
+            assert!(out.contains("\"outcome\":\"converged\""), "{backend}: {out}");
+        }
+    }
+
+    #[test]
+    fn adversarial_text_report_names_the_scheduler() {
+        let out =
+            run(&args(&["--protocol", "optimal-silent", "--n", "8", "--scheduler", "starve:2:64"]))
+                .unwrap();
+        assert!(out.contains("scheduler: starve:2:64"), "{out}");
+    }
+
+    #[test]
+    fn loose_counts_supports_nonuniform_schedulers() {
+        let out = run(&args(&[
+            "--protocol",
+            "loose",
+            "--n",
+            "8",
+            "--backend",
+            "counts",
+            "--scheduler",
+            "clustered:2:0.2",
+        ]))
+        .unwrap();
+        assert!(out.contains("clustered:2:0.2"), "{out}");
+    }
+
+    #[test]
+    fn certify_emits_a_holding_certificate() {
+        let out = run(&args(&[
+            "--protocol",
+            "optimal-silent",
+            "--n",
+            "6",
+            "--certify",
+            "1.0",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        assert!(out.contains("\"certificate_holds\":true"), "{out}");
+        assert!(out.contains("\"certificate_window\":"), "{out}");
+        let text = run(&args(&["--protocol", "ciw", "--n", "6", "--certify", "0.5"])).unwrap();
+        assert!(text.contains("closure certificate: holds"), "{text}");
+    }
+
+    #[test]
+    fn certify_rejects_unsupported_modes() {
+        assert!(matches!(
+            run(&args(&["--certify", "1.0", "--backend", "counts"])),
+            Err(CliError::BadValue { .. })
+        ));
+        assert!(matches!(
+            run(&args(&["--protocol", "loose", "--certify", "1.0"])),
+            Err(CliError::BadValue { .. })
+        ));
+        assert!(matches!(run(&args(&["--certify", "-3"])), Err(CliError::BadValue { .. })));
+    }
+
+    #[test]
+    fn bad_scheduler_and_omission_are_rejected() {
+        assert!(matches!(run(&args(&["--scheduler", "quantum"])), Err(CliError::BadValue { .. })));
+        assert!(matches!(run(&args(&["--omission", "1.5"])), Err(CliError::BadValue { .. })));
     }
 
     #[test]

@@ -12,7 +12,8 @@
 
 use population::record::{to_jsonl_mixed, RecordLine};
 use population::{
-    ChaosTrialOutcome, Corruptor, FaultAction, FaultPlan, FaultSize, Runner, TrialSettings,
+    AnyScheduler, ChaosTrialOutcome, Corruptor, FaultAction, FaultPlan, FaultSize, Runner,
+    SchedulerPolicy, TrialSettings,
 };
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -21,7 +22,7 @@ use ssle::{CaiIzumiWada, OptimalSilentSsr, SublinearTimeSsr};
 
 use crate::commands::{parse_flags, OutputFormat};
 use crate::error::CliError;
-use crate::protocol_choice::{BackendChoice, CommonFlags, ProtocolChoice};
+use crate::protocol_choice::{BackendChoice, CommonFlags, ProtocolChoice, RobustnessFlags};
 
 /// Runs the subcommand:
 /// `ssle soak --protocol <p> --n <agents> [--fault-rate <per unit time>]
@@ -51,11 +52,21 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             "backend",
             "json-out",
             "format",
+            "scheduler",
+            "omission",
         ],
     )?;
     let common = CommonFlags::from_flags(&flags, ProtocolChoice::OptimalSilent)?;
     let backend = BackendChoice::from_flags(&flags)?;
     let format = OutputFormat::from_flags(&flags)?;
+    let robust = RobustnessFlags::from_flags(&flags)?;
+    robust.policy(common.n)?;
+    if !robust.is_default() && backend == BackendChoice::Counts {
+        return Err(CliError::BadValue {
+            flag: "backend".into(),
+            reason: "non-default --scheduler/--omission soaks run on the agents backend".into(),
+        });
+    }
     let rate: f64 = flags.get("fault-rate", 0.02);
     if !(rate > 0.0 && rate.is_finite()) {
         return Err(CliError::BadValue {
@@ -82,6 +93,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let outcomes = match (common.protocol, backend) {
         (ProtocolChoice::Ciw, BackendChoice::Agents) => soak_trials(
             || CaiIzumiWada::new(n),
+            &robust,
             period,
             action,
             trials,
@@ -100,6 +112,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         ),
         (ProtocolChoice::OptimalSilent, BackendChoice::Agents) => soak_trials(
             || OptimalSilentSsr::new(n),
+            &robust,
             period,
             action,
             trials,
@@ -118,6 +131,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         ),
         (ProtocolChoice::Sublinear, BackendChoice::Agents) => soak_trials(
             || SublinearTimeSsr::new(n, common.h),
+            &robust,
             period,
             action,
             trials,
@@ -147,9 +161,18 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     if let Some(path) = flags.try_get_str("json-out") {
         let h = protocol_h(common.protocol, common.h);
         let label = protocol_label(common.protocol);
+        let policy = robust.policy(common.n)?;
         let mut records: Vec<RecordLine> = Vec::new();
         for o in &outcomes {
-            records.push(RecordLine::Trial(o.trial_record("soak", label, h, common.seed)));
+            // `with_robustness` normalizes the uniform/perfect baseline to
+            // absent fields, so default soaks serialize as before.
+            records.push(RecordLine::Trial(
+                o.trial_record("soak", label, h, common.seed).with_robustness(
+                    Some(policy.spec()),
+                    Some(robust.omission),
+                    policy.starve_window(),
+                ),
+            ));
             records.extend(
                 o.fault_records("soak", label, h, common.seed).into_iter().map(RecordLine::Fault),
             );
@@ -159,8 +182,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     }
 
     match format {
-        OutputFormat::Text => Ok(render_text(&common, rate, action, time, &outcomes)),
-        OutputFormat::Json => Ok(render_json(&common, rate, action, time, &outcomes)),
+        OutputFormat::Text => Ok(render_text(&common, &robust, rate, action, time, &outcomes)),
+        OutputFormat::Json => Ok(render_json(&common, &robust, rate, action, time, &outcomes)),
     }
 }
 
@@ -227,9 +250,13 @@ fn parse_action(name: &str, size: FaultSize) -> Result<FaultAction, CliError> {
 }
 
 /// Runs the soak trials for one protocol type: adversarial random start,
-/// repeating fault plan, fixed interaction budget.
+/// repeating fault plan, fixed interaction budget. Default robustness flags
+/// take the original chaos path so uniform/perfect soaks stay bit-identical
+/// with earlier releases; anything else routes through the scheduled runner.
+#[allow(clippy::too_many_arguments)] // the robustness flags push past 7
 fn soak_trials<P, M>(
     make_protocol: M,
+    robust: &RobustnessFlags,
     period: f64,
     action: FaultAction,
     trials: u64,
@@ -243,12 +270,28 @@ where
     M: Fn() -> P + Sync,
 {
     let settings = TrialSettings::new(trials, seed, budget, 0);
-    Runner::new(settings).run_chaos_trials_parallel(threads, |_, rng: &mut SmallRng| {
-        let protocol = make_protocol();
-        let initial = adversary::random_configuration(&protocol, rng);
-        let plan = FaultPlan::new(rng.gen()).every_parallel_time(period, action);
-        (protocol, initial, plan)
-    })
+    if robust.is_default() {
+        Runner::new(settings).run_chaos_trials_parallel(threads, |_, rng: &mut SmallRng| {
+            let protocol = make_protocol();
+            let initial = adversary::random_configuration(&protocol, rng);
+            let plan = FaultPlan::new(rng.gen()).every_parallel_time(period, action);
+            (protocol, initial, plan)
+        })
+    } else {
+        let spec = robust.scheduler.clone();
+        let omission = robust.omission;
+        Runner::new(settings).run_chaos_trials_scheduled_parallel(
+            threads,
+            move |_, rng: &mut SmallRng| {
+                let protocol = make_protocol();
+                let initial = adversary::random_configuration(&protocol, rng);
+                let plan = FaultPlan::new(rng.gen()).every_parallel_time(period, action);
+                let policy = AnyScheduler::from_spec(&spec, initial.len())
+                    .expect("scheduler spec validated before dispatch");
+                (protocol, initial, plan, policy, population::Reliability::with_omission(omission))
+            },
+        )
+    }
 }
 
 /// [`soak_trials`] on the count-based backend: identical fault plans and
@@ -303,6 +346,7 @@ fn stats(outcomes: &[ChaosTrialOutcome]) -> SoakStats {
 
 fn render_text(
     common: &CommonFlags,
+    robust: &RobustnessFlags,
     rate: f64,
     action: FaultAction,
     time: f64,
@@ -310,7 +354,7 @@ fn render_text(
 ) -> String {
     let mut out = format!(
         "soak: {}, n = {}, seed {}\nfault plan: {} every {:.1} parallel-time units \
-         (rate {rate}); {} trial(s) × {time} time units\n\n",
+         (rate {rate}); {} trial(s) × {time} time units\n",
         common.protocol.name(),
         common.n,
         common.seed,
@@ -318,6 +362,13 @@ fn render_text(
         1.0 / rate,
         outcomes.len(),
     );
+    if !robust.is_default() {
+        out.push_str(&format!(
+            "scheduler: {}, omission rate: {}\n",
+            robust.scheduler, robust.omission
+        ));
+    }
+    out.push('\n');
     out.push_str(&format!(
         "{:>6} {:>7} {:>10} {:>13} {:>13} {:>14}\n",
         "trial", "faults", "recovered", "avail", "ranked-avail", "E[recovery]"
@@ -350,6 +401,7 @@ fn render_text(
 
 fn render_json(
     common: &CommonFlags,
+    robust: &RobustnessFlags,
     rate: f64,
     action: FaultAction,
     time: f64,
@@ -362,6 +414,8 @@ fn render_json(
     obj.field_str("protocol", protocol_label(common.protocol));
     obj.field_u64("n", common.n as u64);
     obj.field_u64("seed", common.seed);
+    obj.field_str("scheduler", &robust.scheduler);
+    obj.field_f64("omission", robust.omission);
     obj.field_str("action", action.label());
     obj.field_f64("fault_rate", rate);
     obj.field_f64("time", time);
@@ -488,6 +542,63 @@ mod tests {
         let fields = population::record::parse_flat_json(out.trim()).unwrap();
         assert!(fields.contains_key("availability"), "{out}");
         assert!(fields.contains_key("faults"), "{out}");
+    }
+
+    #[test]
+    fn adversarial_soak_reports_and_records_the_scheduler() {
+        let out = run(&args(&[
+            "--n",
+            "16",
+            "--time",
+            "200",
+            "--fault-rate",
+            "0.05",
+            "--trials",
+            "2",
+            "--seed",
+            "3",
+            "--scheduler",
+            "zipf",
+            "--omission",
+            "0.1",
+        ]))
+        .unwrap();
+        assert!(out.contains("scheduler: zipf"), "{out}");
+        assert!(out.contains("omission rate: 0.1"), "{out}");
+        assert!(out.contains("aggregate: leader available"), "{out}");
+
+        let path = std::env::temp_dir().join("ssle_soak_sched_records.jsonl");
+        let path_s = path.to_string_lossy().into_owned();
+        run(&args(&[
+            "--n",
+            "16",
+            "--time",
+            "200",
+            "--trials",
+            "1",
+            "--scheduler",
+            "starve:2:64",
+            "--json-out",
+            &path_s,
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"scheduler\":\"starve:2:64\""), "{text}");
+        assert!(text.contains("\"starve_window\":64"), "{text}");
+    }
+
+    #[test]
+    fn counts_backend_rejects_nonuniform_soaks() {
+        assert!(matches!(
+            run(&args(&["--n", "8", "--backend", "counts", "--scheduler", "zipf"])),
+            Err(CliError::BadValue { .. })
+        ));
+        assert!(matches!(
+            run(&args(&["--n", "8", "--backend", "counts", "--omission", "0.2"])),
+            Err(CliError::BadValue { .. })
+        ));
     }
 
     #[test]

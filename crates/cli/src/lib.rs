@@ -58,6 +58,8 @@ COMMANDS:
                   --protocol ciw|optimal-silent|sublinear|tree-ranking|loose
                   --n <agents> [--h <depth>] [--seed <u64>]
                   [--start random|collision|ranked] [--max-time <t>]
+                  [--scheduler uniform|zipf[:exp]|starve[:k[:w]]|clustered[:b[:eps]]]
+                  [--omission <p>] [--certify <multiple>]
                   [--backend agents|counts] [--format text|json]
     trace       sample a role/leader time series as CSV
                   --protocol ... --n <agents> [--h <depth>] [--seed <u64>]
@@ -68,15 +70,17 @@ COMMANDS:
                   [--k <path bound>] [--seed <u64>]
     compare     run all ranking protocols head-to-head at one size
                   --n <agents> [--trials <t>] [--seed <u64>]
+                  [--scheduler <spec>] [--omission <p>]
                   [--backend agents|counts] [--format text|json]
     report      summarize a JSONL experiment record stream
-                  <file.jsonl> [--format text|json]
+                  <file.jsonl> [--compare <other.jsonl>] [--format text|json]
     soak        sustain a fault rate against a protocol and report availability
                   --protocol ciw|optimal-silent|sublinear --n <agents>
                   [--fault-rate <faults per time unit>] [--fault-size <k|sqrt|frac|all>]
                   [--action corrupt-random|duplicate-leader|collide|partial-reset|randomize]
                   [--time <parallel-time>] [--trials <t>] [--threads <w>]
                   [--h <depth>] [--seed <u64>] [--backend agents|counts]
+                  [--scheduler <spec>] [--omission <p>]
                   [--json-out <file.jsonl>] [--format text|json]
     states      print per-protocol state counts
                   --n <agents> [--h <depth>]

@@ -1,6 +1,7 @@
 //! Parsing and construction of the protocol selected on the command line.
 
 use crate::error::CliError;
+use population::{AnyScheduler, Reliability};
 use ssle_bench::cli::Flags;
 
 /// Which ranking/leader-election protocol a subcommand should run.
@@ -89,6 +90,59 @@ impl BackendChoice {
     }
 }
 
+/// Extracts and validates the shared `--scheduler`/`--omission` flags
+/// selecting the pair-selection policy and interaction reliability.
+#[derive(Debug, Clone)]
+pub struct RobustnessFlags {
+    /// Raw scheduler spec: `uniform`, `zipf[:EXP]`, `starve[:K[:W]]`, or
+    /// `clustered[:B[:EPS]]`.
+    pub scheduler: String,
+    /// Per-interaction omission probability in `[0, 1)`.
+    pub omission: f64,
+}
+
+impl RobustnessFlags {
+    /// Parses the shared robustness flags out of `flags`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::BadValue`] when the omission probability is
+    /// outside `[0, 1)`.
+    pub fn from_flags(flags: &Flags) -> Result<Self, CliError> {
+        let scheduler = flags.try_get_str("scheduler").unwrap_or("uniform").to_string();
+        let omission: f64 = flags.get("omission", 0.0);
+        if !(0.0..1.0).contains(&omission) {
+            return Err(CliError::BadValue {
+                flag: "omission".into(),
+                reason: format!("omission probability {omission} is outside [0, 1)"),
+            });
+        }
+        Ok(RobustnessFlags { scheduler, omission })
+    }
+
+    /// Builds the scheduler policy for a population of `n` agents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::BadValue`] for unknown or malformed specs.
+    pub fn policy(&self, n: usize) -> Result<AnyScheduler, CliError> {
+        AnyScheduler::from_spec(&self.scheduler, n)
+            .map_err(|reason| CliError::BadValue { flag: "scheduler".into(), reason })
+    }
+
+    /// The reliability model implied by `--omission`.
+    pub fn reliability(&self) -> Reliability {
+        Reliability::with_omission(self.omission)
+    }
+
+    /// Whether both flags are at their defaults (uniform scheduler over the
+    /// complete graph, perfect interactions) — the regime every pre-existing
+    /// code path assumes.
+    pub fn is_default(&self) -> bool {
+        self.scheduler == "uniform" && self.omission == 0.0
+    }
+}
+
 /// Extracts and validates the shared `--protocol`/`--n`/`--h`/`--seed`
 /// flags.
 pub struct CommonFlags {
@@ -134,6 +188,7 @@ impl CommonFlags {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use population::SchedulerPolicy;
 
     #[test]
     fn parses_all_spellings() {
@@ -186,6 +241,37 @@ mod tests {
             BackendChoice::from_flags(&parse(&["--backend", "gpu"])),
             Err(CliError::BadValue { .. })
         ));
+    }
+
+    #[test]
+    fn robustness_flags_default_to_uniform_and_perfect() {
+        let flags = Flags::from_args(std::iter::empty(), &["scheduler", "omission"]).unwrap();
+        let r = RobustnessFlags::from_flags(&flags).unwrap();
+        assert!(r.is_default());
+        assert_eq!(r.scheduler, "uniform");
+        assert_eq!(r.omission, 0.0);
+        assert!(r.reliability().is_perfect());
+        assert_eq!(r.policy(8).unwrap().spec(), "uniform");
+    }
+
+    #[test]
+    fn robustness_flags_parse_specs_and_rates() {
+        let parse = |args: &[&str]| {
+            Flags::from_args(args.iter().map(|s| s.to_string()), &["scheduler", "omission"])
+                .unwrap()
+        };
+        let r =
+            RobustnessFlags::from_flags(&parse(&["--scheduler", "zipf:1.5", "--omission", "0.2"]))
+                .unwrap();
+        assert!(!r.is_default());
+        assert_eq!(r.policy(8).unwrap().spec(), "zipf:1.5");
+        assert!(!r.reliability().is_perfect());
+        assert!(matches!(
+            RobustnessFlags::from_flags(&parse(&["--omission", "1.0"])),
+            Err(CliError::BadValue { .. })
+        ));
+        let bad = RobustnessFlags::from_flags(&parse(&["--scheduler", "quantum"])).unwrap();
+        assert!(matches!(bad.policy(8), Err(CliError::BadValue { .. })));
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::counts::{BatchSimulation, CountConfig};
 use crate::fault::FaultSchedule;
 use crate::observer::Observer;
 use crate::protocol::{Protocol, RankingProtocol};
+use crate::scheduler::SchedulerPolicy;
 use crate::simulation::{RunOutcome, Simulation};
 
 /// Operations every simulation backend supports.
@@ -73,11 +74,12 @@ pub trait SimulationBackend<P: Protocol> {
         P::State: Eq + Hash;
 }
 
-impl<P, O, F> SimulationBackend<P> for Simulation<P, O, F>
+impl<P, O, F, S> SimulationBackend<P> for Simulation<P, O, F, S>
 where
     P: Protocol,
     O: Observer<P>,
     F: FaultSchedule<P>,
+    S: SchedulerPolicy,
 {
     const NAME: &'static str = "agents";
 

@@ -66,8 +66,8 @@ use crate::fault::{
 use crate::observer::{NoopObserver, Observer};
 use crate::protocol::{Protocol, RankingProtocol};
 use crate::runner::{derive_seed, rng_from_seed, Runner, TrialOutcome};
-use crate::scheduler::uniform_u64;
-use crate::simulation::RunOutcome;
+use crate::scheduler::{uniform_u64, AnyScheduler, Reliability, SchedulerPolicy};
+use crate::simulation::{interact_reliably, RunOutcome};
 use crate::tracker::RankTracker;
 
 /// A population configuration as a multiset of states.
@@ -374,6 +374,7 @@ where
     interactions: u64,
     observer: O,
     faults: F,
+    reliability: Reliability,
     survival: Vec<f64>,
     memo: TransitionMemo,
     // Per-batch scratch, kept to avoid reallocation.
@@ -415,6 +416,7 @@ where
             interactions: 0,
             observer: NoopObserver,
             faults: NoFaults,
+            reliability: Reliability::perfect(),
             survival: survival_table(n),
             memo,
             remaining: Vec::new(),
@@ -469,6 +471,7 @@ where
             interactions: self.interactions,
             observer,
             faults: self.faults,
+            reliability: self.reliability,
             survival: self.survival,
             memo: self.memo,
             remaining: self.remaining,
@@ -505,6 +508,7 @@ where
             interactions: self.interactions,
             observer: self.observer,
             faults,
+            reliability: self.reliability,
             survival: self.survival,
             memo: self.memo,
             remaining: self.remaining,
@@ -517,6 +521,30 @@ where
     /// The attached fault schedule.
     pub fn fault_schedule(&self) -> &F {
         &self.faults
+    }
+
+    /// Sets the interaction-reliability model (mirrors
+    /// [`crate::Simulation::with_reliability`]). Omission is thinned
+    /// *exactly* inside batches: pair selection is independent of whether a
+    /// transition applies, so a dropped interaction simply consumes its pair
+    /// draw and leaves both participants' states (and the count deltas)
+    /// untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reliability.omission` is outside `[0, 1)`.
+    pub fn with_reliability(mut self, reliability: Reliability) -> Self {
+        assert!(
+            (0.0..1.0).contains(&reliability.omission),
+            "omission probability must lie in [0, 1)"
+        );
+        self.reliability = reliability;
+        self
+    }
+
+    /// The current reliability model.
+    pub fn reliability(&self) -> Reliability {
+        self.reliability
     }
 
     /// Looks up (or computes and memoizes) the transition for the ordered
@@ -532,7 +560,9 @@ where
         let mut b = self.config.state_at(ib).clone();
         self.protocol.interact(&mut a, &mut b, &mut self.rng);
         let ja = self.config.ensure_entry(a);
-        let jb = self.config.ensure_entry(b);
+        // One-way application discards the responder's update: the memo stays
+        // consistent because reliability is fixed for the simulation's life.
+        let jb = if self.reliability.one_way { ib } else { self.config.ensure_entry(b) };
         if P::DETERMINISTIC_INTERACT {
             self.memo.set(ia, ib, ja, jb, self.config.raw_len());
         }
@@ -593,10 +623,14 @@ where
         let ia = self.config.locate(ra);
         let rb = uniform_u64(&mut self.rng, self.n - 1);
         let ib = self.config.locate_excluding(rb, ia);
+        self.interactions += 1;
+        if self.reliability.drops(&mut self.rng) {
+            // Omitted: the pair met but the transition never applied.
+            return (ia, ib, ia, ib);
+        }
         let (ja, jb) = self.transition(ia, ib);
         self.config.transfer(ia, ja);
         self.config.transfer(ib, jb);
-        self.interactions += 1;
         (ia, ib, ja, jb)
     }
 
@@ -640,6 +674,14 @@ where
             pool -= 1;
             let ib = Self::draw_without_replacement(&mut self.remaining, &mut self.rng, pool);
             pool -= 1;
+            if self.reliability.drops(&mut self.rng) {
+                // Dropped interactions still consume their pair: the agents
+                // met (so they stay excluded from the collision-free batch)
+                // but keep their pre-states.
+                self.slots.push(ia as u32);
+                self.slots.push(ib as u32);
+                continue;
+            }
             let (ja, jb) = self.transition(ia, ib);
             self.slots.push(ja as u32);
             self.slots.push(jb as u32);
@@ -689,9 +731,11 @@ where
                 let s2 = uniform_u64(&mut self.rng, m) as usize;
                 (Self::pick_remaining(&self.remaining, ra), self.slots[s2] as usize)
             };
-            let (ja, jb) = self.transition(ia, ib);
-            self.config.transfer(ia, ja);
-            self.config.transfer(ib, jb);
+            if !self.reliability.drops(&mut self.rng) {
+                let (ja, jb) = self.transition(ia, ib);
+                self.config.transfer(ia, ja);
+                self.config.transfer(ib, jb);
+            }
             performed += 1;
         }
 
@@ -786,6 +830,58 @@ where
             self.advance(max_interactions - self.interactions);
         }
     }
+
+    /// Runs under an arbitrary [`SchedulerPolicy`] until `goal` holds or
+    /// `max_interactions` is reached.
+    ///
+    /// Non-uniform policies distinguish agents, so the lumped count chain no
+    /// longer describes the process: this materializes agent identities (in
+    /// entry order) and runs an exact agent-level loop, recompressing the
+    /// final configuration on return. For uniform-complete policies prefer
+    /// [`BatchSimulation::run_until`], which batches.
+    ///
+    /// The goal receives the protocol and the materialized state array and
+    /// is checked after every interaction (and once before the first).
+    pub fn run_until_scheduled(
+        &mut self,
+        policy: &AnyScheduler,
+        max_interactions: u64,
+        mut goal: impl FnMut(&P, &[P::State]) -> bool,
+    ) -> RunOutcome {
+        assert_eq!(
+            policy.population_size() as u64,
+            self.n,
+            "scheduler policy was built for a different population size"
+        );
+        let mut states = self.config.to_states();
+        let outcome = loop {
+            if goal(&self.protocol, &states) {
+                self.observer.on_converged(self.interactions);
+                if F::ACTIVE {
+                    self.faults.notify_converged(self.interactions);
+                }
+                break RunOutcome::Converged { interactions: self.interactions };
+            }
+            if self.interactions >= max_interactions {
+                self.observer.on_exhausted(self.interactions);
+                break RunOutcome::Exhausted { interactions: self.interactions };
+            }
+            let (i, j) = policy.sample_at(&mut self.rng, self.interactions);
+            interact_reliably(&self.protocol, &mut states, i, j, self.reliability, &mut self.rng);
+            self.interactions += 1;
+            if F::ACTIVE && self.interactions >= self.faults.next_due() {
+                let fired_before = self.faults.fired_count();
+                let corrupted = self.faults.poll(&self.protocol, &mut states, self.interactions);
+                if self.faults.fired_count() != fired_before {
+                    self.observer.on_fault(corrupted, self.interactions);
+                }
+            }
+        };
+        // Recompress so `counts()` reflects the final configuration.
+        self.config = CountConfig::from_states(&states);
+        self.memo.grow(self.config.raw_len());
+        outcome
+    }
 }
 
 impl<P: RankingProtocol, O: Observer<P>, F: FaultSchedule<P>> BatchSimulation<P, O, F>
@@ -797,10 +893,7 @@ where
         let n = self.protocol.population_size();
         let mut tracker = RankTracker::new(n);
         for (s, c) in self.config.iter() {
-            let rank = self.protocol.rank_of(s);
-            for _ in 0..c {
-                tracker.add(rank);
-            }
+            tracker.add_many(self.protocol.rank_of(s), c);
         }
         tracker
     }
@@ -880,6 +973,101 @@ where
             }
         }
     }
+
+    /// [`BatchSimulation::run_until_stably_ranked`] under an arbitrary
+    /// [`SchedulerPolicy`].
+    ///
+    /// Uniform-complete policies delegate to the lumped count-level loop —
+    /// zero cost relative to the plain method. Anything else distinguishes
+    /// agents, so the configuration is materialized (entry order assigns
+    /// identities) and the run proceeds agent-by-agent with the exact same
+    /// convergence semantics, recompressing on return.
+    pub fn run_until_stably_ranked_scheduled(
+        &mut self,
+        policy: &AnyScheduler,
+        max_interactions: u64,
+        confirm_window: u64,
+    ) -> RunOutcome {
+        if policy.is_uniform_complete() {
+            return self.run_until_stably_ranked(max_interactions, confirm_window);
+        }
+        let n = self.protocol.population_size();
+        assert_eq!(n as u64, self.n, "protocol configured for a different population size");
+        assert_eq!(
+            policy.population_size(),
+            n,
+            "scheduler policy was built for a different population size"
+        );
+        let mut states = self.config.to_states();
+        let mut tracker = RankTracker::new(n);
+        for s in &states {
+            tracker.add(self.protocol.rank_of(s));
+        }
+        let mut converged_at: Option<u64> = None;
+        let outcome = loop {
+            match converged_at {
+                Some(t0) => {
+                    if self.interactions - t0 >= confirm_window {
+                        self.observer.on_converged(t0);
+                        if F::ACTIVE {
+                            self.faults.notify_converged(t0);
+                        }
+                        break RunOutcome::Converged { interactions: t0 };
+                    }
+                }
+                None => {
+                    if tracker.is_correct() {
+                        converged_at = Some(self.interactions);
+                        if confirm_window == 0 {
+                            self.observer.on_converged(self.interactions);
+                            if F::ACTIVE {
+                                self.faults.notify_converged(self.interactions);
+                            }
+                            break RunOutcome::Converged { interactions: self.interactions };
+                        }
+                    }
+                }
+            }
+            if self.interactions >= max_interactions {
+                self.observer.on_exhausted(self.interactions);
+                break RunOutcome::Exhausted { interactions: self.interactions };
+            }
+            let (i, j) = policy.sample_at(&mut self.rng, self.interactions);
+            let before_i = self.protocol.rank_of(&states[i]);
+            let before_j = self.protocol.rank_of(&states[j]);
+            let applied = interact_reliably(
+                &self.protocol,
+                &mut states,
+                i,
+                j,
+                self.reliability,
+                &mut self.rng,
+            );
+            self.interactions += 1;
+            if applied {
+                tracker.update(before_i, self.protocol.rank_of(&states[i]));
+                tracker.update(before_j, self.protocol.rank_of(&states[j]));
+            }
+            if F::ACTIVE && self.interactions >= self.faults.next_due() {
+                let fired_before = self.faults.fired_count();
+                let corrupted = self.faults.poll(&self.protocol, &mut states, self.interactions);
+                if self.faults.fired_count() != fired_before {
+                    self.observer.on_fault(corrupted, self.interactions);
+                    tracker = RankTracker::new(n);
+                    for s in &states {
+                        tracker.add(self.protocol.rank_of(s));
+                    }
+                    converged_at = None;
+                }
+            }
+            if converged_at.is_some() && !tracker.is_correct() {
+                converged_at = None;
+            }
+        };
+        self.config = CountConfig::from_states(&states);
+        self.memo.grow(self.config.raw_len());
+        outcome
+    }
 }
 
 impl<P, O, F> BatchSimulation<P, O, F>
@@ -890,9 +1078,17 @@ where
     F: FaultSchedule<P>,
 {
     /// Count-level mirror of [`crate::Simulation::run_chaos`]: runs under
-    /// the attached fault schedule, measuring recovery and availability,
-    /// with identical semantics (exact one-at-a-time steps — chaos runs
-    /// rank-track every interaction).
+    /// the attached fault schedule, measuring recovery and availability.
+    ///
+    /// Ranked stretches step exactly — a ranked configuration has `n`
+    /// distinct states, so batching cannot help, and perturbations must be
+    /// detected at interaction granularity. Recovery stretches (the bulk of
+    /// the work after a mass corruption) advance in collision-free batches,
+    /// which is what makes chaos runs practical at `n ≥ 10⁶`. Batches never
+    /// jump past a due fault, so fault injection times stay exact; ranked /
+    /// unique-leader status inside a recovery stretch is resolved at batch
+    /// boundaries, so availability and recovery times may overshoot by up
+    /// to one batch (`O(√n)` interactions, i.e. `o(1)` parallel time).
     pub fn run_chaos(&mut self, max_interactions: u64) -> ChaosReport {
         let n = self.protocol.population_size();
         assert_eq!(n as u64, self.n, "protocol configured for a different population size");
@@ -922,28 +1118,49 @@ where
                 self.observer.on_exhausted(self.interactions);
                 break;
             }
-            let (ia, ib, ja, jb) = self.step_exact_indices();
-            tracker.update(
-                self.protocol.rank_of(self.config.state_at(ia)),
-                self.protocol.rank_of(self.config.state_at(ja)),
-            );
-            tracker.update(
-                self.protocol.rank_of(self.config.state_at(ib)),
-                self.protocol.rank_of(self.config.state_at(jb)),
-            );
-            self.poll_faults();
-            if self.faults.fired_count() != seen {
-                for f in &self.faults.log()[seen..] {
-                    recovery.on_fault(f.action, f.agents, f.at);
+            if tracker.is_correct() {
+                // Ranked: watch every interaction for the perturbation.
+                let (ia, ib, ja, jb) = self.step_exact_indices();
+                tracker.update(
+                    self.protocol.rank_of(self.config.state_at(ia)),
+                    self.protocol.rank_of(self.config.state_at(ja)),
+                );
+                tracker.update(
+                    self.protocol.rank_of(self.config.state_at(ib)),
+                    self.protocol.rank_of(self.config.state_at(jb)),
+                );
+                self.poll_faults();
+                if self.faults.fired_count() != seen {
+                    for f in &self.faults.log()[seen..] {
+                        recovery.on_fault(f.action, f.agents, f.at);
+                    }
+                    seen = self.faults.fired_count();
+                    tracker = self.build_tracker();
                 }
-                seen = self.faults.fired_count();
+                let ranked = tracker.is_correct();
+                recovery.observe_step(ranked, tracker.count_of(1) == 1);
+                if ranked {
+                    recovery.on_ranked(self.interactions);
+                    self.faults.notify_converged(self.interactions);
+                }
+            } else {
+                // Recovering: advance a whole batch, then resolve status.
+                let before = self.interactions;
+                self.advance(max_interactions - self.interactions);
+                let performed = self.interactions - before;
+                if self.faults.fired_count() != seen {
+                    for f in &self.faults.log()[seen..] {
+                        recovery.on_fault(f.action, f.agents, f.at);
+                    }
+                    seen = self.faults.fired_count();
+                }
                 tracker = self.build_tracker();
-            }
-            let ranked = tracker.is_correct();
-            recovery.observe_step(ranked, tracker.count_of(1) == 1);
-            if ranked {
-                recovery.on_ranked(self.interactions);
-                self.faults.notify_converged(self.interactions);
+                let ranked = tracker.is_correct();
+                recovery.observe_steps(performed, ranked, tracker.count_of(1) == 1);
+                if ranked {
+                    recovery.on_ranked(self.interactions);
+                    self.faults.notify_converged(self.interactions);
+                }
             }
         }
         recovery.into_report(self.interactions)
@@ -1372,5 +1589,100 @@ mod tests {
         let mut ranks: Vec<usize> = sim.counts().iter().map(|(s, _)| *s).collect();
         ranks.sort_unstable();
         assert_eq!(ranks, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn omission_thins_batched_transitions() {
+        // Fight from all-leader: every applied ℓ,ℓ interaction removes one
+        // leader. With heavy omission, far more leaders survive the same
+        // interaction budget than with a perfect channel.
+        let n = 512;
+        let run = |omission: f64| {
+            let mut sim = BatchSimulation::new(FightProtocol, vec![Fight::Leader; n], 29)
+                .with_reliability(Reliability::with_omission(omission));
+            sim.run(2_000);
+            leaders(sim.counts())
+        };
+        let perfect = run(0.0);
+        let lossy = run(0.9);
+        assert!(
+            lossy > perfect + 50,
+            "omission 0.9 left {lossy} leaders vs {perfect} on a perfect channel"
+        );
+    }
+
+    #[test]
+    fn perfect_reliability_leaves_the_batched_stream_untouched() {
+        let run = |reliability: Reliability| {
+            let mut sim = BatchSimulation::new(FightProtocol, vec![Fight::Leader; 256], 31)
+                .with_reliability(reliability);
+            sim.run(10_000);
+            leaders(sim.counts())
+        };
+        assert_eq!(run(Reliability::perfect()), run(Reliability::with_omission(0.0)));
+    }
+
+    #[test]
+    fn one_way_application_freezes_responder_only_protocols() {
+        // Fight's only transition updates the responder, so one-way
+        // application (initiator-only) makes it a no-op protocol.
+        let n = 64;
+        let mut sim = BatchSimulation::new(FightProtocol, vec![Fight::Leader; n], 7)
+            .with_reliability(Reliability::perfect().and_one_way());
+        sim.run(50_000);
+        assert_eq!(leaders(sim.counts()), n as u64);
+    }
+
+    #[test]
+    fn scheduled_fallback_converges_under_nonuniform_policies() {
+        for spec in ["zipf:1", "starve:2:64", "clustered:2:0.25"] {
+            let n = 8;
+            let policy = AnyScheduler::from_spec(spec, n).expect(spec);
+            let mut sim = BatchSimulation::new(ModRank { n }, vec![0usize; n], 19)
+                .with_reliability(Reliability::with_omission(0.1));
+            let outcome = sim.run_until_stably_ranked_scheduled(&policy, 4_000_000, 32);
+            assert!(outcome.is_converged(), "{spec}: {outcome:?}");
+            assert!(sim.is_ranked(), "{spec}");
+            assert_eq!(sim.counts().population(), n as u64, "{spec}");
+        }
+    }
+
+    #[test]
+    fn scheduled_fallback_with_uniform_policy_delegates_to_lumped_loop() {
+        let n = 8;
+        let policy = AnyScheduler::uniform(n);
+        let mut plain = BatchSimulation::new(ModRank { n }, vec![0usize; n], 23);
+        let mut scheduled = BatchSimulation::new(ModRank { n }, vec![0usize; n], 23);
+        let a = plain.run_until_stably_ranked(1_000_000, 16);
+        let b = scheduled.run_until_stably_ranked_scheduled(&policy, 1_000_000, 16);
+        assert_eq!(a, b, "uniform-complete policies must take the zero-cost path");
+    }
+
+    #[test]
+    fn scheduled_goal_runs_reach_the_goal() {
+        let n = 32;
+        let policy = AnyScheduler::from_spec("clustered:4:0.5", n).unwrap();
+        let mut sim = BatchSimulation::new(FightProtocol, vec![Fight::Leader; n], 41);
+        let outcome = sim.run_until_scheduled(&policy, 2_000_000, |_, states| {
+            states.iter().filter(|s| **s == Fight::Leader).count() == 1
+        });
+        assert!(outcome.is_converged(), "{outcome:?}");
+        assert_eq!(leaders(sim.counts()), 1, "recompressed counts reflect the final states");
+    }
+
+    #[test]
+    fn batched_chaos_matches_recovery_semantics_of_small_runs() {
+        // The hybrid (exact while ranked, batched while recovering) must
+        // still recover from every fault and keep availability in (0, 1].
+        let plan = FaultPlan::new(17)
+            .after_convergence(5, FaultAction::Randomize)
+            .after_convergence(9, FaultAction::CorruptRandom(FaultSize::Sqrt));
+        let mut sim =
+            BatchSimulation::new(ModRank { n: 64 }, vec![0usize; 64], 53).with_fault_plan(&plan);
+        let report = sim.run_chaos(50_000_000);
+        assert!(report.first_ranked.is_some());
+        assert_eq!(report.faults.len(), 2, "{report:?}");
+        assert!(report.fully_recovered(), "{report:?}");
+        assert!(report.availability() > 0.0 && report.availability() <= 1.0);
     }
 }

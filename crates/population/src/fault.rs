@@ -56,6 +56,7 @@ use crate::observer::Observer;
 use crate::protocol::{Protocol, RankingProtocol};
 use crate::record::{FaultRecord, RunRecord};
 use crate::runner::{derive_seed, rng_from_seed, Runner};
+use crate::scheduler::{AnyScheduler, Reliability, SchedulerPolicy};
 use crate::simulation::{RunOutcome, Simulation};
 use crate::tracker::RankTracker;
 
@@ -646,12 +647,20 @@ impl RecoveryTracker {
     /// configuration was correctly ranked and whether exactly one agent held
     /// rank 1 after it.
     pub fn observe_step(&mut self, ranked: bool, unique_leader: bool) {
-        self.observed_steps += 1;
+        self.observe_steps(1, ranked, unique_leader);
+    }
+
+    /// Accounts `steps` interactions at once, all sharing the same ranked /
+    /// unique-leader status — the batched counterpart of
+    /// [`RecoveryTracker::observe_step`] used by the count-based backend,
+    /// which only inspects the configuration at batch boundaries.
+    pub fn observe_steps(&mut self, steps: u64, ranked: bool, unique_leader: bool) {
+        self.observed_steps += steps;
         if ranked {
-            self.ranked_steps += 1;
+            self.ranked_steps += steps;
         }
         if unique_leader {
-            self.leader_steps += 1;
+            self.leader_steps += steps;
         }
     }
 
@@ -751,11 +760,11 @@ impl ChaosReport {
     }
 }
 
-impl<P: Corruptor, O: Observer<P>, F: FaultSchedule<P>> Simulation<P, O, F> {
+impl<P: Corruptor, O: Observer<P>, F: FaultSchedule<P>, S: SchedulerPolicy> Simulation<P, O, F, S> {
     /// Binds `plan` to this simulation's population, replacing any existing
     /// fault schedule. Interactions already performed are preserved; triggers
     /// are measured in **total** interaction counts.
-    pub fn with_fault_plan(self, plan: &FaultPlan) -> Simulation<P, O, FaultInjector> {
+    pub fn with_fault_plan(self, plan: &FaultPlan) -> Simulation<P, O, FaultInjector, S> {
         let faults = FaultInjector::bind(plan, self.states.len());
         Simulation {
             protocol: self.protocol,
@@ -765,6 +774,7 @@ impl<P: Corruptor, O: Observer<P>, F: FaultSchedule<P>> Simulation<P, O, F> {
             interactions: self.interactions,
             observer: self.observer,
             faults,
+            reliability: self.reliability,
         }
     }
 
@@ -822,7 +832,7 @@ impl<P: Corruptor, O: Observer<P>, F: FaultSchedule<P>> Simulation<P, O, F> {
                 self.observer.on_exhausted(self.interactions);
                 break;
             }
-            let (i, j) = self.scheduler.sample_pair(&mut self.rng);
+            let (i, j) = self.scheduler.sample_at(&mut self.rng, self.interactions);
             let before_i = self.protocol.rank_of(&self.states[i]);
             let before_j = self.protocol.rank_of(&self.states[j]);
             self.interact_observed(i, j);
@@ -894,6 +904,9 @@ impl ChaosTrialOutcome {
             wall_s: self.wall.as_secs_f64(),
             availability: Some(self.report.availability()),
             faults: Some(self.report.faults.len() as u64),
+            scheduler: None,
+            omission: None,
+            starve_window: None,
         }
     }
 
@@ -946,6 +959,31 @@ where
     ChaosTrialOutcome { trial, n, report, wall: started.elapsed() }
 }
 
+/// Like [`chaos_trial`], but under an explicit scheduler policy and
+/// reliability model. Same seed derivation; with the uniform policy and
+/// perfect reliability the execution is identical to [`chaos_trial`]'s.
+fn chaos_trial_scheduled<P, F>(runner: &Runner, trial: u64, make: &mut F) -> ChaosTrialOutcome
+where
+    P: Corruptor,
+    F: FnMut(u64, &mut SmallRng) -> (P, Vec<P::State>, FaultPlan, AnyScheduler, Reliability),
+{
+    let settings = *runner.settings();
+    let mut config_rng = rng_from_seed(derive_seed(settings.base_seed, 2 * trial));
+    let (protocol, initial, plan, policy, reliability) = make(trial, &mut config_rng);
+    let n = initial.len();
+    let mut sim = Simulation::with_policy(
+        protocol,
+        initial,
+        policy,
+        derive_seed(settings.base_seed, 2 * trial + 1),
+    )
+    .with_reliability(reliability)
+    .with_fault_plan(&plan);
+    let started = Instant::now();
+    let report = sim.run_chaos(settings.max_interactions);
+    ChaosTrialOutcome { trial, n, report, wall: started.elapsed() }
+}
+
 impl Runner {
     /// Runs every chaos trial sequentially.
     ///
@@ -989,6 +1027,50 @@ impl Runner {
                     while trial < trials {
                         let mut make_fn = |t: u64, rng: &mut SmallRng| make(t, rng);
                         out.push(chaos_trial(&runner, trial, &mut make_fn));
+                        trial += threads as u64;
+                    }
+                    out
+                });
+                handles.push(handle);
+            }
+            handles.into_iter().flat_map(|h| h.join().expect("worker thread panicked")).collect()
+        });
+        results.sort_unstable_by_key(|t| t.trial);
+        results
+    }
+
+    /// Like [`Runner::run_chaos_trials_parallel`], but each trial also picks
+    /// a scheduler policy and reliability model — the robustness-workload
+    /// driver. `make` returns `(protocol, initial, plan, scheduler,
+    /// reliability)`; outcomes are identical to a sequential run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn run_chaos_trials_scheduled_parallel<P, F>(
+        &self,
+        threads: usize,
+        make: F,
+    ) -> Vec<ChaosTrialOutcome>
+    where
+        P: Corruptor + Send,
+        P::State: Send,
+        F: Fn(u64, &mut SmallRng) -> (P, Vec<P::State>, FaultPlan, AnyScheduler, Reliability)
+            + Sync,
+    {
+        assert!(threads > 0, "at least one worker thread is required");
+        let make = &make;
+        let trials = self.settings().trials;
+        let mut results: Vec<ChaosTrialOutcome> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for worker in 0..threads {
+                let runner = *self;
+                let handle = scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut trial = worker as u64;
+                    while trial < trials {
+                        let mut make_fn = |t: u64, rng: &mut SmallRng| make(t, rng);
+                        out.push(chaos_trial_scheduled(&runner, trial, &mut make_fn));
                         trial += threads as u64;
                     }
                     out

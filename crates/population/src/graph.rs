@@ -37,6 +37,22 @@ pub struct EdgeList {
 }
 
 impl EdgeList {
+    /// Builds a validated edge list over agents `0..n` — the same checks as
+    /// [`InteractionGraph::from_edges`], for callers (like
+    /// [`crate::scheduler::EdgeRates`]) that need the list itself rather than
+    /// the graph enum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if the list is empty, an endpoint is out of
+    /// range, or an edge is a self-loop.
+    pub fn from_edges(n: usize, edges: Vec<(usize, usize)>) -> Result<Self, GraphError> {
+        match InteractionGraph::from_edges(n, edges)? {
+            InteractionGraph::Arbitrary(list) => Ok(list),
+            _ => unreachable!("from_edges only builds Arbitrary"),
+        }
+    }
+
     /// The endpoints available to the scheduler.
     pub fn edges(&self) -> &[(usize, usize)] {
         &self.edges

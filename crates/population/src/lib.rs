@@ -26,13 +26,14 @@
 //! |--------|----------|
 //! | [`protocol`] | the [`Protocol`] and [`RankingProtocol`] traits |
 //! | [`graph`] | interaction graphs: complete, ring, arbitrary edge lists |
-//! | [`scheduler`] | uniformly random ordered pair selection over a graph |
+//! | [`scheduler`] | pair-selection policies: the uniform scheduler plus the [`scheduler::SchedulerPolicy`] family (Zipf, per-edge rates, epoch starvation, clustered) and [`scheduler::Reliability`] (omission, one-way) |
 //! | [`simulation`] | [`Simulation`]: owns the configuration, steps it, counts interactions |
 //! | [`counts`] | count-based backend: [`counts::CountConfig`] multisets and the batched [`counts::BatchSimulation`] for huge `n` |
 //! | [`backend`] | [`SimulationBackend`]: one interface over the agent-array and count backends |
 //! | [`tracker`] | O(1)-per-interaction convergence detection for ranking protocols |
 //! | [`runner`] | multi-trial experiment driver with deterministic seed derivation |
 //! | [`observer`] | [`Observer`] hooks into the hot loop; [`NoopObserver`] zero-cost default |
+//! | [`probe`] | sampled time series and the stabilization-certificate (closure) checker |
 //! | [`fault`] | chaos harness: [`FaultPlan`] schedules, mid-run [`Corruptor`] injection, recovery/availability measurement |
 //! | [`telemetry`] | counters, fixed-bucket histograms, throughput meters, [`TelemetryObserver`] |
 //! | [`record`] | versioned per-trial [`RunRecord`]s and their JSONL encoding |
@@ -98,9 +99,13 @@ pub use fault::{
 };
 pub use graph::InteractionGraph;
 pub use observer::{NoopObserver, Observer};
+pub use probe::{
+    certify_leader_closure, certify_ranking_closure, ClosureCertificate, ClosureViolation,
+};
 pub use protocol::{Protocol, RankingProtocol};
 pub use record::{FaultRecord, FrontierRecord, RecordLine, RunRecord};
 pub use runner::{derive_seed, ConvergenceSample, Runner, TrialOutcome, TrialSettings};
+pub use scheduler::{AnyScheduler, Reliability, Scheduler, SchedulerPolicy};
 pub use simulation::{RunOutcome, Simulation};
 pub use telemetry::TelemetryObserver;
 pub use tracker::RankTracker;

@@ -22,6 +22,13 @@
 //!   [`FaultRecord`] line, and the [`FrontierRecord`] line emitted by the
 //!   `scaling_frontier` bench (backend-throughput measurements at huge
 //!   `n`). v1 lines (no `kind`) still parse as trials.
+//! * **v3** — adds the optional robustness metadata on trial records:
+//!   `scheduler` (the [`crate::scheduler::SchedulerPolicy::spec`] string,
+//!   e.g. `"zipf:1"`), `omission` (the
+//!   [`crate::scheduler::Reliability`] drop probability), and
+//!   `starve_window` (the epoch adversary's window length in interactions).
+//!   Absent fields mean the uniform scheduler with perfect reliability, so
+//!   v1/v2 lines keep their meaning.
 //!
 //! A stream may mix both kinds; [`from_jsonl_mixed`] reads everything as
 //! [`RecordLine`]s, while [`from_jsonl`] keeps its original contract of
@@ -34,7 +41,7 @@ use crate::simulation::RunOutcome;
 
 /// Version of the record schema. Bump when fields change meaning; readers
 /// accept [`MIN_SCHEMA_VERSION`]`..=SCHEMA_VERSION` and reject anything else.
-pub const SCHEMA_VERSION: u32 = 2;
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Oldest schema version readers still accept.
 pub const MIN_SCHEMA_VERSION: u32 = 1;
@@ -76,6 +83,16 @@ pub struct RunRecord {
     /// Number of faults injected during the trial — only emitted by
     /// chaos/soak trials.
     pub faults: Option<u64>,
+    /// Scheduler spec string (e.g. `"zipf:1"`, `"starve:4:256"`) — only
+    /// emitted by robustness trials; absent means the uniform scheduler
+    /// (schema v3).
+    pub scheduler: Option<String>,
+    /// Interaction-omission probability — only emitted by robustness trials;
+    /// absent means perfectly reliable interactions (schema v3).
+    pub omission: Option<f64>,
+    /// Starvation-window length in interactions of the epoch adversary —
+    /// only emitted when the scheduler is `starve:*` (schema v3).
+    pub starve_window: Option<u64>,
 }
 
 impl RunRecord {
@@ -121,6 +138,15 @@ impl RunRecord {
         if let Some(f) = self.faults {
             obj.field_u64("faults", f);
         }
+        if let Some(s) = &self.scheduler {
+            obj.field_str("scheduler", s);
+        }
+        if let Some(o) = self.omission {
+            obj.field_f64("omission", o);
+        }
+        if let Some(w) = self.starve_window {
+            obj.field_u64("starve_window", w);
+        }
         obj.finish()
     }
 
@@ -160,6 +186,20 @@ impl RunRecord {
             true => Some(get_u64(fields, "faults")?),
             false => None,
         };
+        let scheduler = match fields.get("scheduler") {
+            None | Some(JsonScalar::Null) => None,
+            Some(JsonScalar::Str(s)) => Some(s.clone()),
+            Some(other) => {
+                return Err(format!("field \"scheduler\": expected string or null, got {other:?}"))
+            }
+        };
+        let omission = match fields.get("omission") {
+            None | Some(JsonScalar::Null) => None,
+            Some(JsonScalar::Num(x)) => Some(*x),
+            Some(other) => {
+                return Err(format!("field \"omission\": expected number or null, got {other:?}"))
+            }
+        };
         Ok(RunRecord {
             experiment: get_str(fields, "experiment")?.to_string(),
             protocol: get_str(fields, "protocol")?.to_string(),
@@ -171,7 +211,27 @@ impl RunRecord {
             wall_s: get_f64(fields, "wall_s")?,
             availability,
             faults,
+            scheduler,
+            omission,
+            starve_window: get_opt_u64(fields, "starve_window")?,
         })
+    }
+
+    /// Attaches the schema-v3 robustness metadata (scheduler spec, omission
+    /// probability, starvation window) to a record builder-style. `None`s
+    /// and an `omission` of exactly 0 are normalized to absent fields, so
+    /// the uniform/perfect baseline serializes identically to pre-v3
+    /// records.
+    pub fn with_robustness(
+        mut self,
+        scheduler: Option<String>,
+        omission: Option<f64>,
+        starve_window: Option<u64>,
+    ) -> Self {
+        self.scheduler = scheduler.filter(|s| s != "uniform");
+        self.omission = omission.filter(|&o| o > 0.0);
+        self.starve_window = starve_window;
+        self
     }
 }
 
@@ -802,6 +862,9 @@ mod tests {
             wall_s: 0.25,
             availability: None,
             faults: None,
+            scheduler: None,
+            omission: None,
+            starve_window: None,
         }
     }
 
@@ -839,7 +902,7 @@ mod tests {
     fn frontier_record_round_trips() {
         let f = sample_frontier_record();
         let json = f.to_json();
-        assert!(json.starts_with("{\"v\":2,\"kind\":\"frontier\","), "{json}");
+        assert!(json.starts_with("{\"v\":3,\"kind\":\"frontier\","), "{json}");
         assert!(json.contains("\"backend\":\"counts\""), "{json}");
         assert!(json.contains("\"support\":2"), "{json}");
         assert!(json.contains("\"leaders\":null"), "{json}");
@@ -903,7 +966,7 @@ mod tests {
         let json = sample_record().to_json();
         assert!(json.contains("\"parallel_time\":"), "{json}");
         assert!(json.contains("\"ips\":49380"), "{json}");
-        assert!(json.starts_with("{\"v\":2,\"kind\":\"trial\","), "version leads: {json}");
+        assert!(json.starts_with("{\"v\":3,\"kind\":\"trial\","), "version leads: {json}");
         assert!(
             !json.contains("availability") && !json.contains("faults"),
             "chaos fields only appear when set: {json}"
@@ -934,7 +997,7 @@ mod tests {
     fn fault_record_round_trips() {
         let f = sample_fault_record();
         let json = f.to_json();
-        assert!(json.starts_with("{\"v\":2,\"kind\":\"fault\","), "{json}");
+        assert!(json.starts_with("{\"v\":3,\"kind\":\"fault\","), "{json}");
         assert!(json.contains("\"recovery_parallel_time\":"), "{json}");
         assert_eq!(FaultRecord::from_json(&json).unwrap(), f);
         assert_eq!(f.recovery_interactions(), Some(30_000));
@@ -978,11 +1041,32 @@ mod tests {
 
     #[test]
     fn wrong_version_is_rejected() {
-        let json = sample_record().to_json().replace("\"v\":2", "\"v\":3");
+        let json = sample_record().to_json().replace("\"v\":3", "\"v\":4");
         let err = RunRecord::from_json(&json).unwrap_err();
         assert!(err.contains("version"), "{err}");
-        let json = sample_record().to_json().replace("\"v\":2", "\"v\":0");
+        let json = sample_record().to_json().replace("\"v\":3", "\"v\":0");
         assert!(RunRecord::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn robustness_fields_round_trip_when_set() {
+        let r = sample_record().with_robustness(
+            Some("starve:4:256".to_string()),
+            Some(0.25),
+            Some(256),
+        );
+        let json = r.to_json();
+        assert!(json.contains("\"scheduler\":\"starve:4:256\""), "{json}");
+        assert!(json.contains("\"omission\":0.25"), "{json}");
+        assert!(json.contains("\"starve_window\":256"), "{json}");
+        assert_eq!(RunRecord::from_json(&json).unwrap(), r);
+    }
+
+    #[test]
+    fn uniform_perfect_robustness_normalizes_to_absent_fields() {
+        let r = sample_record().with_robustness(Some("uniform".to_string()), Some(0.0), None);
+        assert_eq!(r, sample_record());
+        assert!(!r.to_json().contains("scheduler"), "baseline serializes as pre-v3");
     }
 
     #[test]

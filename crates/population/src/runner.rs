@@ -17,6 +17,7 @@ use rand::SeedableRng;
 
 use crate::protocol::RankingProtocol;
 use crate::record::RunRecord;
+use crate::scheduler::{AnyScheduler, Reliability};
 use crate::simulation::{RunOutcome, Simulation};
 use crate::telemetry::Throughput;
 
@@ -127,6 +128,9 @@ impl TrialOutcome {
             wall_s: self.wall.as_secs_f64(),
             availability: None,
             faults: None,
+            scheduler: None,
+            omission: None,
+            starve_window: None,
         }
     }
 }
@@ -336,6 +340,66 @@ impl Runner {
             .run_until_stably_ranked(self.settings.max_interactions, self.settings.confirm_window);
         TrialOutcome { trial, n, outcome, wall: started.elapsed() }
     }
+
+    /// Like [`Runner::run_trials_parallel`], but each trial also picks a
+    /// scheduler policy and reliability model — the robustness-workload
+    /// driver. `make` returns `(protocol, initial, scheduler, reliability)`;
+    /// with [`AnyScheduler::uniform`] and [`Reliability::perfect`] the
+    /// outcomes match [`Runner::run_trials`] exactly (same seed derivation,
+    /// same draws).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn run_trials_scheduled_parallel<P, F>(&self, threads: usize, make: F) -> Vec<TrialOutcome>
+    where
+        P: RankingProtocol + Send,
+        P::State: Send,
+        F: Fn(u64, &mut SmallRng) -> (P, Vec<P::State>, AnyScheduler, Reliability) + Sync,
+    {
+        assert!(threads > 0, "at least one worker thread is required");
+        let make = &make;
+        let mut results: Vec<TrialOutcome> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for worker in 0..threads {
+                let runner = *self;
+                let handle = scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut trial = worker as u64;
+                    while trial < runner.settings.trials {
+                        out.push(runner.one_trial_scheduled(trial, make));
+                        trial += threads as u64;
+                    }
+                    out
+                });
+                handles.push(handle);
+            }
+            handles.into_iter().flat_map(|h| h.join().expect("worker thread panicked")).collect()
+        });
+        results.sort_unstable_by_key(|t| t.trial);
+        results
+    }
+
+    fn one_trial_scheduled<P, F>(&self, trial: u64, make: &F) -> TrialOutcome
+    where
+        P: RankingProtocol,
+        F: Fn(u64, &mut SmallRng) -> (P, Vec<P::State>, AnyScheduler, Reliability),
+    {
+        let mut config_rng = rng_from_seed(derive_seed(self.settings.base_seed, 2 * trial));
+        let (protocol, initial, policy, reliability) = make(trial, &mut config_rng);
+        let n = initial.len();
+        let mut sim = Simulation::with_policy(
+            protocol,
+            initial,
+            policy,
+            derive_seed(self.settings.base_seed, 2 * trial + 1),
+        )
+        .with_reliability(reliability);
+        let started = Instant::now();
+        let outcome = sim
+            .run_until_stably_ranked(self.settings.max_interactions, self.settings.confirm_window);
+        TrialOutcome { trial, n, outcome, wall: started.elapsed() }
+    }
 }
 
 #[cfg(test)]
@@ -450,6 +514,35 @@ mod tests {
     fn zero_threads_is_rejected() {
         let runner = Runner::new(TrialSettings::new(1, 1, 10, 0));
         runner.measure_ranking_parallel(0, |_, _| (ModRank { n: 4 }, vec![0usize; 4]));
+    }
+
+    #[test]
+    fn scheduled_runner_with_uniform_matches_plain_runner() {
+        let runner = Runner::new(TrialSettings::new(6, 13, 1_000_000, 5));
+        let plain = runner.run_trials(|_, _| (ModRank { n: 8 }, vec![0usize; 8]));
+        let scheduled = runner.run_trials_scheduled_parallel(2, |_, _| {
+            (ModRank { n: 8 }, vec![0usize; 8], AnyScheduler::uniform(8), Reliability::perfect())
+        });
+        assert_eq!(plain.len(), scheduled.len());
+        for (a, b) in plain.iter().zip(&scheduled) {
+            assert_eq!((a.trial, a.n, a.outcome), (b.trial, b.n, b.outcome));
+        }
+    }
+
+    #[test]
+    fn scheduled_runner_converges_under_adversarial_policies() {
+        let runner = Runner::new(TrialSettings::new(3, 17, 2_000_000, 5));
+        for spec in ["zipf:1", "starve:2:64", "clustered:2:0.1"] {
+            let trials = runner.run_trials_scheduled_parallel(2, |_, _| {
+                (
+                    ModRank { n: 8 },
+                    vec![0usize; 8],
+                    AnyScheduler::from_spec(spec, 8).unwrap(),
+                    Reliability::with_omission(0.1),
+                )
+            });
+            assert!(trials.iter().all(|t| t.outcome.is_converged()), "{spec} failed to converge");
+        }
     }
 
     #[test]

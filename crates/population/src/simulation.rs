@@ -7,7 +7,7 @@ use crate::graph::InteractionGraph;
 use crate::observer::{NoopObserver, Observer};
 use crate::protocol::{Protocol, RankingProtocol};
 use crate::runner::rng_from_seed;
-use crate::scheduler::Scheduler;
+use crate::scheduler::{Reliability, Scheduler, SchedulerPolicy};
 use crate::tracker::RankTracker;
 
 /// The result of running a simulation toward a goal with a bounded budget of
@@ -67,18 +67,32 @@ impl RunOutcome {
 /// chaos harness existed. Fault schedules draw from their **own** RNG, so a
 /// given `(protocol, plan, seed)` triple replays bit-identically.
 ///
+/// The fourth type parameter is the [`SchedulerPolicy`] choosing interaction
+/// pairs; it defaults to the paper's uniform [`Scheduler`], so existing code
+/// monomorphizes to exactly the pre-policy hot loop. Non-uniform and
+/// adversarial policies ([`crate::scheduler::Zipf`],
+/// [`crate::scheduler::EpochStarvation`], …) plug in via
+/// [`Simulation::with_policy`]; unreliable interactions via
+/// [`Simulation::with_reliability`].
+///
 /// # Examples
 ///
 /// See the [crate-level example](crate).
 #[derive(Debug, Clone)]
-pub struct Simulation<P: Protocol, O: Observer<P> = NoopObserver, F: FaultSchedule<P> = NoFaults> {
+pub struct Simulation<
+    P: Protocol,
+    O: Observer<P> = NoopObserver,
+    F: FaultSchedule<P> = NoFaults,
+    S: SchedulerPolicy = Scheduler,
+> {
     pub(crate) protocol: P,
-    pub(crate) scheduler: Scheduler,
+    pub(crate) scheduler: S,
     pub(crate) states: Vec<P::State>,
     pub(crate) rng: SmallRng,
     pub(crate) interactions: u64,
     pub(crate) observer: O,
     pub(crate) faults: F,
+    pub(crate) reliability: Reliability,
 }
 
 impl<P: Protocol> Simulation<P> {
@@ -116,11 +130,39 @@ impl<P: Protocol> Simulation<P> {
             interactions: 0,
             observer: NoopObserver,
             faults: NoFaults,
+            reliability: Reliability::perfect(),
         }
     }
 }
 
-impl<P: Protocol, O: Observer<P>, F: FaultSchedule<P>> Simulation<P, O, F> {
+impl<P: Protocol, S: SchedulerPolicy> Simulation<P, NoopObserver, NoFaults, S> {
+    /// Creates an execution driven by an explicit [`SchedulerPolicy`] — the
+    /// entry point for the non-uniform/adversarial schedulers of
+    /// [`crate::scheduler`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy was built for a different population size.
+    pub fn with_policy(protocol: P, initial: Vec<P::State>, policy: S, seed: u64) -> Self {
+        assert_eq!(
+            policy.population_size(),
+            initial.len(),
+            "scheduler policy was built for a different population size"
+        );
+        Simulation {
+            protocol,
+            scheduler: policy,
+            states: initial,
+            rng: rng_from_seed(seed),
+            interactions: 0,
+            observer: NoopObserver,
+            faults: NoFaults,
+            reliability: Reliability::perfect(),
+        }
+    }
+}
+
+impl<P: Protocol, O: Observer<P>, F: FaultSchedule<P>, S: SchedulerPolicy> Simulation<P, O, F, S> {
     /// Attaches an observer, replacing the current one.
     ///
     /// Because observers only *watch* — the simulation's RNG stream and state
@@ -128,7 +170,7 @@ impl<P: Protocol, O: Observer<P>, F: FaultSchedule<P>> Simulation<P, O, F> {
     /// bit-identical to the unobserved one from the same `(protocol, initial
     /// configuration, seed)` triple (with or without a fault schedule
     /// attached). Interaction counts already performed are preserved.
-    pub fn observe<O2: Observer<P>>(self, observer: O2) -> Simulation<P, O2, F> {
+    pub fn observe<O2: Observer<P>>(self, observer: O2) -> Simulation<P, O2, F, S> {
         Simulation {
             protocol: self.protocol,
             scheduler: self.scheduler,
@@ -137,7 +179,29 @@ impl<P: Protocol, O: Observer<P>, F: FaultSchedule<P>> Simulation<P, O, F> {
             interactions: self.interactions,
             observer,
             faults: self.faults,
+            reliability: self.reliability,
         }
+    }
+
+    /// Sets the interaction-reliability model (omission probability and/or
+    /// one-way application) for all subsequent interactions.
+    ///
+    /// With the default [`Reliability::perfect`] no extra randomness is
+    /// consumed, so attaching it is unobservable; any non-perfect model
+    /// changes the execution (that is its purpose).
+    pub fn with_reliability(mut self, reliability: Reliability) -> Self {
+        self.reliability = reliability;
+        self
+    }
+
+    /// The interaction-reliability model in effect.
+    pub fn reliability(&self) -> Reliability {
+        self.reliability
+    }
+
+    /// The scheduler policy driving pair selection.
+    pub fn scheduler(&self) -> &S {
+        &self.scheduler
     }
 
     /// The attached observer.
@@ -203,7 +267,7 @@ impl<P: Protocol, O: Observer<P>, F: FaultSchedule<P>> Simulation<P, O, F> {
     /// Performs one scheduler-chosen interaction and returns the ordered pair
     /// of agent indices that interacted.
     pub fn step(&mut self) -> (usize, usize) {
-        let (i, j) = self.scheduler.sample_pair(&mut self.rng);
+        let (i, j) = self.scheduler.sample_at(&mut self.rng, self.interactions);
         self.apply(i, j);
         (i, j)
     }
@@ -229,6 +293,14 @@ impl<P: Protocol, O: Observer<P>, F: FaultSchedule<P>> Simulation<P, O, F> {
     /// loops that keep their own incremental bookkeeping (rank tracking,
     /// chaos recovery) poll separately so they can react to the corruption.
     pub(crate) fn interact_observed(&mut self, i: usize, j: usize) {
+        if self.reliability.drops(&mut self.rng) {
+            // The pair met but the transition was silently dropped. The
+            // meeting still counts: parallel time measures scheduled
+            // encounters, and an omitted one wastes exactly its share of it.
+            self.interactions += 1;
+            self.observer.on_interaction(i, j, self.interactions);
+            return;
+        }
         // The observer gates are associated consts, so for `NoopObserver`
         // every branch below folds away and this compiles to the original
         // uninstrumented body.
@@ -240,7 +312,15 @@ impl<P: Protocol, O: Observer<P>, F: FaultSchedule<P>> Simulation<P, O, F> {
         let effective = O::WATCHES_STATE_CHANGES
             && !self.protocol.is_null_pair(&self.states[i], &self.states[j]);
         let (a, b) = pair_mut(&mut self.states, i, j);
-        self.protocol.interact(a, b, &mut self.rng);
+        if self.reliability.one_way {
+            // Only the initiator's update lands; the responder's half of the
+            // transition is discarded.
+            let saved = b.clone();
+            self.protocol.interact(a, b, &mut self.rng);
+            *b = saved;
+        } else {
+            self.protocol.interact(a, b, &mut self.rng);
+        }
         self.interactions += 1;
         self.observer.on_interaction(i, j, self.interactions);
         if O::WATCHES_STATE_CHANGES && effective {
@@ -319,7 +399,9 @@ impl<P: Protocol, O: Observer<P>, F: FaultSchedule<P>> Simulation<P, O, F> {
     }
 }
 
-impl<P: RankingProtocol, O: Observer<P>, F: FaultSchedule<P>> Simulation<P, O, F> {
+impl<P: RankingProtocol, O: Observer<P>, F: FaultSchedule<P>, S: SchedulerPolicy>
+    Simulation<P, O, F, S>
+{
     /// Runs until the configuration is correctly ranked (each rank `1..=n`
     /// output by exactly one agent) **and stays ranked** for
     /// `confirm_window` further interactions.
@@ -373,7 +455,7 @@ impl<P: RankingProtocol, O: Observer<P>, F: FaultSchedule<P>> Simulation<P, O, F
                 self.observer.on_exhausted(self.interactions);
                 return RunOutcome::Exhausted { interactions: self.interactions };
             }
-            let (i, j) = self.scheduler.sample_pair(&mut self.rng);
+            let (i, j) = self.scheduler.sample_at(&mut self.rng, self.interactions);
             // Rank tracking needs before/after snapshots around the
             // transition, so this loop drives `interact_observed` directly
             // instead of `apply` (the fault poll below reacts to corruption
@@ -421,6 +503,32 @@ impl<P: RankingProtocol, O: Observer<P>, F: FaultSchedule<P>> Simulation<P, O, F
         }
         tracker.is_correct()
     }
+}
+
+/// One interaction between agents `i` and `j` of an explicit state slice
+/// under a [`Reliability`] model, for run loops that manage their own state
+/// storage (the count-based backend's non-uniform fallback). Returns whether
+/// the transition was applied (i.e. not dropped by omission).
+pub(crate) fn interact_reliably<P: Protocol>(
+    protocol: &P,
+    states: &mut [P::State],
+    i: usize,
+    j: usize,
+    reliability: Reliability,
+    rng: &mut SmallRng,
+) -> bool {
+    if reliability.drops(rng) {
+        return false;
+    }
+    let (a, b) = pair_mut(states, i, j);
+    if reliability.one_way {
+        let saved = b.clone();
+        protocol.interact(a, b, rng);
+        *b = saved;
+    } else {
+        protocol.interact(a, b, rng);
+    }
+    true
 }
 
 /// Borrows two distinct elements of a slice mutably.
@@ -559,6 +667,59 @@ mod tests {
         a.run(500);
         b.run(500);
         assert_ne!(a.states(), b.states(), "astronomically unlikely to coincide");
+    }
+
+    #[test]
+    fn omission_drops_that_fraction_of_transitions() {
+        use crate::scheduler::Reliability;
+        let mut sim = Simulation::new(Inc, vec![Counter(0); 4], 11)
+            .with_reliability(Reliability::with_omission(0.5));
+        sim.run(10_000);
+        assert_eq!(sim.interactions(), 10_000, "omitted meetings still count");
+        let total: u32 = sim.states().iter().map(|c| c.0).sum();
+        let frac = f64::from(total) / 10_000.0;
+        assert!((frac - 0.5).abs() < 0.03, "applied fraction {frac} should be ≈0.5");
+    }
+
+    #[test]
+    fn one_way_application_never_touches_the_responder() {
+        use crate::scheduler::Reliability;
+        // Inc only updates the responder, so one-way application freezes the
+        // whole configuration.
+        let mut sim = Simulation::new(Inc, vec![Counter(0); 4], 3)
+            .with_reliability(Reliability::perfect().and_one_way());
+        sim.run(1_000);
+        assert!(sim.states().iter().all(|c| c.0 == 0));
+        assert_eq!(sim.interactions(), 1_000);
+    }
+
+    #[test]
+    fn perfect_reliability_is_bit_identical_to_the_default() {
+        use crate::scheduler::Reliability;
+        let mut plain = Simulation::new(Inc, vec![Counter(0); 6], 42);
+        let mut wrapped =
+            Simulation::new(Inc, vec![Counter(0); 6], 42).with_reliability(Reliability::perfect());
+        plain.run(2_000);
+        wrapped.run(2_000);
+        assert_eq!(plain.states(), wrapped.states());
+    }
+
+    #[test]
+    fn with_policy_drives_pair_selection() {
+        use crate::scheduler::{AnyScheduler, SchedulerPolicy};
+        let policy = AnyScheduler::from_spec("clustered:2:0.5", 8).unwrap();
+        let mut sim = Simulation::with_policy(Inc, vec![Counter(0); 8], policy, 9);
+        sim.run(500);
+        assert_eq!(sim.interactions(), 500);
+        assert_eq!(sim.states().iter().map(|c| c.0).sum::<u32>(), 500);
+        assert_eq!(sim.scheduler().label(), "clustered");
+    }
+
+    #[test]
+    #[should_panic(expected = "different population size")]
+    fn with_policy_rejects_size_mismatch() {
+        let policy = crate::scheduler::AnyScheduler::uniform(4);
+        Simulation::with_policy(Inc, vec![Counter(0); 5], policy, 1);
     }
 
     /// Leaders fight (`ℓ,ℓ → ℓ,f`); only leader/leader pairs are effective.

@@ -46,6 +46,35 @@ impl RankTracker {
         }
     }
 
+    /// Registers `k` agents that all share the same output — the count-based
+    /// backend's bulk registration, making tracker rebuilds O(support)
+    /// instead of O(n).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rank is outside `1..=n` or the count overflows `u32`.
+    pub fn add_many(&mut self, rank: Option<usize>, k: u64) {
+        if k == 0 {
+            return;
+        }
+        self.agents += usize::try_from(k).expect("agent count overflows usize");
+        if let Some(r) = rank {
+            assert!(
+                (1..=self.counts.len()).contains(&r),
+                "rank {r} outside 1..={}",
+                self.counts.len()
+            );
+            let slot = &mut self.counts[r - 1];
+            if *slot == 1 {
+                self.ranks_with_one -= 1;
+            }
+            *slot = u32::try_from(u64::from(*slot) + k).expect("rank count overflows u32");
+            if *slot == 1 {
+                self.ranks_with_one += 1;
+            }
+        }
+    }
+
     /// Records that one agent's output changed from `before` to `after`.
     ///
     /// Calling with `before == after` is a no-op, so callers may report all
@@ -171,6 +200,27 @@ mod tests {
     fn out_of_range_rank_panics() {
         let mut t = RankTracker::new(3);
         t.add(Some(4));
+    }
+
+    #[test]
+    fn add_many_matches_repeated_add() {
+        let mut bulk = RankTracker::new(3);
+        bulk.add_many(Some(1), 2);
+        bulk.add_many(Some(2), 1);
+        bulk.add_many(None, 3);
+        bulk.add_many(Some(3), 0);
+        let mut single = RankTracker::new(3);
+        for r in [Some(1), Some(1), Some(2), None, None, None] {
+            single.add(r);
+        }
+        assert_eq!(bulk.count_of(1), single.count_of(1));
+        assert_eq!(bulk.count_of(2), single.count_of(2));
+        assert_eq!(bulk.count_of(3), single.count_of(3));
+        assert_eq!(bulk.is_correct(), single.is_correct());
+        // Bulk-added duplicates resolve through updates just like singles.
+        bulk.update(Some(1), Some(3));
+        assert_eq!(bulk.count_of(1), 1);
+        assert_eq!(bulk.count_of(3), 1);
     }
 
     #[test]

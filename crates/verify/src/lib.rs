@@ -33,6 +33,18 @@ use std::collections::{HashMap, VecDeque};
 use population::runner::rng_from_seed;
 use population::Protocol;
 
+// The empirical counterpart of the exhaustive verdicts below: a run-time
+// **stabilization certificate** converges one execution and then watches a
+// long confirmation window for any output change (closure is exactly the
+// property [`Verdict::CorrectNotClosed`] refutes, so a violated certificate
+// is a one-execution witness of the same bug the model checker proves —
+// usable at population sizes far beyond exhaustive reach). Re-exported from
+// [`population::probe`] so proof-level and certificate-level checks share
+// one import surface.
+pub use population::probe::{
+    certify_leader_closure, certify_ranking_closure, ClosureCertificate, ClosureViolation,
+};
+
 /// A configuration as a sorted multiset of agent states.
 ///
 /// Sorting canonicalizes away agent identities (agents are anonymous), so

@@ -164,6 +164,36 @@ fn loose_stabilization_always_can_reach_a_unique_leader() {
     }
 }
 
+/// The run-time closure certificate agrees with the exhaustive verdicts.
+/// On the Theorem 2.1 embedding (n₁ = 3 transitions in an n₂ = 4
+/// population) the certificate is *violated* — one execution witnesses the
+/// same leader minted inside the confirmation window that
+/// [`Verdict::CorrectNotClosed`] proves must exist — while the right-size
+/// instance certifies clean. The certificate is the tool that scales this
+/// check past exhaustive reach.
+#[test]
+fn closure_certificates_agree_with_the_exhaustive_verdicts() {
+    use population::Simulation;
+    use verify::{certify_leader_closure, certify_ranking_closure};
+
+    // Wrong size: start from a single-leader configuration over the small
+    // state space (duplicated ranks are forced by pigeonhole).
+    let (n1, n2) = (3usize, 4usize);
+    let initial: Vec<CiwState> =
+        (0..n2).map(|k| CiwState::new(if k == 0 { 0 } else { 1 + (k as u32 - 1) % 2 })).collect();
+    let mut sim = Simulation::new(CaiIzumiWada::new(n1), initial, 7);
+    let cert = certify_leader_closure(&mut sim, 10_000_000, 4.0, 5_000_000).unwrap();
+    assert!(!cert.holds(), "wrong-size CIW must fail certification: {cert:?}");
+
+    // Right size: from an adversarial start the *ranking* certificate (the
+    // closed configuration is the permutation) certifies clean.
+    let n = 4usize;
+    let initial: Vec<CiwState> = (0..n).map(|_| CiwState::new(2)).collect();
+    let mut sim = Simulation::new(CaiIzumiWada::new(n), initial, 7);
+    let cert = certify_ranking_closure(&mut sim, 10_000_000, 4 * n as u64, 4.0, 50_000).unwrap();
+    assert!(cert.holds(), "right-size CIW must certify: {cert:?}");
+}
+
 fn binomial(n: usize, k: usize) -> usize {
     let mut result = 1usize;
     for i in 0..k {

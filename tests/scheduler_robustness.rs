@@ -1,0 +1,148 @@
+//! Scheduler-robustness pins: omission-rate monotonicity on the one-way
+//! epidemic, convergence of the ranking protocols under every non-uniform
+//! scheduler family, and the stabilization-certificate checker telling a
+//! correctly-sized protocol from the Theorem 2.1 wrong-size embedding.
+
+use population::epidemic::{Infection, OneWayEpidemic};
+use population::runner::{derive_seed, rng_from_seed};
+use population::{
+    certify_leader_closure, certify_ranking_closure, AnyScheduler, Reliability, Simulation,
+};
+use ssle::adversary;
+use ssle::cai_izumi_wada::{CaiIzumiWada, CiwState};
+use ssle::optimal_silent::OptimalSilentSsr;
+
+/// Mean interactions to full infection of the one-way epidemic under an
+/// omission rate `q`, averaged over `trials` seeded runs.
+fn epidemic_mean_interactions(n: usize, q: f64, trials: u64) -> f64 {
+    let total: u64 = (0..trials)
+        .map(|trial| {
+            let mut sim = Simulation::new(
+                OneWayEpidemic,
+                OneWayEpidemic::seeded_configuration(n),
+                derive_seed(0x0e, 2 * trial + 1),
+            )
+            .with_reliability(Reliability::with_omission(q));
+            let outcome =
+                sim.run_until(50_000_000, |s| s.iter().all(|x| *x == Infection::Infected));
+            assert!(outcome.is_converged(), "epidemic exhausted at q = {q}, trial {trial}");
+            outcome.interactions()
+        })
+        .sum();
+    total as f64 / trials as f64
+}
+
+/// A dropped interaction is a wasted scheduler draw, so the expected number
+/// of interactions to full infection scales as `1 / (1 − q)` — in
+/// particular it is **monotone** in the omission rate. Pin the monotone
+/// ordering (with a small tolerance) over a chain of rates.
+#[test]
+fn omission_rate_monotonically_slows_the_one_way_epidemic() {
+    let n = 96;
+    let trials = 12;
+    let means: Vec<f64> =
+        [0.0, 0.3, 0.6].iter().map(|&q| epidemic_mean_interactions(n, q, trials)).collect();
+    for w in means.windows(2) {
+        assert!(w[1] > w[0] * 1.05, "omission must slow the epidemic: means {means:?}");
+    }
+    // The scaling law itself, loosely: q = 0.6 means 2.5x the draws of a
+    // perfect channel; allow wide sampling slack but pin the magnitude.
+    let ratio = means[2] / means[0];
+    assert!((1.6..4.0).contains(&ratio), "expected ~2.5x slowdown, got {ratio:.2}x");
+}
+
+/// Every spec-addressable scheduler family is fairness-preserving, so both
+/// hashable ranking protocols converge under each of them (the bound they
+/// lose is time, not correctness).
+#[test]
+fn ranking_protocols_converge_under_every_scheduler_family() {
+    for (trial, spec) in ["zipf:1.0", "starve:2:64", "clustered:2:0.2"].iter().enumerate() {
+        let n = 8;
+        let trial = trial as u64;
+
+        let protocol = CaiIzumiWada::new(n);
+        let mut rng = rng_from_seed(derive_seed(0x51, trial));
+        let initial = adversary::random_ciw_configuration(&protocol, &mut rng);
+        let policy = AnyScheduler::from_spec(spec, n).unwrap();
+        let mut sim = Simulation::with_policy(protocol, initial, policy, derive_seed(0x52, trial));
+        assert!(
+            sim.run_until_stably_ranked(u64::MAX, 6 * n as u64).is_converged(),
+            "ciw under {spec}"
+        );
+
+        let protocol = OptimalSilentSsr::new(n);
+        let mut rng = rng_from_seed(derive_seed(0x53, trial));
+        let initial = adversary::random_oss_configuration(&protocol, &mut rng);
+        let policy = AnyScheduler::from_spec(spec, n).unwrap();
+        let mut sim = Simulation::with_policy(protocol, initial, policy, derive_seed(0x54, trial));
+        assert!(
+            sim.run_until_stably_ranked(u64::MAX, 6 * n as u64).is_converged(),
+            "oss under {spec}"
+        );
+    }
+}
+
+/// The per-edge-rate family (not spec-addressable — it needs explicit
+/// rates) is fair whenever every edge rate is positive, however skewed;
+/// a 100:1 rate spread still converges the ranking.
+#[test]
+fn heterogeneous_edge_rates_still_converge_the_ranking() {
+    use population::graph::EdgeList;
+    use population::scheduler::EdgeRates;
+
+    let n = 6usize;
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            edges.push((i, j));
+        }
+    }
+    let rates: Vec<f64> = (0..edges.len()).map(|e| if e % 2 == 0 { 100.0 } else { 1.0 }).collect();
+    let policy = EdgeRates::new(EdgeList::from_edges(n, edges).unwrap(), &rates);
+
+    let protocol = OptimalSilentSsr::new(n);
+    let mut rng = rng_from_seed(derive_seed(0x61, 0));
+    let initial = adversary::random_oss_configuration(&protocol, &mut rng);
+    let mut sim = Simulation::with_policy(protocol, initial, policy, 11);
+    assert!(sim.run_until_stably_ranked(u64::MAX, 6 * n as u64).is_converged());
+}
+
+/// The certificate checker refutes the Theorem 2.1 embedding at a size the
+/// exhaustive model checker cannot reach: `n₁ = 6` transitions in an
+/// `n₂ = 10` population pass through single-leader configurations but mint
+/// a second leader inside the confirmation window.
+#[test]
+fn certificate_checker_fails_the_wrong_size_embedding() {
+    let n1 = 6usize;
+    let n2 = 10usize;
+    let initial: Vec<CiwState> =
+        (0..n2).map(|k| CiwState::new(if k == 0 { 0 } else { 1 + (k as u32 - 1) % 5 })).collect();
+    let mut sim = Simulation::new(CaiIzumiWada::new(n1), initial, 42);
+    let cert = certify_leader_closure(&mut sim, 200_000_000, 4.0, 50_000_000).unwrap();
+    assert!(!cert.holds(), "wrong-size CIW must fail certification: {cert:?}");
+    let v = cert.violation.expect("a violated certificate carries its witness");
+    assert!(v.at > cert.converged_at, "the violation happens inside the window");
+}
+
+/// The same checker certifies correctly-sized protocols — including under
+/// an adversarial scheduler, where the closed configuration is reached
+/// later but is just as closed.
+#[test]
+fn certificate_checker_passes_correct_protocols() {
+    let n = 8usize;
+    let protocol = CaiIzumiWada::new(n);
+    let mut rng = rng_from_seed(derive_seed(0x71, 0));
+    let initial = adversary::random_ciw_configuration(&protocol, &mut rng);
+    let mut sim = Simulation::new(protocol, initial, 7);
+    let cert = certify_ranking_closure(&mut sim, u64::MAX, 6 * n as u64, 4.0, 100_000).unwrap();
+    assert!(cert.holds(), "{cert:?}");
+
+    let protocol = OptimalSilentSsr::new(n);
+    let mut rng = rng_from_seed(derive_seed(0x72, 0));
+    let initial = adversary::random_oss_configuration(&protocol, &mut rng);
+    let policy = AnyScheduler::from_spec("zipf:1.0", n).unwrap();
+    let mut sim = Simulation::with_policy(protocol, initial, policy, 7);
+    let cert = certify_ranking_closure(&mut sim, u64::MAX, 6 * n as u64, 4.0, 100_000).unwrap();
+    assert!(cert.holds(), "{cert:?}");
+    assert_eq!(cert.scheduler, "zipf:1");
+}

@@ -87,6 +87,54 @@ fn composed_sweep() {
 }
 
 #[test]
+fn starvation_epoch_sweep_converges_every_protocol() {
+    // The epoch adversary periodically starves a rotating agent set; it is
+    // fairness-preserving, so every self-stabilizing protocol must still
+    // converge — only slower. Sweep all three ranking protocols under
+    // varying starved-set sizes and epoch lengths.
+    use population::AnyScheduler;
+
+    for trial in 0..SWEEP / 2 {
+        let n = 6 + (trial as usize % 5);
+        let k = 1 + (trial as usize % 3).min(n / 2);
+        let epoch = 32 << (trial % 3);
+        let spec = format!("starve:{k}:{epoch}");
+
+        let protocol = CaiIzumiWada::new(n);
+        let mut rng = rng_from_seed(derive_seed(0xe1, trial));
+        let initial = adversary::random_ciw_configuration(&protocol, &mut rng);
+        let policy = AnyScheduler::from_spec(&spec, n).unwrap();
+        let mut sim = Simulation::with_policy(protocol, initial, policy, derive_seed(0xe2, trial));
+        assert!(
+            sim.run_until_stably_ranked(u64::MAX, 6 * n as u64).is_converged(),
+            "ciw trial {trial} (n = {n}, {spec})"
+        );
+        assert_eq!(sim.leader_count(), 1);
+
+        let protocol = OptimalSilentSsr::new(n);
+        let mut rng = rng_from_seed(derive_seed(0xe3, trial));
+        let initial = adversary::random_oss_configuration(&protocol, &mut rng);
+        let policy = AnyScheduler::from_spec(&spec, n).unwrap();
+        let mut sim = Simulation::with_policy(protocol, initial, policy, derive_seed(0xe4, trial));
+        assert!(
+            sim.run_until_stably_ranked(u64::MAX, 6 * n as u64).is_converged(),
+            "oss trial {trial} (n = {n}, {spec})"
+        );
+
+        let h = (trial % 2) as u32;
+        let protocol = SublinearTimeSsr::new(n, h);
+        let mut rng = rng_from_seed(derive_seed(0xe5, trial));
+        let initial = adversary::random_sublinear_configuration(&protocol, &mut rng);
+        let policy = AnyScheduler::from_spec(&spec, n).unwrap();
+        let mut sim = Simulation::with_policy(protocol, initial, policy, derive_seed(0xe6, trial));
+        assert!(
+            sim.run_until_stably_ranked(600_000_000, 6 * n as u64).is_converged(),
+            "sublinear trial {trial} (n = {n}, h = {h}, {spec})"
+        );
+    }
+}
+
+#[test]
 fn repeated_faults_never_wedge_the_population() {
     // Inject waves of corruption into a live run; after the last wave the
     // population must still stabilize (self-stabilization is memoryless).
