@@ -17,7 +17,9 @@
 //!   fit used to estimate empirical scaling exponents (is the measured time
 //!   growing like `n¹`, `n²`, or `log n`?);
 //! * [`sequences`] — harmonic numbers and related closed forms that appear in
-//!   the paper's analysis (e.g. `H_k ~ ln k`, coupon-collector constants).
+//!   the paper's analysis (e.g. `H_k ~ ln k`, coupon-collector constants);
+//! * [`trajectory`] — step-function resampling and pointwise medians for
+//!   aligning within-run convergence timelines across trials.
 //!
 //! # Examples
 //!
@@ -39,6 +41,7 @@ pub mod quantile;
 pub mod regression;
 pub mod sequences;
 pub mod summary;
+pub mod trajectory;
 
 pub use bootstrap::{bootstrap_ci, BootstrapCi};
 pub use ecdf::Ecdf;
@@ -47,3 +50,4 @@ pub use quantile::quantile;
 pub use regression::{linear_fit, power_law_fit, LinearFit, PowerLawFit};
 pub use sequences::harmonic;
 pub use summary::Summary;
+pub use trajectory::{median_trajectory, value_at};

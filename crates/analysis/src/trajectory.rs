@@ -1,0 +1,141 @@
+//! Aligning and aggregating within-run trajectories across trials.
+//!
+//! The timeline observer (`population::timeline`) records each trial's
+//! macroscopic observables (e.g. leader count) at decimated checkpoints,
+//! so different trials produce time series with *different* time grids of
+//! *different* lengths. To plot a "typical" convergence trajectory we
+//! re-sample every series onto one common grid of parallel-time points and
+//! take the pointwise median.
+//!
+//! Trajectories are **step functions**: between two checkpoints the
+//! observable keeps its value from the earlier checkpoint (the simulation
+//! state changes only at interactions we did not snapshot, and the last
+//! recorded value is the best available estimate). After a series' final
+//! checkpoint the trajectory holds its final value — a trial that converged
+//! early contributes its stable value to later grid points rather than
+//! dropping out of the median.
+
+use crate::quantile::median;
+
+/// Evaluates a step-function trajectory at time `t`.
+///
+/// `series` must be sorted by time (ascending). Returns the value of the
+/// last point with time `≤ t`; `None` if the series is empty or `t`
+/// precedes the first point.
+///
+/// # Examples
+///
+/// ```
+/// use analysis::trajectory::value_at;
+///
+/// let series = [(0.0, 5.0), (2.0, 3.0), (10.0, 1.0)];
+/// assert_eq!(value_at(&series, 0.0), Some(5.0));
+/// assert_eq!(value_at(&series, 1.9), Some(5.0));
+/// assert_eq!(value_at(&series, 2.0), Some(3.0));
+/// assert_eq!(value_at(&series, 99.0), Some(1.0));
+/// assert_eq!(value_at(&series, -0.5), None);
+/// ```
+pub fn value_at(series: &[(f64, f64)], t: f64) -> Option<f64> {
+    let idx = series.partition_point(|&(time, _)| time <= t);
+    if idx == 0 {
+        None
+    } else {
+        Some(series[idx - 1].1)
+    }
+}
+
+/// Pointwise-median trajectory over a set of step-function series, sampled
+/// at `points` evenly spaced times spanning `[0, max_t]`, where `max_t` is
+/// the largest time appearing in any series.
+///
+/// Each returned entry is `(t, median)`; grid points where *no* series has
+/// started yet (all series begin after `t`) are skipped, so the result can
+/// be shorter than `points`. Returns an empty vector when `points == 0` or
+/// every series is empty.
+///
+/// # Examples
+///
+/// ```
+/// use analysis::trajectory::median_trajectory;
+///
+/// let runs = vec![
+///     vec![(0.0, 9.0), (4.0, 1.0)],
+///     vec![(0.0, 7.0), (2.0, 1.0)],
+///     vec![(0.0, 8.0), (8.0, 1.0)],
+/// ];
+/// let med = median_trajectory(&runs, 5);
+/// assert_eq!(med.first(), Some(&(0.0, 8.0)));
+/// assert_eq!(med.last(), Some(&(8.0, 1.0)));
+/// ```
+pub fn median_trajectory(series: &[Vec<(f64, f64)>], points: usize) -> Vec<(f64, f64)> {
+    if points == 0 {
+        return Vec::new();
+    }
+    let max_t =
+        series.iter().filter_map(|s| s.last().map(|&(t, _)| t)).fold(f64::NEG_INFINITY, f64::max);
+    if !max_t.is_finite() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(points);
+    for i in 0..points {
+        let t = if points == 1 { max_t } else { max_t * i as f64 / (points - 1) as f64 };
+        let values: Vec<f64> = series.iter().filter_map(|s| value_at(s, t)).collect();
+        if let Some(m) = median(&values) {
+            out.push((t, m));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_series_has_no_value() {
+        assert_eq!(value_at(&[], 1.0), None);
+    }
+
+    #[test]
+    fn value_holds_after_last_point() {
+        let s = [(0.0, 4.0), (10.0, 2.0)];
+        assert_eq!(value_at(&s, 1e9), Some(2.0));
+    }
+
+    #[test]
+    fn median_of_no_series_is_empty() {
+        assert!(median_trajectory(&[], 10).is_empty());
+        assert!(median_trajectory(&[Vec::new()], 10).is_empty());
+        assert!(median_trajectory(&[vec![(0.0, 1.0)]], 0).is_empty());
+    }
+
+    #[test]
+    fn single_series_is_resampled_exactly() {
+        let s = vec![vec![(0.0, 10.0), (5.0, 4.0), (10.0, 1.0)]];
+        let med = median_trajectory(&s, 3);
+        assert_eq!(med, vec![(0.0, 10.0), (5.0, 4.0), (10.0, 1.0)]);
+    }
+
+    #[test]
+    fn early_convergers_hold_their_final_value() {
+        // One run converges at t=2, the other at t=10; at t=10 the early
+        // run still contributes its stable value 1.0.
+        let runs = vec![vec![(0.0, 6.0), (2.0, 1.0)], vec![(0.0, 8.0), (10.0, 2.0)]];
+        let med = median_trajectory(&runs, 2);
+        assert_eq!(med, vec![(0.0, 7.0), (10.0, 1.5)]);
+    }
+
+    #[test]
+    fn grid_points_before_every_start_are_skipped() {
+        let runs = vec![vec![(5.0, 3.0), (10.0, 1.0)]];
+        let med = median_trajectory(&runs, 3);
+        // t=0 has no value; t=5 and t=10 do.
+        assert_eq!(med, vec![(5.0, 3.0), (10.0, 1.0)]);
+    }
+
+    #[test]
+    fn single_point_grid_lands_on_max_t() {
+        let runs = vec![vec![(0.0, 9.0), (4.0, 2.0)]];
+        assert_eq!(median_trajectory(&runs, 1), vec![(4.0, 2.0)]);
+    }
+}

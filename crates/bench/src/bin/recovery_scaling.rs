@@ -20,11 +20,17 @@
 //! ```text
 //! cargo run --release -p ssle-bench --bin recovery_scaling -- \
 //!     [--trials 10] [--seed 1] [--n-ciw 64] [--n-oss 256] [--n-sub 64] \
-//!     [--h 2] [--threads auto] [--json-out results/recovery.jsonl]
+//!     [--h 2] [--threads auto] [--progress 1] \
+//!     [--json-out results/recovery.jsonl]
 //! ```
+//!
+//! `--progress 1` emits a stderr heartbeat after each of the twelve
+//! (protocol × fault-size) grid cells — trial batches run in parallel
+//! inside a cell, so the cell is the natural granularity. The heartbeat
+//! does not touch any run; measurements are identical with or without it.
 
 use population::record::{to_jsonl_mixed, RecordLine};
-use population::{ChaosTrialOutcome, FaultSize};
+use population::{ChaosTrialOutcome, FaultSize, Progress};
 use ssle_bench::cli::Flags;
 use ssle_bench::{
     measure_recovery_ciw_trials, measure_recovery_oss_trials, measure_recovery_sublinear_trials,
@@ -67,6 +73,7 @@ fn summarize(outcomes: &[ChaosTrialOutcome]) -> Option<RowStats> {
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_protocol<F>(
     label: &str,
     protocol: &str,
@@ -74,6 +81,8 @@ fn run_protocol<F>(
     h: Option<u64>,
     seed: u64,
     records: &mut Vec<RecordLine>,
+    meter: &mut Progress,
+    cells_done: &mut u64,
     measure: F,
 ) where
     F: Fn(FaultSize) -> Vec<ChaosTrialOutcome>,
@@ -85,6 +94,8 @@ fn run_protocol<F>(
     );
     for (size_label, size) in sizes() {
         let outcomes = measure(size);
+        *cells_done += 1;
+        meter.tick(*cells_done, &format!("{protocol} k={size_label} done"));
         for o in &outcomes {
             records.push(RecordLine::Trial(o.trial_record(EXPERIMENT, protocol, h, seed)));
             records.extend(
@@ -111,8 +122,9 @@ fn run_protocol<F>(
 }
 
 fn main() {
-    let flags =
-        Flags::parse(&["trials", "seed", "n-ciw", "n-oss", "n-sub", "h", "threads", "json-out"]);
+    let flags = Flags::parse(&[
+        "trials", "seed", "n-ciw", "n-oss", "n-sub", "h", "threads", "json-out", "progress",
+    ]);
     let trials: u64 = flags.get("trials", 10);
     let seed: u64 = flags.get("seed", 1);
     let n_ciw: usize = flags.get("n-ciw", 64);
@@ -120,6 +132,13 @@ fn main() {
     let n_sub: usize = flags.get("n-sub", 64);
     let h: u32 = flags.get("h", 2);
     let threads = flags.threads();
+    let total_cells = 3 * sizes().len() as u64;
+    let mut meter = if flags.get::<u64>("progress", 0) != 0 {
+        Progress::new("recovery grid", total_cells, "cells")
+    } else {
+        Progress::disabled()
+    };
+    let mut cells_done = 0u64;
     let mut records: Vec<RecordLine> = Vec::new();
 
     println!("Recovery scaling — k corrupted agents, injected 1 time unit after stabilization");
@@ -132,11 +151,21 @@ fn main() {
         None,
         seed,
         &mut records,
+        &mut meter,
+        &mut cells_done,
         |size| measure_recovery_ciw_trials(n_ciw, size, trials, seed, threads),
     );
-    run_protocol("Optimal-Silent-SSR", "oss", n_oss, None, seed, &mut records, |size| {
-        measure_recovery_oss_trials(n_oss, size, trials, seed, threads)
-    });
+    run_protocol(
+        "Optimal-Silent-SSR",
+        "oss",
+        n_oss,
+        None,
+        seed,
+        &mut records,
+        &mut meter,
+        &mut cells_done,
+        |size| measure_recovery_oss_trials(n_oss, size, trials, seed, threads),
+    );
     run_protocol(
         &format!("Sublinear-Time-SSR, H = {h}"),
         "sublinear",
@@ -144,8 +173,11 @@ fn main() {
         Some(h as u64),
         seed,
         &mut records,
+        &mut meter,
+        &mut cells_done,
         |size| measure_recovery_sublinear_trials(n_sub, h, size, trials, seed, threads),
     );
+    meter.finish(cells_done, "grid complete");
 
     println!("hypothesis: recovery ≪ full stabilization for k ≪ n, converging as k → n.");
     println!("measured: holds for Silent-n-state-SSR (in-place rank repair); the reset-based");

@@ -34,10 +34,17 @@
 //!
 //! ```text
 //! cargo run --release -p ssle-bench --bin scaling_frontier -- \
-//!     [--trials 1] [--seed 1] [--quick] [--json-out results/frontier.jsonl]
+//!     [--trials 1] [--seed 1] [--quick] [--progress 1] \
+//!     [--json-out results/frontier.jsonl]
 //! ```
 //!
 //! `--quick` (any value) shrinks the grid to seconds for CI smoke runs.
+//! `--progress 1` emits a rate-limited heartbeat (percent done, interactions
+//! per second, ETA) to stderr while each point runs. The heartbeat splits
+//! each run into ~200 chunks; on the counts backend the chunk boundary caps
+//! the hypergeometric batch size, so a `--progress` run samples a
+//! *different, equally valid* realization of the same chain (agent-array
+//! runs are unaffected — they step per interaction either way).
 
 use std::time::Instant;
 
@@ -45,7 +52,7 @@ use population::counts::{BatchSimulation, CountConfig};
 use population::epidemic::{Infection, OneWayEpidemic};
 use population::record::{to_jsonl_mixed, RecordLine};
 use population::runner::{derive_seed, rng_from_seed};
-use population::{FrontierRecord, RunOutcome, Simulation};
+use population::{FrontierRecord, Progress, RunOutcome, Simulation};
 use ssle::adversary;
 use ssle::loose::LooselyStabilizingLe;
 use ssle::optimal_silent::OptimalSilentSsr;
@@ -90,6 +97,49 @@ impl Point {
     }
 }
 
+/// Heartbeat meter for one grid point, or a no-op when `--progress` is off.
+fn meter(
+    progress: bool,
+    workload: &str,
+    backend: &str,
+    n: u64,
+    trial: u64,
+    total: u64,
+) -> Progress {
+    if progress {
+        Progress::new(format!("{workload}/{backend} n={n} trial {trial}"), total, "interactions")
+    } else {
+        Progress::disabled()
+    }
+}
+
+/// Drives a `run_until`-style closure to `budget` in ~200 chunks, ticking
+/// `meter` at each chunk boundary. `run_to` receives a *total* interaction
+/// target and must return the backend's outcome at that target; an
+/// `Exhausted` outcome short of `budget` just means the chunk ended, so the
+/// loop continues.
+fn run_chunked(
+    budget: u64,
+    meter: &mut Progress,
+    mut run_to: impl FnMut(u64) -> RunOutcome,
+) -> RunOutcome {
+    let chunk = (budget / 200).max(1);
+    let mut done = 0u64;
+    let outcome = loop {
+        let target = (done + chunk).min(budget);
+        let out = run_to(target);
+        done = out.interactions();
+        meter.tick(done, "");
+        match out {
+            RunOutcome::Converged { .. } => break out,
+            RunOutcome::Exhausted { .. } if done >= budget => break out,
+            RunOutcome::Exhausted { .. } => {}
+        }
+    };
+    meter.finish(done, if outcome.is_converged() { "converged" } else { "bounded" });
+    outcome
+}
+
 /// Interaction budget that safely covers full one-way-epidemic infection
 /// (Θ(n ln n) interactions in expectation).
 fn epidemic_budget(n: u64) -> u64 {
@@ -99,15 +149,21 @@ fn epidemic_budget(n: u64) -> u64 {
 /// One-way epidemic to full infection on the counts backend. The initial
 /// configuration is built directly as a 2-entry multiset — no n-element
 /// array ever exists.
-fn epidemic_counts(n: u64, seed: u64, trial: u64) -> Point {
+fn epidemic_counts(n: u64, seed: u64, trial: u64, progress: bool) -> Point {
     let mut config = CountConfig::new();
     config.add(Infection::Infected, 1);
     config.add(Infection::Susceptible, n - 1);
     let mut sim =
         BatchSimulation::from_counts(OneWayEpidemic, config, derive_seed(seed, 2 * trial + 1));
+    let budget = epidemic_budget(n);
+    let goal = |c: &CountConfig<Infection>| c.count_of(&Infection::Infected) == c.population();
+    let mut hb = meter(progress, "epidemic", "counts", n, trial, budget);
     let started = Instant::now();
-    let outcome =
-        sim.run_until(epidemic_budget(n), |c| c.count_of(&Infection::Infected) == c.population());
+    let outcome = if hb.is_enabled() {
+        run_chunked(budget, &mut hb, |target| sim.run_until(target, goal))
+    } else {
+        sim.run_until(budget, goal)
+    };
     Point {
         workload: "epidemic",
         backend: "counts",
@@ -123,10 +179,11 @@ fn epidemic_counts(n: u64, seed: u64, trial: u64) -> Point {
 /// One-way epidemic on the agent array: full infection when `bound` is
 /// `None`, otherwise a bounded throughput calibration (same per-interaction
 /// work, fewer interactions).
-fn epidemic_agents(n: u64, seed: u64, trial: u64, bound: Option<u64>) -> Point {
+fn epidemic_agents(n: u64, seed: u64, trial: u64, bound: Option<u64>, progress: bool) -> Point {
     let initial = OneWayEpidemic::seeded_configuration(n as usize);
     let mut sim = Simulation::new(OneWayEpidemic, initial, derive_seed(seed, 2 * trial + 1));
     let budget = bound.unwrap_or_else(|| epidemic_budget(n));
+    let mut hb = meter(progress, "epidemic", "agents", n, trial, budget);
     let started = Instant::now();
     // Check full infection only every n/8 interactions: a per-interaction
     // O(n) scan would measure the goal closure, not the backend.
@@ -139,7 +196,9 @@ fn epidemic_agents(n: u64, seed: u64, trial: u64, bound: Option<u64>) -> Point {
             break RunOutcome::Exhausted { interactions: sim.interactions() };
         }
         sim.run(chunk.min(budget - sim.interactions()));
+        hb.tick(sim.interactions(), "");
     };
+    hb.finish(sim.interactions(), if outcome.is_converged() { "converged" } else { "bounded" });
     Point {
         workload: "epidemic",
         backend: "agents",
@@ -158,16 +217,22 @@ fn loose_t_max(n: u64) -> u32 {
 }
 
 /// Bounded-horizon loose leader election on the counts backend.
-fn loose_counts(n: u64, horizon: u64, seed: u64, trial: u64) -> Point {
+fn loose_counts(n: u64, horizon: u64, seed: u64, trial: u64, progress: bool) -> Point {
     let p = LooselyStabilizingLe::new(loose_t_max(n));
     let mut config = CountConfig::new();
     config.add(p.follower_state(1), n);
     let mut sim = BatchSimulation::from_counts(p, config, derive_seed(seed, 2 * trial + 1));
-    let started = Instant::now();
     let budget = horizon * n;
-    let outcome = sim.run_until(budget, |c| {
+    let goal = |c: &CountConfig<ssle::loose::LooseState>| {
         c.iter().filter(|(s, _)| s.leader).map(|(_, c)| c).sum::<u64>() == 1
-    });
+    };
+    let mut hb = meter(progress, "loose", "counts", n, trial, budget);
+    let started = Instant::now();
+    let outcome = if hb.is_enabled() {
+        run_chunked(budget, &mut hb, |target| sim.run_until(target, goal))
+    } else {
+        sim.run_until(budget, goal)
+    };
     let leaders = sim.counts().iter().filter(|(s, _)| s.leader).map(|(_, c)| c).sum::<u64>();
     Point {
         workload: "loose",
@@ -182,12 +247,17 @@ fn loose_counts(n: u64, horizon: u64, seed: u64, trial: u64) -> Point {
 }
 
 /// Bounded-horizon loose leader election on the agent array.
-fn loose_agents(n: u64, budget: u64, seed: u64, trial: u64) -> Point {
+fn loose_agents(n: u64, budget: u64, seed: u64, trial: u64, progress: bool) -> Point {
     let p = LooselyStabilizingLe::new(loose_t_max(n));
     let initial = vec![p.follower_state(1); n as usize];
     let mut sim = Simulation::new(p, initial, derive_seed(seed, 2 * trial + 1));
+    let mut hb = meter(progress, "loose", "agents", n, trial, budget);
     let started = Instant::now();
-    let outcome = sim.run_until(budget, |_| false);
+    let outcome = if hb.is_enabled() {
+        run_chunked(budget, &mut hb, |target| sim.run_until(target, |_| false))
+    } else {
+        sim.run_until(budget, |_| false)
+    };
     let leaders = sim.states().iter().filter(|s| s.leader).count() as u64;
     Point {
         workload: "loose",
@@ -202,26 +272,36 @@ fn loose_agents(n: u64, budget: u64, seed: u64, trial: u64) -> Point {
 }
 
 /// Bounded Optimal-Silent-SSR — the incompressible case (support ≈ n).
-fn oss_point(n: u64, budget: u64, seed: u64, trial: u64, counts: bool) -> Point {
+fn oss_point(n: u64, budget: u64, seed: u64, trial: u64, counts: bool, progress: bool) -> Point {
     let p = OptimalSilentSsr::new(n as usize);
     let initial =
         adversary::random_oss_configuration(&p, &mut rng_from_seed(derive_seed(seed, 2 * trial)));
     let exec_seed = derive_seed(seed, 2 * trial + 1);
+    let backend = if counts { "counts" } else { "agents" };
+    let mut hb = meter(progress, "oss", backend, n, trial, budget);
     let started;
     let (outcome, support) = if counts {
         let mut sim = BatchSimulation::new(p, initial, exec_seed);
         started = Instant::now();
-        let outcome = sim.run_until(budget, |_| false);
+        let outcome = if hb.is_enabled() {
+            run_chunked(budget, &mut hb, |target| sim.run_until(target, |_| false))
+        } else {
+            sim.run_until(budget, |_| false)
+        };
         (outcome, Some(sim.counts().support() as u64))
     } else {
         let mut sim = Simulation::new(p, initial, exec_seed);
         started = Instant::now();
-        let outcome = sim.run_until(budget, |_| false);
+        let outcome = if hb.is_enabled() {
+            run_chunked(budget, &mut hb, |target| sim.run_until(target, |_| false))
+        } else {
+            sim.run_until(budget, |_| false)
+        };
         (outcome, None)
     };
     Point {
         workload: "oss",
-        backend: if counts { "counts" } else { "agents" },
+        backend,
         n,
         trial,
         outcome,
@@ -280,10 +360,11 @@ fn print_speedups(points: &[Point]) {
 }
 
 fn main() {
-    let flags = Flags::parse(&["trials", "seed", "threads", "quick", "json-out"]);
+    let flags = Flags::parse(&["trials", "seed", "threads", "quick", "json-out", "progress"]);
     let trials: u64 = flags.get("trials", 1);
     let seed: u64 = flags.get("seed", 1);
     let quick = flags.try_get_str("quick").is_some();
+    let progress = flags.get::<u64>("progress", 0) != 0;
     let _ = flags.threads(); // accepted for grid-script uniformity; runs are sequential
 
     println!("Scaling frontier — agent-array vs count-based backend, seed {seed}");
@@ -317,21 +398,21 @@ fn main() {
     let mut points: Vec<Point> = Vec::new();
     for &(n, bound) in epidemic_grid {
         for trial in 0..trials {
-            let p = epidemic_counts(n, seed, trial);
+            let p = epidemic_counts(n, seed, trial, progress);
             print_point(&p);
             points.push(p);
-            let p = epidemic_agents(n, seed, trial, bound);
+            let p = epidemic_agents(n, seed, trial, bound, progress);
             print_point(&p);
             points.push(p);
         }
     }
     for &(n, horizon, agent_bound) in loose_grid {
         for trial in 0..trials {
-            let p = loose_counts(n, horizon, seed, trial);
+            let p = loose_counts(n, horizon, seed, trial, progress);
             print_point(&p);
             points.push(p);
             if let Some(bound) = agent_bound {
-                let p = loose_agents(n, bound, seed, trial);
+                let p = loose_agents(n, bound, seed, trial, progress);
                 print_point(&p);
                 points.push(p);
             }
@@ -339,7 +420,7 @@ fn main() {
     }
     for trial in 0..trials {
         for counts in [true, false] {
-            let p = oss_point(oss_n, oss_budget, seed, trial, counts);
+            let p = oss_point(oss_n, oss_budget, seed, trial, counts, progress);
             print_point(&p);
             points.push(p);
         }

@@ -17,13 +17,20 @@
 //! trial ran under; the scheduler joins the group key so that robustness
 //! sweeps report one group per scheduling regime. `--compare a.jsonl
 //! b.jsonl` reports, for every group present in both files, the ratio of
-//! mean stabilization times (a speedup/slowdown table).
+//! mean stabilization times (a speedup/slowdown table); streams of `kind =
+//! "frontier"` throughput runs compare by interactions/second instead.
+//!
+//! v4 adds `kind = "timeline"` within-run trajectory rows (`ssle simulate
+//! --timeline`); `--timeline <file.jsonl>` renders them as per-trial ASCII
+//! sparklines plus a cross-trial median trajectory aligned on parallel
+//! time.
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use analysis::{quantile, Ecdf};
+use analysis::{median_trajectory, quantile, Ecdf};
 use population::record::{
     from_jsonl_mixed, FaultRecord, FrontierRecord, JsonObject, RecordLine, RunRecord,
+    TimelineRecord,
 };
 use population::ConvergenceSample;
 use ssle_bench::TimeSummary;
@@ -42,7 +49,45 @@ type FaultKey = (String, String, u64, Option<u64>, String);
 /// One frontier group key: `(experiment, workload, backend, n)`.
 type FrontierKey = (String, String, String, u64);
 
-const USAGE: &str = "usage: ssle report <file.jsonl> [--compare other.jsonl] [--format text|json]";
+/// One timeline trial key: `(experiment, protocol, backend, n, trial)`.
+type TimelineKey = (String, String, String, u64, u64);
+
+/// One timeline cohort (trials aggregated): `(experiment, protocol,
+/// backend, n)`.
+type TimelineCohort = (String, String, String, u64);
+
+const USAGE: &str =
+    "usage: ssle report <file.jsonl> [--compare other.jsonl] [--format text|json]\n\
+                     \u{20}      ssle report --timeline <file.jsonl> [--format text|json]";
+
+/// Eight-level block characters the sparklines are drawn with.
+const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders a series as a block sparkline scaled to its own min..max range.
+/// A constant series renders at the lowest level.
+fn sparkline(values: &[f64]) -> String {
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    values
+        .iter()
+        .map(|v| {
+            let level =
+                if max > min { ((v - min) / (max - min) * 7.0).round() as usize } else { 0 };
+            BLOCKS[level.min(7)]
+        })
+        .collect()
+}
+
+/// The `[k of N censored]` annotation the robustness bench prints next to
+/// quantile summaries whose sample is right-censored; empty when nothing
+/// was censored.
+fn censored_note(censored: usize, total: usize) -> String {
+    if censored > 0 {
+        format!(" [{censored} of {total} censored]")
+    } else {
+        String::new()
+    }
+}
 
 /// Runs the subcommand: `ssle report <file.jsonl> [--compare other.jsonl]
 /// [--format text|json]`. Both argument orders work for a comparison:
@@ -55,15 +100,20 @@ const USAGE: &str = "usage: ssle report <file.jsonl> [--compare other.jsonl] [--
 /// [`CliError::Usage`] when no path is given.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let mut paths: Vec<String> = Vec::new();
+    let mut timeline_paths: Vec<String> = Vec::new();
     let mut rest: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         let arg = &args[i];
-        if arg == "--compare" {
+        if arg == "--compare" || arg == "--timeline" {
             let Some(p) = args.get(i + 1) else {
-                return Err(CliError::BadFlag("--compare needs a value".to_string()));
+                return Err(CliError::BadFlag(format!("{arg} needs a value")));
             };
-            paths.push(p.clone());
+            if arg == "--timeline" {
+                timeline_paths.push(p.clone());
+            } else {
+                paths.push(p.clone());
+            }
             i += 2;
         } else if !arg.starts_with("--") && rest.is_empty() {
             paths.push(arg.clone());
@@ -75,6 +125,17 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     }
     let flags = parse_flags(&rest, &["format"])?;
     let format = OutputFormat::from_flags(&flags)?;
+    if let [path] = timeline_paths.as_slice() {
+        if !paths.is_empty() {
+            return Err(CliError::Usage(format!(
+                "{USAGE}\n(--timeline is its own mode and takes exactly one file)"
+            )));
+        }
+        return report_timeline(path, format);
+    }
+    if timeline_paths.len() > 1 {
+        return Err(CliError::Usage(format!("{USAGE}\n(--timeline may be given once)")));
+    }
     match paths.as_slice() {
         [] => Err(CliError::Usage(USAGE.to_string())),
         [path] => report_one(path, format),
@@ -88,6 +149,7 @@ struct Loaded {
     records: Vec<RunRecord>,
     faults: Vec<FaultRecord>,
     frontier: Vec<FrontierRecord>,
+    timelines: Vec<TimelineRecord>,
 }
 
 fn load(path: &str) -> Result<Loaded, CliError> {
@@ -95,15 +157,25 @@ fn load(path: &str) -> Result<Loaded, CliError> {
         .map_err(|e| CliError::Report { path: path.to_string(), reason: e.to_string() })?;
     let lines = from_jsonl_mixed(&text)
         .map_err(|reason| CliError::Report { path: path.to_string(), reason })?;
-    let mut loaded = Loaded { records: Vec::new(), faults: Vec::new(), frontier: Vec::new() };
+    let mut loaded = Loaded {
+        records: Vec::new(),
+        faults: Vec::new(),
+        frontier: Vec::new(),
+        timelines: Vec::new(),
+    };
     for line in lines {
         match line {
             RecordLine::Trial(r) => loaded.records.push(r),
             RecordLine::Fault(f) => loaded.faults.push(f),
             RecordLine::Frontier(f) => loaded.frontier.push(f),
+            RecordLine::Timeline(t) => loaded.timelines.push(t),
         }
     }
-    if loaded.records.is_empty() && loaded.faults.is_empty() && loaded.frontier.is_empty() {
+    if loaded.records.is_empty()
+        && loaded.faults.is_empty()
+        && loaded.frontier.is_empty()
+        && loaded.timelines.is_empty()
+    {
         return Err(CliError::Report {
             path: path.to_string(),
             reason: "the file contains no records".to_string(),
@@ -117,13 +189,49 @@ fn report_one(path: &str, format: OutputFormat) -> Result<String, CliError> {
     let groups = group_records(&loaded.records);
     let fault_groups = group_faults(&loaded.faults);
     let frontier_groups = group_frontier(&loaded.frontier);
-    let total = loaded.records.len() + loaded.faults.len() + loaded.frontier.len();
+    let timeline_groups = group_timelines(&loaded.timelines);
+    let total =
+        loaded.records.len() + loaded.faults.len() + loaded.frontier.len() + loaded.timelines.len();
     match format {
         OutputFormat::Text => {
-            Ok(render_text(path, total, &groups, &fault_groups, &frontier_groups))
+            let mut out = render_text(path, total, &groups, &fault_groups, &frontier_groups);
+            for ((experiment, protocol, backend, n), trials) in cohorts_of(&timeline_groups) {
+                out.push_str(&format!(
+                    "\ntimelines: experiment={experiment} protocol={protocol} backend={backend} \
+                     n={n}: {trials} trial(s) — render with `ssle report --timeline {path}`\n",
+                ));
+            }
+            Ok(out)
         }
-        OutputFormat::Json => Ok(render_json(&groups, &fault_groups, &frontier_groups)),
+        OutputFormat::Json => {
+            let mut out = render_json(&groups, &fault_groups, &frontier_groups);
+            for ((experiment, protocol, backend, n), trials) in cohorts_of(&timeline_groups) {
+                let mut obj = JsonObject::new();
+                obj.field_str("command", "report");
+                obj.field_str("kind", "timelines");
+                obj.field_str("experiment", &experiment);
+                obj.field_str("protocol", &protocol);
+                obj.field_str("backend", &backend);
+                obj.field_u64("n", n);
+                obj.field_u64("trials", trials);
+                out.push_str(&obj.finish());
+                out.push('\n');
+            }
+            Ok(out)
+        }
     }
+}
+
+/// Collapses per-trial timeline groups into per-cohort trial counts.
+fn cohorts_of(
+    groups: &BTreeMap<TimelineKey, Vec<&TimelineRecord>>,
+) -> BTreeMap<TimelineCohort, u64> {
+    let mut cohorts: BTreeMap<TimelineCohort, u64> = BTreeMap::new();
+    for (experiment, protocol, backend, n, _) in groups.keys() {
+        *cohorts.entry((experiment.clone(), protocol.clone(), backend.clone(), *n)).or_default() +=
+            1;
+    }
+    cohorts
 }
 
 fn report_compare(path_a: &str, path_b: &str, format: OutputFormat) -> Result<String, CliError> {
@@ -131,19 +239,20 @@ fn report_compare(path_a: &str, path_b: &str, format: OutputFormat) -> Result<St
     let b = load(path_b)?;
     let ga = group_records(&a.records);
     let gb = group_records(&b.records);
-    if ga.is_empty() {
-        return Err(CliError::Report {
-            path: path_a.to_string(),
-            reason: "no trial records to compare".to_string(),
-        });
-    }
-    if gb.is_empty() {
-        return Err(CliError::Report {
-            path: path_b.to_string(),
-            reason: "no trial records to compare".to_string(),
-        });
+    let fa = group_frontier(&a.frontier);
+    let fb = group_frontier(&b.frontier);
+    // Either trial streams or frontier throughput streams are comparable; a
+    // side with neither (e.g. faults only) has nothing to line up against.
+    for (path, g, f) in [(path_a, &ga, &fa), (path_b, &gb, &fb)] {
+        if g.is_empty() && f.is_empty() {
+            return Err(CliError::Report {
+                path: path.to_string(),
+                reason: "no trial or frontier records to compare".to_string(),
+            });
+        }
     }
     let keys: BTreeSet<&GroupKey> = ga.keys().chain(gb.keys()).collect();
+    let frontier_keys: BTreeSet<&FrontierKey> = fa.keys().chain(fb.keys()).collect();
     match format {
         OutputFormat::Text => {
             let mut out = format!(
@@ -172,6 +281,31 @@ fn report_compare(path_a: &str, path_b: &str, format: OutputFormat) -> Result<St
                         out.push_str(&format!("A absent  B {mb:.1} ({tb} trial(s))\n"))
                     }
                     (None, None) => out.push_str("no converged trials on either side\n"),
+                }
+            }
+            if !frontier_keys.is_empty() {
+                out.push_str(
+                    "\nfrontier throughput: speedup = ips_B / ips_A — above 1.00, B ran faster\n",
+                );
+                for key in frontier_keys {
+                    let (experiment, workload, backend, n) = key;
+                    out.push_str(&format!(
+                        "\nexperiment={experiment} workload={workload} backend={backend} n={n}: "
+                    ));
+                    match (ips_of(fa.get(key)), ips_of(fb.get(key))) {
+                        (Some((ia, ra)), Some((ib, rb))) => out.push_str(&format!(
+                            "A {ia:.2e} ips ({ra} run(s))  B {ib:.2e} ips ({rb} run(s))  \
+                             speedup {:.2}\n",
+                            ib / ia
+                        )),
+                        (Some((ia, ra)), None) => {
+                            out.push_str(&format!("A {ia:.2e} ips ({ra} run(s))  B absent\n"))
+                        }
+                        (None, Some((ib, rb))) => {
+                            out.push_str(&format!("A absent  B {ib:.2e} ips ({rb} run(s))\n"))
+                        }
+                        (None, None) => out.push_str("no timed runs on either side\n"),
+                    }
                 }
             }
             Ok(out)
@@ -222,9 +356,58 @@ fn report_compare(path_a: &str, path_b: &str, format: OutputFormat) -> Result<St
                 out.push_str(&obj.finish());
                 out.push('\n');
             }
+            for key in frontier_keys {
+                let (experiment, workload, backend, n) = key;
+                let mut obj = JsonObject::new();
+                obj.field_str("command", "report");
+                obj.field_str("kind", "compare_frontier");
+                obj.field_str("experiment", experiment);
+                obj.field_str("workload", workload);
+                obj.field_str("backend", backend);
+                obj.field_u64("n", *n);
+                let a = ips_of(fa.get(key));
+                let b = ips_of(fb.get(key));
+                match a {
+                    Some((ips, runs)) => {
+                        obj.field_f64("ips_a", ips);
+                        obj.field_u64("runs_a", runs);
+                    }
+                    None => {
+                        obj.field_null("ips_a");
+                    }
+                }
+                match b {
+                    Some((ips, runs)) => {
+                        obj.field_f64("ips_b", ips);
+                        obj.field_u64("runs_b", runs);
+                    }
+                    None => {
+                        obj.field_null("ips_b");
+                    }
+                }
+                match (a, b) {
+                    (Some((ia, _)), Some((ib, _))) => {
+                        obj.field_f64("speedup", ib / ia);
+                    }
+                    _ => {
+                        obj.field_null("speedup");
+                    }
+                }
+                out.push_str(&obj.finish());
+                out.push('\n');
+            }
             Ok(out)
         }
     }
+}
+
+/// Aggregate throughput (interactions per second) and run count of a
+/// frontier group, when it exists and accumulated any wall time.
+fn ips_of(group: Option<&Vec<&FrontierRecord>>) -> Option<(f64, u64)> {
+    let group = group?;
+    let wall: f64 = group.iter().map(|f| f.wall_s).sum();
+    let interactions: u64 = group.iter().map(|f| f.outcome.interactions()).sum();
+    (wall > 0.0).then(|| (interactions as f64 / wall, group.len() as u64))
 }
 
 /// Mean stabilization parallel time and trial count of a group, when the
@@ -268,6 +451,156 @@ fn group_frontier(frontier: &[FrontierRecord]) -> BTreeMap<FrontierKey, Vec<&Fro
     }
     groups
 }
+
+/// Groups timeline rows by trial and sorts each trial's checkpoints by
+/// interaction count (streams written by different tools may interleave).
+fn group_timelines(timelines: &[TimelineRecord]) -> BTreeMap<TimelineKey, Vec<&TimelineRecord>> {
+    let mut groups: BTreeMap<TimelineKey, Vec<&TimelineRecord>> = BTreeMap::new();
+    for t in timelines {
+        groups
+            .entry((t.experiment.clone(), t.protocol.clone(), t.backend.clone(), t.n, t.trial))
+            .or_default()
+            .push(t);
+    }
+    for rows in groups.values_mut() {
+        rows.sort_by_key(|r| r.interactions);
+    }
+    groups
+}
+
+fn report_timeline(path: &str, format: OutputFormat) -> Result<String, CliError> {
+    let loaded = load(path)?;
+    if loaded.timelines.is_empty() {
+        return Err(CliError::Report {
+            path: path.to_string(),
+            reason: "the file contains no timeline records; write one with \
+                     `ssle simulate --timeline <file>`"
+                .to_string(),
+        });
+    }
+    let trials = group_timelines(&loaded.timelines);
+    // Per cohort, each trial's leader count as a (parallel time, value)
+    // step series — the input to the cross-trial median trajectory.
+    let mut cohorts: BTreeMap<TimelineCohort, Vec<Vec<(f64, f64)>>> = BTreeMap::new();
+    for ((experiment, protocol, backend, n, _), rows) in &trials {
+        cohorts
+            .entry((experiment.clone(), protocol.clone(), backend.clone(), *n))
+            .or_default()
+            .push(rows.iter().map(|r| (r.parallel_time(), r.leaders as f64)).collect());
+    }
+    match format {
+        OutputFormat::Text => {
+            let mut out = format!(
+                "timeline report: {path} — {} checkpoint row(s), {} trial(s)\n",
+                loaded.timelines.len(),
+                trials.len(),
+            );
+            for ((experiment, protocol, backend, n, trial), rows) in &trials {
+                let first = rows.first().expect("groups are non-empty");
+                let last = rows.last().expect("groups are non-empty");
+                out.push_str(&format!(
+                    "\nexperiment={experiment} protocol={protocol} backend={backend} n={n} \
+                     trial={trial}: {} checkpoint(s), parallel time {:.1} → {:.1}\n",
+                    rows.len(),
+                    first.parallel_time(),
+                    last.parallel_time(),
+                ));
+                let leaders: Vec<f64> = rows.iter().map(|r| r.leaders as f64).collect();
+                let ranks: Vec<f64> = rows.iter().map(|r| r.ranks_ok as f64).collect();
+                out.push_str(&format!(
+                    "  leaders  {}  {} → {}\n",
+                    sparkline(&leaders),
+                    first.leaders,
+                    last.leaders
+                ));
+                out.push_str(&format!(
+                    "  ranks_ok {}  {} → {}\n",
+                    sparkline(&ranks),
+                    first.ranks_ok,
+                    last.ranks_ok
+                ));
+                let supports: Vec<f64> =
+                    rows.iter().filter_map(|r| r.support.map(|s| s as f64)).collect();
+                if supports.len() == rows.len() {
+                    out.push_str(&format!(
+                        "  support  {}  {} → {}\n",
+                        sparkline(&supports),
+                        supports[0],
+                        supports[supports.len() - 1]
+                    ));
+                }
+            }
+            for ((experiment, protocol, backend, n), series) in &cohorts {
+                if series.len() < 2 {
+                    continue;
+                }
+                let med = median_trajectory(series, MEDIAN_GRID_POINTS);
+                if med.is_empty() {
+                    continue;
+                }
+                let values: Vec<f64> = med.iter().map(|&(_, v)| v).collect();
+                out.push_str(&format!(
+                    "\nmedian leader trajectory: experiment={experiment} protocol={protocol} \
+                     backend={backend} n={n} ({} trial(s), parallel time [0, {:.1}]):\n  {}\n",
+                    series.len(),
+                    med.last().expect("non-empty").0,
+                    sparkline(&values),
+                ));
+            }
+            Ok(out)
+        }
+        OutputFormat::Json => {
+            let mut out = String::new();
+            for ((experiment, protocol, backend, n, trial), rows) in &trials {
+                let last = rows.last().expect("groups are non-empty");
+                let leaders: Vec<f64> = rows.iter().map(|r| r.leaders as f64).collect();
+                let mut obj = JsonObject::new();
+                obj.field_str("command", "report");
+                obj.field_str("kind", "timeline");
+                obj.field_str("experiment", experiment);
+                obj.field_str("protocol", protocol);
+                obj.field_str("backend", backend);
+                obj.field_u64("n", *n);
+                obj.field_u64("trial", *trial);
+                obj.field_u64("checkpoints", rows.len() as u64);
+                obj.field_f64("final_parallel_time", last.parallel_time());
+                obj.field_u64("final_leaders", last.leaders);
+                obj.field_u64("final_ranks_ok", last.ranks_ok);
+                obj.field_str("leaders_spark", &sparkline(&leaders));
+                out.push_str(&obj.finish());
+                out.push('\n');
+            }
+            for ((experiment, protocol, backend, n), series) in &cohorts {
+                if series.len() < 2 {
+                    continue;
+                }
+                let med = median_trajectory(series, MEDIAN_GRID_POINTS);
+                if med.is_empty() {
+                    continue;
+                }
+                let values: Vec<f64> = med.iter().map(|&(_, v)| v).collect();
+                let encoded: String =
+                    med.iter().map(|(t, v)| format!("{t:.3}:{v:.3}")).collect::<Vec<_>>().join(",");
+                let mut obj = JsonObject::new();
+                obj.field_str("command", "report");
+                obj.field_str("kind", "timeline_median");
+                obj.field_str("experiment", experiment);
+                obj.field_str("protocol", protocol);
+                obj.field_str("backend", backend);
+                obj.field_u64("n", *n);
+                obj.field_u64("trials", series.len() as u64);
+                obj.field_str("median_leaders", &encoded);
+                obj.field_str("leaders_spark", &sparkline(&values));
+                out.push_str(&obj.finish());
+                out.push('\n');
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Grid resolution of the cross-trial median trajectory.
+const MEDIAN_GRID_POINTS: usize = 64;
 
 /// Recovery parallel times of a fault group's recovered faults, plus the
 /// mean agent count touched per fault.
@@ -321,13 +654,17 @@ fn render_text(
         ));
         let times = &sample.parallel_times;
         let q = |p: f64| quantile(times, p).expect("non-empty converged sample");
+        // Exhausted trials right-censor the sample: the quantiles below are
+        // computed from converged trials only, so flag them the way the
+        // robustness bench does.
         out.push_str(&format!(
-            "  quantiles: min {:.1}  p25 {:.1}  p50 {:.1}  p75 {:.1}  max {:.1}\n",
+            "  quantiles: min {:.1}  p25 {:.1}  p50 {:.1}  p75 {:.1}  max {:.1}{}\n",
             q(0.0),
             q(0.25),
             q(0.5),
             q(0.75),
-            q(1.0)
+            q(1.0),
+            censored_note(sample.exhausted() as usize, group.len()),
         ));
         let ecdf = Ecdf::new(times.clone()).expect("non-empty converged sample");
         out.push_str(&format!(
@@ -373,12 +710,15 @@ fn render_text(
             continue;
         }
         let q = |p: f64| quantile(&times, p).expect("non-empty recovered sample");
+        // Unrecovered faults censor the recovery-time sample the same way
+        // exhausted trials censor stabilization times.
         out.push_str(&format!(
-            "  E[recovery] {:.1} parallel time   p50 {:.1}  p95 {:.1}  max {:.1}\n",
+            "  E[recovery] {:.1} parallel time   p50 {:.1}  p95 {:.1}  max {:.1}{}\n",
             times.iter().sum::<f64>() / times.len() as f64,
             q(0.5),
             q(0.95),
             q(1.0),
+            censored_note(group.len() - times.len(), group.len()),
         ));
     }
     for ((experiment, protocol, backend, n), group) in frontier_groups {
@@ -827,6 +1167,178 @@ mod tests {
             run(&args(&["--compare", "a.jsonl", "b.jsonl", "--compare", "c.jsonl"])),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn compare_frontier_streams_reports_throughput_speedup() {
+        let mk = |backend: &str, ips: f64| FrontierRecord {
+            experiment: "frontier".to_string(),
+            protocol: "epidemic".to_string(),
+            backend: backend.to_string(),
+            n: 1000,
+            trial: 0,
+            seed: 1,
+            outcome: population::RunOutcome::Converged { interactions: 1_000_000 },
+            wall_s: 1_000_000.0 / ips,
+            support: None,
+            leaders: None,
+        };
+        let pa = write_temp(
+            "ssle_report_cmp_frontier_a.jsonl",
+            &format!("{}\n", mk("counts", 1e8).to_json()),
+        );
+        let pb = write_temp(
+            "ssle_report_cmp_frontier_b.jsonl",
+            &format!("{}\n", mk("counts", 2e8).to_json()),
+        );
+        let out = run(&args(&[&pa, "--compare", &pb])).unwrap();
+        assert!(out.contains("frontier throughput"), "{out}");
+        assert!(out.contains("speedup 2.00"), "{out}");
+
+        let json = run(&args(&[&pa, "--compare", &pb, "--format", "json"])).unwrap();
+        let line = json
+            .lines()
+            .find(|l| l.contains("\"kind\":\"compare_frontier\""))
+            .expect("frontier compare line present");
+        let fields = population::record::parse_flat_json(line).unwrap();
+        match fields.get("speedup").unwrap() {
+            population::record::JsonScalar::Num(m) => assert!((m - 2.0).abs() < 1e-9, "{m}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn censored_trials_are_annotated_on_the_quantile_line() {
+        let mut converged = mk_sched("ciw", None, None, 0, 800);
+        converged.trial = 0;
+        let mut exhausted = mk_sched("ciw", None, None, 1, 999);
+        exhausted.outcome = population::RunOutcome::Exhausted { interactions: 999 };
+        let path = write_temp("ssle_report_censored.jsonl", &to_jsonl(&[converged, exhausted]));
+        let out = run(&args(&[&path])).unwrap();
+        assert!(out.contains("[1 of 2 censored]"), "{out}");
+    }
+
+    fn mk_timeline(trial: u64, interactions: u64, leaders: u64, ranks_ok: u64) -> TimelineRecord {
+        TimelineRecord {
+            experiment: "simulate".to_string(),
+            protocol: "ciw".to_string(),
+            backend: "agents".to_string(),
+            n: 8,
+            trial,
+            seed: 1,
+            interactions,
+            leaders,
+            ranks_ok,
+            support: None,
+            phases: None,
+        }
+    }
+
+    #[test]
+    fn timeline_mode_renders_per_trial_sparklines_and_a_median() {
+        let rows: Vec<String> = [
+            mk_timeline(0, 0, 8, 1),
+            mk_timeline(0, 40, 3, 4),
+            mk_timeline(0, 80, 1, 8),
+            mk_timeline(1, 0, 6, 2),
+            mk_timeline(1, 40, 2, 5),
+            mk_timeline(1, 80, 1, 8),
+        ]
+        .iter()
+        .map(|r| r.to_json())
+        .collect();
+        let path = write_temp("ssle_report_timeline.jsonl", &(rows.join("\n") + "\n"));
+        let out = run(&args(&["--timeline", &path])).unwrap();
+        assert!(out.contains("6 checkpoint row(s), 2 trial(s)"), "{out}");
+        assert!(out.contains("trial=0: 3 checkpoint(s), parallel time 0.0 → 10.0"), "{out}");
+        assert!(out.contains("leaders  █▃▁  8 → 1"), "{out}");
+        assert!(out.contains("ranks_ok ▁▄█  1 → 8"), "{out}");
+        assert!(out.contains("median leader trajectory"), "{out}");
+
+        let json = run(&args(&["--timeline", &path, "--format", "json"])).unwrap();
+        let median_line = json
+            .lines()
+            .find(|l| l.contains("\"kind\":\"timeline_median\""))
+            .expect("median line present");
+        let fields = population::record::parse_flat_json(median_line).unwrap();
+        match fields.get("trials").unwrap() {
+            population::record::JsonScalar::Num(m) => assert!((m - 2.0).abs() < 1e-9, "{m}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(json.contains("\"final_leaders\":1"), "{json}");
+    }
+
+    #[test]
+    fn timeline_rows_are_mentioned_by_the_default_report() {
+        let text = format!(
+            "{}\n{}\n",
+            mk_timeline(0, 0, 8, 1).to_json(),
+            mk_timeline(0, 80, 1, 8).to_json()
+        );
+        let path = write_temp("ssle_report_timeline_mention.jsonl", &text);
+        let out = run(&args(&[&path])).unwrap();
+        assert!(
+            out.contains(
+                "timelines: experiment=simulate protocol=ciw backend=agents n=8: 1 trial(s)"
+            ),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn timeline_mode_rejects_streams_without_timelines() {
+        let path = write_temp(
+            "ssle_report_timeline_empty.jsonl",
+            &to_jsonl(&[mk_sched("ciw", None, None, 0, 800)]),
+        );
+        match run(&args(&["--timeline", &path])) {
+            Err(CliError::Report { reason, .. }) => {
+                assert!(reason.contains("no timeline records"), "{reason}")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// Acceptance: simulate `--timeline` then report `--timeline` renders a
+    /// leader-count sparkline that is monotone non-increasing after its
+    /// peak. From the all-colliding start the peak is the first checkpoint
+    /// (every agent is a leader), and the 8-level quantization absorbs the
+    /// ±O(1) transient bumps CIW's mod-n rank wraparound can cause.
+    #[test]
+    fn simulated_ciw_timeline_sparkline_is_monotone_after_its_peak() {
+        let path = std::env::temp_dir()
+            .join(format!("ssle_report_timeline_accept_{}.jsonl", std::process::id()));
+        let path_s = path.to_str().unwrap().to_string();
+        crate::commands::simulate::run(&args(&[
+            "--protocol",
+            "ciw",
+            "--n",
+            "64",
+            "--seed",
+            "9",
+            "--start",
+            "collision",
+            "--timeline",
+            &path_s,
+        ]))
+        .unwrap();
+        let out = run(&args(&["--timeline", &path_s])).unwrap();
+        std::fs::remove_file(&path).ok();
+        let spark: Vec<usize> = out
+            .lines()
+            .find(|l| l.trim_start().starts_with("leaders"))
+            .expect("leaders sparkline present")
+            .chars()
+            .filter_map(|c| BLOCKS.iter().position(|&b| b == c))
+            .collect();
+        assert!(spark.len() >= 2, "sparkline too short: {out}");
+        let peak =
+            spark.iter().enumerate().max_by_key(|&(_, v)| *v).map(|(i, _)| i).expect("non-empty");
+        assert!(
+            spark[peak..].windows(2).all(|w| w[0] >= w[1]),
+            "leader sparkline not monotone non-increasing after its peak: {spark:?}\n{out}"
+        );
+        assert_eq!(*spark.last().unwrap(), 0, "converged run ends at the lowest level: {out}");
     }
 
     #[test]

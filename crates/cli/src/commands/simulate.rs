@@ -2,11 +2,12 @@
 
 use std::hash::Hash;
 
-use population::record::JsonObject;
+use population::record::{to_jsonl_mixed, JsonObject};
 use population::runner::rng_from_seed;
+use population::timeline::DEFAULT_TIMELINE_CAPACITY;
 use population::{
-    certify_ranking_closure, BatchSimulation, ClosureCertificate, RankingProtocol, RunOutcome,
-    SchedulerPolicy, Simulation,
+    certify_ranking_closure, BatchSimulation, ClosureCertificate, RankingProtocol, RecordLine,
+    RunOutcome, SchedulerPolicy, Simulation, Timeline, TimelineObserver,
 };
 use ssle::adversary;
 use ssle::cai_izumi_wada::{CaiIzumiWada, CiwState};
@@ -62,6 +63,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             "scheduler",
             "omission",
             "certify",
+            "timeline",
         ],
     )?;
     let common = CommonFlags::from_flags(&flags, ProtocolChoice::OptimalSilent)?;
@@ -100,6 +102,16 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .into(),
         });
     }
+    let timeline = flags.try_get_str("timeline").map(str::to_string);
+    if timeline.is_some() && common.protocol == ProtocolChoice::Loose {
+        return Err(CliError::BadValue {
+            flag: "timeline".into(),
+            reason: "timelines trace ranking observables (leader count, ranks); the loose \
+                     protocol has no ranking — use one of the ranking protocols"
+                .into(),
+        });
+    }
+    let timeline = timeline.as_deref();
 
     match common.protocol {
         ProtocolChoice::Ciw => {
@@ -115,10 +127,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 budget(max_time, common.n, inflate(400 * (common.n as u64).pow(3), &robust));
             match backend {
                 BackendChoice::Agents => {
-                    ranked_report(&common, &robust, certify, p, initial, budget, format)
+                    ranked_report(&common, &robust, certify, timeline, p, initial, budget, format)
                 }
                 BackendChoice::Counts => {
-                    counts_ranked_report(&common, &robust, p, initial, budget, format)
+                    counts_ranked_report(&common, &robust, timeline, p, initial, budget, format)
                 }
             }
         }
@@ -135,10 +147,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 budget(max_time, common.n, inflate(4000 * (common.n as u64).pow(2), &robust));
             match backend {
                 BackendChoice::Agents => {
-                    ranked_report(&common, &robust, certify, p, initial, budget, format)
+                    ranked_report(&common, &robust, certify, timeline, p, initial, budget, format)
                 }
                 BackendChoice::Counts => {
-                    counts_ranked_report(&common, &robust, p, initial, budget, format)
+                    counts_ranked_report(&common, &robust, timeline, p, initial, budget, format)
                 }
             }
         }
@@ -154,7 +166,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             };
             let budget =
                 budget(max_time, common.n, inflate(4000 * (common.n as u64).pow(2), &robust));
-            ranked_report(&common, &robust, certify, p, initial, budget, format)
+            ranked_report(&common, &robust, certify, timeline, p, initial, budget, format)
         }
         ProtocolChoice::TreeRanking => {
             let p = TreeRanking::new(common.n);
@@ -164,10 +176,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 budget(max_time, common.n, inflate(4000 * (common.n as u64).pow(2), &robust));
             match backend {
                 BackendChoice::Agents => {
-                    ranked_report(&common, &robust, certify, p, initial, budget, format)
+                    ranked_report(&common, &robust, certify, timeline, p, initial, budget, format)
                 }
                 BackendChoice::Counts => {
-                    counts_ranked_report(&common, &robust, p, initial, budget, format)
+                    counts_ranked_report(&common, &robust, timeline, p, initial, budget, format)
                 }
             }
         }
@@ -206,10 +218,28 @@ fn robustness_text(robust: &RobustnessFlags, spec: &str) -> String {
     }
 }
 
+/// Writes a finished timeline as schema-v4 `"kind":"timeline"` JSONL rows.
+fn write_timeline(
+    path: &str,
+    timeline: Timeline,
+    common: &CommonFlags,
+    backend: &str,
+) -> Result<(), CliError> {
+    let lines: Vec<RecordLine> = timeline
+        .to_records("simulate", common.protocol.short_name(), backend, 0, common.seed)
+        .into_iter()
+        .map(RecordLine::Timeline)
+        .collect();
+    std::fs::write(path, to_jsonl_mixed(&lines))
+        .map_err(|e| CliError::Report { path: path.into(), reason: e.to_string() })
+}
+
+#[allow(clippy::too_many_arguments)]
 fn ranked_report<P: RankingProtocol>(
     common: &CommonFlags,
     robust: &RobustnessFlags,
     certify: f64,
+    timeline: Option<&str>,
     protocol: P,
     initial: Vec<P::State>,
     budget: u64,
@@ -220,7 +250,17 @@ fn ranked_report<P: RankingProtocol>(
     let spec = policy.spec();
     let mut sim = Simulation::with_policy(protocol, initial, policy, common.seed)
         .with_reliability(robust.reliability());
-    let outcome = sim.run_until_stably_ranked(budget, 4 * n as u64);
+    // The timeline is written even when the run exhausts its budget — a
+    // non-converging trajectory is exactly what one wants to inspect.
+    let outcome = match timeline {
+        Some(path) => {
+            let mut tl = TimelineObserver::new(DEFAULT_TIMELINE_CAPACITY);
+            let outcome = sim.run_until_stably_ranked_timeline(budget, 4 * n as u64, &mut tl);
+            write_timeline(path, tl.finish(n as u64), common, "agents")?;
+            outcome
+        }
+        None => sim.run_until_stably_ranked(budget, 4 * n as u64),
+    };
     match outcome {
         RunOutcome::Converged { interactions } => {
             let cert = if certify > 0.0 {
@@ -323,6 +363,7 @@ fn certificate_text(cert: &ClosureCertificate) -> String {
 fn counts_ranked_report<P>(
     common: &CommonFlags,
     robust: &RobustnessFlags,
+    timeline: Option<&str>,
     protocol: P,
     initial: Vec<P::State>,
     budget: u64,
@@ -335,12 +376,25 @@ where
     let n = common.n;
     let policy = robust.policy(n)?;
     let spec = policy.spec();
+    if timeline.is_some() && !policy.is_uniform_complete() {
+        return Err(CliError::BadValue {
+            flag: "timeline".into(),
+            reason: "the counts backend records timelines on the uniform complete scheduler \
+                     only; use --backend agents for non-uniform schedulers"
+                .into(),
+        });
+    }
     let mut sim =
         BatchSimulation::new(protocol, initial, common.seed).with_reliability(robust.reliability());
     // The uniform-complete fast path keeps the lumped batched loop (omission
     // is thinned exactly inside batches); any other policy needs agent
     // identities, so the backend falls back to exact per-interaction draws.
-    let outcome = if policy.is_uniform_complete() {
+    let outcome = if let Some(path) = timeline {
+        let mut tl = TimelineObserver::new(DEFAULT_TIMELINE_CAPACITY);
+        let outcome = sim.run_until_stably_ranked_timeline(budget, 4 * n as u64, &mut tl);
+        write_timeline(path, tl.finish(n as u64), common, "counts")?;
+        outcome
+    } else if policy.is_uniform_complete() {
         sim.run_until_stably_ranked(budget, 4 * n as u64)
     } else {
         sim.run_until_stably_ranked_scheduled(&policy, budget, 4 * n as u64)
@@ -689,6 +743,71 @@ mod tests {
     fn bad_scheduler_and_omission_are_rejected() {
         assert!(matches!(run(&args(&["--scheduler", "quantum"])), Err(CliError::BadValue { .. })));
         assert!(matches!(run(&args(&["--omission", "1.5"])), Err(CliError::BadValue { .. })));
+    }
+
+    #[test]
+    fn timeline_writes_matching_v4_rows_on_both_backends() {
+        for backend in ["agents", "counts"] {
+            let path = std::env::temp_dir()
+                .join(format!("ssle-simulate-timeline-{}-{backend}.jsonl", std::process::id()));
+            let path_s = path.to_str().unwrap().to_string();
+            let out = run(&args(&[
+                "--protocol",
+                "ciw",
+                "--n",
+                "8",
+                "--seed",
+                "5",
+                "--backend",
+                backend,
+                "--timeline",
+                &path_s,
+            ]))
+            .unwrap_or_else(|e| panic!("{backend}: {e}"));
+            assert!(out.contains("stabilized"), "{backend}: {out}");
+            let text = std::fs::read_to_string(&path).unwrap();
+            std::fs::remove_file(&path).ok();
+            let lines = population::record::from_jsonl_mixed(&text).unwrap();
+            assert!(!lines.is_empty(), "{backend}: empty timeline");
+            let rows: Vec<_> = lines
+                .into_iter()
+                .map(|l| match l {
+                    RecordLine::Timeline(r) => r,
+                    other => panic!("{backend}: unexpected record {other:?}"),
+                })
+                .collect();
+            // The sealed final checkpoint describes the stabilized run.
+            let last = rows.last().unwrap();
+            assert_eq!(last.leaders, 1, "{backend}");
+            assert_eq!(last.ranks_ok, 8, "{backend}");
+            // Checkpoint grids are identical across backends by construction;
+            // the seed is fixed, so the first row is always t=0.
+            assert_eq!(rows[0].interactions, 0, "{backend}");
+            assert_eq!(rows[0].backend, backend, "{backend}");
+        }
+    }
+
+    #[test]
+    fn timeline_rejects_unsupported_modes() {
+        assert!(matches!(
+            run(&args(&["--protocol", "loose", "--n", "8", "--timeline", "/tmp/x.jsonl"])),
+            Err(CliError::BadValue { .. })
+        ));
+        assert!(matches!(
+            run(&args(&[
+                "--protocol",
+                "ciw",
+                "--n",
+                "8",
+                "--backend",
+                "counts",
+                "--scheduler",
+                "zipf",
+                "--timeline",
+                "/tmp/x.jsonl",
+            ])),
+            Err(CliError::BadValue { .. })
+        ));
     }
 
     #[test]

@@ -12,8 +12,8 @@
 
 use population::record::{to_jsonl_mixed, RecordLine};
 use population::{
-    AnyScheduler, ChaosTrialOutcome, Corruptor, FaultAction, FaultPlan, FaultSize, Runner,
-    SchedulerPolicy, TrialSettings,
+    AnyScheduler, ChaosTrialOutcome, Corruptor, FaultAction, FaultPlan, FaultSize, Progress,
+    Runner, SchedulerPolicy, TrialSettings,
 };
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -28,7 +28,7 @@ use crate::protocol_choice::{BackendChoice, CommonFlags, ProtocolChoice, Robustn
 /// `ssle soak --protocol <p> --n <agents> [--fault-rate <per unit time>]
 /// [--fault-size <k|sqrt|frac|all>] [--action <kind>] [--time <t>]
 /// [--trials <t>] [--threads <w>] [--seed <u64>] [--h <depth>]
-/// [--json-out <path>] [--format text|json]`.
+/// [--progress 1] [--json-out <path>] [--format text|json]`.
 ///
 /// # Errors
 ///
@@ -54,6 +54,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             "format",
             "scheduler",
             "omission",
+            "progress",
         ],
     )?;
     let common = CommonFlags::from_flags(&flags, ProtocolChoice::OptimalSilent)?;
@@ -86,6 +87,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     }
     let trials: u64 = flags.get("trials", 4);
     let threads = flags.threads();
+    // `--progress 1` prints a per-trial heartbeat to stderr; trials then run
+    // sequentially so completions arrive in order (outcomes are identical —
+    // per-trial seeds do not depend on scheduling).
+    let progress = flags.get::<u64>("progress", 0) != 0;
     let period = 1.0 / rate;
     let n = common.n;
     let budget = (time * n as f64).ceil() as u64;
@@ -100,6 +105,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             common.seed,
             budget,
             threads,
+            progress,
         ),
         (ProtocolChoice::Ciw, BackendChoice::Counts) => soak_trials_counts(
             || CaiIzumiWada::new(n),
@@ -109,6 +115,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             common.seed,
             budget,
             threads,
+            progress,
         ),
         (ProtocolChoice::OptimalSilent, BackendChoice::Agents) => soak_trials(
             || OptimalSilentSsr::new(n),
@@ -119,6 +126,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             common.seed,
             budget,
             threads,
+            progress,
         ),
         (ProtocolChoice::OptimalSilent, BackendChoice::Counts) => soak_trials_counts(
             || OptimalSilentSsr::new(n),
@@ -128,6 +136,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             common.seed,
             budget,
             threads,
+            progress,
         ),
         (ProtocolChoice::Sublinear, BackendChoice::Agents) => soak_trials(
             || SublinearTimeSsr::new(n, common.h),
@@ -138,6 +147,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             common.seed,
             budget,
             threads,
+            progress,
         ),
         (ProtocolChoice::Sublinear, BackendChoice::Counts) => {
             return Err(CliError::BadValue {
@@ -249,10 +259,33 @@ fn parse_action(name: &str, size: FaultSize) -> Result<FaultAction, CliError> {
     }
 }
 
+/// A per-trial heartbeat meter for `--progress` soaks: total work is the
+/// whole batch's interaction budget, so the rate line reads in
+/// interactions/second with an ETA over the remaining trials.
+fn soak_meter(trials: u64, budget: u64, progress: bool) -> Progress {
+    if progress {
+        Progress::new("soak", trials.saturating_mul(budget), "interactions")
+    } else {
+        Progress::disabled()
+    }
+}
+
+/// The heartbeat detail for one finished trial.
+fn soak_detail(o: &ChaosTrialOutcome) -> String {
+    format!(
+        "trial {}: {} fault(s), avail {:.3}",
+        o.trial,
+        o.report.faults.len(),
+        o.report.availability()
+    )
+}
+
 /// Runs the soak trials for one protocol type: adversarial random start,
 /// repeating fault plan, fixed interaction budget. Default robustness flags
 /// take the original chaos path so uniform/perfect soaks stay bit-identical
 /// with earlier releases; anything else routes through the scheduled runner.
+/// With `progress`, trials run sequentially through the observed runners
+/// and a heartbeat is printed to stderr after each one.
 #[allow(clippy::too_many_arguments)] // the robustness flags push past 7
 fn soak_trials<P, M>(
     make_protocol: M,
@@ -263,6 +296,7 @@ fn soak_trials<P, M>(
     seed: u64,
     budget: u64,
     threads: usize,
+    progress: bool,
 ) -> Vec<ChaosTrialOutcome>
 where
     P: Corruptor + Send,
@@ -270,33 +304,52 @@ where
     M: Fn() -> P + Sync,
 {
     let settings = TrialSettings::new(trials, seed, budget, 0);
+    let make = |_: u64, rng: &mut SmallRng| {
+        let protocol = make_protocol();
+        let initial = adversary::random_configuration(&protocol, rng);
+        let plan = FaultPlan::new(rng.gen()).every_parallel_time(period, action);
+        (protocol, initial, plan)
+    };
     if robust.is_default() {
-        Runner::new(settings).run_chaos_trials_parallel(threads, |_, rng: &mut SmallRng| {
-            let protocol = make_protocol();
-            let initial = adversary::random_configuration(&protocol, rng);
-            let plan = FaultPlan::new(rng.gen()).every_parallel_time(period, action);
-            (protocol, initial, plan)
-        })
+        if progress {
+            let mut meter = soak_meter(trials, budget, true);
+            let out = Runner::new(settings).run_chaos_trials_observed(make, |o| {
+                meter.tick((o.trial + 1).saturating_mul(budget), &soak_detail(o));
+            });
+            meter.finish(trials.saturating_mul(budget), "done");
+            out
+        } else {
+            Runner::new(settings).run_chaos_trials_parallel(threads, make)
+        }
     } else {
         let spec = robust.scheduler.clone();
         let omission = robust.omission;
-        Runner::new(settings).run_chaos_trials_scheduled_parallel(
-            threads,
-            move |_, rng: &mut SmallRng| {
-                let protocol = make_protocol();
-                let initial = adversary::random_configuration(&protocol, rng);
-                let plan = FaultPlan::new(rng.gen()).every_parallel_time(period, action);
-                let policy = AnyScheduler::from_spec(&spec, initial.len())
-                    .expect("scheduler spec validated before dispatch");
-                (protocol, initial, plan, policy, population::Reliability::with_omission(omission))
-            },
-        )
+        let make_scheduled = move |t: u64, rng: &mut SmallRng| {
+            let (protocol, initial, plan) = make(t, rng);
+            let policy = AnyScheduler::from_spec(&spec, initial.len())
+                .expect("scheduler spec validated before dispatch");
+            (protocol, initial, plan, policy, population::Reliability::with_omission(omission))
+        };
+        if progress {
+            let mut meter = soak_meter(trials, budget, true);
+            let out = Runner::new(settings).run_chaos_trials_scheduled_observed(
+                make_scheduled,
+                |o: &ChaosTrialOutcome| {
+                    meter.tick((o.trial + 1).saturating_mul(budget), &soak_detail(o));
+                },
+            );
+            meter.finish(trials.saturating_mul(budget), "done");
+            out
+        } else {
+            Runner::new(settings).run_chaos_trials_scheduled_parallel(threads, make_scheduled)
+        }
     }
 }
 
 /// [`soak_trials`] on the count-based backend: identical fault plans and
 /// seed derivation, executed by `BatchSimulation::run_chaos` (faults are
 /// injected by materializing the multiset, corrupting, and recompressing).
+#[allow(clippy::too_many_arguments)]
 fn soak_trials_counts<P, M>(
     make_protocol: M,
     period: f64,
@@ -305,6 +358,7 @@ fn soak_trials_counts<P, M>(
     seed: u64,
     budget: u64,
     threads: usize,
+    progress: bool,
 ) -> Vec<ChaosTrialOutcome>
 where
     P: Corruptor + Send,
@@ -312,12 +366,22 @@ where
     M: Fn() -> P + Sync,
 {
     let settings = TrialSettings::new(trials, seed, budget, 0);
-    Runner::new(settings).run_chaos_trials_counts_parallel(threads, |_, rng: &mut SmallRng| {
+    let make = |_: u64, rng: &mut SmallRng| {
         let protocol = make_protocol();
         let initial = adversary::random_configuration(&protocol, rng);
         let plan = FaultPlan::new(rng.gen()).every_parallel_time(period, action);
         (protocol, initial, plan)
-    })
+    };
+    if progress {
+        let mut meter = soak_meter(trials, budget, true);
+        let out = Runner::new(settings).run_chaos_trials_counts_observed(make, |o| {
+            meter.tick((o.trial + 1).saturating_mul(budget), &soak_detail(o));
+        });
+        meter.finish(trials.saturating_mul(budget), "done");
+        out
+    } else {
+        Runner::new(settings).run_chaos_trials_counts_parallel(threads, make)
+    }
 }
 
 /// Means over the batch used by both output formats.
@@ -497,6 +561,21 @@ mod tests {
     fn soak_is_deterministic_in_the_seed() {
         let a = &args(&["--n", "16", "--time", "150", "--trials", "2", "--seed", "9"]);
         assert_eq!(run(a).unwrap(), run(a).unwrap());
+    }
+
+    #[test]
+    fn progress_soak_reports_identical_outcomes() {
+        // The observed sequential runners derive per-trial seeds exactly
+        // like the parallel ones, so `--progress 1` must not change the
+        // report — on any backend or scheduling regime.
+        for extra in
+            [vec![], vec!["--backend", "counts"], vec!["--scheduler", "zipf", "--omission", "0.1"]]
+        {
+            let base = ["--n", "16", "--time", "150", "--trials", "2", "--seed", "9"];
+            let plain: Vec<&str> = base.iter().chain(extra.iter()).copied().collect();
+            let observed: Vec<&str> = plain.iter().copied().chain(["--progress", "1"]).collect();
+            assert_eq!(run(&args(&plain)).unwrap(), run(&args(&observed)).unwrap(), "{extra:?}");
+        }
     }
 
     #[test]

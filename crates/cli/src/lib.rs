@@ -60,6 +60,7 @@ COMMANDS:
                   [--start random|collision|ranked] [--max-time <t>]
                   [--scheduler uniform|zipf[:exp]|starve[:k[:w]]|clustered[:b[:eps]]]
                   [--omission <p>] [--certify <multiple>]
+                  [--timeline <file.jsonl>]
                   [--backend agents|counts] [--format text|json]
     trace       sample a role/leader time series as CSV
                   --protocol ... --n <agents> [--h <depth>] [--seed <u64>]
@@ -74,13 +75,14 @@ COMMANDS:
                   [--backend agents|counts] [--format text|json]
     report      summarize a JSONL experiment record stream
                   <file.jsonl> [--compare <other.jsonl>] [--format text|json]
+                  --timeline <file.jsonl>  render trajectory sparklines
     soak        sustain a fault rate against a protocol and report availability
                   --protocol ciw|optimal-silent|sublinear --n <agents>
                   [--fault-rate <faults per time unit>] [--fault-size <k|sqrt|frac|all>]
                   [--action corrupt-random|duplicate-leader|collide|partial-reset|randomize]
                   [--time <parallel-time>] [--trials <t>] [--threads <w>]
                   [--h <depth>] [--seed <u64>] [--backend agents|counts]
-                  [--scheduler <spec>] [--omission <p>]
+                  [--scheduler <spec>] [--omission <p>] [--progress 1]
                   [--json-out <file.jsonl>] [--format text|json]
     states      print per-protocol state counts
                   --n <agents> [--h <depth>]

@@ -51,6 +51,19 @@ impl ProtocolChoice {
             ProtocolChoice::Loose => "loosely-stabilizing leader election",
         }
     }
+
+    /// Canonical short name used in JSONL record streams, matching the
+    /// spelling the experiment binaries emit (`"ciw"`, `"oss"`, …) so
+    /// `ssle report` groups records from either source together.
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            ProtocolChoice::Ciw => "ciw",
+            ProtocolChoice::OptimalSilent => "oss",
+            ProtocolChoice::Sublinear => "sublinear",
+            ProtocolChoice::TreeRanking => "tree-ranking",
+            ProtocolChoice::Loose => "loose",
+        }
+    }
 }
 
 /// Which simulation backend a subcommand should execute on.

@@ -68,6 +68,7 @@ use crate::protocol::{Protocol, RankingProtocol};
 use crate::runner::{derive_seed, rng_from_seed, Runner, TrialOutcome};
 use crate::scheduler::{uniform_u64, AnyScheduler, Reliability, SchedulerPolicy};
 use crate::simulation::{interact_reliably, RunOutcome};
+use crate::timeline::{snapshot_counts, TimelineObserver};
 use crate::tracker::RankTracker;
 
 /// A population configuration as a multiset of states.
@@ -919,11 +920,45 @@ where
         max_interactions: u64,
         confirm_window: u64,
     ) -> RunOutcome {
+        self.ranked_loop(max_interactions, confirm_window, None)
+    }
+
+    /// Like [`BatchSimulation::run_until_stably_ranked`], but additionally
+    /// records a convergence-dynamics timeline: whenever `timeline` reports
+    /// a checkpoint due, the configuration is snapshotted
+    /// ([`crate::timeline::snapshot_counts`] — O(support), the
+    /// configuration *is* the histogram), and the end-of-run configuration
+    /// is sealed as the final checkpoint.
+    ///
+    /// The ranked loop steps through the exact per-interaction fallback, so
+    /// checkpoints land on exactly the same interaction counts as the
+    /// agent-array driver's, and snapshots never touch the RNG — the
+    /// execution is identical to an uninstrumented run with the same seed.
+    pub fn run_until_stably_ranked_timeline(
+        &mut self,
+        max_interactions: u64,
+        confirm_window: u64,
+        timeline: &mut TimelineObserver,
+    ) -> RunOutcome {
+        self.ranked_loop(max_interactions, confirm_window, Some(timeline))
+    }
+
+    fn ranked_loop(
+        &mut self,
+        max_interactions: u64,
+        confirm_window: u64,
+        mut timeline: Option<&mut TimelineObserver>,
+    ) -> RunOutcome {
         let n = self.protocol.population_size();
         assert_eq!(n as u64, self.n, "protocol configured for a different population size");
         let mut tracker = self.build_tracker();
         let mut converged_at: Option<u64> = None;
-        loop {
+        let outcome = loop {
+            if let Some(tl) = timeline.as_deref_mut() {
+                if tl.is_due(self.interactions) {
+                    tl.record(snapshot_counts(&self.protocol, &self.config, self.interactions));
+                }
+            }
             match converged_at {
                 Some(t0) => {
                     if self.interactions - t0 >= confirm_window {
@@ -931,7 +966,7 @@ where
                         if F::ACTIVE {
                             self.faults.notify_converged(t0);
                         }
-                        return RunOutcome::Converged { interactions: t0 };
+                        break RunOutcome::Converged { interactions: t0 };
                     }
                 }
                 None => {
@@ -942,14 +977,14 @@ where
                             if F::ACTIVE {
                                 self.faults.notify_converged(self.interactions);
                             }
-                            return RunOutcome::Converged { interactions: self.interactions };
+                            break RunOutcome::Converged { interactions: self.interactions };
                         }
                     }
                 }
             }
             if self.interactions >= max_interactions {
                 self.observer.on_exhausted(self.interactions);
-                return RunOutcome::Exhausted { interactions: self.interactions };
+                break RunOutcome::Exhausted { interactions: self.interactions };
             }
             let (ia, ib, ja, jb) = self.step_exact_indices();
             tracker.update(
@@ -971,7 +1006,11 @@ where
             if converged_at.is_some() && !tracker.is_correct() {
                 converged_at = None;
             }
+        };
+        if let Some(tl) = timeline {
+            tl.seal(snapshot_counts(&self.protocol, &self.config, self.interactions));
         }
+        outcome
     }
 
     /// [`BatchSimulation::run_until_stably_ranked`] under an arbitrary
@@ -1295,6 +1334,34 @@ impl Runner {
         });
         results.sort_unstable_by_key(|t| t.trial);
         results
+    }
+
+    /// Sequential variant of [`Runner::run_chaos_trials_counts_parallel`]
+    /// that invokes `on_trial` after each trial completes, in trial order.
+    ///
+    /// Seed derivation and trial outcomes are identical to the parallel
+    /// runner — only the execution order (strictly sequential) differs.
+    /// Use this when a live progress heartbeat needs to observe trials as
+    /// they finish.
+    pub fn run_chaos_trials_counts_observed<P, F, G>(
+        &self,
+        make: F,
+        mut on_trial: G,
+    ) -> Vec<ChaosTrialOutcome>
+    where
+        P: Corruptor,
+        P::State: Eq + Hash,
+        F: Fn(u64, &mut SmallRng) -> (P, Vec<P::State>, FaultPlan),
+        G: FnMut(&ChaosTrialOutcome),
+    {
+        let mut make_fn = |t: u64, rng: &mut SmallRng| make(t, rng);
+        (0..self.settings().trials)
+            .map(|trial| {
+                let outcome = counts_chaos_trial(self, trial, &mut make_fn);
+                on_trial(&outcome);
+                outcome
+            })
+            .collect()
     }
 }
 

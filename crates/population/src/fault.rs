@@ -1000,6 +1000,52 @@ impl Runner {
         (0..self.settings().trials).map(|trial| chaos_trial(self, trial, &mut make)).collect()
     }
 
+    /// Like [`Runner::run_chaos_trials`], but invokes `on_trial` after each
+    /// trial completes, in trial order. Seed derivation and outcomes match
+    /// the other chaos runners exactly; use this when a live progress
+    /// heartbeat needs to observe trials as they finish.
+    pub fn run_chaos_trials_observed<P, F, G>(
+        &self,
+        mut make: F,
+        mut on_trial: G,
+    ) -> Vec<ChaosTrialOutcome>
+    where
+        P: Corruptor,
+        F: FnMut(u64, &mut SmallRng) -> (P, Vec<P::State>, FaultPlan),
+        G: FnMut(&ChaosTrialOutcome),
+    {
+        (0..self.settings().trials)
+            .map(|trial| {
+                let outcome = chaos_trial(self, trial, &mut make);
+                on_trial(&outcome);
+                outcome
+            })
+            .collect()
+    }
+
+    /// Scheduled-and-unreliable variant of
+    /// [`Runner::run_chaos_trials_observed`]: `make` additionally returns
+    /// the scheduler policy and reliability model per trial, and `on_trial`
+    /// fires after each trial in order.
+    pub fn run_chaos_trials_scheduled_observed<P, F, G>(
+        &self,
+        mut make: F,
+        mut on_trial: G,
+    ) -> Vec<ChaosTrialOutcome>
+    where
+        P: Corruptor,
+        F: FnMut(u64, &mut SmallRng) -> (P, Vec<P::State>, FaultPlan, AnyScheduler, Reliability),
+        G: FnMut(&ChaosTrialOutcome),
+    {
+        (0..self.settings().trials)
+            .map(|trial| {
+                let outcome = chaos_trial_scheduled(self, trial, &mut make);
+                on_trial(&outcome);
+                outcome
+            })
+            .collect()
+    }
+
     /// Like [`Runner::run_chaos_trials`], but distributing trials over
     /// `threads` worker threads. Outcomes are identical to the sequential
     /// version (per-trial seeds do not depend on scheduling); only wall times

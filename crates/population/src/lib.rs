@@ -36,6 +36,7 @@
 //! | [`probe`] | sampled time series and the stabilization-certificate (closure) checker |
 //! | [`fault`] | chaos harness: [`FaultPlan`] schedules, mid-run [`Corruptor`] injection, recovery/availability measurement |
 //! | [`telemetry`] | counters, fixed-bucket histograms, throughput meters, [`TelemetryObserver`] |
+//! | [`timeline`] | within-run trajectory tracing: decimated [`timeline::TimelineObserver`] checkpoints and the [`timeline::Progress`] heartbeat |
 //! | [`record`] | versioned per-trial [`RunRecord`]s and their JSONL encoding |
 //! | [`epidemic`] | one-way/two-way epidemic, bounded epidemic, and roll-call processes |
 //! | [`silence`] | structural silence checking for silent protocols |
@@ -89,6 +90,7 @@ pub mod scheduler;
 pub mod silence;
 pub mod simulation;
 pub mod telemetry;
+pub mod timeline;
 pub mod tracker;
 
 pub use backend::SimulationBackend;
@@ -103,9 +105,10 @@ pub use probe::{
     certify_leader_closure, certify_ranking_closure, ClosureCertificate, ClosureViolation,
 };
 pub use protocol::{Protocol, RankingProtocol};
-pub use record::{FaultRecord, FrontierRecord, RecordLine, RunRecord};
+pub use record::{FaultRecord, FrontierRecord, RecordLine, RunRecord, TimelineRecord};
 pub use runner::{derive_seed, ConvergenceSample, Runner, TrialOutcome, TrialSettings};
 pub use scheduler::{AnyScheduler, Reliability, Scheduler, SchedulerPolicy};
 pub use simulation::{RunOutcome, Simulation};
 pub use telemetry::TelemetryObserver;
+pub use timeline::{Progress, Timeline, TimelineCheckpoint, TimelineObserver};
 pub use tracker::RankTracker;

@@ -29,10 +29,16 @@
 //!   `starve_window` (the epoch adversary's window length in interactions).
 //!   Absent fields mean the uniform scheduler with perfect reliability, so
 //!   v1/v2 lines keep their meaning.
+//! * **v4** — adds the `"kind":"timeline"` [`TimelineRecord`] line: one
+//!   within-run checkpoint of the macroscopic observables traced by
+//!   [`crate::timeline`] (leader count, ranks held by exactly one agent,
+//!   distinct-state support, phase occupancy). A trial's timeline is a run
+//!   of such lines sharing `(experiment, protocol, backend, n, trial)`,
+//!   ordered by `interactions`. Existing kinds are unchanged.
 //!
-//! A stream may mix both kinds; [`from_jsonl_mixed`] reads everything as
+//! A stream may mix all kinds; [`from_jsonl_mixed`] reads everything as
 //! [`RecordLine`]s, while [`from_jsonl`] keeps its original contract of
-//! returning trial records (fault lines are skipped).
+//! returning trial records (other lines are skipped).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -41,7 +47,7 @@ use crate::simulation::RunOutcome;
 
 /// Version of the record schema. Bump when fields change meaning; readers
 /// accept [`MIN_SCHEMA_VERSION`]`..=SCHEMA_VERSION` and reject anything else.
-pub const SCHEMA_VERSION: u32 = 3;
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Oldest schema version readers still accept.
 pub const MIN_SCHEMA_VERSION: u32 = 1;
@@ -458,6 +464,128 @@ impl FrontierRecord {
     }
 }
 
+/// One within-run trajectory checkpoint (`kind = "timeline"`, schema v4),
+/// emitted by `ssle simulate --timeline`. A run's timeline is the sequence
+/// of its checkpoint lines ordered by `interactions`; see
+/// [`crate::timeline`] for how checkpoints are decimated to a bounded
+/// count. The flat `phases` string encodes the per-phase occupancy map as
+/// `name:count,name:count` (sorted by name) because the record reader is
+/// deliberately scalar-only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineRecord {
+    /// Name of the experiment that produced this record (e.g. `"simulate"`).
+    pub experiment: String,
+    /// Protocol short-name (e.g. `"ciw"`, `"oss"`, `"sublinear"`).
+    pub protocol: String,
+    /// Simulation backend that executed the run (`"agents"` / `"counts"`).
+    pub backend: String,
+    /// Population size.
+    pub n: u64,
+    /// Trial index within the experiment.
+    pub trial: u64,
+    /// Base seed of the experiment.
+    pub seed: u64,
+    /// Interaction count the checkpoint was taken at.
+    pub interactions: u64,
+    /// Number of agents outputting leader (rank 1) at the checkpoint.
+    pub leaders: u64,
+    /// Number of ranks held by exactly one agent; equals `n` when ranked.
+    pub ranks_ok: u64,
+    /// Distinct states at the checkpoint (count backend only).
+    pub support: Option<u64>,
+    /// Flat `name:count,name:count` phase-occupancy encoding, absent for
+    /// protocols without phase structure.
+    pub phases: Option<String>,
+}
+
+impl TimelineRecord {
+    /// Parallel time (interactions / n) of the checkpoint.
+    pub fn parallel_time(&self) -> f64 {
+        self.interactions as f64 / self.n as f64
+    }
+
+    /// Decodes the flat `phases` string back into `(name, count)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed entry.
+    pub fn phase_counts(&self) -> Result<Vec<(String, u64)>, String> {
+        let Some(text) = &self.phases else {
+            return Ok(Vec::new());
+        };
+        text.split(',')
+            .map(|entry| {
+                let (name, count) = entry
+                    .rsplit_once(':')
+                    .ok_or_else(|| format!("phase entry {entry:?} has no ':'"))?;
+                let count: u64 =
+                    count.parse().map_err(|_| format!("phase entry {entry:?} has a bad count"))?;
+                Ok((name.to_string(), count))
+            })
+            .collect()
+    }
+
+    /// Serializes to a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.field_u64("v", SCHEMA_VERSION as u64);
+        obj.field_str("kind", "timeline");
+        obj.field_str("experiment", &self.experiment);
+        obj.field_str("protocol", &self.protocol);
+        obj.field_str("backend", &self.backend);
+        obj.field_u64("n", self.n);
+        obj.field_u64("trial", self.trial);
+        obj.field_u64("seed", self.seed);
+        obj.field_u64("interactions", self.interactions);
+        obj.field_f64("parallel_time", self.parallel_time());
+        obj.field_u64("leaders", self.leaders);
+        obj.field_u64("ranks_ok", self.ranks_ok);
+        match self.support {
+            Some(s) => obj.field_u64("support", s),
+            None => obj.field_null("support"),
+        };
+        match &self.phases {
+            Some(p) => obj.field_str("phases", p),
+            None => obj.field_null("phases"),
+        };
+        obj.finish()
+    }
+
+    /// Parses a timeline record from one JSONL line.
+    pub fn from_json(line: &str) -> Result<Self, String> {
+        let fields = parse_flat_json(line)?;
+        check_version(&fields)?;
+        match record_kind(&fields)? {
+            "timeline" => {}
+            other => return Err(format!("expected a timeline record, got kind {other:?}")),
+        }
+        Self::from_fields(&fields)
+    }
+
+    fn from_fields(fields: &BTreeMap<String, JsonScalar>) -> Result<Self, String> {
+        let phases = match fields.get("phases") {
+            None | Some(JsonScalar::Null) => None,
+            Some(JsonScalar::Str(s)) => Some(s.clone()),
+            Some(other) => {
+                return Err(format!("field \"phases\": expected string or null, got {other:?}"))
+            }
+        };
+        Ok(TimelineRecord {
+            experiment: get_str(fields, "experiment")?.to_string(),
+            protocol: get_str(fields, "protocol")?.to_string(),
+            backend: get_str(fields, "backend")?.to_string(),
+            n: get_u64(fields, "n")?,
+            trial: get_u64(fields, "trial")?,
+            seed: get_u64(fields, "seed")?,
+            interactions: get_u64(fields, "interactions")?,
+            leaders: get_u64(fields, "leaders")?,
+            ranks_ok: get_u64(fields, "ranks_ok")?,
+            support: get_opt_u64(fields, "support")?,
+            phases,
+        })
+    }
+}
+
 /// One parsed line of a (possibly mixed) JSONL experiment stream.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RecordLine {
@@ -467,6 +595,8 @@ pub enum RecordLine {
     Fault(FaultRecord),
     /// A backend-throughput measurement from the scaling frontier bench.
     Frontier(FrontierRecord),
+    /// A within-run trajectory checkpoint.
+    Timeline(TimelineRecord),
 }
 
 impl RecordLine {
@@ -479,6 +609,7 @@ impl RecordLine {
             "trial" => Ok(RecordLine::Trial(RunRecord::from_fields(&fields)?)),
             "fault" => Ok(RecordLine::Fault(FaultRecord::from_fields(&fields)?)),
             "frontier" => Ok(RecordLine::Frontier(FrontierRecord::from_fields(&fields)?)),
+            "timeline" => Ok(RecordLine::Timeline(TimelineRecord::from_fields(&fields)?)),
             other => Err(format!("unknown record kind {other:?}")),
         }
     }
@@ -489,6 +620,7 @@ impl RecordLine {
             RecordLine::Trial(r) => r.to_json(),
             RecordLine::Fault(f) => f.to_json(),
             RecordLine::Frontier(f) => f.to_json(),
+            RecordLine::Timeline(t) => t.to_json(),
         }
     }
 }
@@ -524,7 +656,7 @@ pub fn from_jsonl(text: &str) -> Result<Vec<RunRecord>, String> {
         .into_iter()
         .filter_map(|l| match l {
             RecordLine::Trial(r) => Some(r),
-            RecordLine::Fault(_) | RecordLine::Frontier(_) => None,
+            RecordLine::Fault(_) | RecordLine::Frontier(_) | RecordLine::Timeline(_) => None,
         })
         .collect())
 }
@@ -902,7 +1034,7 @@ mod tests {
     fn frontier_record_round_trips() {
         let f = sample_frontier_record();
         let json = f.to_json();
-        assert!(json.starts_with("{\"v\":3,\"kind\":\"frontier\","), "{json}");
+        assert!(json.starts_with("{\"v\":4,\"kind\":\"frontier\","), "{json}");
         assert!(json.contains("\"backend\":\"counts\""), "{json}");
         assert!(json.contains("\"support\":2"), "{json}");
         assert!(json.contains("\"leaders\":null"), "{json}");
@@ -916,6 +1048,66 @@ mod tests {
             ..f
         };
         assert_eq!(FrontierRecord::from_json(&bounded.to_json()).unwrap(), bounded);
+    }
+
+    fn sample_timeline_record() -> TimelineRecord {
+        TimelineRecord {
+            experiment: "simulate".to_string(),
+            protocol: "ciw".to_string(),
+            backend: "agents".to_string(),
+            n: 1000,
+            trial: 0,
+            seed: 1,
+            interactions: 4096,
+            leaders: 17,
+            ranks_ok: 921,
+            support: None,
+            phases: Some("propagate:12,reset:3".to_string()),
+        }
+    }
+
+    #[test]
+    fn timeline_record_round_trips() {
+        let t = sample_timeline_record();
+        let json = t.to_json();
+        assert!(json.starts_with("{\"v\":4,\"kind\":\"timeline\","), "{json}");
+        assert!(json.contains("\"parallel_time\":4.096"), "{json}");
+        assert!(json.contains("\"phases\":\"propagate:12,reset:3\""), "{json}");
+        assert_eq!(TimelineRecord::from_json(&json).unwrap(), t);
+        assert_eq!(RecordLine::from_json(&json).unwrap(), RecordLine::Timeline(t.clone()));
+        let bare = TimelineRecord { phases: None, support: Some(5), ..t };
+        assert_eq!(TimelineRecord::from_json(&bare.to_json()).unwrap(), bare);
+    }
+
+    #[test]
+    fn timeline_phases_decode() {
+        let t = sample_timeline_record();
+        assert_eq!(
+            t.phase_counts().unwrap(),
+            vec![("propagate".to_string(), 12), ("reset".to_string(), 3)]
+        );
+        let none = TimelineRecord { phases: None, ..t.clone() };
+        assert!(none.phase_counts().unwrap().is_empty());
+        let bad = TimelineRecord { phases: Some("oops".to_string()), ..t };
+        assert!(bad.phase_counts().is_err());
+    }
+
+    #[test]
+    fn timeline_lines_are_invisible_to_the_trial_reader() {
+        let text =
+            format!("{}\n{}\n", sample_record().to_json(), sample_timeline_record().to_json());
+        assert_eq!(from_jsonl(&text).unwrap().len(), 1);
+        let mixed = from_jsonl_mixed(&text).unwrap();
+        assert_eq!(mixed.len(), 2);
+        assert_eq!(mixed[1].to_json(), sample_timeline_record().to_json());
+    }
+
+    #[test]
+    fn timeline_kind_mismatch_is_an_error() {
+        let err = TimelineRecord::from_json(&sample_record().to_json()).unwrap_err();
+        assert!(err.contains("timeline"), "{err}");
+        let err = RunRecord::from_json(&sample_timeline_record().to_json()).unwrap_err();
+        assert!(err.contains("trial"), "{err}");
     }
 
     #[test]
@@ -966,7 +1158,7 @@ mod tests {
         let json = sample_record().to_json();
         assert!(json.contains("\"parallel_time\":"), "{json}");
         assert!(json.contains("\"ips\":49380"), "{json}");
-        assert!(json.starts_with("{\"v\":3,\"kind\":\"trial\","), "version leads: {json}");
+        assert!(json.starts_with("{\"v\":4,\"kind\":\"trial\","), "version leads: {json}");
         assert!(
             !json.contains("availability") && !json.contains("faults"),
             "chaos fields only appear when set: {json}"
@@ -997,7 +1189,7 @@ mod tests {
     fn fault_record_round_trips() {
         let f = sample_fault_record();
         let json = f.to_json();
-        assert!(json.starts_with("{\"v\":3,\"kind\":\"fault\","), "{json}");
+        assert!(json.starts_with("{\"v\":4,\"kind\":\"fault\","), "{json}");
         assert!(json.contains("\"recovery_parallel_time\":"), "{json}");
         assert_eq!(FaultRecord::from_json(&json).unwrap(), f);
         assert_eq!(f.recovery_interactions(), Some(30_000));
@@ -1041,10 +1233,10 @@ mod tests {
 
     #[test]
     fn wrong_version_is_rejected() {
-        let json = sample_record().to_json().replace("\"v\":3", "\"v\":4");
+        let json = sample_record().to_json().replace("\"v\":4", "\"v\":5");
         let err = RunRecord::from_json(&json).unwrap_err();
         assert!(err.contains("version"), "{err}");
-        let json = sample_record().to_json().replace("\"v\":3", "\"v\":0");
+        let json = sample_record().to_json().replace("\"v\":4", "\"v\":0");
         assert!(RunRecord::from_json(&json).is_err());
     }
 

@@ -8,6 +8,7 @@ use crate::observer::{NoopObserver, Observer};
 use crate::protocol::{Protocol, RankingProtocol};
 use crate::runner::rng_from_seed;
 use crate::scheduler::{Reliability, Scheduler, SchedulerPolicy};
+use crate::timeline::{snapshot_states, TimelineObserver};
 use crate::tracker::RankTracker;
 
 /// The result of running a simulation toward a goal with a bounded budget of
@@ -420,6 +421,33 @@ impl<P: RankingProtocol, O: Observer<P>, F: FaultSchedule<P>, S: SchedulerPolicy
         max_interactions: u64,
         confirm_window: u64,
     ) -> RunOutcome {
+        self.ranked_loop(max_interactions, confirm_window, None)
+    }
+
+    /// Like [`Simulation::run_until_stably_ranked`], but additionally
+    /// records a convergence-dynamics timeline: whenever `timeline` reports
+    /// a checkpoint due, the current configuration is snapshotted
+    /// ([`crate::timeline::snapshot_states`]), and the end-of-run
+    /// configuration is sealed as the final checkpoint.
+    ///
+    /// Snapshots never touch the simulation RNG, so the interaction
+    /// sequence — and therefore the outcome — is identical to an
+    /// uninstrumented run with the same seed.
+    pub fn run_until_stably_ranked_timeline(
+        &mut self,
+        max_interactions: u64,
+        confirm_window: u64,
+        timeline: &mut TimelineObserver,
+    ) -> RunOutcome {
+        self.ranked_loop(max_interactions, confirm_window, Some(timeline))
+    }
+
+    fn ranked_loop(
+        &mut self,
+        max_interactions: u64,
+        confirm_window: u64,
+        mut timeline: Option<&mut TimelineObserver>,
+    ) -> RunOutcome {
         let n = self.protocol.population_size();
         assert_eq!(n, self.states.len(), "protocol configured for a different population size");
         let mut tracker = RankTracker::new(n);
@@ -427,7 +455,12 @@ impl<P: RankingProtocol, O: Observer<P>, F: FaultSchedule<P>, S: SchedulerPolicy
             tracker.add(self.protocol.rank_of(s));
         }
         let mut converged_at: Option<u64> = None;
-        loop {
+        let outcome = loop {
+            if let Some(tl) = timeline.as_deref_mut() {
+                if tl.is_due(self.interactions) {
+                    tl.record(snapshot_states(&self.protocol, &self.states, self.interactions));
+                }
+            }
             match converged_at {
                 Some(t0) => {
                     if self.interactions - t0 >= confirm_window {
@@ -435,7 +468,7 @@ impl<P: RankingProtocol, O: Observer<P>, F: FaultSchedule<P>, S: SchedulerPolicy
                         if F::ACTIVE {
                             self.faults.notify_converged(t0);
                         }
-                        return RunOutcome::Converged { interactions: t0 };
+                        break RunOutcome::Converged { interactions: t0 };
                     }
                 }
                 None => {
@@ -446,14 +479,14 @@ impl<P: RankingProtocol, O: Observer<P>, F: FaultSchedule<P>, S: SchedulerPolicy
                             if F::ACTIVE {
                                 self.faults.notify_converged(self.interactions);
                             }
-                            return RunOutcome::Converged { interactions: self.interactions };
+                            break RunOutcome::Converged { interactions: self.interactions };
                         }
                     }
                 }
             }
             if self.interactions >= max_interactions {
                 self.observer.on_exhausted(self.interactions);
-                return RunOutcome::Exhausted { interactions: self.interactions };
+                break RunOutcome::Exhausted { interactions: self.interactions };
             }
             let (i, j) = self.scheduler.sample_at(&mut self.rng, self.interactions);
             // Rank tracking needs before/after snapshots around the
@@ -486,7 +519,11 @@ impl<P: RankingProtocol, O: Observer<P>, F: FaultSchedule<P>, S: SchedulerPolicy
                 // window — it was not stable after all; keep searching.
                 converged_at = None;
             }
+        };
+        if let Some(tl) = timeline {
+            tl.seal(snapshot_states(&self.protocol, &self.states, self.interactions));
         }
+        outcome
     }
 
     /// Number of agents currently outputting leader (rank 1).

@@ -1,0 +1,593 @@
+//! Convergence-dynamics timelines: within-run trajectory tracing.
+//!
+//! Every record in [`crate::record`] summarizes a trial by its endpoint — a
+//! stabilization time, a throughput number. The dynamics the paper actually
+//! reasons about (epidemic growth, reset-wave propagation, the Θ(n²)
+//! all-leader elimination barrier of Silent-n-state-SSR) live *between* t=0
+//! and convergence. This module captures them as a bounded sequence of
+//! macroscopic **checkpoints**:
+//!
+//! * leader count (rank-1 agents, [`RankingProtocol::is_leader`]);
+//! * ranks held by exactly one agent ([`RankTracker::ranks_with_one`]) —
+//!   progress toward a permutation;
+//! * distinct-state support (count backend only, where the configuration
+//!   *is* the histogram);
+//! * phase occupancy via [`crate::Protocol::phase_of`] (e.g.
+//!   Propagate-Reset phases).
+//!
+//! # Bounded memory: stride-doubling decimation
+//!
+//! A 10⁸-interaction run cannot keep every point. [`TimelineObserver`]
+//! snapshots every `stride` interactions and, whenever the buffer reaches
+//! its capacity, drops every other retained point and doubles the stride.
+//! The buffer therefore always holds between capacity/2 and capacity
+//! uniformly-spaced points spanning the whole run so far — ~256 points
+//! regardless of run length, with the final spacing adapting on-line to the
+//! (unknown in advance) stabilization time. The run drivers additionally
+//! [`TimelineObserver::seal`] a terminal checkpoint, so the last point is
+//! always the end-of-run configuration even when the run stops off-grid.
+//!
+//! Checkpoints are pure functions of the configuration and never touch the
+//! simulation RNG, so a timeline-instrumented run executes the exact same
+//! interaction sequence as an uninstrumented one with the same seed — and
+//! the agent-array and count backends, driven per-interaction, snapshot at
+//! identical interaction counts.
+//!
+//! # Live progress
+//!
+//! [`Progress`] is the companion stderr heartbeat for long runs (`ssle soak
+//! --progress`, `scaling_frontier --progress 1`): a rate-limited one-line
+//! report of completion fraction, throughput, and ETA.
+
+use std::collections::BTreeMap;
+use std::hash::Hash;
+use std::time::{Duration, Instant};
+
+use crate::counts::CountConfig;
+use crate::protocol::RankingProtocol;
+use crate::record::TimelineRecord;
+use crate::tracker::RankTracker;
+
+/// Default checkpoint-buffer capacity: a run of any length decimates down
+/// to at most this many points (and at least half of it).
+pub const DEFAULT_TIMELINE_CAPACITY: usize = 256;
+
+/// One macroscopic snapshot of a configuration at a known interaction count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineCheckpoint {
+    /// Interaction count the snapshot was taken at.
+    pub interactions: u64,
+    /// Number of agents currently outputting leader (rank 1).
+    pub leaders: u64,
+    /// Number of ranks in `{1, …, n}` held by exactly one agent; equals `n`
+    /// exactly when the configuration is correctly ranked.
+    pub ranks_with_one: u64,
+    /// Distinct states in the configuration. `None` on the agent-array
+    /// backend, which keeps no state index (ranking states need not be
+    /// hashable there); always `Some` on the count backend.
+    pub support: Option<u64>,
+    /// Occupancy per [`crate::Protocol::phase_of`] phase, sorted by phase
+    /// name.
+    /// Empty for protocols without phase structure.
+    pub phases: Vec<(&'static str, u64)>,
+}
+
+/// Snapshots an agent-array configuration.
+///
+/// Cost is O(n): one pass over the states building the rank histogram,
+/// leader count, and phase occupancy. `support` is left `None` — the agent
+/// array does not require hashable states, so distinct-state counting is a
+/// count-backend observable.
+pub fn snapshot_states<P: RankingProtocol>(
+    protocol: &P,
+    states: &[P::State],
+    interactions: u64,
+) -> TimelineCheckpoint {
+    let mut tracker = RankTracker::new(protocol.population_size());
+    let mut leaders = 0u64;
+    let mut phases: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for s in states {
+        tracker.add(protocol.rank_of(s));
+        if protocol.is_leader(s) {
+            leaders += 1;
+        }
+        if let Some(p) = protocol.phase_of(s) {
+            *phases.entry(p).or_insert(0) += 1;
+        }
+    }
+    TimelineCheckpoint {
+        interactions,
+        leaders,
+        ranks_with_one: tracker.ranks_with_one() as u64,
+        support: None,
+        phases: phases.into_iter().collect(),
+    }
+}
+
+/// Snapshots a count-based configuration.
+///
+/// Cost is O(support) — the configuration *is* the histogram, so the
+/// snapshot walks the distinct states only. `support` is always `Some`.
+pub fn snapshot_counts<P>(
+    protocol: &P,
+    config: &CountConfig<P::State>,
+    interactions: u64,
+) -> TimelineCheckpoint
+where
+    P: RankingProtocol,
+    P::State: Eq + Hash,
+{
+    let mut tracker = RankTracker::new(protocol.population_size());
+    let mut leaders = 0u64;
+    let mut phases: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for (state, count) in config.iter() {
+        tracker.add_many(protocol.rank_of(state), count);
+        if protocol.is_leader(state) {
+            leaders += count;
+        }
+        if let Some(p) = protocol.phase_of(state) {
+            *phases.entry(p).or_insert(0) += count;
+        }
+    }
+    TimelineCheckpoint {
+        interactions,
+        leaders,
+        ranks_with_one: tracker.ranks_with_one() as u64,
+        support: Some(config.support() as u64),
+        phases: phases.into_iter().collect(),
+    }
+}
+
+/// On-line decimating checkpoint collector.
+///
+/// The run drivers ([`crate::Simulation::run_until_stably_ranked_timeline`],
+/// [`crate::BatchSimulation::run_until_stably_ranked_timeline`]) poll
+/// [`TimelineObserver::is_due`] once per interaction and feed a snapshot
+/// whenever it fires; the collector handles the stride-doubling decimation
+/// described in the [module docs](self). It deliberately does not implement
+/// [`crate::Observer`]: the per-interaction hooks carry indices and counts
+/// but not the configuration, and a snapshot needs the configuration.
+#[derive(Debug, Clone)]
+pub struct TimelineObserver {
+    capacity: usize,
+    stride: u64,
+    next_due: u64,
+    points: Vec<TimelineCheckpoint>,
+}
+
+impl TimelineObserver {
+    /// Creates a collector holding at most `capacity` checkpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 4` (decimation needs room to halve).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 4, "timeline capacity must be at least 4");
+        TimelineObserver { capacity, stride: 1, next_due: 0, points: Vec::new() }
+    }
+
+    /// The capacity the collector was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current checkpoint spacing in interactions (doubles on decimation).
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// Interaction count at which the next checkpoint is due.
+    pub fn next_due(&self) -> u64 {
+        self.next_due
+    }
+
+    /// Whether a snapshot is due at `interactions`.
+    pub fn is_due(&self, interactions: u64) -> bool {
+        interactions >= self.next_due
+    }
+
+    /// Checkpoints collected so far (sorted by interaction count).
+    pub fn checkpoints(&self) -> &[TimelineCheckpoint] {
+        &self.points
+    }
+
+    /// Accepts a due checkpoint. Out-of-order or duplicate interaction
+    /// counts are ignored, so drivers may call this unconditionally.
+    pub fn record(&mut self, cp: TimelineCheckpoint) {
+        if let Some(last) = self.points.last() {
+            if cp.interactions <= last.interactions {
+                return;
+            }
+        }
+        self.points.push(cp);
+        if self.points.len() == self.capacity {
+            self.decimate();
+        }
+        self.next_due =
+            self.points.last().expect("points cannot be empty after a push").interactions
+                + self.stride;
+    }
+
+    /// Records the terminal checkpoint of a run, off-grid if necessary:
+    /// replaces the last point when the interaction count matches, appends
+    /// (decimating first if full) when the run stopped between checkpoints.
+    /// Guarantees the final collected point describes the end-of-run
+    /// configuration.
+    pub fn seal(&mut self, cp: TimelineCheckpoint) {
+        match self.points.last_mut() {
+            Some(last) if last.interactions == cp.interactions => *last = cp,
+            Some(last) if last.interactions > cp.interactions => {}
+            _ => {
+                if self.points.len() == self.capacity {
+                    self.decimate();
+                }
+                self.points.push(cp);
+            }
+        }
+    }
+
+    /// Consumes the collector into a finished [`Timeline`] for a population
+    /// of `n` agents.
+    pub fn finish(self, n: u64) -> Timeline {
+        Timeline { n, stride: self.stride, checkpoints: self.points }
+    }
+
+    /// Drops every other retained point and doubles the stride. The grid is
+    /// anchored at the first checkpoint, so t=0 (or wherever recording
+    /// started) is always kept.
+    fn decimate(&mut self) {
+        let t0 = self.points[0].interactions;
+        self.stride *= 2;
+        let stride = self.stride;
+        self.points.retain(|cp| (cp.interactions - t0).is_multiple_of(stride));
+    }
+}
+
+/// A finished within-run trajectory: decimated checkpoints plus the
+/// population size needed to express them in parallel time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timeline {
+    /// Population size (parallel time = interactions / n).
+    pub n: u64,
+    /// Final checkpoint spacing in interactions.
+    pub stride: u64,
+    /// Checkpoints, sorted by interaction count; the last one describes the
+    /// end-of-run configuration.
+    pub checkpoints: Vec<TimelineCheckpoint>,
+}
+
+impl Timeline {
+    /// Number of checkpoints.
+    pub fn len(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// Whether no checkpoint was collected.
+    pub fn is_empty(&self) -> bool {
+        self.checkpoints.is_empty()
+    }
+
+    /// Parallel time of checkpoint `i`.
+    pub fn parallel_time(&self, i: usize) -> f64 {
+        self.checkpoints[i].interactions as f64 / self.n as f64
+    }
+
+    /// Converts the timeline into schema-v4 `"kind":"timeline"` JSONL rows,
+    /// one per checkpoint.
+    pub fn to_records(
+        &self,
+        experiment: &str,
+        protocol: &str,
+        backend: &str,
+        trial: u64,
+        seed: u64,
+    ) -> Vec<TimelineRecord> {
+        self.checkpoints
+            .iter()
+            .map(|cp| TimelineRecord {
+                experiment: experiment.to_string(),
+                protocol: protocol.to_string(),
+                backend: backend.to_string(),
+                n: self.n,
+                trial,
+                seed,
+                interactions: cp.interactions,
+                leaders: cp.leaders,
+                ranks_ok: cp.ranks_with_one,
+                support: cp.support,
+                phases: encode_phases(&cp.phases),
+            })
+            .collect()
+    }
+}
+
+/// Flat `name:count,name:count` encoding of a phase-occupancy map (the JSONL
+/// reader is deliberately scalar-only, so arrays travel as strings).
+pub fn encode_phases(phases: &[(&'static str, u64)]) -> Option<String> {
+    if phases.is_empty() {
+        return None;
+    }
+    Some(phases.iter().map(|(name, count)| format!("{name}:{count}")).collect::<Vec<_>>().join(","))
+}
+
+/// Rate-limited stderr heartbeat for long runs: completion fraction,
+/// throughput, ETA, and a caller-supplied detail (e.g. current leader
+/// count). Writes to stderr only, so it composes with `--json-out` and
+/// piped stdout; a [`Progress::disabled`] meter makes every call a no-op so
+/// call sites need no flag checks.
+#[derive(Debug)]
+pub struct Progress {
+    label: String,
+    total: u64,
+    unit: &'static str,
+    started: Instant,
+    last_emit: Option<Instant>,
+    interval: Duration,
+    enabled: bool,
+}
+
+impl Progress {
+    /// Creates an enabled meter targeting `total` units of work.
+    pub fn new(label: impl Into<String>, total: u64, unit: &'static str) -> Self {
+        Progress {
+            label: label.into(),
+            total,
+            unit,
+            started: Instant::now(),
+            last_emit: None,
+            interval: Duration::from_secs(1),
+            enabled: true,
+        }
+    }
+
+    /// Creates a meter whose `tick`/`finish` calls do nothing.
+    pub fn disabled() -> Self {
+        let mut p = Progress::new("", 0, "");
+        p.enabled = false;
+        p
+    }
+
+    /// Whether this meter emits anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Reports `done` units complete; prints at most once per second.
+    pub fn tick(&mut self, done: u64, detail: &str) {
+        if !self.enabled {
+            return;
+        }
+        let now = Instant::now();
+        if let Some(last) = self.last_emit {
+            if now.duration_since(last) < self.interval {
+                return;
+            }
+        }
+        self.last_emit = Some(now);
+        eprintln!("{}", self.line(done, detail, now.duration_since(self.started)));
+    }
+
+    /// Prints a final line unconditionally (subject to the meter being
+    /// enabled).
+    pub fn finish(&mut self, done: u64, detail: &str) {
+        if !self.enabled {
+            return;
+        }
+        eprintln!("{}", self.line(done, detail, self.started.elapsed()));
+    }
+
+    /// Formats one heartbeat line; separated from the printing so the
+    /// format is testable.
+    fn line(&self, done: u64, detail: &str, elapsed: Duration) -> String {
+        let secs = elapsed.as_secs_f64();
+        let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
+        let pct = if self.total > 0 { 100.0 * done as f64 / self.total as f64 } else { 0.0 };
+        let eta = if done > 0 && self.total > done && rate > 0.0 {
+            (self.total - done) as f64 / rate
+        } else {
+            0.0
+        };
+        let mut line = format!(
+            "{}: {:5.1}% | {:.2e}/{:.2e} {} | {:.2e}/s | eta {:.0}s",
+            self.label, pct, done as f64, self.total as f64, self.unit, rate, eta
+        );
+        if !detail.is_empty() {
+            line.push_str(" | ");
+            line.push_str(detail);
+        }
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Protocol;
+    use rand::rngs::SmallRng;
+
+    /// Minimal ranking protocol for snapshot tests: state *is* the 1-based
+    /// rank (0 = no output), phase is "low"/"high" around n/2.
+    struct FixedRank {
+        n: usize,
+    }
+
+    impl Protocol for FixedRank {
+        type State = usize;
+        fn interact(&self, _a: &mut usize, _b: &mut usize, _rng: &mut SmallRng) {}
+    }
+
+    impl RankingProtocol for FixedRank {
+        fn population_size(&self) -> usize {
+            self.n
+        }
+        fn rank_of(&self, state: &usize) -> Option<usize> {
+            (*state > 0).then_some(*state)
+        }
+    }
+
+    impl FixedRank {
+        fn phased(n: usize) -> PhasedRank {
+            PhasedRank { inner: FixedRank { n } }
+        }
+    }
+
+    struct PhasedRank {
+        inner: FixedRank,
+    }
+
+    impl Protocol for PhasedRank {
+        type State = usize;
+        fn interact(&self, _a: &mut usize, _b: &mut usize, _rng: &mut SmallRng) {}
+        fn phase_of(&self, state: &usize) -> Option<&'static str> {
+            (*state > 0).then(|| if *state * 2 <= self.inner.n { "low" } else { "high" })
+        }
+    }
+
+    impl RankingProtocol for PhasedRank {
+        fn population_size(&self) -> usize {
+            self.inner.n
+        }
+        fn rank_of(&self, state: &usize) -> Option<usize> {
+            self.inner.rank_of(state)
+        }
+    }
+
+    fn cp(interactions: u64) -> TimelineCheckpoint {
+        TimelineCheckpoint {
+            interactions,
+            leaders: 0,
+            ranks_with_one: 0,
+            support: None,
+            phases: Vec::new(),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn tiny_capacity_is_rejected() {
+        TimelineObserver::new(3);
+    }
+
+    #[test]
+    fn records_every_stride_until_full_then_decimates() {
+        let mut tl = TimelineObserver::new(8);
+        // Drive like the run loops: snapshot whenever due, step otherwise.
+        for t in 0..1000u64 {
+            if tl.is_due(t) {
+                tl.record(cp(t));
+            }
+        }
+        let points = tl.checkpoints();
+        assert!(points.len() <= 8, "capacity exceeded: {}", points.len());
+        assert!(points.len() >= 4, "decimation over-dropped: {}", points.len());
+        // Sorted, uniformly spaced at the final stride, anchored at 0.
+        assert_eq!(points[0].interactions, 0);
+        for w in points.windows(2) {
+            assert_eq!(w[1].interactions - w[0].interactions, tl.stride());
+        }
+        assert!(tl.stride().is_power_of_two());
+    }
+
+    #[test]
+    fn out_of_order_and_duplicate_records_are_ignored() {
+        let mut tl = TimelineObserver::new(8);
+        tl.record(cp(0));
+        tl.record(cp(5));
+        tl.record(cp(5));
+        tl.record(cp(3));
+        let times: Vec<u64> = tl.checkpoints().iter().map(|c| c.interactions).collect();
+        assert_eq!(times, vec![0, 5]);
+    }
+
+    #[test]
+    fn seal_replaces_matching_final_point() {
+        let mut tl = TimelineObserver::new(8);
+        tl.record(cp(0));
+        tl.record(cp(4));
+        let mut terminal = cp(4);
+        terminal.leaders = 1;
+        tl.seal(terminal);
+        assert_eq!(tl.checkpoints().len(), 2);
+        assert_eq!(tl.checkpoints().last().unwrap().leaders, 1);
+    }
+
+    #[test]
+    fn seal_appends_off_grid_terminal_point() {
+        let mut tl = TimelineObserver::new(8);
+        tl.record(cp(0));
+        tl.record(cp(4));
+        tl.seal(cp(7));
+        let times: Vec<u64> = tl.checkpoints().iter().map(|c| c.interactions).collect();
+        assert_eq!(times, vec![0, 4, 7]);
+    }
+
+    #[test]
+    fn seal_never_exceeds_capacity() {
+        let mut tl = TimelineObserver::new(4);
+        for t in 0..100u64 {
+            if tl.is_due(t) {
+                tl.record(cp(t));
+            }
+        }
+        tl.seal(cp(101));
+        assert!(tl.checkpoints().len() <= 4);
+        assert_eq!(tl.checkpoints().last().unwrap().interactions, 101);
+    }
+
+    #[test]
+    fn agent_and_count_snapshots_agree_on_shared_fields() {
+        let protocol = FixedRank::phased(6);
+        let states = vec![1usize, 1, 2, 3, 0, 6];
+        let a = snapshot_states(&protocol, &states, 42);
+        let config = CountConfig::from_states(&states);
+        let c = snapshot_counts(&protocol, &config, 42);
+        assert_eq!(a.interactions, c.interactions);
+        assert_eq!(a.leaders, c.leaders);
+        assert_eq!(a.ranks_with_one, c.ranks_with_one);
+        assert_eq!(a.phases, c.phases);
+        assert_eq!(a.leaders, 2);
+        assert_eq!(a.ranks_with_one, 3); // ranks 2, 3, and 6 are singletons
+        assert_eq!(a.support, None);
+        assert_eq!(c.support, Some(5));
+        assert_eq!(a.phases, vec![("high", 1), ("low", 4)]);
+    }
+
+    #[test]
+    fn phases_encode_flat() {
+        assert_eq!(encode_phases(&[]), None);
+        assert_eq!(encode_phases(&[("low", 4), ("high", 1)]), Some("low:4,high:1".to_string()));
+    }
+
+    #[test]
+    fn timeline_records_round_parallel_time() {
+        let tl = Timeline { n: 8, stride: 2, checkpoints: vec![cp(0), cp(4)] };
+        assert_eq!(tl.len(), 2);
+        assert!(!tl.is_empty());
+        assert_eq!(tl.parallel_time(1), 0.5);
+        let records = tl.to_records("simulate", "ciw", "agents", 0, 7);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].interactions, 4);
+        assert_eq!(records[1].n, 8);
+        assert_eq!(records[1].seed, 7);
+    }
+
+    #[test]
+    fn progress_line_reports_rate_and_eta() {
+        let p = Progress::new("soak", 100, "trials");
+        let line = p.line(25, "leaders 3", Duration::from_secs(5));
+        assert!(line.contains("soak:"), "{line}");
+        assert!(line.contains("25.0%"), "{line}");
+        assert!(line.contains("trials"), "{line}");
+        assert!(line.contains("5.00e0/s"), "{line}");
+        assert!(line.contains("eta 15s"), "{line}");
+        assert!(line.contains("leaders 3"), "{line}");
+    }
+
+    #[test]
+    fn disabled_progress_is_silent() {
+        let mut p = Progress::disabled();
+        assert!(!p.is_enabled());
+        p.tick(1, "");
+        p.finish(1, "");
+    }
+}

@@ -123,6 +123,14 @@ impl RankTracker {
         self.counts[r - 1]
     }
 
+    /// Number of ranks `r` with exactly one agent outputting `r` — the
+    /// macroscopic "progress toward a permutation" observable recorded by
+    /// [`crate::timeline`] checkpoints. Equals `rank_count()` exactly when
+    /// [`RankTracker::is_correct`] holds.
+    pub fn ranks_with_one(&self) -> usize {
+        self.ranks_with_one
+    }
+
     /// Whether every rank `1..=n` is output by exactly one agent.
     ///
     /// Note this implies all `n` agents output a rank (the histogram total
@@ -221,6 +229,19 @@ mod tests {
         bulk.update(Some(1), Some(3));
         assert_eq!(bulk.count_of(1), 1);
         assert_eq!(bulk.count_of(3), 1);
+    }
+
+    #[test]
+    fn ranks_with_one_counts_good_ranks() {
+        let mut t = RankTracker::new(3);
+        assert_eq!(t.ranks_with_one(), 0);
+        t.add(Some(1));
+        t.add(Some(1));
+        t.add(Some(3));
+        assert_eq!(t.ranks_with_one(), 1);
+        t.update(Some(1), Some(2));
+        assert_eq!(t.ranks_with_one(), 3);
+        assert!(t.is_correct());
     }
 
     #[test]

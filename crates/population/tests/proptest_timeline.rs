@@ -1,0 +1,199 @@
+//! Property-based tests for timeline decimation and backend agreement.
+//!
+//! The decimation invariants ((a) sorted, bounded buffers; (b) the sealed
+//! final checkpoint describes the end-of-run configuration) are checked
+//! against runs of the miniature rank-collision protocol. Backend agreement
+//! needs care: the agent array draws one ordered pair per interaction while
+//! the count backend draws two lumped entry indices, so the two RNG streams
+//! diverge and only *macroscopically deterministic* runs can be compared
+//! point-for-point. Two such regimes exist and both are tested:
+//!
+//! * a correctly ranked start is **silent** (all states distinct, so no
+//!   collision ever fires) — the trajectory is constant;
+//! * `n = 2` makes every interaction involve both agents, and the collision
+//!   update yields the same *multiset* whichever agent responds — the
+//!   trajectory is a deterministic function of the interaction count.
+//!
+//! For stochastic runs the backends still share the checkpoint *grid*
+//! whenever the runs have equal length, because both ranked loops poll
+//! `is_due` once per interaction.
+
+use population::timeline::{snapshot_counts, snapshot_states, TimelineObserver};
+use population::{BatchSimulation, Protocol, RankingProtocol, RunOutcome, Simulation};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+
+/// Protocol 1 of the paper in miniature: rank collision bumps the responder.
+#[derive(Clone)]
+struct ModRank {
+    n: usize,
+}
+impl Protocol for ModRank {
+    type State = usize;
+    const DETERMINISTIC_INTERACT: bool = true;
+    fn interact(&self, a: &mut usize, b: &mut usize, _rng: &mut SmallRng) {
+        if a == b {
+            *b = (*b + 1) % self.n;
+        }
+    }
+}
+impl RankingProtocol for ModRank {
+    fn population_size(&self) -> usize {
+        self.n
+    }
+    fn rank_of(&self, s: &usize) -> Option<usize> {
+        Some(s + 1)
+    }
+}
+
+/// `(n, initial states)` with every state already in range.
+fn population() -> impl Strategy<Value = (usize, Vec<usize>)> {
+    (2usize..12).prop_flat_map(|n| (Just(n), prop::collection::vec(0..n, n)))
+}
+
+/// One checkpoint minus `support`: (interactions, leaders, ranks_with_one,
+/// phases).
+type SharedFields = (u64, u64, u64, Vec<(&'static str, u64)>);
+
+/// The shared (backend-independent) projection of a checkpoint sequence:
+/// everything except `support`, which is `None` on the agent array and
+/// `Some` on the count backend by design.
+fn shared_fields(tl: &population::Timeline) -> Vec<SharedFields> {
+    tl.checkpoints
+        .iter()
+        .map(|cp| (cp.interactions, cp.leaders, cp.ranks_with_one, cp.phases.clone()))
+        .collect()
+}
+
+proptest! {
+    /// (a) Checkpoints stay strictly sorted and never exceed the capacity,
+    /// whatever the run length, capacity, or confirmation window.
+    #[test]
+    fn checkpoints_stay_sorted_and_bounded(
+        (n, states) in population(),
+        capacity in 4usize..48,
+        max in 0u64..3000,
+        window in 0u64..40,
+        seed in 0u64..1000,
+    ) {
+        let mut sim = Simulation::new(ModRank { n }, states, seed);
+        let mut tl = TimelineObserver::new(capacity);
+        sim.run_until_stably_ranked_timeline(max, window, &mut tl);
+        let timeline = tl.finish(n as u64);
+        prop_assert!(timeline.len() <= capacity, "{} points > capacity {capacity}", timeline.len());
+        prop_assert!(!timeline.is_empty(), "every run records at least its start");
+        prop_assert!(timeline.stride.is_power_of_two());
+        prop_assert_eq!(timeline.checkpoints[0].interactions, 0);
+        for w in timeline.checkpoints.windows(2) {
+            prop_assert!(
+                w[0].interactions < w[1].interactions,
+                "checkpoints out of order: {} then {}", w[0].interactions, w[1].interactions
+            );
+        }
+    }
+
+    /// (b) The sealed final checkpoint equals a fresh snapshot of the
+    /// end-of-run configuration, on both backends.
+    #[test]
+    fn final_checkpoint_equals_end_of_run_configuration(
+        (n, states) in population(),
+        max in 0u64..3000,
+        window in 0u64..40,
+        seed in 0u64..1000,
+    ) {
+        let mut sim = Simulation::new(ModRank { n }, states.clone(), seed);
+        let mut tl = TimelineObserver::new(16);
+        sim.run_until_stably_ranked_timeline(max, window, &mut tl);
+        let last = tl.checkpoints().last().unwrap().clone();
+        prop_assert_eq!(&last, &snapshot_states(&ModRank { n }, sim.states(), sim.interactions()));
+
+        let mut sim = BatchSimulation::new(ModRank { n }, states, seed);
+        let mut tl = TimelineObserver::new(16);
+        sim.run_until_stably_ranked_timeline(max, window, &mut tl);
+        let last = tl.checkpoints().last().unwrap().clone();
+        prop_assert_eq!(&last, &snapshot_counts(&ModRank { n }, sim.counts(), sim.interactions()));
+    }
+
+    /// Equal-length runs put their checkpoints on identical interaction
+    /// grids on both backends (both ranked loops poll per interaction). The
+    /// confirmation window exceeds the budget, so neither backend can stop
+    /// early and both run exactly `max` interactions.
+    #[test]
+    fn backends_share_the_checkpoint_grid_on_equal_length_runs(
+        (n, states) in population(),
+        max in 1u64..2000,
+        seed in 0u64..1000,
+    ) {
+        let mut agents = Simulation::new(ModRank { n }, states.clone(), seed);
+        let mut tl_a = TimelineObserver::new(16);
+        let out_a = agents.run_until_stably_ranked_timeline(max, max + 1, &mut tl_a);
+
+        let mut counts = BatchSimulation::new(ModRank { n }, states, seed);
+        let mut tl_c = TimelineObserver::new(16);
+        let out_c = counts.run_until_stably_ranked_timeline(max, max + 1, &mut tl_c);
+
+        prop_assert_eq!(out_a, RunOutcome::Exhausted { interactions: max });
+        prop_assert_eq!(out_c, RunOutcome::Exhausted { interactions: max });
+        let (tl_a, tl_c) = (tl_a.finish(n as u64), tl_c.finish(n as u64));
+        prop_assert_eq!(tl_a.stride, tl_c.stride);
+        let grid_a: Vec<u64> = tl_a.checkpoints.iter().map(|c| c.interactions).collect();
+        let grid_c: Vec<u64> = tl_c.checkpoints.iter().map(|c| c.interactions).collect();
+        prop_assert_eq!(grid_a, grid_c);
+    }
+
+    /// (c) Same seed ⇒ identical timelines: a ranked start is silent, so
+    /// the trajectory is constant and both backends must report exactly the
+    /// same checkpoints (support excepted — `None` vs `Some` by design).
+    #[test]
+    fn silent_runs_yield_identical_timelines_on_both_backends(
+        n in 2usize..12,
+        window in 1u64..200,
+        seed in 0u64..1000,
+    ) {
+        let states: Vec<usize> = (0..n).collect();
+        let mut agents = Simulation::new(ModRank { n }, states.clone(), seed);
+        let mut tl_a = TimelineObserver::new(16);
+        let out_a = agents.run_until_stably_ranked_timeline(10_000, window, &mut tl_a);
+
+        let mut counts = BatchSimulation::new(ModRank { n }, states, seed);
+        let mut tl_c = TimelineObserver::new(16);
+        let out_c = counts.run_until_stably_ranked_timeline(10_000, window, &mut tl_c);
+
+        prop_assert_eq!(out_a, RunOutcome::Converged { interactions: 0 });
+        prop_assert_eq!(out_c, RunOutcome::Converged { interactions: 0 });
+        let (tl_a, tl_c) = (tl_a.finish(n as u64), tl_c.finish(n as u64));
+        prop_assert_eq!(shared_fields(&tl_a), shared_fields(&tl_c));
+        // Constant trajectory: one leader, all n ranks singly occupied.
+        for cp in &tl_a.checkpoints {
+            prop_assert_eq!(cp.leaders, 1);
+            prop_assert_eq!(cp.ranks_with_one, n as u64);
+        }
+    }
+
+    /// (c) Same seed ⇒ identical timelines: with `n = 2` every interaction
+    /// involves both agents and the collision update produces the same
+    /// multiset whichever agent responds, so the macroscopic trajectory —
+    /// and with it the convergence point, the grid, and every checkpoint —
+    /// is deterministic and must agree across backends.
+    #[test]
+    fn two_agent_runs_yield_identical_timelines_on_both_backends(
+        a in 0usize..2,
+        b in 0usize..2,
+        max in 1u64..500,
+        window in 0u64..50,
+        seed in 0u64..1000,
+    ) {
+        let states = vec![a, b];
+        let mut agents = Simulation::new(ModRank { n: 2 }, states.clone(), seed);
+        let mut tl_a = TimelineObserver::new(16);
+        let out_a = agents.run_until_stably_ranked_timeline(max, window, &mut tl_a);
+
+        let mut counts = BatchSimulation::new(ModRank { n: 2 }, states, seed);
+        let mut tl_c = TimelineObserver::new(16);
+        let out_c = counts.run_until_stably_ranked_timeline(max, window, &mut tl_c);
+
+        prop_assert_eq!(out_a, out_c);
+        let (tl_a, tl_c) = (tl_a.finish(2), tl_c.finish(2));
+        prop_assert_eq!(shared_fields(&tl_a), shared_fields(&tl_c));
+    }
+}

@@ -6,7 +6,8 @@
 //! subset of proptest's API its test suites use: the [`proptest!`] macro,
 //! `prop_assert!`/`prop_assert_eq!`, range/tuple/[`Just`]/[`any`] strategies,
 //! `prop::collection::{vec, btree_set}`, `prop::option::of`,
-//! `prop::sample::Index`, [`prop_oneof!`], and [`Strategy::prop_map`].
+//! `prop::sample::Index`, [`prop_oneof!`], [`Strategy::prop_map`], and
+//! [`Strategy::prop_flat_map`].
 //!
 //! Semantics differ from real proptest in two deliberate ways: inputs are
 //! drawn from a per-test deterministic RNG (seeded from the test name), and
@@ -59,6 +60,15 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Builds a dependent strategy from each generated value (e.g. a vector
+    /// whose element bound depends on a generated size).
+    fn prop_flat_map<U: Strategy, F: Fn(Self::Value) -> U>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -85,6 +95,19 @@ impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
     type Value = U;
     fn generate(&self, rng: &mut SmallRng) -> U {
         (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Strategy, F: Fn(S::Value) -> U> Strategy for FlatMap<S, F> {
+    type Value = U::Value;
+    fn generate(&self, rng: &mut SmallRng) -> U::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
     }
 }
 
@@ -485,6 +508,14 @@ mod tests {
         fn maps_apply(v in (0u32..5).prop_map(|x| x * 2)) {
             prop_assert_eq!(v % 2, 0);
             prop_assert_ne!(v, 11);
+        }
+
+        #[test]
+        fn flat_maps_build_dependent_strategies(
+            (n, v) in (1usize..6).prop_flat_map(|n| (Just(n), prop::collection::vec(0..n, n))),
+        ) {
+            prop_assert_eq!(v.len(), n);
+            prop_assert!(v.iter().all(|&x| x < n));
         }
     }
 }
