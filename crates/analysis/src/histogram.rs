@@ -97,6 +97,43 @@ impl Histogram {
     }
 }
 
+/// Summary of a pre-bucketed labeled histogram — e.g. the `bound:count`
+/// log-bucket encodings the simulation engine's metrics sinks emit: total
+/// mass, the modal bucket, and the count vector in input order (ready for
+/// sparkline rendering).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BucketSummary {
+    /// Total count across all buckets.
+    pub total: u64,
+    /// Label of the bucket holding the largest count (first on ties).
+    pub mode_label: String,
+    /// Count in the modal bucket.
+    pub mode_count: u64,
+    /// Per-bucket counts, in input order.
+    pub counts: Vec<u64>,
+}
+
+/// Summarizes labeled histogram buckets; `None` when the buckets carry no
+/// mass at all.
+pub fn summarize_buckets(buckets: &[(String, u64)]) -> Option<BucketSummary> {
+    let total: u64 = buckets.iter().map(|(_, c)| c).sum();
+    if total == 0 {
+        return None;
+    }
+    let mut mode = &buckets[0];
+    for b in buckets {
+        if b.1 > mode.1 {
+            mode = b;
+        }
+    }
+    Some(BucketSummary {
+        total,
+        mode_label: mode.0.clone(),
+        mode_count: mode.1,
+        counts: buckets.iter().map(|(_, c)| *c).collect(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,5 +189,30 @@ mod tests {
         let text = h.render(10);
         assert_eq!(text.lines().count(), 2);
         assert!(text.contains('#'));
+    }
+
+    fn buckets(pairs: &[(&str, u64)]) -> Vec<(String, u64)> {
+        pairs.iter().map(|(l, c)| (l.to_string(), *c)).collect()
+    }
+
+    #[test]
+    fn bucket_summary_finds_total_and_mode() {
+        let s = summarize_buckets(&buckets(&[("8", 3), ("16", 10), ("inf", 2)])).expect("has mass");
+        assert_eq!(s.total, 15);
+        assert_eq!(s.mode_label, "16");
+        assert_eq!(s.mode_count, 10);
+        assert_eq!(s.counts, vec![3, 10, 2]);
+    }
+
+    #[test]
+    fn bucket_summary_mode_ties_break_to_the_first_bucket() {
+        let s = summarize_buckets(&buckets(&[("8", 5), ("16", 5)])).expect("has mass");
+        assert_eq!(s.mode_label, "8");
+    }
+
+    #[test]
+    fn bucket_summary_of_massless_buckets_is_none() {
+        assert!(summarize_buckets(&[]).is_none());
+        assert!(summarize_buckets(&buckets(&[("8", 0)])).is_none());
     }
 }

@@ -45,7 +45,7 @@ pub mod trajectory;
 
 pub use bootstrap::{bootstrap_ci, BootstrapCi};
 pub use ecdf::Ecdf;
-pub use histogram::Histogram;
+pub use histogram::{summarize_buckets, BucketSummary, Histogram};
 pub use quantile::quantile;
 pub use regression::{linear_fit, power_law_fit, LinearFit, PowerLawFit};
 pub use sequences::harmonic;

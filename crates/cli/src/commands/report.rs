@@ -24,13 +24,21 @@
 //! --timeline`); `--timeline <file.jsonl>` renders them as per-trial ASCII
 //! sparklines plus a cross-trial median trajectory aligned on parallel
 //! time.
+//!
+//! v5 adds `kind = "metrics"` engine-telemetry rows (`ssle simulate
+//! --metrics`, `ssle soak --metrics`, the `perf_baseline` bench);
+//! `--metrics <file.jsonl>` groups them by `(experiment, protocol, backend,
+//! n)` and renders per-group cost profiles: throughput, hot-loop section
+//! times, the batch-size histogram, the hypergeometric exact-fallback rate,
+//! and the memoized-transition hit rate.
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use analysis::{median_trajectory, quantile, Ecdf};
+use analysis::{median_trajectory, quantile, summarize_buckets, Ecdf};
+use population::metrics::decode_histogram;
 use population::record::{
-    from_jsonl_mixed, FaultRecord, FrontierRecord, JsonObject, RecordLine, RunRecord,
-    TimelineRecord,
+    from_jsonl_mixed, FaultRecord, FrontierRecord, JsonObject, MetricsRecord, RecordLine,
+    RunRecord, TimelineRecord,
 };
 use population::ConvergenceSample;
 use ssle_bench::TimeSummary;
@@ -56,9 +64,13 @@ type TimelineKey = (String, String, String, u64, u64);
 /// backend, n)`.
 type TimelineCohort = (String, String, String, u64);
 
+/// One metrics group key: `(experiment, protocol, backend, n)`.
+type MetricsKey = (String, String, String, u64);
+
 const USAGE: &str =
     "usage: ssle report <file.jsonl> [--compare other.jsonl] [--format text|json]\n\
-                     \u{20}      ssle report --timeline <file.jsonl> [--format text|json]";
+                     \u{20}      ssle report --timeline <file.jsonl> [--format text|json]\n\
+                     \u{20}      ssle report --metrics <file.jsonl> [--format text|json]";
 
 /// Eight-level block characters the sparklines are drawn with.
 const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
@@ -101,16 +113,19 @@ fn censored_note(censored: usize, total: usize) -> String {
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let mut paths: Vec<String> = Vec::new();
     let mut timeline_paths: Vec<String> = Vec::new();
+    let mut metrics_paths: Vec<String> = Vec::new();
     let mut rest: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         let arg = &args[i];
-        if arg == "--compare" || arg == "--timeline" {
+        if arg == "--compare" || arg == "--timeline" || arg == "--metrics" {
             let Some(p) = args.get(i + 1) else {
                 return Err(CliError::BadFlag(format!("{arg} needs a value")));
             };
             if arg == "--timeline" {
                 timeline_paths.push(p.clone());
+            } else if arg == "--metrics" {
+                metrics_paths.push(p.clone());
             } else {
                 paths.push(p.clone());
             }
@@ -125,6 +140,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     }
     let flags = parse_flags(&rest, &["format"])?;
     let format = OutputFormat::from_flags(&flags)?;
+    if !timeline_paths.is_empty() && !metrics_paths.is_empty() {
+        return Err(CliError::Usage(format!(
+            "{USAGE}\n(--timeline and --metrics are separate modes)"
+        )));
+    }
     if let [path] = timeline_paths.as_slice() {
         if !paths.is_empty() {
             return Err(CliError::Usage(format!(
@@ -135,6 +155,17 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     }
     if timeline_paths.len() > 1 {
         return Err(CliError::Usage(format!("{USAGE}\n(--timeline may be given once)")));
+    }
+    if let [path] = metrics_paths.as_slice() {
+        if !paths.is_empty() {
+            return Err(CliError::Usage(format!(
+                "{USAGE}\n(--metrics is its own mode and takes exactly one file)"
+            )));
+        }
+        return report_metrics(path, format);
+    }
+    if metrics_paths.len() > 1 {
+        return Err(CliError::Usage(format!("{USAGE}\n(--metrics may be given once)")));
     }
     match paths.as_slice() {
         [] => Err(CliError::Usage(USAGE.to_string())),
@@ -150,6 +181,7 @@ struct Loaded {
     faults: Vec<FaultRecord>,
     frontier: Vec<FrontierRecord>,
     timelines: Vec<TimelineRecord>,
+    metrics: Vec<MetricsRecord>,
 }
 
 fn load(path: &str) -> Result<Loaded, CliError> {
@@ -162,6 +194,7 @@ fn load(path: &str) -> Result<Loaded, CliError> {
         faults: Vec::new(),
         frontier: Vec::new(),
         timelines: Vec::new(),
+        metrics: Vec::new(),
     };
     for line in lines {
         match line {
@@ -169,12 +202,14 @@ fn load(path: &str) -> Result<Loaded, CliError> {
             RecordLine::Fault(f) => loaded.faults.push(f),
             RecordLine::Frontier(f) => loaded.frontier.push(f),
             RecordLine::Timeline(t) => loaded.timelines.push(t),
+            RecordLine::Metrics(m) => loaded.metrics.push(m),
         }
     }
     if loaded.records.is_empty()
         && loaded.faults.is_empty()
         && loaded.frontier.is_empty()
         && loaded.timelines.is_empty()
+        && loaded.metrics.is_empty()
     {
         return Err(CliError::Report {
             path: path.to_string(),
@@ -190,8 +225,12 @@ fn report_one(path: &str, format: OutputFormat) -> Result<String, CliError> {
     let fault_groups = group_faults(&loaded.faults);
     let frontier_groups = group_frontier(&loaded.frontier);
     let timeline_groups = group_timelines(&loaded.timelines);
-    let total =
-        loaded.records.len() + loaded.faults.len() + loaded.frontier.len() + loaded.timelines.len();
+    let metrics_groups = group_metrics(&loaded.metrics);
+    let total = loaded.records.len()
+        + loaded.faults.len()
+        + loaded.frontier.len()
+        + loaded.timelines.len()
+        + loaded.metrics.len();
     match format {
         OutputFormat::Text => {
             let mut out = render_text(path, total, &groups, &fault_groups, &frontier_groups);
@@ -199,6 +238,13 @@ fn report_one(path: &str, format: OutputFormat) -> Result<String, CliError> {
                 out.push_str(&format!(
                     "\ntimelines: experiment={experiment} protocol={protocol} backend={backend} \
                      n={n}: {trials} trial(s) — render with `ssle report --timeline {path}`\n",
+                ));
+            }
+            for ((experiment, protocol, backend, n), rows) in &metrics_groups {
+                out.push_str(&format!(
+                    "\nmetrics: experiment={experiment} protocol={protocol} backend={backend} \
+                     n={n}: {} row(s) — render with `ssle report --metrics {path}`\n",
+                    rows.len(),
                 ));
             }
             Ok(out)
@@ -214,6 +260,18 @@ fn report_one(path: &str, format: OutputFormat) -> Result<String, CliError> {
                 obj.field_str("backend", &backend);
                 obj.field_u64("n", n);
                 obj.field_u64("trials", trials);
+                out.push_str(&obj.finish());
+                out.push('\n');
+            }
+            for ((experiment, protocol, backend, n), rows) in &metrics_groups {
+                let mut obj = JsonObject::new();
+                obj.field_str("command", "report");
+                obj.field_str("kind", "metrics_present");
+                obj.field_str("experiment", experiment);
+                obj.field_str("protocol", protocol);
+                obj.field_str("backend", backend);
+                obj.field_u64("n", *n);
+                obj.field_u64("rows", rows.len() as u64);
                 out.push_str(&obj.finish());
                 out.push('\n');
             }
@@ -601,6 +659,242 @@ fn report_timeline(path: &str, format: OutputFormat) -> Result<String, CliError>
 
 /// Grid resolution of the cross-trial median trajectory.
 const MEDIAN_GRID_POINTS: usize = 64;
+
+fn group_metrics(metrics: &[MetricsRecord]) -> BTreeMap<MetricsKey, Vec<&MetricsRecord>> {
+    let mut groups: BTreeMap<MetricsKey, Vec<&MetricsRecord>> = BTreeMap::new();
+    for m in metrics {
+        groups
+            .entry((m.experiment.clone(), m.protocol.clone(), m.backend.clone(), m.n))
+            .or_default()
+            .push(m);
+    }
+    groups
+}
+
+/// Merges a group's encoded batch-size histograms into one bucket list,
+/// ordered by bucket bound (the `inf` overflow bucket sorts last).
+fn merged_batch_hist(group: &[&MetricsRecord]) -> Vec<(String, u64)> {
+    let mut merged: BTreeMap<u64, (String, u64)> = BTreeMap::new();
+    for m in group {
+        let Some(buckets) = m.batch_hist.as_deref().and_then(decode_histogram) else {
+            continue;
+        };
+        for (label, count) in buckets {
+            let bound = label.parse::<u64>().unwrap_or(u64::MAX);
+            merged.entry(bound).or_insert_with(|| (label, 0)).1 += count;
+        }
+    }
+    merged.into_values().collect()
+}
+
+/// Aggregated counters of one metrics group. Counters sum across rows;
+/// the occupancy gauges (`support`, `raw_len`) keep the row maximum.
+struct MetricsTotals {
+    interactions: u64,
+    wall: f64,
+    rng_draws: u64,
+    batches: u64,
+    batched_pairs: u64,
+    exact_steps: u64,
+    memo_hits: u64,
+    memo_misses: u64,
+    compactions: u64,
+    support: u64,
+    raw_len: u64,
+    flushes: u64,
+    sections: [f64; 4],
+}
+
+impl MetricsTotals {
+    fn of(group: &[&MetricsRecord]) -> Self {
+        let mut t = MetricsTotals {
+            interactions: 0,
+            wall: 0.0,
+            rng_draws: 0,
+            batches: 0,
+            batched_pairs: 0,
+            exact_steps: 0,
+            memo_hits: 0,
+            memo_misses: 0,
+            compactions: 0,
+            support: 0,
+            raw_len: 0,
+            flushes: 0,
+            sections: [0.0; 4],
+        };
+        for m in group {
+            t.interactions += m.interactions;
+            t.wall += m.wall_s;
+            t.rng_draws += m.rng_draws;
+            t.batches += m.batches;
+            t.batched_pairs += m.batched_pairs;
+            t.exact_steps += m.exact_steps;
+            t.memo_hits += m.memo_hits;
+            t.memo_misses += m.memo_misses;
+            t.compactions += m.compactions;
+            t.support = t.support.max(m.support);
+            t.raw_len = t.raw_len.max(m.raw_len);
+            t.flushes += m.flushes;
+            for (acc, s) in
+                t.sections.iter_mut().zip([m.sample_s, m.transition_s, m.probe_s, m.observe_s])
+            {
+                *acc += s;
+            }
+        }
+        t
+    }
+
+    /// Fraction of pair draws resolved through the exact per-pair fallback
+    /// rather than the lumped hypergeometric batch.
+    fn fallback_rate(&self) -> f64 {
+        let total = self.exact_steps + self.batched_pairs;
+        if total == 0 {
+            0.0
+        } else {
+            self.exact_steps as f64 / total as f64
+        }
+    }
+
+    /// Memo hit rate, `None` when the group never consulted the memo (e.g.
+    /// agent-backend rows).
+    fn memo_hit_rate(&self) -> Option<f64> {
+        let lookups = self.memo_hits + self.memo_misses;
+        (lookups > 0).then(|| self.memo_hits as f64 / lookups as f64)
+    }
+}
+
+fn report_metrics(path: &str, format: OutputFormat) -> Result<String, CliError> {
+    let loaded = load(path)?;
+    if loaded.metrics.is_empty() {
+        return Err(CliError::Report {
+            path: path.to_string(),
+            reason: "the file contains no metrics records; write one with \
+                     `ssle simulate --metrics <file>`"
+                .to_string(),
+        });
+    }
+    let groups = group_metrics(&loaded.metrics);
+    match format {
+        OutputFormat::Text => {
+            let mut out = format!(
+                "metrics report: {path} — {} row(s), {} group(s)\n",
+                loaded.metrics.len(),
+                groups.len(),
+            );
+            for ((experiment, protocol, backend, n), group) in &groups {
+                let t = MetricsTotals::of(group);
+                out.push_str(&format!(
+                    "\nexperiment={experiment} protocol={protocol} backend={backend} n={n}: \
+                     {} row(s), {} interactions\n",
+                    group.len(),
+                    t.interactions,
+                ));
+                if t.wall > 0.0 {
+                    out.push_str(&format!(
+                        "  throughput: {:.2e} interactions/s over {:.3}s wall\n",
+                        t.interactions as f64 / t.wall,
+                        t.wall,
+                    ));
+                }
+                if t.interactions > 0 {
+                    out.push_str(&format!(
+                        "  rng draws: {} ({:.2} per interaction)\n",
+                        t.rng_draws,
+                        t.rng_draws as f64 / t.interactions as f64,
+                    ));
+                }
+                if t.sections.iter().any(|&s| s > 0.0) {
+                    out.push_str(&format!(
+                        "  sections: sample {:.3}s  transition {:.3}s  probe {:.3}s  \
+                         observe {:.3}s\n",
+                        t.sections[0], t.sections[1], t.sections[2], t.sections[3],
+                    ));
+                }
+                if t.batches > 0 || t.exact_steps > 0 {
+                    out.push_str(&format!(
+                        "  exact fallback: {:.2}% of pair draws ({} exact, {} batched over \
+                         {} batch(es))\n",
+                        100.0 * t.fallback_rate(),
+                        t.exact_steps,
+                        t.batched_pairs,
+                        t.batches,
+                    ));
+                }
+                if let Some(s) = summarize_buckets(&merged_batch_hist(group)) {
+                    let values: Vec<f64> = s.counts.iter().map(|&c| c as f64).collect();
+                    out.push_str(&format!(
+                        "  batch sizes: {}  mode ≤{} ({:.0}% of {} batch(es))\n",
+                        sparkline(&values),
+                        s.mode_label,
+                        100.0 * s.mode_count as f64 / s.total as f64,
+                        s.total,
+                    ));
+                }
+                if let Some(rate) = t.memo_hit_rate() {
+                    // A support gauge of 0 means the run never compacted, so
+                    // occupancy was never sampled — omit the clause rather
+                    // than print a misleading `0/0`.
+                    let occupancy = if t.support > 0 {
+                        format!(", support {}/{} slot(s)", t.support, t.raw_len)
+                    } else {
+                        String::new()
+                    };
+                    out.push_str(&format!(
+                        "  memo: {:.1}% hit rate ({} of {} lookups), {} compaction(s){occupancy}\n",
+                        100.0 * rate,
+                        t.memo_hits,
+                        t.memo_hits + t.memo_misses,
+                        t.compactions,
+                    ));
+                }
+                if t.flushes > 0 {
+                    out.push_str(&format!("  flushes: {}\n", t.flushes));
+                }
+            }
+            Ok(out)
+        }
+        OutputFormat::Json => {
+            let mut out = String::new();
+            for ((experiment, protocol, backend, n), group) in &groups {
+                let t = MetricsTotals::of(group);
+                let mut obj = JsonObject::new();
+                obj.field_str("command", "report");
+                obj.field_str("kind", "metrics");
+                obj.field_str("experiment", experiment);
+                obj.field_str("protocol", protocol);
+                obj.field_str("backend", backend);
+                obj.field_u64("n", *n);
+                obj.field_u64("rows", group.len() as u64);
+                obj.field_u64("interactions", t.interactions);
+                if t.wall > 0.0 {
+                    obj.field_f64("ips", t.interactions as f64 / t.wall);
+                } else {
+                    obj.field_null("ips");
+                }
+                obj.field_u64("rng_draws", t.rng_draws);
+                obj.field_u64("batches", t.batches);
+                obj.field_f64("fallback_rate", t.fallback_rate());
+                match t.memo_hit_rate() {
+                    Some(rate) => obj.field_f64("memo_hit_rate", rate),
+                    None => obj.field_null("memo_hit_rate"),
+                };
+                obj.field_u64("compactions", t.compactions);
+                obj.field_f64("sample_s", t.sections[0]);
+                obj.field_f64("transition_s", t.sections[1]);
+                obj.field_f64("probe_s", t.sections[2]);
+                obj.field_f64("observe_s", t.sections[3]);
+                if let Some(s) = summarize_buckets(&merged_batch_hist(group)) {
+                    let values: Vec<f64> = s.counts.iter().map(|&c| c as f64).collect();
+                    obj.field_str("batch_spark", &sparkline(&values));
+                    obj.field_str("batch_mode", &s.mode_label);
+                }
+                out.push_str(&obj.finish());
+                out.push('\n');
+            }
+            Ok(out)
+        }
+    }
+}
 
 /// Recovery parallel times of a fault group's recovered faults, plus the
 /// mean agent count touched per fault.
@@ -1339,6 +1633,143 @@ mod tests {
             "leader sparkline not monotone non-increasing after its peak: {spark:?}\n{out}"
         );
         assert_eq!(*spark.last().unwrap(), 0, "converged run ends at the lowest level: {out}");
+    }
+
+    fn mk_metrics(trial: u64, interactions: u64) -> MetricsRecord {
+        MetricsRecord {
+            experiment: "simulate".to_string(),
+            protocol: "ciw".to_string(),
+            backend: "counts".to_string(),
+            n: 64,
+            trial: Some(trial),
+            seed: 1,
+            wall_s: 0.5,
+            interactions,
+            batches: 10,
+            batched_pairs: interactions - interactions / 10,
+            exact_steps: interactions / 10,
+            rng_draws: 2 * interactions,
+            memo_hits: interactions - 5,
+            memo_misses: 5,
+            compactions: 1,
+            support: 64,
+            raw_len: 128,
+            flushes: 10,
+            batch_hist: Some("8:2,64:7,inf:1".to_string()),
+            sample_s: 0.1,
+            transition_s: 0.3,
+            probe_s: 0.05,
+            observe_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn metrics_mode_renders_fallback_memo_and_batch_histogram() {
+        let text =
+            format!("{}\n{}\n", mk_metrics(0, 1000).to_json(), mk_metrics(1, 1000).to_json());
+        let path = write_temp("ssle_report_metrics.jsonl", &text);
+        let out = run(&args(&["--metrics", &path])).unwrap();
+        assert!(out.contains("2 row(s), 1 group(s)"), "{out}");
+        assert!(out.contains("experiment=simulate protocol=ciw backend=counts n=64"), "{out}");
+        // 2000 interactions over 1s of wall.
+        assert!(out.contains("throughput: 2.00e3 interactions/s over 1.000s wall"), "{out}");
+        assert!(out.contains("rng draws: 4000 (2.00 per interaction)"), "{out}");
+        assert!(out.contains("sections: sample 0.200s  transition 0.600s"), "{out}");
+        // 200 exact of 2000 pair draws.
+        assert!(out.contains("exact fallback: 10.00% of pair draws (200 exact"), "{out}");
+        // Buckets merge across the two rows: 4 + 14 + 2 = 20 batches.
+        assert!(out.contains("batch sizes: ▂█▁  mode ≤64 (70% of 20 batch(es))"), "{out}");
+        assert!(out.contains("memo: 99.5% hit rate (1990 of 2000 lookups)"), "{out}");
+        assert!(out.contains("support 64/128 slot(s)"), "{out}");
+
+        let json = run(&args(&["--metrics", &path, "--format", "json"])).unwrap();
+        let line = json
+            .lines()
+            .find(|l| l.contains("\"kind\":\"metrics\""))
+            .expect("metrics group line present");
+        let fields = population::record::parse_flat_json(line).unwrap();
+        match fields.get("fallback_rate").unwrap() {
+            population::record::JsonScalar::Num(m) => assert!((m - 0.1).abs() < 1e-9, "{m}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        match fields.get("memo_hit_rate").unwrap() {
+            population::record::JsonScalar::Num(m) => assert!((m - 0.995).abs() < 1e-9, "{m}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(json.contains("\"batch_mode\":\"64\""), "{json}");
+    }
+
+    #[test]
+    fn metrics_rows_are_mentioned_by_the_default_report() {
+        let path = write_temp(
+            "ssle_report_metrics_mention.jsonl",
+            &format!("{}\n", mk_metrics(0, 500).to_json()),
+        );
+        let out = run(&args(&[&path])).unwrap();
+        assert!(
+            out.contains("metrics: experiment=simulate protocol=ciw backend=counts n=64: 1 row(s)"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn metrics_mode_rejects_streams_without_metrics() {
+        let path = write_temp(
+            "ssle_report_metrics_empty.jsonl",
+            &to_jsonl(&[mk_sched("ciw", None, None, 0, 800)]),
+        );
+        match run(&args(&["--metrics", &path])) {
+            Err(CliError::Report { reason, .. }) => {
+                assert!(reason.contains("no metrics records"), "{reason}")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// Acceptance: `ssle simulate --backend counts --metrics` then `ssle
+    /// report --metrics` renders the exact-fallback rate, the memo hit
+    /// rate, and (for the batched loose workload) the batch-size
+    /// histogram. The two runs are concatenated into one mixed v5 stream.
+    #[test]
+    fn simulated_counts_metrics_render_end_to_end() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let ciw = dir.join(format!("ssle_report_metrics_accept_ciw_{pid}.jsonl"));
+        let loose = dir.join(format!("ssle_report_metrics_accept_loose_{pid}.jsonl"));
+        let mixed = dir.join(format!("ssle_report_metrics_accept_{pid}.jsonl"));
+        for (protocol, path) in [("ciw", &ciw), ("loose", &loose)] {
+            crate::commands::simulate::run(&args(&[
+                "--protocol",
+                protocol,
+                "--n",
+                "64",
+                "--seed",
+                "9",
+                "--backend",
+                "counts",
+                "--metrics",
+                path.to_str().unwrap(),
+            ]))
+            .unwrap_or_else(|e| panic!("{protocol}: {e}"));
+        }
+        let text = format!(
+            "{}{}",
+            std::fs::read_to_string(&ciw).unwrap(),
+            std::fs::read_to_string(&loose).unwrap()
+        );
+        std::fs::write(&mixed, text).unwrap();
+        let out = run(&args(&["--metrics", mixed.to_str().unwrap()])).unwrap();
+        for p in [&ciw, &loose, &mixed] {
+            std::fs::remove_file(p).ok();
+        }
+        assert!(out.contains("2 row(s), 2 group(s)"), "{out}");
+        assert!(out.contains("backend=counts"), "{out}");
+        // The ranked CIW workload runs on the exact per-pair fallback and
+        // resolves every interaction through the memo.
+        assert!(out.contains("exact fallback: 100.00%"), "{out}");
+        assert!(out.contains("% hit rate"), "{out}");
+        // The loose workload runs the lumped batched loop.
+        assert!(out.contains("batch sizes:"), "{out}");
     }
 
     #[test]

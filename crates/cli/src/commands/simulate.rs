@@ -1,13 +1,15 @@
 //! `ssle simulate` — run one execution to stabilization.
 
 use std::hash::Hash;
+use std::time::Instant;
 
 use population::record::{to_jsonl_mixed, JsonObject};
 use population::runner::rng_from_seed;
 use population::timeline::DEFAULT_TIMELINE_CAPACITY;
 use population::{
-    certify_ranking_closure, BatchSimulation, ClosureCertificate, RankingProtocol, RecordLine,
-    RunOutcome, SchedulerPolicy, Simulation, Timeline, TimelineObserver,
+    certify_ranking_closure, BatchSimulation, ClosureCertificate, Metrics, MetricsSink,
+    NoopMetrics, RankingProtocol, RecordLine, RunOutcome, SchedulerPolicy, Simulation, Timeline,
+    TimelineObserver,
 };
 use ssle::adversary;
 use ssle::cai_izumi_wada::{CaiIzumiWada, CiwState};
@@ -64,6 +66,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             "omission",
             "certify",
             "timeline",
+            "metrics",
         ],
     )?;
     let common = CommonFlags::from_flags(&flags, ProtocolChoice::OptimalSilent)?;
@@ -112,6 +115,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         });
     }
     let timeline = timeline.as_deref();
+    let metrics = flags.try_get_str("metrics").map(str::to_string);
+    let metrics = metrics.as_deref();
 
     match common.protocol {
         ProtocolChoice::Ciw => {
@@ -126,12 +131,12 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let budget =
                 budget(max_time, common.n, inflate(400 * (common.n as u64).pow(3), &robust));
             match backend {
-                BackendChoice::Agents => {
-                    ranked_report(&common, &robust, certify, timeline, p, initial, budget, format)
-                }
-                BackendChoice::Counts => {
-                    counts_ranked_report(&common, &robust, timeline, p, initial, budget, format)
-                }
+                BackendChoice::Agents => ranked_report(
+                    &common, &robust, certify, timeline, metrics, p, initial, budget, format,
+                ),
+                BackendChoice::Counts => counts_ranked_report(
+                    &common, &robust, timeline, metrics, p, initial, budget, format,
+                ),
             }
         }
         ProtocolChoice::OptimalSilent => {
@@ -146,12 +151,12 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let budget =
                 budget(max_time, common.n, inflate(4000 * (common.n as u64).pow(2), &robust));
             match backend {
-                BackendChoice::Agents => {
-                    ranked_report(&common, &robust, certify, timeline, p, initial, budget, format)
-                }
-                BackendChoice::Counts => {
-                    counts_ranked_report(&common, &robust, timeline, p, initial, budget, format)
-                }
+                BackendChoice::Agents => ranked_report(
+                    &common, &robust, certify, timeline, metrics, p, initial, budget, format,
+                ),
+                BackendChoice::Counts => counts_ranked_report(
+                    &common, &robust, timeline, metrics, p, initial, budget, format,
+                ),
             }
         }
         ProtocolChoice::Sublinear => {
@@ -166,7 +171,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             };
             let budget =
                 budget(max_time, common.n, inflate(4000 * (common.n as u64).pow(2), &robust));
-            ranked_report(&common, &robust, certify, timeline, p, initial, budget, format)
+            ranked_report(&common, &robust, certify, timeline, metrics, p, initial, budget, format)
         }
         ProtocolChoice::TreeRanking => {
             let p = TreeRanking::new(common.n);
@@ -175,15 +180,17 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let budget =
                 budget(max_time, common.n, inflate(4000 * (common.n as u64).pow(2), &robust));
             match backend {
-                BackendChoice::Agents => {
-                    ranked_report(&common, &robust, certify, timeline, p, initial, budget, format)
-                }
-                BackendChoice::Counts => {
-                    counts_ranked_report(&common, &robust, timeline, p, initial, budget, format)
-                }
+                BackendChoice::Agents => ranked_report(
+                    &common, &robust, certify, timeline, metrics, p, initial, budget, format,
+                ),
+                BackendChoice::Counts => counts_ranked_report(
+                    &common, &robust, timeline, metrics, p, initial, budget, format,
+                ),
             }
         }
-        ProtocolChoice::Loose => loose_report(&common, &robust, start, max_time, backend, format),
+        ProtocolChoice::Loose => {
+            loose_report(&common, &robust, start, max_time, backend, metrics, format)
+        }
     }
 }
 
@@ -234,12 +241,81 @@ fn write_timeline(
         .map_err(|e| CliError::Report { path: path.into(), reason: e.to_string() })
 }
 
+/// Writes the collected engine metrics as one schema-v5 `"kind":"metrics"`
+/// JSONL row.
+fn write_metrics(
+    path: &str,
+    metrics: &Metrics,
+    common: &CommonFlags,
+    backend: &str,
+    wall_s: f64,
+) -> Result<(), CliError> {
+    let record = metrics.to_record(
+        "simulate",
+        common.protocol.short_name(),
+        backend,
+        common.n as u64,
+        Some(0),
+        common.seed,
+        wall_s,
+    );
+    std::fs::write(path, to_jsonl_mixed(&[RecordLine::Metrics(record)]))
+        .map_err(|e| CliError::Report { path: path.into(), reason: e.to_string() })
+}
+
 #[allow(clippy::too_many_arguments)]
 fn ranked_report<P: RankingProtocol>(
     common: &CommonFlags,
     robust: &RobustnessFlags,
     certify: f64,
     timeline: Option<&str>,
+    metrics: Option<&str>,
+    protocol: P,
+    initial: Vec<P::State>,
+    budget: u64,
+    format: OutputFormat,
+) -> Result<String, CliError> {
+    match metrics {
+        None => ranked_report_sink(
+            common,
+            robust,
+            certify,
+            timeline,
+            NoopMetrics,
+            protocol,
+            initial,
+            budget,
+            format,
+        ),
+        Some(path) => {
+            let mut collected = Metrics::new();
+            let started = Instant::now();
+            let result = ranked_report_sink(
+                common,
+                robust,
+                certify,
+                timeline,
+                &mut collected,
+                protocol,
+                initial,
+                budget,
+                format,
+            );
+            // Metrics are written even when the run exhausts its budget —
+            // profiling a non-converging run is exactly what they are for.
+            write_metrics(path, &collected, common, "agents", started.elapsed().as_secs_f64())?;
+            result
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn ranked_report_sink<P: RankingProtocol, M: MetricsSink>(
+    common: &CommonFlags,
+    robust: &RobustnessFlags,
+    certify: f64,
+    timeline: Option<&str>,
+    metrics: M,
     protocol: P,
     initial: Vec<P::State>,
     budget: u64,
@@ -249,7 +325,8 @@ fn ranked_report<P: RankingProtocol>(
     let policy = robust.policy(n)?;
     let spec = policy.spec();
     let mut sim = Simulation::with_policy(protocol, initial, policy, common.seed)
-        .with_reliability(robust.reliability());
+        .with_reliability(robust.reliability())
+        .with_metrics(metrics);
     // The timeline is written even when the run exhausts its budget — a
     // non-converging trajectory is exactly what one wants to inspect.
     let outcome = match timeline {
@@ -360,10 +437,12 @@ fn certificate_text(cert: &ClosureCertificate) -> String {
 /// [`ranked_report`] on the count-based backend: agents are anonymous in a
 /// multiset, so the report carries the leader count and the final support
 /// instead of a rank→agent table.
+#[allow(clippy::too_many_arguments)]
 fn counts_ranked_report<P>(
     common: &CommonFlags,
     robust: &RobustnessFlags,
     timeline: Option<&str>,
+    metrics: Option<&str>,
     protocol: P,
     initial: Vec<P::State>,
     budget: u64,
@@ -372,6 +451,60 @@ fn counts_ranked_report<P>(
 where
     P: RankingProtocol,
     P::State: Eq + Hash,
+{
+    if metrics.is_some() && !robust.policy(common.n)?.is_uniform_complete() {
+        return Err(CliError::BadValue {
+            flag: "metrics".into(),
+            reason: "the counts backend instruments the uniform complete scheduler only; \
+                     use --backend agents for non-uniform schedulers"
+                .into(),
+        });
+    }
+    match metrics {
+        None => counts_ranked_report_sink(
+            common,
+            robust,
+            timeline,
+            NoopMetrics,
+            protocol,
+            initial,
+            budget,
+            format,
+        ),
+        Some(path) => {
+            let mut collected = Metrics::new();
+            let started = Instant::now();
+            let result = counts_ranked_report_sink(
+                common,
+                robust,
+                timeline,
+                &mut collected,
+                protocol,
+                initial,
+                budget,
+                format,
+            );
+            write_metrics(path, &collected, common, "counts", started.elapsed().as_secs_f64())?;
+            result
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn counts_ranked_report_sink<P, M>(
+    common: &CommonFlags,
+    robust: &RobustnessFlags,
+    timeline: Option<&str>,
+    metrics: M,
+    protocol: P,
+    initial: Vec<P::State>,
+    budget: u64,
+    format: OutputFormat,
+) -> Result<String, CliError>
+where
+    P: RankingProtocol,
+    P::State: Eq + Hash,
+    M: MetricsSink,
 {
     let n = common.n;
     let policy = robust.policy(n)?;
@@ -384,8 +517,9 @@ where
                 .into(),
         });
     }
-    let mut sim =
-        BatchSimulation::new(protocol, initial, common.seed).with_reliability(robust.reliability());
+    let mut sim = BatchSimulation::new(protocol, initial, common.seed)
+        .with_reliability(robust.reliability())
+        .with_metrics(metrics);
     // The uniform-complete fast path keeps the lumped batched loop (omission
     // is thinned exactly inside batches); any other policy needs agent
     // identities, so the backend falls back to exact per-interaction draws.
@@ -437,6 +571,7 @@ fn loose_report(
     start: Start,
     max_time: f64,
     backend: BackendChoice,
+    metrics: Option<&str>,
     format: OutputFormat,
 ) -> Result<String, CliError> {
     let n = common.n;
@@ -448,12 +583,38 @@ fn loose_report(
     };
     let max = budget(max_time, n, inflate(4000 * (n as u64).pow(2), robust));
     if backend == BackendChoice::Counts {
-        return loose_counts_report(common, robust, p, initial, t_max, max, format);
+        return loose_counts_report(common, robust, metrics, p, initial, t_max, max, format);
     }
+    match metrics {
+        None => loose_agents_sink(common, robust, NoopMetrics, p, initial, t_max, max, format),
+        Some(path) => {
+            let mut collected = Metrics::new();
+            let started = Instant::now();
+            let result =
+                loose_agents_sink(common, robust, &mut collected, p, initial, t_max, max, format);
+            write_metrics(path, &collected, common, "agents", started.elapsed().as_secs_f64())?;
+            result
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn loose_agents_sink<M: MetricsSink>(
+    common: &CommonFlags,
+    robust: &RobustnessFlags,
+    metrics: M,
+    p: LooselyStabilizingLe,
+    initial: Vec<ssle::loose::LooseState>,
+    t_max: u32,
+    max: u64,
+    format: OutputFormat,
+) -> Result<String, CliError> {
+    let n = common.n;
     let policy = robust.policy(n)?;
     let spec = policy.spec();
     let mut sim = Simulation::with_policy(p, initial, policy, common.seed)
-        .with_reliability(robust.reliability());
+        .with_reliability(robust.reliability())
+        .with_metrics(metrics);
     let outcome = sim.run_until(max, |s| LooselyStabilizingLe::leader_count(s) == 1);
     match outcome {
         RunOutcome::Converged { interactions } => {
@@ -488,9 +649,43 @@ fn loose_report(
 
 /// Loose leader election on the count-based backend: converges when the
 /// leader-state count across the multiset reaches one.
+#[allow(clippy::too_many_arguments)]
 fn loose_counts_report(
     common: &CommonFlags,
     robust: &RobustnessFlags,
+    metrics: Option<&str>,
+    p: LooselyStabilizingLe,
+    initial: Vec<ssle::loose::LooseState>,
+    t_max: u32,
+    max: u64,
+    format: OutputFormat,
+) -> Result<String, CliError> {
+    if metrics.is_some() && !robust.policy(common.n)?.is_uniform_complete() {
+        return Err(CliError::BadValue {
+            flag: "metrics".into(),
+            reason: "the counts backend instruments the uniform complete scheduler only; \
+                     use --backend agents for non-uniform schedulers"
+                .into(),
+        });
+    }
+    match metrics {
+        None => loose_counts_sink(common, robust, NoopMetrics, p, initial, t_max, max, format),
+        Some(path) => {
+            let mut collected = Metrics::new();
+            let started = Instant::now();
+            let result =
+                loose_counts_sink(common, robust, &mut collected, p, initial, t_max, max, format);
+            write_metrics(path, &collected, common, "counts", started.elapsed().as_secs_f64())?;
+            result
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn loose_counts_sink<M: MetricsSink>(
+    common: &CommonFlags,
+    robust: &RobustnessFlags,
+    metrics: M,
     p: LooselyStabilizingLe,
     initial: Vec<ssle::loose::LooseState>,
     t_max: u32,
@@ -500,8 +695,9 @@ fn loose_counts_report(
     let n = common.n;
     let policy = robust.policy(n)?;
     let spec = policy.spec();
-    let mut sim =
-        BatchSimulation::new(p, initial, common.seed).with_reliability(robust.reliability());
+    let mut sim = BatchSimulation::new(p, initial, common.seed)
+        .with_reliability(robust.reliability())
+        .with_metrics(metrics);
     let outcome = if policy.is_uniform_complete() {
         sim.run_until(max, |counts| {
             counts.iter().filter(|(s, _)| s.leader).map(|(_, c)| c).sum::<u64>() == 1
@@ -804,6 +1000,147 @@ mod tests {
                 "--scheduler",
                 "zipf",
                 "--timeline",
+                "/tmp/x.jsonl",
+            ])),
+            Err(CliError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn metrics_writes_a_v5_row_on_both_backends() {
+        for backend in ["agents", "counts"] {
+            let path = std::env::temp_dir()
+                .join(format!("ssle-simulate-metrics-{}-{backend}.jsonl", std::process::id()));
+            let path_s = path.to_str().unwrap().to_string();
+            let out = run(&args(&[
+                "--protocol",
+                "ciw",
+                "--n",
+                "8",
+                "--seed",
+                "5",
+                "--backend",
+                backend,
+                "--metrics",
+                &path_s,
+            ]))
+            .unwrap_or_else(|e| panic!("{backend}: {e}"));
+            assert!(out.contains("stabilized"), "{backend}: {out}");
+            let text = std::fs::read_to_string(&path).unwrap();
+            std::fs::remove_file(&path).ok();
+            let lines = population::record::from_jsonl_mixed(&text).unwrap();
+            assert_eq!(lines.len(), 1, "{backend}: one row per run");
+            let row = match lines.into_iter().next().unwrap() {
+                RecordLine::Metrics(r) => r,
+                other => panic!("{backend}: unexpected record {other:?}"),
+            };
+            assert_eq!(row.experiment, "simulate", "{backend}");
+            assert_eq!(row.protocol, "ciw", "{backend}");
+            assert_eq!(row.backend, backend, "{backend}");
+            assert_eq!(row.n, 8, "{backend}");
+            assert!(row.interactions > 0, "{backend}: {row:?}");
+            match backend {
+                // The agent backend burns exactly two scheduler draws per
+                // interaction and never batches.
+                "agents" => {
+                    assert_eq!(row.rng_draws, 2 * row.interactions, "{row:?}");
+                    assert_eq!(row.batches, 0, "{row:?}");
+                }
+                // The counts backend resolves every interaction through the
+                // memo (CIW interactions are deterministic); the ranked
+                // workload runs entirely on the exact per-interaction
+                // fallback — a ranked configuration has n distinct states,
+                // so batching cannot help.
+                _ => {
+                    assert_eq!(row.memo_hits + row.memo_misses, row.interactions, "{row:?}");
+                    assert_eq!(row.exact_steps, row.interactions, "{row:?}");
+                    assert_eq!(row.batches, 0, "{row:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_instrument_the_loose_protocol_too() {
+        let path = std::env::temp_dir()
+            .join(format!("ssle-simulate-metrics-loose-{}.jsonl", std::process::id()));
+        let path_s = path.to_str().unwrap().to_string();
+        run(&args(&["--protocol", "loose", "--n", "8", "--seed", "3", "--metrics", &path_s]))
+            .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let lines = population::record::from_jsonl_mixed(&text).unwrap();
+        match lines.as_slice() {
+            [RecordLine::Metrics(r)] => {
+                assert_eq!(r.protocol, "loose");
+                assert!(r.interactions > 0, "{r:?}");
+            }
+            other => panic!("unexpected rows {other:?}"),
+        }
+    }
+
+    /// The loose workload drives the counts backend through the lumped
+    /// batched loop, so its metrics carry a batch-size histogram.
+    #[test]
+    fn loose_counts_metrics_record_batches() {
+        let path = std::env::temp_dir()
+            .join(format!("ssle-simulate-metrics-loose-counts-{}.jsonl", std::process::id()));
+        let path_s = path.to_str().unwrap().to_string();
+        run(&args(&[
+            "--protocol",
+            "loose",
+            "--n",
+            "64",
+            "--seed",
+            "3",
+            "--backend",
+            "counts",
+            "--metrics",
+            &path_s,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let lines = population::record::from_jsonl_mixed(&text).unwrap();
+        match lines.as_slice() {
+            [RecordLine::Metrics(r)] => {
+                assert_eq!(r.backend, "counts");
+                assert!(r.batches > 0, "{r:?}");
+                assert!(r.batched_pairs > 0, "{r:?}");
+                assert!(r.batch_hist.is_some(), "{r:?}");
+            }
+            other => panic!("unexpected rows {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_reject_counts_with_a_nonuniform_scheduler() {
+        assert!(matches!(
+            run(&args(&[
+                "--protocol",
+                "ciw",
+                "--n",
+                "8",
+                "--backend",
+                "counts",
+                "--scheduler",
+                "zipf",
+                "--metrics",
+                "/tmp/x.jsonl",
+            ])),
+            Err(CliError::BadValue { .. })
+        ));
+        assert!(matches!(
+            run(&args(&[
+                "--protocol",
+                "loose",
+                "--n",
+                "8",
+                "--backend",
+                "counts",
+                "--scheduler",
+                "zipf",
+                "--metrics",
                 "/tmp/x.jsonl",
             ])),
             Err(CliError::BadValue { .. })

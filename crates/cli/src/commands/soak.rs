@@ -12,8 +12,8 @@
 
 use population::record::{to_jsonl_mixed, RecordLine};
 use population::{
-    AnyScheduler, ChaosTrialOutcome, Corruptor, FaultAction, FaultPlan, FaultSize, Progress,
-    Runner, SchedulerPolicy, TrialSettings,
+    AnyScheduler, ChaosTrialOutcome, Corruptor, FaultAction, FaultPlan, FaultSize, Metrics,
+    Progress, Runner, SchedulerPolicy, TrialSettings,
 };
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -28,12 +28,20 @@ use crate::protocol_choice::{BackendChoice, CommonFlags, ProtocolChoice, Robustn
 /// `ssle soak --protocol <p> --n <agents> [--fault-rate <per unit time>]
 /// [--fault-size <k|sqrt|frac|all>] [--action <kind>] [--time <t>]
 /// [--trials <t>] [--threads <w>] [--seed <u64>] [--h <depth>]
-/// [--progress 1] [--json-out <path>] [--format text|json]`.
+/// [--progress 1] [--json-out <path>] [--metrics <path>]
+/// [--format text|json]`.
+///
+/// With `--metrics <path>`, trials run through the instrumented engines and
+/// the file receives one schema-v5 `"kind":"metrics"` row per trial plus a
+/// merged cross-trial row (`trial: null`); render it with
+/// `ssle report --metrics <path>`. Outcomes are unchanged — the sinks
+/// observe the RNG stream without touching it.
 ///
 /// # Errors
 ///
 /// Returns [`CliError::BadValue`] for invalid flag values (including a
-/// protocol without a mid-run corruption model) and [`CliError::BadFlag`]
+/// protocol without a mid-run corruption model, or `--metrics` combined
+/// with a non-default scheduler/omission model) and [`CliError::BadFlag`]
 /// for unknown flags.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let flags = parse_flags(
@@ -55,6 +63,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             "scheduler",
             "omission",
             "progress",
+            "metrics",
         ],
     )?;
     let common = CommonFlags::from_flags(&flags, ProtocolChoice::OptimalSilent)?;
@@ -68,6 +77,16 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             reason: "non-default --scheduler/--omission soaks run on the agents backend".into(),
         });
     }
+    let metrics_path = flags.try_get_str("metrics").map(str::to_string);
+    if metrics_path.is_some() && !robust.is_default() {
+        return Err(CliError::BadValue {
+            flag: "metrics".into(),
+            reason: "soak metrics instrument the uniform complete scheduler only; drop \
+                     --scheduler/--omission to profile a soak"
+                .into(),
+        });
+    }
+    let collect_metrics = metrics_path.is_some();
     let rate: f64 = flags.get("fault-rate", 0.02);
     if !(rate > 0.0 && rate.is_finite()) {
         return Err(CliError::BadValue {
@@ -95,7 +114,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let n = common.n;
     let budget = (time * n as f64).ceil() as u64;
 
-    let outcomes = match (common.protocol, backend) {
+    let (outcomes, trial_metrics) = match (common.protocol, backend) {
         (ProtocolChoice::Ciw, BackendChoice::Agents) => soak_trials(
             || CaiIzumiWada::new(n),
             &robust,
@@ -106,6 +125,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             budget,
             threads,
             progress,
+            collect_metrics,
         ),
         (ProtocolChoice::Ciw, BackendChoice::Counts) => soak_trials_counts(
             || CaiIzumiWada::new(n),
@@ -116,6 +136,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             budget,
             threads,
             progress,
+            collect_metrics,
         ),
         (ProtocolChoice::OptimalSilent, BackendChoice::Agents) => soak_trials(
             || OptimalSilentSsr::new(n),
@@ -127,6 +148,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             budget,
             threads,
             progress,
+            collect_metrics,
         ),
         (ProtocolChoice::OptimalSilent, BackendChoice::Counts) => soak_trials_counts(
             || OptimalSilentSsr::new(n),
@@ -137,6 +159,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             budget,
             threads,
             progress,
+            collect_metrics,
         ),
         (ProtocolChoice::Sublinear, BackendChoice::Agents) => soak_trials(
             || SublinearTimeSsr::new(n, common.h),
@@ -148,6 +171,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             budget,
             threads,
             progress,
+            collect_metrics,
         ),
         (ProtocolChoice::Sublinear, BackendChoice::Counts) => {
             return Err(CliError::BadValue {
@@ -167,6 +191,41 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             })
         }
     };
+
+    if let Some(path) = &metrics_path {
+        // One schema-v5 row per trial plus a merged cross-trial row
+        // (`trial: null`) so `ssle report --metrics` can render both the
+        // per-trial spread and the aggregate in one pass.
+        let label = protocol_label(common.protocol);
+        let mut records: Vec<RecordLine> = Vec::new();
+        let mut merged = Metrics::new();
+        let mut merged_wall = 0.0;
+        for (o, m) in outcomes.iter().zip(&trial_metrics) {
+            merged.merge_from(m);
+            let wall = o.wall.as_secs_f64();
+            merged_wall += wall;
+            records.push(RecordLine::Metrics(m.to_record(
+                "soak",
+                label,
+                backend.label(),
+                n as u64,
+                Some(o.trial),
+                common.seed,
+                wall,
+            )));
+        }
+        records.push(RecordLine::Metrics(merged.to_record(
+            "soak",
+            label,
+            backend.label(),
+            n as u64,
+            None,
+            common.seed,
+            merged_wall,
+        )));
+        std::fs::write(path, to_jsonl_mixed(&records))
+            .map_err(|e| CliError::Report { path: path.to_string(), reason: e.to_string() })?;
+    }
 
     if let Some(path) = flags.try_get_str("json-out") {
         let h = protocol_h(common.protocol, common.h);
@@ -280,12 +339,30 @@ fn soak_detail(o: &ChaosTrialOutcome) -> String {
     )
 }
 
+/// [`soak_detail`] plus engine throughput, for instrumented soaks: the
+/// interactions-per-second figure comes from the metrics counters rather
+/// than the meter's own budget arithmetic, so it reflects work actually
+/// performed.
+fn soak_metrics_detail(o: &ChaosTrialOutcome, m: &Metrics) -> String {
+    let wall = o.wall.as_secs_f64();
+    let ips = if wall > 0.0 {
+        format!("{:.2e}", m.total_interactions() as f64 / wall)
+    } else {
+        "-".into()
+    };
+    format!("{}, {ips} ips", soak_detail(o))
+}
+
 /// Runs the soak trials for one protocol type: adversarial random start,
 /// repeating fault plan, fixed interaction budget. Default robustness flags
 /// take the original chaos path so uniform/perfect soaks stay bit-identical
 /// with earlier releases; anything else routes through the scheduled runner.
 /// With `progress`, trials run sequentially through the observed runners
-/// and a heartbeat is printed to stderr after each one.
+/// and a heartbeat is printed to stderr after each one. With `metrics`,
+/// trials run sequentially through the instrumented runner (uniform
+/// complete scheduling only — `run` rejects the combination otherwise) and
+/// the per-trial sinks come back alongside the outcomes; the returned
+/// metrics vector is empty otherwise.
 #[allow(clippy::too_many_arguments)] // the robustness flags push past 7
 fn soak_trials<P, M>(
     make_protocol: M,
@@ -297,7 +374,8 @@ fn soak_trials<P, M>(
     budget: u64,
     threads: usize,
     progress: bool,
-) -> Vec<ChaosTrialOutcome>
+    metrics: bool,
+) -> (Vec<ChaosTrialOutcome>, Vec<Metrics>)
 where
     P: Corruptor + Send,
     P::State: Send,
@@ -310,7 +388,15 @@ where
         let plan = FaultPlan::new(rng.gen()).every_parallel_time(period, action);
         (protocol, initial, plan)
     };
-    if robust.is_default() {
+    if metrics {
+        let mut meter = soak_meter(trials, budget, progress);
+        let out = Runner::new(settings).run_chaos_trials_metrics(make, |o, m| {
+            meter.tick((o.trial + 1).saturating_mul(budget), &soak_metrics_detail(o, m));
+        });
+        meter.finish(trials.saturating_mul(budget), "done");
+        return out.into_iter().unzip();
+    }
+    let outcomes = if robust.is_default() {
         if progress {
             let mut meter = soak_meter(trials, budget, true);
             let out = Runner::new(settings).run_chaos_trials_observed(make, |o| {
@@ -343,7 +429,8 @@ where
         } else {
             Runner::new(settings).run_chaos_trials_scheduled_parallel(threads, make_scheduled)
         }
-    }
+    };
+    (outcomes, Vec::new())
 }
 
 /// [`soak_trials`] on the count-based backend: identical fault plans and
@@ -359,7 +446,8 @@ fn soak_trials_counts<P, M>(
     budget: u64,
     threads: usize,
     progress: bool,
-) -> Vec<ChaosTrialOutcome>
+    metrics: bool,
+) -> (Vec<ChaosTrialOutcome>, Vec<Metrics>)
 where
     P: Corruptor + Send,
     P::State: std::hash::Hash + Eq + Send,
@@ -372,7 +460,15 @@ where
         let plan = FaultPlan::new(rng.gen()).every_parallel_time(period, action);
         (protocol, initial, plan)
     };
-    if progress {
+    if metrics {
+        let mut meter = soak_meter(trials, budget, progress);
+        let out = Runner::new(settings).run_chaos_trials_counts_metrics(make, |o, m| {
+            meter.tick((o.trial + 1).saturating_mul(budget), &soak_metrics_detail(o, m));
+        });
+        meter.finish(trials.saturating_mul(budget), "done");
+        return out.into_iter().unzip();
+    }
+    let outcomes = if progress {
         let mut meter = soak_meter(trials, budget, true);
         let out = Runner::new(settings).run_chaos_trials_counts_observed(make, |o| {
             meter.tick((o.trial + 1).saturating_mul(budget), &soak_detail(o));
@@ -381,7 +477,8 @@ where
         out
     } else {
         Runner::new(settings).run_chaos_trials_counts_parallel(threads, make)
-    }
+    };
+    (outcomes, Vec::new())
 }
 
 /// Means over the batch used by both output formats.
@@ -678,6 +775,94 @@ mod tests {
             run(&args(&["--n", "8", "--backend", "counts", "--omission", "0.2"])),
             Err(CliError::BadValue { .. })
         ));
+    }
+
+    #[test]
+    fn metrics_soak_writes_per_trial_and_merged_rows() {
+        for backend in ["agents", "counts"] {
+            let path = std::env::temp_dir().join(format!("ssle_soak_metrics_{backend}.jsonl"));
+            let path_s = path.to_string_lossy().into_owned();
+            run(&args(&[
+                "--n",
+                "16",
+                "--time",
+                "200",
+                "--fault-rate",
+                "0.05",
+                "--trials",
+                "2",
+                "--seed",
+                "3",
+                "--backend",
+                backend,
+                "--metrics",
+                &path_s,
+            ]))
+            .unwrap();
+            let text = std::fs::read_to_string(&path).unwrap();
+            let rows: Vec<_> = population::record::from_jsonl_mixed(&text)
+                .unwrap()
+                .into_iter()
+                .filter_map(|l| match l {
+                    RecordLine::Metrics(m) => Some(m),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(rows.len(), 3, "{backend}: 2 per-trial rows + 1 merged: {text}");
+            assert_eq!(rows[0].trial, Some(0), "{backend}");
+            assert_eq!(rows[1].trial, Some(1), "{backend}");
+            let merged = &rows[2];
+            assert_eq!(merged.trial, None, "{backend}");
+            assert_eq!(merged.experiment, "soak", "{backend}");
+            assert_eq!(merged.backend, backend, "{backend}");
+            assert_eq!(
+                merged.interactions,
+                rows[0].interactions + rows[1].interactions,
+                "{backend}: the merged row sums the per-trial counters"
+            );
+            assert!(merged.interactions > 0, "{backend}");
+        }
+    }
+
+    #[test]
+    fn metrics_soak_reports_identical_outcomes() {
+        // The instrumented runners must observe the RNG stream without
+        // perturbing it: a soak with --metrics reports exactly what the
+        // uninstrumented soak reports, on both backends.
+        for backend in ["agents", "counts"] {
+            let path =
+                std::env::temp_dir().join(format!("ssle_soak_metrics_neutral_{backend}.jsonl"));
+            let path_s = path.to_string_lossy().into_owned();
+            let base = [
+                "--n",
+                "16",
+                "--time",
+                "150",
+                "--trials",
+                "2",
+                "--seed",
+                "9",
+                "--backend",
+                backend,
+            ];
+            let plain: Vec<&str> = base.to_vec();
+            let instrumented: Vec<&str> =
+                base.iter().copied().chain(["--metrics", &path_s]).collect();
+            assert_eq!(
+                run(&args(&plain)).unwrap(),
+                run(&args(&instrumented)).unwrap(),
+                "{backend}"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_soak_rejects_nonuniform_schedulers() {
+        for extra in [["--scheduler", "zipf"], ["--omission", "0.1"]] {
+            let base = ["--n", "8", "--metrics", "m.jsonl"];
+            let all: Vec<&str> = base.iter().chain(extra.iter()).copied().collect();
+            assert!(matches!(run(&args(&all)), Err(CliError::BadValue { .. })), "{extra:?}");
+        }
     }
 
     #[test]

@@ -63,6 +63,7 @@ use crate::fault::{
     ChaosReport, ChaosTrialOutcome, Corruptor, FaultInjector, FaultPlan, FaultSchedule, NoFaults,
     RecoveryTracker,
 };
+use crate::metrics::{Metrics, MetricsSink, NoopMetrics, Section, AGENT_FLUSH_EVERY};
 use crate::observer::{NoopObserver, Observer};
 use crate::protocol::{Protocol, RankingProtocol};
 use crate::runner::{derive_seed, rng_from_seed, Runner, TrialOutcome};
@@ -363,8 +364,15 @@ fn survival_table(n: u64) -> Vec<f64> {
 /// [`Observer::on_converged`], [`Observer::on_exhausted`]); the per-agent
 /// hooks (`on_interaction`, `on_state_change`, `on_phase_transition`) are
 /// never called.
+///
+/// Engine telemetry: a [`MetricsSink`] (default [`NoopMetrics`], which
+/// monomorphizes every hook to a no-op) observes batch sizes, the
+/// exact-fallback rate, memo hit rates, compactions, and coarse per-section
+/// wall time. The sink is flushed at batch boundaries — never inside the
+/// pair loop — so recording sinks cannot perturb the execution: metrics
+/// never touch the simulation RNG.
 #[derive(Debug, Clone)]
-pub struct BatchSimulation<P: Protocol, O = NoopObserver, F = NoFaults>
+pub struct BatchSimulation<P: Protocol, O = NoopObserver, F = NoFaults, M = NoopMetrics>
 where
     P::State: Eq + Hash,
 {
@@ -375,6 +383,7 @@ where
     interactions: u64,
     observer: O,
     faults: F,
+    metrics: M,
     reliability: Reliability,
     survival: Vec<f64>,
     memo: TransitionMemo,
@@ -417,6 +426,7 @@ where
             interactions: 0,
             observer: NoopObserver,
             faults: NoFaults,
+            metrics: NoopMetrics,
             reliability: Reliability::perfect(),
             survival: survival_table(n),
             memo,
@@ -428,7 +438,7 @@ where
     }
 }
 
-impl<P: Protocol, O: Observer<P>, F: FaultSchedule<P>> BatchSimulation<P, O, F>
+impl<P: Protocol, O: Observer<P>, F: FaultSchedule<P>, M: MetricsSink> BatchSimulation<P, O, F, M>
 where
     P::State: Eq + Hash,
 {
@@ -463,7 +473,7 @@ where
     }
 
     /// Replaces the observer (mirrors [`crate::Simulation::observe`]).
-    pub fn observe<O2: Observer<P>>(self, observer: O2) -> BatchSimulation<P, O2, F> {
+    pub fn observe<O2: Observer<P>>(self, observer: O2) -> BatchSimulation<P, O2, F, M> {
         BatchSimulation {
             protocol: self.protocol,
             config: self.config,
@@ -472,6 +482,7 @@ where
             interactions: self.interactions,
             observer,
             faults: self.faults,
+            metrics: self.metrics,
             reliability: self.reliability,
             survival: self.survival,
             memo: self.memo,
@@ -480,6 +491,40 @@ where
             deltas: self.deltas,
             dirty: self.dirty,
         }
+    }
+
+    /// Replaces the metrics sink (mirrors
+    /// [`crate::Simulation::with_metrics`]). Recording sinks never touch
+    /// the simulation RNG, so the execution is identical to an
+    /// uninstrumented run with the same seed.
+    pub fn with_metrics<M2: MetricsSink>(self, metrics: M2) -> BatchSimulation<P, O, F, M2> {
+        BatchSimulation {
+            protocol: self.protocol,
+            config: self.config,
+            n: self.n,
+            rng: self.rng,
+            interactions: self.interactions,
+            observer: self.observer,
+            faults: self.faults,
+            metrics,
+            reliability: self.reliability,
+            survival: self.survival,
+            memo: self.memo,
+            remaining: self.remaining,
+            slots: self.slots,
+            deltas: self.deltas,
+            dirty: self.dirty,
+        }
+    }
+
+    /// The attached metrics sink.
+    pub fn metrics(&self) -> &M {
+        &self.metrics
+    }
+
+    /// Consumes the simulation, returning the metrics sink.
+    pub fn into_metrics(self) -> M {
+        self.metrics
     }
 
     /// The attached observer.
@@ -499,7 +544,7 @@ where
 
     /// Binds `plan` to this simulation's population, replacing any existing
     /// fault schedule (mirrors [`crate::Simulation::with_fault_plan`]).
-    pub fn with_fault_plan(self, plan: &FaultPlan) -> BatchSimulation<P, O, FaultInjector> {
+    pub fn with_fault_plan(self, plan: &FaultPlan) -> BatchSimulation<P, O, FaultInjector, M> {
         let faults = FaultInjector::bind(plan, self.n as usize);
         BatchSimulation {
             protocol: self.protocol,
@@ -509,6 +554,7 @@ where
             interactions: self.interactions,
             observer: self.observer,
             faults,
+            metrics: self.metrics,
             reliability: self.reliability,
             survival: self.survival,
             memo: self.memo,
@@ -554,7 +600,13 @@ where
     fn transition(&mut self, ia: usize, ib: usize) -> (usize, usize) {
         if P::DETERMINISTIC_INTERACT {
             if let Some(hit) = self.memo.get(ia, ib) {
+                if M::ENABLED {
+                    self.metrics.on_memo_lookup(true);
+                }
                 return hit;
+            }
+            if M::ENABLED {
+                self.metrics.on_memo_lookup(false);
             }
         }
         let mut a = self.config.state_at(ia).clone();
@@ -575,6 +627,10 @@ where
     fn maybe_compact(&mut self) {
         if self.config.wants_compaction() && self.config.compact() {
             self.memo.grow(self.config.raw_len());
+            if M::ENABLED {
+                self.metrics
+                    .on_compaction(self.config.support() as u64, self.config.raw_len() as u64);
+            }
         }
     }
 
@@ -625,6 +681,14 @@ where
         let rb = uniform_u64(&mut self.rng, self.n - 1);
         let ib = self.config.locate_excluding(rb, ia);
         self.interactions += 1;
+        if M::ENABLED {
+            self.metrics.on_exact_step();
+            self.metrics.on_interactions(1);
+            self.metrics.on_rng_draws(2);
+            if self.interactions.is_multiple_of(AGENT_FLUSH_EVERY) {
+                self.metrics.on_flush(self.interactions);
+            }
+        }
         if self.reliability.drops(&mut self.rng) {
             // Omitted: the pair met but the transition never applied.
             return (ia, ib, ia, ib);
@@ -638,9 +702,15 @@ where
     /// Runs one collision-free batch of at most `cap ≥ 1` interactions
     /// (plus its terminal colliding interaction, when one occurs within the
     /// cap). Returns the number of interactions performed.
+    ///
+    /// Metrics: the [`Section::Sample`] timer covers batch setup through
+    /// the `T` draw and count snapshot; [`Section::Transition`] covers the
+    /// pair loop, commit, and collision resolution. Counters and the sink
+    /// flush fire once per batch, after the commit.
     fn step_batch(&mut self, cap: u64) -> u64 {
         debug_assert!(cap >= 1);
         self.maybe_compact();
+        let section = if M::ENABLED { Some(Instant::now()) } else { None };
         let lmax = (self.survival.len() - 1).min(usize::try_from(cap).unwrap_or(usize::MAX));
         debug_assert!(lmax >= 1);
 
@@ -670,6 +740,10 @@ where
         self.remaining.extend((0..self.config.raw_len()).map(|i| self.config.count_at(i)));
         self.slots.clear();
         let mut pool = self.n;
+        let section = section.map(|t0| {
+            self.metrics.on_section(Section::Sample, t0.elapsed().as_nanos() as u64);
+            Instant::now()
+        });
         for _ in 0..t {
             let ia = Self::draw_without_replacement(&mut self.remaining, &mut self.rng, pool);
             pool -= 1;
@@ -741,6 +815,18 @@ where
         }
 
         self.interactions += performed;
+        if M::ENABLED {
+            if let Some(t0) = section {
+                self.metrics.on_section(Section::Transition, t0.elapsed().as_nanos() as u64);
+            }
+            // Scheduler draws only: 1 for T, 2 per collision-free pair, 3
+            // to resolve the colliding interaction (reliability and
+            // protocol-internal draws are not counted).
+            self.metrics.on_rng_draws(1 + 2 * t as u64 + if collides { 3 } else { 0 });
+            self.metrics.on_batch(performed);
+            self.metrics.on_interactions(performed);
+            self.metrics.on_flush(self.interactions);
+        }
         performed
     }
 
@@ -817,7 +903,12 @@ where
         mut goal: impl FnMut(&CountConfig<P::State>) -> bool,
     ) -> RunOutcome {
         loop {
-            if goal(&self.config) {
+            let probe = if M::ENABLED { Some(Instant::now()) } else { None };
+            let reached = goal(&self.config);
+            if let Some(t0) = probe {
+                self.metrics.on_section(Section::Probe, t0.elapsed().as_nanos() as u64);
+            }
+            if reached {
                 self.observer.on_converged(self.interactions);
                 if F::ACTIVE {
                     self.faults.notify_converged(self.interactions);
@@ -885,7 +976,8 @@ where
     }
 }
 
-impl<P: RankingProtocol, O: Observer<P>, F: FaultSchedule<P>> BatchSimulation<P, O, F>
+impl<P: RankingProtocol, O: Observer<P>, F: FaultSchedule<P>, M: MetricsSink>
+    BatchSimulation<P, O, F, M>
 where
     P::State: Eq + Hash,
 {
@@ -956,7 +1048,11 @@ where
         let outcome = loop {
             if let Some(tl) = timeline.as_deref_mut() {
                 if tl.is_due(self.interactions) {
+                    let observe = if M::ENABLED { Some(Instant::now()) } else { None };
                     tl.record(snapshot_counts(&self.protocol, &self.config, self.interactions));
+                    if let Some(t0) = observe {
+                        self.metrics.on_section(Section::Observe, t0.elapsed().as_nanos() as u64);
+                    }
                 }
             }
             match converged_at {
@@ -1109,25 +1205,28 @@ where
     }
 }
 
-impl<P, O, F> BatchSimulation<P, O, F>
+impl<P, O, F, M> BatchSimulation<P, O, F, M>
 where
     P: Corruptor,
     P::State: Eq + Hash,
     O: Observer<P>,
     F: FaultSchedule<P>,
+    M: MetricsSink,
 {
     /// Count-level mirror of [`crate::Simulation::run_chaos`]: runs under
     /// the attached fault schedule, measuring recovery and availability.
     ///
-    /// Ranked stretches step exactly — a ranked configuration has `n`
-    /// distinct states, so batching cannot help, and perturbations must be
-    /// detected at interaction granularity. Recovery stretches (the bulk of
-    /// the work after a mass corruption) advance in collision-free batches,
-    /// which is what makes chaos runs practical at `n ≥ 10⁶`. Batches never
-    /// jump past a due fault, so fault injection times stay exact; ranked /
-    /// unique-leader status inside a recovery stretch is resolved at batch
-    /// boundaries, so availability and recovery times may overshoot by up
-    /// to one batch (`O(√n)` interactions, i.e. `o(1)` parallel time).
+    /// Both ranked and recovery stretches advance in collision-free
+    /// batches, capped at the next due fault trigger
+    /// ([`FaultSchedule::next_due`]), which is what makes chaos runs
+    /// practical at `n ≥ 10⁶`: a ranked stretch waiting out the gap to the
+    /// next injection no longer pays a per-interaction fault poll and
+    /// tracker update. Batches never jump past a due fault, so fault
+    /// injection times stay exact; ranked / unique-leader status is
+    /// resolved at batch boundaries (one `O(support)` rank-histogram
+    /// rebuild per batch), so availability and recovery times may overshoot
+    /// by up to one batch (`O(√n)` interactions, i.e. `o(1)` parallel
+    /// time).
     pub fn run_chaos(&mut self, max_interactions: u64) -> ChaosReport {
         let n = self.protocol.population_size();
         assert_eq!(n as u64, self.n, "protocol configured for a different population size");
@@ -1157,49 +1256,23 @@ where
                 self.observer.on_exhausted(self.interactions);
                 break;
             }
-            if tracker.is_correct() {
-                // Ranked: watch every interaction for the perturbation.
-                let (ia, ib, ja, jb) = self.step_exact_indices();
-                tracker.update(
-                    self.protocol.rank_of(self.config.state_at(ia)),
-                    self.protocol.rank_of(self.config.state_at(ja)),
-                );
-                tracker.update(
-                    self.protocol.rank_of(self.config.state_at(ib)),
-                    self.protocol.rank_of(self.config.state_at(jb)),
-                );
-                self.poll_faults();
-                if self.faults.fired_count() != seen {
-                    for f in &self.faults.log()[seen..] {
-                        recovery.on_fault(f.action, f.agents, f.at);
-                    }
-                    seen = self.faults.fired_count();
-                    tracker = self.build_tracker();
+            // Advance a whole batch (ranked stretches are capped at the
+            // next due fault by `advance`), then resolve status.
+            let before = self.interactions;
+            self.advance(max_interactions - self.interactions);
+            let performed = self.interactions - before;
+            if self.faults.fired_count() != seen {
+                for f in &self.faults.log()[seen..] {
+                    recovery.on_fault(f.action, f.agents, f.at);
                 }
-                let ranked = tracker.is_correct();
-                recovery.observe_step(ranked, tracker.count_of(1) == 1);
-                if ranked {
-                    recovery.on_ranked(self.interactions);
-                    self.faults.notify_converged(self.interactions);
-                }
-            } else {
-                // Recovering: advance a whole batch, then resolve status.
-                let before = self.interactions;
-                self.advance(max_interactions - self.interactions);
-                let performed = self.interactions - before;
-                if self.faults.fired_count() != seen {
-                    for f in &self.faults.log()[seen..] {
-                        recovery.on_fault(f.action, f.agents, f.at);
-                    }
-                    seen = self.faults.fired_count();
-                }
-                tracker = self.build_tracker();
-                let ranked = tracker.is_correct();
-                recovery.observe_steps(performed, ranked, tracker.count_of(1) == 1);
-                if ranked {
-                    recovery.on_ranked(self.interactions);
-                    self.faults.notify_converged(self.interactions);
-                }
+                seen = self.faults.fired_count();
+            }
+            tracker = self.build_tracker();
+            let ranked = tracker.is_correct();
+            recovery.observe_steps(performed, ranked, tracker.count_of(1) == 1);
+            if ranked {
+                recovery.on_ranked(self.interactions);
+                self.faults.notify_converged(self.interactions);
             }
         }
         recovery.into_report(self.interactions)
@@ -1229,6 +1302,30 @@ where
     TrialOutcome { trial, n, outcome, wall: started.elapsed() }
 }
 
+/// [`counts_trial`] with a recording [`Metrics`] sink attached. The sink
+/// never touches the simulation RNG, so the trial outcome is identical to
+/// the uninstrumented [`counts_trial`] for the same runner and trial index.
+fn counts_trial_metrics<P, F>(runner: &Runner, trial: u64, make: &mut F) -> (TrialOutcome, Metrics)
+where
+    P: RankingProtocol,
+    P::State: Eq + Hash,
+    F: FnMut(u64, &mut SmallRng) -> (P, Vec<P::State>),
+{
+    let settings = *runner.settings();
+    let mut config_rng = rng_from_seed(derive_seed(settings.base_seed, 2 * trial));
+    let (protocol, initial) = make(trial, &mut config_rng);
+    let n = initial.len();
+    let mut metrics = Metrics::new();
+    let mut sim =
+        BatchSimulation::new(protocol, initial, derive_seed(settings.base_seed, 2 * trial + 1))
+            .with_metrics(&mut metrics);
+    let started = Instant::now();
+    let outcome = sim.run_until_stably_ranked(settings.max_interactions, settings.confirm_window);
+    let wall = started.elapsed();
+    drop(sim);
+    (TrialOutcome { trial, n, outcome, wall }, metrics)
+}
+
 /// Runs one seeded chaos trial on the count backend, mirroring the
 /// agent-array chaos trial's seed derivation.
 fn counts_chaos_trial<P, F>(runner: &Runner, trial: u64, make: &mut F) -> ChaosTrialOutcome
@@ -1249,6 +1346,33 @@ where
     ChaosTrialOutcome { trial, n, report, wall: started.elapsed() }
 }
 
+/// [`counts_chaos_trial`] with a recording [`Metrics`] sink attached.
+fn counts_chaos_trial_metrics<P, F>(
+    runner: &Runner,
+    trial: u64,
+    make: &mut F,
+) -> (ChaosTrialOutcome, Metrics)
+where
+    P: Corruptor,
+    P::State: Eq + Hash,
+    F: FnMut(u64, &mut SmallRng) -> (P, Vec<P::State>, FaultPlan),
+{
+    let settings = *runner.settings();
+    let mut config_rng = rng_from_seed(derive_seed(settings.base_seed, 2 * trial));
+    let (protocol, initial, plan) = make(trial, &mut config_rng);
+    let n = initial.len();
+    let mut metrics = Metrics::new();
+    let mut sim =
+        BatchSimulation::new(protocol, initial, derive_seed(settings.base_seed, 2 * trial + 1))
+            .with_metrics(&mut metrics)
+            .with_fault_plan(&plan);
+    let started = Instant::now();
+    let report = sim.run_chaos(settings.max_interactions);
+    let wall = started.elapsed();
+    drop(sim);
+    (ChaosTrialOutcome { trial, n, report, wall }, metrics)
+}
+
 impl Runner {
     /// [`Runner::run_trials`] on the count-based backend.
     pub fn run_trials_counts<P, F>(&self, mut make: F) -> Vec<TrialOutcome>
@@ -1258,6 +1382,20 @@ impl Runner {
         F: FnMut(u64, &mut SmallRng) -> (P, Vec<P::State>),
     {
         (0..self.settings().trials).map(|trial| counts_trial(self, trial, &mut make)).collect()
+    }
+
+    /// [`Runner::run_trials_counts`] with a recording [`Metrics`] sink per
+    /// trial. Sequential; the trial outcomes are identical to the
+    /// uninstrumented runner's (metrics never touch the simulation RNG).
+    pub fn run_trials_counts_metrics<P, F>(&self, mut make: F) -> Vec<(TrialOutcome, Metrics)>
+    where
+        P: RankingProtocol,
+        P::State: Eq + Hash,
+        F: FnMut(u64, &mut SmallRng) -> (P, Vec<P::State>),
+    {
+        (0..self.settings().trials)
+            .map(|trial| counts_trial_metrics(self, trial, &mut make))
+            .collect()
     }
 
     /// [`Runner::run_trials_parallel`] on the count-based backend.
@@ -1359,6 +1497,31 @@ impl Runner {
             .map(|trial| {
                 let outcome = counts_chaos_trial(self, trial, &mut make_fn);
                 on_trial(&outcome);
+                outcome
+            })
+            .collect()
+    }
+
+    /// [`Runner::run_chaos_trials_counts_observed`] with a recording
+    /// [`Metrics`] sink per trial; `on_trial` additionally receives the
+    /// trial's metrics. Chaos reports are identical to the uninstrumented
+    /// runner's (metrics never touch the simulation RNG).
+    pub fn run_chaos_trials_counts_metrics<P, F, G>(
+        &self,
+        make: F,
+        mut on_trial: G,
+    ) -> Vec<(ChaosTrialOutcome, Metrics)>
+    where
+        P: Corruptor,
+        P::State: Eq + Hash,
+        F: Fn(u64, &mut SmallRng) -> (P, Vec<P::State>, FaultPlan),
+        G: FnMut(&ChaosTrialOutcome, &Metrics),
+    {
+        let mut make_fn = |t: u64, rng: &mut SmallRng| make(t, rng);
+        (0..self.settings().trials)
+            .map(|trial| {
+                let outcome = counts_chaos_trial_metrics(self, trial, &mut make_fn);
+                on_trial(&outcome.0, &outcome.1);
                 outcome
             })
             .collect()

@@ -52,6 +52,7 @@ use std::time::{Duration, Instant};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
+use crate::metrics::MetricsSink;
 use crate::observer::Observer;
 use crate::protocol::{Protocol, RankingProtocol};
 use crate::record::{FaultRecord, RunRecord};
@@ -760,11 +761,13 @@ impl ChaosReport {
     }
 }
 
-impl<P: Corruptor, O: Observer<P>, F: FaultSchedule<P>, S: SchedulerPolicy> Simulation<P, O, F, S> {
+impl<P: Corruptor, O: Observer<P>, F: FaultSchedule<P>, S: SchedulerPolicy, M: MetricsSink>
+    Simulation<P, O, F, S, M>
+{
     /// Binds `plan` to this simulation's population, replacing any existing
     /// fault schedule. Interactions already performed are preserved; triggers
     /// are measured in **total** interaction counts.
-    pub fn with_fault_plan(self, plan: &FaultPlan) -> Simulation<P, O, FaultInjector, S> {
+    pub fn with_fault_plan(self, plan: &FaultPlan) -> Simulation<P, O, FaultInjector, S, M> {
         let faults = FaultInjector::bind(plan, self.states.len());
         Simulation {
             protocol: self.protocol,
@@ -775,6 +778,7 @@ impl<P: Corruptor, O: Observer<P>, F: FaultSchedule<P>, S: SchedulerPolicy> Simu
             observer: self.observer,
             faults,
             reliability: self.reliability,
+            metrics: self.metrics,
         }
     }
 
@@ -838,6 +842,9 @@ impl<P: Corruptor, O: Observer<P>, F: FaultSchedule<P>, S: SchedulerPolicy> Simu
             self.interact_observed(i, j);
             tracker.update(before_i, self.protocol.rank_of(&self.states[i]));
             tracker.update(before_j, self.protocol.rank_of(&self.states[j]));
+            if M::ENABLED {
+                self.note_step_metrics();
+            }
             self.poll_faults();
             if self.faults.fired_count() != seen {
                 for f in &self.faults.log()[seen..] {
@@ -1019,6 +1026,45 @@ impl Runner {
                 let outcome = chaos_trial(self, trial, &mut make);
                 on_trial(&outcome);
                 outcome
+            })
+            .collect()
+    }
+
+    /// [`Runner::run_chaos_trials_observed`] with a recording
+    /// [`crate::Metrics`] sink per trial; `on_trial` additionally receives
+    /// the trial's metrics. Chaos reports are identical to the
+    /// uninstrumented runner's (metrics never touch the simulation RNG).
+    pub fn run_chaos_trials_metrics<P, F, G>(
+        &self,
+        mut make: F,
+        mut on_trial: G,
+    ) -> Vec<(ChaosTrialOutcome, crate::Metrics)>
+    where
+        P: Corruptor,
+        F: FnMut(u64, &mut SmallRng) -> (P, Vec<P::State>, FaultPlan),
+        G: FnMut(&ChaosTrialOutcome, &crate::Metrics),
+    {
+        (0..self.settings().trials)
+            .map(|trial| {
+                let settings = *self.settings();
+                let mut config_rng = rng_from_seed(derive_seed(settings.base_seed, 2 * trial));
+                let (protocol, initial, plan) = make(trial, &mut config_rng);
+                let n = initial.len();
+                let mut metrics = crate::Metrics::new();
+                let mut sim = Simulation::new(
+                    protocol,
+                    initial,
+                    derive_seed(settings.base_seed, 2 * trial + 1),
+                )
+                .with_metrics(&mut metrics)
+                .with_fault_plan(&plan);
+                let started = Instant::now();
+                let report = sim.run_chaos(settings.max_interactions);
+                let wall = started.elapsed();
+                drop(sim);
+                let outcome = ChaosTrialOutcome { trial, n, report, wall };
+                on_trial(&outcome, &metrics);
+                (outcome, metrics)
             })
             .collect()
     }

@@ -36,6 +36,7 @@
 //! | [`probe`] | sampled time series and the stabilization-certificate (closure) checker |
 //! | [`fault`] | chaos harness: [`FaultPlan`] schedules, mid-run [`Corruptor`] injection, recovery/availability measurement |
 //! | [`telemetry`] | counters, fixed-bucket histograms, throughput meters, [`TelemetryObserver`] |
+//! | [`metrics`] | engine telemetry: the zero-cost [`MetricsSink`] seam both backends flush at batch boundaries — batch sizes, exact-fallback/memo rates, compactions, per-section wall time |
 //! | [`timeline`] | within-run trajectory tracing: decimated [`timeline::TimelineObserver`] checkpoints and the [`timeline::Progress`] heartbeat |
 //! | [`record`] | versioned per-trial [`RunRecord`]s and their JSONL encoding |
 //! | [`epidemic`] | one-way/two-way epidemic, bounded epidemic, and roll-call processes |
@@ -81,6 +82,7 @@ pub mod epidemic;
 pub mod fault;
 pub mod gillespie;
 pub mod graph;
+pub mod metrics;
 pub mod observer;
 pub mod probe;
 pub mod protocol;
@@ -100,12 +102,15 @@ pub use fault::{
     FaultSchedule, FaultSize, FaultTrigger, NoFaults, RecoveryTracker,
 };
 pub use graph::InteractionGraph;
+pub use metrics::{Metrics, MetricsSink, NoopMetrics, Section};
 pub use observer::{NoopObserver, Observer};
 pub use probe::{
     certify_leader_closure, certify_ranking_closure, ClosureCertificate, ClosureViolation,
 };
 pub use protocol::{Protocol, RankingProtocol};
-pub use record::{FaultRecord, FrontierRecord, RecordLine, RunRecord, TimelineRecord};
+pub use record::{
+    FaultRecord, FrontierRecord, MetricsRecord, RecordLine, RunRecord, TimelineRecord,
+};
 pub use runner::{derive_seed, ConvergenceSample, Runner, TrialOutcome, TrialSettings};
 pub use scheduler::{AnyScheduler, Reliability, Scheduler, SchedulerPolicy};
 pub use simulation::{RunOutcome, Simulation};

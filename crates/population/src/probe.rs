@@ -21,6 +21,7 @@
 //! a concrete [`ClosureViolation`] witness.
 
 use crate::fault::NoFaults;
+use crate::metrics::MetricsSink;
 use crate::observer::Observer;
 use crate::protocol::{Protocol, RankingProtocol};
 use crate::scheduler::SchedulerPolicy;
@@ -204,8 +205,8 @@ fn closure_window(converged_at: u64, multiple: f64, min_window: u64) -> u64 {
 
 /// The shared certification loop: snapshots the converged per-agent output
 /// assignment, then runs the window watching only the interacting pair.
-fn certify_outputs<P, O, S>(
-    sim: &mut Simulation<P, O, NoFaults, S>,
+fn certify_outputs<P, O, S, M>(
+    sim: &mut Simulation<P, O, NoFaults, S, M>,
     converged_at: u64,
     multiple: f64,
     min_window: u64,
@@ -215,6 +216,7 @@ where
     P: Protocol,
     O: Observer<P>,
     S: SchedulerPolicy,
+    M: MetricsSink,
 {
     let window = closure_window(converged_at, multiple, min_window);
     let assignment: Vec<Option<usize>> =
@@ -254,8 +256,8 @@ where
 ///
 /// Returns `Err` with the exhausted outcome when the run never converges
 /// (no certificate can be issued either way).
-pub fn certify_ranking_closure<P, O, S>(
-    sim: &mut Simulation<P, O, NoFaults, S>,
+pub fn certify_ranking_closure<P, O, S, M>(
+    sim: &mut Simulation<P, O, NoFaults, S, M>,
     max_interactions: u64,
     confirm_window: u64,
     multiple: f64,
@@ -265,6 +267,7 @@ where
     P: RankingProtocol,
     O: Observer<P>,
     S: SchedulerPolicy,
+    M: MetricsSink,
 {
     let converged_at = match sim.run_until_stably_ranked(max_interactions, confirm_window) {
         RunOutcome::Converged { interactions } => interactions,
@@ -282,8 +285,8 @@ where
 ///
 /// Returns `Err` with the exhausted outcome when no unique-leader
 /// configuration is reached.
-pub fn certify_leader_closure<P, O, S>(
-    sim: &mut Simulation<P, O, NoFaults, S>,
+pub fn certify_leader_closure<P, O, S, M>(
+    sim: &mut Simulation<P, O, NoFaults, S, M>,
     max_interactions: u64,
     multiple: f64,
     min_window: u64,
@@ -292,6 +295,7 @@ where
     P: RankingProtocol,
     O: Observer<P>,
     S: SchedulerPolicy,
+    M: MetricsSink,
 {
     // Converge to a unique leader with an O(1)-per-interaction incremental
     // count (only the two participants can flip).

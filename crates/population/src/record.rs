@@ -35,6 +35,11 @@
 //!   distinct-state support, phase occupancy). A trial's timeline is a run
 //!   of such lines sharing `(experiment, protocol, backend, n, trial)`,
 //!   ordered by `interactions`. Existing kinds are unchanged.
+//! * **v5** — adds the `"kind":"metrics"` [`MetricsRecord`] line: one
+//!   engine-telemetry summary per run (or one merged cross-trial summary,
+//!   `trial = null`) as collected by [`crate::metrics`] — batch-size
+//!   histogram, exact-fallback and memo-hit counters, compactions, RNG
+//!   draws, and per-section wall time. Existing kinds are unchanged.
 //!
 //! A stream may mix all kinds; [`from_jsonl_mixed`] reads everything as
 //! [`RecordLine`]s, while [`from_jsonl`] keeps its original contract of
@@ -47,7 +52,7 @@ use crate::simulation::RunOutcome;
 
 /// Version of the record schema. Bump when fields change meaning; readers
 /// accept [`MIN_SCHEMA_VERSION`]`..=SCHEMA_VERSION` and reject anything else.
-pub const SCHEMA_VERSION: u32 = 4;
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// Oldest schema version readers still accept.
 pub const MIN_SCHEMA_VERSION: u32 = 1;
@@ -586,6 +591,204 @@ impl TimelineRecord {
     }
 }
 
+/// One engine-telemetry summary (`kind = "metrics"`, schema v5), emitted by
+/// `ssle simulate/soak --metrics` and the `perf_baseline` bench. Where every
+/// other record describes what the *protocol* did, a metrics record
+/// describes what the *simulator* did: batch sizes, exact-fallback and
+/// memo-hit counters, compactions, RNG draws, and coarse per-section wall
+/// time (see [`crate::metrics`]). `trial = None` marks a merged cross-trial
+/// row. The flat `batch_hist` string encodes the log-bucketed batch-size
+/// histogram as `bound:count,…` (overflow bucket as `inf:count`) because the
+/// record reader is deliberately scalar-only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsRecord {
+    /// Name of the experiment that produced this record (e.g. `"simulate"`).
+    pub experiment: String,
+    /// Protocol short-name (e.g. `"ciw"`, `"oss"`, `"epidemic"`).
+    pub protocol: String,
+    /// Simulation backend that executed the run (`"agents"` / `"counts"`).
+    pub backend: String,
+    /// Population size.
+    pub n: u64,
+    /// Trial index, or `None` for a merged cross-trial row.
+    pub trial: Option<u64>,
+    /// Base seed of the experiment.
+    pub seed: u64,
+    /// Wall-clock seconds of the summarized run(s).
+    pub wall_s: f64,
+    /// Total interactions performed.
+    pub interactions: u64,
+    /// Collision-free batches completed (counts backend).
+    pub batches: u64,
+    /// Interactions performed inside collision-free batches.
+    pub batched_pairs: u64,
+    /// Interactions that went through the exact per-interaction fallback.
+    pub exact_steps: u64,
+    /// Uniform draws consumed from the execution RNG.
+    pub rng_draws: u64,
+    /// Memoized-transition lookups that hit.
+    pub memo_hits: u64,
+    /// Memoized-transition lookups that missed.
+    pub memo_misses: u64,
+    /// CountConfig compactions performed.
+    pub compactions: u64,
+    /// Distinct live states after the most recent compaction (0 = never
+    /// compacted).
+    pub support: u64,
+    /// Raw count-table length after the most recent compaction.
+    pub raw_len: u64,
+    /// Batch-boundary flushes observed.
+    pub flushes: u64,
+    /// Flat `bound:count,…` batch-size histogram, absent when no batch ran.
+    pub batch_hist: Option<String>,
+    /// Wall seconds in the sampling section (schedule draws).
+    pub sample_s: f64,
+    /// Wall seconds in the transition section (applying interactions).
+    pub transition_s: f64,
+    /// Wall seconds in the probe section (convergence checks).
+    pub probe_s: f64,
+    /// Wall seconds in the observe section (snapshots, observers).
+    pub observe_s: f64,
+}
+
+impl MetricsRecord {
+    /// Fraction of interactions that went through the exact fallback.
+    pub fn fallback_rate(&self) -> f64 {
+        let total = self.exact_steps + self.batched_pairs;
+        if total == 0 {
+            0.0
+        } else {
+            self.exact_steps as f64 / total as f64
+        }
+    }
+
+    /// Fraction of memo lookups that hit; 0 when never consulted.
+    pub fn memo_hit_rate(&self) -> f64 {
+        let total = self.memo_hits + self.memo_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / total as f64
+        }
+    }
+
+    /// Interactions per wall-clock second (0 if no wall time was recorded).
+    pub fn interactions_per_second(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.interactions as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Decodes the flat `batch_hist` string back into
+    /// `(bound-label, count)` pairs, in encoded order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed entry.
+    pub fn batch_hist_counts(&self) -> Result<Vec<(String, u64)>, String> {
+        let Some(text) = &self.batch_hist else {
+            return Ok(Vec::new());
+        };
+        text.split(',')
+            .map(|entry| {
+                let (bound, count) = entry
+                    .rsplit_once(':')
+                    .ok_or_else(|| format!("batch_hist entry {entry:?} has no ':'"))?;
+                let count: u64 = count
+                    .parse()
+                    .map_err(|_| format!("batch_hist entry {entry:?} has a bad count"))?;
+                Ok((bound.to_string(), count))
+            })
+            .collect()
+    }
+
+    /// Serializes to a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.field_u64("v", SCHEMA_VERSION as u64);
+        obj.field_str("kind", "metrics");
+        obj.field_str("experiment", &self.experiment);
+        obj.field_str("protocol", &self.protocol);
+        obj.field_str("backend", &self.backend);
+        obj.field_u64("n", self.n);
+        match self.trial {
+            Some(t) => obj.field_u64("trial", t),
+            None => obj.field_null("trial"),
+        };
+        obj.field_u64("seed", self.seed);
+        obj.field_f64("wall_s", self.wall_s);
+        obj.field_u64("interactions", self.interactions);
+        obj.field_f64("ips", self.interactions_per_second());
+        obj.field_u64("batches", self.batches);
+        obj.field_u64("batched_pairs", self.batched_pairs);
+        obj.field_u64("exact_steps", self.exact_steps);
+        obj.field_u64("rng_draws", self.rng_draws);
+        obj.field_u64("memo_hits", self.memo_hits);
+        obj.field_u64("memo_misses", self.memo_misses);
+        obj.field_u64("compactions", self.compactions);
+        obj.field_u64("support", self.support);
+        obj.field_u64("raw_len", self.raw_len);
+        obj.field_u64("flushes", self.flushes);
+        match &self.batch_hist {
+            Some(h) => obj.field_str("batch_hist", h),
+            None => obj.field_null("batch_hist"),
+        };
+        obj.field_f64("sample_s", self.sample_s);
+        obj.field_f64("transition_s", self.transition_s);
+        obj.field_f64("probe_s", self.probe_s);
+        obj.field_f64("observe_s", self.observe_s);
+        obj.finish()
+    }
+
+    /// Parses a metrics record from one JSONL line.
+    pub fn from_json(line: &str) -> Result<Self, String> {
+        let fields = parse_flat_json(line)?;
+        check_version(&fields)?;
+        match record_kind(&fields)? {
+            "metrics" => {}
+            other => return Err(format!("expected a metrics record, got kind {other:?}")),
+        }
+        Self::from_fields(&fields)
+    }
+
+    fn from_fields(fields: &BTreeMap<String, JsonScalar>) -> Result<Self, String> {
+        let batch_hist = match fields.get("batch_hist") {
+            None | Some(JsonScalar::Null) => None,
+            Some(JsonScalar::Str(s)) => Some(s.clone()),
+            Some(other) => {
+                return Err(format!("field \"batch_hist\": expected string or null, got {other:?}"))
+            }
+        };
+        Ok(MetricsRecord {
+            experiment: get_str(fields, "experiment")?.to_string(),
+            protocol: get_str(fields, "protocol")?.to_string(),
+            backend: get_str(fields, "backend")?.to_string(),
+            n: get_u64(fields, "n")?,
+            trial: get_opt_u64(fields, "trial")?,
+            seed: get_u64(fields, "seed")?,
+            wall_s: get_f64(fields, "wall_s")?,
+            interactions: get_u64(fields, "interactions")?,
+            batches: get_u64(fields, "batches")?,
+            batched_pairs: get_u64(fields, "batched_pairs")?,
+            exact_steps: get_u64(fields, "exact_steps")?,
+            rng_draws: get_u64(fields, "rng_draws")?,
+            memo_hits: get_u64(fields, "memo_hits")?,
+            memo_misses: get_u64(fields, "memo_misses")?,
+            compactions: get_u64(fields, "compactions")?,
+            support: get_u64(fields, "support")?,
+            raw_len: get_u64(fields, "raw_len")?,
+            flushes: get_u64(fields, "flushes")?,
+            batch_hist,
+            sample_s: get_f64(fields, "sample_s")?,
+            transition_s: get_f64(fields, "transition_s")?,
+            probe_s: get_f64(fields, "probe_s")?,
+            observe_s: get_f64(fields, "observe_s")?,
+        })
+    }
+}
+
 /// One parsed line of a (possibly mixed) JSONL experiment stream.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RecordLine {
@@ -597,6 +800,8 @@ pub enum RecordLine {
     Frontier(FrontierRecord),
     /// A within-run trajectory checkpoint.
     Timeline(TimelineRecord),
+    /// An engine-telemetry summary.
+    Metrics(MetricsRecord),
 }
 
 impl RecordLine {
@@ -610,6 +815,7 @@ impl RecordLine {
             "fault" => Ok(RecordLine::Fault(FaultRecord::from_fields(&fields)?)),
             "frontier" => Ok(RecordLine::Frontier(FrontierRecord::from_fields(&fields)?)),
             "timeline" => Ok(RecordLine::Timeline(TimelineRecord::from_fields(&fields)?)),
+            "metrics" => Ok(RecordLine::Metrics(MetricsRecord::from_fields(&fields)?)),
             other => Err(format!("unknown record kind {other:?}")),
         }
     }
@@ -621,6 +827,7 @@ impl RecordLine {
             RecordLine::Fault(f) => f.to_json(),
             RecordLine::Frontier(f) => f.to_json(),
             RecordLine::Timeline(t) => t.to_json(),
+            RecordLine::Metrics(m) => m.to_json(),
         }
     }
 }
@@ -656,7 +863,10 @@ pub fn from_jsonl(text: &str) -> Result<Vec<RunRecord>, String> {
         .into_iter()
         .filter_map(|l| match l {
             RecordLine::Trial(r) => Some(r),
-            RecordLine::Fault(_) | RecordLine::Frontier(_) | RecordLine::Timeline(_) => None,
+            RecordLine::Fault(_)
+            | RecordLine::Frontier(_)
+            | RecordLine::Timeline(_)
+            | RecordLine::Metrics(_) => None,
         })
         .collect())
 }
@@ -1034,7 +1244,7 @@ mod tests {
     fn frontier_record_round_trips() {
         let f = sample_frontier_record();
         let json = f.to_json();
-        assert!(json.starts_with("{\"v\":4,\"kind\":\"frontier\","), "{json}");
+        assert!(json.starts_with("{\"v\":5,\"kind\":\"frontier\","), "{json}");
         assert!(json.contains("\"backend\":\"counts\""), "{json}");
         assert!(json.contains("\"support\":2"), "{json}");
         assert!(json.contains("\"leaders\":null"), "{json}");
@@ -1070,7 +1280,7 @@ mod tests {
     fn timeline_record_round_trips() {
         let t = sample_timeline_record();
         let json = t.to_json();
-        assert!(json.starts_with("{\"v\":4,\"kind\":\"timeline\","), "{json}");
+        assert!(json.starts_with("{\"v\":5,\"kind\":\"timeline\","), "{json}");
         assert!(json.contains("\"parallel_time\":4.096"), "{json}");
         assert!(json.contains("\"phases\":\"propagate:12,reset:3\""), "{json}");
         assert_eq!(TimelineRecord::from_json(&json).unwrap(), t);
@@ -1090,6 +1300,82 @@ mod tests {
         assert!(none.phase_counts().unwrap().is_empty());
         let bad = TimelineRecord { phases: Some("oops".to_string()), ..t };
         assert!(bad.phase_counts().is_err());
+    }
+
+    fn sample_metrics_record() -> MetricsRecord {
+        MetricsRecord {
+            experiment: "simulate".to_string(),
+            protocol: "epidemic".to_string(),
+            backend: "counts".to_string(),
+            n: 1_000_000,
+            trial: Some(0),
+            seed: 1,
+            wall_s: 0.5,
+            interactions: 2_000_000,
+            batches: 4_000,
+            batched_pairs: 1_999_000,
+            exact_steps: 1_000,
+            rng_draws: 4_010_000,
+            memo_hits: 1_990_000,
+            memo_misses: 10_000,
+            compactions: 3,
+            support: 2,
+            raw_len: 5,
+            flushes: 4_000,
+            batch_hist: Some("256:12,512:3988".to_string()),
+            sample_s: 0.1,
+            transition_s: 0.3,
+            probe_s: 0.05,
+            observe_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn metrics_record_round_trips() {
+        let m = sample_metrics_record();
+        let json = m.to_json();
+        assert!(json.starts_with("{\"v\":5,\"kind\":\"metrics\","), "{json}");
+        assert!(json.contains("\"batch_hist\":\"256:12,512:3988\""), "{json}");
+        assert!(json.contains("\"ips\":4000000"), "{json}");
+        assert_eq!(MetricsRecord::from_json(&json).unwrap(), m);
+        assert_eq!(RecordLine::from_json(&json).unwrap(), RecordLine::Metrics(m.clone()));
+        let merged = MetricsRecord { trial: None, batch_hist: None, ..m };
+        let json = merged.to_json();
+        assert!(json.contains("\"trial\":null"), "{json}");
+        assert_eq!(MetricsRecord::from_json(&json).unwrap(), merged);
+    }
+
+    #[test]
+    fn metrics_rates_and_histogram_decode() {
+        let m = sample_metrics_record();
+        assert!((m.fallback_rate() - 1_000.0 / 2_000_000.0).abs() < 1e-12);
+        assert!((m.memo_hit_rate() - 0.995).abs() < 1e-12);
+        assert_eq!(
+            m.batch_hist_counts().unwrap(),
+            vec![("256".to_string(), 12), ("512".to_string(), 3988)]
+        );
+        let none = MetricsRecord { batch_hist: None, ..m.clone() };
+        assert!(none.batch_hist_counts().unwrap().is_empty());
+        let bad = MetricsRecord { batch_hist: Some("oops".to_string()), ..m };
+        assert!(bad.batch_hist_counts().is_err());
+    }
+
+    #[test]
+    fn metrics_lines_are_invisible_to_the_trial_reader() {
+        let text =
+            format!("{}\n{}\n", sample_record().to_json(), sample_metrics_record().to_json());
+        assert_eq!(from_jsonl(&text).unwrap().len(), 1);
+        let mixed = from_jsonl_mixed(&text).unwrap();
+        assert_eq!(mixed.len(), 2);
+        assert_eq!(mixed[1].to_json(), sample_metrics_record().to_json());
+    }
+
+    #[test]
+    fn metrics_kind_mismatch_is_an_error() {
+        let err = MetricsRecord::from_json(&sample_record().to_json()).unwrap_err();
+        assert!(err.contains("metrics"), "{err}");
+        let err = RunRecord::from_json(&sample_metrics_record().to_json()).unwrap_err();
+        assert!(err.contains("trial"), "{err}");
     }
 
     #[test]
@@ -1158,7 +1444,7 @@ mod tests {
         let json = sample_record().to_json();
         assert!(json.contains("\"parallel_time\":"), "{json}");
         assert!(json.contains("\"ips\":49380"), "{json}");
-        assert!(json.starts_with("{\"v\":4,\"kind\":\"trial\","), "version leads: {json}");
+        assert!(json.starts_with("{\"v\":5,\"kind\":\"trial\","), "version leads: {json}");
         assert!(
             !json.contains("availability") && !json.contains("faults"),
             "chaos fields only appear when set: {json}"
@@ -1189,7 +1475,7 @@ mod tests {
     fn fault_record_round_trips() {
         let f = sample_fault_record();
         let json = f.to_json();
-        assert!(json.starts_with("{\"v\":4,\"kind\":\"fault\","), "{json}");
+        assert!(json.starts_with("{\"v\":5,\"kind\":\"fault\","), "{json}");
         assert!(json.contains("\"recovery_parallel_time\":"), "{json}");
         assert_eq!(FaultRecord::from_json(&json).unwrap(), f);
         assert_eq!(f.recovery_interactions(), Some(30_000));
@@ -1233,10 +1519,10 @@ mod tests {
 
     #[test]
     fn wrong_version_is_rejected() {
-        let json = sample_record().to_json().replace("\"v\":4", "\"v\":5");
+        let json = sample_record().to_json().replace("\"v\":5", "\"v\":6");
         let err = RunRecord::from_json(&json).unwrap_err();
         assert!(err.contains("version"), "{err}");
-        let json = sample_record().to_json().replace("\"v\":4", "\"v\":0");
+        let json = sample_record().to_json().replace("\"v\":5", "\"v\":0");
         assert!(RunRecord::from_json(&json).is_err());
     }
 

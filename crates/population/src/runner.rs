@@ -15,6 +15,7 @@ use std::time::{Duration, Instant};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use crate::metrics::Metrics;
 use crate::protocol::RankingProtocol;
 use crate::record::RunRecord;
 use crate::scheduler::{AnyScheduler, Reliability};
@@ -322,6 +323,39 @@ impl Runner {
         F: Fn(u64, &mut SmallRng) -> (P, Vec<P::State>) + Sync,
     {
         self.measure_ranking_parallel(auto_threads(), make)
+    }
+
+    /// [`Runner::run_trials`] with a recording [`Metrics`] sink per trial.
+    /// Sequential; the trial outcomes are identical to the uninstrumented
+    /// runner's — metrics never touch the simulation RNG, so instrumenting
+    /// a run cannot change what it computes.
+    pub fn run_trials_metrics<P, F>(&self, mut make: F) -> Vec<(TrialOutcome, Metrics)>
+    where
+        P: RankingProtocol,
+        F: FnMut(u64, &mut SmallRng) -> (P, Vec<P::State>),
+    {
+        (0..self.settings.trials)
+            .map(|trial| {
+                let mut config_rng = rng_from_seed(derive_seed(self.settings.base_seed, 2 * trial));
+                let (protocol, initial) = make(trial, &mut config_rng);
+                let n = initial.len();
+                let mut metrics = Metrics::new();
+                let mut sim = Simulation::new(
+                    protocol,
+                    initial,
+                    derive_seed(self.settings.base_seed, 2 * trial + 1),
+                )
+                .with_metrics(&mut metrics);
+                let started = Instant::now();
+                let outcome = sim.run_until_stably_ranked(
+                    self.settings.max_interactions,
+                    self.settings.confirm_window,
+                );
+                let wall = started.elapsed();
+                drop(sim);
+                (TrialOutcome { trial, n, outcome, wall }, metrics)
+            })
+            .collect()
     }
 
     /// Runs one seeded trial to stable ranking (or budget exhaustion).

@@ -1,9 +1,12 @@
 //! Executions of a protocol under the random scheduler.
 
+use std::time::Instant;
+
 use rand::rngs::SmallRng;
 
 use crate::fault::{FaultSchedule, NoFaults};
 use crate::graph::InteractionGraph;
+use crate::metrics::{MetricsSink, NoopMetrics, Section, AGENT_FLUSH_EVERY};
 use crate::observer::{NoopObserver, Observer};
 use crate::protocol::{Protocol, RankingProtocol};
 use crate::runner::rng_from_seed;
@@ -76,6 +79,14 @@ impl RunOutcome {
 /// [`Simulation::with_policy`]; unreliable interactions via
 /// [`Simulation::with_reliability`].
 ///
+/// The fifth type parameter is a [`MetricsSink`] receiving **engine**
+/// telemetry (interaction counts, RNG draws, per-section wall time); it
+/// defaults to [`NoopMetrics`], whose `ENABLED = false` gate folds every
+/// instrumentation site out of the hot loop. Sinks flush at batch
+/// boundaries ([`AGENT_FLUSH_EVERY`] interactions on this backend) and
+/// never touch the RNG, so attaching one cannot change the execution (see
+/// [`Simulation::with_metrics`]).
+///
 /// # Examples
 ///
 /// See the [crate-level example](crate).
@@ -85,6 +96,7 @@ pub struct Simulation<
     O: Observer<P> = NoopObserver,
     F: FaultSchedule<P> = NoFaults,
     S: SchedulerPolicy = Scheduler,
+    M: MetricsSink = NoopMetrics,
 > {
     pub(crate) protocol: P,
     pub(crate) scheduler: S,
@@ -94,6 +106,7 @@ pub struct Simulation<
     pub(crate) observer: O,
     pub(crate) faults: F,
     pub(crate) reliability: Reliability,
+    pub(crate) metrics: M,
 }
 
 impl<P: Protocol> Simulation<P> {
@@ -132,6 +145,7 @@ impl<P: Protocol> Simulation<P> {
             observer: NoopObserver,
             faults: NoFaults,
             reliability: Reliability::perfect(),
+            metrics: NoopMetrics,
         }
     }
 }
@@ -159,11 +173,14 @@ impl<P: Protocol, S: SchedulerPolicy> Simulation<P, NoopObserver, NoFaults, S> {
             observer: NoopObserver,
             faults: NoFaults,
             reliability: Reliability::perfect(),
+            metrics: NoopMetrics,
         }
     }
 }
 
-impl<P: Protocol, O: Observer<P>, F: FaultSchedule<P>, S: SchedulerPolicy> Simulation<P, O, F, S> {
+impl<P: Protocol, O: Observer<P>, F: FaultSchedule<P>, S: SchedulerPolicy, M: MetricsSink>
+    Simulation<P, O, F, S, M>
+{
     /// Attaches an observer, replacing the current one.
     ///
     /// Because observers only *watch* — the simulation's RNG stream and state
@@ -171,7 +188,7 @@ impl<P: Protocol, O: Observer<P>, F: FaultSchedule<P>, S: SchedulerPolicy> Simul
     /// bit-identical to the unobserved one from the same `(protocol, initial
     /// configuration, seed)` triple (with or without a fault schedule
     /// attached). Interaction counts already performed are preserved.
-    pub fn observe<O2: Observer<P>>(self, observer: O2) -> Simulation<P, O2, F, S> {
+    pub fn observe<O2: Observer<P>>(self, observer: O2) -> Simulation<P, O2, F, S, M> {
         Simulation {
             protocol: self.protocol,
             scheduler: self.scheduler,
@@ -181,7 +198,40 @@ impl<P: Protocol, O: Observer<P>, F: FaultSchedule<P>, S: SchedulerPolicy> Simul
             observer,
             faults: self.faults,
             reliability: self.reliability,
+            metrics: self.metrics,
         }
+    }
+
+    /// Attaches a metrics sink, replacing the current one.
+    ///
+    /// Sinks only *count* — they never draw from the simulation's RNG — so
+    /// the instrumented execution is bit-identical to the uninstrumented one
+    /// from the same `(protocol, initial configuration, seed)` triple.
+    /// Interaction counts already performed are preserved. Lend a sink with
+    /// `with_metrics(&mut sink)` to keep ownership for reading afterwards.
+    pub fn with_metrics<M2: MetricsSink>(self, metrics: M2) -> Simulation<P, O, F, S, M2> {
+        Simulation {
+            protocol: self.protocol,
+            scheduler: self.scheduler,
+            states: self.states,
+            rng: self.rng,
+            interactions: self.interactions,
+            observer: self.observer,
+            faults: self.faults,
+            reliability: self.reliability,
+            metrics,
+        }
+    }
+
+    /// The attached metrics sink.
+    pub fn metrics(&self) -> &M {
+        &self.metrics
+    }
+
+    /// Consumes the simulation and returns the metrics sink with whatever it
+    /// accumulated.
+    pub fn into_metrics(self) -> M {
+        self.metrics
     }
 
     /// Sets the interaction-reliability model (omission probability and/or
@@ -270,7 +320,23 @@ impl<P: Protocol, O: Observer<P>, F: FaultSchedule<P>, S: SchedulerPolicy> Simul
     pub fn step(&mut self) -> (usize, usize) {
         let (i, j) = self.scheduler.sample_at(&mut self.rng, self.interactions);
         self.apply(i, j);
+        if M::ENABLED {
+            self.note_step_metrics();
+        }
         (i, j)
+    }
+
+    /// Per-interaction metric bookkeeping: counters every step, a flush at
+    /// every [`AGENT_FLUSH_EVERY`] boundary. Call sites gate on `M::ENABLED`
+    /// so the disabled sink compiles this away entirely.
+    #[inline]
+    pub(crate) fn note_step_metrics(&mut self) {
+        self.metrics.on_interactions(1);
+        // One ordered pair per interaction: two uniform draws.
+        self.metrics.on_rng_draws(2);
+        if self.interactions.is_multiple_of(AGENT_FLUSH_EVERY) {
+            self.metrics.on_flush(self.interactions);
+        }
     }
 
     /// Forces an interaction between a specific ordered pair of agents.
@@ -364,8 +430,16 @@ impl<P: Protocol, O: Observer<P>, F: FaultSchedule<P>, S: SchedulerPolicy> Simul
 
     /// Runs exactly `k` interactions.
     pub fn run(&mut self, k: u64) {
-        for _ in 0..k {
-            self.step();
+        if M::ENABLED {
+            let started = Instant::now();
+            for _ in 0..k {
+                self.step();
+            }
+            self.metrics.on_section(Section::Transition, started.elapsed().as_nanos() as u64);
+        } else {
+            for _ in 0..k {
+                self.step();
+            }
         }
         self.observer.on_batch(k, self.interactions);
     }
@@ -384,7 +458,12 @@ impl<P: Protocol, O: Observer<P>, F: FaultSchedule<P>, S: SchedulerPolicy> Simul
         mut goal: impl FnMut(&[P::State]) -> bool,
     ) -> RunOutcome {
         loop {
-            if goal(&self.states) {
+            let probe_started = if M::ENABLED { Some(Instant::now()) } else { None };
+            let reached = goal(&self.states);
+            if let Some(t0) = probe_started {
+                self.metrics.on_section(Section::Probe, t0.elapsed().as_nanos() as u64);
+            }
+            if reached {
                 self.observer.on_converged(self.interactions);
                 if F::ACTIVE {
                     self.faults.notify_converged(self.interactions);
@@ -400,8 +479,13 @@ impl<P: Protocol, O: Observer<P>, F: FaultSchedule<P>, S: SchedulerPolicy> Simul
     }
 }
 
-impl<P: RankingProtocol, O: Observer<P>, F: FaultSchedule<P>, S: SchedulerPolicy>
-    Simulation<P, O, F, S>
+impl<
+        P: RankingProtocol,
+        O: Observer<P>,
+        F: FaultSchedule<P>,
+        S: SchedulerPolicy,
+        M: MetricsSink,
+    > Simulation<P, O, F, S, M>
 {
     /// Runs until the configuration is correctly ranked (each rank `1..=n`
     /// output by exactly one agent) **and stays ranked** for
@@ -455,10 +539,15 @@ impl<P: RankingProtocol, O: Observer<P>, F: FaultSchedule<P>, S: SchedulerPolicy
             tracker.add(self.protocol.rank_of(s));
         }
         let mut converged_at: Option<u64> = None;
+        let mut window = if M::ENABLED { Some(Instant::now()) } else { None };
         let outcome = loop {
             if let Some(tl) = timeline.as_deref_mut() {
                 if tl.is_due(self.interactions) {
+                    let observe_started = if M::ENABLED { Some(Instant::now()) } else { None };
                     tl.record(snapshot_states(&self.protocol, &self.states, self.interactions));
+                    if let Some(t0) = observe_started {
+                        self.metrics.on_section(Section::Observe, t0.elapsed().as_nanos() as u64);
+                    }
                 }
             }
             match converged_at {
@@ -500,6 +589,15 @@ impl<P: RankingProtocol, O: Observer<P>, F: FaultSchedule<P>, S: SchedulerPolicy
             let after_j = self.protocol.rank_of(&self.states[j]);
             tracker.update(before_i, after_i);
             tracker.update(before_j, after_j);
+            if M::ENABLED {
+                self.note_step_metrics();
+                if self.interactions.is_multiple_of(AGENT_FLUSH_EVERY) {
+                    if let Some(w) = window.as_mut() {
+                        self.metrics.on_section(Section::Transition, w.elapsed().as_nanos() as u64);
+                        *w = Instant::now();
+                    }
+                }
+            }
             if F::ACTIVE {
                 let fired_before = self.faults.fired_count();
                 self.poll_faults();

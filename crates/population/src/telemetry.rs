@@ -85,6 +85,18 @@ impl FixedHistogram {
         self.counts[idx] += 1;
     }
 
+    /// Adds another histogram's per-bucket counts into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different bounds.
+    pub fn merge_from(&mut self, other: &FixedHistogram) {
+        assert_eq!(self.bounds, other.bounds, "can only merge histograms with matching bounds");
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+    }
+
     /// The bucket upper bounds (the overflow bucket has no bound).
     pub fn bounds(&self) -> &[u64] {
         &self.bounds

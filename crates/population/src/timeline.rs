@@ -39,7 +39,7 @@
 //! --progress`, `scaling_frontier --progress 1`): a rate-limited one-line
 //! report of completion fraction, throughput, and ETA.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::hash::Hash;
 use std::time::{Duration, Instant};
 
@@ -310,11 +310,26 @@ pub fn encode_phases(phases: &[(&'static str, u64)]) -> Option<String> {
     Some(phases.iter().map(|(name, count)| format!("{name}:{count}")).collect::<Vec<_>>().join(","))
 }
 
+/// Sliding window the heartbeat's rate and ETA are computed over. A
+/// since-start average goes stale on long runs — after an hour, a stall is
+/// invisible and the ETA barely moves — so the rate is taken over the most
+/// recent ~10 s of samples instead, falling back to the since-start average
+/// until enough history accumulates.
+const RATE_WINDOW: Duration = Duration::from_secs(10);
+
+/// Upper bound on retained rate samples (high-frequency tickers would
+/// otherwise grow the window without bound inside [`RATE_WINDOW`]).
+const RATE_SAMPLES_MAX: usize = 256;
+
 /// Rate-limited stderr heartbeat for long runs: completion fraction,
 /// throughput, ETA, and a caller-supplied detail (e.g. current leader
 /// count). Writes to stderr only, so it composes with `--json-out` and
 /// piped stdout; a [`Progress::disabled`] meter makes every call a no-op so
 /// call sites need no flag checks.
+///
+/// Rate and ETA are computed over a moving window (~10 s, `RATE_WINDOW`) of
+/// recent `tick` samples, so they track the *current* throughput; until the
+/// window has history they fall back to the since-start average.
 #[derive(Debug)]
 pub struct Progress {
     label: String,
@@ -324,6 +339,7 @@ pub struct Progress {
     last_emit: Option<Instant>,
     interval: Duration,
     enabled: bool,
+    window: VecDeque<(Duration, u64)>,
 }
 
 impl Progress {
@@ -337,6 +353,7 @@ impl Progress {
             last_emit: None,
             interval: Duration::from_secs(1),
             enabled: true,
+            window: VecDeque::new(),
         }
     }
 
@@ -358,13 +375,15 @@ impl Progress {
             return;
         }
         let now = Instant::now();
+        let elapsed = now.duration_since(self.started);
+        self.note(elapsed, done);
         if let Some(last) = self.last_emit {
             if now.duration_since(last) < self.interval {
                 return;
             }
         }
         self.last_emit = Some(now);
-        eprintln!("{}", self.line(done, detail, now.duration_since(self.started)));
+        eprintln!("{}", self.line(done, detail, elapsed));
     }
 
     /// Prints a final line unconditionally (subject to the meter being
@@ -373,14 +392,45 @@ impl Progress {
         if !self.enabled {
             return;
         }
-        eprintln!("{}", self.line(done, detail, self.started.elapsed()));
+        let elapsed = self.started.elapsed();
+        self.note(elapsed, done);
+        eprintln!("{}", self.line(done, detail, elapsed));
+    }
+
+    /// Records a `(elapsed, done)` rate sample, pruning the window so its
+    /// oldest retained sample is the newest one at least [`RATE_WINDOW`]
+    /// old (when that much history exists).
+    fn note(&mut self, elapsed: Duration, done: u64) {
+        self.window.push_back((elapsed, done));
+        while self.window.len() > 2
+            && (elapsed.saturating_sub(self.window[1].0) >= RATE_WINDOW
+                || self.window.len() > RATE_SAMPLES_MAX)
+        {
+            self.window.pop_front();
+        }
+    }
+
+    /// Throughput over the moving window; since-start average until the
+    /// window has at least two samples spanning nonzero time.
+    fn windowed_rate(&self, done: u64, elapsed: Duration) -> f64 {
+        if let Some(&(t0, d0)) = self.window.front() {
+            let dt = elapsed.saturating_sub(t0).as_secs_f64();
+            if dt > 0.0 && done >= d0 {
+                return (done - d0) as f64 / dt;
+            }
+        }
+        let secs = elapsed.as_secs_f64();
+        if secs > 0.0 {
+            done as f64 / secs
+        } else {
+            0.0
+        }
     }
 
     /// Formats one heartbeat line; separated from the printing so the
     /// format is testable.
     fn line(&self, done: u64, detail: &str, elapsed: Duration) -> String {
-        let secs = elapsed.as_secs_f64();
-        let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
+        let rate = self.windowed_rate(done, elapsed);
         let pct = if self.total > 0 { 100.0 * done as f64 / self.total as f64 } else { 0.0 };
         let eta = if done > 0 && self.total > done && rate > 0.0 {
             (self.total - done) as f64 / rate
@@ -581,6 +631,34 @@ mod tests {
         assert!(line.contains("5.00e0/s"), "{line}");
         assert!(line.contains("eta 15s"), "{line}");
         assert!(line.contains("leaders 3"), "{line}");
+    }
+
+    #[test]
+    fn progress_rate_uses_a_moving_window() {
+        let mut p = Progress::new("soak", 2000, "trials");
+        // 100 s of slow progress (1 unit/s)...
+        for s in 0..=100u64 {
+            p.note(Duration::from_secs(s), s);
+        }
+        // ...then a burst to 1000 units at t = 101 s. The windowed rate
+        // spans back to the newest sample ≥ 10 s old — (91 s, 91 units) —
+        // so the heartbeat reports (1000−91)/10 s = 90.9/s, not the
+        // 1000/101 ≈ 9.9/s since-start average.
+        p.note(Duration::from_secs(101), 1000);
+        let line = p.line(1000, "", Duration::from_secs(101));
+        assert!(line.contains("9.09e1/s"), "{line}");
+        // ETA follows the windowed rate: 1000 remaining / 90.9 per s ≈ 11 s.
+        assert!(line.contains("eta 11s"), "{line}");
+    }
+
+    #[test]
+    fn progress_rate_falls_back_to_the_since_start_average() {
+        // Without window history (direct `line` call), the rate and ETA
+        // must degrade to the since-start average rather than zero.
+        let p = Progress::new("soak", 100, "trials");
+        let line = p.line(25, "", Duration::from_secs(5));
+        assert!(line.contains("5.00e0/s"), "{line}");
+        assert!(line.contains("eta 15s"), "{line}");
     }
 
     #[test]
