@@ -37,8 +37,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use analysis::{median_trajectory, quantile, summarize_buckets, Ecdf};
 use population::metrics::decode_histogram;
 use population::record::{
-    from_jsonl_mixed, FaultRecord, FrontierRecord, JsonObject, MetricsRecord, RecordLine,
-    RunRecord, TimelineRecord,
+    from_jsonl_lenient, ChurnRecord, FaultRecord, FrontierRecord, JsonObject, MetricsRecord,
+    RecordLine, RunRecord, TimelineRecord,
 };
 use population::ConvergenceSample;
 use ssle_bench::TimeSummary;
@@ -66,6 +66,10 @@ type TimelineCohort = (String, String, String, u64);
 
 /// One metrics group key: `(experiment, protocol, backend, n)`.
 type MetricsKey = (String, String, String, u64);
+
+/// One churn group key: `(experiment, protocol, backend, n, h, churn spec,
+/// byzantine fraction rendered as text so the key stays totally ordered)`.
+type ChurnKey = (String, String, String, u64, Option<u64>, String, String);
 
 const USAGE: &str =
     "usage: ssle report <file.jsonl> [--compare other.jsonl] [--format text|json]\n\
@@ -182,12 +186,49 @@ struct Loaded {
     frontier: Vec<FrontierRecord>,
     timelines: Vec<TimelineRecord>,
     metrics: Vec<MetricsRecord>,
+    churn: Vec<ChurnRecord>,
+    /// `(line number, reason)` pairs a newer writer could have produced —
+    /// unknown `kind` or a schema version above ours. Counted and warned
+    /// about instead of silently skipped.
+    skipped: Vec<(usize, String)>,
+}
+
+impl Loaded {
+    fn total(&self) -> usize {
+        self.records.len()
+            + self.faults.len()
+            + self.frontier.len()
+            + self.timelines.len()
+            + self.metrics.len()
+            + self.churn.len()
+    }
+
+    /// The one-line warning about set-aside lines, empty when every line
+    /// parsed into a known kind.
+    fn skipped_note(&self) -> String {
+        if self.skipped.is_empty() {
+            return String::new();
+        }
+        let examples: Vec<String> = self
+            .skipped
+            .iter()
+            .take(3)
+            .map(|(line, reason)| format!("line {line}: {reason}"))
+            .collect();
+        let more = if self.skipped.len() > 3 { ", …" } else { "" };
+        format!(
+            "warning: {} line(s) from a newer writer were set aside ({}{more}) — \
+             upgrade ssle to read them\n",
+            self.skipped.len(),
+            examples.join(", "),
+        )
+    }
 }
 
 fn load(path: &str) -> Result<Loaded, CliError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError::Report { path: path.to_string(), reason: e.to_string() })?;
-    let lines = from_jsonl_mixed(&text)
+    let parsed = from_jsonl_lenient(&text)
         .map_err(|reason| CliError::Report { path: path.to_string(), reason })?;
     let mut loaded = Loaded {
         records: Vec::new(),
@@ -195,26 +236,30 @@ fn load(path: &str) -> Result<Loaded, CliError> {
         frontier: Vec::new(),
         timelines: Vec::new(),
         metrics: Vec::new(),
+        churn: Vec::new(),
+        skipped: parsed.skipped,
     };
-    for line in lines {
+    for line in parsed.records {
         match line {
             RecordLine::Trial(r) => loaded.records.push(r),
             RecordLine::Fault(f) => loaded.faults.push(f),
             RecordLine::Frontier(f) => loaded.frontier.push(f),
             RecordLine::Timeline(t) => loaded.timelines.push(t),
             RecordLine::Metrics(m) => loaded.metrics.push(m),
+            RecordLine::Churn(c) => loaded.churn.push(c),
         }
     }
-    if loaded.records.is_empty()
-        && loaded.faults.is_empty()
-        && loaded.frontier.is_empty()
-        && loaded.timelines.is_empty()
-        && loaded.metrics.is_empty()
-    {
-        return Err(CliError::Report {
-            path: path.to_string(),
-            reason: "the file contains no records".to_string(),
-        });
+    if loaded.total() == 0 {
+        let reason = if loaded.skipped.is_empty() {
+            "the file contains no records".to_string()
+        } else {
+            format!(
+                "the file contains no readable records ({} line(s) are from a newer \
+                 writer — upgrade ssle to read them)",
+                loaded.skipped.len(),
+            )
+        };
+        return Err(CliError::Report { path: path.to_string(), reason });
     }
     Ok(loaded)
 }
@@ -226,14 +271,13 @@ fn report_one(path: &str, format: OutputFormat) -> Result<String, CliError> {
     let frontier_groups = group_frontier(&loaded.frontier);
     let timeline_groups = group_timelines(&loaded.timelines);
     let metrics_groups = group_metrics(&loaded.metrics);
-    let total = loaded.records.len()
-        + loaded.faults.len()
-        + loaded.frontier.len()
-        + loaded.timelines.len()
-        + loaded.metrics.len();
+    let churn_groups = group_churn(&loaded.churn);
+    let total = loaded.total();
     match format {
         OutputFormat::Text => {
-            let mut out = render_text(path, total, &groups, &fault_groups, &frontier_groups);
+            let mut out = loaded.skipped_note();
+            out.push_str(&render_text(path, total, &groups, &fault_groups, &frontier_groups));
+            out.push_str(&render_churn_text(&churn_groups));
             for ((experiment, protocol, backend, n), trials) in cohorts_of(&timeline_groups) {
                 out.push_str(&format!(
                     "\ntimelines: experiment={experiment} protocol={protocol} backend={backend} \
@@ -251,6 +295,16 @@ fn report_one(path: &str, format: OutputFormat) -> Result<String, CliError> {
         }
         OutputFormat::Json => {
             let mut out = render_json(&groups, &fault_groups, &frontier_groups);
+            out.push_str(&render_churn_json(&churn_groups));
+            if !loaded.skipped.is_empty() {
+                let mut obj = JsonObject::new();
+                obj.field_str("command", "report");
+                obj.field_str("kind", "skipped");
+                obj.field_u64("lines", loaded.skipped.len() as u64);
+                obj.field_str("first_reason", &loaded.skipped[0].1);
+                out.push_str(&obj.finish());
+                out.push('\n');
+            }
             for ((experiment, protocol, backend, n), trials) in cohorts_of(&timeline_groups) {
                 let mut obj = JsonObject::new();
                 obj.field_str("command", "report");
@@ -659,6 +713,125 @@ fn report_timeline(path: &str, format: OutputFormat) -> Result<String, CliError>
 
 /// Grid resolution of the cross-trial median trajectory.
 const MEDIAN_GRID_POINTS: usize = 64;
+
+fn group_churn(churn: &[ChurnRecord]) -> BTreeMap<ChurnKey, Vec<&ChurnRecord>> {
+    let mut groups: BTreeMap<ChurnKey, Vec<&ChurnRecord>> = BTreeMap::new();
+    for c in churn {
+        groups
+            .entry((
+                c.experiment.clone(),
+                c.protocol.clone(),
+                c.backend.clone(),
+                c.n,
+                c.h,
+                c.churn.clone(),
+                format!("{}", c.byzantine),
+            ))
+            .or_default()
+            .push(c);
+    }
+    groups
+}
+
+/// Mean of an optional per-trial statistic, `None` when no trial carries it.
+fn mean_present(values: impl Iterator<Item = Option<f64>>) -> Option<f64> {
+    let present: Vec<f64> = values.flatten().collect();
+    (!present.is_empty()).then(|| present.iter().sum::<f64>() / present.len() as f64)
+}
+
+fn render_churn_text(groups: &BTreeMap<ChurnKey, Vec<&ChurnRecord>>) -> String {
+    let mut out = String::new();
+    for ((experiment, protocol, backend, n, h, churn, byzantine), group) in groups {
+        let h_text = h.map_or("-".to_string(), |h| h.to_string());
+        let trials = group.len() as f64;
+        out.push_str(&format!(
+            "\nchurn: experiment={experiment} protocol={protocol} backend={backend} n={n} \
+             h={h_text} churn={churn} byzantine={byzantine}: {} trial(s)\n",
+            group.len(),
+        ));
+        let avail: f64 = group.iter().map(|c| c.availability).sum::<f64>() / trials;
+        let ranked: f64 = group.iter().map(|c| c.ranked_availability).sum::<f64>() / trials;
+        out.push_str(&format!("  availability: leader {avail:.3}, fully ranked {ranked:.3}\n"));
+        out.push_str(&format!(
+            "  membership: {:.1} join(s), {:.1} leave(s), {:.1} replacement(s), \
+             {:.1} byz strike(s) per trial; final n {:.1}\n",
+            group.iter().map(|c| c.joins).sum::<u64>() as f64 / trials,
+            group.iter().map(|c| c.leaves).sum::<u64>() as f64 / trials,
+            group.iter().map(|c| c.replacements).sum::<u64>() as f64 / trials,
+            group.iter().map(|c| c.byz_strikes).sum::<u64>() as f64 / trials,
+            group.iter().map(|c| c.final_n).sum::<u64>() as f64 / trials,
+        ));
+        let faults: u64 = group.iter().map(|c| c.faults).sum();
+        let recovered: u64 = group.iter().map(|c| c.recovered).sum();
+        let mean_rec = mean_present(group.iter().map(|c| c.mean_recovery_pt))
+            .map_or("-".to_string(), |m| format!("{m:.1}"));
+        out.push_str(&format!(
+            "  recovery: {recovered}/{faults} fault(s) recovered, E[recovery] {mean_rec} \
+             parallel time\n",
+        ));
+        let wall: f64 = group.iter().map(|c| c.wall_s).sum();
+        let interactions: u64 = group.iter().map(|c| c.interactions).sum();
+        if wall > 0.0 {
+            out.push_str(&format!(
+                "  wall: {wall:.2}s total, {:.2e} interactions/s\n",
+                interactions as f64 / wall,
+            ));
+        }
+    }
+    out
+}
+
+fn render_churn_json(groups: &BTreeMap<ChurnKey, Vec<&ChurnRecord>>) -> String {
+    let mut out = String::new();
+    for ((experiment, protocol, backend, n, h, churn, _), group) in groups {
+        let trials = group.len() as f64;
+        let mut obj = JsonObject::new();
+        obj.field_str("command", "report");
+        obj.field_str("kind", "churn");
+        obj.field_str("experiment", experiment);
+        obj.field_str("protocol", protocol);
+        obj.field_str("backend", backend);
+        obj.field_u64("n", *n);
+        match h {
+            Some(h) => obj.field_u64("h", *h),
+            None => obj.field_null("h"),
+        };
+        obj.field_str("churn", churn);
+        obj.field_f64("byzantine", group[0].byzantine);
+        obj.field_u64("trials", group.len() as u64);
+        obj.field_f64(
+            "mean_availability",
+            group.iter().map(|c| c.availability).sum::<f64>() / trials,
+        );
+        obj.field_f64(
+            "mean_ranked_availability",
+            group.iter().map(|c| c.ranked_availability).sum::<f64>() / trials,
+        );
+        obj.field_f64("mean_joins", group.iter().map(|c| c.joins).sum::<u64>() as f64 / trials);
+        obj.field_f64("mean_leaves", group.iter().map(|c| c.leaves).sum::<u64>() as f64 / trials);
+        obj.field_f64(
+            "mean_replacements",
+            group.iter().map(|c| c.replacements).sum::<u64>() as f64 / trials,
+        );
+        obj.field_f64(
+            "mean_byz_strikes",
+            group.iter().map(|c| c.byz_strikes).sum::<u64>() as f64 / trials,
+        );
+        obj.field_u64("faults", group.iter().map(|c| c.faults).sum());
+        obj.field_u64("recovered", group.iter().map(|c| c.recovered).sum());
+        match mean_present(group.iter().map(|c| c.mean_recovery_pt)) {
+            Some(m) => obj.field_f64("mean_recovery_time", m),
+            None => obj.field_null("mean_recovery_time"),
+        };
+        match mean_present(group.iter().map(|c| c.first_ranked_pt)) {
+            Some(m) => obj.field_f64("mean_first_ranked_time", m),
+            None => obj.field_null("mean_first_ranked_time"),
+        };
+        out.push_str(&obj.finish());
+        out.push('\n');
+    }
+    out
+}
 
 fn group_metrics(metrics: &[MetricsRecord]) -> BTreeMap<MetricsKey, Vec<&MetricsRecord>> {
     let mut groups: BTreeMap<MetricsKey, Vec<&MetricsRecord>> = BTreeMap::new();
@@ -1793,5 +1966,84 @@ mod tests {
         let out = run(&args(&[&path])).unwrap();
         assert!(out.contains("1 exhausted"), "{out}");
         assert!(out.contains("no converged trials"), "{out}");
+    }
+
+    fn mk_churn(trial: u64, availability: f64) -> ChurnRecord {
+        ChurnRecord {
+            experiment: "churn".to_string(),
+            protocol: "oss".to_string(),
+            backend: "agents".to_string(),
+            n: 16,
+            final_n: 18,
+            h: None,
+            trial,
+            seed: 7,
+            churn: "2.0".to_string(),
+            byzantine: 0.05,
+            joins: 3,
+            leaves: 1,
+            replacements: 4,
+            byz_strikes: 9,
+            faults: 8,
+            availability,
+            ranked_availability: availability / 2.0,
+            recovered: 6,
+            mean_recovery_pt: Some(4.0),
+            first_ranked_pt: None,
+            interactions: 32_000,
+            parallel_time: 2000.0,
+            wall_s: 0.1,
+        }
+    }
+
+    /// Satellite: `kind = "churn"` rows group by `(spec, byzantine)` and
+    /// report mean availability and membership traffic.
+    #[test]
+    fn churn_stream_reports_availability_and_membership() {
+        let text = format!("{}\n{}\n", mk_churn(0, 0.8).to_json(), mk_churn(1, 0.6).to_json());
+        let path = write_temp("ssle_report_churn.jsonl", &text);
+        let out = run(&args(&[&path])).unwrap();
+        assert!(out.contains("churn=2.0 byzantine=0.05: 2 trial(s)"), "{out}");
+        assert!(out.contains("availability: leader 0.700"), "{out}");
+        assert!(out.contains("3.0 join(s), 1.0 leave(s), 4.0 replacement(s)"), "{out}");
+        assert!(out.contains("12/16 fault(s) recovered"), "{out}");
+
+        let json = run(&args(&[&path, "--format", "json"])).unwrap();
+        let line = json.lines().find(|l| l.contains("\"kind\":\"churn\"")).expect("churn group");
+        let fields = population::record::parse_flat_json(line).unwrap();
+        match fields.get("mean_availability").unwrap() {
+            population::record::JsonScalar::Num(m) => assert!((m - 0.7).abs() < 1e-9, "{m}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// Satellite: rows a future writer could produce — an unknown `kind` or
+    /// a higher schema version — are counted and warned about, not silently
+    /// dropped and not fatal.
+    #[test]
+    fn future_rows_are_counted_and_warned_about() {
+        let known = mk_churn(0, 0.8).to_json();
+        let v7 = "{\"v\":7,\"kind\":\"quorum\",\"experiment\":\"x\",\"weight\":0.5}";
+        let text = format!("{known}\n{v7}\n");
+        let path = write_temp("ssle_report_future.jsonl", &text);
+
+        let out = run(&args(&[&path])).unwrap();
+        assert!(out.contains("warning: 1 line(s) from a newer writer"), "{out}");
+        assert!(out.contains("line 2:"), "{out}");
+        assert!(out.contains("churn=2.0"), "known rows still reported: {out}");
+
+        let json = run(&args(&[&path, "--format", "json"])).unwrap();
+        assert!(json.contains("\"kind\":\"skipped\""), "{json}");
+        assert!(json.contains("\"lines\":1"), "{json}");
+
+        // A stream of only-future rows errors with the upgrade hint instead
+        // of the generic "no records".
+        let path = write_temp("ssle_report_future_only.jsonl", &format!("{v7}\n"));
+        match run(&args(&[&path])) {
+            Err(CliError::Report { reason, .. }) => {
+                assert!(reason.contains("newer writer"), "{reason}")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 }

@@ -7,8 +7,9 @@ use population::record::{to_jsonl_mixed, JsonObject};
 use population::runner::rng_from_seed;
 use population::timeline::DEFAULT_TIMELINE_CAPACITY;
 use population::{
-    certify_ranking_closure, BatchSimulation, ClosureCertificate, Metrics, MetricsSink,
-    NoopMetrics, RankingProtocol, RecordLine, RunOutcome, SchedulerPolicy, Simulation, Timeline,
+    certify_ranking_closure, derive_seed, BatchSimulation, ByzantineSet, ChurnPlan,
+    ClosureCertificate, Corruptor, DynamicsReport, Metrics, MetricsSink, NoopMetrics,
+    RankingProtocol, RecordLine, RunOutcome, SchedulerPolicy, Simulation, Timeline,
     TimelineObserver,
 };
 use ssle::adversary;
@@ -67,6 +68,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             "certify",
             "timeline",
             "metrics",
+            "churn",
+            "byzantine",
         ],
     )?;
     let common = CommonFlags::from_flags(&flags, ProtocolChoice::OptimalSilent)?;
@@ -117,6 +120,39 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let timeline = timeline.as_deref();
     let metrics = flags.try_get_str("metrics").map(str::to_string);
     let metrics = metrics.as_deref();
+
+    let churn_spec = flags.try_get_str("churn").unwrap_or("none").trim().to_string();
+    let byzantine: f64 = flags.get("byzantine", 0.0);
+    let churn = ChurnPlan::parse(&churn_spec, derive_seed(common.seed, 11))
+        .map_err(|reason| CliError::BadValue { flag: "churn".into(), reason })?;
+    if byzantine != 0.0 && !(byzantine.is_finite() && (0.0..1.0).contains(&byzantine)) {
+        return Err(CliError::BadValue {
+            flag: "byzantine".into(),
+            reason: format!("byzantine fraction {byzantine} must lie in [0, 1)"),
+        });
+    }
+    if !churn.is_empty() || byzantine > 0.0 {
+        // Dynamic-population runs use their own driver: availability report
+        // instead of a stabilization point, membership events as faults.
+        if !robust.is_default() {
+            return Err(CliError::BadValue {
+                flag: "churn".into(),
+                reason: "dynamic populations run on the uniform complete scheduler with \
+                         perfect channels; drop --scheduler/--omission"
+                    .into(),
+            });
+        }
+        if certify > 0.0 || timeline.is_some() || metrics.is_some() {
+            return Err(CliError::BadValue {
+                flag: "churn".into(),
+                reason: "--certify/--timeline/--metrics are not available under churn or \
+                         Byzantine agents"
+                    .into(),
+            });
+        }
+        let byz = ByzantineSet { fraction: byzantine, seed: derive_seed(common.seed, 13) };
+        return dynamics_mode(&common, start, max_time, backend, &churn_spec, &churn, &byz, format);
+    }
 
     match common.protocol {
         ProtocolChoice::Ciw => {
@@ -190,6 +226,208 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         ProtocolChoice::Loose => {
             loose_report(&common, &robust, start, max_time, backend, metrics, format)
+        }
+    }
+}
+
+/// Dispatches a dynamic-population run: one execution under membership
+/// churn and/or Byzantine agents (`--churn`/`--byzantine`), reporting
+/// availability and re-stabilization instead of a single stabilization
+/// point. Only the protocols with a mid-run corruption model qualify — the
+/// same [`Corruptor`] bound the chaos harness needs.
+#[allow(clippy::too_many_arguments)]
+fn dynamics_mode(
+    common: &CommonFlags,
+    start: Start,
+    max_time: f64,
+    backend: BackendChoice,
+    churn_spec: &str,
+    churn: &ChurnPlan,
+    byz: &ByzantineSet,
+    format: OutputFormat,
+) -> Result<String, CliError> {
+    let n = common.n;
+    // Sustained churn and Byzantine adversaries never let the run end
+    // early, so the default budget is a soak-style duration, not the
+    // worst-case stabilization bound.
+    let max = budget(max_time, n, 500 * n as u64);
+    match (common.protocol, backend) {
+        (ProtocolChoice::Ciw, _) => {
+            let p = CaiIzumiWada::new(n);
+            let initial = match start {
+                Start::Random => {
+                    adversary::random_ciw_configuration(&p, &mut rng_from_seed(common.seed ^ 1))
+                }
+                Start::Collision => vec![CiwState::new(0); n],
+                Start::Ranked => adversary::ranked_ciw_configuration(&p),
+            };
+            match backend {
+                BackendChoice::Agents => {
+                    dynamics_report(common, churn_spec, churn, byz, p, initial, max, format)
+                }
+                BackendChoice::Counts => {
+                    counts_dynamics_report(common, churn_spec, churn, byz, p, initial, max, format)
+                }
+            }
+        }
+        (ProtocolChoice::OptimalSilent, _) => {
+            let p = OptimalSilentSsr::new(n);
+            let initial = match start {
+                Start::Random => {
+                    adversary::random_oss_configuration(&p, &mut rng_from_seed(common.seed ^ 1))
+                }
+                Start::Collision => vec![OssState::settled(1, 0); n],
+                Start::Ranked => adversary::ranked_oss_configuration(&p),
+            };
+            match backend {
+                BackendChoice::Agents => {
+                    dynamics_report(common, churn_spec, churn, byz, p, initial, max, format)
+                }
+                BackendChoice::Counts => {
+                    counts_dynamics_report(common, churn_spec, churn, byz, p, initial, max, format)
+                }
+            }
+        }
+        (ProtocolChoice::Sublinear, BackendChoice::Agents) => {
+            let p = SublinearTimeSsr::new(n, common.h);
+            let initial = match start {
+                Start::Random => adversary::random_sublinear_configuration(
+                    &p,
+                    &mut rng_from_seed(common.seed ^ 1),
+                ),
+                Start::Collision => adversary::planted_collision_configuration(&p),
+                Start::Ranked => adversary::unique_names_configuration(&p),
+            };
+            dynamics_report(common, churn_spec, churn, byz, p, initial, max, format)
+        }
+        (ProtocolChoice::Sublinear, BackendChoice::Counts) => Err(CliError::BadValue {
+            flag: "backend".into(),
+            reason: "sublinear states are not hashable; dynamic populations on the counts \
+                     backend support ciw or optimal-silent"
+                .into(),
+        }),
+        (other, _) => Err(CliError::BadValue {
+            flag: "protocol".into(),
+            reason: format!(
+                "{other:?} has no mid-run corruption model for joins and Byzantine strikes; \
+                 pick ciw, optimal-silent, or sublinear"
+            ),
+        }),
+    }
+}
+
+/// Runs the dynamics driver on the agent-array backend and renders it.
+#[allow(clippy::too_many_arguments)]
+fn dynamics_report<P: Corruptor>(
+    common: &CommonFlags,
+    churn_spec: &str,
+    churn: &ChurnPlan,
+    byz: &ByzantineSet,
+    protocol: P,
+    initial: Vec<P::State>,
+    max: u64,
+    format: OutputFormat,
+) -> Result<String, CliError> {
+    let mut sim = Simulation::new(protocol, initial, common.seed);
+    let report = sim.run_dynamics(churn, byz, max);
+    Ok(render_dynamics(common, "agents", churn_spec, byz.fraction, &report, format))
+}
+
+/// [`dynamics_report`] on the count-based backend (lumped Byzantine model —
+/// counts have no agent identities to pin).
+#[allow(clippy::too_many_arguments)]
+fn counts_dynamics_report<P>(
+    common: &CommonFlags,
+    churn_spec: &str,
+    churn: &ChurnPlan,
+    byz: &ByzantineSet,
+    protocol: P,
+    initial: Vec<P::State>,
+    max: u64,
+    format: OutputFormat,
+) -> Result<String, CliError>
+where
+    P: Corruptor,
+    P::State: Eq + Hash,
+{
+    let mut sim = BatchSimulation::new(protocol, initial, common.seed);
+    let report = sim.run_dynamics(churn, byz, max);
+    Ok(render_dynamics(common, "counts", churn_spec, byz.fraction, &report, format))
+}
+
+/// Renders a [`DynamicsReport`] in either output format.
+fn render_dynamics(
+    common: &CommonFlags,
+    backend: &str,
+    churn_spec: &str,
+    byzantine: f64,
+    report: &DynamicsReport,
+    format: OutputFormat,
+) -> String {
+    let chaos = &report.chaos;
+    let spec = if churn_spec.is_empty() { "none" } else { churn_spec };
+    match format {
+        OutputFormat::Text => {
+            let first =
+                chaos.first_ranked_parallel_time().map_or("never fully ranked".to_string(), |t| {
+                    format!("first fully ranked at {t:.1} parallel time")
+                });
+            let rec = chaos
+                .mean_recovery_parallel_time()
+                .map_or("-".to_string(), |r| format!("{r:.1} parallel time"));
+            format!(
+                "{name} under dynamics: n = {n}, backend {backend}, churn \"{spec}\", \
+                 byzantine {byzantine}\n\
+                 ran {interactions} interactions ({pt:.1} parallel time); final population \
+                 {final_n}\n\
+                 membership: {joins} join(s), {leaves} leave(s), {repl} replacement(s); \
+                 byzantine strikes: {strikes}\n\
+                 availability: leader {avail:.3}, fully ranked {ranked:.3}\n\
+                 recovery: {recovered}/{faults} fault(s) recovered, E[recovery] {rec}; {first}\n",
+                name = common.protocol.name(),
+                n = common.n,
+                interactions = chaos.interactions,
+                pt = report.parallel_time,
+                final_n = report.final_n,
+                joins = report.joins,
+                leaves = report.leaves,
+                repl = report.replacements,
+                strikes = report.byz_strikes,
+                avail = chaos.availability(),
+                ranked = chaos.ranked_availability(),
+                recovered = chaos.recovered(),
+                faults = chaos.faults.len(),
+            )
+        }
+        OutputFormat::Json => {
+            let mut obj = JsonObject::new();
+            obj.field_str("command", "simulate");
+            obj.field_str("protocol", common.protocol.name());
+            obj.field_str("backend", backend);
+            obj.field_u64("n", common.n as u64);
+            obj.field_u64("final_n", report.final_n as u64);
+            obj.field_u64("seed", common.seed);
+            obj.field_str("churn", spec);
+            obj.field_f64("byzantine", byzantine);
+            obj.field_u64("joins", report.joins);
+            obj.field_u64("leaves", report.leaves);
+            obj.field_u64("replacements", report.replacements);
+            obj.field_u64("byz_strikes", report.byz_strikes);
+            obj.field_u64("faults", chaos.faults.len() as u64);
+            obj.field_u64("recovered", chaos.recovered() as u64);
+            obj.field_f64("availability", chaos.availability());
+            obj.field_f64("ranked_availability", chaos.ranked_availability());
+            match chaos.mean_recovery_parallel_time() {
+                Some(r) => obj.field_f64("mean_recovery_time", r),
+                None => obj.field_null("mean_recovery_time"),
+            };
+            match chaos.first_ranked_parallel_time() {
+                Some(t) => obj.field_f64("first_ranked_time", t),
+                None => obj.field_null("first_ranked_time"),
+            };
+            obj.field_u64("interactions", chaos.interactions);
+            obj.field_f64("parallel_time", report.parallel_time);
+            obj.finish() + "\n"
         }
     }
 }
@@ -1153,5 +1391,142 @@ mod tests {
         for r in 1..=6 {
             assert!(out.contains(&format!("{r}→")), "missing rank {r} in {out}");
         }
+    }
+
+    #[test]
+    fn churn_runs_on_both_backends() {
+        for backend in ["agents", "counts"] {
+            let out = run(&args(&[
+                "--protocol",
+                "optimal-silent",
+                "--n",
+                "8",
+                "--seed",
+                "5",
+                "--backend",
+                backend,
+                "--churn",
+                "join:2@3,leave:2@6",
+                "--max-time",
+                "40",
+            ]))
+            .unwrap_or_else(|e| panic!("{backend}: {e}"));
+            assert!(out.contains("under dynamics"), "{backend}: {out}");
+            assert!(out.contains("2 join(s), 2 leave(s)"), "{backend}: {out}");
+            assert!(out.contains("final population 8"), "{backend}: {out}");
+        }
+    }
+
+    #[test]
+    fn byzantine_json_reports_strikes_and_availability() {
+        let out = run(&args(&[
+            "--protocol",
+            "ciw",
+            "--n",
+            "8",
+            "--seed",
+            "5",
+            "--byzantine",
+            "0.2",
+            "--max-time",
+            "30",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        let fields = population::record::parse_flat_json(out.trim()).unwrap();
+        match fields.get("byz_strikes").unwrap() {
+            population::record::JsonScalar::Num(s) => assert!(*s > 0.0, "{out}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(fields.contains_key("availability"), "{out}");
+        assert!(fields.contains_key("ranked_availability"), "{out}");
+        assert!(out.contains("\"byzantine\":0.2"), "{out}");
+    }
+
+    #[test]
+    fn sustained_churn_runs_the_sublinear_protocol() {
+        let out = run(&args(&[
+            "--protocol",
+            "sublinear",
+            "--n",
+            "8",
+            "--seed",
+            "3",
+            "--churn",
+            "0.05",
+            "--max-time",
+            "20",
+        ]))
+        .unwrap();
+        assert!(out.contains("replacement(s)"), "{out}");
+    }
+
+    #[test]
+    fn dynamics_runs_are_deterministic() {
+        let go = || {
+            run(&args(&[
+                "--protocol",
+                "ciw",
+                "--n",
+                "8",
+                "--seed",
+                "9",
+                "--churn",
+                "0.1",
+                "--byzantine",
+                "0.1",
+                "--max-time",
+                "25",
+                "--format",
+                "json",
+            ]))
+            .unwrap()
+        };
+        assert_eq!(go(), go());
+    }
+
+    #[test]
+    fn churn_rejects_unsupported_combinations() {
+        // No corruption model → no dynamics.
+        for p in ["tree-ranking", "loose"] {
+            assert!(matches!(
+                run(&args(&["--protocol", p, "--n", "8", "--churn", "1.0"])),
+                Err(CliError::BadValue { .. })
+            ));
+        }
+        // Sublinear states are unhashable on the counts backend.
+        assert!(matches!(
+            run(&args(&[
+                "--protocol",
+                "sublinear",
+                "--n",
+                "8",
+                "--backend",
+                "counts",
+                "--churn",
+                "1.0",
+            ])),
+            Err(CliError::BadValue { .. })
+        ));
+        // Dynamics run on the uniform scheduler with perfect channels only.
+        assert!(matches!(
+            run(&args(&["--protocol", "ciw", "--n", "8", "--churn", "1.0", "--scheduler", "zipf"])),
+            Err(CliError::BadValue { .. })
+        ));
+        // No closure certificates, timelines, or metrics under churn.
+        assert!(matches!(
+            run(&args(&["--protocol", "ciw", "--n", "8", "--churn", "1.0", "--certify", "2"])),
+            Err(CliError::BadValue { .. })
+        ));
+        // Malformed spec and out-of-range fraction.
+        assert!(matches!(
+            run(&args(&["--protocol", "ciw", "--n", "8", "--churn", "warp:1@2"])),
+            Err(CliError::BadValue { .. })
+        ));
+        assert!(matches!(
+            run(&args(&["--protocol", "ciw", "--n", "8", "--byzantine", "1.5"])),
+            Err(CliError::BadValue { .. })
+        ));
     }
 }

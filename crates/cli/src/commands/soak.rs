@@ -12,8 +12,8 @@
 
 use population::record::{to_jsonl_mixed, RecordLine};
 use population::{
-    AnyScheduler, ChaosTrialOutcome, Corruptor, FaultAction, FaultPlan, FaultSize, Metrics,
-    Progress, Runner, SchedulerPolicy, TrialSettings,
+    AnyScheduler, ByzantineSet, ChaosTrialOutcome, ChurnPlan, Corruptor, DynamicsTrialOutcome,
+    FaultAction, FaultPlan, FaultSize, Metrics, Progress, Runner, SchedulerPolicy, TrialSettings,
 };
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -64,6 +64,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             "omission",
             "progress",
             "metrics",
+            "churn",
+            "byzantine",
         ],
     )?;
     let common = CommonFlags::from_flags(&flags, ProtocolChoice::OptimalSilent)?;
@@ -87,11 +89,42 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         });
     }
     let collect_metrics = metrics_path.is_some();
+    let churn_spec = flags.try_get_str("churn").unwrap_or("none").trim().to_string();
+    let byzantine: f64 = flags.get("byzantine", 0.0);
+    // The plan seed here is a placeholder: every trial draws its own churn
+    // and Byzantine seeds from the per-trial config RNG.
+    let churn = ChurnPlan::parse(&churn_spec, 0)
+        .map_err(|reason| CliError::BadValue { flag: "churn".into(), reason })?;
+    if byzantine != 0.0 && !(byzantine.is_finite() && (0.0..1.0).contains(&byzantine)) {
+        return Err(CliError::BadValue {
+            flag: "byzantine".into(),
+            reason: format!("byzantine fraction {byzantine} must lie in [0, 1)"),
+        });
+    }
+    let dynamics = !churn.is_empty() || byzantine > 0.0;
+    if dynamics && !robust.is_default() {
+        return Err(CliError::BadValue {
+            flag: "churn".into(),
+            reason: "dynamic-population soaks run on the uniform complete scheduler with \
+                     perfect channels; drop --scheduler/--omission"
+                .into(),
+        });
+    }
+    if dynamics && collect_metrics {
+        return Err(CliError::BadValue {
+            flag: "metrics".into(),
+            reason: "--metrics is not available under churn or Byzantine agents".into(),
+        });
+    }
     let rate: f64 = flags.get("fault-rate", 0.02);
-    if !(rate > 0.0 && rate.is_finite()) {
+    // A zero fault rate is meaningful only when churn/Byzantine events
+    // supply the disturbance: membership alone drives the soak.
+    let rate_floor_ok = if dynamics { rate >= 0.0 } else { rate > 0.0 };
+    if !(rate.is_finite() && rate_floor_ok) {
         return Err(CliError::BadValue {
             flag: "fault-rate".into(),
-            reason: "the fault rate must be a positive number of faults per parallel-time unit"
+            reason: "the fault rate must be a positive number of faults per parallel-time unit \
+                     (0 is allowed when --churn/--byzantine provide the disturbance)"
                 .into(),
         });
     }
@@ -113,6 +146,122 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let period = 1.0 / rate;
     let n = common.n;
     let budget = (time * n as f64).ceil() as u64;
+
+    if dynamics {
+        // Fault plans stay optional under dynamics: membership events open
+        // their own recovery clocks.
+        let fault_period = (rate > 0.0).then_some(period);
+        let outcomes = match (common.protocol, backend) {
+            (ProtocolChoice::Ciw, BackendChoice::Agents) => soak_dynamics_trials(
+                || CaiIzumiWada::new(n),
+                fault_period,
+                action,
+                &churn,
+                byzantine,
+                trials,
+                common.seed,
+                budget,
+                threads,
+                progress,
+            ),
+            (ProtocolChoice::Ciw, BackendChoice::Counts) => soak_dynamics_trials_counts(
+                || CaiIzumiWada::new(n),
+                fault_period,
+                action,
+                &churn,
+                byzantine,
+                trials,
+                common.seed,
+                budget,
+                threads,
+                progress,
+            ),
+            (ProtocolChoice::OptimalSilent, BackendChoice::Agents) => soak_dynamics_trials(
+                || OptimalSilentSsr::new(n),
+                fault_period,
+                action,
+                &churn,
+                byzantine,
+                trials,
+                common.seed,
+                budget,
+                threads,
+                progress,
+            ),
+            (ProtocolChoice::OptimalSilent, BackendChoice::Counts) => soak_dynamics_trials_counts(
+                || OptimalSilentSsr::new(n),
+                fault_period,
+                action,
+                &churn,
+                byzantine,
+                trials,
+                common.seed,
+                budget,
+                threads,
+                progress,
+            ),
+            (ProtocolChoice::Sublinear, BackendChoice::Agents) => soak_dynamics_trials(
+                || SublinearTimeSsr::new(n, common.h),
+                fault_period,
+                action,
+                &churn,
+                byzantine,
+                trials,
+                common.seed,
+                budget,
+                threads,
+                progress,
+            ),
+            (ProtocolChoice::Sublinear, BackendChoice::Counts) => {
+                return Err(CliError::BadValue {
+                    flag: "backend".into(),
+                    reason: "sublinear states are not hashable; the counts backend soaks \
+                             ciw or optimal-silent"
+                        .into(),
+                })
+            }
+            (other, _) => {
+                return Err(CliError::BadValue {
+                    flag: "protocol".into(),
+                    reason: format!(
+                        "{other:?} has no mid-run corruption model; pick ciw, optimal-silent, \
+                         or sublinear"
+                    ),
+                })
+            }
+        };
+        if let Some(path) = flags.try_get_str("json-out") {
+            let h = protocol_h(common.protocol, common.h);
+            let label = protocol_label(common.protocol);
+            let mut records: Vec<RecordLine> = Vec::new();
+            for o in &outcomes {
+                records.push(RecordLine::Churn(o.churn_record(
+                    "soak",
+                    label,
+                    backend.label(),
+                    h,
+                    common.seed,
+                    &churn_spec,
+                    byzantine,
+                )));
+                records.extend(
+                    o.fault_records("soak", label, h, common.seed)
+                        .into_iter()
+                        .map(RecordLine::Fault),
+                );
+            }
+            std::fs::write(path, to_jsonl_mixed(&records))
+                .map_err(|e| CliError::Report { path: path.to_string(), reason: e.to_string() })?;
+        }
+        return Ok(match format {
+            OutputFormat::Text => {
+                render_dynamics_text(&common, rate, &churn_spec, byzantine, time, &outcomes)
+            }
+            OutputFormat::Json => {
+                render_dynamics_json(&common, rate, &churn_spec, byzantine, time, &outcomes)
+            }
+        });
+    }
 
     let (outcomes, trial_metrics) = match (common.protocol, backend) {
         (ProtocolChoice::Ciw, BackendChoice::Agents) => soak_trials(
@@ -479,6 +628,229 @@ where
         Runner::new(settings).run_chaos_trials_counts_parallel(threads, make)
     };
     (outcomes, Vec::new())
+}
+
+/// The heartbeat detail for one finished dynamics trial.
+fn dynamics_detail(o: &DynamicsTrialOutcome) -> String {
+    format!(
+        "trial {}: n {}→{}, {} strike(s), avail {:.3}",
+        o.trial,
+        o.n,
+        o.report.final_n,
+        o.report.byz_strikes,
+        o.report.chaos.availability()
+    )
+}
+
+/// Runs dynamic-population soak trials on the agent-array backend:
+/// adversarial random start, optional repeating fault plan, plus the churn
+/// plan and Byzantine fraction. Per-trial churn/Byzantine seeds are drawn
+/// from the trial's config RNG, so outcomes are deterministic in the base
+/// seed and independent of thread scheduling.
+#[allow(clippy::too_many_arguments)]
+fn soak_dynamics_trials<P, M>(
+    make_protocol: M,
+    fault_period: Option<f64>,
+    action: FaultAction,
+    churn: &ChurnPlan,
+    byzantine: f64,
+    trials: u64,
+    seed: u64,
+    budget: u64,
+    threads: usize,
+    progress: bool,
+) -> Vec<DynamicsTrialOutcome>
+where
+    P: Corruptor + Send,
+    P::State: Send,
+    M: Fn() -> P + Sync,
+{
+    let settings = TrialSettings::new(trials, seed, budget, 0);
+    let make = |_: u64, rng: &mut SmallRng| {
+        let protocol = make_protocol();
+        let initial = adversary::random_configuration(&protocol, rng);
+        let plan = match fault_period {
+            Some(p) => FaultPlan::new(rng.gen()).every_parallel_time(p, action),
+            None => FaultPlan::none(),
+        };
+        let churn = ChurnPlan { seed: rng.gen(), ..churn.clone() };
+        let byz = ByzantineSet { fraction: byzantine, seed: rng.gen() };
+        (protocol, initial, plan, churn, byz)
+    };
+    if progress {
+        let mut meter = soak_meter(trials, budget, true);
+        let out = Runner::new(settings).run_dynamics_trials_observed(make, |o| {
+            meter.tick((o.trial + 1).saturating_mul(budget), &dynamics_detail(o));
+        });
+        meter.finish(trials.saturating_mul(budget), "done");
+        out
+    } else {
+        Runner::new(settings).run_dynamics_trials_parallel(threads, make)
+    }
+}
+
+/// [`soak_dynamics_trials`] on the count-based backend (lumped Byzantine
+/// model — counts have no agent identities to pin).
+#[allow(clippy::too_many_arguments)]
+fn soak_dynamics_trials_counts<P, M>(
+    make_protocol: M,
+    fault_period: Option<f64>,
+    action: FaultAction,
+    churn: &ChurnPlan,
+    byzantine: f64,
+    trials: u64,
+    seed: u64,
+    budget: u64,
+    threads: usize,
+    progress: bool,
+) -> Vec<DynamicsTrialOutcome>
+where
+    P: Corruptor + Send,
+    P::State: std::hash::Hash + Eq + Send,
+    M: Fn() -> P + Sync,
+{
+    let settings = TrialSettings::new(trials, seed, budget, 0);
+    let make = |_: u64, rng: &mut SmallRng| {
+        let protocol = make_protocol();
+        let initial = adversary::random_configuration(&protocol, rng);
+        let plan = match fault_period {
+            Some(p) => FaultPlan::new(rng.gen()).every_parallel_time(p, action),
+            None => FaultPlan::none(),
+        };
+        let churn = ChurnPlan { seed: rng.gen(), ..churn.clone() };
+        let byz = ByzantineSet { fraction: byzantine, seed: rng.gen() };
+        (protocol, initial, plan, churn, byz)
+    };
+    if progress {
+        let mut meter = soak_meter(trials, budget, true);
+        let out = Runner::new(settings).run_dynamics_trials_counts_observed(make, |o| {
+            meter.tick((o.trial + 1).saturating_mul(budget), &dynamics_detail(o));
+        });
+        meter.finish(trials.saturating_mul(budget), "done");
+        out
+    } else {
+        Runner::new(settings).run_dynamics_trials_counts_parallel(threads, make)
+    }
+}
+
+fn render_dynamics_text(
+    common: &CommonFlags,
+    rate: f64,
+    churn_spec: &str,
+    byzantine: f64,
+    time: f64,
+    outcomes: &[DynamicsTrialOutcome],
+) -> String {
+    let spec = if churn_spec.is_empty() { "none" } else { churn_spec };
+    let fault_line = if rate > 0.0 {
+        format!("faults every {:.1} parallel-time units (rate {rate}); ", 1.0 / rate)
+    } else {
+        String::new()
+    };
+    let mut out = format!(
+        "soak under dynamics: {}, n = {}, seed {}\nchurn \"{spec}\", byzantine {byzantine}; \
+         {fault_line}{} trial(s) × {time} time units\n\n",
+        common.protocol.name(),
+        common.n,
+        common.seed,
+        outcomes.len(),
+    );
+    out.push_str(&format!(
+        "{:>6} {:>8} {:>6} {:>7} {:>9} {:>8} {:>7} {:>10} {:>13}\n",
+        "trial",
+        "final-n",
+        "joins",
+        "leaves",
+        "replaced",
+        "strikes",
+        "faults",
+        "avail",
+        "ranked-avail"
+    ));
+    for o in outcomes {
+        out.push_str(&format!(
+            "{:>6} {:>8} {:>6} {:>7} {:>9} {:>8} {:>7} {:>10.3} {:>13.3}\n",
+            o.trial,
+            o.report.final_n,
+            o.report.joins,
+            o.report.leaves,
+            o.report.replacements,
+            o.report.byz_strikes,
+            o.report.chaos.faults.len(),
+            o.report.chaos.availability(),
+            o.report.chaos.ranked_availability(),
+        ));
+    }
+    let trials = outcomes.len().max(1) as f64;
+    let avail = outcomes.iter().map(|o| o.report.chaos.availability()).sum::<f64>() / trials;
+    let ranked =
+        outcomes.iter().map(|o| o.report.chaos.ranked_availability()).sum::<f64>() / trials;
+    let faults: usize = outcomes.iter().map(|o| o.report.chaos.faults.len()).sum();
+    let recovered: usize = outcomes.iter().map(|o| o.report.chaos.recovered()).sum();
+    let recoveries: Vec<f64> =
+        outcomes.iter().filter_map(|o| o.report.chaos.mean_recovery_parallel_time()).collect();
+    let rec = if recoveries.is_empty() {
+        "-".to_string()
+    } else {
+        format!("{:.1} parallel time", recoveries.iter().sum::<f64>() / recoveries.len() as f64)
+    };
+    out.push_str(&format!(
+        "\naggregate: leader available {:.1}% of the time (fully ranked {:.1}%)\n\
+         {faults} fault(s) fired (incl. membership events), {recovered} recovered from; \
+         E[recovery] {rec}\n",
+        100.0 * avail,
+        100.0 * ranked,
+    ));
+    out
+}
+
+fn render_dynamics_json(
+    common: &CommonFlags,
+    rate: f64,
+    churn_spec: &str,
+    byzantine: f64,
+    time: f64,
+    outcomes: &[DynamicsTrialOutcome],
+) -> String {
+    use population::record::JsonObject;
+    let trials = outcomes.len().max(1) as f64;
+    let recoveries: Vec<f64> =
+        outcomes.iter().filter_map(|o| o.report.chaos.mean_recovery_parallel_time()).collect();
+    let mut obj = JsonObject::new();
+    obj.field_str("command", "soak");
+    obj.field_str("protocol", protocol_label(common.protocol));
+    obj.field_u64("n", common.n as u64);
+    obj.field_u64("seed", common.seed);
+    obj.field_str("churn", if churn_spec.is_empty() { "none" } else { churn_spec });
+    obj.field_f64("byzantine", byzantine);
+    obj.field_f64("fault_rate", rate);
+    obj.field_f64("time", time);
+    obj.field_u64("trials", outcomes.len() as u64);
+    obj.field_u64("joins", outcomes.iter().map(|o| o.report.joins).sum());
+    obj.field_u64("leaves", outcomes.iter().map(|o| o.report.leaves).sum());
+    obj.field_u64("replacements", outcomes.iter().map(|o| o.report.replacements).sum());
+    obj.field_u64("byz_strikes", outcomes.iter().map(|o| o.report.byz_strikes).sum());
+    obj.field_u64("faults", outcomes.iter().map(|o| o.report.chaos.faults.len() as u64).sum());
+    obj.field_u64("recovered", outcomes.iter().map(|o| o.report.chaos.recovered() as u64).sum());
+    obj.field_f64(
+        "availability",
+        outcomes.iter().map(|o| o.report.chaos.availability()).sum::<f64>() / trials,
+    );
+    obj.field_f64(
+        "ranked_availability",
+        outcomes.iter().map(|o| o.report.chaos.ranked_availability()).sum::<f64>() / trials,
+    );
+    if recoveries.is_empty() {
+        obj.field_null("mean_recovery_time");
+    } else {
+        obj.field_f64(
+            "mean_recovery_time",
+            recoveries.iter().sum::<f64>() / recoveries.len() as f64,
+        );
+    }
+    let mut out = obj.finish();
+    out.push('\n');
+    out
 }
 
 /// Means over the batch used by both output formats.
@@ -863,6 +1235,140 @@ mod tests {
             let all: Vec<&str> = base.iter().chain(extra.iter()).copied().collect();
             assert!(matches!(run(&args(&all)), Err(CliError::BadValue { .. })), "{extra:?}");
         }
+    }
+
+    #[test]
+    fn churn_soak_reports_on_both_backends() {
+        for backend in ["agents", "counts"] {
+            let out = run(&args(&[
+                "--protocol",
+                "optimal-silent",
+                "--n",
+                "16",
+                "--time",
+                "150",
+                "--trials",
+                "2",
+                "--seed",
+                "3",
+                "--backend",
+                backend,
+                "--churn",
+                "0.1",
+                "--byzantine",
+                "0.05",
+            ]))
+            .unwrap_or_else(|e| panic!("{backend}: {e}"));
+            assert!(out.contains("soak under dynamics"), "{backend}: {out}");
+            assert!(out.contains("churn \"0.1\", byzantine 0.05"), "{backend}: {out}");
+            assert!(out.contains("aggregate: leader available"), "{backend}: {out}");
+        }
+    }
+
+    #[test]
+    fn churn_soak_allows_a_zero_fault_rate() {
+        // Membership alone drives the soak; without dynamics a zero rate
+        // stays rejected.
+        let out = run(&args(&[
+            "--n",
+            "16",
+            "--time",
+            "150",
+            "--trials",
+            "2",
+            "--fault-rate",
+            "0",
+            "--churn",
+            "replace:2@20",
+        ]))
+        .unwrap();
+        assert!(!out.contains("faults every"), "{out}");
+        assert!(matches!(
+            run(&args(&["--n", "16", "--fault-rate", "0"])),
+            Err(CliError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn churn_soak_is_deterministic_and_progress_neutral() {
+        let base = [
+            "--n",
+            "16",
+            "--time",
+            "150",
+            "--trials",
+            "2",
+            "--seed",
+            "9",
+            "--churn",
+            "0.1",
+            "--byzantine",
+            "0.1",
+        ];
+        let plain: Vec<&str> = base.to_vec();
+        let observed: Vec<&str> = base.iter().copied().chain(["--progress", "1"]).collect();
+        let a = run(&args(&plain)).unwrap();
+        assert_eq!(a, run(&args(&plain)).unwrap());
+        assert_eq!(a, run(&args(&observed)).unwrap());
+    }
+
+    #[test]
+    fn churn_soak_json_out_writes_churn_and_fault_rows() {
+        let path = std::env::temp_dir().join("ssle_soak_churn_records.jsonl");
+        let path_s = path.to_string_lossy().into_owned();
+        let out = run(&args(&[
+            "--n",
+            "16",
+            "--time",
+            "150",
+            "--trials",
+            "2",
+            "--seed",
+            "3",
+            "--churn",
+            "0.2",
+            "--json-out",
+            &path_s,
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        assert!(out.contains("\"churn\":\"0.2\""), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines = population::record::from_jsonl_mixed(&text).unwrap();
+        let churn_rows: Vec<_> = lines
+            .iter()
+            .filter_map(|l| match l {
+                RecordLine::Churn(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(churn_rows.len(), 2, "{text}");
+        assert_eq!(churn_rows[0].churn, "0.2");
+        assert!(churn_rows.iter().all(|c| c.replacements > 0), "{text}");
+        // Membership events double as fault rows with the "replace" label.
+        assert!(
+            lines.iter().any(|l| matches!(l, RecordLine::Fault(f) if f.action == "replace")),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn churn_soak_rejects_unsupported_combinations() {
+        for extra in [
+            ["--scheduler", "zipf"],
+            ["--omission", "0.1"],
+            ["--metrics", "m.jsonl"],
+            ["--byzantine", "1.5"],
+        ] {
+            let base = ["--n", "8", "--churn", "0.1"];
+            let all: Vec<&str> = base.iter().chain(extra.iter()).copied().collect();
+            assert!(matches!(run(&args(&all)), Err(CliError::BadValue { .. })), "{extra:?}");
+        }
+        assert!(matches!(
+            run(&args(&["--n", "8", "--churn", "warp:1@2"])),
+            Err(CliError::BadValue { .. })
+        ));
     }
 
     #[test]

@@ -61,6 +61,7 @@ COMMANDS:
                   [--scheduler uniform|zipf[:exp]|starve[:k[:w]]|clustered[:b[:eps]]]
                   [--omission <p>] [--certify <multiple>]
                   [--timeline <file.jsonl>]
+                  [--churn <rate|kind:<k>@<t>,...>] [--byzantine <fraction>]
                   [--backend agents|counts] [--format text|json]
     trace       sample a role/leader time series as CSV
                   --protocol ... --n <agents> [--h <depth>] [--seed <u64>]
@@ -83,6 +84,7 @@ COMMANDS:
                   [--time <parallel-time>] [--trials <t>] [--threads <w>]
                   [--h <depth>] [--seed <u64>] [--backend agents|counts]
                   [--scheduler <spec>] [--omission <p>] [--progress 1]
+                  [--churn <rate|kind:<k>@<t>,...>] [--byzantine <fraction>]
                   [--json-out <file.jsonl>] [--format text|json]
     states      print per-protocol state counts
                   --n <agents> [--h <depth>]

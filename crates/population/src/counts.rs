@@ -255,10 +255,11 @@ impl<S: Clone + std::fmt::Debug + Eq + Hash> CountConfig<S> {
         panic!("position beyond the population");
     }
 
-    /// Drops tombstone entries and reindexes. Returns `true` when anything
-    /// moved — callers holding entry indices (or index-keyed memo tables)
-    /// must invalidate them.
-    pub(crate) fn compact(&mut self) -> bool {
+    /// Drops tombstone entries and reindexes, preserving the first-seen
+    /// order of the surviving entries. Returns `true` when anything moved —
+    /// callers holding entry indices (or index-keyed memo tables) must
+    /// invalidate them.
+    pub fn compact(&mut self) -> bool {
         if self.zero_entries == 0 {
             return false;
         }
@@ -570,6 +571,72 @@ where
         &self.faults
     }
 
+    /// The attached fault schedule, mutably — for drivers (the dynamics
+    /// runner) that manage the recovery clock themselves.
+    pub(crate) fn fault_schedule_mut(&mut self) -> &mut F {
+        &mut self.faults
+    }
+
+    /// Adds `k` fresh agents in `state` — a membership **join**. Safe only
+    /// between batches (no entry index is live); the batch-length survival
+    /// table is rebuilt for the new population size.
+    pub fn add_agents(&mut self, state: P::State, k: u64) {
+        if k == 0 {
+            return;
+        }
+        let idx = self.config.ensure_entry(state);
+        self.config.add_at(idx, k);
+        self.after_population_change();
+    }
+
+    /// Removes the agent at zero-based position `r` (entry-order layout) —
+    /// a membership **leave** — returning its state. Safe only between
+    /// batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= population()` or if the removal would leave fewer
+    /// than two agents.
+    pub fn remove_agent_at(&mut self, r: u64) -> P::State {
+        let idx = self.config.locate(r);
+        let state = self.config.state_at(idx).clone();
+        self.config.remove_at(idx, 1);
+        self.after_population_change();
+        state
+    }
+
+    /// Replaces the agent at zero-based position `r` with `state` — a
+    /// departure plus a fresh join, so the population size is unchanged —
+    /// returning the departed state. Safe only between batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= population()`.
+    pub fn replace_agent_at(&mut self, r: u64, state: P::State) -> P::State {
+        let idx = self.config.locate(r);
+        let old = self.config.state_at(idx).clone();
+        self.config.remove_at(idx, 1);
+        let to = self.config.ensure_entry(state);
+        self.config.add_at(to, 1);
+        self.after_population_change();
+        old
+    }
+
+    /// Re-derives everything that depends on the population size or the
+    /// entry table after a membership change: the survival table (batch
+    /// lengths), the transition memo (entry indices may have been
+    /// appended), and an opportunistic compaction.
+    fn after_population_change(&mut self) {
+        let n = self.config.population();
+        assert!(n >= 2, "population shrank below two agents");
+        if n != self.n {
+            self.n = n;
+            self.survival = survival_table(n);
+        }
+        self.memo.grow(self.config.raw_len());
+        self.maybe_compact();
+    }
+
     /// Sets the interaction-reliability model (mirrors
     /// [`crate::Simulation::with_reliability`]). Omission is thinned
     /// *exactly* inside batches: pair selection is independent of whether a
@@ -846,7 +913,7 @@ where
     /// agent array only when something is actually due
     /// ([`FaultSchedule::next_due`]). Returns the number of corrupted
     /// agents.
-    fn poll_faults(&mut self) -> usize {
+    pub(crate) fn poll_faults(&mut self) -> usize {
         if !F::ACTIVE || self.interactions < self.faults.next_due() {
             return 0;
         }
@@ -865,7 +932,7 @@ where
 
     /// Advances by one batch of at most `cap` interactions, respecting due
     /// faults (batches never jump past [`FaultSchedule::next_due`]).
-    fn advance(&mut self, cap: u64) {
+    pub(crate) fn advance(&mut self, cap: u64) {
         let cap = if F::ACTIVE {
             self.poll_faults();
             // Progress by at least one interaction even if a custom
@@ -982,7 +1049,7 @@ where
     P::State: Eq + Hash,
 {
     /// Builds a rank histogram of the current configuration.
-    fn build_tracker(&self) -> RankTracker {
+    pub(crate) fn build_tracker(&self) -> RankTracker {
         let n = self.protocol.population_size();
         let mut tracker = RankTracker::new(n);
         for (s, c) in self.config.iter() {

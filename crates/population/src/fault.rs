@@ -61,8 +61,10 @@ use crate::scheduler::{AnyScheduler, Reliability, SchedulerPolicy};
 use crate::simulation::{RunOutcome, Simulation};
 use crate::tracker::RankTracker;
 
-/// How many agents a fault touches, resolved against the population size at
-/// [`FaultInjector::bind`] time.
+/// How many agents a fault touches, resolved against the **live** population
+/// size each time the fault fires — so a size stays valid even when
+/// membership churn (see [`crate::dynamics`]) has moved `n` since the plan
+/// was written. Oversized requests clamp instead of panicking.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultSize {
     /// Exactly `k` agents (clamped to `n`).
@@ -556,7 +558,7 @@ fn apply_fault<P: Corruptor>(
 
 /// `k` distinct agent indices drawn uniformly from `0..n` by a partial
 /// Fisher–Yates shuffle. O(n) per call, which is fine: faults are rare.
-fn distinct_agents(n: usize, k: usize, rng: &mut SmallRng) -> Vec<usize> {
+pub(crate) fn distinct_agents(n: usize, k: usize, rng: &mut SmallRng) -> Vec<usize> {
     debug_assert!(k <= n);
     let mut idx: Vec<usize> = (0..n).collect();
     for i in 0..k {
@@ -1342,6 +1344,32 @@ mod tests {
             assert_eq!(sorted.len(), 4, "duplicates in {picked:?}");
             assert!(picked.iter().all(|&a| a < 10));
         }
+    }
+
+    /// Satellite of the dynamics subsystem: churn makes a shrinking `n`
+    /// reachable mid-plan, so oversized fault sizes must clamp at fire
+    /// time, never panic.
+    #[test]
+    fn fault_size_resolves_oversized_requests() {
+        assert_eq!(FaultSize::Exact(10).resolve(4), 4);
+        assert_eq!(FaultSize::Exact(0).resolve(4), 1);
+        assert_eq!(FaultSize::Exact(usize::MAX).resolve(1), 1);
+        assert_eq!(FaultSize::All.resolve(3), 3);
+        assert_eq!(FaultSize::Sqrt.resolve(1), 1);
+        assert_eq!(FaultSize::Fraction(2.0).resolve(5), 5);
+        assert_eq!(FaultSize::Fraction(0.0).resolve(5), 1);
+    }
+
+    /// A plan written for a larger population must fire (clamped) against a
+    /// smaller live one — the fire-time resolution the doc promises.
+    #[test]
+    fn oversized_fault_clamps_against_live_population() {
+        let plan =
+            FaultPlan::new(9).at_interaction(0, FaultAction::CorruptRandom(FaultSize::Exact(100)));
+        let p = ModRank { n: 6 };
+        let mut states = ranked(6);
+        let mut inj = FaultInjector::bind(&plan, 6);
+        assert_eq!(inj.poll(&p, &mut states, 0), 6);
     }
 
     #[test]

@@ -35,6 +35,7 @@
 //! | [`observer`] | [`Observer`] hooks into the hot loop; [`NoopObserver`] zero-cost default |
 //! | [`probe`] | sampled time series and the stabilization-certificate (closure) checker |
 //! | [`fault`] | chaos harness: [`FaultPlan`] schedules, mid-run [`Corruptor`] injection, recovery/availability measurement |
+//! | [`dynamics`] | dynamic populations: [`ChurnPlan`] membership churn (join/leave/replace) and [`ByzantineSet`] adversarial agents on both backends |
 //! | [`telemetry`] | counters, fixed-bucket histograms, throughput meters, [`TelemetryObserver`] |
 //! | [`metrics`] | engine telemetry: the zero-cost [`MetricsSink`] seam both backends flush at batch boundaries — batch sizes, exact-fallback/memo rates, compactions, per-section wall time |
 //! | [`timeline`] | within-run trajectory tracing: decimated [`timeline::TimelineObserver`] checkpoints and the [`timeline::Progress`] heartbeat |
@@ -78,6 +79,7 @@
 
 pub mod backend;
 pub mod counts;
+pub mod dynamics;
 pub mod epidemic;
 pub mod fault;
 pub mod gillespie;
@@ -97,6 +99,10 @@ pub mod tracker;
 
 pub use backend::SimulationBackend;
 pub use counts::{BatchSimulation, CountConfig};
+pub use dynamics::{
+    ByzantineSet, ChurnAction, ChurnEvent, ChurnPlan, ChurnTrigger, DynamicsReport,
+    DynamicsTrialOutcome,
+};
 pub use fault::{
     ChaosReport, ChaosTrialOutcome, Corruptor, FaultAction, FaultEvent, FaultInjector, FaultPlan,
     FaultSchedule, FaultSize, FaultTrigger, NoFaults, RecoveryTracker,
@@ -109,7 +115,8 @@ pub use probe::{
 };
 pub use protocol::{Protocol, RankingProtocol};
 pub use record::{
-    FaultRecord, FrontierRecord, MetricsRecord, RecordLine, RunRecord, TimelineRecord,
+    from_jsonl_lenient, ChurnRecord, FaultRecord, FrontierRecord, LenientParse, MetricsRecord,
+    RecordLine, RunRecord, TimelineRecord,
 };
 pub use runner::{derive_seed, ConvergenceSample, Runner, TrialOutcome, TrialSettings};
 pub use scheduler::{AnyScheduler, Reliability, Scheduler, SchedulerPolicy};

@@ -40,10 +40,19 @@
 //!   `trial = null`) as collected by [`crate::metrics`] — batch-size
 //!   histogram, exact-fallback and memo-hit counters, compactions, RNG
 //!   draws, and per-section wall time. Existing kinds are unchanged.
+//! * **v6** — adds the `"kind":"churn"` [`ChurnRecord`] line: one summary
+//!   per dynamic-population trial (see [`crate::dynamics`]) — the churn
+//!   spec, Byzantine fraction, membership-event counts (joins / leaves /
+//!   replacements), Byzantine strikes, availability fractions, and recovery
+//!   statistics. Existing kinds are unchanged.
 //!
 //! A stream may mix all kinds; [`from_jsonl_mixed`] reads everything as
 //! [`RecordLine`]s, while [`from_jsonl`] keeps its original contract of
-//! returning trial records (other lines are skipped).
+//! returning trial records (other lines are skipped). Consumers that must
+//! survive streams written by a *newer* writer (e.g. `ssle report`) use
+//! [`from_jsonl_lenient`], which sets aside — and tallies, instead of
+//! erroring on — lines with an unknown `kind` or a version above
+//! [`SCHEMA_VERSION`].
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -52,7 +61,7 @@ use crate::simulation::RunOutcome;
 
 /// Version of the record schema. Bump when fields change meaning; readers
 /// accept [`MIN_SCHEMA_VERSION`]`..=SCHEMA_VERSION` and reject anything else.
-pub const SCHEMA_VERSION: u32 = 5;
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// Oldest schema version readers still accept.
 pub const MIN_SCHEMA_VERSION: u32 = 1;
@@ -789,6 +798,168 @@ impl MetricsRecord {
     }
 }
 
+/// One dynamic-population trial (`kind = "churn"`, schema v6), emitted by
+/// `ssle simulate/soak --churn` and the `churn_resilience` bench. Each line
+/// summarizes a whole trial under membership churn and/or Byzantine agents:
+/// how much the population changed, how often the adversary struck, and the
+/// availability/recovery statistics from the shared [`crate::fault`]
+/// recovery clock. Fired membership events additionally appear as ordinary
+/// `"fault"` lines next to their trial, so per-event recovery distributions
+/// stay re-analyzable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnRecord {
+    /// Name of the experiment that produced this record (e.g. `"churn"`).
+    pub experiment: String,
+    /// Protocol short-name (e.g. `"ciw"`, `"oss"`, `"sublinear"`).
+    pub protocol: String,
+    /// Simulation backend that executed the run (`"agents"` / `"counts"`).
+    pub backend: String,
+    /// Population size the protocol was configured for (the size ranking is
+    /// judged against; churn moves the live size away from it).
+    pub n: u64,
+    /// Live population size when the trial ended.
+    pub final_n: u64,
+    /// Depth parameter `H`, if the protocol has one.
+    pub h: Option<u64>,
+    /// Trial index within the experiment.
+    pub trial: u64,
+    /// Base seed of the experiment (per-trial seeds derive from it).
+    pub seed: u64,
+    /// Churn spec string the trial ran under (e.g. `"2.0"` or
+    /// `"join:4@8,leave:4@16"`); `"none"` when only Byzantine agents were
+    /// active.
+    pub churn: String,
+    /// Byzantine fraction `t` in `[0, 1)`.
+    pub byzantine: f64,
+    /// Agents that joined (grew the population) during the trial.
+    pub joins: u64,
+    /// Agents that left (shrank the population) during the trial.
+    pub leaves: u64,
+    /// Agents replaced in place (departure + fresh join, size unchanged).
+    pub replacements: u64,
+    /// Byzantine state overwrites applied during the trial.
+    pub byz_strikes: u64,
+    /// Membership/fault events that opened a recovery clock.
+    pub faults: u64,
+    /// Fraction of observed steps with exactly one leader.
+    pub availability: f64,
+    /// Fraction of observed steps with the full ranking in place.
+    pub ranked_availability: f64,
+    /// Recovery clocks that closed before the trial ended.
+    pub recovered: u64,
+    /// Mean recovery time in parallel time across recovered clocks (`None`
+    /// when nothing recovered).
+    pub mean_recovery_pt: Option<f64>,
+    /// Parallel time of the first stable full ranking, if reached.
+    pub first_ranked_pt: Option<f64>,
+    /// Total interactions executed.
+    pub interactions: u64,
+    /// Total parallel time executed (piecewise `1/n_live` per interaction,
+    /// so it stays meaningful while `n` varies).
+    pub parallel_time: f64,
+    /// Wall-clock seconds the trial took.
+    pub wall_s: f64,
+}
+
+impl ChurnRecord {
+    /// Interactions per wall-clock second (0 if no wall time was recorded).
+    pub fn interactions_per_second(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.interactions as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Serializes to a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.field_u64("v", SCHEMA_VERSION as u64);
+        obj.field_str("kind", "churn");
+        obj.field_str("experiment", &self.experiment);
+        obj.field_str("protocol", &self.protocol);
+        obj.field_str("backend", &self.backend);
+        obj.field_u64("n", self.n);
+        obj.field_u64("final_n", self.final_n);
+        match self.h {
+            Some(h) => obj.field_u64("h", h),
+            None => obj.field_null("h"),
+        };
+        obj.field_u64("trial", self.trial);
+        obj.field_u64("seed", self.seed);
+        obj.field_str("churn", &self.churn);
+        obj.field_f64("byzantine", self.byzantine);
+        obj.field_u64("joins", self.joins);
+        obj.field_u64("leaves", self.leaves);
+        obj.field_u64("replacements", self.replacements);
+        obj.field_u64("byz_strikes", self.byz_strikes);
+        obj.field_u64("faults", self.faults);
+        obj.field_f64("availability", self.availability);
+        obj.field_f64("ranked_availability", self.ranked_availability);
+        obj.field_u64("recovered", self.recovered);
+        match self.mean_recovery_pt {
+            Some(t) => obj.field_f64("mean_recovery_pt", t),
+            None => obj.field_null("mean_recovery_pt"),
+        };
+        match self.first_ranked_pt {
+            Some(t) => obj.field_f64("first_ranked_pt", t),
+            None => obj.field_null("first_ranked_pt"),
+        };
+        obj.field_u64("interactions", self.interactions);
+        obj.field_f64("parallel_time", self.parallel_time);
+        obj.field_f64("wall_s", self.wall_s);
+        obj.field_f64("ips", self.interactions_per_second());
+        obj.finish()
+    }
+
+    /// Parses a churn record from one JSONL line.
+    pub fn from_json(line: &str) -> Result<Self, String> {
+        let fields = parse_flat_json(line)?;
+        check_version(&fields)?;
+        match record_kind(&fields)? {
+            "churn" => {}
+            other => return Err(format!("expected a churn record, got kind {other:?}")),
+        }
+        Self::from_fields(&fields)
+    }
+
+    fn from_fields(fields: &BTreeMap<String, JsonScalar>) -> Result<Self, String> {
+        Ok(ChurnRecord {
+            experiment: get_str(fields, "experiment")?.to_string(),
+            protocol: get_str(fields, "protocol")?.to_string(),
+            backend: get_str(fields, "backend")?.to_string(),
+            n: get_u64(fields, "n")?,
+            final_n: get_u64(fields, "final_n")?,
+            h: get_opt_u64(fields, "h")?,
+            trial: get_u64(fields, "trial")?,
+            seed: get_u64(fields, "seed")?,
+            churn: get_str(fields, "churn")?.to_string(),
+            byzantine: get_f64(fields, "byzantine")?,
+            joins: get_u64(fields, "joins")?,
+            leaves: get_u64(fields, "leaves")?,
+            replacements: get_u64(fields, "replacements")?,
+            byz_strikes: get_u64(fields, "byz_strikes")?,
+            faults: get_u64(fields, "faults")?,
+            availability: get_f64(fields, "availability")?,
+            ranked_availability: get_f64(fields, "ranked_availability")?,
+            recovered: get_u64(fields, "recovered")?,
+            mean_recovery_pt: get_opt_f64(fields, "mean_recovery_pt")?,
+            first_ranked_pt: get_opt_f64(fields, "first_ranked_pt")?,
+            interactions: get_u64(fields, "interactions")?,
+            parallel_time: get_f64(fields, "parallel_time")?,
+            wall_s: get_f64(fields, "wall_s")?,
+        })
+    }
+}
+
+fn get_opt_f64(fields: &BTreeMap<String, JsonScalar>, key: &str) -> Result<Option<f64>, String> {
+    match fields.get(key) {
+        None | Some(JsonScalar::Null) => Ok(None),
+        Some(JsonScalar::Num(_)) => Ok(Some(get_f64(fields, key)?)),
+        Some(other) => Err(format!("field {key:?}: expected number or null, got {other:?}")),
+    }
+}
+
 /// One parsed line of a (possibly mixed) JSONL experiment stream.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RecordLine {
@@ -802,6 +973,8 @@ pub enum RecordLine {
     Timeline(TimelineRecord),
     /// An engine-telemetry summary.
     Metrics(MetricsRecord),
+    /// A dynamic-population (churn / Byzantine) trial summary.
+    Churn(ChurnRecord),
 }
 
 impl RecordLine {
@@ -810,14 +983,24 @@ impl RecordLine {
     pub fn from_json(line: &str) -> Result<Self, String> {
         let fields = parse_flat_json(line)?;
         check_version(&fields)?;
-        match record_kind(&fields)? {
-            "trial" => Ok(RecordLine::Trial(RunRecord::from_fields(&fields)?)),
-            "fault" => Ok(RecordLine::Fault(FaultRecord::from_fields(&fields)?)),
-            "frontier" => Ok(RecordLine::Frontier(FrontierRecord::from_fields(&fields)?)),
-            "timeline" => Ok(RecordLine::Timeline(TimelineRecord::from_fields(&fields)?)),
-            "metrics" => Ok(RecordLine::Metrics(MetricsRecord::from_fields(&fields)?)),
-            other => Err(format!("unknown record kind {other:?}")),
+        match Self::from_known_fields(&fields)? {
+            Some(line) => Ok(line),
+            None => Err(format!("unknown record kind {:?}", record_kind(&fields)?)),
         }
+    }
+
+    /// Dispatches on an already-parsed field map; `Ok(None)` means the
+    /// `kind` is well-formed but unknown to this reader (a future schema).
+    fn from_known_fields(fields: &BTreeMap<String, JsonScalar>) -> Result<Option<Self>, String> {
+        Ok(Some(match record_kind(fields)? {
+            "trial" => RecordLine::Trial(RunRecord::from_fields(fields)?),
+            "fault" => RecordLine::Fault(FaultRecord::from_fields(fields)?),
+            "frontier" => RecordLine::Frontier(FrontierRecord::from_fields(fields)?),
+            "timeline" => RecordLine::Timeline(TimelineRecord::from_fields(fields)?),
+            "metrics" => RecordLine::Metrics(MetricsRecord::from_fields(fields)?),
+            "churn" => RecordLine::Churn(ChurnRecord::from_fields(fields)?),
+            _ => return Ok(None),
+        }))
     }
 
     /// Serializes back to a single-line JSON object.
@@ -828,6 +1011,7 @@ impl RecordLine {
             RecordLine::Frontier(f) => f.to_json(),
             RecordLine::Timeline(t) => t.to_json(),
             RecordLine::Metrics(m) => m.to_json(),
+            RecordLine::Churn(c) => c.to_json(),
         }
     }
 }
@@ -866,7 +1050,8 @@ pub fn from_jsonl(text: &str) -> Result<Vec<RunRecord>, String> {
             RecordLine::Fault(_)
             | RecordLine::Frontier(_)
             | RecordLine::Timeline(_)
-            | RecordLine::Metrics(_) => None,
+            | RecordLine::Metrics(_)
+            | RecordLine::Churn(_) => None,
         })
         .collect())
 }
@@ -885,6 +1070,54 @@ pub fn from_jsonl_mixed(text: &str) -> Result<Vec<RecordLine>, String> {
         records.push(record);
     }
     Ok(records)
+}
+
+/// Result of a lenient mixed-stream parse: the lines this reader understood,
+/// plus a tally of the ones it had to set aside. See [`from_jsonl_lenient`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LenientParse {
+    /// Lines parsed into known record kinds, in stream order.
+    pub records: Vec<RecordLine>,
+    /// Set-aside lines as `(line_number, reason)` pairs — e.g.
+    /// `(12, "kind \"galaxy\"")` or `(3, "version 7")`. Line numbers are
+    /// 1-based.
+    pub skipped: Vec<(usize, String)>,
+}
+
+/// Parses a JSONL document like [`from_jsonl_mixed`], but instead of erroring
+/// on lines a *newer* writer could legitimately produce — an unknown `kind`,
+/// or a version above [`SCHEMA_VERSION`] — it sets them aside in
+/// [`LenientParse::skipped`] so the caller can warn with counts. Lines that
+/// no writer should produce (malformed JSON, versions below
+/// [`MIN_SCHEMA_VERSION`], known kinds with broken fields) still hard-error.
+pub fn from_jsonl_lenient(text: &str) -> Result<LenientParse, String> {
+    let mut out = LenientParse { records: Vec::new(), skipped: Vec::new() };
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let fields = parse_flat_json(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let version = get_u64(&fields, "v").map_err(|e| format!("line {lineno}: {e}"))?;
+        if version > SCHEMA_VERSION as u64 {
+            out.skipped.push((lineno, format!("version {version}")));
+            continue;
+        }
+        if version < MIN_SCHEMA_VERSION as u64 {
+            return Err(format!(
+                "line {lineno}: unsupported record version {version} (reader supports \
+                 {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})"
+            ));
+        }
+        match RecordLine::from_known_fields(&fields).map_err(|e| format!("line {lineno}: {e}"))? {
+            Some(record) => out.records.push(record),
+            None => {
+                let kind = record_kind(&fields).map_err(|e| format!("line {lineno}: {e}"))?;
+                out.skipped.push((lineno, format!("kind {kind:?}")));
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// Incremental builder for a single-line JSON object.
@@ -1244,7 +1477,7 @@ mod tests {
     fn frontier_record_round_trips() {
         let f = sample_frontier_record();
         let json = f.to_json();
-        assert!(json.starts_with("{\"v\":5,\"kind\":\"frontier\","), "{json}");
+        assert!(json.starts_with("{\"v\":6,\"kind\":\"frontier\","), "{json}");
         assert!(json.contains("\"backend\":\"counts\""), "{json}");
         assert!(json.contains("\"support\":2"), "{json}");
         assert!(json.contains("\"leaders\":null"), "{json}");
@@ -1280,7 +1513,7 @@ mod tests {
     fn timeline_record_round_trips() {
         let t = sample_timeline_record();
         let json = t.to_json();
-        assert!(json.starts_with("{\"v\":5,\"kind\":\"timeline\","), "{json}");
+        assert!(json.starts_with("{\"v\":6,\"kind\":\"timeline\","), "{json}");
         assert!(json.contains("\"parallel_time\":4.096"), "{json}");
         assert!(json.contains("\"phases\":\"propagate:12,reset:3\""), "{json}");
         assert_eq!(TimelineRecord::from_json(&json).unwrap(), t);
@@ -1334,7 +1567,7 @@ mod tests {
     fn metrics_record_round_trips() {
         let m = sample_metrics_record();
         let json = m.to_json();
-        assert!(json.starts_with("{\"v\":5,\"kind\":\"metrics\","), "{json}");
+        assert!(json.starts_with("{\"v\":6,\"kind\":\"metrics\","), "{json}");
         assert!(json.contains("\"batch_hist\":\"256:12,512:3988\""), "{json}");
         assert!(json.contains("\"ips\":4000000"), "{json}");
         assert_eq!(MetricsRecord::from_json(&json).unwrap(), m);
@@ -1444,7 +1677,7 @@ mod tests {
         let json = sample_record().to_json();
         assert!(json.contains("\"parallel_time\":"), "{json}");
         assert!(json.contains("\"ips\":49380"), "{json}");
-        assert!(json.starts_with("{\"v\":5,\"kind\":\"trial\","), "version leads: {json}");
+        assert!(json.starts_with("{\"v\":6,\"kind\":\"trial\","), "version leads: {json}");
         assert!(
             !json.contains("availability") && !json.contains("faults"),
             "chaos fields only appear when set: {json}"
@@ -1475,7 +1708,7 @@ mod tests {
     fn fault_record_round_trips() {
         let f = sample_fault_record();
         let json = f.to_json();
-        assert!(json.starts_with("{\"v\":5,\"kind\":\"fault\","), "{json}");
+        assert!(json.starts_with("{\"v\":6,\"kind\":\"fault\","), "{json}");
         assert!(json.contains("\"recovery_parallel_time\":"), "{json}");
         assert_eq!(FaultRecord::from_json(&json).unwrap(), f);
         assert_eq!(f.recovery_interactions(), Some(30_000));
@@ -1519,10 +1752,10 @@ mod tests {
 
     #[test]
     fn wrong_version_is_rejected() {
-        let json = sample_record().to_json().replace("\"v\":5", "\"v\":6");
+        let json = sample_record().to_json().replace("\"v\":6", "\"v\":7");
         let err = RunRecord::from_json(&json).unwrap_err();
         assert!(err.contains("version"), "{err}");
-        let json = sample_record().to_json().replace("\"v\":5", "\"v\":0");
+        let json = sample_record().to_json().replace("\"v\":6", "\"v\":0");
         assert!(RunRecord::from_json(&json).is_err());
     }
 
@@ -1592,5 +1825,93 @@ mod tests {
     #[test]
     fn empty_object_parses() {
         assert!(parse_flat_json(" { } ").unwrap().is_empty());
+    }
+
+    fn sample_churn_record() -> ChurnRecord {
+        ChurnRecord {
+            experiment: "churn".to_string(),
+            protocol: "ciw".to_string(),
+            backend: "agents".to_string(),
+            n: 64,
+            final_n: 66,
+            h: None,
+            trial: 3,
+            seed: 9,
+            churn: "2.0".to_string(),
+            byzantine: 0.05,
+            joins: 4,
+            leaves: 2,
+            replacements: 11,
+            byz_strikes: 310,
+            faults: 17,
+            availability: 0.82,
+            ranked_availability: 0.64,
+            recovered: 15,
+            mean_recovery_pt: Some(12.5),
+            first_ranked_pt: Some(30.0),
+            interactions: 200_000,
+            parallel_time: 3101.6,
+            wall_s: 0.4,
+        }
+    }
+
+    #[test]
+    fn churn_record_round_trips() {
+        let c = sample_churn_record();
+        let json = c.to_json();
+        assert!(json.starts_with("{\"v\":6,\"kind\":\"churn\","), "{json}");
+        assert!(json.contains("\"churn\":\"2.0\""), "{json}");
+        assert!(json.contains("\"byzantine\":0.05"), "{json}");
+        assert!(json.contains("\"final_n\":66"), "{json}");
+        assert_eq!(ChurnRecord::from_json(&json).unwrap(), c);
+        assert_eq!(RecordLine::from_json(&json).unwrap(), RecordLine::Churn(c.clone()));
+        let bare = ChurnRecord {
+            h: Some(4),
+            mean_recovery_pt: None,
+            first_ranked_pt: None,
+            churn: "none".to_string(),
+            ..c
+        };
+        let json = bare.to_json();
+        assert!(json.contains("\"mean_recovery_pt\":null"), "{json}");
+        assert_eq!(ChurnRecord::from_json(&json).unwrap(), bare);
+    }
+
+    #[test]
+    fn churn_lines_survive_mixed_round_trip() {
+        let lines =
+            vec![RecordLine::Trial(sample_record()), RecordLine::Churn(sample_churn_record())];
+        let text = to_jsonl_mixed(&lines);
+        assert_eq!(from_jsonl_mixed(&text).unwrap(), lines);
+        // The trial-only reader keeps its historical contract.
+        assert_eq!(from_jsonl(&text).unwrap(), vec![sample_record()]);
+    }
+
+    #[test]
+    fn lenient_parse_sets_aside_future_lines() {
+        let known = sample_churn_record().to_json();
+        let future_version = known.replace("\"v\":6", "\"v\":7");
+        let future_kind = known.replace("\"kind\":\"churn\"", "\"kind\":\"galaxy\"");
+        let text = format!("{known}\n{future_version}\n{future_kind}\n");
+        let parsed = from_jsonl_lenient(&text).unwrap();
+        assert_eq!(parsed.records, vec![RecordLine::Churn(sample_churn_record())]);
+        assert_eq!(
+            parsed.skipped,
+            vec![(2, "version 7".to_string()), (3, "kind \"galaxy\"".to_string())]
+        );
+        // Strict mixed parsing still rejects the same stream.
+        assert!(from_jsonl_mixed(&text).is_err());
+    }
+
+    #[test]
+    fn lenient_parse_still_hard_errors_on_garbage() {
+        // Below MIN_SCHEMA_VERSION: no writer should produce this.
+        let stale = sample_churn_record().to_json().replace("\"v\":6", "\"v\":0");
+        assert!(from_jsonl_lenient(&stale).unwrap_err().contains("version"));
+        // Malformed JSON is a hard error too.
+        assert!(from_jsonl_lenient("{\"v\":6,").is_err());
+        // A known kind with broken fields is a hard error, not a skip.
+        let broken = "{\"v\":6,\"kind\":\"churn\",\"experiment\":\"x\"}";
+        assert!(from_jsonl_lenient(broken).is_err());
     }
 }

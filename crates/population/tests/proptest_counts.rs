@@ -89,6 +89,94 @@ proptest! {
         prop_assert!(sim.counts().iter().all(|(s, c)| *s < n && c > 0));
     }
 
+    /// Groundwork the churn path relies on: any interleaving of inserts,
+    /// removes, and compactions conserves the population size and keeps
+    /// entries in first-seen order (compaction only drops tombstones, never
+    /// reorders survivors). Checked against a naive ordered-list model.
+    #[test]
+    fn count_config_interleavings_conserve_size_and_entry_order(
+        ops in prop::collection::vec((0u8..3, 0usize..12, 1u64..4), 1..120),
+    ) {
+        let mut config: CountConfig<usize> = CountConfig::new();
+        // The model mirrors the entry table: (state, count) in first-seen
+        // order, zero-count tombstones retained until a compaction.
+        let mut model: Vec<(usize, u64)> = Vec::new();
+        for (op, state, k) in ops {
+            match op {
+                0 => {
+                    config.add(state, k);
+                    match model.iter_mut().find(|(s, _)| *s == state) {
+                        Some((_, c)) => *c += k,
+                        None => model.push((state, k)),
+                    }
+                }
+                1 => {
+                    // Remove only what exists; `remove` panics otherwise.
+                    let have = model
+                        .iter()
+                        .find(|(s, _)| *s == state)
+                        .map_or(0, |(_, c)| *c);
+                    let k = k.min(have);
+                    if k > 0 {
+                        config.remove(&state, k);
+                        for (s, c) in model.iter_mut() {
+                            if *s == state {
+                                *c -= k;
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    config.compact();
+                    model.retain(|(_, c)| *c > 0);
+                }
+            }
+            let population: u64 = model.iter().map(|(_, c)| c).sum();
+            prop_assert_eq!(config.population(), population);
+            let live: Vec<(usize, u64)> =
+                model.iter().copied().filter(|(_, c)| *c > 0).collect();
+            let seen: Vec<(usize, u64)> = config.iter().map(|(s, c)| (*s, c)).collect();
+            prop_assert_eq!(&seen, &live, "entry order diverged from first-seen");
+            prop_assert_eq!(config.support(), live.len());
+            for (s, c) in &live {
+                prop_assert_eq!(config.count_of(s), *c);
+            }
+        }
+    }
+
+    /// The membership path the dynamics subsystem drives: joins, leaves,
+    /// and in-place replacements through `BatchSimulation` conserve the
+    /// intended population size even while batches execute in between.
+    #[test]
+    fn membership_churn_conserves_population_through_batches(
+        n in 4usize..40,
+        ops in prop::collection::vec((0u8..3, 0u64..1000, 0usize..10), 1..30),
+        seed in any::<u64>(),
+    ) {
+        let mut sim = BatchSimulation::new(ModRank { n }, vec![0usize; n], seed);
+        let mut expect = n as u64;
+        let mut rng = population::runner::rng_from_seed(seed ^ 0x9e37);
+        for (op, steps, s) in ops {
+            sim.run(steps);
+            prop_assert_eq!(sim.counts().population(), expect);
+            match op {
+                0 => {
+                    sim.add_agents(s % n, 1);
+                    expect += 1;
+                }
+                1 if expect > 2 => {
+                    sim.remove_agent_at(expect - 1);
+                    expect -= 1;
+                }
+                _ => {
+                    sim.corrupt_agent_at(expect / 2, &mut rng);
+                }
+            }
+            prop_assert_eq!(sim.counts().population(), expect);
+            prop_assert_eq!(sim.counts().to_states().len() as u64, expect);
+        }
+    }
+
     /// Batched runs land on exactly the requested interaction count and
     /// conserve the population, for any seed and batch-unfriendly small n.
     #[test]

@@ -226,10 +226,10 @@ proptest! {
     }
 }
 
-/// A fixed v5 run line with the version literal swapped to older schema
-/// versions must still parse to the same record: the reader accepts the
-/// whole v1–v5 range, so pre-metrics experiment logs stay readable
-/// byte-for-byte.
+/// A fixed current-version run line with the version literal swapped to
+/// older schema versions must still parse to the same record: the reader
+/// accepts the whole v1–v6 range, so pre-metrics experiment logs stay
+/// readable byte-for-byte.
 #[test]
 fn older_schema_versions_parse_to_the_same_records() {
     let record = RunRecord {
@@ -247,15 +247,15 @@ fn older_schema_versions_parse_to_the_same_records() {
         omission: None,
         starve_window: None,
     };
-    let v5 = record.to_json();
-    assert!(v5.contains("\"v\":5"), "{v5}");
-    for old in 1..5u32 {
-        let line = v5.replace("\"v\":5", &format!("\"v\":{old}"));
+    let current = record.to_json();
+    assert!(current.contains("\"v\":6"), "{current}");
+    for old in 1..6u32 {
+        let line = current.replace("\"v\":6", &format!("\"v\":{old}"));
         let parsed =
             RecordLine::from_json(&line).unwrap_or_else(|e| panic!("v{old} line rejected: {e}"));
         assert_eq!(parsed, RecordLine::Trial(record.clone()), "v{old}");
     }
     // The trial reader sees exactly the run rows, whatever their version.
-    let mixed = format!("{}\n{}\n", v5, v5.replace("\"v\":5", "\"v\":2"));
+    let mixed = format!("{}\n{}\n", current, current.replace("\"v\":6", "\"v\":2"));
     assert_eq!(from_jsonl(&mixed).expect("mixed versions").len(), 2);
 }

@@ -45,6 +45,13 @@ pub use population::probe::{
     certify_leader_closure, certify_ranking_closure, ClosureCertificate, ClosureViolation,
 };
 
+// The dynamic-population counterpart of the wrong-`n` embedding
+// (Theorem 2.1): ranking protocols are verified for an exact population
+// size, so a membership change moves the execution into exactly the
+// wrong-size regime the model checker refutes. Re-exported so churn
+// experiments and proof-level checks share one import surface.
+pub use population::dynamics::{ByzantineSet, ChurnPlan, DynamicsReport};
+
 /// A configuration as a sorted multiset of agent states.
 ///
 /// Sorting canonicalizes away agent identities (agents are anonymous), so
