@@ -1,0 +1,136 @@
+//! `ssle client` — talk to a running `ssle serve` daemon.
+//!
+//! Two shapes:
+//!
+//! * raw: `ssle client --send '{"cmd":"status","name":"alpha"}'` forwards
+//!   one wire-protocol line verbatim and prints the response line;
+//! * built: `ssle client --cmd leader --name alpha` assembles the request
+//!   from flags (covering the common commands without hand-writing JSON).
+
+use population::record::JsonObject;
+use ssle_serve::client::request;
+
+use crate::commands::parse_flags;
+use crate::error::CliError;
+
+const FLAGS: &[&str] = &[
+    "addr",
+    "send",
+    "cmd",
+    "name",
+    "protocol",
+    "backend",
+    "n",
+    "seed",
+    "interactions",
+    "k",
+    "spec",
+    "last",
+];
+
+/// Runs the subcommand: builds or forwards one request line, returns the
+/// server's response line.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on bad flags or a failed connection; server-side
+/// errors come back inside the printed response envelope.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let flags = parse_flags(args, FLAGS)?;
+    let addr = flags.try_get_str("addr").unwrap_or("127.0.0.1:7700").to_string();
+    let line = match (flags.try_get_str("send"), flags.try_get_str("cmd")) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::BadValue {
+                flag: "send".into(),
+                reason: "--send and --cmd are mutually exclusive".into(),
+            })
+        }
+        (Some(raw), None) => raw.to_string(),
+        (None, Some(cmd)) => build_request(cmd, &flags)?,
+        (None, None) => {
+            return Err(CliError::BadValue {
+                flag: "cmd".into(),
+                reason: "provide --send '<json>' or --cmd <command>".into(),
+            })
+        }
+    };
+    let response = request(&addr, &line).map_err(|e| CliError::Report {
+        path: addr.clone(),
+        reason: format!("cannot reach daemon: {e}"),
+    })?;
+    Ok(format!("{response}\n"))
+}
+
+/// Assembles a wire-protocol request from `--cmd` plus the optional
+/// per-command flags. Unknown commands pass through — the daemon owns the
+/// authoritative command table and reports them in its error envelope.
+pub(crate) fn build_request(cmd: &str, flags: &ssle_bench::cli::Flags) -> Result<String, CliError> {
+    let mut obj = JsonObject::new();
+    obj.field_str("cmd", cmd);
+    for key in ["name", "protocol", "backend", "spec"] {
+        if let Some(value) = flags.try_get_str(key) {
+            obj.field_str(key, value);
+        }
+    }
+    for key in ["n", "seed", "interactions", "k", "last"] {
+        if let Some(raw) = flags.try_get_str(key) {
+            let value: u64 = raw.parse().map_err(|_| CliError::BadValue {
+                flag: key.into(),
+                reason: format!("{raw:?} is not a non-negative integer"),
+            })?;
+            obj.field_u64(key, value);
+        }
+    }
+    Ok(obj.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(a: &[&str]) -> ssle_bench::cli::Flags {
+        let args: Vec<String> = a.iter().map(|s| s.to_string()).collect();
+        parse_flags(&args, FLAGS).unwrap()
+    }
+
+    #[test]
+    fn builds_create_request_from_flags() {
+        let flags = flags(&[
+            "--cmd",
+            "create",
+            "--name",
+            "alpha",
+            "--protocol",
+            "ciw",
+            "--backend",
+            "agents",
+            "--n",
+            "64",
+            "--seed",
+            "7",
+        ]);
+        let line = build_request("create", &flags).unwrap();
+        assert!(line.contains("\"cmd\":\"create\""), "{line}");
+        assert!(line.contains("\"name\":\"alpha\""), "{line}");
+        assert!(line.contains("\"n\":64"), "{line}");
+        assert!(line.contains("\"seed\":7"), "{line}");
+    }
+
+    #[test]
+    fn rejects_non_numeric_counts() {
+        let flags = flags(&["--cmd", "step", "--name", "a", "--interactions", "lots"]);
+        assert!(matches!(build_request("step", &flags), Err(CliError::BadValue { .. })));
+    }
+
+    #[test]
+    fn send_and_cmd_are_mutually_exclusive() {
+        let args: Vec<String> =
+            ["--send", "{}", "--cmd", "ping"].iter().map(|s| s.to_string()).collect();
+        assert!(matches!(run(&args), Err(CliError::BadValue { .. })));
+    }
+
+    #[test]
+    fn missing_both_is_an_error() {
+        assert!(matches!(run(&[]), Err(CliError::BadValue { .. })));
+    }
+}

@@ -1,9 +1,11 @@
 //! Subcommand implementations.
 
+pub mod client;
 pub mod compare;
 pub mod epidemic;
 pub mod prove;
 pub mod report;
+pub mod serve;
 pub mod simulate;
 pub mod soak;
 pub mod states;

@@ -38,7 +38,7 @@ use analysis::{median_trajectory, quantile, summarize_buckets, Ecdf};
 use population::metrics::decode_histogram;
 use population::record::{
     from_jsonl_lenient, ChurnRecord, FaultRecord, FrontierRecord, JsonObject, MetricsRecord,
-    RecordLine, RunRecord, TimelineRecord,
+    RecordLine, RunRecord, ServiceRecord, TimelineRecord,
 };
 use population::ConvergenceSample;
 use ssle_bench::TimeSummary;
@@ -66,6 +66,10 @@ type TimelineCohort = (String, String, String, u64);
 
 /// One metrics group key: `(experiment, protocol, backend, n)`.
 type MetricsKey = (String, String, String, u64);
+
+/// One service-throughput group key: `(experiment, protocol, backend, n,
+/// clients)`.
+type ServiceKey = (String, String, String, u64, u64);
 
 /// One churn group key: `(experiment, protocol, backend, n, h, churn spec,
 /// byzantine fraction rendered as text so the key stays totally ordered)`.
@@ -187,6 +191,7 @@ struct Loaded {
     timelines: Vec<TimelineRecord>,
     metrics: Vec<MetricsRecord>,
     churn: Vec<ChurnRecord>,
+    services: Vec<ServiceRecord>,
     /// `(line number, reason)` pairs a newer writer could have produced —
     /// unknown `kind` or a schema version above ours. Counted and warned
     /// about instead of silently skipped.
@@ -201,27 +206,36 @@ impl Loaded {
             + self.timelines.len()
             + self.metrics.len()
             + self.churn.len()
+            + self.services.len()
     }
 
-    /// The one-line warning about set-aside lines, empty when every line
-    /// parsed into a known kind.
-    fn skipped_note(&self) -> String {
-        if self.skipped.is_empty() {
-            return String::new();
+    /// Distinct set-aside reasons with counts and the first offending line
+    /// of each, ordered by first appearance — so a stream with 400
+    /// `version 8` lines and one `kind "galaxy"` line warns twice, not 401
+    /// times and not once ambiguously.
+    fn skipped_reasons(&self) -> Vec<(String, usize, usize)> {
+        let mut reasons: Vec<(String, usize, usize)> = Vec::new();
+        for (line, reason) in &self.skipped {
+            match reasons.iter_mut().find(|(r, _, _)| r == reason) {
+                Some((_, count, _)) => *count += 1,
+                None => reasons.push((reason.clone(), 1, *line)),
+            }
         }
-        let examples: Vec<String> = self
-            .skipped
+        reasons
+    }
+
+    /// One aggregated warning line per distinct set-aside reason, empty
+    /// when every line parsed into a known kind.
+    fn skipped_note(&self) -> String {
+        self.skipped_reasons()
             .iter()
-            .take(3)
-            .map(|(line, reason)| format!("line {line}: {reason}"))
-            .collect();
-        let more = if self.skipped.len() > 3 { ", …" } else { "" };
-        format!(
-            "warning: {} line(s) from a newer writer were set aside ({}{more}) — \
-             upgrade ssle to read them\n",
-            self.skipped.len(),
-            examples.join(", "),
-        )
+            .map(|(reason, count, first_line)| {
+                format!(
+                    "warning: {count} line(s) with {reason} were set aside \
+                     (first at line {first_line}) — upgrade ssle to read them\n"
+                )
+            })
+            .collect()
     }
 }
 
@@ -237,6 +251,7 @@ fn load(path: &str) -> Result<Loaded, CliError> {
         timelines: Vec::new(),
         metrics: Vec::new(),
         churn: Vec::new(),
+        services: Vec::new(),
         skipped: parsed.skipped,
     };
     for line in parsed.records {
@@ -247,6 +262,7 @@ fn load(path: &str) -> Result<Loaded, CliError> {
             RecordLine::Timeline(t) => loaded.timelines.push(t),
             RecordLine::Metrics(m) => loaded.metrics.push(m),
             RecordLine::Churn(c) => loaded.churn.push(c),
+            RecordLine::Service(s) => loaded.services.push(s),
         }
     }
     if loaded.total() == 0 {
@@ -272,12 +288,14 @@ fn report_one(path: &str, format: OutputFormat) -> Result<String, CliError> {
     let timeline_groups = group_timelines(&loaded.timelines);
     let metrics_groups = group_metrics(&loaded.metrics);
     let churn_groups = group_churn(&loaded.churn);
+    let service_groups = group_services(&loaded.services);
     let total = loaded.total();
     match format {
         OutputFormat::Text => {
             let mut out = loaded.skipped_note();
             out.push_str(&render_text(path, total, &groups, &fault_groups, &frontier_groups));
             out.push_str(&render_churn_text(&churn_groups));
+            out.push_str(&render_service_text(&service_groups));
             for ((experiment, protocol, backend, n), trials) in cohorts_of(&timeline_groups) {
                 out.push_str(&format!(
                     "\ntimelines: experiment={experiment} protocol={protocol} backend={backend} \
@@ -296,12 +314,14 @@ fn report_one(path: &str, format: OutputFormat) -> Result<String, CliError> {
         OutputFormat::Json => {
             let mut out = render_json(&groups, &fault_groups, &frontier_groups);
             out.push_str(&render_churn_json(&churn_groups));
-            if !loaded.skipped.is_empty() {
+            out.push_str(&render_service_json(&service_groups));
+            for (reason, count, first_line) in loaded.skipped_reasons() {
                 let mut obj = JsonObject::new();
                 obj.field_str("command", "report");
                 obj.field_str("kind", "skipped");
-                obj.field_u64("lines", loaded.skipped.len() as u64);
-                obj.field_str("first_reason", &loaded.skipped[0].1);
+                obj.field_str("reason", &reason);
+                obj.field_u64("lines", count as u64);
+                obj.field_u64("first_line", first_line as u64);
                 out.push_str(&obj.finish());
                 out.push('\n');
             }
@@ -827,6 +847,60 @@ fn render_churn_json(groups: &BTreeMap<ChurnKey, Vec<&ChurnRecord>>) -> String {
             Some(m) => obj.field_f64("mean_first_ranked_time", m),
             None => obj.field_null("mean_first_ranked_time"),
         };
+        out.push_str(&obj.finish());
+        out.push('\n');
+    }
+    out
+}
+
+fn group_services(services: &[ServiceRecord]) -> BTreeMap<ServiceKey, Vec<&ServiceRecord>> {
+    let mut groups: BTreeMap<ServiceKey, Vec<&ServiceRecord>> = BTreeMap::new();
+    for s in services {
+        groups
+            .entry((s.experiment.clone(), s.protocol.clone(), s.backend.clone(), s.n, s.clients))
+            .or_default()
+            .push(s);
+    }
+    groups
+}
+
+fn render_service_text(groups: &BTreeMap<ServiceKey, Vec<&ServiceRecord>>) -> String {
+    let mut out = String::new();
+    for ((experiment, protocol, backend, n, clients), group) in groups {
+        let rows = group.len() as f64;
+        let requests: u64 = group.iter().map(|s| s.requests).sum();
+        out.push_str(&format!(
+            "\nservice: experiment={experiment} protocol={protocol} backend={backend} n={n} \
+             clients={clients}: {} row(s), {requests} request(s)\n",
+            group.len(),
+        ));
+        out.push_str(&format!(
+            "  throughput: {:.0} requests/s   latency p50 {:.0}µs  p99 {:.0}µs\n",
+            group.iter().map(|s| s.rps).sum::<f64>() / rows,
+            group.iter().map(|s| s.p50_us).sum::<f64>() / rows,
+            group.iter().map(|s| s.p99_us).sum::<f64>() / rows,
+        ));
+    }
+    out
+}
+
+fn render_service_json(groups: &BTreeMap<ServiceKey, Vec<&ServiceRecord>>) -> String {
+    let mut out = String::new();
+    for ((experiment, protocol, backend, n, clients), group) in groups {
+        let rows = group.len() as f64;
+        let mut obj = JsonObject::new();
+        obj.field_str("command", "report");
+        obj.field_str("kind", "service");
+        obj.field_str("experiment", experiment);
+        obj.field_str("protocol", protocol);
+        obj.field_str("backend", backend);
+        obj.field_u64("n", *n);
+        obj.field_u64("clients", *clients);
+        obj.field_u64("rows", group.len() as u64);
+        obj.field_u64("requests", group.iter().map(|s| s.requests).sum());
+        obj.field_f64("mean_rps", group.iter().map(|s| s.rps).sum::<f64>() / rows);
+        obj.field_f64("mean_p50_us", group.iter().map(|s| s.p50_us).sum::<f64>() / rows);
+        obj.field_f64("mean_p99_us", group.iter().map(|s| s.p99_us).sum::<f64>() / rows);
         out.push_str(&obj.finish());
         out.push('\n');
     }
@@ -2018,31 +2092,87 @@ mod tests {
     }
 
     /// Satellite: rows a future writer could produce — an unknown `kind` or
-    /// a higher schema version — are counted and warned about, not silently
-    /// dropped and not fatal.
+    /// a higher schema version — are counted and warned about with **one
+    /// aggregated warning per distinct reason**, not silently dropped, not
+    /// fatal, and not one warning per line.
     #[test]
-    fn future_rows_are_counted_and_warned_about() {
+    fn future_rows_warn_once_per_distinct_reason() {
         let known = mk_churn(0, 0.8).to_json();
-        let v7 = "{\"v\":7,\"kind\":\"quorum\",\"experiment\":\"x\",\"weight\":0.5}";
-        let text = format!("{known}\n{v7}\n");
+        // A fabricated v8 row (one schema version above ours) and two
+        // same-version rows of an unknown kind.
+        let v8 = "{\"v\":8,\"kind\":\"service\",\"experiment\":\"x\",\"rps\":1.0}";
+        let quorum = "{\"v\":7,\"kind\":\"quorum\",\"experiment\":\"x\",\"weight\":0.5}";
+        let text = format!("{known}\n{v8}\n{quorum}\n{quorum}\n");
         let path = write_temp("ssle_report_future.jsonl", &text);
 
         let out = run(&args(&[&path])).unwrap();
-        assert!(out.contains("warning: 1 line(s) from a newer writer"), "{out}");
-        assert!(out.contains("line 2:"), "{out}");
+        assert!(out.contains("warning: 1 line(s) with version 8"), "{out}");
+        assert!(out.contains("(first at line 2)"), "{out}");
+        assert!(out.contains("warning: 2 line(s) with kind \"quorum\""), "{out}");
+        assert!(out.contains("(first at line 3)"), "{out}");
+        // Exactly one warning per distinct reason, not one per line.
+        assert_eq!(out.matches("warning:").count(), 2, "{out}");
         assert!(out.contains("churn=2.0"), "known rows still reported: {out}");
 
         let json = run(&args(&[&path, "--format", "json"])).unwrap();
-        assert!(json.contains("\"kind\":\"skipped\""), "{json}");
-        assert!(json.contains("\"lines\":1"), "{json}");
+        let skipped: Vec<&str> =
+            json.lines().filter(|l| l.contains("\"kind\":\"skipped\"")).collect();
+        assert_eq!(skipped.len(), 2, "{json}");
+        assert!(skipped[0].contains("\"reason\":\"version 8\""), "{json}");
+        assert!(skipped[0].contains("\"lines\":1"), "{json}");
+        assert!(skipped[1].contains("\"reason\":\"kind \\\"quorum\\\"\""), "{json}");
+        assert!(skipped[1].contains("\"lines\":2"), "{json}");
 
         // A stream of only-future rows errors with the upgrade hint instead
         // of the generic "no records".
-        let path = write_temp("ssle_report_future_only.jsonl", &format!("{v7}\n"));
+        let path = write_temp("ssle_report_future_only.jsonl", &format!("{v8}\n"));
         match run(&args(&[&path])) {
             Err(CliError::Report { reason, .. }) => {
                 assert!(reason.contains("newer writer"), "{reason}")
             }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// Tentpole ride-along: `kind = "service"` rows from the throughput
+    /// bench group by `(n, clients)` and report rps and tail latency.
+    #[test]
+    fn service_stream_reports_throughput_and_latency() {
+        let mk = |clients: u64, rps: f64| ServiceRecord {
+            experiment: "service".to_string(),
+            protocol: "oss".to_string(),
+            backend: "counts".to_string(),
+            n: 10_000,
+            clients,
+            requests: 4_000,
+            rps,
+            p50_us: 200.0,
+            p99_us: 1_800.0,
+            seed: 5,
+            wall_s: 2.0,
+        };
+        let text = format!(
+            "{}\n{}\n{}\n",
+            mk(8, 900.0).to_json(),
+            mk(8, 1100.0).to_json(),
+            mk(2, 500.0).to_json()
+        );
+        let path = write_temp("ssle_report_service.jsonl", &text);
+
+        let out = run(&args(&[&path])).unwrap();
+        assert!(out.contains("service: experiment=service protocol=oss backend=counts n=10000 clients=8: 2 row(s)"), "{out}");
+        assert!(out.contains("throughput: 1000 requests/s"), "{out}");
+        assert!(out.contains("p99 1800µs"), "{out}");
+        assert!(out.contains("clients=2: 1 row(s)"), "{out}");
+
+        let json = run(&args(&[&path, "--format", "json"])).unwrap();
+        let line = json
+            .lines()
+            .find(|l| l.contains("\"kind\":\"service\"") && l.contains("\"clients\":8"))
+            .expect("service group");
+        let fields = population::record::parse_flat_json(line).unwrap();
+        match fields.get("mean_rps").unwrap() {
+            population::record::JsonScalar::Num(m) => assert!((m - 1000.0).abs() < 1e-9, "{m}"),
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -1,0 +1,149 @@
+//! `ssle serve` — run the election service daemon.
+//!
+//! Binds a loopback (or any) TCP address, multiplexes named live
+//! populations behind the line-delimited JSON wire protocol, and — when a
+//! snapshot directory is configured — restores populations at boot and
+//! snapshots them all on graceful shutdown (the `shutdown` request or
+//! SIGINT).
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use ssle_serve::{install_sigint_handler, ServeConfig, ServeSummary, Server};
+
+use crate::commands::parse_flags;
+use crate::error::CliError;
+
+/// Runs the subcommand. Blocks until the daemon shuts down (a `shutdown`
+/// request or SIGINT), then returns a run summary.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on bad flags or a failed bind.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let flags = parse_flags(args, &["addr", "threads", "queue", "snapshot-dir", "read-timeout"])?;
+    let config = config_from_flags(&flags)?;
+    install_sigint_handler();
+    let server = Server::start(&config).map_err(|e| CliError::BadValue {
+        flag: "addr".into(),
+        reason: format!("cannot bind {}: {e}", config.addr),
+    })?;
+    let addr = server.local_addr().map(|a| a.to_string()).unwrap_or_else(|_| config.addr.clone());
+    eprintln!("ssle serve: listening on {addr} ({} workers)", config.threads);
+    let summary = server.run();
+    Ok(render_summary(&addr, &summary))
+}
+
+pub(crate) fn config_from_flags(flags: &ssle_bench::cli::Flags) -> Result<ServeConfig, CliError> {
+    let defaults = ServeConfig::default();
+    let threads: usize = flags.get("threads", defaults.threads);
+    if threads == 0 {
+        return Err(CliError::BadValue {
+            flag: "threads".into(),
+            reason: "need at least one worker thread".into(),
+        });
+    }
+    let queue: usize = flags.get("queue", defaults.queue);
+    if queue == 0 {
+        return Err(CliError::BadValue {
+            flag: "queue".into(),
+            reason: "need at least one queue slot".into(),
+        });
+    }
+    let read_timeout: u64 = flags.get("read-timeout", defaults.read_timeout.as_secs());
+    Ok(ServeConfig {
+        addr: flags.try_get_str("addr").unwrap_or(&defaults.addr).to_string(),
+        threads,
+        queue,
+        snapshot_dir: flags.try_get_str("snapshot-dir").map(PathBuf::from),
+        read_timeout: Duration::from_secs(read_timeout.max(1)),
+    })
+}
+
+fn render_summary(addr: &str, summary: &ServeSummary) -> String {
+    let mut out = format!("ssle serve @ {addr}: shut down cleanly\n");
+    if !summary.restored.is_empty() {
+        out.push_str(&format!("restored at boot : {}\n", outcome_list(&summary.restored)));
+    }
+    if !summary.snapshots.is_empty() {
+        let rendered: Vec<(String, Result<(), String>)> = summary
+            .snapshots
+            .iter()
+            .map(|(n, r)| (n.clone(), r.as_ref().map(|_| ()).map_err(Clone::clone)))
+            .collect();
+        out.push_str(&format!("snapshotted      : {}\n", outcome_list(&rendered)));
+    }
+    out.push_str(&format!("handler panics   : {}\n", summary.panics));
+    out
+}
+
+fn outcome_list(items: &[(String, Result<(), String>)]) -> String {
+    items
+        .iter()
+        .map(|(name, outcome)| match outcome {
+            Ok(()) => name.clone(),
+            Err(e) => format!("{name} (FAILED: {e})"),
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(a: &[&str]) -> ssle_bench::cli::Flags {
+        let args: Vec<String> = a.iter().map(|s| s.to_string()).collect();
+        parse_flags(&args, &["addr", "threads", "queue", "snapshot-dir", "read-timeout"]).unwrap()
+    }
+
+    #[test]
+    fn defaults_match_serve_config() {
+        let config = config_from_flags(&flags(&[])).unwrap();
+        let defaults = ServeConfig::default();
+        assert_eq!(config.addr, defaults.addr);
+        assert_eq!(config.threads, defaults.threads);
+        assert_eq!(config.queue, defaults.queue);
+        assert!(config.snapshot_dir.is_none());
+    }
+
+    #[test]
+    fn flags_override_defaults() {
+        let config = config_from_flags(&flags(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+            "--queue",
+            "8",
+            "--snapshot-dir",
+            "/tmp/snaps",
+        ]))
+        .unwrap();
+        assert_eq!(config.addr, "127.0.0.1:0");
+        assert_eq!(config.threads, 2);
+        assert_eq!(config.queue, 8);
+        assert_eq!(config.snapshot_dir, Some(PathBuf::from("/tmp/snaps")));
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        assert!(matches!(
+            config_from_flags(&flags(&["--threads", "0"])),
+            Err(CliError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn summary_renders_outcomes() {
+        let summary = ServeSummary {
+            restored: vec![("a".into(), Ok(())), ("b".into(), Err("corrupt".into()))],
+            snapshots: vec![("a".into(), Ok(PathBuf::from("/x/a.snapshot.jsonl")))],
+            panics: 0,
+        };
+        let text = render_summary("127.0.0.1:7700", &summary);
+        assert!(text.contains("restored at boot : a, b (FAILED: corrupt)"), "{text}");
+        assert!(text.contains("snapshotted      : a"), "{text}");
+        assert!(text.contains("handler panics   : 0"), "{text}");
+    }
+}

@@ -39,6 +39,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "prove" => commands::prove::run(rest),
         "compare" => commands::compare::run(rest),
         "report" => commands::report::run(rest),
+        "serve" => commands::serve::run(rest),
+        "client" => commands::client::run(rest),
         "soak" => commands::soak::run(rest),
         "states" => commands::states::run(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
@@ -77,6 +79,14 @@ COMMANDS:
     report      summarize a JSONL experiment record stream
                   <file.jsonl> [--compare <other.jsonl>] [--format text|json]
                   --timeline <file.jsonl>  render trajectory sparklines
+    serve       run the election service daemon (blocks until shutdown/SIGINT)
+                  [--addr <host:port>] [--threads <w>] [--queue <slots>]
+                  [--snapshot-dir <dir>] [--read-timeout <secs>]
+    client      send one wire-protocol request to a running daemon
+                  [--addr <host:port>] --send '<json>'
+                  | --cmd <command> [--name <pop>] [--protocol ciw|oss]
+                    [--backend agents|counts] [--n <agents>] [--seed <u64>]
+                    [--interactions <k>] [--k <count>] [--spec <churn>] [--last <rows>]
     soak        sustain a fault rate against a protocol and report availability
                   --protocol ciw|optimal-silent|sublinear --n <agents>
                   [--fault-rate <faults per time unit>] [--fault-size <k|sqrt|frac|all>]

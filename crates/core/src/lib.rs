@@ -68,6 +68,7 @@ pub mod loose;
 pub mod name;
 pub mod optimal_silent;
 pub mod reset;
+pub mod snapshot;
 pub mod state_space;
 pub mod sublinear;
 

@@ -18,6 +18,7 @@ use std::hash::Hash;
 
 use crate::counts::{BatchSimulation, CountConfig};
 use crate::fault::FaultSchedule;
+use crate::metrics::MetricsSink;
 use crate::observer::Observer;
 use crate::protocol::{Protocol, RankingProtocol};
 use crate::scheduler::SchedulerPolicy;
@@ -74,12 +75,13 @@ pub trait SimulationBackend<P: Protocol> {
         P::State: Eq + Hash;
 }
 
-impl<P, O, F, S> SimulationBackend<P> for Simulation<P, O, F, S>
+impl<P, O, F, S, M> SimulationBackend<P> for Simulation<P, O, F, S, M>
 where
     P: Protocol,
     O: Observer<P>,
     F: FaultSchedule<P>,
     S: SchedulerPolicy,
+    M: MetricsSink,
 {
     const NAME: &'static str = "agents";
 
@@ -121,12 +123,13 @@ where
     }
 }
 
-impl<P, O, F> SimulationBackend<P> for BatchSimulation<P, O, F>
+impl<P, O, F, M> SimulationBackend<P> for BatchSimulation<P, O, F, M>
 where
     P: Protocol,
     P::State: Eq + Hash,
     O: Observer<P>,
     F: FaultSchedule<P>,
+    M: MetricsSink,
 {
     const NAME: &'static str = "counts";
 

@@ -437,6 +437,48 @@ where
             dirty: Vec::new(),
         }
     }
+
+    /// Rebuilds a simulation at an exact checkpoint: configuration
+    /// (including entry order, which is the sampling order), interaction
+    /// count, and RNG stream position — the snapshot/restore constructor
+    /// (see [`crate::snapshot`]). Plug-ins are reset to the zero-cost
+    /// defaults. The transition memo restarts cold, which is
+    /// RNG-neutral: the memo only caches protocols with
+    /// [`Protocol::DETERMINISTIC_INTERACT`], whose `interact` never draws
+    /// randomness — so continuing the restored execution is bit-identical
+    /// to continuing the original.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration holds fewer than two agents.
+    pub fn from_checkpoint(
+        protocol: P,
+        config: CountConfig<P::State>,
+        interactions: u64,
+        rng: SmallRng,
+    ) -> Self {
+        let n = config.population();
+        assert!(n >= 2, "simulation requires at least two agents, got {n}");
+        let mut memo = TransitionMemo::default();
+        memo.grow(config.raw_len());
+        BatchSimulation {
+            protocol,
+            config,
+            n,
+            rng,
+            interactions,
+            observer: NoopObserver,
+            faults: NoFaults,
+            metrics: NoopMetrics,
+            reliability: Reliability::perfect(),
+            survival: survival_table(n),
+            memo,
+            remaining: Vec::new(),
+            slots: Vec::new(),
+            deltas: Vec::new(),
+            dirty: Vec::new(),
+        }
+    }
 }
 
 impl<P: Protocol, O: Observer<P>, F: FaultSchedule<P>, M: MetricsSink> BatchSimulation<P, O, F, M>
@@ -466,6 +508,12 @@ where
     /// Interactions performed so far.
     pub fn interactions(&self) -> u64 {
         self.interactions
+    }
+
+    /// The simulation RNG's current stream position, for checkpointing
+    /// (restore with [`BatchSimulation::from_checkpoint`]).
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
     }
 
     /// Parallel time elapsed (interactions / n).

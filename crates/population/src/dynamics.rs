@@ -47,6 +47,7 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 use crate::counts::BatchSimulation;
+use crate::driver::SteppedDriver;
 use crate::fault::{
     distinct_agents, ChaosReport, Corruptor, FaultPlan, FaultSchedule, RecoveryTracker,
 };
@@ -312,7 +313,7 @@ impl ByzantineSet {
 /// piecewise parallel-time clock. Timing only — the driver owns the churn
 /// RNG and applies the actions.
 #[derive(Debug, Clone)]
-struct ChurnInjector {
+pub(crate) struct ChurnInjector {
     /// One-shot events sorted by due time; `next_oneshot` indexes the first
     /// unconsumed one.
     oneshot: Vec<(f64, ChurnAction)>,
@@ -322,7 +323,7 @@ struct ChurnInjector {
 }
 
 impl ChurnInjector {
-    fn bind(plan: &ChurnPlan) -> Self {
+    pub(crate) fn bind(plan: &ChurnPlan) -> Self {
         let mut oneshot = Vec::new();
         let mut repeating = Vec::new();
         for event in &plan.events {
@@ -349,7 +350,7 @@ impl ChurnInjector {
 
     /// The earliest parallel time at which [`ChurnInjector::poll`] could
     /// return anything (`f64::INFINITY` when nothing is armed).
-    fn next_due(&self) -> f64 {
+    pub(crate) fn next_due(&self) -> f64 {
         let mut due = self.oneshot.get(self.next_oneshot).map_or(f64::INFINITY, |&(t, _)| t);
         for &(d, _, _) in &self.repeating {
             due = due.min(d);
@@ -358,12 +359,12 @@ impl ChurnInjector {
     }
 
     /// Whether no event can ever fire again.
-    fn exhausted(&self) -> bool {
+    pub(crate) fn exhausted(&self) -> bool {
         self.next_oneshot >= self.oneshot.len() && self.repeating.is_empty()
     }
 
     /// Every action due at parallel time `pt`, in firing order.
-    fn poll(&mut self, pt: f64) -> Vec<ChurnAction> {
+    pub(crate) fn poll(&mut self, pt: f64) -> Vec<ChurnAction> {
         let mut due = Vec::new();
         while let Some(&(t, action)) = self.oneshot.get(self.next_oneshot) {
             if t > pt {
@@ -659,159 +660,17 @@ where
     ///
     /// With an empty plan and an empty Byzantine set this performs the
     /// bit-identical batch sequence of [`BatchSimulation::run_chaos`].
+    ///
+    /// This is the [`SteppedDriver`] loop run to completion — the daemon in
+    /// `crates/serve` drives the same driver one slice at a time.
     pub fn run_dynamics(
         &mut self,
         churn: &ChurnPlan,
         byzantine: &ByzantineSet,
         max_interactions: u64,
     ) -> DynamicsReport {
-        let n0 = self.protocol().population_size();
-        assert_eq!(
-            n0 as u64,
-            self.counts().population(),
-            "protocol configured for a different population size"
-        );
-        let min_n = churn.min_n.max(2) as u64;
-        let mut churn_rng = rng_from_seed(churn.seed);
-        let mut byz_rng = rng_from_seed(byzantine.seed);
-        let mut injector = ChurnInjector::bind(churn);
-        let byz_active = !byzantine.is_empty();
-        // Next lumped Byzantine strike, in parallel time.
-        let mut byz_due = if byz_active { 1.0f64 } else { f64::INFINITY };
-
-        let mut joins = 0u64;
-        let mut leaves = 0u64;
-        let mut replacements = 0u64;
-        let mut byz_strikes = 0u64;
-        let mut pt = self.interactions() as f64 / n0 as f64;
-
-        let mut tracker = self.build_tracker();
-        let mut recovery = RecoveryTracker::new(n0);
-        let mut seen = self.fault_schedule().fired_count();
-
-        self.poll_faults();
-        if self.fault_schedule().fired_count() != seen {
-            for f in &self.fault_schedule().log()[seen..] {
-                recovery.on_fault(f.action, f.agents, f.at);
-            }
-            seen = self.fault_schedule().fired_count();
-            tracker = self.build_tracker();
-        }
-        if tracker.is_correct() && self.counts().population() == n0 as u64 {
-            let at = self.interactions();
-            recovery.on_ranked(at);
-            self.fault_schedule_mut().notify_converged(at);
-        }
-
-        loop {
-            if tracker.is_correct()
-                && self.counts().population() == n0 as u64
-                && self.fault_schedule().exhausted()
-                && injector.exhausted()
-                && !byz_active
-                && recovery.open_faults() == 0
-            {
-                let at = self.interactions();
-                self.observer_mut().on_converged(at);
-                break;
-            }
-            if self.interactions() >= max_interactions {
-                let at = self.interactions();
-                self.observer_mut().on_exhausted(at);
-                break;
-            }
-            // Advance a whole batch, capped at the next due churn event or
-            // Byzantine strike so their firing times stay exact to within
-            // one interaction. Fault-plan caps are applied inside `advance`.
-            let live = self.counts().population();
-            let mut cap = max_interactions - self.interactions();
-            let next_pt = injector.next_due().min(byz_due);
-            if next_pt.is_finite() {
-                let gap = ((next_pt - pt).max(0.0) * live as f64).ceil() as u64;
-                cap = cap.min(gap.max(1));
-            }
-            let before = self.interactions();
-            self.advance(cap);
-            let performed = self.interactions() - before;
-            pt += performed as f64 / live as f64;
-            if self.fault_schedule().fired_count() != seen {
-                for f in &self.fault_schedule().log()[seen..] {
-                    recovery.on_fault(f.action, f.agents, f.at);
-                }
-                seen = self.fault_schedule().fired_count();
-            }
-
-            // Lumped Byzantine strikes for every crossed parallel-time unit.
-            while byz_due <= pt {
-                byz_due += 1.0;
-                let live = self.counts().population();
-                let k = (byzantine.fraction * live as f64).floor() as u64;
-                for _ in 0..k {
-                    let victim = byz_rng.gen_range(0..live);
-                    self.corrupt_agent_at(victim, &mut byz_rng);
-                }
-                byz_strikes += k;
-            }
-
-            // Membership events due at this parallel time.
-            if injector.next_due() <= pt {
-                for action in injector.poll(pt) {
-                    let applied = match action {
-                        ChurnAction::Join(k) => {
-                            let live = self.counts().population();
-                            let room =
-                                churn.max_n.map_or(u64::MAX, |m| (m as u64).saturating_sub(live));
-                            let k = (k as u64).min(room);
-                            self.join_adversarial_agents(k, &mut churn_rng);
-                            joins += k;
-                            k
-                        }
-                        ChurnAction::Leave(k) => {
-                            let live = self.counts().population();
-                            let k = (k as u64).min(live.saturating_sub(min_n));
-                            for _ in 0..k {
-                                let live = self.counts().population();
-                                let victim = churn_rng.gen_range(0..live);
-                                self.remove_agent_at(victim);
-                            }
-                            leaves += k;
-                            k
-                        }
-                        ChurnAction::Replace(k) => {
-                            let live = self.counts().population();
-                            let k = (k as u64).min(live);
-                            for _ in 0..k {
-                                let victim = churn_rng.gen_range(0..live);
-                                self.corrupt_agent_at(victim, &mut churn_rng);
-                            }
-                            replacements += k;
-                            k
-                        }
-                    };
-                    if applied > 0 {
-                        recovery.on_fault(action.label(), applied as usize, self.interactions());
-                    }
-                }
-            }
-
-            tracker = self.build_tracker();
-            let ranked = tracker.is_correct() && self.counts().population() == n0 as u64;
-            recovery.observe_steps(performed, ranked, tracker.count_of(1) == 1);
-            if ranked {
-                let at = self.interactions();
-                recovery.on_ranked(at);
-                self.fault_schedule_mut().notify_converged(at);
-            }
-        }
-        DynamicsReport {
-            final_n: self.counts().population() as usize,
-            chaos: recovery.into_report(self.interactions()),
-            joins,
-            leaves,
-            replacements,
-            byz_strikes,
-            parallel_time: pt,
-        }
+        let driver = SteppedDriver::bind(self, churn, byzantine);
+        driver.run(self, max_interactions)
     }
 }
 

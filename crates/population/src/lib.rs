@@ -79,6 +79,7 @@
 
 pub mod backend;
 pub mod counts;
+pub mod driver;
 pub mod dynamics;
 pub mod epidemic;
 pub mod fault;
@@ -93,12 +94,14 @@ pub mod runner;
 pub mod scheduler;
 pub mod silence;
 pub mod simulation;
+pub mod snapshot;
 pub mod telemetry;
 pub mod timeline;
 pub mod tracker;
 
 pub use backend::SimulationBackend;
 pub use counts::{BatchSimulation, CountConfig};
+pub use driver::{DynamicBackend, SliceOutcome, SteppedDriver};
 pub use dynamics::{
     ByzantineSet, ChurnAction, ChurnEvent, ChurnPlan, ChurnTrigger, DynamicsReport,
     DynamicsTrialOutcome,
@@ -116,11 +119,15 @@ pub use probe::{
 pub use protocol::{Protocol, RankingProtocol};
 pub use record::{
     from_jsonl_lenient, ChurnRecord, FaultRecord, FrontierRecord, LenientParse, MetricsRecord,
-    RecordLine, RunRecord, TimelineRecord,
+    RecordLine, RunRecord, ServiceRecord, TimelineRecord,
 };
 pub use runner::{derive_seed, ConvergenceSample, Runner, TrialOutcome, TrialSettings};
 pub use scheduler::{AnyScheduler, Reliability, Scheduler, SchedulerPolicy};
 pub use simulation::{RunOutcome, Simulation};
+pub use snapshot::{
+    restore_agents, restore_counts, snapshot_agents, snapshot_counts, SnapshotDoc, SnapshotError,
+    SnapshotProtocol, SNAPSHOT_VERSION,
+};
 pub use telemetry::TelemetryObserver;
 pub use timeline::{Progress, Timeline, TimelineCheckpoint, TimelineObserver};
 pub use tracker::RankTracker;

@@ -45,6 +45,10 @@
 //!   spec, Byzantine fraction, membership-event counts (joins / leaves /
 //!   replacements), Byzantine strikes, availability fractions, and recovery
 //!   statistics. Existing kinds are unchanged.
+//! * **v7** — adds the `"kind":"service"` [`ServiceRecord`] line: one
+//!   throughput/latency measurement per service-bench cell (`ssle serve`
+//!   under concurrent clients) — request count, sustained requests per
+//!   second, and p50/p99 per-request latency. Existing kinds are unchanged.
 //!
 //! A stream may mix all kinds; [`from_jsonl_mixed`] reads everything as
 //! [`RecordLine`]s, while [`from_jsonl`] keeps its original contract of
@@ -61,7 +65,7 @@ use crate::simulation::RunOutcome;
 
 /// Version of the record schema. Bump when fields change meaning; readers
 /// accept [`MIN_SCHEMA_VERSION`]`..=SCHEMA_VERSION` and reject anything else.
-pub const SCHEMA_VERSION: u32 = 6;
+pub const SCHEMA_VERSION: u32 = 7;
 
 /// Oldest schema version readers still accept.
 pub const MIN_SCHEMA_VERSION: u32 = 1;
@@ -960,6 +964,85 @@ fn get_opt_f64(fields: &BTreeMap<String, JsonScalar>, key: &str) -> Result<Optio
     }
 }
 
+/// One service-throughput measurement (`kind = "service"`, schema v7),
+/// emitted by the `service_throughput` bench: `clients` concurrent wire
+/// clients hammering one `ssle serve` daemon hosting a population of size
+/// `n`, mixing queries and event injections. Latency is per complete
+/// request (write line, read response) in microseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceRecord {
+    /// Name of the experiment that produced this record (e.g. `"service"`).
+    pub experiment: String,
+    /// Protocol short-name the hosted population runs.
+    pub protocol: String,
+    /// Simulation backend hosting the population (`"agents"` / `"counts"`).
+    pub backend: String,
+    /// Population size of the hosted population.
+    pub n: u64,
+    /// Concurrent client connections issuing requests.
+    pub clients: u64,
+    /// Total requests completed across all clients.
+    pub requests: u64,
+    /// Sustained requests per second across the whole run.
+    pub rps: f64,
+    /// Median per-request latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-request latency, microseconds.
+    pub p99_us: f64,
+    /// Base seed of the bench cell.
+    pub seed: u64,
+    /// Wall-clock seconds the cell took.
+    pub wall_s: f64,
+}
+
+impl ServiceRecord {
+    /// Serializes to a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.field_u64("v", SCHEMA_VERSION as u64);
+        obj.field_str("kind", "service");
+        obj.field_str("experiment", &self.experiment);
+        obj.field_str("protocol", &self.protocol);
+        obj.field_str("backend", &self.backend);
+        obj.field_u64("n", self.n);
+        obj.field_u64("clients", self.clients);
+        obj.field_u64("requests", self.requests);
+        obj.field_f64("rps", self.rps);
+        obj.field_f64("p50_us", self.p50_us);
+        obj.field_f64("p99_us", self.p99_us);
+        obj.field_u64("seed", self.seed);
+        obj.field_f64("wall_s", self.wall_s);
+        obj.finish()
+    }
+
+    /// Parses a service record from one JSONL line.
+    pub fn from_json(line: &str) -> Result<Self, String> {
+        let fields = parse_flat_json(line)?;
+        check_version(&fields)?;
+        match record_kind(&fields)? {
+            "service" => {}
+            other => return Err(format!("expected a service record, got kind {other:?}")),
+        }
+        Self::from_fields(&fields)
+    }
+
+    fn from_fields(fields: &BTreeMap<String, JsonScalar>) -> Result<Self, String> {
+        Ok(ServiceRecord {
+            experiment: get_str(fields, "experiment")?.to_string(),
+            protocol: get_str(fields, "protocol")?.to_string(),
+            backend: get_str(fields, "backend")?.to_string(),
+            n: get_u64(fields, "n")?,
+            clients: get_u64(fields, "clients")?,
+            requests: get_u64(fields, "requests")?,
+            rps: get_f64(fields, "rps")?,
+            p50_us: get_f64(fields, "p50_us")?,
+            p99_us: get_f64(fields, "p99_us")?,
+            seed: get_u64(fields, "seed")?,
+            wall_s: get_f64(fields, "wall_s")?,
+        })
+    }
+}
+
 /// One parsed line of a (possibly mixed) JSONL experiment stream.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RecordLine {
@@ -975,6 +1058,8 @@ pub enum RecordLine {
     Metrics(MetricsRecord),
     /// A dynamic-population (churn / Byzantine) trial summary.
     Churn(ChurnRecord),
+    /// A service-throughput measurement.
+    Service(ServiceRecord),
 }
 
 impl RecordLine {
@@ -999,6 +1084,7 @@ impl RecordLine {
             "timeline" => RecordLine::Timeline(TimelineRecord::from_fields(fields)?),
             "metrics" => RecordLine::Metrics(MetricsRecord::from_fields(fields)?),
             "churn" => RecordLine::Churn(ChurnRecord::from_fields(fields)?),
+            "service" => RecordLine::Service(ServiceRecord::from_fields(fields)?),
             _ => return Ok(None),
         }))
     }
@@ -1012,6 +1098,7 @@ impl RecordLine {
             RecordLine::Timeline(t) => t.to_json(),
             RecordLine::Metrics(m) => m.to_json(),
             RecordLine::Churn(c) => c.to_json(),
+            RecordLine::Service(s) => s.to_json(),
         }
     }
 }
@@ -1051,7 +1138,8 @@ pub fn from_jsonl(text: &str) -> Result<Vec<RunRecord>, String> {
             | RecordLine::Frontier(_)
             | RecordLine::Timeline(_)
             | RecordLine::Metrics(_)
-            | RecordLine::Churn(_) => None,
+            | RecordLine::Churn(_)
+            | RecordLine::Service(_) => None,
         })
         .collect())
 }
@@ -1477,7 +1565,7 @@ mod tests {
     fn frontier_record_round_trips() {
         let f = sample_frontier_record();
         let json = f.to_json();
-        assert!(json.starts_with("{\"v\":6,\"kind\":\"frontier\","), "{json}");
+        assert!(json.starts_with("{\"v\":7,\"kind\":\"frontier\","), "{json}");
         assert!(json.contains("\"backend\":\"counts\""), "{json}");
         assert!(json.contains("\"support\":2"), "{json}");
         assert!(json.contains("\"leaders\":null"), "{json}");
@@ -1513,7 +1601,7 @@ mod tests {
     fn timeline_record_round_trips() {
         let t = sample_timeline_record();
         let json = t.to_json();
-        assert!(json.starts_with("{\"v\":6,\"kind\":\"timeline\","), "{json}");
+        assert!(json.starts_with("{\"v\":7,\"kind\":\"timeline\","), "{json}");
         assert!(json.contains("\"parallel_time\":4.096"), "{json}");
         assert!(json.contains("\"phases\":\"propagate:12,reset:3\""), "{json}");
         assert_eq!(TimelineRecord::from_json(&json).unwrap(), t);
@@ -1567,7 +1655,7 @@ mod tests {
     fn metrics_record_round_trips() {
         let m = sample_metrics_record();
         let json = m.to_json();
-        assert!(json.starts_with("{\"v\":6,\"kind\":\"metrics\","), "{json}");
+        assert!(json.starts_with("{\"v\":7,\"kind\":\"metrics\","), "{json}");
         assert!(json.contains("\"batch_hist\":\"256:12,512:3988\""), "{json}");
         assert!(json.contains("\"ips\":4000000"), "{json}");
         assert_eq!(MetricsRecord::from_json(&json).unwrap(), m);
@@ -1677,7 +1765,7 @@ mod tests {
         let json = sample_record().to_json();
         assert!(json.contains("\"parallel_time\":"), "{json}");
         assert!(json.contains("\"ips\":49380"), "{json}");
-        assert!(json.starts_with("{\"v\":6,\"kind\":\"trial\","), "version leads: {json}");
+        assert!(json.starts_with("{\"v\":7,\"kind\":\"trial\","), "version leads: {json}");
         assert!(
             !json.contains("availability") && !json.contains("faults"),
             "chaos fields only appear when set: {json}"
@@ -1708,7 +1796,7 @@ mod tests {
     fn fault_record_round_trips() {
         let f = sample_fault_record();
         let json = f.to_json();
-        assert!(json.starts_with("{\"v\":6,\"kind\":\"fault\","), "{json}");
+        assert!(json.starts_with("{\"v\":7,\"kind\":\"fault\","), "{json}");
         assert!(json.contains("\"recovery_parallel_time\":"), "{json}");
         assert_eq!(FaultRecord::from_json(&json).unwrap(), f);
         assert_eq!(f.recovery_interactions(), Some(30_000));
@@ -1752,10 +1840,10 @@ mod tests {
 
     #[test]
     fn wrong_version_is_rejected() {
-        let json = sample_record().to_json().replace("\"v\":6", "\"v\":7");
+        let json = sample_record().to_json().replace("\"v\":7", "\"v\":8");
         let err = RunRecord::from_json(&json).unwrap_err();
         assert!(err.contains("version"), "{err}");
-        let json = sample_record().to_json().replace("\"v\":6", "\"v\":0");
+        let json = sample_record().to_json().replace("\"v\":7", "\"v\":0");
         assert!(RunRecord::from_json(&json).is_err());
     }
 
@@ -1855,11 +1943,43 @@ mod tests {
         }
     }
 
+    fn sample_service_record() -> ServiceRecord {
+        ServiceRecord {
+            experiment: "service".to_string(),
+            protocol: "oss".to_string(),
+            backend: "counts".to_string(),
+            n: 10_000,
+            clients: 8,
+            requests: 4_000,
+            rps: 1_234.5,
+            p50_us: 210.0,
+            p99_us: 1_900.0,
+            seed: 5,
+            wall_s: 3.24,
+        }
+    }
+
+    #[test]
+    fn service_record_round_trips() {
+        let s = sample_service_record();
+        let json = s.to_json();
+        assert!(json.starts_with("{\"v\":7,\"kind\":\"service\","), "{json}");
+        assert!(json.contains("\"clients\":8"), "{json}");
+        assert!(json.contains("\"p99_us\":1900"), "{json}");
+        assert_eq!(ServiceRecord::from_json(&json).unwrap(), s);
+        assert_eq!(RecordLine::from_json(&json).unwrap(), RecordLine::Service(s.clone()));
+        // Mixed streams carry service lines; the trial-only reader skips them.
+        let lines = vec![RecordLine::Trial(sample_record()), RecordLine::Service(s)];
+        let text = to_jsonl_mixed(&lines);
+        assert_eq!(from_jsonl_mixed(&text).unwrap(), lines);
+        assert_eq!(from_jsonl(&text).unwrap(), vec![sample_record()]);
+    }
+
     #[test]
     fn churn_record_round_trips() {
         let c = sample_churn_record();
         let json = c.to_json();
-        assert!(json.starts_with("{\"v\":6,\"kind\":\"churn\","), "{json}");
+        assert!(json.starts_with("{\"v\":7,\"kind\":\"churn\","), "{json}");
         assert!(json.contains("\"churn\":\"2.0\""), "{json}");
         assert!(json.contains("\"byzantine\":0.05"), "{json}");
         assert!(json.contains("\"final_n\":66"), "{json}");
@@ -1890,14 +2010,14 @@ mod tests {
     #[test]
     fn lenient_parse_sets_aside_future_lines() {
         let known = sample_churn_record().to_json();
-        let future_version = known.replace("\"v\":6", "\"v\":7");
+        let future_version = known.replace("\"v\":7", "\"v\":8");
         let future_kind = known.replace("\"kind\":\"churn\"", "\"kind\":\"galaxy\"");
         let text = format!("{known}\n{future_version}\n{future_kind}\n");
         let parsed = from_jsonl_lenient(&text).unwrap();
         assert_eq!(parsed.records, vec![RecordLine::Churn(sample_churn_record())]);
         assert_eq!(
             parsed.skipped,
-            vec![(2, "version 7".to_string()), (3, "kind \"galaxy\"".to_string())]
+            vec![(2, "version 8".to_string()), (3, "kind \"galaxy\"".to_string())]
         );
         // Strict mixed parsing still rejects the same stream.
         assert!(from_jsonl_mixed(&text).is_err());
@@ -1906,12 +2026,12 @@ mod tests {
     #[test]
     fn lenient_parse_still_hard_errors_on_garbage() {
         // Below MIN_SCHEMA_VERSION: no writer should produce this.
-        let stale = sample_churn_record().to_json().replace("\"v\":6", "\"v\":0");
+        let stale = sample_churn_record().to_json().replace("\"v\":7", "\"v\":0");
         assert!(from_jsonl_lenient(&stale).unwrap_err().contains("version"));
         // Malformed JSON is a hard error too.
-        assert!(from_jsonl_lenient("{\"v\":6,").is_err());
+        assert!(from_jsonl_lenient("{\"v\":7,").is_err());
         // A known kind with broken fields is a hard error, not a skip.
-        let broken = "{\"v\":6,\"kind\":\"churn\",\"experiment\":\"x\"}";
+        let broken = "{\"v\":7,\"kind\":\"churn\",\"experiment\":\"x\"}";
         assert!(from_jsonl_lenient(broken).is_err());
     }
 }

@@ -123,6 +123,36 @@ impl<P: Protocol> Simulation<P> {
         Self::with_graph(protocol, initial, InteractionGraph::Complete, seed)
     }
 
+    /// Rebuilds an execution at an exact checkpoint: agent states,
+    /// interaction count, and RNG stream position — the snapshot/restore
+    /// constructor (see [`crate::snapshot`]). The interaction graph is the
+    /// complete graph and plug-ins are reset to the zero-cost defaults;
+    /// continuing the restored execution is bit-identical to continuing
+    /// the original.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two agents are supplied.
+    pub fn from_checkpoint(
+        protocol: P,
+        states: Vec<P::State>,
+        interactions: u64,
+        rng: SmallRng,
+    ) -> Self {
+        let scheduler = Scheduler::new(states.len(), InteractionGraph::Complete);
+        Simulation {
+            protocol,
+            scheduler,
+            states,
+            rng,
+            interactions,
+            observer: NoopObserver,
+            faults: NoFaults,
+            reliability: Reliability::perfect(),
+            metrics: NoopMetrics,
+        }
+    }
+
     /// Creates an execution on an arbitrary interaction graph.
     ///
     /// # Panics
@@ -289,6 +319,12 @@ impl<P: Protocol, O: Observer<P>, F: FaultSchedule<P>, S: SchedulerPolicy, M: Me
     /// Interactions performed so far.
     pub fn interactions(&self) -> u64 {
         self.interactions
+    }
+
+    /// The simulation RNG's current stream position, for checkpointing
+    /// (restore with [`Simulation::from_checkpoint`]).
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
     }
 
     /// Overwrites one agent's state in place — **fault injection**.

@@ -228,7 +228,7 @@ proptest! {
 
 /// A fixed current-version run line with the version literal swapped to
 /// older schema versions must still parse to the same record: the reader
-/// accepts the whole v1–v6 range, so pre-metrics experiment logs stay
+/// accepts the whole v1–v7 range, so pre-metrics experiment logs stay
 /// readable byte-for-byte.
 #[test]
 fn older_schema_versions_parse_to_the_same_records() {
@@ -248,14 +248,14 @@ fn older_schema_versions_parse_to_the_same_records() {
         starve_window: None,
     };
     let current = record.to_json();
-    assert!(current.contains("\"v\":6"), "{current}");
-    for old in 1..6u32 {
-        let line = current.replace("\"v\":6", &format!("\"v\":{old}"));
+    assert!(current.contains("\"v\":7"), "{current}");
+    for old in 1..7u32 {
+        let line = current.replace("\"v\":7", &format!("\"v\":{old}"));
         let parsed =
             RecordLine::from_json(&line).unwrap_or_else(|e| panic!("v{old} line rejected: {e}"));
         assert_eq!(parsed, RecordLine::Trial(record.clone()), "v{old}");
     }
     // The trial reader sees exactly the run rows, whatever their version.
-    let mixed = format!("{}\n{}\n", current, current.replace("\"v\":6", "\"v\":2"));
+    let mixed = format!("{}\n{}\n", current, current.replace("\"v\":7", "\"v\":2"));
     assert_eq!(from_jsonl(&mixed).expect("mixed versions").len(), 2);
 }

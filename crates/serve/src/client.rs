@@ -1,0 +1,77 @@
+//! Minimal blocking client for the wire protocol.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use population::record::JsonScalar;
+
+use crate::wire::check_response;
+
+/// Sends one request line and reads one response line.
+///
+/// # Errors
+///
+/// Returns connection and I/O errors; protocol-level errors come back in
+/// the response envelope (see [`request_map`]).
+pub fn request(addr: &str, line: &str) -> std::io::Result<String> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    reader.read_line(&mut response)?;
+    if response.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection without responding",
+        ));
+    }
+    Ok(response.trim_end().to_string())
+}
+
+/// [`request`] plus envelope checking: returns the response fields on
+/// `ok:true`, the server's error message otherwise.
+///
+/// # Errors
+///
+/// Returns transport errors and server-reported errors as strings.
+pub fn request_map(addr: &str, line: &str) -> Result<BTreeMap<String, JsonScalar>, String> {
+    let response = request(addr, line).map_err(|e| format!("request to {addr}: {e}"))?;
+    check_response(&response)
+}
+
+/// Holds one connection open and sends many request lines in order,
+/// collecting one response line per request — the interleaved-session
+/// shape the e2e tests and benches drive.
+///
+/// # Errors
+///
+/// Returns connection and I/O errors.
+pub fn session(addr: &str, lines: &[String]) -> std::io::Result<Vec<String>> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut responses = Vec::with_capacity(lines.len());
+    for line in lines {
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        let mut response = String::new();
+        if reader.read_line(&mut response)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed mid-session",
+            ));
+        }
+        responses.push(response.trim_end().to_string());
+    }
+    Ok(responses)
+}

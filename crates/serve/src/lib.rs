@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! `ssle serve` — the election service daemon.
+//!
+//! Long-running leader election as a *service*: the daemon multiplexes
+//! many named live populations, each paced by the shared
+//! [`population::SteppedDriver`] in bounded slices so membership events
+//! injected over the wire fire between slices and convergence is probed
+//! at every boundary. The environment is offline (no tokio/hyper), so the
+//! stack is hand-rolled end to end:
+//!
+//! * [`pool`] — bounded thread pool with busy backpressure and panic
+//!   isolation (workers respawn);
+//! * [`wire`] — line-delimited flat-JSON requests/responses sharing the
+//!   record module's codec;
+//! * [`pop`] — the managed-population trait object: `ciw`/`oss` on
+//!   `agents`/`counts`, with per-population timelines and engine metrics;
+//! * [`registry`] — the named-population map plus the snapshot lifecycle
+//!   (`snapshot` requests, snapshot-all on shutdown, restore-on-boot);
+//! * [`server`] — nonblocking accept loop, request dispatch, SIGINT →
+//!   graceful shutdown;
+//! * [`client`] — the blocking client the `ssle client` subcommand and
+//!   the throughput bench use.
+
+pub mod client;
+pub mod pool;
+pub mod pop;
+pub mod registry;
+pub mod server;
+pub mod wire;
+
+pub use pool::{PoolError, ThreadPool};
+pub use pop::{Checkpoint, EventKind, LeaderReport, Managed, RanksReport, Status, StepReport};
+pub use registry::Registry;
+pub use server::{
+    handle_line, install_sigint_handler, sigint_received, ServeConfig, ServeSummary, Server,
+};
+pub use wire::{check_response, error_response, ok_response, Request};

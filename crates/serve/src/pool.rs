@@ -1,0 +1,275 @@
+//! A hand-rolled bounded thread pool for connection handling.
+//!
+//! The build environment is offline, so there is no tokio/rayon to lean
+//! on: this is a classic `Mutex<VecDeque>` + `Condvar` work queue with two
+//! graceful-degradation properties the daemon needs:
+//!
+//! * **Backpressure, not hangs.** [`ThreadPool::try_execute`] refuses a job
+//!   when the queue is at capacity ([`PoolError::Busy`]) instead of
+//!   blocking the accept loop — the server turns that into an immediate
+//!   `busy` response, the wire-protocol analog of HTTP 503.
+//! * **Panic isolation.** A job that panics takes down only its worker
+//!   thread; a drop guard notices the unwind, bumps the panic counter, and
+//!   respawns a replacement so the pool never shrinks.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+
+/// A queued unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why [`ThreadPool::try_execute`] refused a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolError {
+    /// The pending-job queue is at capacity.
+    Busy,
+    /// The pool is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::Busy => write!(f, "job queue full"),
+            PoolError::ShuttingDown => write!(f, "pool shutting down"),
+        }
+    }
+}
+
+struct PoolState {
+    jobs: VecDeque<Job>,
+    stop: bool,
+    handles: Vec<JoinHandle<()>>,
+}
+
+struct PoolInner {
+    state: Mutex<PoolState>,
+    jobs_ready: Condvar,
+    capacity: usize,
+    panics: AtomicU64,
+}
+
+/// The bounded worker pool.
+#[derive(Clone)]
+pub struct ThreadPool {
+    inner: Arc<PoolInner>,
+}
+
+impl ThreadPool {
+    /// Spawns `workers` threads sharing a queue of at most `capacity`
+    /// pending jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers` or `capacity` is zero.
+    pub fn new(workers: usize, capacity: usize) -> Self {
+        assert!(workers > 0, "a pool needs at least one worker");
+        assert!(capacity > 0, "a pool needs room for at least one pending job");
+        let inner = Arc::new(PoolInner {
+            state: Mutex::new(PoolState {
+                jobs: VecDeque::new(),
+                stop: false,
+                handles: Vec::with_capacity(workers),
+            }),
+            jobs_ready: Condvar::new(),
+            capacity,
+            panics: AtomicU64::new(0),
+        });
+        {
+            let mut state = inner.state.lock().unwrap();
+            for _ in 0..workers {
+                let handle = spawn_worker(&inner);
+                state.handles.push(handle);
+            }
+        }
+        ThreadPool { inner }
+    }
+
+    /// Enqueues a job without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::Busy`] when the queue is at capacity,
+    /// [`PoolError::ShuttingDown`] after [`ThreadPool::shutdown`].
+    pub fn try_execute<F>(&self, job: F) -> Result<(), PoolError>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let mut state = self.inner.state.lock().unwrap();
+        if state.stop {
+            return Err(PoolError::ShuttingDown);
+        }
+        if state.jobs.len() >= self.inner.capacity {
+            return Err(PoolError::Busy);
+        }
+        state.jobs.push_back(Box::new(job));
+        drop(state);
+        self.inner.jobs_ready.notify_one();
+        Ok(())
+    }
+
+    /// How many handler jobs have panicked (and had their worker respawned)
+    /// so far.
+    pub fn panics(&self) -> u64 {
+        self.inner.panics.load(Ordering::SeqCst)
+    }
+
+    /// Jobs waiting in the queue right now.
+    pub fn queued(&self) -> usize {
+        self.inner.state.lock().unwrap().jobs.len()
+    }
+
+    /// Drains the queue, stops the workers, and joins them. Jobs already
+    /// queued still run; new submissions are refused.
+    pub fn shutdown(&self) {
+        {
+            let mut state = self.inner.state.lock().unwrap();
+            state.stop = true;
+        }
+        self.inner.jobs_ready.notify_all();
+        // Respawned workers may append handles while we join, so drain
+        // repeatedly until the list stays empty.
+        loop {
+            let handle = {
+                let mut state = self.inner.state.lock().unwrap();
+                state.handles.pop()
+            };
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// Respawns this thread's replacement when a job panic unwinds the worker
+/// loop. On a normal (shutdown) exit `thread::panicking()` is false and the
+/// guard does nothing.
+struct RespawnGuard {
+    inner: Arc<PoolInner>,
+}
+
+impl Drop for RespawnGuard {
+    fn drop(&mut self) {
+        if !thread::panicking() {
+            return;
+        }
+        self.inner.panics.fetch_add(1, Ordering::SeqCst);
+        let mut state = self.inner.state.lock().unwrap();
+        if !state.stop {
+            let handle = spawn_worker(&self.inner);
+            state.handles.push(handle);
+        }
+    }
+}
+
+fn spawn_worker(inner: &Arc<PoolInner>) -> JoinHandle<()> {
+    let inner = Arc::clone(inner);
+    thread::spawn(move || {
+        let _guard = RespawnGuard { inner: Arc::clone(&inner) };
+        loop {
+            let job = {
+                let mut state = inner.state.lock().unwrap();
+                loop {
+                    if let Some(job) = state.jobs.pop_front() {
+                        break job;
+                    }
+                    if state.stop {
+                        return;
+                    }
+                    state = inner.jobs_ready.wait(state).unwrap();
+                }
+            };
+            job();
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn jobs_run_and_complete() {
+        let pool = ThreadPool::new(4, 64);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let done = Arc::clone(&done);
+            pool.try_execute(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn full_queue_reports_busy_instead_of_hanging() {
+        let pool = ThreadPool::new(1, 2);
+        // Wedge the single worker, then fill the queue.
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        pool.try_execute(move || {
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        })
+        .unwrap();
+        started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        pool.try_execute(|| {}).unwrap();
+        pool.try_execute(|| {}).unwrap();
+        // Queue (capacity 2) is full and the worker is wedged: the next
+        // submission must fail fast, not block.
+        assert_eq!(pool.try_execute(|| {}), Err(PoolError::Busy));
+        release_tx.send(()).unwrap();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_and_worker_respawned() {
+        let pool = ThreadPool::new(1, 8);
+        let (panicked_tx, panicked_rx) = mpsc::channel::<()>();
+        pool.try_execute(move || {
+            let _tx = panicked_tx; // dropped on unwind → rx unblocks
+            panic!("handler bug");
+        })
+        .unwrap();
+        // The sender is dropped by the unwind, disconnecting the channel.
+        assert_eq!(
+            panicked_rx.recv_timeout(Duration::from_secs(5)),
+            Err(mpsc::RecvTimeoutError::Disconnected)
+        );
+        // The pool must still run jobs after the panic.
+        let (done_tx, done_rx) = mpsc::channel::<u32>();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let done_tx = done_tx.clone();
+            match pool.try_execute(move || {
+                done_tx.send(7).unwrap();
+            }) {
+                Ok(()) => break,
+                Err(PoolError::Busy) if std::time::Instant::now() < deadline => {
+                    thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => panic!("pool refused work after a panic: {e}"),
+            }
+        }
+        assert_eq!(done_rx.recv_timeout(Duration::from_secs(5)), Ok(7));
+        assert_eq!(pool.panics(), 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_refuses_new_work() {
+        let pool = ThreadPool::new(2, 4);
+        pool.shutdown();
+        assert_eq!(pool.try_execute(|| {}), Err(PoolError::ShuttingDown));
+    }
+}

@@ -1,0 +1,268 @@
+//! The named-population registry the daemon multiplexes over.
+//!
+//! Locking is two-level so a long `step` on one population never blocks
+//! requests against another: the registry lock is held only long enough to
+//! clone a population's `Arc`, then per-population mutexes serialize the
+//! actual work.
+//!
+//! When a snapshot directory is configured, `snapshot` requests write
+//! `<dir>/<name>.snapshot.jsonl`, shutdown snapshots every population, and
+//! boot restores every `*.snapshot.jsonl` found in the directory.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use population::snapshot::SnapshotDoc;
+
+use crate::pop::{self, Managed};
+
+/// Suffix of every snapshot file the registry reads and writes.
+pub const SNAPSHOT_SUFFIX: &str = ".snapshot.jsonl";
+
+/// One population slot, individually lockable.
+pub type Slot = Arc<Mutex<Box<dyn Managed>>>;
+
+/// The daemon's shared state: named populations plus the snapshot
+/// directory.
+pub struct Registry {
+    pops: Mutex<HashMap<String, Slot>>,
+    snapshot_dir: Option<PathBuf>,
+}
+
+fn valid_name(name: &str) -> Result<(), String> {
+    if name.is_empty() || name.len() > 64 {
+        return Err("population names must be 1–64 characters".to_string());
+    }
+    if !name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_') {
+        return Err(format!("population name {name:?} may only contain letters, digits, '-', '_'"));
+    }
+    Ok(())
+}
+
+impl Registry {
+    /// An empty registry. `snapshot_dir` enables the snapshot lifecycle;
+    /// without it, `snapshot` requests are refused.
+    pub fn new(snapshot_dir: Option<PathBuf>) -> Self {
+        Registry { pops: Mutex::new(HashMap::new()), snapshot_dir }
+    }
+
+    /// Creates and registers a population.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for invalid names, duplicate names, or
+    /// [`pop::create`] failures.
+    pub fn create(
+        &self,
+        name: &str,
+        protocol: &str,
+        backend: &str,
+        n: u64,
+        seed: u64,
+    ) -> Result<Slot, String> {
+        valid_name(name)?;
+        let managed = pop::create(protocol, backend, n, seed)?;
+        let mut pops = self.pops.lock().unwrap();
+        if pops.contains_key(name) {
+            return Err(format!("population {name:?} already exists"));
+        }
+        let slot: Slot = Arc::new(Mutex::new(managed));
+        pops.insert(name.to_string(), Arc::clone(&slot));
+        Ok(slot)
+    }
+
+    /// Looks up a population by name.
+    pub fn get(&self, name: &str) -> Option<Slot> {
+        self.pops.lock().unwrap().get(name).cloned()
+    }
+
+    /// All population names, sorted.
+    pub fn list(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.pops.lock().unwrap().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Unregisters a population; returns whether it existed.
+    pub fn delete(&self, name: &str) -> bool {
+        self.pops.lock().unwrap().remove(name).is_some()
+    }
+
+    /// Serializes one population to `<dir>/<name>.snapshot.jsonl`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when no snapshot directory is configured, the
+    /// population does not exist, or the write fails.
+    pub fn snapshot(&self, name: &str) -> Result<PathBuf, String> {
+        let dir = self
+            .snapshot_dir
+            .as_ref()
+            .ok_or_else(|| "no snapshot directory configured (--snapshot-dir)".to_string())?;
+        let slot = self.get(name).ok_or_else(|| format!("no population {name:?}"))?;
+        let doc = slot.lock().unwrap().snapshot_jsonl();
+        write_snapshot(dir, name, &doc)
+    }
+
+    /// Serializes every population; returns `(name, outcome)` pairs.
+    /// Without a snapshot directory this is a no-op returning the empty
+    /// list (a daemon without persistence shuts down stateless).
+    pub fn snapshot_all(&self) -> Vec<(String, Result<PathBuf, String>)> {
+        let Some(dir) = self.snapshot_dir.as_ref() else {
+            return Vec::new();
+        };
+        let mut results = Vec::new();
+        for name in self.list() {
+            let Some(slot) = self.get(&name) else { continue };
+            let doc = slot.lock().unwrap().snapshot_jsonl();
+            results.push((name.clone(), write_snapshot(dir, &name, &doc)));
+        }
+        results
+    }
+
+    /// Restores every `*.snapshot.jsonl` in the snapshot directory;
+    /// returns `(name, outcome)` pairs. Populations that fail to parse are
+    /// reported, not fatal — a corrupt snapshot must not brick the daemon.
+    pub fn restore_all(&self) -> Vec<(String, Result<(), String>)> {
+        let Some(dir) = self.snapshot_dir.as_ref() else {
+            return Vec::new();
+        };
+        let mut results = Vec::new();
+        let entries = match fs::read_dir(dir) {
+            Ok(entries) => entries,
+            Err(_) => return results, // directory not created yet
+        };
+        let mut files: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name().and_then(|f| f.to_str()).is_some_and(|f| f.ends_with(SNAPSHOT_SUFFIX))
+            })
+            .collect();
+        files.sort();
+        for path in files {
+            let name = path
+                .file_name()
+                .and_then(|f| f.to_str())
+                .and_then(|f| f.strip_suffix(SNAPSHOT_SUFFIX))
+                .unwrap_or_default()
+                .to_string();
+            results.push((name.clone(), self.restore_one(&name, &path)));
+        }
+        results
+    }
+
+    fn restore_one(&self, name: &str, path: &Path) -> Result<(), String> {
+        valid_name(name)?;
+        let text = fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let doc = SnapshotDoc::from_jsonl(&text).map_err(|e| e.to_string())?;
+        let managed = pop::restore(&doc)?;
+        let mut pops = self.pops.lock().unwrap();
+        if pops.contains_key(name) {
+            return Err(format!("population {name:?} already exists"));
+        }
+        pops.insert(name.to_string(), Arc::new(Mutex::new(managed)));
+        Ok(())
+    }
+}
+
+fn write_snapshot(dir: &Path, name: &str, doc: &str) -> Result<PathBuf, String> {
+    fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let path = dir.join(format!("{name}{SNAPSHOT_SUFFIX}"));
+    // Write-then-rename so a crash mid-write never leaves a truncated
+    // snapshot under the restorable name.
+    let tmp = dir.join(format!("{name}{SNAPSHOT_SUFFIX}.tmp"));
+    let mut file = fs::File::create(&tmp).map_err(|e| format!("create {}: {e}", tmp.display()))?;
+    file.write_all(doc.as_bytes()).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+    file.sync_all().map_err(|e| format!("sync {}: {e}", tmp.display()))?;
+    drop(file);
+    fs::rename(&tmp, &path)
+        .map_err(|e| format!("rename {} -> {}: {e}", tmp.display(), path.display()))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::env;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = env::temp_dir().join(format!("ssle-serve-registry-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn create_list_delete_round_trip() {
+        let reg = Registry::new(None);
+        reg.create("a", "ciw", "agents", 8, 1).unwrap();
+        reg.create("b", "oss", "counts", 8, 2).unwrap();
+        assert_eq!(reg.list(), vec!["a".to_string(), "b".to_string()]);
+        assert!(reg.create("a", "ciw", "agents", 8, 1).err().unwrap().contains("already exists"));
+        assert!(reg.get("a").is_some());
+        assert!(reg.delete("a"));
+        assert!(!reg.delete("a"));
+        assert_eq!(reg.list(), vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn names_are_validated() {
+        let reg = Registry::new(None);
+        assert!(reg.create("", "ciw", "agents", 8, 1).is_err());
+        assert!(reg.create("a/b", "ciw", "agents", 8, 1).is_err());
+        assert!(reg.create("../evil", "ciw", "agents", 8, 1).is_err());
+    }
+
+    #[test]
+    fn snapshot_requires_a_directory() {
+        let reg = Registry::new(None);
+        reg.create("a", "ciw", "agents", 8, 1).unwrap();
+        assert!(reg.snapshot("a").unwrap_err().contains("snapshot directory"));
+        assert!(reg.snapshot_all().is_empty());
+    }
+
+    #[test]
+    fn snapshot_all_then_restore_all_round_trips() {
+        let dir = temp_dir("roundtrip");
+        let reg = Registry::new(Some(dir.clone()));
+        reg.create("a", "ciw", "agents", 10, 1).unwrap();
+        reg.create("b", "oss", "counts", 12, 2).unwrap();
+        reg.get("a").unwrap().lock().unwrap().step(3_000);
+        reg.get("b").unwrap().lock().unwrap().step(3_000);
+        let snapshots = reg.snapshot_all();
+        assert_eq!(snapshots.len(), 2);
+        assert!(snapshots.iter().all(|(_, r)| r.is_ok()));
+
+        let fresh = Registry::new(Some(dir.clone()));
+        let restored = fresh.restore_all();
+        assert_eq!(restored.len(), 2);
+        assert!(restored.iter().all(|(_, r)| r.is_ok()), "{restored:?}");
+        assert_eq!(fresh.list(), vec!["a".to_string(), "b".to_string()]);
+        let a = fresh.get("a").unwrap();
+        let status = a.lock().unwrap().status();
+        assert_eq!(status.interactions, 3_000);
+        assert_eq!(status.protocol, "ciw");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_snapshot_reports_and_does_not_brick_boot() {
+        let dir = temp_dir("corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(format!("bad{SNAPSHOT_SUFFIX}")), "not json\n").unwrap();
+        let reg = Registry::new(Some(dir.clone()));
+        reg.create("good", "ciw", "agents", 8, 1).unwrap();
+        reg.snapshot("good").unwrap();
+        let fresh = Registry::new(Some(dir.clone()));
+        let restored = fresh.restore_all();
+        assert_eq!(restored.len(), 2);
+        let bad = restored.iter().find(|(n, _)| n == "bad").unwrap();
+        assert!(bad.1.is_err());
+        let good = restored.iter().find(|(n, _)| n == "good").unwrap();
+        assert!(good.1.is_ok());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,509 @@
+//! The daemon: a nonblocking accept loop feeding the bounded thread pool.
+//!
+//! Each accepted connection becomes one pool job that serves requests
+//! line-by-line until the peer closes (or idles past the read timeout).
+//! When the pool's queue is full the accept loop answers
+//! `{"ok":false,"error":"busy"}` immediately and closes — backpressure,
+//! never a hang.
+//!
+//! Shutdown is graceful from either trigger — a `shutdown` request or
+//! SIGINT: the accept loop drains, workers finish their connections, and
+//! every population is snapshotted to the configured directory before the
+//! daemon returns.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use population::dynamics::ChurnPlan;
+use population::record::JsonObject;
+
+use crate::pool::{PoolError, ThreadPool};
+use crate::pop::{Checkpoint, EventKind, Status};
+use crate::registry::Registry;
+use crate::wire::{error_response, ok_response, Request};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7700` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub threads: usize,
+    /// Pending-connection queue capacity before `busy` responses.
+    pub queue: usize,
+    /// Where snapshots live; `None` disables the snapshot lifecycle.
+    pub snapshot_dir: Option<PathBuf>,
+    /// Per-connection idle read timeout.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7700".to_string(),
+            threads: 4,
+            queue: 64,
+            snapshot_dir: None,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// What a daemon run did, for the caller's report.
+#[derive(Debug)]
+pub struct ServeSummary {
+    /// Populations restored at boot: `(name, outcome)`.
+    pub restored: Vec<(String, Result<(), String>)>,
+    /// Populations snapshotted at shutdown: `(name, outcome)`.
+    pub snapshots: Vec<(String, Result<PathBuf, String>)>,
+    /// Handler panics survived (workers respawned).
+    pub panics: u64,
+}
+
+/// SIGINT latch — set by the raw signal handler, polled by the accept
+/// loop. Process-global because signal handlers are.
+static SIGINT: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigint(_signum: i32) {
+    // Only an atomic store: async-signal-safe.
+    SIGINT.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGINT → graceful-shutdown latch via the raw C `signal`
+/// binding (the environment has no signal-handling crate). Idempotent.
+pub fn install_sigint_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT_NUM: i32 = 2;
+    unsafe {
+        signal(SIGINT_NUM, on_sigint as extern "C" fn(i32) as usize);
+    }
+}
+
+/// Whether SIGINT has been received since process start.
+pub fn sigint_received() -> bool {
+    SIGINT.load(Ordering::SeqCst)
+}
+
+/// A bound, not-yet-running daemon.
+pub struct Server {
+    listener: TcpListener,
+    registry: Arc<Registry>,
+    pool: ThreadPool,
+    stop: Arc<AtomicBool>,
+    read_timeout: Duration,
+    restored: Vec<(String, Result<(), String>)>,
+}
+
+impl Server {
+    /// Binds the listener, restores any snapshots in the configured
+    /// directory, and prepares the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn start(config: &ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let registry = Arc::new(Registry::new(config.snapshot_dir.clone()));
+        let restored = registry.restore_all();
+        Ok(Server {
+            listener,
+            registry,
+            pool: ThreadPool::new(config.threads.max(1), config.queue.max(1)),
+            stop: Arc::new(AtomicBool::new(false)),
+            read_timeout: config.read_timeout,
+            restored,
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when `:0` was asked).
+    ///
+    /// # Errors
+    ///
+    /// Returns the socket error.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that makes [`Server::run`] return (same effect as the
+    /// `shutdown` request).
+    pub fn stop_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// The shared registry (for in-process embedding, e.g. benches).
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Runs the accept loop until `shutdown`/SIGINT/stop-handle, then
+    /// drains the pool and snapshots every population.
+    pub fn run(self) -> ServeSummary {
+        loop {
+            if self.stop.load(Ordering::SeqCst) || sigint_received() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => self.dispatch(stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => thread::sleep(Duration::from_millis(5)),
+            }
+        }
+        self.pool.shutdown();
+        let snapshots = self.registry.snapshot_all();
+        ServeSummary { restored: self.restored, snapshots, panics: self.pool.panics() }
+    }
+
+    fn dispatch(&self, stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_read_timeout(Some(self.read_timeout));
+        // The pool consumes the closure (and the stream inside it) even on
+        // refusal, so clone a handle for the busy response first.
+        let refusal = stream.try_clone().ok();
+        let registry = Arc::clone(&self.registry);
+        let stop = Arc::clone(&self.stop);
+        match self.pool.try_execute(move || handle_connection(stream, &registry, &stop)) {
+            Ok(()) => {}
+            Err(PoolError::Busy | PoolError::ShuttingDown) => {
+                // Backpressure: answer immediately rather than queueing
+                // unboundedly or hanging the accept loop.
+                if let Some(mut s) = refusal {
+                    let _ = s.write_all(error_response("busy").as_bytes());
+                    let _ = s.write_all(b"\n");
+                    let _ = s.flush();
+                }
+            }
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, registry: &Arc<Registry>, stop: &Arc<AtomicBool>) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // peer closed
+            Ok(_) => {}
+            Err(_) => return, // timeout or reset
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let response = handle_line(registry, stop, trimmed);
+        if writer.write_all(response.as_bytes()).is_err()
+            || writer.write_all(b"\n").is_err()
+            || writer.flush().is_err()
+        {
+            return;
+        }
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Serves one request line — the full command dispatch. Pure with respect
+/// to the socket, so tests can drive the protocol without a listener.
+pub fn handle_line(registry: &Registry, stop: &AtomicBool, line: &str) -> String {
+    let request = match Request::parse(line) {
+        Ok(r) => r,
+        Err(e) => return error_response(&e),
+    };
+    match serve_request(registry, stop, &request) {
+        Ok(response) => response,
+        Err(e) => error_response(&e),
+    }
+}
+
+fn push_status(obj: &mut JsonObject, status: &Status) {
+    obj.field_str("protocol", status.protocol)
+        .field_str("backend", status.backend)
+        .field_u64("n", status.n0 as u64)
+        .field_u64("live", status.live as u64)
+        .field_u64("interactions", status.interactions)
+        .field_f64("parallel_time", status.parallel_time)
+        .field_bool("ranked", status.ranked)
+        .field_u64("leaders", u64::from(status.leaders))
+        .field_u64("joins", status.joins)
+        .field_u64("leaves", status.leaves)
+        .field_u64("replacements", status.replacements)
+        .field_u64("corruptions", status.corruptions)
+        .field_u64("byz_strikes", status.byz_strikes)
+        .field_u64("open_faults", status.open_faults as u64)
+        .field_f64("availability", status.availability)
+        .field_u64("seed", status.seed);
+}
+
+fn checkpoint_json(c: &Checkpoint) -> String {
+    let mut obj = JsonObject::new();
+    obj.field_u64("interactions", c.interactions)
+        .field_f64("parallel_time", c.parallel_time)
+        .field_u64("live", c.live as u64)
+        .field_u64("leaders", u64::from(c.leaders))
+        .field_bool("ranked", c.ranked);
+    obj.finish()
+}
+
+fn serve_request(
+    registry: &Registry,
+    stop: &AtomicBool,
+    request: &Request,
+) -> Result<String, String> {
+    let with_pop = |name: &str| registry.get(name).ok_or_else(|| format!("no population {name:?}"));
+    match request.cmd.as_str() {
+        "ping" => {
+            let mut obj = ok_response();
+            obj.field_bool("pong", true);
+            Ok(obj.finish())
+        }
+        "create" => {
+            let name = request.str_arg("name")?;
+            let protocol = request.str_arg("protocol")?;
+            let backend = request.str_arg("backend")?;
+            let n = request.required_u64("n")?;
+            let seed = request.u64_arg("seed")?.unwrap_or(1);
+            let slot = registry.create(name, protocol, backend, n, seed)?;
+            let status = slot.lock().unwrap().status();
+            let mut obj = ok_response();
+            obj.field_str("name", name);
+            push_status(&mut obj, &status);
+            Ok(obj.finish())
+        }
+        "step" => {
+            let name = request.str_arg("name")?;
+            let slot = with_pop(name)?;
+            let mut pop = slot.lock().unwrap();
+            // Default: one parallel-time unit of the live population.
+            let interactions = match request.u64_arg("interactions")? {
+                Some(k) => k,
+                None => pop.status().live as u64,
+            };
+            const MAX_STEP: u64 = 1 << 32;
+            if interactions > MAX_STEP {
+                return Err(format!("step of {interactions} exceeds the cap of {MAX_STEP}"));
+            }
+            let report = pop.step(interactions);
+            let status = pop.status();
+            let mut obj = ok_response();
+            obj.field_u64("performed", report.performed).field_u64("slices", report.slices);
+            push_status(&mut obj, &status);
+            Ok(obj.finish())
+        }
+        "join" | "leave" | "corrupt" => {
+            let name = request.str_arg("name")?;
+            let k = request.u64_arg("k")?.unwrap_or(1);
+            if k > crate::pop::MAX_N {
+                return Err(format!("k = {k} exceeds the service cap"));
+            }
+            let kind = match request.cmd.as_str() {
+                "join" => EventKind::Join,
+                "leave" => EventKind::Leave,
+                _ => EventKind::Corrupt,
+            };
+            let slot = with_pop(name)?;
+            let mut pop = slot.lock().unwrap();
+            let applied = pop.inject(kind, k as usize);
+            let status = pop.status();
+            let mut obj = ok_response();
+            obj.field_u64("applied", applied as u64);
+            push_status(&mut obj, &status);
+            Ok(obj.finish())
+        }
+        "churn-plan" => {
+            let name = request.str_arg("name")?;
+            let spec = request.str_arg("spec")?;
+            let seed = request.u64_arg("seed")?.unwrap_or(0);
+            let plan = ChurnPlan::parse(spec, seed)?;
+            let slot = with_pop(name)?;
+            let mut pop = slot.lock().unwrap();
+            pop.set_churn(&plan);
+            let status = pop.status();
+            let mut obj = ok_response();
+            push_status(&mut obj, &status);
+            Ok(obj.finish())
+        }
+        "leader" => {
+            let name = request.str_arg("name")?;
+            let slot = with_pop(name)?;
+            let report = slot.lock().unwrap().leader();
+            let mut obj = ok_response();
+            obj.field_u64("leaders", u64::from(report.leaders)).field_bool("ranked", report.ranked);
+            match report.index {
+                Some(idx) => obj.field_u64("leader_index", idx as u64),
+                None => obj.field_null("leader_index"),
+            };
+            Ok(obj.finish())
+        }
+        "ranks" => {
+            let name = request.str_arg("name")?;
+            let slot = with_pop(name)?;
+            let report = slot.lock().unwrap().ranks();
+            let mut obj = ok_response();
+            obj.field_bool("ranked", report.ranked)
+                .field_u64("singleton_ranks", report.singleton_ranks as u64)
+                .field_u64("duplicated_ranks", report.duplicated_ranks as u64)
+                .field_u64("missing_ranks", report.missing_ranks as u64);
+            Ok(obj.finish())
+        }
+        "status" => {
+            let name = request.str_arg("name")?;
+            let slot = with_pop(name)?;
+            let status = slot.lock().unwrap().status();
+            let mut obj = ok_response();
+            obj.field_str("name", name);
+            push_status(&mut obj, &status);
+            Ok(obj.finish())
+        }
+        "timeline" => {
+            let name = request.str_arg("name")?;
+            let last = request.u64_arg("last")?.unwrap_or(16).min(4096) as usize;
+            let slot = with_pop(name)?;
+            let points = slot.lock().unwrap().timeline(last);
+            let rows: Vec<String> = points.iter().map(checkpoint_json).collect();
+            let mut obj = ok_response();
+            obj.field_u64("points", rows.len() as u64)
+                .field_raw("timeline", &format!("[{}]", rows.join(",")));
+            Ok(obj.finish())
+        }
+        "metrics" => {
+            let name = request.str_arg("name")?;
+            let slot = with_pop(name)?;
+            let record = slot.lock().unwrap().metrics_record_json("service");
+            let mut obj = ok_response();
+            obj.field_raw("metrics", &record);
+            Ok(obj.finish())
+        }
+        "snapshot" => {
+            let name = request.str_arg("name")?;
+            let path = registry.snapshot(name)?;
+            let mut obj = ok_response();
+            obj.field_str("path", &path.display().to_string());
+            Ok(obj.finish())
+        }
+        "list" => {
+            let names = registry.list();
+            let rows: Vec<String> = names.iter().map(|n| format!("\"{}\"", n)).collect();
+            let mut obj = ok_response();
+            obj.field_u64("count", names.len() as u64)
+                .field_raw("populations", &format!("[{}]", rows.join(",")));
+            Ok(obj.finish())
+        }
+        "delete" => {
+            let name = request.str_arg("name")?;
+            if !registry.delete(name) {
+                return Err(format!("no population {name:?}"));
+            }
+            let mut obj = ok_response();
+            obj.field_bool("deleted", true);
+            Ok(obj.finish())
+        }
+        "shutdown" => {
+            stop.store(true, Ordering::SeqCst);
+            let mut obj = ok_response();
+            obj.field_bool("stopping", true);
+            Ok(obj.finish())
+        }
+        other => Err(format!("unknown cmd {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> (Registry, AtomicBool) {
+        (Registry::new(None), AtomicBool::new(false))
+    }
+
+    #[test]
+    fn dispatch_covers_the_population_lifecycle() {
+        let (registry, stop) = fresh();
+        let create = handle_line(
+            &registry,
+            &stop,
+            r#"{"cmd":"create","name":"a","protocol":"ciw","backend":"agents","n":16,"seed":7}"#,
+        );
+        assert!(create.contains("\"ok\":true"), "{create}");
+        assert!(create.contains("\"live\":16"), "{create}");
+
+        let step = handle_line(&registry, &stop, r#"{"cmd":"step","name":"a","interactions":500}"#);
+        assert!(step.contains("\"performed\":500"), "{step}");
+
+        let corrupt = handle_line(&registry, &stop, r#"{"cmd":"corrupt","name":"a","k":4}"#);
+        assert!(corrupt.contains("\"applied\":4"), "{corrupt}");
+
+        let leader = handle_line(&registry, &stop, r#"{"cmd":"leader","name":"a"}"#);
+        assert!(leader.contains("\"leaders\":"), "{leader}");
+
+        let timeline = handle_line(&registry, &stop, r#"{"cmd":"timeline","name":"a","last":4}"#);
+        assert!(timeline.contains("\"timeline\":["), "{timeline}");
+
+        let metrics = handle_line(&registry, &stop, r#"{"cmd":"metrics","name":"a"}"#);
+        assert!(metrics.contains("\"kind\":\"metrics\""), "{metrics}");
+
+        let list = handle_line(&registry, &stop, r#"{"cmd":"list"}"#);
+        assert!(list.contains("\"populations\":[\"a\"]"), "{list}");
+
+        let delete = handle_line(&registry, &stop, r#"{"cmd":"delete","name":"a"}"#);
+        assert!(delete.contains("\"deleted\":true"), "{delete}");
+        assert!(handle_line(&registry, &stop, r#"{"cmd":"status","name":"a"}"#)
+            .contains("\"ok\":false"));
+    }
+
+    #[test]
+    fn errors_are_enveloped_not_panics() {
+        let (registry, stop) = fresh();
+        assert!(handle_line(&registry, &stop, "garbage").contains("\"ok\":false"));
+        assert!(handle_line(&registry, &stop, r#"{"cmd":"step","name":"nope"}"#)
+            .contains("no population"));
+        assert!(handle_line(
+            &registry,
+            &stop,
+            r#"{"cmd":"create","name":"x","protocol":"sublinear","backend":"agents","n":8}"#
+        )
+        .contains("unknown protocol"));
+    }
+
+    #[test]
+    fn shutdown_sets_the_stop_flag() {
+        let (registry, stop) = fresh();
+        let resp = handle_line(&registry, &stop, r#"{"cmd":"shutdown"}"#);
+        assert!(resp.contains("\"stopping\":true"));
+        assert!(stop.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn churn_plan_rebinds() {
+        let (registry, stop) = fresh();
+        handle_line(
+            &registry,
+            &stop,
+            r#"{"cmd":"create","name":"c","protocol":"oss","backend":"counts","n":12}"#,
+        );
+        let resp = handle_line(
+            &registry,
+            &stop,
+            r#"{"cmd":"churn-plan","name":"c","spec":"0.05","seed":3}"#,
+        );
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        let bad =
+            handle_line(&registry, &stop, r#"{"cmd":"churn-plan","name":"c","spec":"not-a-plan"}"#);
+        assert!(bad.contains("\"ok\":false"), "{bad}");
+    }
+}

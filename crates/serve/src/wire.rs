@@ -1,0 +1,195 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! One request per line, one response per line — the same hand-rolled flat
+//! JSON the record module uses ([`population::record::parse_flat_json`] /
+//! [`population::record::JsonObject`]), so the daemon shares its codec with
+//! the experiment records and needs no serde.
+//!
+//! Requests are `{"cmd":"...", ...}` objects; responses always carry
+//! `"ok":true` or `"ok":false,"error":"..."`. Unknown keys are rejected so
+//! typos fail loudly rather than silently taking defaults.
+//!
+//! | cmd | arguments | reply payload |
+//! |-----|-----------|---------------|
+//! | `ping` | — | `pong:true` |
+//! | `create` | `name, protocol(ciw\|oss), backend(agents\|counts), n, [seed]` | status |
+//! | `step` | `name, [interactions]` | performed, status |
+//! | `join` / `leave` / `corrupt` | `name, [k]` | applied, status |
+//! | `churn-plan` | `name, spec, [seed]` | status |
+//! | `leader` | `name` | leaders, ranked, leader_index? |
+//! | `ranks` | `name` | ranked, distinct_ranks, duplicated, missing |
+//! | `status` | `name` | full status |
+//! | `timeline` | `name, [last]` | checkpoint array |
+//! | `metrics` | `name` | embedded engine metrics record |
+//! | `snapshot` | `name` | path written |
+//! | `list` | — | population names |
+//! | `delete` | `name` | deleted:true |
+//! | `shutdown` | — | stopping:true (daemon snapshots all and exits) |
+
+use std::collections::BTreeMap;
+
+use population::record::{parse_flat_json, JsonObject, JsonScalar};
+
+/// A parsed request: the command name plus its argument map.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The `cmd` value.
+    pub cmd: String,
+    args: BTreeMap<String, JsonScalar>,
+}
+
+/// The keys every command accepts (beyond `cmd`), for typo rejection.
+fn allowed_keys(cmd: &str) -> Option<&'static [&'static str]> {
+    Some(match cmd {
+        "ping" | "list" | "shutdown" => &[],
+        "create" => &["name", "protocol", "backend", "n", "seed"],
+        "step" => &["name", "interactions"],
+        "join" | "leave" | "corrupt" => &["name", "k"],
+        "churn-plan" => &["name", "spec", "seed"],
+        "leader" | "ranks" | "status" | "metrics" | "snapshot" | "delete" => &["name"],
+        "timeline" => &["name", "last"],
+        _ => return None,
+    })
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for malformed JSON, a missing or
+    /// unknown `cmd`, or arguments the command does not accept.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let mut map = parse_flat_json(line).map_err(|e| format!("bad request JSON: {e}"))?;
+        let cmd = match map.remove("cmd") {
+            Some(JsonScalar::Str(c)) => c,
+            Some(_) => return Err("\"cmd\" must be a string".to_string()),
+            None => return Err("missing \"cmd\"".to_string()),
+        };
+        let allowed = allowed_keys(&cmd).ok_or_else(|| format!("unknown cmd {cmd:?}"))?;
+        for key in map.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(format!("cmd {cmd:?} does not take {key:?}"));
+            }
+        }
+        Ok(Request { cmd, args: map })
+    }
+
+    /// A required string argument.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when absent or not a string.
+    pub fn str_arg(&self, key: &str) -> Result<&str, String> {
+        match self.args.get(key) {
+            Some(JsonScalar::Str(s)) => Ok(s),
+            Some(_) => Err(format!("{key:?} must be a string")),
+            None => Err(format!("cmd {:?} requires {key:?}", self.cmd)),
+        }
+    }
+
+    /// An optional non-negative integer argument (JSON numbers only).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when present but not a non-negative integer
+    /// representable in a `f64` without loss.
+    pub fn u64_arg(&self, key: &str) -> Result<Option<u64>, String> {
+        match self.args.get(key) {
+            None => Ok(None),
+            Some(JsonScalar::Num(x)) if *x >= 0.0 && x.fract() == 0.0 && *x <= 2f64.powi(53) => {
+                Ok(Some(*x as u64))
+            }
+            Some(_) => Err(format!("{key:?} must be a non-negative integer")),
+        }
+    }
+
+    /// A required non-negative integer argument.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when absent or malformed.
+    pub fn required_u64(&self, key: &str) -> Result<u64, String> {
+        self.u64_arg(key)?.ok_or_else(|| format!("cmd {:?} requires {key:?}", self.cmd))
+    }
+}
+
+/// Builds the `{"ok":true,...}` response envelope; callers add payload
+/// fields to the returned object.
+pub fn ok_response() -> JsonObject {
+    let mut obj = JsonObject::new();
+    obj.field_bool("ok", true);
+    obj
+}
+
+/// Renders an `{"ok":false,"error":...}` response line.
+pub fn error_response(message: &str) -> String {
+    let mut obj = JsonObject::new();
+    obj.field_bool("ok", false).field_str("error", message);
+    obj.finish()
+}
+
+/// Reads a response line's `ok` field and extracts `error` when false —
+/// the client-side half of the envelope.
+///
+/// # Errors
+///
+/// Returns the server's `error` string (or a parse diagnostic) when the
+/// response is not `ok`.
+pub fn check_response(line: &str) -> Result<BTreeMap<String, JsonScalar>, String> {
+    let map = parse_flat_json(line).map_err(|e| format!("bad response JSON: {e}"))?;
+    match map.get("ok") {
+        Some(JsonScalar::Bool(true)) => Ok(map),
+        Some(JsonScalar::Bool(false)) => match map.get("error") {
+            Some(JsonScalar::Str(e)) => Err(e.clone()),
+            _ => Err("server reported an unspecified error".to_string()),
+        },
+        _ => Err("response is missing \"ok\"".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_create_request() {
+        let r = Request::parse(
+            r#"{"cmd":"create","name":"a","protocol":"ciw","backend":"agents","n":64}"#,
+        )
+        .unwrap();
+        assert_eq!(r.cmd, "create");
+        assert_eq!(r.str_arg("name").unwrap(), "a");
+        assert_eq!(r.required_u64("n").unwrap(), 64);
+        assert_eq!(r.u64_arg("seed").unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_unknown_cmd_and_stray_keys() {
+        assert!(Request::parse(r#"{"cmd":"frobnicate"}"#).unwrap_err().contains("unknown cmd"));
+        assert!(Request::parse(r#"{"cmd":"ping","name":"a"}"#)
+            .unwrap_err()
+            .contains("does not take"));
+        assert!(Request::parse(r#"{"name":"a"}"#).unwrap_err().contains("missing"));
+        assert!(Request::parse("not json").unwrap_err().contains("bad request JSON"));
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        let r = Request::parse(r#"{"cmd":"step","name":"a","interactions":-3}"#).unwrap();
+        assert!(r.u64_arg("interactions").is_err());
+        let r = Request::parse(r#"{"cmd":"step","name":"a","interactions":1.5}"#).unwrap();
+        assert!(r.u64_arg("interactions").is_err());
+    }
+
+    #[test]
+    fn response_envelope_round_trips() {
+        let mut ok = ok_response();
+        ok.field_u64("leaders", 1);
+        let map = check_response(&ok.finish()).unwrap();
+        assert!(matches!(map.get("leaders"), Some(JsonScalar::Num(x)) if *x == 1.0));
+
+        let err = error_response("no such population");
+        assert_eq!(check_response(&err).unwrap_err(), "no such population");
+    }
+}

@@ -69,6 +69,29 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// The current internal xoshiro256++ state, for checkpointing a
+        /// generator mid-stream (not part of upstream `rand`'s API, but
+        /// needed by snapshot/restore: reseeding cannot reproduce an
+        /// arbitrary stream position).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator at an exact stream position previously
+        /// captured with [`SmallRng::state`]. The continuation is
+        /// bit-identical to the original generator's.
+        ///
+        /// # Panics
+        ///
+        /// Panics on the all-zero state, which is a fixed point of
+        /// xoshiro256++ and unreachable from any seed.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(s != [0; 4], "the all-zero xoshiro256++ state is a fixed point");
+            SmallRng { s }
+        }
+    }
+
     impl RngCore for SmallRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
