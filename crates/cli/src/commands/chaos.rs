@@ -1,0 +1,132 @@
+//! `ssle chaos` — run the deterministic fault-injection proxy.
+//!
+//! Sits between a client and a running `ssle serve` daemon and misbehaves
+//! on purpose: seeded delays, connection resets, partial writes, and
+//! slowloris byte-dribbling. Every fault is drawn from a per-connection
+//! RNG derived from `--seed`, so a failing run reproduces exactly.
+
+use ssle_serve::{install_sigint_handler, ChaosConfig, ChaosProxy};
+
+use crate::commands::parse_flags;
+use crate::error::CliError;
+
+const FLAGS: &[&str] = &[
+    "listen",
+    "upstream",
+    "seed",
+    "delay-prob",
+    "delay-ms",
+    "reset-prob",
+    "partial-prob",
+    "slowloris",
+    "slowloris-ms",
+];
+
+/// Runs the subcommand. Blocks until SIGINT/SIGTERM, then reports the
+/// fault counters.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on bad flags or a failed bind.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let flags = parse_flags(args, FLAGS)?;
+    let config = config_from_flags(&flags)?;
+    install_sigint_handler();
+    let proxy = ChaosProxy::start(config.clone()).map_err(|e| CliError::BadValue {
+        flag: "listen".into(),
+        reason: format!("cannot bind {}: {e}", config.listen),
+    })?;
+    let addr = proxy.local_addr().map(|a| a.to_string()).unwrap_or_else(|_| config.listen.clone());
+    eprintln!("ssle chaos: {addr} -> {} (seed {})", config.upstream, config.seed);
+    let stats = proxy.stats();
+    let stop = proxy.stop_handle();
+    let handle = proxy.spawn();
+    // The accept loop polls the stop flag; bridge the signal latch to it.
+    while !ssle_serve::sigint_received() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    let _ = handle.join();
+    use std::sync::atomic::Ordering;
+    Ok(format!(
+        "ssle chaos @ {addr}: stopped\nconnections : {}\nresets      : {}\ndelays      : {}\npartials    : {}\n",
+        stats.connections.load(Ordering::SeqCst),
+        stats.resets.load(Ordering::SeqCst),
+        stats.delays.load(Ordering::SeqCst),
+        stats.partials.load(Ordering::SeqCst),
+    ))
+}
+
+pub(crate) fn config_from_flags(flags: &ssle_bench::cli::Flags) -> Result<ChaosConfig, CliError> {
+    let defaults = ChaosConfig::default();
+    let check_prob = |flag: &str, p: f64| -> Result<f64, CliError> {
+        if (0.0..=1.0).contains(&p) {
+            Ok(p)
+        } else {
+            Err(CliError::BadValue {
+                flag: flag.into(),
+                reason: format!("probability {p} is outside [0, 1]"),
+            })
+        }
+    };
+    Ok(ChaosConfig {
+        listen: flags.try_get_str("listen").unwrap_or("127.0.0.1:7800").to_string(),
+        upstream: flags.try_get_str("upstream").unwrap_or(&defaults.upstream).to_string(),
+        seed: flags.get("seed", defaults.seed),
+        delay_prob: check_prob("delay-prob", flags.get("delay-prob", defaults.delay_prob))?,
+        delay_ms: flags.get("delay-ms", defaults.delay_ms),
+        reset_prob: check_prob("reset-prob", flags.get("reset-prob", defaults.reset_prob))?,
+        partial_prob: check_prob("partial-prob", flags.get("partial-prob", defaults.partial_prob))?,
+        slowloris: flags.get("slowloris", defaults.slowloris),
+        slowloris_ms: flags.get("slowloris-ms", defaults.slowloris_ms),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(a: &[&str]) -> ssle_bench::cli::Flags {
+        let args: Vec<String> = a.iter().map(|s| s.to_string()).collect();
+        parse_flags(&args, FLAGS).unwrap()
+    }
+
+    #[test]
+    fn defaults_bind_a_chaos_port() {
+        let config = config_from_flags(&flags(&[])).unwrap();
+        assert_eq!(config.listen, "127.0.0.1:7800");
+        assert_eq!(config.upstream, ChaosConfig::default().upstream);
+        assert!(!config.slowloris);
+    }
+
+    #[test]
+    fn flags_arm_the_faults() {
+        let config = config_from_flags(&flags(&[
+            "--listen",
+            "127.0.0.1:0",
+            "--upstream",
+            "127.0.0.1:7700",
+            "--seed",
+            "42",
+            "--reset-prob",
+            "0.3",
+            "--slowloris",
+            "true",
+            "--slowloris-ms",
+            "25",
+        ]))
+        .unwrap();
+        assert_eq!(config.seed, 42);
+        assert!((config.reset_prob - 0.3).abs() < 1e-12);
+        assert!(config.slowloris);
+        assert_eq!(config.slowloris_ms, 25);
+    }
+
+    #[test]
+    fn out_of_range_probability_rejected() {
+        assert!(matches!(
+            config_from_flags(&flags(&["--reset-prob", "1.5"])),
+            Err(CliError::BadValue { .. })
+        ));
+    }
+}

@@ -6,9 +6,18 @@
 //!   one wire-protocol line verbatim and prints the response line;
 //! * built: `ssle client --cmd leader --name alpha` assembles the request
 //!   from flags (covering the common commands without hand-writing JSON).
+//!
+//! `--retries N` switches to the hardened [`RetryClient`]: per-request
+//! deadline (`--deadline` seconds), jittered exponential backoff
+//! (`--retry-seed`), and generated request ids on mutating commands so a
+//! retry whose original was applied is absorbed exactly-once by the
+//! server's dedup window.
 
-use population::record::JsonObject;
-use ssle_serve::client::request;
+use std::time::Duration;
+
+use population::record::{parse_flat_json, JsonObject, JsonScalar};
+use ssle_serve::client::{request, RetryConfig};
+use ssle_serve::RetryClient;
 
 use crate::commands::parse_flags;
 use crate::error::CliError;
@@ -26,7 +35,14 @@ const FLAGS: &[&str] = &[
     "k",
     "spec",
     "last",
+    "retries",
+    "deadline",
+    "retry-seed",
 ];
+
+/// Commands that mutate server state and therefore get a generated
+/// request id on the retry path.
+const MUTATING: &[&str] = &["create", "step", "join", "leave", "corrupt", "churn-plan"];
 
 /// Runs the subcommand: builds or forwards one request line, returns the
 /// server's response line.
@@ -54,11 +70,84 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             })
         }
     };
+    if let Some(raw) = flags.try_get_str("retries") {
+        let retries: u32 = raw.parse().map_err(|_| CliError::BadValue {
+            flag: "retries".into(),
+            reason: format!("{raw:?} is not a non-negative integer"),
+        })?;
+        return run_hardened(&addr, &line, retries, &flags);
+    }
     let response = request(&addr, &line).map_err(|e| CliError::Report {
         path: addr.clone(),
         reason: format!("cannot reach daemon: {e}"),
     })?;
     Ok(format!("{response}\n"))
+}
+
+/// Drives one request through [`RetryClient`]: mutating commands get a
+/// generated id (exactly-once retries), reads retry bare.
+fn run_hardened(
+    addr: &str,
+    line: &str,
+    retries: u32,
+    flags: &ssle_bench::cli::Flags,
+) -> Result<String, CliError> {
+    let deadline: u64 = flags.get("deadline", 10);
+    let seed: u64 = flags.get("retry-seed", entropy_seed());
+    let mut client = RetryClient::with_config(
+        addr,
+        seed,
+        RetryConfig {
+            deadline: Duration::from_secs(deadline.max(1)),
+            max_attempts: retries.saturating_add(1),
+            ..RetryConfig::default()
+        },
+    );
+    let cmd = parse_flat_json(line)
+        .ok()
+        .and_then(|fields| match fields.get("cmd") {
+            Some(JsonScalar::Str(c)) => Some(c.clone()),
+            _ => None,
+        })
+        .unwrap_or_default();
+    let outcome = if MUTATING.contains(&cmd.as_str()) {
+        client.mutate_map(line)
+    } else {
+        client.request_map(line)
+    };
+    let map = outcome.map_err(|e| CliError::Report {
+        path: addr.to_string(),
+        reason: format!("request failed: {e} ({} retries)", client.retries()),
+    })?;
+    Ok(format!("{}\n", render_map(&map)))
+}
+
+/// Default retry seed: the seed names the request-id prefix, and two
+/// one-shot `ssle client` processes sharing a prefix would collide in the
+/// server's dedup window — the second mutation would be absorbed as a
+/// replay of the first. Unique per invocation unless `--retry-seed` pins
+/// it for reproducible runs.
+fn entropy_seed() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    nanos ^ u64::from(std::process::id()).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Re-serializes a parsed response map as one flat JSON line (sorted
+/// keys — the parse loses the server's field order).
+fn render_map(map: &std::collections::BTreeMap<String, JsonScalar>) -> String {
+    let mut obj = JsonObject::new();
+    for (key, value) in map {
+        match value {
+            JsonScalar::Str(s) => obj.field_str(key, s),
+            JsonScalar::Num(x) => obj.field_f64(key, *x),
+            JsonScalar::Bool(b) => obj.field_bool(key, *b),
+            JsonScalar::Null => obj.field_null(key),
+        };
+    }
+    obj.finish()
 }
 
 /// Assembles a wire-protocol request from `--cmd` plus the optional

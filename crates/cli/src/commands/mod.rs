@@ -1,5 +1,6 @@
 //! Subcommand implementations.
 
+pub mod chaos;
 pub mod client;
 pub mod compare;
 pub mod epidemic;

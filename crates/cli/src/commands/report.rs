@@ -37,8 +37,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use analysis::{median_trajectory, quantile, summarize_buckets, Ecdf};
 use population::metrics::decode_histogram;
 use population::record::{
-    from_jsonl_lenient, ChurnRecord, FaultRecord, FrontierRecord, JsonObject, MetricsRecord,
-    RecordLine, RunRecord, ServiceRecord, TimelineRecord,
+    from_jsonl_lenient, ChurnRecord, CrashRecord, FaultRecord, FrontierRecord, HealthRecord,
+    JsonObject, MetricsRecord, RecordLine, RunRecord, ServiceRecord, TimelineRecord,
 };
 use population::ConvergenceSample;
 use ssle_bench::TimeSummary;
@@ -70,6 +70,13 @@ type MetricsKey = (String, String, String, u64);
 /// One service-throughput group key: `(experiment, protocol, backend, n,
 /// clients)`.
 type ServiceKey = (String, String, String, u64, u64);
+
+/// One crash-recovery group key: `(experiment, protocol, backend, n,
+/// fsync spec)`.
+type CrashKey = (String, String, String, u64, String);
+
+/// One health group key: `(experiment, pop, protocol, backend, n)`.
+type HealthKey = (String, String, String, String, u64);
 
 /// One churn group key: `(experiment, protocol, backend, n, h, churn spec,
 /// byzantine fraction rendered as text so the key stays totally ordered)`.
@@ -192,6 +199,8 @@ struct Loaded {
     metrics: Vec<MetricsRecord>,
     churn: Vec<ChurnRecord>,
     services: Vec<ServiceRecord>,
+    crashes: Vec<CrashRecord>,
+    health: Vec<HealthRecord>,
     /// `(line number, reason)` pairs a newer writer could have produced —
     /// unknown `kind` or a schema version above ours. Counted and warned
     /// about instead of silently skipped.
@@ -207,11 +216,13 @@ impl Loaded {
             + self.metrics.len()
             + self.churn.len()
             + self.services.len()
+            + self.crashes.len()
+            + self.health.len()
     }
 
     /// Distinct set-aside reasons with counts and the first offending line
     /// of each, ordered by first appearance — so a stream with 400
-    /// `version 8` lines and one `kind "galaxy"` line warns twice, not 401
+    /// `version 9` lines and one `kind "galaxy"` line warns twice, not 401
     /// times and not once ambiguously.
     fn skipped_reasons(&self) -> Vec<(String, usize, usize)> {
         let mut reasons: Vec<(String, usize, usize)> = Vec::new();
@@ -252,6 +263,8 @@ fn load(path: &str) -> Result<Loaded, CliError> {
         metrics: Vec::new(),
         churn: Vec::new(),
         services: Vec::new(),
+        crashes: Vec::new(),
+        health: Vec::new(),
         skipped: parsed.skipped,
     };
     for line in parsed.records {
@@ -263,6 +276,8 @@ fn load(path: &str) -> Result<Loaded, CliError> {
             RecordLine::Metrics(m) => loaded.metrics.push(m),
             RecordLine::Churn(c) => loaded.churn.push(c),
             RecordLine::Service(s) => loaded.services.push(s),
+            RecordLine::Crash(c) => loaded.crashes.push(c),
+            RecordLine::Health(h) => loaded.health.push(h),
         }
     }
     if loaded.total() == 0 {
@@ -289,6 +304,8 @@ fn report_one(path: &str, format: OutputFormat) -> Result<String, CliError> {
     let metrics_groups = group_metrics(&loaded.metrics);
     let churn_groups = group_churn(&loaded.churn);
     let service_groups = group_services(&loaded.services);
+    let crash_groups = group_crashes(&loaded.crashes);
+    let health_groups = group_health(&loaded.health);
     let total = loaded.total();
     match format {
         OutputFormat::Text => {
@@ -296,6 +313,8 @@ fn report_one(path: &str, format: OutputFormat) -> Result<String, CliError> {
             out.push_str(&render_text(path, total, &groups, &fault_groups, &frontier_groups));
             out.push_str(&render_churn_text(&churn_groups));
             out.push_str(&render_service_text(&service_groups));
+            out.push_str(&render_crash_text(&crash_groups));
+            out.push_str(&render_health_text(&health_groups));
             for ((experiment, protocol, backend, n), trials) in cohorts_of(&timeline_groups) {
                 out.push_str(&format!(
                     "\ntimelines: experiment={experiment} protocol={protocol} backend={backend} \
@@ -315,6 +334,8 @@ fn report_one(path: &str, format: OutputFormat) -> Result<String, CliError> {
             let mut out = render_json(&groups, &fault_groups, &frontier_groups);
             out.push_str(&render_churn_json(&churn_groups));
             out.push_str(&render_service_json(&service_groups));
+            out.push_str(&render_crash_json(&crash_groups));
+            out.push_str(&render_health_json(&health_groups));
             for (reason, count, first_line) in loaded.skipped_reasons() {
                 let mut obj = JsonObject::new();
                 obj.field_str("command", "report");
@@ -901,6 +922,136 @@ fn render_service_json(groups: &BTreeMap<ServiceKey, Vec<&ServiceRecord>>) -> St
         obj.field_f64("mean_rps", group.iter().map(|s| s.rps).sum::<f64>() / rows);
         obj.field_f64("mean_p50_us", group.iter().map(|s| s.p50_us).sum::<f64>() / rows);
         obj.field_f64("mean_p99_us", group.iter().map(|s| s.p99_us).sum::<f64>() / rows);
+        out.push_str(&obj.finish());
+        out.push('\n');
+    }
+    out
+}
+
+fn group_crashes(crashes: &[CrashRecord]) -> BTreeMap<CrashKey, Vec<&CrashRecord>> {
+    let mut groups: BTreeMap<CrashKey, Vec<&CrashRecord>> = BTreeMap::new();
+    for c in crashes {
+        groups
+            .entry((
+                c.experiment.clone(),
+                c.protocol.clone(),
+                c.backend.clone(),
+                c.n,
+                c.fsync.clone(),
+            ))
+            .or_default()
+            .push(c);
+    }
+    groups
+}
+
+fn render_crash_text(groups: &BTreeMap<CrashKey, Vec<&CrashRecord>>) -> String {
+    let mut out = String::new();
+    for ((experiment, protocol, backend, n, fsync), group) in groups {
+        let rows = group.len() as f64;
+        let identical = group.iter().filter(|c| c.replay_identical).count();
+        out.push_str(&format!(
+            "\ncrash: experiment={experiment} protocol={protocol} backend={backend} n={n} \
+             fsync={fsync}: {} row(s)\n",
+            group.len(),
+        ));
+        out.push_str(&format!(
+            "  recovery: mean {:.1} ms   lost events max {}   replay identical {identical}/{}\n",
+            group.iter().map(|c| c.recovery_ms).sum::<f64>() / rows,
+            group.iter().map(|c| c.lost_events).max().unwrap_or(0),
+            group.len(),
+        ));
+    }
+    out
+}
+
+fn render_crash_json(groups: &BTreeMap<CrashKey, Vec<&CrashRecord>>) -> String {
+    let mut out = String::new();
+    for ((experiment, protocol, backend, n, fsync), group) in groups {
+        let rows = group.len() as f64;
+        let mut obj = JsonObject::new();
+        obj.field_str("command", "report");
+        obj.field_str("kind", "crash");
+        obj.field_str("experiment", experiment);
+        obj.field_str("protocol", protocol);
+        obj.field_str("backend", backend);
+        obj.field_u64("n", *n);
+        obj.field_str("fsync", fsync);
+        obj.field_u64("rows", group.len() as u64);
+        obj.field_f64("mean_recovery_ms", group.iter().map(|c| c.recovery_ms).sum::<f64>() / rows);
+        obj.field_u64("max_lost_events", group.iter().map(|c| c.lost_events).max().unwrap_or(0));
+        obj.field_u64(
+            "replay_identical_rows",
+            group.iter().filter(|c| c.replay_identical).count() as u64,
+        );
+        out.push_str(&obj.finish());
+        out.push('\n');
+    }
+    out
+}
+
+fn group_health(health: &[HealthRecord]) -> BTreeMap<HealthKey, Vec<&HealthRecord>> {
+    let mut groups: BTreeMap<HealthKey, Vec<&HealthRecord>> = BTreeMap::new();
+    for h in health {
+        groups
+            .entry((
+                h.experiment.clone(),
+                h.pop.clone(),
+                h.protocol.clone(),
+                h.backend.clone(),
+                h.n,
+            ))
+            .or_default()
+            .push(h);
+    }
+    groups
+}
+
+fn render_health_text(groups: &BTreeMap<HealthKey, Vec<&HealthRecord>>) -> String {
+    let mut out = String::new();
+    for ((experiment, pop, protocol, backend, n), group) in groups {
+        // Health rows are a time series; the last one is the current truth.
+        let Some(last) = group.last() else { continue };
+        out.push_str(&format!(
+            "\nhealth: experiment={experiment} pop={pop} protocol={protocol} backend={backend} \
+             n={n}: {} row(s)\n",
+            group.len(),
+        ));
+        out.push_str(&format!(
+            "  last: live {}  interactions {}  ranked {}  seq {}  journal lag {}  fsync {}  \
+             quarantines {}\n",
+            last.live,
+            last.interactions,
+            last.ranked,
+            last.seq,
+            last.lag,
+            last.fsync,
+            last.quarantines,
+        ));
+    }
+    out
+}
+
+fn render_health_json(groups: &BTreeMap<HealthKey, Vec<&HealthRecord>>) -> String {
+    let mut out = String::new();
+    for ((experiment, pop, protocol, backend, n), group) in groups {
+        let Some(last) = group.last() else { continue };
+        let mut obj = JsonObject::new();
+        obj.field_str("command", "report");
+        obj.field_str("kind", "health");
+        obj.field_str("experiment", experiment);
+        obj.field_str("pop", pop);
+        obj.field_str("protocol", protocol);
+        obj.field_str("backend", backend);
+        obj.field_u64("n", *n);
+        obj.field_u64("rows", group.len() as u64);
+        obj.field_u64("live", last.live);
+        obj.field_u64("interactions", last.interactions);
+        obj.field_bool("ranked", last.ranked);
+        obj.field_u64("seq", last.seq);
+        obj.field_u64("lag", last.lag);
+        obj.field_str("fsync", &last.fsync);
+        obj.field_u64("quarantines", last.quarantines);
         out.push_str(&obj.finish());
         out.push('\n');
     }
@@ -2098,15 +2249,15 @@ mod tests {
     #[test]
     fn future_rows_warn_once_per_distinct_reason() {
         let known = mk_churn(0, 0.8).to_json();
-        // A fabricated v8 row (one schema version above ours) and two
+        // A fabricated v9 row (one schema version above ours) and two
         // same-version rows of an unknown kind.
-        let v8 = "{\"v\":8,\"kind\":\"service\",\"experiment\":\"x\",\"rps\":1.0}";
+        let v9 = "{\"v\":9,\"kind\":\"service\",\"experiment\":\"x\",\"rps\":1.0}";
         let quorum = "{\"v\":7,\"kind\":\"quorum\",\"experiment\":\"x\",\"weight\":0.5}";
-        let text = format!("{known}\n{v8}\n{quorum}\n{quorum}\n");
+        let text = format!("{known}\n{v9}\n{quorum}\n{quorum}\n");
         let path = write_temp("ssle_report_future.jsonl", &text);
 
         let out = run(&args(&[&path])).unwrap();
-        assert!(out.contains("warning: 1 line(s) with version 8"), "{out}");
+        assert!(out.contains("warning: 1 line(s) with version 9"), "{out}");
         assert!(out.contains("(first at line 2)"), "{out}");
         assert!(out.contains("warning: 2 line(s) with kind \"quorum\""), "{out}");
         assert!(out.contains("(first at line 3)"), "{out}");
@@ -2118,14 +2269,14 @@ mod tests {
         let skipped: Vec<&str> =
             json.lines().filter(|l| l.contains("\"kind\":\"skipped\"")).collect();
         assert_eq!(skipped.len(), 2, "{json}");
-        assert!(skipped[0].contains("\"reason\":\"version 8\""), "{json}");
+        assert!(skipped[0].contains("\"reason\":\"version 9\""), "{json}");
         assert!(skipped[0].contains("\"lines\":1"), "{json}");
         assert!(skipped[1].contains("\"reason\":\"kind \\\"quorum\\\"\""), "{json}");
         assert!(skipped[1].contains("\"lines\":2"), "{json}");
 
         // A stream of only-future rows errors with the upgrade hint instead
         // of the generic "no records".
-        let path = write_temp("ssle_report_future_only.jsonl", &format!("{v8}\n"));
+        let path = write_temp("ssle_report_future_only.jsonl", &format!("{v9}\n"));
         match run(&args(&[&path])) {
             Err(CliError::Report { reason, .. }) => {
                 assert!(reason.contains("newer writer"), "{reason}")
@@ -2173,6 +2324,99 @@ mod tests {
         let fields = population::record::parse_flat_json(line).unwrap();
         match fields.get("mean_rps").unwrap() {
             population::record::JsonScalar::Num(m) => assert!((m - 1000.0).abs() < 1e-9, "{m}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// Tentpole ride-along: `kind = "crash"` rows from the crash-recovery
+    /// bench group by fsync policy and report recovery time and the
+    /// lost-event window.
+    #[test]
+    fn crash_stream_reports_recovery_and_lost_events() {
+        let mk = |fsync: &str, recovery_ms: f64, lost: u64| CrashRecord {
+            experiment: "crash".to_string(),
+            protocol: "ciw".to_string(),
+            backend: "counts".to_string(),
+            n: 64,
+            fsync: fsync.to_string(),
+            kill_point: 0.5,
+            events_applied: 40,
+            events_recovered: 40 - lost,
+            lost_events: lost,
+            recovery_ms,
+            replay_identical: true,
+            seed: 7,
+            wall_s: 1.0,
+        };
+        let text = format!(
+            "{}\n{}\n{}\n",
+            mk("always", 4.0, 0).to_json(),
+            mk("always", 6.0, 0).to_json(),
+            mk("every:16", 5.0, 3).to_json()
+        );
+        let path = write_temp("ssle_report_crash.jsonl", &text);
+
+        let out = run(&args(&[&path])).unwrap();
+        assert!(
+            out.contains(
+                "crash: experiment=crash protocol=ciw backend=counts n=64 fsync=always: 2 row(s)"
+            ),
+            "{out}"
+        );
+        assert!(
+            out.contains("recovery: mean 5.0 ms   lost events max 0   replay identical 2/2"),
+            "{out}"
+        );
+        assert!(out.contains("fsync=every:16: 1 row(s)"), "{out}");
+
+        let json = run(&args(&[&path, "--format", "json"])).unwrap();
+        let line = json
+            .lines()
+            .find(|l| l.contains("\"kind\":\"crash\"") && l.contains("\"fsync\":\"every:16\""))
+            .expect("crash group");
+        let fields = population::record::parse_flat_json(line).unwrap();
+        match fields.get("max_lost_events").unwrap() {
+            population::record::JsonScalar::Num(m) => assert!((m - 3.0).abs() < 1e-9, "{m}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// Tentpole ride-along: `kind = "health"` rows are a per-population
+    /// time series; the report shows the latest row per population.
+    #[test]
+    fn health_stream_reports_the_latest_row() {
+        let mk = |seq: u64, lag: u64| HealthRecord {
+            experiment: "health".to_string(),
+            pop: "alpha".to_string(),
+            protocol: "oss".to_string(),
+            backend: "agents".to_string(),
+            n: 128,
+            live: 126,
+            interactions: 50_000,
+            ranked: true,
+            seq,
+            snapshot_seq: seq - lag,
+            lag,
+            fsync: "always".to_string(),
+            quarantines: 1,
+        };
+        let text = format!("{}\n{}\n", mk(10, 10).to_json(), mk(24, 2).to_json());
+        let path = write_temp("ssle_report_health.jsonl", &text);
+
+        let out = run(&args(&[&path])).unwrap();
+        assert!(
+            out.contains(
+                "health: experiment=health pop=alpha protocol=oss backend=agents n=128: 2 row(s)"
+            ),
+            "{out}"
+        );
+        assert!(out.contains("seq 24  journal lag 2  fsync always  quarantines 1"), "{out}");
+
+        let json = run(&args(&[&path, "--format", "json"])).unwrap();
+        let line = json.lines().find(|l| l.contains("\"kind\":\"health\"")).expect("health group");
+        let fields = population::record::parse_flat_json(line).unwrap();
+        match fields.get("lag").unwrap() {
+            population::record::JsonScalar::Num(m) => assert!((m - 2.0).abs() < 1e-9, "{m}"),
             other => panic!("unexpected {other:?}"),
         }
     }

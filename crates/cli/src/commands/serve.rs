@@ -2,26 +2,41 @@
 //!
 //! Binds a loopback (or any) TCP address, multiplexes named live
 //! populations behind the line-delimited JSON wire protocol, and — when a
-//! snapshot directory is configured — restores populations at boot and
-//! snapshots them all on graceful shutdown (the `shutdown` request or
-//! SIGINT).
+//! snapshot directory is configured — journals every mutating command,
+//! auto-snapshots, restores populations at boot (replaying journal
+//! tails), and snapshots them all on graceful shutdown (the `shutdown`
+//! request, SIGINT, or SIGTERM).
 
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::time::Duration;
 
+use ssle_serve::journal::FsyncPolicy;
 use ssle_serve::{install_sigint_handler, ServeConfig, ServeSummary, Server};
 
 use crate::commands::parse_flags;
 use crate::error::CliError;
 
+const FLAGS: &[&str] = &[
+    "addr",
+    "threads",
+    "queue",
+    "snapshot-dir",
+    "read-timeout",
+    "fsync",
+    "autosnap-every",
+    "max-line",
+    "line-deadline",
+];
+
 /// Runs the subcommand. Blocks until the daemon shuts down (a `shutdown`
-/// request or SIGINT), then returns a run summary.
+/// request, SIGINT, or SIGTERM), then returns a run summary.
 ///
 /// # Errors
 ///
 /// Returns [`CliError`] on bad flags or a failed bind.
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    let flags = parse_flags(args, &["addr", "threads", "queue", "snapshot-dir", "read-timeout"])?;
+    let flags = parse_flags(args, FLAGS)?;
     let config = config_from_flags(&flags)?;
     install_sigint_handler();
     let server = Server::start(&config).map_err(|e| CliError::BadValue {
@@ -30,6 +45,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     })?;
     let addr = server.local_addr().map(|a| a.to_string()).unwrap_or_else(|_| config.addr.clone());
     eprintln!("ssle serve: listening on {addr} ({} workers)", config.threads);
+    for warning in restore_warnings(server.restored()) {
+        eprintln!("ssle serve: {warning}");
+    }
     let summary = server.run();
     Ok(render_summary(&addr, &summary))
 }
@@ -51,13 +69,48 @@ pub(crate) fn config_from_flags(flags: &ssle_bench::cli::Flags) -> Result<ServeC
         });
     }
     let read_timeout: u64 = flags.get("read-timeout", defaults.read_timeout.as_secs());
+    let fsync = match flags.try_get_str("fsync") {
+        Some(spec) => FsyncPolicy::parse(spec)
+            .map_err(|reason| CliError::BadValue { flag: "fsync".into(), reason })?,
+        None => defaults.fsync,
+    };
+    let autosnap_every: u64 = flags.get("autosnap-every", defaults.autosnap_every);
+    if autosnap_every == 0 {
+        return Err(CliError::BadValue {
+            flag: "autosnap-every".into(),
+            reason: "auto-snapshot cadence must be at least 1 command".into(),
+        });
+    }
+    let line_deadline: u64 = flags.get("line-deadline", defaults.line_deadline.as_secs());
     Ok(ServeConfig {
         addr: flags.try_get_str("addr").unwrap_or(&defaults.addr).to_string(),
         threads,
         queue,
         snapshot_dir: flags.try_get_str("snapshot-dir").map(PathBuf::from),
         read_timeout: Duration::from_secs(read_timeout.max(1)),
+        max_line: flags.get("max-line", defaults.max_line),
+        line_deadline: Duration::from_secs(line_deadline.max(1)),
+        fsync,
+        autosnap_every,
     })
+}
+
+/// Aggregates boot-restore failures per reason: one warning line per
+/// distinct failure, listing the populations it skipped — a directory of
+/// damaged snapshots produces a readable digest, not a wall of repeats.
+pub(crate) fn restore_warnings(restored: &[(String, Result<(), String>)]) -> Vec<String> {
+    let mut by_reason: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (name, outcome) in restored {
+        if let Err(reason) = outcome {
+            by_reason.entry(reason.as_str()).or_default().push(name.as_str());
+        }
+    }
+    by_reason
+        .into_iter()
+        .map(|(reason, names)| {
+            format!("skipped {} population(s) [{}]: {reason}", names.len(), names.join(", "))
+        })
+        .collect()
 }
 
 fn render_summary(addr: &str, summary: &ServeSummary) -> String {
@@ -74,6 +127,7 @@ fn render_summary(addr: &str, summary: &ServeSummary) -> String {
         out.push_str(&format!("snapshotted      : {}\n", outcome_list(&rendered)));
     }
     out.push_str(&format!("handler panics   : {}\n", summary.panics));
+    out.push_str(&format!("quarantines      : {}\n", summary.quarantines));
     out
 }
 
@@ -94,7 +148,7 @@ mod tests {
 
     fn flags(a: &[&str]) -> ssle_bench::cli::Flags {
         let args: Vec<String> = a.iter().map(|s| s.to_string()).collect();
-        parse_flags(&args, &["addr", "threads", "queue", "snapshot-dir", "read-timeout"]).unwrap()
+        parse_flags(&args, FLAGS).unwrap()
     }
 
     #[test]
@@ -105,6 +159,9 @@ mod tests {
         assert_eq!(config.threads, defaults.threads);
         assert_eq!(config.queue, defaults.queue);
         assert!(config.snapshot_dir.is_none());
+        assert_eq!(config.fsync, defaults.fsync);
+        assert_eq!(config.autosnap_every, defaults.autosnap_every);
+        assert_eq!(config.max_line, defaults.max_line);
     }
 
     #[test]
@@ -118,12 +175,24 @@ mod tests {
             "8",
             "--snapshot-dir",
             "/tmp/snaps",
+            "--fsync",
+            "every:16",
+            "--autosnap-every",
+            "32",
+            "--max-line",
+            "4096",
+            "--line-deadline",
+            "3",
         ]))
         .unwrap();
         assert_eq!(config.addr, "127.0.0.1:0");
         assert_eq!(config.threads, 2);
         assert_eq!(config.queue, 8);
         assert_eq!(config.snapshot_dir, Some(PathBuf::from("/tmp/snaps")));
+        assert_eq!(config.fsync, FsyncPolicy::EveryN(16));
+        assert_eq!(config.autosnap_every, 32);
+        assert_eq!(config.max_line, 4096);
+        assert_eq!(config.line_deadline, Duration::from_secs(3));
     }
 
     #[test]
@@ -135,15 +204,43 @@ mod tests {
     }
 
     #[test]
+    fn bad_fsync_spec_rejected() {
+        assert!(matches!(
+            config_from_flags(&flags(&["--fsync", "sometimes"])),
+            Err(CliError::BadValue { .. })
+        ));
+        assert!(matches!(
+            config_from_flags(&flags(&["--autosnap-every", "0"])),
+            Err(CliError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn restore_warnings_aggregate_per_reason() {
+        let restored = vec![
+            ("a".to_string(), Ok(())),
+            ("b".to_string(), Err("snapshot: bad header".to_string())),
+            ("c".to_string(), Err("snapshot: bad header".to_string())),
+            ("d".to_string(), Err("journal: seq gap".to_string())),
+        ];
+        let warnings = restore_warnings(&restored);
+        assert_eq!(warnings.len(), 2, "{warnings:?}");
+        assert!(warnings.iter().any(|w| w.contains("2 population(s) [b, c]")), "{warnings:?}");
+        assert!(warnings.iter().any(|w| w.contains("1 population(s) [d]")), "{warnings:?}");
+    }
+
+    #[test]
     fn summary_renders_outcomes() {
         let summary = ServeSummary {
             restored: vec![("a".into(), Ok(())), ("b".into(), Err("corrupt".into()))],
             snapshots: vec![("a".into(), Ok(PathBuf::from("/x/a.snapshot.jsonl")))],
             panics: 0,
+            quarantines: 1,
         };
         let text = render_summary("127.0.0.1:7700", &summary);
         assert!(text.contains("restored at boot : a, b (FAILED: corrupt)"), "{text}");
         assert!(text.contains("snapshotted      : a"), "{text}");
         assert!(text.contains("handler panics   : 0"), "{text}");
+        assert!(text.contains("quarantines      : 1"), "{text}");
     }
 }

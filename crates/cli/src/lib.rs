@@ -41,6 +41,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "report" => commands::report::run(rest),
         "serve" => commands::serve::run(rest),
         "client" => commands::client::run(rest),
+        "chaos" => commands::chaos::run(rest),
         "soak" => commands::soak::run(rest),
         "states" => commands::states::run(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
@@ -79,14 +80,21 @@ COMMANDS:
     report      summarize a JSONL experiment record stream
                   <file.jsonl> [--compare <other.jsonl>] [--format text|json]
                   --timeline <file.jsonl>  render trajectory sparklines
-    serve       run the election service daemon (blocks until shutdown/SIGINT)
+    serve       run the election service daemon (blocks until shutdown/SIGINT/SIGTERM)
                   [--addr <host:port>] [--threads <w>] [--queue <slots>]
                   [--snapshot-dir <dir>] [--read-timeout <secs>]
+                  [--fsync always|every:<n>|never] [--autosnap-every <cmds>]
+                  [--max-line <bytes>] [--line-deadline <secs>]
     client      send one wire-protocol request to a running daemon
                   [--addr <host:port>] --send '<json>'
                   | --cmd <command> [--name <pop>] [--protocol ciw|oss]
                     [--backend agents|counts] [--n <agents>] [--seed <u64>]
                     [--interactions <k>] [--k <count>] [--spec <churn>] [--last <rows>]
+                  [--retries <n>] [--deadline <secs>] [--retry-seed <u64>]
+    chaos       run the deterministic fault-injection proxy in front of a daemon
+                  [--listen <host:port>] [--upstream <host:port>] [--seed <u64>]
+                  [--delay-prob <p>] [--delay-ms <ms>] [--reset-prob <p>]
+                  [--partial-prob <p>] [--slowloris true] [--slowloris-ms <ms>]
     soak        sustain a fault rate against a protocol and report availability
                   --protocol ciw|optimal-silent|sublinear --n <agents>
                   [--fault-rate <faults per time unit>] [--fault-size <k|sqrt|frac|all>]

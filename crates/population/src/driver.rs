@@ -451,6 +451,16 @@ impl SteppedDriver {
         self.max_n = churn.max_n;
     }
 
+    /// Reseeds the stream that picks victims and adversarial states for
+    /// injected events. The stream's position is not part of any snapshot,
+    /// so a caller that needs injected events to replay bit-identically
+    /// across a save/restore boundary must pin the stream to a value it
+    /// can rederive (e.g. a function of the event's own sequence number)
+    /// immediately before each injection.
+    pub fn reseed_event_stream(&mut self, seed: u64) {
+        self.churn_rng = rng_from_seed(seed);
+    }
+
     /// Runs one bounded slice: at most `cap` interactions, further capped
     /// at the remaining `budget` and at the next due event so firing times
     /// stay exact to within one interaction; then fires due events and

@@ -49,6 +49,13 @@
 //!   throughput/latency measurement per service-bench cell (`ssle serve`
 //!   under concurrent clients) — request count, sustained requests per
 //!   second, and p50/p99 per-request latency. Existing kinds are unchanged.
+//! * **v8** — adds the `"kind":"crash"` [`CrashRecord`] line (one
+//!   crash-recovery measurement per `crash_recovery` bench cell: kill
+//!   point, fsync policy, lost-event window, recovery wall time, and
+//!   whether replay reproduced the uncrashed state bit-identically) and
+//!   the `"kind":"health"` [`HealthRecord`] line (one liveness/journal-lag
+//!   row per served population, as reported by the `health` wire command).
+//!   Existing kinds are unchanged.
 //!
 //! A stream may mix all kinds; [`from_jsonl_mixed`] reads everything as
 //! [`RecordLine`]s, while [`from_jsonl`] keeps its original contract of
@@ -65,7 +72,7 @@ use crate::simulation::RunOutcome;
 
 /// Version of the record schema. Bump when fields change meaning; readers
 /// accept [`MIN_SCHEMA_VERSION`]`..=SCHEMA_VERSION` and reject anything else.
-pub const SCHEMA_VERSION: u32 = 7;
+pub const SCHEMA_VERSION: u32 = 8;
 
 /// Oldest schema version readers still accept.
 pub const MIN_SCHEMA_VERSION: u32 = 1;
@@ -1043,6 +1050,185 @@ impl ServiceRecord {
     }
 }
 
+/// One crash-recovery measurement (`kind = "crash"`, schema v8), emitted by
+/// the `crash_recovery` bench: a journaled population is driven through
+/// `events_applied` mutating commands, its journal is truncated to the bytes
+/// durable at a simulated `kill -9` (the `kill_point` fraction of the run),
+/// and recovery replays snapshot + journal tail. `lost_events` is the
+/// tail the crash discarded — bounded by the fsync policy's window — and
+/// `replay_identical` records whether the recovered population was
+/// bit-identical to a never-crashed replay of the surviving prefix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashRecord {
+    /// Name of the experiment that produced this record (e.g. `"crash"`).
+    pub experiment: String,
+    /// Protocol short-name the journaled population runs.
+    pub protocol: String,
+    /// Simulation backend hosting the population (`"agents"` / `"counts"`).
+    pub backend: String,
+    /// Population size of the journaled population.
+    pub n: u64,
+    /// Fsync policy spec (`"always"`, `"every:N"`, `"never"`).
+    pub fsync: String,
+    /// Fraction of the command stream after which the crash fired.
+    pub kill_point: f64,
+    /// Mutating commands applied (and journaled) before the crash.
+    pub events_applied: u64,
+    /// Commands recovered from snapshot + journal tail after the crash.
+    pub events_recovered: u64,
+    /// Commands lost to the crash (`events_applied - events_recovered`).
+    pub lost_events: u64,
+    /// Wall-clock milliseconds the boot-time recovery took.
+    pub recovery_ms: f64,
+    /// Whether the recovered state matched a never-crashed replay of the
+    /// surviving prefix bit-for-bit (snapshot-serialization equality).
+    pub replay_identical: bool,
+    /// Base seed of the bench cell.
+    pub seed: u64,
+    /// Wall-clock seconds the cell took.
+    pub wall_s: f64,
+}
+
+impl CrashRecord {
+    /// Serializes to a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.field_u64("v", SCHEMA_VERSION as u64);
+        obj.field_str("kind", "crash");
+        obj.field_str("experiment", &self.experiment);
+        obj.field_str("protocol", &self.protocol);
+        obj.field_str("backend", &self.backend);
+        obj.field_u64("n", self.n);
+        obj.field_str("fsync", &self.fsync);
+        obj.field_f64("kill_point", self.kill_point);
+        obj.field_u64("events_applied", self.events_applied);
+        obj.field_u64("events_recovered", self.events_recovered);
+        obj.field_u64("lost_events", self.lost_events);
+        obj.field_f64("recovery_ms", self.recovery_ms);
+        obj.field_bool("replay_identical", self.replay_identical);
+        obj.field_u64("seed", self.seed);
+        obj.field_f64("wall_s", self.wall_s);
+        obj.finish()
+    }
+
+    /// Parses a crash record from one JSONL line.
+    pub fn from_json(line: &str) -> Result<Self, String> {
+        let fields = parse_flat_json(line)?;
+        check_version(&fields)?;
+        match record_kind(&fields)? {
+            "crash" => {}
+            other => return Err(format!("expected a crash record, got kind {other:?}")),
+        }
+        Self::from_fields(&fields)
+    }
+
+    fn from_fields(fields: &BTreeMap<String, JsonScalar>) -> Result<Self, String> {
+        Ok(CrashRecord {
+            experiment: get_str(fields, "experiment")?.to_string(),
+            protocol: get_str(fields, "protocol")?.to_string(),
+            backend: get_str(fields, "backend")?.to_string(),
+            n: get_u64(fields, "n")?,
+            fsync: get_str(fields, "fsync")?.to_string(),
+            kill_point: get_f64(fields, "kill_point")?,
+            events_applied: get_u64(fields, "events_applied")?,
+            events_recovered: get_u64(fields, "events_recovered")?,
+            lost_events: get_u64(fields, "lost_events")?,
+            recovery_ms: get_f64(fields, "recovery_ms")?,
+            replay_identical: get_bool(fields, "replay_identical")?,
+            seed: get_u64(fields, "seed")?,
+            wall_s: get_f64(fields, "wall_s")?,
+        })
+    }
+}
+
+/// One per-population liveness row (`kind = "health"`, schema v8), as
+/// reported by the `health` wire command of `ssle serve`: protocol identity,
+/// live-agent count, journal position (`seq`) versus the last snapshot
+/// (`snapshot_seq`), the resulting replay `lag`, and how many times the
+/// watchdog has quarantined-and-healed a poisoned population since boot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthRecord {
+    /// Name of the experiment that produced this record (e.g. `"health"`).
+    pub experiment: String,
+    /// Served population name.
+    pub pop: String,
+    /// Protocol short-name the population runs.
+    pub protocol: String,
+    /// Simulation backend (`"agents"` / `"counts"`).
+    pub backend: String,
+    /// Population size.
+    pub n: u64,
+    /// Live (non-tombstoned) agents.
+    pub live: u64,
+    /// Interactions simulated so far.
+    pub interactions: u64,
+    /// Whether the population currently has a unique ranked leader.
+    pub ranked: bool,
+    /// Journal sequence number of the last applied mutating command.
+    pub seq: u64,
+    /// Journal sequence number covered by the last snapshot.
+    pub snapshot_seq: u64,
+    /// Journaled-but-unsnapshotted commands (`seq - snapshot_seq`): the
+    /// replay work a crash-restart would have to redo.
+    pub lag: u64,
+    /// Fsync policy spec the journal runs under (`"none"` if undurable).
+    pub fsync: String,
+    /// Poison-quarantine heals performed by the registry since boot.
+    pub quarantines: u64,
+}
+
+impl HealthRecord {
+    /// Serializes to a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.field_u64("v", SCHEMA_VERSION as u64);
+        obj.field_str("kind", "health");
+        obj.field_str("experiment", &self.experiment);
+        obj.field_str("pop", &self.pop);
+        obj.field_str("protocol", &self.protocol);
+        obj.field_str("backend", &self.backend);
+        obj.field_u64("n", self.n);
+        obj.field_u64("live", self.live);
+        obj.field_u64("interactions", self.interactions);
+        obj.field_bool("ranked", self.ranked);
+        obj.field_u64("seq", self.seq);
+        obj.field_u64("snapshot_seq", self.snapshot_seq);
+        obj.field_u64("lag", self.lag);
+        obj.field_str("fsync", &self.fsync);
+        obj.field_u64("quarantines", self.quarantines);
+        obj.finish()
+    }
+
+    /// Parses a health record from one JSONL line.
+    pub fn from_json(line: &str) -> Result<Self, String> {
+        let fields = parse_flat_json(line)?;
+        check_version(&fields)?;
+        match record_kind(&fields)? {
+            "health" => {}
+            other => return Err(format!("expected a health record, got kind {other:?}")),
+        }
+        Self::from_fields(&fields)
+    }
+
+    fn from_fields(fields: &BTreeMap<String, JsonScalar>) -> Result<Self, String> {
+        Ok(HealthRecord {
+            experiment: get_str(fields, "experiment")?.to_string(),
+            pop: get_str(fields, "pop")?.to_string(),
+            protocol: get_str(fields, "protocol")?.to_string(),
+            backend: get_str(fields, "backend")?.to_string(),
+            n: get_u64(fields, "n")?,
+            live: get_u64(fields, "live")?,
+            interactions: get_u64(fields, "interactions")?,
+            ranked: get_bool(fields, "ranked")?,
+            seq: get_u64(fields, "seq")?,
+            snapshot_seq: get_u64(fields, "snapshot_seq")?,
+            lag: get_u64(fields, "lag")?,
+            fsync: get_str(fields, "fsync")?.to_string(),
+            quarantines: get_u64(fields, "quarantines")?,
+        })
+    }
+}
+
 /// One parsed line of a (possibly mixed) JSONL experiment stream.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RecordLine {
@@ -1060,6 +1246,10 @@ pub enum RecordLine {
     Churn(ChurnRecord),
     /// A service-throughput measurement.
     Service(ServiceRecord),
+    /// A crash-recovery measurement.
+    Crash(CrashRecord),
+    /// A served-population liveness/journal-lag row.
+    Health(HealthRecord),
 }
 
 impl RecordLine {
@@ -1085,6 +1275,8 @@ impl RecordLine {
             "metrics" => RecordLine::Metrics(MetricsRecord::from_fields(fields)?),
             "churn" => RecordLine::Churn(ChurnRecord::from_fields(fields)?),
             "service" => RecordLine::Service(ServiceRecord::from_fields(fields)?),
+            "crash" => RecordLine::Crash(CrashRecord::from_fields(fields)?),
+            "health" => RecordLine::Health(HealthRecord::from_fields(fields)?),
             _ => return Ok(None),
         }))
     }
@@ -1099,6 +1291,8 @@ impl RecordLine {
             RecordLine::Metrics(m) => m.to_json(),
             RecordLine::Churn(c) => c.to_json(),
             RecordLine::Service(s) => s.to_json(),
+            RecordLine::Crash(c) => c.to_json(),
+            RecordLine::Health(h) => h.to_json(),
         }
     }
 }
@@ -1139,7 +1333,9 @@ pub fn from_jsonl(text: &str) -> Result<Vec<RunRecord>, String> {
             | RecordLine::Timeline(_)
             | RecordLine::Metrics(_)
             | RecordLine::Churn(_)
-            | RecordLine::Service(_) => None,
+            | RecordLine::Service(_)
+            | RecordLine::Crash(_)
+            | RecordLine::Health(_) => None,
         })
         .collect())
 }
@@ -1509,6 +1705,14 @@ fn get_u64(fields: &BTreeMap<String, JsonScalar>, key: &str) -> Result<u64, Stri
     }
 }
 
+fn get_bool(fields: &BTreeMap<String, JsonScalar>, key: &str) -> Result<bool, String> {
+    match fields.get(key) {
+        Some(JsonScalar::Bool(b)) => Ok(*b),
+        Some(other) => Err(format!("field {key:?}: expected bool, got {other:?}")),
+        None => Err(format!("missing field {key:?}")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1565,7 +1769,7 @@ mod tests {
     fn frontier_record_round_trips() {
         let f = sample_frontier_record();
         let json = f.to_json();
-        assert!(json.starts_with("{\"v\":7,\"kind\":\"frontier\","), "{json}");
+        assert!(json.starts_with("{\"v\":8,\"kind\":\"frontier\","), "{json}");
         assert!(json.contains("\"backend\":\"counts\""), "{json}");
         assert!(json.contains("\"support\":2"), "{json}");
         assert!(json.contains("\"leaders\":null"), "{json}");
@@ -1601,7 +1805,7 @@ mod tests {
     fn timeline_record_round_trips() {
         let t = sample_timeline_record();
         let json = t.to_json();
-        assert!(json.starts_with("{\"v\":7,\"kind\":\"timeline\","), "{json}");
+        assert!(json.starts_with("{\"v\":8,\"kind\":\"timeline\","), "{json}");
         assert!(json.contains("\"parallel_time\":4.096"), "{json}");
         assert!(json.contains("\"phases\":\"propagate:12,reset:3\""), "{json}");
         assert_eq!(TimelineRecord::from_json(&json).unwrap(), t);
@@ -1655,7 +1859,7 @@ mod tests {
     fn metrics_record_round_trips() {
         let m = sample_metrics_record();
         let json = m.to_json();
-        assert!(json.starts_with("{\"v\":7,\"kind\":\"metrics\","), "{json}");
+        assert!(json.starts_with("{\"v\":8,\"kind\":\"metrics\","), "{json}");
         assert!(json.contains("\"batch_hist\":\"256:12,512:3988\""), "{json}");
         assert!(json.contains("\"ips\":4000000"), "{json}");
         assert_eq!(MetricsRecord::from_json(&json).unwrap(), m);
@@ -1765,7 +1969,7 @@ mod tests {
         let json = sample_record().to_json();
         assert!(json.contains("\"parallel_time\":"), "{json}");
         assert!(json.contains("\"ips\":49380"), "{json}");
-        assert!(json.starts_with("{\"v\":7,\"kind\":\"trial\","), "version leads: {json}");
+        assert!(json.starts_with("{\"v\":8,\"kind\":\"trial\","), "version leads: {json}");
         assert!(
             !json.contains("availability") && !json.contains("faults"),
             "chaos fields only appear when set: {json}"
@@ -1796,7 +2000,7 @@ mod tests {
     fn fault_record_round_trips() {
         let f = sample_fault_record();
         let json = f.to_json();
-        assert!(json.starts_with("{\"v\":7,\"kind\":\"fault\","), "{json}");
+        assert!(json.starts_with("{\"v\":8,\"kind\":\"fault\","), "{json}");
         assert!(json.contains("\"recovery_parallel_time\":"), "{json}");
         assert_eq!(FaultRecord::from_json(&json).unwrap(), f);
         assert_eq!(f.recovery_interactions(), Some(30_000));
@@ -1840,10 +2044,10 @@ mod tests {
 
     #[test]
     fn wrong_version_is_rejected() {
-        let json = sample_record().to_json().replace("\"v\":7", "\"v\":8");
+        let json = sample_record().to_json().replace("\"v\":8", "\"v\":9");
         let err = RunRecord::from_json(&json).unwrap_err();
         assert!(err.contains("version"), "{err}");
-        let json = sample_record().to_json().replace("\"v\":7", "\"v\":0");
+        let json = sample_record().to_json().replace("\"v\":8", "\"v\":0");
         assert!(RunRecord::from_json(&json).is_err());
     }
 
@@ -1963,7 +2167,7 @@ mod tests {
     fn service_record_round_trips() {
         let s = sample_service_record();
         let json = s.to_json();
-        assert!(json.starts_with("{\"v\":7,\"kind\":\"service\","), "{json}");
+        assert!(json.starts_with("{\"v\":8,\"kind\":\"service\","), "{json}");
         assert!(json.contains("\"clients\":8"), "{json}");
         assert!(json.contains("\"p99_us\":1900"), "{json}");
         assert_eq!(ServiceRecord::from_json(&json).unwrap(), s);
@@ -1975,11 +2179,87 @@ mod tests {
         assert_eq!(from_jsonl(&text).unwrap(), vec![sample_record()]);
     }
 
+    fn sample_crash_record() -> CrashRecord {
+        CrashRecord {
+            experiment: "crash".to_string(),
+            protocol: "ciw".to_string(),
+            backend: "agents".to_string(),
+            n: 256,
+            fsync: "every:16".to_string(),
+            kill_point: 0.5,
+            events_applied: 200,
+            events_recovered: 192,
+            lost_events: 8,
+            recovery_ms: 4.75,
+            replay_identical: true,
+            seed: 11,
+            wall_s: 0.9,
+        }
+    }
+
+    fn sample_health_record() -> HealthRecord {
+        HealthRecord {
+            experiment: "health".to_string(),
+            pop: "alpha".to_string(),
+            protocol: "oss".to_string(),
+            backend: "counts".to_string(),
+            n: 1_000,
+            live: 998,
+            interactions: 500_000,
+            ranked: true,
+            seq: 73,
+            snapshot_seq: 64,
+            lag: 9,
+            fsync: "always".to_string(),
+            quarantines: 1,
+        }
+    }
+
+    #[test]
+    fn crash_record_round_trips() {
+        let c = sample_crash_record();
+        let json = c.to_json();
+        assert!(json.starts_with("{\"v\":8,\"kind\":\"crash\","), "{json}");
+        assert!(json.contains("\"fsync\":\"every:16\""), "{json}");
+        assert!(json.contains("\"lost_events\":8"), "{json}");
+        assert!(json.contains("\"replay_identical\":true"), "{json}");
+        assert_eq!(CrashRecord::from_json(&json).unwrap(), c);
+        assert_eq!(RecordLine::from_json(&json).unwrap(), RecordLine::Crash(c.clone()));
+        // The trial-only reader skips crash lines.
+        let lines = vec![RecordLine::Trial(sample_record()), RecordLine::Crash(c)];
+        let text = to_jsonl_mixed(&lines);
+        assert_eq!(from_jsonl_mixed(&text).unwrap(), lines);
+        assert_eq!(from_jsonl(&text).unwrap(), vec![sample_record()]);
+    }
+
+    #[test]
+    fn health_record_round_trips() {
+        let h = sample_health_record();
+        let json = h.to_json();
+        assert!(json.starts_with("{\"v\":8,\"kind\":\"health\","), "{json}");
+        assert!(json.contains("\"lag\":9"), "{json}");
+        assert!(json.contains("\"ranked\":true"), "{json}");
+        assert!(json.contains("\"quarantines\":1"), "{json}");
+        assert_eq!(HealthRecord::from_json(&json).unwrap(), h);
+        assert_eq!(RecordLine::from_json(&json).unwrap(), RecordLine::Health(h.clone()));
+        let lines = vec![RecordLine::Trial(sample_record()), RecordLine::Health(h)];
+        let text = to_jsonl_mixed(&lines);
+        assert_eq!(from_jsonl_mixed(&text).unwrap(), lines);
+        assert_eq!(from_jsonl(&text).unwrap(), vec![sample_record()]);
+    }
+
+    #[test]
+    fn bool_fields_reject_non_bools() {
+        let json = sample_crash_record().to_json().replace("true", "\"yes\"");
+        let err = CrashRecord::from_json(&json).unwrap_err();
+        assert!(err.contains("replay_identical"), "{err}");
+    }
+
     #[test]
     fn churn_record_round_trips() {
         let c = sample_churn_record();
         let json = c.to_json();
-        assert!(json.starts_with("{\"v\":7,\"kind\":\"churn\","), "{json}");
+        assert!(json.starts_with("{\"v\":8,\"kind\":\"churn\","), "{json}");
         assert!(json.contains("\"churn\":\"2.0\""), "{json}");
         assert!(json.contains("\"byzantine\":0.05"), "{json}");
         assert!(json.contains("\"final_n\":66"), "{json}");
@@ -2010,14 +2290,14 @@ mod tests {
     #[test]
     fn lenient_parse_sets_aside_future_lines() {
         let known = sample_churn_record().to_json();
-        let future_version = known.replace("\"v\":7", "\"v\":8");
+        let future_version = known.replace("\"v\":8", "\"v\":9");
         let future_kind = known.replace("\"kind\":\"churn\"", "\"kind\":\"galaxy\"");
         let text = format!("{known}\n{future_version}\n{future_kind}\n");
         let parsed = from_jsonl_lenient(&text).unwrap();
         assert_eq!(parsed.records, vec![RecordLine::Churn(sample_churn_record())]);
         assert_eq!(
             parsed.skipped,
-            vec![(2, "version 8".to_string()), (3, "kind \"galaxy\"".to_string())]
+            vec![(2, "version 9".to_string()), (3, "kind \"galaxy\"".to_string())]
         );
         // Strict mixed parsing still rejects the same stream.
         assert!(from_jsonl_mixed(&text).is_err());
@@ -2026,12 +2306,12 @@ mod tests {
     #[test]
     fn lenient_parse_still_hard_errors_on_garbage() {
         // Below MIN_SCHEMA_VERSION: no writer should produce this.
-        let stale = sample_churn_record().to_json().replace("\"v\":7", "\"v\":0");
+        let stale = sample_churn_record().to_json().replace("\"v\":8", "\"v\":0");
         assert!(from_jsonl_lenient(&stale).unwrap_err().contains("version"));
         // Malformed JSON is a hard error too.
-        assert!(from_jsonl_lenient("{\"v\":7,").is_err());
+        assert!(from_jsonl_lenient("{\"v\":8,").is_err());
         // A known kind with broken fields is a hard error, not a skip.
-        let broken = "{\"v\":7,\"kind\":\"churn\",\"experiment\":\"x\"}";
+        let broken = "{\"v\":8,\"kind\":\"churn\",\"experiment\":\"x\"}";
         assert!(from_jsonl_lenient(broken).is_err());
     }
 }

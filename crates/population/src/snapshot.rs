@@ -126,6 +126,11 @@ pub struct SnapshotDoc {
     pub live: u64,
     /// Interactions performed when the snapshot was taken.
     pub interactions: u64,
+    /// Write-ahead-journal command sequence number this snapshot covers —
+    /// boot-time recovery replays only journal entries with `seq >` this
+    /// value. `0` for snapshots taken outside the journaled service path
+    /// (the field is optional on the wire for back-compat).
+    pub seq: u64,
     /// RNG stream position.
     pub rng: [u64; 4],
     /// `(encoded state, count)` runs. For the agent backend these are
@@ -153,6 +158,9 @@ impl SnapshotDoc {
             .field_u64("live", self.live)
             .field_u64("interactions", self.interactions)
             .field_str("rng", &rng_hex);
+        if self.seq != 0 {
+            header.field_u64("seq", self.seq);
+        }
         out.push_str(&header.finish());
         out.push('\n');
         for (state, count) in &self.runs {
@@ -196,6 +204,10 @@ impl SnapshotDoc {
             live: get_u64(&header, "live").ok_or_else(|| corrupt(lineno, "missing live"))?,
             interactions: get_u64(&header, "interactions")
                 .ok_or_else(|| corrupt(lineno, "missing interactions"))?,
+            // Absent on snapshots written before the write-ahead journal
+            // existed (and on non-service snapshots): they cover no
+            // journaled commands.
+            seq: get_u64(&header, "seq").unwrap_or(0),
             rng,
             runs: Vec::new(),
         };
@@ -311,6 +323,7 @@ where
         param: protocol.snapshot_param(),
         live: sim.states().len() as u64,
         interactions: sim.interactions(),
+        seq: 0,
         rng: sim.rng_state(),
         runs,
     }
@@ -339,6 +352,7 @@ where
         param: protocol.snapshot_param(),
         live: config.population(),
         interactions: sim.interactions(),
+        seq: 0,
         rng: sim.rng_state(),
         runs,
     }
@@ -610,6 +624,7 @@ mod tests {
             param: 2,
             live: 2,
             interactions: (1 << 53) - 1,
+            seq: 7,
             rng: [u64::MAX, 1, 0, rng.state()[0]],
             runs: vec![("0".to_string(), 2)],
         };

@@ -1,0 +1,369 @@
+//! A deterministic, seeded TCP chaos proxy for fault-injection testing.
+//!
+//! The proxy sits between a client and the daemon and misbehaves on
+//! purpose: it can delay traffic, reset connections mid-stream, split
+//! writes into byte-dribbles (slowloris), and truncate (partial-write)
+//! what it forwards. Every decision is drawn from a per-connection
+//! [`SmallRng`] derived from the configured seed and the connection
+//! index, so a failing test reproduces byte-for-byte from its seed.
+//!
+//! Two entry points: [`ChaosProxy::start`] binds a listener for the
+//! `ssle chaos` subcommand, and the same in-process handle serves tests
+//! (bind to `127.0.0.1:0`, read the bound address, point a client at it).
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use population::runner::rng_from_seed;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// What mischief the proxy is armed with. All probabilities are per
+/// forwarded chunk; zero disables that fault.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Listen address (`:0` picks a free port).
+    pub listen: String,
+    /// Upstream daemon address to forward to.
+    pub upstream: String,
+    /// Seed all per-connection misbehavior derives from.
+    pub seed: u64,
+    /// Probability a chunk is delayed by `delay_ms` before forwarding.
+    pub delay_prob: f64,
+    /// Delay applied when the delay fault fires.
+    pub delay_ms: u64,
+    /// Probability a connection is reset (both sides torn down) instead
+    /// of forwarding a chunk.
+    pub reset_prob: f64,
+    /// Probability a chunk is truncated to half before forwarding and the
+    /// connection then reset — an acknowledged-lost partial write.
+    pub partial_prob: f64,
+    /// Slowloris mode: forward client→upstream one byte per
+    /// `slowloris_ms` tick instead of whole chunks.
+    pub slowloris: bool,
+    /// Per-byte delay in slowloris mode.
+    pub slowloris_ms: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            listen: "127.0.0.1:0".to_string(),
+            upstream: "127.0.0.1:7700".to_string(),
+            seed: 1,
+            delay_prob: 0.0,
+            delay_ms: 20,
+            reset_prob: 0.0,
+            partial_prob: 0.0,
+            slowloris: false,
+            slowloris_ms: 50,
+        }
+    }
+}
+
+/// Counters the proxy keeps while running.
+#[derive(Debug, Default)]
+pub struct ChaosStats {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Connections torn down by the reset fault.
+    pub resets: AtomicU64,
+    /// Chunks delayed.
+    pub delays: AtomicU64,
+    /// Chunks truncated by the partial-write fault.
+    pub partials: AtomicU64,
+}
+
+/// A running chaos proxy.
+pub struct ChaosProxy {
+    listener: TcpListener,
+    config: ChaosConfig,
+    stats: Arc<ChaosStats>,
+    stop: Arc<AtomicBool>,
+}
+
+impl ChaosProxy {
+    /// Binds the listen address and prepares the proxy (no traffic flows
+    /// until [`ChaosProxy::run`] or [`ChaosProxy::spawn`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn start(config: ChaosConfig) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind(&config.listen)?;
+        listener.set_nonblocking(true)?;
+        Ok(ChaosProxy {
+            listener,
+            config,
+            stats: Arc::new(ChaosStats::default()),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when `:0` was asked).
+    ///
+    /// # Errors
+    ///
+    /// Returns the socket error.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Shared fault counters.
+    pub fn stats(&self) -> Arc<ChaosStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// A handle that makes the accept loop exit.
+    pub fn stop_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Runs the accept loop on this thread until stopped.
+    pub fn run(self) {
+        let mut conn_index = 0u64;
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            match self.listener.accept() {
+                Ok((client, _peer)) => {
+                    self.stats.connections.fetch_add(1, Ordering::SeqCst);
+                    let config = self.config.clone();
+                    let stats = Arc::clone(&self.stats);
+                    // Mix the connection index into the seed so each
+                    // connection draws an independent, reproducible stream.
+                    let seed = config.seed ^ conn_index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                    conn_index += 1;
+                    thread::spawn(move || proxy_connection(client, &config, seed, &stats));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => thread::sleep(Duration::from_millis(5)),
+            }
+        }
+    }
+
+    /// Runs the accept loop on a background thread (the in-process hook
+    /// tests use); stop via [`ChaosProxy::stop_handle`] and join.
+    pub fn spawn(self) -> JoinHandle<()> {
+        thread::spawn(move || self.run())
+    }
+}
+
+/// One RNG draw per fault decision, in a fixed order, so the fault
+/// sequence depends only on (seed, chunk index), not on timing.
+struct FaultDice {
+    rng: SmallRng,
+}
+
+impl FaultDice {
+    fn roll(&mut self, prob: f64) -> bool {
+        // Draw unconditionally so disabling one fault does not shift the
+        // stream of another.
+        let x: f64 = self.rng.gen();
+        prob > 0.0 && x < prob
+    }
+}
+
+fn proxy_connection(client: TcpStream, config: &ChaosConfig, seed: u64, stats: &Arc<ChaosStats>) {
+    let upstream = match TcpStream::connect(&config.upstream) {
+        Ok(s) => s,
+        Err(_) => return, // daemon down: drop the client, a fault in itself
+    };
+    let _ = client.set_nodelay(true);
+    let _ = upstream.set_nodelay(true);
+    // Two pumps: client→upstream draws faults from the connection RNG;
+    // upstream→client from its companion stream (seed ^ 1), so the two
+    // directions stay independent but reproducible.
+    let c2u = pump(
+        client.try_clone(),
+        upstream.try_clone(),
+        config.clone(),
+        FaultDice { rng: rng_from_seed(seed) },
+        Arc::clone(stats),
+        true,
+    );
+    let u2c = pump(
+        Ok(upstream),
+        Ok(client),
+        config.clone(),
+        FaultDice { rng: rng_from_seed(seed ^ 1) },
+        Arc::clone(stats),
+        false,
+    );
+    if let Some(h) = c2u {
+        let _ = h.join();
+    }
+    if let Some(h) = u2c {
+        let _ = h.join();
+    }
+}
+
+fn pump(
+    from: std::io::Result<TcpStream>,
+    to: std::io::Result<TcpStream>,
+    config: ChaosConfig,
+    mut dice: FaultDice,
+    stats: Arc<ChaosStats>,
+    client_to_upstream: bool,
+) -> Option<JoinHandle<()>> {
+    let (mut from, mut to) = match (from, to) {
+        (Ok(f), Ok(t)) => (f, t),
+        _ => return None,
+    };
+    Some(thread::spawn(move || {
+        let mut buf = [0u8; 4096];
+        loop {
+            let read = match from.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => n,
+            };
+            if dice.roll(config.reset_prob) {
+                stats.resets.fetch_add(1, Ordering::SeqCst);
+                let _ = to.shutdown(Shutdown::Both);
+                let _ = from.shutdown(Shutdown::Both);
+                return;
+            }
+            if dice.roll(config.delay_prob) {
+                stats.delays.fetch_add(1, Ordering::SeqCst);
+                thread::sleep(Duration::from_millis(config.delay_ms));
+            }
+            let chunk: &[u8] = if dice.roll(config.partial_prob) && read > 1 {
+                stats.partials.fetch_add(1, Ordering::SeqCst);
+                &buf[..read / 2]
+            } else {
+                &buf[..read]
+            };
+            let truncated = chunk.len() < read;
+            let write_failed = if config.slowloris && client_to_upstream {
+                // Dribble bytes: exercises the server's per-line deadline.
+                let mut failed = false;
+                for byte in chunk {
+                    if to.write_all(std::slice::from_ref(byte)).is_err() || to.flush().is_err() {
+                        failed = true;
+                        break;
+                    }
+                    thread::sleep(Duration::from_millis(config.slowloris_ms));
+                }
+                failed
+            } else {
+                to.write_all(chunk).is_err() || to.flush().is_err()
+            };
+            if write_failed {
+                break;
+            }
+            if truncated {
+                // A partial write only makes sense if the rest never
+                // arrives: reset after forwarding the half chunk.
+                let _ = to.shutdown(Shutdown::Both);
+                let _ = from.shutdown(Shutdown::Both);
+                return;
+            }
+        }
+        let _ = to.shutdown(Shutdown::Both);
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    /// A trivial line-echo upstream for proxy tests.
+    fn echo_upstream() -> (String, Arc<AtomicBool>, JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        listener.set_nonblocking(true).unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = thread::spawn(move || loop {
+            if stop2.load(Ordering::SeqCst) {
+                return;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    thread::spawn(move || {
+                        let mut writer = stream.try_clone().unwrap();
+                        let mut reader = BufReader::new(stream);
+                        let mut line = String::new();
+                        while let Ok(n) = reader.read_line(&mut line) {
+                            if n == 0 {
+                                return;
+                            }
+                            if writer.write_all(line.as_bytes()).is_err() {
+                                return;
+                            }
+                            line.clear();
+                        }
+                    });
+                }
+                Err(_) => thread::sleep(Duration::from_millis(2)),
+            }
+        });
+        (addr, stop, handle)
+    }
+
+    #[test]
+    fn clean_proxy_forwards_both_ways() {
+        let (upstream, stop_echo, echo) = echo_upstream();
+        let proxy = ChaosProxy::start(ChaosConfig { upstream, ..ChaosConfig::default() }).unwrap();
+        let addr = proxy.local_addr().unwrap().to_string();
+        let stop = proxy.stop_handle();
+        let handle = proxy.spawn();
+
+        let stream = TcpStream::connect(&addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        writer.write_all(b"hello through chaos\n").unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line, "hello through chaos\n");
+
+        stop.store(true, Ordering::SeqCst);
+        handle.join().unwrap();
+        stop_echo.store(true, Ordering::SeqCst);
+        echo.join().unwrap();
+    }
+
+    #[test]
+    fn reset_fault_fires_deterministically() {
+        let (upstream, stop_echo, echo) = echo_upstream();
+        let proxy = ChaosProxy::start(ChaosConfig {
+            upstream,
+            seed: 42,
+            reset_prob: 1.0,
+            ..ChaosConfig::default()
+        })
+        .unwrap();
+        let addr = proxy.local_addr().unwrap().to_string();
+        let stats = proxy.stats();
+        let stop = proxy.stop_handle();
+        let handle = proxy.spawn();
+
+        let stream = TcpStream::connect(&addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let _ = writer.write_all(b"doomed\n");
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        // Either the read errors or the connection closes without data.
+        let got = reader.read_line(&mut line).unwrap_or(0);
+        assert_eq!(got, 0, "reset connection delivered {line:?}");
+        // The reset counter catches up once the pump thread runs.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while stats.resets.load(Ordering::SeqCst) == 0 {
+            assert!(std::time::Instant::now() < deadline, "reset never counted");
+            thread::sleep(Duration::from_millis(5));
+        }
+
+        stop.store(true, Ordering::SeqCst);
+        handle.join().unwrap();
+        stop_echo.store(true, Ordering::SeqCst);
+        echo.join().unwrap();
+    }
+}

@@ -1,12 +1,19 @@
-//! Minimal blocking client for the wire protocol.
+//! Blocking clients for the wire protocol: the minimal one-shot helpers
+//! plus [`RetryClient`], the hardened client with per-request deadlines,
+//! jittered exponential backoff, and idempotent request ids so retried
+//! mutations are applied exactly once even through a flaky network.
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
-use std::time::Duration;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 use population::record::JsonScalar;
+use population::runner::rng_from_seed;
+use rand::rngs::SmallRng;
+use rand::Rng;
 
+use crate::journal::valid_request_id;
 use crate::wire::check_response;
 
 /// Sends one request line and reads one response line.
@@ -74,4 +81,249 @@ pub fn session(addr: &str, lines: &[String]) -> std::io::Result<Vec<String>> {
         responses.push(response.trim_end().to_string());
     }
     Ok(responses)
+}
+
+/// Retry/deadline policy for [`RetryClient`].
+#[derive(Debug, Clone)]
+pub struct RetryConfig {
+    /// Overall wall-clock budget for one logical request, retries
+    /// included.
+    pub deadline: Duration,
+    /// First backoff; doubles per retry (before jitter).
+    pub base_backoff: Duration,
+    /// Backoff cap.
+    pub max_backoff: Duration,
+    /// Attempt cap (1 = no retries).
+    pub max_attempts: u32,
+    /// Per-attempt connect timeout.
+    pub connect_timeout: Duration,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            deadline: Duration::from_secs(10),
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(1),
+            max_attempts: 8,
+            connect_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// What one attempt produced, before retry classification.
+enum Attempt {
+    /// Transport-level ok, envelope `ok:true`.
+    Ok(BTreeMap<String, JsonScalar>),
+    /// Server answered `ok:false` — semantic, never retried except
+    /// `busy` (pure backpressure, safe to retry by definition).
+    ServerError(String),
+    /// Connect/read/write failed or the server closed mid-request —
+    /// retried, because with a request id a replay is exactly-once.
+    Transport(String),
+}
+
+/// The hardened client: one fresh connection per attempt, a per-request
+/// deadline across all attempts, jittered exponential backoff between
+/// them, and generated request ids on mutating commands so a retry whose
+/// original was applied (but whose response was lost to a reset) is
+/// absorbed by the server's dedup window instead of applied twice.
+///
+/// Backoff jitter is drawn from a seeded [`SmallRng`], so a given
+/// `(seed, schedule of failures)` retries identically — the chaos tests
+/// are reproducible end to end.
+pub struct RetryClient {
+    addr: String,
+    config: RetryConfig,
+    rng: SmallRng,
+    id_prefix: String,
+    next_id: u64,
+    retries: u64,
+}
+
+impl RetryClient {
+    /// A client for `addr` with default [`RetryConfig`]; `seed` drives
+    /// both backoff jitter and the request-id prefix.
+    pub fn new(addr: &str, seed: u64) -> RetryClient {
+        RetryClient::with_config(addr, seed, RetryConfig::default())
+    }
+
+    /// A client with an explicit retry policy.
+    pub fn with_config(addr: &str, seed: u64, config: RetryConfig) -> RetryClient {
+        RetryClient {
+            addr: addr.to_string(),
+            config,
+            rng: rng_from_seed(seed),
+            id_prefix: format!("c{seed:x}"),
+            next_id: 0,
+            retries: 0,
+        }
+    }
+
+    /// Total retried attempts so far (0 when every request succeeded
+    /// first try).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// The next generated request id (visible for tests/logging).
+    pub fn peek_id(&self) -> String {
+        format!("{}-{}", self.id_prefix, self.next_id)
+    }
+
+    /// Sends a *read* request with retries; the caller guarantees it is
+    /// side-effect free (no id is attached).
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's error message, or the last transport error
+    /// once the deadline/attempt budget is exhausted.
+    pub fn request_map(&mut self, line: &str) -> Result<BTreeMap<String, JsonScalar>, String> {
+        self.drive(line.to_string())
+    }
+
+    /// Sends a *mutating* request: injects a generated `id` field, then
+    /// retries under the same policy — the id makes retries exactly-once.
+    ///
+    /// # Errors
+    ///
+    /// As [`RetryClient::request_map`]; also rejects lines that already
+    /// carry an `id` or are not a flat JSON object.
+    pub fn mutate_map(&mut self, line: &str) -> Result<BTreeMap<String, JsonScalar>, String> {
+        let id = self.peek_id();
+        debug_assert!(valid_request_id(&id));
+        let line = inject_id(line, &id)?;
+        self.next_id += 1;
+        self.drive(line)
+    }
+
+    fn drive(&mut self, line: String) -> Result<BTreeMap<String, JsonScalar>, String> {
+        let start = Instant::now();
+        let mut last_error = String::new();
+        for attempt in 0..self.config.max_attempts {
+            let remaining = match self.config.deadline.checked_sub(start.elapsed()) {
+                Some(r) if !r.is_zero() => r,
+                _ => break,
+            };
+            if attempt > 0 {
+                self.retries += 1;
+            }
+            match self.attempt(&line, remaining) {
+                Attempt::Ok(map) => return Ok(map),
+                Attempt::ServerError(e) if e == "busy" => last_error = e,
+                Attempt::ServerError(e) => return Err(e),
+                Attempt::Transport(e) => last_error = e,
+            }
+            // Jittered exponential backoff, clipped to the remaining
+            // deadline so the last retry still gets socket time.
+            let exp = self
+                .config
+                .base_backoff
+                .saturating_mul(1u32 << attempt.min(16))
+                .min(self.config.max_backoff);
+            let jitter: f64 = self.rng.gen_range(0.5..1.0);
+            let pause = exp.mul_f64(jitter).min(remaining);
+            std::thread::sleep(pause);
+        }
+        Err(format!("request to {} failed after retries: {last_error}", self.addr))
+    }
+
+    fn attempt(&self, line: &str, remaining: Duration) -> Attempt {
+        let transport = |e: std::io::Error| Attempt::Transport(e.to_string());
+        let addr = match self.addr.to_socket_addrs().map(|mut a| a.next()) {
+            Ok(Some(addr)) => addr,
+            Ok(None) => return Attempt::Transport(format!("{} resolves to nothing", self.addr)),
+            Err(e) => return transport(e),
+        };
+        let connect_timeout = self.config.connect_timeout.min(remaining);
+        let stream = match TcpStream::connect_timeout(&addr, connect_timeout) {
+            Ok(s) => s,
+            Err(e) => return transport(e),
+        };
+        let _ = stream.set_nodelay(true);
+        if stream.set_read_timeout(Some(remaining)).is_err()
+            || stream.set_write_timeout(Some(remaining)).is_err()
+        {
+            return Attempt::Transport("socket timeout setup failed".to_string());
+        }
+        let mut writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(e) => return transport(e),
+        };
+        if let Err(e) = writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+        {
+            return transport(e);
+        }
+        let mut reader = BufReader::new(stream);
+        let mut response = String::new();
+        match reader.read_line(&mut response) {
+            Ok(0) => Attempt::Transport("server closed the connection".to_string()),
+            Ok(_) => match check_response(response.trim_end()) {
+                Ok(map) => Attempt::Ok(map),
+                Err(e) => Attempt::ServerError(e),
+            },
+            Err(e) => transport(e),
+        }
+    }
+}
+
+/// Splices `"id":"..."` into a flat JSON object line.
+fn inject_id(line: &str, id: &str) -> Result<String, String> {
+    let trimmed = line.trim_end();
+    if trimmed.contains("\"id\"") {
+        return Err("request line already carries an \"id\"".to_string());
+    }
+    let body =
+        trimmed.strip_suffix('}').ok_or_else(|| "request line is not a JSON object".to_string())?;
+    Ok(format!("{body},\"id\":\"{id}\"}}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inject_id_splices_before_the_brace() {
+        let line = r#"{"cmd":"step","name":"a","interactions":10}"#;
+        assert_eq!(
+            inject_id(line, "c1-0").unwrap(),
+            r#"{"cmd":"step","name":"a","interactions":10,"id":"c1-0"}"#
+        );
+        assert!(inject_id(r#"{"cmd":"step","id":"x"}"#, "y").is_err());
+        assert!(inject_id("not json", "y").is_err());
+    }
+
+    #[test]
+    fn retry_client_generates_monotonic_valid_ids() {
+        let mut c = RetryClient::new("127.0.0.1:1", 42);
+        let first = c.peek_id();
+        assert!(valid_request_id(&first));
+        // Even a failed mutate consumes the id it attached: the server
+        // may have applied it before the response was lost.
+        let _ = c.mutate_map(r#"{"cmd":"ping"}"#);
+        assert_ne!(c.peek_id(), first);
+    }
+
+    #[test]
+    fn deadline_bounds_the_retry_loop() {
+        let mut c = RetryClient::with_config(
+            "127.0.0.1:1", // reserved port: connection refused instantly
+            7,
+            RetryConfig {
+                deadline: Duration::from_millis(200),
+                base_backoff: Duration::from_millis(10),
+                max_backoff: Duration::from_millis(40),
+                max_attempts: 100,
+                connect_timeout: Duration::from_millis(50),
+            },
+        );
+        let start = Instant::now();
+        let err = c.request_map(r#"{"cmd":"ping"}"#).unwrap_err();
+        assert!(err.contains("failed after retries"), "{err}");
+        assert!(start.elapsed() < Duration::from_secs(3), "deadline ignored");
+        assert!(c.retries() > 0);
+    }
 }

@@ -15,23 +15,38 @@
 //!   record module's codec;
 //! * [`pop`] — the managed-population trait object: `ciw`/`oss` on
 //!   `agents`/`counts`, with per-population timelines and engine metrics;
-//! * [`registry`] — the named-population map plus the snapshot lifecycle
-//!   (`snapshot` requests, snapshot-all on shutdown, restore-on-boot);
-//! * [`server`] — nonblocking accept loop, request dispatch, SIGINT →
+//! * [`journal`] — the per-population append-only write-ahead journal
+//!   (configurable fsync policy, torn-tail-tolerant parsing, bounded
+//!   request-id dedup window);
+//! * [`registry`] — the named-population map plus the durability and
+//!   self-healing layer: journal-then-apply writes, auto-snapshot with
+//!   journal rotation, restore-on-boot (snapshot + journal tail), and
+//!   quarantine-and-heal for poisoned populations;
+//! * [`server`] — nonblocking accept loop, request dispatch with bounded
+//!   request lines and per-line read deadlines, SIGINT/SIGTERM →
 //!   graceful shutdown;
-//! * [`client`] — the blocking client the `ssle client` subcommand and
-//!   the throughput bench use.
+//! * [`client`] — the blocking client plus [`client::RetryClient`]: per-
+//!   request deadlines, jittered exponential backoff, idempotent request
+//!   ids for exactly-once retried mutations;
+//! * [`chaos`] — a deterministic seeded fault-injecting TCP proxy
+//!   (delays, resets, partial writes, slowloris) for crash/partition
+//!   drills against a live daemon.
 
+pub mod chaos;
 pub mod client;
+pub mod journal;
 pub mod pool;
 pub mod pop;
 pub mod registry;
 pub mod server;
 pub mod wire;
 
+pub use chaos::{ChaosConfig, ChaosProxy, ChaosStats};
+pub use client::RetryClient;
+pub use journal::{DedupWindow, FsyncPolicy, JournalDoc, Op, Wal};
 pub use pool::{PoolError, ThreadPool};
 pub use pop::{Checkpoint, EventKind, LeaderReport, Managed, RanksReport, Status, StepReport};
-pub use registry::Registry;
+pub use registry::{Applied, ApplyOutcome, Durability, HealthRow, PopCell, Registry};
 pub use server::{
     handle_line, install_sigint_handler, sigint_received, ServeConfig, ServeSummary, Server,
 };

@@ -14,7 +14,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle};
 
 /// A queued unit of work.
@@ -51,6 +51,15 @@ struct PoolInner {
     panics: AtomicU64,
 }
 
+/// Locks the pool state, recovering from poison: every critical section
+/// here is a queue push/pop or a flag flip that either completes or never
+/// starts, so a poisoned lock carries consistent state and refusing to
+/// serve (the old `unwrap` panic cascade) would wedge the whole daemon
+/// over one unwound worker.
+fn lock_state(inner: &PoolInner) -> MutexGuard<'_, PoolState> {
+    inner.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// The bounded worker pool.
 #[derive(Clone)]
 pub struct ThreadPool {
@@ -78,7 +87,7 @@ impl ThreadPool {
             panics: AtomicU64::new(0),
         });
         {
-            let mut state = inner.state.lock().unwrap();
+            let mut state = lock_state(&inner);
             for _ in 0..workers {
                 let handle = spawn_worker(&inner);
                 state.handles.push(handle);
@@ -97,7 +106,7 @@ impl ThreadPool {
     where
         F: FnOnce() + Send + 'static,
     {
-        let mut state = self.inner.state.lock().unwrap();
+        let mut state = lock_state(&self.inner);
         if state.stop {
             return Err(PoolError::ShuttingDown);
         }
@@ -118,14 +127,14 @@ impl ThreadPool {
 
     /// Jobs waiting in the queue right now.
     pub fn queued(&self) -> usize {
-        self.inner.state.lock().unwrap().jobs.len()
+        lock_state(&self.inner).jobs.len()
     }
 
     /// Drains the queue, stops the workers, and joins them. Jobs already
     /// queued still run; new submissions are refused.
     pub fn shutdown(&self) {
         {
-            let mut state = self.inner.state.lock().unwrap();
+            let mut state = lock_state(&self.inner);
             state.stop = true;
         }
         self.inner.jobs_ready.notify_all();
@@ -133,7 +142,7 @@ impl ThreadPool {
         // repeatedly until the list stays empty.
         loop {
             let handle = {
-                let mut state = self.inner.state.lock().unwrap();
+                let mut state = lock_state(&self.inner);
                 state.handles.pop()
             };
             match handle {
@@ -159,7 +168,7 @@ impl Drop for RespawnGuard {
             return;
         }
         self.inner.panics.fetch_add(1, Ordering::SeqCst);
-        let mut state = self.inner.state.lock().unwrap();
+        let mut state = lock_state(&self.inner);
         if !state.stop {
             let handle = spawn_worker(&self.inner);
             state.handles.push(handle);
@@ -173,7 +182,7 @@ fn spawn_worker(inner: &Arc<PoolInner>) -> JoinHandle<()> {
         let _guard = RespawnGuard { inner: Arc::clone(&inner) };
         loop {
             let job = {
-                let mut state = inner.state.lock().unwrap();
+                let mut state = lock_state(&inner);
                 loop {
                     if let Some(job) = state.jobs.pop_front() {
                         break job;
@@ -181,7 +190,7 @@ fn spawn_worker(inner: &Arc<PoolInner>) -> JoinHandle<()> {
                     if state.stop {
                         return;
                     }
-                    state = inner.jobs_ready.wait(state).unwrap();
+                    state = inner.jobs_ready.wait(state).unwrap_or_else(PoisonError::into_inner);
                 }
             };
             job();
@@ -263,6 +272,27 @@ mod tests {
         }
         assert_eq!(done_rx.recv_timeout(Duration::from_secs(5)), Ok(7));
         assert_eq!(pool.panics(), 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn poisoned_state_lock_still_serves() {
+        let pool = ThreadPool::new(2, 8);
+        // Poison the state mutex directly: panic while holding it.
+        let inner = Arc::clone(&pool.inner);
+        let _ = thread::spawn(move || {
+            let _state = inner.state.lock().unwrap();
+            panic!("poison the pool state");
+        })
+        .join();
+        assert!(pool.inner.state.is_poisoned());
+        // The pool must keep accepting and running jobs regardless.
+        let (done_tx, done_rx) = mpsc::channel::<u32>();
+        pool.try_execute(move || {
+            done_tx.send(11).unwrap();
+        })
+        .unwrap();
+        assert_eq!(done_rx.recv_timeout(Duration::from_secs(5)), Ok(11));
         pool.shutdown();
     }
 

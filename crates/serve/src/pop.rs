@@ -153,6 +153,11 @@ pub trait Managed: Send {
     fn step(&mut self, interactions: u64) -> StepReport;
     /// Injects one membership event; returns agents touched after clamps.
     fn inject(&mut self, kind: EventKind, k: usize) -> usize;
+    /// Pins the injected-event random stream (victim and adversarial-state
+    /// selection) to `seed`. The stream is driver state the snapshot does
+    /// not capture; the journal layer reseeds it from the command sequence
+    /// number before every injection so replay is exact.
+    fn reseed_events(&mut self, seed: u64);
     /// Rebinds the membership schedule (`churn-plan`).
     fn set_churn(&mut self, plan: &ChurnPlan);
     /// Full queryable state.
@@ -295,6 +300,10 @@ where
         };
         self.record_checkpoint();
         applied
+    }
+
+    fn reseed_events(&mut self, seed: u64) {
+        self.driver.reseed_event_stream(seed);
     }
 
     fn set_churn(&mut self, plan: &ChurnPlan) {

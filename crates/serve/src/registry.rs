@@ -1,35 +1,129 @@
-//! The named-population registry the daemon multiplexes over.
+//! The named-population registry the daemon multiplexes over — now the
+//! durability and self-healing layer as well.
 //!
 //! Locking is two-level so a long `step` on one population never blocks
 //! requests against another: the registry lock is held only long enough to
 //! clone a population's `Arc`, then per-population mutexes serialize the
-//! actual work.
+//! actual work. Every lock acquisition is poison-recovering: a handler
+//! panic mid-mutation quarantines the population — when a state directory
+//! is configured it is restarted from snapshot + journal (losing nothing
+//! acknowledged as durable), otherwise the possibly half-mutated state is
+//! kept as-is and the self-stabilizing protocol absorbs it like any other
+//! adversarial configuration.
 //!
-//! When a snapshot directory is configured, `snapshot` requests write
-//! `<dir>/<name>.snapshot.jsonl`, shutdown snapshots every population, and
-//! boot restores every `*.snapshot.jsonl` found in the directory.
+//! When a state directory is configured, every mutating command is
+//! appended to the population's write-ahead journal *before* it is
+//! applied, snapshots record the journal sequence they cover, and the
+//! journal is truncated (rotated) against each snapshot. Boot-time
+//! recovery replays the journal tail on top of the last snapshot and then
+//! re-snapshots, so any crash state normalizes to a clean
+//! snapshot-plus-empty-journal pair.
 
 use std::collections::HashMap;
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
+use population::dynamics::ChurnPlan;
 use population::snapshot::SnapshotDoc;
 
-use crate::pop::{self, Managed};
+use crate::journal::{
+    valid_request_id, DedupWindow, FsyncPolicy, Header, JournalDoc, Op, Wal, JOURNAL_SUFFIX,
+};
+use crate::pop::{self, EventKind, Managed, Status, StepReport};
 
 /// Suffix of every snapshot file the registry reads and writes.
 pub const SNAPSHOT_SUFFIX: &str = ".snapshot.jsonl";
 
-/// One population slot, individually lockable.
-pub type Slot = Arc<Mutex<Box<dyn Managed>>>;
+/// How the durable path behaves; only meaningful with a state directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Durability {
+    /// When journal appends are forced to disk.
+    pub fsync: FsyncPolicy,
+    /// Auto-snapshot (and truncate the journal) after this many journaled
+    /// commands since the last snapshot.
+    pub autosnap_every: u64,
+}
 
-/// The daemon's shared state: named populations plus the snapshot
-/// directory.
+impl Default for Durability {
+    fn default() -> Self {
+        Durability { fsync: FsyncPolicy::Always, autosnap_every: 256 }
+    }
+}
+
+/// One population plus its durability state, individually lockable.
+pub struct PopCell {
+    /// The live population.
+    pub pop: Box<dyn Managed>,
+    /// The append handle for the population's journal (durable mode only).
+    pub wal: Option<Wal>,
+    /// Recently acknowledged request ids, for exactly-once retries.
+    pub dedup: DedupWindow,
+    /// The creation seed — carried in the journal header across restarts
+    /// (the population snapshot does not store it) because injected-event
+    /// randomness is derived from `(seed, seq)` on every apply and replay.
+    pub seed: u64,
+    /// Sequence number of the last applied mutating command.
+    pub seq: u64,
+    /// Sequence number covered by the last written snapshot.
+    pub snapshot_seq: u64,
+    /// The active churn-plan binding `(spec, seed)` — driver state the
+    /// population snapshot cannot capture, carried in the journal header
+    /// across rotations instead.
+    pub churn: Option<(String, u64)>,
+}
+
+/// One population slot.
+pub type Slot = Arc<Mutex<PopCell>>;
+
+/// What a mutating command did (beyond the common status payload).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Applied {
+    /// A `step`: the driver's report.
+    Step(StepReport),
+    /// A membership event: agents touched after clamps.
+    Event(usize),
+    /// A `churn-plan` rebind.
+    Churn,
+}
+
+/// The result of [`Registry::apply`] / [`Registry::create`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApplyOutcome {
+    /// What the command did; `None` when it was a deduplicated retry.
+    pub applied: Option<Applied>,
+    /// Status after the command (or as-is for a deduplicated retry).
+    pub status: Status,
+    /// Whether the request id was already acknowledged (retry absorbed).
+    pub replayed: bool,
+    /// Journal sequence number of the command (last applied seq for a
+    /// deduplicated retry; 0 without durability).
+    pub seq: u64,
+}
+
+/// One row of the `health` report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthRow {
+    /// Population name.
+    pub name: String,
+    /// Full status at report time.
+    pub status: Status,
+    /// Last applied journal sequence number.
+    pub seq: u64,
+    /// Sequence covered by the last snapshot.
+    pub snapshot_seq: u64,
+    /// Active fsync policy; `None` when the daemon runs stateless.
+    pub fsync: Option<FsyncPolicy>,
+}
+
+/// The daemon's shared state: named populations plus the durability layer.
 pub struct Registry {
     pops: Mutex<HashMap<String, Slot>>,
-    snapshot_dir: Option<PathBuf>,
+    state_dir: Option<PathBuf>,
+    durability: Durability,
+    quarantines: AtomicU64,
 }
 
 fn valid_name(name: &str) -> Result<(), String> {
@@ -42,18 +136,61 @@ fn valid_name(name: &str) -> Result<(), String> {
     Ok(())
 }
 
+fn checked_id(id: Option<&str>) -> Result<Option<&str>, String> {
+    match id {
+        None => Ok(None),
+        Some(id) if valid_request_id(id) => Ok(Some(id)),
+        Some(id) => Err(format!("request id {id:?} must be 1–128 chars of [A-Za-z0-9._-]")),
+    }
+}
+
 impl Registry {
-    /// An empty registry. `snapshot_dir` enables the snapshot lifecycle;
-    /// without it, `snapshot` requests are refused.
-    pub fn new(snapshot_dir: Option<PathBuf>) -> Self {
-        Registry { pops: Mutex::new(HashMap::new()), snapshot_dir }
+    /// An empty registry with default [`Durability`]. `state_dir` enables
+    /// the snapshot + journal lifecycle; without it the daemon runs
+    /// stateless and `snapshot` requests are refused.
+    pub fn new(state_dir: Option<PathBuf>) -> Self {
+        Registry::with_durability(state_dir, Durability::default())
     }
 
-    /// Creates and registers a population.
+    /// An empty registry with an explicit fsync/auto-snapshot policy.
+    pub fn with_durability(state_dir: Option<PathBuf>, durability: Durability) -> Self {
+        Registry {
+            pops: Mutex::new(HashMap::new()),
+            state_dir,
+            durability,
+            quarantines: AtomicU64::new(0),
+        }
+    }
+
+    /// How often a poisoned population has been quarantined and healed.
+    pub fn quarantines(&self) -> u64 {
+        self.quarantines.load(Ordering::SeqCst)
+    }
+
+    /// The active durability policy.
+    pub fn durability(&self) -> Durability {
+        self.durability
+    }
+
+    /// Whether a state directory is configured.
+    pub fn durable(&self) -> bool {
+        self.state_dir.is_some()
+    }
+
+    fn map(&self) -> MutexGuard<'_, HashMap<String, Slot>> {
+        // The map is only ever inserted into / removed from under the
+        // lock; a panic can not leave it mid-mutation, so poisoning is
+        // recoverable by construction.
+        self.pops.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Creates, registers, and (in durable mode) journals a population.
+    /// A duplicate name with a request id already in the existing
+    /// population's dedup window is an absorbed retry, not an error.
     ///
     /// # Errors
     ///
-    /// Returns a message for invalid names, duplicate names, or
+    /// Returns a message for invalid names/ids, duplicate names, or
     /// [`pop::create`] failures.
     pub fn create(
         &self,
@@ -62,116 +199,450 @@ impl Registry {
         backend: &str,
         n: u64,
         seed: u64,
-    ) -> Result<Slot, String> {
+        id: Option<&str>,
+    ) -> Result<ApplyOutcome, String> {
         valid_name(name)?;
+        let id = checked_id(id)?;
         let managed = pop::create(protocol, backend, n, seed)?;
-        let mut pops = self.pops.lock().unwrap();
-        if pops.contains_key(name) {
+        let mut pops = self.map();
+        if let Some(existing) = pops.get(name) {
+            if let Some(id) = id {
+                let cell = lock_slot(existing);
+                if cell.dedup.contains(id) {
+                    return Ok(ApplyOutcome {
+                        applied: None,
+                        status: cell.pop.status(),
+                        replayed: true,
+                        seq: cell.seq,
+                    });
+                }
+            }
             return Err(format!("population {name:?} already exists"));
         }
-        let slot: Slot = Arc::new(Mutex::new(managed));
-        pops.insert(name.to_string(), Arc::clone(&slot));
-        Ok(slot)
+        let mut dedup = DedupWindow::new();
+        if let Some(id) = id {
+            dedup.insert(id);
+        }
+        let wal = match &self.state_dir {
+            Some(dir) => {
+                let header = Header {
+                    name: name.to_string(),
+                    protocol: protocol.to_string(),
+                    backend: backend.to_string(),
+                    n,
+                    seed,
+                    base_seq: 0,
+                    ids: dedup.ids(),
+                    churn: None,
+                };
+                Some(Wal::create(&journal_path(dir, name), &header, self.durability.fsync)?)
+            }
+            None => None,
+        };
+        let status = managed.status();
+        let cell = PopCell { pop: managed, wal, dedup, seed, seq: 0, snapshot_seq: 0, churn: None };
+        pops.insert(name.to_string(), Arc::new(Mutex::new(cell)));
+        Ok(ApplyOutcome { applied: None, status, replayed: false, seq: 0 })
     }
 
     /// Looks up a population by name.
     pub fn get(&self, name: &str) -> Option<Slot> {
-        self.pops.lock().unwrap().get(name).cloned()
+        self.map().get(name).cloned()
+    }
+
+    /// Runs `f` against the named population's locked cell, quarantining
+    /// and healing a poisoned lock first (`lock_healing` semantics).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the population does not exist.
+    pub fn with_cell<R>(&self, name: &str, f: impl FnOnce(&mut PopCell) -> R) -> Result<R, String> {
+        let slot = self.get(name).ok_or_else(|| format!("no population {name:?}"))?;
+        let mut cell = self.lock_healing(name, &slot);
+        Ok(f(&mut cell))
+    }
+
+    /// Locks a slot, quarantining and healing it when poisoned: with a
+    /// state directory the cell is rebuilt from snapshot + journal
+    /// (nothing durable is lost); without one the possibly half-mutated
+    /// in-memory state is kept — the protocol is self-stabilizing, so a
+    /// torn mutation is just another adversarial configuration it
+    /// recovers from.
+    fn lock_healing<'a>(&self, name: &str, slot: &'a Slot) -> MutexGuard<'a, PopCell> {
+        match slot.lock() {
+            Ok(cell) => cell,
+            Err(poisoned) => {
+                let mut cell = poisoned.into_inner();
+                self.quarantines.fetch_add(1, Ordering::SeqCst);
+                if let Some(dir) = &self.state_dir {
+                    if let Ok(healed) = self.recover_cell(name, dir) {
+                        *cell = healed;
+                    }
+                    // An unrecoverable disk state falls back to the
+                    // in-memory cell, same as the stateless path.
+                }
+                slot.clear_poison();
+                cell
+            }
+        }
+    }
+
+    /// Journals (durable mode) and applies one mutating command, with
+    /// request-id deduplication and auto-snapshotting.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for missing populations, invalid ids/specs, or
+    /// journal I/O failures (the command is then *not* applied).
+    pub fn apply(&self, name: &str, op: Op, id: Option<&str>) -> Result<ApplyOutcome, String> {
+        let id = checked_id(id)?;
+        let slot = self.get(name).ok_or_else(|| format!("no population {name:?}"))?;
+        let mut cell = self.lock_healing(name, &slot);
+        if let Some(id) = id {
+            if cell.dedup.contains(id) {
+                return Ok(ApplyOutcome {
+                    applied: None,
+                    status: cell.pop.status(),
+                    replayed: true,
+                    seq: cell.seq,
+                });
+            }
+        }
+        // Validate before journaling so the journal never holds a command
+        // replay would refuse.
+        if let Op::Churn(spec, seed) = &op {
+            ChurnPlan::parse(spec, *seed)?;
+        }
+        // Write-ahead: the command is durable (per policy) before its
+        // effects exist, so a crash between the two replays it.
+        let seq = match cell.wal.as_mut() {
+            Some(wal) => wal.append(op.clone(), id)?,
+            None => cell.seq + 1,
+        };
+        cell.seq = seq;
+        let eseed = event_seed(cell.seed, seq);
+        let applied = apply_op(&mut cell.pop, &op, eseed)?;
+        if let Op::Churn(spec, cseed) = &op {
+            cell.churn = Some((spec.clone(), *cseed));
+        }
+        if let Some(id) = id {
+            cell.dedup.insert(id);
+        }
+        let status = cell.pop.status();
+        if self.state_dir.is_some() && seq - cell.snapshot_seq >= self.durability.autosnap_every {
+            // Auto-snapshot failures must not fail the command that
+            // triggered them; the journal still covers everything.
+            let _ = self.snapshot_locked(name, &mut cell);
+        }
+        Ok(ApplyOutcome { applied: Some(applied), status, replayed: false, seq })
     }
 
     /// All population names, sorted.
     pub fn list(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.pops.lock().unwrap().keys().cloned().collect();
+        let mut names: Vec<String> = self.map().keys().cloned().collect();
         names.sort();
         names
     }
 
-    /// Unregisters a population; returns whether it existed.
+    /// Unregisters a population and removes its on-disk state; returns
+    /// whether it existed.
     pub fn delete(&self, name: &str) -> bool {
-        self.pops.lock().unwrap().remove(name).is_some()
+        let existed = self.map().remove(name).is_some();
+        if existed {
+            if let Some(dir) = &self.state_dir {
+                let _ = fs::remove_file(snapshot_path(dir, name));
+                let _ = fs::remove_file(journal_path(dir, name));
+            }
+        }
+        existed
     }
 
-    /// Serializes one population to `<dir>/<name>.snapshot.jsonl`.
+    /// Serializes one population to `<dir>/<name>.snapshot.jsonl` and
+    /// rotates its journal against the new snapshot.
     ///
     /// # Errors
     ///
-    /// Returns a message when no snapshot directory is configured, the
+    /// Returns a message when no state directory is configured, the
     /// population does not exist, or the write fails.
     pub fn snapshot(&self, name: &str) -> Result<PathBuf, String> {
-        let dir = self
-            .snapshot_dir
-            .as_ref()
-            .ok_or_else(|| "no snapshot directory configured (--snapshot-dir)".to_string())?;
         let slot = self.get(name).ok_or_else(|| format!("no population {name:?}"))?;
-        let doc = slot.lock().unwrap().snapshot_jsonl();
-        write_snapshot(dir, name, &doc)
+        let mut cell = self.lock_healing(name, &slot);
+        self.snapshot_locked(name, &mut cell)
+    }
+
+    fn snapshot_locked(&self, name: &str, cell: &mut PopCell) -> Result<PathBuf, String> {
+        let dir = self
+            .state_dir
+            .as_ref()
+            .ok_or_else(|| "no state directory configured (--snapshot-dir)".to_string())?;
+        // Flush any unsynced journal tail first: the snapshot must never
+        // be *ahead* of the durable journal.
+        if let Some(wal) = cell.wal.as_mut() {
+            wal.sync()?;
+        }
+        let mut doc =
+            SnapshotDoc::from_jsonl(&cell.pop.snapshot_jsonl()).map_err(|e| e.to_string())?;
+        doc.seq = cell.seq;
+        let path = write_snapshot(dir, name, &doc.to_jsonl())?;
+        cell.snapshot_seq = cell.seq;
+        if let Some(wal) = cell.wal.as_mut() {
+            let status = cell.pop.status();
+            wal.rotate(&Header {
+                name: name.to_string(),
+                protocol: status.protocol.to_string(),
+                backend: status.backend.to_string(),
+                n: status.n0 as u64,
+                // The cell's creation seed, not `status.seed`: a restored
+                // population reports seed 0, and losing the real seed
+                // would desynchronize injected-event replay.
+                seed: cell.seed,
+                base_seq: cell.seq,
+                ids: cell.dedup.ids(),
+                churn: cell.churn.clone(),
+            })?;
+        }
+        Ok(path)
     }
 
     /// Serializes every population; returns `(name, outcome)` pairs.
-    /// Without a snapshot directory this is a no-op returning the empty
+    /// Without a state directory this is a no-op returning the empty
     /// list (a daemon without persistence shuts down stateless).
     pub fn snapshot_all(&self) -> Vec<(String, Result<PathBuf, String>)> {
-        let Some(dir) = self.snapshot_dir.as_ref() else {
+        if self.state_dir.is_none() {
             return Vec::new();
-        };
+        }
         let mut results = Vec::new();
         for name in self.list() {
             let Some(slot) = self.get(&name) else { continue };
-            let doc = slot.lock().unwrap().snapshot_jsonl();
-            results.push((name.clone(), write_snapshot(dir, &name, &doc)));
+            let mut cell = self.lock_healing(&name, &slot);
+            results.push((name.clone(), self.snapshot_locked(&name, &mut cell)));
         }
         results
     }
 
-    /// Restores every `*.snapshot.jsonl` in the snapshot directory;
-    /// returns `(name, outcome)` pairs. Populations that fail to parse are
-    /// reported, not fatal — a corrupt snapshot must not brick the daemon.
+    /// Restores every population with on-disk state (a snapshot, a
+    /// journal, or both) in the state directory; returns `(name,
+    /// outcome)` pairs. Corrupt state is reported and skipped, never
+    /// fatal — one bad file must not brick the daemon.
     pub fn restore_all(&self) -> Vec<(String, Result<(), String>)> {
-        let Some(dir) = self.snapshot_dir.as_ref() else {
+        let Some(dir) = self.state_dir.clone() else {
             return Vec::new();
         };
-        let mut results = Vec::new();
-        let entries = match fs::read_dir(dir) {
+        let mut names: Vec<String> = Vec::new();
+        let entries = match fs::read_dir(&dir) {
             Ok(entries) => entries,
-            Err(_) => return results, // directory not created yet
+            Err(_) => return Vec::new(), // directory not created yet
         };
-        let mut files: Vec<PathBuf> = entries
-            .filter_map(|e| e.ok())
-            .map(|e| e.path())
-            .filter(|p| {
-                p.file_name().and_then(|f| f.to_str()).is_some_and(|f| f.ends_with(SNAPSHOT_SUFFIX))
-            })
-            .collect();
-        files.sort();
-        for path in files {
-            let name = path
-                .file_name()
-                .and_then(|f| f.to_str())
-                .and_then(|f| f.strip_suffix(SNAPSHOT_SUFFIX))
-                .unwrap_or_default()
-                .to_string();
-            results.push((name.clone(), self.restore_one(&name, &path)));
+        for entry in entries.filter_map(|e| e.ok()) {
+            let path = entry.path();
+            let Some(file) = path.file_name().and_then(|f| f.to_str()) else { continue };
+            let name =
+                file.strip_suffix(SNAPSHOT_SUFFIX).or_else(|| file.strip_suffix(JOURNAL_SUFFIX));
+            if let Some(name) = name {
+                if !names.iter().any(|n| n == name) {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        names.sort();
+        let mut results = Vec::new();
+        for name in names {
+            results.push((name.clone(), self.restore_one(&name, &dir)));
         }
         results
     }
 
-    fn restore_one(&self, name: &str, path: &Path) -> Result<(), String> {
+    fn restore_one(&self, name: &str, dir: &Path) -> Result<(), String> {
         valid_name(name)?;
-        let text = fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
-        let doc = SnapshotDoc::from_jsonl(&text).map_err(|e| e.to_string())?;
-        let managed = pop::restore(&doc)?;
-        let mut pops = self.pops.lock().unwrap();
-        if pops.contains_key(name) {
+        if self.map().contains_key(name) {
             return Err(format!("population {name:?} already exists"));
         }
-        pops.insert(name.to_string(), Arc::new(Mutex::new(managed)));
+        let cell = self.recover_cell(name, dir)?;
+        self.map().insert(name.to_string(), Arc::new(Mutex::new(cell)));
         Ok(())
     }
+
+    /// Rebuilds one population from its on-disk state: restore the
+    /// snapshot (or recreate from the journal header when no snapshot
+    /// covers seq 0), replay the journal tail, then normalize by writing
+    /// a fresh snapshot and rotating the journal — so every crash state
+    /// converges to a clean snapshot-plus-empty-journal pair.
+    fn recover_cell(&self, name: &str, dir: &Path) -> Result<PopCell, String> {
+        let journal = match fs::read_to_string(journal_path(dir, name)) {
+            Ok(text) => Some(JournalDoc::parse(&text).map_err(|e| format!("journal: {e}"))),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(format!("journal: read: {e}")),
+        };
+        let snapshot = match fs::read_to_string(snapshot_path(dir, name)) {
+            Ok(text) => Some(SnapshotDoc::from_jsonl(&text).map_err(|e| format!("snapshot: {e}"))),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(format!("snapshot: read: {e}")),
+        };
+        let (mut pop, mut seq, mut dedup) = match (&snapshot, &journal) {
+            (Some(Ok(doc)), _) => (pop::restore(doc)?, doc.seq, DedupWindow::new()),
+            // No usable snapshot: only a journal from seq 0 carries the
+            // full history.
+            (_, Some(Ok(j))) if j.header.base_seq == 0 => (
+                pop::create(&j.header.protocol, &j.header.backend, j.header.n, j.header.seed)?,
+                0,
+                DedupWindow::new(),
+            ),
+            (Some(Err(e)), _) => return Err(e.clone()),
+            (None, Some(Ok(j))) => {
+                return Err(format!(
+                    "journal starts at seq {} but no snapshot covers it",
+                    j.header.base_seq
+                ))
+            }
+            (None, Some(Err(e))) => return Err(e.clone()),
+            (None, None) => return Err("no on-disk state".to_string()),
+        };
+        let mut churn: Option<(String, u64)> = None;
+        // The creation seed travels in the journal header — the snapshot
+        // does not store it. A snapshot-only recovery (journal deleted by
+        // hand) has no seed to recover; future injections then draw from
+        // a zero-based stream, which the protocol absorbs like any other
+        // adversarial input, but replay determinism is kept only when the
+        // journal survives.
+        let mut seed = 0;
+        if let Some(Ok(j)) = &journal {
+            seed = j.header.seed;
+            if j.header.base_seq > seq {
+                return Err(format!(
+                    "journal starts at seq {} but the snapshot only covers seq {seq}",
+                    j.header.base_seq
+                ));
+            }
+            dedup = DedupWindow::from_ids(j.header.ids.iter().cloned());
+            // Churn bindings live in the driver, which the snapshot does
+            // not capture: rebind the header-carried plan before any
+            // replay (the schedule restarts its random stream).
+            if let Some((spec, cseed)) = &j.header.churn {
+                pop.set_churn(&ChurnPlan::parse(spec, *cseed)?);
+                churn = j.header.churn.clone();
+            }
+            for entry in &j.entries {
+                let replay = entry.seq > seq;
+                if let Op::Churn(spec, cseed) = &entry.op {
+                    // Rebind even when the snapshot already covers this
+                    // entry — the binding itself is not in the snapshot.
+                    pop.set_churn(
+                        &ChurnPlan::parse(spec, *cseed)
+                            .map_err(|e| format!("journal replay seq {}: {e}", entry.seq))?,
+                    );
+                    churn = Some((spec.clone(), *cseed));
+                } else if replay {
+                    apply_op(&mut pop, &entry.op, event_seed(seed, entry.seq))
+                        .map_err(|e| format!("journal replay seq {}: {e}", entry.seq))?;
+                }
+                if replay {
+                    seq = entry.seq;
+                }
+                if let Some(id) = &entry.id {
+                    dedup.insert(id);
+                }
+            }
+        }
+        let mut cell = PopCell { pop, wal: None, dedup, seed, seq, snapshot_seq: 0, churn };
+        // Normalize: fresh snapshot at the recovered seq, fresh journal
+        // rotated against it. Written snapshot-first, so a crash inside
+        // recovery itself just recovers again.
+        let mut doc =
+            SnapshotDoc::from_jsonl(&cell.pop.snapshot_jsonl()).map_err(|e| e.to_string())?;
+        doc.seq = seq;
+        write_snapshot(dir, name, &doc.to_jsonl())?;
+        cell.snapshot_seq = seq;
+        let status = cell.pop.status();
+        cell.wal = Some(Wal::create(
+            &journal_path(dir, name),
+            &Header {
+                name: name.to_string(),
+                protocol: status.protocol.to_string(),
+                backend: status.backend.to_string(),
+                n: status.n0 as u64,
+                seed: cell.seed,
+                base_seq: seq,
+                ids: cell.dedup.ids(),
+                churn: cell.churn.clone(),
+            },
+            self.durability.fsync,
+        )?);
+        Ok(cell)
+    }
+
+    /// One liveness/journal-lag row per population, sorted by name.
+    pub fn health(&self) -> Vec<HealthRow> {
+        let mut rows = Vec::new();
+        for name in self.list() {
+            let row = self.with_cell(&name, |cell| HealthRow {
+                name: name.clone(),
+                status: cell.pop.status(),
+                seq: cell.seq,
+                snapshot_seq: cell.snapshot_seq,
+                fsync: cell.wal.as_ref().map(|w| w.policy()),
+            });
+            if let Ok(row) = row {
+                rows.push(row);
+            }
+        }
+        rows
+    }
+}
+
+/// Locks a slot without healing (registry-internal paths that already
+/// hold the map lock); poisoned state is adopted as-is.
+fn lock_slot(slot: &Slot) -> MutexGuard<'_, PopCell> {
+    match slot.lock() {
+        Ok(cell) => cell,
+        Err(poisoned) => {
+            slot.clear_poison();
+            poisoned.into_inner()
+        }
+    }
+}
+
+/// Applies one journaled command to a population. Only `churn` can fail,
+/// and only on a spec the write path should have validated.
+///
+/// Injections pin the driver's event stream to `eseed` first, so victim
+/// and adversarial-state selection depend only on `(creation seed, seq)`
+/// — boot-time replay of the same entry lands on the same agents even
+/// though the snapshot carries no driver RNG state.
+fn apply_op(pop: &mut Box<dyn Managed>, op: &Op, eseed: u64) -> Result<Applied, String> {
+    if matches!(op, Op::Join(_) | Op::Leave(_) | Op::Corrupt(_)) {
+        pop.reseed_events(eseed);
+    }
+    Ok(match op {
+        Op::Step(k) => Applied::Step(pop.step(*k)),
+        Op::Join(k) => Applied::Event(pop.inject(EventKind::Join, *k as usize)),
+        Op::Leave(k) => Applied::Event(pop.inject(EventKind::Leave, *k as usize)),
+        Op::Corrupt(k) => Applied::Event(pop.inject(EventKind::Corrupt, *k as usize)),
+        Op::Churn(spec, seed) => {
+            pop.set_churn(&ChurnPlan::parse(spec, *seed)?);
+            Applied::Churn
+        }
+    })
+}
+
+/// The per-injection event-stream seed: a [`SplitMix64`]-style mix of the
+/// population's creation seed and the command's journal sequence number.
+///
+/// [`SplitMix64`]: https://prng.di.unimi.it/splitmix64.c
+fn event_seed(seed: u64, seq: u64) -> u64 {
+    seed ^ seq.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+fn snapshot_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}{SNAPSHOT_SUFFIX}"))
+}
+
+fn journal_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}{JOURNAL_SUFFIX}"))
 }
 
 fn write_snapshot(dir: &Path, name: &str, doc: &str) -> Result<PathBuf, String> {
     fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
-    let path = dir.join(format!("{name}{SNAPSHOT_SUFFIX}"));
+    let path = snapshot_path(dir, name);
     // Write-then-rename so a crash mid-write never leaves a truncated
     // snapshot under the restorable name.
     let tmp = dir.join(format!("{name}{SNAPSHOT_SUFFIX}.tmp"));
@@ -198,10 +669,14 @@ mod tests {
     #[test]
     fn create_list_delete_round_trip() {
         let reg = Registry::new(None);
-        reg.create("a", "ciw", "agents", 8, 1).unwrap();
-        reg.create("b", "oss", "counts", 8, 2).unwrap();
+        reg.create("a", "ciw", "agents", 8, 1, None).unwrap();
+        reg.create("b", "oss", "counts", 8, 2, None).unwrap();
         assert_eq!(reg.list(), vec!["a".to_string(), "b".to_string()]);
-        assert!(reg.create("a", "ciw", "agents", 8, 1).err().unwrap().contains("already exists"));
+        assert!(reg
+            .create("a", "ciw", "agents", 8, 1, None)
+            .err()
+            .unwrap()
+            .contains("already exists"));
         assert!(reg.get("a").is_some());
         assert!(reg.delete("a"));
         assert!(!reg.delete("a"));
@@ -211,16 +686,21 @@ mod tests {
     #[test]
     fn names_are_validated() {
         let reg = Registry::new(None);
-        assert!(reg.create("", "ciw", "agents", 8, 1).is_err());
-        assert!(reg.create("a/b", "ciw", "agents", 8, 1).is_err());
-        assert!(reg.create("../evil", "ciw", "agents", 8, 1).is_err());
+        assert!(reg.create("", "ciw", "agents", 8, 1, None).is_err());
+        assert!(reg.create("a/b", "ciw", "agents", 8, 1, None).is_err());
+        assert!(reg.create("../evil", "ciw", "agents", 8, 1, None).is_err());
+        assert!(reg
+            .create("ok", "ciw", "agents", 8, 1, Some("bad id"))
+            .err()
+            .unwrap()
+            .contains("request id"));
     }
 
     #[test]
     fn snapshot_requires_a_directory() {
         let reg = Registry::new(None);
-        reg.create("a", "ciw", "agents", 8, 1).unwrap();
-        assert!(reg.snapshot("a").unwrap_err().contains("snapshot directory"));
+        reg.create("a", "ciw", "agents", 8, 1, None).unwrap();
+        assert!(reg.snapshot("a").unwrap_err().contains("state directory"));
         assert!(reg.snapshot_all().is_empty());
     }
 
@@ -228,10 +708,10 @@ mod tests {
     fn snapshot_all_then_restore_all_round_trips() {
         let dir = temp_dir("roundtrip");
         let reg = Registry::new(Some(dir.clone()));
-        reg.create("a", "ciw", "agents", 10, 1).unwrap();
-        reg.create("b", "oss", "counts", 12, 2).unwrap();
-        reg.get("a").unwrap().lock().unwrap().step(3_000);
-        reg.get("b").unwrap().lock().unwrap().step(3_000);
+        reg.create("a", "ciw", "agents", 10, 1, None).unwrap();
+        reg.create("b", "oss", "counts", 12, 2, None).unwrap();
+        reg.apply("a", Op::Step(3_000), None).unwrap();
+        reg.apply("b", Op::Step(3_000), None).unwrap();
         let snapshots = reg.snapshot_all();
         assert_eq!(snapshots.len(), 2);
         assert!(snapshots.iter().all(|(_, r)| r.is_ok()));
@@ -241,8 +721,7 @@ mod tests {
         assert_eq!(restored.len(), 2);
         assert!(restored.iter().all(|(_, r)| r.is_ok()), "{restored:?}");
         assert_eq!(fresh.list(), vec!["a".to_string(), "b".to_string()]);
-        let a = fresh.get("a").unwrap();
-        let status = a.lock().unwrap().status();
+        let status = fresh.with_cell("a", |cell| cell.pop.status()).unwrap();
         assert_eq!(status.interactions, 3_000);
         assert_eq!(status.protocol, "ciw");
         let _ = fs::remove_dir_all(&dir);
@@ -254,7 +733,7 @@ mod tests {
         fs::create_dir_all(&dir).unwrap();
         fs::write(dir.join(format!("bad{SNAPSHOT_SUFFIX}")), "not json\n").unwrap();
         let reg = Registry::new(Some(dir.clone()));
-        reg.create("good", "ciw", "agents", 8, 1).unwrap();
+        reg.create("good", "ciw", "agents", 8, 1, None).unwrap();
         reg.snapshot("good").unwrap();
         let fresh = Registry::new(Some(dir.clone()));
         let restored = fresh.restore_all();
@@ -264,5 +743,131 @@ mod tests {
         let good = restored.iter().find(|(n, _)| n == "good").unwrap();
         assert!(good.1.is_ok());
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_alone_rebuilds_the_population() {
+        let dir = temp_dir("journal-only");
+        let reg = Registry::new(Some(dir.clone()));
+        reg.create("j", "oss", "counts", 16, 5, None).unwrap();
+        reg.apply("j", Op::Step(2_000), None).unwrap();
+        reg.apply("j", Op::Corrupt(3), None).unwrap();
+        reg.apply("j", Op::Step(1_000), None).unwrap();
+        let reference = reg.with_cell("j", |c| c.pop.snapshot_jsonl()).unwrap();
+        // Delete the snapshot (none was ever written — only create +
+        // journal): recovery must replay the journal from scratch.
+        let _ = fs::remove_file(dir.join(format!("j{SNAPSHOT_SUFFIX}")));
+
+        let fresh = Registry::new(Some(dir.clone()));
+        let restored = fresh.restore_all();
+        assert!(restored.iter().all(|(_, r)| r.is_ok()), "{restored:?}");
+        let recovered = fresh.with_cell("j", |c| c.pop.snapshot_jsonl()).unwrap();
+        assert_eq!(reference, recovered, "journal replay diverged");
+        // Recovery normalized: snapshot now covers seq 3, journal is empty.
+        let health = &fresh.health()[0];
+        assert_eq!(health.seq, 3);
+        assert_eq!(health.snapshot_seq, 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn request_ids_deduplicate_retries() {
+        let dir = temp_dir("dedup");
+        let reg = Registry::new(Some(dir.clone()));
+        reg.create("d", "ciw", "counts", 16, 1, Some("create-1")).unwrap();
+        // Retried create with the same id is absorbed, not an error.
+        let retry = reg.create("d", "ciw", "counts", 16, 1, Some("create-1")).unwrap();
+        assert!(retry.replayed);
+
+        let first = reg.apply("d", Op::Step(1_000), Some("step-1")).unwrap();
+        assert!(!first.replayed);
+        let before = reg.with_cell("d", |c| c.pop.status().interactions).unwrap();
+        let retry = reg.apply("d", Op::Step(1_000), Some("step-1")).unwrap();
+        assert!(retry.replayed);
+        assert!(retry.applied.is_none());
+        let after = reg.with_cell("d", |c| c.pop.status().interactions).unwrap();
+        assert_eq!(before, after, "deduplicated retry must not re-apply");
+
+        // The dedup window survives restart via the journal.
+        drop(reg);
+        let fresh = Registry::new(Some(dir.clone()));
+        fresh.restore_all();
+        let replayed = fresh.apply("d", Op::Step(1_000), Some("step-1")).unwrap();
+        assert!(replayed.replayed, "dedup window lost across restart");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn autosnap_truncates_the_journal() {
+        let dir = temp_dir("autosnap");
+        let reg = Registry::with_durability(
+            Some(dir.clone()),
+            Durability { fsync: FsyncPolicy::Always, autosnap_every: 4 },
+        );
+        reg.create("s", "oss", "counts", 12, 3, None).unwrap();
+        for _ in 0..5 {
+            reg.apply("s", Op::Step(100), None).unwrap();
+        }
+        let health = &reg.health()[0];
+        assert_eq!(health.seq, 5);
+        assert!(health.snapshot_seq >= 4, "auto-snapshot never fired: {health:?}");
+        // The journal was rotated against the snapshot: base_seq matches.
+        let text = fs::read_to_string(dir.join(format!("s{JOURNAL_SUFFIX}"))).unwrap();
+        let doc = JournalDoc::parse(&text).unwrap();
+        assert_eq!(doc.header.base_seq, health.snapshot_seq);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poisoned_slot_is_quarantined_and_healed_from_disk() {
+        let dir = temp_dir("poison");
+        let reg = Arc::new(Registry::new(Some(dir.clone())));
+        reg.create("p", "ciw", "counts", 16, 2, None).unwrap();
+        reg.apply("p", Op::Step(2_000), None).unwrap();
+        let reference = reg.with_cell("p", |c| c.pop.snapshot_jsonl()).unwrap();
+
+        // Poison the slot: panic while holding its lock, then mangle the
+        // in-memory state so only a disk heal can explain recovery.
+        let slot = reg.get("p").unwrap();
+        let slot2 = Arc::clone(&slot);
+        let _ = std::thread::spawn(move || {
+            let mut cell = slot2.lock().unwrap();
+            cell.pop.step(12_345); // torn mutation the journal never saw
+            panic!("wedged handler");
+        })
+        .join();
+        assert!(slot.is_poisoned());
+
+        // The next access heals: quarantine counted, state rebuilt from
+        // snapshot + journal, identical to the pre-panic state.
+        let healed = reg.with_cell("p", |c| c.pop.snapshot_jsonl()).unwrap();
+        assert_eq!(reg.quarantines(), 1);
+        assert_eq!(healed, reference, "heal did not restore the journaled state");
+        assert!(!reg.get("p").unwrap().is_poisoned());
+
+        // And the population still serves.
+        let out = reg.apply("p", Op::Step(500), None).unwrap();
+        assert!(matches!(out.applied, Some(Applied::Step(r)) if r.performed == 500));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poisoned_slot_without_state_dir_keeps_memory_state() {
+        let reg = Registry::new(None);
+        reg.create("m", "oss", "counts", 12, 1, None).unwrap();
+        reg.apply("m", Op::Step(1_000), None).unwrap();
+        let slot = reg.get("m").unwrap();
+        let slot2 = Arc::clone(&slot);
+        let _ = std::thread::spawn(move || {
+            let _cell = slot2.lock().unwrap();
+            panic!("wedged handler");
+        })
+        .join();
+        assert!(slot.is_poisoned());
+        // Heal keeps the in-memory state (nothing on disk to restore).
+        let status = reg.with_cell("m", |c| c.pop.status()).unwrap();
+        assert_eq!(status.interactions, 1_000);
+        assert_eq!(reg.quarantines(), 1);
+        assert!(!reg.get("m").unwrap().is_poisoned());
     }
 }

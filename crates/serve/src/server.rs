@@ -6,10 +6,16 @@
 //! `{"ok":false,"error":"busy"}` immediately and closes — backpressure,
 //! never a hang.
 //!
-//! Shutdown is graceful from either trigger — a `shutdown` request or
-//! SIGINT: the accept loop drains, workers finish their connections, and
-//! every population is snapshotted to the configured directory before the
-//! daemon returns.
+//! Request lines are bounded two ways so a hostile or faulty peer cannot
+//! pin a worker: a maximum line length (oversized lines are refused and
+//! the connection closed) and a per-line read deadline (a line that
+//! dribbles in slower than the deadline — slowloris — is dropped even
+//! though each byte resets the socket's idle timer).
+//!
+//! Shutdown is graceful from any trigger — a `shutdown` request, SIGINT,
+//! or SIGTERM: the accept loop drains, workers finish their connections,
+//! and every population is snapshotted to the configured directory before
+//! the daemon returns.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -17,14 +23,14 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use population::dynamics::ChurnPlan;
 use population::record::JsonObject;
 
+use crate::journal::{FsyncPolicy, Op};
 use crate::pool::{PoolError, ThreadPool};
-use crate::pop::{Checkpoint, EventKind, Status};
-use crate::registry::Registry;
+use crate::pop::{Checkpoint, Status};
+use crate::registry::{Applied, ApplyOutcome, Durability, Registry};
 use crate::wire::{error_response, ok_response, Request};
 
 /// Daemon configuration.
@@ -36,20 +42,34 @@ pub struct ServeConfig {
     pub threads: usize,
     /// Pending-connection queue capacity before `busy` responses.
     pub queue: usize,
-    /// Where snapshots live; `None` disables the snapshot lifecycle.
+    /// Where snapshots and journals live; `None` disables durability.
     pub snapshot_dir: Option<PathBuf>,
-    /// Per-connection idle read timeout.
+    /// Per-connection idle read timeout (waiting for a line to *start*).
     pub read_timeout: Duration,
+    /// Maximum request-line length in bytes; longer lines are refused.
+    pub max_line: usize,
+    /// Deadline for one request line to arrive *completely* once its
+    /// first byte is in — the slowloris guard.
+    pub line_deadline: Duration,
+    /// When journal appends are forced to disk.
+    pub fsync: FsyncPolicy,
+    /// Auto-snapshot after this many journaled commands per population.
+    pub autosnap_every: u64,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
+        let durability = Durability::default();
         ServeConfig {
             addr: "127.0.0.1:7700".to_string(),
             threads: 4,
             queue: 64,
             snapshot_dir: None,
             read_timeout: Duration::from_secs(30),
+            max_line: 64 * 1024,
+            line_deadline: Duration::from_secs(10),
+            fsync: durability.fsync,
+            autosnap_every: durability.autosnap_every,
         }
     }
 }
@@ -63,30 +83,37 @@ pub struct ServeSummary {
     pub snapshots: Vec<(String, Result<PathBuf, String>)>,
     /// Handler panics survived (workers respawned).
     pub panics: u64,
+    /// Poisoned populations quarantined and healed while serving.
+    pub quarantines: u64,
 }
 
-/// SIGINT latch — set by the raw signal handler, polled by the accept
-/// loop. Process-global because signal handlers are.
+/// Shutdown-signal latch — set by the raw handler for SIGINT *and*
+/// SIGTERM, polled by the accept loop. Process-global because signal
+/// handlers are.
 static SIGINT: AtomicBool = AtomicBool::new(false);
 
-extern "C" fn on_sigint(_signum: i32) {
+extern "C" fn on_shutdown_signal(_signum: i32) {
     // Only an atomic store: async-signal-safe.
     SIGINT.store(true, Ordering::SeqCst);
 }
 
-/// Installs the SIGINT → graceful-shutdown latch via the raw C `signal`
-/// binding (the environment has no signal-handling crate). Idempotent.
+/// Installs the SIGINT/SIGTERM → graceful-shutdown latch via the raw C
+/// `signal` binding (the environment has no signal-handling crate), so a
+/// plain `kill` gets the same snapshot-all treatment as Ctrl-C.
+/// Idempotent.
 pub fn install_sigint_handler() {
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
     }
     const SIGINT_NUM: i32 = 2;
+    const SIGTERM_NUM: i32 = 15;
     unsafe {
-        signal(SIGINT_NUM, on_sigint as extern "C" fn(i32) as usize);
+        signal(SIGINT_NUM, on_shutdown_signal as extern "C" fn(i32) as usize);
+        signal(SIGTERM_NUM, on_shutdown_signal as extern "C" fn(i32) as usize);
     }
 }
 
-/// Whether SIGINT has been received since process start.
+/// Whether SIGINT/SIGTERM has been received since process start.
 pub fn sigint_received() -> bool {
     SIGINT.load(Ordering::SeqCst)
 }
@@ -98,12 +125,15 @@ pub struct Server {
     pool: ThreadPool,
     stop: Arc<AtomicBool>,
     read_timeout: Duration,
+    max_line: usize,
+    line_deadline: Duration,
     restored: Vec<(String, Result<(), String>)>,
 }
 
 impl Server {
-    /// Binds the listener, restores any snapshots in the configured
-    /// directory, and prepares the worker pool.
+    /// Binds the listener, restores any on-disk state in the configured
+    /// directory (snapshots plus journal tails), and prepares the worker
+    /// pool.
     ///
     /// # Errors
     ///
@@ -111,7 +141,10 @@ impl Server {
     pub fn start(config: &ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
-        let registry = Arc::new(Registry::new(config.snapshot_dir.clone()));
+        let registry = Arc::new(Registry::with_durability(
+            config.snapshot_dir.clone(),
+            Durability { fsync: config.fsync, autosnap_every: config.autosnap_every.max(1) },
+        ));
         let restored = registry.restore_all();
         Ok(Server {
             listener,
@@ -119,6 +152,8 @@ impl Server {
             pool: ThreadPool::new(config.threads.max(1), config.queue.max(1)),
             stop: Arc::new(AtomicBool::new(false)),
             read_timeout: config.read_timeout,
+            max_line: config.max_line.max(256),
+            line_deadline: config.line_deadline,
             restored,
         })
     }
@@ -143,8 +178,13 @@ impl Server {
         Arc::clone(&self.registry)
     }
 
-    /// Runs the accept loop until `shutdown`/SIGINT/stop-handle, then
-    /// drains the pool and snapshots every population.
+    /// Populations restored at boot: `(name, outcome)`.
+    pub fn restored(&self) -> &[(String, Result<(), String>)] {
+        &self.restored
+    }
+
+    /// Runs the accept loop until `shutdown`/SIGINT/SIGTERM/stop-handle,
+    /// then drains the pool and snapshots every population.
     pub fn run(self) -> ServeSummary {
         loop {
             if self.stop.load(Ordering::SeqCst) || sigint_received() {
@@ -160,7 +200,12 @@ impl Server {
         }
         self.pool.shutdown();
         let snapshots = self.registry.snapshot_all();
-        ServeSummary { restored: self.restored, snapshots, panics: self.pool.panics() }
+        ServeSummary {
+            restored: self.restored,
+            snapshots,
+            panics: self.pool.panics(),
+            quarantines: self.registry.quarantines(),
+        }
     }
 
     fn dispatch(&self, stream: TcpStream) {
@@ -172,7 +217,12 @@ impl Server {
         let refusal = stream.try_clone().ok();
         let registry = Arc::clone(&self.registry);
         let stop = Arc::clone(&self.stop);
-        match self.pool.try_execute(move || handle_connection(stream, &registry, &stop)) {
+        let limits = LineLimits {
+            max_line: self.max_line,
+            deadline: self.line_deadline,
+            idle: self.read_timeout,
+        };
+        match self.pool.try_execute(move || handle_connection(stream, &registry, &stop, limits)) {
             Ok(()) => {}
             Err(PoolError::Busy | PoolError::ShuttingDown) => {
                 // Backpressure: answer immediately rather than queueing
@@ -187,29 +237,128 @@ impl Server {
     }
 }
 
-fn handle_connection(stream: TcpStream, registry: &Arc<Registry>, stop: &Arc<AtomicBool>) {
+/// Per-connection line-reading limits.
+#[derive(Debug, Clone, Copy)]
+struct LineLimits {
+    max_line: usize,
+    deadline: Duration,
+    idle: Duration,
+}
+
+/// Outcome of one bounded line read.
+enum LineRead {
+    /// A complete line is in the buffer.
+    Line,
+    /// Peer closed (a torn final line without `\n` is dropped).
+    Eof,
+    /// The line exceeded `max_line` bytes.
+    TooLong,
+    /// The line started but did not complete within the deadline
+    /// (slowloris), or the connection idled out before a line started.
+    TimedOut { mid_line: bool },
+    /// Any other socket error.
+    Failed,
+}
+
+/// Reads one `\n`-terminated line of at most `max_line` bytes, giving the
+/// peer `limits.idle` to start the line and `limits.deadline` to finish
+/// it. The socket's read timeout is re-armed to the *remaining* deadline
+/// between chunks, so a peer dribbling one byte per idle-period cannot
+/// hold the worker (slowloris guard).
+fn read_line_bounded(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    limits: LineLimits,
+) -> LineRead {
+    buf.clear();
+    let mut started: Option<Instant> = None;
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok([]) => return LineRead::Eof,
+            Ok(chunk) => chunk,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return LineRead::TimedOut { mid_line: started.is_some() };
+            }
+            Err(_) => return LineRead::Failed,
+        };
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if buf.len() + pos > limits.max_line {
+                    return LineRead::TooLong;
+                }
+                buf.extend_from_slice(&chunk[..pos]);
+                reader.consume(pos + 1);
+                // Next line gets a fresh idle window.
+                let _ = reader.get_ref().set_read_timeout(Some(limits.idle));
+                return LineRead::Line;
+            }
+            None => {
+                let len = chunk.len();
+                if buf.len() + len > limits.max_line {
+                    return LineRead::TooLong;
+                }
+                buf.extend_from_slice(chunk);
+                reader.consume(len);
+                // A line is in flight: arm (or tighten to) the remaining
+                // per-line deadline.
+                let start = *started.get_or_insert_with(Instant::now);
+                let elapsed = start.elapsed();
+                if elapsed >= limits.deadline {
+                    return LineRead::TimedOut { mid_line: true };
+                }
+                let _ = reader.get_ref().set_read_timeout(Some(limits.deadline - elapsed));
+            }
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    registry: &Arc<Registry>,
+    stop: &Arc<AtomicBool>,
+    limits: LineLimits,
+) {
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut buf: Vec<u8> = Vec::new();
+    let respond = |writer: &mut TcpStream, response: &str| {
+        writer.write_all(response.as_bytes()).is_ok()
+            && writer.write_all(b"\n").is_ok()
+            && writer.flush().is_ok()
+    };
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // peer closed
-            Ok(_) => {}
-            Err(_) => return, // timeout or reset
-        }
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        let response = handle_line(registry, stop, trimmed);
-        if writer.write_all(response.as_bytes()).is_err()
-            || writer.write_all(b"\n").is_err()
-            || writer.flush().is_err()
-        {
+        let response = match read_line_bounded(&mut reader, &mut buf, limits) {
+            LineRead::Line => {
+                let trimmed = String::from_utf8_lossy(&buf);
+                let trimmed = trimmed.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                handle_line(registry, stop, trimmed)
+            }
+            LineRead::Eof | LineRead::Failed | LineRead::TimedOut { mid_line: false } => return,
+            LineRead::TooLong => {
+                // Refuse and close: the rest of the oversized line is
+                // unconsumed and there is no resynchronizing mid-stream.
+                let _ = respond(
+                    &mut writer,
+                    &error_response(&format!("request line exceeds {} bytes", limits.max_line)),
+                );
+                return;
+            }
+            LineRead::TimedOut { mid_line: true } => {
+                let _ =
+                    respond(&mut writer, &error_response("request line read deadline exceeded"));
+                return;
+            }
+        };
+        if !respond(&mut writer, &response) {
             return;
         }
         if stop.load(Ordering::SeqCst) {
@@ -250,6 +399,11 @@ fn push_status(obj: &mut JsonObject, status: &Status) {
         .field_u64("seed", status.seed);
 }
 
+/// Mutation bookkeeping shared by every journaled command's response.
+fn push_outcome(obj: &mut JsonObject, out: &ApplyOutcome) {
+    obj.field_u64("seq", out.seq).field_bool("replayed", out.replayed);
+}
+
 fn checkpoint_json(c: &Checkpoint) -> String {
     let mut obj = JsonObject::new();
     obj.field_u64("interactions", c.interactions)
@@ -265,7 +419,6 @@ fn serve_request(
     stop: &AtomicBool,
     request: &Request,
 ) -> Result<String, String> {
-    let with_pop = |name: &str| registry.get(name).ok_or_else(|| format!("no population {name:?}"));
     match request.cmd.as_str() {
         "ping" => {
             let mut obj = ok_response();
@@ -278,70 +431,74 @@ fn serve_request(
             let backend = request.str_arg("backend")?;
             let n = request.required_u64("n")?;
             let seed = request.u64_arg("seed")?.unwrap_or(1);
-            let slot = registry.create(name, protocol, backend, n, seed)?;
-            let status = slot.lock().unwrap().status();
+            let id = request.opt_str_arg("id")?;
+            let out = registry.create(name, protocol, backend, n, seed, id)?;
             let mut obj = ok_response();
             obj.field_str("name", name);
-            push_status(&mut obj, &status);
+            push_outcome(&mut obj, &out);
+            push_status(&mut obj, &out.status);
             Ok(obj.finish())
         }
         "step" => {
             let name = request.str_arg("name")?;
-            let slot = with_pop(name)?;
-            let mut pop = slot.lock().unwrap();
+            let id = request.opt_str_arg("id")?;
             // Default: one parallel-time unit of the live population.
             let interactions = match request.u64_arg("interactions")? {
                 Some(k) => k,
-                None => pop.status().live as u64,
+                None => registry.with_cell(name, |cell| cell.pop.status().live as u64)?,
             };
             const MAX_STEP: u64 = 1 << 32;
             if interactions > MAX_STEP {
                 return Err(format!("step of {interactions} exceeds the cap of {MAX_STEP}"));
             }
-            let report = pop.step(interactions);
-            let status = pop.status();
+            let out = registry.apply(name, Op::Step(interactions), id)?;
+            let (performed, slices) = match out.applied {
+                Some(Applied::Step(report)) => (report.performed, report.slices),
+                _ => (0, 0), // deduplicated retry: nothing re-applied
+            };
             let mut obj = ok_response();
-            obj.field_u64("performed", report.performed).field_u64("slices", report.slices);
-            push_status(&mut obj, &status);
+            obj.field_u64("performed", performed).field_u64("slices", slices);
+            push_outcome(&mut obj, &out);
+            push_status(&mut obj, &out.status);
             Ok(obj.finish())
         }
         "join" | "leave" | "corrupt" => {
             let name = request.str_arg("name")?;
+            let id = request.opt_str_arg("id")?;
             let k = request.u64_arg("k")?.unwrap_or(1);
             if k > crate::pop::MAX_N {
                 return Err(format!("k = {k} exceeds the service cap"));
             }
-            let kind = match request.cmd.as_str() {
-                "join" => EventKind::Join,
-                "leave" => EventKind::Leave,
-                _ => EventKind::Corrupt,
+            let op = match request.cmd.as_str() {
+                "join" => Op::Join(k),
+                "leave" => Op::Leave(k),
+                _ => Op::Corrupt(k),
             };
-            let slot = with_pop(name)?;
-            let mut pop = slot.lock().unwrap();
-            let applied = pop.inject(kind, k as usize);
-            let status = pop.status();
+            let out = registry.apply(name, op, id)?;
+            let applied = match out.applied {
+                Some(Applied::Event(touched)) => touched as u64,
+                _ => 0, // deduplicated retry
+            };
             let mut obj = ok_response();
-            obj.field_u64("applied", applied as u64);
-            push_status(&mut obj, &status);
+            obj.field_u64("applied", applied);
+            push_outcome(&mut obj, &out);
+            push_status(&mut obj, &out.status);
             Ok(obj.finish())
         }
         "churn-plan" => {
             let name = request.str_arg("name")?;
             let spec = request.str_arg("spec")?;
             let seed = request.u64_arg("seed")?.unwrap_or(0);
-            let plan = ChurnPlan::parse(spec, seed)?;
-            let slot = with_pop(name)?;
-            let mut pop = slot.lock().unwrap();
-            pop.set_churn(&plan);
-            let status = pop.status();
+            let id = request.opt_str_arg("id")?;
+            let out = registry.apply(name, Op::Churn(spec.to_string(), seed), id)?;
             let mut obj = ok_response();
-            push_status(&mut obj, &status);
+            push_outcome(&mut obj, &out);
+            push_status(&mut obj, &out.status);
             Ok(obj.finish())
         }
         "leader" => {
             let name = request.str_arg("name")?;
-            let slot = with_pop(name)?;
-            let report = slot.lock().unwrap().leader();
+            let report = registry.with_cell(name, |cell| cell.pop.leader())?;
             let mut obj = ok_response();
             obj.field_u64("leaders", u64::from(report.leaders)).field_bool("ranked", report.ranked);
             match report.index {
@@ -352,8 +509,7 @@ fn serve_request(
         }
         "ranks" => {
             let name = request.str_arg("name")?;
-            let slot = with_pop(name)?;
-            let report = slot.lock().unwrap().ranks();
+            let report = registry.with_cell(name, |cell| cell.pop.ranks())?;
             let mut obj = ok_response();
             obj.field_bool("ranked", report.ranked)
                 .field_u64("singleton_ranks", report.singleton_ranks as u64)
@@ -363,8 +519,7 @@ fn serve_request(
         }
         "status" => {
             let name = request.str_arg("name")?;
-            let slot = with_pop(name)?;
-            let status = slot.lock().unwrap().status();
+            let status = registry.with_cell(name, |cell| cell.pop.status())?;
             let mut obj = ok_response();
             obj.field_str("name", name);
             push_status(&mut obj, &status);
@@ -373,8 +528,7 @@ fn serve_request(
         "timeline" => {
             let name = request.str_arg("name")?;
             let last = request.u64_arg("last")?.unwrap_or(16).min(4096) as usize;
-            let slot = with_pop(name)?;
-            let points = slot.lock().unwrap().timeline(last);
+            let points = registry.with_cell(name, |cell| cell.pop.timeline(last))?;
             let rows: Vec<String> = points.iter().map(checkpoint_json).collect();
             let mut obj = ok_response();
             obj.field_u64("points", rows.len() as u64)
@@ -383,8 +537,8 @@ fn serve_request(
         }
         "metrics" => {
             let name = request.str_arg("name")?;
-            let slot = with_pop(name)?;
-            let record = slot.lock().unwrap().metrics_record_json("service");
+            let record =
+                registry.with_cell(name, |cell| cell.pop.metrics_record_json("service"))?;
             let mut obj = ok_response();
             obj.field_raw("metrics", &record);
             Ok(obj.finish())
@@ -394,6 +548,36 @@ fn serve_request(
             let path = registry.snapshot(name)?;
             let mut obj = ok_response();
             obj.field_str("path", &path.display().to_string());
+            Ok(obj.finish())
+        }
+        "health" => {
+            let rows: Vec<String> = registry
+                .health()
+                .iter()
+                .map(|row| {
+                    let mut o = JsonObject::new();
+                    o.field_str("pop", &row.name)
+                        .field_str("protocol", row.status.protocol)
+                        .field_str("backend", row.status.backend)
+                        .field_u64("n", row.status.n0 as u64)
+                        .field_u64("live", row.status.live as u64)
+                        .field_u64("interactions", row.status.interactions)
+                        .field_bool("ranked", row.status.ranked)
+                        .field_u64("seq", row.seq)
+                        .field_u64("snapshot_seq", row.snapshot_seq)
+                        .field_u64("lag", row.seq.saturating_sub(row.snapshot_seq));
+                    match row.fsync {
+                        Some(policy) => o.field_str("fsync", &policy.spec()),
+                        None => o.field_null("fsync"),
+                    };
+                    o.finish()
+                })
+                .collect();
+            let mut obj = ok_response();
+            obj.field_u64("count", rows.len() as u64)
+                .field_u64("quarantines", registry.quarantines())
+                .field_bool("durable", registry.durable())
+                .field_raw("populations", &format!("[{}]", rows.join(",")));
             Ok(obj.finish())
         }
         "list" => {
@@ -457,6 +641,11 @@ mod tests {
         let metrics = handle_line(&registry, &stop, r#"{"cmd":"metrics","name":"a"}"#);
         assert!(metrics.contains("\"kind\":\"metrics\""), "{metrics}");
 
+        let health = handle_line(&registry, &stop, r#"{"cmd":"health"}"#);
+        assert!(health.contains("\"quarantines\":0"), "{health}");
+        assert!(health.contains("\"pop\":\"a\""), "{health}");
+        assert!(health.contains("\"fsync\":null"), "{health}");
+
         let list = handle_line(&registry, &stop, r#"{"cmd":"list"}"#);
         assert!(list.contains("\"populations\":[\"a\"]"), "{list}");
 
@@ -505,5 +694,48 @@ mod tests {
         let bad =
             handle_line(&registry, &stop, r#"{"cmd":"churn-plan","name":"c","spec":"not-a-plan"}"#);
         assert!(bad.contains("\"ok\":false"), "{bad}");
+    }
+
+    #[test]
+    fn request_ids_replay_instead_of_reapplying() {
+        let (registry, stop) = fresh();
+        handle_line(
+            &registry,
+            &stop,
+            r#"{"cmd":"create","name":"r","protocol":"ciw","backend":"counts","n":16}"#,
+        );
+        let first = handle_line(
+            &registry,
+            &stop,
+            r#"{"cmd":"step","name":"r","interactions":300,"id":"s.1"}"#,
+        );
+        assert!(first.contains("\"replayed\":false"), "{first}");
+        assert!(first.contains("\"performed\":300"), "{first}");
+        let retry = handle_line(
+            &registry,
+            &stop,
+            r#"{"cmd":"step","name":"r","interactions":300,"id":"s.1"}"#,
+        );
+        assert!(retry.contains("\"replayed\":true"), "{retry}");
+        assert!(retry.contains("\"performed\":0"), "{retry}");
+        assert!(retry.contains("\"interactions\":300"), "{retry}");
+        let bad = handle_line(&registry, &stop, r#"{"cmd":"step","name":"r","id":"bad id"}"#);
+        assert!(bad.contains("\"ok\":false"), "{bad}");
+    }
+
+    #[test]
+    fn sigterm_sets_the_shutdown_latch() {
+        // Raising SIGTERM at ourselves must hit the installed latch, not
+        // kill the test process. The latch is process-global and sticky;
+        // no lib test runs an accept loop, so setting it here is safe.
+        extern "C" {
+            fn raise(signum: i32) -> i32;
+        }
+        install_sigint_handler();
+        assert!(!sigint_received());
+        unsafe {
+            raise(15);
+        }
+        assert!(sigint_received());
     }
 }

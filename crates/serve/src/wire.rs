@@ -12,19 +12,25 @@
 //! | cmd | arguments | reply payload |
 //! |-----|-----------|---------------|
 //! | `ping` | — | `pong:true` |
-//! | `create` | `name, protocol(ciw\|oss), backend(agents\|counts), n, [seed]` | status |
-//! | `step` | `name, [interactions]` | performed, status |
-//! | `join` / `leave` / `corrupt` | `name, [k]` | applied, status |
-//! | `churn-plan` | `name, spec, [seed]` | status |
+//! | `create` | `name, protocol(ciw\|oss), backend(agents\|counts), n, [seed], [id]` | status |
+//! | `step` | `name, [interactions], [id]` | performed, status |
+//! | `join` / `leave` / `corrupt` | `name, [k], [id]` | applied, status |
+//! | `churn-plan` | `name, spec, [seed], [id]` | status |
 //! | `leader` | `name` | leaders, ranked, leader_index? |
 //! | `ranks` | `name` | ranked, distinct_ranks, duplicated, missing |
 //! | `status` | `name` | full status |
 //! | `timeline` | `name, [last]` | checkpoint array |
 //! | `metrics` | `name` | embedded engine metrics record |
 //! | `snapshot` | `name` | path written |
+//! | `health` | — | per-population liveness + journal-lag rows |
 //! | `list` | — | population names |
 //! | `delete` | `name` | deleted:true |
 //! | `shutdown` | — | stopping:true (daemon snapshots all and exits) |
+//!
+//! Every mutating command takes an optional `id` (1–128 chars of
+//! `[A-Za-z0-9._-]`): a request whose id is still inside the population's
+//! dedup window is acknowledged with `"replayed":true` instead of being
+//! applied again, making retried mutations exactly-once.
 
 use std::collections::BTreeMap;
 
@@ -41,11 +47,11 @@ pub struct Request {
 /// The keys every command accepts (beyond `cmd`), for typo rejection.
 fn allowed_keys(cmd: &str) -> Option<&'static [&'static str]> {
     Some(match cmd {
-        "ping" | "list" | "shutdown" => &[],
-        "create" => &["name", "protocol", "backend", "n", "seed"],
-        "step" => &["name", "interactions"],
-        "join" | "leave" | "corrupt" => &["name", "k"],
-        "churn-plan" => &["name", "spec", "seed"],
+        "ping" | "list" | "shutdown" | "health" => &[],
+        "create" => &["name", "protocol", "backend", "n", "seed", "id"],
+        "step" => &["name", "interactions", "id"],
+        "join" | "leave" | "corrupt" => &["name", "k", "id"],
+        "churn-plan" => &["name", "spec", "seed", "id"],
         "leader" | "ranks" | "status" | "metrics" | "snapshot" | "delete" => &["name"],
         "timeline" => &["name", "last"],
         _ => return None,
@@ -85,6 +91,19 @@ impl Request {
             Some(JsonScalar::Str(s)) => Ok(s),
             Some(_) => Err(format!("{key:?} must be a string")),
             None => Err(format!("cmd {:?} requires {key:?}", self.cmd)),
+        }
+    }
+
+    /// An optional string argument.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when present but not a string.
+    pub fn opt_str_arg(&self, key: &str) -> Result<Option<&str>, String> {
+        match self.args.get(key) {
+            None => Ok(None),
+            Some(JsonScalar::Str(s)) => Ok(Some(s)),
+            Some(_) => Err(format!("{key:?} must be a string")),
         }
     }
 

@@ -1,0 +1,190 @@
+//! Fault-injection end-to-end tests: the daemon behind the seeded chaos
+//! proxy. Slowloris must not pin a worker, oversized request lines must
+//! be refused with an error envelope, and the hardened [`RetryClient`]
+//! must stay exactly-once through connection resets.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use population::record::JsonScalar;
+use ssle_serve::client::{request_map, RetryConfig};
+use ssle_serve::{ChaosConfig, ChaosProxy, RetryClient, ServeConfig, Server};
+
+fn spawn_server(config: ServeConfig) -> (String, thread::JoinHandle<ssle_serve::ServeSummary>) {
+    let server = Server::start(&config).expect("bind loopback");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn spawn_proxy(config: ChaosConfig) -> (String, ChaosHandle) {
+    let proxy = ChaosProxy::start(config).expect("bind proxy");
+    let addr = proxy.local_addr().expect("proxy addr").to_string();
+    let stats = proxy.stats();
+    let stop = proxy.stop_handle();
+    let handle = proxy.spawn();
+    (addr, ChaosHandle { stats, stop, handle })
+}
+
+struct ChaosHandle {
+    stats: std::sync::Arc<ssle_serve::ChaosStats>,
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    handle: thread::JoinHandle<()>,
+}
+
+impl ChaosHandle {
+    fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.handle.join();
+    }
+}
+
+fn shutdown_server(addr: &str, handle: thread::JoinHandle<ssle_serve::ServeSummary>) {
+    let _ = request_map(addr, r#"{"cmd":"shutdown"}"#);
+    let _ = handle.join();
+}
+
+fn num(map: &std::collections::BTreeMap<String, JsonScalar>, key: &str) -> f64 {
+    match map.get(key) {
+        Some(JsonScalar::Num(x)) => *x,
+        other => panic!("expected number {key}, got {other:?}"),
+    }
+}
+
+/// A slowloris connection through the chaos proxy must be cut by the
+/// server's per-line deadline instead of pinning the (only) worker.
+#[test]
+fn slowloris_through_the_proxy_cannot_pin_a_worker() {
+    let (addr, server) = spawn_server(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 1, // a pinned worker would stall *everything*
+        line_deadline: Duration::from_millis(300),
+        ..ServeConfig::default()
+    });
+    let (proxy_addr, proxy) = spawn_proxy(ChaosConfig {
+        upstream: addr.clone(),
+        seed: 7,
+        slowloris: true,
+        slowloris_ms: 100, // ~15 s for a whole request line
+        ..ChaosConfig::default()
+    });
+
+    // The attacker dribbles a request one byte per 100 ms; the server's
+    // 300 ms line deadline must free the worker long before the line
+    // completes.
+    let attacker_addr = proxy_addr.clone();
+    let attacker = thread::spawn(move || {
+        let stream = TcpStream::connect(&attacker_addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        let mut writer = stream.try_clone()?;
+        writer.write_all(br#"{"cmd":"list","padding":"0123456789"}"#)?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line)?;
+        Ok::<String, std::io::Error>(line)
+    });
+
+    // Give the slowloris stream time to start occupying the worker, then
+    // prove the worker is free again: a direct request must answer fast.
+    thread::sleep(Duration::from_millis(700));
+    let start = Instant::now();
+    let pong = request_map(&addr, r#"{"cmd":"ping"}"#).unwrap();
+    assert!(matches!(pong.get("pong"), Some(JsonScalar::Bool(true))));
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "worker stayed pinned for {:?}",
+        start.elapsed()
+    );
+    // The slowloris client got a deadline error or a cut connection
+    // (reset mid-dribble is also a win) — anything but a successful
+    // response.
+    if let Ok(line) = attacker.join().unwrap() {
+        assert!(
+            line.is_empty() || line.contains("deadline"),
+            "slowloris request succeeded: {line:?}"
+        );
+    }
+
+    proxy.shutdown();
+    shutdown_server(&addr, server);
+}
+
+/// A request line longer than `max_line` is refused with an error
+/// envelope, not buffered without bound.
+#[test]
+fn oversized_request_line_is_refused() {
+    let (addr, server) = spawn_server(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        max_line: 300,
+        ..ServeConfig::default()
+    });
+    let huge = format!(r#"{{"cmd":"ping","junk":"{}"}}"#, "x".repeat(4096));
+    let err = request_map(&addr, &huge).unwrap_err();
+    assert!(err.contains("exceeds 300 bytes"), "unexpected refusal: {err}");
+    // The connection was closed after the refusal; a fresh one works.
+    let pong = request_map(&addr, r#"{"cmd":"ping"}"#).unwrap();
+    assert!(matches!(pong.get("pong"), Some(JsonScalar::Bool(true))));
+    shutdown_server(&addr, server);
+}
+
+/// The hardened client through a reset-happy proxy: every mutation is
+/// applied exactly once (interaction count proves it), even though the
+/// proxy tears down connections and the client retries.
+#[test]
+fn retry_client_is_exactly_once_through_resets() {
+    let (addr, server) =
+        spawn_server(ServeConfig { addr: "127.0.0.1:0".to_string(), ..ServeConfig::default() });
+    let (proxy_addr, proxy) = spawn_proxy(ChaosConfig {
+        upstream: addr.clone(),
+        seed: 1234,
+        reset_prob: 0.25,
+        ..ChaosConfig::default()
+    });
+
+    let mut client = RetryClient::with_config(
+        &proxy_addr,
+        99,
+        RetryConfig {
+            deadline: Duration::from_secs(20),
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(50),
+            max_attempts: 20,
+            connect_timeout: Duration::from_secs(2),
+        },
+    );
+    client
+        .mutate_map(
+            r#"{"cmd":"create","name":"cr","protocol":"ciw","backend":"counts","n":32,"seed":5}"#,
+        )
+        .unwrap();
+    let steps = 12u64;
+    let per_step = 500u64;
+    for _ in 0..steps {
+        let out = client
+            .mutate_map(&format!(r#"{{"cmd":"step","name":"cr","interactions":{per_step}}}"#))
+            .unwrap();
+        // Replayed or fresh, the response carries the post-step status.
+        assert!(num(&out, "interactions") > 0.0);
+    }
+
+    // Ground truth straight from the daemon, no proxy in the way.
+    let status = request_map(&addr, r#"{"cmd":"status","name":"cr"}"#).unwrap();
+    assert_eq!(
+        num(&status, "interactions") as u64,
+        steps * per_step,
+        "mutations were lost or double-applied through chaos"
+    );
+    // And the chaos was real: connections were reset, retries happened.
+    assert!(
+        proxy.stats.resets.load(Ordering::SeqCst) > 0,
+        "proxy never fired its reset fault — test proves nothing"
+    );
+    assert!(client.retries() > 0, "client never retried — test proves nothing");
+
+    proxy.shutdown();
+    shutdown_server(&addr, server);
+}

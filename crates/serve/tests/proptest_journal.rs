@@ -1,0 +1,236 @@
+//! Crash-recovery properties of the write-ahead journal.
+//!
+//! The central claim of the durability layer: a crash at *any* byte
+//! offset of the journal — including a torn final line — recovers
+//! bit-identically to a never-crashed run over the commands that
+//! survived, on both backends. Plus replay idempotence: recovering the
+//! same on-disk state twice is indistinguishable from recovering it
+//! once.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+
+use ssle_serve::journal::{FsyncPolicy, JournalDoc, Op, JOURNAL_SUFFIX};
+use ssle_serve::registry::{Durability, Registry};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ssle-proptest-journal-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One generated mutating command.
+#[derive(Debug, Clone)]
+enum GenOp {
+    Step(u64),
+    Join(u64),
+    Leave(u64),
+    Corrupt(u64),
+    Churn,
+}
+
+impl GenOp {
+    fn to_op(&self) -> Op {
+        match self {
+            GenOp::Step(k) => Op::Step(*k),
+            GenOp::Join(k) => Op::Join(*k),
+            GenOp::Leave(k) => Op::Leave(*k),
+            GenOp::Corrupt(k) => Op::Corrupt(*k),
+            GenOp::Churn => Op::Churn("0.05".to_string(), 9),
+        }
+    }
+}
+
+fn gen_op() -> impl Strategy<Value = GenOp> {
+    // The vendored proptest has no weighted alternatives; repeating the
+    // `Step` arm biases toward it the same way.
+    prop_oneof![
+        (1u64..400).prop_map(GenOp::Step),
+        (1u64..400).prop_map(GenOp::Step),
+        (1u64..400).prop_map(GenOp::Step),
+        (1u64..4).prop_map(GenOp::Join),
+        (1u64..4).prop_map(GenOp::Leave),
+        (1u64..4).prop_map(GenOp::Corrupt),
+        Just(GenOp::Churn),
+    ]
+}
+
+fn backend() -> impl Strategy<Value = &'static str> {
+    prop_oneof![Just("agents"), Just("counts")]
+}
+
+fn protocol() -> impl Strategy<Value = &'static str> {
+    prop_oneof![Just("ciw"), Just("oss")]
+}
+
+/// Serialized state of a population after `ops[..k]` on a registry that
+/// never touched disk — the never-crashed reference.
+fn reference_state(protocol: &str, backend: &str, n: u64, seed: u64, ops: &[GenOp]) -> String {
+    let reg = Registry::new(None);
+    reg.create("p", protocol, backend, n, seed, None).unwrap();
+    for op in ops {
+        reg.apply("p", op.to_op(), None).unwrap();
+    }
+    reg.with_cell("p", |cell| cell.pop.snapshot_jsonl()).unwrap()
+}
+
+proptest! {
+    /// Crash at any byte offset: truncate the journal anywhere, recover,
+    /// and the state must be bit-identical to a never-crashed replay of
+    /// exactly the entries that survived the cut.
+    #[test]
+    fn crash_at_any_offset_recovers_bit_identical(
+        protocol in protocol(),
+        backend in backend(),
+        n in 8u64..48,
+        seed in 1u64..1_000,
+        ops in prop::collection::vec(gen_op(), 1..10),
+        cut in 0.0f64..=1.0,
+    ) {
+        // Write the journal with fsync:always and no auto-snapshot, so
+        // the file is the complete command history.
+        let dir = temp_dir("cut");
+        let reg = Registry::with_durability(
+            Some(dir.clone()),
+            Durability { fsync: FsyncPolicy::Always, autosnap_every: u64::MAX },
+        );
+        reg.create("p", protocol, backend, n, seed, None).unwrap();
+        for op in &ops {
+            reg.apply("p", op.to_op(), None).unwrap();
+        }
+        drop(reg);
+
+        // Simulate the crash: keep only the first `offset` bytes, and no
+        // snapshot (none was ever written).
+        let journal_path = dir.join(format!("p{JOURNAL_SUFFIX}"));
+        let full = fs::read(&journal_path).unwrap();
+        let offset = (cut * full.len() as f64).round() as usize;
+        let crash_dir = temp_dir("crashed");
+        fs::create_dir_all(&crash_dir).unwrap();
+        fs::write(crash_dir.join(format!("p{JOURNAL_SUFFIX}")), &full[..offset]).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+
+        // What should survive the cut, per the parser itself.
+        let truncated_text = String::from_utf8_lossy(&full[..offset]).to_string();
+        let parsed = JournalDoc::parse(&truncated_text);
+
+        let recovered = Registry::new(Some(crash_dir.clone()));
+        let outcomes = recovered.restore_all();
+        prop_assert_eq!(outcomes.len(), 1);
+        match parsed {
+            Err(_) => {
+                // The cut tore the header: recovery must refuse this
+                // population (reported, not a panic or a wrong state).
+                prop_assert!(outcomes[0].1.is_err(), "torn header accepted: {:?}", outcomes[0]);
+            }
+            Ok(doc) => {
+                prop_assert!(outcomes[0].1.is_ok(), "recovery failed: {:?}", outcomes[0]);
+                let survivors = doc.entries.len();
+                let expected = reference_state(protocol, backend, n, seed, &ops[..survivors]);
+                let got = recovered.with_cell("p", |cell| cell.pop.snapshot_jsonl()).unwrap();
+                prop_assert_eq!(
+                    expected, got,
+                    "crash at offset {}/{} ({} of {} ops survive) diverged",
+                    offset, full.len(), survivors, ops.len()
+                );
+            }
+        }
+        let _ = fs::remove_dir_all(&crash_dir);
+    }
+
+    /// Replay idempotence: recovering the same on-disk state twice (the
+    /// second pass sees the normalized snapshot + rotated journal the
+    /// first pass wrote, with every entry already covered) equals
+    /// recovering it once. A prefix replayed twice is a prefix replayed
+    /// once.
+    #[test]
+    fn recovery_is_idempotent(
+        protocol in protocol(),
+        backend in backend(),
+        n in 8u64..48,
+        seed in 1u64..1_000,
+        ops in prop::collection::vec(gen_op(), 1..10),
+        autosnap in prop_oneof![Just(2u64), Just(3), Just(u64::MAX)],
+    ) {
+        // A churn-plan binding restored across a snapshot boundary is
+        // rebound but its schedule stream restarts (the snapshot format
+        // does not carry driver RNG state), so bit-identity *through a
+        // mid-run snapshot* is only claimed churn-plan-free; join/leave/
+        // corrupt replay exactly because the registry pins the event
+        // stream to (seed, seq) before every injection. The pure-journal
+        // path (crash_at_any_offset...) covers churn bit-identically.
+        let mut ops = ops;
+        if autosnap != u64::MAX {
+            ops.retain(|op| !matches!(op, GenOp::Churn));
+            if ops.is_empty() {
+                ops.push(GenOp::Step(50));
+            }
+        }
+        let dir = temp_dir("idem");
+        let reg = Registry::with_durability(
+            Some(dir.clone()),
+            Durability { fsync: FsyncPolicy::Always, autosnap_every: autosnap },
+        );
+        reg.create("p", protocol, backend, n, seed, None).unwrap();
+        for op in &ops {
+            reg.apply("p", op.to_op(), None).unwrap();
+        }
+        drop(reg); // crash without snapshot-all
+
+        let once = Registry::new(Some(dir.clone()));
+        prop_assert!(once.restore_all().iter().all(|(_, r)| r.is_ok()));
+        let state_once = once.with_cell("p", |cell| cell.pop.snapshot_jsonl()).unwrap();
+        let seq_once = once.with_cell("p", |cell| cell.seq).unwrap();
+        drop(once);
+
+        let twice = Registry::new(Some(dir.clone()));
+        prop_assert!(twice.restore_all().iter().all(|(_, r)| r.is_ok()));
+        let state_twice = twice.with_cell("p", |cell| cell.pop.snapshot_jsonl()).unwrap();
+        let seq_twice = twice.with_cell("p", |cell| cell.seq).unwrap();
+
+        prop_assert_eq!(seq_once, seq_twice, "sequence diverged on second recovery");
+        prop_assert_eq!(state_once, state_twice, "state diverged on second recovery");
+        // And both equal the never-crashed reference: every op was
+        // fsynced, so nothing may be lost regardless of autosnap timing.
+        let reference = reference_state(protocol, backend, n, seed, &ops);
+        prop_assert_eq!(state_twice, reference, "recovered state diverged from reference");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// `fsync:always` bounds the lost-event window at zero: the synced
+    /// length always covers every acknowledged command, so a crash that
+    /// preserves synced bytes loses nothing.
+    #[test]
+    fn synced_length_covers_every_acknowledged_command(
+        backend in backend(),
+        ops in prop::collection::vec(gen_op(), 1..8),
+    ) {
+        let dir = temp_dir("synced");
+        let reg = Registry::with_durability(
+            Some(dir.clone()),
+            Durability { fsync: FsyncPolicy::Always, autosnap_every: u64::MAX },
+        );
+        reg.create("p", "ciw", backend, 16, 3, None).unwrap();
+        for op in &ops {
+            reg.apply("p", op.to_op(), None).unwrap();
+        }
+        let (synced, len, seq) = reg
+            .with_cell("p", |cell| {
+                let wal = cell.wal.as_ref().unwrap();
+                (wal.synced_len(), wal.len(), cell.seq)
+            })
+            .unwrap();
+        prop_assert_eq!(synced, len, "fsync:always left unsynced bytes");
+        prop_assert_eq!(seq, ops.len() as u64);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
