@@ -1,4 +1,13 @@
-//! Fixed-width histograms for reporting time distributions.
+//! Fixed-width histograms for reporting time distributions, plus the one
+//! shared flat-string codec every log₂-bucket histogram in the workspace
+//! uses (`bound:count,…,inf:count`).
+//!
+//! Three producers share the codec: the simulation engine's batch-size
+//! metrics (`population::metrics`), the service daemon's per-command
+//! latency histograms (`ssle-serve`'s observability layer), and any
+//! record-stream consumer that wants quantiles back out of an encoded
+//! histogram. Keeping encode/decode/quantile here — the dependency-free
+//! statistics crate — is what lets all of them agree on one encoding.
 
 /// A histogram over `[min, max)` with equally wide bins (values at exactly
 /// `max` are counted in the last bin).
@@ -134,6 +143,79 @@ pub fn summarize_buckets(buckets: &[(String, u64)]) -> Option<BucketSummary> {
     })
 }
 
+/// Flat-encodes bucketed counts as `bound:count,…` over non-empty buckets.
+///
+/// `bounds` are the bucket upper bounds; `counts` must have exactly one
+/// more entry than `bounds` — the trailing overflow bucket, encoded as
+/// `inf:count`. Returns `None` when the histogram carries no mass (so an
+/// empty histogram serializes as an absent field, not an empty string).
+///
+/// This is the one shared encoding for every log₂-bucket histogram in the
+/// workspace; [`decode_buckets`] inverts it.
+pub fn encode_buckets(bounds: &[u64], counts: &[u64]) -> Option<String> {
+    debug_assert_eq!(counts.len(), bounds.len() + 1, "counts must include the overflow bucket");
+    if counts.iter().all(|&c| c == 0) {
+        return None;
+    }
+    let mut out = String::new();
+    for (idx, &count) in counts.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        if !out.is_empty() {
+            out.push(',');
+        }
+        match bounds.get(idx) {
+            Some(bound) => out.push_str(&format!("{bound}:{count}")),
+            None => out.push_str(&format!("inf:{count}")),
+        }
+    }
+    Some(out)
+}
+
+/// Decodes an [`encode_buckets`] string back to `(bound-label, count)`
+/// pairs, in encoded order. Returns `None` on malformed input.
+pub fn decode_buckets(s: &str) -> Option<Vec<(String, u64)>> {
+    let mut out = Vec::new();
+    for part in s.split(',') {
+        let (label, count) = part.rsplit_once(':')?;
+        if label.is_empty() {
+            return None;
+        }
+        out.push((label.to_string(), count.parse().ok()?));
+    }
+    Some(out)
+}
+
+/// The `q`-quantile of a decoded bucket list, as the upper bound of the
+/// bucket where the cumulative mass crosses `q·total` — the resolution the
+/// encoding supports (observations inside a bucket are indistinguishable).
+/// Overflow (`inf`) buckets report [`f64::INFINITY`]. `None` when the
+/// buckets carry no mass, a label is non-numeric (other than `inf`), or
+/// `q` is outside `[0, 1]`.
+pub fn bucket_quantile(buckets: &[(String, u64)], q: f64) -> Option<f64> {
+    if !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let total: u64 = buckets.iter().map(|(_, c)| c).sum();
+    if total == 0 {
+        return None;
+    }
+    let target = (q * total as f64).ceil().max(1.0) as u64;
+    let mut cumulative = 0;
+    for (label, count) in buckets {
+        cumulative += count;
+        if cumulative >= target {
+            return if label == "inf" {
+                Some(f64::INFINITY)
+            } else {
+                label.parse::<u64>().ok().map(|b| b as f64)
+            };
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,5 +296,62 @@ mod tests {
     fn bucket_summary_of_massless_buckets_is_none() {
         assert!(summarize_buckets(&[]).is_none());
         assert!(summarize_buckets(&buckets(&[("8", 0)])).is_none());
+    }
+
+    #[test]
+    fn encode_skips_empty_buckets_and_labels_overflow_inf() {
+        let encoded = encode_buckets(&[1, 2, 4], &[3, 0, 1, 7]).expect("has mass");
+        assert_eq!(encoded, "1:3,4:1,inf:7");
+    }
+
+    #[test]
+    fn encode_of_massless_counts_is_none() {
+        assert!(encode_buckets(&[1, 2], &[0, 0, 0]).is_none());
+    }
+
+    #[test]
+    fn decode_inverts_encode() {
+        let bounds = [1u64, 8, 64, 512];
+        let counts = [5u64, 0, 12, 1, 2];
+        let encoded = encode_buckets(&bounds, &counts).expect("has mass");
+        let decoded = decode_buckets(&encoded).expect("well-formed");
+        assert_eq!(decoded, buckets(&[("1", 5), ("64", 12), ("512", 1), ("inf", 2)]));
+        // Re-encoding the decoded mass over the same bounds round-trips.
+        let mut rebuilt = vec![0u64; bounds.len() + 1];
+        for (label, count) in &decoded {
+            let idx = if label == "inf" {
+                bounds.len()
+            } else {
+                bounds.iter().position(|b| b.to_string() == *label).expect("known bound")
+            };
+            rebuilt[idx] = *count;
+        }
+        assert_eq!(encode_buckets(&bounds, &rebuilt).as_deref(), Some(encoded.as_str()));
+    }
+
+    #[test]
+    fn decode_rejects_malformed_input() {
+        assert!(decode_buckets("8").is_none());
+        assert!(decode_buckets(":3").is_none());
+        assert!(decode_buckets("8:x").is_none());
+        assert!(decode_buckets("8:3,,16:1").is_none());
+    }
+
+    #[test]
+    fn bucket_quantile_walks_cumulative_mass() {
+        let b = buckets(&[("1", 10), ("2", 80), ("4", 9), ("inf", 1)]);
+        assert_eq!(bucket_quantile(&b, 0.0), Some(1.0));
+        assert_eq!(bucket_quantile(&b, 0.5), Some(2.0));
+        assert_eq!(bucket_quantile(&b, 0.95), Some(4.0));
+        assert_eq!(bucket_quantile(&b, 1.0), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn bucket_quantile_rejects_bad_inputs() {
+        let b = buckets(&[("1", 1)]);
+        assert!(bucket_quantile(&b, -0.1).is_none());
+        assert!(bucket_quantile(&b, 1.1).is_none());
+        assert!(bucket_quantile(&buckets(&[("1", 0)]), 0.5).is_none());
+        assert!(bucket_quantile(&buckets(&[("wat", 1)]), 0.5).is_none());
     }
 }

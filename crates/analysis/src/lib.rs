@@ -45,7 +45,9 @@ pub mod trajectory;
 
 pub use bootstrap::{bootstrap_ci, BootstrapCi};
 pub use ecdf::Ecdf;
-pub use histogram::{summarize_buckets, BucketSummary, Histogram};
+pub use histogram::{
+    bucket_quantile, decode_buckets, encode_buckets, summarize_buckets, BucketSummary, Histogram,
+};
 pub use quantile::quantile;
 pub use regression::{linear_fit, power_law_fit, LinearFit, PowerLawFit};
 pub use sequences::harmonic;

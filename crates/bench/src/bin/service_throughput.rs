@@ -13,11 +13,18 @@
 //! clients `∈ {2, 8}`. `--quick` (any value) shrinks to `n = 10⁴`, 2
 //! clients, both backends, for CI smoke runs.
 //!
+//! Each cell also drains the daemon's own request tracer (`stats` with
+//! `reset:true`, a read-and-reset window): the server-side per-command
+//! p50/p95/p99 plus the mean span attribution (queue wait → parse →
+//! locks → engine → journal → fsync → response write), printed as a
+//! tail-latency table under the client-side grid row.
+//!
 //! Outputs:
 //!
-//! * stdout — one table row per cell;
+//! * stdout — one table row per cell, plus its span-attribution table;
 //! * `--json-out <path>` — one schema `"kind":"service"` JSONL row per
-//!   cell, renderable with `ssle report <path>`.
+//!   cell plus the cell's `"kind":"server_stats"` rows, renderable with
+//!   `ssle report <path>`.
 //!
 //! Usage:
 //!
@@ -32,9 +39,10 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use analysis::quantile;
-use population::record::{to_jsonl_mixed, RecordLine, ServiceRecord};
+use population::record::{to_jsonl_mixed, RecordLine, ServerStatsRecord, ServiceRecord};
 use ssle_bench::cli::Flags;
-use ssle_serve::client::request_map;
+use ssle_serve::client::{request, request_map};
+use ssle_serve::wire::embedded_rows;
 use ssle_serve::{ServeConfig, Server};
 
 const EXPERIMENT: &str = "service_throughput";
@@ -75,8 +83,29 @@ fn client_run(addr: &str, name: &str, requests: usize) -> std::io::Result<Vec<f6
     Ok(latencies)
 }
 
-/// Runs one cell against a running daemon and returns its record.
-fn run_cell(addr: &str, cell: &Cell, requests_per_client: usize, seed: u64) -> ServiceRecord {
+/// Drains the daemon's request tracer: fetches `stats` with
+/// `reset:true` (read-and-reset) and parses the embedded per-command
+/// rows. Empty when the daemon was built with `obs-off`.
+fn drain_stats(addr: &str) -> Vec<ServerStatsRecord> {
+    let line = request(addr, "{\"cmd\":\"stats\",\"reset\":true}").expect("stats request");
+    if !line.contains("\"ok\":true") {
+        return Vec::new(); // obs-off daemon: no tracer to drain
+    }
+    embedded_rows(&line, "commands")
+        .expect("stats response embeds a commands array")
+        .iter()
+        .map(|row| ServerStatsRecord::from_json(row).expect("well-formed server_stats row"))
+        .collect()
+}
+
+/// Runs one cell against a running daemon and returns its client-side
+/// record plus the daemon's own per-command window for the cell.
+fn run_cell(
+    addr: &str,
+    cell: &Cell,
+    requests_per_client: usize,
+    seed: u64,
+) -> (ServiceRecord, Vec<ServerStatsRecord>) {
     let name = format!("bench-{}-{}", cell.backend, cell.n);
     // Created once per (backend, n); later cells at other client counts
     // reuse it, so tolerate "already exists".
@@ -95,6 +124,9 @@ fn run_cell(addr: &str, cell: &Cell, requests_per_client: usize, seed: u64) -> S
     // A little work so the population is not in its initial configuration.
     request_map(addr, &format!("{{\"cmd\":\"step\",\"name\":\"{name}\",\"interactions\":1000}}"))
         .expect("warm-up step");
+    // Open a fresh tracer window: the cell's stats must not include the
+    // create/warm-up traffic or the previous cell.
+    let _ = drain_stats(addr);
 
     let started = Instant::now();
     let mut handles = Vec::new();
@@ -110,7 +142,14 @@ fn run_cell(addr: &str, cell: &Cell, requests_per_client: usize, seed: u64) -> S
     let wall = started.elapsed().as_secs_f64();
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     let requests = latencies.len() as u64;
-    ServiceRecord {
+    // The cell's server-side window: stamp each row with the cell shape
+    // so `ssle report` renders one section per cell.
+    let mut stats = drain_stats(addr);
+    for row in &mut stats {
+        row.experiment =
+            format!("{EXPERIMENT} {} n={} clients={}", cell.backend, cell.n, cell.clients);
+    }
+    let record = ServiceRecord {
         experiment: EXPERIMENT.to_string(),
         protocol: "ciw".to_string(),
         backend: cell.backend.to_string(),
@@ -122,6 +161,34 @@ fn run_cell(addr: &str, cell: &Cell, requests_per_client: usize, seed: u64) -> S
         p99_us: quantile(&latencies, 0.99).expect("non-empty"),
         seed,
         wall_s: wall,
+    };
+    (record, stats)
+}
+
+/// Prints the server-side tail-latency table for one cell: per-command
+/// quantiles and where the time went, from the daemon's own tracer.
+fn print_span_table(stats: &[ServerStatsRecord]) {
+    for row in stats {
+        if row.cmd != "status" && row.cmd != "leader" {
+            continue; // create/step warm-up noise from a racing window
+        }
+        println!(
+            "  {:<8} server-side: p50 {:>7.0} p95 {:>7.0} p99 {:>7.0} µs | spans µs: \
+             queue {:.1} parse {:.1} reg-lock {:.1} pop-lock {:.1} engine {:.1} \
+             journal {:.1} fsync {:.1} write {:.1}",
+            row.cmd,
+            row.p50_us,
+            row.p95_us,
+            row.p99_us,
+            row.queue_us,
+            row.parse_us,
+            row.registry_lock_us,
+            row.pop_lock_us,
+            row.engine_us,
+            row.journal_us,
+            row.fsync_us,
+            row.write_us,
+        );
     }
 }
 
@@ -153,16 +220,19 @@ fn main() {
     );
 
     let mut records: Vec<ServiceRecord> = Vec::new();
+    let mut stats_rows: Vec<ServerStatsRecord> = Vec::new();
     for backend in ["agents", "counts"] {
         for &n in ns {
             for &clients in client_counts {
                 let cell = Cell { backend, n, clients };
-                let r = run_cell(&addr, &cell, requests_per_client, seed);
+                let (r, stats) = run_cell(&addr, &cell, requests_per_client, seed);
                 println!(
                     "{:<8} {:>9} {:>8} {:>9} {:>11.0} {:>10.0} {:>10.0}",
                     r.backend, r.n, r.clients, r.requests, r.rps, r.p50_us, r.p99_us
                 );
+                print_span_table(&stats);
                 records.push(r);
+                stats_rows.extend(stats);
             }
         }
     }
@@ -176,9 +246,18 @@ fn main() {
     println!("  tail shows the cost of consistency probes on a live population.");
 
     if let Some(path) = flags.try_get_str("json-out") {
-        let lines: Vec<RecordLine> = records.iter().cloned().map(RecordLine::Service).collect();
+        let lines: Vec<RecordLine> = records
+            .iter()
+            .cloned()
+            .map(RecordLine::Service)
+            .chain(stats_rows.iter().cloned().map(RecordLine::ServerStats))
+            .collect();
         std::fs::write(path, to_jsonl_mixed(&lines))
             .unwrap_or_else(|e| panic!("cannot write --json-out {path:?}: {e}"));
-        println!("\nwrote {} service rows to {path} (render: ssle report {path})", records.len());
+        println!(
+            "\nwrote {} service + {} server_stats rows to {path} (render: ssle report {path})",
+            records.len(),
+            stats_rows.len()
+        );
     }
 }

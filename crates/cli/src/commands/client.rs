@@ -16,7 +16,7 @@
 use std::time::Duration;
 
 use population::record::{parse_flat_json, JsonObject, JsonScalar};
-use ssle_serve::client::{request, RetryConfig};
+use ssle_serve::client::{request, ClientError, RetryConfig};
 use ssle_serve::RetryClient;
 
 use crate::commands::parse_flags;
@@ -77,11 +77,29 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         })?;
         return run_hardened(&addr, &line, retries, &flags);
     }
-    let response = request(&addr, &line).map_err(|e| CliError::Report {
-        path: addr.clone(),
-        reason: format!("cannot reach daemon: {e}"),
-    })?;
+    let response = request(&addr, &line)
+        .map_err(|e| CliError::ServerUnreachable { addr: addr.clone(), reason: e.to_string() })?;
+    classify_envelope(&addr, &response)?;
     Ok(format!("{response}\n"))
+}
+
+/// Maps an error envelope to its exit-code class: a busy rejection exits
+/// 3 (back off and resubmit), any other server-side error exits 5 (the
+/// request itself was refused). Success envelopes — including nested
+/// responses the flat parser cannot read — pass through untouched.
+fn classify_envelope(addr: &str, response: &str) -> Result<(), CliError> {
+    let Ok(fields) = parse_flat_json(response) else { return Ok(()) };
+    if matches!(fields.get("ok"), Some(JsonScalar::Bool(false))) {
+        let reason = match fields.get("error") {
+            Some(JsonScalar::Str(e)) => e.clone(),
+            _ => "unspecified error".to_string(),
+        };
+        if reason == "busy" {
+            return Err(CliError::ServerBusy { addr: addr.to_string() });
+        }
+        return Err(CliError::ServerRefused { reason });
+    }
+    Ok(())
 }
 
 /// Drives one request through [`RetryClient`]: mutating commands get a
@@ -115,9 +133,13 @@ fn run_hardened(
     } else {
         client.request_map(line)
     };
-    let map = outcome.map_err(|e| CliError::Report {
-        path: addr.to_string(),
-        reason: format!("request failed: {e} ({} retries)", client.retries()),
+    let map = outcome.map_err(|e| match e {
+        ClientError::Busy => CliError::ServerBusy { addr: addr.to_string() },
+        ClientError::Exhausted(reason) => CliError::ServerUnreachable {
+            addr: addr.to_string(),
+            reason: format!("{reason} ({} retries)", client.retries()),
+        },
+        ClientError::Server(reason) => CliError::ServerRefused { reason },
     })?;
     Ok(format!("{}\n", render_map(&map)))
 }
@@ -221,5 +243,24 @@ mod tests {
     #[test]
     fn missing_both_is_an_error() {
         assert!(matches!(run(&[]), Err(CliError::BadValue { .. })));
+    }
+
+    /// Satellite: error envelopes map to exit-code classes — busy exits
+    /// 3, any other refusal exits 5, success passes through.
+    #[test]
+    fn envelopes_classify_into_exit_code_classes() {
+        let addr = "127.0.0.1:7700";
+        assert!(classify_envelope(addr, r#"{"ok":true,"cmd":"ping"}"#).is_ok());
+        assert!(matches!(
+            classify_envelope(addr, r#"{"ok":false,"error":"busy"}"#),
+            Err(CliError::ServerBusy { .. })
+        ));
+        let refused = classify_envelope(addr, r#"{"ok":false,"error":"unknown population \"x\""}"#);
+        match refused {
+            Err(CliError::ServerRefused { reason }) => assert!(reason.contains("unknown")),
+            other => panic!("expected ServerRefused, got {other:?}"),
+        }
+        // Nested responses the flat parser rejects are success envelopes.
+        assert!(classify_envelope(addr, r#"{"ok":true,"commands":[{"a":1}]}"#).is_ok());
     }
 }

@@ -10,6 +10,7 @@ pub mod serve;
 pub mod simulate;
 pub mod soak;
 pub mod states;
+pub mod top;
 pub mod trace;
 
 use crate::error::CliError;
@@ -19,6 +20,25 @@ use ssle_bench::cli::Flags;
 /// into [`CliError::BadFlag`].
 pub(crate) fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, CliError> {
     Flags::from_args(args.iter().cloned(), allowed).map_err(CliError::BadFlag)
+}
+
+/// Eight-level block characters the sparklines are drawn with — shared by
+/// `ssle report` and `ssle top`.
+pub(crate) const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders a series as a block sparkline scaled to its own min..max range.
+/// A constant series renders at the lowest level.
+pub(crate) fn sparkline(values: &[f64]) -> String {
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    values
+        .iter()
+        .map(|v| {
+            let level =
+                if max > min { ((v - min) / (max - min) * 7.0).round() as usize } else { 0 };
+            BLOCKS[level.min(7)]
+        })
+        .collect()
 }
 
 /// How a subcommand renders its result.

@@ -38,7 +38,8 @@ use analysis::{median_trajectory, quantile, summarize_buckets, Ecdf};
 use population::metrics::decode_histogram;
 use population::record::{
     from_jsonl_lenient, ChurnRecord, CrashRecord, FaultRecord, FrontierRecord, HealthRecord,
-    JsonObject, MetricsRecord, RecordLine, RunRecord, ServiceRecord, TimelineRecord,
+    JsonObject, MetricsRecord, RecordLine, RunRecord, ServerStatsRecord, ServiceRecord,
+    TimelineRecord, TraceRecord,
 };
 use population::ConvergenceSample;
 use ssle_bench::TimeSummary;
@@ -78,6 +79,9 @@ type CrashKey = (String, String, String, u64, String);
 /// One health group key: `(experiment, pop, protocol, backend, n)`.
 type HealthKey = (String, String, String, String, u64);
 
+/// One server-stats group key: `(experiment, wire command)`.
+type ServerStatsKey = (String, String);
+
 /// One churn group key: `(experiment, protocol, backend, n, h, churn spec,
 /// byzantine fraction rendered as text so the key stays totally ordered)`.
 type ChurnKey = (String, String, String, u64, Option<u64>, String, String);
@@ -87,23 +91,7 @@ const USAGE: &str =
                      \u{20}      ssle report --timeline <file.jsonl> [--format text|json]\n\
                      \u{20}      ssle report --metrics <file.jsonl> [--format text|json]";
 
-/// Eight-level block characters the sparklines are drawn with.
-const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
-
-/// Renders a series as a block sparkline scaled to its own min..max range.
-/// A constant series renders at the lowest level.
-fn sparkline(values: &[f64]) -> String {
-    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
-    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    values
-        .iter()
-        .map(|v| {
-            let level =
-                if max > min { ((v - min) / (max - min) * 7.0).round() as usize } else { 0 };
-            BLOCKS[level.min(7)]
-        })
-        .collect()
-}
+use crate::commands::sparkline;
 
 /// The `[k of N censored]` annotation the robustness bench prints next to
 /// quantile summaries whose sample is right-censored; empty when nothing
@@ -201,6 +189,8 @@ struct Loaded {
     services: Vec<ServiceRecord>,
     crashes: Vec<CrashRecord>,
     health: Vec<HealthRecord>,
+    server_stats: Vec<ServerStatsRecord>,
+    traces: Vec<TraceRecord>,
     /// `(line number, reason)` pairs a newer writer could have produced —
     /// unknown `kind` or a schema version above ours. Counted and warned
     /// about instead of silently skipped.
@@ -218,11 +208,13 @@ impl Loaded {
             + self.services.len()
             + self.crashes.len()
             + self.health.len()
+            + self.server_stats.len()
+            + self.traces.len()
     }
 
     /// Distinct set-aside reasons with counts and the first offending line
     /// of each, ordered by first appearance — so a stream with 400
-    /// `version 9` lines and one `kind "galaxy"` line warns twice, not 401
+    /// `version 10` lines and one `kind "galaxy"` line warns twice, not 401
     /// times and not once ambiguously.
     fn skipped_reasons(&self) -> Vec<(String, usize, usize)> {
         let mut reasons: Vec<(String, usize, usize)> = Vec::new();
@@ -265,6 +257,8 @@ fn load(path: &str) -> Result<Loaded, CliError> {
         services: Vec::new(),
         crashes: Vec::new(),
         health: Vec::new(),
+        server_stats: Vec::new(),
+        traces: Vec::new(),
         skipped: parsed.skipped,
     };
     for line in parsed.records {
@@ -278,6 +272,8 @@ fn load(path: &str) -> Result<Loaded, CliError> {
             RecordLine::Service(s) => loaded.services.push(s),
             RecordLine::Crash(c) => loaded.crashes.push(c),
             RecordLine::Health(h) => loaded.health.push(h),
+            RecordLine::ServerStats(s) => loaded.server_stats.push(s),
+            RecordLine::Trace(t) => loaded.traces.push(t),
         }
     }
     if loaded.total() == 0 {
@@ -306,6 +302,7 @@ fn report_one(path: &str, format: OutputFormat) -> Result<String, CliError> {
     let service_groups = group_services(&loaded.services);
     let crash_groups = group_crashes(&loaded.crashes);
     let health_groups = group_health(&loaded.health);
+    let server_stats_groups = group_server_stats(&loaded.server_stats);
     let total = loaded.total();
     match format {
         OutputFormat::Text => {
@@ -315,6 +312,8 @@ fn report_one(path: &str, format: OutputFormat) -> Result<String, CliError> {
             out.push_str(&render_service_text(&service_groups));
             out.push_str(&render_crash_text(&crash_groups));
             out.push_str(&render_health_text(&health_groups));
+            out.push_str(&render_server_stats_text(&server_stats_groups));
+            out.push_str(&render_traces_text(&loaded.traces));
             for ((experiment, protocol, backend, n), trials) in cohorts_of(&timeline_groups) {
                 out.push_str(&format!(
                     "\ntimelines: experiment={experiment} protocol={protocol} backend={backend} \
@@ -336,6 +335,8 @@ fn report_one(path: &str, format: OutputFormat) -> Result<String, CliError> {
             out.push_str(&render_service_json(&service_groups));
             out.push_str(&render_crash_json(&crash_groups));
             out.push_str(&render_health_json(&health_groups));
+            out.push_str(&render_server_stats_json(&server_stats_groups));
+            out.push_str(&render_traces_json(&loaded.traces));
             for (reason, count, first_line) in loaded.skipped_reasons() {
                 let mut obj = JsonObject::new();
                 obj.field_str("command", "report");
@@ -1052,6 +1053,137 @@ fn render_health_json(groups: &BTreeMap<HealthKey, Vec<&HealthRecord>>) -> Strin
         obj.field_u64("lag", last.lag);
         obj.field_str("fsync", &last.fsync);
         obj.field_u64("quarantines", last.quarantines);
+        out.push_str(&obj.finish());
+        out.push('\n');
+    }
+    out
+}
+
+fn group_server_stats(
+    rows: &[ServerStatsRecord],
+) -> BTreeMap<ServerStatsKey, Vec<&ServerStatsRecord>> {
+    let mut groups: BTreeMap<ServerStatsKey, Vec<&ServerStatsRecord>> = BTreeMap::new();
+    for s in rows {
+        groups.entry((s.experiment.clone(), s.cmd.clone())).or_default().push(s);
+    }
+    groups
+}
+
+fn render_server_stats_text(groups: &BTreeMap<ServerStatsKey, Vec<&ServerStatsRecord>>) -> String {
+    let mut out = String::new();
+    let mut seen_experiment: Option<&str> = None;
+    for ((experiment, cmd), group) in groups {
+        // Stats rows are windows; the last row per command is current.
+        let Some(last) = group.last() else { continue };
+        if seen_experiment != Some(experiment.as_str()) {
+            seen_experiment = Some(experiment);
+            out.push_str(&format!(
+                "\nserver stats: experiment={experiment}\n  {:<12} {:>8} {:>9} {:>9} {:>9} {:>9}  \
+                 latency\n",
+                "cmd", "count", "rps", "p50 µs", "p95 µs", "p99 µs",
+            ));
+        }
+        let spark = decode_histogram(&last.hist)
+            .map(|buckets| sparkline(&buckets.iter().map(|(_, c)| *c as f64).collect::<Vec<_>>()))
+            .unwrap_or_default();
+        out.push_str(&format!(
+            "  {:<12} {:>8} {:>9.1} {:>9.0} {:>9.0} {:>9.0}  {spark}\n",
+            cmd, last.count, last.rps, last.p50_us, last.p95_us, last.p99_us,
+        ));
+        out.push_str(&format!(
+            "    spans µs: queue {:.1}  parse {:.1}  reg-lock {:.1}  pop-lock {:.1}  \
+             engine {:.1}  journal {:.1}  fsync {:.1}  write {:.1}\n",
+            last.queue_us,
+            last.parse_us,
+            last.registry_lock_us,
+            last.pop_lock_us,
+            last.engine_us,
+            last.journal_us,
+            last.fsync_us,
+            last.write_us,
+        ));
+    }
+    out
+}
+
+fn render_server_stats_json(groups: &BTreeMap<ServerStatsKey, Vec<&ServerStatsRecord>>) -> String {
+    let mut out = String::new();
+    for ((experiment, cmd), group) in groups {
+        let Some(last) = group.last() else { continue };
+        let mut obj = JsonObject::new();
+        obj.field_str("command", "report");
+        obj.field_str("kind", "server_stats");
+        obj.field_str("experiment", experiment);
+        obj.field_str("cmd", cmd);
+        obj.field_u64("rows", group.len() as u64);
+        obj.field_u64("count", last.count);
+        obj.field_u64("errors", last.errors);
+        obj.field_f64("rps", last.rps);
+        obj.field_f64("p50_us", last.p50_us);
+        obj.field_f64("p95_us", last.p95_us);
+        obj.field_f64("p99_us", last.p99_us);
+        obj.field_f64("mean_us", last.mean_us);
+        obj.field_f64("engine_us", last.engine_us);
+        obj.field_f64("fsync_us", last.fsync_us);
+        obj.field_u64("busy", last.busy);
+        obj.field_u64("slow", last.slow);
+        obj.field_u64("journal_lag", last.journal_lag);
+        out.push_str(&obj.finish());
+        out.push('\n');
+    }
+    out
+}
+
+/// Traces are individual requests, not windows: summarize by command.
+fn render_traces_text(traces: &[TraceRecord]) -> String {
+    if traces.is_empty() {
+        return String::new();
+    }
+    let mut by_cmd: BTreeMap<&str, Vec<&TraceRecord>> = BTreeMap::new();
+    for t in traces {
+        by_cmd.entry(t.cmd.as_str()).or_default().push(t);
+    }
+    let mut out = format!("\ntraces: {} request(s) from the flight recorder\n", traces.len());
+    for (cmd, group) in by_cmd {
+        let n = group.len() as f64;
+        let mean = group.iter().map(|t| t.total_us as f64).sum::<f64>() / n;
+        let worst = group.iter().max_by_key(|t| t.total_us).expect("non-empty group");
+        let failed = group.iter().filter(|t| !t.ok).count();
+        out.push_str(&format!(
+            "  {:<12} {:>4} trace(s)  mean {mean:.0} µs  worst {} µs \
+             (queue {} engine {} journal {} fsync {} write {})  errors {failed}\n",
+            cmd,
+            group.len(),
+            worst.total_us,
+            worst.queue_us,
+            worst.engine_us,
+            worst.journal_us,
+            worst.fsync_us,
+            worst.write_us,
+        ));
+    }
+    out
+}
+
+fn render_traces_json(traces: &[TraceRecord]) -> String {
+    if traces.is_empty() {
+        return String::new();
+    }
+    let mut by_cmd: BTreeMap<&str, Vec<&TraceRecord>> = BTreeMap::new();
+    for t in traces {
+        by_cmd.entry(t.cmd.as_str()).or_default().push(t);
+    }
+    let mut out = String::new();
+    for (cmd, group) in by_cmd {
+        let n = group.len() as f64;
+        let mut obj = JsonObject::new();
+        obj.field_str("command", "report");
+        obj.field_str("kind", "traces");
+        obj.field_str("cmd", cmd);
+        obj.field_u64("rows", group.len() as u64);
+        obj.field_f64("mean_total_us", group.iter().map(|t| t.total_us as f64).sum::<f64>() / n);
+        obj.field_u64("worst_total_us", group.iter().map(|t| t.total_us).max().unwrap_or(0));
+        obj.field_u64("errors", group.iter().filter(|t| !t.ok).count() as u64);
         out.push_str(&obj.finish());
         out.push('\n');
     }
@@ -2021,7 +2153,7 @@ mod tests {
             .find(|l| l.trim_start().starts_with("leaders"))
             .expect("leaders sparkline present")
             .chars()
-            .filter_map(|c| BLOCKS.iter().position(|&b| b == c))
+            .filter_map(|c| crate::commands::BLOCKS.iter().position(|&b| b == c))
             .collect();
         assert!(spark.len() >= 2, "sparkline too short: {out}");
         let peak =
@@ -2249,15 +2381,15 @@ mod tests {
     #[test]
     fn future_rows_warn_once_per_distinct_reason() {
         let known = mk_churn(0, 0.8).to_json();
-        // A fabricated v9 row (one schema version above ours) and two
+        // A fabricated v10 row (one schema version above ours) and two
         // same-version rows of an unknown kind.
-        let v9 = "{\"v\":9,\"kind\":\"service\",\"experiment\":\"x\",\"rps\":1.0}";
+        let v10 = "{\"v\":10,\"kind\":\"service\",\"experiment\":\"x\",\"rps\":1.0}";
         let quorum = "{\"v\":7,\"kind\":\"quorum\",\"experiment\":\"x\",\"weight\":0.5}";
-        let text = format!("{known}\n{v9}\n{quorum}\n{quorum}\n");
+        let text = format!("{known}\n{v10}\n{quorum}\n{quorum}\n");
         let path = write_temp("ssle_report_future.jsonl", &text);
 
         let out = run(&args(&[&path])).unwrap();
-        assert!(out.contains("warning: 1 line(s) with version 9"), "{out}");
+        assert!(out.contains("warning: 1 line(s) with version 10"), "{out}");
         assert!(out.contains("(first at line 2)"), "{out}");
         assert!(out.contains("warning: 2 line(s) with kind \"quorum\""), "{out}");
         assert!(out.contains("(first at line 3)"), "{out}");
@@ -2269,20 +2401,86 @@ mod tests {
         let skipped: Vec<&str> =
             json.lines().filter(|l| l.contains("\"kind\":\"skipped\"")).collect();
         assert_eq!(skipped.len(), 2, "{json}");
-        assert!(skipped[0].contains("\"reason\":\"version 9\""), "{json}");
+        assert!(skipped[0].contains("\"reason\":\"version 10\""), "{json}");
         assert!(skipped[0].contains("\"lines\":1"), "{json}");
         assert!(skipped[1].contains("\"reason\":\"kind \\\"quorum\\\"\""), "{json}");
         assert!(skipped[1].contains("\"lines\":2"), "{json}");
 
         // A stream of only-future rows errors with the upgrade hint instead
         // of the generic "no records".
-        let path = write_temp("ssle_report_future_only.jsonl", &format!("{v9}\n"));
+        let path = write_temp("ssle_report_future_only.jsonl", &format!("{v10}\n"));
         match run(&args(&[&path])) {
             Err(CliError::Report { reason, .. }) => {
                 assert!(reason.contains("newer writer"), "{reason}")
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    /// Tentpole: schema-v9 `server_stats` and `trace` rows render as the
+    /// live-service latency table and the flight-recorder summary.
+    #[test]
+    fn server_stats_and_trace_streams_render() {
+        let stats = ServerStatsRecord {
+            experiment: "serve".to_string(),
+            cmd: "step".to_string(),
+            count: 100,
+            errors: 1,
+            rps: 50.0,
+            p50_us: 120.0,
+            p95_us: 900.0,
+            p99_us: 2000.0,
+            mean_us: 200.0,
+            queue_us: 1.0,
+            parse_us: 2.0,
+            registry_lock_us: 0.5,
+            pop_lock_us: 0.5,
+            engine_us: 150.0,
+            journal_us: 20.0,
+            fsync_us: 10.0,
+            write_us: 16.0,
+            hist: "128:60,1024:35,inf:5".to_string(),
+            window_s: 2.0,
+            busy: 0,
+            queue_depth: 0,
+            slow: 1,
+            journal_lag: 3,
+        };
+        let trace = TraceRecord {
+            cmd: "step".to_string(),
+            pop: "a".to_string(),
+            id: "c1-0".to_string(),
+            ok: true,
+            total_us: 321,
+            queue_us: 1,
+            parse_us: 2,
+            registry_lock_us: 0,
+            pop_lock_us: 0,
+            engine_us: 300,
+            journal_us: 10,
+            fsync_us: 5,
+            write_us: 3,
+        };
+        let text = format!("{}\n{}\n", stats.to_json(), trace.to_json());
+        let path = write_temp("ssle_report_server_stats.jsonl", &text);
+
+        let out = run(&args(&[&path])).unwrap();
+        assert!(out.contains("server stats: experiment=serve"), "{out}");
+        assert!(out.contains("engine 150.0"), "{out}");
+        assert!(out.contains("traces: 1 request(s)"), "{out}");
+        assert!(out.contains("worst 321 µs"), "{out}");
+
+        let json = run(&args(&[&path, "--format", "json"])).unwrap();
+        assert!(
+            json.lines()
+                .any(|l| l.contains("\"kind\":\"server_stats\"") && l.contains("\"p99_us\":2000")),
+            "{json}"
+        );
+        assert!(
+            json.lines()
+                .any(|l| l.contains("\"kind\":\"traces\"") && l.contains("\"worst_total_us\":321")),
+            "{json}"
+        );
     }
 
     /// Tentpole ride-along: `kind = "service"` rows from the throughput

@@ -27,6 +27,7 @@ const FLAGS: &[&str] = &[
     "autosnap-every",
     "max-line",
     "line-deadline",
+    "slow-ms",
 ];
 
 /// Runs the subcommand. Blocks until the daemon shuts down (a `shutdown`
@@ -92,6 +93,7 @@ pub(crate) fn config_from_flags(flags: &ssle_bench::cli::Flags) -> Result<ServeC
         line_deadline: Duration::from_secs(line_deadline.max(1)),
         fsync,
         autosnap_every,
+        slow_ms: flags.get("slow-ms", defaults.slow_ms),
     })
 }
 
@@ -183,6 +185,8 @@ mod tests {
             "4096",
             "--line-deadline",
             "3",
+            "--slow-ms",
+            "25",
         ]))
         .unwrap();
         assert_eq!(config.addr, "127.0.0.1:0");
@@ -193,6 +197,7 @@ mod tests {
         assert_eq!(config.autosnap_every, 32);
         assert_eq!(config.max_line, 4096);
         assert_eq!(config.line_deadline, Duration::from_secs(3));
+        assert_eq!(config.slow_ms, 25);
     }
 
     #[test]

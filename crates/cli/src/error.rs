@@ -30,6 +30,43 @@ pub enum CliError {
         /// What went wrong (I/O or parse error).
         reason: String,
     },
+    /// The daemon shed load: every attempt ended in a busy rejection.
+    /// Scripts can back off and resubmit — exit code 3.
+    ServerBusy {
+        /// The address that kept rejecting.
+        addr: String,
+    },
+    /// No response at all within the retry budget (connect/transport
+    /// failures) — the daemon is down or unreachable. Exit code 4.
+    ServerUnreachable {
+        /// The address that never answered.
+        addr: String,
+        /// The last transport-level failure.
+        reason: String,
+    },
+    /// The daemon answered with an error envelope — the request itself
+    /// was rejected, so retrying it verbatim cannot help. Exit code 5.
+    ServerRefused {
+        /// The server's error message.
+        reason: String,
+    },
+}
+
+impl CliError {
+    /// Process exit code for this error. Service-layer failures get
+    /// distinct codes so scripts can tell "back off and retry"
+    /// ([`CliError::ServerBusy`], 3) from "daemon down"
+    /// ([`CliError::ServerUnreachable`], 4) from "fix the request"
+    /// ([`CliError::ServerRefused`], 5); everything else exits 2.
+    #[must_use]
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::ServerBusy { .. } => 3,
+            CliError::ServerUnreachable { .. } => 4,
+            CliError::ServerRefused { .. } => 5,
+            _ => 2,
+        }
+    }
 }
 
 impl fmt::Display for CliError {
@@ -46,6 +83,13 @@ impl fmt::Display for CliError {
                 "execution did not stabilize within {interactions} interactions; raise --max-time"
             ),
             CliError::Report { path, reason } => write!(f, "cannot report on {path:?}: {reason}"),
+            CliError::ServerBusy { addr } => {
+                write!(f, "server at {addr} is busy: retry budget exhausted on backpressure")
+            }
+            CliError::ServerUnreachable { addr, reason } => {
+                write!(f, "server at {addr} is unreachable: {reason}")
+            }
+            CliError::ServerRefused { reason } => write!(f, "server refused the request: {reason}"),
         }
     }
 }
@@ -62,5 +106,24 @@ mod tests {
         let bad = CliError::BadValue { flag: "n".into(), reason: "must be ≥ 2".into() };
         assert!(bad.to_string().contains("--n"));
         assert!(CliError::DidNotConverge { interactions: 5 }.to_string().contains("5"));
+    }
+
+    /// Satellite: service failures carry distinct exit codes so shell
+    /// scripts can branch on busy vs down vs refused.
+    #[test]
+    fn service_failures_get_distinct_exit_codes() {
+        let busy = CliError::ServerBusy { addr: "127.0.0.1:7700".into() };
+        let down = CliError::ServerUnreachable {
+            addr: "127.0.0.1:7700".into(),
+            reason: "connection refused".into(),
+        };
+        let refused = CliError::ServerRefused { reason: "unknown population \"x\"".into() };
+        assert_eq!(busy.exit_code(), 3);
+        assert_eq!(down.exit_code(), 4);
+        assert_eq!(refused.exit_code(), 5);
+        assert_eq!(CliError::BadFlag("--x".into()).exit_code(), 2);
+        assert!(busy.to_string().contains("busy"));
+        assert!(down.to_string().contains("unreachable"));
+        assert!(refused.to_string().contains("refused"));
     }
 }

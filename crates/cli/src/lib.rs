@@ -42,6 +42,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "serve" => commands::serve::run(rest),
         "client" => commands::client::run(rest),
         "chaos" => commands::chaos::run(rest),
+        "top" => commands::top::run(rest),
         "soak" => commands::soak::run(rest),
         "states" => commands::states::run(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
@@ -84,7 +85,7 @@ COMMANDS:
                   [--addr <host:port>] [--threads <w>] [--queue <slots>]
                   [--snapshot-dir <dir>] [--read-timeout <secs>]
                   [--fsync always|every:<n>|never] [--autosnap-every <cmds>]
-                  [--max-line <bytes>] [--line-deadline <secs>]
+                  [--max-line <bytes>] [--line-deadline <secs>] [--slow-ms <ms>]
     client      send one wire-protocol request to a running daemon
                   [--addr <host:port>] --send '<json>'
                   | --cmd <command> [--name <pop>] [--protocol ciw|oss]
@@ -95,6 +96,8 @@ COMMANDS:
                   [--listen <host:port>] [--upstream <host:port>] [--seed <u64>]
                   [--delay-prob <p>] [--delay-ms <ms>] [--reset-prob <p>]
                   [--partial-prob <p>] [--slowloris true] [--slowloris-ms <ms>]
+    top         live latency dashboard over a running daemon's stats stream
+                  [--addr <host:port>] [--interval-ms <ms>] [--frames <n>] [--once]
     soak        sustain a fault rate against a protocol and report availability
                   --protocol ciw|optimal-silent|sublinear --n <agents>
                   [--fault-rate <faults per time unit>] [--fault-size <k|sqrt|frac|all>]

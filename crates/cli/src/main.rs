@@ -6,7 +6,7 @@ fn main() {
         Ok(report) => print!("{report}"),
         Err(err) => {
             eprintln!("{err}");
-            std::process::exit(2);
+            std::process::exit(err.exit_code());
         }
     }
 }

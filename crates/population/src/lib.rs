@@ -119,7 +119,7 @@ pub use probe::{
 pub use protocol::{Protocol, RankingProtocol};
 pub use record::{
     from_jsonl_lenient, ChurnRecord, FaultRecord, FrontierRecord, LenientParse, MetricsRecord,
-    RecordLine, RunRecord, ServiceRecord, TimelineRecord,
+    RecordLine, RunRecord, ServerStatsRecord, ServiceRecord, TimelineRecord, TraceRecord,
 };
 pub use runner::{derive_seed, ConvergenceSample, Runner, TrialOutcome, TrialSettings};
 pub use scheduler::{AnyScheduler, Reliability, Scheduler, SchedulerPolicy};

@@ -396,41 +396,17 @@ impl<M: MetricsSink> MetricsSink for &mut M {
 /// Flat-encodes a histogram as `bound:count,…` over non-empty buckets, the
 /// overflow bucket as `inf:count`; `None` when the histogram is empty.
 /// (Same flat-string idiom as timeline phase occupancy, so the v5 record
-/// stays a flat JSON object.)
+/// stays a flat JSON object.) Delegates to the one shared codec in
+/// [`analysis::histogram`] so every log₂-bucket histogram in the workspace
+/// serializes identically.
 pub fn encode_histogram(hist: &FixedHistogram) -> Option<String> {
-    if hist.total() == 0 {
-        return None;
-    }
-    let mut out = String::new();
-    let bounds = hist.bounds();
-    for (idx, &count) in hist.counts().iter().enumerate() {
-        if count == 0 {
-            continue;
-        }
-        if !out.is_empty() {
-            out.push(',');
-        }
-        if idx < bounds.len() {
-            out.push_str(&format!("{}:{}", bounds[idx], count));
-        } else {
-            out.push_str(&format!("inf:{count}"));
-        }
-    }
-    Some(out)
+    analysis::encode_buckets(hist.bounds(), hist.counts())
 }
 
 /// Decodes an [`encode_histogram`] string back to `(bound-label, count)`
 /// pairs, in encoded order. Returns `None` on malformed input.
 pub fn decode_histogram(s: &str) -> Option<Vec<(String, u64)>> {
-    let mut out = Vec::new();
-    for part in s.split(',') {
-        let (label, count) = part.rsplit_once(':')?;
-        if label.is_empty() {
-            return None;
-        }
-        out.push((label.to_string(), count.parse().ok()?));
-    }
-    Some(out)
+    analysis::decode_buckets(s)
 }
 
 #[cfg(test)]

@@ -56,6 +56,15 @@
 //!   the `"kind":"health"` [`HealthRecord`] line (one liveness/journal-lag
 //!   row per served population, as reported by the `health` wire command).
 //!   Existing kinds are unchanged.
+//! * **v9** — adds the `"kind":"server_stats"` [`ServerStatsRecord`] line
+//!   (one per-wire-command latency aggregate from the daemon's request
+//!   tracer, as emitted by the `stats` wire command: request counts,
+//!   rps, log₂-bucket latency histogram with p50/p95/p99, and mean
+//!   per-request time attributed across queue/parse/lock/engine/journal/
+//!   fsync/write spans) and the `"kind":"trace"` [`TraceRecord`] line
+//!   (one request trace from the flight recorder, as dumped on worker
+//!   panic/quarantine or by the `dump-trace` command). Existing kinds
+//!   are unchanged.
 //!
 //! A stream may mix all kinds; [`from_jsonl_mixed`] reads everything as
 //! [`RecordLine`]s, while [`from_jsonl`] keeps its original contract of
@@ -72,7 +81,7 @@ use crate::simulation::RunOutcome;
 
 /// Version of the record schema. Bump when fields change meaning; readers
 /// accept [`MIN_SCHEMA_VERSION`]`..=SCHEMA_VERSION` and reject anything else.
-pub const SCHEMA_VERSION: u32 = 8;
+pub const SCHEMA_VERSION: u32 = 9;
 
 /// Oldest schema version readers still accept.
 pub const MIN_SCHEMA_VERSION: u32 = 1;
@@ -1229,6 +1238,226 @@ impl HealthRecord {
     }
 }
 
+/// One per-wire-command latency aggregate (`kind = "server_stats"`,
+/// schema v9), emitted by the `stats` wire command from the daemon's
+/// request tracer. `count`/`rps` cover the window since boot or the last
+/// `stats` reset; the `*_us` span fields are *mean* per-request
+/// microseconds attributing where a request's time went; `hist` is the
+/// end-to-end latency histogram in the shared `bound:count,…,inf:count`
+/// log₂-bucket encoding (bounds in microseconds), empty when no request
+/// landed. The pool/journal gauges (`busy`, `queue_depth`, `journal_lag`)
+/// are daemon-global, repeated on every row of one `stats` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerStatsRecord {
+    /// Name of the experiment/run that produced this record.
+    pub experiment: String,
+    /// The wire command this row aggregates (`"other"` for the rest).
+    pub cmd: String,
+    /// Requests served in the window.
+    pub count: u64,
+    /// Requests answered with `ok:false`.
+    pub errors: u64,
+    /// Sustained requests per second over the window.
+    pub rps: f64,
+    /// Median end-to-end latency (histogram bucket upper bound), µs.
+    pub p50_us: f64,
+    /// 95th-percentile end-to-end latency, µs.
+    pub p95_us: f64,
+    /// 99th-percentile end-to-end latency, µs.
+    pub p99_us: f64,
+    /// Mean end-to-end latency, µs.
+    pub mean_us: f64,
+    /// Mean pool-queue wait per request, µs.
+    pub queue_us: f64,
+    /// Mean request-parse time per request, µs.
+    pub parse_us: f64,
+    /// Mean registry-map lock wait per request, µs.
+    pub registry_lock_us: f64,
+    /// Mean per-population lock wait per request, µs.
+    pub pop_lock_us: f64,
+    /// Mean engine work per request, µs.
+    pub engine_us: f64,
+    /// Mean journal append (excluding fsync) per request, µs.
+    pub journal_us: f64,
+    /// Mean journal fsync per request, µs.
+    pub fsync_us: f64,
+    /// Mean response write+flush per request, µs.
+    pub write_us: f64,
+    /// End-to-end latency histogram (`bound:count,…`); empty if massless.
+    pub hist: String,
+    /// Seconds the window covers.
+    pub window_s: f64,
+    /// Busy-envelope refusals at the accept loop (daemon-global).
+    pub busy: u64,
+    /// Pool queue depth at the last accept (daemon-global gauge).
+    pub queue_depth: u64,
+    /// Requests past the `--slow-ms` threshold (daemon-global).
+    pub slow: u64,
+    /// Max journaled-but-unsnapshotted lag across populations
+    /// (daemon-global).
+    pub journal_lag: u64,
+}
+
+impl ServerStatsRecord {
+    /// Serializes to a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.field_u64("v", SCHEMA_VERSION as u64);
+        obj.field_str("kind", "server_stats");
+        obj.field_str("experiment", &self.experiment);
+        obj.field_str("cmd", &self.cmd);
+        obj.field_u64("count", self.count);
+        obj.field_u64("errors", self.errors);
+        obj.field_f64("rps", self.rps);
+        obj.field_f64("p50_us", self.p50_us);
+        obj.field_f64("p95_us", self.p95_us);
+        obj.field_f64("p99_us", self.p99_us);
+        obj.field_f64("mean_us", self.mean_us);
+        obj.field_f64("queue_us", self.queue_us);
+        obj.field_f64("parse_us", self.parse_us);
+        obj.field_f64("registry_lock_us", self.registry_lock_us);
+        obj.field_f64("pop_lock_us", self.pop_lock_us);
+        obj.field_f64("engine_us", self.engine_us);
+        obj.field_f64("journal_us", self.journal_us);
+        obj.field_f64("fsync_us", self.fsync_us);
+        obj.field_f64("write_us", self.write_us);
+        obj.field_str("hist", &self.hist);
+        obj.field_f64("window_s", self.window_s);
+        obj.field_u64("busy", self.busy);
+        obj.field_u64("queue_depth", self.queue_depth);
+        obj.field_u64("slow", self.slow);
+        obj.field_u64("journal_lag", self.journal_lag);
+        obj.finish()
+    }
+
+    /// Parses a server-stats record from one JSONL line.
+    pub fn from_json(line: &str) -> Result<Self, String> {
+        let fields = parse_flat_json(line)?;
+        check_version(&fields)?;
+        match record_kind(&fields)? {
+            "server_stats" => {}
+            other => return Err(format!("expected a server_stats record, got kind {other:?}")),
+        }
+        Self::from_fields(&fields)
+    }
+
+    fn from_fields(fields: &BTreeMap<String, JsonScalar>) -> Result<Self, String> {
+        Ok(ServerStatsRecord {
+            experiment: get_str(fields, "experiment")?.to_string(),
+            cmd: get_str(fields, "cmd")?.to_string(),
+            count: get_u64(fields, "count")?,
+            errors: get_u64(fields, "errors")?,
+            rps: get_f64(fields, "rps")?,
+            p50_us: get_f64(fields, "p50_us")?,
+            p95_us: get_f64(fields, "p95_us")?,
+            p99_us: get_f64(fields, "p99_us")?,
+            mean_us: get_f64(fields, "mean_us")?,
+            queue_us: get_f64(fields, "queue_us")?,
+            parse_us: get_f64(fields, "parse_us")?,
+            registry_lock_us: get_f64(fields, "registry_lock_us")?,
+            pop_lock_us: get_f64(fields, "pop_lock_us")?,
+            engine_us: get_f64(fields, "engine_us")?,
+            journal_us: get_f64(fields, "journal_us")?,
+            fsync_us: get_f64(fields, "fsync_us")?,
+            write_us: get_f64(fields, "write_us")?,
+            hist: get_str(fields, "hist")?.to_string(),
+            window_s: get_f64(fields, "window_s")?,
+            busy: get_u64(fields, "busy")?,
+            queue_depth: get_u64(fields, "queue_depth")?,
+            slow: get_u64(fields, "slow")?,
+            journal_lag: get_u64(fields, "journal_lag")?,
+        })
+    }
+}
+
+/// One request trace (`kind = "trace"`, schema v9) from the daemon's
+/// flight recorder — dumped to JSONL on worker panic/quarantine or via
+/// the `dump-trace` admin command. Span fields are microseconds; spans
+/// are non-overlapping (`journal_us` excludes the fsync it triggered),
+/// so they sum to at most `total_us`. `id` is the client request id
+/// (retry dedup), letting retried requests correlate across traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// The wire command (`"other"` for unparseable requests).
+    pub cmd: String,
+    /// Target population name; empty for population-less commands.
+    pub pop: String,
+    /// Client request id; empty when the client sent none.
+    pub id: String,
+    /// Whether the response carried `ok:true`.
+    pub ok: bool,
+    /// End-to-end microseconds (queue wait through response flush).
+    pub total_us: u64,
+    /// Pool-queue wait, µs (connection's first request only).
+    pub queue_us: u64,
+    /// Request-line parse, µs.
+    pub parse_us: u64,
+    /// Registry-map lock wait, µs.
+    pub registry_lock_us: u64,
+    /// Per-population lock wait, µs.
+    pub pop_lock_us: u64,
+    /// Engine work under the cell lock, µs.
+    pub engine_us: u64,
+    /// Journal append excluding fsync, µs.
+    pub journal_us: u64,
+    /// Journal fsync, µs.
+    pub fsync_us: u64,
+    /// Response write+flush, µs.
+    pub write_us: u64,
+}
+
+impl TraceRecord {
+    /// Serializes to a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.field_u64("v", SCHEMA_VERSION as u64);
+        obj.field_str("kind", "trace");
+        obj.field_str("cmd", &self.cmd);
+        obj.field_str("pop", &self.pop);
+        obj.field_str("id", &self.id);
+        obj.field_bool("ok", self.ok);
+        obj.field_u64("total_us", self.total_us);
+        obj.field_u64("queue_us", self.queue_us);
+        obj.field_u64("parse_us", self.parse_us);
+        obj.field_u64("registry_lock_us", self.registry_lock_us);
+        obj.field_u64("pop_lock_us", self.pop_lock_us);
+        obj.field_u64("engine_us", self.engine_us);
+        obj.field_u64("journal_us", self.journal_us);
+        obj.field_u64("fsync_us", self.fsync_us);
+        obj.field_u64("write_us", self.write_us);
+        obj.finish()
+    }
+
+    /// Parses a trace record from one JSONL line.
+    pub fn from_json(line: &str) -> Result<Self, String> {
+        let fields = parse_flat_json(line)?;
+        check_version(&fields)?;
+        match record_kind(&fields)? {
+            "trace" => {}
+            other => return Err(format!("expected a trace record, got kind {other:?}")),
+        }
+        Self::from_fields(&fields)
+    }
+
+    fn from_fields(fields: &BTreeMap<String, JsonScalar>) -> Result<Self, String> {
+        Ok(TraceRecord {
+            cmd: get_str(fields, "cmd")?.to_string(),
+            pop: get_str(fields, "pop")?.to_string(),
+            id: get_str(fields, "id")?.to_string(),
+            ok: get_bool(fields, "ok")?,
+            total_us: get_u64(fields, "total_us")?,
+            queue_us: get_u64(fields, "queue_us")?,
+            parse_us: get_u64(fields, "parse_us")?,
+            registry_lock_us: get_u64(fields, "registry_lock_us")?,
+            pop_lock_us: get_u64(fields, "pop_lock_us")?,
+            engine_us: get_u64(fields, "engine_us")?,
+            journal_us: get_u64(fields, "journal_us")?,
+            fsync_us: get_u64(fields, "fsync_us")?,
+            write_us: get_u64(fields, "write_us")?,
+        })
+    }
+}
+
 /// One parsed line of a (possibly mixed) JSONL experiment stream.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RecordLine {
@@ -1250,6 +1479,10 @@ pub enum RecordLine {
     Crash(CrashRecord),
     /// A served-population liveness/journal-lag row.
     Health(HealthRecord),
+    /// A per-wire-command server latency aggregate.
+    ServerStats(ServerStatsRecord),
+    /// A flight-recorder request trace.
+    Trace(TraceRecord),
 }
 
 impl RecordLine {
@@ -1277,6 +1510,8 @@ impl RecordLine {
             "service" => RecordLine::Service(ServiceRecord::from_fields(fields)?),
             "crash" => RecordLine::Crash(CrashRecord::from_fields(fields)?),
             "health" => RecordLine::Health(HealthRecord::from_fields(fields)?),
+            "server_stats" => RecordLine::ServerStats(ServerStatsRecord::from_fields(fields)?),
+            "trace" => RecordLine::Trace(TraceRecord::from_fields(fields)?),
             _ => return Ok(None),
         }))
     }
@@ -1293,6 +1528,8 @@ impl RecordLine {
             RecordLine::Service(s) => s.to_json(),
             RecordLine::Crash(c) => c.to_json(),
             RecordLine::Health(h) => h.to_json(),
+            RecordLine::ServerStats(s) => s.to_json(),
+            RecordLine::Trace(t) => t.to_json(),
         }
     }
 }
@@ -1335,7 +1572,9 @@ pub fn from_jsonl(text: &str) -> Result<Vec<RunRecord>, String> {
             | RecordLine::Churn(_)
             | RecordLine::Service(_)
             | RecordLine::Crash(_)
-            | RecordLine::Health(_) => None,
+            | RecordLine::Health(_)
+            | RecordLine::ServerStats(_)
+            | RecordLine::Trace(_) => None,
         })
         .collect())
 }
@@ -1769,7 +2008,7 @@ mod tests {
     fn frontier_record_round_trips() {
         let f = sample_frontier_record();
         let json = f.to_json();
-        assert!(json.starts_with("{\"v\":8,\"kind\":\"frontier\","), "{json}");
+        assert!(json.starts_with("{\"v\":9,\"kind\":\"frontier\","), "{json}");
         assert!(json.contains("\"backend\":\"counts\""), "{json}");
         assert!(json.contains("\"support\":2"), "{json}");
         assert!(json.contains("\"leaders\":null"), "{json}");
@@ -1805,7 +2044,7 @@ mod tests {
     fn timeline_record_round_trips() {
         let t = sample_timeline_record();
         let json = t.to_json();
-        assert!(json.starts_with("{\"v\":8,\"kind\":\"timeline\","), "{json}");
+        assert!(json.starts_with("{\"v\":9,\"kind\":\"timeline\","), "{json}");
         assert!(json.contains("\"parallel_time\":4.096"), "{json}");
         assert!(json.contains("\"phases\":\"propagate:12,reset:3\""), "{json}");
         assert_eq!(TimelineRecord::from_json(&json).unwrap(), t);
@@ -1859,7 +2098,7 @@ mod tests {
     fn metrics_record_round_trips() {
         let m = sample_metrics_record();
         let json = m.to_json();
-        assert!(json.starts_with("{\"v\":8,\"kind\":\"metrics\","), "{json}");
+        assert!(json.starts_with("{\"v\":9,\"kind\":\"metrics\","), "{json}");
         assert!(json.contains("\"batch_hist\":\"256:12,512:3988\""), "{json}");
         assert!(json.contains("\"ips\":4000000"), "{json}");
         assert_eq!(MetricsRecord::from_json(&json).unwrap(), m);
@@ -1969,7 +2208,7 @@ mod tests {
         let json = sample_record().to_json();
         assert!(json.contains("\"parallel_time\":"), "{json}");
         assert!(json.contains("\"ips\":49380"), "{json}");
-        assert!(json.starts_with("{\"v\":8,\"kind\":\"trial\","), "version leads: {json}");
+        assert!(json.starts_with("{\"v\":9,\"kind\":\"trial\","), "version leads: {json}");
         assert!(
             !json.contains("availability") && !json.contains("faults"),
             "chaos fields only appear when set: {json}"
@@ -2000,7 +2239,7 @@ mod tests {
     fn fault_record_round_trips() {
         let f = sample_fault_record();
         let json = f.to_json();
-        assert!(json.starts_with("{\"v\":8,\"kind\":\"fault\","), "{json}");
+        assert!(json.starts_with("{\"v\":9,\"kind\":\"fault\","), "{json}");
         assert!(json.contains("\"recovery_parallel_time\":"), "{json}");
         assert_eq!(FaultRecord::from_json(&json).unwrap(), f);
         assert_eq!(f.recovery_interactions(), Some(30_000));
@@ -2044,10 +2283,10 @@ mod tests {
 
     #[test]
     fn wrong_version_is_rejected() {
-        let json = sample_record().to_json().replace("\"v\":8", "\"v\":9");
+        let json = sample_record().to_json().replace("\"v\":9", "\"v\":10");
         let err = RunRecord::from_json(&json).unwrap_err();
         assert!(err.contains("version"), "{err}");
-        let json = sample_record().to_json().replace("\"v\":8", "\"v\":0");
+        let json = sample_record().to_json().replace("\"v\":9", "\"v\":0");
         assert!(RunRecord::from_json(&json).is_err());
     }
 
@@ -2167,7 +2406,7 @@ mod tests {
     fn service_record_round_trips() {
         let s = sample_service_record();
         let json = s.to_json();
-        assert!(json.starts_with("{\"v\":8,\"kind\":\"service\","), "{json}");
+        assert!(json.starts_with("{\"v\":9,\"kind\":\"service\","), "{json}");
         assert!(json.contains("\"clients\":8"), "{json}");
         assert!(json.contains("\"p99_us\":1900"), "{json}");
         assert_eq!(ServiceRecord::from_json(&json).unwrap(), s);
@@ -2219,7 +2458,7 @@ mod tests {
     fn crash_record_round_trips() {
         let c = sample_crash_record();
         let json = c.to_json();
-        assert!(json.starts_with("{\"v\":8,\"kind\":\"crash\","), "{json}");
+        assert!(json.starts_with("{\"v\":9,\"kind\":\"crash\","), "{json}");
         assert!(json.contains("\"fsync\":\"every:16\""), "{json}");
         assert!(json.contains("\"lost_events\":8"), "{json}");
         assert!(json.contains("\"replay_identical\":true"), "{json}");
@@ -2236,7 +2475,7 @@ mod tests {
     fn health_record_round_trips() {
         let h = sample_health_record();
         let json = h.to_json();
-        assert!(json.starts_with("{\"v\":8,\"kind\":\"health\","), "{json}");
+        assert!(json.starts_with("{\"v\":9,\"kind\":\"health\","), "{json}");
         assert!(json.contains("\"lag\":9"), "{json}");
         assert!(json.contains("\"ranked\":true"), "{json}");
         assert!(json.contains("\"quarantines\":1"), "{json}");
@@ -2259,7 +2498,7 @@ mod tests {
     fn churn_record_round_trips() {
         let c = sample_churn_record();
         let json = c.to_json();
-        assert!(json.starts_with("{\"v\":8,\"kind\":\"churn\","), "{json}");
+        assert!(json.starts_with("{\"v\":9,\"kind\":\"churn\","), "{json}");
         assert!(json.contains("\"churn\":\"2.0\""), "{json}");
         assert!(json.contains("\"byzantine\":0.05"), "{json}");
         assert!(json.contains("\"final_n\":66"), "{json}");
@@ -2290,14 +2529,14 @@ mod tests {
     #[test]
     fn lenient_parse_sets_aside_future_lines() {
         let known = sample_churn_record().to_json();
-        let future_version = known.replace("\"v\":8", "\"v\":9");
+        let future_version = known.replace("\"v\":9", "\"v\":10");
         let future_kind = known.replace("\"kind\":\"churn\"", "\"kind\":\"galaxy\"");
         let text = format!("{known}\n{future_version}\n{future_kind}\n");
         let parsed = from_jsonl_lenient(&text).unwrap();
         assert_eq!(parsed.records, vec![RecordLine::Churn(sample_churn_record())]);
         assert_eq!(
             parsed.skipped,
-            vec![(2, "version 9".to_string()), (3, "kind \"galaxy\"".to_string())]
+            vec![(2, "version 10".to_string()), (3, "kind \"galaxy\"".to_string())]
         );
         // Strict mixed parsing still rejects the same stream.
         assert!(from_jsonl_mixed(&text).is_err());
@@ -2306,12 +2545,12 @@ mod tests {
     #[test]
     fn lenient_parse_still_hard_errors_on_garbage() {
         // Below MIN_SCHEMA_VERSION: no writer should produce this.
-        let stale = sample_churn_record().to_json().replace("\"v\":8", "\"v\":0");
+        let stale = sample_churn_record().to_json().replace("\"v\":9", "\"v\":0");
         assert!(from_jsonl_lenient(&stale).unwrap_err().contains("version"));
         // Malformed JSON is a hard error too.
         assert!(from_jsonl_lenient("{\"v\":8,").is_err());
         // A known kind with broken fields is a hard error, not a skip.
-        let broken = "{\"v\":8,\"kind\":\"churn\",\"experiment\":\"x\"}";
+        let broken = "{\"v\":9,\"kind\":\"churn\",\"experiment\":\"x\"}";
         assert!(from_jsonl_lenient(broken).is_err());
     }
 }

@@ -248,14 +248,14 @@ fn older_schema_versions_parse_to_the_same_records() {
         starve_window: None,
     };
     let current = record.to_json();
-    assert!(current.contains("\"v\":8"), "{current}");
-    for old in 1..8u32 {
-        let line = current.replace("\"v\":8", &format!("\"v\":{old}"));
+    assert!(current.contains("\"v\":9"), "{current}");
+    for old in 1..9u32 {
+        let line = current.replace("\"v\":9", &format!("\"v\":{old}"));
         let parsed =
             RecordLine::from_json(&line).unwrap_or_else(|e| panic!("v{old} line rejected: {e}"));
         assert_eq!(parsed, RecordLine::Trial(record.clone()), "v{old}");
     }
     // The trial reader sees exactly the run rows, whatever their version.
-    let mixed = format!("{}\n{}\n", current, current.replace("\"v\":8", "\"v\":2"));
+    let mixed = format!("{}\n{}\n", current, current.replace("\"v\":9", "\"v\":2"));
     assert_eq!(from_jsonl(&mixed).expect("mixed versions").len(), 2);
 }

@@ -111,6 +111,39 @@ impl Default for RetryConfig {
     }
 }
 
+/// Why a [`RetryClient`] request ultimately failed. The three variants
+/// are deliberately distinguishable so callers (the CLI in particular)
+/// can map them to distinct process exit codes: saturation, outage, and
+/// semantic refusal call for different operator responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Every failing attempt inside the budget was refused with the
+    /// server's `busy` backpressure envelope — the service is up but
+    /// saturated; backing off longer may succeed.
+    Busy,
+    /// The retry/deadline budget ran out on transport failures (connect,
+    /// read, or write) without a definitive server answer — the service
+    /// looks unreachable.
+    Exhausted(String),
+    /// The server answered `ok:false` with a semantic error; never
+    /// retried (except `busy`, which exhausts into [`ClientError::Busy`]).
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Busy => {
+                write!(f, "server busy: retry budget exhausted on backpressure")
+            }
+            ClientError::Exhausted(e) => write!(f, "{e}"),
+            ClientError::Server(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
 /// What one attempt produced, before retry classification.
 enum Attempt {
     /// Transport-level ok, envelope `ok:true`.
@@ -176,9 +209,10 @@ impl RetryClient {
     ///
     /// # Errors
     ///
-    /// Returns the server's error message, or the last transport error
-    /// once the deadline/attempt budget is exhausted.
-    pub fn request_map(&mut self, line: &str) -> Result<BTreeMap<String, JsonScalar>, String> {
+    /// [`ClientError::Server`] for a semantic refusal, [`ClientError::Busy`]
+    /// or [`ClientError::Exhausted`] once the deadline/attempt budget runs
+    /// out on backpressure or transport failures respectively.
+    pub fn request_map(&mut self, line: &str) -> Result<BTreeMap<String, JsonScalar>, ClientError> {
         self.drive(line.to_string())
     }
 
@@ -189,17 +223,20 @@ impl RetryClient {
     ///
     /// As [`RetryClient::request_map`]; also rejects lines that already
     /// carry an `id` or are not a flat JSON object.
-    pub fn mutate_map(&mut self, line: &str) -> Result<BTreeMap<String, JsonScalar>, String> {
+    pub fn mutate_map(&mut self, line: &str) -> Result<BTreeMap<String, JsonScalar>, ClientError> {
         let id = self.peek_id();
         debug_assert!(valid_request_id(&id));
-        let line = inject_id(line, &id)?;
+        let line = inject_id(line, &id).map_err(ClientError::Server)?;
         self.next_id += 1;
         self.drive(line)
     }
 
-    fn drive(&mut self, line: String) -> Result<BTreeMap<String, JsonScalar>, String> {
+    fn drive(&mut self, line: String) -> Result<BTreeMap<String, JsonScalar>, ClientError> {
         let start = Instant::now();
-        let mut last_error = String::new();
+        // When attempts mixed busy refusals and transport failures, the
+        // last one decides the variant — it reflects the freshest view of
+        // the server.
+        let mut exhausted = ClientError::Exhausted("no attempt made".to_string());
         for attempt in 0..self.config.max_attempts {
             let remaining = match self.config.deadline.checked_sub(start.elapsed()) {
                 Some(r) if !r.is_zero() => r,
@@ -210,9 +247,14 @@ impl RetryClient {
             }
             match self.attempt(&line, remaining) {
                 Attempt::Ok(map) => return Ok(map),
-                Attempt::ServerError(e) if e == "busy" => last_error = e,
-                Attempt::ServerError(e) => return Err(e),
-                Attempt::Transport(e) => last_error = e,
+                Attempt::ServerError(e) if e == "busy" => exhausted = ClientError::Busy,
+                Attempt::ServerError(e) => return Err(ClientError::Server(e)),
+                Attempt::Transport(e) => {
+                    exhausted = ClientError::Exhausted(format!(
+                        "request to {} failed after retries: {e}",
+                        self.addr
+                    ));
+                }
             }
             // Jittered exponential backoff, clipped to the remaining
             // deadline so the last retry still gets socket time.
@@ -225,7 +267,7 @@ impl RetryClient {
             let pause = exp.mul_f64(jitter).min(remaining);
             std::thread::sleep(pause);
         }
-        Err(format!("request to {} failed after retries: {last_error}", self.addr))
+        Err(exhausted)
     }
 
     fn attempt(&self, line: &str, remaining: Duration) -> Attempt {
@@ -322,8 +364,21 @@ mod tests {
         );
         let start = Instant::now();
         let err = c.request_map(r#"{"cmd":"ping"}"#).unwrap_err();
-        assert!(err.contains("failed after retries"), "{err}");
+        match &err {
+            ClientError::Exhausted(msg) => {
+                assert!(msg.contains("failed after retries"), "{msg}");
+            }
+            other => panic!("expected transport exhaustion, got {other:?}"),
+        }
         assert!(start.elapsed() < Duration::from_secs(3), "deadline ignored");
         assert!(c.retries() > 0);
+    }
+
+    #[test]
+    fn client_error_variants_render_distinctly() {
+        assert!(ClientError::Busy.to_string().contains("busy"));
+        assert_eq!(ClientError::Server("no population".to_string()).to_string(), "no population");
+        let e = ClientError::Exhausted("request to x failed after retries: refused".to_string());
+        assert!(e.to_string().contains("failed after retries"));
     }
 }

@@ -534,7 +534,8 @@ impl Wal {
     ///
     /// Returns filesystem errors as strings.
     pub fn sync(&mut self) -> Result<(), String> {
-        self.file.sync_all().map_err(|e| format!("sync {}: {e}", self.path.display()))?;
+        crate::obs::time_span(crate::obs::Span::Fsync, || self.file.sync_all())
+            .map_err(|e| format!("sync {}: {e}", self.path.display()))?;
         self.since_sync = 0;
         self.synced_len = self.len;
         Ok(())

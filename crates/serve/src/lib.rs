@@ -11,6 +11,10 @@
 //!
 //! * [`pool`] — bounded thread pool with busy backpressure and panic
 //!   isolation (workers respawn);
+//! * [`obs`] — zero-cost-when-off request tracing: per-command log₂
+//!   latency histograms and span attribution (queue/lock/engine/journal/
+//!   fsync/write) aggregated lock-free, a flight recorder dumped on
+//!   panic/quarantine, and the `--slow-ms` slow-request log;
 //! * [`wire`] — line-delimited flat-JSON requests/responses sharing the
 //!   record module's codec;
 //! * [`pop`] — the managed-population trait object: `ciw`/`oss` on
@@ -35,6 +39,7 @@
 pub mod chaos;
 pub mod client;
 pub mod journal;
+pub mod obs;
 pub mod pool;
 pub mod pop;
 pub mod registry;
@@ -42,8 +47,9 @@ pub mod server;
 pub mod wire;
 
 pub use chaos::{ChaosConfig, ChaosProxy, ChaosStats};
-pub use client::RetryClient;
+pub use client::{ClientError, RetryClient};
 pub use journal::{DedupWindow, FsyncPolicy, JournalDoc, Op, Wal};
+pub use obs::{ServerStats, Span, StatsSnapshot, Trace};
 pub use pool::{PoolError, ThreadPool};
 pub use pop::{Checkpoint, EventKind, LeaderReport, Managed, RanksReport, Status, StepReport};
 pub use registry::{Applied, ApplyOutcome, Durability, HealthRow, PopCell, Registry};

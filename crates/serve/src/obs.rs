@@ -1,0 +1,606 @@
+//! Zero-cost-when-off request observability: span tracing, lock-free
+//! latency aggregation, a flight recorder, and a slow-request log.
+//!
+//! Every request the daemon serves is stamped with monotonic span
+//! timestamps across its full life — pool queue wait, parse, registry
+//! lock, per-population lock, engine work, journal append, fsync, and
+//! response write — and folded into a shared [`ServerStats`]:
+//!
+//! * **Per-command latency histograms.** log₂-bucketed microsecond
+//!   histograms plus per-span totals, aggregated entirely with atomics so
+//!   the hot path never takes a lock. The buckets use the same
+//!   `bound:count,…,inf:count` encoding as the engine's batch-size
+//!   metrics ([`analysis::encode_buckets`]), so the `stats` wire command
+//!   can emit them as schema-v9 `server_stats` records directly.
+//! * **A flight recorder.** A bounded ring buffer of the last
+//!   [`FLIGHT_CAPACITY`] request traces, dumped to JSONL automatically
+//!   when a worker panics or a population is quarantined, or on demand
+//!   via the `dump-trace` admin command — the post-mortem for "what was
+//!   the daemon doing right before it went wrong".
+//! * **A slow-request log.** Requests slower than `--slow-ms` are logged
+//!   to stderr with their full span breakdown.
+//!
+//! The tracer is *zero-cost in two tiers*. Compiled out (`obs-off`
+//! feature): [`COMPILED`] is `false` and every instrumentation site
+//! const-folds to the untimed path. Compiled in but inactive (no trace
+//! begun on this thread — e.g. the registry driven directly by tests or
+//! benches): [`time_span`] checks a thread-local flag and skips the
+//! clock entirely.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use population::record::TraceRecord;
+
+/// Whether the tracer is compiled in; the `obs-off` feature flips this to
+/// `false` and instrumentation const-folds away.
+pub const COMPILED: bool = !cfg!(feature = "obs-off");
+
+/// How many request traces the flight recorder retains.
+pub const FLIGHT_CAPACITY: usize = 256;
+
+/// The spans a request's time is attributed across, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Span {
+    /// Waiting in the pool queue before a worker picked the connection up
+    /// (attributed to the connection's first request).
+    Queue = 0,
+    /// Parsing the request line.
+    Parse = 1,
+    /// Waiting for the registry map lock (name → slot lookup).
+    RegistryLock = 2,
+    /// Waiting for the per-population cell lock.
+    PopLock = 3,
+    /// Engine work while holding the cell lock (step/inject/read).
+    Engine = 4,
+    /// Journal append, *excluding* the fsync it may trigger.
+    Journal = 5,
+    /// Forcing the journal to disk (`sync_all`).
+    Fsync = 6,
+    /// Writing + flushing the response line.
+    Write = 7,
+}
+
+/// Number of [`Span`] variants.
+pub const SPAN_COUNT: usize = 8;
+
+/// Span labels, indexed by the [`Span`] discriminant.
+pub const SPAN_LABELS: [&str; SPAN_COUNT] =
+    ["queue", "parse", "registry_lock", "pop_lock", "engine", "journal", "fsync", "write"];
+
+/// The wire commands tracked individually; anything else (including
+/// requests too malformed to name a command) aggregates under `other`.
+pub const COMMANDS: [&str; 20] = [
+    "ping",
+    "create",
+    "step",
+    "join",
+    "leave",
+    "corrupt",
+    "churn-plan",
+    "leader",
+    "ranks",
+    "status",
+    "timeline",
+    "metrics",
+    "snapshot",
+    "health",
+    "list",
+    "delete",
+    "shutdown",
+    "stats",
+    "dump-trace",
+    "other",
+];
+
+/// The per-command slot a command name aggregates under.
+pub fn cmd_index(cmd: &str) -> usize {
+    COMMANDS.iter().position(|c| *c == cmd).unwrap_or(COMMANDS.len() - 1)
+}
+
+/// Number of log₂ latency-histogram bounds (microseconds, `1 << k`); one
+/// overflow bucket sits above the last bound (~0.5 s).
+pub const HIST_BOUNDS: usize = 20;
+
+/// The latency-histogram bucket upper bounds, in microseconds.
+pub const HIST_BOUNDS_US: [u64; HIST_BOUNDS] = {
+    let mut bounds = [0u64; HIST_BOUNDS];
+    let mut i = 0;
+    while i < HIST_BOUNDS {
+        bounds[i] = 1 << i;
+        i += 1;
+    }
+    bounds
+};
+
+thread_local! {
+    /// Whether a trace is active on this thread. A plain flag (the span
+    /// accumulator lives separately) so [`time_span`]'s inactive path is
+    /// one TLS read and no borrow bookkeeping.
+    static TRACE_ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static TRACE_SPANS: Cell<[u64; SPAN_COUNT]> = const { Cell::new([0; SPAN_COUNT]) };
+}
+
+/// Starts a trace on this thread: subsequent [`time_span`] /
+/// [`span_add`] calls accumulate until [`trace_take`]. No-op when
+/// compiled out.
+pub fn trace_begin() {
+    if !COMPILED {
+        return;
+    }
+    TRACE_SPANS.with(|s| s.set([0; SPAN_COUNT]));
+    TRACE_ACTIVE.with(|a| a.set(true));
+}
+
+/// Whether a trace is active on this thread.
+#[inline]
+pub fn trace_active() -> bool {
+    COMPILED && TRACE_ACTIVE.with(Cell::get)
+}
+
+/// Adds `nanos` to `span` on the active trace (no-op when inactive).
+pub fn span_add(span: Span, nanos: u64) {
+    if !trace_active() {
+        return;
+    }
+    TRACE_SPANS.with(|s| {
+        let mut spans = s.get();
+        spans[span as usize] = spans[span as usize].saturating_add(nanos);
+        s.set(spans);
+    });
+}
+
+/// Ends the active trace, returning its per-span nanosecond totals;
+/// `None` when no trace was active.
+pub fn trace_take() -> Option<[u64; SPAN_COUNT]> {
+    if !trace_active() {
+        return None;
+    }
+    TRACE_ACTIVE.with(|a| a.set(false));
+    Some(TRACE_SPANS.with(Cell::get))
+}
+
+/// Runs `f`, attributing its wall time to `span` on the active trace.
+/// When compiled out or no trace is active, `f` runs without touching
+/// the clock — this is the zero-cost-when-off contract every
+/// instrumentation site relies on.
+#[inline]
+pub fn time_span<T>(span: Span, f: impl FnOnce() -> T) -> T {
+    if !trace_active() {
+        return f();
+    }
+    let started = Instant::now();
+    let out = f();
+    span_add(span, started.elapsed().as_nanos() as u64);
+    out
+}
+
+/// One finished request trace — the flight recorder's unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// The wire command (or `other` for unparseable requests).
+    pub cmd: String,
+    /// Target population name; empty for population-less commands.
+    pub pop: String,
+    /// Client request id (PR 9 retry dedup), so retried requests
+    /// correlate across traces; empty when the client sent none.
+    pub id: String,
+    /// Whether the response carried `ok:true`.
+    pub ok: bool,
+    /// End-to-end microseconds (queue wait through response flush).
+    pub total_us: u64,
+    /// Per-span microseconds, indexed by [`Span`] discriminant.
+    pub spans_us: [u64; SPAN_COUNT],
+}
+
+impl Trace {
+    /// Converts to the schema-v9 `trace` record.
+    pub fn to_record(&self) -> TraceRecord {
+        TraceRecord {
+            cmd: self.cmd.clone(),
+            pop: self.pop.clone(),
+            id: self.id.clone(),
+            ok: self.ok,
+            total_us: self.total_us,
+            queue_us: self.spans_us[Span::Queue as usize],
+            parse_us: self.spans_us[Span::Parse as usize],
+            registry_lock_us: self.spans_us[Span::RegistryLock as usize],
+            pop_lock_us: self.spans_us[Span::PopLock as usize],
+            engine_us: self.spans_us[Span::Engine as usize],
+            journal_us: self.spans_us[Span::Journal as usize],
+            fsync_us: self.spans_us[Span::Fsync as usize],
+            write_us: self.spans_us[Span::Write as usize],
+        }
+    }
+}
+
+/// Lock-free per-command counters: request/error counts, total latency,
+/// a log₂ latency histogram, and per-span totals.
+#[derive(Debug)]
+pub struct CmdStats {
+    count: AtomicU64,
+    errors: AtomicU64,
+    total_us: AtomicU64,
+    hist: [AtomicU64; HIST_BOUNDS + 1],
+    spans_us: [AtomicU64; SPAN_COUNT],
+}
+
+impl CmdStats {
+    fn new() -> Self {
+        CmdStats {
+            count: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            total_us: AtomicU64::new(0),
+            hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            spans_us: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.errors.store(0, Ordering::Relaxed);
+        self.total_us.store(0, Ordering::Relaxed);
+        for bucket in &self.hist {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        for span in &self.spans_us {
+            span.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time copy of one command's counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmdSnapshot {
+    /// The wire command.
+    pub cmd: &'static str,
+    /// Requests served.
+    pub count: u64,
+    /// Requests answered with `ok:false`.
+    pub errors: u64,
+    /// Sum of end-to-end microseconds.
+    pub total_us: u64,
+    /// Per-span microsecond totals, indexed by [`Span`] discriminant.
+    pub spans_us: [u64; SPAN_COUNT],
+    /// The latency histogram in the shared `bound:count,…` encoding;
+    /// `None` when no requests landed.
+    pub hist: Option<String>,
+    /// Median end-to-end latency (bucket upper bound), microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile latency (bucket upper bound), microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile latency (bucket upper bound), microseconds.
+    pub p99_us: f64,
+}
+
+/// A point-in-time copy of the whole [`ServerStats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Seconds since boot or the last reset — the rps window.
+    pub window_s: f64,
+    /// Total requests across all commands.
+    pub requests: u64,
+    /// Busy-envelope refusals at the accept loop.
+    pub busy: u64,
+    /// Requests that crossed the `--slow-ms` threshold.
+    pub slow: u64,
+    /// Pool queue depth at the last accept.
+    pub queue_depth: u64,
+    /// Flight-recorder dumps written so far.
+    pub dumps: u64,
+    /// Per-command rows, only for commands that saw traffic.
+    pub commands: Vec<CmdSnapshot>,
+}
+
+/// The shared, lock-free (on the hot path) server-wide aggregation of
+/// request traces, plus the flight recorder behind a mutex that only
+/// trace *completion* touches.
+pub struct ServerStats {
+    cmds: Vec<CmdStats>,
+    busy: AtomicU64,
+    slow: AtomicU64,
+    queue_depth: AtomicU64,
+    dumps: AtomicU64,
+    slow_us: u64,
+    window_start: Mutex<Instant>,
+    flight: Mutex<VecDeque<Trace>>,
+    dump_dir: Option<PathBuf>,
+}
+
+impl std::fmt::Debug for ServerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerStats")
+            .field("requests", &self.snapshot().requests)
+            .field("dump_dir", &self.dump_dir)
+            .finish()
+    }
+}
+
+impl ServerStats {
+    /// Fresh stats. `slow_ms = 0` disables the slow-request log;
+    /// `dump_dir` is where flight-recorder dumps land (`None` disables
+    /// automatic dumps — `dump-trace` still returns traces inline).
+    pub fn new(slow_ms: u64, dump_dir: Option<PathBuf>) -> Self {
+        ServerStats {
+            cmds: (0..COMMANDS.len()).map(|_| CmdStats::new()).collect(),
+            busy: AtomicU64::new(0),
+            slow: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            dumps: AtomicU64::new(0),
+            slow_us: slow_ms.saturating_mul(1_000),
+            window_start: Mutex::new(Instant::now()),
+            flight: Mutex::new(VecDeque::with_capacity(FLIGHT_CAPACITY)),
+            dump_dir,
+        }
+    }
+
+    /// Folds one finished trace into the aggregates, the flight
+    /// recorder, and (past the threshold) the slow-request log.
+    pub fn record(&self, trace: Trace) {
+        let stats = &self.cmds[cmd_index(&trace.cmd)];
+        stats.count.fetch_add(1, Ordering::Relaxed);
+        if !trace.ok {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        stats.total_us.fetch_add(trace.total_us, Ordering::Relaxed);
+        let bucket = HIST_BOUNDS_US.partition_point(|&b| b < trace.total_us.max(1));
+        stats.hist[bucket].fetch_add(1, Ordering::Relaxed);
+        for (slot, &us) in stats.spans_us.iter().zip(trace.spans_us.iter()) {
+            slot.fetch_add(us, Ordering::Relaxed);
+        }
+        if self.slow_us > 0 && trace.total_us >= self.slow_us {
+            self.slow.fetch_add(1, Ordering::Relaxed);
+            let spans: Vec<String> = SPAN_LABELS
+                .iter()
+                .zip(trace.spans_us.iter())
+                .filter(|(_, &us)| us > 0)
+                .map(|(label, us)| format!("{label}={us}us"))
+                .collect();
+            eprintln!(
+                "slow request: cmd={} pop={:?} id={:?} total={}us {}",
+                trace.cmd,
+                trace.pop,
+                trace.id,
+                trace.total_us,
+                spans.join(" ")
+            );
+        }
+        let mut flight = self.flight.lock().unwrap_or_else(|p| p.into_inner());
+        if flight.len() == FLIGHT_CAPACITY {
+            flight.pop_front();
+        }
+        flight.push_back(trace);
+    }
+
+    /// Counts one busy-envelope refusal at the accept loop.
+    pub fn record_busy(&self) {
+        self.busy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Updates the pool-queue-depth gauge.
+    pub fn set_queue_depth(&self, depth: u64) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// The `--slow-ms` threshold in microseconds (0 = disabled).
+    pub fn slow_threshold_us(&self) -> u64 {
+        self.slow_us
+    }
+
+    /// The last `last` traces, most recent last.
+    pub fn recent(&self, last: usize) -> Vec<Trace> {
+        let flight = self.flight.lock().unwrap_or_else(|p| p.into_inner());
+        flight.iter().skip(flight.len().saturating_sub(last)).cloned().collect()
+    }
+
+    /// Zeroes every counter and restarts the rps window. The flight
+    /// recorder is *not* cleared — a reset must never erase the
+    /// post-mortem.
+    pub fn reset(&self) {
+        for cmd in &self.cmds {
+            cmd.reset();
+        }
+        self.busy.store(0, Ordering::Relaxed);
+        self.slow.store(0, Ordering::Relaxed);
+        *self.window_start.lock().unwrap_or_else(|p| p.into_inner()) = Instant::now();
+    }
+
+    /// A point-in-time copy of all counters, with per-command quantiles
+    /// computed from the latency histograms.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let window_s = {
+            let started = self.window_start.lock().unwrap_or_else(|p| p.into_inner());
+            started.elapsed().as_secs_f64()
+        };
+        let mut commands = Vec::new();
+        let mut requests = 0;
+        for (idx, cmd) in self.cmds.iter().enumerate() {
+            let count = cmd.count.load(Ordering::Relaxed);
+            if count == 0 {
+                continue;
+            }
+            requests += count;
+            let counts: Vec<u64> = cmd.hist.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+            let hist = analysis::encode_buckets(&HIST_BOUNDS_US, &counts);
+            let decoded = hist.as_deref().and_then(analysis::decode_buckets).unwrap_or_default();
+            // A quantile in the overflow bucket comes back infinite;
+            // clamp to the top finite bound (the value is "at least
+            // this") so the JSON field stays a number, not null.
+            let top = *HIST_BOUNDS_US.last().expect("non-empty bounds") as f64;
+            let quantile = |q: f64| {
+                analysis::bucket_quantile(&decoded, q).map_or(0.0, |v| {
+                    if v.is_finite() {
+                        v
+                    } else {
+                        top
+                    }
+                })
+            };
+            commands.push(CmdSnapshot {
+                cmd: COMMANDS[idx],
+                count,
+                errors: cmd.errors.load(Ordering::Relaxed),
+                total_us: cmd.total_us.load(Ordering::Relaxed),
+                spans_us: std::array::from_fn(|i| cmd.spans_us[i].load(Ordering::Relaxed)),
+                hist,
+                p50_us: quantile(0.50),
+                p95_us: quantile(0.95),
+                p99_us: quantile(0.99),
+            });
+        }
+        StatsSnapshot {
+            window_s,
+            requests,
+            busy: self.busy.load(Ordering::Relaxed),
+            slow: self.slow.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            dumps: self.dumps.load(Ordering::Relaxed),
+            commands,
+        }
+    }
+
+    /// Dumps the flight recorder to
+    /// `<dump_dir>/flight-<reason>-<k>.jsonl` (schema-v9 `trace` rows).
+    /// Returns the path, or `None` when no dump directory is configured
+    /// or the recorder is empty. Failures are swallowed: the dump runs
+    /// on panic/quarantine paths where a second failure must not cascade.
+    pub fn dump(&self, reason: &str) -> Option<PathBuf> {
+        let dir = self.dump_dir.as_ref()?;
+        let traces = self.recent(FLIGHT_CAPACITY);
+        if traces.is_empty() {
+            return None;
+        }
+        let k = self.dumps.fetch_add(1, Ordering::Relaxed);
+        if fs::create_dir_all(dir).is_err() {
+            return None;
+        }
+        let path = dir.join(format!("flight-{reason}-{k}.jsonl"));
+        let mut file = fs::File::create(&path).ok()?;
+        for trace in &traces {
+            if writeln!(file, "{}", trace.to_record().to_json()).is_err() {
+                return None;
+            }
+        }
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(cmd: &str, total_us: u64, ok: bool) -> Trace {
+        Trace {
+            cmd: cmd.to_string(),
+            pop: "p".to_string(),
+            id: String::new(),
+            ok,
+            total_us,
+            spans_us: [0, 1, 0, 0, total_us.saturating_sub(1), 0, 0, 0],
+        }
+    }
+
+    #[test]
+    fn spans_accumulate_only_while_a_trace_is_active() {
+        assert!(trace_take().is_none());
+        span_add(Span::Engine, 100); // inactive: dropped
+        trace_begin();
+        span_add(Span::Engine, 40);
+        let n = time_span(Span::Parse, || 7);
+        assert_eq!(n, 7);
+        if COMPILED {
+            let spans = trace_take().expect("active trace");
+            assert_eq!(spans[Span::Engine as usize], 40);
+        } else {
+            assert!(trace_take().is_none(), "obs-off never activates a trace");
+        }
+        assert!(trace_take().is_none(), "take ends the trace");
+    }
+
+    #[test]
+    fn records_aggregate_per_command_with_histogram_mass() {
+        let stats = ServerStats::new(0, None);
+        for us in [1, 3, 900, 70_000] {
+            stats.record(trace("step", us, true));
+        }
+        stats.record(trace("status", 5, false));
+        let snap = stats.snapshot();
+        assert_eq!(snap.requests, 5);
+        let step = snap.commands.iter().find(|c| c.cmd == "step").expect("step row");
+        assert_eq!(step.count, 4);
+        assert_eq!(step.errors, 0);
+        let decoded = analysis::decode_buckets(step.hist.as_deref().unwrap()).unwrap();
+        let mass: u64 = decoded.iter().map(|(_, c)| c).sum();
+        assert_eq!(mass, 4, "histogram mass equals requests recorded");
+        assert!(step.p99_us >= step.p50_us);
+        let status = snap.commands.iter().find(|c| c.cmd == "status").expect("status row");
+        assert_eq!(status.errors, 1);
+    }
+
+    /// A request slower than the top histogram bound lands in the
+    /// overflow bucket; its quantiles must clamp to the top finite
+    /// bound, never go infinite (which would serialize as JSON null).
+    #[test]
+    fn overflow_bucket_quantiles_clamp_to_the_top_bound() {
+        let stats = ServerStats::new(0, None);
+        let top = *HIST_BOUNDS_US.last().unwrap();
+        stats.record(trace("step", top * 4, true));
+        let snap = stats.snapshot();
+        let step = snap.commands.iter().find(|c| c.cmd == "step").expect("step row");
+        assert!(step.p50_us.is_finite());
+        assert_eq!(step.p50_us, top as f64);
+        assert_eq!(step.p99_us, top as f64);
+    }
+
+    #[test]
+    fn unknown_commands_fold_into_other() {
+        let stats = ServerStats::new(0, None);
+        stats.record(trace("frobnicate", 10, false));
+        let snap = stats.snapshot();
+        assert_eq!(snap.commands.len(), 1);
+        assert_eq!(snap.commands[0].cmd, "other");
+    }
+
+    #[test]
+    fn flight_recorder_is_bounded_and_survives_reset() {
+        let stats = ServerStats::new(0, None);
+        for i in 0..(FLIGHT_CAPACITY as u64 + 10) {
+            stats.record(trace("ping", i, true));
+        }
+        let recent = stats.recent(FLIGHT_CAPACITY + 100);
+        assert_eq!(recent.len(), FLIGHT_CAPACITY);
+        assert_eq!(recent.last().unwrap().total_us, FLIGHT_CAPACITY as u64 + 9);
+        stats.reset();
+        assert_eq!(stats.snapshot().requests, 0);
+        assert_eq!(stats.recent(4).len(), 4, "reset must not clear the flight recorder");
+    }
+
+    #[test]
+    fn dump_writes_trace_records() {
+        let dir = std::env::temp_dir().join(format!("ssle-obs-dump-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let stats = ServerStats::new(0, Some(dir.clone()));
+        assert!(stats.dump("empty").is_none(), "empty recorder dumps nothing");
+        stats.record(trace("step", 42, true));
+        let path = stats.dump("test").expect("dump path");
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"kind\":\"trace\""), "{text}");
+        assert!(text.contains("\"cmd\":\"step\""), "{text}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn slow_requests_are_counted_past_the_threshold() {
+        let stats = ServerStats::new(5, None); // 5 ms
+        stats.record(trace("step", 4_999, true));
+        stats.record(trace("step", 5_000, true));
+        assert_eq!(stats.snapshot().slow, 1);
+    }
+}

@@ -44,11 +44,17 @@ struct PoolState {
     handles: Vec<JoinHandle<()>>,
 }
 
+/// Called on the panicking worker thread after a job unwinds, before the
+/// replacement worker spawns — the daemon hooks this to dump the
+/// observability flight recorder while the evidence is fresh.
+pub type PanicHook = Arc<dyn Fn() + Send + Sync>;
+
 struct PoolInner {
     state: Mutex<PoolState>,
     jobs_ready: Condvar,
     capacity: usize,
     panics: AtomicU64,
+    panic_hook: Option<PanicHook>,
 }
 
 /// Locks the pool state, recovering from poison: every critical section
@@ -74,6 +80,17 @@ impl ThreadPool {
     ///
     /// Panics when `workers` or `capacity` is zero.
     pub fn new(workers: usize, capacity: usize) -> Self {
+        ThreadPool::with_panic_hook(workers, capacity, None)
+    }
+
+    /// Like [`ThreadPool::new`], with a hook run on the worker thread
+    /// whenever a job panics (before the replacement worker spawns). The
+    /// hook must not panic; if it does, the unwind is contained.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers` or `capacity` is zero.
+    pub fn with_panic_hook(workers: usize, capacity: usize, panic_hook: Option<PanicHook>) -> Self {
         assert!(workers > 0, "a pool needs at least one worker");
         assert!(capacity > 0, "a pool needs room for at least one pending job");
         let inner = Arc::new(PoolInner {
@@ -85,6 +102,7 @@ impl ThreadPool {
             jobs_ready: Condvar::new(),
             capacity,
             panics: AtomicU64::new(0),
+            panic_hook,
         });
         {
             let mut state = lock_state(&inner);
@@ -168,6 +186,12 @@ impl Drop for RespawnGuard {
             return;
         }
         self.inner.panics.fetch_add(1, Ordering::SeqCst);
+        if let Some(hook) = &self.inner.panic_hook {
+            // A panicking hook inside this unwinding drop would abort the
+            // process; contain it.
+            let hook = Arc::clone(hook);
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || hook()));
+        }
         let mut state = lock_state(&self.inner);
         if !state.stop {
             let handle = spawn_worker(&self.inner);
@@ -272,6 +296,31 @@ mod tests {
         }
         assert_eq!(done_rx.recv_timeout(Duration::from_secs(5)), Ok(7));
         assert_eq!(pool.panics(), 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn panic_hook_fires_on_job_panic() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let hook_fired = Arc::clone(&fired);
+        let pool = ThreadPool::with_panic_hook(
+            1,
+            8,
+            Some(Arc::new(move || {
+                hook_fired.fetch_add(1, Ordering::SeqCst);
+            })),
+        );
+        pool.try_execute(|| panic!("handler bug")).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while fired.load(Ordering::SeqCst) == 0 && std::time::Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "panic hook never fired");
+        // A clean job must not fire the hook.
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        pool.try_execute(move || done_tx.send(()).unwrap()).unwrap();
+        done_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
         pool.shutdown();
     }
 

@@ -103,8 +103,10 @@ pub struct Status {
     pub open_faults: usize,
     /// Fraction of observed steps with a unique leader.
     pub availability: f64,
-    /// The creation seed (0 after a snapshot restore — the seed lives in
-    /// the RNG position, not the snapshot).
+    /// The creation seed. A snapshot restore does not store it (the seed
+    /// lives in the RNG position); [`restore`] re-stamps the value the
+    /// registry recovered from the journal header, or 0 when no journal
+    /// survived.
     pub seed: u64,
 }
 
@@ -444,31 +446,35 @@ where
 }
 
 /// Rehydrates a managed population from a parsed snapshot document.
+/// `seed` is the creation seed recovered from the journal header (0 when
+/// none survived) — the snapshot itself does not carry it, and without
+/// re-stamping it here every restored population would report `seed: 0`
+/// in `status` forever after.
 ///
 /// # Errors
 ///
 /// Returns a message for unknown tags or a document that fails the codec's
 /// validation.
-pub fn restore(doc: &SnapshotDoc) -> Result<Box<dyn Managed>, String> {
+pub fn restore(doc: &SnapshotDoc, seed: u64) -> Result<Box<dyn Managed>, String> {
     let err = |e: population::SnapshotError| e.to_string();
     match (doc.protocol.as_str(), doc.backend.as_str()) {
         ("ciw", "agents") => {
             let sim = restore_agents(CaiIzumiWada::new(doc.param as usize), doc).map_err(err)?;
-            Ok(Box::new(Pop::new(sim.with_metrics(Metrics::new()), 0, true)))
+            Ok(Box::new(Pop::new(sim.with_metrics(Metrics::new()), seed, true)))
         }
         ("ciw", "counts") => {
             let sim = restore_counts(CaiIzumiWada::new(doc.param as usize), doc).map_err(err)?;
-            Ok(Box::new(Pop::new(sim.with_metrics(Metrics::new()), 0, true)))
+            Ok(Box::new(Pop::new(sim.with_metrics(Metrics::new()), seed, true)))
         }
         ("oss", "agents") => {
             let sim =
                 restore_agents(OptimalSilentSsr::new(doc.param as usize), doc).map_err(err)?;
-            Ok(Box::new(Pop::new(sim.with_metrics(Metrics::new()), 0, true)))
+            Ok(Box::new(Pop::new(sim.with_metrics(Metrics::new()), seed, true)))
         }
         ("oss", "counts") => {
             let sim =
                 restore_counts(OptimalSilentSsr::new(doc.param as usize), doc).map_err(err)?;
-            Ok(Box::new(Pop::new(sim.with_metrics(Metrics::new()), 0, true)))
+            Ok(Box::new(Pop::new(sim.with_metrics(Metrics::new()), seed, true)))
         }
         (p, b) => Err(format!("cannot serve snapshot of protocol {p:?} on backend {b:?}")),
     }
@@ -548,7 +554,8 @@ mod tests {
             let mut pop = create("oss", backend, 12, 9).unwrap();
             pop.step(5_000);
             let doc = SnapshotDoc::from_jsonl(&pop.snapshot_jsonl()).unwrap();
-            let mut restored = restore(&doc).unwrap();
+            let mut restored = restore(&doc, 9).unwrap();
+            assert_eq!(restored.status().seed, 9, "restore must re-stamp the seed");
             pop.step(5_000);
             restored.step(5_000);
             assert_eq!(

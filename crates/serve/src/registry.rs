@@ -32,6 +32,7 @@ use population::snapshot::SnapshotDoc;
 use crate::journal::{
     valid_request_id, DedupWindow, FsyncPolicy, Header, JournalDoc, Op, Wal, JOURNAL_SUFFIX,
 };
+use crate::obs::{self, ServerStats, Span};
 use crate::pop::{self, EventKind, Managed, Status, StepReport};
 
 /// Suffix of every snapshot file the registry reads and writes.
@@ -124,6 +125,11 @@ pub struct Registry {
     state_dir: Option<PathBuf>,
     durability: Durability,
     quarantines: AtomicU64,
+    /// The daemon's shared request-trace aggregation, when one is
+    /// attached ([`Registry::set_obs`]). Carried here so the `stats` /
+    /// `dump-trace` wire commands can reach it from request dispatch and
+    /// so a quarantine can dump the flight recorder.
+    obs: Mutex<Option<Arc<ServerStats>>>,
 }
 
 fn valid_name(name: &str) -> Result<(), String> {
@@ -159,7 +165,20 @@ impl Registry {
             state_dir,
             durability,
             quarantines: AtomicU64::new(0),
+            obs: Mutex::new(None),
         }
+    }
+
+    /// Attaches the daemon's shared request-trace aggregation; the
+    /// `stats` and `dump-trace` wire commands serve from it, and
+    /// quarantines dump the flight recorder to it.
+    pub fn set_obs(&self, stats: Arc<ServerStats>) {
+        *self.obs.lock().unwrap_or_else(PoisonError::into_inner) = Some(stats);
+    }
+
+    /// The attached request-trace aggregation, if any.
+    pub fn obs(&self) -> Option<Arc<ServerStats>> {
+        self.obs.lock().unwrap_or_else(PoisonError::into_inner).clone()
     }
 
     /// How often a poisoned population has been quarantined and healed.
@@ -245,9 +264,10 @@ impl Registry {
         Ok(ApplyOutcome { applied: None, status, replayed: false, seq: 0 })
     }
 
-    /// Looks up a population by name.
+    /// Looks up a population by name. The wait for the registry map lock
+    /// is attributed to the active trace's `registry_lock` span.
     pub fn get(&self, name: &str) -> Option<Slot> {
-        self.map().get(name).cloned()
+        obs::time_span(Span::RegistryLock, || self.map()).get(name).cloned()
     }
 
     /// Runs `f` against the named population's locked cell, quarantining
@@ -259,7 +279,7 @@ impl Registry {
     pub fn with_cell<R>(&self, name: &str, f: impl FnOnce(&mut PopCell) -> R) -> Result<R, String> {
         let slot = self.get(name).ok_or_else(|| format!("no population {name:?}"))?;
         let mut cell = self.lock_healing(name, &slot);
-        Ok(f(&mut cell))
+        Ok(obs::time_span(Span::Engine, || f(&mut cell)))
     }
 
     /// Locks a slot, quarantining and healing it when poisoned: with a
@@ -269,11 +289,16 @@ impl Registry {
     /// torn mutation is just another adversarial configuration it
     /// recovers from.
     fn lock_healing<'a>(&self, name: &str, slot: &'a Slot) -> MutexGuard<'a, PopCell> {
-        match slot.lock() {
+        match obs::time_span(Span::PopLock, || slot.lock()) {
             Ok(cell) => cell,
             Err(poisoned) => {
                 let mut cell = poisoned.into_inner();
                 self.quarantines.fetch_add(1, Ordering::SeqCst);
+                // Post-mortem first: the traces leading up to the poison
+                // are exactly what a quarantine investigation needs.
+                if let Some(stats) = self.obs() {
+                    let _ = stats.dump("quarantine");
+                }
                 if let Some(dir) = &self.state_dir {
                     if let Ok(healed) = self.recover_cell(name, dir) {
                         *cell = healed;
@@ -315,13 +340,15 @@ impl Registry {
         }
         // Write-ahead: the command is durable (per policy) before its
         // effects exist, so a crash between the two replays it.
+        // The append is traced as `journal` (the fsync it may trigger is
+        // measured separately inside `Wal::sync` and subtracted out).
         let seq = match cell.wal.as_mut() {
-            Some(wal) => wal.append(op.clone(), id)?,
+            Some(wal) => obs::time_span(Span::Journal, || wal.append(op.clone(), id))?,
             None => cell.seq + 1,
         };
         cell.seq = seq;
         let eseed = event_seed(cell.seed, seq);
-        let applied = apply_op(&mut cell.pop, &op, eseed)?;
+        let applied = obs::time_span(Span::Engine, || apply_op(&mut cell.pop, &op, eseed))?;
         if let Op::Churn(spec, cseed) = &op {
             cell.churn = Some((spec.clone(), *cseed));
         }
@@ -478,8 +505,19 @@ impl Registry {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
             Err(e) => return Err(format!("snapshot: read: {e}")),
         };
+        // The creation seed travels in the journal header — the snapshot
+        // does not store it. A snapshot-only recovery (journal deleted by
+        // hand) has no seed to recover; future injections then draw from
+        // a zero-based stream, which the protocol absorbs like any other
+        // adversarial input, but replay determinism is kept only when the
+        // journal survives. Extracted *before* the restore so the rebuilt
+        // population reports its real seed in `status`.
+        let seed = match &journal {
+            Some(Ok(j)) => j.header.seed,
+            _ => 0,
+        };
         let (mut pop, mut seq, mut dedup) = match (&snapshot, &journal) {
-            (Some(Ok(doc)), _) => (pop::restore(doc)?, doc.seq, DedupWindow::new()),
+            (Some(Ok(doc)), _) => (pop::restore(doc, seed)?, doc.seq, DedupWindow::new()),
             // No usable snapshot: only a journal from seq 0 carries the
             // full history.
             (_, Some(Ok(j))) if j.header.base_seq == 0 => (
@@ -498,15 +536,7 @@ impl Registry {
             (None, None) => return Err("no on-disk state".to_string()),
         };
         let mut churn: Option<(String, u64)> = None;
-        // The creation seed travels in the journal header — the snapshot
-        // does not store it. A snapshot-only recovery (journal deleted by
-        // hand) has no seed to recover; future injections then draw from
-        // a zero-based stream, which the protocol absorbs like any other
-        // adversarial input, but replay determinism is kept only when the
-        // journal survives.
-        let mut seed = 0;
         if let Some(Ok(j)) = &journal {
-            seed = j.header.seed;
             if j.header.base_seq > seq {
                 return Err(format!(
                     "journal starts at seq {} but the snapshot only covers seq {seq}",

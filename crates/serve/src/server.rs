@@ -25,9 +25,10 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use population::record::JsonObject;
+use population::record::{JsonObject, ServerStatsRecord};
 
 use crate::journal::{FsyncPolicy, Op};
+use crate::obs::{self, ServerStats};
 use crate::pool::{PoolError, ThreadPool};
 use crate::pop::{Checkpoint, Status};
 use crate::registry::{Applied, ApplyOutcome, Durability, Registry};
@@ -55,6 +56,9 @@ pub struct ServeConfig {
     pub fsync: FsyncPolicy,
     /// Auto-snapshot after this many journaled commands per population.
     pub autosnap_every: u64,
+    /// Log requests slower than this many milliseconds to stderr with
+    /// their span breakdown; 0 disables the slow-request log.
+    pub slow_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +74,7 @@ impl Default for ServeConfig {
             line_deadline: Duration::from_secs(10),
             fsync: durability.fsync,
             autosnap_every: durability.autosnap_every,
+            slow_ms: 0,
         }
     }
 }
@@ -124,6 +129,7 @@ pub struct Server {
     registry: Arc<Registry>,
     pool: ThreadPool,
     stop: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
     read_timeout: Duration,
     max_line: usize,
     line_deadline: Duration,
@@ -146,11 +152,24 @@ impl Server {
             Durability { fsync: config.fsync, autosnap_every: config.autosnap_every.max(1) },
         ));
         let restored = registry.restore_all();
+        let stats = Arc::new(ServerStats::new(config.slow_ms, config.snapshot_dir.clone()));
+        registry.set_obs(Arc::clone(&stats));
+        // A handler panic dumps the flight recorder before the worker
+        // respawns, so the traces leading up to the crash survive it.
+        let dump_stats = Arc::clone(&stats);
+        let pool = ThreadPool::with_panic_hook(
+            config.threads.max(1),
+            config.queue.max(1),
+            Some(Arc::new(move || {
+                let _ = dump_stats.dump("panic");
+            })),
+        );
         Ok(Server {
             listener,
             registry,
-            pool: ThreadPool::new(config.threads.max(1), config.queue.max(1)),
+            pool,
             stop: Arc::new(AtomicBool::new(false)),
+            stats,
             read_timeout: config.read_timeout,
             max_line: config.max_line.max(256),
             line_deadline: config.line_deadline,
@@ -176,6 +195,12 @@ impl Server {
     /// The shared registry (for in-process embedding, e.g. benches).
     pub fn registry(&self) -> Arc<Registry> {
         Arc::clone(&self.registry)
+    }
+
+    /// The shared request-tracing aggregate (also reachable through the
+    /// registry via [`Registry::obs`]).
+    pub fn stats(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.stats)
     }
 
     /// Populations restored at boot: `(name, outcome)`.
@@ -217,14 +242,24 @@ impl Server {
         let refusal = stream.try_clone().ok();
         let registry = Arc::clone(&self.registry);
         let stop = Arc::clone(&self.stop);
+        let stats = Arc::clone(&self.stats);
         let limits = LineLimits {
             max_line: self.max_line,
             deadline: self.line_deadline,
             idle: self.read_timeout,
         };
-        match self.pool.try_execute(move || handle_connection(stream, &registry, &stop, limits)) {
+        stats.set_queue_depth(self.pool.queued() as u64);
+        // Pool queue wait: stamped at enqueue, measured when the worker
+        // picks the job up, attributed to the connection's first request.
+        let enqueued = obs::COMPILED.then(Instant::now);
+        match self.pool.try_execute(move || {
+            let queue_ns =
+                enqueued.map_or(0, |t| u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            handle_connection(stream, &registry, &stop, limits, &stats, queue_ns)
+        }) {
             Ok(()) => {}
             Err(PoolError::Busy | PoolError::ShuttingDown) => {
+                self.stats.record_busy();
                 // Backpressure: answer immediately rather than queueing
                 // unboundedly or hanging the accept loop.
                 if let Some(mut s) = refusal {
@@ -320,6 +355,8 @@ fn handle_connection(
     registry: &Arc<Registry>,
     stop: &Arc<AtomicBool>,
     limits: LineLimits,
+    stats: &ServerStats,
+    mut queue_ns: u64,
 ) {
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
@@ -333,14 +370,42 @@ fn handle_connection(
             && writer.flush().is_ok()
     };
     loop {
-        let response = match read_line_bounded(&mut reader, &mut buf, limits) {
+        match read_line_bounded(&mut reader, &mut buf, limits) {
             LineRead::Line => {
                 let trimmed = String::from_utf8_lossy(&buf);
                 let trimmed = trimmed.trim();
                 if trimmed.is_empty() {
                     continue;
                 }
-                handle_line(registry, stop, trimmed)
+                let started = obs::COMPILED.then(Instant::now);
+                obs::trace_begin();
+                let (response, meta) = serve_line(registry, stop, trimmed);
+                let sent = obs::time_span(obs::Span::Write, || respond(&mut writer, &response));
+                if let (Some(started), Some(mut spans)) = (started, obs::trace_take()) {
+                    // The Journal span wraps the whole append (fsync
+                    // included); subtract the inner Fsync span so the final
+                    // spans partition the request without overlap.
+                    spans[obs::Span::Journal as usize] = spans[obs::Span::Journal as usize]
+                        .saturating_sub(spans[obs::Span::Fsync as usize]);
+                    spans[obs::Span::Queue as usize] = queue_ns;
+                    let total_ns = queue_ns
+                        .saturating_add(u64::try_from(started.elapsed().as_nanos()).unwrap_or(0));
+                    queue_ns = 0; // pool wait belongs to the first request only
+                    stats.record(obs::Trace {
+                        cmd: meta.cmd,
+                        pop: meta.pop,
+                        id: meta.id,
+                        ok: meta.ok,
+                        total_us: total_ns / 1_000,
+                        spans_us: std::array::from_fn(|i| spans[i] / 1_000),
+                    });
+                }
+                if !sent {
+                    return;
+                }
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
             }
             LineRead::Eof | LineRead::Failed | LineRead::TimedOut { mid_line: false } => return,
             LineRead::TooLong => {
@@ -357,27 +422,44 @@ fn handle_connection(
                     respond(&mut writer, &error_response("request line read deadline exceeded"));
                 return;
             }
-        };
-        if !respond(&mut writer, &response) {
-            return;
         }
-        if stop.load(Ordering::SeqCst) {
-            return;
+    }
+}
+
+/// What the tracer needs to know about a served line, extracted before the
+/// request is consumed by dispatch.
+struct LineMeta {
+    cmd: String,
+    pop: String,
+    id: String,
+    ok: bool,
+}
+
+/// Serves one request line and reports trace metadata alongside the
+/// response. Unparsable lines are attributed to the `other` command slot.
+fn serve_line(registry: &Registry, stop: &AtomicBool, line: &str) -> (String, LineMeta) {
+    let parsed = obs::time_span(obs::Span::Parse, || Request::parse(line));
+    match parsed {
+        Ok(request) => {
+            let cmd = request.cmd.clone();
+            let pop = request.opt_str_arg("name").ok().flatten().unwrap_or("").to_string();
+            let id = request.opt_str_arg("id").ok().flatten().unwrap_or("").to_string();
+            match serve_request(registry, stop, &request) {
+                Ok(response) => (response, LineMeta { cmd, pop, id, ok: true }),
+                Err(e) => (error_response(&e), LineMeta { cmd, pop, id, ok: false }),
+            }
         }
+        Err(e) => (
+            error_response(&e),
+            LineMeta { cmd: "other".to_string(), pop: String::new(), id: String::new(), ok: false },
+        ),
     }
 }
 
 /// Serves one request line — the full command dispatch. Pure with respect
 /// to the socket, so tests can drive the protocol without a listener.
 pub fn handle_line(registry: &Registry, stop: &AtomicBool, line: &str) -> String {
-    let request = match Request::parse(line) {
-        Ok(r) => r,
-        Err(e) => return error_response(&e),
-    };
-    match serve_request(registry, stop, &request) {
-        Ok(response) => response,
-        Err(e) => error_response(&e),
-    }
+    serve_line(registry, stop, line).0
 }
 
 fn push_status(obj: &mut JsonObject, status: &Status) {
@@ -519,10 +601,17 @@ fn serve_request(
         }
         "status" => {
             let name = request.str_arg("name")?;
-            let status = registry.with_cell(name, |cell| cell.pop.status())?;
+            // The cell's seed is authoritative: a freshly restored
+            // population re-stamps it from the journal header, and stamping
+            // it here too keeps even older in-memory snapshots honest.
+            let (mut status, seed, seq, base_seq) = registry.with_cell(name, |cell| {
+                (cell.pop.status(), cell.seed, cell.seq, cell.snapshot_seq)
+            })?;
+            status.seed = seed;
             let mut obj = ok_response();
             obj.field_str("name", name);
             push_status(&mut obj, &status);
+            obj.field_u64("seq", seq).field_u64("base_seq", base_seq);
             Ok(obj.finish())
         }
         "timeline" => {
@@ -595,6 +684,90 @@ fn serve_request(
             }
             let mut obj = ok_response();
             obj.field_bool("deleted", true);
+            Ok(obj.finish())
+        }
+        "stats" => {
+            let stats = registry
+                .obs()
+                .ok_or_else(|| "stats: no request tracer attached to this registry".to_string())?;
+            let reset = request.bool_arg("reset")?.unwrap_or(false);
+            let snap = stats.snapshot();
+            if reset {
+                // Read-and-reset: the snapshot above covers the window that
+                // just ended; counters and the rps window restart now (the
+                // flight recorder is deliberately left intact).
+                stats.reset();
+            }
+            let journal_lag = registry
+                .health()
+                .iter()
+                .map(|row| row.seq.saturating_sub(row.snapshot_seq))
+                .max()
+                .unwrap_or(0);
+            let window = snap.window_s.max(1e-9);
+            let rows: Vec<String> = snap
+                .commands
+                .iter()
+                .map(|c| {
+                    let per = |total: u64| total as f64 / c.count.max(1) as f64;
+                    ServerStatsRecord {
+                        experiment: "serve".to_string(),
+                        cmd: c.cmd.to_string(),
+                        count: c.count,
+                        errors: c.errors,
+                        rps: c.count as f64 / window,
+                        p50_us: c.p50_us,
+                        p95_us: c.p95_us,
+                        p99_us: c.p99_us,
+                        mean_us: per(c.total_us),
+                        queue_us: per(c.spans_us[obs::Span::Queue as usize]),
+                        parse_us: per(c.spans_us[obs::Span::Parse as usize]),
+                        registry_lock_us: per(c.spans_us[obs::Span::RegistryLock as usize]),
+                        pop_lock_us: per(c.spans_us[obs::Span::PopLock as usize]),
+                        engine_us: per(c.spans_us[obs::Span::Engine as usize]),
+                        journal_us: per(c.spans_us[obs::Span::Journal as usize]),
+                        fsync_us: per(c.spans_us[obs::Span::Fsync as usize]),
+                        write_us: per(c.spans_us[obs::Span::Write as usize]),
+                        hist: c.hist.clone().unwrap_or_default(),
+                        window_s: snap.window_s,
+                        busy: snap.busy,
+                        queue_depth: snap.queue_depth,
+                        slow: snap.slow,
+                        journal_lag,
+                    }
+                    .to_json()
+                })
+                .collect();
+            let mut obj = ok_response();
+            obj.field_bool("tracing", obs::COMPILED)
+                .field_u64("requests", snap.requests)
+                .field_f64("rps", snap.requests as f64 / window)
+                .field_f64("window_s", snap.window_s)
+                .field_u64("busy", snap.busy)
+                .field_u64("slow", snap.slow)
+                .field_u64("queue_depth", snap.queue_depth)
+                .field_u64("dumps", snap.dumps)
+                .field_u64("journal_lag", journal_lag)
+                .field_bool("reset", reset)
+                .field_raw("commands", &format!("[{}]", rows.join(",")));
+            Ok(obj.finish())
+        }
+        "dump-trace" => {
+            let stats = registry.obs().ok_or_else(|| {
+                "dump-trace: no request tracer attached to this registry".to_string()
+            })?;
+            let last =
+                request.u64_arg("last")?.unwrap_or(32).min(obs::FLIGHT_CAPACITY as u64) as usize;
+            let traces = stats.recent(last);
+            let path = stats.dump("demand");
+            let rows: Vec<String> = traces.iter().map(|t| t.to_record().to_json()).collect();
+            let mut obj = ok_response();
+            obj.field_u64("count", rows.len() as u64);
+            match path {
+                Some(p) => obj.field_str("path", &p.display().to_string()),
+                None => obj.field_null("path"),
+            };
+            obj.field_raw("traces", &format!("[{}]", rows.join(",")));
             Ok(obj.finish())
         }
         "shutdown" => {
@@ -721,6 +894,53 @@ mod tests {
         assert!(retry.contains("\"interactions\":300"), "{retry}");
         let bad = handle_line(&registry, &stop, r#"{"cmd":"step","name":"r","id":"bad id"}"#);
         assert!(bad.contains("\"ok\":false"), "{bad}");
+    }
+
+    #[test]
+    fn status_reports_seed_seq_and_base_seq() {
+        let (registry, stop) = fresh();
+        handle_line(
+            &registry,
+            &stop,
+            r#"{"cmd":"create","name":"s","protocol":"ciw","backend":"counts","n":8,"seed":42}"#,
+        );
+        handle_line(&registry, &stop, r#"{"cmd":"step","name":"s","interactions":100}"#);
+        let status = handle_line(&registry, &stop, r#"{"cmd":"status","name":"s"}"#);
+        assert!(status.contains("\"seed\":42"), "{status}");
+        // Create occupies seq 0; the step is the first journaled mutation.
+        assert!(status.contains("\"seq\":1"), "{status}");
+        assert!(status.contains("\"base_seq\":0"), "{status}");
+    }
+
+    #[test]
+    fn stats_serves_counters_from_the_attached_tracer() {
+        let (registry, stop) = fresh();
+        assert!(
+            handle_line(&registry, &stop, r#"{"cmd":"stats"}"#).contains("no request tracer"),
+            "stats without a tracer must refuse"
+        );
+        let stats = Arc::new(ServerStats::new(0, None));
+        registry.set_obs(Arc::clone(&stats));
+        stats.record(obs::Trace {
+            cmd: "ping".to_string(),
+            pop: String::new(),
+            id: String::new(),
+            ok: true,
+            total_us: 42,
+            spans_us: [0; obs::SPAN_COUNT],
+        });
+        let resp = handle_line(&registry, &stop, r#"{"cmd":"stats","reset":true}"#);
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        assert!(resp.contains("\"requests\":1"), "{resp}");
+        assert!(resp.contains("\"kind\":\"server_stats\""), "{resp}");
+        assert!(resp.contains("\"cmd\":\"ping\""), "{resp}");
+        // Read-and-reset: the next window starts empty.
+        let after = handle_line(&registry, &stop, r#"{"cmd":"stats"}"#);
+        assert!(after.contains("\"requests\":0"), "{after}");
+        // The flight recorder survives the reset.
+        let dump = handle_line(&registry, &stop, r#"{"cmd":"dump-trace","last":8}"#);
+        assert!(dump.contains("\"count\":1"), "{dump}");
+        assert!(dump.contains("\"kind\":\"trace\""), "{dump}");
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //! | `metrics` | `name` | embedded engine metrics record |
 //! | `snapshot` | `name` | path written |
 //! | `health` | — | per-population liveness + journal-lag rows |
+//! | `stats` | `[reset]` | per-command latency/throughput rows (`server_stats` records); `reset:true` reads then zeroes the window |
+//! | `dump-trace` | `[last]` | last N request traces from the flight recorder (+ dump file path when durable) |
 //! | `list` | — | population names |
 //! | `delete` | `name` | deleted:true |
 //! | `shutdown` | — | stopping:true (daemon snapshots all and exits) |
@@ -54,6 +56,8 @@ fn allowed_keys(cmd: &str) -> Option<&'static [&'static str]> {
         "churn-plan" => &["name", "spec", "seed", "id"],
         "leader" | "ranks" | "status" | "metrics" | "snapshot" | "delete" => &["name"],
         "timeline" => &["name", "last"],
+        "stats" => &["reset"],
+        "dump-trace" => &["last"],
         _ => return None,
     })
 }
@@ -131,6 +135,19 @@ impl Request {
     pub fn required_u64(&self, key: &str) -> Result<u64, String> {
         self.u64_arg(key)?.ok_or_else(|| format!("cmd {:?} requires {key:?}", self.cmd))
     }
+
+    /// An optional boolean argument.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when present but not a boolean.
+    pub fn bool_arg(&self, key: &str) -> Result<Option<bool>, String> {
+        match self.args.get(key) {
+            None => Ok(None),
+            Some(JsonScalar::Bool(b)) => Ok(Some(*b)),
+            Some(_) => Err(format!("{key:?} must be a boolean")),
+        }
+    }
 }
 
 /// Builds the `{"ok":true,...}` response envelope; callers add payload
@@ -146,6 +163,56 @@ pub fn error_response(message: &str) -> String {
     let mut obj = JsonObject::new();
     obj.field_bool("ok", false).field_str("error", message);
     obj.finish()
+}
+
+/// Extracts the object rows of an embedded `"key":[{...},{...}]` array
+/// from a response line. The flat-JSON parser deliberately rejects nested
+/// values, so array-bearing responses (`health`, `timeline`, `stats`,
+/// `dump-trace`) are sliced textually: each returned string is one row,
+/// itself a flat JSON object ready for [`parse_flat_json`] or a record
+/// `from_json`. Returns `None` when the key is absent or the array is
+/// unterminated.
+pub fn embedded_rows(line: &str, key: &str) -> Option<Vec<String>> {
+    let marker = format!("\"{key}\":[");
+    let start = line.find(&marker)? + marker.len();
+    let bytes = line.as_bytes();
+    let mut rows = Vec::new();
+    let mut depth = 0usize;
+    let mut row_start = None;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (offset, &b) in bytes[start..].iter().enumerate() {
+        let i = start + offset;
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_str = true,
+            b'{' => {
+                if depth == 0 {
+                    row_start = Some(i);
+                }
+                depth += 1;
+            }
+            b'}' => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    rows.push(line[row_start?..=i].to_string());
+                    row_start = None;
+                }
+            }
+            b']' if depth == 0 => return Some(rows),
+            _ => {}
+        }
+    }
+    None
 }
 
 /// Reads a response line's `ok` field and extracts `error` when false —
@@ -194,11 +261,39 @@ mod tests {
     }
 
     #[test]
+    fn parses_the_observability_commands() {
+        let r = Request::parse(r#"{"cmd":"stats","reset":true}"#).unwrap();
+        assert_eq!(r.bool_arg("reset").unwrap(), Some(true));
+        assert!(Request::parse(r#"{"cmd":"stats","reset":1}"#).unwrap().bool_arg("reset").is_err());
+        let r = Request::parse(r#"{"cmd":"dump-trace","last":8}"#).unwrap();
+        assert_eq!(r.u64_arg("last").unwrap(), Some(8));
+        assert!(Request::parse(r#"{"cmd":"dump-trace","name":"a"}"#)
+            .unwrap_err()
+            .contains("does not take"));
+    }
+
+    #[test]
     fn rejects_bad_numbers() {
         let r = Request::parse(r#"{"cmd":"step","name":"a","interactions":-3}"#).unwrap();
         assert!(r.u64_arg("interactions").is_err());
         let r = Request::parse(r#"{"cmd":"step","name":"a","interactions":1.5}"#).unwrap();
         assert!(r.u64_arg("interactions").is_err());
+    }
+
+    #[test]
+    fn embedded_rows_slices_nested_arrays() {
+        let line = r#"{"ok":true,"count":2,"commands":[{"cmd":"ping","hist":"1:2,inf:3"},{"cmd":"step","pop":"a{b}"}],"tail":1}"#;
+        let rows = embedded_rows(line, "commands").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], r#"{"cmd":"ping","hist":"1:2,inf:3"}"#);
+        // Braces inside strings must not confuse the slicer.
+        assert_eq!(rows[1], r#"{"cmd":"step","pop":"a{b}"}"#);
+        assert_eq!(
+            embedded_rows(r#"{"ok":true,"rows":[]}"#, "rows").unwrap(),
+            Vec::<String>::new()
+        );
+        assert!(embedded_rows(line, "missing").is_none());
+        assert!(embedded_rows(r#"{"rows":[{"a":1}"#, "rows").is_none(), "unterminated array");
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! End-to-end observability tests: K parallel clients drive a known
+//! command mix through the chaos proxy, then the `stats` command must
+//! reconcile *exactly* with the client-side counts — per-command request
+//! counters, error counters, and histogram mass all agree with what the
+//! clients actually sent. A second test injects a worker-poisoning panic
+//! and asserts the flight recorder dumps its trace ring to disk.
+
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use population::record::{ServerStatsRecord, TraceRecord};
+use ssle_serve::client::{request, request_map};
+use ssle_serve::wire::embedded_rows;
+use ssle_serve::{ChaosConfig, ChaosProxy, RetryClient, ServeConfig, Server};
+
+fn spawn_server(config: ServeConfig) -> (String, thread::JoinHandle<ssle_serve::ServeSummary>) {
+    let server = Server::start(&config).expect("bind loopback");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn shutdown_server(addr: &str, handle: thread::JoinHandle<ssle_serve::ServeSummary>) {
+    let _ = request_map(addr, r#"{"cmd":"shutdown"}"#);
+    let _ = handle.join();
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ssle-obs-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Fetches `stats` raw and parses the embedded per-command rows.
+fn fetch_stats(addr: &str) -> Vec<ServerStatsRecord> {
+    let line = request(addr, r#"{"cmd":"stats"}"#).expect("stats request");
+    assert!(line.contains("\"ok\":true"), "{line}");
+    embedded_rows(&line, "commands")
+        .expect("stats response embeds a commands array")
+        .iter()
+        .map(|row| ServerStatsRecord::from_json(row).expect("well-formed server_stats row"))
+        .collect()
+}
+
+/// The tentpole reconciliation test: every request the clients sent is
+/// accounted for, by command, and each command's latency histogram holds
+/// exactly as much mass as requests recorded.
+#[test]
+fn stats_reconcile_exactly_with_client_counts_through_the_proxy() {
+    if !ssle_serve::obs::COMPILED {
+        return; // obs-off build: there is nothing to reconcile
+    }
+    let (addr, server) =
+        spawn_server(ServeConfig { addr: "127.0.0.1:0".to_string(), ..ServeConfig::default() });
+    // The proxy runs fault-free here: reconciliation must be *exact*, and
+    // an injected reset can drop a request after the server counted it
+    // (the retry then counts again). Fault-injected runs are covered by
+    // chaos_e2e; this test proves the accounting, through the same path.
+    let proxy = ChaosProxy::start(ChaosConfig {
+        upstream: addr.clone(),
+        seed: 11,
+        ..ChaosConfig::default()
+    })
+    .expect("bind proxy");
+    let proxy_addr = proxy.local_addr().expect("proxy addr").to_string();
+    let proxy_stop = proxy.stop_handle();
+    let proxy_handle = proxy.spawn();
+
+    const K: u64 = 4;
+    const STEPS: u64 = 10;
+    const READS: u64 = 5;
+    let mut workers = Vec::new();
+    for k in 0..K {
+        let proxy_addr = proxy_addr.clone();
+        workers.push(thread::spawn(move || {
+            let mut client = RetryClient::new(&proxy_addr, 1000 + k);
+            client
+                .mutate_map(&format!(
+                    r#"{{"cmd":"create","name":"p{k}","protocol":"ciw","backend":"counts","n":16,"seed":{k}}}"#
+                ))
+                .expect("create");
+            for _ in 0..STEPS {
+                client
+                    .mutate_map(&format!(
+                        r#"{{"cmd":"step","name":"p{k}","interactions":200}}"#
+                    ))
+                    .expect("step");
+            }
+            for _ in 0..READS {
+                client
+                    .request_map(&format!(r#"{{"cmd":"leader","name":"p{k}"}}"#))
+                    .expect("leader");
+                client
+                    .request_map(&format!(r#"{{"cmd":"status","name":"p{k}"}}"#))
+                    .expect("status");
+            }
+            client.retries()
+        }));
+    }
+    let retries: u64 = workers.into_iter().map(|w| w.join().expect("client thread")).sum();
+    assert_eq!(retries, 0, "fault-free proxy forced retries; counts cannot reconcile");
+
+    // A trace is recorded just after its response is written, so the last
+    // responses may still be in flight when the clients return — poll
+    // until the totals settle.
+    let expected: &[(&str, u64)] =
+        &[("create", K), ("step", K * STEPS), ("leader", K * READS), ("status", K * READS)];
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let rows = loop {
+        let rows = fetch_stats(&addr);
+        let count = |cmd: &str| rows.iter().find(|r| r.cmd == cmd).map_or(0, |r| r.count);
+        if expected.iter().all(|&(cmd, want)| count(cmd) >= want) || Instant::now() > deadline {
+            break rows;
+        }
+        thread::sleep(Duration::from_millis(20));
+    };
+
+    for &(cmd, want) in expected {
+        let row =
+            rows.iter().find(|r| r.cmd == cmd).unwrap_or_else(|| panic!("no stats row for {cmd}"));
+        assert_eq!(row.count, want, "{cmd} count diverged from the clients");
+        assert_eq!(row.errors, 0, "{cmd} reported errors on a clean run");
+        // Histogram mass equals requests served for the command.
+        let decoded = analysis::decode_buckets(&row.hist).expect("decodable histogram");
+        let mass: u64 = decoded.iter().map(|(_, c)| c).sum();
+        assert_eq!(mass, want, "{cmd} histogram mass diverged from its count");
+        assert!(row.p99_us >= row.p50_us, "{cmd} quantiles out of order");
+    }
+    // The step span attribution must see real engine work.
+    let step = rows.iter().find(|r| r.cmd == "step").expect("step row");
+    assert!(step.engine_us > 0.0, "step recorded no engine time: {step:?}");
+
+    proxy_stop.store(true, Ordering::SeqCst);
+    let _ = proxy_handle.join();
+    shutdown_server(&addr, server);
+}
+
+/// A worker-poisoning panic must dump the flight recorder: the traces
+/// that led up to the crash land in a `flight-quarantine-*.jsonl` file in
+/// the state directory, each line a schema-v9 trace record.
+#[test]
+fn poisoned_population_dumps_the_flight_recorder() {
+    if !ssle_serve::obs::COMPILED {
+        return; // obs-off build: no flight recorder to dump
+    }
+    let dir = temp_dir("flight");
+    let server = Server::start(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        snapshot_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let registry = server.registry();
+    let handle = thread::spawn(move || server.run());
+
+    request_map(
+        &addr,
+        r#"{"cmd":"create","name":"poison","protocol":"ciw","backend":"counts","n":16,"seed":3}"#,
+    )
+    .expect("create");
+    // A few served requests so the flight recorder has traces to dump.
+    for _ in 0..4 {
+        request_map(&addr, r#"{"cmd":"status","name":"poison"}"#).expect("status");
+    }
+
+    // Inject the fault: panic while holding the population's cell lock,
+    // exactly what a handler bug inside the engine would do.
+    let poisoner = {
+        let registry = std::sync::Arc::clone(&registry);
+        thread::spawn(move || {
+            let _ = registry.with_cell("poison", |_| panic!("injected handler bug"));
+        })
+    };
+    assert!(poisoner.join().is_err(), "the injected panic must unwind");
+
+    // The next request over the wire trips the poison, quarantines the
+    // population, and dumps the flight recorder.
+    let _ = request_map(&addr, r#"{"cmd":"status","name":"poison"}"#);
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let dump = loop {
+        let found = std::fs::read_dir(&dir)
+            .expect("read state dir")
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .find(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("flight-quarantine-") && n.ends_with(".jsonl"))
+            });
+        match found {
+            Some(path) => break path,
+            None if Instant::now() > deadline => panic!("no flight dump appeared in {dir:?}"),
+            None => thread::sleep(Duration::from_millis(20)),
+        }
+    };
+    let text = std::fs::read_to_string(&dump).expect("read dump");
+    let traces: Vec<TraceRecord> = text
+        .lines()
+        .map(|line| TraceRecord::from_json(line).expect("well-formed trace record"))
+        .collect();
+    assert!(!traces.is_empty(), "flight dump is empty");
+    assert!(
+        traces.iter().any(|t| t.cmd == "status" && t.pop == "poison"),
+        "dumped traces never mention the poisoned population: {traces:?}"
+    );
+
+    shutdown_server(&addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
